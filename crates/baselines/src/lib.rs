@@ -1,0 +1,27 @@
+//! The comparison frameworks the paper evaluates Sense-Aid against (§5.1).
+//!
+//! * **Periodic** — the state of practice: every participating device
+//!   samples on the task's period and uploads immediately, paying an
+//!   IDLE→CONNECTED promotion plus a full radio tail on almost every
+//!   upload.
+//! * **PCS** (Piggyback CrowdSensing, Lane et al., SenSys '13) — the prior
+//!   state of the art: devices predict their own app usage and piggyback
+//!   sensor uploads onto predicted app sessions; on a wrong prediction the
+//!   upload happens cold at the deadline. The paper models PCS through its
+//!   prediction accuracy (saturating at ~40 % for top-1 app prediction —
+//!   Fig 14 sweeps it from 0 to 100 %).
+//!
+//! Neither framework orchestrates across devices: *all* qualified devices
+//! in the task region sense and upload, which is the second half of
+//! Sense-Aid's advantage (Figs 10/12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pcs;
+pub mod periodic;
+pub mod predictor;
+
+pub use pcs::{PcsClient, PcsConfig, PcsUploadPlan};
+pub use periodic::{PeriodicClient, PeriodicDuty};
+pub use predictor::{AppUsagePredictor, PredictorReport};

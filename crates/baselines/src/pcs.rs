@@ -1,0 +1,289 @@
+//! Piggyback CrowdSensing (PCS, Lane et al., SenSys '13).
+//!
+//! PCS keeps sensed data on the device and tries to *piggyback* the upload
+//! onto the user's own app traffic, so the radio is already connected and
+//! no promotion is paid. Its Achilles' heel — the one Sense-Aid's Fig 14
+//! analysis targets — is that it must *predict* app usage per user:
+//! Lane et al. report ~40 % saturated top-1 accuracy after two months of
+//! training. A wrong prediction means the delay budget runs out and the
+//! upload happens cold at the deadline.
+//!
+//! [`PcsClient`] models exactly that policy with a configurable prediction
+//! accuracy; [`crate::predictor::AppUsagePredictor`] is a real trainable
+//! predictor that produces such accuracies from traffic history.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::{Sensor, SensorReading};
+use senseaid_sim::{SimRng, SimTime};
+
+/// PCS tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcsConfig {
+    /// Probability that the app-usage prediction is correct (paper Fig 14
+    /// sweeps this; 0.4 is Lane et al.'s saturated top-1 accuracy).
+    pub prediction_accuracy: f64,
+    /// Upload payload per sample, bytes.
+    pub payload_bytes: u64,
+    /// How long past the sampling instant PCS will hold data waiting for
+    /// app traffic. `None` (the default) matches the paper's Fig 14 energy
+    /// model, in which a correct prediction always ends in a piggyback —
+    /// PCS trades data timeliness for energy, which is exactly the
+    /// weakness Sense-Aid's network-side view avoids. `Some(d)` caps the
+    /// wait: a session later than `sample_at + d` forces a deadline
+    /// upload.
+    pub delay_tolerance: Option<senseaid_sim::SimDuration>,
+}
+
+impl Default for PcsConfig {
+    fn default() -> Self {
+        PcsConfig {
+            prediction_accuracy: 0.4,
+            payload_bytes: 600,
+            delay_tolerance: None,
+        }
+    }
+}
+
+impl PcsConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accuracy is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.prediction_accuracy),
+            "prediction accuracy {} outside [0, 1]",
+            self.prediction_accuracy
+        );
+    }
+}
+
+/// Where and how PCS decided to upload one reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcsUploadPlan {
+    /// When the upload fires.
+    pub at: SimTime,
+    /// `true`: ride an app session (warm radio). `false`: cold upload at
+    /// the deadline.
+    pub piggyback: bool,
+}
+
+/// The PCS client policy.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_baselines::{PcsClient, PcsConfig};
+/// use senseaid_sim::{SimRng, SimTime};
+///
+/// let mut pcs = PcsClient::new(PcsConfig { prediction_accuracy: 1.0, ..Default::default() },
+///                              SimRng::from_seed_label(1, "pcs"));
+/// // Perfect prediction + a session before the deadline = piggyback.
+/// let plan = pcs.plan_upload(SimTime::ZERO, Some(SimTime::from_mins(2)), SimTime::from_mins(5));
+/// assert!(plan.piggyback);
+/// ```
+#[derive(Debug)]
+pub struct PcsClient {
+    config: PcsConfig,
+    rng: SimRng,
+    piggybacked: u64,
+    deadline_uploads: u64,
+    samples: u64,
+}
+
+impl PcsClient {
+    /// Creates a PCS client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PcsConfig::validate`].
+    pub fn new(config: PcsConfig, rng: SimRng) -> Self {
+        config.validate();
+        PcsClient {
+            config,
+            rng,
+            piggybacked: 0,
+            deadline_uploads: 0,
+            samples: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PcsConfig {
+        self.config
+    }
+
+    /// Plans the upload of a sample taken at `now`, given the (oracle)
+    /// start of the device's next app session and the upload deadline.
+    ///
+    /// The accuracy coin models the predictor: on a correct prediction the
+    /// client knows when the next session comes and rides it (capped by
+    /// the configured delay tolerance, if any). On a wrong prediction the
+    /// client waits for traffic that never comes — a cold deadline upload.
+    pub fn plan_upload(
+        &mut self,
+        now: SimTime,
+        next_session_start: Option<SimTime>,
+        deadline: SimTime,
+    ) -> PcsUploadPlan {
+        self.samples += 1;
+        let correct = self.rng.chance(self.config.prediction_accuracy);
+        let latest_ride = match self.config.delay_tolerance {
+            Some(tolerance) => now.saturating_add(tolerance),
+            None => SimTime::MAX,
+        };
+        let rideable = next_session_start
+            .map(|s| s >= now && s <= latest_ride)
+            .unwrap_or(false);
+        if correct && rideable {
+            self.piggybacked += 1;
+            PcsUploadPlan {
+                at: next_session_start.expect("rideable implies Some"),
+                piggyback: true,
+            }
+        } else {
+            self.deadline_uploads += 1;
+            PcsUploadPlan {
+                at: deadline,
+                piggyback: false,
+            }
+        }
+    }
+
+    /// Records an upload completion (for the report counters).
+    pub fn record_upload(&mut self, _reading: &SensorReading, _sensor: Sensor) {}
+
+    /// `(piggybacked, deadline)` upload counts.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.piggybacked, self.deadline_uploads)
+    }
+
+    /// Fraction of planned uploads that piggybacked.
+    pub fn piggyback_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.piggybacked as f64 / self.samples as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+
+    fn client(accuracy: f64, label: &str) -> PcsClient {
+        PcsClient::new(
+            PcsConfig {
+                prediction_accuracy: accuracy,
+                ..PcsConfig::default()
+            },
+            SimRng::from_seed_label(11, label),
+        )
+    }
+
+    fn client_with_tolerance(accuracy: f64, tolerance_min: u64, label: &str) -> PcsClient {
+        PcsClient::new(
+            PcsConfig {
+                prediction_accuracy: accuracy,
+                delay_tolerance: Some(SimDuration::from_mins(tolerance_min)),
+                ..PcsConfig::default()
+            },
+            SimRng::from_seed_label(11, label),
+        )
+    }
+
+    #[test]
+    fn perfect_accuracy_always_piggybacks_when_session_exists() {
+        let mut pcs = client(1.0, "a");
+        for i in 0..100 {
+            let now = SimTime::from_mins(i * 10);
+            let plan = pcs.plan_upload(
+                now,
+                Some(now + SimDuration::from_mins(3)),
+                now + SimDuration::from_mins(5),
+            );
+            assert!(plan.piggyback);
+            assert_eq!(plan.at, now + SimDuration::from_mins(3));
+        }
+        assert_eq!(pcs.counts(), (100, 0));
+        assert_eq!(pcs.piggyback_rate(), 1.0);
+    }
+
+    #[test]
+    fn zero_accuracy_never_piggybacks() {
+        let mut pcs = client(0.0, "b");
+        for i in 0..100 {
+            let now = SimTime::from_mins(i * 10);
+            let deadline = now + SimDuration::from_mins(5);
+            let plan = pcs.plan_upload(now, Some(now + SimDuration::from_mins(1)), deadline);
+            assert!(!plan.piggyback);
+            assert_eq!(plan.at, deadline);
+        }
+        assert_eq!(pcs.counts(), (0, 100));
+    }
+
+    #[test]
+    fn tolerance_cap_forces_deadline_upload() {
+        let mut pcs = client_with_tolerance(1.0, 5, "c");
+        let now = SimTime::from_mins(10);
+        let deadline = now + SimDuration::from_mins(5);
+        // Session after the tolerance window.
+        let plan = pcs.plan_upload(now, Some(now + SimDuration::from_mins(6)), deadline);
+        assert!(!plan.piggyback);
+        assert_eq!(plan.at, deadline);
+        // No session at all.
+        let plan = pcs.plan_upload(now, None, deadline);
+        assert!(!plan.piggyback);
+    }
+
+    #[test]
+    fn uncapped_tolerance_rides_late_sessions() {
+        // The default (paper Fig 14 model): a correct prediction always
+        // ends in a piggyback, even past the deadline.
+        let mut pcs = client(1.0, "c2");
+        let now = SimTime::from_mins(10);
+        let deadline = now + SimDuration::from_mins(5);
+        let session = deadline + SimDuration::from_mins(3);
+        let plan = pcs.plan_upload(now, Some(session), deadline);
+        assert!(plan.piggyback);
+        assert_eq!(plan.at, session);
+    }
+
+    #[test]
+    fn intermediate_accuracy_piggybacks_proportionally() {
+        let mut pcs = client(0.4, "d");
+        let n = 5_000;
+        for i in 0..n {
+            let now = SimTime::from_mins(i * 10);
+            pcs.plan_upload(
+                now,
+                Some(now + SimDuration::from_mins(2)),
+                now + SimDuration::from_mins(5),
+            );
+        }
+        let rate = pcs.piggyback_rate();
+        assert!(
+            (rate - 0.4).abs() < 0.03,
+            "piggyback rate {rate} should track the 0.4 accuracy"
+        );
+    }
+
+    #[test]
+    fn session_exactly_at_deadline_still_counts() {
+        let mut pcs = client(1.0, "e");
+        let now = SimTime::from_mins(10);
+        let deadline = now + SimDuration::from_mins(5);
+        let plan = pcs.plan_upload(now, Some(deadline), deadline);
+        assert!(plan.piggyback);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_accuracy() {
+        let _ = client(1.5, "f");
+    }
+}

@@ -1,0 +1,195 @@
+//! The Periodic baseline: sense on schedule, upload immediately.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::{Sensor, SensorReading};
+use senseaid_sim::{SimDuration, SimTime};
+
+/// One periodic sensing duty on a device (one task it participates in).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicDuty {
+    /// Sensor to sample.
+    pub sensor: Sensor,
+    /// Sampling period.
+    pub period: SimDuration,
+    /// Next sampling instant.
+    pub next_sample_at: SimTime,
+    /// Sampling stops at this instant.
+    pub until: SimTime,
+    /// Upload payload per sample, bytes.
+    pub payload_bytes: u64,
+}
+
+/// The Periodic framework's client: fires every duty on its period and
+/// uploads the reading immediately — no radio awareness whatsoever.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_baselines::PeriodicClient;
+/// use senseaid_device::Sensor;
+/// use senseaid_sim::{SimDuration, SimTime};
+///
+/// let mut client = PeriodicClient::new();
+/// client.add_task(Sensor::Barometer, SimDuration::from_mins(5), SimTime::ZERO, SimTime::from_mins(90), 600);
+/// let due = client.due_duties(SimTime::ZERO);
+/// assert_eq!(due.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicClient {
+    duties: Vec<PeriodicDuty>,
+    samples: u64,
+    uploads: u64,
+}
+
+impl PeriodicClient {
+    /// A client with no duties.
+    pub fn new() -> Self {
+        PeriodicClient::default()
+    }
+
+    /// Adds a sensing task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `until <= start`.
+    pub fn add_task(
+        &mut self,
+        sensor: Sensor,
+        period: SimDuration,
+        start: SimTime,
+        until: SimTime,
+        payload_bytes: u64,
+    ) {
+        assert!(!period.is_zero(), "period must be non-zero");
+        assert!(until > start, "task must end after it starts");
+        self.duties.push(PeriodicDuty {
+            sensor,
+            period,
+            next_sample_at: start,
+            until,
+            payload_bytes,
+        });
+    }
+
+    /// Number of active duties at `now`.
+    pub fn active_duties(&self, now: SimTime) -> usize {
+        self.duties.iter().filter(|d| d.next_sample_at < d.until && now < d.until).count()
+    }
+
+    /// The duties due at `now`, advancing their schedules. Each returned
+    /// duty means: sample `sensor` now and upload `payload_bytes`
+    /// immediately.
+    pub fn due_duties(&mut self, now: SimTime) -> Vec<PeriodicDuty> {
+        let mut due = Vec::new();
+        for d in &mut self.duties {
+            while d.next_sample_at <= now && d.next_sample_at < d.until {
+                due.push(*d);
+                d.next_sample_at += d.period;
+            }
+        }
+        self.samples += due.len() as u64;
+        due
+    }
+
+    /// The next instant any duty fires, if any remain.
+    pub fn next_fire_at(&self) -> Option<SimTime> {
+        self.duties
+            .iter()
+            .filter(|d| d.next_sample_at < d.until)
+            .map(|d| d.next_sample_at)
+            .min()
+    }
+
+    /// Records an upload (for the report counters).
+    pub fn record_upload(&mut self, _reading: &SensorReading) {
+        self.uploads += 1;
+    }
+
+    /// `(samples, uploads)` so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.samples, self.uploads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_schedule() {
+        let mut c = PeriodicClient::new();
+        c.add_task(
+            Sensor::Barometer,
+            SimDuration::from_mins(5),
+            SimTime::ZERO,
+            SimTime::from_mins(30),
+            600,
+        );
+        let mut fired = 0;
+        for min in 0..30 {
+            fired += c.due_duties(SimTime::from_mins(min)).len();
+        }
+        assert_eq!(fired, 6, "30 min / 5 min = 6 samples");
+        assert_eq!(c.counts().0, 6);
+        assert!(c.next_fire_at().is_none(), "task exhausted");
+    }
+
+    #[test]
+    fn catches_up_after_a_gap() {
+        let mut c = PeriodicClient::new();
+        c.add_task(
+            Sensor::Barometer,
+            SimDuration::from_mins(10),
+            SimTime::ZERO,
+            SimTime::from_mins(60),
+            600,
+        );
+        // First poll only at t=35: the t=0,10,20,30 samples all fire.
+        let due = c.due_duties(SimTime::from_mins(35));
+        assert_eq!(due.len(), 4);
+        assert_eq!(c.next_fire_at(), Some(SimTime::from_mins(40)));
+    }
+
+    #[test]
+    fn multiple_concurrent_tasks() {
+        let mut c = PeriodicClient::new();
+        for _ in 0..3 {
+            c.add_task(
+                Sensor::Barometer,
+                SimDuration::from_mins(5),
+                SimTime::ZERO,
+                SimTime::from_mins(10),
+                600,
+            );
+        }
+        assert_eq!(c.due_duties(SimTime::ZERO).len(), 3);
+        assert_eq!(c.active_duties(SimTime::from_mins(1)), 3);
+    }
+
+    #[test]
+    fn stops_at_until() {
+        let mut c = PeriodicClient::new();
+        c.add_task(
+            Sensor::Barometer,
+            SimDuration::from_mins(5),
+            SimTime::ZERO,
+            SimTime::from_mins(10),
+            600,
+        );
+        // Samples at 0 and 5 only; 10 is excluded (duty ends there).
+        assert_eq!(c.due_duties(SimTime::from_mins(20)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be non-zero")]
+    fn rejects_zero_period() {
+        PeriodicClient::new().add_task(
+            Sensor::Barometer,
+            SimDuration::ZERO,
+            SimTime::ZERO,
+            SimTime::from_mins(10),
+            600,
+        );
+    }
+}

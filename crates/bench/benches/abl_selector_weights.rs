@@ -1,0 +1,12 @@
+//! Selector-weight ablation. Run with
+//! `cargo bench -p senseaid-bench --bench abl_selector_weights`.
+
+use senseaid_bench::experiments::{ablations, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", ablations::run_selector(seed));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 02 output. Run with
+//! `cargo bench -p senseaid-bench --bench fig02_app_energy`.
+
+use senseaid_bench::experiments::{fig02, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", fig02::run(seed));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 06 output. Run with
+//! `cargo bench -p senseaid-bench --bench fig06_tail_timeline`.
+
+use senseaid_bench::experiments::{fig06, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", fig06::run(seed));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 07 output. Run with
+//! `cargo bench -p senseaid-bench --bench fig07_qualified_vs_radius`.
+
+use senseaid_bench::experiments::{fig07, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", fig07::run(seed));
+}

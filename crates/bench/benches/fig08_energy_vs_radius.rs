@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 08 output. Run with
+//! `cargo bench -p senseaid-bench --bench fig08_energy_vs_radius`.
+
+use senseaid_bench::experiments::{fig08, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", fig08::run(seed));
+}

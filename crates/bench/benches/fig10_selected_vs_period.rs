@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 10 output. Run with
+//! `cargo bench -p senseaid-bench --bench fig10_selected_vs_period`.
+
+use senseaid_bench::experiments::{fig10, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", fig10::run(seed));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 13 output. Run with
+//! `cargo bench -p senseaid-bench --bench fig13_energy_vs_tasks`.
+
+use senseaid_bench::experiments::{fig13, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", fig13::run(seed));
+}

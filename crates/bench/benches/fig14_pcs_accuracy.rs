@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 14 output. Run with
+//! `cargo bench -p senseaid-bench --bench fig14_pcs_accuracy`.
+
+use senseaid_bench::experiments::{fig14, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", fig14::run(seed));
+}

@@ -1,0 +1,162 @@
+//! Criterion micro-benchmarks of the production-critical components:
+//! selector scoring/selection throughput, event-engine throughput, radio
+//! energy integration, region queries, and wire-message codec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use senseaid_cellnet::Message;
+use senseaid_core::store::device_store::{new_record, DeviceRecord};
+use senseaid_core::{DeviceSelector, HardCutoffs, SelectorWeights};
+use senseaid_device::{ImeiHash, Sensor};
+use senseaid_geo::{CampusMap, CircleRegion};
+use senseaid_radio::{Direction, Radio, RadioPowerProfile, ResetPolicy};
+use senseaid_sim::{EventQueue, SimDuration, SimTime, World};
+
+fn records(n: u64) -> Vec<DeviceRecord> {
+    (1..=n)
+        .map(|i| {
+            let mut r = new_record(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                100.0 - (i % 60) as f64,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            );
+            r.times_selected = i % 7;
+            r.cs_energy_j = (i % 13) as f64;
+            r
+        })
+        .collect()
+}
+
+fn bench_selector(c: &mut Criterion) {
+    let selector = DeviceSelector::new(SelectorWeights::default(), HardCutoffs::default());
+    let pool = records(1_000);
+    let refs: Vec<&DeviceRecord> = pool.iter().collect();
+    c.bench_function("selector_select_5_of_1000", |b| {
+        b.iter(|| {
+            selector
+                .select(5, std::hint::black_box(&refs), SimTime::from_mins(30))
+                .unwrap()
+        })
+    });
+    c.bench_function("selector_score_single", |b| {
+        b.iter(|| selector.score(std::hint::black_box(&pool[17]), SimTime::from_mins(30)))
+    });
+}
+
+struct NopWorld;
+
+impl World for NopWorld {
+    type Event = u64;
+    fn handle(&mut self, _now: SimTime, _ev: u64, _q: &mut EventQueue<u64>) {}
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("event_engine_10k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut q = EventQueue::new();
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_micros(i * 97 % 1_000_000), i);
+                }
+                q
+            },
+            |mut q| {
+                let mut w = NopWorld;
+                senseaid_sim::run(&mut w, &mut q, SimTime::MAX)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_radio(c: &mut Criterion) {
+    c.bench_function("radio_100_transmits_with_energy", |b| {
+        b.iter(|| {
+            let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+            let mut t = SimTime::ZERO;
+            for i in 0..100u64 {
+                t += SimDuration::from_secs(7 + i % 13);
+                r.transmit(t, 600 + i * 10, Direction::Uplink, ResetPolicy::Reset);
+            }
+            r.energy(t + SimDuration::from_secs(60))
+        })
+    });
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let map = CampusMap::standard();
+    let region = CircleRegion::new(map.anchor(), 500.0);
+    let points: Vec<_> = (0..512)
+        .map(|i| {
+            map.anchor().offset_by_meters(
+                (i as f64 * 7.3) % 1400.0 - 700.0,
+                (i as f64 * 11.9) % 1400.0 - 700.0,
+            )
+        })
+        .collect();
+    c.bench_function("region_contains_512_points", |b| {
+        b.iter(|| points.iter().filter(|p| region.contains(**p)).count())
+    });
+    c.bench_function("nearest_tower", |b| {
+        b.iter(|| map.nearest_tower(std::hint::black_box(points[100])))
+    });
+}
+
+fn bench_grid_index(c: &mut Criterion) {
+    use senseaid_geo::GridIndex;
+    let map = CampusMap::standard();
+    let mut idx = GridIndex::new(250.0);
+    let points: Vec<_> = (0..10_000u32)
+        .map(|i| {
+            let n = (f64::from(i) * 37.91) % 20_000.0 - 10_000.0;
+            let e = (f64::from(i) * 53.17) % 20_000.0 - 10_000.0;
+            map.anchor().offset_by_meters(n, e)
+        })
+        .collect();
+    for (i, p) in points.iter().enumerate() {
+        idx.insert(i as u32, *p);
+    }
+    let region = CircleRegion::new(map.anchor(), 500.0);
+    c.bench_function("grid_index_query_500m_of_10k", |b| {
+        b.iter(|| idx.query_circle(std::hint::black_box(&region)))
+    });
+    c.bench_function("linear_scan_500m_of_10k", |b| {
+        b.iter(|| {
+            points
+                .iter()
+                .filter(|p| region.contains(**p))
+                .count()
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = Message::SensedData {
+        request_id: 7,
+        imei_hash: 0xdead_beef,
+        sensor_code: 6,
+        value: 1013.25,
+        taken_at_us: 5_400_000_000,
+    };
+    c.bench_function("message_encode_decode", |b| {
+        b.iter(|| {
+            let bytes = msg.encode();
+            Message::decode(std::hint::black_box(&bytes)).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_selector,
+    bench_event_engine,
+    bench_radio,
+    bench_geo,
+    bench_grid_index,
+    bench_codec
+);
+criterion_main!(benches);

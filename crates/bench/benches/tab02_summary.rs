@@ -1,0 +1,12 @@
+//! Regenerates the paper's tab02 output. Run with
+//! `cargo bench -p senseaid-bench --bench tab02_summary`.
+
+use senseaid_bench::experiments::{tab02, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", tab02::run(seed));
+}

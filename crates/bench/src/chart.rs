@@ -1,0 +1,121 @@
+//! Minimal text charts for the bench output.
+
+/// Renders a horizontal bar chart. Each row is `(label, value)`; bars are
+/// scaled to `width` characters against the maximum value.
+///
+/// # Example
+///
+/// ```
+/// let text = senseaid_bench::chart::bar_chart(
+///     &[("a".to_owned(), 2.0), ("b".to_owned(), 4.0)],
+///     "J",
+///     20,
+/// );
+/// assert!(text.contains('█'));
+/// ```
+pub fn bar_chart(rows: &[(String, f64)], unit: &str, width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let filled = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {value:.1} {unit}\n",
+            "█".repeat(filled),
+            " ".repeat(width.saturating_sub(filled)),
+        ));
+    }
+    out
+}
+
+/// Renders a grouped series table: one row per x-label, one column per
+/// series, values formatted with one decimal.
+pub fn series_table(
+    x_header: &str,
+    x_labels: &[String],
+    series: &[(String, Vec<f64>)],
+    unit: &str,
+) -> String {
+    let xw = x_labels
+        .iter()
+        .map(String::len)
+        .chain([x_header.len()])
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = format!("{x_header:<xw$}");
+    for (name, _) in series {
+        out.push_str(&format!(" | {name:>14}"));
+    }
+    out.push_str(&format!("  ({unit})\n"));
+    out.push_str(&"-".repeat(xw + series.len() * 17 + 8));
+    out.push('\n');
+    for (i, x) in x_labels.iter().enumerate() {
+        out.push_str(&format!("{x:<xw$}"));
+        for (_, values) in series {
+            match values.get(i) {
+                Some(v) => out.push_str(&format!(" | {v:>14.1}")),
+                None => out.push_str(&format!(" | {:>14}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let text = bar_chart(
+            &[("small".to_owned(), 1.0), ("big".to_owned(), 10.0)],
+            "J",
+            10,
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let bars = |s: &str| s.matches('█').count();
+        assert_eq!(bars(lines[1]), 10, "max value fills the width");
+        assert_eq!(bars(lines[0]), 1);
+    }
+
+    #[test]
+    fn bar_chart_handles_all_zero() {
+        let text = bar_chart(&[("z".to_owned(), 0.0)], "J", 10);
+        assert!(!text.contains('█'));
+    }
+
+    #[test]
+    fn series_table_aligns_columns() {
+        let text = series_table(
+            "radius",
+            &["100 m".to_owned(), "200 m".to_owned()],
+            &[
+                ("PCS".to_owned(), vec![5.0, 7.0]),
+                ("SA".to_owned(), vec![1.0, 2.0]),
+            ],
+            "J",
+        );
+        assert!(text.contains("radius"));
+        assert!(text.contains("PCS"));
+        assert!(text.contains("7.0"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn series_table_pads_missing_points() {
+        let text = series_table(
+            "x",
+            &["a".to_owned(), "b".to_owned()],
+            &[("s".to_owned(), vec![1.0])],
+            "J",
+        );
+        assert!(text.contains('-'));
+    }
+}

@@ -1,0 +1,186 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Selector weights** — zero out each scoring term and observe the
+//!   fairness spread and energy.
+//! * **Tail inference window** — sweep the client's minimum-remaining-tail
+//!   threshold and observe the warm-upload rate and energy.
+
+use senseaid_core::SelectorWeights;
+use senseaid_sim::SimDuration;
+use senseaid_workload::ScenarioConfig;
+
+use crate::experiments::fig09;
+use crate::framework::FrameworkKind;
+use crate::runner::{run_scenario_with, HarnessOptions};
+
+/// One selector-weight configuration under test.
+pub fn weight_variants() -> Vec<(&'static str, SelectorWeights)> {
+    let d = SelectorWeights::default();
+    vec![
+        ("default (α,β,γ,φ)", d),
+        ("no fairness (β=0)", SelectorWeights { beta: 0.0, ..d }),
+        ("no energy (α=0)", SelectorWeights { alpha: 0.0, ..d }),
+        ("no battery (γ=0)", SelectorWeights { gamma: 0.0, ..d }),
+        ("no TTL (φ=0)", SelectorWeights { phi: 0.0, ..d }),
+        ("fairness only", SelectorWeights::fairness_only()),
+    ]
+}
+
+/// Renders the selector-weight ablation on the Fig 9 scenario.
+pub fn run_selector(seed: u64) -> String {
+    render_selector(fig09::scenario(), seed)
+}
+
+/// Renders the selector-weight ablation on an arbitrary scenario.
+pub fn render_selector(scenario: ScenarioConfig, seed: u64) -> String {
+    let mut out = String::from("=== Ablation: device-selector scoring weights ===\n");
+    out.push_str(&format!(
+        "{:<22} {:>10} {:>10} {:>12}\n",
+        "variant", "energy J", "spread", "warm-rate"
+    ));
+    for (name, weights) in weight_variants() {
+        let report = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario,
+            seed,
+            HarnessOptions {
+                weights: Some(weights),
+                ..HarnessOptions::default()
+            },
+        );
+        out.push_str(&format!(
+            "{:<22} {:>10.1} {:>10} {:>11.0}%\n",
+            name,
+            report.total_cs_j(),
+            fig09::selection_spread(&report),
+            100.0 * report.warm_upload_rate(),
+        ));
+    }
+    out.push_str("\nexpectation: dropping β (fairness) widens the selection spread\n");
+    out
+}
+
+/// The tail-window sweep points. The LTE tail is 11.5 s long and the
+/// client checks once per second, so thresholds approaching or exceeding
+/// the tail length forfeit upload opportunities.
+pub fn tail_windows() -> Vec<SimDuration> {
+    vec![
+        SimDuration::from_millis(100),
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(8),
+        SimDuration::from_secs(11),
+        SimDuration::from_secs(20),
+    ]
+}
+
+/// Renders the tail-inference ablation.
+pub fn run_tail(seed: u64) -> String {
+    render_tail(fig09::scenario(), seed)
+}
+
+/// Renders the tail-inference ablation on an arbitrary scenario.
+pub fn render_tail(scenario: ScenarioConfig, seed: u64) -> String {
+    let mut out = String::from("=== Ablation: client tail-window threshold ===\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>12} {:>10}\n",
+        "window", "energy J", "warm-rate", "uploads"
+    ));
+    for window in tail_windows() {
+        let report = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario,
+            seed,
+            HarnessOptions {
+                min_tail_window: Some(window),
+                ..HarnessOptions::default()
+            },
+        );
+        out.push_str(&format!(
+            "{:<12} {:>10.1} {:>11.0}% {:>10}\n",
+            window.to_string(),
+            report.total_cs_j(),
+            100.0 * report.warm_upload_rate(),
+            report.uploads,
+        ));
+    }
+    out.push_str("\nexpectation: a huge window forfeits tail opportunities (warm-rate falls, energy rises)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_geo::NamedLocation;
+
+    fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            test_duration: SimDuration::from_mins(40),
+            sampling_period: SimDuration::from_mins(10),
+            spatial_density: 2,
+            area_radius_m: 1000.0,
+            tasks: 1,
+            location: NamedLocation::CsDepartment,
+            group_size: 12,
+        }
+    }
+
+    #[test]
+    fn dropping_fairness_widens_spread() {
+        let seed = 21;
+        let fair = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            small(),
+            seed,
+            HarnessOptions {
+                weights: Some(SelectorWeights::default()),
+                ..HarnessOptions::default()
+            },
+        );
+        let unfair = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            small(),
+            seed,
+            HarnessOptions {
+                weights: Some(SelectorWeights {
+                    beta: 0.0,
+                    alpha: 0.0,
+                    ..SelectorWeights::default()
+                }),
+                ..HarnessOptions::default()
+            },
+        );
+        assert!(
+            fig09::selection_spread(&unfair) >= fig09::selection_spread(&fair),
+            "unfair spread {} vs fair {}",
+            fig09::selection_spread(&unfair),
+            fig09::selection_spread(&fair)
+        );
+    }
+
+    #[test]
+    fn absurd_tail_window_hurts_warm_rate() {
+        let seed = 22;
+        let normal = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            small(),
+            seed,
+            HarnessOptions {
+                min_tail_window: Some(SimDuration::from_millis(500)),
+                ..HarnessOptions::default()
+            },
+        );
+        let absurd = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            small(),
+            seed,
+            HarnessOptions {
+                // Longer than the whole tail: no in-tail upload ever fires.
+                min_tail_window: Some(SimDuration::from_secs(30)),
+                ..HarnessOptions::default()
+            },
+        );
+        assert!(normal.warm_upload_rate() > absurd.warm_upload_rate());
+        assert!(normal.total_cs_j() < absurd.total_cs_j());
+        assert_eq!(absurd.warm_upload_rate(), 0.0, "30 s window kills every tail chance");
+    }
+}

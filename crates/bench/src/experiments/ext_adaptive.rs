@@ -1,0 +1,260 @@
+//! Extension: adaptive tasks through a weather front (paper §8's
+//! "dynamic tasks that can alter their requirements based on received
+//! data", implemented).
+//!
+//! A two-hour study with a 6 hPa pressure front crossing the campus at
+//! t = 60 min. The adaptive run starts at density 2 and lets the CAS-side
+//! [`AdaptiveController`] escalate when readings disagree; it is compared
+//! against a static density-2 run (cheap but blind to the front's
+//! structure) and a static density-8 run (resolves the front but pays for
+//! it all day).
+
+use std::collections::BTreeMap;
+
+use senseaid_core::adaptive::{AdaptiveConfig, AdaptiveController};
+use senseaid_core::cas::CasId;
+use senseaid_core::{AppServer, SenseAidClient, SenseAidConfig, SenseAidServer, UploadDecision};
+use senseaid_device::{Device, ImeiHash, Sensor};
+use senseaid_geo::{CampusMap, CircleRegion, NamedLocation};
+use senseaid_sim::{SimDuration, SimTime};
+use senseaid_workload::{PopulationConfig, StormFront, StudyPopulation};
+
+/// Outcome of one adaptive-vs-static run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// Run label.
+    pub label: String,
+    /// Total crowdsensing energy across the group, Joules.
+    pub total_cs_j: f64,
+    /// Readings delivered.
+    pub readings: u64,
+    /// Readings delivered per round while the front was crossing
+    /// (t = 60–90 min) — the resolution that matters.
+    pub storm_readings_per_round: f64,
+    /// Density trajectory `(minute, density)` (adaptive runs only).
+    pub density_trajectory: Vec<(u64, usize)>,
+    /// Every controller window as `(minute, spread hPa)` (adaptive only).
+    pub window_spreads: Vec<(u64, f64)>,
+}
+
+/// Runs one configuration: `adaptive = None` pins the density, `Some(cfg)`
+/// lets the controller drive it.
+pub fn run_config(
+    label: &str,
+    initial_density: usize,
+    adaptive: Option<AdaptiveConfig>,
+    seed: u64,
+) -> AdaptiveOutcome {
+    let map = CampusMap::standard();
+    let storm_at = SimTime::from_mins(60);
+    let field = StormFront::new(seed, storm_at, 6.0);
+    let mut devices =
+        StudyPopulation::generate(seed, &map, PopulationConfig::all_barometer(20)).into_devices();
+
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+    let mut clients: Vec<SenseAidClient> = Vec::new();
+    let mut by_imei: BTreeMap<ImeiHash, usize> = BTreeMap::new();
+    for (i, d) in devices.iter_mut().enumerate() {
+        let imei = d.imei_hash();
+        by_imei.insert(imei, i);
+        let prefs = d.prefs();
+        server
+            .register_device(
+                imei,
+                prefs.energy_budget_j,
+                prefs.critical_battery_pct,
+                d.battery_level_pct(),
+                d.profile().sensors.iter().copied().collect(),
+                d.profile().device_type.clone(),
+                SimTime::ZERO,
+            )
+            .expect("up");
+        server
+            .observe_device(imei, d.position(SimTime::ZERO), None)
+            .expect("registered");
+        let mut c = SenseAidClient::new(imei);
+        c.register(prefs);
+        clients.push(c);
+    }
+
+    let mut app = AppServer::new(CasId(1), "storm-watch");
+    let end = SimTime::from_mins(120);
+    let task = app
+        .task(Sensor::Barometer)
+        .region(CircleRegion::new(map.location(NamedLocation::CsDepartment), 800.0))
+        .spatial_density(initial_density)
+        .sampling_period(SimDuration::from_mins(5))
+        .window(SimTime::ZERO, end)
+        .submit(&mut server, SimTime::ZERO)
+        .expect("valid task");
+    let mut controller =
+        adaptive.map(|cfg| AdaptiveController::new(task, initial_density, cfg));
+
+    let horizon = end + SimDuration::from_mins(6);
+    let mut t = SimTime::ZERO;
+    let mut storm_readings = 0u64;
+    let mut density_trajectory = vec![(0, initial_density)];
+    while t <= horizon {
+        for (i, d) in devices.iter_mut().enumerate() {
+            let before = d.sessions_run();
+            d.run_regular_sessions_until(t);
+            if d.sessions_run() > before {
+                let _ = server.update_device_state(
+                    clients[i].imei(),
+                    d.battery_level_pct(),
+                    d.cs_energy_j(),
+                    t,
+                );
+            }
+        }
+        if t.as_micros().is_multiple_of(30_000_000) {
+            for (i, d) in devices.iter_mut().enumerate() {
+                let _ = server.observe_device(clients[i].imei(), d.position(t), None);
+            }
+        }
+        for a in server.poll(t).expect("up") {
+            for imei in &a.devices {
+                clients[by_imei[imei]].start_sensing(&a);
+            }
+        }
+        for (i, client) in clients.iter_mut().enumerate() {
+            let d: &mut Device = &mut devices[i];
+            for request in client.due_samples(t) {
+                if let Ok(reading) = d.sample_sensor(t, Sensor::Barometer, &field) {
+                    client.record_sample(request, reading);
+                }
+            }
+            let decision = client.upload_decision(t, d.in_tail(t), d.tail_remaining(t));
+            if decision != UploadDecision::Wait {
+                let duties = client.send_sense_data(decision);
+                if !duties.is_empty() {
+                    let bytes: u64 = duties.iter().map(|x| x.payload_bytes).sum();
+                    d.upload_crowdsensing(t, bytes, duties[0].reset_policy);
+                    for duty in duties {
+                        let reading = duty.reading.expect("sampled");
+                        let _ = server.submit_sensed_data(client.imei(), duty.request, &reading, t);
+                    }
+                }
+            }
+            client.drop_expired(t);
+        }
+        // CAS feedback loop: deliver, observe, maybe re-parameterise.
+        for (_, delivered) in server.drain_outbox() {
+            if delivered.taken_at >= SimTime::from_mins(60)
+                && delivered.taken_at < SimTime::from_mins(90)
+            {
+                storm_readings += 1;
+            }
+            if let Some(ctl) = controller.as_mut() {
+                if let Some(new_density) = ctl.observe(&delivered, t) {
+                    server
+                        .update_task_param(task, Some(new_density), None, None, t)
+                        .expect("task is active");
+                    density_trajectory.push((t.as_secs_f64() as u64 / 60, new_density));
+                }
+            }
+            app.receive_sensed_data(delivered);
+        }
+        t += SimDuration::from_secs(1);
+    }
+
+    let storm_rounds = 30.0 / 5.0; // 30 storm minutes at a 5-min period
+    AdaptiveOutcome {
+        label: label.to_owned(),
+        total_cs_j: devices.iter().map(|d| d.cs_energy_j()).sum(),
+        readings: app.received().len() as u64,
+        storm_readings_per_round: storm_readings as f64 / storm_rounds,
+        density_trajectory,
+        window_spreads: controller
+            .as_ref()
+            .map(|c| {
+                c.window_history()
+                    .iter()
+                    .map(|(t, s)| (t.as_secs_f64() as u64 / 60, *s))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+/// Renders the adaptive-task study.
+pub fn run(seed: u64) -> String {
+    let adaptive = run_config(
+        "adaptive (2→8)",
+        2,
+        Some(AdaptiveConfig::default()),
+        seed,
+    );
+    let static_low = run_config("static density 2", 2, None, seed);
+    let static_high = run_config("static density 8", 8, None, seed);
+
+    let mut out = String::from(
+        "=== Extension: adaptive task density through a 6 hPa pressure front (t=60 min) ===\n",
+    );
+    out.push_str(&format!(
+        "{:<18} {:>10} {:>10} {:>22}\n",
+        "run", "energy J", "readings", "storm readings/round"
+    ));
+    for o in [&static_low, &adaptive, &static_high] {
+        out.push_str(&format!(
+            "{:<18} {:>10.1} {:>10} {:>22.1}\n",
+            o.label, o.total_cs_j, o.readings, o.storm_readings_per_round
+        ));
+    }
+    out.push_str("\nadaptive density trajectory (minute → density): ");
+    for (min, d) in &adaptive.density_trajectory {
+        out.push_str(&format!("{min}′→{d} "));
+    }
+    out.push_str(
+        "\n\nexpectation: the adaptive run matches static-8's storm resolution at a fraction\nof its energy, and static-2's calm-weather cost the rest of the time\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_escalates_during_the_storm_and_decays_after() {
+        let o = run_config("a", 2, Some(AdaptiveConfig::default()), 71);
+        let max_density = o.density_trajectory.iter().map(|(_, d)| *d).max().unwrap();
+        assert!(max_density >= 4, "front must trigger escalation: {:?}", o.density_trajectory);
+        // Escalation happens after the front arrives (minute 60+).
+        let first_up = o
+            .density_trajectory
+            .iter()
+            .find(|(_, d)| *d > 2)
+            .expect("an escalation exists");
+        assert!(first_up.0 >= 58, "no escalation before the storm: {:?}", o.density_trajectory);
+        // And the controller decays once the front has passed.
+        let last = o.density_trajectory.last().unwrap();
+        assert!(
+            last.1 < max_density,
+            "density should decay after the front: {:?}",
+            o.density_trajectory
+        );
+    }
+
+    #[test]
+    fn adaptive_sits_between_the_static_extremes_on_energy() {
+        let seed = 72;
+        let adaptive = run_config("a", 2, Some(AdaptiveConfig::default()), seed);
+        let low = run_config("l", 2, None, seed);
+        let high = run_config("h", 8, None, seed);
+        assert!(low.total_cs_j < high.total_cs_j);
+        assert!(
+            adaptive.total_cs_j < high.total_cs_j,
+            "adaptive {} must undercut always-8 {}",
+            adaptive.total_cs_j,
+            high.total_cs_j
+        );
+        // And it resolves the storm better than always-2.
+        assert!(
+            adaptive.storm_readings_per_round > low.storm_readings_per_round,
+            "adaptive {} vs static-2 {}",
+            adaptive.storm_readings_per_round,
+            low.storm_readings_per_round
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Extension: scalability to larger populations and multi-region
+//! campaigns (the paper's §8 names this as ongoing work).
+//!
+//! Sweeps the participant count while running one task per campus
+//! location, and reports per-device energy, fulfilment, and the
+//! wall-clock cost of the full simulated study — the quantity that bounds
+//! how large a region one Sense-Aid edge instance can serve.
+
+use std::time::Instant;
+
+use senseaid_geo::NamedLocation;
+use senseaid_sim::SimDuration;
+use senseaid_workload::ScenarioConfig;
+
+use crate::framework::FrameworkKind;
+use crate::runner::run_scenario;
+
+/// One sweep row.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Participants simulated.
+    pub group_size: usize,
+    /// Average crowdsensing energy per device, Joules.
+    pub avg_cs_j: f64,
+    /// Requests fulfilled.
+    pub fulfilled: u64,
+    /// Requests expired.
+    pub missed: u64,
+    /// Wall-clock of the full 60-minute study simulation.
+    pub wall_ms: u128,
+}
+
+/// The scenario template: 60-minute study, one task at the CS department
+/// (the runner places the region by `location`; larger sweeps stress the
+/// store/selector more than region count does).
+fn scenario(group_size: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(60),
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 3,
+        area_radius_m: 800.0,
+        tasks: 4,
+        location: NamedLocation::CsDepartment,
+        group_size,
+    }
+}
+
+/// Runs the sweep.
+pub fn sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
+    sizes
+        .iter()
+        .map(|&group_size| {
+            let start = Instant::now();
+            let report = run_scenario(
+                FrameworkKind::SenseAidComplete,
+                scenario(group_size),
+                seed,
+            );
+            ScaleRow {
+                group_size,
+                avg_cs_j: report.avg_cs_j(),
+                fulfilled: report.rounds_fulfilled,
+                missed: report.rounds_missed,
+                wall_ms: start.elapsed().as_millis(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the scalability study.
+pub fn run(seed: u64) -> String {
+    let rows = sweep(&[20, 50, 100, 200], seed);
+    render(&rows)
+}
+
+/// Renders arbitrary sweep rows.
+pub fn render(rows: &[ScaleRow]) -> String {
+    let mut out = String::from(
+        "=== Extension: scalability of one Sense-Aid edge instance ===\n",
+    );
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>10} {:>8} {:>10}\n",
+        "devices", "J/device", "fulfilled", "missed", "wall ms"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10} {:>12.2} {:>10} {:>8} {:>10}\n",
+            r.group_size, r.avg_cs_j, r.fulfilled, r.missed, r.wall_ms
+        ));
+    }
+    out.push_str(
+        "\nexpectations: per-device energy falls with population (same work, more shoulders);\nfulfilment stays complete; wall-clock grows roughly linearly with devices\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_devices_spread_the_same_work() {
+        let rows = sweep(&[12, 48], 31);
+        assert_eq!(rows.len(), 2);
+        // Same number of requests either way (the task grid is fixed)...
+        assert!(rows[1].fulfilled >= rows[0].fulfilled);
+        // ...so the average per-device cost falls as the population grows.
+        assert!(
+            rows[1].avg_cs_j < rows[0].avg_cs_j,
+            "48 devices should each pay less than 12 devices do: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn fulfilment_holds_at_scale() {
+        let rows = sweep(&[60], 32);
+        let r = &rows[0];
+        assert!(
+            r.fulfilled as f64 / (r.fulfilled + r.missed).max(1) as f64 > 0.9,
+            "large populations must fulfil nearly all requests: {r:?}"
+        );
+    }
+}

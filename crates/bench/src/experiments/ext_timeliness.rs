@@ -1,0 +1,110 @@
+//! Extension: data timeliness — the cost PCS pays for its energy.
+//!
+//! The paper compares frameworks "under the prerequisite of not harming
+//! crowdsensing data" but never quantifies *when* the data arrives. This
+//! study does: Periodic delivers instantly, Sense-Aid within the sampling
+//! period (its deadline), and PCS — whose Fig 14 energy model lets a
+//! correct prediction wait indefinitely for app traffic — trades
+//! freshness away. This is the quantitative version of the paper's §1
+//! critique of piggyback-only designs.
+
+use senseaid_geo::NamedLocation;
+use senseaid_sim::SimDuration;
+use senseaid_workload::ScenarioConfig;
+
+use crate::framework::FrameworkKind;
+use crate::runner::run_scenario;
+
+/// The study scenario (Experiment 2's middle point).
+pub fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(120),
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 3,
+        area_radius_m: 500.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 20,
+    }
+}
+
+/// Renders the timeliness study.
+pub fn run(seed: u64) -> String {
+    render(scenario(), seed)
+}
+
+/// Renders the timeliness study for an arbitrary scenario.
+pub fn render(scenario: ScenarioConfig, seed: u64) -> String {
+    let period_s = scenario.sampling_period.as_secs_f64();
+    let mut out = String::from(
+        "=== Extension: data timeliness (sampling → delivery delay) ===\n",
+    );
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>16} {:>10}\n",
+        "framework", "mean s", "p95 s", "within period", "energy J"
+    ));
+    for kind in FrameworkKind::study_set() {
+        let r = run_scenario(kind, scenario, seed);
+        out.push_str(&format!(
+            "{:<14} {:>10.1} {:>10.1} {:>15.0}% {:>10.1}\n",
+            kind.label(),
+            r.mean_delay_s(),
+            r.p95_delay_s(),
+            100.0 * r.fraction_within(period_s),
+            r.total_cs_j(),
+        ));
+    }
+    out.push_str(&format!(
+        "\nsampling period = {period_s:.0} s; Sense-Aid's deadline discipline keeps every reading within it,\nwhile PCS's piggyback waits run past it — energy saved by deferral, paid in freshness\n",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            test_duration: SimDuration::from_mins(40),
+            group_size: 14,
+            ..scenario()
+        }
+    }
+
+    #[test]
+    fn periodic_is_instant_senseaid_bounded_pcs_late() {
+        let seed = 51;
+        let periodic = run_scenario(FrameworkKind::Periodic, small(), seed);
+        let senseaid = run_scenario(FrameworkKind::SenseAidComplete, small(), seed);
+        let pcs = run_scenario(FrameworkKind::pcs_default(), small(), seed);
+
+        assert!(periodic.mean_delay_s() < 1.0, "Periodic uploads immediately");
+        // Sense-Aid never exceeds its deadline (the sampling period),
+        // modulo the 1-second tick.
+        let period_s = small().sampling_period.as_secs_f64();
+        assert!(
+            senseaid.p95_delay_s() <= period_s + 1.5,
+            "SA p95 {} vs period {period_s}",
+            senseaid.p95_delay_s()
+        );
+        assert!(senseaid.fraction_within(period_s + 1.5) > 0.99);
+        // PCS's piggyback waits push its tail beyond the period.
+        assert!(
+            pcs.p95_delay_s() > period_s,
+            "PCS p95 {} should exceed the period {period_s}",
+            pcs.p95_delay_s()
+        );
+        assert!(pcs.mean_delay_s() > senseaid.mean_delay_s());
+    }
+
+    #[test]
+    fn senseaid_delay_is_nonzero_it_waits_for_tails() {
+        let r = run_scenario(FrameworkKind::SenseAidComplete, small(), 52);
+        assert!(
+            r.mean_delay_s() > 5.0,
+            "tail-waiting implies real (bounded) delay, got {}",
+            r.mean_delay_s()
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 6 — radio-state timeline around a tail-time crowdsensing upload.
+//!
+//! Paper: regular packet traffic promotes the radio; ~2 s later the
+//! crowdsensing bytes go out *inside the tail*; after the DRX phases the
+//! tail runs out and the radio demotes — at the original time when the
+//! tail timer is not reset (Sense-Aid Complete), ~11.5 s later when it is
+//! (Basic).
+
+use senseaid_radio::{
+    Direction, PhaseTimeline, Radio, RadioPowerProfile, ResetPolicy,
+};
+use senseaid_sim::{SimDuration, SimTime};
+
+/// Reconstructs the two timelines (no-reset and reset).
+pub fn timelines() -> (PhaseTimeline, PhaseTimeline) {
+    let build = |policy: ResetPolicy| {
+        let mut radio = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        // The "first chunk" of regular traffic (≈591 s in the paper's ARO
+        // trace; we use t = 591 s for likeness).
+        let regular = radio.transmit(
+            SimTime::from_secs(591),
+            120_000,
+            Direction::Downlink,
+            ResetPolicy::Reset,
+        );
+        // Crowdsensing payload becomes ready ~2 s into the tail.
+        radio.transmit(
+            regular.completed_at + SimDuration::from_secs(2),
+            600,
+            Direction::Uplink,
+            policy,
+        );
+        PhaseTimeline::reconstruct(&radio, SimTime::from_secs(630))
+    };
+    (build(ResetPolicy::NoReset), build(ResetPolicy::Reset))
+}
+
+/// Renders Fig 6.
+pub fn run(_seed: u64) -> String {
+    let (no_reset, reset) = timelines();
+    let mut out = String::from(
+        "=== Figure 6: LTE radio states around a tail-time crowdsensing upload ===\n",
+    );
+    out.push_str("\n--- tail timer NOT reset (Sense-Aid Complete) ---\n");
+    out.push_str(&no_reset.render());
+    out.push_str("\n--- tail timer reset on upload (Sense-Aid Basic / stock RRC) ---\n");
+    out.push_str(&reset.render());
+    let idle_of = |tl: &PhaseTimeline| {
+        tl.entries()
+            .iter()
+            .filter(|e| e.item == senseaid_radio::RadioPhase::Idle)
+            .map(|e| e.at)
+            .next_back()
+            .expect("timeline ends idle")
+    };
+    out.push_str(&format!(
+        "\ndemotion to idle: no-reset at {}, reset at {} — the reset costs {:.1} s of extra tail\n",
+        idle_of(&no_reset),
+        idle_of(&reset),
+        idle_of(&reset)
+            .saturating_elapsed_since(idle_of(&no_reset))
+            .as_secs_f64(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_radio::RadioPhase;
+
+    #[test]
+    fn upload_rides_the_tail_without_promotion() {
+        let (no_reset, _) = timelines();
+        let promotions = no_reset
+            .entries()
+            .iter()
+            .filter(|e| e.item == RadioPhase::Promoting)
+            .count();
+        assert_eq!(promotions, 1, "only the regular traffic promotes");
+        let transfers = no_reset
+            .entries()
+            .iter()
+            .filter(|e| e.item == RadioPhase::Transferring)
+            .count();
+        assert_eq!(transfers, 2, "regular + crowdsensing transfers");
+    }
+
+    #[test]
+    fn reset_delays_demotion_noreset_does_not() {
+        let (no_reset, reset) = timelines();
+        let idle_of = |tl: &PhaseTimeline| {
+            tl.entries()
+                .iter()
+                .filter(|e| e.item == RadioPhase::Idle)
+                .map(|e| e.at)
+                .next_back()
+                .unwrap()
+        };
+        let gap = idle_of(&reset).saturating_elapsed_since(idle_of(&no_reset));
+        // The reset pushes demotion out by roughly the 2 s the upload came
+        // after the transfer, plus the transfer time.
+        assert!(
+            gap > SimDuration::from_secs(1) && gap < SimDuration::from_secs(5),
+            "gap {gap}"
+        );
+    }
+
+    #[test]
+    fn total_tail_is_about_11_and_a_half_seconds() {
+        // Paper: "the total duration of tail time is about 11.5 secs".
+        let (no_reset, _) = timelines();
+        let entries = no_reset.entries();
+        // Find the regular transfer end (first tail entry) and the idle.
+        let first_tail = entries
+            .iter()
+            .find(|e| e.item.is_tail())
+            .expect("tail exists");
+        let idle = entries
+            .iter()
+            .filter(|e| e.item == RadioPhase::Idle)
+            .map(|e| e.at)
+            .next_back()
+            .unwrap();
+        let tail_len = idle.saturating_elapsed_since(first_tail.at);
+        assert!(
+            (tail_len.as_secs_f64() - 11.5).abs() < 0.2,
+            "tail {tail_len}"
+        );
+    }
+
+    #[test]
+    fn render_shows_both_variants() {
+        let text = super::run(0);
+        assert!(text.contains("NOT reset"));
+        assert!(text.contains("stock RRC"));
+        assert!(text.contains("SHORT_DRX"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 7 — number of qualified devices vs area radius (Experiment 1).
+//!
+//! Paper: at the CS department, the count of qualified devices grows from
+//! a couple at 100 m to ~11 at 1000 m; differences between frameworks are
+//! mobility noise only. With paired seeds our frameworks see identical
+//! populations, so one series suffices.
+
+use senseaid_workload::ExperimentGrid;
+
+use crate::chart::series_table;
+use crate::framework::FrameworkKind;
+use crate::runner::run_scenario;
+
+/// Average qualified-device count per radius.
+pub fn qualified_series(grid: &ExperimentGrid, seed: u64) -> Vec<f64> {
+    grid.points()
+        .iter()
+        .map(|p| run_scenario(FrameworkKind::SenseAidComplete, *p, seed).avg_qualified())
+        .collect()
+}
+
+/// Renders Fig 7 on the paper's Experiment 1 grid.
+pub fn run(seed: u64) -> String {
+    let grid = ExperimentGrid::experiment1();
+    render(&grid, seed)
+}
+
+/// Renders Fig 7 on an arbitrary grid (tests use a shrunken one).
+pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
+    let series = qualified_series(grid, seed);
+    let mut out = String::from(
+        "=== Figure 7: qualified devices at the CS department vs area radius ===\n",
+    );
+    out.push_str(&series_table(
+        "radius",
+        &grid.point_labels(),
+        &[("qualified".to_owned(), series.clone())],
+        "devices",
+    ));
+    out.push_str(&format!(
+        "\nshape check: monotone growth {} (min {:.1}, max {:.1})\n",
+        if is_non_decreasing(&series) { "holds" } else { "VIOLATED" },
+        series.first().copied().unwrap_or(0.0),
+        series.last().copied().unwrap_or(0.0),
+    ));
+    out
+}
+
+/// Whether a series never decreases (within a small tolerance for
+/// mobility noise).
+pub fn is_non_decreasing(series: &[f64]) -> bool {
+    series.windows(2).all(|w| w[1] >= w[0] - 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+    use senseaid_workload::ScenarioConfig;
+
+    fn small_grid() -> ExperimentGrid {
+        let base = match ExperimentGrid::experiment1() {
+            ExperimentGrid::AreaRadius { base, .. } => ScenarioConfig {
+                test_duration: SimDuration::from_mins(30),
+                group_size: 12,
+                ..base
+            },
+            _ => unreachable!(),
+        };
+        ExperimentGrid::AreaRadius {
+            base,
+            radii_m: vec![100.0, 500.0, 1000.0],
+        }
+    }
+
+    #[test]
+    fn qualified_count_grows_with_radius() {
+        let series = qualified_series(&small_grid(), 5);
+        assert_eq!(series.len(), 3);
+        assert!(
+            series[2] > series[0],
+            "1 km must capture more devices than 100 m: {series:?}"
+        );
+        assert!(is_non_decreasing(&series), "{series:?}");
+    }
+
+    #[test]
+    fn render_reports_shape() {
+        let text = render(&small_grid(), 5);
+        assert!(text.contains("shape check: monotone growth holds"), "{text}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 8 — total crowdsensing energy vs area radius (Experiment 1).
+//!
+//! Paper: PCS's total energy grows with the radius (it tasks every
+//! qualified device) while Sense-Aid stays flat (it always picks
+//! `spatial_density` devices); both Sense-Aid variants sit far below PCS,
+//! and Complete below Basic. Periodic is omitted from the figure because
+//! it dwarfs everything (it appears in Table 2).
+
+use senseaid_workload::ExperimentGrid;
+
+use crate::chart::series_table;
+use crate::framework::FrameworkKind;
+use crate::report::SweepTable;
+
+/// The frameworks Fig 8 plots.
+pub fn figure_frameworks() -> Vec<FrameworkKind> {
+    vec![
+        FrameworkKind::pcs_default(),
+        FrameworkKind::SenseAidBasic,
+        FrameworkKind::SenseAidComplete,
+    ]
+}
+
+/// Runs the sweep behind the figure.
+pub fn sweep(grid: &ExperimentGrid, seed: u64) -> SweepTable {
+    SweepTable::run(
+        &figure_frameworks(),
+        &grid.points(),
+        grid.point_labels(),
+        seed,
+    )
+}
+
+/// Renders Fig 8 on the paper's Experiment 1 grid.
+pub fn run(seed: u64) -> String {
+    render(&ExperimentGrid::experiment1(), seed)
+}
+
+/// Renders Fig 8 on an arbitrary grid.
+pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
+    let table = sweep(grid, seed);
+    let series: Vec<(String, Vec<f64>)> = table
+        .frameworks
+        .iter()
+        .map(|f| (f.label(), table.total_energy_series(*f)))
+        .collect();
+    let mut out = String::from(
+        "=== Figure 8: total crowdsensing energy vs area radius (Periodic omitted) ===\n",
+    );
+    out.push_str(&series_table("radius", &table.point_labels, &series, "J"));
+    let (avg_b, min_b, max_b) =
+        table.savings_summary(FrameworkKind::SenseAidBasic, FrameworkKind::pcs_default());
+    let (avg_c, min_c, max_c) = table.savings_summary(
+        FrameworkKind::SenseAidComplete,
+        FrameworkKind::pcs_default(),
+    );
+    out.push_str(&format!(
+        "\nsavings vs PCS — Basic: avg {avg_b:.1}% ({min_b:.1}%, {max_b:.1}%); Complete: avg {avg_c:.1}% ({min_c:.1}%, {max_c:.1}%)\n",
+    ));
+    out.push_str(
+        "paper reference         — Basic: avg 79.0% (65.9%, 92.5%); Complete: avg 81.4% (68.6%, 93.3%)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+    use senseaid_workload::ScenarioConfig;
+
+    fn small_grid() -> ExperimentGrid {
+        let base = match ExperimentGrid::experiment1() {
+            ExperimentGrid::AreaRadius { base, .. } => ScenarioConfig {
+                test_duration: SimDuration::from_mins(30),
+                group_size: 12,
+                ..base
+            },
+            _ => unreachable!(),
+        };
+        ExperimentGrid::AreaRadius {
+            base,
+            radii_m: vec![200.0, 1000.0],
+        }
+    }
+
+    #[test]
+    fn senseaid_sits_below_pcs_everywhere() {
+        let table = sweep(&small_grid(), 6);
+        let pcs = table.total_energy_series(FrameworkKind::pcs_default());
+        let basic = table.total_energy_series(FrameworkKind::SenseAidBasic);
+        let complete = table.total_energy_series(FrameworkKind::SenseAidComplete);
+        for i in 0..pcs.len() {
+            assert!(basic[i] < pcs[i], "point {i}: basic {} pcs {}", basic[i], pcs[i]);
+            assert!(
+                complete[i] <= basic[i] + 1e-9,
+                "point {i}: complete {} basic {}",
+                complete[i],
+                basic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn pcs_energy_grows_with_radius_senseaid_stays_flatter() {
+        let table = sweep(&small_grid(), 6);
+        let pcs = table.total_energy_series(FrameworkKind::pcs_default());
+        let complete = table.total_energy_series(FrameworkKind::SenseAidComplete);
+        let pcs_growth = pcs[1] / pcs[0].max(1e-9);
+        let sa_growth = complete[1] / complete[0].max(1e-9);
+        assert!(
+            pcs_growth > sa_growth,
+            "PCS must grow faster with radius: pcs ×{pcs_growth:.2} vs sa ×{sa_growth:.2}"
+        );
+    }
+}

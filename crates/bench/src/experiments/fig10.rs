@@ -1,0 +1,117 @@
+//! Figure 10 — number of selected devices per test (Experiment 2).
+//!
+//! Paper: every framework finds enough participants (≥3), but Sense-Aid
+//! selects *exactly* the spatial-density requirement regardless of the
+//! sampling period, while Periodic and PCS task every qualified device.
+
+use senseaid_workload::ExperimentGrid;
+
+use crate::chart::series_table;
+use crate::framework::FrameworkKind;
+use crate::report::SweepTable;
+
+/// Runs the Experiment 2 sweep for all four frameworks.
+pub fn sweep(grid: &ExperimentGrid, seed: u64) -> SweepTable {
+    SweepTable::run(
+        &FrameworkKind::study_set(),
+        &grid.points(),
+        grid.point_labels(),
+        seed,
+    )
+}
+
+/// Renders Fig 10 on the paper's Experiment 2 grid.
+pub fn run(seed: u64) -> String {
+    render(&ExperimentGrid::experiment2(), seed)
+}
+
+/// Renders Fig 10 on an arbitrary grid.
+pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
+    let table = sweep(grid, seed);
+    let series: Vec<(String, Vec<f64>)> = table
+        .frameworks
+        .iter()
+        .map(|f| {
+            (
+                f.label(),
+                table
+                    .reports
+                    .iter()
+                    .zip(&table.frameworks)
+                    .find(|(_, fk)| *fk == f)
+                    .map(|(row, _)| row.iter().map(|r| r.avg_participants()).collect())
+                    .expect("framework in sweep"),
+            )
+        })
+        .collect();
+    let mut out = String::from(
+        "=== Figure 10: devices selected per round vs sampling period (density 3) ===\n",
+    );
+    out.push_str(&series_table(
+        "period",
+        &table.point_labels,
+        &series,
+        "devices/round",
+    ));
+    out.push_str("\nshape check: Sense-Aid rows sit at exactly 3.0; baselines at the full qualified count\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+    use senseaid_workload::ScenarioConfig;
+
+    fn small_grid() -> ExperimentGrid {
+        let base = match ExperimentGrid::experiment2() {
+            ExperimentGrid::SamplingPeriod { base, .. } => ScenarioConfig {
+                test_duration: SimDuration::from_mins(30),
+                group_size: 14,
+                ..base
+            },
+            _ => unreachable!(),
+        };
+        ExperimentGrid::SamplingPeriod {
+            base,
+            periods: vec![SimDuration::from_mins(5), SimDuration::from_mins(10)],
+        }
+    }
+
+    #[test]
+    fn senseaid_selects_exactly_density_baselines_select_all() {
+        let table = sweep(&small_grid(), 8);
+        for point in 0..2 {
+            let sa = table.report(FrameworkKind::SenseAidComplete, point);
+            assert!(
+                (sa.avg_participants() - 3.0).abs() < 1e-9,
+                "SA must select exactly 3, got {}",
+                sa.avg_participants()
+            );
+            let periodic = table.report(FrameworkKind::Periodic, point);
+            assert!(
+                periodic.avg_participants() > 3.5,
+                "Periodic tasks all qualified devices, got {}",
+                periodic.avg_participants()
+            );
+            assert!(
+                (periodic.avg_participants() - periodic.avg_qualified()).abs() < 1e-9,
+                "baselines select everyone qualified"
+            );
+        }
+    }
+
+    #[test]
+    fn every_framework_meets_the_density() {
+        let table = sweep(&small_grid(), 8);
+        for f in FrameworkKind::study_set() {
+            for point in 0..2 {
+                let r = table.report(f, point);
+                assert!(
+                    r.rounds_fulfilled > 0,
+                    "{f} fulfilled no rounds at point {point}"
+                );
+            }
+        }
+    }
+}

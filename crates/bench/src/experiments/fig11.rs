@@ -1,0 +1,113 @@
+//! Figure 11 — average per-device energy vs sampling period (Experiment 2).
+//!
+//! Paper: energy per device falls as the period lengthens (fewer
+//! uploads); Sense-Aid's advantage over PCS is most pronounced at short
+//! periods; at the 1-minute period every framework crosses the 2 %
+//! battery bar, Sense-Aid least of all.
+
+use senseaid_workload::ExperimentGrid;
+
+use crate::chart::series_table;
+use crate::framework::FrameworkKind;
+use crate::report::{two_pct_bar_j, SweepTable};
+
+/// Runs the Experiment 2 sweep for all four frameworks.
+pub fn sweep(grid: &ExperimentGrid, seed: u64) -> SweepTable {
+    SweepTable::run(
+        &FrameworkKind::study_set(),
+        &grid.points(),
+        grid.point_labels(),
+        seed,
+    )
+}
+
+/// Renders Fig 11 on the paper's Experiment 2 grid.
+pub fn run(seed: u64) -> String {
+    render(&ExperimentGrid::experiment2(), seed)
+}
+
+/// Renders Fig 11 on an arbitrary grid.
+pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
+    let table = sweep(grid, seed);
+    let series: Vec<(String, Vec<f64>)> = table
+        .frameworks
+        .iter()
+        .map(|f| (f.label(), table.avg_energy_series(*f)))
+        .collect();
+    let mut out = String::from(
+        "=== Figure 11: average crowdsensing energy per device vs sampling period ===\n",
+    );
+    out.push_str(&series_table(
+        "period",
+        &table.point_labels,
+        &series,
+        "J/device",
+    ));
+    out.push_str(&format!("\n2% battery bar = {:.0} J\n", two_pct_bar_j()));
+    let (avg_b, min_b, max_b) =
+        table.savings_summary(FrameworkKind::SenseAidBasic, FrameworkKind::pcs_default());
+    let (avg_c, min_c, max_c) = table.savings_summary(
+        FrameworkKind::SenseAidComplete,
+        FrameworkKind::pcs_default(),
+    );
+    let (avg_bp, ..) =
+        table.savings_summary(FrameworkKind::SenseAidBasic, FrameworkKind::Periodic);
+    let (avg_cp, ..) =
+        table.savings_summary(FrameworkKind::SenseAidComplete, FrameworkKind::Periodic);
+    out.push_str(&format!(
+        "savings vs PCS — Basic avg {avg_b:.1}% ({min_b:.1}%, {max_b:.1}%); Complete avg {avg_c:.1}% ({min_c:.1}%, {max_c:.1}%)\n",
+    ));
+    out.push_str(&format!(
+        "savings vs Periodic — Basic avg {avg_bp:.1}%; Complete avg {avg_cp:.1}%\n"
+    ));
+    out.push_str(
+        "paper reference — vs PCS: Basic 42.1% (27.2%, 57.8%), Complete 48.3% (35.1%, 62.4%); vs Periodic: Basic 86.6%, Complete 88.1%\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+    use senseaid_workload::ScenarioConfig;
+
+    fn small_grid() -> ExperimentGrid {
+        let base = match ExperimentGrid::experiment2() {
+            ExperimentGrid::SamplingPeriod { base, .. } => ScenarioConfig {
+                test_duration: SimDuration::from_mins(40),
+                group_size: 14,
+                ..base
+            },
+            _ => unreachable!(),
+        };
+        ExperimentGrid::SamplingPeriod {
+            base,
+            periods: vec![SimDuration::from_mins(2), SimDuration::from_mins(10)],
+        }
+    }
+
+    #[test]
+    fn energy_falls_with_longer_periods() {
+        let table = sweep(&small_grid(), 9);
+        for f in FrameworkKind::study_set() {
+            let series = table.avg_energy_series(f);
+            assert!(
+                series[0] > series[1],
+                "{f}: shorter period must cost more ({series:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn senseaid_cheapest_at_every_period() {
+        let table = sweep(&small_grid(), 9);
+        let pcs = table.avg_energy_series(FrameworkKind::pcs_default());
+        let periodic = table.avg_energy_series(FrameworkKind::Periodic);
+        let complete = table.avg_energy_series(FrameworkKind::SenseAidComplete);
+        for i in 0..2 {
+            assert!(complete[i] < pcs[i], "point {i}");
+            assert!(complete[i] < periodic[i], "point {i}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 12 — number of selected devices vs concurrent tasks
+//! (Experiment 3).
+//!
+//! Paper: Periodic and PCS task every qualified device per round
+//! regardless of how many tasks run; Sense-Aid picks each task's density
+//! independently, so with more concurrent tasks than `qualified/density`
+//! it must schedule multiple tasks onto the same devices — per-round
+//! participation stays at the density, but each device serves several
+//! tasks.
+
+use senseaid_workload::ExperimentGrid;
+
+use crate::chart::series_table;
+use crate::framework::FrameworkKind;
+use crate::report::SweepTable;
+
+/// Runs the Experiment 3 sweep for all four frameworks.
+pub fn sweep(grid: &ExperimentGrid, seed: u64) -> SweepTable {
+    SweepTable::run(
+        &FrameworkKind::study_set(),
+        &grid.points(),
+        grid.point_labels(),
+        seed,
+    )
+}
+
+/// Renders Fig 12 on the paper's Experiment 3 grid.
+pub fn run(seed: u64) -> String {
+    render(&ExperimentGrid::experiment3(), seed)
+}
+
+/// Renders Fig 12 on an arbitrary grid.
+pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
+    let table = sweep(grid, seed);
+    // Participation per round, not energy, is this figure's metric.
+    let series: Vec<(String, Vec<f64>)> = table
+        .frameworks
+        .iter()
+        .enumerate()
+        .map(|(row, f)| {
+            (
+                f.label(),
+                table.reports[row]
+                    .iter()
+                    .map(|r| r.avg_participants())
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut out = String::from(
+        "=== Figure 12: devices selected per round vs concurrent tasks (density 3) ===\n",
+    );
+    out.push_str(&series_table(
+        "tasks",
+        &table.point_labels,
+        &series,
+        "devices/round",
+    ));
+    out.push_str(
+        "\nshape check: Sense-Aid stays at the density per request while baselines select all qualified\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+    use senseaid_workload::ScenarioConfig;
+
+    fn small_grid() -> ExperimentGrid {
+        let base = match ExperimentGrid::experiment3() {
+            ExperimentGrid::ConcurrentTasks { base, .. } => ScenarioConfig {
+                test_duration: SimDuration::from_mins(30),
+                group_size: 14,
+                ..base
+            },
+            _ => unreachable!(),
+        };
+        ExperimentGrid::ConcurrentTasks {
+            base,
+            task_counts: vec![2, 6],
+        }
+    }
+
+    #[test]
+    fn senseaid_participation_stays_at_density_per_request() {
+        let table = sweep(&small_grid(), 12);
+        for point in 0..2 {
+            let sa = table.report(FrameworkKind::SenseAidComplete, point);
+            assert!(
+                (sa.avg_participants() - 3.0).abs() < 1e-9,
+                "per-request selection stays at density, got {}",
+                sa.avg_participants()
+            );
+        }
+    }
+
+    #[test]
+    fn more_tasks_mean_more_rounds_for_everyone() {
+        let table = sweep(&small_grid(), 12);
+        for f in FrameworkKind::study_set() {
+            let row = table
+                .frameworks
+                .iter()
+                .position(|x| *x == f)
+                .unwrap();
+            let rounds_few = table.reports[row][0].rounds.len();
+            let rounds_many = table.reports[row][1].rounds.len();
+            assert!(
+                rounds_many > rounds_few,
+                "{f}: 6 tasks must produce more rounds than 2 ({rounds_many} vs {rounds_few})"
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 13 — average per-device energy vs concurrent tasks
+//! (Experiment 3).
+//!
+//! Paper: more concurrent tasks cost more for everyone, but Sense-Aid's
+//! orchestration (batching multiple tasks' readings into one tail upload)
+//! makes its curve grow far more slowly than PCS's and Periodic's — the
+//! benefit is maximal at many tasks.
+
+use senseaid_workload::ExperimentGrid;
+
+use crate::chart::series_table;
+use crate::framework::FrameworkKind;
+use crate::report::{two_pct_bar_j, SweepTable};
+
+/// Runs the Experiment 3 sweep for all four frameworks.
+pub fn sweep(grid: &ExperimentGrid, seed: u64) -> SweepTable {
+    SweepTable::run(
+        &FrameworkKind::study_set(),
+        &grid.points(),
+        grid.point_labels(),
+        seed,
+    )
+}
+
+/// Renders Fig 13 on the paper's Experiment 3 grid.
+pub fn run(seed: u64) -> String {
+    render(&ExperimentGrid::experiment3(), seed)
+}
+
+/// Renders Fig 13 on an arbitrary grid.
+pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
+    let table = sweep(grid, seed);
+    let series: Vec<(String, Vec<f64>)> = table
+        .frameworks
+        .iter()
+        .map(|f| (f.label(), table.avg_energy_series(*f)))
+        .collect();
+    let mut out = String::from(
+        "=== Figure 13: average crowdsensing energy per device vs concurrent tasks ===\n",
+    );
+    out.push_str(&series_table(
+        "tasks",
+        &table.point_labels,
+        &series,
+        "J/device",
+    ));
+    out.push_str(&format!("\n2% battery bar = {:.0} J\n", two_pct_bar_j()));
+    let (avg_b, min_b, max_b) =
+        table.savings_summary(FrameworkKind::SenseAidBasic, FrameworkKind::pcs_default());
+    let (avg_c, min_c, max_c) = table.savings_summary(
+        FrameworkKind::SenseAidComplete,
+        FrameworkKind::pcs_default(),
+    );
+    let (avg_bp, ..) =
+        table.savings_summary(FrameworkKind::SenseAidBasic, FrameworkKind::Periodic);
+    let (avg_cp, ..) =
+        table.savings_summary(FrameworkKind::SenseAidComplete, FrameworkKind::Periodic);
+    out.push_str(&format!(
+        "savings vs PCS — Basic avg {avg_b:.1}% ({min_b:.1}%, {max_b:.1}%); Complete avg {avg_c:.1}% ({min_c:.1}%, {max_c:.1}%)\n",
+    ));
+    out.push_str(&format!(
+        "savings vs Periodic — Basic avg {avg_bp:.1}%; Complete avg {avg_cp:.1}%\n"
+    ));
+    out.push_str(
+        "paper reference — vs PCS: Basic 35.4% (16.7%, 57.8%), Complete 42.4% (25.7%, 62.4%); vs Periodic: Basic 85.3%, Complete 86.9%\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+    use senseaid_workload::ScenarioConfig;
+
+    fn small_grid() -> ExperimentGrid {
+        let base = match ExperimentGrid::experiment3() {
+            ExperimentGrid::ConcurrentTasks { base, .. } => ScenarioConfig {
+                test_duration: SimDuration::from_mins(30),
+                group_size: 14,
+                ..base
+            },
+            _ => unreachable!(),
+        };
+        ExperimentGrid::ConcurrentTasks {
+            base,
+            task_counts: vec![2, 8],
+        }
+    }
+
+    #[test]
+    fn more_tasks_cost_more_for_every_framework() {
+        let table = sweep(&small_grid(), 13);
+        for f in FrameworkKind::study_set() {
+            let series = table.avg_energy_series(f);
+            assert!(
+                series[1] > series[0],
+                "{f}: 8 tasks must cost more than 2 ({series:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn senseaid_grows_slower_than_baselines() {
+        let table = sweep(&small_grid(), 13);
+        let growth = |f: FrameworkKind| {
+            let s = table.avg_energy_series(f);
+            s[1] / s[0].max(1e-9)
+        };
+        assert!(
+            growth(FrameworkKind::SenseAidComplete) < growth(FrameworkKind::Periodic),
+            "SA must scale with task count better than Periodic"
+        );
+    }
+
+    #[test]
+    fn senseaid_cheapest_at_many_tasks() {
+        let table = sweep(&small_grid(), 13);
+        let at_many = |f: FrameworkKind| table.avg_energy_series(f)[1];
+        assert!(at_many(FrameworkKind::SenseAidComplete) < at_many(FrameworkKind::pcs_default()));
+        assert!(at_many(FrameworkKind::SenseAidBasic) < at_many(FrameworkKind::Periodic));
+    }
+}

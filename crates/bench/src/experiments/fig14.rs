@@ -1,0 +1,127 @@
+//! Figure 14 — Sense-Aid vs PCS at different prediction accuracies.
+//!
+//! Paper: at PCS's realistic 40 % accuracy, Sense-Aid wins comfortably; at
+//! 100 % accuracy (ideal, purely local decisions) PCS edges out both
+//! Sense-Aid variants (costing 75.8 % of Basic's and 85 % of Complete's
+//! energy). The crossover is the paper's argument that practical systems
+//! need the network-side view.
+
+use senseaid_geo::NamedLocation;
+use senseaid_sim::SimDuration;
+use senseaid_workload::ScenarioConfig;
+
+use crate::chart::series_table;
+use crate::framework::FrameworkKind;
+use crate::runner::run_scenario;
+
+/// The representative scenario the accuracy sweep runs on (Experiment 2's
+/// middle point).
+pub fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(120),
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 3,
+        area_radius_m: 500.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 20,
+    }
+}
+
+/// Sweeps PCS accuracy and returns `(accuracies, pcs_totals, basic_total,
+/// complete_total)`.
+pub fn accuracy_sweep(
+    accuracies: &[f64],
+    scenario: ScenarioConfig,
+    seed: u64,
+) -> (Vec<f64>, f64, f64) {
+    let pcs: Vec<f64> = accuracies
+        .iter()
+        .map(|a| {
+            run_scenario(FrameworkKind::Pcs { accuracy: *a }, scenario, seed).total_cs_j()
+        })
+        .collect();
+    let basic = run_scenario(FrameworkKind::SenseAidBasic, scenario, seed).total_cs_j();
+    let complete = run_scenario(FrameworkKind::SenseAidComplete, scenario, seed).total_cs_j();
+    (pcs, basic, complete)
+}
+
+/// Renders Fig 14 on the paper's 0–100 % sweep.
+pub fn run(seed: u64) -> String {
+    let accuracies: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    render(&accuracies, scenario(), seed)
+}
+
+/// Renders Fig 14 for arbitrary accuracies/scenario.
+pub fn render(accuracies: &[f64], scenario: ScenarioConfig, seed: u64) -> String {
+    let (pcs, basic, complete) = accuracy_sweep(accuracies, scenario, seed);
+    let labels: Vec<String> = accuracies
+        .iter()
+        .map(|a| format!("{:.0}%", a * 100.0))
+        .collect();
+    let n = accuracies.len();
+    let series = vec![
+        ("PCS".to_owned(), pcs.clone()),
+        ("SA-Basic".to_owned(), vec![basic; n]),
+        ("SA-Complete".to_owned(), vec![complete; n]),
+    ];
+    let mut out = String::from(
+        "=== Figure 14: total energy vs PCS prediction accuracy ===\n",
+    );
+    out.push_str(&series_table("accuracy", &labels, &series, "J"));
+    let ideal = *pcs.last().expect("non-empty sweep");
+    out.push_str(&format!(
+        "\nideal PCS (100%) = {:.1} J = {:.0}% of SA-Basic, {:.0}% of SA-Complete\n",
+        ideal,
+        100.0 * ideal / basic,
+        100.0 * ideal / complete,
+    ));
+    out.push_str("paper reference: ideal PCS costs 75.8% of SA-Basic and 85% of SA-Complete\n");
+    let realistic = pcs[accuracies
+        .iter()
+        .position(|a| (*a - 0.4).abs() < 0.05)
+        .unwrap_or(0)];
+    out.push_str(&format!(
+        "realistic PCS (40%) = {:.1} J vs SA-Basic {:.1} J / SA-Complete {:.1} J\n",
+        realistic, basic, complete
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> ScenarioConfig {
+        ScenarioConfig {
+            test_duration: SimDuration::from_mins(40),
+            group_size: 14,
+            ..scenario()
+        }
+    }
+
+    #[test]
+    fn pcs_energy_falls_with_accuracy() {
+        let accs = [0.0, 0.5, 1.0];
+        let (pcs, _, _) = accuracy_sweep(&accs, small_scenario(), 14);
+        assert!(pcs[0] > pcs[1] && pcs[1] > pcs[2], "{pcs:?}");
+    }
+
+    #[test]
+    fn crossover_exists() {
+        // Realistic PCS loses to Sense-Aid; ideal PCS wins — the paper's
+        // Fig 14 crossover.
+        let accs = [0.4, 1.0];
+        let (pcs, basic, complete) = accuracy_sweep(&accs, small_scenario(), 14);
+        assert!(
+            pcs[0] > basic && pcs[0] > complete,
+            "PCS@40% ({:.1} J) must lose to SA (basic {basic:.1}, complete {complete:.1})",
+            pcs[0]
+        );
+        assert!(
+            pcs[1] < basic,
+            "ideal PCS ({:.1} J) must beat SA-Basic ({basic:.1} J)",
+            pcs[1]
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run(seed) -> String`: the text the corresponding
+//! `cargo bench` target prints. Returning strings keeps the experiments
+//! testable — the integration suite asserts on shapes (who wins, how
+//! curves move) without re-parsing stdout.
+
+pub mod ablations;
+pub mod ext_adaptive;
+pub mod ext_scalability;
+pub mod ext_timeliness;
+pub mod fig01;
+pub mod fig02;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod tab02;
+
+/// The default experiment seed (the paper's publication year).
+pub const DEFAULT_SEED: u64 = 2017;

@@ -1,0 +1,172 @@
+//! Table 2 — the user study's summary of energy savings.
+//!
+//! For each of the three experiments, four comparison rows:
+//!
+//! 1. Sense-Aid Basic vs Periodic
+//! 2. Sense-Aid Complete vs Periodic
+//! 3. Sense-Aid Basic vs PCS
+//! 4. Sense-Aid Complete vs PCS
+//!
+//! each as `average (min, max)` savings over the swept parameter.
+
+use senseaid_workload::ExperimentGrid;
+
+use crate::framework::FrameworkKind;
+use crate::report::SweepTable;
+
+/// The paper's Table 2 numbers for side-by-side printing:
+/// `[experiment][comparison] = (avg, min, max)`.
+pub const PAPER_REFERENCE: [[(f64, f64, f64); 4]; 3] = [
+    // Experiment 1 (area radius)
+    [
+        (94.3, 88.7, 98.3),
+        (94.9, 90.0, 98.5),
+        (79.0, 65.9, 92.5),
+        (81.4, 68.6, 93.3),
+    ],
+    // Experiment 2 (sampling period)
+    [
+        (86.6, 80.9, 89.6),
+        (88.1, 83.1, 90.7),
+        (42.1, 27.2, 57.8),
+        (48.3, 35.1, 62.4),
+    ],
+    // Experiment 3 (concurrent tasks)
+    [
+        (85.3, 84.4, 86.5),
+        (86.9, 86.1, 87.9),
+        (35.4, 16.7, 57.8),
+        (42.4, 25.7, 62.4),
+    ],
+];
+
+/// The four comparison rows of each experiment.
+pub fn comparisons() -> [(FrameworkKind, FrameworkKind, &'static str); 4] {
+    [
+        (
+            FrameworkKind::SenseAidBasic,
+            FrameworkKind::Periodic,
+            "1: Sense-Aid Basic / Periodic",
+        ),
+        (
+            FrameworkKind::SenseAidComplete,
+            FrameworkKind::Periodic,
+            "2: Sense-Aid Complete / Periodic",
+        ),
+        (
+            FrameworkKind::SenseAidBasic,
+            FrameworkKind::pcs_default(),
+            "3: Sense-Aid Basic / PCS",
+        ),
+        (
+            FrameworkKind::SenseAidComplete,
+            FrameworkKind::pcs_default(),
+            "4: Sense-Aid Complete / PCS",
+        ),
+    ]
+}
+
+/// Runs one experiment grid and renders its four comparison rows.
+pub fn render_experiment(
+    name: &str,
+    grid: &ExperimentGrid,
+    paper_rows: &[(f64, f64, f64); 4],
+    seed: u64,
+) -> String {
+    let table = SweepTable::run(
+        &FrameworkKind::study_set(),
+        &grid.points(),
+        grid.point_labels(),
+        seed,
+    );
+    let mut out = format!("--- {name} ---\n");
+    for ((ours, baseline, label), (p_avg, p_min, p_max)) in
+        comparisons().iter().zip(paper_rows)
+    {
+        let (avg, min, max) = table.savings_summary(*ours, *baseline);
+        out.push_str(&format!(
+            "{label:<34} measured {avg:5.1}% ({min:5.1}%, {max:5.1}%)   paper {p_avg:.1}% ({p_min:.1}%, {p_max:.1}%)\n",
+        ));
+    }
+    out
+}
+
+/// Renders the full Table 2 on the paper's grids.
+pub fn run(seed: u64) -> String {
+    let mut out = String::from("=== Table 2: energy-savings summary of the user study ===\n");
+    out.push_str(&render_experiment(
+        "Experiment 1: area radius (100 m – 1 km)",
+        &ExperimentGrid::experiment1(),
+        &PAPER_REFERENCE[0],
+        seed,
+    ));
+    out.push_str(&render_experiment(
+        "Experiment 2: sampling period (1 – 10 min)",
+        &ExperimentGrid::experiment2(),
+        &PAPER_REFERENCE[1],
+        seed,
+    ));
+    out.push_str(&render_experiment(
+        "Experiment 3: concurrent tasks (3 – 15)",
+        &ExperimentGrid::experiment3(),
+        &PAPER_REFERENCE[2],
+        seed,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+    use senseaid_workload::ScenarioConfig;
+
+    #[test]
+    fn savings_are_positive_on_a_small_grid() {
+        let base = match ExperimentGrid::experiment1() {
+            ExperimentGrid::AreaRadius { base, .. } => ScenarioConfig {
+                test_duration: SimDuration::from_mins(30),
+                group_size: 12,
+                ..base
+            },
+            _ => unreachable!(),
+        };
+        let grid = ExperimentGrid::AreaRadius {
+            base,
+            radii_m: vec![500.0],
+        };
+        let table = SweepTable::run(
+            &FrameworkKind::study_set(),
+            &grid.points(),
+            grid.point_labels(),
+            15,
+        );
+        for (ours, baseline, label) in comparisons() {
+            let (avg, min, max) = table.savings_summary(ours, baseline);
+            assert!(avg > 0.0, "{label}: avg {avg}");
+            assert!(min <= avg && avg <= max, "{label}: ordering");
+        }
+        // The vs-Periodic rows save more than the vs-PCS rows.
+        let (vs_periodic, ..) = table.savings_summary(
+            FrameworkKind::SenseAidComplete,
+            FrameworkKind::Periodic,
+        );
+        let (vs_pcs, ..) = table.savings_summary(
+            FrameworkKind::SenseAidComplete,
+            FrameworkKind::pcs_default(),
+        );
+        assert!(vs_periodic > vs_pcs);
+    }
+
+    #[test]
+    fn paper_reference_rows_are_internally_consistent() {
+        for exp in PAPER_REFERENCE {
+            for (avg, min, max) in exp {
+                assert!(min <= avg && avg <= max);
+            }
+            // Complete always saves at least as much as Basic.
+            assert!(exp[1].0 >= exp[0].0);
+            assert!(exp[3].0 >= exp[2].0);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Framework kinds and run reports.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_core::Variant;
+use senseaid_sim::SimTime;
+
+/// Which framework a device group runs (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FrameworkKind {
+    /// Fixed-period sensing with immediate upload (state of practice).
+    Periodic,
+    /// Piggyback CrowdSensing with the given prediction accuracy
+    /// (Lane et al.'s saturated accuracy is 0.4).
+    Pcs {
+        /// App-usage prediction accuracy in `[0, 1]`.
+        accuracy: f64,
+    },
+    /// Sense-Aid with stock tail-timer behaviour.
+    SenseAidBasic,
+    /// Sense-Aid with carrier-cooperative no-reset tail uploads.
+    SenseAidComplete,
+}
+
+impl FrameworkKind {
+    /// PCS at the paper's default 40 % accuracy.
+    pub fn pcs_default() -> Self {
+        FrameworkKind::Pcs { accuracy: 0.4 }
+    }
+
+    /// The four frameworks of the user study, in Table 2 order.
+    pub fn study_set() -> [FrameworkKind; 4] {
+        [
+            FrameworkKind::Periodic,
+            FrameworkKind::pcs_default(),
+            FrameworkKind::SenseAidBasic,
+            FrameworkKind::SenseAidComplete,
+        ]
+    }
+
+    /// The Sense-Aid variant, if this is a Sense-Aid framework.
+    pub fn variant(self) -> Option<Variant> {
+        match self {
+            FrameworkKind::SenseAidBasic => Some(Variant::Basic),
+            FrameworkKind::SenseAidComplete => Some(Variant::Complete),
+            _ => None,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> String {
+        match self {
+            FrameworkKind::Periodic => "Periodic".to_owned(),
+            FrameworkKind::Pcs { accuracy } => format!("PCS({:.0}%)", accuracy * 100.0),
+            FrameworkKind::SenseAidBasic => "SA-Basic".to_owned(),
+            FrameworkKind::SenseAidComplete => "SA-Complete".to_owned(),
+        }
+    }
+}
+
+impl std::fmt::Display for FrameworkKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Per-sampling-round observation (one entry per request round).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundObservation {
+    /// When the round fired.
+    pub at: SimTime,
+    /// Qualified devices at that instant (`N`).
+    pub qualified: usize,
+    /// Devices that actually sensed in this round.
+    pub participating: Vec<u32>,
+}
+
+/// The outcome of running one framework group through one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupReport {
+    /// Which framework ran.
+    pub framework: FrameworkKind,
+    /// Crowdsensing energy per device id, Joules (marginal: sensing +
+    /// upload-attributable radio energy).
+    pub per_device_cs_j: Vec<(u32, f64)>,
+    /// Crowdsensing uploads performed across the group.
+    pub uploads: u64,
+    /// Crowdsensing uploads that required an IDLE→CONNECTED promotion.
+    pub cold_uploads: u64,
+    /// Readings delivered to the application server.
+    pub readings_delivered: u64,
+    /// Requests that met their spatial density (Sense-Aid) or rounds that
+    /// produced at least the required readings (baselines).
+    pub rounds_fulfilled: u64,
+    /// Rounds that failed to meet the density.
+    pub rounds_missed: u64,
+    /// Per-round observations (who participated, how many qualified).
+    pub rounds: Vec<RoundObservation>,
+    /// Delivery delay of each reading (upload instant − sampling
+    /// instant), seconds. The paper's "under the prerequisite of not
+    /// harming crowdsensing data" makes this the second axis of every
+    /// framework comparison: energy means little if the data arrives too
+    /// late to use.
+    pub delivery_delays_s: Vec<f64>,
+}
+
+impl GroupReport {
+    /// Total crowdsensing energy across the group, Joules.
+    pub fn total_cs_j(&self) -> f64 {
+        self.per_device_cs_j.iter().map(|(_, j)| j).sum()
+    }
+
+    /// Mean crowdsensing energy per group member, Joules.
+    pub fn avg_cs_j(&self) -> f64 {
+        if self.per_device_cs_j.is_empty() {
+            0.0
+        } else {
+            self.total_cs_j() / self.per_device_cs_j.len() as f64
+        }
+    }
+
+    /// Maximum crowdsensing energy any single device paid, Joules.
+    pub fn max_cs_j(&self) -> f64 {
+        self.per_device_cs_j
+            .iter()
+            .map(|(_, j)| *j)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean number of devices participating per round.
+    pub fn avg_participants(&self) -> f64 {
+        if self.rounds.is_empty() {
+            0.0
+        } else {
+            self.rounds.iter().map(|r| r.participating.len()).sum::<usize>() as f64
+                / self.rounds.len() as f64
+        }
+    }
+
+    /// Mean number of qualified devices per round.
+    pub fn avg_qualified(&self) -> f64 {
+        if self.rounds.is_empty() {
+            0.0
+        } else {
+            self.rounds.iter().map(|r| r.qualified).sum::<usize>() as f64
+                / self.rounds.len() as f64
+        }
+    }
+
+    /// Fraction of uploads that were warm (promotion-free).
+    pub fn warm_upload_rate(&self) -> f64 {
+        if self.uploads == 0 {
+            0.0
+        } else {
+            1.0 - self.cold_uploads as f64 / self.uploads as f64
+        }
+    }
+
+    /// Mean delivery delay (sampling → upload), seconds.
+    pub fn mean_delay_s(&self) -> f64 {
+        if self.delivery_delays_s.is_empty() {
+            0.0
+        } else {
+            self.delivery_delays_s.iter().sum::<f64>() / self.delivery_delays_s.len() as f64
+        }
+    }
+
+    /// 95th-percentile delivery delay (nearest rank), seconds.
+    pub fn p95_delay_s(&self) -> f64 {
+        if self.delivery_delays_s.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.delivery_delays_s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+        let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Fraction of readings delivered within `budget_s` of sampling.
+    pub fn fraction_within(&self, budget_s: f64) -> f64 {
+        if self.delivery_delays_s.is_empty() {
+            return 0.0;
+        }
+        self.delivery_delays_s.iter().filter(|d| **d <= budget_s).count() as f64
+            / self.delivery_delays_s.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> GroupReport {
+        GroupReport {
+            framework: FrameworkKind::Periodic,
+            per_device_cs_j: vec![(1, 10.0), (2, 20.0), (3, 0.0)],
+            uploads: 10,
+            cold_uploads: 4,
+            readings_delivered: 9,
+            rounds_fulfilled: 5,
+            rounds_missed: 1,
+            rounds: vec![
+                RoundObservation {
+                    at: SimTime::ZERO,
+                    qualified: 8,
+                    participating: vec![1, 2],
+                },
+                RoundObservation {
+                    at: SimTime::from_mins(5),
+                    qualified: 10,
+                    participating: vec![1, 2, 3, 4],
+                },
+            ],
+            delivery_delays_s: vec![0.0, 5.0, 10.0, 20.0, 100.0],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.total_cs_j(), 30.0);
+        assert_eq!(r.avg_cs_j(), 10.0);
+        assert_eq!(r.max_cs_j(), 20.0);
+        assert_eq!(r.avg_participants(), 3.0);
+        assert_eq!(r.avg_qualified(), 9.0);
+        assert!((r.warm_upload_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(r.mean_delay_s(), 27.0);
+        assert_eq!(r.p95_delay_s(), 100.0);
+        assert!((r.fraction_within(10.0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FrameworkKind::Periodic.label(), "Periodic");
+        assert_eq!(FrameworkKind::pcs_default().label(), "PCS(40%)");
+        assert_eq!(FrameworkKind::SenseAidBasic.to_string(), "SA-Basic");
+        assert_eq!(
+            FrameworkKind::SenseAidComplete.variant(),
+            Some(Variant::Complete)
+        );
+        assert_eq!(FrameworkKind::Periodic.variant(), None);
+    }
+
+    #[test]
+    fn study_set_order_matches_table2() {
+        let set = FrameworkKind::study_set();
+        assert_eq!(set[0], FrameworkKind::Periodic);
+        assert!(matches!(set[1], FrameworkKind::Pcs { .. }));
+        assert_eq!(set[3], FrameworkKind::SenseAidComplete);
+    }
+
+    #[test]
+    fn empty_report_degrades_gracefully() {
+        let r = GroupReport {
+            framework: FrameworkKind::SenseAidBasic,
+            per_device_cs_j: vec![],
+            uploads: 0,
+            cold_uploads: 0,
+            readings_delivered: 0,
+            rounds_fulfilled: 0,
+            rounds_missed: 0,
+            rounds: vec![],
+            delivery_delays_s: vec![],
+        };
+        assert_eq!(r.avg_cs_j(), 0.0);
+        assert_eq!(r.avg_participants(), 0.0);
+        assert_eq!(r.warm_upload_rate(), 0.0);
+        assert_eq!(r.mean_delay_s(), 0.0);
+        assert_eq!(r.p95_delay_s(), 0.0);
+        assert_eq!(r.fraction_within(60.0), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Result aggregation: savings percentages and sweep tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::framework::{FrameworkKind, GroupReport};
+
+/// The paper's energy-saving metric: how much less energy `ours` used than
+/// `baseline`, as a percentage (`100·(1 − ours/baseline)`). A value of
+/// 93.3 means Sense-Aid used 6.7 % of the baseline's energy.
+pub fn savings_pct(ours_j: f64, baseline_j: f64) -> f64 {
+    if baseline_j <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (1.0 - ours_j / baseline_j)
+}
+
+/// The 2 % battery bar the survey motivates (≈496 J of the study's nominal
+/// 1800 mAh / 3.82 V battery), drawn on Figs 2/11/13.
+pub fn two_pct_bar_j() -> f64 {
+    senseaid_device::battery::NOMINAL_CAPACITY_J * 0.02
+}
+
+/// Results of sweeping one experiment parameter across the four
+/// frameworks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepTable {
+    /// The swept parameter's label per point.
+    pub point_labels: Vec<String>,
+    /// One report per `(framework, point)`.
+    pub reports: Vec<Vec<GroupReport>>,
+    /// The frameworks, in row order.
+    pub frameworks: Vec<FrameworkKind>,
+}
+
+impl SweepTable {
+    /// Runs `frameworks × points` and collects every report.
+    pub fn run(
+        frameworks: &[FrameworkKind],
+        points: &[senseaid_workload::ScenarioConfig],
+        point_labels: Vec<String>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(points.len(), point_labels.len(), "labels must match points");
+        let reports = frameworks
+            .iter()
+            .map(|f| {
+                points
+                    .iter()
+                    .map(|p| crate::runner::run_scenario(*f, *p, seed))
+                    .collect()
+            })
+            .collect();
+        SweepTable {
+            point_labels,
+            reports,
+            frameworks: frameworks.to_vec(),
+        }
+    }
+
+    /// The report for one framework at one sweep point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the framework is not part of this sweep or the point is
+    /// out of range.
+    pub fn report(&self, framework: FrameworkKind, point: usize) -> &GroupReport {
+        let row = self
+            .frameworks
+            .iter()
+            .position(|f| *f == framework)
+            .unwrap_or_else(|| panic!("{framework} not in sweep"));
+        &self.reports[row][point]
+    }
+
+    /// Total group energy of one framework across the sweep, Joules.
+    pub fn total_energy_series(&self, framework: FrameworkKind) -> Vec<f64> {
+        let row = self
+            .frameworks
+            .iter()
+            .position(|f| *f == framework)
+            .unwrap_or_else(|| panic!("{framework} not in sweep"));
+        self.reports[row].iter().map(GroupReport::total_cs_j).collect()
+    }
+
+    /// Average per-device energy of one framework across the sweep.
+    pub fn avg_energy_series(&self, framework: FrameworkKind) -> Vec<f64> {
+        let row = self
+            .frameworks
+            .iter()
+            .position(|f| *f == framework)
+            .unwrap_or_else(|| panic!("{framework} not in sweep"));
+        self.reports[row].iter().map(GroupReport::avg_cs_j).collect()
+    }
+
+    /// `(average, min, max)` savings of `ours` over `baseline` across the
+    /// sweep, on total group energy — the Table 2 summary cells.
+    pub fn savings_summary(
+        &self,
+        ours: FrameworkKind,
+        baseline: FrameworkKind,
+    ) -> (f64, f64, f64) {
+        let ours_series = self.total_energy_series(ours);
+        let base_series = self.total_energy_series(baseline);
+        let savings: Vec<f64> = ours_series
+            .iter()
+            .zip(&base_series)
+            .map(|(o, b)| savings_pct(*o, *b))
+            .collect();
+        let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+        let min = savings.iter().copied().fold(f64::MAX, f64::min);
+        let max = savings.iter().copied().fold(f64::MIN, f64::max);
+        (avg, min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_metric_matches_paper_convention() {
+        // Sense-Aid using 6.7 % of PCS's energy = 93.3 % saving.
+        assert!((savings_pct(6.7, 100.0) - 93.3).abs() < 1e-9);
+        assert_eq!(savings_pct(50.0, 100.0), 50.0);
+        assert_eq!(savings_pct(100.0, 100.0), 0.0);
+        assert!(savings_pct(150.0, 100.0) < 0.0, "using more energy is negative saving");
+        assert_eq!(savings_pct(1.0, 0.0), 0.0, "degenerate baseline");
+    }
+
+    #[test]
+    fn two_pct_bar_matches_paper() {
+        let bar = two_pct_bar_j();
+        assert!((bar - 495.0).abs() < 1.5, "paper quotes ≈496 J, got {bar}");
+    }
+}
+
+/// CSV rendering for downstream plotting.
+impl SweepTable {
+    /// Renders the sweep as CSV: one row per point, one column per
+    /// framework (total group energy in Joules), plus a per-device
+    /// average block.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// # use senseaid_bench::{SweepTable, FrameworkKind};
+    /// # use senseaid_workload::ExperimentGrid;
+    /// let grid = ExperimentGrid::experiment1();
+    /// let table = SweepTable::run(
+    ///     &[FrameworkKind::SenseAidComplete],
+    ///     &grid.points(),
+    ///     grid.point_labels(),
+    ///     42,
+    /// );
+    /// std::fs::write("fig8.csv", table.to_csv()).unwrap();
+    /// ```
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("point");
+        for f in &self.frameworks {
+            out.push_str(&format!(",{}_total_j,{}_avg_j", f.label(), f.label()));
+        }
+        out.push('\n');
+        for (i, label) in self.point_labels.iter().enumerate() {
+            out.push_str(&label.replace(',', ";"));
+            for row in &self.reports {
+                out.push_str(&format!(
+                    ",{:.3},{:.3}",
+                    row[i].total_cs_j(),
+                    row[i].avg_cs_j()
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-device CSV of one run: `device_id,cs_energy_j`.
+pub fn per_device_csv(report: &GroupReport) -> String {
+    let mut out = String::from("device_id,cs_energy_j\n");
+    for (id, j) in &report.per_device_cs_j {
+        out.push_str(&format!("{id},{j:.4}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+    use crate::framework::RoundObservation;
+    use senseaid_sim::SimTime;
+
+    fn tiny_report(framework: FrameworkKind, energies: &[(u32, f64)]) -> GroupReport {
+        GroupReport {
+            framework,
+            per_device_cs_j: energies.to_vec(),
+            uploads: 1,
+            cold_uploads: 0,
+            readings_delivered: 1,
+            rounds_fulfilled: 1,
+            rounds_missed: 0,
+            rounds: vec![RoundObservation {
+                at: SimTime::ZERO,
+                qualified: 2,
+                participating: vec![1],
+            }],
+            delivery_delays_s: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn sweep_csv_shape() {
+        let table = SweepTable {
+            point_labels: vec!["100 m".to_owned(), "200 m".to_owned()],
+            frameworks: vec![FrameworkKind::Periodic, FrameworkKind::SenseAidComplete],
+            reports: vec![
+                vec![
+                    tiny_report(FrameworkKind::Periodic, &[(1, 10.0), (2, 20.0)]),
+                    tiny_report(FrameworkKind::Periodic, &[(1, 12.0), (2, 24.0)]),
+                ],
+                vec![
+                    tiny_report(FrameworkKind::SenseAidComplete, &[(1, 1.0), (2, 2.0)]),
+                    tiny_report(FrameworkKind::SenseAidComplete, &[(1, 1.5), (2, 2.5)]),
+                ],
+            ],
+        };
+        let csv = table.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("point,Periodic_total_j,Periodic_avg_j"));
+        assert!(lines[1].starts_with("100 m,30.000,15.000,3.000,1.500"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn per_device_csv_rows() {
+        let csv = per_device_csv(&tiny_report(FrameworkKind::Periodic, &[(7, 3.25)]));
+        assert_eq!(csv, "device_id,cs_energy_j\n7,3.2500\n");
+    }
+}

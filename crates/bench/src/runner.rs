@@ -1,0 +1,747 @@
+//! The user-study simulation loop.
+//!
+//! One call to [`run_scenario`] reproduces one *test* of the paper's user
+//! study: a group of `group_size` simulated students runs one framework
+//! for `test_duration` while `tasks` concurrent barometer tasks are
+//! active. The loop advances in one-second ticks; devices generate their
+//! regular app traffic continuously, and the framework under test decides
+//! who senses and when uploads happen.
+//!
+//! Energy methodology (matching §4/§5 of the paper): the reported number
+//! is each device's *marginal crowdsensing energy* — sensor sampling plus
+//! the radio energy the crowdsensing uploads added on top of the user's
+//! own traffic. Middleware control messages are excluded, as in the paper
+//! ("we ignore energy consumption for these control messages"), which it
+//! justifies by sending them only inside existing radio tails.
+
+use std::collections::BTreeMap;
+
+use senseaid_cellnet::CellularNetwork;
+use senseaid_core::{SenseAidClient, SenseAidConfig, SenseAidServer, TaskSpec, UploadDecision};
+use senseaid_baselines::{PcsClient, PcsConfig};
+use senseaid_device::{Device, ImeiHash, Sensor};
+use senseaid_geo::{CampusMap, CircleRegion};
+use senseaid_radio::ResetPolicy;
+use senseaid_sim::{SimDuration, SimRng, SimTime};
+use senseaid_workload::{PopulationConfig, ScenarioConfig, StudyPopulation, WeatherField};
+
+use crate::framework::{FrameworkKind, GroupReport, RoundObservation};
+
+/// Simulation tick.
+const TICK: SimDuration = SimDuration::from_secs(1);
+/// How often device positions are refreshed to the Sense-Aid server
+/// (eNodeB-side, passive — costs the device nothing).
+const POSITION_REFRESH: SimDuration = SimDuration::from_secs(30);
+/// The sensor every study task uses.
+const STUDY_SENSOR: Sensor = Sensor::Barometer;
+
+/// Harness knobs beyond the paper's scenario grid: used by the ablation
+/// benches and the failover example.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarnessOptions {
+    /// Override the client's minimum tail window (tail-inference
+    /// ablation).
+    pub min_tail_window: Option<SimDuration>,
+    /// Override the device-selector weights (selector ablation).
+    pub weights: Option<senseaid_core::SelectorWeights>,
+    /// Crash the Sense-Aid server over this window (failover study);
+    /// ignored for the baselines.
+    pub server_outage: Option<(SimTime, SimTime)>,
+    /// Give each client a uniform random clock skew in `±max` (paper §6's
+    /// synchronisation-error discussion); ignored for the baselines.
+    pub max_clock_skew: Option<SimDuration>,
+}
+
+/// Runs one framework group through one scenario.
+///
+/// The same `seed` produces the identical population (devices, mobility,
+/// app traffic) for every framework, so comparisons are paired.
+pub fn run_scenario(kind: FrameworkKind, scenario: ScenarioConfig, seed: u64) -> GroupReport {
+    run_scenario_with(kind, scenario, seed, HarnessOptions::default())
+}
+
+/// [`run_scenario`] with explicit [`HarnessOptions`].
+pub fn run_scenario_with(
+    kind: FrameworkKind,
+    scenario: ScenarioConfig,
+    seed: u64,
+    options: HarnessOptions,
+) -> GroupReport {
+    scenario.validate();
+    let map = CampusMap::standard();
+    let field = WeatherField::new(seed);
+    let population = StudyPopulation::generate(
+        seed,
+        &map,
+        PopulationConfig::all_barometer(scenario.group_size),
+    );
+    let mut devices = population.into_devices();
+    let centre = map.location(scenario.location);
+    let region = CircleRegion::new(centre, scenario.area_radius_m);
+
+    match kind {
+        FrameworkKind::Periodic => {
+            run_rounds_framework(kind, scenario, region, &field, &mut devices, None, seed)
+        }
+        FrameworkKind::Pcs { accuracy } => run_rounds_framework(
+            kind,
+            scenario,
+            region,
+            &field,
+            &mut devices,
+            Some(accuracy),
+            seed,
+        ),
+        FrameworkKind::SenseAidBasic | FrameworkKind::SenseAidComplete => {
+            run_senseaid(kind, scenario, region, &field, &mut devices, options, seed)
+        }
+    }
+}
+
+/// Start offsets of the scenario's concurrent tasks: staggered across one
+/// sampling period so independent tasks do not coincide.
+fn task_offsets(scenario: &ScenarioConfig) -> Vec<SimDuration> {
+    let stride = scenario.sampling_period / scenario.tasks as u64;
+    (0..scenario.tasks as u64).map(|i| stride * i).collect()
+}
+
+/// The flattened `(sample_at, deadline)` round schedule over all tasks,
+/// sorted by sampling instant.
+fn round_schedule(scenario: &ScenarioConfig) -> Vec<(SimTime, SimTime)> {
+    let end = SimTime::ZERO + scenario.test_duration;
+    let mut rounds = Vec::new();
+    for offset in task_offsets(scenario) {
+        let mut at = SimTime::ZERO + offset;
+        while at < end {
+            rounds.push((at, at + scenario.sampling_period));
+            at += scenario.sampling_period;
+        }
+    }
+    rounds.sort();
+    rounds
+}
+
+/// Indices of devices qualified for the study task right now: inside the
+/// region, carrying the sensor, participating, battery alive.
+fn qualified_indices(
+    devices: &mut [Device],
+    t: SimTime,
+    region: &CircleRegion,
+) -> Vec<usize> {
+    (0..devices.len())
+        .filter(|&i| {
+            let d = &mut devices[i];
+            d.prefs().participating
+                && d.profile().has_sensor(STUDY_SENSOR)
+                && !d.battery().is_depleted()
+                && region.contains(d.position(t))
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_report(
+    kind: FrameworkKind,
+    devices: &[Device],
+    uploads: u64,
+    cold_uploads: u64,
+    readings_delivered: u64,
+    rounds_fulfilled: u64,
+    rounds_missed: u64,
+    rounds: Vec<RoundObservation>,
+    delivery_delays_s: Vec<f64>,
+) -> GroupReport {
+    GroupReport {
+        framework: kind,
+        per_device_cs_j: devices.iter().map(|d| (d.id().0, d.cs_energy_j())).collect(),
+        uploads,
+        cold_uploads,
+        readings_delivered,
+        rounds_fulfilled,
+        rounds_missed,
+        rounds,
+        delivery_delays_s,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Periodic and PCS: round-driven, no orchestration (all qualified sense).
+// ----------------------------------------------------------------------
+
+/// One upload the PCS planner deferred.
+struct PendingUpload {
+    device_idx: usize,
+    at: SimTime,
+    bytes: u64,
+    sampled_at: SimTime,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rounds_framework(
+    kind: FrameworkKind,
+    scenario: ScenarioConfig,
+    region: CircleRegion,
+    field: &WeatherField,
+    devices: &mut [Device],
+    pcs_accuracy: Option<f64>,
+    seed: u64,
+) -> GroupReport {
+    let schedule = round_schedule(&scenario);
+    // The horizon covers the last deadline plus a slack tick.
+    let horizon = schedule
+        .iter()
+        .map(|(_, d)| *d)
+        .max()
+        .unwrap_or(SimTime::ZERO + scenario.test_duration)
+        + SimDuration::from_secs(2);
+
+    let mut pcs: Vec<PcsClient> = match pcs_accuracy {
+        Some(acc) => {
+            let mut master = SimRng::from_seed_label(seed, "pcs-clients");
+            (0..devices.len())
+                .map(|i| {
+                    PcsClient::new(
+                        PcsConfig {
+                            prediction_accuracy: acc,
+                            ..PcsConfig::default()
+                        },
+                        master.derive(&format!("pcs-{i}")),
+                    )
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    let mut next_round = 0usize;
+    let mut pending: Vec<PendingUpload> = Vec::new();
+    let mut rounds = Vec::new();
+    let (mut uploads, mut cold_uploads, mut delivered) = (0u64, 0u64, 0u64);
+    let (mut fulfilled, mut missed) = (0u64, 0u64);
+    let mut delays: Vec<f64> = Vec::new();
+
+    let mut t = SimTime::ZERO;
+    while t <= horizon {
+        for d in devices.iter_mut() {
+            d.run_regular_sessions_until(t);
+        }
+
+        // Fire due rounds.
+        while next_round < schedule.len() && schedule[next_round].0 <= t {
+            let (sample_at, deadline) = schedule[next_round];
+            next_round += 1;
+            let qualified = qualified_indices(devices, t, &region);
+            let mut participating = Vec::new();
+            for &i in &qualified {
+                let Ok(reading) = devices[i].sample_sensor(t, STUDY_SENSOR, field) else {
+                    continue;
+                };
+                participating.push(devices[i].id().0);
+                match pcs_accuracy {
+                    None => {
+                        // Periodic: upload immediately.
+                        let report = devices[i].upload_crowdsensing(t, 600, ResetPolicy::Reset);
+                        uploads += 1;
+                        if report.promoted {
+                            cold_uploads += 1;
+                        }
+                        delivered += 1;
+                        delays.push(t.saturating_elapsed_since(sample_at).as_secs_f64());
+                        let _ = reading;
+                    }
+                    Some(_) => {
+                        // PCS: plan a piggyback or a deadline upload.
+                        let next_session = devices[i].next_session_start(t);
+                        let plan = pcs[i].plan_upload(sample_at, Some(next_session), deadline);
+                        pending.push(PendingUpload {
+                            device_idx: i,
+                            at: plan.at,
+                            bytes: 600,
+                            sampled_at: sample_at,
+                        });
+                    }
+                }
+            }
+            if participating.len() >= scenario.spatial_density {
+                fulfilled += 1;
+            } else {
+                missed += 1;
+            }
+            rounds.push(RoundObservation {
+                at: sample_at,
+                qualified: qualified.len(),
+                participating,
+            });
+        }
+
+        // Fire matured PCS uploads at their exact planned instants. A
+        // firing upload flushes *everything* the device is holding — PCS
+        // batches all pending readings onto one transmission, which is
+        // what keeps its multi-task costs sane (Exp 3).
+        while let Some(i) = pending.iter().position(|p| p.at <= t) {
+            let fire_at = pending[i].at;
+            let device_idx = pending[i].device_idx;
+            let mut bytes = 0;
+            let mut readings = 0u64;
+            let mut j = 0;
+            while j < pending.len() {
+                if pending[j].device_idx == device_idx {
+                    bytes += pending[j].bytes;
+                    readings += 1;
+                    delays.push(
+                        fire_at
+                            .saturating_elapsed_since(pending[j].sampled_at)
+                            .as_secs_f64(),
+                    );
+                    pending.swap_remove(j);
+                } else {
+                    j += 1;
+                }
+            }
+            let report = devices[device_idx].upload_crowdsensing(fire_at, bytes, ResetPolicy::Reset);
+            uploads += 1;
+            if report.promoted {
+                cold_uploads += 1;
+            }
+            delivered += readings;
+        }
+
+        t += TICK;
+    }
+
+    // PCS may still be holding data for sessions beyond the horizon (its
+    // delay tolerance is uncapped by default); flush those rides now.
+    pending.sort_by_key(|p| p.at);
+    while !pending.is_empty() {
+        let fire_at = pending[0].at;
+        let device_idx = pending[0].device_idx;
+        let mut bytes = 0;
+        let mut readings = 0u64;
+        let mut j = 0;
+        while j < pending.len() {
+            if pending[j].device_idx == device_idx {
+                bytes += pending[j].bytes;
+                readings += 1;
+                delays.push(
+                    fire_at
+                        .saturating_elapsed_since(pending[j].sampled_at)
+                        .as_secs_f64(),
+                );
+                pending.swap_remove(j);
+            } else {
+                j += 1;
+            }
+        }
+        devices[device_idx].run_regular_sessions_until(fire_at);
+        let report = devices[device_idx].upload_crowdsensing(fire_at, bytes, ResetPolicy::Reset);
+        uploads += 1;
+        if report.promoted {
+            cold_uploads += 1;
+        }
+        delivered += readings;
+        pending.sort_by_key(|p| p.at);
+    }
+
+    collect_report(
+        kind,
+        devices,
+        uploads,
+        cold_uploads,
+        delivered,
+        fulfilled,
+        missed,
+        rounds,
+        delays,
+    )
+}
+
+// ----------------------------------------------------------------------
+// Sense-Aid: server-orchestrated.
+// ----------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_senseaid(
+    kind: FrameworkKind,
+    scenario: ScenarioConfig,
+    region: CircleRegion,
+    field: &WeatherField,
+    devices: &mut [Device],
+    options: HarnessOptions,
+    seed: u64,
+) -> GroupReport {
+    let variant = kind.variant().expect("sense-aid framework");
+    let mut config = SenseAidConfig::with_variant(variant);
+    if let Some(weights) = options.weights {
+        config.weights = weights;
+    }
+    let mut server = SenseAidServer::new(config);
+    // The radio access network: devices attach to the nearest covering
+    // tower, and the server learns each device's serving cell alongside
+    // its position.
+    let map = CampusMap::standard();
+    let mut network = CellularNetwork::for_campus(&map);
+    let mut skew_rng = SimRng::from_seed_label(seed, "clock-skew");
+    let mut clients: Vec<SenseAidClient> = Vec::with_capacity(devices.len());
+    let mut by_imei: BTreeMap<ImeiHash, usize> = BTreeMap::new();
+
+    for (i, d) in devices.iter_mut().enumerate() {
+        let imei = d.imei_hash();
+        by_imei.insert(imei, i);
+        let prefs = d.prefs();
+        server
+            .register_device(
+                imei,
+                prefs.energy_budget_j,
+                prefs.critical_battery_pct,
+                d.battery_level_pct(),
+                d.profile().sensors.iter().copied().collect(),
+                d.profile().device_type.clone(),
+                SimTime::ZERO,
+            )
+            .expect("server is up");
+        server
+            .observe_device(imei, d.position(SimTime::ZERO), None)
+            .expect("registered");
+        let mut client = SenseAidClient::new(imei);
+        client.register(prefs);
+        if let Some(window) = options.min_tail_window {
+            client.set_min_tail_window(window);
+        }
+        if let Some(max_skew) = options.max_clock_skew {
+            let bound = max_skew.as_micros() as f64;
+            client.set_clock_skew_us(skew_rng.uniform_range(-bound, bound + 1.0) as i64);
+        }
+        clients.push(client);
+    }
+
+    // Submit the scenario's tasks, staggered like the baselines'.
+    let end = SimTime::ZERO + scenario.test_duration;
+    for offset in task_offsets(&scenario) {
+        let spec = TaskSpec::builder(STUDY_SENSOR)
+            .region(region)
+            .spatial_density(scenario.spatial_density)
+            .sampling_period(scenario.sampling_period)
+            .window(SimTime::ZERO + offset, end)
+            .build()
+            .expect("scenario task is valid");
+        server.submit_task(spec, SimTime::ZERO).expect("server is up");
+    }
+
+    let horizon = end + scenario.sampling_period + SimDuration::from_secs(2);
+    let (mut uploads, mut cold_uploads) = (0u64, 0u64);
+    let mut delays: Vec<f64> = Vec::new();
+    let mut next_position_refresh = SimTime::ZERO;
+
+    let mut t = SimTime::ZERO;
+    while t <= horizon {
+        // Failure injection: crash/recover the middleware on schedule. The
+        // eNodeBs fall back to path-1 routing, regular traffic continues,
+        // crowdsensing pauses (paper Fig 4's fail-safe).
+        if let Some((crash_at, recover_at)) = options.server_outage {
+            if server.is_up() && t >= crash_at && t < recover_at {
+                server.crash();
+            } else if !server.is_up() && t >= recover_at {
+                server.recover();
+            }
+        }
+
+        // Regular traffic; any real communication doubles as the client's
+        // in-tail state report (the paper's control-message policy).
+        for (i, d) in devices.iter_mut().enumerate() {
+            let before = d.sessions_run();
+            d.run_regular_sessions_until(t);
+            if d.sessions_run() > before {
+                let imei = clients[i].imei();
+                let _ = server.update_device_state(imei, d.battery_level_pct(), d.cs_energy_j(), t);
+            }
+        }
+
+        // Passive eNodeB-side position refresh: attachment first, then the
+        // server's view (position + serving cell).
+        if t >= next_position_refresh {
+            for (i, d) in devices.iter_mut().enumerate() {
+                let p = d.position(t);
+                let cell = network.update_attachment(d.id(), p);
+                let _ = server.observe_device(clients[i].imei(), p, cell);
+            }
+            next_position_refresh = t + POSITION_REFRESH;
+        }
+
+        // Scheduling round (empty while the server is down).
+        let assignments = server.poll(t).unwrap_or_default();
+        for a in &assignments {
+            for imei in &a.devices {
+                let idx = by_imei[imei];
+                clients[idx].start_sensing(a);
+            }
+        }
+
+        // Client duties: sample when due, upload in tails or at deadlines.
+        for (i, client) in clients.iter_mut().enumerate() {
+            let device = &mut devices[i];
+            for request in client.due_samples(t) {
+                if let Ok(reading) = device.sample_sensor(t, STUDY_SENSOR, field) {
+                    client.record_sample(request, reading);
+                }
+            }
+            let decision =
+                client.upload_decision(t, device.in_tail(t), device.tail_remaining(t));
+            if decision != UploadDecision::Wait {
+                let duties = client.send_sense_data(decision);
+                if !duties.is_empty() {
+                    // One batched radio transmission for everything ready.
+                    let total_bytes: u64 = duties.iter().map(|d| d.payload_bytes).sum();
+                    let policy = duties[0].reset_policy;
+                    let report = device.upload_crowdsensing(t, total_bytes, policy);
+                    uploads += 1;
+                    if report.promoted {
+                        cold_uploads += 1;
+                    }
+                    for duty in duties {
+                        let reading = duty.reading.expect("send_sense_data filters unsampled");
+                        // Late deliveries for already-expired requests are
+                        // dropped by the server; that is fine.
+                        if server
+                            .submit_sensed_data(client.imei(), duty.request, &reading, t)
+                            .is_ok()
+                        {
+                            delays
+                                .push(t.saturating_elapsed_since(duty.sample_at).as_secs_f64());
+                        }
+                    }
+                }
+            }
+            client.drop_expired(t);
+        }
+
+        t += TICK;
+    }
+
+    // Build the per-round observations from the server's selection log.
+    let rounds: Vec<RoundObservation> = server
+        .selection_history()
+        .entries()
+        .iter()
+        .map(|e| RoundObservation {
+            at: e.at,
+            qualified: e.item.qualified,
+            participating: e
+                .item
+                .selected
+                .iter()
+                .map(|imei| devices[by_imei[imei]].id().0)
+                .collect(),
+        })
+        .collect();
+    let delivered = server.drain_outbox().len() as u64;
+    let stats = server.stats();
+
+    collect_report(
+        kind,
+        devices,
+        uploads,
+        cold_uploads,
+        delivered,
+        stats.requests_fulfilled,
+        stats.requests_expired,
+        rounds,
+        delays,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_geo::NamedLocation;
+
+    fn tiny_scenario() -> ScenarioConfig {
+        ScenarioConfig {
+            test_duration: SimDuration::from_mins(30),
+            sampling_period: SimDuration::from_mins(10),
+            spatial_density: 2,
+            area_radius_m: 800.0,
+            tasks: 1,
+            location: NamedLocation::CsDepartment,
+            group_size: 10,
+        }
+    }
+
+    #[test]
+    fn round_schedule_counts() {
+        let mut s = tiny_scenario();
+        s.tasks = 2;
+        let rounds = round_schedule(&s);
+        // 2 tasks × (30 min / 10 min) = 6 rounds.
+        assert_eq!(rounds.len(), 6);
+        // Sorted and staggered by 5 minutes.
+        assert!(rounds.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(rounds[1].0, SimTime::from_mins(5));
+        for (at, deadline) in rounds {
+            assert_eq!(deadline, at + SimDuration::from_mins(10));
+        }
+    }
+
+    #[test]
+    fn periodic_runs_and_spends_energy() {
+        let r = run_scenario(FrameworkKind::Periodic, tiny_scenario(), 1);
+        assert!(r.uploads > 0);
+        assert!(r.total_cs_j() > 0.0);
+        assert_eq!(r.rounds.len(), 3);
+        assert!(r.avg_qualified() > 0.0);
+        // Periodic uploads are mostly cold promotions.
+        assert!(r.warm_upload_rate() < 0.5, "rate {}", r.warm_upload_rate());
+    }
+
+    #[test]
+    fn pcs_runs_and_delivers() {
+        let r = run_scenario(FrameworkKind::pcs_default(), tiny_scenario(), 1);
+        assert!(r.uploads > 0);
+        // PCS batches: one transmission can carry several readings.
+        assert!(r.readings_delivered >= r.uploads);
+        assert!(r.total_cs_j() > 0.0);
+    }
+
+    #[test]
+    fn senseaid_selects_density_only() {
+        let r = run_scenario(FrameworkKind::SenseAidComplete, tiny_scenario(), 1);
+        assert!(!r.rounds.is_empty());
+        for round in &r.rounds {
+            assert_eq!(
+                round.participating.len(),
+                2,
+                "Sense-Aid selects exactly the density"
+            );
+        }
+        assert!(r.readings_delivered > 0);
+    }
+
+    #[test]
+    fn senseaid_beats_baselines_on_energy() {
+        let s = tiny_scenario();
+        let periodic = run_scenario(FrameworkKind::Periodic, s, 7);
+        let pcs = run_scenario(FrameworkKind::pcs_default(), s, 7);
+        let basic = run_scenario(FrameworkKind::SenseAidBasic, s, 7);
+        let complete = run_scenario(FrameworkKind::SenseAidComplete, s, 7);
+        assert!(
+            complete.total_cs_j() <= basic.total_cs_j() + 1e-9,
+            "complete {} vs basic {}",
+            complete.total_cs_j(),
+            basic.total_cs_j()
+        );
+        assert!(
+            basic.total_cs_j() < pcs.total_cs_j(),
+            "basic {} vs pcs {}",
+            basic.total_cs_j(),
+            pcs.total_cs_j()
+        );
+        assert!(
+            pcs.total_cs_j() < periodic.total_cs_j(),
+            "pcs {} vs periodic {}",
+            pcs.total_cs_j(),
+            periodic.total_cs_j()
+        );
+    }
+
+    #[test]
+    fn identical_seed_is_reproducible() {
+        let a = run_scenario(FrameworkKind::SenseAidBasic, tiny_scenario(), 3);
+        let b = run_scenario(FrameworkKind::SenseAidBasic, tiny_scenario(), 3);
+        assert_eq!(a.per_device_cs_j, b.per_device_cs_j);
+        assert_eq!(a.uploads, b.uploads);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::framework::FrameworkKind;
+    use senseaid_geo::NamedLocation;
+
+    /// Density above the whole group: Sense-Aid must park every request in
+    /// the wait queue and expire them; no energy is spent on uploads.
+    #[test]
+    fn impossible_density_wastes_no_energy() {
+        let scenario = ScenarioConfig {
+            test_duration: SimDuration::from_mins(20),
+            sampling_period: SimDuration::from_mins(5),
+            spatial_density: 50, // group is 8
+            area_radius_m: 1000.0,
+            tasks: 1,
+            location: NamedLocation::CsDepartment,
+            group_size: 8,
+        };
+        let r = run_scenario(FrameworkKind::SenseAidComplete, scenario, 61);
+        assert_eq!(r.rounds_fulfilled, 0);
+        assert!(r.rounds_missed >= 3, "requests expire unmet");
+        assert_eq!(r.uploads, 0);
+        assert_eq!(r.total_cs_j(), 0.0, "no sensing without selection");
+        // Baselines still burn energy: they sense without a density check.
+        let p = run_scenario(FrameworkKind::Periodic, scenario, 61);
+        assert!(p.total_cs_j() > 0.0);
+        assert_eq!(p.rounds_fulfilled, 0, "density never met there either");
+    }
+
+    /// A tiny region at the gym excludes most of the population most of
+    /// the time; Sense-Aid should fulfil some rounds when students pass
+    /// through and miss others, without panicking.
+    #[test]
+    fn sparse_region_partially_fulfils() {
+        let scenario = ScenarioConfig {
+            test_duration: SimDuration::from_mins(60),
+            sampling_period: SimDuration::from_mins(5),
+            spatial_density: 2,
+            area_radius_m: 150.0,
+            tasks: 1,
+            location: NamedLocation::UniversityGym,
+            group_size: 16,
+        };
+        let r = run_scenario(FrameworkKind::SenseAidComplete, scenario, 62);
+        assert_eq!(r.rounds_fulfilled + r.rounds_missed, 12);
+        assert!(
+            r.rounds_missed > 0,
+            "a 150 m circle at the gym cannot always hold 2 students"
+        );
+    }
+
+    /// One-device group, density 1: the degenerate minimum works.
+    #[test]
+    fn single_device_study_works() {
+        let scenario = ScenarioConfig {
+            test_duration: SimDuration::from_mins(20),
+            sampling_period: SimDuration::from_mins(5),
+            spatial_density: 1,
+            area_radius_m: 1500.0,
+            tasks: 1,
+            location: NamedLocation::StudentUnion,
+            group_size: 1,
+        };
+        for kind in FrameworkKind::study_set() {
+            let r = run_scenario(kind, scenario, 63);
+            assert!(r.readings_delivered > 0, "{kind} delivered nothing");
+        }
+    }
+
+    /// Delivery delays are bounded by the deadline discipline for
+    /// Sense-Aid and zero for Periodic.
+    #[test]
+    fn delay_semantics_per_framework() {
+        let scenario = ScenarioConfig {
+            test_duration: SimDuration::from_mins(30),
+            sampling_period: SimDuration::from_mins(10),
+            spatial_density: 2,
+            area_radius_m: 900.0,
+            tasks: 1,
+            location: NamedLocation::CsDepartment,
+            group_size: 10,
+        };
+        let periodic = run_scenario(FrameworkKind::Periodic, scenario, 64);
+        assert!(periodic.delivery_delays_s.iter().all(|d| *d < 1.0));
+        let sa = run_scenario(FrameworkKind::SenseAidComplete, scenario, 64);
+        let deadline_s = scenario.sampling_period.as_secs_f64();
+        assert!(
+            sa.delivery_delays_s.iter().all(|d| *d <= deadline_s + 1.5),
+            "SA delays bounded by the sampling period"
+        );
+        assert!(!sa.delivery_delays_s.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Cellular network substrate for the Sense-Aid reproduction.
+//!
+//! The paper (Fig 4) deploys the Sense-Aid server *between* the eNodeBs
+//! and the core network: eNodeBs that see crowdsensing traffic route it
+//! through the Sense-Aid server (path 2), everything else takes the
+//! traditional path 1 — which doubles as the fail-safe when the Sense-Aid
+//! server crashes. The network knows each device's location at *cell-tower
+//! granularity*, which is exactly the location input the middleware uses
+//! (no GPS needed, §3.2).
+//!
+//! This crate supplies:
+//!
+//! * [`CellularNetwork`] — tower layout, UE attachment, region queries,
+//!   handover counting;
+//! * [`CoreNetwork`] — path-1/path-2 routing with Sense-Aid server
+//!   failure injection;
+//! * [`message`] — the wire messages between client library, Sense-Aid
+//!   server, and application servers, with a compact binary codec (the
+//!   study's crowdsensing payload is ~600 bytes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod routing;
+pub mod topology;
+
+pub use message::{Message, WireError};
+pub use routing::{CoreNetwork, RoutePath};
+pub use topology::{CellId, CellularNetwork};

@@ -1,0 +1,314 @@
+//! Wire messages between the client library, the Sense-Aid server, and
+//! crowdsensing application servers, with a compact binary codec.
+//!
+//! Nothing privacy-sensitive crosses this boundary: devices are identified
+//! by IMEI *hash* only (paper §3.2/§6).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// An unknown message tag byte.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("message truncated"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Client → server: sign up for a crowdsensing campaign.
+    Register {
+        /// Hashed device identity.
+        imei_hash: u64,
+        /// User's total crowdsensing energy budget, Joules.
+        energy_budget_j: f64,
+        /// Battery floor below which the device must not be selected, %.
+        critical_battery_pct: f64,
+    },
+    /// Client → server: leave the campaign.
+    Deregister {
+        /// Hashed device identity.
+        imei_hash: u64,
+    },
+    /// Client → server: periodic device-state report (sent inside radio
+    /// tails; see paper §4).
+    StateUpdate {
+        /// Hashed device identity.
+        imei_hash: u64,
+        /// Current battery level, %.
+        battery_pct: f64,
+        /// Energy spent on crowdsensing so far, Joules.
+        cs_energy_j: f64,
+    },
+    /// Server → client: sample this sensor and upload by the deadline.
+    TaskAssignment {
+        /// Request identifier (one task generates many requests).
+        request_id: u64,
+        /// Android-style sensor type code.
+        sensor_code: i32,
+        /// When to take the sample, µs of sim time.
+        sample_at_us: u64,
+        /// Latest acceptable upload instant, µs of sim time.
+        upload_deadline_us: u64,
+    },
+    /// Client → server: a sensed value.
+    SensedData {
+        /// Request identifier this fulfils.
+        request_id: u64,
+        /// Hashed device identity.
+        imei_hash: u64,
+        /// Android-style sensor type code.
+        sensor_code: i32,
+        /// The reading.
+        value: f64,
+        /// When the sample was taken, µs of sim time.
+        taken_at_us: u64,
+    },
+}
+
+const TAG_REGISTER: u8 = 0x01;
+const TAG_DEREGISTER: u8 = 0x02;
+const TAG_STATE_UPDATE: u8 = 0x03;
+const TAG_TASK_ASSIGNMENT: u8 = 0x04;
+const TAG_SENSED_DATA: u8 = 0x05;
+
+impl Message {
+    /// Encodes the message to bytes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use senseaid_cellnet::Message;
+    ///
+    /// let msg = Message::Deregister { imei_hash: 42 };
+    /// let bytes = msg.encode();
+    /// assert_eq!(Message::decode(&bytes)?, msg);
+    /// # Ok::<(), senseaid_cellnet::WireError>(())
+    /// ```
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match *self {
+            Message::Register {
+                imei_hash,
+                energy_budget_j,
+                critical_battery_pct,
+            } => {
+                buf.put_u8(TAG_REGISTER);
+                buf.put_u64(imei_hash);
+                buf.put_f64(energy_budget_j);
+                buf.put_f64(critical_battery_pct);
+            }
+            Message::Deregister { imei_hash } => {
+                buf.put_u8(TAG_DEREGISTER);
+                buf.put_u64(imei_hash);
+            }
+            Message::StateUpdate {
+                imei_hash,
+                battery_pct,
+                cs_energy_j,
+            } => {
+                buf.put_u8(TAG_STATE_UPDATE);
+                buf.put_u64(imei_hash);
+                buf.put_f64(battery_pct);
+                buf.put_f64(cs_energy_j);
+            }
+            Message::TaskAssignment {
+                request_id,
+                sensor_code,
+                sample_at_us,
+                upload_deadline_us,
+            } => {
+                buf.put_u8(TAG_TASK_ASSIGNMENT);
+                buf.put_u64(request_id);
+                buf.put_i32(sensor_code);
+                buf.put_u64(sample_at_us);
+                buf.put_u64(upload_deadline_us);
+            }
+            Message::SensedData {
+                request_id,
+                imei_hash,
+                sensor_code,
+                value,
+                taken_at_us,
+            } => {
+                buf.put_u8(TAG_SENSED_DATA);
+                buf.put_u64(request_id);
+                buf.put_u64(imei_hash);
+                buf.put_i32(sensor_code);
+                buf.put_f64(value);
+                buf.put_u64(taken_at_us);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// The exact encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Message::Register { .. } => 8 + 8 + 8,
+            Message::Deregister { .. } => 8,
+            Message::StateUpdate { .. } => 8 + 8 + 8,
+            Message::TaskAssignment { .. } => 8 + 4 + 8 + 8,
+            Message::SensedData { .. } => 8 + 8 + 4 + 8 + 8,
+        }
+    }
+
+    /// Decodes a message from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if the buffer is too short;
+    /// [`WireError::UnknownTag`] on an unrecognised tag byte.
+    pub fn decode(mut buf: &[u8]) -> Result<Message, WireError> {
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let msg = match tag {
+            TAG_REGISTER => {
+                check(&buf, 24)?;
+                Message::Register {
+                    imei_hash: buf.get_u64(),
+                    energy_budget_j: buf.get_f64(),
+                    critical_battery_pct: buf.get_f64(),
+                }
+            }
+            TAG_DEREGISTER => {
+                check(&buf, 8)?;
+                Message::Deregister {
+                    imei_hash: buf.get_u64(),
+                }
+            }
+            TAG_STATE_UPDATE => {
+                check(&buf, 24)?;
+                Message::StateUpdate {
+                    imei_hash: buf.get_u64(),
+                    battery_pct: buf.get_f64(),
+                    cs_energy_j: buf.get_f64(),
+                }
+            }
+            TAG_TASK_ASSIGNMENT => {
+                check(&buf, 28)?;
+                Message::TaskAssignment {
+                    request_id: buf.get_u64(),
+                    sensor_code: buf.get_i32(),
+                    sample_at_us: buf.get_u64(),
+                    upload_deadline_us: buf.get_u64(),
+                }
+            }
+            TAG_SENSED_DATA => {
+                check(&buf, 36)?;
+                Message::SensedData {
+                    request_id: buf.get_u64(),
+                    imei_hash: buf.get_u64(),
+                    sensor_code: buf.get_i32(),
+                    value: buf.get_f64(),
+                    taken_at_us: buf.get_u64(),
+                }
+            }
+            other => return Err(WireError::UnknownTag(other)),
+        };
+        Ok(msg)
+    }
+}
+
+fn check(buf: &&[u8], need: usize) -> Result<(), WireError> {
+    if buf.len() < need {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Register {
+                imei_hash: 0xdead_beef,
+                energy_budget_j: 495.0,
+                critical_battery_pct: 15.0,
+            },
+            Message::Deregister {
+                imei_hash: 0xdead_beef,
+            },
+            Message::StateUpdate {
+                imei_hash: 1,
+                battery_pct: 87.5,
+                cs_energy_j: 12.25,
+            },
+            Message::TaskAssignment {
+                request_id: 7,
+                sensor_code: 6,
+                sample_at_us: 1_000_000,
+                upload_deadline_us: 2_000_000,
+            },
+            Message::SensedData {
+                request_id: 7,
+                imei_hash: 1,
+                sensor_code: 6,
+                value: 1013.25,
+                taken_at_us: 1_500_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            assert_eq!(Message::decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    Message::decode(&bytes[..cut]),
+                    Err(WireError::Truncated),
+                    "cut at {cut} of {msg:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        assert_eq!(Message::decode(&[0xff, 0, 0]), Err(WireError::UnknownTag(0xff)));
+    }
+
+    #[test]
+    fn messages_are_small() {
+        // Control-plane messages must be far below the ~600-byte data
+        // payload for the "negligible control overhead" assumption to hold.
+        for msg in samples() {
+            assert!(msg.encoded_len() <= 64, "{msg:?} is {} bytes", msg.encoded_len());
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(WireError::Truncated.to_string(), "message truncated");
+        assert!(WireError::UnknownTag(7).to_string().contains("0x07"));
+    }
+}

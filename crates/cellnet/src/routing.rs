@@ -1,0 +1,172 @@
+//! Core-network routing: path 1 (direct) vs path 2 (via Sense-Aid), with
+//! fail-safe fallback (paper Fig 4 and §3: "path 1 is the fail-safe path
+//! if Sense-Aid server crashes").
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_sim::{SimDuration, SimTime};
+
+/// Which path a flow takes from the eNodeB into the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutePath {
+    /// Traditional eNodeB → S-GW path; crowdsensing traffic on this path
+    /// bypasses the middleware (fail-safe).
+    Path1Direct,
+    /// eNodeB → Sense-Aid server → S-GW; the middleware offloads
+    /// crowdsensing traffic and forwards the rest.
+    Path2ViaSenseAid,
+}
+
+impl std::fmt::Display for RoutePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutePath::Path1Direct => f.write_str("path1(direct)"),
+            RoutePath::Path2ViaSenseAid => f.write_str("path2(sense-aid)"),
+        }
+    }
+}
+
+/// The core network's routing brain plus Sense-Aid server health state.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_cellnet::{CoreNetwork, RoutePath};
+/// use senseaid_sim::SimTime;
+///
+/// let mut core = CoreNetwork::new();
+/// assert_eq!(core.route(true), RoutePath::Path2ViaSenseAid);
+/// core.crash_senseaid_server(SimTime::from_secs(100));
+/// // Fail-safe: crowdsensing traffic falls back to the direct path.
+/// assert_eq!(core.route(true), RoutePath::Path1Direct);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreNetwork {
+    senseaid_up: bool,
+    crashed_at: Option<SimTime>,
+    recovered_at: Option<SimTime>,
+    path1_flows: u64,
+    path2_flows: u64,
+    backhaul_latency: SimDuration,
+    senseaid_hop_latency: SimDuration,
+}
+
+impl Default for CoreNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoreNetwork {
+    /// A healthy core with typical edge latencies.
+    pub fn new() -> Self {
+        CoreNetwork {
+            senseaid_up: true,
+            crashed_at: None,
+            recovered_at: None,
+            path1_flows: 0,
+            path2_flows: 0,
+            backhaul_latency: SimDuration::from_millis(8),
+            senseaid_hop_latency: SimDuration::from_millis(2),
+        }
+    }
+
+    /// Whether the Sense-Aid server is reachable.
+    pub fn senseaid_server_up(&self) -> bool {
+        self.senseaid_up
+    }
+
+    /// Injects a Sense-Aid server crash at `now`.
+    pub fn crash_senseaid_server(&mut self, now: SimTime) {
+        self.senseaid_up = false;
+        self.crashed_at = Some(now);
+    }
+
+    /// Recovers the Sense-Aid server at `now`.
+    pub fn recover_senseaid_server(&mut self, now: SimTime) {
+        self.senseaid_up = true;
+        self.recovered_at = Some(now);
+    }
+
+    /// When the server last crashed / recovered (for reports).
+    pub fn outage_window(&self) -> (Option<SimTime>, Option<SimTime>) {
+        (self.crashed_at, self.recovered_at)
+    }
+
+    /// Chooses the path for a flow. eNodeBs send flows containing
+    /// crowdsensing traffic via the Sense-Aid server (path 2) when it is
+    /// up; everything else — and everything during an outage — takes the
+    /// traditional path 1.
+    pub fn route(&mut self, has_crowdsensing_traffic: bool) -> RoutePath {
+        let path = if has_crowdsensing_traffic && self.senseaid_up {
+            RoutePath::Path2ViaSenseAid
+        } else {
+            RoutePath::Path1Direct
+        };
+        match path {
+            RoutePath::Path1Direct => self.path1_flows += 1,
+            RoutePath::Path2ViaSenseAid => self.path2_flows += 1,
+        }
+        path
+    }
+
+    /// One-way latency of a path.
+    pub fn latency(&self, path: RoutePath) -> SimDuration {
+        match path {
+            RoutePath::Path1Direct => self.backhaul_latency,
+            RoutePath::Path2ViaSenseAid => self.backhaul_latency + self.senseaid_hop_latency,
+        }
+    }
+
+    /// `(path1, path2)` flow counts routed so far.
+    pub fn flow_counts(&self) -> (u64, u64) {
+        (self.path1_flows, self.path2_flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_traffic_takes_path1() {
+        let mut core = CoreNetwork::new();
+        assert_eq!(core.route(false), RoutePath::Path1Direct);
+        assert_eq!(core.flow_counts(), (1, 0));
+    }
+
+    #[test]
+    fn crowdsensing_traffic_takes_path2_when_healthy() {
+        let mut core = CoreNetwork::new();
+        assert_eq!(core.route(true), RoutePath::Path2ViaSenseAid);
+        assert_eq!(core.flow_counts(), (0, 1));
+    }
+
+    #[test]
+    fn failover_and_recovery() {
+        let mut core = CoreNetwork::new();
+        core.crash_senseaid_server(SimTime::from_secs(50));
+        assert!(!core.senseaid_server_up());
+        assert_eq!(core.route(true), RoutePath::Path1Direct);
+        core.recover_senseaid_server(SimTime::from_secs(90));
+        assert_eq!(core.route(true), RoutePath::Path2ViaSenseAid);
+        let (crashed, recovered) = core.outage_window();
+        assert_eq!(crashed, Some(SimTime::from_secs(50)));
+        assert_eq!(recovered, Some(SimTime::from_secs(90)));
+    }
+
+    #[test]
+    fn path2_adds_latency() {
+        let core = CoreNetwork::new();
+        assert!(core.latency(RoutePath::Path2ViaSenseAid) > core.latency(RoutePath::Path1Direct));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(RoutePath::Path1Direct.to_string(), "path1(direct)");
+        assert_eq!(
+            RoutePath::Path2ViaSenseAid.to_string(),
+            "path2(sense-aid)"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Tower layout, attachment and region queries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::DeviceId;
+use senseaid_geo::{CampusMap, CircleRegion, GeoPoint, TowerSite};
+
+/// Identifier of one cell (one eNodeB sector; we model one cell per tower).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct CellId(pub usize);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell{}", self.0)
+    }
+}
+
+/// The radio access network: tower sites plus the current UE attachment
+/// table.
+///
+/// Attachment follows the strongest (nearest covering) tower; devices
+/// outside all coverage are unattached — and therefore invisible to the
+/// middleware, exactly as in a real deployment.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_cellnet::CellularNetwork;
+/// use senseaid_device::DeviceId;
+/// use senseaid_geo::CampusMap;
+///
+/// let map = CampusMap::standard();
+/// let mut net = CellularNetwork::for_campus(&map);
+/// let cell = net.update_attachment(DeviceId(1), map.anchor());
+/// assert!(cell.is_some());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellularNetwork {
+    towers: Vec<TowerSite>,
+    attachment: BTreeMap<DeviceId, CellId>,
+    handovers: u64,
+}
+
+impl CellularNetwork {
+    /// Builds a network from an explicit tower list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `towers` is empty.
+    pub fn new(towers: Vec<TowerSite>) -> Self {
+        assert!(!towers.is_empty(), "a network needs at least one tower");
+        CellularNetwork {
+            towers,
+            attachment: BTreeMap::new(),
+            handovers: 0,
+        }
+    }
+
+    /// Builds a network from a campus map's tower grid.
+    pub fn for_campus(map: &CampusMap) -> Self {
+        CellularNetwork::new(map.towers().to_vec())
+    }
+
+    /// The tower sites.
+    pub fn towers(&self) -> &[TowerSite] {
+        &self.towers
+    }
+
+    /// The cell that covers `p` best (nearest tower whose coverage contains
+    /// `p`), or `None` outside all coverage.
+    pub fn serving_cell(&self, p: GeoPoint) -> Option<CellId> {
+        self.towers
+            .iter()
+            .filter(|t| t.coverage().contains(p))
+            .min_by(|a, b| {
+                a.position
+                    .distance_to(p)
+                    .value()
+                    .partial_cmp(&b.position.distance_to(p).value())
+                    .expect("finite distances")
+            })
+            .map(|t| CellId(t.index))
+    }
+
+    /// Records that `device` is now at `p`, updating its attachment.
+    /// Returns the serving cell (or `None` if the device lost coverage).
+    pub fn update_attachment(&mut self, device: DeviceId, p: GeoPoint) -> Option<CellId> {
+        let new = self.serving_cell(p);
+        let old = self.attachment.get(&device).copied();
+        match new {
+            Some(cell) => {
+                if let Some(prev) = old {
+                    if prev != cell {
+                        self.handovers += 1;
+                    }
+                }
+                self.attachment.insert(device, cell);
+            }
+            None => {
+                self.attachment.remove(&device);
+            }
+        }
+        new
+    }
+
+    /// The cell `device` is currently attached to.
+    pub fn attached_cell(&self, device: DeviceId) -> Option<CellId> {
+        self.attachment.get(&device).copied()
+    }
+
+    /// Devices currently attached to `cell`, in id order.
+    pub fn devices_in_cell(&self, cell: CellId) -> Vec<DeviceId> {
+        self.attachment
+            .iter()
+            .filter(|(_, c)| **c == cell)
+            .map(|(d, _)| *d)
+            .collect()
+    }
+
+    /// All currently attached devices, in id order.
+    pub fn attached_devices(&self) -> Vec<DeviceId> {
+        self.attachment.keys().copied().collect()
+    }
+
+    /// Cells whose coverage intersects `region` — the towers a Sense-Aid
+    /// server must consult for a task over that region (§3.1: "looks up
+    /// the cell towers in the specified area").
+    pub fn cells_covering(&self, region: &CircleRegion) -> Vec<CellId> {
+        self.towers
+            .iter()
+            .filter(|t| t.coverage().intersects(region))
+            .map(|t| CellId(t.index))
+            .collect()
+    }
+
+    /// Total inter-cell handovers observed so far.
+    pub fn handovers(&self) -> u64 {
+        self.handovers
+    }
+
+    /// The position of a cell's tower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` does not exist in this network.
+    pub fn tower_position(&self, cell: CellId) -> GeoPoint {
+        self.towers
+            .iter()
+            .find(|t| t.index == cell.0)
+            .unwrap_or_else(|| panic!("unknown cell {cell}"))
+            .position
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (CampusMap, CellularNetwork) {
+        let map = CampusMap::standard();
+        let net = CellularNetwork::for_campus(&map);
+        (map, net)
+    }
+
+    #[test]
+    fn campus_centre_is_covered() {
+        let (map, net) = net();
+        assert!(net.serving_cell(map.anchor()).is_some());
+        for (loc, p) in map.locations() {
+            assert!(net.serving_cell(*p).is_some(), "{loc} uncovered");
+        }
+    }
+
+    #[test]
+    fn far_away_is_uncovered() {
+        let (map, net) = net();
+        let far = map.anchor().offset_by_meters(50_000.0, 0.0);
+        assert_eq!(net.serving_cell(far), None);
+    }
+
+    #[test]
+    fn attachment_tracks_movement_and_counts_handovers() {
+        let (map, mut net) = net();
+        let d = DeviceId(1);
+        // Attach at the centre tower.
+        let c1 = net.update_attachment(d, map.anchor()).unwrap();
+        assert_eq!(net.attached_cell(d), Some(c1));
+        assert_eq!(net.handovers(), 0);
+        // Move near a corner tower: handover.
+        let corner = map.anchor().offset_by_meters(900.0, 900.0);
+        let c2 = net.update_attachment(d, corner).unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(net.handovers(), 1);
+        // Move out of coverage entirely: detached.
+        let gone = map.anchor().offset_by_meters(50_000.0, 0.0);
+        assert_eq!(net.update_attachment(d, gone), None);
+        assert_eq!(net.attached_cell(d), None);
+    }
+
+    #[test]
+    fn devices_in_cell_lists_only_that_cell() {
+        let (map, mut net) = net();
+        let centre_cell = net
+            .update_attachment(DeviceId(1), map.anchor())
+            .unwrap();
+        net.update_attachment(DeviceId(2), map.anchor());
+        net.update_attachment(
+            DeviceId(3),
+            map.anchor().offset_by_meters(900.0, 900.0),
+        );
+        let in_centre = net.devices_in_cell(centre_cell);
+        assert_eq!(in_centre, vec![DeviceId(1), DeviceId(2)]);
+        assert_eq!(net.attached_devices().len(), 3);
+    }
+
+    #[test]
+    fn cells_covering_region_grows_with_radius() {
+        let (map, net) = net();
+        let small = CircleRegion::new(map.anchor(), 100.0);
+        let large = CircleRegion::new(map.anchor(), 1500.0);
+        let few = net.cells_covering(&small);
+        let many = net.cells_covering(&large);
+        assert!(!few.is_empty());
+        assert!(many.len() >= few.len());
+        for c in &few {
+            assert!(many.contains(c), "small-region cells must be a subset");
+        }
+    }
+
+    #[test]
+    fn tower_position_round_trips() {
+        let (_, net) = net();
+        for t in net.towers() {
+            assert_eq!(net.tower_position(CellId(t.index)), t.position);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cell")]
+    fn tower_position_rejects_bogus_cell() {
+        let (_, net) = net();
+        let _ = net.tower_position(CellId(999));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tower")]
+    fn empty_network_rejected() {
+        let _ = CellularNetwork::new(Vec::new());
+    }
+
+    #[test]
+    fn reattaching_same_cell_is_not_a_handover() {
+        let (map, mut net) = net();
+        let d = DeviceId(9);
+        net.update_attachment(d, map.anchor());
+        net.update_attachment(d, map.anchor().offset_by_meters(10.0, 10.0));
+        assert_eq!(net.handovers(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Adaptive tasks: requirements that react to the data (paper §8).
+//!
+//! The paper closes with "dynamic tasks that can alter their requirements
+//! based on received data" as ongoing work. [`AdaptiveController`] is that
+//! feature, CAS-side: it watches the spatial *spread* of each sampling
+//! window's readings and tunes the task's `spatial_density` through the
+//! existing `update_task_param` API. Calm field → readings agree → fewer
+//! devices suffice; a weather front crossing the region → readings
+//! disagree → more devices are needed to resolve the structure.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_sim::SimTime;
+
+use crate::cas::DeliveredReading;
+use crate::task::TaskId;
+
+/// Tuning for an [`AdaptiveController`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Readings per evaluation window. Spanning ~two sampling rounds lets
+    /// the spread capture *temporal* change (a front sweeping the region
+    /// between rounds) as well as spatial disagreement within one round.
+    pub window: usize,
+    /// Raise the density when a window's spread (max − min) exceeds this.
+    pub high_spread: f64,
+    /// Lower the density when a window's spread falls below this.
+    pub low_spread: f64,
+    /// Density floor.
+    pub min_density: usize,
+    /// Density ceiling.
+    pub max_density: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: 4,
+            high_spread: 1.0, // hPa across the region: something is moving
+            low_spread: 0.4,
+            min_density: 2,
+            max_density: 8,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds or bounds are inverted, or the window is zero.
+    pub fn validate(&self) {
+        assert!(self.window >= 1, "window must be at least 1");
+        assert!(
+            self.low_spread <= self.high_spread,
+            "low_spread must not exceed high_spread"
+        );
+        assert!(
+            1 <= self.min_density && self.min_density <= self.max_density,
+            "density bounds inverted"
+        );
+    }
+}
+
+/// One density adjustment the controller made.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adjustment {
+    /// When the adjustment was recommended.
+    pub at: SimTime,
+    /// The window's observed spread.
+    pub spread: f64,
+    /// The new density.
+    pub density: usize,
+}
+
+/// CAS-side feedback controller for one task's spatial density.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_core::adaptive::{AdaptiveConfig, AdaptiveController};
+/// use senseaid_core::TaskId;
+///
+/// let mut ctl = AdaptiveController::new(TaskId(1), 2, AdaptiveConfig::default());
+/// assert_eq!(ctl.current_density(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveController {
+    task: TaskId,
+    config: AdaptiveConfig,
+    current_density: usize,
+    buffer: Vec<f64>,
+    adjustments: Vec<Adjustment>,
+    window_history: Vec<(SimTime, f64)>,
+}
+
+impl AdaptiveController {
+    /// Creates a controller for `task`, currently at `initial_density`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`AdaptiveConfig::validate`].
+    pub fn new(task: TaskId, initial_density: usize, config: AdaptiveConfig) -> Self {
+        config.validate();
+        AdaptiveController {
+            task,
+            config,
+            current_density: initial_density.clamp(config.min_density, config.max_density),
+            buffer: Vec::new(),
+            adjustments: Vec::new(),
+            window_history: Vec::new(),
+        }
+    }
+
+    /// The controlled task.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// The density the controller currently wants.
+    pub fn current_density(&self) -> usize {
+        self.current_density
+    }
+
+    /// Every adjustment made so far.
+    pub fn adjustments(&self) -> &[Adjustment] {
+        &self.adjustments
+    }
+
+    /// Every evaluated window as `(when, spread)` — the controller's raw
+    /// view of the field.
+    pub fn window_history(&self) -> &[(SimTime, f64)] {
+        &self.window_history
+    }
+
+    /// Feeds one delivered reading. Returns the new density when a full
+    /// window has been evaluated and the controller wants a change — the
+    /// caller then pushes it to the server via `update_task_param`.
+    pub fn observe(&mut self, reading: &DeliveredReading, now: SimTime) -> Option<usize> {
+        if reading.task != self.task {
+            return None;
+        }
+        self.buffer.push(reading.value);
+        if self.buffer.len() < self.config.window.max(self.current_density) {
+            return None;
+        }
+        let spread = self.buffer.iter().copied().fold(f64::MIN, f64::max)
+            - self.buffer.iter().copied().fold(f64::MAX, f64::min);
+        self.buffer.clear();
+        self.window_history.push((now, spread));
+
+        let wanted = if spread > self.config.high_spread {
+            // Escalate hard: double toward the ceiling so a fast-moving
+            // front is resolved within one round.
+            (self.current_density * 2).min(self.config.max_density)
+        } else if spread < self.config.low_spread {
+            (self.current_density - 1).max(self.config.min_density)
+        } else {
+            self.current_density
+        };
+        if wanted != self.current_density {
+            self.current_density = wanted;
+            self.adjustments.push(Adjustment {
+                at: now,
+                spread,
+                density: wanted,
+            });
+            Some(wanted)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_device::Sensor;
+    use senseaid_geo::GeoPoint;
+
+    fn reading(task: TaskId, value: f64, at: SimTime) -> DeliveredReading {
+        DeliveredReading {
+            task,
+            request: crate::request::RequestId(1),
+            sensor: Sensor::Barometer,
+            value,
+            taken_at: at,
+            region_centre: GeoPoint::new(40.0, -86.0),
+            cell: None,
+            device_pseudonym: 1,
+        }
+    }
+
+    fn controller() -> AdaptiveController {
+        AdaptiveController::new(TaskId(1), 2, AdaptiveConfig::default())
+    }
+
+    #[test]
+    fn calm_windows_shrink_density_to_floor() {
+        let mut ctl = AdaptiveController::new(
+            TaskId(1),
+            4,
+            AdaptiveConfig {
+                min_density: 2,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let mut changes = Vec::new();
+        for round in 0..8u64 {
+            let t = SimTime::from_mins(round * 5);
+            // Four near-identical readings per round.
+            for k in 0..4 {
+                if let Some(d) = ctl.observe(&reading(TaskId(1), 1010.0 + 0.01 * k as f64, t), t)
+                {
+                    changes.push(d);
+                }
+            }
+        }
+        assert_eq!(ctl.current_density(), 2, "decayed to the floor");
+        assert_eq!(changes, vec![3, 2]);
+    }
+
+    #[test]
+    fn stormy_window_escalates_density() {
+        let mut ctl = controller();
+        let t = SimTime::from_mins(10);
+        // A window whose readings sit 3 hPa apart: a front is crossing.
+        for v in [1010.0, 1010.1, 1007.1] {
+            assert_eq!(ctl.observe(&reading(TaskId(1), v, t), t), None);
+        }
+        let change = ctl.observe(&reading(TaskId(1), 1007.0, t), t);
+        assert_eq!(change, Some(4), "density doubles");
+        assert_eq!(ctl.adjustments().len(), 1);
+        assert!(ctl.adjustments()[0].spread > 2.9);
+        assert_eq!(ctl.window_history().len(), 1);
+    }
+
+    #[test]
+    fn escalation_saturates_at_ceiling() {
+        let mut ctl = controller();
+        for round in 0..8u64 {
+            let t = SimTime::from_mins(round * 5);
+            let n = ctl.current_density().max(4);
+            for k in 0..n {
+                // Always wide spread.
+                ctl.observe(&reading(TaskId(1), 1005.0 + 3.0 * (k % 2) as f64, t), t);
+            }
+        }
+        assert_eq!(ctl.current_density(), AdaptiveConfig::default().max_density);
+    }
+
+    #[test]
+    fn moderate_spread_holds_steady() {
+        let mut ctl = controller();
+        let t = SimTime::from_mins(5);
+        // 0.6 hPa window spread: between the two thresholds.
+        for v in [1010.0, 1010.2, 1010.4] {
+            ctl.observe(&reading(TaskId(1), v, t), t);
+        }
+        let change = ctl.observe(&reading(TaskId(1), 1010.6, t), t);
+        assert_eq!(change, None);
+        assert_eq!(ctl.current_density(), 2);
+        assert_eq!(ctl.window_history().len(), 1);
+    }
+
+    #[test]
+    fn ignores_other_tasks() {
+        let mut ctl = controller();
+        let t = SimTime::from_mins(5);
+        for _ in 0..10 {
+            assert_eq!(ctl.observe(&reading(TaskId(9), 1000.0, t), t), None);
+        }
+        assert_eq!(ctl.current_density(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "density bounds inverted")]
+    fn validates_config() {
+        let _ = AdaptiveController::new(
+            TaskId(1),
+            2,
+            AdaptiveConfig {
+                min_density: 5,
+                max_density: 3,
+                ..AdaptiveConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! The crowdsensing-application-server (CAS) library (paper §3.4).
+//!
+//! An application links against [`AppServer`] and uses the four calls the
+//! paper defines: `task()` (create), `update_task_param()`,
+//! `delete_task()`, and the `receive_sensed_data()` callback. Multiple
+//! CASes can share one Sense-Aid server; each sees only privacy-scrubbed
+//! readings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_cellnet::CellId;
+use senseaid_device::Sensor;
+use senseaid_geo::{CircleRegion, GeoPoint};
+use senseaid_sim::{SimDuration, SimTime};
+
+use crate::error::SenseAidError;
+use crate::request::RequestId;
+use crate::server::SenseAidServer;
+use crate::task::{TaskId, TaskSpec};
+
+/// Identifier of one crowdsensing application server.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct CasId(pub u64);
+
+impl fmt::Display for CasId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cas{}", self.0)
+    }
+}
+
+/// A privacy-scrubbed reading as delivered to a CAS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveredReading {
+    /// The owning task.
+    pub task: TaskId,
+    /// The request this fulfils.
+    pub request: RequestId,
+    /// The sensor sampled.
+    pub sensor: Sensor,
+    /// The sensed value.
+    pub value: f64,
+    /// When the sample was taken.
+    pub taken_at: SimTime,
+    /// The task region's centre (the CAS never sees device positions).
+    pub region_centre: GeoPoint,
+    /// The serving cell, if known (tower granularity).
+    pub cell: Option<CellId>,
+    /// Per-CAS stable pseudonym of the reporting device.
+    pub device_pseudonym: u64,
+}
+
+/// A crowdsensing application server.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_core::{AppServer, SenseAidConfig, SenseAidServer};
+/// use senseaid_core::cas::CasId;
+/// use senseaid_device::Sensor;
+/// use senseaid_geo::{CircleRegion, GeoPoint};
+/// use senseaid_sim::{SimDuration, SimTime};
+///
+/// let mut server = SenseAidServer::new(SenseAidConfig::default());
+/// let mut app = AppServer::new(CasId(1), "pressure-map");
+/// let task = app
+///     .task(Sensor::Barometer)
+///     .region(CircleRegion::new(GeoPoint::new(40.4284, -86.9138), 500.0))
+///     .sampling_period(SimDuration::from_mins(5))
+///     .sampling_duration(SimDuration::from_mins(90))
+///     .spatial_density(2)
+///     .submit(&mut server, SimTime::ZERO)?;
+/// assert!(app.owns_task(task));
+/// # Ok::<(), senseaid_core::SenseAidError>(())
+/// ```
+#[derive(Debug)]
+pub struct AppServer {
+    id: CasId,
+    name: String,
+    owned_tasks: Vec<TaskId>,
+    received: Vec<DeliveredReading>,
+}
+
+impl AppServer {
+    /// Creates an application server.
+    pub fn new(id: CasId, name: impl Into<String>) -> Self {
+        AppServer {
+            id,
+            name: name.into(),
+            owned_tasks: Vec::new(),
+            received: Vec::new(),
+        }
+    }
+
+    /// The CAS id.
+    pub fn id(&self) -> CasId {
+        self.id
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Starts describing a new task — the paper's `task()` API call.
+    pub fn task(&mut self, sensor: Sensor) -> CasTaskBuilder<'_> {
+        CasTaskBuilder {
+            app: self,
+            inner: TaskSpec::builder(sensor),
+        }
+    }
+
+    /// The paper's `update_task_param()` API call.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownTask`] if this CAS does not own `task`, or
+    /// the underlying update fails validation.
+    pub fn update_task_param(
+        &mut self,
+        server: &mut SenseAidServer,
+        task: TaskId,
+        spatial_density: Option<usize>,
+        sampling_period: Option<SimDuration>,
+        region: Option<CircleRegion>,
+        now: SimTime,
+    ) -> Result<(), SenseAidError> {
+        if !self.owns_task(task) {
+            return Err(SenseAidError::UnknownTask(task));
+        }
+        server.update_task_param(task, spatial_density, sampling_period, region, now)
+    }
+
+    /// The paper's `delete_task()` API call.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownTask`] if this CAS does not own `task`.
+    pub fn delete_task(
+        &mut self,
+        server: &mut SenseAidServer,
+        task: TaskId,
+    ) -> Result<(), SenseAidError> {
+        if !self.owns_task(task) {
+            return Err(SenseAidError::UnknownTask(task));
+        }
+        server.delete_task(task)?;
+        self.owned_tasks.retain(|t| *t != task);
+        Ok(())
+    }
+
+    /// The paper's `receive_sensed_data()` callback; invoked by the
+    /// delivery loop for each scrubbed reading.
+    pub fn receive_sensed_data(&mut self, reading: DeliveredReading) {
+        self.received.push(reading);
+    }
+
+    /// All readings received so far, in delivery order.
+    pub fn received(&self) -> &[DeliveredReading] {
+        &self.received
+    }
+
+    /// Readings received for one task.
+    pub fn received_for(&self, task: TaskId) -> impl Iterator<Item = &DeliveredReading> {
+        self.received.iter().filter(move |r| r.task == task)
+    }
+
+    /// Whether this CAS created `task`.
+    pub fn owns_task(&self, task: TaskId) -> bool {
+        self.owned_tasks.contains(&task)
+    }
+
+    /// Tasks created by this CAS.
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.owned_tasks
+    }
+}
+
+/// Builder returned by [`AppServer::task`]; mirrors [`TaskSpec`]'s builder
+/// and submits straight to a Sense-Aid server.
+#[derive(Debug)]
+pub struct CasTaskBuilder<'a> {
+    app: &'a mut AppServer,
+    inner: crate::task::TaskSpecBuilder,
+}
+
+impl CasTaskBuilder<'_> {
+    /// Sets the area of interest (required).
+    pub fn region(mut self, region: CircleRegion) -> Self {
+        self.inner = self.inner.region(region);
+        self
+    }
+
+    /// Sets the minimum number of reporting devices.
+    pub fn spatial_density(mut self, n: usize) -> Self {
+        self.inner = self.inner.spatial_density(n);
+        self
+    }
+
+    /// Sets the sampling period.
+    pub fn sampling_period(mut self, period: SimDuration) -> Self {
+        self.inner = self.inner.sampling_period(period);
+        self
+    }
+
+    /// Runs for `duration` starting at submission.
+    pub fn sampling_duration(mut self, duration: SimDuration) -> Self {
+        self.inner = self.inner.sampling_duration(duration);
+        self
+    }
+
+    /// Runs inside an explicit window.
+    pub fn window(mut self, start: SimTime, end: SimTime) -> Self {
+        self.inner = self.inner.window(start, end);
+        self
+    }
+
+    /// Makes the task one-shot.
+    pub fn one_shot(mut self) -> Self {
+        self.inner = self.inner.one_shot();
+        self
+    }
+
+    /// Restricts to one device type.
+    pub fn device_type(mut self, device_type: impl Into<String>) -> Self {
+        self.inner = self.inner.device_type(device_type);
+        self
+    }
+
+    /// Validates the spec and submits it to `server`, recording ownership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and submission errors.
+    pub fn submit(
+        self,
+        server: &mut SenseAidServer,
+        now: SimTime,
+    ) -> Result<TaskId, SenseAidError> {
+        let spec = self.inner.build()?;
+        let id = server.submit_task_for(self.app.id, spec, now)?;
+        self.app.owned_tasks.push(id);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SenseAidConfig;
+
+    fn region() -> CircleRegion {
+        CircleRegion::new(GeoPoint::new(40.4284, -86.9138), 500.0)
+    }
+
+    #[test]
+    fn submit_records_ownership() {
+        let mut server = SenseAidServer::new(SenseAidConfig::default());
+        let mut app = AppServer::new(CasId(7), "noise-map");
+        let id = app
+            .task(Sensor::Microphone)
+            .region(region())
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .submit(&mut server, SimTime::ZERO)
+            .unwrap();
+        assert!(app.owns_task(id));
+        assert_eq!(app.tasks(), &[id]);
+        assert_eq!(app.name(), "noise-map");
+    }
+
+    #[test]
+    fn cannot_touch_foreign_tasks() {
+        let mut server = SenseAidServer::new(SenseAidConfig::default());
+        let mut owner = AppServer::new(CasId(1), "owner");
+        let mut outsider = AppServer::new(CasId(2), "outsider");
+        let id = owner
+            .task(Sensor::Barometer)
+            .region(region())
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .submit(&mut server, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(
+            outsider.delete_task(&mut server, id),
+            Err(SenseAidError::UnknownTask(id))
+        );
+        assert_eq!(
+            outsider.update_task_param(&mut server, id, Some(5), None, None, SimTime::ZERO),
+            Err(SenseAidError::UnknownTask(id))
+        );
+        // The owner can.
+        assert!(owner.delete_task(&mut server, id).is_ok());
+        assert!(!owner.owns_task(id));
+    }
+
+    #[test]
+    fn receive_accumulates_in_order() {
+        let mut app = AppServer::new(CasId(1), "x");
+        for i in 0..3 {
+            app.receive_sensed_data(DeliveredReading {
+                task: TaskId(1),
+                request: RequestId(i),
+                sensor: Sensor::Barometer,
+                value: 1000.0 + i as f64,
+                taken_at: SimTime::from_mins(i),
+                region_centre: GeoPoint::new(40.0, -86.0),
+                cell: None,
+                device_pseudonym: 9,
+            });
+        }
+        assert_eq!(app.received().len(), 3);
+        assert_eq!(app.received_for(TaskId(1)).count(), 3);
+        assert_eq!(app.received_for(TaskId(2)).count(), 0);
+        assert_eq!(app.received()[2].value, 1002.0);
+    }
+}

@@ -1,0 +1,491 @@
+//! The client-side library (paper §3.3).
+//!
+//! "Developing crowdsensing client application is rather simple using the
+//! APIs provided by Sense-Aid client side library": `register()`,
+//! `deregister()`, `update_preferences()`, `start_sensing()` and
+//! `send_sense_data()`. The client's one piece of intelligence is *when*
+//! to upload: it holds sensed data until the radio enters a tail (so the
+//! upload needs no IDLE→CONNECTED promotion) and only falls back to a
+//! forced cold upload at the request deadline.
+//!
+//! [`SenseAidClient`] is deliberately free of device ownership: it makes
+//! decisions from device observations the caller passes in, so the same
+//! logic drives simulated devices here and would drive a real handset
+//! unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::{ImeiHash, Sensor, SensorReading, UserPreferences};
+use senseaid_radio::ResetPolicy;
+use senseaid_sim::{SimDuration, SimTime};
+
+use crate::request::RequestId;
+use crate::server::Assignment;
+
+/// Client registration state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClientState {
+    /// Not part of any campaign.
+    Unregistered,
+    /// Signed up and serving assignments.
+    Registered,
+}
+
+/// What the client should do about its pending data right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UploadDecision {
+    /// Nothing pending, or it is not time yet.
+    Wait,
+    /// The radio is in its tail: upload now, promotion-free.
+    UploadInTail,
+    /// The deadline is here and no tail appeared: upload cold.
+    UploadAtDeadline,
+}
+
+/// One sensing duty the client has accepted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingDuty {
+    /// The request to fulfil.
+    pub request: RequestId,
+    /// Sensor to sample.
+    pub sensor: Sensor,
+    /// When to sample.
+    pub sample_at: SimTime,
+    /// Upload deadline.
+    pub deadline: SimTime,
+    /// Payload size for the upload.
+    pub payload_bytes: u64,
+    /// Tail policy for the upload.
+    pub reset_policy: ResetPolicy,
+    /// The reading, once taken.
+    pub reading: Option<SensorReading>,
+}
+
+/// The per-device middleware.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_core::{ClientState, SenseAidClient};
+/// use senseaid_device::{ImeiHash, UserPreferences};
+///
+/// let mut client = SenseAidClient::new(ImeiHash(42));
+/// assert_eq!(client.state(), ClientState::Unregistered);
+/// client.register(UserPreferences::default());
+/// assert_eq!(client.state(), ClientState::Registered);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SenseAidClient {
+    imei: ImeiHash,
+    state: ClientState,
+    prefs: UserPreferences,
+    duties: Vec<PendingDuty>,
+    /// Minimum tail time that must remain for an in-tail upload to be
+    /// worth starting (the upload itself takes ~100 ms).
+    min_tail_window: SimDuration,
+    /// The device clock's offset from true simulated time, microseconds
+    /// (positive = fast). The paper (§6) notes client/server clock
+    /// desynchronisation as an error source; the client tolerates it
+    /// because the server's deadline grace absorbs small skews.
+    clock_skew_us: i64,
+    uploads_in_tail: u64,
+    uploads_at_deadline: u64,
+}
+
+impl SenseAidClient {
+    /// Creates an unregistered client for the device with this IMEI hash.
+    pub fn new(imei: ImeiHash) -> Self {
+        SenseAidClient {
+            imei,
+            state: ClientState::Unregistered,
+            prefs: UserPreferences::default(),
+            duties: Vec::new(),
+            min_tail_window: SimDuration::from_millis(500),
+            clock_skew_us: 0,
+            uploads_in_tail: 0,
+            uploads_at_deadline: 0,
+        }
+    }
+
+    /// Sets this device's clock offset from true time, microseconds
+    /// (positive = the device clock runs ahead). All of the client's
+    /// schedule comparisons use its own skewed clock.
+    pub fn set_clock_skew_us(&mut self, skew_us: i64) {
+        self.clock_skew_us = skew_us;
+    }
+
+    /// The configured clock skew, microseconds.
+    pub fn clock_skew_us(&self) -> i64 {
+        self.clock_skew_us
+    }
+
+    /// True time as this device's clock perceives it.
+    fn perceived(&self, now: SimTime) -> SimTime {
+        if self.clock_skew_us >= 0 {
+            now.saturating_add(SimDuration::from_micros(self.clock_skew_us as u64))
+        } else {
+            let back = SimDuration::from_micros(self.clock_skew_us.unsigned_abs());
+            SimTime::from_micros(now.as_micros().saturating_sub(back.as_micros()))
+        }
+    }
+
+    /// The device identity this client speaks for.
+    pub fn imei(&self) -> ImeiHash {
+        self.imei
+    }
+
+    /// Overrides the minimum remaining tail time required before an
+    /// in-tail upload is attempted (default 500 ms). The tail-inference
+    /// ablation sweeps this: a conservative window misses upload chances,
+    /// an aggressive one risks starting uploads the tail cannot finish.
+    pub fn set_min_tail_window(&mut self, window: SimDuration) {
+        self.min_tail_window = window;
+    }
+
+    /// The current minimum tail window.
+    pub fn min_tail_window(&self) -> SimDuration {
+        self.min_tail_window
+    }
+
+    /// Registration state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// Current preferences.
+    pub fn prefs(&self) -> UserPreferences {
+        self.prefs
+    }
+
+    /// The paper's `register()` call: joins the campaign with the given
+    /// preferences.
+    pub fn register(&mut self, prefs: UserPreferences) {
+        self.prefs = prefs;
+        self.state = ClientState::Registered;
+    }
+
+    /// The paper's `deregister()` call: leaves the campaign and drops any
+    /// pending duties.
+    pub fn deregister(&mut self) {
+        self.state = ClientState::Unregistered;
+        self.duties.clear();
+    }
+
+    /// The paper's `update_preferences()` call.
+    pub fn update_preferences(&mut self, prefs: UserPreferences) {
+        self.prefs = prefs;
+    }
+
+    /// The paper's `start_sensing()` entry point: accepts an assignment
+    /// addressed to this device. Returns `false` (and ignores it) when the
+    /// client is unregistered or the assignment is not for this device.
+    pub fn start_sensing(&mut self, assignment: &Assignment) -> bool {
+        if self.state != ClientState::Registered
+            || !assignment.devices.contains(&self.imei)
+        {
+            return false;
+        }
+        self.duties.push(PendingDuty {
+            request: assignment.request,
+            sensor: assignment.sensor,
+            sample_at: assignment.sample_at,
+            deadline: assignment.deadline,
+            payload_bytes: assignment.payload_bytes,
+            reset_policy: assignment.reset_policy,
+            reading: None,
+        });
+        true
+    }
+
+    /// Duties whose sampling instant has arrived (by this device's clock)
+    /// but whose sample was not yet taken.
+    pub fn due_samples(&self, now: SimTime) -> Vec<RequestId> {
+        let local = self.perceived(now);
+        self.duties
+            .iter()
+            .filter(|d| d.reading.is_none() && d.sample_at <= local)
+            .map(|d| d.request)
+            .collect()
+    }
+
+    /// Stores a taken sample against its duty. Returns `false` for an
+    /// unknown request.
+    pub fn record_sample(&mut self, request: RequestId, reading: SensorReading) -> bool {
+        match self.duties.iter_mut().find(|d| d.request == request) {
+            Some(duty) => {
+                duty.reading = Some(reading);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether any sampled data is waiting to be uploaded.
+    pub fn has_pending_upload(&self) -> bool {
+        self.duties.iter().any(|d| d.reading.is_some())
+    }
+
+    /// The earliest deadline among duties holding data.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.duties
+            .iter()
+            .filter(|d| d.reading.is_some())
+            .map(|d| d.deadline)
+            .min()
+    }
+
+    /// The upload decision at `now`, given the radio's tail state.
+    ///
+    /// This is the client's core policy (paper §2.2/§4): wait for a tail;
+    /// if the deadline arrives first, upload cold.
+    pub fn upload_decision(
+        &self,
+        now: SimTime,
+        in_tail: bool,
+        tail_remaining: SimDuration,
+    ) -> UploadDecision {
+        if !self.has_pending_upload() {
+            return UploadDecision::Wait;
+        }
+        if in_tail && tail_remaining >= self.min_tail_window {
+            return UploadDecision::UploadInTail;
+        }
+        let deadline = self.next_deadline().expect("pending upload implies deadline");
+        if self.perceived(now) >= deadline {
+            UploadDecision::UploadAtDeadline
+        } else {
+            UploadDecision::Wait
+        }
+    }
+
+    /// The paper's `send_sense_data()` call: removes and returns every
+    /// duty holding data, for the caller to push through the radio and on
+    /// to the server. `decision` is recorded for the tail-hit statistics.
+    pub fn send_sense_data(&mut self, decision: UploadDecision) -> Vec<PendingDuty> {
+        match decision {
+            UploadDecision::Wait => return Vec::new(),
+            UploadDecision::UploadInTail => self.uploads_in_tail += 1,
+            UploadDecision::UploadAtDeadline => self.uploads_at_deadline += 1,
+        }
+        let (ready, rest): (Vec<PendingDuty>, Vec<PendingDuty>) = self
+            .duties
+            .drain(..)
+            .partition(|d| d.reading.is_some());
+        self.duties = rest;
+        ready
+    }
+
+    /// Drops duties whose deadline passed without data (the sample never
+    /// happened, e.g. the device was off). Returns how many were dropped.
+    pub fn drop_expired(&mut self, now: SimTime) -> usize {
+        let before = self.duties.len();
+        self.duties.retain(|d| d.deadline > now || d.reading.is_some());
+        before - self.duties.len()
+    }
+
+    /// `(in-tail, at-deadline)` upload batch counts — the tail hit-rate
+    /// statistic.
+    pub fn upload_counts(&self) -> (u64, u64) {
+        (self.uploads_in_tail, self.uploads_at_deadline)
+    }
+
+    /// Number of outstanding duties (sampled or not).
+    pub fn duty_count(&self) -> usize {
+        self.duties.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+    use senseaid_geo::GeoPoint;
+
+    fn assignment(request: u64, imei: u64, sample_min: u64, deadline_min: u64) -> Assignment {
+        Assignment {
+            request: RequestId(request),
+            task: TaskId(1),
+            sensor: Sensor::Barometer,
+            sample_at: SimTime::from_mins(sample_min),
+            deadline: SimTime::from_mins(deadline_min),
+            devices: vec![ImeiHash(imei)],
+            payload_bytes: 600,
+            reset_policy: ResetPolicy::NoReset,
+        }
+    }
+
+    fn reading(at: SimTime) -> SensorReading {
+        SensorReading {
+            sensor: Sensor::Barometer,
+            value: 1009.0,
+            taken_at: at,
+            position: GeoPoint::new(40.0, -86.0),
+        }
+    }
+
+    fn registered_client() -> SenseAidClient {
+        let mut c = SenseAidClient::new(ImeiHash(7));
+        c.register(UserPreferences::default());
+        c
+    }
+
+    #[test]
+    fn lifecycle_register_deregister() {
+        let mut c = SenseAidClient::new(ImeiHash(7));
+        assert_eq!(c.state(), ClientState::Unregistered);
+        assert!(!c.start_sensing(&assignment(1, 7, 0, 10)), "unregistered clients refuse work");
+        c.register(UserPreferences::default());
+        assert!(c.start_sensing(&assignment(1, 7, 0, 10)));
+        assert_eq!(c.duty_count(), 1);
+        c.deregister();
+        assert_eq!(c.duty_count(), 0, "deregistering drops duties");
+    }
+
+    #[test]
+    fn rejects_assignments_for_other_devices() {
+        let mut c = registered_client();
+        assert!(!c.start_sensing(&assignment(1, 99, 0, 10)));
+        assert_eq!(c.duty_count(), 0);
+    }
+
+    #[test]
+    fn due_samples_respect_sample_time() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 5, 15));
+        assert!(c.due_samples(SimTime::from_mins(4)).is_empty());
+        assert_eq!(c.due_samples(SimTime::from_mins(5)), vec![RequestId(1)]);
+        c.record_sample(RequestId(1), reading(SimTime::from_mins(5)));
+        assert!(c.due_samples(SimTime::from_mins(6)).is_empty(), "already sampled");
+    }
+
+    #[test]
+    fn upload_waits_for_tail_then_uses_it() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 10));
+        c.record_sample(RequestId(1), reading(SimTime::ZERO));
+        // No tail, deadline far: wait.
+        assert_eq!(
+            c.upload_decision(SimTime::from_mins(1), false, SimDuration::ZERO),
+            UploadDecision::Wait
+        );
+        // Tail with plenty of window: upload.
+        assert_eq!(
+            c.upload_decision(SimTime::from_mins(2), true, SimDuration::from_secs(8)),
+            UploadDecision::UploadInTail
+        );
+        // Tail but nearly over: not worth it.
+        assert_eq!(
+            c.upload_decision(SimTime::from_mins(2), true, SimDuration::from_millis(100)),
+            UploadDecision::Wait
+        );
+        // Deadline reached without tail: forced cold upload.
+        assert_eq!(
+            c.upload_decision(SimTime::from_mins(10), false, SimDuration::ZERO),
+            UploadDecision::UploadAtDeadline
+        );
+    }
+
+    #[test]
+    fn send_sense_data_drains_only_sampled_duties() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 10));
+        c.start_sensing(&assignment(2, 7, 5, 15));
+        c.record_sample(RequestId(1), reading(SimTime::ZERO));
+        let sent = c.send_sense_data(UploadDecision::UploadInTail);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].request, RequestId(1));
+        assert_eq!(c.duty_count(), 1, "the unsampled duty remains");
+        assert_eq!(c.upload_counts(), (1, 0));
+    }
+
+    #[test]
+    fn send_sense_data_with_wait_is_a_no_op() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 10));
+        c.record_sample(RequestId(1), reading(SimTime::ZERO));
+        assert!(c.send_sense_data(UploadDecision::Wait).is_empty());
+        assert!(c.has_pending_upload());
+    }
+
+    #[test]
+    fn batching_multiple_readings_in_one_tail() {
+        let mut c = registered_client();
+        // Two concurrent tasks sampled; one tail flushes both (the Exp 3
+        // multi-task batching behaviour).
+        c.start_sensing(&assignment(1, 7, 0, 10));
+        c.start_sensing(&assignment(2, 7, 0, 12));
+        c.record_sample(RequestId(1), reading(SimTime::ZERO));
+        c.record_sample(RequestId(2), reading(SimTime::ZERO));
+        let sent = c.send_sense_data(UploadDecision::UploadInTail);
+        assert_eq!(sent.len(), 2);
+        assert_eq!(c.upload_counts(), (1, 0), "one batch, two readings");
+    }
+
+    #[test]
+    fn drop_expired_removes_unsampled_overdue_duties() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 5));
+        c.start_sensing(&assignment(2, 7, 0, 20));
+        assert_eq!(c.drop_expired(SimTime::from_mins(6)), 1);
+        assert_eq!(c.duty_count(), 1);
+    }
+
+    #[test]
+    fn record_sample_for_unknown_request_is_false() {
+        let mut c = registered_client();
+        assert!(!c.record_sample(RequestId(9), reading(SimTime::ZERO)));
+    }
+
+    #[test]
+    fn no_pending_upload_always_waits() {
+        let c = registered_client();
+        assert_eq!(
+            c.upload_decision(SimTime::from_mins(99), true, SimDuration::from_secs(10)),
+            UploadDecision::Wait
+        );
+    }
+
+    #[test]
+    fn fast_clock_samples_and_uploads_early() {
+        let mut c = registered_client();
+        c.set_clock_skew_us(30_000_000); // 30 s fast
+        c.start_sensing(&assignment(1, 7, 5, 10));
+        // True time 4:40, device thinks 5:10 → due.
+        assert_eq!(
+            c.due_samples(SimTime::from_secs(280)),
+            vec![RequestId(1)]
+        );
+        c.record_sample(RequestId(1), reading(SimTime::from_secs(280)));
+        // True 9:40, device thinks 10:10 → deadline forced.
+        assert_eq!(
+            c.upload_decision(SimTime::from_secs(580), false, SimDuration::ZERO),
+            UploadDecision::UploadAtDeadline
+        );
+    }
+
+    #[test]
+    fn slow_clock_samples_late_but_still_works() {
+        let mut c = registered_client();
+        c.set_clock_skew_us(-30_000_000); // 30 s slow
+        assert_eq!(c.clock_skew_us(), -30_000_000);
+        c.start_sensing(&assignment(1, 7, 5, 10));
+        assert!(c.due_samples(SimTime::from_mins(5)).is_empty(), "clock lags");
+        assert_eq!(
+            c.due_samples(SimTime::from_secs(330)),
+            vec![RequestId(1)],
+            "due once the lagging clock reaches the instant"
+        );
+    }
+
+    #[test]
+    fn update_preferences_changes_prefs() {
+        let mut c = registered_client();
+        let new = UserPreferences {
+            energy_budget_j: 100.0,
+            critical_battery_pct: 30.0,
+            participating: true,
+        };
+        c.update_preferences(new);
+        assert_eq!(c.prefs().energy_budget_j, 100.0);
+    }
+}

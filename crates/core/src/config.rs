@@ -1,0 +1,112 @@
+//! Middleware configuration.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_radio::ResetPolicy;
+use senseaid_sim::SimDuration;
+
+use crate::selector::{HardCutoffs, SelectorWeights};
+
+/// Which deployment variant of Sense-Aid runs (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Crowdsensing uploads in the tail reset the tail timer — the
+    /// behaviour available without carrier cooperation.
+    Basic,
+    /// The carrier suppresses the tail-timer reset for crowdsensing
+    /// uploads; the radio demotes exactly when it would have anyway.
+    Complete,
+}
+
+impl Variant {
+    /// The radio tail policy this variant's crowdsensing uploads use.
+    pub fn reset_policy(self) -> ResetPolicy {
+        match self {
+            Variant::Basic => ResetPolicy::Reset,
+            Variant::Complete => ResetPolicy::NoReset,
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::Basic => f.write_str("Sense-Aid Basic"),
+            Variant::Complete => f.write_str("Sense-Aid Complete"),
+        }
+    }
+}
+
+/// Full middleware configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SenseAidConfig {
+    /// Deployment variant.
+    pub variant: Variant,
+    /// Device-selector scoring weights (α, β, γ, φ).
+    pub weights: SelectorWeights,
+    /// Device-selector hard cutoffs.
+    pub cutoffs: HardCutoffs,
+    /// Crowdsensing upload payload size (the study measured ~600 bytes).
+    pub payload_bytes: u64,
+    /// How often the wait queue is re-checked for now-satisfiable requests
+    /// (Algorithm 1's `wait_check_thread`).
+    pub wait_check_interval: SimDuration,
+    /// How long past its deadline an assigned device may stay silent
+    /// before it is marked unresponsive and excluded from selection.
+    pub unresponsive_grace: SimDuration,
+}
+
+impl Default for SenseAidConfig {
+    fn default() -> Self {
+        SenseAidConfig {
+            variant: Variant::Complete,
+            weights: SelectorWeights::default(),
+            cutoffs: HardCutoffs::default(),
+            payload_bytes: 600,
+            wait_check_interval: SimDuration::from_secs(30),
+            unresponsive_grace: SimDuration::from_mins(2),
+        }
+    }
+}
+
+impl SenseAidConfig {
+    /// The default configuration with the given variant.
+    pub fn with_variant(variant: Variant) -> Self {
+        SenseAidConfig {
+            variant,
+            ..SenseAidConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_maps_to_reset_policy() {
+        assert_eq!(Variant::Basic.reset_policy(), ResetPolicy::Reset);
+        assert_eq!(Variant::Complete.reset_policy(), ResetPolicy::NoReset);
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = SenseAidConfig::default();
+        assert_eq!(c.payload_bytes, 600);
+        assert!(!c.wait_check_interval.is_zero());
+        assert_eq!(c.variant, Variant::Complete);
+    }
+
+    #[test]
+    fn with_variant_overrides_only_variant() {
+        let c = SenseAidConfig::with_variant(Variant::Basic);
+        assert_eq!(c.variant, Variant::Basic);
+        assert_eq!(c.payload_bytes, SenseAidConfig::default().payload_bytes);
+    }
+
+    #[test]
+    fn variant_display() {
+        assert_eq!(Variant::Basic.to_string(), "Sense-Aid Basic");
+        assert_eq!(Variant::Complete.to_string(), "Sense-Aid Complete");
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the middleware.
+
+use std::fmt;
+
+use senseaid_device::{ImeiHash, Sensor};
+
+use crate::request::RequestId;
+use crate::task::TaskId;
+
+/// Everything that can go wrong inside the Sense-Aid middleware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SenseAidError {
+    /// A task specification failed validation.
+    InvalidTask(String),
+    /// An operation referenced a task the server does not know.
+    UnknownTask(TaskId),
+    /// An operation referenced a request the server does not know.
+    UnknownRequest(RequestId),
+    /// An operation referenced a device that never registered (or has
+    /// deregistered).
+    UnknownDevice(ImeiHash),
+    /// A device submitted data for a request it was not assigned.
+    NotAssigned(ImeiHash, RequestId),
+    /// A sensed value failed plausibility validation.
+    InvalidReading {
+        /// The sensor the implausible value claims to come from.
+        sensor: Sensor,
+        /// The offending value.
+        value: f64,
+    },
+    /// The Sense-Aid server is down (crashed); fail-safe routing applies.
+    ServerUnavailable,
+}
+
+impl fmt::Display for SenseAidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SenseAidError::InvalidTask(reason) => write!(f, "invalid task: {reason}"),
+            SenseAidError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            SenseAidError::UnknownRequest(id) => write!(f, "unknown request {id}"),
+            SenseAidError::UnknownDevice(h) => write!(f, "unknown device {h}"),
+            SenseAidError::NotAssigned(h, r) => {
+                write!(f, "device {h} was not assigned request {r}")
+            }
+            SenseAidError::InvalidReading { sensor, value } => {
+                write!(f, "implausible {sensor} reading {value}")
+            }
+            SenseAidError::ServerUnavailable => f.write_str("sense-aid server unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for SenseAidError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SenseAidError::InvalidTask("no region".into()).to_string(),
+            "invalid task: no region"
+        );
+        assert_eq!(
+            SenseAidError::UnknownTask(TaskId(3)).to_string(),
+            "unknown task task3"
+        );
+        assert!(SenseAidError::InvalidReading {
+            sensor: Sensor::Barometer,
+            value: -5.0
+        }
+        .to_string()
+        .contains("barometer"));
+        assert_eq!(
+            SenseAidError::ServerUnavailable.to_string(),
+            "sense-aid server unavailable"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<SenseAidError>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Privacy filtering at the Sense-Aid server.
+//!
+//! The paper routes crowdsensing data *through* the Sense-Aid server
+//! rather than directly to the application server precisely "to maintain
+//! user privacy by filtering out private information" (§3.2): "No
+//! per-device data (such as, IMEI number) need to be made visible to the
+//! crowdsensing application server" (§6).
+//!
+//! [`scrub`] converts a raw reading + device identity into the
+//! [`DeliveredReading`] a CAS receives: value, timing, the *task's* region
+//! and serving cell — and a per-CAS pseudonym that is stable (so the CAS
+//! can de-duplicate a device's readings) but unlinkable across CASes and
+//! to the IMEI hash.
+
+use senseaid_cellnet::CellId;
+use senseaid_device::{ImeiHash, SensorReading};
+
+use crate::cas::{CasId, DeliveredReading};
+use crate::request::Request;
+
+/// Derives the pseudonym a CAS sees for a device: a keyed hash of the IMEI
+/// hash under the CAS id, so two CASes cannot correlate devices and the
+/// IMEI hash itself never leaves the middleware.
+pub fn pseudonym(imei: ImeiHash, cas: CasId) -> u64 {
+    // splitmix64 over (imei ⊕ rotated cas-key).
+    let mut z = imei.0 ^ (cas.0).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Produces the privacy-scrubbed record delivered to the CAS that owns
+/// `request`'s task.
+pub fn scrub(
+    reading: &SensorReading,
+    imei: ImeiHash,
+    request: &Request,
+    cell: Option<CellId>,
+    cas: CasId,
+) -> DeliveredReading {
+    DeliveredReading {
+        task: request.task(),
+        request: request.id(),
+        sensor: reading.sensor,
+        value: reading.value,
+        taken_at: reading.taken_at,
+        // Location is degraded to the task's own region centre + the
+        // serving cell — never the device's precise position.
+        region_centre: request.region().centre(),
+        cell,
+        device_pseudonym: pseudonym(imei, cas),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use crate::task::{TaskId, TaskSpec};
+    use senseaid_device::Sensor;
+    use senseaid_geo::{CircleRegion, GeoPoint};
+    use senseaid_sim::{SimDuration, SimTime};
+
+    fn request() -> Request {
+        let spec = TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(GeoPoint::new(40.4284, -86.9138), 500.0))
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap();
+        Request::new(
+            RequestId(4),
+            TaskId(2),
+            spec,
+            SimTime::from_mins(5),
+            SimTime::from_mins(10),
+        )
+    }
+
+    fn reading() -> SensorReading {
+        SensorReading {
+            sensor: Sensor::Barometer,
+            value: 1011.7,
+            taken_at: SimTime::from_mins(5),
+            // Precise position inside the region — must NOT be delivered.
+            position: GeoPoint::new(40.4284, -86.9138).offset_by_meters(123.0, -45.0),
+        }
+    }
+
+    #[test]
+    fn scrubbed_record_carries_no_identity() {
+        let imei = ImeiHash(0xfeed_f00d);
+        let out = scrub(&reading(), imei, &request(), Some(CellId(4)), CasId(1));
+        assert_ne!(out.device_pseudonym, imei.0, "pseudonym must differ from IMEI hash");
+        // Location is the region centre, not the device position.
+        assert!(
+            out.region_centre
+                .distance_to(request().region().centre())
+                .value()
+                < 1e-6
+        );
+        assert_ne!(
+            out.region_centre
+                .distance_to(reading().position)
+                .value(),
+            0.0,
+            "precise position must not leak"
+        );
+        assert_eq!(out.value, 1011.7);
+        assert_eq!(out.cell, Some(CellId(4)));
+    }
+
+    #[test]
+    fn pseudonym_is_stable_per_cas() {
+        let imei = ImeiHash(42);
+        assert_eq!(pseudonym(imei, CasId(1)), pseudonym(imei, CasId(1)));
+    }
+
+    #[test]
+    fn pseudonym_differs_across_cases_and_devices() {
+        let a = pseudonym(ImeiHash(42), CasId(1));
+        let b = pseudonym(ImeiHash(42), CasId(2));
+        let c = pseudonym(ImeiHash(43), CasId(1));
+        assert_ne!(a, b, "same device must be unlinkable across CASes");
+        assert_ne!(a, c, "different devices must differ");
+    }
+}

@@ -1,0 +1,222 @@
+//! Deadline-sorted run and wait queues (paper §3.2, Task Handler).
+//!
+//! Both queues hold [`Request`]s ordered by deadline (earliest first).
+//! Requests that cannot be satisfied right away (`n > N`: more devices
+//! requested than qualified) move to the wait queue, which is re-checked
+//! periodically (Algorithm 1's `wait_check_thread`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use senseaid_sim::SimTime;
+
+use crate::request::Request;
+
+/// Heap entry ordering requests by `(deadline, sample_at, id)`, earliest
+/// first.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest(pub Request);
+
+impl PartialEq for QueuedRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for QueuedRequest {}
+
+impl QueuedRequest {
+    fn key(&self) -> (SimTime, SimTime, u64) {
+        (self.0.deadline(), self.0.sample_at(), self.0.id().0)
+    }
+}
+
+impl PartialOrd for QueuedRequest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedRequest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on the key.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A deadline-sorted request queue.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_core::{RequestQueue, Request, RequestId, TaskId, TaskSpec};
+/// use senseaid_device::Sensor;
+/// use senseaid_geo::{CircleRegion, GeoPoint};
+/// use senseaid_sim::{SimDuration, SimTime};
+///
+/// # fn spec() -> TaskSpec {
+/// #     TaskSpec::builder(Sensor::Barometer)
+/// #         .region(CircleRegion::new(GeoPoint::new(40.0, -86.0), 500.0))
+/// #         .sampling_period(SimDuration::from_mins(5))
+/// #         .sampling_duration(SimDuration::from_mins(30))
+/// #         .build().unwrap()
+/// # }
+/// let mut q = RequestQueue::new();
+/// q.push(Request::new(RequestId(1), TaskId(1), spec(), SimTime::from_mins(10), SimTime::from_mins(15)));
+/// q.push(Request::new(RequestId(2), TaskId(1), spec(), SimTime::from_mins(1), SimTime::from_mins(6)));
+/// // Earliest deadline pops first.
+/// assert_eq!(q.pop().unwrap().id(), RequestId(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue {
+    heap: BinaryHeap<QueuedRequest>,
+}
+
+impl RequestQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        RequestQueue::default()
+    }
+
+    /// Inserts a request.
+    pub fn push(&mut self, request: Request) {
+        self.heap.push(QueuedRequest(request));
+    }
+
+    /// Removes and returns the earliest-deadline request.
+    pub fn pop(&mut self) -> Option<Request> {
+        self.heap.pop().map(|q| q.0)
+    }
+
+    /// The earliest-deadline request without removing it.
+    pub fn peek(&self) -> Option<&Request> {
+        self.heap.peek().map(|q| &q.0)
+    }
+
+    /// Pops the earliest request only if its sampling instant is due at
+    /// `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<Request> {
+        if self.peek().map(|r| r.sample_at() <= now).unwrap_or(false) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every request belonging to `task`, returning how many were
+    /// dropped (used by `delete_task`).
+    pub fn remove_task(&mut self, task: crate::task::TaskId) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<QueuedRequest> = self
+            .heap
+            .drain()
+            .filter(|q| q.0.task() != task)
+            .collect();
+        self.heap = kept.into();
+        before - self.heap.len()
+    }
+
+    /// Iterates over queued requests in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Request> {
+        self.heap.iter().map(|q| &q.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use crate::task::{TaskId, TaskSpec};
+    use senseaid_device::Sensor;
+    use senseaid_geo::{CircleRegion, GeoPoint};
+    use senseaid_sim::SimDuration;
+
+    fn spec() -> TaskSpec {
+        TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(GeoPoint::new(40.0, -86.0), 500.0))
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap()
+    }
+
+    fn req(id: u64, task: u64, sample_min: u64, deadline_min: u64) -> Request {
+        Request::new(
+            RequestId(id),
+            TaskId(task),
+            spec(),
+            SimTime::from_mins(sample_min),
+            SimTime::from_mins(deadline_min),
+        )
+    }
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut q = RequestQueue::new();
+        q.push(req(1, 1, 0, 30));
+        q.push(req(2, 1, 0, 10));
+        q.push(req(3, 1, 0, 20));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id().0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn equal_deadlines_break_ties_by_sample_then_id() {
+        let mut q = RequestQueue::new();
+        q.push(req(5, 1, 3, 10));
+        q.push(req(4, 1, 3, 10));
+        q.push(req(9, 1, 1, 10));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id().0).collect();
+        assert_eq!(order, vec![9, 4, 5]);
+    }
+
+    #[test]
+    fn pop_due_respects_sampling_instant() {
+        let mut q = RequestQueue::new();
+        q.push(req(1, 1, 10, 15));
+        assert!(q.pop_due(SimTime::from_mins(5)).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_due(SimTime::from_mins(10)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_task_drops_only_that_task() {
+        let mut q = RequestQueue::new();
+        q.push(req(1, 1, 0, 10));
+        q.push(req(2, 2, 0, 11));
+        q.push(req(3, 1, 0, 12));
+        let removed = q.remove_task(TaskId(1));
+        assert_eq!(removed, 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().id(), RequestId(2));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = RequestQueue::new();
+        q.push(req(1, 1, 0, 10));
+        assert_eq!(q.peek().unwrap().id(), RequestId(1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut q = RequestQueue::new();
+        q.push(req(1, 1, 0, 10));
+        q.push(req(2, 1, 0, 11));
+        let mut ids: Vec<u64> = q.iter().map(|r| r.id().0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Requests: the schedulable unit one task expands into.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::Sensor;
+use senseaid_geo::CircleRegion;
+use senseaid_sim::SimTime;
+
+use crate::task::{TaskId, TaskSpec};
+
+/// Identifier of one request.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// Lifecycle of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestStatus {
+    /// In the run queue, not yet scheduled onto devices.
+    Pending,
+    /// In the wait queue: not enough qualified devices right now.
+    Waiting,
+    /// Assigned to devices, data not all in yet.
+    Assigned,
+    /// Spatial density met before the deadline.
+    Fulfilled,
+    /// The deadline passed without the density being met.
+    Expired,
+    /// The owning task was deleted.
+    Cancelled,
+}
+
+/// One scheduled sampling instant of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    id: RequestId,
+    task: TaskId,
+    spec: TaskSpec,
+    sample_at: SimTime,
+    deadline: SimTime,
+}
+
+impl Request {
+    /// Creates a request. Used by [`TaskSpec::expand_requests`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is not after `sample_at`.
+    pub fn new(
+        id: RequestId,
+        task: TaskId,
+        spec: TaskSpec,
+        sample_at: SimTime,
+        deadline: SimTime,
+    ) -> Self {
+        assert!(
+            deadline > sample_at,
+            "request deadline {deadline} must be after sampling instant {sample_at}"
+        );
+        Request {
+            id,
+            task,
+            spec,
+            sample_at,
+            deadline,
+        }
+    }
+
+    /// The request id.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// The owning task.
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// The task spec snapshot this request was generated from.
+    pub fn spec(&self) -> &TaskSpec {
+        &self.spec
+    }
+
+    /// The sensor to sample.
+    pub fn sensor(&self) -> Sensor {
+        self.spec.sensor()
+    }
+
+    /// The area of interest.
+    pub fn region(&self) -> CircleRegion {
+        self.spec.region()
+    }
+
+    /// Devices required.
+    pub fn density(&self) -> usize {
+        self.spec.spatial_density()
+    }
+
+    /// When to sample.
+    pub fn sample_at(&self) -> SimTime {
+        self.sample_at
+    }
+
+    /// Latest useful upload instant.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} (sample {} deadline {})",
+            self.id, self.task, self.sample_at, self.deadline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_geo::GeoPoint;
+    use senseaid_sim::SimDuration;
+
+    fn spec() -> TaskSpec {
+        TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(GeoPoint::new(40.0, -86.0), 500.0))
+            .spatial_density(3)
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accessors_delegate_to_spec() {
+        let r = Request::new(
+            RequestId(1),
+            TaskId(2),
+            spec(),
+            SimTime::from_mins(10),
+            SimTime::from_mins(15),
+        );
+        assert_eq!(r.id(), RequestId(1));
+        assert_eq!(r.task(), TaskId(2));
+        assert_eq!(r.sensor(), Sensor::Barometer);
+        assert_eq!(r.density(), 3);
+        assert_eq!(r.sample_at(), SimTime::from_mins(10));
+        assert_eq!(r.deadline(), SimTime::from_mins(15));
+        assert!(r.to_string().contains("req1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be after")]
+    fn rejects_deadline_before_sample() {
+        let _ = Request::new(
+            RequestId(1),
+            TaskId(2),
+            spec(),
+            SimTime::from_mins(10),
+            SimTime::from_mins(10),
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! The device selector (paper §3.2).
+//!
+//! Each qualified device gets a score
+//!
+//! ```text
+//! Score(i) = α·E_i + β·U_i + γ·(100 − CBL_i) + φ·TTL_i [+ ρ·(1 − R_i)]
+//! ```
+//!
+//! where `E` is the energy the device has spent on crowdsensing, `U` the
+//! number of times it has been selected, `CBL` its current battery level
+//! in percent, and `TTL` the time since its most recent radio
+//! communication (a small TTL means the radio may still be in its tail, so
+//! the upload will be cheap). The optional `ρ` term is the reliability
+//! hook the paper's related-work section points at. **Lower scores win.**
+//!
+//! Hard cutoffs run before scoring: a device is ineligible once it has
+//! been selected more than `max_selections` times, once its crowdsensing
+//! budget is exhausted, or when its battery is below the user's critical
+//! level (paper: "there are also hard cutoffs for the first three
+//! criteria").
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::ImeiHash;
+use senseaid_sim::SimTime;
+
+use crate::store::device_store::DeviceRecord;
+
+/// Scoring weights (α, β, γ, φ, ρ).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorWeights {
+    /// Weight on energy already spent on crowdsensing (per Joule).
+    pub alpha: f64,
+    /// Weight on times already selected (per selection).
+    pub beta: f64,
+    /// Weight on battery depletion, `100 − CBL` (per percentage point).
+    pub gamma: f64,
+    /// Weight on time since last radio communication (per second).
+    pub phi: f64,
+    /// Weight on unreliability, `1 − R` (0 disables the hook).
+    pub rho: f64,
+}
+
+impl Default for SelectorWeights {
+    fn default() -> Self {
+        SelectorWeights {
+            alpha: 1.0,
+            beta: 5.0,
+            gamma: 0.2,
+            // Small enough that TTL (seconds-scale) breaks ties but never
+            // outweighs a single fairness increment (β) — the paper's
+            // Fig 9 shows strict rotation, so fairness dominates.
+            phi: 0.001,
+            rho: 0.0,
+        }
+    }
+}
+
+impl SelectorWeights {
+    /// Weights that ignore everything except fairness (`β` only) — used by
+    /// the ablation benches.
+    pub fn fairness_only() -> Self {
+        SelectorWeights {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+            phi: 0.0,
+            rho: 0.0,
+        }
+    }
+}
+
+/// Hard eligibility cutoffs applied before scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardCutoffs {
+    /// A device may not be selected more than this many times.
+    pub max_selections: u64,
+    /// Global battery floor, %; the per-device critical level also applies,
+    /// whichever is higher.
+    pub min_battery_pct: f64,
+    /// Minimum remaining crowdsensing budget, Joules, to stay eligible.
+    pub min_remaining_budget_j: f64,
+}
+
+impl Default for HardCutoffs {
+    fn default() -> Self {
+        HardCutoffs {
+            max_selections: 10_000,
+            min_battery_pct: 5.0,
+            min_remaining_budget_j: 1.0,
+        }
+    }
+}
+
+/// Why a selection could not be completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientDevices {
+    /// Devices the request needs.
+    pub needed: usize,
+    /// Eligible devices actually available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for InsufficientDevices {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "need {} devices but only {} eligible",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientDevices {}
+
+/// The scoring selector.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_core::{DeviceSelector, HardCutoffs, SelectorWeights};
+///
+/// let sel = DeviceSelector::new(SelectorWeights::default(), HardCutoffs::default());
+/// assert_eq!(sel.weights().beta, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSelector {
+    weights: SelectorWeights,
+    cutoffs: HardCutoffs,
+}
+
+impl DeviceSelector {
+    /// Creates a selector.
+    pub fn new(weights: SelectorWeights, cutoffs: HardCutoffs) -> Self {
+        DeviceSelector { weights, cutoffs }
+    }
+
+    /// The weights in use.
+    pub fn weights(&self) -> SelectorWeights {
+        self.weights
+    }
+
+    /// The cutoffs in use.
+    pub fn cutoffs(&self) -> HardCutoffs {
+        self.cutoffs
+    }
+
+    /// The paper's linear score; lower is better.
+    pub fn score(&self, rec: &DeviceRecord, now: SimTime) -> f64 {
+        let w = self.weights;
+        w.alpha * rec.cs_energy_j
+            + w.beta * rec.times_selected as f64
+            + w.gamma * (100.0 - rec.battery_pct)
+            + w.phi * rec.ttl(now).as_secs_f64()
+            + w.rho * (1.0 - rec.reliability)
+    }
+
+    /// Whether a device passes the hard cutoffs.
+    pub fn eligible(&self, rec: &DeviceRecord) -> bool {
+        let battery_floor = self.cutoffs.min_battery_pct.max(rec.critical_battery_pct);
+        rec.times_selected < self.cutoffs.max_selections
+            && rec.remaining_budget_j() >= self.cutoffs.min_remaining_budget_j
+            && rec.battery_pct > battery_floor
+    }
+
+    /// Chooses the best `n` devices from `candidates`.
+    ///
+    /// Ties break on IMEI hash so selection is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`InsufficientDevices`] when fewer than `n` candidates pass the hard
+    /// cutoffs — the caller moves the request to the wait queue (Algorithm
+    /// 1, `n > N` branch).
+    pub fn select(
+        &self,
+        n: usize,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+    ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
+        let mut eligible: Vec<(&&DeviceRecord, f64)> = candidates
+            .iter()
+            .filter(|r| self.eligible(r))
+            .map(|r| (r, self.score(r, now)))
+            .collect();
+        if eligible.len() < n {
+            return Err(InsufficientDevices {
+                needed: n,
+                available: eligible.len(),
+            });
+        }
+        eligible.sort_by(|(ra, sa), (rb, sb)| {
+            sa.partial_cmp(sb)
+                .expect("scores are finite")
+                .then(ra.imei.cmp(&rb.imei))
+        });
+        Ok(eligible.into_iter().take(n).map(|(r, _)| r.imei).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::device_store::new_record;
+    use senseaid_device::Sensor;
+
+    fn rec(id: u64) -> DeviceRecord {
+        new_record(
+            ImeiHash(id),
+            495.0,
+            15.0,
+            100.0,
+            vec![Sensor::Barometer],
+            "GalaxyS4".to_owned(),
+            SimTime::ZERO,
+        )
+    }
+
+    fn selector() -> DeviceSelector {
+        DeviceSelector::new(SelectorWeights::default(), HardCutoffs::default())
+    }
+
+    #[test]
+    fn fresh_identical_devices_tie_break_on_imei() {
+        let (a, b, c) = (rec(3), rec(1), rec(2));
+        let sel = selector();
+        let picked = sel
+            .select(2, &[&a, &b, &c], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(picked, vec![ImeiHash(1), ImeiHash(2)]);
+    }
+
+    #[test]
+    fn previously_selected_devices_score_worse() {
+        let mut used = rec(1);
+        used.times_selected = 3;
+        let fresh = rec(2);
+        let sel = selector();
+        let now = SimTime::from_mins(10);
+        assert!(sel.score(&used, now) > sel.score(&fresh, now));
+        assert_eq!(
+            sel.select(1, &[&used, &fresh], now).unwrap(),
+            vec![ImeiHash(2)]
+        );
+    }
+
+    #[test]
+    fn energy_spent_scores_worse() {
+        let mut spent = rec(1);
+        spent.cs_energy_j = 50.0;
+        let fresh = rec(2);
+        let sel = selector();
+        assert!(sel.score(&spent, SimTime::ZERO) > sel.score(&fresh, SimTime::ZERO));
+    }
+
+    #[test]
+    fn low_battery_scores_worse() {
+        let mut low = rec(1);
+        low.battery_pct = 40.0;
+        let full = rec(2);
+        let sel = selector();
+        assert!(sel.score(&low, SimTime::ZERO) > sel.score(&full, SimTime::ZERO));
+    }
+
+    #[test]
+    fn recent_communication_scores_better() {
+        let now = SimTime::from_mins(30);
+        let mut recent = rec(1);
+        recent.last_comm = SimTime::from_mins(29); // 1 min ago
+        let mut stale = rec(2);
+        stale.last_comm = SimTime::ZERO; // 30 min ago
+        let sel = selector();
+        assert!(sel.score(&recent, now) < sel.score(&stale, now));
+    }
+
+    #[test]
+    fn reliability_hook_disabled_by_default() {
+        let mut flaky = rec(1);
+        flaky.reliability = 0.2;
+        let solid = rec(2);
+        let sel = selector();
+        assert_eq!(
+            sel.score(&flaky, SimTime::ZERO),
+            sel.score(&solid, SimTime::ZERO)
+        );
+        // With ρ > 0 the flaky device scores worse.
+        let sel2 = DeviceSelector::new(
+            SelectorWeights {
+                rho: 10.0,
+                ..SelectorWeights::default()
+            },
+            HardCutoffs::default(),
+        );
+        assert!(sel2.score(&flaky, SimTime::ZERO) > sel2.score(&solid, SimTime::ZERO));
+    }
+
+    #[test]
+    fn hard_cutoff_max_selections() {
+        let mut maxed = rec(1);
+        maxed.times_selected = 2;
+        let sel = DeviceSelector::new(
+            SelectorWeights::default(),
+            HardCutoffs {
+                max_selections: 2,
+                ..HardCutoffs::default()
+            },
+        );
+        assert!(!sel.eligible(&maxed));
+        let err = sel.select(1, &[&maxed], SimTime::ZERO).unwrap_err();
+        assert_eq!(err, InsufficientDevices { needed: 1, available: 0 });
+    }
+
+    #[test]
+    fn hard_cutoff_budget_exhausted() {
+        let mut broke = rec(1);
+        broke.cs_energy_j = broke.energy_budget_j; // spent it all
+        assert!(!selector().eligible(&broke));
+    }
+
+    #[test]
+    fn hard_cutoff_critical_battery() {
+        let mut low = rec(1);
+        low.battery_pct = 10.0; // below the 15 % user critical level
+        assert!(!selector().eligible(&low));
+        let mut ok = rec(2);
+        ok.battery_pct = 20.0;
+        assert!(selector().eligible(&ok));
+    }
+
+    #[test]
+    fn global_battery_floor_applies_when_higher() {
+        let sel = DeviceSelector::new(
+            SelectorWeights::default(),
+            HardCutoffs {
+                min_battery_pct: 50.0,
+                ..HardCutoffs::default()
+            },
+        );
+        let mut rec = rec(1);
+        rec.battery_pct = 40.0; // above user critical (15) but below global
+        assert!(!sel.eligible(&rec));
+    }
+
+    #[test]
+    fn selection_is_fair_over_rounds() {
+        // Round-robin emerges: with β dominating, repeatedly selecting 2 of
+        // 6 devices and updating counts must spread selections evenly.
+        let mut records: Vec<DeviceRecord> = (1..=6).map(rec).collect();
+        let sel = selector();
+        for round in 0..9 {
+            let now = SimTime::from_mins(round * 10);
+            let refs: Vec<&DeviceRecord> = records.iter().collect();
+            let picked = sel.select(2, &refs, now).unwrap();
+            for imei in picked {
+                let r = records.iter_mut().find(|r| r.imei == imei).unwrap();
+                r.times_selected += 1;
+                r.cs_energy_j += 0.5;
+            }
+        }
+        let counts: Vec<u64> = records.iter().map(|r| r.times_selected).collect();
+        assert_eq!(counts, vec![3, 3, 3, 3, 3, 3], "18 selections over 6 devices");
+    }
+
+    #[test]
+    fn insufficient_devices_error_reports_counts() {
+        let a = rec(1);
+        let err = selector().select(3, &[&a], SimTime::ZERO).unwrap_err();
+        assert_eq!(err.needed, 3);
+        assert_eq!(err.available, 1);
+        assert!(err.to_string().contains("need 3"));
+    }
+
+    #[test]
+    fn zero_needed_always_succeeds() {
+        let picked = selector().select(0, &[], SimTime::ZERO).unwrap();
+        assert!(picked.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! A shareable, thread-safe front end to the Sense-Aid server.
+//!
+//! The paper's server runs as a long-lived network service with a
+//! request-selection thread and a wait-check thread (Algorithm 1), while
+//! client traffic arrives concurrently from every eNodeB. [`SharedServer`]
+//! packages that deployment shape: a cheaply clonable handle wrapping the
+//! single-threaded [`SenseAidServer`] in a lock, plus an
+//! assignment-subscription channel so schedulers and dispatchers can live
+//! on different threads.
+//!
+//! # Example
+//!
+//! ```
+//! use senseaid_core::service::SharedServer;
+//! use senseaid_core::{SenseAidConfig, TaskSpec};
+//! use senseaid_device::{ImeiHash, Sensor};
+//! use senseaid_geo::{CircleRegion, GeoPoint};
+//! use senseaid_sim::{SimDuration, SimTime};
+//!
+//! let service = SharedServer::new(SenseAidConfig::default());
+//! let assignments = service.subscribe();
+//!
+//! let centre = GeoPoint::new(40.4284, -86.9138);
+//! service.with(|s| {
+//!     s.register_device(ImeiHash(1), 495.0, 15.0, 90.0,
+//!                       vec![Sensor::Barometer], "GalaxyS4".into(), SimTime::ZERO)?;
+//!     s.observe_device(ImeiHash(1), centre, None)
+//! })?;
+//! let spec = TaskSpec::builder(Sensor::Barometer)
+//!     .region(CircleRegion::new(centre, 500.0))
+//!     .sampling_period(SimDuration::from_mins(5))
+//!     .sampling_duration(SimDuration::from_mins(10))
+//!     .build()?;
+//! service.with(|s| s.submit_task(spec, SimTime::ZERO))?;
+//!
+//! service.poll(SimTime::ZERO)?;
+//! let a = assignments.try_recv().expect("one assignment scheduled");
+//! assert_eq!(a.devices, vec![ImeiHash(1)]);
+//! # Ok::<(), senseaid_core::SenseAidError>(())
+//! ```
+
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use senseaid_sim::SimTime;
+
+use crate::config::SenseAidConfig;
+use crate::error::SenseAidError;
+use crate::server::{Assignment, SenseAidServer};
+
+/// A clonable, thread-safe handle to one Sense-Aid server instance.
+#[derive(Debug, Clone)]
+pub struct SharedServer {
+    inner: Arc<Mutex<SenseAidServer>>,
+    subscribers: Arc<Mutex<Vec<Sender<Assignment>>>>,
+}
+
+impl SharedServer {
+    /// Wraps a fresh server.
+    pub fn new(config: SenseAidConfig) -> Self {
+        Self::from_server(SenseAidServer::new(config))
+    }
+
+    /// Wraps an existing server (e.g. one with state already loaded).
+    pub fn from_server(server: SenseAidServer) -> Self {
+        SharedServer {
+            inner: Arc::new(Mutex::new(server)),
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the underlying server. Keep the
+    /// closure short — it holds the service lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SenseAidServer) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Subscribes to future assignments. Every assignment produced by
+    /// [`poll`](Self::poll) is fanned out to all live subscribers;
+    /// subscribers that dropped their receiver are pruned automatically.
+    pub fn subscribe(&self) -> Receiver<Assignment> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Number of live subscribers (for tests/monitoring).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+
+    /// Runs one scheduling round and fans the assignments out to
+    /// subscribers. Returns them to the caller as well.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SenseAidError::ServerUnavailable`] when the server is
+    /// crash-injected.
+    pub fn poll(&self, now: SimTime) -> Result<Vec<Assignment>, SenseAidError> {
+        let assignments = self.inner.lock().poll(now)?;
+        if !assignments.is_empty() {
+            let mut subs = self.subscribers.lock();
+            subs.retain(|tx| {
+                assignments
+                    .iter()
+                    .all(|a| tx.send(a.clone()).is_ok())
+            });
+        }
+        Ok(assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskSpec;
+    use senseaid_device::{ImeiHash, Sensor};
+    use senseaid_geo::{CircleRegion, GeoPoint};
+    use senseaid_sim::SimDuration;
+
+    fn centre() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    fn populated_service(devices: u64) -> SharedServer {
+        let service = SharedServer::new(SenseAidConfig::default());
+        service.with(|s| {
+            for i in 1..=devices {
+                s.register_device(
+                    ImeiHash(i),
+                    495.0,
+                    15.0,
+                    90.0,
+                    vec![Sensor::Barometer],
+                    "GalaxyS4".to_owned(),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+                s.observe_device(ImeiHash(i), centre(), None).unwrap();
+            }
+        });
+        service
+    }
+
+    fn task() -> TaskSpec {
+        TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(centre(), 500.0))
+            .spatial_density(2)
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(15))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn assignments_fan_out_to_all_subscribers() {
+        let service = populated_service(4);
+        let rx1 = service.subscribe();
+        let rx2 = service.subscribe();
+        service.with(|s| s.submit_task(task(), SimTime::ZERO)).unwrap();
+        let direct = service.poll(SimTime::ZERO).unwrap();
+        assert_eq!(direct.len(), 1);
+        assert_eq!(rx1.try_recv().unwrap(), direct[0]);
+        assert_eq!(rx2.try_recv().unwrap(), direct[0]);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let service = populated_service(4);
+        let rx1 = service.subscribe();
+        let rx2 = service.subscribe();
+        drop(rx2);
+        assert_eq!(service.subscriber_count(), 2, "pruning happens lazily");
+        service.with(|s| s.submit_task(task(), SimTime::ZERO)).unwrap();
+        service.poll(SimTime::ZERO).unwrap();
+        assert_eq!(service.subscriber_count(), 1);
+        assert!(rx1.try_recv().is_ok());
+    }
+
+    #[test]
+    fn handles_share_one_server() {
+        let service = populated_service(2);
+        let other = service.clone();
+        other.with(|s| {
+            s.register_device(
+                ImeiHash(99),
+                495.0,
+                15.0,
+                50.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        });
+        assert_eq!(service.with(|s| s.device_count()), 3);
+    }
+
+    #[test]
+    fn scheduler_and_dispatcher_threads_cooperate() {
+        let service = populated_service(6);
+        let rx = service.subscribe();
+        service.with(|s| s.submit_task(task(), SimTime::ZERO)).unwrap();
+
+        let scheduler = {
+            let service = service.clone();
+            std::thread::spawn(move || {
+                for min in 0..=15u64 {
+                    service.poll(SimTime::from_mins(min)).unwrap();
+                }
+            })
+        };
+        let dispatcher = std::thread::spawn(move || {
+            let mut seen = 0;
+            while let Ok(a) = rx.recv() {
+                assert_eq!(a.devices.len(), 2);
+                seen += 1;
+            }
+            seen
+        });
+        scheduler.join().unwrap();
+        // Dropping the service's senders requires dropping the service's
+        // subscriber list; dropping our handles closes the channel.
+        drop(service);
+        let seen = dispatcher.join().unwrap();
+        assert_eq!(seen, 3, "15 min / 5 min period = 3 assignments");
+    }
+
+    #[test]
+    fn crash_propagates_through_the_handle() {
+        let service = populated_service(1);
+        service.with(SenseAidServer::crash);
+        assert_eq!(
+            service.poll(SimTime::ZERO),
+            Err(SenseAidError::ServerUnavailable)
+        );
+        service.with(SenseAidServer::recover);
+        assert!(service.poll(SimTime::ZERO).is_ok());
+    }
+}

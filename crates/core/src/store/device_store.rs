@@ -1,0 +1,414 @@
+//! The device datastore.
+//!
+//! Per the paper (§3.2): "For each device, Sense-Aid keeps track of the
+//! hash value of the IMEI code, remaining energy budget, current battery
+//! level, number of times the device has been selected for sensing, and
+//! the timestamp of the most recent radio communication." We add the facts
+//! qualification needs — sensors carried, device type, last observed
+//! position (cell-granularity in a real deployment, GPS-assisted in the
+//! paper's prototype) — plus responsiveness and data-validity flags.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_cellnet::CellId;
+use senseaid_device::{ImeiHash, Sensor};
+use senseaid_geo::{GeoPoint, GridIndex};
+use senseaid_sim::{SimDuration, SimTime};
+
+use crate::error::SenseAidError;
+use crate::request::Request;
+
+/// Everything the server knows about one registered device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRecord {
+    /// Hashed identity (never the raw IMEI).
+    pub imei: ImeiHash,
+    /// The user's total crowdsensing energy budget, Joules.
+    pub energy_budget_j: f64,
+    /// Battery floor below which the device must not be selected, %.
+    pub critical_battery_pct: f64,
+    /// Energy this device reported spending on crowdsensing, Joules.
+    pub cs_energy_j: f64,
+    /// Most recently reported battery level, %.
+    pub battery_pct: f64,
+    /// Times the selector picked this device.
+    pub times_selected: u64,
+    /// Timestamp of the device's most recent radio communication.
+    pub last_comm: SimTime,
+    /// Last observed position.
+    pub position: Option<GeoPoint>,
+    /// Last observed serving cell.
+    pub cell: Option<CellId>,
+    /// Sensors the device carries.
+    pub sensors: Vec<Sensor>,
+    /// The device model string (Table 1 `device_type` matching).
+    pub device_type: String,
+    /// Cleared when the device misses an assignment deadline; set again on
+    /// any communication (paper §3.2: unresponsive devices are excluded
+    /// from future selections).
+    pub responsive: bool,
+    /// Cleared when the device submits implausible data.
+    pub data_valid: bool,
+    /// Data-reliability score in `[0, 1]` (1 = fully trusted). A hook for
+    /// the truth-discovery extensions the paper's related work discusses
+    /// (Ren et al., Meng et al.); the selector can weight it via `ρ`.
+    pub reliability: f64,
+}
+
+impl DeviceRecord {
+    /// Remaining crowdsensing energy budget, Joules (never negative).
+    pub fn remaining_budget_j(&self) -> f64 {
+        (self.energy_budget_j - self.cs_energy_j).max(0.0)
+    }
+
+    /// Time since the last radio communication at `now` — the selector's
+    /// `TTL` term.
+    pub fn ttl(&self, now: SimTime) -> SimDuration {
+        now.saturating_elapsed_since(self.last_comm)
+    }
+}
+
+/// The server's registry of participating devices.
+///
+/// Iteration order is deterministic (keyed by IMEI hash). Positions are
+/// mirrored into a [`GridIndex`] so region qualification scans only the
+/// grid cells a task's circle touches — the paper's §8 scalability path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceStore {
+    records: BTreeMap<ImeiHash, DeviceRecord>,
+    index: GridIndex<ImeiHash>,
+}
+
+impl Default for DeviceStore {
+    fn default() -> Self {
+        DeviceStore::new()
+    }
+}
+
+impl DeviceStore {
+    /// Grid cell edge for the position index, metres. Roughly the scale
+    /// of the smallest task regions (100 m radius).
+    const INDEX_CELL_M: f64 = 250.0;
+
+    /// An empty store.
+    pub fn new() -> Self {
+        DeviceStore {
+            records: BTreeMap::new(),
+            index: GridIndex::new(Self::INDEX_CELL_M),
+        }
+    }
+
+    /// Registers (or re-registers) a device.
+    pub fn register(&mut self, record: DeviceRecord) {
+        match record.position {
+            Some(p) => self.index.insert(record.imei, p),
+            None => {
+                self.index.remove(record.imei);
+            }
+        }
+        self.records.insert(record.imei, record);
+    }
+
+    /// Removes a device.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownDevice`] if it was never registered.
+    pub fn deregister(&mut self, imei: ImeiHash) -> Result<(), SenseAidError> {
+        self.index.remove(imei);
+        self.records
+            .remove(&imei)
+            .map(|_| ())
+            .ok_or(SenseAidError::UnknownDevice(imei))
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Looks a device up.
+    pub fn get(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+        self.records.get(&imei)
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownDevice`] if not registered.
+    pub fn get_mut(&mut self, imei: ImeiHash) -> Result<&mut DeviceRecord, SenseAidError> {
+        self.records
+            .get_mut(&imei)
+            .ok_or(SenseAidError::UnknownDevice(imei))
+    }
+
+    /// Iterates over all records in hash order.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceRecord> {
+        self.records.values()
+    }
+
+    /// Updates reported battery and crowdsensing-energy state, refreshing
+    /// the last-communication timestamp.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownDevice`] if not registered.
+    pub fn update_state(
+        &mut self,
+        imei: ImeiHash,
+        battery_pct: f64,
+        cs_energy_j: f64,
+        now: SimTime,
+    ) -> Result<(), SenseAidError> {
+        let rec = self.get_mut(imei)?;
+        rec.battery_pct = battery_pct;
+        rec.cs_energy_j = cs_energy_j;
+        rec.last_comm = now;
+        rec.responsive = true;
+        Ok(())
+    }
+
+    /// Records an observed position and serving cell.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownDevice`] if not registered.
+    pub fn observe_position(
+        &mut self,
+        imei: ImeiHash,
+        position: GeoPoint,
+        cell: Option<CellId>,
+    ) -> Result<(), SenseAidError> {
+        let rec = self.get_mut(imei)?;
+        rec.position = Some(position);
+        rec.cell = cell;
+        self.index.insert(imei, position);
+        Ok(())
+    }
+
+    /// Records a radio communication (any traffic the eNodeB sees).
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownDevice`] if not registered.
+    pub fn record_comm(&mut self, imei: ImeiHash, now: SimTime) -> Result<(), SenseAidError> {
+        let rec = self.get_mut(imei)?;
+        rec.last_comm = now;
+        rec.responsive = true;
+        Ok(())
+    }
+
+    /// The devices *qualified* for `request` (paper §3 definition): signed
+    /// up, inside the region, carrying the sensor, matching any
+    /// device-type restriction, responsive, and submitting valid data.
+    pub fn qualified_for(&self, request: &Request) -> Vec<ImeiHash> {
+        let region = request.region();
+        let sensor = request.sensor();
+        let wanted_type = request.spec().device_type();
+        // The grid narrows the scan to devices inside the circle; the
+        // remaining predicates filter on the record.
+        self.index
+            .query_circle(&region)
+            .into_iter()
+            .filter_map(|imei| self.records.get(&imei))
+            .filter(|r| r.responsive && r.data_valid)
+            .filter(|r| r.sensors.contains(&sensor))
+            .filter(|r| wanted_type.is_none_or(|t| r.device_type == t))
+            .map(|r| r.imei)
+            .collect()
+    }
+}
+
+/// Builds a fresh record for a registering device.
+pub fn new_record(
+    imei: ImeiHash,
+    energy_budget_j: f64,
+    critical_battery_pct: f64,
+    battery_pct: f64,
+    sensors: Vec<Sensor>,
+    device_type: String,
+    now: SimTime,
+) -> DeviceRecord {
+    DeviceRecord {
+        imei,
+        energy_budget_j,
+        critical_battery_pct,
+        cs_energy_j: 0.0,
+        battery_pct,
+        times_selected: 0,
+        last_comm: now,
+        position: None,
+        cell: None,
+        sensors,
+        device_type,
+        responsive: true,
+        data_valid: true,
+        reliability: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use crate::task::{TaskId, TaskSpec};
+    use senseaid_geo::CircleRegion;
+    use senseaid_sim::SimDuration;
+
+    fn centre() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    fn record(id: u64) -> DeviceRecord {
+        new_record(
+            ImeiHash(id),
+            495.0,
+            15.0,
+            100.0,
+            vec![Sensor::Barometer, Sensor::Accelerometer],
+            "GalaxyS4".to_owned(),
+            SimTime::ZERO,
+        )
+    }
+
+    fn request(radius: f64, density: usize) -> Request {
+        let spec = TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(centre(), radius))
+            .spatial_density(density)
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap();
+        Request::new(
+            RequestId(1),
+            TaskId(1),
+            spec,
+            SimTime::from_mins(5),
+            SimTime::from_mins(10),
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = DeviceStore::new();
+        store.register(record(1));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(ImeiHash(1)).is_some());
+        assert!(store.get(ImeiHash(2)).is_none());
+        store.deregister(ImeiHash(1)).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(
+            store.deregister(ImeiHash(1)),
+            Err(SenseAidError::UnknownDevice(ImeiHash(1)))
+        );
+    }
+
+    #[test]
+    fn state_updates_refresh_last_comm() {
+        let mut store = DeviceStore::new();
+        store.register(record(1));
+        store
+            .update_state(ImeiHash(1), 73.0, 12.0, SimTime::from_mins(9))
+            .unwrap();
+        let rec = store.get(ImeiHash(1)).unwrap();
+        assert_eq!(rec.battery_pct, 73.0);
+        assert_eq!(rec.cs_energy_j, 12.0);
+        assert_eq!(rec.last_comm, SimTime::from_mins(9));
+        assert_eq!(rec.ttl(SimTime::from_mins(12)), SimDuration::from_mins(3));
+    }
+
+    #[test]
+    fn qualification_requires_position_in_region() {
+        let mut store = DeviceStore::new();
+        store.register(record(1));
+        store.register(record(2));
+        // Device 1 inside, device 2 outside, device 3 unknown position.
+        store
+            .observe_position(ImeiHash(1), centre().offset_by_meters(100.0, 0.0), None)
+            .unwrap();
+        store
+            .observe_position(ImeiHash(2), centre().offset_by_meters(900.0, 0.0), None)
+            .unwrap();
+        store.register(record(3));
+        let q = store.qualified_for(&request(500.0, 1));
+        assert_eq!(q, vec![ImeiHash(1)]);
+    }
+
+    #[test]
+    fn qualification_requires_sensor() {
+        let mut store = DeviceStore::new();
+        let mut no_baro = record(1);
+        no_baro.sensors = vec![Sensor::Accelerometer];
+        store.register(no_baro);
+        store
+            .observe_position(ImeiHash(1), centre(), None)
+            .unwrap();
+        assert!(store.qualified_for(&request(500.0, 1)).is_empty());
+    }
+
+    #[test]
+    fn qualification_respects_device_type_restriction() {
+        let mut store = DeviceStore::new();
+        store.register(record(1));
+        let mut iphone = record(2);
+        iphone.device_type = "iPhone6".to_owned();
+        store.register(iphone);
+        for id in [1, 2] {
+            store
+                .observe_position(ImeiHash(id), centre(), None)
+                .unwrap();
+        }
+        let spec = TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(centre(), 500.0))
+            .device_type("iPhone6")
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap();
+        let req = Request::new(
+            RequestId(9),
+            TaskId(9),
+            spec,
+            SimTime::from_mins(1),
+            SimTime::from_mins(6),
+        );
+        assert_eq!(store.qualified_for(&req), vec![ImeiHash(2)]);
+    }
+
+    #[test]
+    fn unresponsive_and_invalid_devices_are_excluded() {
+        let mut store = DeviceStore::new();
+        store.register(record(1));
+        store.register(record(2));
+        store.register(record(3));
+        for id in [1, 2, 3] {
+            store
+                .observe_position(ImeiHash(id), centre(), None)
+                .unwrap();
+        }
+        store.get_mut(ImeiHash(1)).unwrap().responsive = false;
+        store.get_mut(ImeiHash(2)).unwrap().data_valid = false;
+        assert_eq!(store.qualified_for(&request(500.0, 1)), vec![ImeiHash(3)]);
+        // Any communication restores responsiveness.
+        store.record_comm(ImeiHash(1), SimTime::from_mins(1)).unwrap();
+        assert_eq!(
+            store.qualified_for(&request(500.0, 1)),
+            vec![ImeiHash(1), ImeiHash(3)]
+        );
+    }
+
+    #[test]
+    fn remaining_budget_never_negative() {
+        let mut rec = record(1);
+        rec.cs_energy_j = 1000.0; // over budget
+        assert_eq!(rec.remaining_budget_j(), 0.0);
+    }
+}

@@ -1,0 +1,4 @@
+//! Server-side datastores (paper §3.2).
+
+pub mod device_store;
+pub mod task_store;

@@ -1,0 +1,167 @@
+//! The task datastore.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_sim::SimTime;
+
+use crate::error::SenseAidError;
+use crate::task::{TaskId, TaskSpec};
+
+/// Lifecycle of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskStatus {
+    /// Requests outstanding.
+    Active,
+    /// All requests resolved (fulfilled or expired).
+    Finished,
+    /// Deleted by the application server.
+    Deleted,
+}
+
+/// A stored task: its (possibly updated) spec plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskState {
+    /// The task id.
+    pub id: TaskId,
+    /// Current spec (reflects `update_task_param` calls).
+    pub spec: TaskSpec,
+    /// When the task was submitted.
+    pub submitted_at: SimTime,
+    /// Lifecycle status.
+    pub status: TaskStatus,
+    /// Requests generated for this task.
+    pub requests_generated: usize,
+    /// Requests fulfilled so far.
+    pub requests_fulfilled: usize,
+    /// Requests that expired unmet.
+    pub requests_expired: usize,
+}
+
+/// The server's registry of tasks.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskStore {
+    tasks: BTreeMap<TaskId, TaskState>,
+    next_id: u64,
+}
+
+impl TaskStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        TaskStore::default()
+    }
+
+    /// Admits a task, assigning it a fresh id.
+    pub fn insert(&mut self, spec: TaskSpec, submitted_at: SimTime) -> TaskId {
+        self.next_id += 1;
+        let id = TaskId(self.next_id);
+        self.tasks.insert(
+            id,
+            TaskState {
+                id,
+                spec,
+                submitted_at,
+                status: TaskStatus::Active,
+                requests_generated: 0,
+                requests_fulfilled: 0,
+                requests_expired: 0,
+            },
+        );
+        id
+    }
+
+    /// Looks a task up.
+    pub fn get(&self, id: TaskId) -> Option<&TaskState> {
+        self.tasks.get(&id)
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownTask`] if absent.
+    pub fn get_mut(&mut self, id: TaskId) -> Result<&mut TaskState, SenseAidError> {
+        self.tasks.get_mut(&id).ok_or(SenseAidError::UnknownTask(id))
+    }
+
+    /// Marks a task deleted.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::UnknownTask`] if absent.
+    pub fn delete(&mut self, id: TaskId) -> Result<(), SenseAidError> {
+        self.get_mut(id)?.status = TaskStatus::Deleted;
+        Ok(())
+    }
+
+    /// Number of stored tasks (any status).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over tasks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskState> {
+        self.tasks.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_device::Sensor;
+    use senseaid_geo::{CircleRegion, GeoPoint};
+    use senseaid_sim::SimDuration;
+
+    fn spec() -> TaskSpec {
+        TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(GeoPoint::new(40.0, -86.0), 500.0))
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(30))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_assigns_monotonic_ids() {
+        let mut store = TaskStore::new();
+        let a = store.insert(spec(), SimTime::ZERO);
+        let b = store.insert(spec(), SimTime::ZERO);
+        assert!(b > a);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(a).unwrap().status, TaskStatus::Active);
+    }
+
+    #[test]
+    fn delete_marks_not_removes() {
+        let mut store = TaskStore::new();
+        let id = store.insert(spec(), SimTime::ZERO);
+        store.delete(id).unwrap();
+        assert_eq!(store.get(id).unwrap().status, TaskStatus::Deleted);
+        assert_eq!(store.len(), 1, "history is retained");
+        assert_eq!(
+            store.delete(TaskId(99)),
+            Err(SenseAidError::UnknownTask(TaskId(99)))
+        );
+    }
+
+    #[test]
+    fn counters_update() {
+        let mut store = TaskStore::new();
+        let id = store.insert(spec(), SimTime::ZERO);
+        {
+            let t = store.get_mut(id).unwrap();
+            t.requests_generated = 6;
+            t.requests_fulfilled = 5;
+            t.requests_expired = 1;
+        }
+        let t = store.get(id).unwrap();
+        assert_eq!(t.requests_generated, 6);
+        assert_eq!(t.requests_fulfilled + t.requests_expired, 6);
+    }
+}

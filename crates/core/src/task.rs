@@ -1,0 +1,501 @@
+//! Crowdsensing task descriptors (paper Table 1).
+//!
+//! A task names a sensor, a circular region, a spatial density (how many
+//! devices must report), and either a sampling period + duration or an
+//! explicit start/stop window. One task expands into many *requests* — one
+//! per sampling instant (§3: "a task lasts for 60 minutes and requires a
+//! sampling period of 10 minutes will generate 6 requests").
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::Sensor;
+use senseaid_geo::CircleRegion;
+use senseaid_sim::{SimDuration, SimTime};
+
+use crate::error::SenseAidError;
+use crate::request::{Request, RequestId};
+
+/// Identifier of a submitted task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// When a task runs (Table 1 allows either form).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskSchedule {
+    /// Sample for this long, starting when the task is submitted.
+    Duration(SimDuration),
+    /// Sample inside an explicit window.
+    Window {
+        /// First sampling instant.
+        start: SimTime,
+        /// No samples at or after this instant.
+        end: SimTime,
+    },
+    /// A single sample, taken as soon as the task is scheduled.
+    OneShot,
+}
+
+/// A validated crowdsensing task specification.
+///
+/// Build with [`TaskSpec::builder`]; the builder enforces Table 1's
+/// constraints at construction so a `TaskSpec` is always internally
+/// consistent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    sensor: Sensor,
+    region: CircleRegion,
+    spatial_density: usize,
+    sampling_period: Option<SimDuration>,
+    schedule: TaskSchedule,
+    device_type: Option<String>,
+}
+
+impl TaskSpec {
+    /// Starts building a task for `sensor`.
+    pub fn builder(sensor: Sensor) -> TaskSpecBuilder {
+        TaskSpecBuilder::new(sensor)
+    }
+
+    /// The sensor to sample.
+    pub fn sensor(&self) -> Sensor {
+        self.sensor
+    }
+
+    /// The circular area of interest.
+    pub fn region(&self) -> CircleRegion {
+        self.region
+    }
+
+    /// Minimum number of reporting devices per request.
+    pub fn spatial_density(&self) -> usize {
+        self.spatial_density
+    }
+
+    /// The sampling period, if periodic.
+    pub fn sampling_period(&self) -> Option<SimDuration> {
+        self.sampling_period
+    }
+
+    /// The schedule.
+    pub fn schedule(&self) -> TaskSchedule {
+        self.schedule
+    }
+
+    /// Optional `device_type` restriction (e.g. `"iPhone6"`).
+    pub fn device_type(&self) -> Option<&str> {
+        self.device_type.as_deref()
+    }
+
+    /// Replaces mutable parameters (the `update_task_param` API): period,
+    /// density and region may change mid-flight; sensor and schedule may
+    /// not.
+    pub fn with_updates(
+        &self,
+        spatial_density: Option<usize>,
+        sampling_period: Option<SimDuration>,
+        region: Option<CircleRegion>,
+    ) -> Result<TaskSpec, SenseAidError> {
+        let mut next = self.clone();
+        if let Some(d) = spatial_density {
+            if d == 0 {
+                return Err(SenseAidError::InvalidTask(
+                    "spatial density must be at least 1".into(),
+                ));
+            }
+            next.spatial_density = d;
+        }
+        if let Some(p) = sampling_period {
+            if p.is_zero() {
+                return Err(SenseAidError::InvalidTask(
+                    "sampling period must be non-zero".into(),
+                ));
+            }
+            next.sampling_period = Some(p);
+        }
+        if let Some(r) = region {
+            next.region = r;
+        }
+        Ok(next)
+    }
+
+    /// Expands the task into its requests, given the submission instant and
+    /// a request-id allocator. Requests come back in sampling order.
+    ///
+    /// Each request's deadline is one sampling period after its sampling
+    /// instant (the reading is stale once the next one is due); one-shot
+    /// tasks get a five-minute grace deadline.
+    pub fn expand_requests(
+        &self,
+        task_id: TaskId,
+        submitted_at: SimTime,
+        mut next_id: impl FnMut() -> RequestId,
+    ) -> Vec<Request> {
+        const ONE_SHOT_GRACE: SimDuration = SimDuration::from_mins(5);
+        let (start, end) = match self.schedule {
+            TaskSchedule::Duration(d) => (submitted_at, submitted_at + d),
+            TaskSchedule::Window { start, end } => (start.max(submitted_at), end),
+            TaskSchedule::OneShot => {
+                return vec![Request::new(
+                    next_id(),
+                    task_id,
+                    self.clone(),
+                    submitted_at,
+                    submitted_at + ONE_SHOT_GRACE,
+                )];
+            }
+        };
+        let period = self
+            .sampling_period
+            .expect("builder guarantees periodic tasks carry a period");
+        let mut out = Vec::new();
+        let mut sample_at = start;
+        while sample_at < end {
+            out.push(Request::new(
+                next_id(),
+                task_id,
+                self.clone(),
+                sample_at,
+                sample_at + period,
+            ));
+            sample_at += period;
+        }
+        out
+    }
+}
+
+impl fmt::Display for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ×{} in {}",
+            self.sensor, self.spatial_density, self.region
+        )
+    }
+}
+
+/// Builder for [`TaskSpec`].
+#[derive(Debug, Clone)]
+pub struct TaskSpecBuilder {
+    sensor: Sensor,
+    region: Option<CircleRegion>,
+    spatial_density: usize,
+    sampling_period: Option<SimDuration>,
+    sampling_duration: Option<SimDuration>,
+    window: Option<(SimTime, SimTime)>,
+    one_shot: bool,
+    device_type: Option<String>,
+}
+
+impl TaskSpecBuilder {
+    fn new(sensor: Sensor) -> Self {
+        TaskSpecBuilder {
+            sensor,
+            region: None,
+            spatial_density: 1,
+            sampling_period: None,
+            sampling_duration: None,
+            window: None,
+            one_shot: false,
+            device_type: None,
+        }
+    }
+
+    /// Sets the area of interest (required).
+    pub fn region(mut self, region: CircleRegion) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Sets the minimum number of reporting devices (default 1).
+    pub fn spatial_density(mut self, n: usize) -> Self {
+        self.spatial_density = n;
+        self
+    }
+
+    /// Sets the sampling period.
+    pub fn sampling_period(mut self, period: SimDuration) -> Self {
+        self.sampling_period = Some(period);
+        self
+    }
+
+    /// Runs the task for `duration` starting at submission.
+    pub fn sampling_duration(mut self, duration: SimDuration) -> Self {
+        self.sampling_duration = Some(duration);
+        self
+    }
+
+    /// Runs the task inside an explicit window.
+    pub fn window(mut self, start: SimTime, end: SimTime) -> Self {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// Makes the task a one-shot sample.
+    pub fn one_shot(mut self) -> Self {
+        self.one_shot = true;
+        self
+    }
+
+    /// Restricts the task to one device type.
+    pub fn device_type(mut self, device_type: impl Into<String>) -> Self {
+        self.device_type = Some(device_type.into());
+        self
+    }
+
+    /// Validates and builds the task.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::InvalidTask`] if the region is missing, the density
+    /// is zero, a periodic task lacks a period or schedule, the period is
+    /// zero or exceeds the duration, or the window is inverted.
+    pub fn build(self) -> Result<TaskSpec, SenseAidError> {
+        let region = self
+            .region
+            .ok_or_else(|| SenseAidError::InvalidTask("a region is required".into()))?;
+        if self.spatial_density == 0 {
+            return Err(SenseAidError::InvalidTask(
+                "spatial density must be at least 1".into(),
+            ));
+        }
+        let schedule = if self.one_shot {
+            if self.sampling_period.is_some()
+                || self.sampling_duration.is_some()
+                || self.window.is_some()
+            {
+                return Err(SenseAidError::InvalidTask(
+                    "one-shot tasks take no period, duration or window".into(),
+                ));
+            }
+            TaskSchedule::OneShot
+        } else {
+            let period = self.sampling_period.ok_or_else(|| {
+                SenseAidError::InvalidTask("periodic tasks need a sampling period".into())
+            })?;
+            if period.is_zero() {
+                return Err(SenseAidError::InvalidTask(
+                    "sampling period must be non-zero".into(),
+                ));
+            }
+            match (self.sampling_duration, self.window) {
+                (Some(_), Some(_)) => {
+                    return Err(SenseAidError::InvalidTask(
+                        "specify either a duration or a window, not both".into(),
+                    ))
+                }
+                (Some(d), None) => {
+                    if d < period {
+                        return Err(SenseAidError::InvalidTask(format!(
+                            "duration {d} shorter than period {period}"
+                        )));
+                    }
+                    TaskSchedule::Duration(d)
+                }
+                (None, Some((start, end))) => {
+                    if end <= start {
+                        return Err(SenseAidError::InvalidTask(
+                            "window end must be after start".into(),
+                        ));
+                    }
+                    TaskSchedule::Window { start, end }
+                }
+                (None, None) => {
+                    return Err(SenseAidError::InvalidTask(
+                        "periodic tasks need a duration or a window".into(),
+                    ))
+                }
+            }
+        };
+        Ok(TaskSpec {
+            sensor: self.sensor,
+            region,
+            spatial_density: self.spatial_density,
+            sampling_period: if self.one_shot {
+                None
+            } else {
+                self.sampling_period
+            },
+            schedule,
+            device_type: self.device_type,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_geo::GeoPoint;
+
+    fn region() -> CircleRegion {
+        CircleRegion::new(GeoPoint::new(40.4284, -86.9138), 500.0)
+    }
+
+    fn base() -> TaskSpecBuilder {
+        TaskSpec::builder(Sensor::Barometer)
+            .region(region())
+            .spatial_density(2)
+    }
+
+    #[test]
+    fn paper_example_sixty_minutes_ten_minute_period_is_six_requests() {
+        let task = base()
+            .sampling_period(SimDuration::from_mins(10))
+            .sampling_duration(SimDuration::from_mins(60))
+            .build()
+            .unwrap();
+        let mut n = 0u64;
+        let reqs = task.expand_requests(TaskId(1), SimTime::ZERO, || {
+            n += 1;
+            RequestId(n)
+        });
+        assert_eq!(reqs.len(), 6);
+        // Sampling instants: 0, 10, 20, 30, 40, 50 minutes.
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.sample_at(), SimTime::from_mins(10 * i as u64));
+            assert_eq!(r.deadline(), SimTime::from_mins(10 * (i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn window_schedule_clamps_to_submission() {
+        let task = base()
+            .sampling_period(SimDuration::from_mins(5))
+            .window(SimTime::from_mins(10), SimTime::from_mins(30))
+            .build()
+            .unwrap();
+        // Submitted late: sampling starts at submission, not window start.
+        let mut n = 0u64;
+        let reqs = task.expand_requests(TaskId(1), SimTime::from_mins(20), || {
+            n += 1;
+            RequestId(n)
+        });
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].sample_at(), SimTime::from_mins(20));
+    }
+
+    #[test]
+    fn one_shot_generates_single_request() {
+        let task = base().one_shot().build().unwrap();
+        let mut n = 0u64;
+        let reqs = task.expand_requests(TaskId(2), SimTime::from_mins(3), || {
+            n += 1;
+            RequestId(n)
+        });
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].sample_at(), SimTime::from_mins(3));
+        assert_eq!(reqs[0].deadline(), SimTime::from_mins(8));
+    }
+
+    #[test]
+    fn builder_rejects_missing_region() {
+        let err = TaskSpec::builder(Sensor::Barometer)
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(60))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SenseAidError::InvalidTask(_)));
+    }
+
+    #[test]
+    fn builder_rejects_zero_density() {
+        let err = base()
+            .spatial_density(0)
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(60))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("density"));
+    }
+
+    #[test]
+    fn builder_rejects_period_longer_than_duration() {
+        let err = base()
+            .sampling_period(SimDuration::from_mins(60))
+            .sampling_duration(SimDuration::from_mins(10))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("shorter than period"));
+    }
+
+    #[test]
+    fn builder_rejects_both_duration_and_window() {
+        let err = base()
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(60))
+            .window(SimTime::ZERO, SimTime::from_mins(60))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("not both"));
+    }
+
+    #[test]
+    fn builder_rejects_inverted_window() {
+        let err = base()
+            .sampling_period(SimDuration::from_mins(5))
+            .window(SimTime::from_mins(60), SimTime::from_mins(10))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("after start"));
+    }
+
+    #[test]
+    fn builder_rejects_one_shot_with_period() {
+        let err = base()
+            .one_shot()
+            .sampling_period(SimDuration::from_mins(5))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("one-shot"));
+    }
+
+    #[test]
+    fn update_params_mid_flight() {
+        let task = base()
+            .sampling_period(SimDuration::from_mins(10))
+            .sampling_duration(SimDuration::from_mins(60))
+            .build()
+            .unwrap();
+        let updated = task
+            .with_updates(Some(5), Some(SimDuration::from_mins(2)), None)
+            .unwrap();
+        assert_eq!(updated.spatial_density(), 5);
+        assert_eq!(updated.sampling_period(), Some(SimDuration::from_mins(2)));
+        assert_eq!(updated.region(), task.region());
+        assert!(task.with_updates(Some(0), None, None).is_err());
+        assert!(task
+            .with_updates(None, Some(SimDuration::ZERO), None)
+            .is_err());
+    }
+
+    #[test]
+    fn device_type_restriction_carries() {
+        let task = base()
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(10))
+            .device_type("iPhone6")
+            .build()
+            .unwrap();
+        assert_eq!(task.device_type(), Some("iPhone6"));
+    }
+
+    #[test]
+    fn display_mentions_sensor_and_density() {
+        let task = base()
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(10))
+            .build()
+            .unwrap();
+        let s = task.to_string();
+        assert!(s.contains("barometer") && s.contains("×2"), "{s}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Sensed-data plausibility validation.
+//!
+//! The paper's "qualified devices" definition (§3) drops devices whose
+//! submitted data is invalid. [`ReadingValidator`] applies per-sensor
+//! plausibility ranges; the server flags offending devices so they stop
+//! being selected.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::{Sensor, SensorReading};
+
+use crate::error::SenseAidError;
+
+/// Per-sensor plausibility ranges.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_core::ReadingValidator;
+/// use senseaid_device::Sensor;
+///
+/// let v = ReadingValidator::default();
+/// assert!(v.plausible(Sensor::Barometer, 1013.25));
+/// assert!(!v.plausible(Sensor::Barometer, -5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReadingValidator {
+    _priv: (),
+}
+
+impl ReadingValidator {
+    /// A validator with the default plausibility ranges.
+    pub fn new() -> Self {
+        ReadingValidator::default()
+    }
+
+    /// The plausible `[min, max]` range for a sensor's values.
+    pub fn range(&self, sensor: Sensor) -> (f64, f64) {
+        match sensor {
+            // Sea-level extremes ever recorded are ~870–1085 hPa; allow
+            // altitude headroom.
+            Sensor::Barometer => (300.0, 1100.0),
+            Sensor::Thermometer => (-60.0, 60.0),
+            Sensor::Humidity => (0.0, 100.0),
+            Sensor::Light => (0.0, 200_000.0),
+            Sensor::Accelerometer => (-80.0, 80.0),
+            Sensor::Magnetometer => (-5_000.0, 5_000.0),
+            Sensor::Gyroscope => (-50.0, 50.0),
+            Sensor::Gps => (-500.0, 500.0),
+            Sensor::Microphone => (-200.0, 200.0),
+            Sensor::Camera => (f64::MIN, f64::MAX),
+        }
+    }
+
+    /// Whether `value` is plausible for `sensor`.
+    pub fn plausible(&self, sensor: Sensor, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
+        let (lo, hi) = self.range(sensor);
+        (lo..=hi).contains(&value)
+    }
+
+    /// Validates a reading.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::InvalidReading`] when the value is implausible.
+    pub fn validate(&self, reading: &SensorReading) -> Result<(), SenseAidError> {
+        if self.plausible(reading.sensor, reading.value) {
+            Ok(())
+        } else {
+            Err(SenseAidError::InvalidReading {
+                sensor: reading.sensor,
+                value: reading.value,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_geo::GeoPoint;
+    use senseaid_sim::SimTime;
+
+    fn reading(sensor: Sensor, value: f64) -> SensorReading {
+        SensorReading {
+            sensor,
+            value,
+            taken_at: SimTime::ZERO,
+            position: GeoPoint::new(40.0, -86.0),
+        }
+    }
+
+    #[test]
+    fn normal_pressure_is_plausible() {
+        let v = ReadingValidator::new();
+        assert!(v.validate(&reading(Sensor::Barometer, 1013.0)).is_ok());
+        assert!(v.validate(&reading(Sensor::Barometer, 985.5)).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_pressure_is_rejected() {
+        let v = ReadingValidator::new();
+        for bad in [-10.0, 0.0, 299.9, 1100.1, 5000.0] {
+            let err = v.validate(&reading(Sensor::Barometer, bad)).unwrap_err();
+            assert!(matches!(err, SenseAidError::InvalidReading { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        let v = ReadingValidator::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(!v.plausible(Sensor::Barometer, bad));
+        }
+    }
+
+    #[test]
+    fn humidity_bounds() {
+        let v = ReadingValidator::new();
+        assert!(v.plausible(Sensor::Humidity, 0.0));
+        assert!(v.plausible(Sensor::Humidity, 100.0));
+        assert!(!v.plausible(Sensor::Humidity, 100.5));
+        assert!(!v.plausible(Sensor::Humidity, -0.5));
+    }
+
+    #[test]
+    fn every_sensor_has_an_ordered_range() {
+        let v = ReadingValidator::new();
+        for s in Sensor::ALL {
+            let (lo, hi) = v.range(s);
+            assert!(lo < hi, "{s}: range inverted");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The device battery.
+
+use serde::{Deserialize, Serialize};
+
+/// The study's nominal battery: 1800 mAh at 3.82 V ≈ 24 754 J.
+///
+/// The paper's "2 % tolerable budget" bar (Figs 11/13) is 2 % of this,
+/// quoted as 496 J in §5.1.
+pub const NOMINAL_CAPACITY_J: f64 = 1800.0 * 3.82 * 3.6; // mAh × V × 3.6 = J
+
+/// A simple coulomb-counting battery.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_device::Battery;
+///
+/// let mut b = Battery::nominal();
+/// assert_eq!(b.level_pct(), 100.0);
+/// b.drain(b.capacity_j() / 2.0);
+/// assert!((b.level_pct() - 50.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity_j: f64,
+    drained_j: f64,
+}
+
+impl Battery {
+    /// A battery with the given capacity in Joules, fully charged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_j` is not positive and finite.
+    pub fn new(capacity_j: f64) -> Self {
+        assert!(
+            capacity_j.is_finite() && capacity_j > 0.0,
+            "battery capacity {capacity_j} must be positive"
+        );
+        Battery {
+            capacity_j,
+            drained_j: 0.0,
+        }
+    }
+
+    /// The study's nominal 1800 mAh / 3.82 V battery, fully charged.
+    pub fn nominal() -> Self {
+        Battery::new(NOMINAL_CAPACITY_J)
+    }
+
+    /// A nominal battery pre-drained to the given level percentage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level_pct` is outside `[0, 100]`.
+    pub fn nominal_at_level(level_pct: f64) -> Self {
+        assert!(
+            (0.0..=100.0).contains(&level_pct),
+            "battery level {level_pct}% outside [0, 100]"
+        );
+        let mut b = Battery::nominal();
+        b.drain(NOMINAL_CAPACITY_J * (100.0 - level_pct) / 100.0);
+        b
+    }
+
+    /// Total capacity in Joules.
+    pub fn capacity_j(&self) -> f64 {
+        self.capacity_j
+    }
+
+    /// Remaining charge in Joules.
+    pub fn remaining_j(&self) -> f64 {
+        self.capacity_j - self.drained_j
+    }
+
+    /// Cumulative energy drained in Joules.
+    pub fn drained_j(&self) -> f64 {
+        self.drained_j
+    }
+
+    /// Remaining charge as a percentage of capacity (0–100).
+    pub fn level_pct(&self) -> f64 {
+        // Divide before scaling so a full battery reads exactly 100.0.
+        self.remaining_j() / self.capacity_j * 100.0
+    }
+
+    /// Whether the battery is empty.
+    pub fn is_depleted(&self) -> bool {
+        self.remaining_j() <= 0.0
+    }
+
+    /// Drains `joules` of charge, clamping at empty. Returns the energy
+    /// actually drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or non-finite.
+    pub fn drain(&mut self, joules: f64) -> f64 {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "cannot drain {joules} J"
+        );
+        let take = joules.min(self.remaining_j());
+        self.drained_j += take;
+        take
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_paper_threshold() {
+        let b = Battery::nominal();
+        // 2 % of nominal should be the paper's 496 J bar (±1 J).
+        let two_pct = b.capacity_j() * 0.02;
+        assert!(
+            (two_pct - 495.0).abs() < 1.5,
+            "2% of nominal = {two_pct}, expected ≈495–496 J"
+        );
+    }
+
+    #[test]
+    fn drain_reduces_level() {
+        let mut b = Battery::new(100.0);
+        assert_eq!(b.drain(30.0), 30.0);
+        assert_eq!(b.remaining_j(), 70.0);
+        assert_eq!(b.level_pct(), 70.0);
+        assert_eq!(b.drained_j(), 30.0);
+        assert!(!b.is_depleted());
+    }
+
+    #[test]
+    fn drain_clamps_at_empty() {
+        let mut b = Battery::new(10.0);
+        assert_eq!(b.drain(25.0), 10.0);
+        assert!(b.is_depleted());
+        assert_eq!(b.level_pct(), 0.0);
+        assert_eq!(b.drain(5.0), 0.0);
+    }
+
+    #[test]
+    fn nominal_at_level() {
+        let b = Battery::nominal_at_level(40.0);
+        assert!((b.level_pct() - 40.0).abs() < 1e-6);
+        let full = Battery::nominal_at_level(100.0);
+        assert_eq!(full.level_pct(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = Battery::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn rejects_bad_level() {
+        let _ = Battery::nominal_at_level(120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drain")]
+    fn rejects_negative_drain() {
+        Battery::new(10.0).drain(-1.0);
+    }
+}

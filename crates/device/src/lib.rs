@@ -1,0 +1,35 @@
+//! Simulated mobile devices (UEs) for the Sense-Aid reproduction.
+//!
+//! The paper's user study put its frameworks on 60 real student phones;
+//! this crate supplies the synthetic equivalent. A [`Device`] composes:
+//!
+//! * a [`Battery`] (the study's nominal 1800 mAh / 3.82 V pack — the 2 %
+//!   "tolerable budget" bar of Figs 11/13 is 495 J of it);
+//! * a cellular [`senseaid_radio::Radio`];
+//! * a set of hardware [`Sensor`]s with their published power draws;
+//! * a [`Mobility`] model (students dwell at and walk between campus
+//!   locations — this is what makes devices enter and leave task regions,
+//!   Fig 7/9);
+//! * an [`AppTrafficModel`] generating the *regular* smartphone traffic
+//!   whose radio tails Sense-Aid exploits and whose sessions PCS
+//!   piggybacks on.
+//!
+//! Framework clients (Sense-Aid, PCS, Periodic) live in other crates and
+//! drive `Device` through its public API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod mobility;
+pub mod profile;
+pub mod sensors;
+pub mod traffic;
+pub mod ue;
+
+pub use battery::Battery;
+pub use mobility::{CampusMobility, Mobility, StationaryJitter, TraceMobility, WaypointLeg};
+pub use profile::DeviceProfile;
+pub use sensors::{Sensor, SensorEnvironment, SensorReading, UniformEnvironment};
+pub use traffic::{AppSession, AppTrafficModel, SessionTransfer, TrafficConfig};
+pub use ue::{Device, DeviceId, ImeiHash, UserPreferences};

@@ -1,0 +1,531 @@
+//! Device mobility models.
+//!
+//! Mobility is what makes the paper's region dynamics happen: the number of
+//! qualified devices grows with area radius (Fig 7), and individual devices
+//! wander out of a task's circle and back (Fig 9's device 8). Students in
+//! the study dwell at campus buildings and walk between them;
+//! [`CampusMobility`] reproduces exactly that pattern.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_geo::{CampusMap, GeoPoint};
+use senseaid_sim::{SimDuration, SimRng, SimTime};
+
+/// A position source over simulated time.
+///
+/// Implementations may lazily extend internal state, hence `&mut self`;
+/// queries must be served for any `t`, in any order.
+pub trait Mobility: std::fmt::Debug + Send {
+    /// The device position at `t`.
+    fn position_at(&mut self, t: SimTime) -> GeoPoint;
+}
+
+/// One segment of a movement trace: linear motion from `from` (at `start`)
+/// to `to` (at `end`). A dwell is a leg with `from == to`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointLeg {
+    /// Leg start time.
+    pub start: SimTime,
+    /// Leg end time.
+    pub end: SimTime,
+    /// Position at `start`.
+    pub from: GeoPoint,
+    /// Position at `end`.
+    pub to: GeoPoint,
+}
+
+impl WaypointLeg {
+    /// Position within the leg at `t` (clamped to the leg's interval).
+    pub fn position_at(&self, t: SimTime) -> GeoPoint {
+        if t <= self.start || self.end == self.start {
+            return self.from;
+        }
+        if t >= self.end {
+            return self.to;
+        }
+        let frac = t.elapsed_since(self.start) / self.end.elapsed_since(self.start);
+        self.from.lerp(self.to, frac)
+    }
+}
+
+/// Tuning knobs for [`CampusMobility`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampusMobilityConfig {
+    /// Mean dwell time at a building.
+    pub mean_dwell: SimDuration,
+    /// Minimum dwell time.
+    pub min_dwell: SimDuration,
+    /// Walking speed range in m/s.
+    pub speed_range: (f64, f64),
+    /// Gaussian scatter (σ, metres) around a building anchor when dwelling.
+    pub anchor_scatter_m: f64,
+}
+
+impl Default for CampusMobilityConfig {
+    fn default() -> Self {
+        CampusMobilityConfig {
+            mean_dwell: SimDuration::from_mins(25),
+            min_dwell: SimDuration::from_mins(5),
+            speed_range: (1.1, 1.7),
+            anchor_scatter_m: 120.0,
+        }
+    }
+}
+
+/// Students dwell at campus buildings and walk between them.
+///
+/// The trace is generated lazily and deterministically from the device's
+/// RNG stream: querying positions never depends on query order.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_device::{CampusMobility, Mobility};
+/// use senseaid_geo::CampusMap;
+/// use senseaid_sim::{SimRng, SimTime};
+///
+/// let map = CampusMap::standard();
+/// let mut m = CampusMobility::new(&map, SimRng::from_seed_label(1, "mob"), Default::default());
+/// let p = m.position_at(SimTime::from_mins(30));
+/// assert!(map.in_bounds(p));
+/// ```
+#[derive(Debug)]
+pub struct CampusMobility {
+    anchors: Vec<GeoPoint>,
+    bounds: CampusMap,
+    config: CampusMobilityConfig,
+    rng: SimRng,
+    legs: Vec<WaypointLeg>,
+}
+
+impl CampusMobility {
+    /// Creates a trace over the given campus. The device starts dwelling at
+    /// a uniformly chosen building.
+    pub fn new(map: &CampusMap, mut rng: SimRng, config: CampusMobilityConfig) -> Self {
+        let anchors: Vec<GeoPoint> = map.locations().iter().map(|(_, p)| *p).collect();
+        let start_anchor = *rng.choose(&anchors).expect("campus has locations");
+        let start_pos = Self::scatter(map, &mut rng, start_anchor, config.anchor_scatter_m);
+        let first_dwell = Self::dwell_duration(&mut rng, &config);
+        let legs = vec![WaypointLeg {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + first_dwell,
+            from: start_pos,
+            to: start_pos,
+        }];
+        CampusMobility {
+            anchors,
+            bounds: map.clone(),
+            config,
+            rng,
+            legs,
+        }
+    }
+
+    fn dwell_duration(rng: &mut SimRng, config: &CampusMobilityConfig) -> SimDuration {
+        let d = SimDuration::from_secs_f64(rng.exponential(config.mean_dwell.as_secs_f64()));
+        d.max(config.min_dwell)
+    }
+
+    fn scatter(map: &CampusMap, rng: &mut SimRng, anchor: GeoPoint, sigma_m: f64) -> GeoPoint {
+        let n = rng.normal(0.0, sigma_m);
+        let e = rng.normal(0.0, sigma_m);
+        map.clamp_to_bounds(anchor.offset_by_meters(n, e))
+    }
+
+    /// Extends the trace until it covers `t`.
+    fn extend_to(&mut self, t: SimTime) {
+        while self.legs.last().expect("never empty").end < t {
+            let last = *self.legs.last().expect("never empty");
+            let was_dwell = last.from == last.to;
+            if was_dwell {
+                // Walk to a (usually different) building.
+                let target_anchor = *self
+                    .rng
+                    .choose(&self.anchors)
+                    .expect("campus has locations");
+                let dest = Self::scatter(
+                    &self.bounds,
+                    &mut self.rng,
+                    target_anchor,
+                    self.config.anchor_scatter_m,
+                );
+                let dist = last.to.distance_to(dest).value();
+                let speed = self
+                    .rng
+                    .uniform_range(self.config.speed_range.0, self.config.speed_range.1);
+                let dur = SimDuration::from_secs_f64((dist / speed).max(1.0));
+                self.legs.push(WaypointLeg {
+                    start: last.end,
+                    end: last.end + dur,
+                    from: last.to,
+                    to: dest,
+                });
+            } else {
+                // Arrived: dwell.
+                let dur = Self::dwell_duration(&mut self.rng, &self.config);
+                self.legs.push(WaypointLeg {
+                    start: last.end,
+                    end: last.end + dur,
+                    from: last.to,
+                    to: last.to,
+                });
+            }
+        }
+    }
+
+    /// The legs generated so far (for tests and trace export).
+    pub fn legs(&self) -> &[WaypointLeg] {
+        &self.legs
+    }
+}
+
+impl Mobility for CampusMobility {
+    fn position_at(&mut self, t: SimTime) -> GeoPoint {
+        self.extend_to(t);
+        let idx = self
+            .legs
+            .partition_point(|leg| leg.end < t)
+            .min(self.legs.len() - 1);
+        self.legs[idx].position_at(t)
+    }
+}
+
+/// A device that never really moves: fixed position plus a slow, bounded
+/// deterministic wobble (GPS noise / small indoor movement).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StationaryJitter {
+    centre: GeoPoint,
+    amplitude_m: f64,
+    period: SimDuration,
+}
+
+impl StationaryJitter {
+    /// A device parked at `centre` wobbling by up to `amplitude_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude_m` is negative or `period` is zero.
+    pub fn new(centre: GeoPoint, amplitude_m: f64, period: SimDuration) -> Self {
+        assert!(amplitude_m >= 0.0, "amplitude {amplitude_m} must be >= 0");
+        assert!(!period.is_zero(), "period must be non-zero");
+        StationaryJitter {
+            centre,
+            amplitude_m,
+            period,
+        }
+    }
+
+    /// A perfectly still device.
+    pub fn fixed(centre: GeoPoint) -> Self {
+        StationaryJitter::new(centre, 0.0, SimDuration::from_secs(1))
+    }
+}
+
+impl Mobility for StationaryJitter {
+    fn position_at(&mut self, t: SimTime) -> GeoPoint {
+        if self.amplitude_m == 0.0 {
+            return self.centre;
+        }
+        let phase = (t.as_secs_f64() / self.period.as_secs_f64()) * std::f64::consts::TAU;
+        self.centre
+            .offset_by_meters(self.amplitude_m * phase.sin(), self.amplitude_m * phase.cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> CampusMap {
+        CampusMap::standard()
+    }
+
+    fn rng(label: &str) -> SimRng {
+        SimRng::from_seed_label(77, label)
+    }
+
+    #[test]
+    fn positions_stay_in_bounds_for_hours() {
+        let m = map();
+        let mut mob = CampusMobility::new(&m, rng("a"), CampusMobilityConfig::default());
+        for mins in (0..=480).step_by(7) {
+            let p = mob.position_at(SimTime::from_mins(mins));
+            assert!(m.in_bounds(p), "out of bounds at {mins} min: {p}");
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_order_independent() {
+        let m = map();
+        let mut fwd = CampusMobility::new(&m, rng("b"), CampusMobilityConfig::default());
+        let mut rev = CampusMobility::new(&m, rng("b"), CampusMobilityConfig::default());
+        let times: Vec<SimTime> = (0..20).map(|i| SimTime::from_mins(i * 13)).collect();
+        let fwd_positions: Vec<GeoPoint> = times.iter().map(|&t| fwd.position_at(t)).collect();
+        // Query in reverse order; must get identical answers.
+        let mut rev_positions: Vec<GeoPoint> =
+            times.iter().rev().map(|&t| rev.position_at(t)).collect();
+        rev_positions.reverse();
+        assert_eq!(fwd_positions, rev_positions);
+    }
+
+    #[test]
+    fn movement_is_continuous() {
+        let m = map();
+        let mut mob = CampusMobility::new(&m, rng("c"), CampusMobilityConfig::default());
+        let mut prev = mob.position_at(SimTime::ZERO);
+        for secs in (10..7200).step_by(10) {
+            let p = mob.position_at(SimTime::from_secs(secs));
+            let d = prev.distance_to(p).value();
+            // Max walking speed 1.7 m/s over a 10 s step.
+            assert!(d <= 1.7 * 10.0 + 0.5, "jumped {d} m in 10 s at t={secs}s");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn device_actually_moves_between_buildings() {
+        let m = map();
+        let mut mob = CampusMobility::new(&m, rng("d"), CampusMobilityConfig::default());
+        let start = mob.position_at(SimTime::ZERO);
+        // Over 8 hours a student visits several buildings.
+        let mut max_d: f64 = 0.0;
+        for mins in (0..480).step_by(5) {
+            let p = mob.position_at(SimTime::from_mins(mins));
+            max_d = max_d.max(start.distance_to(p).value());
+        }
+        assert!(max_d > 200.0, "device never left its start area ({max_d} m)");
+    }
+
+    #[test]
+    fn dwell_legs_alternate_with_walk_legs() {
+        let m = map();
+        let mut mob = CampusMobility::new(&m, rng("e"), CampusMobilityConfig::default());
+        mob.position_at(SimTime::from_mins(600));
+        let legs = mob.legs();
+        assert!(legs.len() >= 4, "expected several legs, got {}", legs.len());
+        for pair in legs.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "legs must be contiguous");
+            let a_dwell = pair[0].from == pair[0].to;
+            let b_dwell = pair[1].from == pair[1].to;
+            assert_ne!(a_dwell, b_dwell, "dwell and walk legs must alternate");
+        }
+    }
+
+    #[test]
+    fn waypoint_leg_interpolates() {
+        let a = GeoPoint::new(40.0, -86.0);
+        let b = a.offset_by_meters(100.0, 0.0);
+        let leg = WaypointLeg {
+            start: SimTime::from_secs(10),
+            end: SimTime::from_secs(20),
+            from: a,
+            to: b,
+        };
+        assert_eq!(leg.position_at(SimTime::from_secs(5)), a);
+        assert_eq!(leg.position_at(SimTime::from_secs(25)), b);
+        let mid = leg.position_at(SimTime::from_secs(15));
+        assert!((a.distance_to(mid).value() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stationary_fixed_never_moves() {
+        let p = GeoPoint::new(40.0, -86.0);
+        let mut s = StationaryJitter::fixed(p);
+        assert_eq!(s.position_at(SimTime::ZERO), p);
+        assert_eq!(s.position_at(SimTime::from_mins(90)), p);
+    }
+
+    #[test]
+    fn stationary_jitter_bounded() {
+        let p = GeoPoint::new(40.0, -86.0);
+        let mut s = StationaryJitter::new(p, 5.0, SimDuration::from_mins(10));
+        for mins in 0..60 {
+            let q = s.position_at(SimTime::from_mins(mins));
+            assert!(p.distance_to(q).value() <= 5.0 * std::f64::consts::SQRT_2 + 0.1);
+        }
+    }
+}
+
+/// Replays a recorded movement trace: explicit timestamped waypoints with
+/// linear interpolation between them.
+///
+/// Traces round-trip with `senseaid-workload`'s CSV exporter, so a
+/// mobility pattern observed in one run (or imported from a real GPS
+/// log) can be replayed exactly in another.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_device::{Mobility, TraceMobility};
+/// use senseaid_geo::GeoPoint;
+/// use senseaid_sim::SimTime;
+///
+/// let a = GeoPoint::new(40.4284, -86.9138);
+/// let b = a.offset_by_meters(100.0, 0.0);
+/// let mut m = TraceMobility::from_waypoints(vec![
+///     (SimTime::ZERO, a),
+///     (SimTime::from_secs(100), b),
+/// ]);
+/// let mid = m.position_at(SimTime::from_secs(50));
+/// assert!((a.distance_to(mid).value() - 50.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMobility {
+    waypoints: Vec<(SimTime, GeoPoint)>,
+}
+
+impl TraceMobility {
+    /// Builds a trace from timestamped waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waypoints` is empty or timestamps are not strictly
+    /// increasing.
+    pub fn from_waypoints(waypoints: Vec<(SimTime, GeoPoint)>) -> Self {
+        assert!(!waypoints.is_empty(), "a trace needs at least one waypoint");
+        for pair in waypoints.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "waypoint timestamps must strictly increase ({} then {})",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        TraceMobility { waypoints }
+    }
+
+    /// Parses a `t_s,lat_deg,lon_deg` CSV (header optional) — the format
+    /// `senseaid-workload`'s `mobility_csv` writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on any parse failure.
+    pub fn from_csv(csv: &str) -> Result<Self, String> {
+        let mut waypoints = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("t_s") {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let parse = |field: Option<&str>, what: &str| -> Result<f64, String> {
+                field
+                    .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+            };
+            let t = parse(parts.next(), "timestamp")?;
+            let lat = parse(parts.next(), "latitude")?;
+            let lon = parse(parts.next(), "longitude")?;
+            if t < 0.0 {
+                return Err(format!("line {}: negative timestamp", lineno + 1));
+            }
+            waypoints.push((
+                SimTime::ZERO + SimDuration::from_secs_f64(t),
+                GeoPoint::new(lat, lon),
+            ));
+        }
+        if waypoints.is_empty() {
+            return Err("trace has no waypoints".to_owned());
+        }
+        for pair in waypoints.windows(2) {
+            if pair[0].0 >= pair[1].0 {
+                return Err(format!(
+                    "waypoint timestamps must strictly increase ({} then {})",
+                    pair[0].0, pair[1].0
+                ));
+            }
+        }
+        Ok(TraceMobility { waypoints })
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.waypoints.len()
+    }
+
+    /// Whether the trace is empty (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.waypoints.is_empty()
+    }
+}
+
+impl Mobility for TraceMobility {
+    fn position_at(&mut self, t: SimTime) -> GeoPoint {
+        let idx = self.waypoints.partition_point(|(at, _)| *at <= t);
+        match idx {
+            0 => self.waypoints[0].1,
+            i if i == self.waypoints.len() => self.waypoints[i - 1].1,
+            i => {
+                let (t0, p0) = self.waypoints[i - 1];
+                let (t1, p1) = self.waypoints[i];
+                let frac = t.elapsed_since(t0) / t1.elapsed_since(t0);
+                p0.lerp(p1, frac)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    #[test]
+    fn interpolates_and_clamps() {
+        let b = base().offset_by_meters(0.0, 200.0);
+        let mut m = TraceMobility::from_waypoints(vec![
+            (SimTime::from_secs(10), base()),
+            (SimTime::from_secs(30), b),
+        ]);
+        assert_eq!(m.position_at(SimTime::ZERO), base(), "clamps before start");
+        assert_eq!(m.position_at(SimTime::from_secs(99)), b, "clamps after end");
+        let mid = m.position_at(SimTime::from_secs(20));
+        assert!((base().distance_to(mid).value() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn csv_round_trips_with_exporter_format() {
+        let csv = "t_s,lat_deg,lon_deg\n0.0,40.428400,-86.913800\n60.0,40.429000,-86.913800\n";
+        let mut m = TraceMobility::from_csv(csv).unwrap();
+        assert_eq!(m.len(), 2);
+        let start = m.position_at(SimTime::ZERO);
+        assert!((start.lat_deg() - 40.4284).abs() < 1e-9);
+        // Midpoint of the one-minute leg.
+        let mid = m.position_at(SimTime::from_secs(30));
+        assert!((mid.lat_deg() - 40.4287).abs() < 1e-6);
+    }
+
+    #[test]
+    fn csv_errors_are_descriptive() {
+        assert!(TraceMobility::from_csv("").unwrap_err().contains("no waypoints"));
+        assert!(TraceMobility::from_csv("1.0,oops,2.0")
+            .unwrap_err()
+            .contains("bad latitude"));
+        assert!(TraceMobility::from_csv("5.0,40.0,-86.0\n2.0,40.0,-86.0")
+            .unwrap_err()
+            .contains("strictly increase"));
+        assert!(TraceMobility::from_csv("-1.0,40.0,-86.0")
+            .unwrap_err()
+            .contains("negative"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one waypoint")]
+    fn rejects_empty_waypoints() {
+        let _ = TraceMobility::from_waypoints(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_unordered_waypoints() {
+        let _ = TraceMobility::from_waypoints(vec![
+            (SimTime::from_secs(10), base()),
+            (SimTime::from_secs(10), base()),
+        ]);
+    }
+}

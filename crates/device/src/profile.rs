@@ -1,0 +1,202 @@
+//! Device hardware profiles.
+//!
+//! The paper's Table 1 lets a task restrict itself to a `device_type`
+//! string (e.g. `"iPhone6"`, `"LG G2"`), and a device is unqualified for a
+//! task whose sensor it lacks. Profiles carry both facts plus the radio
+//! power model.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_radio::RadioPowerProfile;
+
+use crate::battery;
+use crate::sensors::Sensor;
+
+/// Hardware description of a device model.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_device::{DeviceProfile, Sensor};
+///
+/// let s4 = DeviceProfile::galaxy_s4();
+/// assert!(s4.has_sensor(Sensor::Barometer));
+/// assert!(!DeviceProfile::budget_phone().has_sensor(Sensor::Barometer));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// The `device_type` string tasks may match against.
+    pub device_type: String,
+    /// Radio power model.
+    pub radio: RadioPowerProfile,
+    /// Battery capacity in Joules.
+    pub battery_capacity_j: f64,
+    /// Sensors present on this model.
+    pub sensors: BTreeSet<Sensor>,
+}
+
+impl DeviceProfile {
+    /// The study handset: Samsung Galaxy S4 on LTE, full sensor suite.
+    pub fn galaxy_s4() -> Self {
+        DeviceProfile {
+            device_type: "GalaxyS4".to_owned(),
+            radio: RadioPowerProfile::lte_galaxy_s4(),
+            battery_capacity_j: battery::NOMINAL_CAPACITY_J,
+            sensors: [
+                Sensor::Accelerometer,
+                Sensor::Magnetometer,
+                Sensor::Gyroscope,
+                Sensor::Light,
+                Sensor::Barometer,
+                Sensor::Humidity,
+                Sensor::Thermometer,
+                Sensor::Gps,
+                Sensor::Microphone,
+                Sensor::Camera,
+            ]
+            .into(),
+        }
+    }
+
+    /// The study handset on a 3G network (Fig 2's 3G bars).
+    pub fn galaxy_s4_3g() -> Self {
+        DeviceProfile {
+            device_type: "GalaxyS4-3G".to_owned(),
+            radio: RadioPowerProfile::threeg_galaxy_s4(),
+            ..Self::galaxy_s4()
+        }
+    }
+
+    /// An iPhone 6-like device: has a barometer, no ambient thermometer or
+    /// humidity sensor.
+    pub fn iphone6() -> Self {
+        DeviceProfile {
+            device_type: "iPhone6".to_owned(),
+            radio: RadioPowerProfile::lte_galaxy_s4(),
+            battery_capacity_j: 1810.0 * 3.82 * 3.6,
+            sensors: [
+                Sensor::Accelerometer,
+                Sensor::Magnetometer,
+                Sensor::Gyroscope,
+                Sensor::Light,
+                Sensor::Barometer,
+                Sensor::Gps,
+                Sensor::Microphone,
+                Sensor::Camera,
+            ]
+            .into(),
+        }
+    }
+
+    /// An LG G2-like device: no barometer.
+    pub fn lg_g2() -> Self {
+        DeviceProfile {
+            device_type: "LG G2".to_owned(),
+            radio: RadioPowerProfile::lte_galaxy_s4(),
+            battery_capacity_j: 3000.0 * 3.8 * 3.6,
+            sensors: [
+                Sensor::Accelerometer,
+                Sensor::Magnetometer,
+                Sensor::Gyroscope,
+                Sensor::Light,
+                Sensor::Gps,
+                Sensor::Microphone,
+                Sensor::Camera,
+            ]
+            .into(),
+        }
+    }
+
+    /// A budget phone without barometer or gyroscope — exists in every
+    /// student population and must end up *unqualified* for barometer
+    /// tasks.
+    pub fn budget_phone() -> Self {
+        DeviceProfile {
+            device_type: "BudgetPhone".to_owned(),
+            radio: RadioPowerProfile::lte_galaxy_s4(),
+            battery_capacity_j: 1500.0 * 3.7 * 3.6,
+            sensors: [
+                Sensor::Accelerometer,
+                Sensor::Light,
+                Sensor::Gps,
+                Sensor::Microphone,
+                Sensor::Camera,
+            ]
+            .into(),
+        }
+    }
+
+    /// Whether the model carries `sensor`.
+    pub fn has_sensor(&self, sensor: Sensor) -> bool {
+        self.sensors.contains(&sensor)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive battery capacity, an empty device type, or
+    /// an invalid radio profile.
+    pub fn validate(&self) {
+        assert!(!self.device_type.is_empty(), "device_type must be non-empty");
+        assert!(
+            self.battery_capacity_j.is_finite() && self.battery_capacity_j > 0.0,
+            "battery capacity {} must be positive",
+            self.battery_capacity_j
+        );
+        self.radio.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [
+            DeviceProfile::galaxy_s4(),
+            DeviceProfile::galaxy_s4_3g(),
+            DeviceProfile::iphone6(),
+            DeviceProfile::lg_g2(),
+            DeviceProfile::budget_phone(),
+        ] {
+            p.validate();
+        }
+    }
+
+    #[test]
+    fn barometer_availability_matches_reality() {
+        assert!(DeviceProfile::galaxy_s4().has_sensor(Sensor::Barometer));
+        assert!(DeviceProfile::iphone6().has_sensor(Sensor::Barometer));
+        assert!(!DeviceProfile::lg_g2().has_sensor(Sensor::Barometer));
+        assert!(!DeviceProfile::budget_phone().has_sensor(Sensor::Barometer));
+    }
+
+    #[test]
+    fn threeg_variant_swaps_radio_only() {
+        let lte = DeviceProfile::galaxy_s4();
+        let threeg = DeviceProfile::galaxy_s4_3g();
+        assert_eq!(lte.sensors, threeg.sensors);
+        assert_eq!(lte.battery_capacity_j, threeg.battery_capacity_j);
+        assert_ne!(lte.radio, threeg.radio);
+    }
+
+    #[test]
+    fn device_types_are_distinct() {
+        let types: Vec<String> = [
+            DeviceProfile::galaxy_s4(),
+            DeviceProfile::galaxy_s4_3g(),
+            DeviceProfile::iphone6(),
+            DeviceProfile::lg_g2(),
+            DeviceProfile::budget_phone(),
+        ]
+        .iter()
+        .map(|p| p.device_type.clone())
+        .collect();
+        let unique: std::collections::BTreeSet<_> = types.iter().collect();
+        assert_eq!(unique.len(), types.len());
+    }
+}

@@ -1,0 +1,217 @@
+//! Hardware sensors and their power draws.
+//!
+//! Power numbers are the ones the paper quotes (§1, citing Warden's
+//! Galaxy S4 measurements): accelerometer 21 mW, gyroscope 130 mW,
+//! barometer 110 mW, GPS 176 mW, microphone 101 mW, camera >1000 mW.
+//! Sensor type codes mirror the Android `Sensor.TYPE_*` constants, since
+//! the paper's task descriptor carries an Android `int sensor_type`
+//! (Table 1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_geo::GeoPoint;
+use senseaid_sim::{SimDuration, SimTime};
+
+/// A sensor a device may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sensor {
+    /// Android `TYPE_ACCELEROMETER` (1).
+    Accelerometer,
+    /// Android `TYPE_MAGNETIC_FIELD` (2).
+    Magnetometer,
+    /// Android `TYPE_GYROSCOPE` (4).
+    Gyroscope,
+    /// Android `TYPE_LIGHT` (5).
+    Light,
+    /// Android `TYPE_PRESSURE` (6) — the barometer every study task uses.
+    Barometer,
+    /// Android `TYPE_RELATIVE_HUMIDITY` (12).
+    Humidity,
+    /// Android `TYPE_AMBIENT_TEMPERATURE` (13).
+    Thermometer,
+    /// GPS receiver (not an Android sensor type; code 100 here).
+    Gps,
+    /// Microphone (code 101 here).
+    Microphone,
+    /// Camera (code 102 here).
+    Camera,
+}
+
+impl Sensor {
+    /// Every sensor the simulator knows about.
+    pub const ALL: [Sensor; 10] = [
+        Sensor::Accelerometer,
+        Sensor::Magnetometer,
+        Sensor::Gyroscope,
+        Sensor::Light,
+        Sensor::Barometer,
+        Sensor::Humidity,
+        Sensor::Thermometer,
+        Sensor::Gps,
+        Sensor::Microphone,
+        Sensor::Camera,
+    ];
+
+    /// The Android-style integer type code (Table 1's `int sensor_type`).
+    pub fn type_code(self) -> i32 {
+        match self {
+            Sensor::Accelerometer => 1,
+            Sensor::Magnetometer => 2,
+            Sensor::Gyroscope => 4,
+            Sensor::Light => 5,
+            Sensor::Barometer => 6,
+            Sensor::Humidity => 12,
+            Sensor::Thermometer => 13,
+            Sensor::Gps => 100,
+            Sensor::Microphone => 101,
+            Sensor::Camera => 102,
+        }
+    }
+
+    /// Looks a sensor up by its integer type code.
+    pub fn from_type_code(code: i32) -> Option<Sensor> {
+        Sensor::ALL.into_iter().find(|s| s.type_code() == code)
+    }
+
+    /// Active power draw while sampling, in milliwatts.
+    pub fn power_mw(self) -> f64 {
+        match self {
+            Sensor::Accelerometer => 21.0,
+            Sensor::Magnetometer => 48.0,
+            Sensor::Gyroscope => 130.0,
+            Sensor::Light => 15.0,
+            Sensor::Barometer => 110.0,
+            Sensor::Humidity => 25.0,
+            Sensor::Thermometer => 20.0,
+            Sensor::Gps => 176.0,
+            Sensor::Microphone => 101.0,
+            Sensor::Camera => 1200.0,
+        }
+    }
+
+    /// How long one sample keeps the sensor powered (warm-up + read).
+    pub fn sample_duration(self) -> SimDuration {
+        match self {
+            Sensor::Gps => SimDuration::from_secs(8), // cold-ish fix
+            Sensor::Camera => SimDuration::from_secs(2),
+            Sensor::Microphone => SimDuration::from_secs(1),
+            _ => SimDuration::from_millis(200),
+        }
+    }
+
+    /// Energy of one sample in Joules.
+    pub fn sample_energy_j(self) -> f64 {
+        self.power_mw() * 1e-3 * self.sample_duration().as_secs_f64()
+    }
+}
+
+impl fmt::Display for Sensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sensor::Accelerometer => "accelerometer",
+            Sensor::Magnetometer => "magnetometer",
+            Sensor::Gyroscope => "gyroscope",
+            Sensor::Light => "light",
+            Sensor::Barometer => "barometer",
+            Sensor::Humidity => "humidity",
+            Sensor::Thermometer => "thermometer",
+            Sensor::Gps => "gps",
+            Sensor::Microphone => "microphone",
+            Sensor::Camera => "camera",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One sensed value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorReading {
+    /// Which sensor produced it.
+    pub sensor: Sensor,
+    /// The value, in the sensor's natural unit (hPa for the barometer).
+    pub value: f64,
+    /// When it was taken.
+    pub taken_at: SimTime,
+    /// Where it was taken.
+    pub position: GeoPoint,
+}
+
+/// Source of ground-truth values for sensors: given a sensor, a place and a
+/// time, what would the hardware read?
+///
+/// The workload crate implements a spatially correlated weather field; this
+/// crate ships only the trivial [`UniformEnvironment`].
+pub trait SensorEnvironment {
+    /// The true field value for `sensor` at `position` and `at`.
+    fn truth(&self, sensor: Sensor, position: GeoPoint, at: SimTime) -> f64;
+}
+
+/// An environment where every sensor reads a constant (useful in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformEnvironment {
+    /// The constant every sensor reads.
+    pub value: f64,
+}
+
+impl SensorEnvironment for UniformEnvironment {
+    fn truth(&self, _sensor: Sensor, _position: GeoPoint, _at: SimTime) -> f64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_power_numbers() {
+        assert_eq!(Sensor::Accelerometer.power_mw(), 21.0);
+        assert_eq!(Sensor::Gyroscope.power_mw(), 130.0);
+        assert_eq!(Sensor::Barometer.power_mw(), 110.0);
+        assert_eq!(Sensor::Gps.power_mw(), 176.0);
+        assert_eq!(Sensor::Microphone.power_mw(), 101.0);
+        assert!(Sensor::Camera.power_mw() > 1000.0);
+    }
+
+    #[test]
+    fn type_codes_round_trip() {
+        for s in Sensor::ALL {
+            assert_eq!(Sensor::from_type_code(s.type_code()), Some(s));
+        }
+        assert_eq!(Sensor::from_type_code(-1), None);
+        // Barometer carries the Android TYPE_PRESSURE code.
+        assert_eq!(Sensor::Barometer.type_code(), 6);
+    }
+
+    #[test]
+    fn barometer_sample_is_cheap_compared_to_radio() {
+        // One barometer sample ≈ 0.022 J; a cold LTE upload is ~12 J. The
+        // paper's premise — network dominates sensing — must hold.
+        let sample = Sensor::Barometer.sample_energy_j();
+        assert!(sample < 0.05, "barometer sample {sample} J");
+    }
+
+    #[test]
+    fn gps_much_more_expensive_than_barometer() {
+        assert!(Sensor::Gps.sample_energy_j() > 10.0 * Sensor::Barometer.sample_energy_j());
+    }
+
+    #[test]
+    fn uniform_environment_is_constant() {
+        let env = UniformEnvironment { value: 1013.25 };
+        let p = GeoPoint::new(40.0, -86.0);
+        assert_eq!(env.truth(Sensor::Barometer, p, SimTime::ZERO), 1013.25);
+        assert_eq!(
+            env.truth(Sensor::Gps, p, SimTime::from_secs(100)),
+            1013.25
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Sensor::Barometer.to_string(), "barometer");
+        assert_eq!(Sensor::Gps.to_string(), "gps");
+    }
+}

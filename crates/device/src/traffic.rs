@@ -1,0 +1,374 @@
+//! Regular (non-crowdsensing) smartphone traffic.
+//!
+//! The tails Sense-Aid exploits and the sessions PCS piggybacks on are
+//! produced by the user's ordinary app usage: browsing bursts, message
+//! syncs, map loads. [`AppTrafficModel`] generates those as a lazy,
+//! deterministic Poisson process of *sessions*, each comprising a few
+//! transfers spread over several seconds.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_radio::Direction;
+use senseaid_sim::{SimDuration, SimRng, SimTime};
+
+/// One transfer within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionTransfer {
+    /// Offset from session start.
+    pub offset: SimDuration,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Direction of the transfer.
+    pub direction: Direction,
+}
+
+/// A burst of related transfers (one "app interaction").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSession {
+    /// When the first transfer begins.
+    pub start: SimTime,
+    /// Transfers in offset order.
+    pub transfers: Vec<SessionTransfer>,
+}
+
+impl AppSession {
+    /// When the last transfer of the session begins.
+    pub fn last_transfer_at(&self) -> SimTime {
+        let last = self
+            .transfers
+            .last()
+            .map(|t| t.offset)
+            .unwrap_or(SimDuration::ZERO);
+        self.start + last
+    }
+
+    /// Total payload bytes in the session.
+    pub fn total_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+}
+
+/// Tuning knobs for [`AppTrafficModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Mean gap between session starts (Poisson).
+    pub mean_intersession: SimDuration,
+    /// Transfers per session, inclusive range.
+    pub transfers_per_session: (usize, usize),
+    /// Gap between consecutive transfers inside a session, uniform range.
+    pub intra_gap: (SimDuration, SimDuration),
+    /// Uplink payload bytes, uniform range.
+    pub uplink_bytes: (u64, u64),
+    /// Downlink payload bytes, uniform range.
+    pub downlink_bytes: (u64, u64),
+    /// Probability a transfer is a downlink.
+    pub downlink_prob: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            mean_intersession: SimDuration::from_mins(9),
+            transfers_per_session: (1, 5),
+            intra_gap: (SimDuration::from_millis(500), SimDuration::from_secs(8)),
+            uplink_bytes: (500, 60_000),
+            downlink_bytes: (5_000, 1_500_000),
+            downlink_prob: 0.7,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// A heavier usage profile (chatty user): sessions every ~4 minutes.
+    pub fn heavy() -> Self {
+        TrafficConfig {
+            mean_intersession: SimDuration::from_mins(4),
+            ..TrafficConfig::default()
+        }
+    }
+
+    /// A light usage profile: sessions every ~20 minutes.
+    pub fn light() -> Self {
+        TrafficConfig {
+            mean_intersession: SimDuration::from_mins(20),
+            ..TrafficConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty ranges or a probability outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.transfers_per_session.0 >= 1
+                && self.transfers_per_session.0 <= self.transfers_per_session.1,
+            "bad transfers_per_session {:?}",
+            self.transfers_per_session
+        );
+        assert!(
+            self.intra_gap.0 <= self.intra_gap.1,
+            "bad intra_gap range"
+        );
+        assert!(self.uplink_bytes.0 <= self.uplink_bytes.1, "bad uplink range");
+        assert!(
+            self.downlink_bytes.0 <= self.downlink_bytes.1,
+            "bad downlink range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.downlink_prob),
+            "bad downlink_prob {}",
+            self.downlink_prob
+        );
+        assert!(
+            !self.mean_intersession.is_zero(),
+            "mean_intersession must be non-zero"
+        );
+    }
+}
+
+/// A lazy, deterministic generator of [`AppSession`]s.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_device::{AppTrafficModel, TrafficConfig};
+/// use senseaid_sim::{SimRng, SimTime};
+///
+/// let mut traffic = AppTrafficModel::new(SimRng::from_seed_label(7, "traffic"), TrafficConfig::default());
+/// let first = traffic.peek_next(SimTime::ZERO).clone();
+/// let popped = traffic.pop_next(SimTime::ZERO);
+/// assert_eq!(first, popped);
+/// ```
+#[derive(Debug)]
+pub struct AppTrafficModel {
+    rng: SimRng,
+    config: TrafficConfig,
+    /// The next session not yet consumed by the simulation.
+    next: Option<AppSession>,
+    /// Start instant of the most recently generated session.
+    last_start: SimTime,
+    sessions_generated: u64,
+}
+
+impl AppTrafficModel {
+    /// Creates a generator; the first session is scheduled one Poisson gap
+    /// after `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`TrafficConfig::validate`].
+    pub fn new(rng: SimRng, config: TrafficConfig) -> Self {
+        config.validate();
+        AppTrafficModel {
+            rng,
+            config,
+            next: None,
+            last_start: SimTime::ZERO,
+            sessions_generated: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+
+    /// Number of sessions handed out so far.
+    pub fn sessions_generated(&self) -> u64 {
+        self.sessions_generated
+    }
+
+    /// A reference to the next session starting at or after `not_before`
+    /// (sessions scheduled earlier are skipped — the caller declined to
+    /// execute them).
+    pub fn peek_next(&mut self, not_before: SimTime) -> &AppSession {
+        self.ensure_next(not_before);
+        self.next.as_ref().expect("ensure_next fills next")
+    }
+
+    /// Consumes and returns the next session starting at or after
+    /// `not_before`.
+    pub fn pop_next(&mut self, not_before: SimTime) -> AppSession {
+        self.ensure_next(not_before);
+        self.sessions_generated += 1;
+        self.next.take().expect("ensure_next fills next")
+    }
+
+    fn ensure_next(&mut self, not_before: SimTime) {
+        loop {
+            if let Some(s) = &self.next {
+                if s.start >= not_before {
+                    return;
+                }
+                self.next = None;
+            }
+            let gap = SimDuration::from_secs_f64(
+                self.rng
+                    .exponential(self.config.mean_intersession.as_secs_f64()),
+            )
+            .max(SimDuration::from_secs(1));
+            let start = self.last_start + gap;
+            self.last_start = start;
+            let session = self.generate_session(start);
+            self.next = Some(session);
+        }
+    }
+
+    fn generate_session(&mut self, start: SimTime) -> AppSession {
+        let (lo, hi) = self.config.transfers_per_session;
+        let n = self.rng.uniform_usize(lo, hi + 1);
+        let mut transfers = Vec::with_capacity(n);
+        let mut offset = SimDuration::ZERO;
+        for i in 0..n {
+            if i > 0 {
+                let gap_us = self.rng.uniform_range(
+                    self.config.intra_gap.0.as_micros() as f64,
+                    self.config.intra_gap.1.as_micros() as f64 + 1.0,
+                );
+                offset += SimDuration::from_micros(gap_us as u64);
+            }
+            let downlink = self.rng.chance(self.config.downlink_prob);
+            let (blo, bhi) = if downlink {
+                self.config.downlink_bytes
+            } else {
+                self.config.uplink_bytes
+            };
+            let bytes = blo + (self.rng.uniform() * (bhi - blo) as f64) as u64;
+            transfers.push(SessionTransfer {
+                offset,
+                bytes,
+                direction: if downlink {
+                    Direction::Downlink
+                } else {
+                    Direction::Uplink
+                },
+            });
+        }
+        AppSession { start, transfers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(label: &str, config: TrafficConfig) -> AppTrafficModel {
+        AppTrafficModel::new(SimRng::from_seed_label(3, label), config)
+    }
+
+    #[test]
+    fn sessions_are_monotone_and_well_formed() {
+        let mut m = model("a", TrafficConfig::default());
+        let mut prev = SimTime::ZERO;
+        for _ in 0..200 {
+            let s = m.pop_next(SimTime::ZERO);
+            assert!(s.start > prev, "session starts must strictly increase");
+            assert!(!s.transfers.is_empty());
+            for pair in s.transfers.windows(2) {
+                assert!(pair[0].offset <= pair[1].offset);
+            }
+            assert!(s.total_bytes() > 0);
+            prev = s.start;
+        }
+        assert_eq!(m.sessions_generated(), 200);
+    }
+
+    #[test]
+    fn peek_then_pop_agree() {
+        let mut m = model("b", TrafficConfig::default());
+        let peeked = m.peek_next(SimTime::ZERO).clone();
+        let popped = m.pop_next(SimTime::ZERO);
+        assert_eq!(peeked, popped);
+    }
+
+    #[test]
+    fn not_before_skips_earlier_sessions() {
+        let mut m = model("c", TrafficConfig::default());
+        let cutoff = SimTime::from_mins(120);
+        let s = m.pop_next(cutoff);
+        assert!(s.start >= cutoff);
+    }
+
+    #[test]
+    fn mean_gap_tracks_config() {
+        for (config, label) in [
+            (TrafficConfig::heavy(), "heavy"),
+            (TrafficConfig::default(), "default"),
+            (TrafficConfig::light(), "light"),
+        ] {
+            let mut m = model(label, config);
+            let n = 2_000;
+            let mut last = SimTime::ZERO;
+            for _ in 0..n {
+                last = m.pop_next(SimTime::ZERO).start;
+            }
+            let mean_gap = last.as_secs_f64() / n as f64;
+            let want = config.mean_intersession.as_secs_f64();
+            assert!(
+                (mean_gap - want).abs() < want * 0.1,
+                "{label}: mean gap {mean_gap}s vs config {want}s"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_users_make_more_sessions_than_light() {
+        let mut heavy = model("x", TrafficConfig::heavy());
+        let mut light = model("x", TrafficConfig::light());
+        let horizon = SimTime::from_mins(600);
+        let count = |m: &mut AppTrafficModel| {
+            let mut c = 0;
+            loop {
+                if m.peek_next(SimTime::ZERO).start > horizon {
+                    break;
+                }
+                m.pop_next(SimTime::ZERO);
+                c += 1;
+            }
+            c
+        };
+        assert!(count(&mut heavy) > count(&mut light));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = model("det", TrafficConfig::default());
+        let mut b = model("det", TrafficConfig::default());
+        for _ in 0..50 {
+            assert_eq!(a.pop_next(SimTime::ZERO), b.pop_next(SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn last_transfer_at_and_total_bytes() {
+        let s = AppSession {
+            start: SimTime::from_secs(100),
+            transfers: vec![
+                SessionTransfer {
+                    offset: SimDuration::ZERO,
+                    bytes: 10,
+                    direction: Direction::Uplink,
+                },
+                SessionTransfer {
+                    offset: SimDuration::from_secs(5),
+                    bytes: 20,
+                    direction: Direction::Downlink,
+                },
+            ],
+        };
+        assert_eq!(s.last_transfer_at(), SimTime::from_secs(105));
+        assert_eq!(s.total_bytes(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad transfers_per_session")]
+    fn validates_config() {
+        let config = TrafficConfig {
+            transfers_per_session: (0, 0),
+            ..TrafficConfig::default()
+        };
+        let _ = AppTrafficModel::new(SimRng::from_seed(1), config);
+    }
+}

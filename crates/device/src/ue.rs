@@ -1,0 +1,678 @@
+//! The composed mobile device (UE).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_geo::GeoPoint;
+use senseaid_radio::{Direction, EnergyBreakdown, Radio, RadioPhase, ResetPolicy, TxReport};
+use senseaid_sim::{SimDuration, SimRng, SimTime};
+
+use crate::battery::Battery;
+use crate::mobility::Mobility;
+use crate::profile::DeviceProfile;
+use crate::sensors::{Sensor, SensorEnvironment, SensorReading};
+use crate::traffic::{AppSession, AppTrafficModel};
+
+/// A stable, simulation-scoped device identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// A hashed IMEI: what the Sense-Aid server is allowed to store (paper
+/// §3.2 — the device datastore keeps "the hash value of the IMEI code",
+/// never the IMEI itself).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ImeiHash(pub u64);
+
+impl ImeiHash {
+    /// Hashes a raw IMEI string (FNV-1a).
+    pub fn from_imei(imei: &str) -> Self {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in imei.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        ImeiHash(h)
+    }
+}
+
+impl fmt::Display for ImeiHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "imei#{:016x}", self.0)
+    }
+}
+
+/// Per-user crowdsensing preferences set at sign-up (paper §3.1: "users can
+/// specify the energy budget and the critical battery level").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserPreferences {
+    /// Total energy the user will donate to crowdsensing, Joules.
+    pub energy_budget_j: f64,
+    /// Battery percentage below which the device must not be selected.
+    pub critical_battery_pct: f64,
+    /// Whether the user is currently participating at all.
+    pub participating: bool,
+}
+
+impl Default for UserPreferences {
+    fn default() -> Self {
+        UserPreferences {
+            // The survey's modal answer: 2 % of the nominal battery.
+            energy_budget_j: crate::battery::NOMINAL_CAPACITY_J * 0.02,
+            critical_battery_pct: 15.0,
+            participating: true,
+        }
+    }
+}
+
+/// Errors from device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The device model does not carry the requested sensor.
+    MissingSensor(Sensor),
+    /// The battery is fully depleted.
+    BatteryDepleted,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::MissingSensor(s) => write!(f, "device has no {s} sensor"),
+            DeviceError::BatteryDepleted => f.write_str("battery depleted"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A simulated smartphone: battery + radio + sensors + mobility + regular
+/// app traffic, plus the counters the frameworks and the paper's metrics
+/// need (crowdsensing energy, times selected).
+///
+/// # Example
+///
+/// ```
+/// use senseaid_device::{Device, DeviceId, DeviceProfile, Sensor, UniformEnvironment};
+/// use senseaid_geo::CampusMap;
+/// use senseaid_sim::{SimRng, SimTime};
+///
+/// let map = CampusMap::standard();
+/// let mut dev = Device::builder(DeviceId(1), DeviceProfile::galaxy_s4())
+///     .campus_mobility(&map)
+///     .build(SimRng::from_seed_label(9, "dev1"));
+/// let env = UniformEnvironment { value: 1013.0 };
+/// let reading = dev.sample_sensor(SimTime::from_secs(60), Sensor::Barometer, &env)?;
+/// assert_eq!(reading.sensor, Sensor::Barometer);
+/// # Ok::<(), senseaid_device::ue::DeviceError>(())
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    id: DeviceId,
+    imei: String,
+    profile: DeviceProfile,
+    battery: Battery,
+    radio: Radio,
+    mobility: Box<dyn Mobility>,
+    traffic: AppTrafficModel,
+    prefs: UserPreferences,
+    rng: SimRng,
+    /// Marginal energy attributed to crowdsensing (sensing + comms), J.
+    cs_energy_j: f64,
+    /// How many times a framework selected this device.
+    times_selected: u64,
+    cs_uploads: u64,
+    cs_samples: u64,
+    sessions_run: u64,
+}
+
+impl Device {
+    /// Starts building a device of the given model.
+    pub fn builder(id: DeviceId, profile: DeviceProfile) -> DeviceBuilder {
+        DeviceBuilder::new(id, profile)
+    }
+
+    /// The device identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The privacy-preserving IMEI hash.
+    pub fn imei_hash(&self) -> ImeiHash {
+        ImeiHash::from_imei(&self.imei)
+    }
+
+    /// The hardware profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The user's crowdsensing preferences.
+    pub fn prefs(&self) -> UserPreferences {
+        self.prefs
+    }
+
+    /// Updates the user's crowdsensing preferences.
+    pub fn set_prefs(&mut self, prefs: UserPreferences) {
+        self.prefs = prefs;
+    }
+
+    /// Current battery level, percent.
+    pub fn battery_level_pct(&self) -> f64 {
+        self.battery.level_pct()
+    }
+
+    /// The battery state.
+    pub fn battery(&self) -> &Battery {
+        self.battery_ref()
+    }
+
+    fn battery_ref(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Whether the battery is at or below the user's critical level.
+    pub fn battery_is_critical(&self) -> bool {
+        self.battery.level_pct() <= self.prefs.critical_battery_pct
+    }
+
+    /// Marginal energy spent on crowdsensing so far, Joules.
+    pub fn cs_energy_j(&self) -> f64 {
+        self.cs_energy_j
+    }
+
+    /// Remaining crowdsensing budget, Joules (never negative).
+    pub fn remaining_cs_budget_j(&self) -> f64 {
+        (self.prefs.energy_budget_j - self.cs_energy_j).max(0.0)
+    }
+
+    /// Times a framework selected this device.
+    pub fn times_selected(&self) -> u64 {
+        self.times_selected
+    }
+
+    /// Records a selection (called by frameworks when assigning a request).
+    pub fn mark_selected(&mut self) {
+        self.times_selected += 1;
+    }
+
+    /// Crowdsensing uploads performed.
+    pub fn cs_uploads(&self) -> u64 {
+        self.cs_uploads
+    }
+
+    /// Crowdsensing sensor samples taken.
+    pub fn cs_samples(&self) -> u64 {
+        self.cs_samples
+    }
+
+    /// Regular app sessions executed.
+    pub fn sessions_run(&self) -> u64 {
+        self.sessions_run
+    }
+
+    /// The device position at `t`.
+    pub fn position(&mut self, t: SimTime) -> GeoPoint {
+        self.mobility.position_at(t)
+    }
+
+    /// Radio phase at `t`.
+    pub fn radio_phase(&self, t: SimTime) -> RadioPhase {
+        self.radio.phase_at(t)
+    }
+
+    /// Whether the radio is in its tail (uploads skip promotion) at `t`.
+    pub fn in_tail(&self, t: SimTime) -> bool {
+        self.radio.in_tail(t)
+    }
+
+    /// Remaining tail time at `t`.
+    pub fn tail_remaining(&self, t: SimTime) -> SimDuration {
+        self.radio.tail_remaining(t)
+    }
+
+    /// Time since the radio last finished communicating (selector `TTL`).
+    pub fn time_since_last_comm(&self, t: SimTime) -> SimDuration {
+        self.radio.time_since_last_comm(t)
+    }
+
+    /// Total radio energy breakdown up to `now` (includes idle baseline).
+    pub fn radio_energy(&mut self, now: SimTime) -> EnergyBreakdown {
+        self.radio.energy(now)
+    }
+
+    /// IDLE→CONNECTED promotions so far.
+    pub fn promotions(&self) -> u64 {
+        self.radio.promotion_count()
+    }
+
+    /// Read-only access to the radio (timeline reconstruction, tests).
+    pub fn radio(&self) -> &Radio {
+        &self.radio
+    }
+
+    /// Start time of the next regular app session at or after `after`.
+    pub fn next_session_start(&mut self, after: SimTime) -> SimTime {
+        self.traffic.peek_next(after).start
+    }
+
+    /// Executes all regular app sessions that start in `(.., until]`,
+    /// sending their transfers through the radio (tail always resets —
+    /// this is ordinary traffic) and draining the battery by the marginal
+    /// energy. Returns the number of sessions run.
+    pub fn run_regular_sessions_until(&mut self, until: SimTime) -> usize {
+        let mut count = 0;
+        loop {
+            if self.traffic.peek_next(SimTime::ZERO).start > until {
+                break;
+            }
+            let session = self.traffic.pop_next(SimTime::ZERO);
+            self.execute_session(&session);
+            count += 1;
+        }
+        count
+    }
+
+    /// Executes one session's transfers in order.
+    pub fn execute_session(&mut self, session: &AppSession) {
+        for tr in &session.transfers {
+            let at = session.start + tr.offset;
+            let report = self
+                .radio
+                .transmit(at, tr.bytes, tr.direction, ResetPolicy::Reset);
+            self.battery.drain(report.marginal_j);
+        }
+        self.sessions_run += 1;
+    }
+
+    /// Samples `sensor` at `t`, draining the battery and attributing the
+    /// sensing energy to crowdsensing.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::MissingSensor`] if the model lacks the sensor;
+    /// [`DeviceError::BatteryDepleted`] if the battery is empty.
+    pub fn sample_sensor<E: SensorEnvironment + ?Sized>(
+        &mut self,
+        t: SimTime,
+        sensor: Sensor,
+        env: &E,
+    ) -> Result<SensorReading, DeviceError> {
+        if !self.profile.has_sensor(sensor) {
+            return Err(DeviceError::MissingSensor(sensor));
+        }
+        if self.battery.is_depleted() {
+            return Err(DeviceError::BatteryDepleted);
+        }
+        let position = self.mobility.position_at(t);
+        let truth = env.truth(sensor, position, t);
+        let value = truth + self.rng.normal(0.0, Self::noise_sigma(sensor));
+        let energy = sensor.sample_energy_j();
+        self.battery.drain(energy);
+        self.cs_energy_j += energy;
+        self.cs_samples += 1;
+        Ok(SensorReading {
+            sensor,
+            value,
+            taken_at: t,
+            position,
+        })
+    }
+
+    /// Uploads `bytes` of crowdsensing data at `t` with the given tail
+    /// policy, draining the battery and attributing the *marginal* radio
+    /// energy to crowdsensing.
+    pub fn upload_crowdsensing(
+        &mut self,
+        t: SimTime,
+        bytes: u64,
+        policy: ResetPolicy,
+    ) -> TxReport {
+        let report = self.radio.transmit(t, bytes, Direction::Uplink, policy);
+        self.battery.drain(report.marginal_j);
+        self.cs_energy_j += report.marginal_j;
+        self.cs_uploads += 1;
+        report
+    }
+
+    /// Sends a small control message to the middleware (registration,
+    /// battery-state update). Costs marginal radio energy but is *not*
+    /// counted as crowdsensing energy, matching the paper's methodology
+    /// ("we ignore energy consumption for these control messages" — §4,
+    /// which it can afford to because the client only sends them inside
+    /// existing tails).
+    pub fn send_control_message(&mut self, t: SimTime, bytes: u64) -> TxReport {
+        let report = self
+            .radio
+            .transmit(t, bytes, Direction::Uplink, ResetPolicy::Reset);
+        self.battery.drain(report.marginal_j);
+        report
+    }
+
+    /// Measurement noise per sensor (1σ, natural units).
+    fn noise_sigma(sensor: Sensor) -> f64 {
+        match sensor {
+            Sensor::Barometer => 0.12,  // hPa
+            Sensor::Thermometer => 0.3, // °C
+            Sensor::Humidity => 1.5,    // %RH
+            Sensor::Light => 20.0,      // lux
+            Sensor::Accelerometer => 0.02,
+            Sensor::Magnetometer => 0.5,
+            Sensor::Gyroscope => 0.01,
+            Sensor::Gps => 4.0, // metres, abstracted
+            Sensor::Microphone => 2.0,
+            Sensor::Camera => 0.0,
+        }
+    }
+}
+
+/// Builder for [`Device`] ([C-BUILDER]).
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug)]
+pub struct DeviceBuilder {
+    id: DeviceId,
+    profile: DeviceProfile,
+    imei: Option<String>,
+    battery_level_pct: f64,
+    prefs: UserPreferences,
+    mobility: Option<Box<dyn Mobility>>,
+    campus_map: Option<senseaid_geo::CampusMap>,
+    traffic_config: crate::traffic::TrafficConfig,
+}
+
+impl DeviceBuilder {
+    fn new(id: DeviceId, profile: DeviceProfile) -> Self {
+        profile.validate();
+        DeviceBuilder {
+            id,
+            profile,
+            imei: None,
+            battery_level_pct: 100.0,
+            prefs: UserPreferences::default(),
+            mobility: None,
+            campus_map: None,
+            traffic_config: crate::traffic::TrafficConfig::default(),
+        }
+    }
+
+    /// Sets the raw IMEI (defaults to one derived from the device id).
+    pub fn imei(mut self, imei: impl Into<String>) -> Self {
+        self.imei = Some(imei.into());
+        self
+    }
+
+    /// Sets the starting battery level percentage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outside `[0, 100]`.
+    pub fn battery_level(mut self, pct: f64) -> Self {
+        assert!((0.0..=100.0).contains(&pct), "battery level {pct}%");
+        self.battery_level_pct = pct;
+        self
+    }
+
+    /// Sets the user's crowdsensing preferences.
+    pub fn prefs(mut self, prefs: UserPreferences) -> Self {
+        self.prefs = prefs;
+        self
+    }
+
+    /// Uses an explicit mobility model.
+    pub fn mobility(mut self, mobility: Box<dyn Mobility>) -> Self {
+        self.mobility = Some(mobility);
+        self
+    }
+
+    /// Uses campus mobility over `map` (seeded from the build RNG).
+    pub fn campus_mobility(mut self, map: &senseaid_geo::CampusMap) -> Self {
+        // Marker; actual construction happens in build() where the RNG is
+        // available.
+        self.mobility = None;
+        self.campus_map = Some(map.clone());
+        self
+    }
+
+    /// Sets the regular-traffic configuration.
+    pub fn traffic(mut self, config: crate::traffic::TrafficConfig) -> Self {
+        self.traffic_config = config;
+        self
+    }
+
+    /// Builds the device, deriving all stochastic streams from `rng`.
+    pub fn build(self, mut rng: SimRng) -> Device {
+        let imei = self
+            .imei
+            .unwrap_or_else(|| format!("35-{:06}-{:06}-0", self.id.0, self.id.0 * 7 + 13));
+        let mobility: Box<dyn Mobility> = match (self.mobility, self.campus_map) {
+            (Some(m), _) => m,
+            (None, Some(map)) => Box::new(crate::mobility::CampusMobility::new(
+                &map,
+                rng.derive("mobility"),
+                crate::mobility::CampusMobilityConfig::default(),
+            )),
+            (None, None) => Box::new(crate::mobility::StationaryJitter::fixed(
+                senseaid_geo::GeoPoint::new(40.4284, -86.9138),
+            )),
+        };
+        let mut battery = Battery::new(self.profile.battery_capacity_j);
+        // Divide first so a 0 % start drains the capacity *exactly*.
+        battery.drain(battery.capacity_j() * ((100.0 - self.battery_level_pct) / 100.0));
+        Device {
+            id: self.id,
+            imei,
+            radio: Radio::new(self.profile.radio.clone()),
+            battery,
+            mobility,
+            traffic: AppTrafficModel::new(rng.derive("traffic"), self.traffic_config),
+            prefs: self.prefs,
+            rng: rng.derive("sensor-noise"),
+            profile: self.profile,
+            cs_energy_j: 0.0,
+            times_selected: 0,
+            cs_uploads: 0,
+            cs_samples: 0,
+            sessions_run: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensors::UniformEnvironment;
+    use senseaid_geo::CampusMap;
+
+    fn device(seed_label: &str) -> Device {
+        let map = CampusMap::standard();
+        Device::builder(DeviceId(7), DeviceProfile::galaxy_s4())
+            .campus_mobility(&map)
+            .build(SimRng::from_seed_label(5, seed_label))
+    }
+
+    #[test]
+    fn imei_hash_is_stable_and_hides_raw() {
+        let d = device("a");
+        let h1 = d.imei_hash();
+        let h2 = d.imei_hash();
+        assert_eq!(h1, h2);
+        assert_ne!(
+            ImeiHash::from_imei("other"),
+            h1,
+            "different IMEIs hash differently"
+        );
+        assert!(h1.to_string().starts_with("imei#"));
+    }
+
+    #[test]
+    fn sample_sensor_costs_energy_and_adds_noise() {
+        let mut d = device("b");
+        let env = UniformEnvironment { value: 1000.0 };
+        let before = d.battery_level_pct();
+        let mut values = Vec::new();
+        for i in 0..50 {
+            let r = d
+                .sample_sensor(SimTime::from_secs(i * 10), Sensor::Barometer, &env)
+                .unwrap();
+            values.push(r.value);
+        }
+        assert!(d.battery_level_pct() < before);
+        assert_eq!(d.cs_samples(), 50);
+        assert!(d.cs_energy_j() > 0.0);
+        // Noise: not all identical, but all near truth.
+        let distinct = values.windows(2).any(|w| w[0] != w[1]);
+        assert!(distinct, "sensor noise must vary");
+        assert!(values.iter().all(|v| (v - 1000.0).abs() < 2.0));
+    }
+
+    #[test]
+    fn missing_sensor_is_an_error() {
+        let map = CampusMap::standard();
+        let mut d = Device::builder(DeviceId(9), DeviceProfile::lg_g2())
+            .campus_mobility(&map)
+            .build(SimRng::from_seed_label(5, "c"));
+        let env = UniformEnvironment { value: 1.0 };
+        let err = d
+            .sample_sensor(SimTime::ZERO, Sensor::Barometer, &env)
+            .unwrap_err();
+        assert_eq!(err, DeviceError::MissingSensor(Sensor::Barometer));
+        assert_eq!(err.to_string(), "device has no barometer sensor");
+    }
+
+    #[test]
+    fn upload_attributes_marginal_energy_to_crowdsensing() {
+        let mut d = device("d");
+        let before_battery = d.battery().remaining_j();
+        let report = d.upload_crowdsensing(SimTime::from_secs(30), 600, ResetPolicy::Reset);
+        assert!(report.promoted, "cold radio must promote");
+        assert!((d.cs_energy_j() - report.marginal_j).abs() < 1e-9);
+        assert!((before_battery - d.battery().remaining_j() - report.marginal_j).abs() < 1e-9);
+        assert_eq!(d.cs_uploads(), 1);
+    }
+
+    #[test]
+    fn control_messages_do_not_count_as_crowdsensing() {
+        let mut d = device("e");
+        d.send_control_message(SimTime::from_secs(10), 120);
+        assert_eq!(d.cs_energy_j(), 0.0);
+        assert!(d.battery_level_pct() < 100.0, "still drains the battery");
+    }
+
+    #[test]
+    fn regular_sessions_execute_in_order_and_drain_battery() {
+        let mut d = device("f");
+        let n = d.run_regular_sessions_until(SimTime::from_mins(120));
+        assert!(n >= 3, "expected several sessions in 2 h, got {n}");
+        assert_eq!(d.sessions_run(), n as u64);
+        assert!(d.battery_level_pct() < 100.0);
+        assert_eq!(d.cs_energy_j(), 0.0, "regular traffic is not crowdsensing");
+        assert!(d.promotions() >= 1);
+    }
+
+    #[test]
+    fn next_session_start_is_consistent_with_run() {
+        let mut d = device("g");
+        let next = d.next_session_start(SimTime::ZERO);
+        let n = d.run_regular_sessions_until(next);
+        assert_eq!(n, 1, "exactly the peeked session runs");
+    }
+
+    #[test]
+    fn tail_exploitation_cheaper_than_cold_upload() {
+        let mut d = device("h");
+        // Run a session, then upload right after it (inside the tail).
+        let first = d.next_session_start(SimTime::ZERO);
+        d.run_regular_sessions_until(first);
+        let in_tail_at = d.radio().next_idle_at() - SimDuration::from_secs(2);
+        assert!(d.in_tail(in_tail_at));
+        let warm = d.upload_crowdsensing(in_tail_at, 600, ResetPolicy::NoReset);
+        assert!(!warm.promoted);
+
+        let mut cold_dev = device("h2");
+        let cold = cold_dev.upload_crowdsensing(SimTime::from_secs(10), 600, ResetPolicy::Reset);
+        assert!(
+            warm.marginal_j < cold.marginal_j / 20.0,
+            "tail upload {} J vs cold {} J",
+            warm.marginal_j,
+            cold.marginal_j
+        );
+    }
+
+    #[test]
+    fn selection_counter() {
+        let mut d = device("i");
+        assert_eq!(d.times_selected(), 0);
+        d.mark_selected();
+        d.mark_selected();
+        assert_eq!(d.times_selected(), 2);
+    }
+
+    #[test]
+    fn budget_tracking() {
+        let mut d = device("j");
+        let budget = d.prefs().energy_budget_j;
+        assert_eq!(d.remaining_cs_budget_j(), budget);
+        d.upload_crowdsensing(SimTime::from_secs(5), 600, ResetPolicy::Reset);
+        assert!(d.remaining_cs_budget_j() < budget);
+    }
+
+    #[test]
+    fn battery_critical_threshold() {
+        let map = CampusMap::standard();
+        let mut d = Device::builder(DeviceId(3), DeviceProfile::galaxy_s4())
+            .campus_mobility(&map)
+            .battery_level(10.0)
+            .prefs(UserPreferences {
+                critical_battery_pct: 15.0,
+                ..UserPreferences::default()
+            })
+            .build(SimRng::from_seed_label(5, "k"));
+        assert!(d.battery_is_critical());
+        d.set_prefs(UserPreferences {
+            critical_battery_pct: 5.0,
+            ..UserPreferences::default()
+        });
+        assert!(!d.battery_is_critical());
+    }
+
+    #[test]
+    fn depleted_battery_blocks_sensing() {
+        let map = CampusMap::standard();
+        let mut d = Device::builder(DeviceId(4), DeviceProfile::galaxy_s4())
+            .campus_mobility(&map)
+            .battery_level(0.0)
+            .build(SimRng::from_seed_label(5, "dead"));
+        let env = UniformEnvironment { value: 1000.0 };
+        assert_eq!(
+            d.sample_sensor(SimTime::ZERO, Sensor::Barometer, &env),
+            Err(DeviceError::BatteryDepleted)
+        );
+        // Uploads still "work" (the radio model is not battery-gated) but
+        // cannot drain below empty.
+        let before = d.battery().remaining_j();
+        d.upload_crowdsensing(SimTime::from_secs(1), 600, ResetPolicy::Reset);
+        assert_eq!(d.battery().remaining_j(), before);
+        assert_eq!(d.battery().remaining_j(), 0.0);
+    }
+
+    #[test]
+    fn position_tracks_mobility() {
+        let map = CampusMap::standard();
+        let mut d = device("l");
+        for mins in (0..180).step_by(15) {
+            assert!(map.in_bounds(d.position(SimTime::from_mins(mins))));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The user-study campus map.
+//!
+//! The paper's user study placed crowdsensing tasks at four named campus
+//! locations (Student Union, EE department, CS department, University Gym)
+//! and relied on the cellular network to locate devices at *cell-tower
+//! granularity*. [`CampusMap`] models both: the named locations, and a small
+//! grid of tower sites that covers the campus.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::GeoPoint;
+use crate::region::CircleRegion;
+
+/// The four task locations from the paper's user study (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamedLocation {
+    /// The Student Union building.
+    StudentUnion,
+    /// The Electrical Engineering department.
+    EeDepartment,
+    /// The Computer Science department (the location Figs 7–9 report).
+    CsDepartment,
+    /// The University Gym.
+    UniversityGym,
+}
+
+impl NamedLocation {
+    /// All four study locations, in the paper's order.
+    pub const ALL: [NamedLocation; 4] = [
+        NamedLocation::StudentUnion,
+        NamedLocation::EeDepartment,
+        NamedLocation::CsDepartment,
+        NamedLocation::UniversityGym,
+    ];
+}
+
+impl fmt::Display for NamedLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NamedLocation::StudentUnion => "Student Union",
+            NamedLocation::EeDepartment => "EE department",
+            NamedLocation::CsDepartment => "CS department",
+            NamedLocation::UniversityGym => "University Gym",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A cell-tower site on the campus map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TowerSite {
+    /// Index of the tower within the map (stable across runs).
+    pub index: usize,
+    /// Tower position.
+    pub position: GeoPoint,
+    /// Nominal coverage radius in metres.
+    pub coverage_m: f64,
+}
+
+impl TowerSite {
+    /// The tower's coverage circle.
+    pub fn coverage(&self) -> CircleRegion {
+        CircleRegion::new(self.position, self.coverage_m)
+    }
+}
+
+/// A campus: an anchor point, four named locations laid out around it, and
+/// a tower grid that covers the whole area.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_geo::{CampusMap, NamedLocation};
+///
+/// let map = CampusMap::standard();
+/// let cs = map.location(NamedLocation::CsDepartment);
+/// let tower = map.nearest_tower(cs);
+/// assert!(tower.position.distance_to(cs).value() <= tower.coverage_m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampusMap {
+    anchor: GeoPoint,
+    locations: [(NamedLocation, GeoPoint); 4],
+    towers: Vec<TowerSite>,
+    bounds_half_extent_m: f64,
+}
+
+impl CampusMap {
+    /// The standard study campus: a Purdue-like anchor, the four study
+    /// locations spread 400–900 m apart, and a 3×3 tower grid with 800 m
+    /// coverage each.
+    pub fn standard() -> Self {
+        let anchor = GeoPoint::new(40.4284, -86.9138);
+        Self::with_anchor(anchor)
+    }
+
+    /// Builds the standard layout around an arbitrary anchor point.
+    pub fn with_anchor(anchor: GeoPoint) -> Self {
+        // Layout (metres north/east of anchor), loosely mirroring the real
+        // campus: union central, EE/CS adjacent to its north-east, gym far
+        // north-west.
+        let locations = [
+            (NamedLocation::StudentUnion, anchor.offset_by_meters(0.0, 0.0)),
+            (
+                NamedLocation::EeDepartment,
+                anchor.offset_by_meters(250.0, 300.0),
+            ),
+            (
+                NamedLocation::CsDepartment,
+                anchor.offset_by_meters(450.0, 150.0),
+            ),
+            (
+                NamedLocation::UniversityGym,
+                anchor.offset_by_meters(700.0, -600.0),
+            ),
+        ];
+        let mut towers = Vec::new();
+        let spacing = 900.0;
+        let mut index = 0;
+        for row in -1..=1 {
+            for col in -1..=1 {
+                towers.push(TowerSite {
+                    index,
+                    position: anchor
+                        .offset_by_meters(f64::from(row) * spacing, f64::from(col) * spacing),
+                    coverage_m: 800.0,
+                });
+                index += 1;
+            }
+        }
+        CampusMap {
+            anchor,
+            locations,
+            towers,
+            bounds_half_extent_m: 1_500.0,
+        }
+    }
+
+    /// The campus anchor (centre of the map).
+    pub fn anchor(&self) -> GeoPoint {
+        self.anchor
+    }
+
+    /// The position of a named study location.
+    pub fn location(&self, which: NamedLocation) -> GeoPoint {
+        self.locations
+            .iter()
+            .find(|(name, _)| *name == which)
+            .map(|(_, p)| *p)
+            .expect("all four locations are always present")
+    }
+
+    /// All named locations with their positions.
+    pub fn locations(&self) -> &[(NamedLocation, GeoPoint)] {
+        &self.locations
+    }
+
+    /// The tower sites.
+    pub fn towers(&self) -> &[TowerSite] {
+        &self.towers
+    }
+
+    /// The tower closest to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map has no towers (the standard map always has nine).
+    pub fn nearest_tower(&self, p: GeoPoint) -> &TowerSite {
+        self.towers
+            .iter()
+            .min_by(|a, b| {
+                a.position
+                    .distance_to(p)
+                    .value()
+                    .partial_cmp(&b.position.distance_to(p).value())
+                    .expect("distances are finite")
+            })
+            .expect("campus map has at least one tower")
+    }
+
+    /// Whether `p` is inside the square mobility bounds of the campus.
+    ///
+    /// A millimetre of tolerance absorbs the lat/lon ↔ metre projection
+    /// round-trip error, so `clamp_to_bounds` output always tests in-bounds.
+    pub fn in_bounds(&self, p: GeoPoint) -> bool {
+        const TOL_M: f64 = 1e-3;
+        let (n, e) = self.anchor.displacement_to(p);
+        n.abs() <= self.bounds_half_extent_m + TOL_M
+            && e.abs() <= self.bounds_half_extent_m + TOL_M
+    }
+
+    /// Clamps `p` to the campus mobility bounds.
+    pub fn clamp_to_bounds(&self, p: GeoPoint) -> GeoPoint {
+        let (n, e) = self.anchor.displacement_to(p);
+        let h = self.bounds_half_extent_m;
+        self.anchor.offset_by_meters(n.clamp(-h, h), e.clamp(-h, h))
+    }
+
+    /// Half the side length of the square mobility bounds, in metres.
+    pub fn bounds_half_extent_m(&self) -> f64 {
+        self.bounds_half_extent_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_map_has_four_locations_and_nine_towers() {
+        let map = CampusMap::standard();
+        assert_eq!(map.locations().len(), 4);
+        assert_eq!(map.towers().len(), 9);
+        for loc in NamedLocation::ALL {
+            // Every named location resolves and is in bounds.
+            assert!(map.in_bounds(map.location(loc)), "{loc} out of bounds");
+        }
+    }
+
+    #[test]
+    fn every_location_is_covered_by_some_tower() {
+        let map = CampusMap::standard();
+        for loc in NamedLocation::ALL {
+            let p = map.location(loc);
+            let t = map.nearest_tower(p);
+            assert!(
+                t.coverage().contains(p),
+                "{loc} not covered by nearest tower {}",
+                t.index
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_tower_is_actually_nearest() {
+        let map = CampusMap::standard();
+        let p = map.anchor().offset_by_meters(123.0, -456.0);
+        let nearest = map.nearest_tower(p);
+        let d_near = nearest.position.distance_to(p).value();
+        for t in map.towers() {
+            assert!(t.position.distance_to(p).value() >= d_near - 1e-9);
+        }
+    }
+
+    #[test]
+    fn named_locations_are_distinct() {
+        let map = CampusMap::standard();
+        for (i, (_, a)) in map.locations().iter().enumerate() {
+            for (_, b) in map.locations().iter().skip(i + 1) {
+                assert!(a.distance_to(*b).value() > 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_to_bounds_is_idempotent_and_in_bounds() {
+        let map = CampusMap::standard();
+        let far = map.anchor().offset_by_meters(9_000.0, -9_000.0);
+        let clamped = map.clamp_to_bounds(far);
+        assert!(map.in_bounds(clamped));
+        let again = map.clamp_to_bounds(clamped);
+        assert!(clamped.distance_to(again).value() < 0.5);
+        // An in-bounds point clamps to itself.
+        let inside = map.anchor().offset_by_meters(10.0, 10.0);
+        // Projection round-trip is not exact; centimetre accuracy suffices.
+        assert!(map.clamp_to_bounds(inside).distance_to(inside).value() < 0.01);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NamedLocation::CsDepartment.to_string(), "CS department");
+        assert_eq!(NamedLocation::StudentUnion.to_string(), "Student Union");
+    }
+
+    #[test]
+    fn with_anchor_relocates_everything() {
+        let other = CampusMap::with_anchor(GeoPoint::new(51.5, -0.1));
+        let std = CampusMap::standard();
+        // Relative geometry is preserved even though the anchor moved.
+        let d_other = other
+            .location(NamedLocation::CsDepartment)
+            .distance_to(other.location(NamedLocation::UniversityGym))
+            .value();
+        let d_std = std
+            .location(NamedLocation::CsDepartment)
+            .distance_to(std.location(NamedLocation::UniversityGym))
+            .value();
+        assert!((d_other - d_std).abs() < 5.0);
+    }
+}

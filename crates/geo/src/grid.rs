@@ -1,0 +1,219 @@
+//! A uniform spatial grid index.
+//!
+//! `qualified_for` is the middleware's hottest query: *which registered
+//! devices are inside this circle right now?* A linear scan is fine for
+//! the study's 20 devices; a city-scale deployment (the paper's §8
+//! scalability goal) wants an index. [`GridIndex`] buckets positions into
+//! fixed-size cells keyed by latitude/longitude and answers circle
+//! queries by scanning only the cells the circle's bounding box touches.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::GeoPoint;
+use crate::region::CircleRegion;
+
+/// Metres per degree of latitude (WGS-84 mean).
+const M_PER_DEG_LAT: f64 = 111_320.0;
+
+/// A uniform-grid spatial index over keys of type `K`.
+///
+/// Keys are unique: inserting a key again moves it. Query results are
+/// sorted by key so iteration order is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_geo::{CircleRegion, GeoPoint, GridIndex};
+///
+/// let mut idx = GridIndex::new(250.0);
+/// let campus = GeoPoint::new(40.4284, -86.9138);
+/// idx.insert(1u32, campus);
+/// idx.insert(2u32, campus.offset_by_meters(2_000.0, 0.0));
+/// let near = idx.query_circle(&CircleRegion::new(campus, 500.0));
+/// assert_eq!(near, vec![1]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GridIndex<K: Copy + Eq + Ord + std::hash::Hash> {
+    /// Cell edge length in degrees of latitude (longitude cells use the
+    /// same degree size; the contains-filter restores exactness).
+    cell_deg: f64,
+    cells: HashMap<(i32, i32), Vec<K>>,
+    positions: BTreeMap<K, GeoPoint>,
+}
+
+impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
+    /// Creates an index with roughly `cell_m`-sized cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_m` is not positive and finite.
+    pub fn new(cell_m: f64) -> Self {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "cell size {cell_m} must be positive"
+        );
+        GridIndex {
+            cell_deg: cell_m / M_PER_DEG_LAT,
+            cells: HashMap::new(),
+            positions: BTreeMap::new(),
+        }
+    }
+
+    fn cell_of(&self, p: GeoPoint) -> (i32, i32) {
+        (
+            (p.lat_deg() / self.cell_deg).floor() as i32,
+            (p.lon_deg() / self.cell_deg).floor() as i32,
+        )
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The indexed position of `key`, if present.
+    pub fn position(&self, key: K) -> Option<GeoPoint> {
+        self.positions.get(&key).copied()
+    }
+
+    /// Inserts `key` at `position`, moving it if already present.
+    pub fn insert(&mut self, key: K, position: GeoPoint) {
+        self.remove(key);
+        let cell = self.cell_of(position);
+        self.cells.entry(cell).or_default().push(key);
+        self.positions.insert(key, position);
+    }
+
+    /// Removes `key`. Returns `true` if it was present.
+    pub fn remove(&mut self, key: K) -> bool {
+        let Some(old) = self.positions.remove(&key) else {
+            return false;
+        };
+        let cell = self.cell_of(old);
+        if let Some(bucket) = self.cells.get_mut(&cell) {
+            bucket.retain(|k| *k != key);
+            if bucket.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+        true
+    }
+
+    /// All keys whose position lies inside `region`, sorted.
+    pub fn query_circle(&self, region: &CircleRegion) -> Vec<K> {
+        let centre = region.centre();
+        let r = region.radius_m();
+        let dlat = r / M_PER_DEG_LAT;
+        let dlon = r / (M_PER_DEG_LAT * centre.lat_deg().to_radians().cos().abs().max(1e-9));
+        let lat_lo = ((centre.lat_deg() - dlat) / self.cell_deg).floor() as i32;
+        let lat_hi = ((centre.lat_deg() + dlat) / self.cell_deg).floor() as i32;
+        let lon_lo = ((centre.lon_deg() - dlon) / self.cell_deg).floor() as i32;
+        let lon_hi = ((centre.lon_deg() + dlon) / self.cell_deg).floor() as i32;
+        let mut out = Vec::new();
+        for lat_c in lat_lo..=lat_hi {
+            for lon_c in lon_lo..=lon_hi {
+                if let Some(bucket) = self.cells.get(&(lat_c, lon_c)) {
+                    for key in bucket {
+                        let p = self.positions[key];
+                        if region.contains(p) {
+                            out.push(*key);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Iterates over `(key, position)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, GeoPoint)> + '_ {
+        self.positions.iter().map(|(k, p)| (*k, *p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn campus() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    #[test]
+    fn insert_query_remove_round_trip() {
+        let mut idx = GridIndex::new(200.0);
+        idx.insert(7u32, campus());
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.position(7), Some(campus()));
+        let region = CircleRegion::new(campus(), 100.0);
+        assert_eq!(idx.query_circle(&region), vec![7]);
+        assert!(idx.remove(7));
+        assert!(!idx.remove(7));
+        assert!(idx.is_empty());
+        assert!(idx.query_circle(&region).is_empty());
+    }
+
+    #[test]
+    fn reinsert_moves_the_key() {
+        let mut idx = GridIndex::new(200.0);
+        idx.insert(1u32, campus());
+        idx.insert(1u32, campus().offset_by_meters(5_000.0, 0.0));
+        assert_eq!(idx.len(), 1);
+        assert!(idx
+            .query_circle(&CircleRegion::new(campus(), 1_000.0))
+            .is_empty());
+        let far = CircleRegion::new(campus().offset_by_meters(5_000.0, 0.0), 100.0);
+        assert_eq!(idx.query_circle(&far), vec![1]);
+    }
+
+    #[test]
+    fn results_are_sorted_and_exact_at_boundaries() {
+        let mut idx = GridIndex::new(100.0);
+        for i in 0..20u32 {
+            idx.insert(i, campus().offset_by_meters(0.0, 50.0 * f64::from(i)));
+        }
+        // Radius 500 captures offsets 0..=500 → keys 0..=10.
+        let got = idx.query_circle(&CircleRegion::new(campus(), 501.0));
+        assert_eq!(got, (0..=10).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        /// The index answers every circle query exactly like a brute-force
+        /// scan.
+        #[test]
+        fn matches_brute_force(
+            offsets in prop::collection::vec((-3000.0f64..3000.0, -3000.0f64..3000.0), 1..60),
+            q_north in -2500.0f64..2500.0,
+            q_east in -2500.0f64..2500.0,
+            radius in 10.0f64..2500.0,
+            cell_m in 50.0f64..1500.0,
+        ) {
+            let mut idx = GridIndex::new(cell_m);
+            let points: Vec<GeoPoint> = offsets
+                .iter()
+                .map(|(n, e)| campus().offset_by_meters(*n, *e))
+                .collect();
+            for (i, p) in points.iter().enumerate() {
+                idx.insert(i as u32, *p);
+            }
+            let region = CircleRegion::new(campus().offset_by_meters(q_north, q_east), radius);
+            let mut brute: Vec<u32> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| region.contains(**p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            brute.sort_unstable();
+            prop_assert_eq!(idx.query_circle(&region), brute);
+        }
+    }
+}

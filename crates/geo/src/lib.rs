@@ -1,0 +1,37 @@
+//! Geographic primitives for the Sense-Aid reproduction.
+//!
+//! Sense-Aid's device selector reasons about *which devices are inside the
+//! circular region a crowdsensing task names* (paper Table 1:
+//! `area_radius` + a centre location). This crate provides:
+//!
+//! * [`GeoPoint`] — WGS-84 latitude/longitude with metre-accurate local
+//!   distance via both haversine and an equirectangular fast path;
+//! * [`CircleRegion`] — the task's circular area-of-interest;
+//! * [`campus`] — the Purdue-like campus map used by the user study: the
+//!   four named locations (Student Union, EE, CS, Gym) and a cell-tower
+//!   grid that covers them.
+//!
+//! # Example
+//!
+//! ```
+//! use senseaid_geo::{campus, CircleRegion, GeoPoint};
+//!
+//! let map = campus::CampusMap::standard();
+//! let cs = map.location(campus::NamedLocation::CsDepartment);
+//! let region = CircleRegion::new(cs, 500.0);
+//! assert!(region.contains(cs.offset_by_meters(100.0, -200.0)));
+//! assert!(!region.contains(cs.offset_by_meters(600.0, 0.0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campus;
+pub mod grid;
+pub mod point;
+pub mod region;
+
+pub use campus::{CampusMap, NamedLocation, TowerSite};
+pub use grid::GridIndex;
+pub use point::{GeoPoint, Meters};
+pub use region::CircleRegion;

@@ -1,0 +1,267 @@
+//! WGS-84 points and metre distances.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A distance in metres.
+///
+/// A bare `f64` newtype: the workspace passes distances across crate
+/// boundaries often enough that the unit deserves a type.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Meters(pub f64);
+
+impl Meters {
+    /// The distance as a raw `f64` of metres.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000.0 {
+            write!(f, "{:.2}km", self.0 / 1000.0)
+        } else {
+            write!(f, "{:.1}m", self.0)
+        }
+    }
+}
+
+/// A WGS-84 latitude/longitude pair in degrees.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_geo::GeoPoint;
+///
+/// let a = GeoPoint::new(40.4284, -86.9138); // Purdue bell tower-ish
+/// let b = a.offset_by_meters(1000.0, 0.0);
+/// let d = a.distance_to(b);
+/// assert!((d.value() - 1000.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeoPoint {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude and longitude in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if latitude is outside `[-90, 90]`, longitude is outside
+    /// `[-180, 180]`, or either is non-finite.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!(
+            lat_deg.is_finite() && (-90.0..=90.0).contains(&lat_deg),
+            "latitude {lat_deg} outside [-90, 90]"
+        );
+        assert!(
+            lon_deg.is_finite() && (-180.0..=180.0).contains(&lon_deg),
+            "longitude {lon_deg} outside [-180, 180]"
+        );
+        GeoPoint { lat_deg, lon_deg }
+    }
+
+    /// Latitude in degrees.
+    pub fn lat_deg(self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in degrees.
+    pub fn lon_deg(self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Great-circle distance via the haversine formula.
+    ///
+    /// Exact enough for any campus- or city-scale region; used as the
+    /// reference implementation in tests.
+    pub fn haversine_distance_to(self, other: GeoPoint) -> Meters {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().asin();
+        Meters(EARTH_RADIUS_M * c)
+    }
+
+    /// Fast equirectangular-projection distance.
+    ///
+    /// Within ~0.1 % of haversine for spans under ~50 km, which covers every
+    /// region in the paper's evaluation (max radius 1 km). This is the
+    /// distance the rest of the workspace uses.
+    pub fn distance_to(self, other: GeoPoint) -> Meters {
+        let mean_lat = ((self.lat_deg + other.lat_deg) / 2.0).to_radians();
+        let dx = (other.lon_deg - self.lon_deg).to_radians() * mean_lat.cos();
+        let dy = (other.lat_deg - self.lat_deg).to_radians();
+        Meters(EARTH_RADIUS_M * (dx * dx + dy * dy).sqrt())
+    }
+
+    /// Returns the point `north_m` metres north and `east_m` metres east of
+    /// `self` (negative values go south/west), using the local tangent
+    /// plane. Accurate at campus scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset would push latitude off the pole.
+    pub fn offset_by_meters(self, north_m: f64, east_m: f64) -> GeoPoint {
+        let dlat = (north_m / EARTH_RADIUS_M).to_degrees();
+        let dlon =
+            (east_m / (EARTH_RADIUS_M * self.lat_deg.to_radians().cos())).to_degrees();
+        GeoPoint::new(self.lat_deg + dlat, self.lon_deg + dlon)
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1) in
+    /// the local tangent plane. `t` outside `[0, 1]` extrapolates.
+    pub fn lerp(self, other: GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint::new(
+            self.lat_deg + (other.lat_deg - self.lat_deg) * t,
+            self.lon_deg + (other.lon_deg - self.lon_deg) * t,
+        )
+    }
+
+    /// The local-plane bearing-free displacement from `self` to `other` as
+    /// `(north_m, east_m)`.
+    pub fn displacement_to(self, other: GeoPoint) -> (f64, f64) {
+        let mean_lat = ((self.lat_deg + other.lat_deg) / 2.0).to_radians();
+        let north = (other.lat_deg - self.lat_deg).to_radians() * EARTH_RADIUS_M;
+        let east = (other.lon_deg - self.lon_deg).to_radians() * EARTH_RADIUS_M * mean_lat.cos();
+        (north, east)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.5}, {:.5})", self.lat_deg, self.lon_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PURDUE: GeoPoint = GeoPoint {
+        lat_deg: 40.4284,
+        lon_deg: -86.9138,
+    };
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(PURDUE.distance_to(PURDUE).value(), 0.0);
+        assert_eq!(PURDUE.haversine_distance_to(PURDUE).value(), 0.0);
+    }
+
+    #[test]
+    fn offset_round_trips_distance() {
+        for (n, e) in [(100.0, 0.0), (0.0, 250.0), (-300.0, 400.0), (1000.0, -1000.0)] {
+            let p = PURDUE.offset_by_meters(n, e);
+            let expect = (n * n + e * e).sqrt();
+            let got = PURDUE.distance_to(p).value();
+            assert!(
+                (got - expect).abs() < expect.max(1.0) * 0.002,
+                "offset ({n},{e}): got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn equirectangular_matches_haversine_at_campus_scale() {
+        let b = PURDUE.offset_by_meters(900.0, -1200.0);
+        let fast = PURDUE.distance_to(b).value();
+        let exact = PURDUE.haversine_distance_to(b).value();
+        assert!((fast - exact).abs() / exact < 1e-3);
+    }
+
+    #[test]
+    fn displacement_inverts_offset() {
+        let p = PURDUE.offset_by_meters(321.0, -654.0);
+        let (n, e) = PURDUE.displacement_to(p);
+        assert!((n - 321.0).abs() < 0.5, "north {n}");
+        assert!((e + 654.0).abs() < 0.5, "east {e}");
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let b = PURDUE.offset_by_meters(1000.0, 0.0);
+        assert_eq!(PURDUE.lerp(b, 0.0), PURDUE);
+        assert_eq!(PURDUE.lerp(b, 1.0), b);
+        let mid = PURDUE.lerp(b, 0.5);
+        let d = PURDUE.distance_to(mid).value();
+        assert!((d - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude")]
+    fn rejects_bad_latitude() {
+        let _ = GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude")]
+    fn rejects_bad_longitude() {
+        let _ = GeoPoint::new(0.0, 181.0);
+    }
+
+    #[test]
+    fn meters_display() {
+        assert_eq!(Meters(43.21).to_string(), "43.2m");
+        assert_eq!(Meters(1500.0).to_string(), "1.50km");
+    }
+
+    #[test]
+    fn known_distance_sanity() {
+        // Chicago to Indianapolis is roughly 265 km great-circle.
+        let chi = GeoPoint::new(41.8781, -87.6298);
+        let ind = GeoPoint::new(39.7684, -86.1581);
+        let d = chi.haversine_distance_to(ind).value();
+        assert!((d - 265_000.0).abs() < 10_000.0, "got {d}");
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(
+            n1 in -2000.0..2000.0f64, e1 in -2000.0..2000.0f64,
+            n2 in -2000.0..2000.0f64, e2 in -2000.0..2000.0f64,
+        ) {
+            let a = PURDUE.offset_by_meters(n1, e1);
+            let b = PURDUE.offset_by_meters(n2, e2);
+            let ab = a.distance_to(b).value();
+            let ba = b.distance_to(a).value();
+            prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab));
+        }
+
+        #[test]
+        fn triangle_inequality_holds(
+            n1 in -2000.0..2000.0f64, e1 in -2000.0..2000.0f64,
+            n2 in -2000.0..2000.0f64, e2 in -2000.0..2000.0f64,
+            n3 in -2000.0..2000.0f64, e3 in -2000.0..2000.0f64,
+        ) {
+            let a = PURDUE.offset_by_meters(n1, e1);
+            let b = PURDUE.offset_by_meters(n2, e2);
+            let c = PURDUE.offset_by_meters(n3, e3);
+            let ab = a.distance_to(b).value();
+            let bc = b.distance_to(c).value();
+            let ac = a.distance_to(c).value();
+            // Allow a hair of slack for the projection approximation.
+            prop_assert!(ac <= ab + bc + 0.01);
+        }
+
+        #[test]
+        fn haversine_close_to_fast_path(
+            n in -5000.0..5000.0f64, e in -5000.0..5000.0f64,
+        ) {
+            let b = PURDUE.offset_by_meters(n, e);
+            let fast = PURDUE.distance_to(b).value();
+            let exact = PURDUE.haversine_distance_to(b).value();
+            prop_assert!((fast - exact).abs() <= exact.max(1.0) * 2e-3);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Circular areas of interest.
+//!
+//! A crowdsensing task (paper Table 1) names a centre location and an
+//! `area_radius`; a device is *qualified* only while it is inside that
+//! circle.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::{GeoPoint, Meters};
+
+/// A circular region: centre plus radius in metres.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_geo::{CircleRegion, GeoPoint};
+///
+/// let centre = GeoPoint::new(40.4284, -86.9138);
+/// let region = CircleRegion::new(centre, 500.0);
+/// assert!(region.contains(centre));
+/// assert_eq!(region.radius_m(), 500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircleRegion {
+    centre: GeoPoint,
+    radius_m: f64,
+}
+
+impl CircleRegion {
+    /// Creates a region with the given centre and radius in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius_m` is not positive and finite.
+    pub fn new(centre: GeoPoint, radius_m: f64) -> Self {
+        assert!(
+            radius_m.is_finite() && radius_m > 0.0,
+            "region radius {radius_m} must be positive"
+        );
+        CircleRegion { centre, radius_m }
+    }
+
+    /// The region's centre.
+    pub fn centre(&self) -> GeoPoint {
+        self.centre
+    }
+
+    /// The region's radius in metres.
+    pub fn radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        self.centre.distance_to(p).value() <= self.radius_m
+    }
+
+    /// Signed distance from `p` to the boundary: negative inside, positive
+    /// outside.
+    pub fn boundary_distance(&self, p: GeoPoint) -> Meters {
+        Meters(self.centre.distance_to(p).value() - self.radius_m)
+    }
+
+    /// Returns a region with the same centre and a different radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius_m` is not positive and finite.
+    pub fn with_radius(&self, radius_m: f64) -> CircleRegion {
+        CircleRegion::new(self.centre, radius_m)
+    }
+
+    /// Whether two regions overlap (including touching).
+    pub fn intersects(&self, other: &CircleRegion) -> bool {
+        self.centre.distance_to(other.centre).value() <= self.radius_m + other.radius_m
+    }
+}
+
+impl fmt::Display for CircleRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circle({}, r={})", self.centre, Meters(self.radius_m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn centre() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    #[test]
+    fn contains_centre_and_respects_radius() {
+        let r = CircleRegion::new(centre(), 300.0);
+        assert!(r.contains(centre()));
+        assert!(r.contains(centre().offset_by_meters(299.0, 0.0)));
+        assert!(!r.contains(centre().offset_by_meters(0.0, 301.5)));
+    }
+
+    #[test]
+    fn boundary_distance_signs() {
+        let r = CircleRegion::new(centre(), 300.0);
+        assert!(r.boundary_distance(centre()).value() < 0.0);
+        assert!(r.boundary_distance(centre().offset_by_meters(400.0, 0.0)).value() > 0.0);
+    }
+
+    #[test]
+    fn with_radius_preserves_centre() {
+        let r = CircleRegion::new(centre(), 100.0).with_radius(1000.0);
+        assert_eq!(r.centre(), centre());
+        assert_eq!(r.radius_m(), 1000.0);
+    }
+
+    #[test]
+    fn intersects_cases() {
+        let a = CircleRegion::new(centre(), 300.0);
+        let b = CircleRegion::new(centre().offset_by_meters(500.0, 0.0), 300.0);
+        let c = CircleRegion::new(centre().offset_by_meters(1000.0, 0.0), 300.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_radius() {
+        let _ = CircleRegion::new(centre(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_radius() {
+        let r = CircleRegion::new(centre(), 500.0);
+        assert!(r.to_string().contains("r=500.0m"));
+    }
+
+    proptest! {
+        #[test]
+        fn contains_agrees_with_boundary_distance(
+            n in -1500.0..1500.0f64,
+            e in -1500.0..1500.0f64,
+            radius in 1.0..2000.0f64,
+        ) {
+            let region = CircleRegion::new(centre(), radius);
+            let p = centre().offset_by_meters(n, e);
+            prop_assert_eq!(
+                region.contains(p),
+                region.boundary_distance(p).value() <= 0.0
+            );
+        }
+
+        #[test]
+        fn growing_radius_never_loses_points(
+            n in -1500.0..1500.0f64,
+            e in -1500.0..1500.0f64,
+            r1 in 1.0..1000.0f64,
+            extra in 0.0..1000.0f64,
+        ) {
+            let small = CircleRegion::new(centre(), r1);
+            let big = small.with_radius(r1 + extra + f64::EPSILON);
+            let p = centre().offset_by_meters(n, e);
+            if small.contains(p) {
+                prop_assert!(big.contains(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Energy accounting with per-category breakdown.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Where a Joule went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyCategory {
+    /// RRC_IDLE residency.
+    Idle,
+    /// IDLE→CONNECTED promotion signalling.
+    Promotion,
+    /// Active data transfer.
+    Transfer,
+    /// RRC_CONNECTED tail (any DRX phase).
+    Tail,
+}
+
+impl EnergyCategory {
+    /// All categories, in display order.
+    pub const ALL: [EnergyCategory; 4] = [
+        EnergyCategory::Idle,
+        EnergyCategory::Promotion,
+        EnergyCategory::Transfer,
+        EnergyCategory::Tail,
+    ];
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EnergyCategory::Idle => "idle",
+            EnergyCategory::Promotion => "promotion",
+            EnergyCategory::Transfer => "transfer",
+            EnergyCategory::Tail => "tail",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Joules spent, broken down by [`EnergyCategory`].
+///
+/// # Example
+///
+/// ```
+/// use senseaid_radio::{EnergyBreakdown, EnergyCategory};
+///
+/// let mut e = EnergyBreakdown::default();
+/// e.record(EnergyCategory::Tail, 12.0);
+/// e.record(EnergyCategory::Transfer, 0.5);
+/// assert_eq!(e.total_j(), 12.5);
+/// assert_eq!(e.get(EnergyCategory::Tail), 12.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    idle_j: f64,
+    promotion_j: f64,
+    transfer_j: f64,
+    tail_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    /// Adds `joules` to `category`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or non-finite — energy only flows one
+    /// way.
+    pub fn record(&mut self, category: EnergyCategory, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "cannot add {joules} J to {category}"
+        );
+        *self.slot(category) += joules;
+    }
+
+    /// Joules recorded against `category`.
+    pub fn get(&self, category: EnergyCategory) -> f64 {
+        match category {
+            EnergyCategory::Idle => self.idle_j,
+            EnergyCategory::Promotion => self.promotion_j,
+            EnergyCategory::Transfer => self.transfer_j,
+            EnergyCategory::Tail => self.tail_j,
+        }
+    }
+
+    /// Total Joules across all categories.
+    pub fn total_j(&self) -> f64 {
+        self.idle_j + self.promotion_j + self.transfer_j + self.tail_j
+    }
+
+    /// Total excluding idle — the "active radio" energy. The paper's
+    /// crowdsensing costs exclude baseline idle drain.
+    pub fn active_j(&self) -> f64 {
+        self.promotion_j + self.transfer_j + self.tail_j
+    }
+
+    fn slot(&mut self, category: EnergyCategory) -> &mut f64 {
+        match category {
+            EnergyCategory::Idle => &mut self.idle_j,
+            EnergyCategory::Promotion => &mut self.promotion_j,
+            EnergyCategory::Transfer => &mut self.transfer_j,
+            EnergyCategory::Tail => &mut self.tail_j,
+        }
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            idle_j: self.idle_j + rhs.idle_j,
+            promotion_j: self.promotion_j + rhs.promotion_j,
+            transfer_j: self.transfer_j + rhs.transfer_j,
+            tail_j: self.tail_j + rhs.tail_j,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={:.3}J (idle={:.3} promo={:.3} xfer={:.3} tail={:.3})",
+            self.total_j(),
+            self.idle_j,
+            self.promotion_j,
+            self.transfer_j,
+            self.tail_j
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut e = EnergyBreakdown::new();
+        e.record(EnergyCategory::Idle, 1.0);
+        e.record(EnergyCategory::Promotion, 2.0);
+        e.record(EnergyCategory::Transfer, 3.0);
+        e.record(EnergyCategory::Tail, 4.0);
+        assert_eq!(e.total_j(), 10.0);
+        assert_eq!(e.active_j(), 9.0);
+        for (c, want) in EnergyCategory::ALL.iter().zip([1.0, 2.0, 3.0, 4.0]) {
+            assert_eq!(e.get(*c), want);
+        }
+    }
+
+    #[test]
+    fn breakdowns_sum() {
+        let mut a = EnergyBreakdown::new();
+        a.record(EnergyCategory::Tail, 5.0);
+        let mut b = EnergyBreakdown::new();
+        b.record(EnergyCategory::Tail, 7.0);
+        b.record(EnergyCategory::Idle, 1.0);
+        let c = a + b;
+        assert_eq!(c.get(EnergyCategory::Tail), 12.0);
+        assert_eq!(c.total_j(), 13.0);
+        a += b;
+        assert_eq!(a.total_j(), 13.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot add")]
+    fn rejects_negative_energy() {
+        EnergyBreakdown::new().record(EnergyCategory::Idle, -1.0);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut e = EnergyBreakdown::new();
+        e.record(EnergyCategory::Transfer, 1.5);
+        assert!(e.to_string().contains("total=1.500J"));
+    }
+}

@@ -1,0 +1,56 @@
+//! LTE/3G radio-resource-control (RRC) state machine and energy model.
+//!
+//! This crate reproduces the radio behaviour the Sense-Aid paper builds on
+//! (§2.2, Huang et al. MobiSys '12):
+//!
+//! * a UE radio sits in low-power **RRC_IDLE** (~11 mW) until traffic
+//!   arrives;
+//! * initiating communication requires a **promotion** to RRC_CONNECTED
+//!   (~1300 mW for ~260 ms of control signalling);
+//! * after the last packet, the radio lingers in a high-power **tail**
+//!   (short DRX → long DRX → connected tail, ~11.5 s total) before
+//!   demoting back to IDLE.
+//!
+//! The key mechanism Sense-Aid exploits: bytes sent *during the tail* pay
+//! only the marginal transfer energy — no promotion. The two framework
+//! variants differ in [`ResetPolicy`]: stock RRC resets the tail timer on
+//! any traffic (Sense-Aid *Basic*), while a carrier-cooperating deployment
+//! can suppress the reset for crowdsensing bytes (Sense-Aid *Complete*).
+//!
+//! [`Radio`] is a lazy energy integrator: it needs no timer events; state
+//! at any instant is a deterministic function of the last activity, and
+//! energy is integrated piecewise when the simulation observes it.
+//!
+//! # Example
+//!
+//! ```
+//! use senseaid_radio::{Direction, Radio, RadioPowerProfile, ResetPolicy};
+//! use senseaid_sim::SimTime;
+//!
+//! let mut radio = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+//! // A cold upload promotes the radio...
+//! let report = radio.transmit(SimTime::from_secs(10), 600, Direction::Uplink, ResetPolicy::Reset);
+//! assert!(report.promoted);
+//! // ...but a second upload during the tail does not.
+//! let report2 = radio.transmit(SimTime::from_secs(15), 600, Direction::Uplink, ResetPolicy::Reset);
+//! assert!(!report2.promoted);
+//! assert!(report2.marginal_j < report.marginal_j);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod power;
+pub mod rrc;
+pub mod timeline;
+
+pub use energy::{EnergyBreakdown, EnergyCategory};
+pub use power::{RadioPowerProfile, TailConfig};
+pub use rrc::{Direction, Radio, RadioPhase, ResetPolicy, TxReport};
+pub use timeline::PhaseTimeline;
+
+/// Converts a power in milliwatts applied for `dur` into Joules.
+pub fn mw_over(mw: f64, dur: senseaid_sim::SimDuration) -> f64 {
+    mw * 1e-3 * dur.as_secs_f64()
+}

@@ -1,0 +1,680 @@
+//! The RRC state machine and lazy energy integrator.
+//!
+//! [`Radio`] models one UE's cellular radio. It is *event-lazy*: between
+//! transmissions the state trajectory (tail phases, demotion to idle) is
+//! deterministic, so no timer events are needed — state at any instant is
+//! computed on demand and energy is integrated piecewise whenever the
+//! simulation observes it.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_sim::{SimDuration, SimTime};
+
+use crate::energy::{EnergyBreakdown, EnergyCategory};
+use crate::mw_over;
+use crate::power::RadioPowerProfile;
+
+/// The observable phase of the radio at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RadioPhase {
+    /// RRC_IDLE: lowest power, must promote before communicating.
+    Idle,
+    /// Control-message exchange promoting IDLE → CONNECTED.
+    Promoting,
+    /// Actively moving bytes.
+    Transferring,
+    /// First tail phase: short DRX cycles.
+    ShortDrx,
+    /// Second tail phase: long DRX cycles.
+    LongDrx,
+    /// Remainder of the CONNECTED tail before demotion.
+    TailConnected,
+}
+
+impl RadioPhase {
+    /// Whether the phase is part of the post-activity tail.
+    pub fn is_tail(self) -> bool {
+        matches!(
+            self,
+            RadioPhase::ShortDrx | RadioPhase::LongDrx | RadioPhase::TailConnected
+        )
+    }
+}
+
+impl std::fmt::Display for RadioPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RadioPhase::Idle => "IDLE",
+            RadioPhase::Promoting => "PROMOTING",
+            RadioPhase::Transferring => "TRANSFER",
+            RadioPhase::ShortDrx => "SHORT_DRX",
+            RadioPhase::LongDrx => "LONG_DRX",
+            RadioPhase::TailConnected => "TAIL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Device → network.
+    Uplink,
+    /// Network → device.
+    Downlink,
+}
+
+/// What a transmission does to the tail timer.
+///
+/// Stock RRC resets the inactivity timer on any traffic ([`Reset`]); the
+/// Sense-Aid *Complete* variant assumes carrier cooperation so that
+/// crowdsensing bytes sent inside the tail do **not** reset it
+/// ([`NoReset`]) — the radio demotes exactly when it would have anyway.
+///
+/// [`Reset`]: ResetPolicy::Reset
+/// [`NoReset`]: ResetPolicy::NoReset
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResetPolicy {
+    /// Traffic restarts the tail timer (default RRC behaviour).
+    Reset,
+    /// Traffic leaves the tail timer untouched (Sense-Aid Complete).
+    NoReset,
+}
+
+/// Outcome of one [`Radio::transmit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TxReport {
+    /// When the activity began (promotion start, or transfer start when no
+    /// promotion was needed). Equals the call's `now` unless the radio was
+    /// still busy with a previous transfer, in which case it queued.
+    pub started_at: SimTime,
+    /// When the last byte was on the air.
+    pub completed_at: SimTime,
+    /// Whether an IDLE→CONNECTED promotion was required.
+    pub promoted: bool,
+    /// Energy of the transfer itself (transfer power × duration), Joules.
+    pub transfer_j: f64,
+    /// Marginal energy this transmission added versus not transmitting:
+    /// promotion (if any) + transfer premium + the tail time it created or
+    /// extended. This is the quantity the paper's per-framework energy
+    /// comparisons are made of.
+    pub marginal_j: f64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// One historical activity, kept for timeline reconstruction (Fig 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct TxRecord {
+    pub start: SimTime,
+    pub promo_until: SimTime,
+    pub end: SimTime,
+    /// Tail anchor in effect after this activity (None = no tail follows,
+    /// which cannot happen in practice but keeps the type honest).
+    pub anchor_after: Option<SimTime>,
+}
+
+/// A simulated cellular radio with lazy energy integration.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Radio {
+    profile: RadioPowerProfile,
+    breakdown: EnergyBreakdown,
+    last_update: SimTime,
+    promo_start: SimTime,
+    promo_until: SimTime,
+    busy_until: SimTime,
+    /// Start instant of the tail currently governing demotion, if any.
+    tail_anchor: Option<SimTime>,
+    promotion_count: u64,
+    tx_count: u64,
+    bytes_sent: u64,
+    history: Vec<TxRecord>,
+}
+
+impl Radio {
+    /// Creates an idle radio at `t = 0` with the given power profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`RadioPowerProfile::validate`].
+    pub fn new(profile: RadioPowerProfile) -> Self {
+        profile.validate();
+        Radio {
+            profile,
+            breakdown: EnergyBreakdown::new(),
+            last_update: SimTime::ZERO,
+            promo_start: SimTime::ZERO,
+            promo_until: SimTime::ZERO,
+            busy_until: SimTime::ZERO,
+            tail_anchor: None,
+            promotion_count: 0,
+            tx_count: 0,
+            bytes_sent: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The power profile in use.
+    pub fn profile(&self) -> &RadioPowerProfile {
+        &self.profile
+    }
+
+    /// Number of IDLE→CONNECTED promotions so far.
+    pub fn promotion_count(&self) -> u64 {
+        self.promotion_count
+    }
+
+    /// Number of transmissions so far.
+    pub fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// Total payload bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    pub(crate) fn history(&self) -> &[TxRecord] {
+        &self.history
+    }
+
+    /// The instant the radio will next be (or last became) idle, given no
+    /// further traffic.
+    pub fn next_idle_at(&self) -> SimTime {
+        match self.tail_anchor {
+            Some(a) => {
+                let demote = a + self.profile.tail.total;
+                if demote > self.busy_until {
+                    demote
+                } else {
+                    self.busy_until
+                }
+            }
+            None => self.busy_until,
+        }
+    }
+
+    /// The activity record governing instant `t`, if any activity started
+    /// at or before `t`.
+    fn governing_record(&self, t: SimTime) -> Option<&TxRecord> {
+        let idx = self.history.partition_point(|r| r.start <= t);
+        idx.checked_sub(1).map(|i| &self.history[i])
+    }
+
+    /// The demotion instant of the tail governing instant `t` (equals the
+    /// governing activity's end when no tail follows or it already ran
+    /// out).
+    fn governing_idle_at(&self, t: SimTime) -> SimTime {
+        match self.governing_record(t) {
+            None => SimTime::ZERO,
+            Some(rec) => match rec.anchor_after {
+                None => rec.end,
+                Some(anchor) => {
+                    let demote = anchor + self.profile.tail.total;
+                    if demote > rec.end {
+                        demote
+                    } else {
+                        rec.end
+                    }
+                }
+            },
+        }
+    }
+
+    /// The radio phase at instant `t`.
+    ///
+    /// Works for any instant — the radio keeps its full activity history,
+    /// so queries between past activities answer exactly (the simulation
+    /// may execute a device's traffic slightly ahead of queries against
+    /// it).
+    pub fn phase_at(&self, t: SimTime) -> RadioPhase {
+        let Some(rec) = self.governing_record(t) else {
+            return RadioPhase::Idle;
+        };
+        if t < rec.promo_until {
+            return RadioPhase::Promoting;
+        }
+        if t < rec.end {
+            return RadioPhase::Transferring;
+        }
+        match rec.anchor_after {
+            None => RadioPhase::Idle,
+            Some(anchor) => {
+                if t >= self.governing_idle_at(t) {
+                    return RadioPhase::Idle;
+                }
+                // Inside the tail: classify by elapsed time since anchor.
+                let elapsed = t.saturating_elapsed_since(anchor);
+                let tail = &self.profile.tail;
+                if elapsed < tail.short_drx {
+                    RadioPhase::ShortDrx
+                } else if elapsed < tail.short_drx + tail.long_drx {
+                    RadioPhase::LongDrx
+                } else {
+                    RadioPhase::TailConnected
+                }
+            }
+        }
+    }
+
+    /// Whether the radio is in its high-power tail at `t` (able to send
+    /// without a promotion).
+    pub fn in_tail(&self, t: SimTime) -> bool {
+        self.phase_at(t).is_tail()
+    }
+
+    /// Remaining tail time at `t`; zero when not in the tail.
+    pub fn tail_remaining(&self, t: SimTime) -> SimDuration {
+        if self.in_tail(t) {
+            self.governing_idle_at(t).saturating_elapsed_since(t)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Time since the most recent radio communication finished; zero while
+    /// a transfer is in flight. This is the `TTL` input of the paper's
+    /// device-selector scoring function.
+    pub fn time_since_last_comm(&self, t: SimTime) -> SimDuration {
+        t.saturating_elapsed_since(self.busy_until)
+    }
+
+    /// Integrates energy up to `now` and returns the running breakdown.
+    pub fn energy(&mut self, now: SimTime) -> EnergyBreakdown {
+        self.advance(now);
+        self.breakdown
+    }
+
+    /// Transmits `bytes` at `now` (queuing behind any in-flight transfer)
+    /// and returns the energy report.
+    ///
+    /// `policy` controls the tail timer: regular application traffic always
+    /// uses [`ResetPolicy::Reset`]; Sense-Aid Complete crowdsensing uploads
+    /// use [`ResetPolicy::NoReset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes a previous observation of this radio
+    /// (simulated time cannot run backwards).
+    pub fn transmit(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        direction: Direction,
+        policy: ResetPolicy,
+    ) -> TxReport {
+        let start = if now > self.busy_until {
+            now
+        } else {
+            self.busy_until
+        };
+        // Settle energy for the pre-existing trajectory up to the start of
+        // the new activity.
+        self.advance(start);
+
+        let was_idle = matches!(self.phase_at(start), RadioPhase::Idle);
+        let tail_total = self.profile.tail.total;
+        let old_idle_at = match self.tail_anchor {
+            Some(a) => {
+                let demote = a + tail_total;
+                if demote > start {
+                    demote
+                } else {
+                    start
+                }
+            }
+            None => start,
+        };
+
+        let promo_dur = if was_idle {
+            self.profile.promotion_duration
+        } else {
+            SimDuration::ZERO
+        };
+        let transfer_dur = self
+            .profile
+            .transfer_duration(bytes, direction == Direction::Uplink);
+        let transfer_start = start + promo_dur;
+        let end = transfer_start + transfer_dur;
+
+        // New tail anchor: promotions and Reset-policy traffic restart the
+        // tail at the end of the transfer; NoReset leaves it untouched.
+        let new_anchor = if was_idle || policy == ResetPolicy::Reset {
+            Some(end)
+        } else {
+            self.tail_anchor
+        };
+        let new_idle_at = match new_anchor {
+            Some(a) => {
+                let demote = a + tail_total;
+                if demote > end {
+                    demote
+                } else {
+                    end
+                }
+            }
+            None => end,
+        };
+
+        // Marginal energy: integrate the with-transmission and
+        // without-transmission power trajectories over [start, horizon) and
+        // subtract. `horizon` covers both trajectories' settling points.
+        let horizon = if new_idle_at > old_idle_at {
+            new_idle_at
+        } else {
+            old_idle_at
+        };
+        let p = &self.profile;
+        let with_j = mw_over(p.promotion_mw, promo_dur)
+            + mw_over(p.transfer_mw, transfer_dur)
+            + mw_over(p.tail_mw, new_idle_at.saturating_elapsed_since(end))
+            + mw_over(p.idle_mw, horizon.saturating_elapsed_since(new_idle_at));
+        let without_j = mw_over(p.tail_mw, old_idle_at.saturating_elapsed_since(start))
+            + mw_over(p.idle_mw, horizon.saturating_elapsed_since(old_idle_at));
+        let marginal_j = (with_j - without_j).max(0.0);
+        let transfer_j = mw_over(p.transfer_mw, transfer_dur);
+
+        // Commit the new activity.
+        self.promo_start = start;
+        self.promo_until = transfer_start;
+        self.busy_until = end;
+        self.tail_anchor = new_anchor;
+        if was_idle {
+            self.promotion_count += 1;
+        }
+        self.tx_count += 1;
+        self.bytes_sent += bytes;
+        self.history.push(TxRecord {
+            start,
+            promo_until: transfer_start,
+            end,
+            anchor_after: new_anchor,
+        });
+
+        TxReport {
+            started_at: start,
+            completed_at: end,
+            promoted: was_idle,
+            transfer_j,
+            marginal_j,
+            bytes,
+        }
+    }
+
+    /// Integrates the energy of the deterministic trajectory from the last
+    /// update point to `target`. No-op if `target` is in the past.
+    fn advance(&mut self, target: SimTime) {
+        if target <= self.last_update {
+            return;
+        }
+        let mut t = self.last_update;
+        let p = self.profile.clone();
+        let idle_at = self.next_idle_at();
+        while t < target {
+            // Determine the power and category of the segment starting at
+            // `t`, and where that segment ends.
+            let (seg_end, mw, cat) = if t < self.promo_until && t >= self.promo_start {
+                (self.promo_until, p.promotion_mw, EnergyCategory::Promotion)
+            } else if t < self.busy_until {
+                (self.busy_until, p.transfer_mw, EnergyCategory::Transfer)
+            } else if t < idle_at {
+                (idle_at, p.tail_mw, EnergyCategory::Tail)
+            } else {
+                (SimTime::MAX, p.idle_mw, EnergyCategory::Idle)
+            };
+            let upto = if seg_end < target { seg_end } else { target };
+            self.breakdown.record(cat, mw_over(mw, upto.saturating_elapsed_since(t)));
+            t = upto;
+        }
+        self.last_update = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lte() -> RadioPowerProfile {
+        RadioPowerProfile::lte_galaxy_s4()
+    }
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn starts_idle_and_accumulates_idle_energy() {
+        let mut r = Radio::new(lte());
+        assert_eq!(r.phase_at(SimTime::ZERO), RadioPhase::Idle);
+        let e = r.energy(t(100.0));
+        let expect = mw_over(11.0, SimDuration::from_secs(100));
+        assert!((e.get(EnergyCategory::Idle) - expect).abs() < 1e-9);
+        assert_eq!(e.active_j(), 0.0);
+    }
+
+    #[test]
+    fn cold_transmit_promotes_then_tails_then_idles() {
+        let mut r = Radio::new(lte());
+        let rep = r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        assert!(rep.promoted);
+        assert_eq!(rep.started_at, t(10.0));
+        assert_eq!(r.promotion_count(), 1);
+
+        // During promotion.
+        assert_eq!(r.phase_at(t(10.1)), RadioPhase::Promoting);
+        // During transfer.
+        let mid_transfer = rep.started_at + SimDuration::from_millis(300);
+        assert_eq!(r.phase_at(mid_transfer), RadioPhase::Transferring);
+        // Right after completion: short DRX.
+        assert_eq!(
+            r.phase_at(rep.completed_at + SimDuration::from_millis(1)),
+            RadioPhase::ShortDrx
+        );
+        // Later in the tail.
+        assert_eq!(
+            r.phase_at(rep.completed_at + SimDuration::from_secs(5)),
+            RadioPhase::TailConnected
+        );
+        // After the tail: idle.
+        assert_eq!(
+            r.phase_at(rep.completed_at + SimDuration::from_secs(12)),
+            RadioPhase::Idle
+        );
+    }
+
+    #[test]
+    fn tail_upload_skips_promotion() {
+        let mut r = Radio::new(lte());
+        let first = r.transmit(t(10.0), 10_000, Direction::Uplink, ResetPolicy::Reset);
+        // 5 s later we are inside the 11.5 s tail.
+        let again_at = first.completed_at + SimDuration::from_secs(5);
+        let second = r.transmit(again_at, 600, Direction::Uplink, ResetPolicy::Reset);
+        assert!(!second.promoted);
+        assert_eq!(r.promotion_count(), 1);
+        assert!(second.marginal_j < first.marginal_j / 2.0);
+    }
+
+    #[test]
+    fn cold_marginal_matches_closed_form() {
+        let mut r = Radio::new(lte());
+        let rep = r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let expect = lte().cold_upload_energy_j(600);
+        assert!(
+            (rep.marginal_j - expect).abs() < 1e-6,
+            "marginal {} vs closed-form {expect}",
+            rep.marginal_j
+        );
+    }
+
+    #[test]
+    fn noreset_marginal_is_transfer_premium_only() {
+        let mut r = Radio::new(lte());
+        let first = r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let again_at = first.completed_at + SimDuration::from_secs(2);
+        let second = r.transmit(again_at, 600, Direction::Uplink, ResetPolicy::NoReset);
+        assert!(!second.promoted);
+        let p = lte();
+        let dur = p.transfer_duration(600, true);
+        let expect = mw_over(p.transfer_mw - p.tail_mw, dur);
+        assert!(
+            (second.marginal_j - expect).abs() < 1e-6,
+            "marginal {} vs expected premium {expect}",
+            second.marginal_j
+        );
+    }
+
+    #[test]
+    fn reset_extends_tail_noreset_does_not() {
+        let mut basic = Radio::new(lte());
+        let mut complete = Radio::new(lte());
+        let b1 = basic.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let c1 = complete.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        assert_eq!(b1.completed_at, c1.completed_at);
+        let original_idle = basic.next_idle_at();
+
+        let again = b1.completed_at + SimDuration::from_secs(5);
+        basic.transmit(again, 600, Direction::Uplink, ResetPolicy::Reset);
+        complete.transmit(again, 600, Direction::Uplink, ResetPolicy::NoReset);
+        assert!(basic.next_idle_at() > original_idle, "Reset pushes demotion out");
+        assert_eq!(
+            complete.next_idle_at(),
+            original_idle,
+            "NoReset demotes exactly when it would have anyway"
+        );
+    }
+
+    #[test]
+    fn basic_variant_costs_more_than_complete() {
+        let horizon = t(100.0);
+        let mut basic = Radio::new(lte());
+        let mut complete = Radio::new(lte());
+        for r in [&mut basic, &mut complete] {
+            r.transmit(t(10.0), 2_000, Direction::Uplink, ResetPolicy::Reset);
+        }
+        let again = t(10.0) + SimDuration::from_secs(8);
+        let b = basic.transmit(again, 600, Direction::Uplink, ResetPolicy::Reset);
+        let c = complete.transmit(again, 600, Direction::Uplink, ResetPolicy::NoReset);
+        assert!(b.marginal_j > c.marginal_j);
+        assert!(basic.energy(horizon).total_j() > complete.energy(horizon).total_j());
+    }
+
+    #[test]
+    fn total_energy_equals_sum_of_marginals_plus_baseline() {
+        // Energy conservation: for a single device the meter's total must
+        // equal idle-baseline + Σ marginal energies.
+        let horizon = t(200.0);
+        let mut r = Radio::new(lte());
+        let mut marginal_sum = 0.0;
+        for (at, policy) in [
+            (20.0, ResetPolicy::Reset),
+            (25.0, ResetPolicy::NoReset),
+            (60.0, ResetPolicy::Reset),
+            (64.0, ResetPolicy::Reset),
+            (120.0, ResetPolicy::NoReset),
+        ] {
+            marginal_sum += r
+                .transmit(t(at), 600, Direction::Uplink, policy)
+                .marginal_j;
+        }
+        let e = r.energy(horizon);
+        let baseline = mw_over(11.0, horizon.elapsed_since(SimTime::ZERO));
+        assert!(
+            (e.total_j() - (baseline + marginal_sum)).abs() < 1e-6,
+            "total {} vs baseline {baseline} + marginals {marginal_sum}",
+            e.total_j()
+        );
+    }
+
+    #[test]
+    fn transmit_queues_behind_inflight_transfer() {
+        let mut r = Radio::new(lte());
+        // A large transfer that takes a while.
+        let first = r.transmit(t(10.0), 5_000_000, Direction::Uplink, ResetPolicy::Reset);
+        assert!(first.completed_at > t(11.0));
+        // Second transmit "arrives" mid-flight; it must start after.
+        let second = r.transmit(t(10.5), 600, Direction::Uplink, ResetPolicy::Reset);
+        assert_eq!(second.started_at, first.completed_at);
+        assert!(!second.promoted);
+    }
+
+    #[test]
+    fn ttl_tracks_last_communication() {
+        let mut r = Radio::new(lte());
+        assert_eq!(
+            r.time_since_last_comm(t(5.0)),
+            SimDuration::from_secs(5)
+        );
+        let rep = r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let probe = rep.completed_at + SimDuration::from_secs(3);
+        assert_eq!(
+            r.time_since_last_comm(probe),
+            SimDuration::from_secs(3)
+        );
+        // Mid-transfer the TTL is zero.
+        assert_eq!(
+            r.time_since_last_comm(rep.started_at + SimDuration::from_millis(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn tail_remaining_counts_down() {
+        let mut r = Radio::new(lte());
+        let rep = r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let a = r.tail_remaining(rep.completed_at + SimDuration::from_secs(1));
+        let b = r.tail_remaining(rep.completed_at + SimDuration::from_secs(8));
+        assert!(a > b && !b.is_zero());
+        assert_eq!(
+            r.tail_remaining(rep.completed_at + SimDuration::from_secs(20)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn marginal_never_negative_under_random_schedules() {
+        use senseaid_sim::SimRng;
+        let mut rng = SimRng::from_seed(42);
+        for run in 0..20 {
+            let mut r = Radio::new(lte());
+            let mut now = 1.0;
+            for _ in 0..50 {
+                now += rng.exponential(10.0);
+                let policy = if rng.chance(0.5) {
+                    ResetPolicy::Reset
+                } else {
+                    ResetPolicy::NoReset
+                };
+                let bytes = 100 + rng.uniform_usize(0, 10_000) as u64;
+                let rep = r.transmit(t(now), bytes, Direction::Uplink, policy);
+                assert!(
+                    rep.marginal_j >= 0.0,
+                    "run {run}: negative marginal {}",
+                    rep.marginal_j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downlink_faster_than_uplink() {
+        let mut r = Radio::new(lte());
+        let up = r.transmit(t(10.0), 1_000_000, Direction::Uplink, ResetPolicy::Reset);
+        let mut r2 = Radio::new(lte());
+        let down = r2.transmit(t(10.0), 1_000_000, Direction::Downlink, ResetPolicy::Reset);
+        assert!(
+            up.completed_at > down.completed_at,
+            "uplink should take longer"
+        );
+    }
+
+    #[test]
+    fn bytes_and_tx_counters() {
+        let mut r = Radio::new(lte());
+        r.transmit(t(1.0), 100, Direction::Uplink, ResetPolicy::Reset);
+        r.transmit(t(2.0), 200, Direction::Uplink, ResetPolicy::Reset);
+        assert_eq!(r.tx_count(), 2);
+        assert_eq!(r.bytes_sent(), 300);
+    }
+}

@@ -1,0 +1,389 @@
+//! Radio phase timeline reconstruction (paper Fig 6).
+//!
+//! The paper validates its tail-time inference by plotting the radio state
+//! over time around a crowdsensing upload: regular traffic → tail →
+//! crowdsensing bytes inside the tail → short/long DRX → demotion to idle.
+//! [`PhaseTimeline`] rebuilds exactly that sequence of transitions from a
+//! [`Radio`]'s transmission history.
+
+use senseaid_sim::{SimTime, TraceEntry, TraceLog};
+
+use crate::power::TailConfig;
+use crate::rrc::{Radio, RadioPhase};
+
+/// A reconstructed sequence of radio phase transitions.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_radio::{Direction, PhaseTimeline, Radio, RadioPowerProfile, ResetPolicy};
+/// use senseaid_sim::SimTime;
+///
+/// let mut radio = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+/// radio.transmit(SimTime::from_secs(10), 600, Direction::Uplink, ResetPolicy::Reset);
+/// let timeline = PhaseTimeline::reconstruct(&radio, SimTime::from_secs(60));
+/// let phases: Vec<_> = timeline.entries().iter().map(|e| e.item).collect();
+/// assert_eq!(phases.first().copied(), Some(senseaid_radio::RadioPhase::Idle));
+/// assert_eq!(phases.last().copied(), Some(senseaid_radio::RadioPhase::Idle));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseTimeline {
+    log: TraceLog<RadioPhase>,
+}
+
+impl PhaseTimeline {
+    /// Rebuilds the phase transitions of `radio` from `t = 0` to `horizon`.
+    ///
+    /// Each entry marks the instant a new phase begins; the phase persists
+    /// until the next entry. The first entry is always `Idle` at `t = 0`.
+    pub fn reconstruct(radio: &Radio, horizon: SimTime) -> Self {
+        let tail = radio.profile().tail;
+        let mut builder = Builder::new();
+        builder.push(SimTime::ZERO, RadioPhase::Idle);
+
+        let mut carried_anchor: Option<SimTime> = None;
+        for rec in radio.history() {
+            if rec.start > horizon {
+                break;
+            }
+            // Emit the inter-activity phases (tail running out, idle)
+            // between the previous activity and this one.
+            if let Some(anchor) = carried_anchor {
+                builder.emit_tail(&tail, anchor, rec.start);
+            }
+            if rec.promo_until > rec.start {
+                builder.push(rec.start, RadioPhase::Promoting);
+            }
+            builder.push(rec.promo_until, RadioPhase::Transferring);
+            carried_anchor = rec.anchor_after;
+            // Tail phases right after this activity start at `rec.end`; we
+            // emit them lazily before the *next* activity (or after the
+            // loop), but the transfer-to-tail boundary itself is known now.
+            builder.mark_activity_end(rec.end, carried_anchor, &tail);
+        }
+        if let Some(anchor) = carried_anchor {
+            builder.emit_tail(&tail, anchor, horizon);
+        }
+        PhaseTimeline {
+            log: builder.finish(horizon),
+        }
+    }
+
+    /// The transitions in time order.
+    pub fn entries(&self) -> &[TraceEntry<RadioPhase>] {
+        self.log.entries()
+    }
+
+    /// The phase in effect at `t` (the last transition at or before `t`).
+    /// `None` if `t` precedes the first entry (it never does: the timeline
+    /// starts at `t = 0`).
+    pub fn phase_at(&self, t: SimTime) -> Option<RadioPhase> {
+        self.entries()
+            .iter()
+            .take_while(|e| e.at <= t)
+            .last()
+            .map(|e| e.item)
+    }
+
+    /// Renders the timeline as aligned text rows (`time  phase`), the form
+    /// the Fig 6 bench prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries() {
+            out.push_str(&format!("{:>12}  {}\n", e.at.to_string(), e.item));
+        }
+        out
+    }
+}
+
+/// Internal builder that deduplicates consecutive identical phases and
+/// keeps pending tail-boundary work.
+struct Builder {
+    entries: Vec<TraceEntry<RadioPhase>>,
+    /// End of the most recent activity together with its governing anchor —
+    /// the tail phases from here were not emitted yet.
+    pending_tail_from: Option<(SimTime, Option<SimTime>)>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Builder {
+            entries: Vec::new(),
+            pending_tail_from: None,
+        }
+    }
+
+    fn push(&mut self, at: SimTime, phase: RadioPhase) {
+        // Overwrite any pending tail start: a new activity began first.
+        self.pending_tail_from = None;
+        if let Some(last) = self.entries.last() {
+            if last.item == phase && last.at <= at {
+                return;
+            }
+        }
+        self.entries.push(TraceEntry { at, item: phase });
+    }
+
+    fn mark_activity_end(&mut self, end: SimTime, anchor: Option<SimTime>, _tail: &TailConfig) {
+        self.pending_tail_from = Some((end, anchor));
+    }
+
+    /// Emits tail transitions measured from `anchor`, starting at the
+    /// pending activity end, capped at `until`.
+    fn emit_tail(&mut self, tail: &TailConfig, anchor: SimTime, until: SimTime) {
+        let Some((from, _)) = self.pending_tail_from.take() else {
+            return;
+        };
+        let idle_at = {
+            let demote = anchor + tail.total;
+            if demote > from {
+                demote
+            } else {
+                from
+            }
+        };
+        let boundaries = [
+            (anchor + tail.short_drx, RadioPhase::LongDrx),
+            (anchor + tail.short_drx + tail.long_drx, RadioPhase::TailConnected),
+            (idle_at, RadioPhase::Idle),
+        ];
+        // Phase at `from` itself.
+        let phase_at_from = if from >= idle_at {
+            RadioPhase::Idle
+        } else if from < anchor + tail.short_drx {
+            RadioPhase::ShortDrx
+        } else if from < anchor + tail.short_drx + tail.long_drx {
+            RadioPhase::LongDrx
+        } else {
+            RadioPhase::TailConnected
+        };
+        self.raw_push(from.min(until), phase_at_from);
+        for (at, phase) in boundaries {
+            if at > from && at <= until {
+                self.raw_push(at, phase);
+            }
+        }
+    }
+
+    /// Push without clearing pending state (used by emit_tail itself).
+    fn raw_push(&mut self, at: SimTime, phase: RadioPhase) {
+        if let Some(last) = self.entries.last() {
+            if last.item == phase {
+                return;
+            }
+        }
+        self.entries.push(TraceEntry { at, item: phase });
+    }
+
+    fn finish(mut self, horizon: SimTime) -> TraceLog<RadioPhase> {
+        let mut log = TraceLog::new();
+        self.entries.retain(|e| e.at <= horizon);
+        for e in self.entries {
+            log.push(e.at, e.item);
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::RadioPowerProfile;
+    use crate::rrc::{Direction, ResetPolicy};
+    use senseaid_sim::SimDuration;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn single_upload_full_cycle() {
+        let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        let rep = r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let tl = PhaseTimeline::reconstruct(&r, t(60.0));
+        let phases: Vec<RadioPhase> = tl.entries().iter().map(|e| e.item).collect();
+        assert_eq!(
+            phases,
+            vec![
+                RadioPhase::Idle,
+                RadioPhase::Promoting,
+                RadioPhase::Transferring,
+                RadioPhase::ShortDrx,
+                RadioPhase::LongDrx,
+                RadioPhase::TailConnected,
+                RadioPhase::Idle,
+            ]
+        );
+        // Demotion happens one tail after completion.
+        let last = tl.entries().last().unwrap();
+        assert_eq!(last.at, rep.completed_at + SimDuration::from_millis(11_500));
+    }
+
+    #[test]
+    fn fig6_shape_crowdsensing_inside_tail_no_reset() {
+        // Regular traffic, then a crowdsensing upload 3 s into the tail
+        // with NoReset: the radio must demote exactly one tail after the
+        // *regular* transfer.
+        let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        let regular = r.transmit(t(10.0), 40_000, Direction::Uplink, ResetPolicy::Reset);
+        let cs_at = regular.completed_at + SimDuration::from_secs(3);
+        let cs = r.transmit(cs_at, 600, Direction::Uplink, ResetPolicy::NoReset);
+        assert!(!cs.promoted);
+        let tl = PhaseTimeline::reconstruct(&r, t(60.0));
+        let idle_again = tl
+            .entries()
+            .iter()
+            .filter(|e| e.item == RadioPhase::Idle)
+            .map(|e| e.at)
+            .next_back()
+            .unwrap();
+        assert_eq!(
+            idle_again,
+            regular.completed_at + SimDuration::from_millis(11_500),
+            "NoReset upload must not postpone demotion"
+        );
+        // And the crowdsensing transfer appears as a second Transferring span.
+        let transfers = tl
+            .entries()
+            .iter()
+            .filter(|e| e.item == RadioPhase::Transferring)
+            .count();
+        assert_eq!(transfers, 2);
+    }
+
+    #[test]
+    fn reset_upload_extends_the_timeline() {
+        let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        let regular = r.transmit(t(10.0), 40_000, Direction::Uplink, ResetPolicy::Reset);
+        let cs_at = regular.completed_at + SimDuration::from_secs(3);
+        let cs = r.transmit(cs_at, 600, Direction::Uplink, ResetPolicy::Reset);
+        let tl = PhaseTimeline::reconstruct(&r, t(60.0));
+        let idle_again = tl
+            .entries()
+            .iter()
+            .filter(|e| e.item == RadioPhase::Idle)
+            .map(|e| e.at)
+            .next_back()
+            .unwrap();
+        assert_eq!(idle_again, cs.completed_at + SimDuration::from_millis(11_500));
+    }
+
+    #[test]
+    fn phase_at_queries() {
+        let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let tl = PhaseTimeline::reconstruct(&r, t(60.0));
+        assert_eq!(tl.phase_at(t(5.0)), Some(RadioPhase::Idle));
+        assert_eq!(tl.phase_at(t(10.1)), Some(RadioPhase::Promoting));
+        assert_eq!(tl.phase_at(t(15.0)), Some(RadioPhase::TailConnected));
+        assert_eq!(tl.phase_at(t(59.0)), Some(RadioPhase::Idle));
+    }
+
+    #[test]
+    fn render_contains_phase_names() {
+        let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
+        let text = PhaseTimeline::reconstruct(&r, t(60.0)).render();
+        for needle in ["IDLE", "PROMOTING", "TRANSFER", "SHORT_DRX", "LONG_DRX", "TAIL"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn quiet_radio_is_just_idle() {
+        let r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        let tl = PhaseTimeline::reconstruct(&r, t(100.0));
+        assert_eq!(tl.entries().len(), 1);
+        assert_eq!(tl.entries()[0].item, RadioPhase::Idle);
+    }
+
+    #[test]
+    fn back_to_back_transfers_merge_sensibly() {
+        let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        let a = r.transmit(t(10.0), 5_000_000, Direction::Uplink, ResetPolicy::Reset);
+        // Arrives mid-flight, queues.
+        r.transmit(t(10.5), 600, Direction::Uplink, ResetPolicy::Reset);
+        let tl = PhaseTimeline::reconstruct(&r, t(60.0));
+        // No Idle or tail between the two transfers.
+        let between: Vec<RadioPhase> = tl
+            .entries()
+            .iter()
+            .filter(|e| e.at > a.started_at && e.at < a.completed_at + SimDuration::from_millis(10))
+            .map(|e| e.item)
+            .collect();
+        assert!(
+            !between.contains(&RadioPhase::Idle),
+            "no idle between back-to-back transfers: {between:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::power::RadioPowerProfile;
+    use crate::rrc::{Direction, ResetPolicy};
+    use proptest::prelude::*;
+    use senseaid_sim::SimDuration;
+
+    proptest! {
+        /// The reconstructed timeline agrees with the radio's own
+        /// `phase_at` at every probe instant, for arbitrary transmission
+        /// schedules mixing both tail policies.
+        #[test]
+        fn timeline_matches_phase_queries(
+            gaps in prop::collection::vec(1u64..40_000_000, 1..15),
+            sizes in prop::collection::vec(1u64..100_000, 15),
+            resets in prop::collection::vec(any::<bool>(), 15),
+            probes in prop::collection::vec(0u64..120_000_000, 40),
+        ) {
+            let mut radio = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+            let mut t = SimTime::ZERO;
+            for (i, gap) in gaps.iter().enumerate() {
+                t += SimDuration::from_micros(*gap);
+                let policy = if resets[i] { ResetPolicy::Reset } else { ResetPolicy::NoReset };
+                radio.transmit(t, sizes[i], Direction::Uplink, policy);
+            }
+            let horizon = radio.next_idle_at() + SimDuration::from_secs(5);
+            let timeline = PhaseTimeline::reconstruct(&radio, horizon);
+            for p in probes {
+                let probe = SimTime::from_micros(p);
+                if probe > horizon {
+                    continue;
+                }
+                let from_timeline = timeline.phase_at(probe).expect("timeline starts at 0");
+                let from_radio = radio.phase_at(probe);
+                prop_assert_eq!(
+                    from_timeline, from_radio,
+                    "divergence at {}", probe
+                );
+            }
+        }
+
+        /// Timelines are well-formed: monotone timestamps, no consecutive
+        /// duplicates, first entry Idle at t=0, last entry at/before the
+        /// horizon.
+        #[test]
+        fn timeline_is_well_formed(
+            gaps in prop::collection::vec(1u64..40_000_000, 1..15),
+        ) {
+            let mut radio = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+            let mut t = SimTime::ZERO;
+            for gap in &gaps {
+                t += SimDuration::from_micros(*gap);
+                radio.transmit(t, 600, Direction::Uplink, ResetPolicy::Reset);
+            }
+            let horizon = radio.next_idle_at() + SimDuration::from_secs(5);
+            let timeline = PhaseTimeline::reconstruct(&radio, horizon);
+            let entries = timeline.entries();
+            prop_assert!(!entries.is_empty());
+            prop_assert_eq!(entries[0].at, SimTime::ZERO);
+            prop_assert_eq!(entries[0].item, RadioPhase::Idle);
+            for pair in entries.windows(2) {
+                prop_assert!(pair[0].at <= pair[1].at);
+                prop_assert_ne!(pair[0].item, pair[1].item);
+            }
+            prop_assert!(entries.last().unwrap().at <= horizon);
+        }
+    }
+}

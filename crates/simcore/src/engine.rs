@@ -1,0 +1,292 @@
+//! The discrete-event loop.
+//!
+//! A simulation is a [`World`] (your mutable model state) plus an
+//! [`EventQueue`] of timestamped events. [`run`] repeatedly pops the
+//! earliest event and hands it to [`World::handle`], which may schedule
+//! further events. Events at the same instant are delivered in the order
+//! they were scheduled (FIFO), which keeps runs deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: owns all mutable state and reacts to events.
+pub trait World {
+    /// The event payload type delivered to [`World::handle`].
+    type Event;
+
+    /// Reacts to `ev` occurring at `now`, possibly scheduling more events.
+    fn handle(&mut self, now: SimTime, ev: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// An event that has been scheduled onto an [`EventQueue`].
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence number used for FIFO tie-breaking.
+    pub seq: u64,
+    /// The payload delivered to the world.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "later");
+/// q.schedule(SimTime::from_secs(1), "sooner");
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// delivered event (or zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time — scheduling into the
+    /// past is always a model bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule into the past: {} < {}",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue time went backwards");
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events without delivering them.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Runs `world` until the queue drains or the next event would fire after
+/// `horizon`. Returns the time of the last delivered event (or the initial
+/// queue time if nothing fired). Events exactly at `horizon` are delivered.
+pub fn run_until<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    horizon: SimTime,
+) -> SimTime {
+    let mut last = queue.now();
+    while let Some(at) = queue.peek_time() {
+        if at > horizon {
+            break;
+        }
+        let ev = queue.pop().expect("peeked event must pop");
+        last = ev.at;
+        world.handle(ev.at, ev.event, queue);
+    }
+    last
+}
+
+/// Runs `world` until the event queue is empty or `horizon` is reached.
+///
+/// This is an alias for [`run_until`] that reads better at call sites that
+/// use an infinite horizon.
+pub fn run<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    horizon: SimTime,
+) -> SimTime {
+    run_until(world, queue, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+            self.seen.push((now, ev));
+            if ev == 1 {
+                // Chain: schedule a follow-up event.
+                q.schedule_in(SimDuration::from_secs(5), 99);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w = Recorder::default();
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 3);
+        q.schedule(SimTime::from_secs(2), 2);
+        q.schedule(SimTime::from_secs(10), 10);
+        run(&mut w, &mut q, SimTime::MAX);
+        let evs: Vec<u32> = w.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![2, 3, 10]);
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut w = Recorder::default();
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        // Start at 100 so no event triggers the Recorder's chaining rule.
+        for i in 100..200 {
+            q.schedule(t, i);
+        }
+        run(&mut w, &mut q, SimTime::MAX);
+        let evs: Vec<u32> = w.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, (100..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_can_schedule_more_events() {
+        let mut w = Recorder::default();
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        run(&mut w, &mut q, SimTime::MAX);
+        assert_eq!(
+            w.seen,
+            vec![
+                (SimTime::from_secs(1), 1),
+                (SimTime::from_secs(6), 99)
+            ]
+        );
+    }
+
+    #[test]
+    fn horizon_stops_delivery_but_keeps_events() {
+        let mut w = Recorder::default();
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(100), 100);
+        let last = run_until(&mut w, &mut q, SimTime::from_secs(50));
+        assert_eq!(w.seen.len(), 2); // event 1 plus its chained 99 at t=6
+        assert_eq!(last, SimTime::from_secs(6));
+        assert_eq!(q.len(), 1, "the t=100 event remains queued");
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut w = Recorder::default();
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), 7);
+        run_until(&mut w, &mut q, SimTime::from_secs(7));
+        assert_eq!(w.seen.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut w = Recorder::default();
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 5);
+        run(&mut w, &mut q, SimTime::MAX);
+        q.schedule(SimTime::from_secs(1), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn now_tracks_last_popped() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.schedule(SimTime::from_secs(4), 0);
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+}

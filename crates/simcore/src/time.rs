@@ -1,0 +1,389 @@
+//! Integer-microsecond simulated time.
+//!
+//! All simulated clocks in the workspace use [`SimTime`] (an instant) and
+//! [`SimDuration`] (a span). Both wrap a `u64` count of microseconds so that
+//! event ordering is exact and platform independent.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time with microsecond resolution.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_sim::SimDuration;
+///
+/// let d = SimDuration::from_mins(5);
+/// assert_eq!(d.as_secs_f64(), 300.0);
+/// assert_eq!(d * 2, SimDuration::from_mins(10));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * 1_000_000)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600 * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// The duration in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The duration in fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// Whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction; returns [`SimDuration::ZERO`] on underflow.
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0;
+        if us >= 60 * 1_000_000 {
+            write!(f, "{:.2}min", self.as_mins_f64())
+        } else if us >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if us >= 1_000 {
+            write!(f, "{}ms", us / 1_000)
+        } else {
+            write!(f, "{us}us")
+        }
+    }
+}
+
+/// An instant of simulated time, measured in microseconds from the start of
+/// the simulation.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(90);
+/// assert_eq!(t.elapsed_since(SimTime::ZERO), SimDuration::from_mins(1) + SimDuration::from_secs(30));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable instant; useful as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant a given number of microseconds after the origin.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant a given number of seconds after the origin.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates an instant a given number of minutes after the origin.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60 * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the origin.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`.
+    pub fn elapsed_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "elapsed_since: earlier ({earlier}) is after self ({self})"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The span from `earlier` to `self`, or zero if `earlier` is later.
+    pub const fn saturating_elapsed_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Addition that saturates at [`SimTime::MAX`] instead of overflowing.
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.elapsed_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SimTime::MAX {
+            return write!(f, "t=inf");
+        }
+        write!(f, "t={:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
+        assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
+        assert_eq!(
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(1_000)
+        );
+    }
+
+    #[test]
+    fn duration_from_secs_f64_rounds_and_clamps() {
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1500)
+        );
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(0.000_000_4),
+            SimDuration::ZERO,
+            "sub-microsecond rounds down"
+        );
+        assert_eq!(
+            SimDuration::from_secs_f64(0.000_000_6),
+            SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(10);
+        let b = SimDuration::from_secs(4);
+        assert_eq!(a + b, SimDuration::from_secs(14));
+        assert_eq!(a - b, SimDuration::from_secs(6));
+        assert_eq!(a * 3, SimDuration::from_secs(30));
+        assert_eq!(a / 2, SimDuration::from_secs(5));
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn time_elapsed_since() {
+        let t0 = SimTime::from_secs(5);
+        let t1 = SimTime::from_secs(12);
+        assert_eq!(t1.elapsed_since(t0), SimDuration::from_secs(7));
+        assert_eq!(t1 - t0, SimDuration::from_secs(7));
+        assert_eq!(t0.saturating_elapsed_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "elapsed_since")]
+    fn time_elapsed_since_panics_on_backwards() {
+        let _ = SimTime::ZERO.elapsed_since(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn time_saturating_add() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5us");
+        assert_eq!(SimDuration::from_millis(7).to_string(), "7ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_mins(3).to_string(), "3.00min");
+        assert_eq!(SimTime::from_secs(1).to_string(), "t=1.000s");
+        assert_eq!(SimTime::MAX.to_string(), "t=inf");
+    }
+
+    #[test]
+    fn time_ordering() {
+        assert!(SimTime::ZERO < SimTime::from_micros(1));
+        assert!(SimTime::from_secs(59) < SimTime::from_mins(1));
+    }
+}

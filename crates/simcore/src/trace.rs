@@ -1,0 +1,180 @@
+//! Timestamped trace logs.
+//!
+//! Several of the paper's figures are *timelines* (Fig 6: radio-state
+//! timeline; Fig 9: which devices were selected at each round). The
+//! simulation components append typed entries to a [`TraceLog`] and the
+//! harness renders them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry<T> {
+    /// When the event happened.
+    pub at: SimTime,
+    /// The typed payload.
+    pub item: T,
+}
+
+/// An append-only, time-ordered log of typed events.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_sim::{SimTime, TraceLog};
+///
+/// let mut log = TraceLog::new();
+/// log.push(SimTime::from_secs(1), "radio on");
+/// log.push(SimTime::from_secs(2), "upload");
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.entries()[1].item, "upload");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLog<T> {
+    entries: Vec<TraceEntry<T>>,
+}
+
+impl<T> Default for TraceLog<T> {
+    fn default() -> Self {
+        TraceLog {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<T> TraceLog<T> {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last entry — traces are produced
+    /// by the event loop and must be monotone.
+    pub fn push(&mut self, at: SimTime, item: T) {
+        if let Some(last) = self.entries.last() {
+            assert!(
+                at >= last.at,
+                "trace time went backwards: {} after {}",
+                at,
+                last.at
+            );
+        }
+        self.entries.push(TraceEntry { at, item });
+    }
+
+    /// All entries in time order.
+    pub fn entries(&self) -> &[TraceEntry<T>] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries within `[from, to]` inclusive.
+    pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TraceEntry<T>> {
+        self.entries
+            .iter()
+            .filter(move |e| e.at >= from && e.at <= to)
+    }
+
+    /// Entries whose payload matches `pred`.
+    pub fn filter<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a TraceEntry<T>>
+    where
+        F: Fn(&T) -> bool + 'a,
+    {
+        self.entries.iter().filter(move |e| pred(&e.item))
+    }
+
+    /// The most recent entry, if any.
+    pub fn last(&self) -> Option<&TraceEntry<T>> {
+        self.entries.last()
+    }
+
+    /// Consumes the log, returning the raw entries.
+    pub fn into_entries(self) -> Vec<TraceEntry<T>> {
+        self.entries
+    }
+}
+
+impl<T> Extend<(SimTime, T)> for TraceLog<T> {
+    fn extend<I: IntoIterator<Item = (SimTime, T)>>(&mut self, iter: I) {
+        for (at, item) in iter {
+            self.push(at, item);
+        }
+    }
+}
+
+impl<T> FromIterator<(SimTime, T)> for TraceLog<T> {
+    fn from_iter<I: IntoIterator<Item = (SimTime, T)>>(iter: I) -> Self {
+        let mut log = TraceLog::new();
+        log.extend(iter);
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut log = TraceLog::new();
+        log.push(SimTime::from_secs(1), 'a');
+        log.push(SimTime::from_secs(1), 'b'); // same instant is fine
+        log.push(SimTime::from_secs(3), 'c');
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.last().unwrap().item, 'c');
+    }
+
+    #[test]
+    #[should_panic(expected = "trace time went backwards")]
+    fn rejects_backwards_time() {
+        let mut log = TraceLog::new();
+        log.push(SimTime::from_secs(5), ());
+        log.push(SimTime::from_secs(4), ());
+    }
+
+    #[test]
+    fn window_is_inclusive() {
+        let log: TraceLog<u32> = (0..10)
+            .map(|i| (SimTime::from_secs(i), i as u32))
+            .collect();
+        let got: Vec<u32> = log
+            .window(SimTime::from_secs(3), SimTime::from_secs(6))
+            .map(|e| e.item)
+            .collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn filter_by_payload() {
+        let log: TraceLog<u32> = (0..10)
+            .map(|i| (SimTime::from_secs(i), i as u32))
+            .collect();
+        let evens: Vec<u32> = log.filter(|x| x % 2 == 0).map(|e| e.item).collect();
+        assert_eq!(evens, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_entries_round_trip() {
+        let mut log = TraceLog::new();
+        log.push(SimTime::ZERO, 42u8);
+        let entries = log.into_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].item, 42);
+    }
+}

@@ -1,0 +1,326 @@
+//! A synthetic, spatio-temporally correlated weather field.
+//!
+//! The study collected barometric pressure for a hyperlocal weather map.
+//! For readings to be meaningful in the reproduction, nearby devices must
+//! read nearly identical pressures and the field must evolve smoothly —
+//! [`WeatherField`] builds both from a sum of deterministic sinusoids with
+//! seed-derived phases (a cheap, reproducible stand-in for real weather).
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::{Sensor, SensorEnvironment};
+use senseaid_geo::GeoPoint;
+use senseaid_sim::{SimRng, SimTime};
+
+/// A deterministic weather field over the campus.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_device::{Sensor, SensorEnvironment};
+/// use senseaid_geo::GeoPoint;
+/// use senseaid_sim::SimTime;
+/// use senseaid_workload::WeatherField;
+///
+/// let field = WeatherField::new(42);
+/// let p = GeoPoint::new(40.4284, -86.9138);
+/// let a = field.truth(Sensor::Barometer, p, SimTime::ZERO);
+/// let b = field.truth(Sensor::Barometer, p.offset_by_meters(100.0, 0.0), SimTime::ZERO);
+/// assert!((a - b).abs() < 0.5, "100 m apart reads nearly the same pressure");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeatherField {
+    base_pressure_hpa: f64,
+    base_temp_c: f64,
+    base_humidity: f64,
+    /// Phases (radians) of the temporal harmonics, derived from the seed.
+    phases: Vec<f64>,
+    /// Spatial gradient direction (unit vector in the local plane).
+    grad_north: f64,
+    grad_east: f64,
+    anchor: GeoPoint,
+}
+
+impl WeatherField {
+    /// Creates a field with seed-derived weather phases.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SimRng::from_seed_label(seed, "weather-field");
+        let phases: Vec<f64> = (0..6)
+            .map(|_| rng.uniform_range(0.0, std::f64::consts::TAU))
+            .collect();
+        let dir = rng.uniform_range(0.0, std::f64::consts::TAU);
+        WeatherField {
+            base_pressure_hpa: 1013.25,
+            base_temp_c: 18.0,
+            base_humidity: 55.0,
+            phases,
+            grad_north: dir.cos(),
+            grad_east: dir.sin(),
+            anchor: GeoPoint::new(40.4284, -86.9138),
+        }
+    }
+
+    /// Pressure (hPa) at a position and time.
+    pub fn pressure(&self, position: GeoPoint, at: SimTime) -> f64 {
+        let t = at.as_secs_f64();
+        // Temporal: a slow synoptic swing (~2 days), a diurnal tide
+        // (~12 h), and a mesoscale wobble (~3 h).
+        let temporal = 6.0 * (t / 172_800.0 * std::f64::consts::TAU + self.phases[0]).sin()
+            + 1.2 * (t / 43_200.0 * std::f64::consts::TAU + self.phases[1]).sin()
+            + 0.5 * (t / 10_800.0 * std::f64::consts::TAU + self.phases[2]).sin();
+        // Spatial: a gentle pressure gradient, ~0.3 hPa per 10 km.
+        let (n, e) = self.anchor.displacement_to(position);
+        let spatial = (n * self.grad_north + e * self.grad_east) * 3e-5;
+        self.base_pressure_hpa + temporal + spatial
+    }
+
+    /// Temperature (°C) at a position and time.
+    pub fn temperature(&self, _position: GeoPoint, at: SimTime) -> f64 {
+        let t = at.as_secs_f64();
+        self.base_temp_c + 7.0 * (t / 86_400.0 * std::f64::consts::TAU + self.phases[3]).sin()
+    }
+
+    /// Relative humidity (%) at a position and time.
+    pub fn humidity(&self, _position: GeoPoint, at: SimTime) -> f64 {
+        let t = at.as_secs_f64();
+        (self.base_humidity
+            + 20.0 * (t / 86_400.0 * std::f64::consts::TAU + self.phases[4]).sin())
+        .clamp(5.0, 100.0)
+    }
+}
+
+impl SensorEnvironment for WeatherField {
+    fn truth(&self, sensor: Sensor, position: GeoPoint, at: SimTime) -> f64 {
+        match sensor {
+            Sensor::Barometer => self.pressure(position, at),
+            Sensor::Thermometer => self.temperature(position, at),
+            Sensor::Humidity => self.humidity(position, at),
+            Sensor::Light => {
+                // Day/night cycle peaking at noon.
+                let t = at.as_secs_f64();
+                let day_phase = (t / 86_400.0 * std::f64::consts::TAU).sin();
+                (day_phase.max(0.0) * 80_000.0) + 100.0
+            }
+            // Motion/field sensors read small ambient values.
+            Sensor::Accelerometer => 9.81,
+            Sensor::Magnetometer => 48.0,
+            Sensor::Gyroscope => 0.0,
+            Sensor::Gps => 0.0,
+            Sensor::Microphone => 45.0,
+            Sensor::Camera => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+
+    fn field() -> WeatherField {
+        WeatherField::new(7)
+    }
+
+    fn campus() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    #[test]
+    fn pressure_is_plausible_everywhere() {
+        let f = field();
+        for h in 0..48 {
+            for (dn, de) in [(0.0, 0.0), (1000.0, -1000.0), (-800.0, 500.0)] {
+                let p = f.pressure(
+                    campus().offset_by_meters(dn, de),
+                    SimTime::ZERO + SimDuration::from_hours(h),
+                );
+                assert!((990.0..1040.0).contains(&p), "pressure {p} at h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_points_agree_far_points_differ_more() {
+        let f = field();
+        let t = SimTime::from_mins(30);
+        let a = f.pressure(campus(), t);
+        let near = f.pressure(campus().offset_by_meters(200.0, 0.0), t);
+        let far = f.pressure(campus().offset_by_meters(100_000.0, 0.0), t);
+        assert!((a - near).abs() < 0.2);
+        assert!((a - far).abs() > (a - near).abs());
+    }
+
+    #[test]
+    fn field_evolves_smoothly_in_time() {
+        let f = field();
+        let mut prev = f.pressure(campus(), SimTime::ZERO);
+        for min in 1..240u64 {
+            let p = f.pressure(campus(), SimTime::from_mins(min));
+            assert!((p - prev).abs() < 0.15, "jump at minute {min}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn field_actually_changes_over_hours() {
+        let f = field();
+        let a = f.pressure(campus(), SimTime::ZERO);
+        let samples: Vec<f64> = (1..=24)
+            .map(|h| f.pressure(campus(), SimTime::ZERO + SimDuration::from_hours(h)))
+            .collect();
+        assert!(
+            samples.iter().any(|p| (p - a).abs() > 0.5),
+            "weather must move over a day"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WeatherField::new(1);
+        let b = WeatherField::new(1);
+        let c = WeatherField::new(2);
+        let t = SimTime::from_mins(90);
+        assert_eq!(a.pressure(campus(), t), b.pressure(campus(), t));
+        assert_ne!(a.pressure(campus(), t), c.pressure(campus(), t));
+    }
+
+    #[test]
+    fn humidity_stays_in_bounds() {
+        let f = field();
+        for h in 0..72 {
+            let rh = f.humidity(campus(), SimTime::ZERO + SimDuration::from_hours(h));
+            assert!((5.0..=100.0).contains(&rh));
+        }
+    }
+
+    #[test]
+    fn environment_trait_dispatches() {
+        let f = field();
+        let p = f.truth(Sensor::Barometer, campus(), SimTime::ZERO);
+        assert_eq!(p, f.pressure(campus(), SimTime::ZERO));
+        let g = f.truth(Sensor::Accelerometer, campus(), SimTime::ZERO);
+        assert_eq!(g, 9.81);
+    }
+}
+
+/// A weather field with a sharp pressure front crossing the campus — the
+/// kind of mesoscale event (gust front, derecho outflow) a hyperlocal
+/// pressure network exists to catch. Before `front_arrives` the field is
+/// the base [`WeatherField`]; afterwards a steep moving gradient sweeps
+/// through, making *spatial* pressure differences across the campus large
+/// enough that a fixed 2-device density under-samples the structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StormFront {
+    base: WeatherField,
+    /// When the front reaches the campus anchor.
+    front_arrives: SimTime,
+    /// Pressure drop across the front, hPa.
+    depth_hpa: f64,
+    /// Front propagation speed, m/s.
+    speed_mps: f64,
+    /// Width of the transition zone, metres.
+    width_m: f64,
+    anchor: GeoPoint,
+}
+
+impl StormFront {
+    /// A front of `depth_hpa` arriving at `front_arrives`. It crawls at
+    /// 2 m/s with a 600 m transition zone, so crossing the ±1.5 km campus
+    /// takes ~25 minutes — several sampling rounds of a 5-minute task.
+    pub fn new(seed: u64, front_arrives: SimTime, depth_hpa: f64) -> Self {
+        StormFront {
+            base: WeatherField::new(seed),
+            front_arrives,
+            depth_hpa,
+            speed_mps: 2.0,
+            width_m: 600.0,
+            anchor: GeoPoint::new(40.4284, -86.9138),
+        }
+    }
+
+    /// The base field (pre-storm behaviour).
+    pub fn base(&self) -> &WeatherField {
+        &self.base
+    }
+
+    /// Pressure including the front's contribution.
+    pub fn pressure(&self, position: GeoPoint, at: SimTime) -> f64 {
+        let base = self.base.pressure(position, at);
+        if at < self.front_arrives {
+            return base;
+        }
+        // The front line moves from west to east; its position relative to
+        // the anchor grows with time.
+        let elapsed = at.elapsed_since(self.front_arrives).as_secs_f64();
+        let front_east = -1_500.0 + self.speed_mps * elapsed;
+        let (_, east) = self.anchor.displacement_to(position);
+        // Behind the front the pressure has dropped by `depth`; the
+        // transition is a smooth ramp of `width_m`.
+        let x = (east - front_east) / self.width_m;
+        let ramp = 1.0 / (1.0 + (-4.0 * -x).exp()); // 1 behind, 0 ahead
+        base - self.depth_hpa * ramp
+    }
+}
+
+impl SensorEnvironment for StormFront {
+    fn truth(&self, sensor: Sensor, position: GeoPoint, at: SimTime) -> f64 {
+        match sensor {
+            Sensor::Barometer => self.pressure(position, at),
+            other => self.base.truth(other, position, at),
+        }
+    }
+}
+
+#[cfg(test)]
+mod storm_tests {
+    use super::*;
+    use senseaid_sim::SimDuration;
+
+    fn campus() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    #[test]
+    fn quiet_before_the_front() {
+        let storm = StormFront::new(3, SimTime::from_mins(60), 6.0);
+        let t = SimTime::from_mins(30);
+        assert_eq!(
+            storm.pressure(campus(), t),
+            storm.base().pressure(campus(), t)
+        );
+    }
+
+    #[test]
+    fn front_creates_a_spatial_gradient_then_passes() {
+        let storm = StormFront::new(3, SimTime::from_mins(60), 6.0);
+        // While the front is crossing the campus, east and west differ
+        // (front line reaches the anchor ~12.5 min after arrival at 2 m/s).
+        let crossing = SimTime::from_mins(60) + SimDuration::from_secs(750);
+        let west = storm.pressure(campus().offset_by_meters(0.0, -1000.0), crossing);
+        let east = storm.pressure(campus().offset_by_meters(0.0, 1000.0), crossing);
+        assert!(
+            (west - east).abs() > 2.0,
+            "crossing front must split the campus: west {west:.2} east {east:.2}"
+        );
+        // Long after, the whole campus sits behind the front (pressure
+        // dropped everywhere, gradient back to small).
+        let after = SimTime::from_mins(60) + SimDuration::from_mins(45);
+        let west_a = storm.pressure(campus().offset_by_meters(0.0, -1000.0), after);
+        let east_a = storm.pressure(campus().offset_by_meters(0.0, 1000.0), after);
+        assert!((west_a - east_a).abs() < 1.0, "front has passed");
+        assert!(
+            west_a < storm.base().pressure(campus().offset_by_meters(0.0, -1000.0), after) - 4.0,
+            "pressure dropped behind the front"
+        );
+    }
+
+    #[test]
+    fn non_barometer_sensors_ignore_the_storm() {
+        let storm = StormFront::new(3, SimTime::from_mins(10), 6.0);
+        let t = SimTime::from_mins(30);
+        assert_eq!(
+            storm.truth(Sensor::Thermometer, campus(), t),
+            storm.base().truth(Sensor::Thermometer, campus(), t)
+        );
+    }
+}

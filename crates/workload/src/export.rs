@@ -1,0 +1,120 @@
+//! Trace export for external analysis/plotting.
+//!
+//! The user study's raw artefacts — who was where, what each radio was
+//! doing — are the things one plots when debugging a scheduler. These
+//! helpers render them as plain CSV.
+
+use senseaid_device::Device;
+use senseaid_radio::PhaseTimeline;
+use senseaid_sim::{SimDuration, SimTime};
+
+/// One device's movement trace as CSV (`t_s,lat_deg,lon_deg`), sampled
+/// every `step` from `from` to `to` inclusive.
+///
+/// # Panics
+///
+/// Panics if `step` is zero or `to < from`.
+pub fn mobility_csv(device: &mut Device, from: SimTime, to: SimTime, step: SimDuration) -> String {
+    assert!(!step.is_zero(), "step must be non-zero");
+    assert!(to >= from, "to must not precede from");
+    let mut out = String::from("t_s,lat_deg,lon_deg\n");
+    let mut t = from;
+    while t <= to {
+        let p = device.position(t);
+        out.push_str(&format!(
+            "{:.1},{:.6},{:.6}\n",
+            t.as_secs_f64(),
+            p.lat_deg(),
+            p.lon_deg()
+        ));
+        t += step;
+    }
+    out
+}
+
+/// A population snapshot as CSV (`device_id,lat_deg,lon_deg,battery_pct`).
+pub fn positions_csv(devices: &mut [Device], at: SimTime) -> String {
+    let mut out = String::from("device_id,lat_deg,lon_deg,battery_pct\n");
+    for d in devices {
+        let p = d.position(at);
+        out.push_str(&format!(
+            "{},{:.6},{:.6},{:.1}\n",
+            d.id().0,
+            p.lat_deg(),
+            p.lon_deg(),
+            d.battery_level_pct()
+        ));
+    }
+    out
+}
+
+/// A device's radio-phase timeline as CSV (`t_s,phase`), reconstructed up
+/// to `horizon` — the Fig 6 artefact in machine-readable form.
+pub fn radio_timeline_csv(device: &Device, horizon: SimTime) -> String {
+    let timeline = PhaseTimeline::reconstruct(device.radio(), horizon);
+    let mut out = String::from("t_s,phase\n");
+    for e in timeline.entries() {
+        out.push_str(&format!("{:.3},{}\n", e.at.as_secs_f64(), e.item));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{PopulationConfig, StudyPopulation};
+    use senseaid_geo::CampusMap;
+    use senseaid_radio::ResetPolicy;
+
+    fn devices(n: usize) -> Vec<Device> {
+        let map = CampusMap::standard();
+        StudyPopulation::generate(5, &map, PopulationConfig::all_barometer(n)).into_devices()
+    }
+
+    #[test]
+    fn mobility_csv_has_one_row_per_step() {
+        let mut devs = devices(1);
+        let csv = mobility_csv(
+            &mut devs[0],
+            SimTime::ZERO,
+            SimTime::from_mins(10),
+            SimDuration::from_mins(1),
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,lat_deg,lon_deg");
+        assert_eq!(lines.len(), 12, "header + 11 samples (0..=10 min)");
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 3);
+        }
+    }
+
+    #[test]
+    fn positions_csv_lists_every_device() {
+        let mut devs = devices(5);
+        let csv = positions_csv(&mut devs, SimTime::from_mins(3));
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.lines().nth(1).unwrap().starts_with("1,"));
+    }
+
+    #[test]
+    fn radio_timeline_csv_tracks_activity() {
+        let mut devs = devices(1);
+        devs[0].upload_crowdsensing(SimTime::from_secs(10), 600, ResetPolicy::Reset);
+        let csv = radio_timeline_csv(&devs[0], SimTime::from_secs(60));
+        assert!(csv.contains("IDLE"));
+        assert!(csv.contains("TRANSFER"));
+        assert!(csv.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be non-zero")]
+    fn mobility_csv_rejects_zero_step() {
+        let mut devs = devices(1);
+        let _ = mobility_csv(
+            &mut devs[0],
+            SimTime::ZERO,
+            SimTime::from_mins(1),
+            SimDuration::ZERO,
+        );
+    }
+}

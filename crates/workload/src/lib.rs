@@ -1,0 +1,27 @@
+//! Workloads for the Sense-Aid reproduction.
+//!
+//! Everything the paper's evaluation feeds its system with, synthesised:
+//!
+//! * [`survey`] — the 109-respondent energy-tolerance survey behind Fig 1
+//!   (41.4 % of users tolerate ≤ 2 % battery for crowdsensing; nobody
+//!   tolerates > 10 %);
+//! * [`environment`] — a spatially and temporally correlated weather field
+//!   so barometer readings are realistic and nearby devices agree;
+//! * [`population`] — the 60-student study population: heterogeneous
+//!   handsets, battery levels, app-usage intensities and campus mobility;
+//! * [`scenarios`] — the parameter grids of Experiments 1–3 (Table 2) and
+//!   the app profiles behind the Fig 2 case study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod environment;
+pub mod export;
+pub mod population;
+pub mod scenarios;
+pub mod survey;
+
+pub use environment::{StormFront, WeatherField};
+pub use population::{PopulationConfig, StudyPopulation};
+pub use scenarios::{AppProfile, ExperimentGrid, ScenarioConfig};
+pub use survey::{SurveyBucket, SurveyDistribution};

@@ -1,0 +1,279 @@
+//! The synthetic 60-student study population.
+//!
+//! The paper ran 3 experiments with 3 device sets of 20 students each, all
+//! moving around the same campus (§5.1). [`StudyPopulation::generate`]
+//! reproduces that: heterogeneous handset models, starting battery levels,
+//! app-usage intensities, campus mobility, and per-user energy budgets
+//! drawn from the Fig 1 survey.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_device::{
+    Device, DeviceId, DeviceProfile, TrafficConfig, UserPreferences,
+};
+use senseaid_geo::CampusMap;
+use senseaid_sim::SimRng;
+
+use crate::survey::SurveyDistribution;
+
+/// Knobs for population generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of participants.
+    pub size: usize,
+    /// Starting battery level range, percent.
+    pub battery_range_pct: (f64, f64),
+    /// Fraction of devices that are the full-sensor study handset.
+    pub galaxy_s4_share: f64,
+    /// Fraction that are iPhone 6-likes (barometer, fewer env sensors).
+    pub iphone6_share: f64,
+    /// Fraction that are LG G2-likes (no barometer).
+    pub lg_g2_share: f64,
+    // Remainder: budget phones (no barometer).
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            size: 60,
+            battery_range_pct: (35.0, 100.0),
+            galaxy_s4_share: 0.70,
+            iphone6_share: 0.15,
+            lg_g2_share: 0.10,
+        }
+    }
+}
+
+impl PopulationConfig {
+    /// A population where every handset carries a barometer (used when an
+    /// experiment needs all N devices to be qualifiable).
+    pub fn all_barometer(size: usize) -> Self {
+        PopulationConfig {
+            size,
+            galaxy_s4_share: 0.85,
+            iphone6_share: 0.15,
+            lg_g2_share: 0.0,
+            ..PopulationConfig::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shares are negative or sum above 1, or the battery range
+    /// is inverted.
+    pub fn validate(&self) {
+        let sum = self.galaxy_s4_share + self.iphone6_share + self.lg_g2_share;
+        assert!(
+            self.galaxy_s4_share >= 0.0
+                && self.iphone6_share >= 0.0
+                && self.lg_g2_share >= 0.0
+                && sum <= 1.0 + 1e-9,
+            "device shares must be non-negative and sum to at most 1 (got {sum})"
+        );
+        assert!(
+            self.battery_range_pct.0 <= self.battery_range_pct.1
+                && self.battery_range_pct.0 >= 0.0
+                && self.battery_range_pct.1 <= 100.0,
+            "bad battery range {:?}",
+            self.battery_range_pct
+        );
+        assert!(self.size > 0, "population must be non-empty");
+    }
+}
+
+/// A generated population of devices.
+#[derive(Debug)]
+pub struct StudyPopulation {
+    devices: Vec<Device>,
+}
+
+impl StudyPopulation {
+    /// Generates the population deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`PopulationConfig::validate`].
+    pub fn generate(seed: u64, map: &CampusMap, config: PopulationConfig) -> Self {
+        config.validate();
+        let survey = SurveyDistribution::paper();
+        let mut master = SimRng::from_seed_label(seed, "population");
+        let mut devices = Vec::with_capacity(config.size);
+        for i in 0..config.size {
+            let mut rng = master.derive(&format!("user-{i}"));
+            let roll = rng.uniform();
+            let profile = if roll < config.galaxy_s4_share {
+                DeviceProfile::galaxy_s4()
+            } else if roll < config.galaxy_s4_share + config.iphone6_share {
+                DeviceProfile::iphone6()
+            } else if roll
+                < config.galaxy_s4_share + config.iphone6_share + config.lg_g2_share
+            {
+                DeviceProfile::lg_g2()
+            } else {
+                DeviceProfile::budget_phone()
+            };
+            let battery = rng.uniform_range(
+                config.battery_range_pct.0,
+                config.battery_range_pct.1 + f64::EPSILON,
+            );
+            let budget_pct = survey.sample_budget_pct(&mut rng);
+            let battery_capacity = profile.battery_capacity_j;
+            let traffic = match rng.uniform_usize(0, 3) {
+                0 => TrafficConfig::light(),
+                1 => TrafficConfig::default(),
+                _ => TrafficConfig::heavy(),
+            };
+            let prefs = UserPreferences {
+                energy_budget_j: battery_capacity * budget_pct / 100.0,
+                critical_battery_pct: rng.uniform_range(5.0, 20.0),
+                participating: true,
+            };
+            let device = Device::builder(DeviceId(i as u32 + 1), profile)
+                .campus_mobility(map)
+                .battery_level(battery)
+                .prefs(prefs)
+                .traffic(traffic)
+                .build(rng);
+            devices.push(device);
+        }
+        StudyPopulation { devices }
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Mutable access to the devices.
+    pub fn devices_mut(&mut self) -> &mut [Device] {
+        &mut self.devices
+    }
+
+    /// Consumes the population, returning the devices.
+    pub fn into_devices(self) -> Vec<Device> {
+        self.devices
+    }
+
+    /// Population size.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the population is empty (never, post-generation).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_device::Sensor;
+    use senseaid_sim::SimTime;
+
+    #[test]
+    fn generates_requested_size_with_unique_ids() {
+        let map = CampusMap::standard();
+        let pop = StudyPopulation::generate(1, &map, PopulationConfig::default());
+        assert_eq!(pop.len(), 60);
+        let ids: std::collections::BTreeSet<_> =
+            pop.devices().iter().map(|d| d.id()).collect();
+        assert_eq!(ids.len(), 60, "ids must be unique");
+        let imeis: std::collections::BTreeSet<_> =
+            pop.devices().iter().map(|d| d.imei_hash()).collect();
+        assert_eq!(imeis.len(), 60, "IMEI hashes must be unique");
+    }
+
+    #[test]
+    fn population_is_heterogeneous() {
+        let map = CampusMap::standard();
+        let pop = StudyPopulation::generate(2, &map, PopulationConfig::default());
+        let types: std::collections::BTreeSet<String> = pop
+            .devices()
+            .iter()
+            .map(|d| d.profile().device_type.clone())
+            .collect();
+        assert!(types.len() >= 3, "expect several device models: {types:?}");
+        let batteries: Vec<f64> = pop.devices().iter().map(|d| d.battery_level_pct()).collect();
+        let min = batteries.iter().copied().fold(f64::MAX, f64::min);
+        let max = batteries.iter().copied().fold(f64::MIN, f64::max);
+        assert!(max - min > 20.0, "battery levels must vary ({min}..{max})");
+        let budgets: std::collections::BTreeSet<u64> = pop
+            .devices()
+            .iter()
+            .map(|d| d.prefs().energy_budget_j as u64)
+            .collect();
+        assert!(budgets.len() >= 3, "budgets drawn from the survey vary");
+    }
+
+    #[test]
+    fn most_devices_carry_a_barometer() {
+        let map = CampusMap::standard();
+        let pop = StudyPopulation::generate(3, &map, PopulationConfig::default());
+        let with_baro = pop
+            .devices()
+            .iter()
+            .filter(|d| d.profile().has_sensor(Sensor::Barometer))
+            .count();
+        assert!(
+            (40..60).contains(&with_baro),
+            "~85 % of 60 should have barometers, got {with_baro}"
+        );
+        let all = StudyPopulation::generate(
+            3,
+            &map,
+            PopulationConfig::all_barometer(20),
+        );
+        assert!(all
+            .devices()
+            .iter()
+            .all(|d| d.profile().has_sensor(Sensor::Barometer)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let map = CampusMap::standard();
+        let a = StudyPopulation::generate(9, &map, PopulationConfig::default());
+        let b = StudyPopulation::generate(9, &map, PopulationConfig::default());
+        for (da, db) in a.devices().iter().zip(b.devices()) {
+            assert_eq!(da.imei_hash(), db.imei_hash());
+            assert_eq!(da.battery_level_pct(), db.battery_level_pct());
+            assert_eq!(da.profile().device_type, db.profile().device_type);
+        }
+        // And different seeds give different populations.
+        let c = StudyPopulation::generate(10, &map, PopulationConfig::default());
+        let same = a
+            .devices()
+            .iter()
+            .zip(c.devices())
+            .filter(|(x, y)| x.battery_level_pct() == y.battery_level_pct())
+            .count();
+        assert!(same < 10, "different seeds should differ (got {same} identical)");
+    }
+
+    #[test]
+    fn devices_start_on_campus() {
+        let map = CampusMap::standard();
+        let mut pop = StudyPopulation::generate(4, &map, PopulationConfig::default());
+        for d in pop.devices_mut() {
+            assert!(map.in_bounds(d.position(SimTime::ZERO)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn rejects_overfull_shares() {
+        let map = CampusMap::standard();
+        let _ = StudyPopulation::generate(
+            1,
+            &map,
+            PopulationConfig {
+                galaxy_s4_share: 0.9,
+                iphone6_share: 0.3,
+                ..PopulationConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Experiment scenario grids (paper Table 2 and the Fig 2 case study).
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_geo::NamedLocation;
+use senseaid_sim::SimDuration;
+
+/// One configured scenario: the fixed parameters of a user-study test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// How long the test runs.
+    pub test_duration: SimDuration,
+    /// Sampling period of every task.
+    pub sampling_period: SimDuration,
+    /// Devices required per request.
+    pub spatial_density: usize,
+    /// Task region radius, metres.
+    pub area_radius_m: f64,
+    /// Concurrent tasks per test.
+    pub tasks: usize,
+    /// Task centre location.
+    pub location: NamedLocation,
+    /// Participants per framework group (the study used 20).
+    pub group_size: usize,
+}
+
+impl ScenarioConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero durations, densities, radii, task or group counts,
+    /// or a period longer than the test.
+    pub fn validate(&self) {
+        assert!(!self.test_duration.is_zero(), "test duration must be non-zero");
+        assert!(
+            !self.sampling_period.is_zero() && self.sampling_period <= self.test_duration,
+            "sampling period must be non-zero and fit the test"
+        );
+        assert!(self.spatial_density >= 1, "density must be at least 1");
+        assert!(self.area_radius_m > 0.0, "radius must be positive");
+        assert!(self.tasks >= 1, "at least one task");
+        assert!(self.group_size >= 1, "at least one participant");
+    }
+}
+
+/// One experiment: a default scenario plus the parameter being swept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentGrid {
+    /// Experiment 1: sweep the area radius (Figs 7–9).
+    AreaRadius {
+        /// The fixed parameters.
+        base: ScenarioConfig,
+        /// Radii to test, metres.
+        radii_m: Vec<f64>,
+    },
+    /// Experiment 2: sweep the sampling period (Figs 10–11).
+    SamplingPeriod {
+        /// The fixed parameters.
+        base: ScenarioConfig,
+        /// Periods to test.
+        periods: Vec<SimDuration>,
+    },
+    /// Experiment 3: sweep concurrent tasks per device (Figs 12–13).
+    ConcurrentTasks {
+        /// The fixed parameters.
+        base: ScenarioConfig,
+        /// Task counts to test.
+        task_counts: Vec<usize>,
+    },
+}
+
+impl ExperimentGrid {
+    /// Experiment 1 exactly as in Table 2: radii 100–1000 m, 1.5 h tests,
+    /// one task, 10-minute period, density 2.
+    pub fn experiment1() -> Self {
+        ExperimentGrid::AreaRadius {
+            base: ScenarioConfig {
+                test_duration: SimDuration::from_mins(90),
+                sampling_period: SimDuration::from_mins(10),
+                spatial_density: 2,
+                area_radius_m: 500.0, // replaced per test point
+                tasks: 1,
+                location: NamedLocation::CsDepartment,
+                group_size: 20,
+            },
+            radii_m: vec![100.0, 200.0, 300.0, 400.0, 500.0, 1000.0],
+        }
+    }
+
+    /// Experiment 2 exactly as in Table 2: periods 1/5/10 min, 2 h tests,
+    /// one task, density 3, radius 500 m.
+    pub fn experiment2() -> Self {
+        ExperimentGrid::SamplingPeriod {
+            base: ScenarioConfig {
+                test_duration: SimDuration::from_mins(120),
+                sampling_period: SimDuration::from_mins(10), // replaced
+                spatial_density: 3,
+                area_radius_m: 500.0,
+                tasks: 1,
+                location: NamedLocation::CsDepartment,
+                group_size: 20,
+            },
+            periods: vec![
+                SimDuration::from_mins(1),
+                SimDuration::from_mins(5),
+                SimDuration::from_mins(10),
+            ],
+        }
+    }
+
+    /// Experiment 3 exactly as in Table 2: 3/5/10/15 concurrent tasks,
+    /// 1.5 h tests, 5-minute period, density 3, radius 500 m.
+    pub fn experiment3() -> Self {
+        ExperimentGrid::ConcurrentTasks {
+            base: ScenarioConfig {
+                test_duration: SimDuration::from_mins(90),
+                sampling_period: SimDuration::from_mins(5),
+                spatial_density: 3,
+                area_radius_m: 500.0,
+                tasks: 1, // replaced
+                location: NamedLocation::CsDepartment,
+                group_size: 20,
+            },
+            task_counts: vec![3, 5, 10, 15],
+        }
+    }
+
+    /// The scenario points of this experiment, in sweep order.
+    pub fn points(&self) -> Vec<ScenarioConfig> {
+        match self {
+            ExperimentGrid::AreaRadius { base, radii_m } => radii_m
+                .iter()
+                .map(|r| ScenarioConfig {
+                    area_radius_m: *r,
+                    ..*base
+                })
+                .collect(),
+            ExperimentGrid::SamplingPeriod { base, periods } => periods
+                .iter()
+                .map(|p| ScenarioConfig {
+                    sampling_period: *p,
+                    ..*base
+                })
+                .collect(),
+            ExperimentGrid::ConcurrentTasks { base, task_counts } => task_counts
+                .iter()
+                .map(|t| ScenarioConfig {
+                    tasks: *t,
+                    ..*base
+                })
+                .collect(),
+        }
+    }
+
+    /// Human-readable label of the swept parameter at each point.
+    pub fn point_labels(&self) -> Vec<String> {
+        match self {
+            ExperimentGrid::AreaRadius { radii_m, .. } => {
+                radii_m.iter().map(|r| format!("{r:.0} m")).collect()
+            }
+            ExperimentGrid::SamplingPeriod { periods, .. } => periods
+                .iter()
+                .map(|p| format!("{:.0} min", p.as_mins_f64()))
+                .collect(),
+            ExperimentGrid::ConcurrentTasks { task_counts, .. } => {
+                task_counts.iter().map(|t| format!("{t} tasks")).collect()
+            }
+        }
+    }
+}
+
+/// An app profile for the Fig 2 power case study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// App name.
+    pub name: String,
+    /// Upload payload per update, bytes.
+    pub payload_bytes: u64,
+    /// Extra sensors the app samples per update besides the barometer.
+    pub extra_sensor_energy_j: f64,
+    /// Per-update app overhead beyond sensing and radio: CPU wake-up,
+    /// location fix, map rendering. The paper measured whole-app battery
+    /// drain, which includes this; a standalone radio model would
+    /// under-count it.
+    pub overhead_j_per_update: f64,
+}
+
+impl AppProfile {
+    /// Pressurenet: barometer only, small payload, light processing.
+    pub fn pressurenet() -> Self {
+        AppProfile {
+            name: "Pressurenet".to_owned(),
+            payload_bytes: 600,
+            extra_sensor_energy_j: 0.0,
+            overhead_j_per_update: 6.0,
+        }
+    }
+
+    /// WeatherSignal: richer data (more sensors, bigger payloads, heavier
+    /// processing) — the paper observes it is "more energy hogging than
+    /// Pressurenet".
+    pub fn weathersignal() -> Self {
+        AppProfile {
+            name: "WeatherSignal".to_owned(),
+            payload_bytes: 4_000,
+            // Magnetometer + light + humidity + thermometer per update.
+            extra_sensor_energy_j: 0.05,
+            overhead_j_per_update: 14.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment1_matches_table2() {
+        let ExperimentGrid::AreaRadius { base, radii_m } = ExperimentGrid::experiment1() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(radii_m, vec![100.0, 200.0, 300.0, 400.0, 500.0, 1000.0]);
+        assert_eq!(base.test_duration, SimDuration::from_mins(90));
+        assert_eq!(base.sampling_period, SimDuration::from_mins(10));
+        assert_eq!(base.spatial_density, 2);
+        assert_eq!(base.tasks, 1);
+    }
+
+    #[test]
+    fn experiment2_matches_table2() {
+        let ExperimentGrid::SamplingPeriod { base, periods } = ExperimentGrid::experiment2()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(periods.len(), 3);
+        assert_eq!(base.test_duration, SimDuration::from_mins(120));
+        assert_eq!(base.spatial_density, 3);
+        assert_eq!(base.area_radius_m, 500.0);
+    }
+
+    #[test]
+    fn experiment3_matches_table2() {
+        let ExperimentGrid::ConcurrentTasks { base, task_counts } =
+            ExperimentGrid::experiment3()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(task_counts, vec![3, 5, 10, 15]);
+        assert_eq!(base.sampling_period, SimDuration::from_mins(5));
+        assert_eq!(base.test_duration, SimDuration::from_mins(90));
+    }
+
+    #[test]
+    fn points_substitute_the_swept_parameter() {
+        let exp1 = ExperimentGrid::experiment1();
+        let points = exp1.points();
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0].area_radius_m, 100.0);
+        assert_eq!(points[5].area_radius_m, 1000.0);
+        for p in &points {
+            p.validate();
+        }
+        assert_eq!(exp1.point_labels()[5], "1000 m");
+
+        let exp2 = ExperimentGrid::experiment2();
+        assert_eq!(exp2.points()[0].sampling_period, SimDuration::from_mins(1));
+        assert_eq!(exp2.point_labels()[0], "1 min");
+
+        let exp3 = ExperimentGrid::experiment3();
+        assert_eq!(exp3.points()[3].tasks, 15);
+        assert_eq!(exp3.point_labels()[3], "15 tasks");
+    }
+
+    #[test]
+    fn app_profiles_differ_as_the_paper_observes() {
+        let pn = AppProfile::pressurenet();
+        let ws = AppProfile::weathersignal();
+        assert!(ws.payload_bytes > pn.payload_bytes);
+        assert!(ws.extra_sensor_energy_j > pn.extra_sensor_energy_j);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn scenario_validation_catches_zero_density() {
+        let mut s = ExperimentGrid::experiment1().points()[0];
+        s.spatial_density = 0;
+        s.validate();
+    }
+}

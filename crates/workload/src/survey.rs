@@ -1,0 +1,176 @@
+//! The energy-tolerance survey behind Fig 1.
+//!
+//! The paper asked 109 university students "At what battery cost level are
+//! you willing to take part in participatory sensing applications?" and
+//! reports two anchor facts: 41.4 % answered "up to 2 %", and nobody was
+//! willing to spend over 10 %. The full histogram here is reconstructed
+//! around those anchors.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_sim::SimRng;
+
+/// One histogram bucket of the survey.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurveyBucket {
+    /// Upper edge of the tolerated battery cost, percent.
+    pub max_battery_pct: f64,
+    /// Respondents in this bucket.
+    pub respondents: u32,
+}
+
+/// The Fig 1 distribution.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_workload::SurveyDistribution;
+///
+/// let s = SurveyDistribution::paper();
+/// assert_eq!(s.total_respondents(), 109);
+/// // The headline number: ~41.4 % tolerate up to 2 %.
+/// let share = s.share_at(2.0);
+/// assert!((share - 0.414).abs() < 0.01);
+/// // Nobody tolerates more than 10 %.
+/// assert_eq!(s.share_above(10.0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurveyDistribution {
+    buckets: Vec<SurveyBucket>,
+}
+
+impl SurveyDistribution {
+    /// The 109-respondent distribution reconstructed from the paper.
+    pub fn paper() -> Self {
+        SurveyDistribution {
+            buckets: vec![
+                SurveyBucket {
+                    max_battery_pct: 1.0,
+                    respondents: 28,
+                },
+                SurveyBucket {
+                    max_battery_pct: 2.0,
+                    respondents: 45, // 45/109 = 41.3 %
+                },
+                SurveyBucket {
+                    max_battery_pct: 5.0,
+                    respondents: 24,
+                },
+                SurveyBucket {
+                    max_battery_pct: 10.0,
+                    respondents: 12,
+                },
+            ],
+        }
+    }
+
+    /// The buckets in ascending tolerance order.
+    pub fn buckets(&self) -> &[SurveyBucket] {
+        &self.buckets
+    }
+
+    /// Total respondents.
+    pub fn total_respondents(&self) -> u32 {
+        self.buckets.iter().map(|b| b.respondents).sum()
+    }
+
+    /// The fraction of respondents whose answer was exactly the bucket
+    /// with upper edge `max_battery_pct` (0 if no such bucket).
+    pub fn share_at(&self, max_battery_pct: f64) -> f64 {
+        let total = f64::from(self.total_respondents());
+        self.buckets
+            .iter()
+            .find(|b| b.max_battery_pct == max_battery_pct)
+            .map(|b| f64::from(b.respondents) / total)
+            .unwrap_or(0.0)
+    }
+
+    /// The fraction of respondents tolerating strictly more than
+    /// `battery_pct`.
+    pub fn share_above(&self, battery_pct: f64) -> f64 {
+        let total = f64::from(self.total_respondents());
+        let above: u32 = self
+            .buckets
+            .iter()
+            .filter(|b| b.max_battery_pct > battery_pct)
+            .map(|b| b.respondents)
+            .sum();
+        f64::from(above) / total
+    }
+
+    /// Draws one respondent's tolerated battery budget (percent) from the
+    /// empirical distribution. Used to give the synthetic study population
+    /// heterogeneous energy budgets.
+    pub fn sample_budget_pct(&self, rng: &mut SimRng) -> f64 {
+        let total = self.total_respondents();
+        let mut pick = rng.uniform_usize(0, total as usize) as u32;
+        for b in &self.buckets {
+            if pick < b.respondents {
+                return b.max_battery_pct;
+            }
+            pick -= b.respondents;
+        }
+        self.buckets.last().expect("non-empty").max_battery_pct
+    }
+
+    /// Renders the Fig 1 histogram as text rows (`bucket  count  share`).
+    pub fn render(&self) -> String {
+        let total = f64::from(self.total_respondents());
+        let mut out = String::from("tolerated battery cost | respondents | share\n");
+        for b in &self.buckets {
+            out.push_str(&format!(
+                "up to {:>4.1}%           | {:>11} | {:>5.1}%\n",
+                b.max_battery_pct,
+                b.respondents,
+                100.0 * f64::from(b.respondents) / total
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        let s = SurveyDistribution::paper();
+        assert_eq!(s.total_respondents(), 109);
+        assert!((s.share_at(2.0) - 0.414).abs() < 0.01, "41.4 % tolerate ≤2 %");
+        assert_eq!(s.share_above(10.0), 0.0, "nobody above 10 %");
+        assert!(s.share_above(2.0) > 0.3, "a third tolerate more than 2 %");
+    }
+
+    #[test]
+    fn samples_follow_distribution() {
+        let s = SurveyDistribution::paper();
+        let mut rng = SimRng::from_seed_label(1, "survey");
+        let n = 20_000;
+        let mut at_two = 0;
+        for _ in 0..n {
+            let b = s.sample_budget_pct(&mut rng);
+            assert!(b <= 10.0, "no sample above the 10 % ceiling");
+            if b == 2.0 {
+                at_two += 1;
+            }
+        }
+        let share = at_two as f64 / n as f64;
+        assert!((share - 0.413).abs() < 0.02, "sampled share {share}");
+    }
+
+    #[test]
+    fn render_contains_headline_row() {
+        let text = SurveyDistribution::paper().render();
+        assert!(text.contains("2.0%"), "{text}");
+        assert!(text.contains("41.3%") || text.contains("41.4%"), "{text}");
+    }
+
+    #[test]
+    fn buckets_ascend() {
+        let s = SurveyDistribution::paper();
+        for w in s.buckets().windows(2) {
+            assert!(w[0].max_battery_pct < w[1].max_battery_pct);
+        }
+    }
+}

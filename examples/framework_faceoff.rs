@@ -1,0 +1,62 @@
+//! Framework face-off: Periodic vs PCS vs Sense-Aid Basic vs Complete on
+//! one user-study scenario (the paper's headline comparison).
+//!
+//! Run with `cargo run --release --example framework_faceoff`.
+
+use senseaid::bench::{run_scenario, savings_pct, two_pct_bar_j, FrameworkKind};
+use senseaid::geo::NamedLocation;
+use senseaid::sim::SimDuration;
+use senseaid::workload::ScenarioConfig;
+
+fn main() {
+    // The paper's representative case (§1): 2 devices per round within a
+    // 1 km circle, 5-minute sampling, 90-minute test.
+    let scenario = ScenarioConfig {
+        test_duration: SimDuration::from_mins(90),
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 2,
+        area_radius_m: 1000.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 20,
+    };
+    let seed = 2017;
+
+    println!("scenario: 90 min, 5-min period, density 2, radius 1 km, 20 students\n");
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>11} {:>10}",
+        "framework", "total J", "J/device", "uploads", "warm-rate", "delivered"
+    );
+
+    let mut results = Vec::new();
+    for kind in FrameworkKind::study_set() {
+        let r = run_scenario(kind, scenario, seed);
+        println!(
+            "{:<14} {:>10.1} {:>10.2} {:>9} {:>10.0}% {:>10}",
+            kind.label(),
+            r.total_cs_j(),
+            r.avg_cs_j(),
+            r.uploads,
+            100.0 * r.warm_upload_rate(),
+            r.readings_delivered,
+        );
+        results.push((kind, r));
+    }
+
+    let total = |k: FrameworkKind| {
+        results
+            .iter()
+            .find(|(kind, _)| *kind == k)
+            .map(|(_, r)| r.total_cs_j())
+            .expect("ran")
+    };
+    println!(
+        "\nSense-Aid Complete saves {:.1}% vs PCS and {:.1}% vs Periodic",
+        savings_pct(total(FrameworkKind::SenseAidComplete), total(FrameworkKind::pcs_default())),
+        savings_pct(total(FrameworkKind::SenseAidComplete), total(FrameworkKind::Periodic)),
+    );
+    println!(
+        "(the paper's representative case reports 93.3% vs PCS)\n2% battery budget = {:.0} J per device",
+        two_pct_bar_j()
+    );
+}

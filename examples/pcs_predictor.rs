@@ -1,0 +1,94 @@
+//! Training PCS's app-usage predictor — why 40 % accuracy is the ceiling.
+//!
+//! PCS's viability rests on predicting when the user will next generate
+//! app traffic (Lane et al. report ~40 % saturated top-1 accuracy after
+//! two months of training). This example trains the time-of-day predictor
+//! ("will a session start within the next 30 minutes?") on 30 days of
+//! synthetic traffic for three user archetypes and evaluates it on
+//! held-out days — the habitual user is predictable, the
+//! Poisson user is not, and that gap is exactly what Fig 14 sweeps.
+//! Run with `cargo run --release --example pcs_predictor`.
+
+use senseaid::baselines::AppUsagePredictor;
+use senseaid::device::{AppTrafficModel, TrafficConfig};
+use senseaid::sim::{SimDuration, SimRng, SimTime};
+
+/// Generates `days` of session starts for a Poisson user.
+fn poisson_sessions(days: u64, config: TrafficConfig, label: &str) -> Vec<SimTime> {
+    let mut model = AppTrafficModel::new(SimRng::from_seed_label(17, label), config);
+    let horizon = SimTime::ZERO + SimDuration::from_hours(24 * days);
+    let mut out = Vec::new();
+    loop {
+        let s = model.pop_next(SimTime::ZERO);
+        if s.start > horizon {
+            break;
+        }
+        out.push(s.start);
+    }
+    out
+}
+
+/// Generates `days` of habitual sessions: fixed times of day plus jitter.
+fn habitual_sessions(days: u64, label: &str) -> Vec<SimTime> {
+    let mut rng = SimRng::from_seed_label(23, label);
+    let mut out = Vec::new();
+    for day in 0..days {
+        for hour in [8u64, 12, 18, 22] {
+            let jitter = rng.normal(0.0, 240.0); // ±4 min
+            let at = (day * 86_400 + hour * 3_600) as f64 + jitter;
+            out.push(SimTime::ZERO + SimDuration::from_secs_f64(at.max(0.0)));
+        }
+    }
+    out.sort();
+    out
+}
+
+fn evaluate(name: &str, sessions: &[SimTime]) {
+    let train_days = 30u64;
+    let split = SimTime::ZERO + SimDuration::from_hours(24 * train_days);
+    let mut predictor = AppUsagePredictor::new(SimDuration::from_mins(30));
+    for s in sessions.iter().filter(|s| **s < split) {
+        predictor.observe_session(*s);
+    }
+    predictor.finish_training(split);
+    let held_out: Vec<SimTime> = sessions.iter().copied().filter(|s| *s >= split).collect();
+    let report = predictor.evaluate(
+        &held_out,
+        split,
+        split + SimDuration::from_hours(96),
+        SimDuration::from_mins(5),
+    );
+    let total = report.true_positives
+        + report.false_positives
+        + report.false_negatives
+        + report.true_negatives;
+    let base_rate = (report.true_positives + report.false_negatives) as f64 / total as f64;
+    println!(
+        "{name:<22} accuracy {:>5.1}%   precision {:>5.1}%   recall {:>5.1}%   base rate {:>5.1}%   lift {:>4.2}x",
+        100.0 * report.accuracy(),
+        100.0 * report.precision(),
+        100.0 * report.recall(),
+        100.0 * base_rate,
+        report.precision() / base_rate.max(1e-9),
+    );
+}
+
+fn main() {
+    println!("predictor: 'will an app session start within the next 30 minutes?'");
+    println!("trained on 30 days, evaluated on 4 held-out days\n");
+    evaluate(
+        "habitual user",
+        &habitual_sessions(34, "habitual"),
+    );
+    evaluate(
+        "average user (9 min)",
+        &poisson_sessions(34, TrafficConfig::default(), "avg"),
+    );
+    evaluate(
+        "light user (20 min)",
+        &poisson_sessions(34, TrafficConfig::light(), "light"),
+    );
+    println!(
+        "\nlift is precision over the always-guess-yes base rate: the habitual user's\nschedule is genuinely learnable, while Poisson users give the predictor no\nedge (lift ≈ 1) — which is why the paper models PCS at 40% accuracy and why\nSense-Aid uses the network's live radio state instead of predictions"
+    );
+}

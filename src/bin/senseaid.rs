@@ -1,0 +1,163 @@
+//! `senseaid` — command-line front end for the reproduction.
+//!
+//! ```console
+//! $ senseaid experiment table2            # regenerate Table 2
+//! $ senseaid experiment fig9 --seed 7     # any figure, custom seed
+//! $ senseaid faceoff --radius 1000 --period 5 --density 2
+//! $ senseaid list                         # what can be run
+//! ```
+
+use std::process::ExitCode;
+
+use senseaid::bench::experiments::{
+    ablations, ext_adaptive, ext_scalability, ext_timeliness, fig01, fig02, fig06, fig07, fig08,
+    fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
+};
+use senseaid::bench::{run_scenario, savings_pct, FrameworkKind};
+use senseaid::geo::NamedLocation;
+use senseaid::sim::SimDuration;
+use senseaid::workload::ScenarioConfig;
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig1", "survey histogram (energy tolerance)"),
+    ("fig2", "app power case study (Pressurenet/WeatherSignal)"),
+    ("fig6", "radio-state timeline around a tail upload"),
+    ("fig7", "qualified devices vs area radius"),
+    ("fig8", "total energy vs area radius"),
+    ("fig9", "device-selection fairness"),
+    ("fig10", "selected devices vs sampling period"),
+    ("fig11", "energy per device vs sampling period"),
+    ("fig12", "selected devices vs concurrent tasks"),
+    ("fig13", "energy per device vs concurrent tasks"),
+    ("fig14", "Sense-Aid vs PCS across prediction accuracies"),
+    ("table2", "the user study's savings summary"),
+    ("abl-selector", "selector-weight ablation"),
+    ("abl-tail", "tail-window ablation"),
+    ("ext-scale", "scalability extension (20–200 devices)"),
+    ("ext-timeliness", "data-timeliness extension"),
+    ("ext-adaptive", "adaptive task density through a pressure front"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("experiment") => cmd_experiment(&args[1..]),
+        Some("faceoff") => cmd_faceoff(&args[1..]),
+        Some("list") => {
+            println!("experiments:");
+            for (name, what) in EXPERIMENTS {
+                println!("  {name:<16} {what}");
+            }
+            println!("\nusage: senseaid experiment <name> [--seed N]");
+            println!("       senseaid faceoff [--seed N] [--radius M] [--period MIN] [--density N] [--tasks N] [--duration MIN] [--group N]");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: senseaid <experiment|faceoff|list> …  (try `senseaid list`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--flag value` pairs; returns `None` on an unknown flag.
+fn flag(args: &[String], name: &str) -> Option<Option<f64>> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return Some(it.next().and_then(|v| v.parse().ok()));
+        }
+    }
+    None
+}
+
+fn seed_of(args: &[String]) -> u64 {
+    flag(args, "--seed")
+        .flatten()
+        .map(|v| v as u64)
+        .unwrap_or(DEFAULT_SEED)
+}
+
+fn cmd_experiment(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("which experiment? (try `senseaid list`)");
+        return ExitCode::FAILURE;
+    };
+    let seed = seed_of(args);
+    let output = match name.as_str() {
+        "fig1" => fig01::run(seed),
+        "fig2" => fig02::run(seed),
+        "fig6" => fig06::run(seed),
+        "fig7" => fig07::run(seed),
+        "fig8" => fig08::run(seed),
+        "fig9" => fig09::run(seed),
+        "fig10" => fig10::run(seed),
+        "fig11" => fig11::run(seed),
+        "fig12" => fig12::run(seed),
+        "fig13" => fig13::run(seed),
+        "fig14" => fig14::run(seed),
+        "table2" => tab02::run(seed),
+        "abl-selector" => ablations::run_selector(seed),
+        "abl-tail" => ablations::run_tail(seed),
+        "ext-scale" => ext_scalability::run(seed),
+        "ext-timeliness" => ext_timeliness::run(seed),
+        "ext-adaptive" => ext_adaptive::run(seed),
+        other => {
+            eprintln!("unknown experiment `{other}` (try `senseaid list`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{output}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_faceoff(args: &[String]) -> ExitCode {
+    let seed = seed_of(args);
+    let get = |name: &str, default: f64| flag(args, name).flatten().unwrap_or(default);
+    let scenario = ScenarioConfig {
+        test_duration: SimDuration::from_mins(get("--duration", 90.0) as u64),
+        sampling_period: SimDuration::from_mins(get("--period", 5.0) as u64),
+        spatial_density: get("--density", 2.0) as usize,
+        area_radius_m: get("--radius", 1000.0),
+        tasks: get("--tasks", 1.0) as usize,
+        location: NamedLocation::CsDepartment,
+        group_size: get("--group", 20.0) as usize,
+    };
+    scenario.validate();
+    println!(
+        "faceoff: {} min, period {} min, density {}, radius {} m, {} task(s), {} students, seed {seed}\n",
+        scenario.test_duration.as_mins_f64(),
+        scenario.sampling_period.as_mins_f64(),
+        scenario.spatial_density,
+        scenario.area_radius_m,
+        scenario.tasks,
+        scenario.group_size,
+    );
+    println!(
+        "{:<14} {:>10} {:>10} {:>11} {:>12} {:>10}",
+        "framework", "total J", "J/device", "warm-rate", "mean delay", "delivered"
+    );
+    let mut pcs_total = 0.0;
+    let mut sa_total = 0.0;
+    for kind in FrameworkKind::study_set() {
+        let r = run_scenario(kind, scenario, seed);
+        println!(
+            "{:<14} {:>10.1} {:>10.2} {:>10.0}% {:>11.1}s {:>10}",
+            kind.label(),
+            r.total_cs_j(),
+            r.avg_cs_j(),
+            100.0 * r.warm_upload_rate(),
+            r.mean_delay_s(),
+            r.readings_delivered,
+        );
+        match kind {
+            FrameworkKind::Pcs { .. } => pcs_total = r.total_cs_j(),
+            FrameworkKind::SenseAidComplete => sa_total = r.total_cs_j(),
+            _ => {}
+        }
+    }
+    println!(
+        "\nSense-Aid Complete saves {:.1}% vs PCS",
+        savings_pct(sa_total, pcs_total)
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,56 @@
+//! # Sense-Aid — energy-efficient crowdsensing middleware (reproduction)
+//!
+//! A from-scratch Rust reproduction of *Sense-Aid: A Framework for
+//! Enabling Network as a Service for Participatory Sensing* (Zhang,
+//! Theera-Ampornpunt, Wang, Bagchi, Panta — ACM Middleware 2017),
+//! including every substrate the paper's evaluation depends on:
+//!
+//! | crate | what it provides |
+//! |---|---|
+//! | [`sim`] | deterministic discrete-event engine, time, seeded RNG, metrics, traces |
+//! | [`geo`] | WGS-84 points, circular task regions, the study campus map |
+//! | [`radio`] | LTE/3G RRC state machine, tail/DRX timing, energy model |
+//! | [`cellnet`] | eNodeB topology, UE attachment, core-network routing with fail-safe |
+//! | [`device`] | simulated handsets: battery, sensors, mobility, app traffic |
+//! | [`core`] | **the paper's contribution**: the Sense-Aid server (datastores, deadline queues, device selector, privacy filter), client library, CAS library |
+//! | [`baselines`] | the comparison frameworks: Periodic and PCS (with a trainable app-usage predictor) |
+//! | [`workload`] | the 109-person survey (Fig 1), weather field, 60-student population, experiment grids |
+//! | [`bench`](mod@bench) | the experiment harness: one `cargo bench` target per paper table/figure |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use senseaid::bench::{run_scenario, FrameworkKind};
+//! use senseaid::workload::ExperimentGrid;
+//!
+//! // One test point of the paper's Experiment 1 (500 m radius).
+//! let scenario = ExperimentGrid::experiment1().points()[4];
+//! let senseaid = run_scenario(FrameworkKind::SenseAidComplete, scenario, 42);
+//! let pcs = run_scenario(FrameworkKind::pcs_default(), scenario, 42);
+//! assert!(senseaid.total_cs_j() < pcs.total_cs_j());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` for
+//! the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The comparison frameworks: Periodic and Piggyback CrowdSensing.
+pub use senseaid_baselines as baselines;
+/// The experiment harness and per-figure experiment modules.
+pub use senseaid_bench as bench;
+/// Cellular network substrate: towers, attachment, routing.
+pub use senseaid_cellnet as cellnet;
+/// The Sense-Aid middleware itself.
+pub use senseaid_core as core;
+/// Simulated mobile devices.
+pub use senseaid_device as device;
+/// Geographic primitives and the campus map.
+pub use senseaid_geo as geo;
+/// Radio (RRC) state machine and energy model.
+pub use senseaid_radio as radio;
+/// Discrete-event simulation engine.
+pub use senseaid_sim as sim;
+/// Survey, weather, population and scenario workloads.
+pub use senseaid_workload as workload;

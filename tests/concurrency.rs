@@ -1,0 +1,143 @@
+//! The Sense-Aid server as a shared service: many client threads
+//! registering, reporting state, and submitting data against one server
+//! behind a lock, with a scheduler thread polling — the deployment shape
+//! of the paper's edge middleware.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use senseaid::core::{Assignment, SenseAidConfig, SenseAidServer};
+use senseaid::device::{ImeiHash, Sensor, SensorReading};
+use senseaid::geo::{CircleRegion, GeoPoint};
+use senseaid::core::TaskSpec;
+use senseaid::sim::{SimDuration, SimTime};
+
+#[test]
+fn concurrent_clients_and_scheduler() {
+    let campus = GeoPoint::new(40.4284, -86.9138);
+    // The scheduler thread races through simulated time far faster than
+    // the worker threads answer; a long unresponsive grace keeps
+    // assignments alive for them (in a real deployment wall-clock and
+    // simulated time advance together).
+    let config = SenseAidConfig {
+        unresponsive_grace: SimDuration::from_hours(10),
+        ..SenseAidConfig::default()
+    };
+    let server = Arc::new(Mutex::new(SenseAidServer::new(config)));
+
+    // 16 client threads register and stream state updates.
+    let mut handles = Vec::new();
+    for thread_id in 0..16u64 {
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            for k in 0..4u64 {
+                let imei = ImeiHash(thread_id * 10 + k + 1);
+                server
+                    .lock()
+                    .register_device(
+                        imei,
+                        495.0,
+                        15.0,
+                        90.0,
+                        vec![Sensor::Barometer],
+                        "GalaxyS4".to_owned(),
+                        SimTime::ZERO,
+                    )
+                    .unwrap();
+                server
+                    .lock()
+                    .observe_device(
+                        imei,
+                        campus.offset_by_meters(thread_id as f64, k as f64),
+                        None,
+                    )
+                    .unwrap();
+                for round in 0..25u64 {
+                    server
+                        .lock()
+                        .update_device_state(
+                            imei,
+                            90.0 - round as f64,
+                            round as f64,
+                            SimTime::from_secs(round + 1),
+                        )
+                        .unwrap();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(server.lock().device_count(), 64);
+
+    // Submit a task and run a scheduler thread; a pool of worker threads
+    // answers assignments through a channel.
+    let spec = TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(campus, 500.0))
+        .spatial_density(4)
+        .sampling_period(SimDuration::from_mins(1))
+        .sampling_duration(SimDuration::from_mins(10))
+        .build()
+        .unwrap();
+    server.lock().submit_task(spec, SimTime::from_mins(1)).unwrap();
+
+    let (tx, rx) = channel::unbounded::<Assignment>();
+    let scheduler = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            for minute in 1..=11u64 {
+                for a in server.lock().poll(SimTime::from_mins(minute)).unwrap() {
+                    tx.send(a).unwrap();
+                }
+            }
+            // tx drops here, closing the channel.
+        })
+    };
+
+    let mut workers = Vec::new();
+    for _ in 0..4 {
+        let server = Arc::clone(&server);
+        let rx = rx.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut answered = 0u64;
+            while let Ok(a) = rx.recv() {
+                for imei in a.devices.clone() {
+                    let reading = SensorReading {
+                        sensor: Sensor::Barometer,
+                        value: 1011.0,
+                        taken_at: a.sample_at,
+                        position: GeoPoint::new(40.4284, -86.9138),
+                    };
+                    server
+                        .lock()
+                        .submit_sensed_data(imei, a.request, &reading, a.sample_at)
+                        .unwrap();
+                    answered += 1;
+                }
+            }
+            answered
+        }));
+    }
+    scheduler.join().unwrap();
+    drop(rx);
+    let answered: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    // 10 requests × 4 devices, every single one answered exactly once.
+    assert_eq!(answered, 40);
+    let stats = server.lock().stats();
+    assert_eq!(stats.requests_fulfilled, 10);
+    assert_eq!(stats.readings_accepted, 40);
+    assert_eq!(server.lock().drain_outbox().len(), 40);
+}
+
+#[test]
+fn server_types_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<SenseAidServer>();
+    assert_send::<Assignment>();
+    assert_send::<senseaid::core::SenseAidClient>();
+    assert_send::<senseaid::device::Device>();
+}

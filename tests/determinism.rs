@@ -1,0 +1,70 @@
+//! Reproducibility: identical seeds give bit-identical runs; different
+//! seeds give different studies; frameworks see paired populations.
+
+use senseaid::bench::{run_scenario, FrameworkKind};
+use senseaid::geo::NamedLocation;
+use senseaid::sim::SimDuration;
+use senseaid::workload::ScenarioConfig;
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(25),
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 2,
+        area_radius_m: 800.0,
+        tasks: 2,
+        location: NamedLocation::EeDepartment,
+        group_size: 10,
+    }
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    for kind in FrameworkKind::study_set() {
+        let a = run_scenario(kind, scenario(), 99);
+        let b = run_scenario(kind, scenario(), 99);
+        assert_eq!(a.per_device_cs_j, b.per_device_cs_j, "{kind}");
+        assert_eq!(a.uploads, b.uploads, "{kind}");
+        assert_eq!(a.rounds.len(), b.rounds.len(), "{kind}");
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(ra.participating, rb.participating, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_scenario(FrameworkKind::SenseAidComplete, scenario(), 1);
+    let b = run_scenario(FrameworkKind::SenseAidComplete, scenario(), 2);
+    assert_ne!(
+        a.per_device_cs_j, b.per_device_cs_j,
+        "two studies with different seeds should not be identical"
+    );
+}
+
+#[test]
+fn frameworks_share_the_same_population_per_seed() {
+    // Paired comparison: Periodic and Sense-Aid see the same people in
+    // the same places, so their per-round qualified counts line up.
+    let periodic = run_scenario(FrameworkKind::Periodic, scenario(), 7);
+    let senseaid = run_scenario(FrameworkKind::SenseAidComplete, scenario(), 7);
+    assert!(!periodic.rounds.is_empty() && !senseaid.rounds.is_empty());
+    // Compare rounds that fire at the same instants.
+    let mut matched = 0;
+    for pr in &periodic.rounds {
+        if let Some(sr) = senseaid.rounds.iter().find(|r| r.at == pr.at) {
+            // Qualified counts may differ by a device or two: Sense-Aid's
+            // view refreshes on its 30 s position cadence, the baselines
+            // check at the round instant.
+            assert!(
+                (pr.qualified as i64 - sr.qualified as i64).abs() <= 3,
+                "at {}: periodic {} vs senseaid {}",
+                pr.at,
+                pr.qualified,
+                sr.qualified
+            );
+            matched += 1;
+        }
+    }
+    assert!(matched >= 3, "rounds should align across frameworks");
+}

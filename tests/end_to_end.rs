@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full middleware workflow and the headline
+//! energy ordering.
+
+use senseaid::bench::{run_scenario, FrameworkKind};
+use senseaid::core::cas::CasId;
+use senseaid::core::{AppServer, SenseAidConfig, SenseAidServer, Variant};
+use senseaid::device::{ImeiHash, Sensor, SensorReading};
+use senseaid::geo::{CircleRegion, GeoPoint, NamedLocation};
+use senseaid::sim::{SimDuration, SimTime};
+use senseaid::workload::ScenarioConfig;
+
+fn small_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(30),
+        sampling_period: SimDuration::from_mins(10),
+        spatial_density: 2,
+        area_radius_m: 900.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 12,
+    }
+}
+
+#[test]
+fn full_middleware_workflow() {
+    let campus = GeoPoint::new(40.4284, -86.9138);
+    let mut server = SenseAidServer::new(SenseAidConfig::with_variant(Variant::Complete));
+    for i in 1..=5u64 {
+        server
+            .register_device(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                80.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        server
+            .observe_device(ImeiHash(i), campus.offset_by_meters(i as f64 * 30.0, 0.0), None)
+            .unwrap();
+    }
+
+    let mut app = AppServer::new(CasId(9), "it");
+    let task = app
+        .task(Sensor::Barometer)
+        .region(CircleRegion::new(campus, 500.0))
+        .spatial_density(3)
+        .sampling_period(SimDuration::from_mins(5))
+        .sampling_duration(SimDuration::from_mins(20))
+        .submit(&mut server, SimTime::ZERO)
+        .unwrap();
+
+    let mut delivered = 0;
+    let mut t = SimTime::ZERO;
+    for _ in 0..5 {
+        for a in server.poll(t).unwrap() {
+            assert_eq!(a.devices.len(), 3);
+            assert_eq!(a.task, task);
+            for imei in a.devices.clone() {
+                let reading = SensorReading {
+                    sensor: Sensor::Barometer,
+                    value: 1010.0,
+                    taken_at: t,
+                    position: campus,
+                };
+                server.submit_sensed_data(imei, a.request, &reading, t).unwrap();
+            }
+        }
+        t += SimDuration::from_mins(5);
+    }
+    for (cas, r) in server.drain_outbox() {
+        assert_eq!(cas, app.id());
+        app.receive_sensed_data(r);
+        delivered += 1;
+    }
+    // 4 rounds × 3 devices.
+    assert_eq!(delivered, 12);
+    assert_eq!(app.received_for(task).count(), 12);
+    let stats = server.stats();
+    assert_eq!(stats.requests_fulfilled, 4);
+    assert_eq!(stats.requests_expired, 0);
+}
+
+#[test]
+fn headline_energy_ordering_holds() {
+    let s = small_scenario();
+    let seed = 41;
+    let periodic = run_scenario(FrameworkKind::Periodic, s, seed).total_cs_j();
+    let pcs = run_scenario(FrameworkKind::pcs_default(), s, seed).total_cs_j();
+    let basic = run_scenario(FrameworkKind::SenseAidBasic, s, seed).total_cs_j();
+    let complete = run_scenario(FrameworkKind::SenseAidComplete, s, seed).total_cs_j();
+    assert!(
+        complete <= basic + 1e-9 && basic < pcs && pcs < periodic,
+        "ordering violated: complete {complete:.1} basic {basic:.1} pcs {pcs:.1} periodic {periodic:.1}"
+    );
+}
+
+#[test]
+fn senseaid_stays_within_the_user_energy_budget() {
+    // No device may exceed its crowdsensing budget (the hard cutoff).
+    let r = run_scenario(FrameworkKind::SenseAidComplete, small_scenario(), 43);
+    // Budgets are drawn from the survey (1–10 % of capacity); the smallest
+    // is 1 % ≈ 247 J. A single device exceeding ~500 J would mean the
+    // budget cutoff failed.
+    for (id, j) in &r.per_device_cs_j {
+        assert!(
+            *j < 500.0,
+            "device {id} spent {j:.1} J — budget cutoff failed"
+        );
+    }
+}
+
+#[test]
+fn warm_upload_rates_tell_the_mechanism_story() {
+    let s = small_scenario();
+    let seed = 44;
+    let periodic = run_scenario(FrameworkKind::Periodic, s, seed);
+    let senseaid = run_scenario(FrameworkKind::SenseAidComplete, s, seed);
+    assert!(
+        senseaid.warm_upload_rate() > periodic.warm_upload_rate(),
+        "Sense-Aid exploits tails ({:.0}%) far more than Periodic ({:.0}%)",
+        100.0 * senseaid.warm_upload_rate(),
+        100.0 * periodic.warm_upload_rate()
+    );
+}
+
+#[test]
+fn baselines_task_everyone_senseaid_tasks_the_minimum() {
+    let s = small_scenario();
+    let seed = 45;
+    let periodic = run_scenario(FrameworkKind::Periodic, s, seed);
+    let senseaid = run_scenario(FrameworkKind::SenseAidComplete, s, seed);
+    assert!((senseaid.avg_participants() - 2.0).abs() < 1e-9);
+    assert!(periodic.avg_participants() > 4.0);
+    // Paired seeds: both see the same population, so qualified counts
+    // match closely.
+    assert!((periodic.avg_qualified() - senseaid.avg_qualified()).abs() < 2.0);
+}
+
+#[test]
+fn modest_clock_skew_is_absorbed_by_the_deadline_grace() {
+    use senseaid::bench::{run_scenario_with, HarnessOptions};
+    let s = small_scenario();
+    let seed = 46;
+    let aligned = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        s,
+        seed,
+        HarnessOptions::default(),
+    );
+    let skewed = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        s,
+        seed,
+        HarnessOptions {
+            max_clock_skew: Some(SimDuration::from_secs(15)),
+            ..HarnessOptions::default()
+        },
+    );
+    assert!(
+        skewed.rounds_fulfilled >= aligned.rounds_fulfilled.saturating_sub(1),
+        "±15 s of client clock skew must not break fulfilment: {} vs {}",
+        skewed.rounds_fulfilled,
+        aligned.rounds_fulfilled
+    );
+    assert!(skewed.readings_delivered > 0);
+}

