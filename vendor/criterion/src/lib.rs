@@ -1,0 +1,132 @@
+//! Offline stand-in for `criterion`: times each benchmark closure with
+//! `std::time::Instant` and prints a mean per iteration. No statistics,
+//! plots, or CLI — just enough to build and run the workspace's
+//! micro-benchmarks in a container without crates.io access.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Criterion {
+    /// Creates a driver; mirrors `Criterion::default()`.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Accepts CLI flags in the real crate; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: 0,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iterations == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iterations as f64
+        };
+        println!("{name}: {mean_ns:.1} ns/iter ({} iters)", b.iterations);
+        self
+    }
+}
+
+impl Bencher {
+    fn target_iterations(probe_ns: u128) -> u64 {
+        // Aim for ~50 ms of measurement, clamped to a sane range.
+        let per_iter = probe_ns.max(1);
+        ((50_000_000 / per_iter) as u64).clamp(10, 1_000_000)
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let iters = Self::target_iterations(probe.elapsed().as_nanos());
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iterations += iters;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let probe = Instant::now();
+        std::hint::black_box(routine(input));
+        let iters = Self::target_iterations(probe.elapsed().as_nanos()).min(10_000);
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.iterations += iters;
+    }
+}
+
+/// Prevents the optimiser from eliding a value; mirrors
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for `rand`, covering the subset `senseaid_sim::SimRng`
+//! uses: a seedable `StdRng` plus `Rng`/`RngExt`/`SeedableRng` traits with
+//! `random`, `random_range`, and `random_bool`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — small, fast,
+//! and statistically solid enough for the workspace's sample-mean tests.
+//! It makes no attempt at cryptographic quality, and its streams differ
+//! from the real `StdRng` (any fixed-seed golden values would change when
+//! swapping in the real crate; the workspace has none).
+
+use std::ops::Range;
+
+/// Core generator trait: a source of raw 64-bit values.
+pub trait Rng {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Distribution sampled by [`RngExt::random`].
+pub trait Random: Sized {
+    /// Draws one value from `rng`'s stream.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Range types accepted by [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Convenience sampling methods, mirroring the `rand` 0.10 `Rng` surface.
+pub trait RngExt: Rng {
+    /// A value drawn uniformly from `T`'s natural distribution
+    /// (`[0, 1)` for floats, full range for integers).
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// A uniform value in the half-open `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::random_from(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+impl Random for f64 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::random_from(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard the open upper bound against floating rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with splitmix64
+    /// seed expansion.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(z: &mut u64) -> u64 {
+        *z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = *z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut z = seed;
+            let s = [
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+                splitmix64(&mut z),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range_with_plausible_mean() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = r.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f = r.random_range(-3.0..5.0f64);
+            assert!((-3.0..5.0).contains(&f));
+            let i = r.random_range(10usize..20);
+            assert!((10..20).contains(&i));
+            let s = r.random_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_plausible() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| r.random_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+}
