@@ -21,7 +21,9 @@
 pub mod pcs;
 pub mod periodic;
 pub mod predictor;
+pub mod selection;
 
 pub use pcs::{PcsClient, PcsConfig, PcsUploadPlan};
 pub use periodic::{PeriodicClient, PeriodicDuty};
 pub use predictor::{AppUsagePredictor, PredictorReport};
+pub use selection::SelectAllPolicy;

@@ -74,7 +74,10 @@ impl PeriodicClient {
 
     /// Number of active duties at `now`.
     pub fn active_duties(&self, now: SimTime) -> usize {
-        self.duties.iter().filter(|d| d.next_sample_at < d.until && now < d.until).count()
+        self.duties
+            .iter()
+            .filter(|d| d.next_sample_at < d.until && now < d.until)
+            .count()
     }
 
     /// The duties due at `now`, advancing their schedules. Each returned

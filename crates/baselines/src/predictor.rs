@@ -128,9 +128,7 @@ impl AppUsagePredictor {
         let mut t = eval_start;
         while t < eval_end {
             let predicted = self.predict(t);
-            let actual = sessions
-                .iter()
-                .any(|s| *s >= t && *s < t + self.window);
+            let actual = sessions.iter().any(|s| *s >= t && *s < t + self.window);
             match (predicted, actual) {
                 (true, true) => report.true_positives += 1,
                 (true, false) => report.false_positives += 1,
@@ -159,10 +157,8 @@ pub struct PredictorReport {
 impl PredictorReport {
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives
-            + self.false_positives
-            + self.false_negatives
-            + self.true_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.false_negatives + self.true_negatives;
         if total == 0 {
             return 0.0;
         }
@@ -261,8 +257,7 @@ mod tests {
             minutes(11 * 1440),
             SimDuration::from_mins(60),
         );
-        let total =
-            r.true_positives + r.false_positives + r.false_negatives + r.true_negatives;
+        let total = r.true_positives + r.false_positives + r.false_negatives + r.true_negatives;
         assert_eq!(total, 24, "one probe per hour over a day");
         assert!(r.accuracy() <= 1.0 && r.accuracy() >= 0.0);
     }

@@ -1,0 +1,123 @@
+//! The baselines' device-selection behaviour as a pluggable policy.
+//!
+//! Periodic and PCS do not orchestrate across devices: *every* qualified
+//! device in the task region senses and uploads (paper §5.1). Plugging
+//! [`SelectAllPolicy`] into the Sense-Aid server shell via
+//! [`SenseAidServer::with_policy`] runs the baselines' selection behaviour
+//! through the identical control plane — same queues, sharding, wait
+//! handling and data path — so framework comparisons isolate the selection
+//! strategy itself.
+//!
+//! [`SenseAidServer::with_policy`]: senseaid_core::SenseAidServer::with_policy
+
+use senseaid_core::selector::InsufficientDevices;
+use senseaid_core::store::device_store::DeviceRecord;
+use senseaid_core::{Request, SelectionPolicy};
+use senseaid_device::ImeiHash;
+use senseaid_sim::SimTime;
+
+/// Select every qualified candidate — the Periodic/PCS behaviour.
+///
+/// A request still parks in the wait queue while *no* device qualifies;
+/// with at least one candidate the baselines proceed even below the
+/// requested spatial density (they have no notion of it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SelectAllPolicy;
+
+impl SelectAllPolicy {
+    /// A new select-all policy.
+    pub fn new() -> Self {
+        SelectAllPolicy
+    }
+}
+
+impl SelectionPolicy for SelectAllPolicy {
+    fn select(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        _now: SimTime,
+    ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
+        if candidates.is_empty() {
+            return Err(InsufficientDevices {
+                needed: request.density(),
+                available: 0,
+            });
+        }
+        Ok(candidates.iter().map(|r| r.imei).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_core::{SenseAidConfig, SenseAidServer, TaskSpec};
+    use senseaid_device::Sensor;
+    use senseaid_geo::{CircleRegion, GeoPoint};
+    use senseaid_sim::SimDuration;
+
+    fn centre() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    fn server_with_devices(n: u64, policy: Box<dyn SelectionPolicy>) -> SenseAidServer {
+        let mut server = SenseAidServer::with_policy(SenseAidConfig::default(), policy);
+        for i in 1..=n {
+            server
+                .register_device(
+                    ImeiHash(i),
+                    495.0,
+                    15.0,
+                    100.0,
+                    vec![Sensor::Barometer],
+                    "GalaxyS4".to_owned(),
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            server
+                .observe_device(ImeiHash(i), centre().offset_by_meters(i as f64, 0.0), None)
+                .unwrap();
+        }
+        server
+    }
+
+    fn spec(density: usize) -> TaskSpec {
+        TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(centre(), 500.0))
+            .spatial_density(density)
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(10))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn select_all_assigns_every_qualified_device() {
+        let mut server = server_with_devices(7, Box::new(SelectAllPolicy::new()));
+        server.submit_task(spec(2), SimTime::ZERO).unwrap();
+        let a = server.poll(SimTime::ZERO).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(
+            a[0].devices.len(),
+            7,
+            "baselines task all qualified devices, not the density minimum"
+        );
+    }
+
+    #[test]
+    fn select_all_proceeds_below_density() {
+        let mut server = server_with_devices(1, Box::new(SelectAllPolicy::new()));
+        server.submit_task(spec(3), SimTime::ZERO).unwrap();
+        let a = server.poll(SimTime::ZERO).unwrap();
+        assert_eq!(a.len(), 1, "one candidate is enough for a baseline");
+        assert_eq!(a[0].devices, vec![ImeiHash(1)]);
+    }
+
+    #[test]
+    fn select_all_waits_only_when_region_is_empty() {
+        let mut server = server_with_devices(0, Box::new(SelectAllPolicy::new()));
+        server.submit_task(spec(1), SimTime::ZERO).unwrap();
+        assert!(server.poll(SimTime::ZERO).unwrap().is_empty());
+        assert_eq!(server.wait_queue_len(), 1);
+    }
+}

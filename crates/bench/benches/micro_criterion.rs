@@ -125,12 +125,7 @@ fn bench_grid_index(c: &mut Criterion) {
         b.iter(|| idx.query_circle(std::hint::black_box(&region)))
     });
     c.bench_function("linear_scan_500m_of_10k", |b| {
-        b.iter(|| {
-            points
-                .iter()
-                .filter(|p| region.contains(**p))
-                .count()
-        })
+        b.iter(|| points.iter().filter(|p| region.contains(**p)).count())
     });
 }
 

@@ -81,14 +81,16 @@ pub fn run_config(
     let end = SimTime::from_mins(120);
     let task = app
         .task(Sensor::Barometer)
-        .region(CircleRegion::new(map.location(NamedLocation::CsDepartment), 800.0))
+        .region(CircleRegion::new(
+            map.location(NamedLocation::CsDepartment),
+            800.0,
+        ))
         .spatial_density(initial_density)
         .sampling_period(SimDuration::from_mins(5))
         .window(SimTime::ZERO, end)
         .submit(&mut server, SimTime::ZERO)
         .expect("valid task");
-    let mut controller =
-        adaptive.map(|cfg| AdaptiveController::new(task, initial_density, cfg));
+    let mut controller = adaptive.map(|cfg| AdaptiveController::new(task, initial_density, cfg));
 
     let horizon = end + SimDuration::from_mins(6);
     let mut t = SimTime::ZERO;
@@ -179,12 +181,7 @@ pub fn run_config(
 
 /// Renders the adaptive-task study.
 pub fn run(seed: u64) -> String {
-    let adaptive = run_config(
-        "adaptive (2→8)",
-        2,
-        Some(AdaptiveConfig::default()),
-        seed,
-    );
+    let adaptive = run_config("adaptive (2→8)", 2, Some(AdaptiveConfig::default()), seed);
     let static_low = run_config("static density 2", 2, None, seed);
     let static_high = run_config("static density 8", 8, None, seed);
 
@@ -219,14 +216,22 @@ mod tests {
     fn adaptive_escalates_during_the_storm_and_decays_after() {
         let o = run_config("a", 2, Some(AdaptiveConfig::default()), 71);
         let max_density = o.density_trajectory.iter().map(|(_, d)| *d).max().unwrap();
-        assert!(max_density >= 4, "front must trigger escalation: {:?}", o.density_trajectory);
+        assert!(
+            max_density >= 4,
+            "front must trigger escalation: {:?}",
+            o.density_trajectory
+        );
         // Escalation happens after the front arrives (minute 60+).
         let first_up = o
             .density_trajectory
             .iter()
             .find(|(_, d)| *d > 2)
             .expect("an escalation exists");
-        assert!(first_up.0 >= 58, "no escalation before the storm: {:?}", o.density_trajectory);
+        assert!(
+            first_up.0 >= 58,
+            "no escalation before the storm: {:?}",
+            o.density_trajectory
+        );
         // And the controller decays once the front has passed.
         let last = o.density_trajectory.last().unwrap();
         assert!(

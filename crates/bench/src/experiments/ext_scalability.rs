@@ -51,11 +51,7 @@ pub fn sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
         .iter()
         .map(|&group_size| {
             let start = Instant::now();
-            let report = run_scenario(
-                FrameworkKind::SenseAidComplete,
-                scenario(group_size),
-                seed,
-            );
+            let report = run_scenario(FrameworkKind::SenseAidComplete, scenario(group_size), seed);
             ScaleRow {
                 group_size,
                 avg_cs_j: report.avg_cs_j(),
@@ -75,9 +71,7 @@ pub fn run(seed: u64) -> String {
 
 /// Renders arbitrary sweep rows.
 pub fn render(rows: &[ScaleRow]) -> String {
-    let mut out = String::from(
-        "=== Extension: scalability of one Sense-Aid edge instance ===\n",
-    );
+    let mut out = String::from("=== Extension: scalability of one Sense-Aid edge instance ===\n");
     out.push_str(&format!(
         "{:>10} {:>12} {:>10} {:>8} {:>10}\n",
         "devices", "J/device", "fulfilled", "missed", "wall ms"

@@ -36,9 +36,7 @@ pub fn run(seed: u64) -> String {
 /// Renders the timeliness study for an arbitrary scenario.
 pub fn render(scenario: ScenarioConfig, seed: u64) -> String {
     let period_s = scenario.sampling_period.as_secs_f64();
-    let mut out = String::from(
-        "=== Extension: data timeliness (sampling → delivery delay) ===\n",
-    );
+    let mut out = String::from("=== Extension: data timeliness (sampling → delivery delay) ===\n");
     out.push_str(&format!(
         "{:<14} {:>10} {:>10} {:>16} {:>10}\n",
         "framework", "mean s", "p95 s", "within period", "energy J"
@@ -79,7 +77,10 @@ mod tests {
         let senseaid = run_scenario(FrameworkKind::SenseAidComplete, small(), seed);
         let pcs = run_scenario(FrameworkKind::pcs_default(), small(), seed);
 
-        assert!(periodic.mean_delay_s() < 1.0, "Periodic uploads immediately");
+        assert!(
+            periodic.mean_delay_s() < 1.0,
+            "Periodic uploads immediately"
+        );
         // Sense-Aid never exceeds its deadline (the sampling period),
         // modulo the 1-second tick.
         let period_s = small().sampling_period.as_secs_f64();

@@ -47,12 +47,7 @@ pub fn bars() -> Vec<CaseStudyBar> {
                     + app.overhead_j_per_update;
                 let total_j = updates * per_update;
                 out.push(CaseStudyBar {
-                    label: format!(
-                        "{} {} {}min",
-                        app.name,
-                        net,
-                        period.as_mins_f64() as u64
-                    ),
+                    label: format!("{} {} {}min", app.name, net, period.as_mins_f64() as u64),
                     battery_pct: 100.0 * total_j / NOMINAL_CAPACITY_J,
                 });
             }
@@ -68,18 +63,14 @@ pub fn run(_seed: u64) -> String {
         .iter()
         .map(|b| (b.label.clone(), b.battery_pct))
         .collect();
-    let mut out = String::from(
-        "=== Figure 2: app power case study (Galaxy S4, equal update counts) ===\n",
-    );
+    let mut out =
+        String::from("=== Figure 2: app power case study (Galaxy S4, equal update counts) ===\n");
     out.push_str(&bar_chart(&rows, "% battery", 40));
     out.push_str(&format!(
         "\n2% tolerated-budget bar = {:.0} J = 2.0% battery\n",
         two_pct_bar_j()
     ));
-    let min = bars
-        .iter()
-        .map(|b| b.battery_pct)
-        .fold(f64::MAX, f64::min);
+    let min = bars.iter().map(|b| b.battery_pct).fold(f64::MAX, f64::min);
     out.push_str(&format!(
         "every configuration costs at least {min:.1}% battery — above the 2% budget\n"
     ));

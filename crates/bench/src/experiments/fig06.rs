@@ -6,9 +6,7 @@
 //! tail timer is not reset (Sense-Aid Complete), ~11.5 s later when it is
 //! (Basic).
 
-use senseaid_radio::{
-    Direction, PhaseTimeline, Radio, RadioPowerProfile, ResetPolicy,
-};
+use senseaid_radio::{Direction, PhaseTimeline, Radio, RadioPowerProfile, ResetPolicy};
 use senseaid_sim::{SimDuration, SimTime};
 
 /// Reconstructs the two timelines (no-reset and reset).
@@ -38,9 +36,8 @@ pub fn timelines() -> (PhaseTimeline, PhaseTimeline) {
 /// Renders Fig 6.
 pub fn run(_seed: u64) -> String {
     let (no_reset, reset) = timelines();
-    let mut out = String::from(
-        "=== Figure 6: LTE radio states around a tail-time crowdsensing upload ===\n",
-    );
+    let mut out =
+        String::from("=== Figure 6: LTE radio states around a tail-time crowdsensing upload ===\n");
     out.push_str("\n--- tail timer NOT reset (Sense-Aid Complete) ---\n");
     out.push_str(&no_reset.render());
     out.push_str("\n--- tail timer reset on upload (Sense-Aid Basic / stock RRC) ---\n");

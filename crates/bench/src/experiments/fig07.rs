@@ -28,9 +28,8 @@ pub fn run(seed: u64) -> String {
 /// Renders Fig 7 on an arbitrary grid (tests use a shrunken one).
 pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
     let series = qualified_series(grid, seed);
-    let mut out = String::from(
-        "=== Figure 7: qualified devices at the CS department vs area radius ===\n",
-    );
+    let mut out =
+        String::from("=== Figure 7: qualified devices at the CS department vs area radius ===\n");
     out.push_str(&series_table(
         "radius",
         &grid.point_labels(),
@@ -39,7 +38,11 @@ pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
     ));
     out.push_str(&format!(
         "\nshape check: monotone growth {} (min {:.1}, max {:.1})\n",
-        if is_non_decreasing(&series) { "holds" } else { "VIOLATED" },
+        if is_non_decreasing(&series) {
+            "holds"
+        } else {
+            "VIOLATED"
+        },
         series.first().copied().unwrap_or(0.0),
         series.last().copied().unwrap_or(0.0),
     ));
@@ -87,6 +90,9 @@ mod tests {
     #[test]
     fn render_reports_shape() {
         let text = render(&small_grid(), 5);
-        assert!(text.contains("shape check: monotone growth holds"), "{text}");
+        assert!(
+            text.contains("shape check: monotone growth holds"),
+            "{text}"
+        );
     }
 }

@@ -91,7 +91,12 @@ mod tests {
         let basic = table.total_energy_series(FrameworkKind::SenseAidBasic);
         let complete = table.total_energy_series(FrameworkKind::SenseAidComplete);
         for i in 0..pcs.len() {
-            assert!(basic[i] < pcs[i], "point {i}: basic {} pcs {}", basic[i], pcs[i]);
+            assert!(
+                basic[i] < pcs[i],
+                "point {i}: basic {} pcs {}",
+                basic[i],
+                pcs[i]
+            );
             assert!(
                 complete[i] <= basic[i] + 1e-9,
                 "point {i}: complete {} basic {}",
@@ -103,14 +108,22 @@ mod tests {
 
     #[test]
     fn pcs_energy_grows_with_radius_senseaid_stays_flatter() {
-        let table = sweep(&small_grid(), 6);
-        let pcs = table.total_energy_series(FrameworkKind::pcs_default());
-        let complete = table.total_energy_series(FrameworkKind::SenseAidComplete);
-        let pcs_growth = pcs[1] / pcs[0].max(1e-9);
-        let sa_growth = complete[1] / complete[0].max(1e-9);
+        // Growth *ratios* are unstable at the small radius, where
+        // Sense-Aid can spend almost nothing and a tiny denominator blows
+        // the ratio up. Fig 8's claim is about absolute growth — PCS adds
+        // every newly-covered device while Sense-Aid stays bounded by the
+        // density — so compare energy deltas, aggregated over seeds.
+        let (mut pcs_growth, mut sa_growth) = (0.0f64, 0.0f64);
+        for seed in [3u64, 6, 9] {
+            let table = sweep(&small_grid(), seed);
+            let pcs = table.total_energy_series(FrameworkKind::pcs_default());
+            let complete = table.total_energy_series(FrameworkKind::SenseAidComplete);
+            pcs_growth += pcs[1] - pcs[0];
+            sa_growth += complete[1] - complete[0];
+        }
         assert!(
             pcs_growth > sa_growth,
-            "PCS must grow faster with radius: pcs ×{pcs_growth:.2} vs sa ×{sa_growth:.2}"
+            "PCS must grow faster with radius: pcs +{pcs_growth:.1} J vs sa +{sa_growth:.1} J"
         );
     }
 }

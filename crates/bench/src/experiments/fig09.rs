@@ -81,17 +81,18 @@ mod tests {
     #[test]
     fn selector_rotates_fairly() {
         let report = run_scenario(FrameworkKind::SenseAidComplete, scenario(), 11);
-        assert!(report.rounds.len() >= 8, "expect ~9 rounds, got {}", report.rounds.len());
+        assert!(
+            report.rounds.len() >= 8,
+            "expect ~9 rounds, got {}",
+            report.rounds.len()
+        );
         for round in &report.rounds {
             assert_eq!(round.participating.len(), 2);
         }
         // The paper's observation: each device is selected once or twice.
         let counts = selection_counts(&report);
         let max = counts.values().copied().max().unwrap();
-        assert!(
-            max <= 3,
-            "no device should be hammered; counts {counts:?}"
-        );
+        assert!(max <= 3, "no device should be hammered; counts {counts:?}");
         assert!(
             counts.len() >= 7,
             "selections must spread over most of the population: {counts:?}"

@@ -53,7 +53,9 @@ pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
         &series,
         "devices/round",
     ));
-    out.push_str("\nshape check: Sense-Aid rows sit at exactly 3.0; baselines at the full qualified count\n");
+    out.push_str(
+        "\nshape check: Sense-Aid rows sit at exactly 3.0; baselines at the full qualified count\n",
+    );
     out
 }
 

@@ -50,8 +50,7 @@ pub fn render(grid: &ExperimentGrid, seed: u64) -> String {
         FrameworkKind::SenseAidComplete,
         FrameworkKind::pcs_default(),
     );
-    let (avg_bp, ..) =
-        table.savings_summary(FrameworkKind::SenseAidBasic, FrameworkKind::Periodic);
+    let (avg_bp, ..) = table.savings_summary(FrameworkKind::SenseAidBasic, FrameworkKind::Periodic);
     let (avg_cp, ..) =
         table.savings_summary(FrameworkKind::SenseAidComplete, FrameworkKind::Periodic);
     out.push_str(&format!(

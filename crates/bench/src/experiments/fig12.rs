@@ -100,11 +100,7 @@ mod tests {
     fn more_tasks_mean_more_rounds_for_everyone() {
         let table = sweep(&small_grid(), 12);
         for f in FrameworkKind::study_set() {
-            let row = table
-                .frameworks
-                .iter()
-                .position(|x| *x == f)
-                .unwrap();
+            let row = table.frameworks.iter().position(|x| *x == f).unwrap();
             let rounds_few = table.reports[row][0].rounds.len();
             let rounds_many = table.reports[row][1].rounds.len();
             assert!(

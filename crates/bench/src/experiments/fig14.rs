@@ -37,9 +37,7 @@ pub fn accuracy_sweep(
 ) -> (Vec<f64>, f64, f64) {
     let pcs: Vec<f64> = accuracies
         .iter()
-        .map(|a| {
-            run_scenario(FrameworkKind::Pcs { accuracy: *a }, scenario, seed).total_cs_j()
-        })
+        .map(|a| run_scenario(FrameworkKind::Pcs { accuracy: *a }, scenario, seed).total_cs_j())
         .collect();
     let basic = run_scenario(FrameworkKind::SenseAidBasic, scenario, seed).total_cs_j();
     let complete = run_scenario(FrameworkKind::SenseAidComplete, scenario, seed).total_cs_j();
@@ -65,9 +63,7 @@ pub fn render(accuracies: &[f64], scenario: ScenarioConfig, seed: u64) -> String
         ("SA-Basic".to_owned(), vec![basic; n]),
         ("SA-Complete".to_owned(), vec![complete; n]),
     ];
-    let mut out = String::from(
-        "=== Figure 14: total energy vs PCS prediction accuracy ===\n",
-    );
+    let mut out = String::from("=== Figure 14: total energy vs PCS prediction accuracy ===\n");
     out.push_str(&series_table("accuracy", &labels, &series, "J"));
     let ideal = *pcs.last().expect("non-empty sweep");
     out.push_str(&format!(

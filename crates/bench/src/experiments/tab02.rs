@@ -80,9 +80,7 @@ pub fn render_experiment(
         seed,
     );
     let mut out = format!("--- {name} ---\n");
-    for ((ours, baseline, label), (p_avg, p_min, p_max)) in
-        comparisons().iter().zip(paper_rows)
-    {
+    for ((ours, baseline, label), (p_avg, p_min, p_max)) in comparisons().iter().zip(paper_rows) {
         let (avg, min, max) = table.savings_summary(*ours, *baseline);
         out.push_str(&format!(
             "{label:<34} measured {avg:5.1}% ({min:5.1}%, {max:5.1}%)   paper {p_avg:.1}% ({p_min:.1}%, {p_max:.1}%)\n",
@@ -147,10 +145,8 @@ mod tests {
             assert!(min <= avg && avg <= max, "{label}: ordering");
         }
         // The vs-Periodic rows save more than the vs-PCS rows.
-        let (vs_periodic, ..) = table.savings_summary(
-            FrameworkKind::SenseAidComplete,
-            FrameworkKind::Periodic,
-        );
+        let (vs_periodic, ..) =
+            table.savings_summary(FrameworkKind::SenseAidComplete, FrameworkKind::Periodic);
         let (vs_pcs, ..) = table.savings_summary(
             FrameworkKind::SenseAidComplete,
             FrameworkKind::pcs_default(),

@@ -132,7 +132,10 @@ impl GroupReport {
         if self.rounds.is_empty() {
             0.0
         } else {
-            self.rounds.iter().map(|r| r.participating.len()).sum::<usize>() as f64
+            self.rounds
+                .iter()
+                .map(|r| r.participating.len())
+                .sum::<usize>() as f64
                 / self.rounds.len() as f64
         }
     }
@@ -142,8 +145,7 @@ impl GroupReport {
         if self.rounds.is_empty() {
             0.0
         } else {
-            self.rounds.iter().map(|r| r.qualified).sum::<usize>() as f64
-                / self.rounds.len() as f64
+            self.rounds.iter().map(|r| r.qualified).sum::<usize>() as f64 / self.rounds.len() as f64
         }
     }
 
@@ -181,7 +183,10 @@ impl GroupReport {
         if self.delivery_delays_s.is_empty() {
             return 0.0;
         }
-        self.delivery_delays_s.iter().filter(|d| **d <= budget_s).count() as f64
+        self.delivery_delays_s
+            .iter()
+            .filter(|d| **d <= budget_s)
+            .count() as f64
             / self.delivery_delays_s.len() as f64
     }
 }

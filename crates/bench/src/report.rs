@@ -79,7 +79,10 @@ impl SweepTable {
             .iter()
             .position(|f| *f == framework)
             .unwrap_or_else(|| panic!("{framework} not in sweep"));
-        self.reports[row].iter().map(GroupReport::total_cs_j).collect()
+        self.reports[row]
+            .iter()
+            .map(GroupReport::total_cs_j)
+            .collect()
     }
 
     /// Average per-device energy of one framework across the sweep.
@@ -89,16 +92,15 @@ impl SweepTable {
             .iter()
             .position(|f| *f == framework)
             .unwrap_or_else(|| panic!("{framework} not in sweep"));
-        self.reports[row].iter().map(GroupReport::avg_cs_j).collect()
+        self.reports[row]
+            .iter()
+            .map(GroupReport::avg_cs_j)
+            .collect()
     }
 
     /// `(average, min, max)` savings of `ours` over `baseline` across the
     /// sweep, on total group energy — the Table 2 summary cells.
-    pub fn savings_summary(
-        &self,
-        ours: FrameworkKind,
-        baseline: FrameworkKind,
-    ) -> (f64, f64, f64) {
+    pub fn savings_summary(&self, ours: FrameworkKind, baseline: FrameworkKind) -> (f64, f64, f64) {
         let ours_series = self.total_energy_series(ours);
         let base_series = self.total_energy_series(baseline);
         let savings: Vec<f64> = ours_series
@@ -123,7 +125,10 @@ mod tests {
         assert!((savings_pct(6.7, 100.0) - 93.3).abs() < 1e-9);
         assert_eq!(savings_pct(50.0, 100.0), 50.0);
         assert_eq!(savings_pct(100.0, 100.0), 0.0);
-        assert!(savings_pct(150.0, 100.0) < 0.0, "using more energy is negative saving");
+        assert!(
+            savings_pct(150.0, 100.0) < 0.0,
+            "using more energy is negative saving"
+        );
         assert_eq!(savings_pct(1.0, 0.0), 0.0, "degenerate baseline");
     }
 
@@ -228,7 +233,11 @@ mod csv_tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("point,Periodic_total_j,Periodic_avg_j"));
-        assert!(lines[1].starts_with("100 m,30.000,15.000,3.000,1.500"), "{}", lines[1]);
+        assert!(
+            lines[1].starts_with("100 m,30.000,15.000,3.000,1.500"),
+            "{}",
+            lines[1]
+        );
     }
 
     #[test]

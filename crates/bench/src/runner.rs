@@ -16,9 +16,9 @@
 
 use std::collections::BTreeMap;
 
+use senseaid_baselines::{PcsClient, PcsConfig};
 use senseaid_cellnet::CellularNetwork;
 use senseaid_core::{SenseAidClient, SenseAidConfig, SenseAidServer, TaskSpec, UploadDecision};
-use senseaid_baselines::{PcsClient, PcsConfig};
 use senseaid_device::{Device, ImeiHash, Sensor};
 use senseaid_geo::{CampusMap, CircleRegion};
 use senseaid_radio::ResetPolicy;
@@ -50,6 +50,10 @@ pub struct HarnessOptions {
     /// Give each client a uniform random clock skew in `±max` (paper §6's
     /// synchronisation-error discussion); ignored for the baselines.
     pub max_clock_skew: Option<SimDuration>,
+    /// Shard the Sense-Aid control plane across this many cell groups
+    /// (`None` = 1). Results are identical for any value; ignored for the
+    /// baselines.
+    pub shard_count: Option<usize>,
 }
 
 /// Runs one framework group through one scenario.
@@ -123,11 +127,7 @@ fn round_schedule(scenario: &ScenarioConfig) -> Vec<(SimTime, SimTime)> {
 
 /// Indices of devices qualified for the study task right now: inside the
 /// region, carrying the sensor, participating, battery alive.
-fn qualified_indices(
-    devices: &mut [Device],
-    t: SimTime,
-    region: &CircleRegion,
-) -> Vec<usize> {
+fn qualified_indices(devices: &mut [Device], t: SimTime, region: &CircleRegion) -> Vec<usize> {
     (0..devices.len())
         .filter(|&i| {
             let d = &mut devices[i];
@@ -153,7 +153,10 @@ fn collect_report(
 ) -> GroupReport {
     GroupReport {
         framework: kind,
-        per_device_cs_j: devices.iter().map(|d| (d.id().0, d.cs_energy_j())).collect(),
+        per_device_cs_j: devices
+            .iter()
+            .map(|d| (d.id().0, d.cs_energy_j()))
+            .collect(),
         uploads,
         cold_uploads,
         readings_delivered,
@@ -298,7 +301,8 @@ fn run_rounds_framework(
                     j += 1;
                 }
             }
-            let report = devices[device_idx].upload_crowdsensing(fire_at, bytes, ResetPolicy::Reset);
+            let report =
+                devices[device_idx].upload_crowdsensing(fire_at, bytes, ResetPolicy::Reset);
             uploads += 1;
             if report.promoted {
                 cold_uploads += 1;
@@ -374,12 +378,17 @@ fn run_senseaid(
     if let Some(weights) = options.weights {
         config.weights = weights;
     }
+    if let Some(shards) = options.shard_count {
+        config.shard_count = shards;
+    }
     let mut server = SenseAidServer::new(config);
     // The radio access network: devices attach to the nearest covering
     // tower, and the server learns each device's serving cell alongside
-    // its position.
+    // its position. The server also uses the topology to prune request
+    // fan-out to the shards whose cells overlap the task region.
     let map = CampusMap::standard();
     let mut network = CellularNetwork::for_campus(&map);
+    server.set_topology(network.clone());
     let mut skew_rng = SimRng::from_seed_label(seed, "clock-skew");
     let mut clients: Vec<SenseAidClient> = Vec::with_capacity(devices.len());
     let mut by_imei: BTreeMap<ImeiHash, usize> = BTreeMap::new();
@@ -424,7 +433,9 @@ fn run_senseaid(
             .window(SimTime::ZERO + offset, end)
             .build()
             .expect("scenario task is valid");
-        server.submit_task(spec, SimTime::ZERO).expect("server is up");
+        server
+            .submit_task(spec, SimTime::ZERO)
+            .expect("server is up");
     }
 
     let horizon = end + scenario.sampling_period + SimDuration::from_secs(2);
@@ -467,8 +478,15 @@ fn run_senseaid(
             next_position_refresh = t + POSITION_REFRESH;
         }
 
-        // Scheduling round (empty while the server is down).
-        let assignments = server.poll(t).unwrap_or_default();
+        // Scheduling round, event-driven: the server says when the next
+        // poll could matter; off-wakeup ticks skip it entirely. Polls
+        // while the server is down fail and yield no assignments.
+        let due = server.next_wakeup(t).is_some_and(|w| w <= t);
+        let assignments = if due {
+            server.poll(t).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         for a in &assignments {
             for imei in &a.devices {
                 let idx = by_imei[imei];
@@ -484,8 +502,7 @@ fn run_senseaid(
                     client.record_sample(request, reading);
                 }
             }
-            let decision =
-                client.upload_decision(t, device.in_tail(t), device.tail_remaining(t));
+            let decision = client.upload_decision(t, device.in_tail(t), device.tail_remaining(t));
             if decision != UploadDecision::Wait {
                 let duties = client.send_sense_data(decision);
                 if !duties.is_empty() {
@@ -505,8 +522,7 @@ fn run_senseaid(
                             .submit_sensed_data(client.imei(), duty.request, &reading, t)
                             .is_ok()
                         {
-                            delays
-                                .push(t.saturating_elapsed_since(duty.sample_at).as_secs_f64());
+                            delays.push(t.saturating_elapsed_since(duty.sample_at).as_secs_f64());
                         }
                     }
                 }

@@ -294,7 +294,10 @@ mod tests {
 
     #[test]
     fn unknown_tag_errors() {
-        assert_eq!(Message::decode(&[0xff, 0, 0]), Err(WireError::UnknownTag(0xff)));
+        assert_eq!(
+            Message::decode(&[0xff, 0, 0]),
+            Err(WireError::UnknownTag(0xff))
+        );
     }
 
     #[test]
@@ -302,7 +305,11 @@ mod tests {
         // Control-plane messages must be far below the ~600-byte data
         // payload for the "negligible control overhead" assumption to hold.
         for msg in samples() {
-            assert!(msg.encoded_len() <= 64, "{msg:?} is {} bytes", msg.encoded_len());
+            assert!(
+                msg.encoded_len() <= 64,
+                "{msg:?} is {} bytes",
+                msg.encoded_len()
+            );
         }
     }
 

@@ -164,9 +164,6 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(RoutePath::Path1Direct.to_string(), "path1(direct)");
-        assert_eq!(
-            RoutePath::Path2ViaSenseAid.to_string(),
-            "path2(sense-aid)"
-        );
+        assert_eq!(RoutePath::Path2ViaSenseAid.to_string(), "path2(sense-aid)");
     }
 }

@@ -9,9 +9,7 @@ use senseaid_device::DeviceId;
 use senseaid_geo::{CampusMap, CircleRegion, GeoPoint, TowerSite};
 
 /// Identifier of one cell (one eNodeB sector; we model one cell per tower).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId(pub usize);
 
 impl fmt::Display for CellId {
@@ -205,14 +203,9 @@ mod tests {
     #[test]
     fn devices_in_cell_lists_only_that_cell() {
         let (map, mut net) = net();
-        let centre_cell = net
-            .update_attachment(DeviceId(1), map.anchor())
-            .unwrap();
+        let centre_cell = net.update_attachment(DeviceId(1), map.anchor()).unwrap();
         net.update_attachment(DeviceId(2), map.anchor());
-        net.update_attachment(
-            DeviceId(3),
-            map.anchor().offset_by_meters(900.0, 900.0),
-        );
+        net.update_attachment(DeviceId(3), map.anchor().offset_by_meters(900.0, 900.0));
         let in_centre = net.devices_in_cell(centre_cell);
         assert_eq!(in_centre, vec![DeviceId(1), DeviceId(2)]);
         assert_eq!(net.attached_devices().len(), 3);

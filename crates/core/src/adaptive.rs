@@ -211,8 +211,7 @@ mod tests {
             let t = SimTime::from_mins(round * 5);
             // Four near-identical readings per round.
             for k in 0..4 {
-                if let Some(d) = ctl.observe(&reading(TaskId(1), 1010.0 + 0.01 * k as f64, t), t)
-                {
+                if let Some(d) = ctl.observe(&reading(TaskId(1), 1010.0 + 0.01 * k as f64, t), t) {
                     changes.push(d);
                 }
             }

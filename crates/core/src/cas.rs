@@ -21,9 +21,7 @@ use crate::server::SenseAidServer;
 use crate::task::{TaskId, TaskSpec};
 
 /// Identifier of one crowdsensing application server.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CasId(pub u64);
 
 impl fmt::Display for CasId {

@@ -180,9 +180,7 @@ impl SenseAidClient {
     /// addressed to this device. Returns `false` (and ignores it) when the
     /// client is unregistered or the assignment is not for this device.
     pub fn start_sensing(&mut self, assignment: &Assignment) -> bool {
-        if self.state != ClientState::Registered
-            || !assignment.devices.contains(&self.imei)
-        {
+        if self.state != ClientState::Registered || !assignment.devices.contains(&self.imei) {
             return false;
         }
         self.duties.push(PendingDuty {
@@ -250,7 +248,9 @@ impl SenseAidClient {
         if in_tail && tail_remaining >= self.min_tail_window {
             return UploadDecision::UploadInTail;
         }
-        let deadline = self.next_deadline().expect("pending upload implies deadline");
+        let deadline = self
+            .next_deadline()
+            .expect("pending upload implies deadline");
         if self.perceived(now) >= deadline {
             UploadDecision::UploadAtDeadline
         } else {
@@ -267,10 +267,8 @@ impl SenseAidClient {
             UploadDecision::UploadInTail => self.uploads_in_tail += 1,
             UploadDecision::UploadAtDeadline => self.uploads_at_deadline += 1,
         }
-        let (ready, rest): (Vec<PendingDuty>, Vec<PendingDuty>) = self
-            .duties
-            .drain(..)
-            .partition(|d| d.reading.is_some());
+        let (ready, rest): (Vec<PendingDuty>, Vec<PendingDuty>) =
+            self.duties.drain(..).partition(|d| d.reading.is_some());
         self.duties = rest;
         ready
     }
@@ -279,7 +277,8 @@ impl SenseAidClient {
     /// happened, e.g. the device was off). Returns how many were dropped.
     pub fn drop_expired(&mut self, now: SimTime) -> usize {
         let before = self.duties.len();
-        self.duties.retain(|d| d.deadline > now || d.reading.is_some());
+        self.duties
+            .retain(|d| d.deadline > now || d.reading.is_some());
         before - self.duties.len()
     }
 
@@ -333,7 +332,10 @@ mod tests {
     fn lifecycle_register_deregister() {
         let mut c = SenseAidClient::new(ImeiHash(7));
         assert_eq!(c.state(), ClientState::Unregistered);
-        assert!(!c.start_sensing(&assignment(1, 7, 0, 10)), "unregistered clients refuse work");
+        assert!(
+            !c.start_sensing(&assignment(1, 7, 0, 10)),
+            "unregistered clients refuse work"
+        );
         c.register(UserPreferences::default());
         assert!(c.start_sensing(&assignment(1, 7, 0, 10)));
         assert_eq!(c.duty_count(), 1);
@@ -355,7 +357,10 @@ mod tests {
         assert!(c.due_samples(SimTime::from_mins(4)).is_empty());
         assert_eq!(c.due_samples(SimTime::from_mins(5)), vec![RequestId(1)]);
         c.record_sample(RequestId(1), reading(SimTime::from_mins(5)));
-        assert!(c.due_samples(SimTime::from_mins(6)).is_empty(), "already sampled");
+        assert!(
+            c.due_samples(SimTime::from_mins(6)).is_empty(),
+            "already sampled"
+        );
     }
 
     #[test]
@@ -451,10 +456,7 @@ mod tests {
         c.set_clock_skew_us(30_000_000); // 30 s fast
         c.start_sensing(&assignment(1, 7, 5, 10));
         // True time 4:40, device thinks 5:10 → due.
-        assert_eq!(
-            c.due_samples(SimTime::from_secs(280)),
-            vec![RequestId(1)]
-        );
+        assert_eq!(c.due_samples(SimTime::from_secs(280)), vec![RequestId(1)]);
         c.record_sample(RequestId(1), reading(SimTime::from_secs(280)));
         // True 9:40, device thinks 10:10 → deadline forced.
         assert_eq!(
@@ -469,7 +471,10 @@ mod tests {
         c.set_clock_skew_us(-30_000_000); // 30 s slow
         assert_eq!(c.clock_skew_us(), -30_000_000);
         c.start_sensing(&assignment(1, 7, 5, 10));
-        assert!(c.due_samples(SimTime::from_mins(5)).is_empty(), "clock lags");
+        assert!(
+            c.due_samples(SimTime::from_mins(5)).is_empty(),
+            "clock lags"
+        );
         assert_eq!(
             c.due_samples(SimTime::from_secs(330)),
             vec![RequestId(1)],

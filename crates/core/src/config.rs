@@ -54,6 +54,10 @@ pub struct SenseAidConfig {
     /// How long past its deadline an assigned device may stay silent
     /// before it is marked unresponsive and excluded from selection.
     pub unresponsive_grace: SimDuration,
+    /// How many cell-group shards the control plane runs. Scheduling
+    /// output is identical for any value (see `coordinator`); 1 reproduces
+    /// the paper prototype's single scheduler.
+    pub shard_count: usize,
 }
 
 impl Default for SenseAidConfig {
@@ -65,6 +69,7 @@ impl Default for SenseAidConfig {
             payload_bytes: 600,
             wait_check_interval: SimDuration::from_secs(30),
             unresponsive_grace: SimDuration::from_mins(2),
+            shard_count: 1,
         }
     }
 }

@@ -1,0 +1,738 @@
+//! The cell-sharded control plane behind [`SenseAidServer`].
+//!
+//! The coordinator owns the task/CAS registry and the shard set. Devices
+//! are partitioned across shards by serving cell (`cell % shard_count`,
+//! unknown-cell devices on shard 0) and migrate when a position
+//! observation reports a new cell. Requests are fanned out to the shards
+//! whose cells overlap the request region — computed from the attached
+//! [`CellularNetwork`] topology when one is configured, or all shards
+//! otherwise — and queued on one home shard.
+//!
+//! Scheduling pops shard queue heads in global `(deadline, sample_at, id)`
+//! order and merges qualification candidates (sorted by IMEI hash) across
+//! the target shards, so for a given workload the assignment stream is
+//! byte-identical for any shard count, including the single-shard layout
+//! the paper's prototype used.
+//!
+//! [`SenseAidServer`]: crate::server::SenseAidServer
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_cellnet::{CellId, CellularNetwork};
+use senseaid_device::{ImeiHash, Sensor, SensorReading};
+use senseaid_geo::{CircleRegion, GeoPoint};
+use senseaid_radio::ResetPolicy;
+use senseaid_sim::{SimDuration, SimTime, TraceLog};
+
+use crate::cas::{CasId, DeliveredReading};
+use crate::config::SenseAidConfig;
+use crate::error::SenseAidError;
+use crate::policy::SelectionPolicy;
+use crate::privacy;
+use crate::request::{Request, RequestId, RequestStatus};
+use crate::shard::{QueueKey, Shard};
+use crate::store::device_store::DeviceRecord;
+use crate::store::task_store::{TaskStatus, TaskStore};
+use crate::store::{DeviceIndex, QualificationProbe};
+use crate::task::{TaskId, TaskSpec};
+use crate::validation::ReadingValidator;
+
+/// A scheduling decision handed to the client side: these devices sample
+/// this sensor at this instant and upload by this deadline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The request being served.
+    pub request: RequestId,
+    /// The owning task.
+    pub task: TaskId,
+    /// Sensor to sample.
+    pub sensor: Sensor,
+    /// When to sample.
+    pub sample_at: SimTime,
+    /// Latest useful upload instant.
+    pub deadline: SimTime,
+    /// The selected devices.
+    pub devices: Vec<ImeiHash>,
+    /// Upload payload size (bytes).
+    pub payload_bytes: u64,
+    /// Tail policy crowdsensing uploads must use (variant-dependent).
+    pub reset_policy: ResetPolicy,
+}
+
+/// One selector execution, kept for the fairness analysis (paper Fig 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionEvent {
+    /// The request that triggered the selection.
+    pub request: RequestId,
+    /// Its task.
+    pub task: TaskId,
+    /// How many devices were qualified at that instant (`N`).
+    pub qualified: usize,
+    /// The devices picked (`n` of them).
+    pub selected: Vec<ImeiHash>,
+}
+
+/// Aggregate server statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests scheduled onto devices.
+    pub requests_assigned: u64,
+    /// Requests fulfilled (density met before deadline).
+    pub requests_fulfilled: u64,
+    /// Requests that expired unmet.
+    pub requests_expired: u64,
+    /// Requests parked in the wait queue at least once.
+    pub requests_waited: u64,
+    /// Readings rejected by validation.
+    pub readings_rejected: u64,
+    /// Readings accepted and delivered.
+    pub readings_accepted: u64,
+}
+
+#[derive(Debug)]
+struct ActiveRequest {
+    request: Request,
+    cas: CasId,
+    assigned: Vec<ImeiHash>,
+    received: BTreeSet<ImeiHash>,
+}
+
+/// The sharded scheduling core. All methods assume the surrounding server
+/// facade has already checked availability.
+#[derive(Debug)]
+pub(crate) struct Coordinator {
+    config: SenseAidConfig,
+    policy: Box<dyn SelectionPolicy>,
+    validator: ReadingValidator,
+    shards: Vec<Shard>,
+    /// Which shard each registered device is homed on.
+    home: BTreeMap<ImeiHash, usize>,
+    /// Region→cell fan-out oracle; without it every request targets every
+    /// shard (always sound, never minimal).
+    topology: Option<CellularNetwork>,
+    tasks: TaskStore,
+    next_request_id: u64,
+    active: BTreeMap<RequestId, ActiveRequest>,
+    statuses: BTreeMap<RequestId, RequestStatus>,
+    task_owner: BTreeMap<TaskId, CasId>,
+    outbox: Vec<(CasId, DeliveredReading)>,
+    selections: TraceLog<SelectionEvent>,
+    stats: ServerStats,
+    /// Set when device state changed in a way that could requalify a
+    /// parked request; cleared by a poll that finds nothing more to do.
+    wait_dirty: bool,
+}
+
+impl Coordinator {
+    pub fn new(
+        config: SenseAidConfig,
+        policy: Box<dyn SelectionPolicy>,
+        index_factory: fn() -> Box<dyn DeviceIndex>,
+    ) -> Self {
+        let shard_count = config.shard_count.max(1);
+        Coordinator {
+            config,
+            policy,
+            validator: ReadingValidator::new(),
+            shards: (0..shard_count)
+                .map(|_| Shard::new(index_factory()))
+                .collect(),
+            home: BTreeMap::new(),
+            topology: None,
+            tasks: TaskStore::new(),
+            next_request_id: 0,
+            active: BTreeMap::new(),
+            statuses: BTreeMap::new(),
+            task_owner: BTreeMap::new(),
+            outbox: Vec::new(),
+            selections: TraceLog::new(),
+            stats: ServerStats::default(),
+            wait_dirty: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn config(&self) -> &SenseAidConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn device_count(&self) -> usize {
+        self.shards.iter().map(Shard::device_count).sum()
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn wait_queue_len(&self) -> usize {
+        self.shards.iter().map(Shard::wait_queue_len).sum()
+    }
+
+    pub fn run_queue_len(&self) -> usize {
+        self.shards.iter().map(Shard::run_queue_len).sum()
+    }
+
+    pub fn selections(&self) -> &TraceLog<SelectionEvent> {
+        &self.selections
+    }
+
+    pub fn request_status(&self, id: RequestId) -> Option<RequestStatus> {
+        self.statuses.get(&id).copied()
+    }
+
+    pub fn device(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+        let shard = *self.home.get(&imei)?;
+        self.shards[shard].device(imei)
+    }
+
+    fn device_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
+        let shard = *self.home.get(&imei)?;
+        self.shards[shard].device_mut(imei)
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding geometry
+    // ------------------------------------------------------------------
+
+    pub fn set_topology(&mut self, network: CellularNetwork) {
+        self.topology = Some(network);
+        self.wait_dirty = true;
+    }
+
+    fn shard_of_cell(&self, cell: Option<CellId>) -> usize {
+        cell.map_or(0, |c| c.0 % self.shards.len())
+    }
+
+    /// The shards whose devices could qualify for a request over `region`.
+    ///
+    /// Soundness: a device qualifies only when its observed position lies
+    /// inside `region`; its serving cell's tower covers that position, so
+    /// that tower's coverage intersects `region` and its cell is in
+    /// `cells_covering(region)`. Devices with no observed cell are homed
+    /// on shard 0, which is always targeted.
+    fn target_shards(&self, region: &CircleRegion) -> Vec<usize> {
+        if self.shards.len() == 1 {
+            return vec![0];
+        }
+        match &self.topology {
+            Some(net) => {
+                let mut targets: Vec<usize> = net
+                    .cells_covering(region)
+                    .into_iter()
+                    .map(|c| self.shard_of_cell(Some(c)))
+                    .collect();
+                targets.push(0);
+                targets.sort_unstable();
+                targets.dedup();
+                targets
+            }
+            None => (0..self.shards.len()).collect(),
+        }
+    }
+
+    /// Qualified candidate records across the target shards, merged into
+    /// ascending IMEI-hash order (the order one unsharded store returns).
+    fn candidates_across<'a>(
+        shards: &'a [Shard],
+        targets: &[usize],
+        probe: &QualificationProbe,
+    ) -> Vec<&'a DeviceRecord> {
+        let mut candidates: Vec<&DeviceRecord> = Vec::new();
+        for &s in targets {
+            candidates.extend(shards[s].candidates(probe));
+        }
+        // Per-shard slices are each sorted; the concatenation is not.
+        candidates.sort_unstable_by_key(|r| r.imei);
+        candidates
+    }
+
+    pub fn qualified_devices(&self, request: &Request) -> Vec<ImeiHash> {
+        let probe = QualificationProbe::for_request(request);
+        let targets = self.target_shards(&probe.region);
+        Self::candidates_across(&self.shards, &targets, &probe)
+            .into_iter()
+            .map(|r| r.imei)
+            .collect()
+    }
+
+    pub fn qualified_count(&self, probe: &QualificationProbe) -> usize {
+        let targets = self.target_shards(&probe.region);
+        targets
+            .iter()
+            .map(|&s| self.shards[s].qualified_count(probe))
+            .sum()
+    }
+
+    /// Queues `request` on its home shard's run queue.
+    fn enqueue_run(&mut self, request: Request) {
+        let home = self.target_shards(&request.region())[0];
+        self.shards[home].push_run(request);
+    }
+
+    /// Parks `request` on its home shard's wait queue.
+    fn enqueue_wait(&mut self, request: Request) {
+        let home = self.target_shards(&request.region())[0];
+        self.shards[home].push_wait(request);
+    }
+
+    /// The shard holding the globally smallest head key, per `head`.
+    fn min_head(
+        shards: &[Shard],
+        head: impl Fn(&Shard) -> Option<QueueKey>,
+    ) -> Option<(usize, QueueKey)> {
+        let mut best: Option<(usize, QueueKey)> = None;
+        for (i, shard) in shards.iter().enumerate() {
+            if let Some(key) = head(shard) {
+                if best.is_none_or(|(_, b)| key < b) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        best
+    }
+
+    /// Pops the globally next due request across all shard run queues,
+    /// replicating a single queue's `pop_due`: the head (by key order)
+    /// pops only once its sampling instant has arrived.
+    fn pop_due_global(&mut self, now: SimTime) -> Option<Request> {
+        let (shard, key) = Self::min_head(&self.shards, Shard::run_head_key)?;
+        if key.1 > now {
+            return None;
+        }
+        self.shards[shard].pop_run()
+    }
+
+    // ------------------------------------------------------------------
+    // Device lifecycle
+    // ------------------------------------------------------------------
+
+    pub fn register_device(&mut self, record: DeviceRecord) {
+        let imei = record.imei;
+        let shard = self.shard_of_cell(record.cell);
+        if let Some(old) = self.home.insert(imei, shard) {
+            if old != shard {
+                self.shards[old].remove_device(imei);
+            }
+        }
+        self.shards[shard].insert_device(record);
+        self.wait_dirty = true;
+    }
+
+    pub fn deregister_device(&mut self, imei: ImeiHash) -> Result<(), SenseAidError> {
+        let shard = self
+            .home
+            .remove(&imei)
+            .ok_or(SenseAidError::UnknownDevice(imei))?;
+        self.shards[shard].remove_device(imei);
+        // Drop it from any in-flight assignments.
+        for active in self.active.values_mut() {
+            active.assigned.retain(|d| *d != imei);
+        }
+        self.wait_dirty = true;
+        Ok(())
+    }
+
+    pub fn update_preferences(
+        &mut self,
+        imei: ImeiHash,
+        energy_budget_j: f64,
+        critical_battery_pct: f64,
+    ) -> Result<(), SenseAidError> {
+        let rec = self
+            .device_mut(imei)
+            .ok_or(SenseAidError::UnknownDevice(imei))?;
+        rec.energy_budget_j = energy_budget_j;
+        rec.critical_battery_pct = critical_battery_pct;
+        self.wait_dirty = true;
+        Ok(())
+    }
+
+    pub fn update_device_state(
+        &mut self,
+        imei: ImeiHash,
+        battery_pct: f64,
+        cs_energy_j: f64,
+        now: SimTime,
+    ) -> Result<(), SenseAidError> {
+        let rec = self
+            .device_mut(imei)
+            .ok_or(SenseAidError::UnknownDevice(imei))?;
+        rec.battery_pct = battery_pct;
+        rec.cs_energy_j = cs_energy_j;
+        rec.last_comm = now;
+        rec.responsive = true;
+        self.wait_dirty = true;
+        Ok(())
+    }
+
+    /// Records an observed position/cell, migrating the device to the
+    /// shard serving its new cell when that changed.
+    pub fn observe_device(
+        &mut self,
+        imei: ImeiHash,
+        position: GeoPoint,
+        cell: Option<CellId>,
+    ) -> Result<(), SenseAidError> {
+        let current = *self
+            .home
+            .get(&imei)
+            .ok_or(SenseAidError::UnknownDevice(imei))?;
+        let target = self.shard_of_cell(cell);
+        if target != current {
+            let mut record = self.shards[current]
+                .remove_device(imei)
+                .expect("home map tracks shard membership");
+            record.position = Some(position);
+            record.cell = cell;
+            self.shards[target].insert_device(record);
+            self.home.insert(imei, target);
+        } else if !self.shards[current].observe(imei, position, cell) {
+            return Err(SenseAidError::UnknownDevice(imei));
+        }
+        self.wait_dirty = true;
+        Ok(())
+    }
+
+    pub fn record_device_comm(
+        &mut self,
+        imei: ImeiHash,
+        now: SimTime,
+    ) -> Result<(), SenseAidError> {
+        let rec = self
+            .device_mut(imei)
+            .ok_or(SenseAidError::UnknownDevice(imei))?;
+        rec.last_comm = now;
+        rec.responsive = true;
+        self.wait_dirty = true;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    pub fn submit_task_for(&mut self, cas: CasId, spec: TaskSpec, now: SimTime) -> TaskId {
+        let id = self.tasks.insert(spec.clone(), now);
+        self.task_owner.insert(id, cas);
+        let next_request_id = &mut self.next_request_id;
+        let requests = spec.expand_requests(id, now, || {
+            *next_request_id += 1;
+            RequestId(*next_request_id)
+        });
+        self.tasks
+            .get_mut(id)
+            .expect("just inserted")
+            .requests_generated = requests.len();
+        for r in requests {
+            self.statuses.insert(r.id(), RequestStatus::Pending);
+            self.enqueue_run(r);
+        }
+        id
+    }
+
+    pub fn update_task_param(
+        &mut self,
+        task: TaskId,
+        spatial_density: Option<usize>,
+        sampling_period: Option<SimDuration>,
+        region: Option<CircleRegion>,
+        now: SimTime,
+    ) -> Result<(), SenseAidError> {
+        let (new_spec, submitted_at) = {
+            let state = self.tasks.get_mut(task)?;
+            (
+                state
+                    .spec
+                    .with_updates(spatial_density, sampling_period, region)?,
+                state.submitted_at,
+            )
+        };
+        // Drop queued (not yet assigned) requests and regenerate the
+        // future ones under the new spec.
+        for shard in &mut self.shards {
+            shard.remove_task(task);
+        }
+        let next_request_id = &mut self.next_request_id;
+        let regenerated: Vec<Request> = new_spec
+            .expand_requests(task, submitted_at, || {
+                *next_request_id += 1;
+                RequestId(*next_request_id)
+            })
+            .into_iter()
+            .filter(|r| r.sample_at() >= now)
+            .collect();
+        let state = self.tasks.get_mut(task)?;
+        state.spec = new_spec;
+        state.requests_generated += regenerated.len();
+        for r in regenerated {
+            self.statuses.insert(r.id(), RequestStatus::Pending);
+            self.enqueue_run(r);
+        }
+        Ok(())
+    }
+
+    pub fn delete_task(&mut self, task: TaskId) -> Result<(), SenseAidError> {
+        self.tasks.delete(task)?;
+        // Every unresolved request of the task — queued or in flight — is
+        // now cancelled.
+        let cancelled: Vec<RequestId> = self
+            .shards
+            .iter()
+            .flat_map(Shard::queued_requests)
+            .filter(|r| r.task() == task)
+            .map(Request::id)
+            .chain(
+                self.active
+                    .values()
+                    .filter(|a| a.request.task() == task)
+                    .map(|a| a.request.id()),
+            )
+            .collect();
+        for id in cancelled {
+            self.statuses.insert(id, RequestStatus::Cancelled);
+        }
+        for shard in &mut self.shards {
+            shard.remove_task(task);
+        }
+        self.active.retain(|_, a| a.request.task() != task);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The scheduling loop (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    pub fn poll(&mut self, now: SimTime) -> Vec<Assignment> {
+        let stats_before = self.stats;
+        self.expire_overdue(now);
+        self.recheck_wait_queue(now);
+
+        let mut assignments = Vec::new();
+        while let Some(request) = self.pop_due_global(now) {
+            if request.deadline() <= now {
+                self.expire_request(&request);
+                continue;
+            }
+            if self
+                .tasks
+                .get(request.task())
+                .map(|t| t.status != TaskStatus::Active)
+                .unwrap_or(true)
+            {
+                continue; // deleted while queued
+            }
+            match self.try_assign(request, now) {
+                Ok(assignment) => {
+                    self.statuses
+                        .insert(assignment.request, RequestStatus::Assigned);
+                    assignments.push(assignment);
+                }
+                Err(request) => {
+                    self.stats.requests_waited += 1;
+                    self.statuses.insert(request.id(), RequestStatus::Waiting);
+                    self.enqueue_wait(request);
+                }
+            }
+        }
+        // A round that changed scheduling state may have enabled further
+        // work (e.g. freshly-marked-unresponsive devices or assignments
+        // bumping fairness counters); keep wakeups hot until a round runs
+        // dry, matching a fixed-period poller's behaviour.
+        self.wait_dirty = self.stats != stats_before;
+        assignments
+    }
+
+    /// Assigns `request`, or returns it for parking when the policy cannot
+    /// field a viable device set.
+    // The Err variant hands the request back by value so the caller can
+    // park it without a clone; its size is the point, not a problem.
+    #[allow(clippy::result_large_err)]
+    fn try_assign(&mut self, request: Request, now: SimTime) -> Result<Assignment, Request> {
+        let probe = QualificationProbe::for_request(&request);
+        let targets = self.target_shards(&probe.region);
+        let candidates = Self::candidates_across(&self.shards, &targets, &probe);
+        let qualified = candidates.len();
+        let Ok(selected) = self.policy.select(&request, &candidates, now) else {
+            return Err(request);
+        };
+        drop(candidates);
+        for imei in &selected {
+            if let Some(rec) = self.device_mut(*imei) {
+                rec.times_selected += 1;
+            }
+        }
+        self.selections.push(
+            now,
+            SelectionEvent {
+                request: request.id(),
+                task: request.task(),
+                qualified,
+                selected: selected.clone(),
+            },
+        );
+        let cas = self
+            .task_owner
+            .get(&request.task())
+            .copied()
+            .unwrap_or(CasId(0));
+        let assignment = Assignment {
+            request: request.id(),
+            task: request.task(),
+            sensor: request.sensor(),
+            sample_at: request.sample_at(),
+            deadline: request.deadline(),
+            devices: selected.clone(),
+            payload_bytes: self.config.payload_bytes,
+            reset_policy: self.config.variant.reset_policy(),
+        };
+        self.stats.requests_assigned += 1;
+        self.active.insert(
+            request.id(),
+            ActiveRequest {
+                request,
+                cas,
+                assigned: selected,
+                received: BTreeSet::new(),
+            },
+        );
+        Ok(assignment)
+    }
+
+    fn expire_request(&mut self, request: &Request) {
+        self.stats.requests_expired += 1;
+        self.statuses.insert(request.id(), RequestStatus::Expired);
+        if let Ok(t) = self.tasks.get_mut(request.task()) {
+            t.requests_expired += 1;
+        }
+    }
+
+    fn expire_overdue(&mut self, now: SimTime) {
+        let grace = self.config.unresponsive_grace;
+        let overdue: Vec<RequestId> = self
+            .active
+            .iter()
+            .filter(|(_, a)| a.request.deadline() + grace <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            let active = self.active.remove(&id).expect("just listed");
+            // Devices that never delivered are marked unresponsive (paper
+            // §3.2: excluded from future selections until they speak).
+            for imei in &active.assigned {
+                if !active.received.contains(imei) {
+                    if let Some(rec) = self.device_mut(*imei) {
+                        rec.responsive = false;
+                    }
+                }
+            }
+            if active.received.len() >= active.request.density() {
+                // Density was met; counted at fulfilment time already.
+                continue;
+            }
+            self.expire_request(&active.request);
+        }
+    }
+
+    /// Re-examines every parked request, in the global key order a single
+    /// wait queue would use: expired ones are failed, now-satisfiable ones
+    /// move to their home run queue, the rest stay parked. Qualification
+    /// is checked across all target shards, so a request parked on one
+    /// shard drains when devices appear in a neighbouring cell.
+    fn recheck_wait_queue(&mut self, now: SimTime) {
+        let mut parked: Vec<Request> = Vec::new();
+        while let Some((shard, _)) = Self::min_head(&self.shards, Shard::wait_head_key) {
+            let request = self.shards[shard].pop_wait().expect("head key seen");
+            if request.deadline() <= now {
+                self.expire_request(&request);
+                continue;
+            }
+            let probe = QualificationProbe::for_request(&request);
+            if self.qualified_count(&probe) >= request.density() {
+                self.enqueue_run(request);
+            } else {
+                parked.push(request);
+            }
+        }
+        for request in parked {
+            self.enqueue_wait(request);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    pub fn submit_sensed_data(
+        &mut self,
+        imei: ImeiHash,
+        request_id: RequestId,
+        reading: &SensorReading,
+        now: SimTime,
+    ) -> Result<bool, SenseAidError> {
+        let active = self
+            .active
+            .get(&request_id)
+            .ok_or(SenseAidError::UnknownRequest(request_id))?;
+        if !active.assigned.contains(&imei) {
+            return Err(SenseAidError::NotAssigned(imei, request_id));
+        }
+        if let Err(e) = self.validator.validate(reading) {
+            self.stats.readings_rejected += 1;
+            if let Some(rec) = self.device_mut(imei) {
+                rec.data_valid = false;
+            }
+            return Err(e);
+        }
+        let cell = self.device(imei).and_then(|r| r.cell);
+        let active = self.active.get_mut(&request_id).expect("looked up above");
+        let delivered = privacy::scrub(reading, imei, &active.request, cell, active.cas);
+        self.outbox.push((active.cas, delivered));
+        active.received.insert(imei);
+        self.stats.readings_accepted += 1;
+        let fulfilled = active.received.len() >= active.request.density();
+        let task = active.request.task();
+        if fulfilled {
+            self.active.remove(&request_id);
+            self.statuses.insert(request_id, RequestStatus::Fulfilled);
+            self.stats.requests_fulfilled += 1;
+            if let Ok(t) = self.tasks.get_mut(task) {
+                t.requests_fulfilled += 1;
+            }
+        }
+        self.record_device_comm(imei, now)?;
+        Ok(fulfilled)
+    }
+
+    pub fn drain_outbox(&mut self) -> Vec<(CasId, DeliveredReading)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    // ------------------------------------------------------------------
+    // Wakeup support (see `scheduler`)
+    // ------------------------------------------------------------------
+
+    pub fn wait_dirty(&self) -> bool {
+        self.wait_dirty
+    }
+
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    pub(crate) fn active_deadlines(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.active.values().map(|a| a.request.deadline())
+    }
+}

@@ -49,13 +49,17 @@ pub mod adaptive;
 pub mod cas;
 pub mod client;
 pub mod config;
+mod coordinator;
 pub mod error;
+pub mod policy;
 pub mod privacy;
 pub mod queues;
 pub mod request;
+pub mod scheduler;
 pub mod selector;
 pub mod server;
 pub mod service;
+mod shard;
 pub mod store;
 pub mod task;
 pub mod validation;
@@ -65,12 +69,15 @@ pub use cas::{AppServer, DeliveredReading};
 pub use client::{ClientState, SenseAidClient, UploadDecision};
 pub use config::{SenseAidConfig, Variant};
 pub use error::SenseAidError;
+pub use policy::{ScoredPolicy, SelectionPolicy};
 pub use queues::{QueuedRequest, RequestQueue};
 pub use request::{Request, RequestId, RequestStatus};
-pub use selector::{DeviceSelector, HardCutoffs, SelectorWeights};
-pub use server::{Assignment, SenseAidServer};
+pub use scheduler::WakeupDriver;
+pub use selector::{DeviceSelector, HardCutoffs, InsufficientDevices, SelectorWeights};
+pub use server::{Assignment, SelectionEvent, SenseAidServer, ServerStats};
 pub use service::SharedServer;
 pub use store::device_store::{DeviceRecord, DeviceStore};
 pub use store::task_store::{TaskState, TaskStatus, TaskStore};
+pub use store::{DeviceIndex, QualificationProbe};
 pub use task::{TaskId, TaskSchedule, TaskSpec, TaskSpecBuilder};
 pub use validation::ReadingValidator;

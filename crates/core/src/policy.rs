@@ -1,0 +1,74 @@
+//! The pluggable selection-policy boundary.
+//!
+//! The paper's scored selector (§3.2) is one way to answer "which of the
+//! qualified devices serve this request?". The comparison frameworks
+//! answer it differently — Periodic and PCS have *every* qualified device
+//! sense. [`SelectionPolicy`] abstracts that decision so the baselines in
+//! `senseaid-baselines` can plug into the same server shell the real
+//! middleware uses, and ablations can swap policies without forking the
+//! control plane.
+
+use std::fmt;
+
+use senseaid_device::ImeiHash;
+use senseaid_sim::SimTime;
+
+use crate::request::Request;
+use crate::selector::{DeviceSelector, HardCutoffs, InsufficientDevices, SelectorWeights};
+use crate::store::device_store::DeviceRecord;
+
+/// Decides which qualified devices serve a request.
+///
+/// `candidates` arrive in ascending IMEI-hash order regardless of how many
+/// shards they were gathered from, so a policy that treats the slice
+/// order-insensitively (or deterministically in that order) keeps the
+/// whole control plane deterministic for any shard count. Policies that
+/// need mutable state can use interior mutability.
+pub trait SelectionPolicy: fmt::Debug + Send {
+    /// Picks the devices to serve `request`, or reports the shortfall that
+    /// should park it in the wait queue.
+    ///
+    /// # Errors
+    ///
+    /// [`InsufficientDevices`] when the policy cannot field a viable set;
+    /// the request is then parked in the wait queue (`n > N`).
+    fn select(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+    ) -> Result<Vec<ImeiHash>, InsufficientDevices>;
+}
+
+/// The paper's device selector as a policy: score every eligible candidate
+/// with `Score(i) = α·E + β·U + γ·(100 − CBL) + φ·TTL + ρ·(1 − R)` (lower
+/// wins) and take the `spatial_density` best.
+#[derive(Debug, Clone)]
+pub struct ScoredPolicy {
+    selector: DeviceSelector,
+}
+
+impl ScoredPolicy {
+    /// A policy over the given weights and hard cutoffs.
+    pub fn new(weights: SelectorWeights, cutoffs: HardCutoffs) -> Self {
+        ScoredPolicy {
+            selector: DeviceSelector::new(weights, cutoffs),
+        }
+    }
+
+    /// The underlying selector.
+    pub fn selector(&self) -> &DeviceSelector {
+        &self.selector
+    }
+}
+
+impl SelectionPolicy for ScoredPolicy {
+    fn select(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+    ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
+        self.selector.select(request.density(), candidates, now)
+    }
+}

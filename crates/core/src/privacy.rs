@@ -92,7 +92,10 @@ mod tests {
     fn scrubbed_record_carries_no_identity() {
         let imei = ImeiHash(0xfeed_f00d);
         let out = scrub(&reading(), imei, &request(), Some(CellId(4)), CasId(1));
-        assert_ne!(out.device_pseudonym, imei.0, "pseudonym must differ from IMEI hash");
+        assert_ne!(
+            out.device_pseudonym, imei.0,
+            "pseudonym must differ from IMEI hash"
+        );
         // Location is the region centre, not the device position.
         assert!(
             out.region_centre
@@ -101,9 +104,7 @@ mod tests {
                 < 1e-6
         );
         assert_ne!(
-            out.region_centre
-                .distance_to(reading().position)
-                .value(),
+            out.region_centre.distance_to(reading().position).value(),
             0.0,
             "precise position must not leak"
         );

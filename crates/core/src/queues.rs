@@ -117,11 +117,7 @@ impl RequestQueue {
     /// dropped (used by `delete_task`).
     pub fn remove_task(&mut self, task: crate::task::TaskId) -> usize {
         let before = self.heap.len();
-        let kept: Vec<QueuedRequest> = self
-            .heap
-            .drain()
-            .filter(|q| q.0.task() != task)
-            .collect();
+        let kept: Vec<QueuedRequest> = self.heap.drain().filter(|q| q.0.task() != task).collect();
         self.heap = kept.into();
         before - self.heap.len()
     }

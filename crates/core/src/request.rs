@@ -11,9 +11,7 @@ use senseaid_sim::SimTime;
 use crate::task::{TaskId, TaskSpec};
 
 /// Identifier of one request.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RequestId(pub u64);
 
 impl fmt::Display for RequestId {

@@ -224,9 +224,7 @@ mod tests {
     fn fresh_identical_devices_tie_break_on_imei() {
         let (a, b, c) = (rec(3), rec(1), rec(2));
         let sel = selector();
-        let picked = sel
-            .select(2, &[&a, &b, &c], SimTime::ZERO)
-            .unwrap();
+        let picked = sel.select(2, &[&a, &b, &c], SimTime::ZERO).unwrap();
         assert_eq!(picked, vec![ImeiHash(1), ImeiHash(2)]);
     }
 
@@ -307,7 +305,13 @@ mod tests {
         );
         assert!(!sel.eligible(&maxed));
         let err = sel.select(1, &[&maxed], SimTime::ZERO).unwrap_err();
-        assert_eq!(err, InsufficientDevices { needed: 1, available: 0 });
+        assert_eq!(
+            err,
+            InsufficientDevices {
+                needed: 1,
+                available: 0
+            }
+        );
     }
 
     #[test]
@@ -358,7 +362,11 @@ mod tests {
             }
         }
         let counts: Vec<u64> = records.iter().map(|r| r.times_selected).collect();
-        assert_eq!(counts, vec![3, 3, 3, 3, 3, 3], "18 selections over 6 devices");
+        assert_eq!(
+            counts,
+            vec![3, 3, 3, 3, 3, 3],
+            "18 selections over 6 devices"
+        );
     }
 
     #[test]

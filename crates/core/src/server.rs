@@ -1,191 +1,138 @@
 //! The Sense-Aid server (paper §3.2, Algorithm 1).
 //!
-//! The server is deployed at the cellular edge and driven by `poll` calls
-//! from the surrounding simulation (in a real deployment these are its
-//! request-selection and wait-check threads). Each poll:
+//! The server is deployed at the cellular edge. This module is a thin
+//! availability facade over the cell-sharded control plane in
+//! `coordinator`: it owns the up/down switch used for crash injection and
+//! forwards every API to the coordinator, which fans work out across
+//! per-cell shards.
+//!
+//! Each [`SenseAidServer::poll`] call:
 //!
 //! 1. expires overdue requests and marks silent assignees unresponsive;
-//! 2. re-checks the wait queue for now-satisfiable requests
+//! 2. re-checks the wait queues for now-satisfiable requests
 //!    (`wait_check_thread`);
-//! 3. pops due requests off the run queue, computes the *qualified*
-//!    devices for each, runs the device selector, and emits
-//!    [`Assignment`]s (or parks the request in the wait queue when
-//!    `n > N`).
+//! 3. pops due requests off the run queues in global deadline order,
+//!    computes the *qualified* devices for each, runs the selection
+//!    policy, and emits [`Assignment`]s (or parks the request in the wait
+//!    queue when `n > N`).
 //!
-//! Sensed data flows back through [`SenseAidServer::submit_sensed_data`],
-//! which validates it, scrubs identity (see [`crate::privacy`]), and
-//! queues it for the owning application server.
+//! Instead of polling on a fixed period, drivers can ask
+//! [`SenseAidServer::next_wakeup`] when the next poll could possibly matter
+//! and sleep until then (see [`crate::scheduler`]). Sensed data flows back
+//! through [`SenseAidServer::submit_sensed_data`], which validates it,
+//! scrubs identity (see [`crate::privacy`]), and queues it for the owning
+//! application server.
 
-use std::collections::{BTreeMap, BTreeSet};
-
-use serde::{Deserialize, Serialize};
-
-use senseaid_cellnet::CellId;
+use senseaid_cellnet::{CellId, CellularNetwork};
 use senseaid_device::{ImeiHash, Sensor, SensorReading};
 use senseaid_geo::{CircleRegion, GeoPoint};
-use senseaid_radio::ResetPolicy;
 use senseaid_sim::{SimDuration, SimTime, TraceLog};
 
 use crate::cas::{CasId, DeliveredReading};
 use crate::config::SenseAidConfig;
+use crate::coordinator::Coordinator;
+pub use crate::coordinator::{Assignment, SelectionEvent, ServerStats};
 use crate::error::SenseAidError;
-use crate::privacy;
-use crate::queues::RequestQueue;
+use crate::policy::{ScoredPolicy, SelectionPolicy};
 use crate::request::{Request, RequestId, RequestStatus};
-use crate::selector::DeviceSelector;
-use crate::store::device_store::{new_record, DeviceStore};
-use crate::store::task_store::{TaskStatus, TaskStore};
+use crate::store::device_store::{new_record, DeviceRecord, DeviceStore};
+use crate::store::{DeviceIndex, QualificationProbe};
 use crate::task::{TaskId, TaskSpec};
-use crate::validation::ReadingValidator;
 
-/// A scheduling decision handed to the client side: these devices sample
-/// this sensor at this instant and upload by this deadline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Assignment {
-    /// The request being served.
-    pub request: RequestId,
-    /// The owning task.
-    pub task: TaskId,
-    /// Sensor to sample.
-    pub sensor: Sensor,
-    /// When to sample.
-    pub sample_at: SimTime,
-    /// Latest useful upload instant.
-    pub deadline: SimTime,
-    /// The selected devices.
-    pub devices: Vec<ImeiHash>,
-    /// Upload payload size (bytes).
-    pub payload_bytes: u64,
-    /// Tail policy crowdsensing uploads must use (variant-dependent).
-    pub reset_policy: ResetPolicy,
+fn default_index() -> Box<dyn DeviceIndex> {
+    Box::new(DeviceStore::new())
 }
 
-/// One selector execution, kept for the fairness analysis (paper Fig 9).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SelectionEvent {
-    /// The request that triggered the selection.
-    pub request: RequestId,
-    /// Its task.
-    pub task: TaskId,
-    /// How many devices were qualified at that instant (`N`).
-    pub qualified: usize,
-    /// The devices picked (`n` of them).
-    pub selected: Vec<ImeiHash>,
-}
-
-#[derive(Debug, Clone)]
-struct ActiveRequest {
-    request: Request,
-    cas: CasId,
-    assigned: Vec<ImeiHash>,
-    received: BTreeSet<ImeiHash>,
-}
-
-/// Aggregate server statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ServerStats {
-    /// Requests scheduled onto devices.
-    pub requests_assigned: u64,
-    /// Requests fulfilled (density met before deadline).
-    pub requests_fulfilled: u64,
-    /// Requests that expired unmet.
-    pub requests_expired: u64,
-    /// Requests parked in the wait queue at least once.
-    pub requests_waited: u64,
-    /// Readings rejected by validation.
-    pub readings_rejected: u64,
-    /// Readings accepted and delivered.
-    pub readings_accepted: u64,
-}
-
-/// The Sense-Aid middleware server.
-///
-/// See the [crate docs](crate) for an end-to-end example.
+/// The Sense-Aid middleware server. See the [crate docs](crate) for an
+/// end-to-end example.
 #[derive(Debug)]
 pub struct SenseAidServer {
-    config: SenseAidConfig,
-    selector: DeviceSelector,
-    validator: ReadingValidator,
-    devices: DeviceStore,
-    tasks: TaskStore,
-    run_queue: RequestQueue,
-    wait_queue: RequestQueue,
-    next_request_id: u64,
-    active: BTreeMap<RequestId, ActiveRequest>,
-    statuses: BTreeMap<RequestId, RequestStatus>,
-    task_owner: BTreeMap<TaskId, CasId>,
-    outbox: Vec<(CasId, DeliveredReading)>,
-    selections: TraceLog<SelectionEvent>,
-    stats: ServerStats,
+    coordinator: Coordinator,
     up: bool,
 }
 
 impl SenseAidServer {
-    /// Creates a server with the given configuration.
+    /// Creates a server with the given configuration and the paper's
+    /// scored selection policy.
     pub fn new(config: SenseAidConfig) -> Self {
-        let selector = DeviceSelector::new(config.weights, config.cutoffs);
+        let policy = ScoredPolicy::new(config.weights, config.cutoffs);
+        Self::with_policy(config, Box::new(policy))
+    }
+
+    /// Creates a server with a custom selection policy (e.g. one of the
+    /// comparison baselines) over the default device store.
+    pub fn with_policy(config: SenseAidConfig, policy: Box<dyn SelectionPolicy>) -> Self {
+        Self::with_parts(config, policy, default_index)
+    }
+
+    /// Creates a server from explicit parts: a selection policy plus a
+    /// factory producing one [`DeviceIndex`] per shard.
+    pub fn with_parts(
+        config: SenseAidConfig,
+        policy: Box<dyn SelectionPolicy>,
+        index_factory: fn() -> Box<dyn DeviceIndex>,
+    ) -> Self {
         SenseAidServer {
-            config,
-            selector,
-            validator: ReadingValidator::new(),
-            devices: DeviceStore::new(),
-            tasks: TaskStore::new(),
-            run_queue: RequestQueue::new(),
-            wait_queue: RequestQueue::new(),
-            next_request_id: 0,
-            active: BTreeMap::new(),
-            statuses: BTreeMap::new(),
-            task_owner: BTreeMap::new(),
-            outbox: Vec::new(),
-            selections: TraceLog::new(),
-            stats: ServerStats::default(),
+            coordinator: Coordinator::new(config, policy, index_factory),
             up: true,
         }
     }
 
+    /// Attaches the cellular topology used to prune request fan-out to the
+    /// shards whose cells overlap the request region. Without a topology
+    /// every request targets every shard (correct, just not minimal).
+    pub fn set_topology(&mut self, network: CellularNetwork) {
+        self.coordinator.set_topology(network);
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SenseAidConfig {
-        &self.config
+        self.coordinator.config()
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> ServerStats {
-        self.stats
+        self.coordinator.stats()
+    }
+
+    /// How many shards the control plane runs.
+    pub fn shard_count(&self) -> usize {
+        self.coordinator.shard_count()
     }
 
     /// Registered device count.
     pub fn device_count(&self) -> usize {
-        self.devices.len()
+        self.coordinator.device_count()
     }
 
     /// Stored task count.
     pub fn task_count(&self) -> usize {
-        self.tasks.len()
+        self.coordinator.task_count()
     }
 
     /// Requests currently waiting for devices.
     pub fn wait_queue_len(&self) -> usize {
-        self.wait_queue.len()
+        self.coordinator.wait_queue_len()
     }
 
     /// Requests queued but not yet due/assigned.
     pub fn run_queue_len(&self) -> usize {
-        self.run_queue.len()
+        self.coordinator.run_queue_len()
     }
 
-    /// The device datastore (read-only).
-    pub fn devices(&self) -> &DeviceStore {
-        &self.devices
+    /// A registered device's record, or `None` if unknown.
+    pub fn device(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+        self.coordinator.device(imei)
     }
 
     /// The full selection history (paper Fig 9).
     pub fn selection_history(&self) -> &TraceLog<SelectionEvent> {
-        &self.selections
+        self.coordinator.selections()
     }
 
     /// The lifecycle status of a request, or `None` for an unknown id.
     pub fn request_status(&self, id: RequestId) -> Option<RequestStatus> {
-        self.statuses.get(&id).copied()
+        self.coordinator.request_status(id)
     }
 
     /// Whether the server process is up. When down every API returns
@@ -200,9 +147,8 @@ impl SenseAidServer {
         self.up = false;
     }
 
-    /// Restarts the server. Registered state survives (it is persisted at
-    /// the edge); in-flight assignments were lost on the devices' side and
-    /// expire naturally.
+    /// Restarts the server. Registered state survives (persisted at the
+    /// edge); in-flight assignments were lost on devices and expire.
     pub fn recover(&mut self) {
         self.up = true;
     }
@@ -215,9 +161,7 @@ impl SenseAidServer {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Device-side API (driven by the client library / eNodeB observations)
-    // ------------------------------------------------------------------
+    // --- Device-side API (driven by the client library / eNodeB observations) ---
 
     /// Registers a device for crowdsensing (client `register()` call).
     ///
@@ -236,7 +180,7 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        self.devices.register(new_record(
+        self.coordinator.register_device(new_record(
             imei,
             energy_budget_j,
             critical_battery_pct,
@@ -256,12 +200,7 @@ impl SenseAidServer {
     /// [`SenseAidError::UnknownDevice`] if never registered.
     pub fn deregister_device(&mut self, imei: ImeiHash) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        self.devices.deregister(imei)?;
-        // Drop it from any in-flight assignments.
-        for active in self.active.values_mut() {
-            active.assigned.retain(|d| *d != imei);
-        }
-        Ok(())
+        self.coordinator.deregister_device(imei)
     }
 
     /// Updates a device's preferences (client `update_preferences()`).
@@ -277,10 +216,8 @@ impl SenseAidServer {
         critical_battery_pct: f64,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        let rec = self.devices.get_mut(imei)?;
-        rec.energy_budget_j = energy_budget_j;
-        rec.critical_battery_pct = critical_battery_pct;
-        Ok(())
+        self.coordinator
+            .update_preferences(imei, energy_budget_j, critical_battery_pct)
     }
 
     /// Ingests a device state report (battery, crowdsensing energy).
@@ -297,10 +234,12 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        self.devices.update_state(imei, battery_pct, cs_energy_j, now)
+        self.coordinator
+            .update_device_state(imei, battery_pct, cs_energy_j, now)
     }
 
     /// Records a device's observed position/cell (from the eNodeB layer).
+    /// A cell change migrates the device to the shard serving that cell.
     ///
     /// # Errors
     ///
@@ -313,7 +252,7 @@ impl SenseAidServer {
         cell: Option<CellId>,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        self.devices.observe_position(imei, position, cell)
+        self.coordinator.observe_device(imei, position, cell)
     }
 
     /// Records that the eNodeB saw radio traffic from a device (feeds the
@@ -329,12 +268,10 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        self.devices.record_comm(imei, now)
+        self.coordinator.record_device_comm(imei, now)
     }
 
-    // ------------------------------------------------------------------
-    // CAS-side API
-    // ------------------------------------------------------------------
+    // --- CAS-side API ---
 
     /// Submits a task on behalf of the default application server.
     ///
@@ -358,22 +295,7 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<TaskId, SenseAidError> {
         self.ensure_up()?;
-        let id = self.tasks.insert(spec.clone(), now);
-        self.task_owner.insert(id, cas);
-        let next_request_id = &mut self.next_request_id;
-        let requests = spec.expand_requests(id, now, || {
-            *next_request_id += 1;
-            RequestId(*next_request_id)
-        });
-        self.tasks
-            .get_mut(id)
-            .expect("just inserted")
-            .requests_generated = requests.len();
-        for r in requests {
-            self.statuses.insert(r.id(), RequestStatus::Pending);
-            self.run_queue.push(r);
-        }
-        Ok(id)
+        Ok(self.coordinator.submit_task_for(cas, spec, now))
     }
 
     /// Updates a task's mutable parameters and re-plans its outstanding
@@ -392,34 +314,8 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        let (new_spec, submitted_at) = {
-            let state = self.tasks.get_mut(task)?;
-            (
-                state.spec.with_updates(spatial_density, sampling_period, region)?,
-                state.submitted_at,
-            )
-        };
-        // Drop queued (not yet assigned) requests and regenerate the
-        // future ones under the new spec.
-        self.run_queue.remove_task(task);
-        self.wait_queue.remove_task(task);
-        let next_request_id = &mut self.next_request_id;
-        let regenerated: Vec<Request> = new_spec
-            .expand_requests(task, submitted_at, || {
-                *next_request_id += 1;
-                RequestId(*next_request_id)
-            })
-            .into_iter()
-            .filter(|r| r.sample_at() >= now)
-            .collect();
-        let state = self.tasks.get_mut(task)?;
-        state.spec = new_spec;
-        state.requests_generated += regenerated.len();
-        for r in regenerated {
-            self.statuses.insert(r.id(), RequestStatus::Pending);
-            self.run_queue.push(r);
-        }
-        Ok(())
+        self.coordinator
+            .update_task_param(task, spatial_density, sampling_period, region, now)
     }
 
     /// Deletes a task: marks it, purges its queued requests, and cancels
@@ -431,34 +327,10 @@ impl SenseAidServer {
     /// [`SenseAidError::UnknownTask`] if absent.
     pub fn delete_task(&mut self, task: TaskId) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        self.tasks.delete(task)?;
-        // Every unresolved request of the task — queued or in flight — is
-        // now cancelled.
-        let cancelled: Vec<RequestId> = self
-            .run_queue
-            .iter()
-            .chain(self.wait_queue.iter())
-            .filter(|r| r.task() == task)
-            .map(Request::id)
-            .chain(
-                self.active
-                    .values()
-                    .filter(|a| a.request.task() == task)
-                    .map(|a| a.request.id()),
-            )
-            .collect();
-        for id in cancelled {
-            self.statuses.insert(id, RequestStatus::Cancelled);
-        }
-        self.run_queue.remove_task(task);
-        self.wait_queue.remove_task(task);
-        self.active.retain(|_, a| a.request.task() != task);
-        Ok(())
+        self.coordinator.delete_task(task)
     }
 
-    // ------------------------------------------------------------------
-    // The scheduling loop (Algorithm 1)
-    // ------------------------------------------------------------------
+    // --- The scheduling loop (Algorithm 1) ---
 
     /// Runs one scheduling round at `now`, returning fresh assignments.
     ///
@@ -467,168 +339,35 @@ impl SenseAidServer {
     /// [`SenseAidError::ServerUnavailable`] when crashed.
     pub fn poll(&mut self, now: SimTime) -> Result<Vec<Assignment>, SenseAidError> {
         self.ensure_up()?;
-        self.expire_overdue(now);
-        self.recheck_wait_queue(now);
+        Ok(self.coordinator.poll(now))
+    }
 
-        let mut assignments = Vec::new();
-        while let Some(request) = self.run_queue.pop_due(now) {
-            if request.deadline() <= now {
-                self.expire_request(&request);
-                continue;
-            }
-            if self
-                .tasks
-                .get(request.task())
-                .map(|t| t.status != TaskStatus::Active)
-                .unwrap_or(true)
-            {
-                continue; // deleted while queued
-            }
-            match self.try_assign(&request, now) {
-                Some(assignment) => {
-                    self.statuses.insert(assignment.request, RequestStatus::Assigned);
-                    assignments.push(assignment);
-                }
-                None => {
-                    self.stats.requests_waited += 1;
-                    self.statuses.insert(request.id(), RequestStatus::Waiting);
-                    self.wait_queue.push(request);
-                }
-            }
-        }
-        Ok(assignments)
+    /// The earliest instant at which a [`poll`](Self::poll) could change
+    /// state, or `None` when no queued, parked, or in-flight request
+    /// exists. Event-driven drivers sleep until this instant instead of
+    /// polling on a fixed period; see [`crate::scheduler`] for the terms
+    /// and an event-loop integration.
+    ///
+    /// Availability-agnostic: a crashed server still reports when work
+    /// *would* be due, so a driver can keep its clock armed across an
+    /// outage and the post-recovery poll happens at the right time.
+    pub fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
+        self.coordinator.next_wakeup(now)
     }
 
     /// Qualified devices for a request right now (`N` in Algorithm 1).
     pub fn qualified_devices(&self, request: &Request) -> Vec<ImeiHash> {
-        self.devices.qualified_for(request)
+        self.coordinator.qualified_devices(request)
     }
 
-    /// Counts qualified devices for a probe request over `region` for
-    /// `sensor` — the Fig 7 metric.
+    /// Counts the devices qualified to serve `sensor` over `region` — the
+    /// Fig 7 monitoring metric.
     pub fn qualified_count(&self, sensor: Sensor, region: CircleRegion) -> usize {
-        // Build a throwaway probe request.
-        let spec = TaskSpec::builder(sensor)
-            .region(region)
-            .one_shot()
-            .build()
-            .expect("probe spec is valid");
-        let probe = Request::new(
-            RequestId(u64::MAX),
-            TaskId(u64::MAX),
-            spec,
-            SimTime::ZERO,
-            SimTime::ZERO + SimDuration::from_secs(1),
-        );
-        self.devices.qualified_for(&probe).len()
+        self.coordinator
+            .qualified_count(&QualificationProbe::new(sensor, region))
     }
 
-    fn try_assign(&mut self, request: &Request, now: SimTime) -> Option<Assignment> {
-        let qualified = self.devices.qualified_for(request);
-        let records: Vec<&crate::store::device_store::DeviceRecord> = qualified
-            .iter()
-            .filter_map(|h| self.devices.get(*h))
-            .collect();
-        let selected = self
-            .selector
-            .select(request.density(), &records, now)
-            .ok()?;
-        for imei in &selected {
-            if let Ok(rec) = self.devices.get_mut(*imei) {
-                rec.times_selected += 1;
-            }
-        }
-        self.selections.push(
-            now,
-            SelectionEvent {
-                request: request.id(),
-                task: request.task(),
-                qualified: qualified.len(),
-                selected: selected.clone(),
-            },
-        );
-        let cas = self
-            .task_owner
-            .get(&request.task())
-            .copied()
-            .unwrap_or(CasId(0));
-        self.active.insert(
-            request.id(),
-            ActiveRequest {
-                request: request.clone(),
-                cas,
-                assigned: selected.clone(),
-                received: BTreeSet::new(),
-            },
-        );
-        self.stats.requests_assigned += 1;
-        Some(Assignment {
-            request: request.id(),
-            task: request.task(),
-            sensor: request.sensor(),
-            sample_at: request.sample_at(),
-            deadline: request.deadline(),
-            devices: selected,
-            payload_bytes: self.config.payload_bytes,
-            reset_policy: self.config.variant.reset_policy(),
-        })
-    }
-
-    fn expire_request(&mut self, request: &Request) {
-        self.stats.requests_expired += 1;
-        self.statuses.insert(request.id(), RequestStatus::Expired);
-        if let Ok(t) = self.tasks.get_mut(request.task()) {
-            t.requests_expired += 1;
-        }
-    }
-
-    fn expire_overdue(&mut self, now: SimTime) {
-        let grace = self.config.unresponsive_grace;
-        let overdue: Vec<RequestId> = self
-            .active
-            .iter()
-            .filter(|(_, a)| a.request.deadline() + grace <= now)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in overdue {
-            let active = self.active.remove(&id).expect("just listed");
-            // Devices that never delivered are marked unresponsive (paper
-            // §3.2: excluded from future selections until they speak).
-            for imei in &active.assigned {
-                if !active.received.contains(imei) {
-                    if let Ok(rec) = self.devices.get_mut(*imei) {
-                        rec.responsive = false;
-                    }
-                }
-            }
-            if active.received.len() >= active.request.density() {
-                // Density was met; counted at fulfilment time already.
-                continue;
-            }
-            self.expire_request(&active.request);
-        }
-    }
-
-    fn recheck_wait_queue(&mut self, now: SimTime) {
-        let mut keep = RequestQueue::new();
-        while let Some(request) = self.wait_queue.pop() {
-            if request.deadline() <= now {
-                self.expire_request(&request);
-                continue;
-            }
-            let qualified = self.devices.qualified_for(&request).len();
-            if qualified >= request.density() {
-                self.run_queue.push(request);
-            } else {
-                keep.push(request);
-            }
-        }
-        self.wait_queue = keep;
-    }
-
-    // ------------------------------------------------------------------
-    // Data path
-    // ------------------------------------------------------------------
+    // --- Data path ---
 
     /// Ingests a sensed reading from a device for a request it was
     /// assigned. Validates, scrubs, and queues the reading for the owning
@@ -649,543 +388,12 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<bool, SenseAidError> {
         self.ensure_up()?;
-        let active = self
-            .active
-            .get_mut(&request_id)
-            .ok_or(SenseAidError::UnknownRequest(request_id))?;
-        if !active.assigned.contains(&imei) {
-            return Err(SenseAidError::NotAssigned(imei, request_id));
-        }
-        if let Err(e) = self.validator.validate(reading) {
-            self.stats.readings_rejected += 1;
-            if let Ok(rec) = self.devices.get_mut(imei) {
-                rec.data_valid = false;
-            }
-            return Err(e);
-        }
-        let cell = self.devices.get(imei).and_then(|r| r.cell);
-        let delivered = privacy::scrub(reading, imei, &active.request, cell, active.cas);
-        self.outbox.push((active.cas, delivered));
-        active.received.insert(imei);
-        self.stats.readings_accepted += 1;
-        let fulfilled = active.received.len() >= active.request.density();
-        let task = active.request.task();
-        if fulfilled {
-            self.active.remove(&request_id);
-            self.statuses.insert(request_id, RequestStatus::Fulfilled);
-            self.stats.requests_fulfilled += 1;
-            if let Ok(t) = self.tasks.get_mut(task) {
-                t.requests_fulfilled += 1;
-            }
-        }
-        self.devices.record_comm(imei, now)?;
-        Ok(fulfilled)
+        self.coordinator
+            .submit_sensed_data(imei, request_id, reading, now)
     }
 
     /// Drains the scrubbed readings queued for delivery, in order.
     pub fn drain_outbox(&mut self) -> Vec<(CasId, DeliveredReading)> {
-        std::mem::take(&mut self.outbox)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::Variant;
-
-    fn centre() -> GeoPoint {
-        GeoPoint::new(40.4284, -86.9138)
-    }
-
-    fn spec(radius: f64, density: usize, period_min: u64, duration_min: u64) -> TaskSpec {
-        TaskSpec::builder(Sensor::Barometer)
-            .region(CircleRegion::new(centre(), radius))
-            .spatial_density(density)
-            .sampling_period(SimDuration::from_mins(period_min))
-            .sampling_duration(SimDuration::from_mins(duration_min))
-            .build()
-            .unwrap()
-    }
-
-    fn server_with_devices(n: u64) -> SenseAidServer {
-        server_with_devices_cfg(n, SenseAidConfig::default())
-    }
-
-    /// Like `server_with_devices` but with a long unresponsive grace, for
-    /// tests whose devices deliberately never upload.
-    fn server_with_silent_devices(n: u64) -> SenseAidServer {
-        server_with_devices_cfg(
-            n,
-            SenseAidConfig {
-                unresponsive_grace: SimDuration::from_hours(10),
-                ..SenseAidConfig::default()
-            },
-        )
-    }
-
-    fn server_with_devices_cfg(n: u64, config: SenseAidConfig) -> SenseAidServer {
-        let mut server = SenseAidServer::new(config);
-        for i in 1..=n {
-            server
-                .register_device(
-                    ImeiHash(i),
-                    495.0,
-                    15.0,
-                    100.0,
-                    vec![Sensor::Barometer],
-                    "GalaxyS4".to_owned(),
-                    SimTime::ZERO,
-                )
-                .unwrap();
-            server
-                .observe_device(ImeiHash(i), centre().offset_by_meters(i as f64, 0.0), None)
-                .unwrap();
-        }
-        server
-    }
-
-    fn reading(at: SimTime) -> SensorReading {
-        SensorReading {
-            sensor: Sensor::Barometer,
-            value: 1010.0,
-            taken_at: at,
-            position: centre(),
-        }
-    }
-
-    #[test]
-    fn end_to_end_assign_and_fulfil() {
-        let mut server = server_with_devices(5);
-        let task = server.submit_task(spec(500.0, 2, 10, 30), SimTime::ZERO).unwrap();
-        let assignments = server.poll(SimTime::ZERO).unwrap();
-        assert_eq!(assignments.len(), 1, "the t=0 request is due");
-        let a = &assignments[0];
-        assert_eq!(a.devices.len(), 2, "exactly spatial density");
-        assert_eq!(a.task, task);
-        assert_eq!(a.payload_bytes, 600);
-
-        // Both devices deliver.
-        let t = SimTime::from_mins(1);
-        let first = server
-            .submit_sensed_data(a.devices[0], a.request, &reading(t), t)
-            .unwrap();
-        assert!(!first, "density 2 not met after one reading");
-        let second = server
-            .submit_sensed_data(a.devices[1], a.request, &reading(t), t)
-            .unwrap();
-        assert!(second, "fulfilled after second reading");
-        assert_eq!(server.stats().requests_fulfilled, 1);
-        let outbox = server.drain_outbox();
-        assert_eq!(outbox.len(), 2);
-        assert_eq!(outbox[0].0, CasId(0));
-    }
-
-    #[test]
-    fn selects_minimum_devices_not_all() {
-        let mut server = server_with_devices(20);
-        server.submit_task(spec(500.0, 3, 10, 20), SimTime::ZERO).unwrap();
-        let assignments = server.poll(SimTime::ZERO).unwrap();
-        assert_eq!(assignments[0].devices.len(), 3, "picks 3 of the 20 qualified");
-    }
-
-    #[test]
-    fn insufficient_devices_parks_in_wait_queue() {
-        let mut server = server_with_devices(1);
-        server.submit_task(spec(500.0, 3, 10, 30), SimTime::ZERO).unwrap();
-        let assignments = server.poll(SimTime::ZERO).unwrap();
-        assert!(assignments.is_empty());
-        assert_eq!(server.wait_queue_len(), 1);
-        assert_eq!(server.stats().requests_waited, 1);
-
-        // Two more devices appear; the wait queue drains on the next poll.
-        for i in [50u64, 51] {
-            server
-                .register_device(
-                    ImeiHash(i),
-                    495.0,
-                    15.0,
-                    100.0,
-                    vec![Sensor::Barometer],
-                    "GalaxyS4".to_owned(),
-                    SimTime::from_mins(1),
-                )
-                .unwrap();
-            server.observe_device(ImeiHash(i), centre(), None).unwrap();
-        }
-        let assignments = server.poll(SimTime::from_mins(2)).unwrap();
-        assert_eq!(assignments.len(), 1);
-        assert_eq!(server.wait_queue_len(), 0);
-    }
-
-    #[test]
-    fn waiting_requests_expire_at_deadline() {
-        let mut server = server_with_devices(1);
-        server.submit_task(spec(500.0, 3, 10, 10), SimTime::ZERO).unwrap();
-        server.poll(SimTime::ZERO).unwrap();
-        assert_eq!(server.wait_queue_len(), 1);
-        // Past the 10-minute deadline the request expires.
-        server.poll(SimTime::from_mins(11)).unwrap();
-        assert_eq!(server.wait_queue_len(), 0);
-        assert_eq!(server.stats().requests_expired, 1);
-    }
-
-    #[test]
-    fn periodic_task_produces_one_assignment_per_period() {
-        let mut server = server_with_silent_devices(5);
-        server.submit_task(spec(500.0, 2, 5, 30), SimTime::ZERO).unwrap();
-        let mut total = 0;
-        for min in 0..30 {
-            total += server.poll(SimTime::from_mins(min)).unwrap().len();
-        }
-        assert_eq!(total, 6, "30 min / 5 min period = 6 requests");
-    }
-
-    #[test]
-    fn fairness_selection_rotates_devices() {
-        let mut server = server_with_silent_devices(6);
-        server.submit_task(spec(500.0, 2, 10, 30), SimTime::ZERO).unwrap();
-        let mut seen: Vec<ImeiHash> = Vec::new();
-        for min in [0u64, 10, 20] {
-            // Devices remain silent (no data), but fairness still rotates
-            // via times_selected. Mark them responsive again so the
-            // unresponsive exclusion doesn't interfere with this test.
-            let assignments = server.poll(SimTime::from_mins(min)).unwrap();
-            for a in &assignments {
-                seen.extend(a.devices.iter().copied());
-                for d in &a.devices {
-                    server.record_device_comm(*d, SimTime::from_mins(min)).unwrap();
-                }
-            }
-        }
-        // 3 rounds × 2 devices = 6 selections over 6 devices: all distinct.
-        let unique: BTreeSet<ImeiHash> = seen.iter().copied().collect();
-        assert_eq!(seen.len(), 6);
-        assert_eq!(unique.len(), 6, "fairness must rotate all devices: {seen:?}");
-    }
-
-    #[test]
-    fn silent_assignees_become_unresponsive_then_recover() {
-        let mut server = server_with_devices(2);
-        server.submit_task(spec(500.0, 2, 5, 5), SimTime::ZERO).unwrap();
-        let a = server.poll(SimTime::ZERO).unwrap();
-        assert_eq!(a[0].devices.len(), 2);
-        // Nobody uploads; deadline (5 min) + grace (2 min) passes.
-        server.poll(SimTime::from_mins(8)).unwrap();
-        for i in [1u64, 2] {
-            assert!(
-                !server.devices().get(ImeiHash(i)).unwrap().responsive,
-                "dev{i} should be unresponsive"
-            );
-        }
-        assert_eq!(server.stats().requests_expired, 1);
-        // A later communication restores them.
-        server.record_device_comm(ImeiHash(1), SimTime::from_mins(9)).unwrap();
-        assert!(server.devices().get(ImeiHash(1)).unwrap().responsive);
-    }
-
-    #[test]
-    fn invalid_reading_flags_device() {
-        let mut server = server_with_devices(3);
-        server.submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO).unwrap();
-        let a = server.poll(SimTime::ZERO).unwrap().remove(0);
-        let bad = SensorReading {
-            sensor: Sensor::Barometer,
-            value: -40.0,
-            taken_at: SimTime::ZERO,
-            position: centre(),
-        };
-        let dev = a.devices[0];
-        let err = server
-            .submit_sensed_data(dev, a.request, &bad, SimTime::from_secs(30))
-            .unwrap_err();
-        assert!(matches!(err, SenseAidError::InvalidReading { .. }));
-        assert!(!server.devices().get(dev).unwrap().data_valid);
-        assert_eq!(server.stats().readings_rejected, 1);
-        // The flagged device no longer qualifies for anything.
-        let probe = server.qualified_count(
-            Sensor::Barometer,
-            CircleRegion::new(centre(), 500.0),
-        );
-        assert_eq!(probe, 2);
-    }
-
-    #[test]
-    fn data_from_unassigned_device_is_rejected() {
-        let mut server = server_with_devices(3);
-        server.submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO).unwrap();
-        let a = server.poll(SimTime::ZERO).unwrap().remove(0);
-        let outsider = ImeiHash(3);
-        assert_ne!(a.devices[0], outsider);
-        let err = server
-            .submit_sensed_data(outsider, a.request, &reading(SimTime::ZERO), SimTime::ZERO)
-            .unwrap_err();
-        assert_eq!(err, SenseAidError::NotAssigned(outsider, a.request));
-        // And a bogus request id.
-        let err = server
-            .submit_sensed_data(outsider, RequestId(999), &reading(SimTime::ZERO), SimTime::ZERO)
-            .unwrap_err();
-        assert_eq!(err, SenseAidError::UnknownRequest(RequestId(999)));
-    }
-
-    #[test]
-    fn crash_makes_api_unavailable_until_recovery() {
-        let mut server = server_with_devices(2);
-        server.crash();
-        assert!(!server.is_up());
-        assert_eq!(
-            server.poll(SimTime::ZERO),
-            Err(SenseAidError::ServerUnavailable)
-        );
-        assert_eq!(
-            server.submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO),
-            Err(SenseAidError::ServerUnavailable)
-        );
-        server.recover();
-        assert!(server.poll(SimTime::ZERO).is_ok());
-    }
-
-    #[test]
-    fn delete_task_cancels_everything() {
-        let mut server = server_with_devices(5);
-        let id = server.submit_task(spec(500.0, 2, 5, 30), SimTime::ZERO).unwrap();
-        let a = server.poll(SimTime::ZERO).unwrap();
-        assert_eq!(a.len(), 1);
-        server.delete_task(id).unwrap();
-        // The remaining 5 requests are gone; no more assignments ever.
-        let mut later = 0;
-        for min in 1..40 {
-            later += server.poll(SimTime::from_mins(min)).unwrap().len();
-        }
-        assert_eq!(later, 0);
-        // Late data for the cancelled in-flight request is rejected.
-        let err = server
-            .submit_sensed_data(
-                a[0].devices[0],
-                a[0].request,
-                &reading(SimTime::from_mins(1)),
-                SimTime::from_mins(1),
-            )
-            .unwrap_err();
-        assert_eq!(err, SenseAidError::UnknownRequest(a[0].request));
-    }
-
-    #[test]
-    fn update_task_param_replans_future_requests() {
-        let mut server = server_with_devices(8);
-        let id = server.submit_task(spec(500.0, 2, 10, 60), SimTime::ZERO).unwrap();
-        // Serve the first request at t=0.
-        assert_eq!(server.poll(SimTime::ZERO).unwrap().len(), 1);
-        // At t=5 min, bump density to 4 and shorten the period to 5 min.
-        server
-            .update_task_param(id, Some(4), Some(SimDuration::from_mins(5)), None, SimTime::from_mins(5))
-            .unwrap();
-        let a = server.poll(SimTime::from_mins(5)).unwrap();
-        assert_eq!(a.len(), 1);
-        assert_eq!(a[0].devices.len(), 4, "new density applies");
-        // Next one comes only 5 minutes later now.
-        let b = server.poll(SimTime::from_mins(10)).unwrap();
-        assert_eq!(b.len(), 1);
-    }
-
-    #[test]
-    fn variant_controls_reset_policy() {
-        for (variant, policy) in [
-            (Variant::Basic, ResetPolicy::Reset),
-            (Variant::Complete, ResetPolicy::NoReset),
-        ] {
-            let mut server = SenseAidServer::new(SenseAidConfig::with_variant(variant));
-            server
-                .register_device(
-                    ImeiHash(1),
-                    495.0,
-                    15.0,
-                    100.0,
-                    vec![Sensor::Barometer],
-                    "GalaxyS4".to_owned(),
-                    SimTime::ZERO,
-                )
-                .unwrap();
-            server.observe_device(ImeiHash(1), centre(), None).unwrap();
-            server.submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO).unwrap();
-            let a = server.poll(SimTime::ZERO).unwrap();
-            assert_eq!(a[0].reset_policy, policy);
-        }
-    }
-
-    #[test]
-    fn selection_history_records_rounds() {
-        let mut server = server_with_silent_devices(4);
-        server.submit_task(spec(500.0, 2, 10, 30), SimTime::ZERO).unwrap();
-        for min in [0u64, 10, 20] {
-            for a in server.poll(SimTime::from_mins(min)).unwrap() {
-                for d in &a.devices {
-                    server.record_device_comm(*d, SimTime::from_mins(min)).unwrap();
-                }
-            }
-        }
-        let history = server.selection_history();
-        assert_eq!(history.len(), 3);
-        for e in history.entries() {
-            assert_eq!(e.item.selected.len(), 2);
-            assert_eq!(e.item.qualified, 4);
-        }
-    }
-
-    #[test]
-    fn deregistered_device_is_never_assigned() {
-        let mut server = server_with_devices(3);
-        server.deregister_device(ImeiHash(1)).unwrap();
-        server.submit_task(spec(500.0, 2, 5, 10), SimTime::ZERO).unwrap();
-        let a = server.poll(SimTime::ZERO).unwrap().remove(0);
-        assert!(!a.devices.contains(&ImeiHash(1)));
-        assert_eq!(
-            server.deregister_device(ImeiHash(1)),
-            Err(SenseAidError::UnknownDevice(ImeiHash(1)))
-        );
-    }
-
-    #[test]
-    fn request_status_lifecycle() {
-        use crate::request::RequestStatus;
-        let mut server = server_with_devices(3);
-        let task = server.submit_task(spec(500.0, 2, 5, 10), SimTime::ZERO).unwrap();
-        let first = RequestId(1);
-        let second = RequestId(2);
-        assert_eq!(server.request_status(first), Some(RequestStatus::Pending));
-        // Assign the first request and fulfil it.
-        let a = server.poll(SimTime::ZERO).unwrap().remove(0);
-        assert_eq!(server.request_status(a.request), Some(RequestStatus::Assigned));
-        for imei in a.devices.clone() {
-            server
-                .submit_sensed_data(imei, a.request, &reading(SimTime::ZERO), SimTime::ZERO)
-                .unwrap();
-        }
-        assert_eq!(server.request_status(a.request), Some(RequestStatus::Fulfilled));
-        // Delete the task: the still-pending second request is cancelled.
-        assert_eq!(server.request_status(second), Some(RequestStatus::Pending));
-        server.delete_task(task).unwrap();
-        assert_eq!(server.request_status(second), Some(RequestStatus::Cancelled));
-        assert_eq!(server.request_status(a.request), Some(RequestStatus::Fulfilled));
-        assert_eq!(server.request_status(RequestId(999)), None);
-    }
-
-    #[test]
-    fn waiting_and_expired_statuses() {
-        use crate::request::RequestStatus;
-        let mut server = server_with_devices(1);
-        server.submit_task(spec(500.0, 3, 5, 5), SimTime::ZERO).unwrap();
-        server.poll(SimTime::ZERO).unwrap();
-        assert_eq!(
-            server.request_status(RequestId(1)),
-            Some(RequestStatus::Waiting)
-        );
-        server.poll(SimTime::from_mins(6)).unwrap();
-        assert_eq!(
-            server.request_status(RequestId(1)),
-            Some(RequestStatus::Expired)
-        );
-    }
-
-    #[test]
-    fn one_shot_task_produces_single_assignment() {
-        let mut server = server_with_devices(4);
-        let spec = TaskSpec::builder(Sensor::Barometer)
-            .region(CircleRegion::new(centre(), 500.0))
-            .spatial_density(2)
-            .one_shot()
-            .build()
-            .unwrap();
-        server.submit_task(spec, SimTime::ZERO).unwrap();
-        let a = server.poll(SimTime::ZERO).unwrap();
-        assert_eq!(a.len(), 1);
-        assert_eq!(a[0].devices.len(), 2);
-        // Nothing further, ever.
-        let mut later = 0;
-        for min in 1..30 {
-            later += server.poll(SimTime::from_mins(min)).unwrap().len();
-        }
-        assert_eq!(later, 0);
-    }
-
-    #[test]
-    fn update_preferences_changes_eligibility() {
-        let mut server = server_with_devices(2);
-        // Device 1 lowers its budget below the already-spent energy.
-        server
-            .update_device_state(ImeiHash(1), 90.0, 50.0, SimTime::ZERO)
-            .unwrap();
-        server.update_preferences(ImeiHash(1), 10.0, 15.0).unwrap();
-        server.submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO).unwrap();
-        let a = server.poll(SimTime::ZERO).unwrap().remove(0);
-        assert_eq!(
-            a.devices,
-            vec![ImeiHash(2)],
-            "over-budget device must not be selected"
-        );
-        assert_eq!(
-            server.update_preferences(ImeiHash(99), 1.0, 1.0),
-            Err(SenseAidError::UnknownDevice(ImeiHash(99)))
-        );
-    }
-
-    #[test]
-    fn moving_device_requalifies_through_the_index() {
-        // Regression for the grid index: a device observed outside the
-        // region, then inside, then outside again must track exactly.
-        let mut server = server_with_devices(1);
-        let probe = || {
-            // qualified_count builds a one-shot probe request.
-            0
-        };
-        let _ = probe;
-        let region = CircleRegion::new(centre(), 300.0);
-        let count = |server: &SenseAidServer| {
-            server.qualified_count(Sensor::Barometer, region)
-        };
-        assert_eq!(count(&server), 1, "starts inside");
-        server
-            .observe_device(ImeiHash(1), centre().offset_by_meters(900.0, 0.0), None)
-            .unwrap();
-        assert_eq!(count(&server), 0, "moved out");
-        server
-            .observe_device(ImeiHash(1), centre().offset_by_meters(100.0, 0.0), None)
-            .unwrap();
-        assert_eq!(count(&server), 1, "moved back in");
-    }
-
-    #[test]
-    fn qualified_count_grows_with_radius() {
-        let mut server = SenseAidServer::new(SenseAidConfig::default());
-        // Devices at 50, 150, ..., 950 m from the centre.
-        for i in 0..10u64 {
-            server
-                .register_device(
-                    ImeiHash(i + 1),
-                    495.0,
-                    15.0,
-                    100.0,
-                    vec![Sensor::Barometer],
-                    "GalaxyS4".to_owned(),
-                    SimTime::ZERO,
-                )
-                .unwrap();
-            server
-                .observe_device(
-                    ImeiHash(i + 1),
-                    centre().offset_by_meters(50.0 + 100.0 * i as f64, 0.0),
-                    None,
-                )
-                .unwrap();
-        }
-        let mut prev = 0;
-        for radius in [100.0, 300.0, 500.0, 1000.0] {
-            let n = server.qualified_count(
-                Sensor::Barometer,
-                CircleRegion::new(centre(), radius),
-            );
-            assert!(n >= prev, "qualified count must grow with radius");
-            prev = n;
-        }
-        assert_eq!(prev, 10, "1 km circle captures all ten");
+        self.coordinator.drain_outbox()
     }
 }

@@ -91,6 +91,14 @@ impl SharedServer {
         self.subscribers.lock().len()
     }
 
+    /// The earliest instant a [`poll`](Self::poll) could change state, or
+    /// `None` when the server is quiescent (see
+    /// [`SenseAidServer::next_wakeup`]). Event-driven drivers sleep until
+    /// this instant instead of polling on a period.
+    pub fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
+        self.inner.lock().next_wakeup(now)
+    }
+
     /// Runs one scheduling round and fans the assignments out to
     /// subscribers. Returns them to the caller as well.
     ///
@@ -102,11 +110,7 @@ impl SharedServer {
         let assignments = self.inner.lock().poll(now)?;
         if !assignments.is_empty() {
             let mut subs = self.subscribers.lock();
-            subs.retain(|tx| {
-                assignments
-                    .iter()
-                    .all(|a| tx.send(a.clone()).is_ok())
-            });
+            subs.retain(|tx| assignments.iter().all(|a| tx.send(a.clone()).is_ok()));
         }
         Ok(assignments)
     }
@@ -159,7 +163,9 @@ mod tests {
         let service = populated_service(4);
         let rx1 = service.subscribe();
         let rx2 = service.subscribe();
-        service.with(|s| s.submit_task(task(), SimTime::ZERO)).unwrap();
+        service
+            .with(|s| s.submit_task(task(), SimTime::ZERO))
+            .unwrap();
         let direct = service.poll(SimTime::ZERO).unwrap();
         assert_eq!(direct.len(), 1);
         assert_eq!(rx1.try_recv().unwrap(), direct[0]);
@@ -173,7 +179,9 @@ mod tests {
         let rx2 = service.subscribe();
         drop(rx2);
         assert_eq!(service.subscriber_count(), 2, "pruning happens lazily");
-        service.with(|s| s.submit_task(task(), SimTime::ZERO)).unwrap();
+        service
+            .with(|s| s.submit_task(task(), SimTime::ZERO))
+            .unwrap();
         service.poll(SimTime::ZERO).unwrap();
         assert_eq!(service.subscriber_count(), 1);
         assert!(rx1.try_recv().is_ok());
@@ -202,7 +210,9 @@ mod tests {
     fn scheduler_and_dispatcher_threads_cooperate() {
         let service = populated_service(6);
         let rx = service.subscribe();
-        service.with(|s| s.submit_task(task(), SimTime::ZERO)).unwrap();
+        service
+            .with(|s| s.submit_task(task(), SimTime::ZERO))
+            .unwrap();
 
         let scheduler = {
             let service = service.clone();

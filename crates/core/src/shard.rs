@@ -1,0 +1,130 @@
+//! One cell-group shard of the control plane.
+//!
+//! A shard owns the device index and the run/wait queues for the cells
+//! assigned to it. Devices are homed on the shard serving their last
+//! observed cell (unknown-cell devices live on shard 0); requests are
+//! homed on the first shard their region's cell coverage touches. The
+//! [`Coordinator`](crate::coordinator::Coordinator) fans requests out
+//! across shards and merge-pops their queue heads in global
+//! `(deadline, sample_at, id)` order, so scheduling output is identical
+//! for any shard count.
+
+use senseaid_cellnet::CellId;
+use senseaid_device::ImeiHash;
+use senseaid_geo::GeoPoint;
+use senseaid_sim::SimTime;
+
+use crate::queues::RequestQueue;
+use crate::request::Request;
+use crate::store::device_store::DeviceRecord;
+use crate::store::{DeviceIndex, QualificationProbe};
+use crate::task::TaskId;
+
+/// The heap key the queues order by; exposing it lets the coordinator
+/// merge-pop shard heads in the exact order one global queue would use.
+pub(crate) type QueueKey = (SimTime, SimTime, u64);
+
+fn key_of(request: &Request) -> QueueKey {
+    (request.deadline(), request.sample_at(), request.id().0)
+}
+
+/// One shard: a device index plus its slice of the run and wait queues.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    index: Box<dyn DeviceIndex>,
+    run_queue: RequestQueue,
+    wait_queue: RequestQueue,
+}
+
+impl Shard {
+    pub fn new(index: Box<dyn DeviceIndex>) -> Self {
+        Shard {
+            index,
+            run_queue: RequestQueue::new(),
+            wait_queue: RequestQueue::new(),
+        }
+    }
+
+    // ---- devices ----
+
+    pub fn device_count(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn insert_device(&mut self, record: DeviceRecord) {
+        self.index.insert(record);
+    }
+
+    pub fn remove_device(&mut self, imei: ImeiHash) -> Option<DeviceRecord> {
+        self.index.remove(imei)
+    }
+
+    pub fn device(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+        self.index.get(imei)
+    }
+
+    pub fn device_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
+        self.index.get_mut(imei)
+    }
+
+    pub fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool {
+        self.index.observe(imei, position, cell)
+    }
+
+    /// Qualified candidates on this shard, ascending by IMEI hash.
+    pub fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
+        self.index.candidates(probe)
+    }
+
+    pub fn qualified_count(&self, probe: &QualificationProbe) -> usize {
+        self.index.qualified_count(probe)
+    }
+
+    // ---- queues ----
+
+    pub fn push_run(&mut self, request: Request) {
+        self.run_queue.push(request);
+    }
+
+    pub fn push_wait(&mut self, request: Request) {
+        self.wait_queue.push(request);
+    }
+
+    /// Key of the run-queue head, if any.
+    pub fn run_head_key(&self) -> Option<QueueKey> {
+        self.run_queue.peek().map(key_of)
+    }
+
+    /// Key of the wait-queue head, if any.
+    pub fn wait_head_key(&self) -> Option<QueueKey> {
+        self.wait_queue.peek().map(key_of)
+    }
+
+    pub fn pop_run(&mut self) -> Option<Request> {
+        self.run_queue.pop()
+    }
+
+    pub fn pop_wait(&mut self) -> Option<Request> {
+        self.wait_queue.pop()
+    }
+
+    pub fn run_queue_len(&self) -> usize {
+        self.run_queue.len()
+    }
+
+    pub fn wait_queue_len(&self) -> usize {
+        self.wait_queue.len()
+    }
+
+    /// Purges a task's requests from both queues.
+    pub fn remove_task(&mut self, task: TaskId) {
+        self.run_queue.remove_task(task);
+        self.wait_queue.remove_task(task);
+    }
+
+    /// All requests queued on this shard (run then wait), for status
+    /// bookkeeping.
+    pub fn queued_requests(&self) -> impl Iterator<Item = &Request> {
+        self.run_queue.iter().chain(self.wait_queue.iter())
+    }
+}

@@ -19,6 +19,7 @@ use senseaid_sim::{SimDuration, SimTime};
 
 use crate::error::SenseAidError;
 use crate::request::Request;
+use crate::store::{DeviceIndex, QualificationProbe};
 
 /// Everything the server knows about one registered device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -206,24 +207,65 @@ impl DeviceStore {
         Ok(())
     }
 
-    /// The devices *qualified* for `request` (paper §3 definition): signed
-    /// up, inside the region, carrying the sensor, matching any
+    /// The qualified candidate records for `probe` (paper §3 definition):
+    /// signed up, inside the region, carrying the sensor, matching any
     /// device-type restriction, responsive, and submitting valid data.
-    pub fn qualified_for(&self, request: &Request) -> Vec<ImeiHash> {
-        let region = request.region();
-        let sensor = request.sensor();
-        let wanted_type = request.spec().device_type();
+    /// Ascending by IMEI hash (the grid query sorts its output).
+    pub fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
         // The grid narrows the scan to devices inside the circle; the
         // remaining predicates filter on the record.
         self.index
-            .query_circle(&region)
+            .query_circle(&probe.region)
             .into_iter()
             .filter_map(|imei| self.records.get(&imei))
             .filter(|r| r.responsive && r.data_valid)
-            .filter(|r| r.sensors.contains(&sensor))
-            .filter(|r| wanted_type.is_none_or(|t| r.device_type == t))
+            .filter(|r| r.sensors.contains(&probe.sensor))
+            .filter(|r| {
+                probe
+                    .device_type
+                    .as_deref()
+                    .is_none_or(|t| r.device_type == t)
+            })
+            .collect()
+    }
+
+    /// The devices *qualified* for `request`, by IMEI hash.
+    pub fn qualified_for(&self, request: &Request) -> Vec<ImeiHash> {
+        self.candidates(&QualificationProbe::for_request(request))
+            .into_iter()
             .map(|r| r.imei)
             .collect()
+    }
+}
+
+impl DeviceIndex for DeviceStore {
+    fn insert(&mut self, record: DeviceRecord) {
+        self.register(record);
+    }
+
+    fn remove(&mut self, imei: ImeiHash) -> Option<DeviceRecord> {
+        self.index.remove(imei);
+        self.records.remove(&imei)
+    }
+
+    fn len(&self) -> usize {
+        DeviceStore::len(self)
+    }
+
+    fn get(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+        DeviceStore::get(self, imei)
+    }
+
+    fn get_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
+        self.records.get_mut(&imei)
+    }
+
+    fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool {
+        self.observe_position(imei, position, cell).is_ok()
+    }
+
+    fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
+        DeviceStore::candidates(self, probe)
     }
 }
 
@@ -348,9 +390,7 @@ mod tests {
         let mut no_baro = record(1);
         no_baro.sensors = vec![Sensor::Accelerometer];
         store.register(no_baro);
-        store
-            .observe_position(ImeiHash(1), centre(), None)
-            .unwrap();
+        store.observe_position(ImeiHash(1), centre(), None).unwrap();
         assert!(store.qualified_for(&request(500.0, 1)).is_empty());
     }
 
@@ -398,7 +438,9 @@ mod tests {
         store.get_mut(ImeiHash(2)).unwrap().data_valid = false;
         assert_eq!(store.qualified_for(&request(500.0, 1)), vec![ImeiHash(3)]);
         // Any communication restores responsiveness.
-        store.record_comm(ImeiHash(1), SimTime::from_mins(1)).unwrap();
+        store
+            .record_comm(ImeiHash(1), SimTime::from_mins(1))
+            .unwrap();
         assert_eq!(
             store.qualified_for(&request(500.0, 1)),
             vec![ImeiHash(1), ImeiHash(3)]

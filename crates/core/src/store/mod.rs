@@ -1,4 +1,99 @@
-//! Server-side datastores (paper §3.2).
+//! Server-side datastores (paper §3.2) and the pluggable device-index
+//! boundary.
+//!
+//! The control plane stores devices behind the [`DeviceIndex`] trait so a
+//! shard can run over any storage that answers the qualification question.
+//! [`DeviceStore`](device_store::DeviceStore) — a B-tree of records mirrored
+//! into a spatial grid — is the default implementation.
 
 pub mod device_store;
 pub mod task_store;
+
+use std::fmt;
+
+use senseaid_cellnet::CellId;
+use senseaid_device::{ImeiHash, Sensor};
+use senseaid_geo::{CircleRegion, GeoPoint};
+
+use crate::request::Request;
+use device_store::DeviceRecord;
+
+/// The qualification question, first class: which registered devices could
+/// serve `sensor` over `region` right now?
+///
+/// Scheduling and monitoring both ask it — scheduling for a concrete
+/// [`Request`], monitoring (the Fig 7 metric) for an arbitrary
+/// sensor/region pair. Making the probe its own type means counting no
+/// longer needs a throwaway `Request` with sentinel ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualificationProbe {
+    /// The area of interest.
+    pub region: CircleRegion,
+    /// The sensor devices must carry.
+    pub sensor: Sensor,
+    /// Optional device-model restriction (Table 1 `device_type`).
+    pub device_type: Option<String>,
+}
+
+impl QualificationProbe {
+    /// A probe with no device-type restriction.
+    pub fn new(sensor: Sensor, region: CircleRegion) -> Self {
+        QualificationProbe {
+            region,
+            sensor,
+            device_type: None,
+        }
+    }
+
+    /// The probe a concrete request poses.
+    pub fn for_request(request: &Request) -> Self {
+        QualificationProbe {
+            region: request.region(),
+            sensor: request.sensor(),
+            device_type: request.spec().device_type().map(str::to_owned),
+        }
+    }
+}
+
+/// Pluggable device storage for one control-plane shard.
+///
+/// Implementations own the records of the devices homed on their shard and
+/// answer qualification probes over them. `candidates` must return records
+/// in ascending IMEI-hash order so that merging across shards is
+/// deterministic for any shard count.
+pub trait DeviceIndex: fmt::Debug + Send {
+    /// Registers (or re-registers) a device record.
+    fn insert(&mut self, record: DeviceRecord);
+
+    /// Removes a device, returning its record if it was present. Used both
+    /// for deregistration and for migrating a device to another shard.
+    fn remove(&mut self, imei: ImeiHash) -> Option<DeviceRecord>;
+
+    /// Number of devices held.
+    fn len(&self) -> usize;
+
+    /// Whether no devices are held.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks a device up.
+    fn get(&self, imei: ImeiHash) -> Option<&DeviceRecord>;
+
+    /// Mutable lookup.
+    fn get_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord>;
+
+    /// Records an observed position and serving cell. Returns `false` when
+    /// the device is unknown to this index.
+    fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool;
+
+    /// The qualified candidate records for `probe`, ascending by IMEI
+    /// hash: responsive, data-valid devices inside the region that carry
+    /// the sensor and match any device-type restriction.
+    fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord>;
+
+    /// How many devices qualify for `probe`.
+    fn qualified_count(&self, probe: &QualificationProbe) -> usize {
+        self.candidates(probe).len()
+    }
+}

@@ -82,7 +82,9 @@ impl TaskStore {
     ///
     /// [`SenseAidError::UnknownTask`] if absent.
     pub fn get_mut(&mut self, id: TaskId) -> Result<&mut TaskState, SenseAidError> {
-        self.tasks.get_mut(&id).ok_or(SenseAidError::UnknownTask(id))
+        self.tasks
+            .get_mut(&id)
+            .ok_or(SenseAidError::UnknownTask(id))
     }
 
     /// Marks a task deleted.

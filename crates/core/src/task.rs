@@ -18,9 +18,7 @@ use crate::error::SenseAidError;
 use crate::request::{Request, RequestId};
 
 /// Identifier of a submitted task.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub u64);
 
 impl fmt::Display for TaskId {

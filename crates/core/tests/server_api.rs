@@ -1,0 +1,615 @@
+//! Behavioural tests for the `SenseAidServer` facade (Algorithm 1 and the
+//! surrounding lifecycle APIs), exercised through the public API only so
+//! they hold for any control-plane layout.
+
+use std::collections::BTreeSet;
+
+use senseaid_core::cas::CasId;
+use senseaid_core::{
+    RequestId, RequestStatus, SenseAidConfig, SenseAidError, SenseAidServer, TaskSpec, Variant,
+};
+use senseaid_device::{ImeiHash, Sensor, SensorReading};
+use senseaid_geo::{CircleRegion, GeoPoint};
+use senseaid_radio::ResetPolicy;
+use senseaid_sim::{SimDuration, SimTime};
+
+fn centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+fn spec(radius: f64, density: usize, period_min: u64, duration_min: u64) -> TaskSpec {
+    TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(centre(), radius))
+        .spatial_density(density)
+        .sampling_period(SimDuration::from_mins(period_min))
+        .sampling_duration(SimDuration::from_mins(duration_min))
+        .build()
+        .unwrap()
+}
+
+fn server_with_devices(n: u64) -> SenseAidServer {
+    server_with_devices_cfg(n, SenseAidConfig::default())
+}
+
+/// Like `server_with_devices` but with a long unresponsive grace, for
+/// tests whose devices deliberately never upload.
+fn server_with_silent_devices(n: u64) -> SenseAidServer {
+    server_with_devices_cfg(
+        n,
+        SenseAidConfig {
+            unresponsive_grace: SimDuration::from_hours(10),
+            ..SenseAidConfig::default()
+        },
+    )
+}
+
+fn server_with_devices_cfg(n: u64, config: SenseAidConfig) -> SenseAidServer {
+    let mut server = SenseAidServer::new(config);
+    for i in 1..=n {
+        server
+            .register_device(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                100.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        server
+            .observe_device(ImeiHash(i), centre().offset_by_meters(i as f64, 0.0), None)
+            .unwrap();
+    }
+    server
+}
+
+fn reading(at: SimTime) -> SensorReading {
+    SensorReading {
+        sensor: Sensor::Barometer,
+        value: 1010.0,
+        taken_at: at,
+        position: centre(),
+    }
+}
+
+#[test]
+fn end_to_end_assign_and_fulfil() {
+    let mut server = server_with_devices(5);
+    let task = server
+        .submit_task(spec(500.0, 2, 10, 30), SimTime::ZERO)
+        .unwrap();
+    let assignments = server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(assignments.len(), 1, "the t=0 request is due");
+    let a = &assignments[0];
+    assert_eq!(a.devices.len(), 2, "exactly spatial density");
+    assert_eq!(a.task, task);
+    assert_eq!(a.payload_bytes, 600);
+
+    // Both devices deliver.
+    let t = SimTime::from_mins(1);
+    let first = server
+        .submit_sensed_data(a.devices[0], a.request, &reading(t), t)
+        .unwrap();
+    assert!(!first, "density 2 not met after one reading");
+    let second = server
+        .submit_sensed_data(a.devices[1], a.request, &reading(t), t)
+        .unwrap();
+    assert!(second, "fulfilled after second reading");
+    assert_eq!(server.stats().requests_fulfilled, 1);
+    let outbox = server.drain_outbox();
+    assert_eq!(outbox.len(), 2);
+    assert_eq!(outbox[0].0, CasId(0));
+}
+
+#[test]
+fn selects_minimum_devices_not_all() {
+    let mut server = server_with_devices(20);
+    server
+        .submit_task(spec(500.0, 3, 10, 20), SimTime::ZERO)
+        .unwrap();
+    let assignments = server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(
+        assignments[0].devices.len(),
+        3,
+        "picks 3 of the 20 qualified"
+    );
+}
+
+#[test]
+fn insufficient_devices_parks_in_wait_queue() {
+    let mut server = server_with_devices(1);
+    server
+        .submit_task(spec(500.0, 3, 10, 30), SimTime::ZERO)
+        .unwrap();
+    let assignments = server.poll(SimTime::ZERO).unwrap();
+    assert!(assignments.is_empty());
+    assert_eq!(server.wait_queue_len(), 1);
+    assert_eq!(server.stats().requests_waited, 1);
+
+    // Two more devices appear; the wait queue drains on the next poll.
+    for i in [50u64, 51] {
+        server
+            .register_device(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                100.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::from_mins(1),
+            )
+            .unwrap();
+        server.observe_device(ImeiHash(i), centre(), None).unwrap();
+    }
+    let assignments = server.poll(SimTime::from_mins(2)).unwrap();
+    assert_eq!(assignments.len(), 1);
+    assert_eq!(server.wait_queue_len(), 0);
+}
+
+#[test]
+fn waiting_requests_expire_at_deadline() {
+    let mut server = server_with_devices(1);
+    server
+        .submit_task(spec(500.0, 3, 10, 10), SimTime::ZERO)
+        .unwrap();
+    server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(server.wait_queue_len(), 1);
+    // Past the 10-minute deadline the request expires.
+    server.poll(SimTime::from_mins(11)).unwrap();
+    assert_eq!(server.wait_queue_len(), 0);
+    assert_eq!(server.stats().requests_expired, 1);
+}
+
+#[test]
+fn periodic_task_produces_one_assignment_per_period() {
+    let mut server = server_with_silent_devices(5);
+    server
+        .submit_task(spec(500.0, 2, 5, 30), SimTime::ZERO)
+        .unwrap();
+    let mut total = 0;
+    for min in 0..30 {
+        total += server.poll(SimTime::from_mins(min)).unwrap().len();
+    }
+    assert_eq!(total, 6, "30 min / 5 min period = 6 requests");
+}
+
+#[test]
+fn fairness_selection_rotates_devices() {
+    let mut server = server_with_silent_devices(6);
+    server
+        .submit_task(spec(500.0, 2, 10, 30), SimTime::ZERO)
+        .unwrap();
+    let mut seen: Vec<ImeiHash> = Vec::new();
+    for min in [0u64, 10, 20] {
+        // Devices remain silent (no data), but fairness still rotates
+        // via times_selected. Mark them responsive again so the
+        // unresponsive exclusion doesn't interfere with this test.
+        let assignments = server.poll(SimTime::from_mins(min)).unwrap();
+        for a in &assignments {
+            seen.extend(a.devices.iter().copied());
+            for d in &a.devices {
+                server
+                    .record_device_comm(*d, SimTime::from_mins(min))
+                    .unwrap();
+            }
+        }
+    }
+    // 3 rounds × 2 devices = 6 selections over 6 devices: all distinct.
+    let unique: BTreeSet<ImeiHash> = seen.iter().copied().collect();
+    assert_eq!(seen.len(), 6);
+    assert_eq!(
+        unique.len(),
+        6,
+        "fairness must rotate all devices: {seen:?}"
+    );
+}
+
+#[test]
+fn silent_assignees_become_unresponsive_then_recover() {
+    let mut server = server_with_devices(2);
+    server
+        .submit_task(spec(500.0, 2, 5, 5), SimTime::ZERO)
+        .unwrap();
+    let a = server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(a[0].devices.len(), 2);
+    // Nobody uploads; deadline (5 min) + grace (2 min) passes.
+    server.poll(SimTime::from_mins(8)).unwrap();
+    for i in [1u64, 2] {
+        assert!(
+            !server.device(ImeiHash(i)).unwrap().responsive,
+            "dev{i} should be unresponsive"
+        );
+    }
+    assert_eq!(server.stats().requests_expired, 1);
+    // A later communication restores them.
+    server
+        .record_device_comm(ImeiHash(1), SimTime::from_mins(9))
+        .unwrap();
+    assert!(server.device(ImeiHash(1)).unwrap().responsive);
+}
+
+#[test]
+fn invalid_reading_flags_device() {
+    let mut server = server_with_devices(3);
+    server
+        .submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO)
+        .unwrap();
+    let a = server.poll(SimTime::ZERO).unwrap().remove(0);
+    let bad = SensorReading {
+        sensor: Sensor::Barometer,
+        value: -40.0,
+        taken_at: SimTime::ZERO,
+        position: centre(),
+    };
+    let dev = a.devices[0];
+    let err = server
+        .submit_sensed_data(dev, a.request, &bad, SimTime::from_secs(30))
+        .unwrap_err();
+    assert!(matches!(err, SenseAidError::InvalidReading { .. }));
+    assert!(!server.device(dev).unwrap().data_valid);
+    assert_eq!(server.stats().readings_rejected, 1);
+    // The flagged device no longer qualifies for anything.
+    let probe = server.qualified_count(Sensor::Barometer, CircleRegion::new(centre(), 500.0));
+    assert_eq!(probe, 2);
+}
+
+#[test]
+fn data_from_unassigned_device_is_rejected() {
+    let mut server = server_with_devices(3);
+    server
+        .submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO)
+        .unwrap();
+    let a = server.poll(SimTime::ZERO).unwrap().remove(0);
+    let outsider = ImeiHash(3);
+    assert_ne!(a.devices[0], outsider);
+    let err = server
+        .submit_sensed_data(outsider, a.request, &reading(SimTime::ZERO), SimTime::ZERO)
+        .unwrap_err();
+    assert_eq!(err, SenseAidError::NotAssigned(outsider, a.request));
+    // And a bogus request id.
+    let err = server
+        .submit_sensed_data(
+            outsider,
+            RequestId(999),
+            &reading(SimTime::ZERO),
+            SimTime::ZERO,
+        )
+        .unwrap_err();
+    assert_eq!(err, SenseAidError::UnknownRequest(RequestId(999)));
+}
+
+#[test]
+fn crash_makes_api_unavailable_until_recovery() {
+    let mut server = server_with_devices(2);
+    server.crash();
+    assert!(!server.is_up());
+    assert_eq!(
+        server.poll(SimTime::ZERO),
+        Err(SenseAidError::ServerUnavailable)
+    );
+    assert_eq!(
+        server.submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO),
+        Err(SenseAidError::ServerUnavailable)
+    );
+    server.recover();
+    assert!(server.poll(SimTime::ZERO).is_ok());
+}
+
+#[test]
+fn delete_task_cancels_everything() {
+    let mut server = server_with_devices(5);
+    let id = server
+        .submit_task(spec(500.0, 2, 5, 30), SimTime::ZERO)
+        .unwrap();
+    let a = server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(a.len(), 1);
+    server.delete_task(id).unwrap();
+    // The remaining 5 requests are gone; no more assignments ever.
+    let mut later = 0;
+    for min in 1..40 {
+        later += server.poll(SimTime::from_mins(min)).unwrap().len();
+    }
+    assert_eq!(later, 0);
+    // Late data for the cancelled in-flight request is rejected.
+    let err = server
+        .submit_sensed_data(
+            a[0].devices[0],
+            a[0].request,
+            &reading(SimTime::from_mins(1)),
+            SimTime::from_mins(1),
+        )
+        .unwrap_err();
+    assert_eq!(err, SenseAidError::UnknownRequest(a[0].request));
+}
+
+#[test]
+fn update_task_param_replans_future_requests() {
+    let mut server = server_with_devices(8);
+    let id = server
+        .submit_task(spec(500.0, 2, 10, 60), SimTime::ZERO)
+        .unwrap();
+    // Serve the first request at t=0.
+    assert_eq!(server.poll(SimTime::ZERO).unwrap().len(), 1);
+    // At t=5 min, bump density to 4 and shorten the period to 5 min.
+    server
+        .update_task_param(
+            id,
+            Some(4),
+            Some(SimDuration::from_mins(5)),
+            None,
+            SimTime::from_mins(5),
+        )
+        .unwrap();
+    let a = server.poll(SimTime::from_mins(5)).unwrap();
+    assert_eq!(a.len(), 1);
+    assert_eq!(a[0].devices.len(), 4, "new density applies");
+    // Next one comes only 5 minutes later now.
+    let b = server.poll(SimTime::from_mins(10)).unwrap();
+    assert_eq!(b.len(), 1);
+}
+
+#[test]
+fn variant_controls_reset_policy() {
+    for (variant, policy) in [
+        (Variant::Basic, ResetPolicy::Reset),
+        (Variant::Complete, ResetPolicy::NoReset),
+    ] {
+        let mut server = SenseAidServer::new(SenseAidConfig::with_variant(variant));
+        server
+            .register_device(
+                ImeiHash(1),
+                495.0,
+                15.0,
+                100.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        server.observe_device(ImeiHash(1), centre(), None).unwrap();
+        server
+            .submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO)
+            .unwrap();
+        let a = server.poll(SimTime::ZERO).unwrap();
+        assert_eq!(a[0].reset_policy, policy);
+    }
+}
+
+#[test]
+fn selection_history_records_rounds() {
+    let mut server = server_with_silent_devices(4);
+    server
+        .submit_task(spec(500.0, 2, 10, 30), SimTime::ZERO)
+        .unwrap();
+    for min in [0u64, 10, 20] {
+        for a in server.poll(SimTime::from_mins(min)).unwrap() {
+            for d in &a.devices {
+                server
+                    .record_device_comm(*d, SimTime::from_mins(min))
+                    .unwrap();
+            }
+        }
+    }
+    let history = server.selection_history();
+    assert_eq!(history.len(), 3);
+    for e in history.entries() {
+        assert_eq!(e.item.selected.len(), 2);
+        assert_eq!(e.item.qualified, 4);
+    }
+}
+
+#[test]
+fn deregistered_device_is_never_assigned() {
+    let mut server = server_with_devices(3);
+    server.deregister_device(ImeiHash(1)).unwrap();
+    server
+        .submit_task(spec(500.0, 2, 5, 10), SimTime::ZERO)
+        .unwrap();
+    let a = server.poll(SimTime::ZERO).unwrap().remove(0);
+    assert!(!a.devices.contains(&ImeiHash(1)));
+    assert_eq!(
+        server.deregister_device(ImeiHash(1)),
+        Err(SenseAidError::UnknownDevice(ImeiHash(1)))
+    );
+}
+
+#[test]
+fn request_status_lifecycle() {
+    let mut server = server_with_devices(3);
+    let task = server
+        .submit_task(spec(500.0, 2, 5, 10), SimTime::ZERO)
+        .unwrap();
+    let first = RequestId(1);
+    let second = RequestId(2);
+    assert_eq!(server.request_status(first), Some(RequestStatus::Pending));
+    // Assign the first request and fulfil it.
+    let a = server.poll(SimTime::ZERO).unwrap().remove(0);
+    assert_eq!(
+        server.request_status(a.request),
+        Some(RequestStatus::Assigned)
+    );
+    for imei in a.devices.clone() {
+        server
+            .submit_sensed_data(imei, a.request, &reading(SimTime::ZERO), SimTime::ZERO)
+            .unwrap();
+    }
+    assert_eq!(
+        server.request_status(a.request),
+        Some(RequestStatus::Fulfilled)
+    );
+    // Delete the task: the still-pending second request is cancelled.
+    assert_eq!(server.request_status(second), Some(RequestStatus::Pending));
+    server.delete_task(task).unwrap();
+    assert_eq!(
+        server.request_status(second),
+        Some(RequestStatus::Cancelled)
+    );
+    assert_eq!(
+        server.request_status(a.request),
+        Some(RequestStatus::Fulfilled)
+    );
+    assert_eq!(server.request_status(RequestId(999)), None);
+}
+
+#[test]
+fn waiting_and_expired_statuses() {
+    let mut server = server_with_devices(1);
+    server
+        .submit_task(spec(500.0, 3, 5, 5), SimTime::ZERO)
+        .unwrap();
+    server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(
+        server.request_status(RequestId(1)),
+        Some(RequestStatus::Waiting)
+    );
+    server.poll(SimTime::from_mins(6)).unwrap();
+    assert_eq!(
+        server.request_status(RequestId(1)),
+        Some(RequestStatus::Expired)
+    );
+}
+
+#[test]
+fn one_shot_task_produces_single_assignment() {
+    let mut server = server_with_devices(4);
+    let spec = TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(centre(), 500.0))
+        .spatial_density(2)
+        .one_shot()
+        .build()
+        .unwrap();
+    server.submit_task(spec, SimTime::ZERO).unwrap();
+    let a = server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(a.len(), 1);
+    assert_eq!(a[0].devices.len(), 2);
+    // Nothing further, ever.
+    let mut later = 0;
+    for min in 1..30 {
+        later += server.poll(SimTime::from_mins(min)).unwrap().len();
+    }
+    assert_eq!(later, 0);
+}
+
+#[test]
+fn update_preferences_changes_eligibility() {
+    let mut server = server_with_devices(2);
+    // Device 1 lowers its budget below the already-spent energy.
+    server
+        .update_device_state(ImeiHash(1), 90.0, 50.0, SimTime::ZERO)
+        .unwrap();
+    server.update_preferences(ImeiHash(1), 10.0, 15.0).unwrap();
+    server
+        .submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO)
+        .unwrap();
+    let a = server.poll(SimTime::ZERO).unwrap().remove(0);
+    assert_eq!(
+        a.devices,
+        vec![ImeiHash(2)],
+        "over-budget device must not be selected"
+    );
+    assert_eq!(
+        server.update_preferences(ImeiHash(99), 1.0, 1.0),
+        Err(SenseAidError::UnknownDevice(ImeiHash(99)))
+    );
+}
+
+#[test]
+fn moving_device_requalifies_through_the_index() {
+    // Regression for the grid index: a device observed outside the
+    // region, then inside, then outside again must track exactly.
+    let mut server = server_with_devices(1);
+    let region = CircleRegion::new(centre(), 300.0);
+    let count = |server: &SenseAidServer| server.qualified_count(Sensor::Barometer, region);
+    assert_eq!(count(&server), 1, "starts inside");
+    server
+        .observe_device(ImeiHash(1), centre().offset_by_meters(900.0, 0.0), None)
+        .unwrap();
+    assert_eq!(count(&server), 0, "moved out");
+    server
+        .observe_device(ImeiHash(1), centre().offset_by_meters(100.0, 0.0), None)
+        .unwrap();
+    assert_eq!(count(&server), 1, "moved back in");
+}
+
+#[test]
+fn qualified_count_grows_with_radius() {
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+    // Devices at 50, 150, ..., 950 m from the centre.
+    for i in 0..10u64 {
+        server
+            .register_device(
+                ImeiHash(i + 1),
+                495.0,
+                15.0,
+                100.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        server
+            .observe_device(
+                ImeiHash(i + 1),
+                centre().offset_by_meters(50.0 + 100.0 * i as f64, 0.0),
+                None,
+            )
+            .unwrap();
+    }
+    let mut prev = 0;
+    for radius in [100.0, 300.0, 500.0, 1000.0] {
+        let n = server.qualified_count(Sensor::Barometer, CircleRegion::new(centre(), radius));
+        assert!(n >= prev, "qualified count must grow with radius");
+        prev = n;
+    }
+    assert_eq!(prev, 10, "1 km circle captures all ten");
+}
+
+#[test]
+fn next_wakeup_tracks_pending_work() {
+    // Quiescent server: nothing to wake for.
+    let mut server = server_with_devices(3);
+    assert_eq!(server.next_wakeup(SimTime::ZERO), None);
+
+    // A periodic task queues requests; the next wakeup is the head's
+    // sample_at, which moves forward as rounds are served.
+    server
+        .submit_task(spec(500.0, 2, 10, 30), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(server.next_wakeup(SimTime::ZERO), Some(SimTime::ZERO));
+    server.poll(SimTime::ZERO).unwrap();
+    let next = server.next_wakeup(SimTime::from_secs(1)).unwrap();
+    assert!(
+        next <= SimTime::from_mins(10),
+        "second round due by t=10min, wakeup says {next}"
+    );
+    // Never in the past.
+    assert!(next >= SimTime::from_secs(1));
+}
+
+#[test]
+fn next_wakeup_gated_polls_match_every_tick_polls() {
+    // Driving the server only at its requested wakeups must produce the
+    // same assignment stream as polling every second.
+    let drive = |gated: bool| -> Vec<(SimTime, Vec<ImeiHash>)> {
+        let mut server = server_with_silent_devices(6);
+        server
+            .submit_task(spec(500.0, 2, 5, 20), SimTime::ZERO)
+            .unwrap();
+        let mut out = Vec::new();
+        for s in 0..(25 * 60) {
+            let t = SimTime::from_secs(s);
+            if gated && server.next_wakeup(t).is_none_or(|w| w > t) {
+                continue;
+            }
+            for a in server.poll(t).unwrap() {
+                out.push((t, a.devices));
+            }
+        }
+        out
+    };
+    let every_tick = drive(false);
+    let gated = drive(true);
+    assert!(!every_tick.is_empty());
+    assert_eq!(every_tick, gated);
+}

@@ -227,8 +227,10 @@ impl Mobility for StationaryJitter {
             return self.centre;
         }
         let phase = (t.as_secs_f64() / self.period.as_secs_f64()) * std::f64::consts::TAU;
-        self.centre
-            .offset_by_meters(self.amplitude_m * phase.sin(), self.amplitude_m * phase.cos())
+        self.centre.offset_by_meters(
+            self.amplitude_m * phase.sin(),
+            self.amplitude_m * phase.cos(),
+        )
     }
 }
 
@@ -293,7 +295,10 @@ mod tests {
             let p = mob.position_at(SimTime::from_mins(mins));
             max_d = max_d.max(start.distance_to(p).value());
         }
-        assert!(max_d > 200.0, "device never left its start area ({max_d} m)");
+        assert!(
+            max_d > 200.0,
+            "device never left its start area ({max_d} m)"
+        );
     }
 
     #[test]
@@ -502,7 +507,9 @@ mod trace_tests {
 
     #[test]
     fn csv_errors_are_descriptive() {
-        assert!(TraceMobility::from_csv("").unwrap_err().contains("no waypoints"));
+        assert!(TraceMobility::from_csv("")
+            .unwrap_err()
+            .contains("no waypoints"));
         assert!(TraceMobility::from_csv("1.0,oops,2.0")
             .unwrap_err()
             .contains("bad latitude"));

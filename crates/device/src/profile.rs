@@ -140,7 +140,10 @@ impl DeviceProfile {
     /// Panics on a non-positive battery capacity, an empty device type, or
     /// an invalid radio profile.
     pub fn validate(&self) {
-        assert!(!self.device_type.is_empty(), "device_type must be non-empty");
+        assert!(
+            !self.device_type.is_empty(),
+            "device_type must be non-empty"
+        );
         assert!(
             self.battery_capacity_j.is_finite() && self.battery_capacity_j > 0.0,
             "battery capacity {} must be positive",

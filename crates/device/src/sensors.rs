@@ -203,10 +203,7 @@ mod tests {
         let env = UniformEnvironment { value: 1013.25 };
         let p = GeoPoint::new(40.0, -86.0);
         assert_eq!(env.truth(Sensor::Barometer, p, SimTime::ZERO), 1013.25);
-        assert_eq!(
-            env.truth(Sensor::Gps, p, SimTime::from_secs(100)),
-            1013.25
-        );
+        assert_eq!(env.truth(Sensor::Gps, p, SimTime::from_secs(100)), 1013.25);
     }
 
     #[test]

@@ -107,11 +107,11 @@ impl TrafficConfig {
             "bad transfers_per_session {:?}",
             self.transfers_per_session
         );
+        assert!(self.intra_gap.0 <= self.intra_gap.1, "bad intra_gap range");
         assert!(
-            self.intra_gap.0 <= self.intra_gap.1,
-            "bad intra_gap range"
+            self.uplink_bytes.0 <= self.uplink_bytes.1,
+            "bad uplink range"
         );
-        assert!(self.uplink_bytes.0 <= self.uplink_bytes.1, "bad uplink range");
         assert!(
             self.downlink_bytes.0 <= self.downlink_bytes.1,
             "bad downlink range"

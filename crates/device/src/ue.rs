@@ -15,9 +15,7 @@ use crate::sensors::{Sensor, SensorEnvironment, SensorReading};
 use crate::traffic::{AppSession, AppTrafficModel};
 
 /// A stable, simulation-scoped device identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DeviceId(pub u32);
 
 impl fmt::Display for DeviceId {
@@ -29,9 +27,7 @@ impl fmt::Display for DeviceId {
 /// A hashed IMEI: what the Sense-Aid server is allowed to store (paper
 /// §3.2 — the device datastore keeps "the hash value of the IMEI code",
 /// never the IMEI itself).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ImeiHash(pub u64);
 
 impl ImeiHash {
@@ -333,12 +329,7 @@ impl Device {
     /// Uploads `bytes` of crowdsensing data at `t` with the given tail
     /// policy, draining the battery and attributing the *marginal* radio
     /// energy to crowdsensing.
-    pub fn upload_crowdsensing(
-        &mut self,
-        t: SimTime,
-        bytes: u64,
-        policy: ResetPolicy,
-    ) -> TxReport {
+    pub fn upload_crowdsensing(&mut self, t: SimTime, bytes: u64, policy: ResetPolicy) -> TxReport {
         let report = self.radio.transmit(t, bytes, Direction::Uplink, policy);
         self.battery.drain(report.marginal_j);
         self.cs_energy_j += report.marginal_j;

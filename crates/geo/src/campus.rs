@@ -102,7 +102,10 @@ impl CampusMap {
         // campus: union central, EE/CS adjacent to its north-east, gym far
         // north-west.
         let locations = [
-            (NamedLocation::StudentUnion, anchor.offset_by_meters(0.0, 0.0)),
+            (
+                NamedLocation::StudentUnion,
+                anchor.offset_by_meters(0.0, 0.0),
+            ),
             (
                 NamedLocation::EeDepartment,
                 anchor.offset_by_meters(250.0, 300.0),
@@ -187,8 +190,7 @@ impl CampusMap {
     pub fn in_bounds(&self, p: GeoPoint) -> bool {
         const TOL_M: f64 = 1e-3;
         let (n, e) = self.anchor.displacement_to(p);
-        n.abs() <= self.bounds_half_extent_m + TOL_M
-            && e.abs() <= self.bounds_half_extent_m + TOL_M
+        n.abs() <= self.bounds_half_extent_m + TOL_M && e.abs() <= self.bounds_half_extent_m + TOL_M
     }
 
     /// Clamps `p` to the campus mobility bounds.

@@ -113,8 +113,7 @@ impl GeoPoint {
     /// Panics if the offset would push latitude off the pole.
     pub fn offset_by_meters(self, north_m: f64, east_m: f64) -> GeoPoint {
         let dlat = (north_m / EARTH_RADIUS_M).to_degrees();
-        let dlon =
-            (east_m / (EARTH_RADIUS_M * self.lat_deg.to_radians().cos())).to_degrees();
+        let dlon = (east_m / (EARTH_RADIUS_M * self.lat_deg.to_radians().cos())).to_degrees();
         GeoPoint::new(self.lat_deg + dlat, self.lon_deg + dlon)
     }
 
@@ -161,7 +160,12 @@ mod tests {
 
     #[test]
     fn offset_round_trips_distance() {
-        for (n, e) in [(100.0, 0.0), (0.0, 250.0), (-300.0, 400.0), (1000.0, -1000.0)] {
+        for (n, e) in [
+            (100.0, 0.0),
+            (0.0, 250.0),
+            (-300.0, 400.0),
+            (1000.0, -1000.0),
+        ] {
             let p = PURDUE.offset_by_meters(n, e);
             let expect = (n * n + e * e).sqrt();
             let got = PURDUE.distance_to(p).value();

@@ -105,7 +105,11 @@ mod tests {
     fn boundary_distance_signs() {
         let r = CircleRegion::new(centre(), 300.0);
         assert!(r.boundary_distance(centre()).value() < 0.0);
-        assert!(r.boundary_distance(centre().offset_by_meters(400.0, 0.0)).value() > 0.0);
+        assert!(
+            r.boundary_distance(centre().offset_by_meters(400.0, 0.0))
+                .value()
+                > 0.0
+        );
     }
 
     #[test]

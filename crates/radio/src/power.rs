@@ -175,7 +175,10 @@ impl RadioPowerProfile {
             ("uplink_bytes_per_sec", self.uplink_bytes_per_sec),
             ("downlink_bytes_per_sec", self.downlink_bytes_per_sec),
         ] {
-            assert!(v.is_finite() && v > 0.0, "{label} must be positive, got {v}");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "{label} must be positive, got {v}"
+            );
         }
         self.tail.validate();
     }

@@ -425,7 +425,8 @@ impl Radio {
                 (SimTime::MAX, p.idle_mw, EnergyCategory::Idle)
             };
             let upto = if seg_end < target { seg_end } else { target };
-            self.breakdown.record(cat, mw_over(mw, upto.saturating_elapsed_since(t)));
+            self.breakdown
+                .record(cat, mw_over(mw, upto.saturating_elapsed_since(t)));
             t = upto;
         }
         self.last_update = target;
@@ -537,7 +538,10 @@ mod tests {
         let again = b1.completed_at + SimDuration::from_secs(5);
         basic.transmit(again, 600, Direction::Uplink, ResetPolicy::Reset);
         complete.transmit(again, 600, Direction::Uplink, ResetPolicy::NoReset);
-        assert!(basic.next_idle_at() > original_idle, "Reset pushes demotion out");
+        assert!(
+            basic.next_idle_at() > original_idle,
+            "Reset pushes demotion out"
+        );
         assert_eq!(
             complete.next_idle_at(),
             original_idle,
@@ -574,9 +578,7 @@ mod tests {
             (64.0, ResetPolicy::Reset),
             (120.0, ResetPolicy::NoReset),
         ] {
-            marginal_sum += r
-                .transmit(t(at), 600, Direction::Uplink, policy)
-                .marginal_j;
+            marginal_sum += r.transmit(t(at), 600, Direction::Uplink, policy).marginal_j;
         }
         let e = r.energy(horizon);
         let baseline = mw_over(11.0, horizon.elapsed_since(SimTime::ZERO));
@@ -602,16 +604,10 @@ mod tests {
     #[test]
     fn ttl_tracks_last_communication() {
         let mut r = Radio::new(lte());
-        assert_eq!(
-            r.time_since_last_comm(t(5.0)),
-            SimDuration::from_secs(5)
-        );
+        assert_eq!(r.time_since_last_comm(t(5.0)), SimDuration::from_secs(5));
         let rep = r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
         let probe = rep.completed_at + SimDuration::from_secs(3);
-        assert_eq!(
-            r.time_since_last_comm(probe),
-            SimDuration::from_secs(3)
-        );
+        assert_eq!(r.time_since_last_comm(probe), SimDuration::from_secs(3));
         // Mid-transfer the TTL is zero.
         assert_eq!(
             r.time_since_last_comm(rep.started_at + SimDuration::from_millis(1)),

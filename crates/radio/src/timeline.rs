@@ -144,7 +144,10 @@ impl Builder {
         };
         let boundaries = [
             (anchor + tail.short_drx, RadioPhase::LongDrx),
-            (anchor + tail.short_drx + tail.long_drx, RadioPhase::TailConnected),
+            (
+                anchor + tail.short_drx + tail.long_drx,
+                RadioPhase::TailConnected,
+            ),
             (idle_at, RadioPhase::Idle),
         ];
         // Phase at `from` itself.
@@ -265,7 +268,10 @@ mod tests {
             .map(|e| e.at)
             .next_back()
             .unwrap();
-        assert_eq!(idle_again, cs.completed_at + SimDuration::from_millis(11_500));
+        assert_eq!(
+            idle_again,
+            cs.completed_at + SimDuration::from_millis(11_500)
+        );
     }
 
     #[test]
@@ -284,7 +290,14 @@ mod tests {
         let mut r = Radio::new(RadioPowerProfile::lte_galaxy_s4());
         r.transmit(t(10.0), 600, Direction::Uplink, ResetPolicy::Reset);
         let text = PhaseTimeline::reconstruct(&r, t(60.0)).render();
-        for needle in ["IDLE", "PROMOTING", "TRANSFER", "SHORT_DRX", "LONG_DRX", "TAIL"] {
+        for needle in [
+            "IDLE",
+            "PROMOTING",
+            "TRANSFER",
+            "SHORT_DRX",
+            "LONG_DRX",
+            "TAIL",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -171,11 +171,7 @@ pub fn run_until<W: World>(
 ///
 /// This is an alias for [`run_until`] that reads better at call sites that
 /// use an infinite horizon.
-pub fn run<W: World>(
-    world: &mut W,
-    queue: &mut EventQueue<W::Event>,
-    horizon: SimTime,
-) -> SimTime {
+pub fn run<W: World>(world: &mut W, queue: &mut EventQueue<W::Event>, horizon: SimTime) -> SimTime {
     run_until(world, queue, horizon)
 }
 
@@ -233,10 +229,7 @@ mod tests {
         run(&mut w, &mut q, SimTime::MAX);
         assert_eq!(
             w.seen,
-            vec![
-                (SimTime::from_secs(1), 1),
-                (SimTime::from_secs(6), 99)
-            ]
+            vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(6), 99)]
         );
     }
 

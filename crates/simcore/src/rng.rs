@@ -68,7 +68,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         self.inner.random_range(lo..hi)
     }
 
@@ -101,7 +104,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "bad exponential mean {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "bad exponential mean {mean}"
+        );
         // Inverse-CDF sampling; (1 - u) avoids ln(0).
         let u = self.inner.random::<f64>();
         -mean * (1.0f64 - u).ln()
@@ -120,7 +126,10 @@ impl SimRng {
     ///
     /// Panics if `std_dev` is negative or non-finite.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "bad std dev {std_dev}");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "bad std dev {std_dev}"
+        );
         mean + std_dev * self.standard_normal()
     }
 
@@ -256,7 +265,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle staying sorted is ~impossible");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle staying sorted is ~impossible"
+        );
     }
 
     #[test]

@@ -303,10 +303,7 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
     }
 
     #[test]

@@ -150,9 +150,7 @@ mod tests {
 
     #[test]
     fn window_is_inclusive() {
-        let log: TraceLog<u32> = (0..10)
-            .map(|i| (SimTime::from_secs(i), i as u32))
-            .collect();
+        let log: TraceLog<u32> = (0..10).map(|i| (SimTime::from_secs(i), i as u32)).collect();
         let got: Vec<u32> = log
             .window(SimTime::from_secs(3), SimTime::from_secs(6))
             .map(|e| e.item)
@@ -162,9 +160,7 @@ mod tests {
 
     #[test]
     fn filter_by_payload() {
-        let log: TraceLog<u32> = (0..10)
-            .map(|i| (SimTime::from_secs(i), i as u32))
-            .collect();
+        let log: TraceLog<u32> = (0..10).map(|i| (SimTime::from_secs(i), i as u32)).collect();
         let evens: Vec<u32> = log.filter(|x| x % 2 == 0).map(|e| e.item).collect();
         assert_eq!(evens, vec![0, 2, 4, 6, 8]);
     }

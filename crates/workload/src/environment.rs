@@ -83,9 +83,8 @@ impl WeatherField {
     /// Relative humidity (%) at a position and time.
     pub fn humidity(&self, _position: GeoPoint, at: SimTime) -> f64 {
         let t = at.as_secs_f64();
-        (self.base_humidity
-            + 20.0 * (t / 86_400.0 * std::f64::consts::TAU + self.phases[4]).sin())
-        .clamp(5.0, 100.0)
+        (self.base_humidity + 20.0 * (t / 86_400.0 * std::f64::consts::TAU + self.phases[4]).sin())
+            .clamp(5.0, 100.0)
     }
 }
 
@@ -309,7 +308,11 @@ mod storm_tests {
         let east_a = storm.pressure(campus().offset_by_meters(0.0, 1000.0), after);
         assert!((west_a - east_a).abs() < 1.0, "front has passed");
         assert!(
-            west_a < storm.base().pressure(campus().offset_by_meters(0.0, -1000.0), after) - 4.0,
+            west_a
+                < storm
+                    .base()
+                    .pressure(campus().offset_by_meters(0.0, -1000.0), after)
+                    - 4.0,
             "pressure dropped behind the front"
         );
     }

@@ -8,9 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use senseaid_device::{
-    Device, DeviceId, DeviceProfile, TrafficConfig, UserPreferences,
-};
+use senseaid_device::{Device, DeviceId, DeviceProfile, TrafficConfig, UserPreferences};
 use senseaid_geo::CampusMap;
 use senseaid_sim::SimRng;
 
@@ -107,9 +105,7 @@ impl StudyPopulation {
                 DeviceProfile::galaxy_s4()
             } else if roll < config.galaxy_s4_share + config.iphone6_share {
                 DeviceProfile::iphone6()
-            } else if roll
-                < config.galaxy_s4_share + config.iphone6_share + config.lg_g2_share
-            {
+            } else if roll < config.galaxy_s4_share + config.iphone6_share + config.lg_g2_share {
                 DeviceProfile::lg_g2()
             } else {
                 DeviceProfile::budget_phone()
@@ -178,8 +174,7 @@ mod tests {
         let map = CampusMap::standard();
         let pop = StudyPopulation::generate(1, &map, PopulationConfig::default());
         assert_eq!(pop.len(), 60);
-        let ids: std::collections::BTreeSet<_> =
-            pop.devices().iter().map(|d| d.id()).collect();
+        let ids: std::collections::BTreeSet<_> = pop.devices().iter().map(|d| d.id()).collect();
         assert_eq!(ids.len(), 60, "ids must be unique");
         let imeis: std::collections::BTreeSet<_> =
             pop.devices().iter().map(|d| d.imei_hash()).collect();
@@ -196,7 +191,11 @@ mod tests {
             .map(|d| d.profile().device_type.clone())
             .collect();
         assert!(types.len() >= 3, "expect several device models: {types:?}");
-        let batteries: Vec<f64> = pop.devices().iter().map(|d| d.battery_level_pct()).collect();
+        let batteries: Vec<f64> = pop
+            .devices()
+            .iter()
+            .map(|d| d.battery_level_pct())
+            .collect();
         let min = batteries.iter().copied().fold(f64::MAX, f64::min);
         let max = batteries.iter().copied().fold(f64::MIN, f64::max);
         assert!(max - min > 20.0, "battery levels must vary ({min}..{max})");
@@ -221,11 +220,7 @@ mod tests {
             (40..60).contains(&with_baro),
             "~85 % of 60 should have barometers, got {with_baro}"
         );
-        let all = StudyPopulation::generate(
-            3,
-            &map,
-            PopulationConfig::all_barometer(20),
-        );
+        let all = StudyPopulation::generate(3, &map, PopulationConfig::all_barometer(20));
         assert!(all
             .devices()
             .iter()
@@ -250,7 +245,10 @@ mod tests {
             .zip(c.devices())
             .filter(|(x, y)| x.battery_level_pct() == y.battery_level_pct())
             .count();
-        assert!(same < 10, "different seeds should differ (got {same} identical)");
+        assert!(
+            same < 10,
+            "different seeds should differ (got {same} identical)"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl ScenarioConfig {
     /// Panics on zero durations, densities, radii, task or group counts,
     /// or a period longer than the test.
     pub fn validate(&self) {
-        assert!(!self.test_duration.is_zero(), "test duration must be non-zero");
+        assert!(
+            !self.test_duration.is_zero(),
+            "test duration must be non-zero"
+        );
         assert!(
             !self.sampling_period.is_zero() && self.sampling_period <= self.test_duration,
             "sampling period must be non-zero and fit the test"
@@ -145,10 +148,7 @@ impl ExperimentGrid {
                 .collect(),
             ExperimentGrid::ConcurrentTasks { base, task_counts } => task_counts
                 .iter()
-                .map(|t| ScenarioConfig {
-                    tasks: *t,
-                    ..*base
-                })
+                .map(|t| ScenarioConfig { tasks: *t, ..*base })
                 .collect(),
         }
     }
@@ -229,8 +229,7 @@ mod tests {
 
     #[test]
     fn experiment2_matches_table2() {
-        let ExperimentGrid::SamplingPeriod { base, periods } = ExperimentGrid::experiment2()
-        else {
+        let ExperimentGrid::SamplingPeriod { base, periods } = ExperimentGrid::experiment2() else {
             panic!("wrong variant");
         };
         assert_eq!(periods.len(), 3);
@@ -241,8 +240,7 @@ mod tests {
 
     #[test]
     fn experiment3_matches_table2() {
-        let ExperimentGrid::ConcurrentTasks { base, task_counts } =
-            ExperimentGrid::experiment3()
+        let ExperimentGrid::ConcurrentTasks { base, task_counts } = ExperimentGrid::experiment3()
         else {
             panic!("wrong variant");
         };

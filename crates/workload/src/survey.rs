@@ -137,7 +137,10 @@ mod tests {
     fn anchors_match_paper() {
         let s = SurveyDistribution::paper();
         assert_eq!(s.total_respondents(), 109);
-        assert!((s.share_at(2.0) - 0.414).abs() < 0.01, "41.4 % tolerate ≤2 %");
+        assert!(
+            (s.share_at(2.0) - 0.414).abs() < 0.01,
+            "41.4 % tolerate ≤2 %"
+        );
         assert_eq!(s.share_above(10.0), 0.0, "nobody above 10 %");
         assert!(s.share_above(2.0) > 0.3, "a third tolerate more than 2 %");
     }

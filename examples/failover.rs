@@ -65,10 +65,10 @@ fn main() {
         );
     }
 
-    let lost = healthy.rounds_fulfilled.saturating_sub(outage.rounds_fulfilled);
-    println!(
-        "\nthe outage cost {lost} fulfilled rounds (~one per sampling period of downtime);"
-    );
+    let lost = healthy
+        .rounds_fulfilled
+        .saturating_sub(outage.rounds_fulfilled);
+    println!("\nthe outage cost {lost} fulfilled rounds (~one per sampling period of downtime);");
     println!("scheduling resumed automatically after recovery — rounds before and after the window are intact.");
 
     // Scheduling resumed: some rounds happened after minute 60.

@@ -52,8 +52,14 @@ fn main() {
     };
     println!(
         "\nSense-Aid Complete saves {:.1}% vs PCS and {:.1}% vs Periodic",
-        savings_pct(total(FrameworkKind::SenseAidComplete), total(FrameworkKind::pcs_default())),
-        savings_pct(total(FrameworkKind::SenseAidComplete), total(FrameworkKind::Periodic)),
+        savings_pct(
+            total(FrameworkKind::SenseAidComplete),
+            total(FrameworkKind::pcs_default())
+        ),
+        savings_pct(
+            total(FrameworkKind::SenseAidComplete),
+            total(FrameworkKind::Periodic)
+        ),
     );
     println!(
         "(the paper's representative case reports 93.3% vs PCS)\n2% battery budget = {:.0} J per device",

@@ -5,15 +5,29 @@
 //! one barometer task per campus location; the Sense-Aid server selects
 //! devices and collects readings; the app builds a per-location pressure
 //! map. Run with `cargo run --release --example hyperlocal_weather`.
+//!
+//! The server side is event-driven: instead of polling the control plane
+//! every tick, a [`WakeupDriver`] schedules polls only at the instants
+//! [`SenseAidServer::next_wakeup`] says could matter.
 
 use std::collections::BTreeMap;
 
 use senseaid::core::cas::CasId;
-use senseaid::core::{AppServer, SenseAidClient, SenseAidConfig, SenseAidServer, UploadDecision};
+use senseaid::core::{
+    AppServer, SenseAidClient, SenseAidConfig, SenseAidServer, UploadDecision, WakeupDriver,
+};
 use senseaid::device::{Device, ImeiHash, Sensor};
 use senseaid::geo::{CampusMap, CircleRegion, NamedLocation};
-use senseaid::sim::{SimDuration, SimTime};
+use senseaid::sim::{EventQueue, SimDuration, SimTime};
 use senseaid::workload::{PopulationConfig, StudyPopulation, WeatherField};
+
+/// The simulated world's event kinds: the client side ticks once a second
+/// (app traffic, sampling, uploads); server polls fire only when armed.
+#[derive(Debug)]
+enum Event {
+    ClientTick,
+    ServerWakeup,
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = 7;
@@ -58,54 +72,82 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         task_location.insert(task, loc);
     }
 
-    // The simulation loop (one-second ticks over 70 minutes).
+    // The simulation loop: client ticks every second; server polls only
+    // when the wakeup driver armed one.
     let horizon = SimTime::from_mins(70);
-    let mut t = SimTime::ZERO;
-    while t <= horizon {
-        for (i, d) in devices.iter_mut().enumerate() {
-            let before = d.sessions_run();
-            d.run_regular_sessions_until(t);
-            if d.sessions_run() > before {
-                let _ = server.update_device_state(
-                    clients[i].imei(),
-                    d.battery_level_pct(),
-                    d.cs_energy_j(),
-                    t,
-                );
-            }
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut driver = WakeupDriver::new();
+    queue.schedule(SimTime::ZERO, Event::ClientTick);
+    driver.arm(&server, &mut queue, || Event::ServerWakeup);
+    let mut polls = 0u64;
+    let mut ticks = 0u64;
+    while let Some(ev) = queue.pop() {
+        let t = ev.at;
+        if t > horizon {
+            break;
         }
-        if t.as_micros().is_multiple_of(30_000_000) {
-            for (i, d) in devices.iter_mut().enumerate() {
-                let _ = server.observe_device(clients[i].imei(), d.position(t), None);
-            }
-        }
-        for a in server.poll(t)? {
-            for imei in &a.devices {
-                clients[by_imei[imei]].start_sensing(&a);
-            }
-        }
-        for (i, client) in clients.iter_mut().enumerate() {
-            let d: &mut Device = &mut devices[i];
-            for request in client.due_samples(t) {
-                if let Ok(reading) = d.sample_sensor(t, Sensor::Barometer, &field) {
-                    client.record_sample(request, reading);
+        match ev.event {
+            Event::ClientTick => {
+                ticks += 1;
+                for (i, d) in devices.iter_mut().enumerate() {
+                    let before = d.sessions_run();
+                    d.run_regular_sessions_until(t);
+                    if d.sessions_run() > before {
+                        let _ = server.update_device_state(
+                            clients[i].imei(),
+                            d.battery_level_pct(),
+                            d.cs_energy_j(),
+                            t,
+                        );
+                    }
                 }
+                if t.as_micros().is_multiple_of(30_000_000) {
+                    for (i, d) in devices.iter_mut().enumerate() {
+                        let _ = server.observe_device(clients[i].imei(), d.position(t), None);
+                    }
+                }
+                for (i, client) in clients.iter_mut().enumerate() {
+                    let d: &mut Device = &mut devices[i];
+                    for request in client.due_samples(t) {
+                        if let Ok(reading) = d.sample_sensor(t, Sensor::Barometer, &field) {
+                            client.record_sample(request, reading);
+                        }
+                    }
+                    let decision = client.upload_decision(t, d.in_tail(t), d.tail_remaining(t));
+                    if decision != UploadDecision::Wait {
+                        let duties = client.send_sense_data(decision);
+                        if !duties.is_empty() {
+                            let bytes: u64 = duties.iter().map(|x| x.payload_bytes).sum();
+                            d.upload_crowdsensing(t, bytes, duties[0].reset_policy);
+                            for duty in duties {
+                                let reading = duty.reading.expect("sampled");
+                                let _ = server.submit_sensed_data(
+                                    client.imei(),
+                                    duty.request,
+                                    &reading,
+                                    t,
+                                );
+                            }
+                        }
+                    }
+                    client.drop_expired(t);
+                }
+                queue.schedule_in(SimDuration::from_secs(1), Event::ClientTick);
             }
-            let decision = client.upload_decision(t, d.in_tail(t), d.tail_remaining(t));
-            if decision != UploadDecision::Wait {
-                let duties = client.send_sense_data(decision);
-                if !duties.is_empty() {
-                    let bytes: u64 = duties.iter().map(|x| x.payload_bytes).sum();
-                    d.upload_crowdsensing(t, bytes, duties[0].reset_policy);
-                    for duty in duties {
-                        let reading = duty.reading.expect("sampled");
-                        let _ = server.submit_sensed_data(client.imei(), duty.request, &reading, t);
+            Event::ServerWakeup => {
+                if driver.fire(t) {
+                    polls += 1;
+                    for a in server.poll(t)? {
+                        for imei in &a.devices {
+                            clients[by_imei[imei]].start_sensing(&a);
+                        }
                     }
                 }
             }
-            client.drop_expired(t);
         }
-        t += SimDuration::from_secs(1);
+        // Any of the calls above may have changed when the next poll
+        // matters; re-arm (a no-op when an earlier wakeup is pending).
+        driver.arm(&server, &mut queue, || Event::ServerWakeup);
     }
 
     // Deliver and render the map.
@@ -139,5 +181,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "requests: {} fulfilled, {} expired (devices sometimes wander out of small regions)",
         stats.requests_fulfilled, stats.requests_expired
     );
+    println!("server polls: {polls} event-driven wakeups instead of {ticks} fixed 1 s ticks");
     Ok(())
 }

@@ -72,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for imei in a.devices.clone() {
                 let reading = SensorReading {
                     sensor: a.sensor,
-                    value: if a.sensor == Sensor::Barometer { 1011.4 } else { 58.0 },
+                    value: if a.sensor == Sensor::Barometer {
+                        1011.4
+                    } else {
+                        58.0
+                    },
                     taken_at: t,
                     position: campus,
                 };
@@ -83,14 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Mid-flight, the weather service tightens its density.
-    weather.update_task_param(
-        &mut server,
-        weather_task,
-        Some(3),
-        None,
-        None,
-        t,
-    )?;
+    weather.update_task_param(&mut server, weather_task, Some(3), None, None, t)?;
     println!("weather task density updated 2 → 3 at {t}");
     for a in server.poll(t)? {
         if a.task == weather_task {
@@ -111,10 +108,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         weather.received().len(),
         noise.received().len()
     );
-    let weather_pseudonyms: std::collections::BTreeSet<u64> =
-        weather.received().iter().map(|r| r.device_pseudonym).collect();
-    let noise_pseudonyms: std::collections::BTreeSet<u64> =
-        noise.received().iter().map(|r| r.device_pseudonym).collect();
+    let weather_pseudonyms: std::collections::BTreeSet<u64> = weather
+        .received()
+        .iter()
+        .map(|r| r.device_pseudonym)
+        .collect();
+    let noise_pseudonyms: std::collections::BTreeSet<u64> = noise
+        .received()
+        .iter()
+        .map(|r| r.device_pseudonym)
+        .collect();
     println!(
         "pseudonym overlap between the two services: {} (same devices, unlinkable identities)",
         weather_pseudonyms.intersection(&noise_pseudonyms).count()

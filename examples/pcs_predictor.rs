@@ -76,10 +76,7 @@ fn evaluate(name: &str, sessions: &[SimTime]) {
 fn main() {
     println!("predictor: 'will an app session start within the next 30 minutes?'");
     println!("trained on 30 days, evaluated on 4 held-out days\n");
-    evaluate(
-        "habitual user",
-        &habitual_sessions(34, "habitual"),
-    );
+    evaluate("habitual user", &habitual_sessions(34, "habitual"));
     evaluate(
         "average user (9 min)",
         &poisson_sessions(34, TrafficConfig::default(), "avg"),

@@ -63,8 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             taken_at: SimTime::from_secs(10),
             position: campus,
         };
-        let fulfilled =
-            server.submit_sensed_data(imei, assignment.request, &reading, SimTime::from_secs(12))?;
+        let fulfilled = server.submit_sensed_data(
+            imei,
+            assignment.request,
+            &reading,
+            SimTime::from_secs(12),
+        )?;
         println!("{imei} delivered (request fulfilled: {fulfilled})");
     }
 

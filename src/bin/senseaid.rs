@@ -35,7 +35,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("abl-tail", "tail-window ablation"),
     ("ext-scale", "scalability extension (20–200 devices)"),
     ("ext-timeliness", "data-timeliness extension"),
-    ("ext-adaptive", "adaptive task density through a pressure front"),
+    (
+        "ext-adaptive",
+        "adaptive task density through a pressure front",
+    ),
 ];
 
 fn main() -> ExitCode {

@@ -8,10 +8,10 @@ use std::sync::Arc;
 use crossbeam::channel;
 use parking_lot::Mutex;
 
+use senseaid::core::TaskSpec;
 use senseaid::core::{Assignment, SenseAidConfig, SenseAidServer};
 use senseaid::device::{ImeiHash, Sensor, SensorReading};
 use senseaid::geo::{CircleRegion, GeoPoint};
-use senseaid::core::TaskSpec;
 use senseaid::sim::{SimDuration, SimTime};
 
 #[test]
@@ -82,7 +82,10 @@ fn concurrent_clients_and_scheduler() {
         .sampling_duration(SimDuration::from_mins(10))
         .build()
         .unwrap();
-    server.lock().submit_task(spec, SimTime::from_mins(1)).unwrap();
+    server
+        .lock()
+        .submit_task(spec, SimTime::from_mins(1))
+        .unwrap();
 
     let (tx, rx) = channel::unbounded::<Assignment>();
     let scheduler = {

@@ -1,7 +1,7 @@
 //! Reproducibility: identical seeds give bit-identical runs; different
 //! seeds give different studies; frameworks see paired populations.
 
-use senseaid::bench::{run_scenario, FrameworkKind};
+use senseaid::bench::{run_scenario, run_scenario_with, FrameworkKind, HarnessOptions};
 use senseaid::geo::NamedLocation;
 use senseaid::sim::SimDuration;
 use senseaid::workload::ScenarioConfig;
@@ -40,6 +40,54 @@ fn different_seeds_differ() {
         a.per_device_cs_j, b.per_device_cs_j,
         "two studies with different seeds should not be identical"
     );
+}
+
+#[test]
+fn shard_count_never_changes_the_study() {
+    // The sharded control plane must be an implementation detail: for any
+    // shard count the scheduler pops requests in the same global order and
+    // sees candidates in the same merged order, so whole-study results are
+    // bit-identical to the single-shard (paper prototype) layout.
+    for seed in [5u64, 99] {
+        let single = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario(),
+            seed,
+            HarnessOptions {
+                shard_count: Some(1),
+                ..HarnessOptions::default()
+            },
+        );
+        for shards in [2usize, 8] {
+            let sharded = run_scenario_with(
+                FrameworkKind::SenseAidComplete,
+                scenario(),
+                seed,
+                HarnessOptions {
+                    shard_count: Some(shards),
+                    ..HarnessOptions::default()
+                },
+            );
+            assert_eq!(
+                single.per_device_cs_j, sharded.per_device_cs_j,
+                "seed {seed}: energy must match across {shards} shards"
+            );
+            assert_eq!(single.uploads, sharded.uploads, "seed {seed}/{shards}");
+            assert_eq!(
+                single.rounds.len(),
+                sharded.rounds.len(),
+                "seed {seed}/{shards}"
+            );
+            for (a, b) in single.rounds.iter().zip(&sharded.rounds) {
+                assert_eq!(a.at, b.at, "seed {seed}/{shards}");
+                assert_eq!(a.qualified, b.qualified, "seed {seed}/{shards}");
+                assert_eq!(
+                    a.participating, b.participating,
+                    "seed {seed}/{shards}: selection must be shard-invariant"
+                );
+            }
+        }
+    }
 }
 
 #[test]

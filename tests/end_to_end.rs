@@ -38,7 +38,11 @@ fn full_middleware_workflow() {
             )
             .unwrap();
         server
-            .observe_device(ImeiHash(i), campus.offset_by_meters(i as f64 * 30.0, 0.0), None)
+            .observe_device(
+                ImeiHash(i),
+                campus.offset_by_meters(i as f64 * 30.0, 0.0),
+                None,
+            )
             .unwrap();
     }
 
@@ -65,7 +69,9 @@ fn full_middleware_workflow() {
                     taken_at: t,
                     position: campus,
                 };
-                server.submit_sensed_data(imei, a.request, &reading, t).unwrap();
+                server
+                    .submit_sensed_data(imei, a.request, &reading, t)
+                    .unwrap();
             }
         }
         t += SimDuration::from_mins(5);

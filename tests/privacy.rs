@@ -24,7 +24,11 @@ fn setup(cas: CasId) -> (SenseAidServer, AppServer, GeoPoint) {
             )
             .unwrap();
         server
-            .observe_device(ImeiHash(i), campus.offset_by_meters(20.0 * i as f64, 0.0), None)
+            .observe_device(
+                ImeiHash(i),
+                campus.offset_by_meters(20.0 * i as f64, 0.0),
+                None,
+            )
             .unwrap();
     }
     (server, AppServer::new(cas, "privacy-test"), campus)

@@ -4,9 +4,7 @@
 //! any one behaviour but that *no* interleaving panics, corrupts counts,
 //! or assigns devices that should be ineligible.
 
-use senseaid::core::{
-    RequestStatus, SenseAidConfig, SenseAidServer, TaskId, TaskSpec,
-};
+use senseaid::core::{RequestStatus, SenseAidConfig, SenseAidServer, TaskId, TaskSpec};
 use senseaid::device::{ImeiHash, Sensor, SensorReading};
 use senseaid::geo::{CircleRegion, GeoPoint};
 use senseaid::sim::{SimDuration, SimRng, SimTime};
@@ -84,12 +82,8 @@ fn workout(seed: u64) {
                         rng.uniform_range(200.0, 1_200.0),
                     ))
                     .spatial_density(rng.uniform_usize(1, 5))
-                    .sampling_period(SimDuration::from_mins(
-                        rng.uniform_usize(1, 10) as u64
-                    ))
-                    .sampling_duration(SimDuration::from_mins(
-                        rng.uniform_usize(10, 40) as u64
-                    ))
+                    .sampling_period(SimDuration::from_mins(rng.uniform_usize(1, 10) as u64))
+                    .sampling_duration(SimDuration::from_mins(rng.uniform_usize(10, 40) as u64))
                     .build()
                     .expect("generated spec is valid");
                 tasks.push(server.submit_task(spec, now).expect("server is up"));
@@ -124,7 +118,11 @@ fn workout(seed: u64) {
                         let bogus = rng.chance(0.05);
                         let reading = SensorReading {
                             sensor: Sensor::Barometer,
-                            value: if bogus { -42.0 } else { rng.uniform_range(980.0, 1040.0) },
+                            value: if bogus {
+                                -42.0
+                            } else {
+                                rng.uniform_range(980.0, 1040.0)
+                            },
                             taken_at: a.sample_at,
                             position: campus(),
                         };
@@ -160,7 +158,8 @@ fn workout(seed: u64) {
         // Global invariants after every operation.
         let stats = server.stats();
         assert!(
-            stats.requests_fulfilled + stats.requests_expired <= stats.requests_assigned + stats.requests_waited + 10_000,
+            stats.requests_fulfilled + stats.requests_expired
+                <= stats.requests_assigned + stats.requests_waited + 10_000,
             "counter overflow nonsense"
         );
         assert_eq!(server.device_count(), registered.len());
@@ -177,7 +176,10 @@ fn workout(seed: u64) {
     // Outbox drains cleanly and every delivered reading references a task
     // the server knew about.
     for (_, reading) in server.drain_outbox() {
-        assert!(reading.value > 900.0, "invalid readings must never be delivered");
+        assert!(
+            reading.value > 900.0,
+            "invalid readings must never be delivered"
+        );
     }
 }
 

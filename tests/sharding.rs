@@ -1,0 +1,294 @@
+//! Shard-invariance of the control plane.
+//!
+//! The cell-sharded scheduler must be observationally identical to the
+//! single-shard layout the paper's prototype used: same assignments, same
+//! statuses, same statistics, for any shard count and any interleaving of
+//! device churn, mobility and scheduling. These tests drive pairs of
+//! servers through identical operation sequences and require bit-identical
+//! behaviour.
+
+use proptest::prelude::*;
+
+use senseaid::cellnet::{CellId, CellularNetwork};
+use senseaid::core::{RequestId, RequestStatus, SenseAidConfig, SenseAidServer, TaskSpec};
+use senseaid::device::{ImeiHash, Sensor, SensorReading};
+use senseaid::geo::{CircleRegion, GeoPoint, TowerSite};
+use senseaid::sim::{SimDuration, SimTime};
+
+fn centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+/// A small multi-cell radio network: a ring of towers around the campus
+/// centre plus one in the middle, all overlapping.
+fn test_network(towers: usize) -> CellularNetwork {
+    let sites: Vec<TowerSite> = (0..towers)
+        .map(|i| {
+            let position = if i == 0 {
+                centre()
+            } else {
+                let angle = (i as f64) * std::f64::consts::TAU / ((towers - 1) as f64);
+                centre().offset_by_meters(1200.0 * angle.cos(), 1200.0 * angle.sin())
+            };
+            TowerSite {
+                index: i,
+                position,
+                coverage_m: 1500.0,
+            }
+        })
+        .collect();
+    CellularNetwork::new(sites)
+}
+
+fn server_with(shards: usize, network: &CellularNetwork) -> SenseAidServer {
+    let config = SenseAidConfig {
+        shard_count: shards,
+        ..SenseAidConfig::default()
+    };
+    let mut server = SenseAidServer::new(config);
+    server.set_topology(network.clone());
+    server
+}
+
+fn register_at(server: &mut SenseAidServer, network: &CellularNetwork, imei: u64, p: GeoPoint) {
+    server
+        .register_device(
+            ImeiHash(imei),
+            495.0,
+            15.0,
+            100.0,
+            vec![Sensor::Barometer],
+            "GalaxyS4".to_owned(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    server
+        .observe_device(ImeiHash(imei), p, network.serving_cell(p))
+        .unwrap();
+}
+
+fn reading(at: SimTime, p: GeoPoint) -> SensorReading {
+    SensorReading {
+        sensor: Sensor::Barometer,
+        value: 1010.0,
+        taken_at: at,
+        position: p,
+    }
+}
+
+proptest! {
+    /// For arbitrary populations, mobility traces and task shapes, a
+    /// control plane with 2..=9 shards produces exactly the assignment
+    /// stream, statuses and statistics of the single-shard layout.
+    #[test]
+    fn sharded_assignments_match_single_shard(
+        shards in 2usize..10,
+        towers in 2usize..7,
+        device_offsets in prop::collection::vec((-1800.0f64..1800.0, -1800.0f64..1800.0), 4..28),
+        moves in prop::collection::vec((0usize..28, -1800.0f64..1800.0, -1800.0f64..1800.0), 0..40),
+        radius in 200.0f64..1500.0,
+        density in 1usize..4,
+        deliver_mask in any::<u64>(),
+    ) {
+        let network = test_network(towers);
+        let mut single = server_with(1, &network);
+        let mut sharded = server_with(shards, &network);
+
+        let positions: Vec<GeoPoint> = device_offsets
+            .iter()
+            .map(|(n, e)| centre().offset_by_meters(*n, *e))
+            .collect();
+        for (i, p) in positions.iter().enumerate() {
+            register_at(&mut single, &network, i as u64 + 1, *p);
+            register_at(&mut sharded, &network, i as u64 + 1, *p);
+        }
+
+        let spec = || {
+            TaskSpec::builder(Sensor::Barometer)
+                .region(CircleRegion::new(centre(), radius))
+                .spatial_density(density)
+                .sampling_period(SimDuration::from_mins(5))
+                .sampling_duration(SimDuration::from_mins(20))
+                .build()
+                .unwrap()
+        };
+        prop_assert_eq!(
+            single.submit_task(spec(), SimTime::ZERO).unwrap(),
+            sharded.submit_task(spec(), SimTime::ZERO).unwrap()
+        );
+
+        // Interleave mobility (with cell hand-offs → shard migrations),
+        // scheduling and data delivery over 25 simulated minutes.
+        let mut move_iter = moves.iter();
+        for minute in 0..25u64 {
+            let t = SimTime::from_mins(minute);
+
+            // A couple of devices move each minute; both servers see the
+            // identical observations.
+            for _ in 0..2 {
+                if let Some((who, dn, de)) = move_iter.next() {
+                    let idx = who % positions.len();
+                    let p = centre().offset_by_meters(*dn, *de);
+                    let cell = network.serving_cell(p);
+                    single.observe_device(ImeiHash(idx as u64 + 1), p, cell).unwrap();
+                    sharded.observe_device(ImeiHash(idx as u64 + 1), p, cell).unwrap();
+                }
+            }
+
+            let a = single.poll(t).unwrap();
+            let b = sharded.poll(t).unwrap();
+            prop_assert_eq!(&a, &b, "assignments diverged at minute {}", minute);
+
+            // Some assignees deliver, some stay silent (bit per device).
+            for assignment in &a {
+                for (j, imei) in assignment.devices.iter().enumerate() {
+                    if deliver_mask >> (j % 64) & 1 == 1 {
+                        let p = positions[(imei.0 - 1) as usize % positions.len()];
+                        let r1 = single.submit_sensed_data(*imei, assignment.request, &reading(t, p), t);
+                        let r2 = sharded.submit_sensed_data(*imei, assignment.request, &reading(t, p), t);
+                        prop_assert_eq!(r1.is_ok(), r2.is_ok());
+                    }
+                }
+            }
+
+            prop_assert_eq!(single.next_wakeup(t), sharded.next_wakeup(t), "wakeups diverged at minute {}", minute);
+        }
+
+        prop_assert_eq!(single.stats(), sharded.stats());
+        prop_assert_eq!(single.wait_queue_len(), sharded.wait_queue_len());
+        prop_assert_eq!(single.run_queue_len(), sharded.run_queue_len());
+        for id in 1..=8u64 {
+            prop_assert_eq!(
+                single.request_status(RequestId(id)),
+                sharded.request_status(RequestId(id))
+            );
+        }
+        prop_assert_eq!(
+            single.drain_outbox().len(),
+            sharded.drain_outbox().len()
+        );
+    }
+}
+
+/// A request parked on one shard must drain when qualifying devices appear
+/// in a *neighbouring* cell homed on a different shard: the wait-queue
+/// recheck spans every shard the request's region touches.
+#[test]
+fn parked_request_drains_from_neighbouring_cell() {
+    // Two disjoint cells 2 km apart, one shard each.
+    let tower_a = centre();
+    let tower_b = centre().offset_by_meters(0.0, 2000.0);
+    let network = CellularNetwork::new(vec![
+        TowerSite {
+            index: 0,
+            position: tower_a,
+            coverage_m: 900.0,
+        },
+        TowerSite {
+            index: 1,
+            position: tower_b,
+            coverage_m: 900.0,
+        },
+    ]);
+    let mut server = server_with(2, &network);
+
+    // The task region spans both cells, so its home shard is the first
+    // covering cell's (shard 0), while tower B's devices live on shard 1.
+    let region = CircleRegion::new(centre().offset_by_meters(0.0, 1000.0), 1900.0);
+    let spec = TaskSpec::builder(Sensor::Barometer)
+        .region(region)
+        .spatial_density(2)
+        .sampling_period(SimDuration::from_mins(5))
+        .sampling_duration(SimDuration::from_mins(30))
+        .build()
+        .unwrap();
+    server.submit_task(spec, SimTime::ZERO).unwrap();
+
+    // Nobody is registered yet: the t=0 request parks.
+    assert!(server.poll(SimTime::ZERO).unwrap().is_empty());
+    assert_eq!(server.wait_queue_len(), 1);
+
+    // Two devices appear next to tower B — cell 1, shard 1, not the
+    // request's home shard.
+    for i in [1u64, 2] {
+        let p = tower_b.offset_by_meters(10.0 * i as f64, 0.0);
+        register_at(&mut server, &network, i, p);
+        assert_eq!(
+            network.serving_cell(p),
+            Some(CellId(1)),
+            "device must attach to the neighbouring cell"
+        );
+        assert!(region.contains(p), "and stand inside the task region");
+    }
+
+    // The next poll drains the parked request across the shard boundary.
+    let assignments = server.poll(SimTime::from_mins(1)).unwrap();
+    assert_eq!(assignments.len(), 1, "parked request must drain");
+    assert_eq!(server.wait_queue_len(), 0);
+    let mut devices = assignments[0].devices.clone();
+    devices.sort_unstable();
+    assert_eq!(devices, vec![ImeiHash(1), ImeiHash(2)]);
+    assert_eq!(
+        server.request_status(assignments[0].request),
+        Some(RequestStatus::Assigned)
+    );
+}
+
+/// The wakeup API goes quiescent when and only when no request is queued,
+/// parked, or in flight — for sharded layouts too.
+#[test]
+fn sharded_server_reports_quiescence() {
+    let network = test_network(4);
+    let mut server = server_with(4, &network);
+    assert_eq!(server.next_wakeup(SimTime::ZERO), None);
+
+    for i in 1..=3u64 {
+        register_at(
+            &mut server,
+            &network,
+            i,
+            centre().offset_by_meters(20.0 * i as f64, 0.0),
+        );
+    }
+    assert_eq!(
+        server.next_wakeup(SimTime::ZERO),
+        None,
+        "devices alone need no polls"
+    );
+
+    let spec = TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(centre(), 500.0))
+        .spatial_density(2)
+        .one_shot()
+        .build()
+        .unwrap();
+    server.submit_task(spec, SimTime::ZERO).unwrap();
+    assert_eq!(
+        server.next_wakeup(SimTime::ZERO),
+        Some(SimTime::ZERO),
+        "a due request wakes the scheduler immediately"
+    );
+
+    let a = server.poll(SimTime::ZERO).unwrap().remove(0);
+    assert!(
+        server.next_wakeup(SimTime::from_secs(1)).is_some(),
+        "an in-flight assignment still needs its expiry check"
+    );
+
+    let t = SimTime::from_secs(30);
+    for imei in a.devices.clone() {
+        server
+            .submit_sensed_data(
+                imei,
+                a.request,
+                &reading(t, centre().offset_by_meters(20.0, 0.0)),
+                t,
+            )
+            .unwrap();
+    }
+    assert_eq!(
+        server.next_wakeup(SimTime::from_secs(31)),
+        None,
+        "fulfilled one-shot task leaves the server quiescent"
+    );
+}
