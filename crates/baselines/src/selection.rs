@@ -46,6 +46,15 @@ impl SelectionPolicy for SelectAllPolicy {
         }
         Ok(candidates.iter().map(|r| r.imei).collect())
     }
+
+    fn would_select(
+        &self,
+        _request: &Request,
+        candidates: &[&DeviceRecord],
+        _now: SimTime,
+    ) -> bool {
+        !candidates.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -276,15 +276,32 @@ impl Coordinator {
             .sum()
     }
 
+    /// The shard a request over `region` is homed on: the lowest-numbered
+    /// shard among those serving the region's covered cells. Without a
+    /// topology (or with a single shard) everything homes on shard 0.
+    /// Homing places the queue entry; scheduling order is unaffected
+    /// because the coordinator merge-pops heads across all shards.
+    fn home_shard(&self, region: &CircleRegion) -> usize {
+        match &self.topology {
+            Some(net) if self.shards.len() > 1 => net
+                .cells_covering(region)
+                .into_iter()
+                .map(|c| self.shard_of_cell(Some(c)))
+                .min()
+                .unwrap_or(0),
+            _ => 0,
+        }
+    }
+
     /// Queues `request` on its home shard's run queue.
     fn enqueue_run(&mut self, request: Request) {
-        let home = self.target_shards(&request.region())[0];
+        let home = self.home_shard(&request.region());
         self.shards[home].push_run(request);
     }
 
     /// Parks `request` on its home shard's wait queue.
     fn enqueue_wait(&mut self, request: Request) {
-        let home = self.target_shards(&request.region())[0];
+        let home = self.home_shard(&request.region());
         self.shards[home].push_wait(request);
     }
 
@@ -461,7 +478,19 @@ impl Coordinator {
             )
         };
         // Drop queued (not yet assigned) requests and regenerate the
-        // future ones under the new spec.
+        // future ones under the new spec. The dropped requests are
+        // superseded, never served: mark them cancelled so
+        // `request_status` stays truthful (as `delete_task` does).
+        let superseded: Vec<RequestId> = self
+            .shards
+            .iter()
+            .flat_map(Shard::queued_requests)
+            .filter(|r| r.task() == task)
+            .map(Request::id)
+            .collect();
+        for id in superseded {
+            self.statuses.insert(id, RequestStatus::Cancelled);
+        }
         for shard in &mut self.shards {
             shard.remove_task(task);
         }
@@ -547,11 +576,18 @@ impl Coordinator {
                 }
             }
         }
-        // A round that changed scheduling state may have enabled further
-        // work (e.g. freshly-marked-unresponsive devices or assignments
-        // bumping fairness counters); keep wakeups hot until a round runs
-        // dry, matching a fixed-period poller's behaviour.
-        self.wait_dirty = self.stats != stats_before;
+        // A round that made progress may have enabled further work (e.g.
+        // freshly-marked-unresponsive devices or assignments bumping
+        // fairness counters); keep wakeups hot until a round runs dry,
+        // matching a fixed-period poller's behaviour. Parking a request is
+        // *not* progress: counting `requests_waited` here would arm a
+        // same-instant wakeup every time a request fails selection and
+        // re-parks, livelocking an event-driven driver at one instant.
+        let progress = ServerStats {
+            requests_waited: stats_before.requests_waited,
+            ..self.stats
+        };
+        self.wait_dirty = progress != stats_before;
         assignments
     }
 
@@ -648,9 +684,13 @@ impl Coordinator {
 
     /// Re-examines every parked request, in the global key order a single
     /// wait queue would use: expired ones are failed, now-satisfiable ones
-    /// move to their home run queue, the rest stay parked. Qualification
-    /// is checked across all target shards, so a request parked on one
-    /// shard drains when devices appear in a neighbouring cell.
+    /// move to their home run queue, the rest stay parked. Candidates are
+    /// gathered across all target shards, so a request parked on one
+    /// shard drains when devices appear in a neighbouring cell; the
+    /// policy's own [`would_select`](SelectionPolicy::would_select) is the
+    /// promotion predicate, so a request is only promoted when selection
+    /// will actually succeed (a raw qualified-count check would bounce
+    /// requests whose candidates fail the hard cutoffs back and forth).
     fn recheck_wait_queue(&mut self, now: SimTime) {
         let mut parked: Vec<Request> = Vec::new();
         while let Some((shard, _)) = Self::min_head(&self.shards, Shard::wait_head_key) {
@@ -659,8 +699,13 @@ impl Coordinator {
                 self.expire_request(&request);
                 continue;
             }
-            let probe = QualificationProbe::for_request(&request);
-            if self.qualified_count(&probe) >= request.density() {
+            let satisfiable = {
+                let probe = QualificationProbe::for_request(&request);
+                let targets = self.target_shards(&probe.region);
+                let candidates = Self::candidates_across(&self.shards, &targets, &probe);
+                self.policy.would_select(&request, &candidates, now)
+            };
+            if satisfiable {
                 self.enqueue_run(request);
             } else {
                 parked.push(request);
@@ -734,5 +779,92 @@ impl Coordinator {
 
     pub(crate) fn active_deadlines(&self) -> impl Iterator<Item = SimTime> + '_ {
         self.active.values().map(|a| a.request.deadline())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ScoredPolicy;
+    use crate::store::device_store::DeviceStore;
+    use senseaid_geo::TowerSite;
+
+    fn index() -> Box<dyn DeviceIndex> {
+        Box::new(DeviceStore::new())
+    }
+
+    fn coordinator(shards: usize) -> Coordinator {
+        let config = SenseAidConfig {
+            shard_count: shards,
+            ..SenseAidConfig::default()
+        };
+        let policy = ScoredPolicy::new(config.weights, config.cutoffs);
+        Coordinator::new(config, Box::new(policy), index)
+    }
+
+    fn centre() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    /// Two disjoint cells 2 km apart; with two shards, cell 0 maps to
+    /// shard 0 and cell 1 to shard 1.
+    fn two_cell_network() -> (CellularNetwork, GeoPoint, GeoPoint) {
+        let a = centre();
+        let b = centre().offset_by_meters(0.0, 2000.0);
+        let net = CellularNetwork::new(vec![
+            TowerSite {
+                index: 0,
+                position: a,
+                coverage_m: 900.0,
+            },
+            TowerSite {
+                index: 1,
+                position: b,
+                coverage_m: 900.0,
+            },
+        ]);
+        (net, a, b)
+    }
+
+    fn spec_at(centre: GeoPoint, radius: f64) -> TaskSpec {
+        TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(centre, radius))
+            .spatial_density(1)
+            .sampling_period(SimDuration::from_mins(5))
+            .sampling_duration(SimDuration::from_mins(10))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn requests_home_on_their_regions_shard() {
+        let (net, _, b) = two_cell_network();
+        let mut coord = coordinator(2);
+        coord.set_topology(net);
+
+        // A region covered only by cell 1 homes its requests on shard 1,
+        // not unconditionally on shard 0.
+        coord.submit_task_for(CasId(0), spec_at(b, 100.0), SimTime::ZERO);
+        assert_eq!(coord.shards()[0].run_queue_len(), 0);
+        assert!(coord.shards()[1].run_queue_len() > 0);
+
+        // With no qualifying device the due request parks — on that same
+        // home shard.
+        assert!(coord.poll(SimTime::ZERO).is_empty());
+        assert_eq!(coord.shards()[0].wait_queue_len(), 0);
+        assert_eq!(coord.shards()[1].wait_queue_len(), 1);
+    }
+
+    #[test]
+    fn spanning_requests_home_on_lowest_covered_shard() {
+        let (net, a, _) = two_cell_network();
+        let mut coord = coordinator(2);
+        coord.set_topology(net);
+
+        // A region touching both cells homes on the lowest covered shard.
+        let midpoint = a.offset_by_meters(0.0, 1000.0);
+        coord.submit_task_for(CasId(0), spec_at(midpoint, 1900.0), SimTime::ZERO);
+        assert!(coord.shards()[0].run_queue_len() > 0);
+        assert_eq!(coord.shards()[1].run_queue_len(), 0);
     }
 }

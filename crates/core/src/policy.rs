@@ -38,6 +38,20 @@ pub trait SelectionPolicy: fmt::Debug + Send {
         candidates: &[&DeviceRecord],
         now: SimTime,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices>;
+
+    /// Whether [`select`](Self::select) would succeed for `request` over
+    /// `candidates`, without committing to a selection.
+    ///
+    /// The wait-queue recheck uses this to decide whether a parked
+    /// request is worth promoting back to the run queue, so it must not
+    /// answer `true` when `select` would fail: an optimistic answer
+    /// promotes the request only for selection to park it again, and an
+    /// event-driven driver would then re-poll the same instant forever.
+    /// The default dry-runs `select`; policies with cheap eligibility
+    /// rules should override it (see [`ScoredPolicy`]).
+    fn would_select(&self, request: &Request, candidates: &[&DeviceRecord], now: SimTime) -> bool {
+        self.select(request, candidates, now).is_ok()
+    }
 }
 
 /// The paper's device selector as a policy: score every eligible candidate
@@ -70,5 +84,17 @@ impl SelectionPolicy for ScoredPolicy {
         now: SimTime,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
         self.selector.select(request.density(), candidates, now)
+    }
+
+    fn would_select(&self, request: &Request, candidates: &[&DeviceRecord], _now: SimTime) -> bool {
+        // Eligibility is time-independent, so counting cutoffs survivors
+        // answers exactly what `select` would decide — without scoring.
+        let needed = request.density();
+        candidates
+            .iter()
+            .filter(|r| self.selector.eligible(r))
+            .take(needed)
+            .count()
+            >= needed
     }
 }

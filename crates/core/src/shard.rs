@@ -3,7 +3,8 @@
 //! A shard owns the device index and the run/wait queues for the cells
 //! assigned to it. Devices are homed on the shard serving their last
 //! observed cell (unknown-cell devices live on shard 0); requests are
-//! homed on the first shard their region's cell coverage touches. The
+//! homed on the lowest-numbered shard their region's cell coverage
+//! touches (shard 0 when no topology is attached). The
 //! [`Coordinator`](crate::coordinator::Coordinator) fans requests out
 //! across shards and merge-pops their queue heads in global
 //! `(deadline, sample_at, id)` order, so scheduling output is identical

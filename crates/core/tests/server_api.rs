@@ -613,3 +613,84 @@ fn next_wakeup_gated_polls_match_every_tick_polls() {
     assert!(!every_tick.is_empty());
     assert_eq!(every_tick, gated);
 }
+
+#[test]
+fn ineligible_candidates_do_not_livelock_event_driven_polls() {
+    // One device that *qualifies* (right sensor, inside the region,
+    // responsive) but fails the hard cutoffs: battery below its critical
+    // level, so selection can never succeed.
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+    server
+        .register_device(
+            ImeiHash(1),
+            495.0,
+            15.0,
+            10.0, // below the 15 % critical level → never eligible
+            vec![Sensor::Barometer],
+            "GalaxyS4".to_owned(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    server.observe_device(ImeiHash(1), centre(), None).unwrap();
+    server
+        .submit_task(spec(500.0, 1, 5, 10), SimTime::ZERO)
+        .unwrap();
+
+    // Drive the server the event-driven way: sleep to each requested
+    // wakeup, poll there, repeat. This loop used to spin forever at t=0:
+    // the wait-queue recheck promoted the parked request on its qualified
+    // count, selection parked it again, and the `requests_waited` churn
+    // re-armed a same-instant wakeup.
+    let mut now = SimTime::ZERO;
+    let mut rounds = 0;
+    while let Some(at) = server.next_wakeup(now) {
+        rounds += 1;
+        assert!(rounds < 100, "event-driven poll loop livelocked at {at}");
+        assert!(at >= now);
+        assert!(server.poll(at).unwrap().is_empty(), "nothing is eligible");
+        now = at;
+    }
+
+    // The loop terminated: every request expired unserved and the server
+    // went quiescent.
+    let stats = server.stats();
+    assert_eq!(stats.requests_assigned, 0);
+    assert!(stats.requests_expired > 0);
+    assert_eq!(server.wait_queue_len(), 0);
+}
+
+#[test]
+fn update_task_param_cancels_superseded_queued_requests() {
+    let mut server = server_with_devices(8);
+    let id = server
+        .submit_task(spec(500.0, 2, 10, 60), SimTime::ZERO)
+        .unwrap();
+    // Request 1 is served; requests 2..=6 stay queued for future rounds.
+    assert_eq!(server.poll(SimTime::ZERO).unwrap().len(), 1);
+    server
+        .update_task_param(id, Some(4), None, None, SimTime::from_mins(5))
+        .unwrap();
+
+    // The re-plan dropped the queued requests in favour of regenerated
+    // ones; they must read as cancelled, not Pending forever.
+    assert_eq!(
+        server.request_status(RequestId(1)),
+        Some(RequestStatus::Assigned)
+    );
+    for old in 2..=6u64 {
+        assert_eq!(
+            server.request_status(RequestId(old)),
+            Some(RequestStatus::Cancelled),
+            "queued request {old} was superseded by the re-plan"
+        );
+    }
+
+    // The replacements carry fresh ids and proceed normally.
+    let a = server.poll(SimTime::from_mins(10)).unwrap();
+    assert_eq!(a.len(), 1);
+    assert!(a[0].request.0 > 6, "re-planned requests get fresh ids");
+    assert_eq!(
+        server.request_status(a[0].request),
+        Some(RequestStatus::Assigned)
+    );
+}
