@@ -1,0 +1,12 @@
+//! Chaos extension study (loss sweep + crash/recover). Run with
+//! `cargo bench -p senseaid-bench --bench ext_chaos`.
+
+use senseaid_bench::experiments::{ext_chaos, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", ext_chaos::run(seed));
+}

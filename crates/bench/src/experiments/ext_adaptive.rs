@@ -116,14 +116,14 @@ pub fn run_config(
         }
         for a in server.poll(t).expect("up") {
             for imei in &a.devices {
-                clients[by_imei[imei]].start_sensing(&a);
+                let _ = clients[by_imei[imei]].start_sensing(&a);
             }
         }
         for (i, client) in clients.iter_mut().enumerate() {
             let d: &mut Device = &mut devices[i];
             for request in client.due_samples(t) {
                 if let Ok(reading) = d.sample_sensor(t, Sensor::Barometer, &field) {
-                    client.record_sample(request, reading);
+                    let _ = client.record_sample(request, reading);
                 }
             }
             let decision = client.upload_decision(t, d.in_tail(t), d.tail_remaining(t));

@@ -102,6 +102,10 @@ pub struct GroupReport {
     /// framework comparison: energy means little if the data arrives too
     /// late to use.
     pub delivery_delays_s: Vec<f64>,
+    /// Readings sampled but never delivered: lost on the wire and never
+    /// successfully retransmitted, expired on-device, or abandoned after
+    /// their request's deadline passed. Zero in fault-free runs.
+    pub readings_lost: u64,
 }
 
 impl GroupReport {
@@ -167,6 +171,17 @@ impl GroupReport {
         }
     }
 
+    /// Fraction of sampled readings that reached the application server:
+    /// `delivered / (delivered + lost)`. 1.0 when nothing was sampled.
+    pub fn delivery_rate(&self) -> f64 {
+        let attempted = self.readings_delivered + self.readings_lost;
+        if attempted == 0 {
+            1.0
+        } else {
+            self.readings_delivered as f64 / attempted as f64
+        }
+    }
+
     /// 95th-percentile delivery delay (nearest rank), seconds.
     pub fn p95_delay_s(&self) -> f64 {
         if self.delivery_delays_s.is_empty() {
@@ -217,6 +232,7 @@ mod tests {
                 },
             ],
             delivery_delays_s: vec![0.0, 5.0, 10.0, 20.0, 100.0],
+            readings_lost: 3,
         }
     }
 
@@ -266,6 +282,7 @@ mod tests {
             rounds_missed: 0,
             rounds: vec![],
             delivery_delays_s: vec![],
+            readings_lost: 0,
         };
         assert_eq!(r.avg_cs_j(), 0.0);
         assert_eq!(r.avg_participants(), 0.0);

@@ -210,6 +210,7 @@ mod csv_tests {
                 participating: vec![1],
             }],
             delivery_delays_s: vec![1.0],
+            readings_lost: 0,
         }
     }
 

@@ -14,11 +14,13 @@
 //! ("we ignore energy consumption for these control messages"), which it
 //! justifies by sending them only inside existing radio tails.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use senseaid_baselines::{PcsClient, PcsConfig};
-use senseaid_cellnet::CellularNetwork;
-use senseaid_core::{SenseAidClient, SenseAidConfig, SenseAidServer, TaskSpec, UploadDecision};
+use senseaid_cellnet::{CellularNetwork, FaultInjector, FaultPlan, LinkDir};
+use senseaid_core::{
+    OutboundBatch, SenseAidClient, SenseAidConfig, SenseAidServer, TaskSpec, UploadDecision,
+};
 use senseaid_device::{Device, ImeiHash, Sensor};
 use senseaid_geo::{CampusMap, CircleRegion};
 use senseaid_radio::ResetPolicy;
@@ -34,10 +36,16 @@ const TICK: SimDuration = SimDuration::from_secs(1);
 const POSITION_REFRESH: SimDuration = SimDuration::from_secs(30);
 /// The sensor every study task uses.
 const STUDY_SENSOR: Sensor = Sensor::Barometer;
+/// How often the server checkpoints its control plane in chaos runs.
+const SNAPSHOT_INTERVAL: SimDuration = SimDuration::from_secs(60);
+/// How long past a batch's last deadline a client keeps retransmitting
+/// before writing the readings off (covers a server outage of up to one
+/// sampling period for the study scenarios).
+const RETRY_GRACE: SimDuration = SimDuration::from_mins(10);
 
 /// Harness knobs beyond the paper's scenario grid: used by the ablation
 /// benches and the failover example.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HarnessOptions {
     /// Override the client's minimum tail window (tail-inference
     /// ablation).
@@ -54,6 +62,12 @@ pub struct HarnessOptions {
     /// (`None` = 1). Results are identical for any value; ignored for the
     /// baselines.
     pub shard_count: Option<usize>,
+    /// Inject network faults and scheduled outages from this plan. For
+    /// Sense-Aid the whole delivery envelope engages (sequenced batches,
+    /// acks, backoff retransmission, snapshot crash recovery); for the
+    /// baselines dropped uploads are simply lost — they have no retry
+    /// protocol. `None` runs the fault-free path byte-for-byte.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Runs one framework group through one scenario.
@@ -84,9 +98,16 @@ pub fn run_scenario_with(
     let region = CircleRegion::new(centre, scenario.area_radius_m);
 
     match kind {
-        FrameworkKind::Periodic => {
-            run_rounds_framework(kind, scenario, region, &field, &mut devices, None, seed)
-        }
+        FrameworkKind::Periodic => run_rounds_framework(
+            kind,
+            scenario,
+            region,
+            &field,
+            &mut devices,
+            None,
+            &options,
+            seed,
+        ),
         FrameworkKind::Pcs { accuracy } => run_rounds_framework(
             kind,
             scenario,
@@ -94,6 +115,7 @@ pub fn run_scenario_with(
             &field,
             &mut devices,
             Some(accuracy),
+            &options,
             seed,
         ),
         FrameworkKind::SenseAidBasic | FrameworkKind::SenseAidComplete => {
@@ -150,6 +172,7 @@ fn collect_report(
     rounds_missed: u64,
     rounds: Vec<RoundObservation>,
     delivery_delays_s: Vec<f64>,
+    readings_lost: u64,
 ) -> GroupReport {
     GroupReport {
         framework: kind,
@@ -164,6 +187,7 @@ fn collect_report(
         rounds_missed,
         rounds,
         delivery_delays_s,
+        readings_lost,
     }
 }
 
@@ -187,8 +211,13 @@ fn run_rounds_framework(
     field: &WeatherField,
     devices: &mut [Device],
     pcs_accuracy: Option<f64>,
+    options: &HarnessOptions,
     seed: u64,
 ) -> GroupReport {
+    // Periodic and PCS uploads are fire-and-forget: under an injected
+    // fault plan a dropped transmission simply loses its readings (the
+    // energy is still spent). Duplicated copies carry no new data.
+    let mut injector = options.fault_plan.clone().map(FaultInjector::new);
     let schedule = round_schedule(&scenario);
     // The horizon covers the last deadline plus a slack tick.
     let horizon = schedule
@@ -222,6 +251,7 @@ fn run_rounds_framework(
     let (mut uploads, mut cold_uploads, mut delivered) = (0u64, 0u64, 0u64);
     let (mut fulfilled, mut missed) = (0u64, 0u64);
     let mut delays: Vec<f64> = Vec::new();
+    let mut lost = 0u64;
 
     let mut t = SimTime::ZERO;
     while t <= horizon {
@@ -248,8 +278,15 @@ fn run_rounds_framework(
                         if report.promoted {
                             cold_uploads += 1;
                         }
-                        delivered += 1;
-                        delays.push(t.saturating_elapsed_since(sample_at).as_secs_f64());
+                        let arrived = injector
+                            .as_mut()
+                            .is_none_or(|inj| inj.judge(LinkDir::Uplink, t).delivered());
+                        if arrived {
+                            delivered += 1;
+                            delays.push(t.saturating_elapsed_since(sample_at).as_secs_f64());
+                        } else {
+                            lost += 1;
+                        }
                         let _ = reading;
                     }
                     Some(_) => {
@@ -286,12 +323,13 @@ fn run_rounds_framework(
             let device_idx = pending[i].device_idx;
             let mut bytes = 0;
             let mut readings = 0u64;
+            let mut batch_delays = Vec::new();
             let mut j = 0;
             while j < pending.len() {
                 if pending[j].device_idx == device_idx {
                     bytes += pending[j].bytes;
                     readings += 1;
-                    delays.push(
+                    batch_delays.push(
                         fire_at
                             .saturating_elapsed_since(pending[j].sampled_at)
                             .as_secs_f64(),
@@ -307,7 +345,18 @@ fn run_rounds_framework(
             if report.promoted {
                 cold_uploads += 1;
             }
-            delivered += readings;
+            // One transmission: every batched reading shares its fate.
+            // (Judged at the tick instant — the injector's event trace is
+            // monotone, and planned fire times within a tick are not.)
+            let arrived = injector
+                .as_mut()
+                .is_none_or(|inj| inj.judge(LinkDir::Uplink, t).delivered());
+            if arrived {
+                delivered += readings;
+                delays.append(&mut batch_delays);
+            } else {
+                lost += readings;
+            }
         }
 
         t += TICK;
@@ -321,12 +370,13 @@ fn run_rounds_framework(
         let device_idx = pending[0].device_idx;
         let mut bytes = 0;
         let mut readings = 0u64;
+        let mut batch_delays = Vec::new();
         let mut j = 0;
         while j < pending.len() {
             if pending[j].device_idx == device_idx {
                 bytes += pending[j].bytes;
                 readings += 1;
-                delays.push(
+                batch_delays.push(
                     fire_at
                         .saturating_elapsed_since(pending[j].sampled_at)
                         .as_secs_f64(),
@@ -342,7 +392,15 @@ fn run_rounds_framework(
         if report.promoted {
             cold_uploads += 1;
         }
-        delivered += readings;
+        let arrived = injector
+            .as_mut()
+            .is_none_or(|inj| inj.judge(LinkDir::Uplink, fire_at).delivered());
+        if arrived {
+            delivered += readings;
+            delays.append(&mut batch_delays);
+        } else {
+            lost += readings;
+        }
         pending.sort_by_key(|p| p.at);
     }
 
@@ -356,12 +414,46 @@ fn run_rounds_framework(
         missed,
         rounds,
         delays,
+        lost,
     )
 }
 
 // ----------------------------------------------------------------------
 // Sense-Aid: server-orchestrated.
 // ----------------------------------------------------------------------
+
+/// A delivery envelope on the air: a sequenced batch copy that survived
+/// the uplink fault roll and arrives at the server after its latency.
+struct TransitBatch {
+    deliver_at: SimTime,
+    imei: ImeiHash,
+    batch: OutboundBatch,
+}
+
+/// An ack on the way back down to a client.
+struct TransitAck {
+    deliver_at: SimTime,
+    imei: ImeiHash,
+    ack: u64,
+}
+
+/// Sends `batch` through the uplink fault injector, enqueueing one transit
+/// copy per surviving duplicate (minimum one tick of network latency).
+fn launch_batch(
+    injector: &mut FaultInjector,
+    transit: &mut Vec<TransitBatch>,
+    imei: ImeiHash,
+    batch: OutboundBatch,
+    t: SimTime,
+) {
+    if let senseaid_cellnet::Verdict::Deliver(latencies) = injector.judge(LinkDir::Uplink, t) {
+        transit.extend(latencies.into_iter().map(|extra| TransitBatch {
+            deliver_at: t + TICK + extra,
+            imei,
+            batch: batch.clone(),
+        }));
+    }
+}
 
 #[allow(clippy::too_many_arguments)]
 fn run_senseaid(
@@ -382,6 +474,15 @@ fn run_senseaid(
         config.shard_count = shards;
     }
     let mut server = SenseAidServer::new(config);
+    // Chaos mode: a fault plan turns on the full robustness stack —
+    // sequenced delivery envelopes with ack/retransmit, periodic
+    // control-plane snapshots, and plan-scheduled crash/recovery. Without
+    // a plan none of this engages and the run is byte-identical to the
+    // fault-free path (the injector's RNG streams are its own).
+    let mut injector = options.fault_plan.clone().map(FaultInjector::new);
+    if injector.is_some() {
+        server.enable_snapshots(SNAPSHOT_INTERVAL);
+    }
     // The radio access network: devices attach to the nearest covering
     // tower, and the server learns each device's serving cell alongside
     // its position. The server also uses the topology to prune request
@@ -442,6 +543,13 @@ fn run_senseaid(
     let (mut uploads, mut cold_uploads) = (0u64, 0u64);
     let mut delays: Vec<f64> = Vec::new();
     let mut next_position_refresh = SimTime::ZERO;
+    // Chaos-mode plumbing: envelopes/acks on the air, and the CAS-side
+    // exactly-once ledger (the end-to-end backstop on top of the server's
+    // dedup layers).
+    let mut batch_transit: Vec<TransitBatch> = Vec::new();
+    let mut ack_transit: Vec<TransitAck> = Vec::new();
+    let mut cas_seen: BTreeSet<(senseaid_core::RequestId, u64)> = BTreeSet::new();
+    let mut cas_delivered = 0u64;
 
     let mut t = SimTime::ZERO;
     while t <= horizon {
@@ -454,6 +562,35 @@ fn run_senseaid(
             } else if !server.is_up() && t >= recover_at {
                 server.recover();
             }
+        }
+        // Plan-scheduled crash/recover cycles: recovery restores the last
+        // control-plane snapshot, reconciles deadlines truthfully, and the
+        // harness re-announces every device (the paper's re-registration
+        // on next contact, compressed to the recovery instant).
+        if let Some(plan) = options.fault_plan.as_ref() {
+            if server.is_up() && !plan.server_up(t) {
+                server.crash();
+            } else if !server.is_up() && plan.server_up(t) {
+                server.recover_at(t);
+                for (i, d) in devices.iter_mut().enumerate() {
+                    let info = d.registration_info();
+                    server
+                        .register_device(
+                            info.imei,
+                            info.energy_budget_j,
+                            info.critical_battery_pct,
+                            info.battery_pct,
+                            info.sensors,
+                            info.device_type,
+                            t,
+                        )
+                        .expect("server just recovered");
+                    let _ = server.observe_device(clients[i].imei(), d.position(t), None);
+                }
+            }
+        }
+        if injector.is_some() {
+            server.tick_snapshot(t);
         }
 
         // Regular traffic; any real communication doubles as the client's
@@ -490,7 +627,69 @@ fn run_senseaid(
         for a in &assignments {
             for imei in &a.devices {
                 let idx = by_imei[imei];
-                clients[idx].start_sensing(a);
+                let _ = clients[idx].start_sensing(a);
+            }
+        }
+
+        // Chaos mode: land the acks and envelopes whose network latency
+        // has elapsed. Acks first, so a freed sequence number is not
+        // retransmitted later this same tick.
+        if let Some(inj) = injector.as_mut() {
+            let mut due_acks = Vec::new();
+            let mut keep_acks = Vec::with_capacity(ack_transit.len());
+            for a in ack_transit.drain(..) {
+                if a.deliver_at <= t {
+                    due_acks.push(a);
+                } else {
+                    keep_acks.push(a);
+                }
+            }
+            ack_transit = keep_acks;
+            for a in due_acks {
+                clients[by_imei[&a.imei]].ack(a.ack);
+            }
+
+            let mut due_batches = Vec::new();
+            let mut keep = Vec::with_capacity(batch_transit.len());
+            for b in batch_transit.drain(..) {
+                if b.deliver_at <= t {
+                    due_batches.push(b);
+                } else {
+                    keep.push(b);
+                }
+            }
+            batch_transit = keep;
+            for b in due_batches {
+                let readings: Vec<_> = b
+                    .batch
+                    .duties
+                    .iter()
+                    .map(|d| (d.request, d.reading.expect("envelopes carry data")))
+                    .collect();
+                // A crashed server loses the envelope; the client's backoff
+                // clock keeps running and it retransmits later.
+                let Ok(receipt) =
+                    server.submit_sensed_batch(b.imei, b.batch.seq, b.batch.attempt, &readings, t)
+                else {
+                    continue;
+                };
+                for (duty, outcome) in b.batch.duties.iter().zip(&receipt.outcomes) {
+                    if matches!(outcome, senseaid_core::DeliveryOutcome::Accepted { .. }) {
+                        delays.push(t.saturating_elapsed_since(duty.sample_at).as_secs_f64());
+                    }
+                }
+                // The cumulative ack rides the downlink, subject to the
+                // same faults; a lost ack just means a retransmit the
+                // server will dedup.
+                if let senseaid_cellnet::Verdict::Deliver(latencies) =
+                    inj.judge(LinkDir::Downlink, t)
+                {
+                    ack_transit.extend(latencies.into_iter().map(|extra| TransitAck {
+                        deliver_at: t + TICK + extra,
+                        imei: b.imei,
+                        ack: receipt.ack,
+                    }));
+                }
             }
         }
 
@@ -499,35 +698,83 @@ fn run_senseaid(
             let device = &mut devices[i];
             for request in client.due_samples(t) {
                 if let Ok(reading) = device.sample_sensor(t, STUDY_SENSOR, field) {
-                    client.record_sample(request, reading);
+                    let _ = client.record_sample(request, reading);
                 }
             }
             let decision = client.upload_decision(t, device.in_tail(t), device.tail_remaining(t));
-            if decision != UploadDecision::Wait {
-                let duties = client.send_sense_data(decision);
-                if !duties.is_empty() {
-                    // One batched radio transmission for everything ready.
-                    let total_bytes: u64 = duties.iter().map(|d| d.payload_bytes).sum();
-                    let policy = duties[0].reset_policy;
-                    let report = device.upload_crowdsensing(t, total_bytes, policy);
-                    uploads += 1;
-                    if report.promoted {
-                        cold_uploads += 1;
-                    }
-                    for duty in duties {
-                        let reading = duty.reading.expect("send_sense_data filters unsampled");
-                        // Late deliveries for already-expired requests are
-                        // dropped by the server; that is fine.
-                        if server
-                            .submit_sensed_data(client.imei(), duty.request, &reading, t)
-                            .is_ok()
-                        {
-                            delays.push(t.saturating_elapsed_since(duty.sample_at).as_secs_f64());
+            match injector.as_mut() {
+                // Fault-free: the legacy direct call path, byte-for-byte.
+                None => {
+                    if decision != UploadDecision::Wait {
+                        let duties = client.send_sense_data(decision);
+                        if !duties.is_empty() {
+                            // One batched radio transmission for everything ready.
+                            let total_bytes: u64 = duties.iter().map(|d| d.payload_bytes).sum();
+                            let policy = duties[0].reset_policy;
+                            let report = device.upload_crowdsensing(t, total_bytes, policy);
+                            uploads += 1;
+                            if report.promoted {
+                                cold_uploads += 1;
+                            }
+                            for duty in duties {
+                                let reading =
+                                    duty.reading.expect("send_sense_data filters unsampled");
+                                // Late deliveries for already-expired requests are
+                                // dropped by the server; that is fine.
+                                if server
+                                    .submit_sensed_data(client.imei(), duty.request, &reading, t)
+                                    .is_ok()
+                                {
+                                    delays.push(
+                                        t.saturating_elapsed_since(duty.sample_at).as_secs_f64(),
+                                    );
+                                }
+                            }
                         }
                     }
                 }
+                // Chaos: wrap the upload in a delivery envelope and keep
+                // retransmitting unacked envelopes, preferring tails.
+                Some(inj) => {
+                    if decision != UploadDecision::Wait {
+                        if let Some(batch) = client.begin_upload(decision, t) {
+                            let total_bytes: u64 =
+                                batch.duties.iter().map(|d| d.payload_bytes).sum();
+                            let policy = batch.duties[0].reset_policy;
+                            let report = device.upload_crowdsensing(t, total_bytes, policy);
+                            uploads += 1;
+                            if report.promoted {
+                                cold_uploads += 1;
+                            }
+                            launch_batch(inj, &mut batch_transit, client.imei(), batch, t);
+                        }
+                    }
+                    for batch in client.retries_due(t, device.in_tail(t), device.tail_remaining(t))
+                    {
+                        let total_bytes: u64 = batch.duties.iter().map(|d| d.payload_bytes).sum();
+                        let policy = batch.duties[0].reset_policy;
+                        let report = device.upload_crowdsensing(t, total_bytes, policy);
+                        uploads += 1;
+                        if report.promoted {
+                            cold_uploads += 1;
+                        }
+                        launch_batch(inj, &mut batch_transit, client.imei(), batch, t);
+                    }
+                    client.give_up_expired(t, RETRY_GRACE);
+                }
             }
             client.drop_expired(t);
+        }
+
+        // Chaos mode drains the outbox every tick into the CAS-side
+        // exactly-once ledger (so a mid-run crash genuinely loses only the
+        // un-forwarded readings, which retransmission then re-covers).
+        if injector.is_some() {
+            for (_cas, r) in server.drain_outbox() {
+                if cas_seen.insert((r.request, r.device_pseudonym)) {
+                    cas_delivered += 1;
+                }
+            }
         }
 
         t += TICK;
@@ -549,7 +796,23 @@ fn run_senseaid(
                 .collect(),
         })
         .collect();
-    let delivered = server.drain_outbox().len() as u64;
+    let delivered = if injector.is_some() {
+        // The per-tick drains already ledgered everything; catch strays.
+        for (_cas, r) in server.drain_outbox() {
+            if cas_seen.insert((r.request, r.device_pseudonym)) {
+                cas_delivered += 1;
+            }
+        }
+        cas_delivered
+    } else {
+        server.drain_outbox().len() as u64
+    };
+    // Reconcile client-side losses into the server's books: readings that
+    // expired on-device plus batches abandoned after the retry grace.
+    let readings_lost: u64 = clients.iter().map(|c| c.stats().readings_lost()).sum();
+    if injector.is_some() {
+        server.note_client_drops(readings_lost);
+    }
     let stats = server.stats();
 
     collect_report(
@@ -562,6 +825,7 @@ fn run_senseaid(
         stats.requests_expired,
         rounds,
         delays,
+        readings_lost,
     )
 }
 

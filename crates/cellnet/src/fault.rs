@@ -1,0 +1,413 @@
+//! Deterministic fault injection for the client↔server link.
+//!
+//! The paper's evaluation assumes a well-behaved RAN: every message is
+//! delivered exactly once with fixed latency, and the only failure mode
+//! is the binary Sense-Aid server crash of Fig 4. A production NaaS edge
+//! sees lossy links, duplicated and reordered uplinks, eNodeB outages,
+//! and process restarts. This module injects all of those *replayably*:
+//! a [`FaultPlan`] is pure data, and the [`FaultInjector`] draws from
+//! [`SimRng`] streams labelled under the plan's own fault seed, so the
+//! same `(sim seed, fault seed)` pair reproduces the same faulty run
+//! bit-for-bit — the determinism tests extend to chaos runs unchanged.
+//!
+//! A zero plan ([`FaultPlan::none`]) never consumes a random draw
+//! ([`SimRng::chance`] short-circuits on `p <= 0`), so wiring the
+//! injector into a harness cannot perturb existing fault-free runs.
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_sim::{SimDuration, SimRng, SimTime, TraceLog};
+
+/// Which direction a message travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkDir {
+    /// Device → Sense-Aid server (registrations, state updates, data).
+    Uplink,
+    /// Sense-Aid server → device (assignments, acks).
+    Downlink,
+}
+
+impl std::fmt::Display for LinkDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkDir::Uplink => f.write_str("uplink"),
+            LinkDir::Downlink => f.write_str("downlink"),
+        }
+    }
+}
+
+/// A declarative, replayable description of what goes wrong and when.
+///
+/// All stochastic knobs are per-message probabilities; all scheduled
+/// knobs are absolute sim-time windows. The plan is plain data: two runs
+/// built from equal plans (and equal sim seeds) are bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the injector's own labelled RNG streams. Independent of
+    /// the sim seed so loss patterns can be varied against a fixed world.
+    pub seed: u64,
+    /// Per-message loss probability on either link, `[0, 1]`.
+    pub loss: f64,
+    /// Maximum extra one-way latency; each delivered copy gets a uniform
+    /// jitter in `[0, jitter_max)`. Zero disables jitter draws entirely.
+    pub jitter_max: SimDuration,
+    /// Probability a delivered message spawns a duplicate copy.
+    pub duplicate: f64,
+    /// Probability a delivered message is held back an extra
+    /// `jitter_max + 1ms`, letting later sends overtake it.
+    pub reorder: f64,
+    /// Scheduled eNodeB outage windows `[from, to)`: no traffic in either
+    /// direction crosses the RAN while one is active.
+    pub enodeb_outages: Vec<(SimTime, SimTime)>,
+    /// Scheduled Sense-Aid server crash/recover cycles `[crash, recover)`.
+    /// The harness crashes the server process at `crash` and recovers it
+    /// (snapshot restore + reconciliation) at `recover`.
+    pub server_outages: Vec<(SimTime, SimTime)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — behaviourally identical to running
+    /// without an injector.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            loss: 0.0,
+            jitter_max: SimDuration::ZERO,
+            duplicate: 0.0,
+            reorder: 0.0,
+            enodeb_outages: Vec::new(),
+            server_outages: Vec::new(),
+        }
+    }
+
+    /// A plan with message loss only — the chaos experiment's sweep axis.
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        FaultPlan {
+            seed,
+            loss,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether this plan can never inject a fault.
+    pub fn is_zero(&self) -> bool {
+        self.loss <= 0.0
+            && self.duplicate <= 0.0
+            && self.reorder <= 0.0
+            && self.jitter_max.is_zero()
+            && self.enodeb_outages.is_empty()
+            && self.server_outages.is_empty()
+    }
+
+    /// Whether a scheduled eNodeB outage covers `now`.
+    pub fn enodeb_down(&self, now: SimTime) -> bool {
+        self.enodeb_outages
+            .iter()
+            .any(|&(from, to)| now >= from && now < to)
+    }
+
+    /// Whether the Sense-Aid server is scheduled to be up at `now`.
+    pub fn server_up(&self, now: SimTime) -> bool {
+        !self
+            .server_outages
+            .iter()
+            .any(|&(from, to)| now >= from && now < to)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// What the injector decided for one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The message vanishes (link loss or eNodeB outage).
+    Dropped,
+    /// The message is delivered as one copy per entry, each after the
+    /// given extra delay. More than one entry means duplication.
+    Deliver(Vec<SimDuration>),
+}
+
+impl Verdict {
+    /// Convenience: whether at least one copy arrives.
+    pub fn delivered(&self) -> bool {
+        matches!(self, Verdict::Deliver(_))
+    }
+}
+
+/// Counters over everything the injector did, for reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Uplink messages dropped by random loss.
+    pub uplink_dropped: u64,
+    /// Downlink messages dropped by random loss.
+    pub downlink_dropped: u64,
+    /// Messages (either direction) blocked by a scheduled eNodeB outage.
+    pub enodeb_blocked: u64,
+    /// Messages that spawned a duplicate copy.
+    pub duplicated: u64,
+    /// Messages held back so later sends could overtake them.
+    pub reordered: u64,
+    /// Messages delivered (counting each original once, not per copy).
+    pub delivered: u64,
+}
+
+impl FaultStats {
+    /// Total messages dropped for any reason.
+    pub fn total_dropped(&self) -> u64 {
+        self.uplink_dropped + self.downlink_dropped + self.enodeb_blocked
+    }
+}
+
+/// One trace record of an injected fault (dropped/duplicated/reordered;
+/// clean deliveries are not traced to keep the log small).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// Random link loss ate a message.
+    Lost(LinkDir),
+    /// A scheduled eNodeB outage blocked a message.
+    EnodebBlocked(LinkDir),
+    /// A message was duplicated.
+    Duplicated(LinkDir),
+    /// A message was held back past later sends.
+    Reordered(LinkDir),
+}
+
+/// Replays a [`FaultPlan`] against a stream of messages.
+///
+/// Draw order per message is fixed — loss, then jitter, then duplicate
+/// (plus the duplicate's jitter), then reorder — and each direction has
+/// its own labelled stream, so adding traffic on one link never shifts
+/// the fault pattern seen by the other.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    uplink_rng: SimRng,
+    downlink_rng: SimRng,
+    stats: FaultStats,
+    trace: TraceLog<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Builds an injector replaying `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let uplink_rng = SimRng::from_seed_label(plan.seed, "fault/uplink");
+        let downlink_rng = SimRng::from_seed_label(plan.seed, "fault/downlink");
+        FaultInjector {
+            plan,
+            uplink_rng,
+            downlink_rng,
+            stats: FaultStats::default(),
+            trace: TraceLog::new(),
+        }
+    }
+
+    /// The plan being replayed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The injected-fault trace.
+    pub fn trace(&self) -> &TraceLog<FaultEvent> {
+        &self.trace
+    }
+
+    /// Decides the fate of one message crossing the RAN at `now`.
+    pub fn judge(&mut self, dir: LinkDir, now: SimTime) -> Verdict {
+        if self.plan.enodeb_down(now) {
+            self.stats.enodeb_blocked += 1;
+            self.trace.push(now, FaultEvent::EnodebBlocked(dir));
+            return Verdict::Dropped;
+        }
+        let loss = self.plan.loss;
+        let jitter_max = self.plan.jitter_max;
+        let duplicate = self.plan.duplicate;
+        let reorder = self.plan.reorder;
+        let rng = match dir {
+            LinkDir::Uplink => &mut self.uplink_rng,
+            LinkDir::Downlink => &mut self.downlink_rng,
+        };
+
+        if rng.chance(loss) {
+            match dir {
+                LinkDir::Uplink => self.stats.uplink_dropped += 1,
+                LinkDir::Downlink => self.stats.downlink_dropped += 1,
+            }
+            self.trace.push(now, FaultEvent::Lost(dir));
+            return Verdict::Dropped;
+        }
+
+        let mut delays = vec![Self::jitter(rng, jitter_max)];
+        if rng.chance(duplicate) {
+            delays.push(Self::jitter(rng, jitter_max));
+            self.stats.duplicated += 1;
+            self.trace.push(now, FaultEvent::Duplicated(dir));
+        }
+        if rng.chance(reorder) {
+            // Hold the first copy back past the jitter horizon so any
+            // message sent within the next jitter window overtakes it.
+            delays[0] += jitter_max + SimDuration::from_millis(1);
+            self.stats.reordered += 1;
+            self.trace.push(now, FaultEvent::Reordered(dir));
+        }
+        self.stats.delivered += 1;
+        Verdict::Deliver(delays)
+    }
+
+    fn jitter(rng: &mut SimRng, max: SimDuration) -> SimDuration {
+        if max.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(rng.uniform() * max.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            loss: 0.2,
+            jitter_max: SimDuration::from_millis(400),
+            duplicate: 0.1,
+            reorder: 0.05,
+            enodeb_outages: vec![(SimTime::from_secs(100), SimTime::from_secs(130))],
+            server_outages: vec![(SimTime::from_secs(300), SimTime::from_secs(360))],
+        }
+    }
+
+    fn replay(seed: u64, n: u64) -> Vec<Verdict> {
+        let mut inj = FaultInjector::new(chaos_plan(seed));
+        (0..n)
+            .map(|i| {
+                let dir = if i % 3 == 0 {
+                    LinkDir::Downlink
+                } else {
+                    LinkDir::Uplink
+                };
+                inj.judge(dir, SimTime::from_secs(i))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_fault_seed_replays_identically() {
+        assert_eq!(replay(7, 500), replay(7, 500));
+    }
+
+    #[test]
+    fn different_fault_seeds_differ() {
+        assert_ne!(replay(7, 500), replay(8, 500));
+    }
+
+    #[test]
+    fn zero_plan_always_delivers_cleanly() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        assert!(inj.plan().is_zero());
+        for i in 0..200 {
+            assert_eq!(
+                inj.judge(LinkDir::Uplink, SimTime::from_secs(i)),
+                Verdict::Deliver(vec![SimDuration::ZERO])
+            );
+        }
+        assert_eq!(inj.stats().total_dropped(), 0);
+        assert_eq!(inj.stats().delivered, 200);
+        assert!(inj.trace().is_empty());
+    }
+
+    #[test]
+    fn loss_rate_is_plausible() {
+        let mut inj = FaultInjector::new(FaultPlan::lossy(42, 0.2));
+        let n = 5_000;
+        let dropped = (0..n)
+            .filter(|&i| {
+                !inj.judge(LinkDir::Uplink, SimTime::from_secs(i))
+                    .delivered()
+            })
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed loss rate {rate}");
+        assert_eq!(inj.stats().uplink_dropped, dropped as u64);
+    }
+
+    #[test]
+    fn enodeb_outage_blocks_both_directions() {
+        let mut inj = FaultInjector::new(chaos_plan(1));
+        let during = SimTime::from_secs(110);
+        assert_eq!(inj.judge(LinkDir::Uplink, during), Verdict::Dropped);
+        assert_eq!(inj.judge(LinkDir::Downlink, during), Verdict::Dropped);
+        assert_eq!(inj.stats().enodeb_blocked, 2);
+        assert!(matches!(
+            inj.trace().entries()[0].item,
+            FaultEvent::EnodebBlocked(LinkDir::Uplink)
+        ));
+    }
+
+    #[test]
+    fn duplication_and_reordering_happen() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            seed: 3,
+            loss: 0.0,
+            jitter_max: SimDuration::from_millis(100),
+            duplicate: 0.5,
+            reorder: 0.5,
+            ..FaultPlan::none()
+        });
+        for i in 0..200 {
+            let verdict = inj.judge(LinkDir::Uplink, SimTime::from_secs(i));
+            if let Verdict::Deliver(delays) = verdict {
+                assert!(!delays.is_empty() && delays.len() <= 2);
+            } else {
+                panic!("loss disabled, message dropped");
+            }
+        }
+        assert!(inj.stats().duplicated > 50);
+        assert!(inj.stats().reordered > 50);
+        // Reordered copies are held past the jitter horizon.
+        assert!(inj
+            .trace()
+            .filter(|e| matches!(e, FaultEvent::Reordered(_)))
+            .next()
+            .is_some());
+    }
+
+    #[test]
+    fn server_schedule_is_pure_plan_data() {
+        let plan = chaos_plan(0);
+        assert!(plan.server_up(SimTime::from_secs(299)));
+        assert!(!plan.server_up(SimTime::from_secs(300)));
+        assert!(!plan.server_up(SimTime::from_secs(359)));
+        assert!(plan.server_up(SimTime::from_secs(360)));
+        assert!(!plan.enodeb_down(SimTime::from_secs(99)));
+        assert!(plan.enodeb_down(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn directions_have_independent_streams() {
+        // Consuming draws on one link must not shift the other's pattern.
+        let mut a = FaultInjector::new(FaultPlan::lossy(9, 0.5));
+        let mut b = FaultInjector::new(FaultPlan::lossy(9, 0.5));
+        for i in 0..50 {
+            // `a` interleaves downlink draws; `b` does not.
+            a.judge(LinkDir::Downlink, SimTime::from_secs(i));
+        }
+        let ua: Vec<Verdict> = (50..100)
+            .map(|i| a.judge(LinkDir::Uplink, SimTime::from_secs(i)))
+            .collect();
+        let ub: Vec<Verdict> = (50..100)
+            .map(|i| b.judge(LinkDir::Uplink, SimTime::from_secs(i)))
+            .collect();
+        assert_eq!(ua, ub);
+    }
+}

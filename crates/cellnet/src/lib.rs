@@ -16,15 +16,21 @@
 //!   failure injection;
 //! * [`message`] — the wire messages between client library, Sense-Aid
 //!   server, and application servers, with a compact binary codec (the
-//!   study's crowdsensing payload is ~600 bytes).
+//!   study's crowdsensing payload is ~600 bytes) plus the sequenced
+//!   delivery [`Envelope`] the reliable path wraps them in;
+//! * [`fault`] — a deterministic fault injector (loss, jitter,
+//!   duplication, reordering, scheduled eNodeB and server outages),
+//!   replayable from a single fault seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod message;
 pub mod routing;
 pub mod topology;
 
-pub use message::{Message, WireError};
-pub use routing::{CoreNetwork, RoutePath};
+pub use fault::{FaultEvent, FaultInjector, FaultPlan, FaultStats, LinkDir, Verdict};
+pub use message::{Envelope, Message, WireError};
+pub use routing::{CoreNetwork, OutageInterval, RoutePath};
 pub use topology::{CellId, CellularNetwork};

@@ -78,6 +78,15 @@ pub enum Message {
         /// When the sample was taken, µs of sim time.
         taken_at_us: u64,
     },
+    /// Server → client: cumulative acknowledgement of a sequenced
+    /// [`Envelope`]. Receiving `Ack { seq }` releases every in-flight
+    /// batch with sequence number ≤ `seq` on that device.
+    Ack {
+        /// Hashed device identity the ack is addressed to.
+        imei_hash: u64,
+        /// Highest envelope sequence number accepted so far.
+        seq: u64,
+    },
 }
 
 const TAG_REGISTER: u8 = 0x01;
@@ -85,6 +94,8 @@ const TAG_DEREGISTER: u8 = 0x02;
 const TAG_STATE_UPDATE: u8 = 0x03;
 const TAG_TASK_ASSIGNMENT: u8 = 0x04;
 const TAG_SENSED_DATA: u8 = 0x05;
+const TAG_ACK: u8 = 0x06;
+const TAG_ENVELOPE: u8 = 0x07;
 
 impl Message {
     /// Encodes the message to bytes.
@@ -152,6 +163,11 @@ impl Message {
                 buf.put_f64(value);
                 buf.put_u64(taken_at_us);
             }
+            Message::Ack { imei_hash, seq } => {
+                buf.put_u8(TAG_ACK);
+                buf.put_u64(imei_hash);
+                buf.put_u64(seq);
+            }
         }
         buf.freeze()
     }
@@ -164,6 +180,7 @@ impl Message {
             Message::StateUpdate { .. } => 8 + 8 + 8,
             Message::TaskAssignment { .. } => 8 + 4 + 8 + 8,
             Message::SensedData { .. } => 8 + 8 + 4 + 8 + 8,
+            Message::Ack { .. } => 8 + 8,
         }
     }
 
@@ -220,9 +237,94 @@ impl Message {
                     taken_at_us: buf.get_u64(),
                 }
             }
+            TAG_ACK => {
+                check(&buf, 16)?;
+                Message::Ack {
+                    imei_hash: buf.get_u64(),
+                    seq: buf.get_u64(),
+                }
+            }
             other => return Err(WireError::UnknownTag(other)),
         };
         Ok(msg)
+    }
+}
+
+/// A sequenced delivery envelope for the reliable client↔server path.
+///
+/// The envelope carries the sender's identity and a per-device
+/// monotonically increasing sequence number, so the receiver can ack,
+/// de-duplicate retransmits, and detect reordering. Encoded as
+/// `[0x07][seq u64][imei u64][inner message]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Per-device sequence number, starting at 1.
+    pub seq: u64,
+    /// Hashed identity of the sending device.
+    pub imei_hash: u64,
+    /// The wrapped protocol message.
+    pub msg: Message,
+}
+
+impl Envelope {
+    /// Wraps `msg` with the given sequence number and sender.
+    pub fn new(seq: u64, imei_hash: u64, msg: Message) -> Self {
+        Envelope {
+            seq,
+            imei_hash,
+            msg,
+        }
+    }
+
+    /// Encodes the envelope (header + inner message) to bytes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use senseaid_cellnet::{Envelope, Message};
+    ///
+    /// let env = Envelope::new(3, 42, Message::Deregister { imei_hash: 42 });
+    /// assert_eq!(Envelope::decode(&env.encode())?, env);
+    /// # Ok::<(), senseaid_cellnet::WireError>(())
+    /// ```
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(TAG_ENVELOPE);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.imei_hash);
+        buf.put_slice(&self.msg.encode());
+        buf.freeze()
+    }
+
+    /// The exact encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        1 + 8 + 8 + self.msg.encoded_len()
+    }
+
+    /// Decodes an envelope from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if the buffer is too short;
+    /// [`WireError::UnknownTag`] if the leading byte is not the envelope
+    /// tag or the inner message tag is unrecognised.
+    pub fn decode(mut buf: &[u8]) -> Result<Envelope, WireError> {
+        if buf.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        if tag != TAG_ENVELOPE {
+            return Err(WireError::UnknownTag(tag));
+        }
+        check(&buf, 16)?;
+        let seq = buf.get_u64();
+        let imei_hash = buf.get_u64();
+        let msg = Message::decode(buf)?;
+        Ok(Envelope {
+            seq,
+            imei_hash,
+            msg,
+        })
     }
 }
 
@@ -265,6 +367,10 @@ mod tests {
                 sensor_code: 6,
                 value: 1013.25,
                 taken_at_us: 1_500_000,
+            },
+            Message::Ack {
+                imei_hash: 1,
+                seq: 9,
             },
         ]
     }
@@ -311,6 +417,29 @@ mod tests {
                 msg.encoded_len()
             );
         }
+    }
+
+    #[test]
+    fn envelope_round_trip_and_truncation() {
+        for msg in samples() {
+            let env = Envelope::new(11, 0xfeed, msg);
+            let bytes = env.encode();
+            assert_eq!(bytes.len(), env.encoded_len());
+            assert_eq!(Envelope::decode(&bytes).unwrap(), env);
+            for cut in 0..bytes.len() {
+                assert_eq!(
+                    Envelope::decode(&bytes[..cut]),
+                    Err(WireError::Truncated),
+                    "cut at {cut} of {env:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_non_envelope_tag() {
+        let plain = Message::Deregister { imei_hash: 1 }.encode();
+        assert_eq!(Envelope::decode(&plain), Err(WireError::UnknownTag(0x02)));
     }
 
     #[test]

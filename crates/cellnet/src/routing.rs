@@ -45,10 +45,21 @@ pub struct CoreNetwork {
     senseaid_up: bool,
     crashed_at: Option<SimTime>,
     recovered_at: Option<SimTime>,
+    outages: Vec<OutageInterval>,
     path1_flows: u64,
     path2_flows: u64,
     backhaul_latency: SimDuration,
     senseaid_hop_latency: SimDuration,
+}
+
+/// One Sense-Aid server outage: when it crashed, and when (if yet) it
+/// recovered. An open interval (`recovered_at == None`) is still ongoing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageInterval {
+    /// When the server went down.
+    pub crashed_at: SimTime,
+    /// When it came back, or `None` while still down.
+    pub recovered_at: Option<SimTime>,
 }
 
 impl Default for CoreNetwork {
@@ -64,6 +75,7 @@ impl CoreNetwork {
             senseaid_up: true,
             crashed_at: None,
             recovered_at: None,
+            outages: Vec::new(),
             path1_flows: 0,
             path2_flows: 0,
             backhaul_latency: SimDuration::from_millis(8),
@@ -77,20 +89,58 @@ impl CoreNetwork {
     }
 
     /// Injects a Sense-Aid server crash at `now`.
+    ///
+    /// Repeated crashes while already down are idempotent; each
+    /// down-transition opens a new entry in [`CoreNetwork::outage_history`].
     pub fn crash_senseaid_server(&mut self, now: SimTime) {
+        if self.senseaid_up {
+            self.outages.push(OutageInterval {
+                crashed_at: now,
+                recovered_at: None,
+            });
+        }
         self.senseaid_up = false;
         self.crashed_at = Some(now);
     }
 
-    /// Recovers the Sense-Aid server at `now`.
+    /// Recovers the Sense-Aid server at `now`, closing the open outage
+    /// interval (if any).
     pub fn recover_senseaid_server(&mut self, now: SimTime) {
+        if !self.senseaid_up {
+            if let Some(open) = self.outages.last_mut() {
+                if open.recovered_at.is_none() {
+                    open.recovered_at = Some(now);
+                }
+            }
+        }
         self.senseaid_up = true;
         self.recovered_at = Some(now);
     }
 
-    /// When the server last crashed / recovered (for reports).
+    /// When the server *last* crashed / recovered (for reports).
+    ///
+    /// Earlier cycles are preserved in [`CoreNetwork::outage_history`];
+    /// this accessor keeps its historical "latest window" semantics.
     pub fn outage_window(&self) -> (Option<SimTime>, Option<SimTime>) {
         (self.crashed_at, self.recovered_at)
+    }
+
+    /// Every crash/recover cycle seen so far, in order. The final entry
+    /// may still be open (`recovered_at == None`).
+    pub fn outage_history(&self) -> &[OutageInterval] {
+        &self.outages
+    }
+
+    /// Total time the Sense-Aid server has been down across all closed
+    /// outage intervals (an open interval contributes up to `now`).
+    pub fn total_downtime(&self, now: SimTime) -> SimDuration {
+        self.outages
+            .iter()
+            .map(|o| {
+                let end = o.recovered_at.unwrap_or(now);
+                end.elapsed_since(o.crashed_at)
+            })
+            .sum()
     }
 
     /// Chooses the path for a flow. eNodeBs send flows containing
@@ -153,6 +203,46 @@ mod tests {
         let (crashed, recovered) = core.outage_window();
         assert_eq!(crashed, Some(SimTime::from_secs(50)));
         assert_eq!(recovered, Some(SimTime::from_secs(90)));
+    }
+
+    #[test]
+    fn repeated_cycles_keep_full_history() {
+        let mut core = CoreNetwork::new();
+        core.crash_senseaid_server(SimTime::from_secs(10));
+        core.recover_senseaid_server(SimTime::from_secs(20));
+        core.crash_senseaid_server(SimTime::from_secs(50));
+        core.recover_senseaid_server(SimTime::from_secs(70));
+
+        let history = core.outage_history();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].crashed_at, SimTime::from_secs(10));
+        assert_eq!(history[0].recovered_at, Some(SimTime::from_secs(20)));
+        assert_eq!(history[1].crashed_at, SimTime::from_secs(50));
+        assert_eq!(history[1].recovered_at, Some(SimTime::from_secs(70)));
+
+        // The legacy accessor still reports the latest window.
+        assert_eq!(
+            core.outage_window(),
+            (Some(SimTime::from_secs(50)), Some(SimTime::from_secs(70)))
+        );
+        assert_eq!(
+            core.total_downtime(SimTime::from_secs(100)),
+            SimDuration::from_secs(30)
+        );
+    }
+
+    #[test]
+    fn open_outage_stays_open_and_counts_downtime() {
+        let mut core = CoreNetwork::new();
+        core.crash_senseaid_server(SimTime::from_secs(10));
+        // A second crash while down must not open another interval.
+        core.crash_senseaid_server(SimTime::from_secs(12));
+        assert_eq!(core.outage_history().len(), 1);
+        assert_eq!(core.outage_history()[0].recovered_at, None);
+        assert_eq!(
+            core.total_downtime(SimTime::from_secs(25)),
+            SimDuration::from_secs(15)
+        );
     }
 
     #[test]

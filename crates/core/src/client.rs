@@ -31,6 +31,63 @@ pub enum ClientState {
     Registered,
 }
 
+/// Why the client refused an API call.
+///
+/// The enum (not just the `Result`) is `#[must_use]`: during fault runs a
+/// silently dropped rejection is indistinguishable from message loss, so
+/// callers must look at it.
+#[must_use]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClientError {
+    /// The client has not registered (or has deregistered).
+    NotRegistered,
+    /// The assignment is not addressed to this device.
+    WrongDevice,
+    /// The client already holds a duty for this request (e.g. a
+    /// retransmitted assignment after an ack was lost).
+    DuplicateDuty(RequestId),
+    /// No duty exists for this request.
+    UnknownDuty(RequestId),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::NotRegistered => f.write_str("client not registered"),
+            ClientError::WrongDevice => f.write_str("assignment addressed to another device"),
+            ClientError::DuplicateDuty(r) => write!(f, "duplicate duty for {r}"),
+            ClientError::UnknownDuty(r) => write!(f, "no duty for {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Client-side delivery counters — what happened to readings that the
+/// energy numbers alone cannot show (data lost vs delivered late).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientStats {
+    /// Duties dropped because their deadline passed before sampling.
+    pub expired_dropped: u64,
+    /// Upload batches handed to the radio (first transmissions).
+    pub batches_sent: u64,
+    /// Retransmissions of unacked batches.
+    pub retries: u64,
+    /// Acks received from the server.
+    pub acks_received: u64,
+    /// In-flight batches abandoned after their deadlines passed unacked.
+    pub batches_abandoned: u64,
+    /// Readings inside those abandoned batches.
+    pub readings_abandoned: u64,
+}
+
+impl ClientStats {
+    /// Readings this client gave up on (never reached the server).
+    pub fn readings_lost(&self) -> u64 {
+        self.expired_dropped + self.readings_abandoned
+    }
+}
+
 /// What the client should do about its pending data right now.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UploadDecision {
@@ -59,6 +116,30 @@ pub struct PendingDuty {
     pub reset_policy: ResetPolicy,
     /// The reading, once taken.
     pub reading: Option<SensorReading>,
+}
+
+/// A sequenced batch of sampled duties handed to the radio for upload.
+///
+/// Produced by [`SenseAidClient::begin_upload`] and retransmitted by
+/// [`SenseAidClient::retries_due`] until [`SenseAidClient::ack`] releases
+/// it — the client-side half of the delivery envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutboundBatch {
+    /// Per-device envelope sequence number (starts at 1).
+    pub seq: u64,
+    /// Which transmission this is (1 = first send, 2+ = retries).
+    pub attempt: u32,
+    /// The sampled duties in the batch.
+    pub duties: Vec<PendingDuty>,
+}
+
+/// An unacked batch awaiting retransmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct InFlight {
+    seq: u64,
+    attempts: u32,
+    next_retry_at: SimTime,
+    duties: Vec<PendingDuty>,
 }
 
 /// The per-device middleware.
@@ -90,7 +171,19 @@ pub struct SenseAidClient {
     clock_skew_us: i64,
     uploads_in_tail: u64,
     uploads_at_deadline: u64,
+    /// Next envelope sequence number for the reliable upload path.
+    next_seq: u64,
+    /// Sent-but-unacked batches awaiting ack or retransmission.
+    inflight: Vec<InFlight>,
+    stats: ClientStats,
 }
+
+/// Retransmission backoff: base interval doubling per attempt.
+const RETRY_BASE: SimDuration = SimDuration::from_secs(2);
+/// Retransmission backoff cap.
+const RETRY_CAP: SimDuration = SimDuration::from_secs(60);
+/// Spread of the deterministic retry jitter.
+const RETRY_JITTER_MS: u64 = 1_000;
 
 impl SenseAidClient {
     /// Creates an unregistered client for the device with this IMEI hash.
@@ -104,6 +197,9 @@ impl SenseAidClient {
             clock_skew_us: 0,
             uploads_in_tail: 0,
             uploads_at_deadline: 0,
+            next_seq: 1,
+            inflight: Vec::new(),
+            stats: ClientStats::default(),
         }
     }
 
@@ -165,10 +261,11 @@ impl SenseAidClient {
     }
 
     /// The paper's `deregister()` call: leaves the campaign and drops any
-    /// pending duties.
+    /// pending duties and unacked uploads.
     pub fn deregister(&mut self) {
         self.state = ClientState::Unregistered;
         self.duties.clear();
+        self.inflight.clear();
     }
 
     /// The paper's `update_preferences()` call.
@@ -177,14 +274,33 @@ impl SenseAidClient {
     }
 
     /// The paper's `start_sensing()` entry point: accepts an assignment
-    /// addressed to this device. Returns `false` (and ignores it) when the
-    /// client is unregistered or the assignment is not for this device.
-    pub fn start_sensing(&mut self, assignment: &Assignment) -> bool {
-        if self.state != ClientState::Registered || !assignment.devices.contains(&self.imei) {
-            return false;
+    /// addressed to this device.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NotRegistered`] when the client is not registered,
+    /// [`ClientError::WrongDevice`] when the assignment is addressed
+    /// elsewhere, and [`ClientError::DuplicateDuty`] when a duty for the
+    /// request already exists (held, sampled, or in flight) — which makes
+    /// retransmitted assignments idempotent.
+    pub fn start_sensing(&mut self, assignment: &Assignment) -> Result<(), ClientError> {
+        if self.state != ClientState::Registered {
+            return Err(ClientError::NotRegistered);
+        }
+        if !assignment.devices.contains(&self.imei) {
+            return Err(ClientError::WrongDevice);
+        }
+        let request = assignment.request;
+        let held = self.duties.iter().any(|d| d.request == request);
+        let flying = self
+            .inflight
+            .iter()
+            .any(|b| b.duties.iter().any(|d| d.request == request));
+        if held || flying {
+            return Err(ClientError::DuplicateDuty(request));
         }
         self.duties.push(PendingDuty {
-            request: assignment.request,
+            request,
             sensor: assignment.sensor,
             sample_at: assignment.sample_at,
             deadline: assignment.deadline,
@@ -192,7 +308,7 @@ impl SenseAidClient {
             reset_policy: assignment.reset_policy,
             reading: None,
         });
-        true
+        Ok(())
     }
 
     /// Duties whose sampling instant has arrived (by this device's clock)
@@ -206,15 +322,22 @@ impl SenseAidClient {
             .collect()
     }
 
-    /// Stores a taken sample against its duty. Returns `false` for an
-    /// unknown request.
-    pub fn record_sample(&mut self, request: RequestId, reading: SensorReading) -> bool {
+    /// Stores a taken sample against its duty.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::UnknownDuty`] when no duty exists for the request.
+    pub fn record_sample(
+        &mut self,
+        request: RequestId,
+        reading: SensorReading,
+    ) -> Result<(), ClientError> {
         match self.duties.iter_mut().find(|d| d.request == request) {
             Some(duty) => {
                 duty.reading = Some(reading);
-                true
+                Ok(())
             }
-            None => false,
+            None => Err(ClientError::UnknownDuty(request)),
         }
     }
 
@@ -273,13 +396,150 @@ impl SenseAidClient {
         ready
     }
 
+    /// Like [`SenseAidClient::send_sense_data`], but on the *reliable*
+    /// path: the drained duties are wrapped in a sequenced batch that
+    /// stays in flight until [`SenseAidClient::ack`] releases it or its
+    /// deadlines expire. Returns `None` when the decision is `Wait` or
+    /// nothing is sampled.
+    pub fn begin_upload(
+        &mut self,
+        decision: UploadDecision,
+        now: SimTime,
+    ) -> Option<OutboundBatch> {
+        let duties = self.send_sense_data(decision);
+        if duties.is_empty() {
+            return None;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.batches_sent += 1;
+        self.inflight.push(InFlight {
+            seq,
+            attempts: 1,
+            next_retry_at: self.perceived(now) + self.backoff(seq, 1),
+            duties: duties.clone(),
+        });
+        Some(OutboundBatch {
+            seq,
+            attempt: 1,
+            duties,
+        })
+    }
+
+    /// Handles a cumulative server ack: releases every in-flight batch
+    /// with sequence number ≤ `seq`. Returns how many were released.
+    pub fn ack(&mut self, seq: u64) -> usize {
+        let before = self.inflight.len();
+        self.inflight.retain(|b| b.seq > seq);
+        let released = before - self.inflight.len();
+        if released > 0 {
+            self.stats.acks_received += 1;
+        }
+        released
+    }
+
+    /// Retransmissions due at `now`, given the radio's tail state.
+    ///
+    /// Retries prefer the RRC tail exactly like first sends: an unacked
+    /// batch whose backoff has elapsed is retransmitted when the radio is
+    /// in a tail with enough window left, or unconditionally once the
+    /// batch's earliest deadline has passed (the cold-upload fallback) —
+    /// so the energy model stays honest under retransmission.
+    pub fn retries_due(
+        &mut self,
+        now: SimTime,
+        in_tail: bool,
+        tail_remaining: SimDuration,
+    ) -> Vec<OutboundBatch> {
+        let local = self.perceived(now);
+        let tail_ok = in_tail && tail_remaining >= self.min_tail_window;
+        let mut out = Vec::new();
+        for batch in &mut self.inflight {
+            if batch.next_retry_at > local {
+                continue;
+            }
+            let earliest_deadline = batch
+                .duties
+                .iter()
+                .map(|d| d.deadline)
+                .min()
+                .expect("in-flight batches are never empty");
+            if !tail_ok && local < earliest_deadline {
+                continue;
+            }
+            batch.attempts += 1;
+            self.stats.retries += 1;
+            let (seq, attempts) = (batch.seq, batch.attempts);
+            batch.next_retry_at = local + backoff_for(self.imei, seq, attempts);
+            out.push(OutboundBatch {
+                seq,
+                attempt: attempts,
+                duties: batch.duties.clone(),
+            });
+            match (in_tail, tail_ok) {
+                (true, true) => self.uploads_in_tail += 1,
+                _ => self.uploads_at_deadline += 1,
+            }
+        }
+        out
+    }
+
+    /// Abandons in-flight batches whose every deadline passed `grace` ago
+    /// without an ack — the server can no longer use the data. Returns
+    /// how many readings were given up.
+    pub fn give_up_expired(&mut self, now: SimTime, grace: SimDuration) -> usize {
+        let local = self.perceived(now);
+        let mut abandoned = 0usize;
+        self.inflight.retain(|b| {
+            let latest = b
+                .duties
+                .iter()
+                .map(|d| d.deadline)
+                .max()
+                .expect("in-flight batches are never empty");
+            if latest + grace < local {
+                abandoned += b.duties.len();
+                false
+            } else {
+                true
+            }
+        });
+        if abandoned > 0 {
+            self.stats.batches_abandoned += 1;
+            self.stats.readings_abandoned += abandoned as u64;
+        }
+        abandoned
+    }
+
+    /// Sent-but-unacked batch count.
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The bounded-exponential retransmission backoff for this device:
+    /// `min(2s · 2^(attempt-1), 60s)` plus a deterministic sub-second
+    /// jitter derived from `(imei, seq, attempt)` — no RNG, so fault runs
+    /// stay replayable and shard-count invariant.
+    fn backoff(&self, seq: u64, attempt: u32) -> SimDuration {
+        backoff_for(self.imei, seq, attempt)
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
     /// Drops duties whose deadline passed without data (the sample never
-    /// happened, e.g. the device was off). Returns how many were dropped.
+    /// happened, e.g. the device was off). Returns how many were dropped;
+    /// the total is also tracked in [`ClientStats::expired_dropped`] so
+    /// lost data shows up in reports instead of vanishing.
     pub fn drop_expired(&mut self, now: SimTime) -> usize {
         let before = self.duties.len();
         self.duties
             .retain(|d| d.deadline > now || d.reading.is_some());
-        before - self.duties.len()
+        let dropped = before - self.duties.len();
+        self.stats.expired_dropped += dropped as u64;
+        dropped
     }
 
     /// `(in-tail, at-deadline)` upload batch counts — the tail hit-rate
@@ -292,6 +552,26 @@ impl SenseAidClient {
     pub fn duty_count(&self) -> usize {
         self.duties.len()
     }
+}
+
+/// Bounded exponential backoff with deterministic jitter (see
+/// [`SenseAidClient`] docs): the jitter is a splitmix64 hash of
+/// `(imei, seq, attempt)`, which decorrelates devices without consuming
+/// any random stream.
+fn backoff_for(imei: ImeiHash, seq: u64, attempt: u32) -> SimDuration {
+    let doublings = attempt.saturating_sub(1).min(16);
+    let base =
+        SimDuration::from_millis((RETRY_BASE.as_millis() << doublings).min(RETRY_CAP.as_millis()));
+    let mut z = imei
+        .0
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(seq)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    base + SimDuration::from_millis(z % RETRY_JITTER_MS)
 }
 
 #[cfg(test)]
@@ -332,12 +612,13 @@ mod tests {
     fn lifecycle_register_deregister() {
         let mut c = SenseAidClient::new(ImeiHash(7));
         assert_eq!(c.state(), ClientState::Unregistered);
-        assert!(
-            !c.start_sensing(&assignment(1, 7, 0, 10)),
+        assert_eq!(
+            c.start_sensing(&assignment(1, 7, 0, 10)),
+            Err(ClientError::NotRegistered),
             "unregistered clients refuse work"
         );
         c.register(UserPreferences::default());
-        assert!(c.start_sensing(&assignment(1, 7, 0, 10)));
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
         assert_eq!(c.duty_count(), 1);
         c.deregister();
         assert_eq!(c.duty_count(), 0, "deregistering drops duties");
@@ -346,17 +627,21 @@ mod tests {
     #[test]
     fn rejects_assignments_for_other_devices() {
         let mut c = registered_client();
-        assert!(!c.start_sensing(&assignment(1, 99, 0, 10)));
+        assert_eq!(
+            c.start_sensing(&assignment(1, 99, 0, 10)),
+            Err(ClientError::WrongDevice)
+        );
         assert_eq!(c.duty_count(), 0);
     }
 
     #[test]
     fn due_samples_respect_sample_time() {
         let mut c = registered_client();
-        c.start_sensing(&assignment(1, 7, 5, 15));
+        c.start_sensing(&assignment(1, 7, 5, 15)).unwrap();
         assert!(c.due_samples(SimTime::from_mins(4)).is_empty());
         assert_eq!(c.due_samples(SimTime::from_mins(5)), vec![RequestId(1)]);
-        c.record_sample(RequestId(1), reading(SimTime::from_mins(5)));
+        c.record_sample(RequestId(1), reading(SimTime::from_mins(5)))
+            .unwrap();
         assert!(
             c.due_samples(SimTime::from_mins(6)).is_empty(),
             "already sampled"
@@ -366,8 +651,9 @@ mod tests {
     #[test]
     fn upload_waits_for_tail_then_uses_it() {
         let mut c = registered_client();
-        c.start_sensing(&assignment(1, 7, 0, 10));
-        c.record_sample(RequestId(1), reading(SimTime::ZERO));
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
         // No tail, deadline far: wait.
         assert_eq!(
             c.upload_decision(SimTime::from_mins(1), false, SimDuration::ZERO),
@@ -393,9 +679,10 @@ mod tests {
     #[test]
     fn send_sense_data_drains_only_sampled_duties() {
         let mut c = registered_client();
-        c.start_sensing(&assignment(1, 7, 0, 10));
-        c.start_sensing(&assignment(2, 7, 5, 15));
-        c.record_sample(RequestId(1), reading(SimTime::ZERO));
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        c.start_sensing(&assignment(2, 7, 5, 15)).unwrap();
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
         let sent = c.send_sense_data(UploadDecision::UploadInTail);
         assert_eq!(sent.len(), 1);
         assert_eq!(sent[0].request, RequestId(1));
@@ -406,8 +693,9 @@ mod tests {
     #[test]
     fn send_sense_data_with_wait_is_a_no_op() {
         let mut c = registered_client();
-        c.start_sensing(&assignment(1, 7, 0, 10));
-        c.record_sample(RequestId(1), reading(SimTime::ZERO));
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
         assert!(c.send_sense_data(UploadDecision::Wait).is_empty());
         assert!(c.has_pending_upload());
     }
@@ -417,10 +705,12 @@ mod tests {
         let mut c = registered_client();
         // Two concurrent tasks sampled; one tail flushes both (the Exp 3
         // multi-task batching behaviour).
-        c.start_sensing(&assignment(1, 7, 0, 10));
-        c.start_sensing(&assignment(2, 7, 0, 12));
-        c.record_sample(RequestId(1), reading(SimTime::ZERO));
-        c.record_sample(RequestId(2), reading(SimTime::ZERO));
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        c.start_sensing(&assignment(2, 7, 0, 12)).unwrap();
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
+        c.record_sample(RequestId(2), reading(SimTime::ZERO))
+            .unwrap();
         let sent = c.send_sense_data(UploadDecision::UploadInTail);
         assert_eq!(sent.len(), 2);
         assert_eq!(c.upload_counts(), (1, 0), "one batch, two readings");
@@ -429,8 +719,8 @@ mod tests {
     #[test]
     fn drop_expired_removes_unsampled_overdue_duties() {
         let mut c = registered_client();
-        c.start_sensing(&assignment(1, 7, 0, 5));
-        c.start_sensing(&assignment(2, 7, 0, 20));
+        c.start_sensing(&assignment(1, 7, 0, 5)).unwrap();
+        c.start_sensing(&assignment(2, 7, 0, 20)).unwrap();
         assert_eq!(c.drop_expired(SimTime::from_mins(6)), 1);
         assert_eq!(c.duty_count(), 1);
     }
@@ -438,7 +728,10 @@ mod tests {
     #[test]
     fn record_sample_for_unknown_request_is_false() {
         let mut c = registered_client();
-        assert!(!c.record_sample(RequestId(9), reading(SimTime::ZERO)));
+        assert_eq!(
+            c.record_sample(RequestId(9), reading(SimTime::ZERO)),
+            Err(ClientError::UnknownDuty(RequestId(9)))
+        );
     }
 
     #[test]
@@ -454,10 +747,11 @@ mod tests {
     fn fast_clock_samples_and_uploads_early() {
         let mut c = registered_client();
         c.set_clock_skew_us(30_000_000); // 30 s fast
-        c.start_sensing(&assignment(1, 7, 5, 10));
+        c.start_sensing(&assignment(1, 7, 5, 10)).unwrap();
         // True time 4:40, device thinks 5:10 → due.
         assert_eq!(c.due_samples(SimTime::from_secs(280)), vec![RequestId(1)]);
-        c.record_sample(RequestId(1), reading(SimTime::from_secs(280)));
+        c.record_sample(RequestId(1), reading(SimTime::from_secs(280)))
+            .unwrap();
         // True 9:40, device thinks 10:10 → deadline forced.
         assert_eq!(
             c.upload_decision(SimTime::from_secs(580), false, SimDuration::ZERO),
@@ -470,7 +764,7 @@ mod tests {
         let mut c = registered_client();
         c.set_clock_skew_us(-30_000_000); // 30 s slow
         assert_eq!(c.clock_skew_us(), -30_000_000);
-        c.start_sensing(&assignment(1, 7, 5, 10));
+        c.start_sensing(&assignment(1, 7, 5, 10)).unwrap();
         assert!(
             c.due_samples(SimTime::from_mins(5)).is_empty(),
             "clock lags"
@@ -480,6 +774,144 @@ mod tests {
             vec![RequestId(1)],
             "due once the lagging clock reaches the instant"
         );
+    }
+
+    #[test]
+    fn duplicate_assignments_are_rejected_idempotently() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        assert_eq!(
+            c.start_sensing(&assignment(1, 7, 0, 10)),
+            Err(ClientError::DuplicateDuty(RequestId(1))),
+            "a retransmitted assignment must not create a second duty"
+        );
+        assert_eq!(c.duty_count(), 1);
+        // Still duplicate while the sampled duty is in flight.
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
+        let batch = c
+            .begin_upload(UploadDecision::UploadInTail, SimTime::from_mins(1))
+            .unwrap();
+        assert_eq!(batch.seq, 1);
+        assert_eq!(
+            c.start_sensing(&assignment(1, 7, 0, 10)),
+            Err(ClientError::DuplicateDuty(RequestId(1)))
+        );
+    }
+
+    #[test]
+    fn begin_upload_tracks_and_ack_releases() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
+        assert!(
+            c.begin_upload(UploadDecision::Wait, SimTime::ZERO)
+                .is_none(),
+            "Wait never transmits"
+        );
+        let batch = c
+            .begin_upload(UploadDecision::UploadInTail, SimTime::from_mins(1))
+            .unwrap();
+        assert_eq!((batch.seq, batch.attempt), (1, 1));
+        assert_eq!(c.inflight_count(), 1);
+        assert_eq!(c.duty_count(), 0, "duty moved into the in-flight batch");
+
+        assert_eq!(c.ack(0), 0, "ack below the batch seq releases nothing");
+        assert_eq!(c.ack(1), 1, "cumulative ack releases the batch");
+        assert_eq!(c.inflight_count(), 0);
+        let stats = c.stats();
+        assert_eq!(stats.batches_sent, 1);
+        assert_eq!(stats.acks_received, 1);
+    }
+
+    #[test]
+    fn retries_wait_for_backoff_and_prefer_the_tail() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
+        c.begin_upload(UploadDecision::UploadInTail, SimTime::from_secs(60))
+            .unwrap();
+
+        // Backoff (2s + <1s jitter) has not elapsed: nothing to retry even
+        // inside a tail.
+        assert!(c
+            .retries_due(SimTime::from_secs(61), true, SimDuration::from_secs(8))
+            .is_empty());
+        // Backoff elapsed, but no tail and deadline (min 10) far: hold.
+        assert!(c
+            .retries_due(SimTime::from_secs(70), false, SimDuration::ZERO)
+            .is_empty());
+        // Backoff elapsed and in a tail: retransmit.
+        let retries = c.retries_due(SimTime::from_secs(70), true, SimDuration::from_secs(8));
+        assert_eq!(retries.len(), 1);
+        assert_eq!((retries[0].seq, retries[0].attempt), (1, 2));
+        assert_eq!(c.stats().retries, 1);
+        // The second backoff doubled: not due again immediately.
+        assert!(c
+            .retries_due(SimTime::from_secs(71), true, SimDuration::from_secs(8))
+            .is_empty());
+        // Past the deadline the cold-upload fallback retries without a tail.
+        let cold = c.retries_due(SimTime::from_mins(11), false, SimDuration::ZERO);
+        assert_eq!(cold.len(), 1);
+        assert_eq!(cold[0].attempt, 3);
+        let (in_tail, at_deadline) = c.upload_counts();
+        assert_eq!(
+            (in_tail, at_deadline),
+            (2, 1),
+            "first send + tail retry vs cold retry"
+        );
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let a = backoff_for(ImeiHash(7), 1, 1);
+        assert_eq!(a, backoff_for(ImeiHash(7), 1, 1));
+        assert!(a >= RETRY_BASE && a < RETRY_BASE + SimDuration::from_secs(1));
+        let late = backoff_for(ImeiHash(7), 1, 40);
+        assert!(late <= RETRY_CAP + SimDuration::from_secs(1), "{late}");
+        assert_ne!(
+            backoff_for(ImeiHash(7), 1, 2),
+            backoff_for(ImeiHash(8), 1, 2),
+            "jitter decorrelates devices"
+        );
+    }
+
+    #[test]
+    fn give_up_abandons_hopeless_batches_and_counts_them() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 10)).unwrap();
+        c.record_sample(RequestId(1), reading(SimTime::ZERO))
+            .unwrap();
+        c.begin_upload(UploadDecision::UploadInTail, SimTime::from_mins(1))
+            .unwrap();
+        let grace = SimDuration::from_mins(2);
+        assert_eq!(c.give_up_expired(SimTime::from_mins(11), grace), 0);
+        assert_eq!(c.give_up_expired(SimTime::from_mins(13), grace), 1);
+        assert_eq!(c.inflight_count(), 0);
+        assert_eq!(c.stats().readings_abandoned, 1);
+        assert_eq!(c.stats().readings_lost(), 1);
+    }
+
+    #[test]
+    fn drop_expired_total_lands_in_stats() {
+        let mut c = registered_client();
+        c.start_sensing(&assignment(1, 7, 0, 5)).unwrap();
+        assert_eq!(c.drop_expired(SimTime::from_mins(6)), 1);
+        assert_eq!(c.stats().expired_dropped, 1);
+        assert_eq!(c.stats().readings_lost(), 1);
+    }
+
+    #[test]
+    fn client_error_display() {
+        assert_eq!(
+            ClientError::NotRegistered.to_string(),
+            "client not registered"
+        );
+        assert!(ClientError::DuplicateDuty(RequestId(3))
+            .to_string()
+            .contains("duplicate"));
     }
 
     #[test]

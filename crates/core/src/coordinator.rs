@@ -89,14 +89,133 @@ pub struct ServerStats {
     pub readings_rejected: u64,
     /// Readings accepted and delivered.
     pub readings_accepted: u64,
+    /// Envelopes whose sequence number was already accepted (retransmits
+    /// that raced their ack).
+    pub envelopes_duplicate: u64,
+    /// Envelopes received on their second or later transmission attempt.
+    pub envelopes_retried: u64,
+    /// Readings deduplicated at the reading level (same device, same
+    /// request) — e.g. replays across a snapshot-restore boundary.
+    pub readings_duplicate: u64,
+    /// Readings clients reported dropping on-device (deadline passed
+    /// before sampling, or batches abandoned unacked); see
+    /// [`ClientStats`](crate::client::ClientStats).
+    pub client_readings_dropped: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ActiveRequest {
     request: Request,
     cas: CasId,
     assigned: Vec<ImeiHash>,
     received: BTreeSet<ImeiHash>,
+}
+
+/// Per-device envelope bookkeeping: the highest contiguously accepted
+/// sequence number (the cumulative ack) plus any accepted-out-of-order
+/// sequence numbers still ahead of it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct SeqLedger {
+    floor: u64,
+    ahead: BTreeSet<u64>,
+}
+
+impl SeqLedger {
+    /// Accepts `seq` if unseen, advancing the cumulative floor over any
+    /// now-contiguous run. Returns `false` for a replay.
+    fn accept(&mut self, seq: u64) -> bool {
+        if seq <= self.floor || self.ahead.contains(&seq) {
+            return false;
+        }
+        self.ahead.insert(seq);
+        while self.ahead.remove(&(self.floor + 1)) {
+            self.floor += 1;
+        }
+        true
+    }
+
+    /// The cumulative ack: every sequence number ≤ this was accepted.
+    fn cumulative(&self) -> u64 {
+        self.floor
+    }
+}
+
+/// What became of one reading inside a delivered envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeliveryOutcome {
+    /// Fresh reading, validated and queued for the CAS. `fulfilled` is
+    /// true when it met the request's spatial density.
+    Accepted {
+        /// Whether this reading fulfilled the request.
+        fulfilled: bool,
+    },
+    /// The server already holds this `(request, device)` reading — a
+    /// retransmit or a replay across a snapshot restore. Safe to ack.
+    Duplicate,
+    /// The request is no longer active (fulfilled by others, expired, or
+    /// cancelled); the reading is acked so the client stops retrying, but
+    /// nothing is delivered.
+    Obsolete,
+    /// The server definitively rejected the reading (validation failure,
+    /// unknown request, not assigned). Acked — retrying cannot help.
+    Rejected(SenseAidError),
+}
+
+/// The server's response to one delivery envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReceipt {
+    /// Cumulative ack for the sending device: every envelope sequence
+    /// number ≤ this has been received.
+    pub ack: u64,
+    /// Per-reading outcomes, in the order submitted. Empty when the whole
+    /// envelope was a duplicate.
+    pub outcomes: Vec<DeliveryOutcome>,
+}
+
+/// A point-in-time copy of the control plane's durable state — what a
+/// production deployment would persist at the edge. Taken periodically by
+/// [`SenseAidServer::enable_snapshots`](crate::server::SenseAidServer::enable_snapshots)
+/// and replayed by
+/// [`recover_at`](crate::server::SenseAidServer::recover_at) after a
+/// crash; anything newer than the snapshot is reconstructed from client
+/// re-registration/re-announce and retransmitted envelopes.
+#[derive(Debug, Clone)]
+pub struct ControlSnapshot {
+    taken_at: SimTime,
+    tasks: TaskStore,
+    next_request_id: u64,
+    statuses: BTreeMap<RequestId, RequestStatus>,
+    task_owner: BTreeMap<TaskId, CasId>,
+    queued_run: Vec<Request>,
+    queued_wait: Vec<Request>,
+    active: Vec<(RequestId, ActiveRequest)>,
+    devices: Vec<DeviceRecord>,
+    seq_ledger: BTreeMap<ImeiHash, SeqLedger>,
+    delivered_log: BTreeSet<(RequestId, ImeiHash)>,
+    stats: ServerStats,
+    selections: TraceLog<SelectionEvent>,
+}
+
+impl ControlSnapshot {
+    /// When the snapshot was taken.
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+
+    /// How many device records the snapshot holds.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// How many requests were queued (run + wait) at snapshot time.
+    pub fn queued_count(&self) -> usize {
+        self.queued_run.len() + self.queued_wait.len()
+    }
+
+    /// How many requests were assigned and in flight at snapshot time.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
 }
 
 /// The sharded scheduling core. All methods assume the surrounding server
@@ -106,6 +225,8 @@ pub(crate) struct Coordinator {
     config: SenseAidConfig,
     policy: Box<dyn SelectionPolicy>,
     validator: ReadingValidator,
+    /// Kept so a snapshot restore can rebuild empty shard indexes.
+    index_factory: fn() -> Box<dyn DeviceIndex>,
     shards: Vec<Shard>,
     /// Which shard each registered device is homed on.
     home: BTreeMap<ImeiHash, usize>,
@@ -120,6 +241,11 @@ pub(crate) struct Coordinator {
     outbox: Vec<(CasId, DeliveredReading)>,
     selections: TraceLog<SelectionEvent>,
     stats: ServerStats,
+    /// Per-device envelope sequence tracking for the reliable path.
+    seq_ledger: BTreeMap<ImeiHash, SeqLedger>,
+    /// `(request, device)` pairs already delivered — the reading-level
+    /// dedup that makes retried `send_sense_data` idempotent.
+    delivered_log: BTreeSet<(RequestId, ImeiHash)>,
     /// Set when device state changed in a way that could requalify a
     /// parked request; cleared by a poll that finds nothing more to do.
     wait_dirty: bool,
@@ -136,6 +262,7 @@ impl Coordinator {
             config,
             policy,
             validator: ReadingValidator::new(),
+            index_factory,
             shards: (0..shard_count)
                 .map(|_| Shard::new(index_factory()))
                 .collect(),
@@ -149,6 +276,8 @@ impl Coordinator {
             outbox: Vec::new(),
             selections: TraceLog::new(),
             stats: ServerStats::default(),
+            seq_ledger: BTreeMap::new(),
+            delivered_log: BTreeSet::new(),
             wait_dirty: false,
         }
     }
@@ -336,14 +465,27 @@ impl Coordinator {
     // Device lifecycle
     // ------------------------------------------------------------------
 
+    /// Registers a device, or — when it is already registered — refreshes
+    /// its preferences and state while preserving the history the fresh
+    /// record cannot know (selection count, spent energy, position/cell).
+    /// A client re-`register()` after losing an ack is therefore
+    /// idempotent: it never resets fairness or budget accounting.
     pub fn register_device(&mut self, record: DeviceRecord) {
         let imei = record.imei;
-        let shard = self.shard_of_cell(record.cell);
-        if let Some(old) = self.home.insert(imei, shard) {
-            if old != shard {
-                self.shards[old].remove_device(imei);
-            }
+        if self.home.contains_key(&imei) {
+            let existing = self.device_mut(imei).expect("home map tracks membership");
+            existing.energy_budget_j = record.energy_budget_j;
+            existing.critical_battery_pct = record.critical_battery_pct;
+            existing.battery_pct = record.battery_pct;
+            existing.sensors = record.sensors;
+            existing.device_type = record.device_type;
+            existing.last_comm = record.last_comm;
+            existing.responsive = true;
+            self.wait_dirty = true;
+            return;
         }
+        let shard = self.shard_of_cell(record.cell);
+        self.home.insert(imei, shard);
         self.shards[shard].insert_device(record);
         self.wait_dirty = true;
     }
@@ -746,6 +888,7 @@ impl Coordinator {
         let delivered = privacy::scrub(reading, imei, &active.request, cell, active.cas);
         self.outbox.push((active.cas, delivered));
         active.received.insert(imei);
+        self.delivered_log.insert((request_id, imei));
         self.stats.readings_accepted += 1;
         let fulfilled = active.received.len() >= active.request.density();
         let task = active.request.task();
@@ -761,8 +904,167 @@ impl Coordinator {
         Ok(fulfilled)
     }
 
+    /// Ingests one delivery envelope: a sequenced batch of readings from
+    /// `imei`. Replayed envelopes (known sequence number) and replayed
+    /// readings (known `(request, device)` pair) are deduplicated, and
+    /// every outcome — including definitive rejections — is covered by the
+    /// returned cumulative ack, so a client never retries in vain.
+    pub fn submit_batch(
+        &mut self,
+        imei: ImeiHash,
+        seq: u64,
+        attempt: u32,
+        readings: &[(RequestId, SensorReading)],
+        now: SimTime,
+    ) -> BatchReceipt {
+        if attempt > 1 {
+            self.stats.envelopes_retried += 1;
+        }
+        let ledger = self.seq_ledger.entry(imei).or_default();
+        if !ledger.accept(seq) {
+            self.stats.envelopes_duplicate += 1;
+            let ack = self.seq_ledger[&imei].cumulative();
+            return BatchReceipt {
+                ack,
+                outcomes: Vec::new(),
+            };
+        }
+        let mut outcomes = Vec::with_capacity(readings.len());
+        for (request_id, reading) in readings {
+            let outcome = if self.delivered_log.contains(&(*request_id, imei)) {
+                self.stats.readings_duplicate += 1;
+                DeliveryOutcome::Duplicate
+            } else {
+                match self.submit_sensed_data(imei, *request_id, reading, now) {
+                    Ok(fulfilled) => DeliveryOutcome::Accepted { fulfilled },
+                    // The request resolved without this device (fulfilled
+                    // by others, expired, cancelled): nothing to deliver,
+                    // but the envelope still counts as received.
+                    Err(SenseAidError::UnknownRequest(id)) if self.statuses.contains_key(&id) => {
+                        let _ = self.record_device_comm(imei, now);
+                        DeliveryOutcome::Obsolete
+                    }
+                    Err(e) => DeliveryOutcome::Rejected(e),
+                }
+            };
+            outcomes.push(outcome);
+        }
+        BatchReceipt {
+            ack: self.seq_ledger[&imei].cumulative(),
+            outcomes,
+        }
+    }
+
+    /// Folds client-side drop totals into the server statistics (clients
+    /// report them inside state updates).
+    pub fn note_client_drops(&mut self, dropped: u64) {
+        self.stats.client_readings_dropped += dropped;
+    }
+
     pub fn drain_outbox(&mut self) -> Vec<(CasId, DeliveredReading)> {
         std::mem::take(&mut self.outbox)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash snapshot / recovery
+    // ------------------------------------------------------------------
+
+    /// Copies the control plane's durable state (see [`ControlSnapshot`]).
+    /// The outbox is intentionally excluded: the harness drains it every
+    /// tick, so un-forwarded readings at crash time are genuinely lost and
+    /// must be re-covered by client retransmission.
+    pub fn snapshot(&self, now: SimTime) -> ControlSnapshot {
+        ControlSnapshot {
+            taken_at: now,
+            tasks: self.tasks.clone(),
+            next_request_id: self.next_request_id,
+            statuses: self.statuses.clone(),
+            task_owner: self.task_owner.clone(),
+            queued_run: self
+                .shards
+                .iter()
+                .flat_map(Shard::run_requests)
+                .cloned()
+                .collect(),
+            queued_wait: self
+                .shards
+                .iter()
+                .flat_map(Shard::wait_requests)
+                .cloned()
+                .collect(),
+            active: self.active.iter().map(|(id, a)| (*id, a.clone())).collect(),
+            devices: {
+                let mut records: Vec<DeviceRecord> = self
+                    .shards
+                    .iter()
+                    .flat_map(|s| s.device_records())
+                    .collect();
+                records.sort_unstable_by_key(|r| r.imei);
+                records
+            },
+            seq_ledger: self.seq_ledger.clone(),
+            delivered_log: self.delivered_log.clone(),
+            stats: self.stats,
+            selections: self.selections.clone(),
+        }
+    }
+
+    /// Rebuilds the control plane from `snapshot`, then reconciles against
+    /// `now`: requests whose deadlines passed during the outage — queued
+    /// or assigned — are expired with truthful statuses, and silent
+    /// assignees are marked unresponsive. Requests are re-homed through
+    /// the normal enqueue path, so recovery is shard-count invariant.
+    pub fn restore(&mut self, snapshot: ControlSnapshot, now: SimTime) {
+        let shard_count = self.shards.len();
+        self.shards = (0..shard_count)
+            .map(|_| Shard::new((self.index_factory)()))
+            .collect();
+        self.home.clear();
+        self.tasks = snapshot.tasks;
+        self.next_request_id = snapshot.next_request_id;
+        self.statuses = snapshot.statuses;
+        self.task_owner = snapshot.task_owner;
+        self.stats = snapshot.stats;
+        self.seq_ledger = snapshot.seq_ledger;
+        self.delivered_log = snapshot.delivered_log;
+        self.selections = snapshot.selections;
+        self.active = snapshot.active.into_iter().collect();
+        for record in snapshot.devices {
+            let imei = record.imei;
+            let shard = self.shard_of_cell(record.cell);
+            self.home.insert(imei, shard);
+            self.shards[shard].insert_device(record);
+        }
+        for request in snapshot.queued_run {
+            self.enqueue_run(request);
+        }
+        for request in snapshot.queued_wait {
+            self.enqueue_wait(request);
+        }
+        self.reconcile(now);
+        self.wait_dirty = true;
+    }
+
+    /// Expires everything the outage made hopeless: in-flight assignments
+    /// past their grace window and queued requests past their deadline.
+    /// Also run on a recovery without a snapshot, where the surviving
+    /// in-memory state needs the same truth pass.
+    pub fn reconcile(&mut self, now: SimTime) {
+        self.expire_overdue(now);
+        while let Some((shard, key)) = Self::min_head(&self.shards, Shard::run_head_key) {
+            if key.0 > now {
+                break;
+            }
+            let request = self.shards[shard].pop_run().expect("head key seen");
+            self.expire_request(&request);
+        }
+        while let Some((shard, key)) = Self::min_head(&self.shards, Shard::wait_head_key) {
+            if key.0 > now {
+                break;
+            }
+            let request = self.shards[shard].pop_wait().expect("head key seen");
+            self.expire_request(&request);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -866,5 +1168,140 @@ mod tests {
         coord.submit_task_for(CasId(0), spec_at(midpoint, 1900.0), SimTime::ZERO);
         assert!(coord.shards()[0].run_queue_len() > 0);
         assert_eq!(coord.shards()[1].run_queue_len(), 0);
+    }
+
+    // ---- delivery envelopes & crash recovery ----
+
+    use crate::store::device_store::new_record;
+
+    fn register(coord: &mut Coordinator, imei: u64) {
+        coord.register_device(new_record(
+            ImeiHash(imei),
+            495.0,
+            15.0,
+            90.0,
+            vec![Sensor::Barometer],
+            "GalaxyS4".to_owned(),
+            SimTime::ZERO,
+        ));
+        coord
+            .observe_device(ImeiHash(imei), centre(), None)
+            .unwrap();
+    }
+
+    fn reading() -> SensorReading {
+        SensorReading {
+            sensor: Sensor::Barometer,
+            value: 1000.0,
+            taken_at: SimTime::ZERO,
+            position: centre(),
+        }
+    }
+
+    #[test]
+    fn seq_ledger_tracks_cumulative_and_out_of_order() {
+        let mut ledger = SeqLedger::default();
+        assert!(ledger.accept(1));
+        assert!(!ledger.accept(1), "replay rejected");
+        assert_eq!(ledger.cumulative(), 1);
+        assert!(ledger.accept(3), "gap is held ahead");
+        assert_eq!(ledger.cumulative(), 1, "gap blocks the cumulative ack");
+        assert!(ledger.accept(2), "gap fills");
+        assert_eq!(ledger.cumulative(), 3);
+        assert!(!ledger.accept(2), "filled gap is a replay");
+    }
+
+    #[test]
+    fn submit_batch_dedups_envelopes_and_readings() {
+        let mut coord = coordinator(1);
+        register(&mut coord, 1);
+        coord.submit_task_for(CasId(0), spec_at(centre(), 500.0), SimTime::ZERO);
+        let assignments = coord.poll(SimTime::ZERO);
+        let request = assignments[0].request;
+
+        let batch = [(request, reading())];
+        let receipt = coord.submit_batch(ImeiHash(1), 1, 1, &batch, SimTime::ZERO);
+        assert_eq!(receipt.ack, 1);
+        assert!(matches!(
+            receipt.outcomes[..],
+            [DeliveryOutcome::Accepted { fulfilled: true }]
+        ));
+
+        // The exact retransmit is swallowed at the envelope layer.
+        let replay = coord.submit_batch(ImeiHash(1), 1, 2, &batch, SimTime::ZERO);
+        assert_eq!(replay.ack, 1);
+        assert!(replay.outcomes.is_empty());
+        assert_eq!(coord.stats().envelopes_duplicate, 1);
+        assert_eq!(coord.stats().envelopes_retried, 1);
+        assert_eq!(coord.stats().readings_accepted, 1, "no double count");
+    }
+
+    #[test]
+    fn submit_batch_marks_resolved_requests_obsolete() {
+        let mut coord = coordinator(1);
+        register(&mut coord, 1);
+        coord.submit_task_for(CasId(0), spec_at(centre(), 500.0), SimTime::ZERO);
+        let request = coord.poll(SimTime::ZERO)[0].request;
+        let batch = [(request, reading())];
+        coord.submit_batch(ImeiHash(1), 1, 1, &batch, SimTime::ZERO);
+
+        // A late copy of the fulfilled request from another device is
+        // acked as obsolete, not an error — the sender must stop retrying.
+        let late = coord.submit_batch(ImeiHash(2), 1, 1, &batch, SimTime::ZERO);
+        assert!(matches!(late.outcomes[..], [DeliveryOutcome::Obsolete]));
+
+        // The same device re-sending under a fresh seq dedups per reading.
+        let fresh = coord.submit_batch(ImeiHash(1), 2, 1, &batch, SimTime::ZERO);
+        assert_eq!(fresh.ack, 2);
+        assert!(matches!(fresh.outcomes[..], [DeliveryOutcome::Duplicate]));
+        assert_eq!(coord.stats().readings_duplicate, 1);
+    }
+
+    #[test]
+    fn restore_rebuilds_devices_queues_and_dedup_state() {
+        let mut coord = coordinator(2);
+        register(&mut coord, 1);
+        register(&mut coord, 2);
+        coord.submit_task_for(CasId(0), spec_at(centre(), 500.0), SimTime::ZERO);
+        let request = coord.poll(SimTime::ZERO)[0].request;
+        let batch = [(request, reading())];
+        coord.submit_batch(ImeiHash(1), 1, 1, &batch, SimTime::ZERO);
+
+        let snapshot = coord.snapshot(SimTime::from_secs(1));
+        assert_eq!(snapshot.device_count(), 2);
+
+        // Post-snapshot state is rolled back by restore…
+        register(&mut coord, 3);
+        coord.restore(snapshot, SimTime::from_secs(2));
+        assert!(coord.device(ImeiHash(3)).is_none());
+        assert_eq!(coord.device_count(), 2);
+        // …and the dedup ledgers survive the crash: the retransmit of the
+        // pre-crash envelope is still swallowed.
+        let replay = coord.submit_batch(ImeiHash(1), 1, 2, &batch, SimTime::from_secs(2));
+        assert!(replay.outcomes.is_empty());
+        // Future requests are still queued (sampling_duration 10 min).
+        assert!(coord.run_queue_len() > 0);
+    }
+
+    #[test]
+    fn restore_expires_requests_whose_deadlines_passed_in_the_outage() {
+        let mut coord = coordinator(1);
+        register(&mut coord, 1);
+        let task = coord.submit_task_for(CasId(0), spec_at(centre(), 500.0), SimTime::ZERO);
+        let queued_before = coord.run_queue_len();
+        assert!(queued_before > 0);
+        let snapshot = coord.snapshot(SimTime::ZERO);
+
+        // Recover an hour later: every deadline passed during the outage.
+        coord.restore(snapshot, SimTime::from_mins(60));
+        assert_eq!(coord.run_queue_len(), 0);
+        assert_eq!(coord.wait_queue_len(), 0);
+        assert_eq!(
+            coord.stats().requests_expired as usize,
+            queued_before,
+            "outage-overrun requests expire truthfully"
+        );
+        let state = coord.tasks.get(task).unwrap();
+        assert_eq!(state.requests_expired, queued_before);
     }
 }

@@ -66,7 +66,9 @@ pub mod validation;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController};
 pub use cas::{AppServer, DeliveredReading};
-pub use client::{ClientState, SenseAidClient, UploadDecision};
+pub use client::{
+    ClientError, ClientState, ClientStats, OutboundBatch, SenseAidClient, UploadDecision,
+};
 pub use config::{SenseAidConfig, Variant};
 pub use error::SenseAidError;
 pub use policy::{ScoredPolicy, SelectionPolicy};
@@ -74,7 +76,10 @@ pub use queues::{QueuedRequest, RequestQueue};
 pub use request::{Request, RequestId, RequestStatus};
 pub use scheduler::WakeupDriver;
 pub use selector::{DeviceSelector, HardCutoffs, InsufficientDevices, SelectorWeights};
-pub use server::{Assignment, SelectionEvent, SenseAidServer, ServerStats};
+pub use server::{
+    Assignment, BatchReceipt, ControlSnapshot, DeliveryOutcome, SelectionEvent, SenseAidServer,
+    ServerStats,
+};
 pub use service::SharedServer;
 pub use store::device_store::{DeviceRecord, DeviceStore};
 pub use store::task_store::{TaskState, TaskStatus, TaskStore};

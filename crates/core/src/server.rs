@@ -31,7 +31,9 @@ use senseaid_sim::{SimDuration, SimTime, TraceLog};
 use crate::cas::{CasId, DeliveredReading};
 use crate::config::SenseAidConfig;
 use crate::coordinator::Coordinator;
-pub use crate::coordinator::{Assignment, SelectionEvent, ServerStats};
+pub use crate::coordinator::{
+    Assignment, BatchReceipt, ControlSnapshot, DeliveryOutcome, SelectionEvent, ServerStats,
+};
 use crate::error::SenseAidError;
 use crate::policy::{ScoredPolicy, SelectionPolicy};
 use crate::request::{Request, RequestId, RequestStatus};
@@ -49,6 +51,9 @@ fn default_index() -> Box<dyn DeviceIndex> {
 pub struct SenseAidServer {
     coordinator: Coordinator,
     up: bool,
+    snapshot_interval: Option<SimDuration>,
+    last_snapshot_at: Option<SimTime>,
+    snapshot: Option<ControlSnapshot>,
 }
 
 impl SenseAidServer {
@@ -75,6 +80,9 @@ impl SenseAidServer {
         SenseAidServer {
             coordinator: Coordinator::new(config, policy, index_factory),
             up: true,
+            snapshot_interval: None,
+            last_snapshot_at: None,
+            snapshot: None,
         }
     }
 
@@ -151,6 +159,61 @@ impl SenseAidServer {
     /// edge); in-flight assignments were lost on devices and expire.
     pub fn recover(&mut self) {
         self.up = true;
+    }
+
+    // --- Crash snapshots & truthful recovery ---
+
+    /// Turns on periodic control-plane snapshots: once `interval` has
+    /// elapsed since the last one, the next [`tick_snapshot`]
+    /// (Self::tick_snapshot) call persists a fresh [`ControlSnapshot`].
+    pub fn enable_snapshots(&mut self, interval: SimDuration) {
+        self.snapshot_interval = Some(interval);
+    }
+
+    /// Takes a periodic snapshot if snapshots are enabled, the server is
+    /// up, and the configured interval has elapsed. Returns `true` when a
+    /// snapshot was taken. Drivers call this once per tick.
+    pub fn tick_snapshot(&mut self, now: SimTime) -> bool {
+        let Some(interval) = self.snapshot_interval else {
+            return false;
+        };
+        if !self.up {
+            return false;
+        }
+        let due = match self.last_snapshot_at {
+            None => true,
+            Some(at) => now.elapsed_since(at) >= interval,
+        };
+        if due {
+            self.take_snapshot(now);
+        }
+        due
+    }
+
+    /// Unconditionally persists a control-plane snapshot at `now`.
+    pub fn take_snapshot(&mut self, now: SimTime) {
+        self.snapshot = Some(self.coordinator.snapshot(now));
+        self.last_snapshot_at = Some(now);
+    }
+
+    /// When the last snapshot was persisted, if any.
+    pub fn last_snapshot_at(&self) -> Option<SimTime> {
+        self.last_snapshot_at
+    }
+
+    /// Restarts the server *from its last snapshot*, reconciling against
+    /// `now`: state since the snapshot is rolled back (clients re-announce
+    /// on next contact and retransmit unacked batches), requests whose
+    /// deadlines passed during the outage are expired with truthful
+    /// statuses, and queue homing is recomputed. Without a snapshot this
+    /// degrades to legacy [`recover`](Self::recover) plus the same
+    /// reconciliation pass over the surviving in-memory state.
+    pub fn recover_at(&mut self, now: SimTime) {
+        self.up = true;
+        match self.snapshot.clone() {
+            Some(snapshot) => self.coordinator.restore(snapshot, now),
+            None => self.coordinator.reconcile(now),
+        }
     }
 
     fn ensure_up(&self) -> Result<(), SenseAidError> {
@@ -390,6 +453,38 @@ impl SenseAidServer {
         self.ensure_up()?;
         self.coordinator
             .submit_sensed_data(imei, request_id, reading, now)
+    }
+
+    /// Ingests a sequenced batch of readings carried by a delivery
+    /// envelope (see `senseaid_cellnet::Envelope`). Replayed envelopes and
+    /// replayed readings are deduplicated server-side, making client
+    /// retransmission of `send_sense_data` idempotent. The receipt's
+    /// cumulative ack tells the client which sequence numbers to release.
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::ServerUnavailable`] when crashed (the client's
+    /// backoff clock keeps running and it retries later).
+    pub fn submit_sensed_batch(
+        &mut self,
+        imei: ImeiHash,
+        seq: u64,
+        attempt: u32,
+        readings: &[(RequestId, SensorReading)],
+        now: SimTime,
+    ) -> Result<BatchReceipt, SenseAidError> {
+        self.ensure_up()?;
+        Ok(self
+            .coordinator
+            .submit_batch(imei, seq, attempt, readings, now))
+    }
+
+    /// Folds client-reported reading drops (deadline expiry on-device,
+    /// abandoned retransmissions) into [`ServerStats`]. Deliberately does
+    /// not require the server to be up: totals are reconciled whenever the
+    /// report arrives.
+    pub fn note_client_drops(&mut self, dropped: u64) {
+        self.coordinator.note_client_drops(dropped);
     }
 
     /// Drains the scrubbed readings queued for delivery, in order.

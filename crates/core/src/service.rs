@@ -46,8 +46,13 @@ use parking_lot::Mutex;
 
 use senseaid_sim::SimTime;
 
+use senseaid_device::{ImeiHash, SensorReading};
+use senseaid_sim::SimDuration;
+
 use crate::config::SenseAidConfig;
+use crate::coordinator::BatchReceipt;
 use crate::error::SenseAidError;
+use crate::request::RequestId;
 use crate::server::{Assignment, SenseAidServer};
 
 /// A clonable, thread-safe handle to one Sense-Aid server instance.
@@ -113,6 +118,51 @@ impl SharedServer {
             subs.retain(|tx| assignments.iter().all(|a| tx.send(a.clone()).is_ok()));
         }
         Ok(assignments)
+    }
+
+    // --- Fault-tolerance passthroughs (see `SenseAidServer`) ---
+
+    /// Enables periodic control-plane snapshots; see
+    /// [`SenseAidServer::enable_snapshots`].
+    pub fn enable_snapshots(&self, interval: SimDuration) {
+        self.inner.lock().enable_snapshots(interval);
+    }
+
+    /// Takes a periodic snapshot if one is due; see
+    /// [`SenseAidServer::tick_snapshot`].
+    pub fn tick_snapshot(&self, now: SimTime) -> bool {
+        self.inner.lock().tick_snapshot(now)
+    }
+
+    /// Restarts a crashed server from its last snapshot, reconciled
+    /// against `now`; see [`SenseAidServer::recover_at`].
+    pub fn recover_at(&self, now: SimTime) {
+        self.inner.lock().recover_at(now);
+    }
+
+    /// Ingests a sequenced envelope batch; see
+    /// [`SenseAidServer::submit_sensed_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`SenseAidError::ServerUnavailable`] when crash-injected.
+    pub fn submit_sensed_batch(
+        &self,
+        imei: ImeiHash,
+        seq: u64,
+        attempt: u32,
+        readings: &[(RequestId, SensorReading)],
+        now: SimTime,
+    ) -> Result<BatchReceipt, SenseAidError> {
+        self.inner
+            .lock()
+            .submit_sensed_batch(imei, seq, attempt, readings, now)
+    }
+
+    /// Folds client-reported drops into server stats; see
+    /// [`SenseAidServer::note_client_drops`].
+    pub fn note_client_drops(&self, dropped: u64) {
+        self.inner.lock().note_client_drops(dropped);
     }
 }
 
@@ -236,6 +286,50 @@ mod tests {
         drop(service);
         let seen = dispatcher.join().unwrap();
         assert_eq!(seen, 3, "15 min / 5 min period = 3 assignments");
+    }
+
+    #[test]
+    fn batch_path_and_snapshot_recovery_work_through_the_handle() {
+        use senseaid_device::SensorReading;
+
+        let service = populated_service(4);
+        service.enable_snapshots(SimDuration::from_mins(1));
+        service
+            .with(|s| s.submit_task(task(), SimTime::ZERO))
+            .unwrap();
+        let assignments = service.poll(SimTime::ZERO).unwrap();
+        let request_id = assignments[0].request;
+        let imei = assignments[0].devices[0];
+        assert!(service.tick_snapshot(SimTime::ZERO));
+
+        let reading = SensorReading {
+            sensor: Sensor::Barometer,
+            value: 1000.0,
+            taken_at: SimTime::ZERO,
+            position: centre(),
+        };
+        let batch = [(request_id, reading)];
+        let receipt = service
+            .submit_sensed_batch(imei, 1, 1, &batch, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(receipt.ack, 1);
+
+        // A retransmit of the same envelope is a no-op with the same ack.
+        let replay = service
+            .submit_sensed_batch(imei, 1, 2, &batch, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(replay.ack, 1);
+        assert!(replay.outcomes.is_empty());
+
+        // Crash and recover from the snapshot: registrations survive.
+        service.with(SenseAidServer::crash);
+        assert!(service
+            .submit_sensed_batch(imei, 2, 1, &batch, SimTime::ZERO)
+            .is_err());
+        service.recover_at(SimTime::from_mins(1));
+        assert_eq!(service.with(|s| s.device_count()), 4);
+        service.note_client_drops(3);
+        assert_eq!(service.with(|s| s.stats()).client_readings_dropped, 3);
     }
 
     #[test]

@@ -128,4 +128,20 @@ impl Shard {
     pub fn queued_requests(&self) -> impl Iterator<Item = &Request> {
         self.run_queue.iter().chain(self.wait_queue.iter())
     }
+
+    /// Run-queue entries only (for snapshots, which must restore run and
+    /// wait entries to the right queue kind).
+    pub fn run_requests(&self) -> impl Iterator<Item = &Request> {
+        self.run_queue.iter()
+    }
+
+    /// Wait-queue entries only (see [`Shard::run_requests`]).
+    pub fn wait_requests(&self) -> impl Iterator<Item = &Request> {
+        self.wait_queue.iter()
+    }
+
+    /// All device records on this shard (for snapshots), in IMEI order.
+    pub fn device_records(&self) -> Vec<DeviceRecord> {
+        self.index.snapshot_records()
+    }
 }

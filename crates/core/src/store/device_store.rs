@@ -267,6 +267,11 @@ impl DeviceIndex for DeviceStore {
     fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
         DeviceStore::candidates(self, probe)
     }
+
+    fn snapshot_records(&self) -> Vec<DeviceRecord> {
+        // `records` is a BTreeMap keyed by IMEI, so values are ordered.
+        self.records.values().cloned().collect()
+    }
 }
 
 /// Builds a fresh record for a registering device.

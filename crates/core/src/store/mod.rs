@@ -96,4 +96,8 @@ pub trait DeviceIndex: fmt::Debug + Send {
     fn qualified_count(&self, probe: &QualificationProbe) -> usize {
         self.candidates(probe).len()
     }
+
+    /// Every record held, cloned, in ascending IMEI order — the crash
+    /// snapshot's view of this shard's device datastore.
+    fn snapshot_records(&self) -> Vec<DeviceRecord>;
 }

@@ -32,4 +32,4 @@ pub use mobility::{CampusMobility, Mobility, StationaryJitter, TraceMobility, Wa
 pub use profile::DeviceProfile;
 pub use sensors::{Sensor, SensorEnvironment, SensorReading, UniformEnvironment};
 pub use traffic::{AppSession, AppTrafficModel, SessionTransfer, TrafficConfig};
-pub use ue::{Device, DeviceId, ImeiHash, UserPreferences};
+pub use ue::{Device, DeviceId, ImeiHash, RegistrationInfo, UserPreferences};

@@ -73,6 +73,25 @@ impl Default for UserPreferences {
     }
 }
 
+/// Everything the Sense-Aid `register()` call carries (Table 1 fields),
+/// bundled so a harness can register — or crash-recover re-register — a
+/// device without plucking fields one by one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrationInfo {
+    /// The privacy-preserving IMEI hash.
+    pub imei: ImeiHash,
+    /// Total energy the user donates to crowdsensing, Joules.
+    pub energy_budget_j: f64,
+    /// Battery percentage below which the device must not be selected.
+    pub critical_battery_pct: f64,
+    /// Battery level at registration time, percent.
+    pub battery_pct: f64,
+    /// Sensors the device model carries.
+    pub sensors: Vec<Sensor>,
+    /// The `device_type` string tasks may match against.
+    pub device_type: String,
+}
+
 /// Errors from device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeviceError {
@@ -162,6 +181,20 @@ impl Device {
     /// Updates the user's crowdsensing preferences.
     pub fn set_prefs(&mut self, prefs: UserPreferences) {
         self.prefs = prefs;
+    }
+
+    /// The fields a `register()` call carries, bundled. Harnesses use this
+    /// both for initial sign-up and for re-announcing the device to a
+    /// server that lost registrations in a crash.
+    pub fn registration_info(&self) -> RegistrationInfo {
+        RegistrationInfo {
+            imei: self.imei_hash(),
+            energy_budget_j: self.prefs.energy_budget_j,
+            critical_battery_pct: self.prefs.critical_battery_pct,
+            battery_pct: self.battery.level_pct(),
+            sensors: self.profile.sensors.iter().copied().collect(),
+            device_type: self.profile.device_type.clone(),
+        }
     }
 
     /// Current battery level, percent.

@@ -110,7 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let d: &mut Device = &mut devices[i];
                     for request in client.due_samples(t) {
                         if let Ok(reading) = d.sample_sensor(t, Sensor::Barometer, &field) {
-                            client.record_sample(request, reading);
+                            let _ = client.record_sample(request, reading);
                         }
                     }
                     let decision = client.upload_decision(t, d.in_tail(t), d.tail_remaining(t));
@@ -139,7 +139,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     polls += 1;
                     for a in server.poll(t)? {
                         for imei in &a.devices {
-                            clients[by_imei[imei]].start_sensing(&a);
+                            let _ = clients[by_imei[imei]].start_sensing(&a);
                         }
                     }
                 }

@@ -10,8 +10,8 @@
 use std::process::ExitCode;
 
 use senseaid::bench::experiments::{
-    ablations, ext_adaptive, ext_scalability, ext_timeliness, fig01, fig02, fig06, fig07, fig08,
-    fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
+    ablations, ext_adaptive, ext_chaos, ext_scalability, ext_timeliness, fig01, fig02, fig06,
+    fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
 };
 use senseaid::bench::{run_scenario, savings_pct, FrameworkKind};
 use senseaid::geo::NamedLocation;
@@ -38,6 +38,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "ext-adaptive",
         "adaptive task density through a pressure front",
+    ),
+    (
+        "ext-chaos",
+        "chaos extension (loss sweep + mid-run server crash)",
     ),
 ];
 
@@ -104,6 +108,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "ext-scale" => ext_scalability::run(seed),
         "ext-timeliness" => ext_timeliness::run(seed),
         "ext-adaptive" => ext_adaptive::run(seed),
+        "ext-chaos" => ext_chaos::run(seed),
         other => {
             eprintln!("unknown experiment `{other}` (try `senseaid list`)");
             return ExitCode::FAILURE;

@@ -1,0 +1,192 @@
+//! Chaos invariants: under injected loss, duplication, reordering and a
+//! mid-run server crash/recover cycle, the middleware must stay truthful —
+//! every accepted reading reaches the CAS exactly once, per-device energy
+//! budgets and the selection cap hold, the study stays shard-invariant,
+//! and a zero-fault plan is behaviourally identical to no injector at all.
+//!
+//! CI sweeps the fault seed via `SENSEAID_FAULT_SEED` (defaults to
+//! `0xC0DE` locally), so these invariants are exercised against several
+//! independent loss patterns without new test code.
+
+use senseaid::bench::{run_scenario_with, FrameworkKind, GroupReport, HarnessOptions};
+use senseaid::cellnet::FaultPlan;
+use senseaid::geo::{CampusMap, NamedLocation};
+use senseaid::sim::{SimDuration, SimTime};
+use senseaid::workload::{PopulationConfig, ScenarioConfig, StudyPopulation};
+
+/// The fault seed under test: CI's chaos job sets `SENSEAID_FAULT_SEED`
+/// to sweep a small matrix; locally we default to a fixed value.
+fn fault_seed() -> u64 {
+    std::env::var("SENSEAID_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0DE)
+}
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(40),
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 3,
+        area_radius_m: 500.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 14,
+    }
+}
+
+/// Heavy chaos: 20 % loss per link, duplication, reordering, jitter, and
+/// one server crash/recover cycle in the middle of the run.
+fn heavy_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        loss: 0.20,
+        jitter_max: SimDuration::from_millis(300),
+        duplicate: 0.02,
+        reorder: 0.01,
+        enodeb_outages: Vec::new(),
+        server_outages: vec![(SimTime::from_mins(18), SimTime::from_mins(21))],
+    }
+}
+
+fn run_chaos(kind: FrameworkKind, sim_seed: u64) -> GroupReport {
+    run_scenario_with(
+        kind,
+        scenario(),
+        sim_seed,
+        HarnessOptions {
+            fault_plan: Some(heavy_plan(fault_seed())),
+            ..HarnessOptions::default()
+        },
+    )
+}
+
+/// Exactly-once: duplication on the wire and post-recovery retransmission
+/// must never double-count a reading at the CAS. A chaotic run can only
+/// deliver a subset of what the fault-free run delivers — never more.
+#[test]
+fn duplication_and_retries_never_double_count_readings() {
+    let sim_seed = 57;
+    let clean = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        scenario(),
+        sim_seed,
+        HarnessOptions::default(),
+    );
+    let chaos = run_chaos(FrameworkKind::SenseAidComplete, sim_seed);
+    assert!(chaos.readings_delivered > 0);
+    assert!(
+        chaos.readings_delivered <= clean.readings_delivered,
+        "chaos delivered {} > clean {}: a duplicate reached the CAS",
+        chaos.readings_delivered,
+        clean.readings_delivered
+    );
+    // And the books balance: everything sampled is either delivered or
+    // truthfully reported lost, and the crash window can only *suppress*
+    // assignments (fewer readings sampled), never mint extra ones.
+    assert!(
+        chaos.readings_delivered + chaos.readings_lost
+            <= clean.readings_delivered + clean.readings_lost,
+        "chaos accounted for {} readings, clean run only sampled {}",
+        chaos.readings_delivered + chaos.readings_lost,
+        clean.readings_delivered + clean.readings_lost
+    );
+}
+
+/// Energy budgets and the selection cap are honoured even while the
+/// envelope retransmits through loss and the crash window.
+#[test]
+fn budgets_and_selection_cap_hold_under_chaos() {
+    let sim_seed = 57;
+    let s = scenario();
+    let chaos = run_chaos(FrameworkKind::SenseAidComplete, sim_seed);
+
+    // Rebuild the same population the harness ran to learn each device's
+    // energy budget (population generation is seed-deterministic).
+    let map = CampusMap::standard();
+    let population = StudyPopulation::generate(
+        sim_seed,
+        &map,
+        PopulationConfig::all_barometer(s.group_size),
+    );
+    let budgets: std::collections::BTreeMap<u32, f64> = population
+        .devices()
+        .iter()
+        .map(|d| (d.id().0, d.prefs().energy_budget_j))
+        .collect();
+    for (id, spent) in &chaos.per_device_cs_j {
+        assert!(
+            *spent <= budgets[id] + 1e-9,
+            "device {id} spent {spent} J over its {} J budget",
+            budgets[id]
+        );
+    }
+    // The selector never recruits more than the spatial density asks for.
+    for round in &chaos.rounds {
+        assert!(
+            round.participating.len() <= s.spatial_density,
+            "round at {} selected {} devices, cap is {}",
+            round.at,
+            round.participating.len(),
+            s.spatial_density
+        );
+    }
+}
+
+/// The chaotic study is still shard-invariant: the fault streams are
+/// keyed by link and draw order, not by control-plane layout.
+#[test]
+fn chaos_study_is_shard_invariant() {
+    let run = |shards: usize| {
+        run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario(),
+            57,
+            HarnessOptions {
+                shard_count: Some(shards),
+                fault_plan: Some(heavy_plan(fault_seed())),
+                ..HarnessOptions::default()
+            },
+        )
+    };
+    let single = run(1);
+    let sharded = run(4);
+    assert_eq!(single.per_device_cs_j, sharded.per_device_cs_j);
+    assert_eq!(single.uploads, sharded.uploads);
+    assert_eq!(single.readings_delivered, sharded.readings_delivered);
+    assert_eq!(single.readings_lost, sharded.readings_lost);
+}
+
+/// A zero-fault plan is behaviourally identical to running without an
+/// injector: same energy, same uploads, same deliveries, same rounds.
+/// (Delivery *delays* are measured at server arrival and may shift by a
+/// simulation tick under the envelope, so they are deliberately not
+/// compared.)
+#[test]
+fn zero_fault_plan_matches_the_plain_harness() {
+    for kind in [
+        FrameworkKind::Periodic,
+        FrameworkKind::pcs_default(),
+        FrameworkKind::SenseAidComplete,
+    ] {
+        let plain = run_scenario_with(kind, scenario(), 57, HarnessOptions::default());
+        let zero = run_scenario_with(
+            kind,
+            scenario(),
+            57,
+            HarnessOptions {
+                fault_plan: Some(FaultPlan::none()),
+                ..HarnessOptions::default()
+            },
+        );
+        assert_eq!(plain.per_device_cs_j, zero.per_device_cs_j, "{kind}");
+        assert_eq!(plain.uploads, zero.uploads, "{kind}");
+        assert_eq!(plain.readings_delivered, zero.readings_delivered, "{kind}");
+        assert_eq!(plain.readings_lost, zero.readings_lost, "{kind}");
+        assert_eq!(plain.rounds.len(), zero.rounds.len(), "{kind}");
+        for (a, b) in plain.rounds.iter().zip(&zero.rounds) {
+            assert_eq!(a.at, b.at, "{kind}");
+            assert_eq!(a.participating, b.participating, "{kind}");
+        }
+    }
+}

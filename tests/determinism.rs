@@ -2,8 +2,9 @@
 //! seeds give different studies; frameworks see paired populations.
 
 use senseaid::bench::{run_scenario, run_scenario_with, FrameworkKind, HarnessOptions};
+use senseaid::cellnet::FaultPlan;
 use senseaid::geo::NamedLocation;
-use senseaid::sim::SimDuration;
+use senseaid::sim::{SimDuration, SimTime};
 use senseaid::workload::ScenarioConfig;
 
 fn scenario() -> ScenarioConfig {
@@ -88,6 +89,80 @@ fn shard_count_never_changes_the_study() {
             }
         }
     }
+}
+
+fn chaos_plan(fault_seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed: fault_seed,
+        loss: 0.20,
+        jitter_max: SimDuration::from_millis(300),
+        duplicate: 0.02,
+        reorder: 0.01,
+        enodeb_outages: Vec::new(),
+        server_outages: vec![(SimTime::from_mins(10), SimTime::from_mins(13))],
+    }
+}
+
+/// Fault injection is part of the replayable state: the same (sim seed,
+/// fault seed) pair yields a bit-identical chaotic study.
+#[test]
+fn same_fault_seed_replays_bit_identically() {
+    let run = || {
+        run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario(),
+            33,
+            HarnessOptions {
+                fault_plan: Some(chaos_plan(4242)),
+                ..HarnessOptions::default()
+            },
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.per_device_cs_j, b.per_device_cs_j);
+    assert_eq!(a.uploads, b.uploads);
+    assert_eq!(a.readings_delivered, b.readings_delivered);
+    assert_eq!(a.readings_lost, b.readings_lost);
+    assert_eq!(a.delivery_delays_s, b.delivery_delays_s);
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.at, rb.at);
+        assert_eq!(ra.participating, rb.participating);
+    }
+}
+
+/// The fault streams are independent of the simulation streams: varying
+/// only the fault seed against a fixed world changes the outcome.
+#[test]
+fn different_fault_seeds_perturb_the_study() {
+    let run = |fault_seed: u64| {
+        run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario(),
+            33,
+            HarnessOptions {
+                fault_plan: Some(chaos_plan(fault_seed)),
+                ..HarnessOptions::default()
+            },
+        )
+    };
+    let a = run(1);
+    let b = run(2);
+    let fingerprint = |r: &senseaid::bench::GroupReport| {
+        (
+            r.per_device_cs_j.clone(),
+            r.uploads,
+            r.readings_delivered,
+            r.readings_lost,
+            r.delivery_delays_s.clone(),
+        )
+    };
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "different fault seeds must produce different loss patterns"
+    );
 }
 
 #[test]

@@ -1,9 +1,13 @@
 //! Fail-safe behaviour when the Sense-Aid server crashes mid-study
 //! (paper Fig 4: path 1 is the fallback path).
 
+use proptest::prelude::*;
 use senseaid::bench::{run_scenario_with, FrameworkKind, HarnessOptions};
-use senseaid::cellnet::{CoreNetwork, RoutePath};
-use senseaid::geo::NamedLocation;
+use senseaid::cellnet::{CoreNetwork, FaultPlan, RoutePath};
+use senseaid::core::cas::CasId;
+use senseaid::core::{AppServer, RequestId, RequestStatus, SenseAidConfig, SenseAidServer};
+use senseaid::device::{ImeiHash, Sensor};
+use senseaid::geo::{CampusMap, CircleRegion, NamedLocation};
 use senseaid::sim::{SimDuration, SimTime};
 use senseaid::workload::ScenarioConfig;
 
@@ -68,6 +72,138 @@ fn outage_pauses_crowdsensing_and_recovers() {
     }
     // Crowdsensing energy only goes down during an outage.
     assert!(outage.total_cs_j() <= healthy.total_cs_j() + 1e-9);
+}
+
+/// A crash while requests are parked in the wait queue must not strand
+/// them: recovery restores the snapshot, re-homes the parked requests,
+/// and — once their deadlines have passed during the outage — expires
+/// them with truthful statuses instead of leaving stale `Waiting`s.
+#[test]
+fn crash_while_requests_are_parked_expires_them_truthfully() {
+    let map = CampusMap::standard();
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+
+    // One registered device that carries no barometer, so barometer
+    // requests can never be satisfied and park in the wait queue.
+    server
+        .register_device(
+            ImeiHash(42),
+            500.0,
+            10.0,
+            80.0,
+            vec![Sensor::Accelerometer],
+            "GalaxyS4".to_string(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    server
+        .observe_device(
+            ImeiHash(42),
+            map.location(NamedLocation::CsDepartment),
+            None,
+        )
+        .unwrap();
+
+    let mut app = AppServer::new(CasId(1), "parked-requests");
+    app.task(Sensor::Barometer)
+        .region(CircleRegion::new(
+            map.location(NamedLocation::CsDepartment),
+            400.0,
+        ))
+        .spatial_density(1)
+        .sampling_period(SimDuration::from_mins(5))
+        .sampling_duration(SimDuration::from_mins(20))
+        .submit(&mut server, SimTime::ZERO)
+        .unwrap();
+
+    // The due request cannot be matched: it parks in the wait queue.
+    assert!(server.poll(SimTime::ZERO).unwrap().is_empty());
+    assert!(server.wait_queue_len() >= 1, "request should be parked");
+    assert_eq!(
+        server.request_status(RequestId(1)),
+        Some(RequestStatus::Waiting)
+    );
+
+    // Periodic snapshotting captures the parked state, then the server
+    // dies and stays down until long after every deadline has passed.
+    server.enable_snapshots(SimDuration::from_mins(1));
+    assert!(server.tick_snapshot(SimTime::ZERO));
+    server.crash();
+    server.recover_at(SimTime::from_mins(60));
+
+    // Recovery restored the registered device and the queued requests,
+    // then reconciliation expired everything whose deadline fell inside
+    // the outage — no request may claim to still be pending or waiting.
+    assert_eq!(server.device_count(), 1, "device survives via snapshot");
+    assert_eq!(server.wait_queue_len(), 0);
+    assert_eq!(server.run_queue_len(), 0);
+    let statuses: Vec<RequestStatus> = (1..=32)
+        .filter_map(|id| server.request_status(RequestId(id)))
+        .collect();
+    assert!(statuses.len() >= 3, "the task expands to several requests");
+    assert!(
+        statuses.iter().all(|s| *s == RequestStatus::Expired),
+        "every parked request must be truthfully expired: {statuses:?}"
+    );
+    assert_eq!(server.stats().requests_expired as usize, statuses.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Under an arbitrary fault seed (loss + duplication + jitter + one
+    /// mid-run crash), the sharded control plane is still an
+    /// implementation detail: shard counts 1, 2 and 8 produce
+    /// bit-identical studies.
+    #[test]
+    fn fault_seeded_studies_are_shard_invariant(
+        sim_seed in 1u64..1000,
+        fault_seed in 1u64..1000,
+    ) {
+        let s = ScenarioConfig {
+            test_duration: SimDuration::from_mins(20),
+            sampling_period: SimDuration::from_mins(5),
+            spatial_density: 2,
+            area_radius_m: 800.0,
+            tasks: 1,
+            location: NamedLocation::CsDepartment,
+            group_size: 8,
+        };
+        let plan = FaultPlan {
+            seed: fault_seed,
+            loss: 0.15,
+            jitter_max: SimDuration::from_millis(200),
+            duplicate: 0.02,
+            reorder: 0.01,
+            enodeb_outages: Vec::new(),
+            server_outages: vec![(SimTime::from_mins(9), SimTime::from_mins(11))],
+        };
+        let run = |shards: usize| {
+            run_scenario_with(
+                FrameworkKind::SenseAidComplete,
+                s,
+                sim_seed,
+                HarnessOptions {
+                    shard_count: Some(shards),
+                    fault_plan: Some(plan.clone()),
+                    ..HarnessOptions::default()
+                },
+            )
+        };
+        let single = run(1);
+        for shards in [2usize, 8] {
+            let sharded = run(shards);
+            prop_assert_eq!(&single.per_device_cs_j, &sharded.per_device_cs_j);
+            prop_assert_eq!(single.uploads, sharded.uploads);
+            prop_assert_eq!(single.readings_delivered, sharded.readings_delivered);
+            prop_assert_eq!(single.readings_lost, sharded.readings_lost);
+            prop_assert_eq!(single.rounds.len(), sharded.rounds.len());
+            for (a, b) in single.rounds.iter().zip(&sharded.rounds) {
+                prop_assert_eq!(a.at, b.at);
+                prop_assert_eq!(&a.participating, &b.participating);
+            }
+        }
+    }
 }
 
 #[test]

@@ -234,12 +234,46 @@ pub mod test_runner {
             .and_then(|v| v.parse().ok())
             .unwrap_or(DEFAULT_CASES)
     }
+
+    /// Per-block configuration, mirroring `proptest::test_runner::Config`:
+    /// `#![proptest_config(ProptestConfig::with_cases(n))]` inside a
+    /// `proptest!` block caps that block's case count.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Cases to run per property in the configured block.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: DEFAULT_CASES,
+            }
+        }
+    }
+
+    /// Cases for a configured block: `PROPTEST_CASES` still wins, so CI
+    /// can sweep wider or narrower without touching test code.
+    pub fn cases_for(config: &Config) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases)
+    }
 }
 
 /// Everything a property-test module needs, mirroring
 /// `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 
     /// The `prop::` namespace (`prop::collection::vec`, …).
@@ -256,6 +290,22 @@ pub mod prelude {
 /// Declares property tests: each `fn` runs its body over sampled inputs.
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..$crate::test_runner::cases_for(&__config) {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )+
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)+) => {
         $(
             $(#[$meta])*
