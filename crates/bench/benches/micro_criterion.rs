@@ -45,6 +45,20 @@ fn bench_selector(c: &mut Criterion) {
     c.bench_function("selector_score_single", |b| {
         b.iter(|| selector.score(std::hint::black_box(&pool[17]), SimTime::from_mins(30)))
     });
+    // Top-k scaling beyond the 1k case above: selection cost should grow
+    // near-linearly with the candidate pool (select_nth partition), not
+    // n·log n (full sort).
+    for n in [10_000u64, 100_000] {
+        let pool = records(n);
+        let refs: Vec<&DeviceRecord> = pool.iter().collect();
+        c.bench_function(&format!("selector_select_5_of_{n}"), |b| {
+            b.iter(|| {
+                selector
+                    .select(5, std::hint::black_box(&refs), SimTime::from_mins(30))
+                    .unwrap()
+            })
+        });
+    }
 }
 
 struct NopWorld;

@@ -38,7 +38,7 @@ pub fn render_selector(scenario: ScenarioConfig, seed: u64) -> String {
         "{:<22} {:>10} {:>10} {:>12}\n",
         "variant", "energy J", "spread", "warm-rate"
     ));
-    for (name, weights) in weight_variants() {
+    let reports = crate::parallel::map(weight_variants(), |_, (name, weights)| {
         let report = run_scenario_with(
             FrameworkKind::SenseAidComplete,
             scenario,
@@ -48,6 +48,9 @@ pub fn render_selector(scenario: ScenarioConfig, seed: u64) -> String {
                 ..HarnessOptions::default()
             },
         );
+        (name, report)
+    });
+    for (name, report) in reports {
         out.push_str(&format!(
             "{:<22} {:>10.1} {:>10} {:>11.0}%\n",
             name,
@@ -85,7 +88,7 @@ pub fn render_tail(scenario: ScenarioConfig, seed: u64) -> String {
         "{:<12} {:>10} {:>12} {:>10}\n",
         "window", "energy J", "warm-rate", "uploads"
     ));
-    for window in tail_windows() {
+    let reports = crate::parallel::map(tail_windows(), |_, window| {
         let report = run_scenario_with(
             FrameworkKind::SenseAidComplete,
             scenario,
@@ -95,6 +98,9 @@ pub fn render_tail(scenario: ScenarioConfig, seed: u64) -> String {
                 ..HarnessOptions::default()
             },
         );
+        (window, report)
+    });
+    for (window, report) in reports {
         out.push_str(&format!(
             "{:<12} {:>10.1} {:>11.0}% {:>10}\n",
             window.to_string(),

@@ -64,23 +64,27 @@ pub fn render(scenario: ScenarioConfig, seed: u64) -> String {
         "{:<14} {:>7} {:>10} {:>10} {:>9} {:>8}\n",
         "framework", "loss", "energy J", "delivered", "lost", "rate"
     ));
-    for kind in FrameworkKind::study_set() {
-        for loss in LOSS_POINTS {
-            let options = HarnessOptions {
-                fault_plan: Some(plan(seed ^ 0xC0DE, loss, &scenario)),
-                ..HarnessOptions::default()
-            };
-            let r = run_scenario_with(kind, scenario, seed, options);
-            out.push_str(&format!(
-                "{:<14} {:>6.0}% {:>10.1} {:>10} {:>9} {:>7.0}%\n",
-                kind.label(),
-                loss * 100.0,
-                r.total_cs_j(),
-                r.readings_delivered,
-                r.readings_lost,
-                100.0 * r.delivery_rate(),
-            ));
-        }
+    let cells: Vec<(FrameworkKind, f64)> = FrameworkKind::study_set()
+        .into_iter()
+        .flat_map(|kind| LOSS_POINTS.into_iter().map(move |loss| (kind, loss)))
+        .collect();
+    let results = crate::parallel::map(cells, |_, (kind, loss)| {
+        let options = HarnessOptions {
+            fault_plan: Some(plan(seed ^ 0xC0DE, loss, &scenario)),
+            ..HarnessOptions::default()
+        };
+        (kind, loss, run_scenario_with(kind, scenario, seed, options))
+    });
+    for (kind, loss, r) in results {
+        out.push_str(&format!(
+            "{:<14} {:>6.0}% {:>10.1} {:>10} {:>9} {:>7.0}%\n",
+            kind.label(),
+            loss * 100.0,
+            r.total_cs_j(),
+            r.readings_delivered,
+            r.readings_lost,
+            100.0 * r.delivery_rate(),
+        ));
     }
     out.push_str(
         "\nSense-Aid's envelope retransmits through loss and the crash window, so its delivery\n\

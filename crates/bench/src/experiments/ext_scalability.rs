@@ -45,22 +45,21 @@ fn scenario(group_size: usize) -> ScenarioConfig {
     }
 }
 
-/// Runs the sweep.
+/// Runs the sweep. One parallel cell per population size; each cell times
+/// its own simulation, so `wall_ms` stays meaningful under parallel
+/// execution (it measures the cell, not the sweep).
 pub fn sweep(sizes: &[usize], seed: u64) -> Vec<ScaleRow> {
-    sizes
-        .iter()
-        .map(|&group_size| {
-            let start = Instant::now();
-            let report = run_scenario(FrameworkKind::SenseAidComplete, scenario(group_size), seed);
-            ScaleRow {
-                group_size,
-                avg_cs_j: report.avg_cs_j(),
-                fulfilled: report.rounds_fulfilled,
-                missed: report.rounds_missed,
-                wall_ms: start.elapsed().as_millis(),
-            }
-        })
-        .collect()
+    crate::parallel::map(sizes.to_vec(), |_, group_size| {
+        let start = Instant::now();
+        let report = run_scenario(FrameworkKind::SenseAidComplete, scenario(group_size), seed);
+        ScaleRow {
+            group_size,
+            avg_cs_j: report.avg_cs_j(),
+            fulfilled: report.rounds_fulfilled,
+            missed: report.rounds_missed,
+            wall_ms: start.elapsed().as_millis(),
+        }
+    })
 }
 
 /// Renders the scalability study.

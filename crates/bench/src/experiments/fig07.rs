@@ -11,12 +11,12 @@ use crate::chart::series_table;
 use crate::framework::FrameworkKind;
 use crate::runner::run_scenario;
 
-/// Average qualified-device count per radius.
+/// Average qualified-device count per radius. One parallel cell per
+/// radius; results assemble in grid order.
 pub fn qualified_series(grid: &ExperimentGrid, seed: u64) -> Vec<f64> {
-    grid.points()
-        .iter()
-        .map(|p| run_scenario(FrameworkKind::SenseAidComplete, *p, seed).avg_qualified())
-        .collect()
+    crate::parallel::map(grid.points(), |_, p| {
+        run_scenario(FrameworkKind::SenseAidComplete, p, seed).avg_qualified()
+    })
 }
 
 /// Renders Fig 7 on the paper's Experiment 1 grid.

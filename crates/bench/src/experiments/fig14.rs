@@ -35,13 +35,20 @@ pub fn accuracy_sweep(
     scenario: ScenarioConfig,
     seed: u64,
 ) -> (Vec<f64>, f64, f64) {
-    let pcs: Vec<f64> = accuracies
+    // One parallel batch: every PCS accuracy point plus the two Sense-Aid
+    // reference runs, keyed by position in the cell list.
+    let mut cells: Vec<FrameworkKind> = accuracies
         .iter()
-        .map(|a| run_scenario(FrameworkKind::Pcs { accuracy: *a }, scenario, seed).total_cs_j())
+        .map(|a| FrameworkKind::Pcs { accuracy: *a })
         .collect();
-    let basic = run_scenario(FrameworkKind::SenseAidBasic, scenario, seed).total_cs_j();
-    let complete = run_scenario(FrameworkKind::SenseAidComplete, scenario, seed).total_cs_j();
-    (pcs, basic, complete)
+    cells.push(FrameworkKind::SenseAidBasic);
+    cells.push(FrameworkKind::SenseAidComplete);
+    let mut totals = crate::parallel::map(cells, |_, kind| {
+        run_scenario(kind, scenario, seed).total_cs_j()
+    });
+    let complete = totals.pop().expect("complete cell");
+    let basic = totals.pop().expect("basic cell");
+    (totals, basic, complete)
 }
 
 /// Renders Fig 14 on the paper's 0–100 % sweep.

@@ -106,6 +106,9 @@ pub struct GroupReport {
     /// successfully retransmitted, expired on-device, or abandoned after
     /// their request's deadline passed. Zero in fault-free runs.
     pub readings_lost: u64,
+    /// High-water mark of the control plane's run + wait queues, sampled
+    /// after each scheduling poll. Zero for baselines (no control plane).
+    pub peak_queue_depth: u64,
 }
 
 impl GroupReport {
@@ -233,6 +236,7 @@ mod tests {
             ],
             delivery_delays_s: vec![0.0, 5.0, 10.0, 20.0, 100.0],
             readings_lost: 3,
+            peak_queue_depth: 0,
         }
     }
 
@@ -283,6 +287,7 @@ mod tests {
             rounds: vec![],
             delivery_delays_s: vec![],
             readings_lost: 0,
+            peak_queue_depth: 0,
         };
         assert_eq!(r.avg_cs_j(), 0.0);
         assert_eq!(r.avg_participants(), 0.0);

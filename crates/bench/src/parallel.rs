@@ -1,0 +1,151 @@
+//! Parallel, determinism-preserving execution of experiment cells.
+//!
+//! Every figure/ablation/chaos experiment is a grid of independent
+//! `run_scenario` cells (framework × seed × sweep point). Each cell is a
+//! pure function of its inputs — the simulation carries its own seeded RNG
+//! streams and shares nothing — so the cells can run on any number of
+//! worker threads without changing a single byte of output, provided the
+//! results are reassembled by cell index rather than completion order.
+//!
+//! [`map_cells`] is that contract in code: a `std::thread::scope` worker
+//! pool pulls cell indices from an atomic cursor (deterministic cell
+//! keys), runs each cell exactly once, and writes the result into the slot
+//! matching its input index (order-independent assembly). The output
+//! vector is therefore identical at any worker count, including the serial
+//! fast path at one worker.
+//!
+//! Worker count comes from `SENSEAID_WORKERS` when set, otherwise the
+//! machine's available parallelism — so CI and the determinism tests can
+//! pin it without code changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads to use: the `SENSEAID_WORKERS` environment variable
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism (1 if that cannot be determined).
+pub fn configured_workers() -> usize {
+    match std::env::var("SENSEAID_WORKERS") {
+        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `f(index, item)` for every item on [`configured_workers`] worker
+/// threads, returning results in input order. See [`map_cells`].
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    map_cells(items, configured_workers(), f)
+}
+
+/// Runs `f(index, item)` for every item on up to `workers` threads,
+/// returning results in input order regardless of completion order.
+///
+/// Determinism: each cell's index is its key. Workers claim indices from
+/// a shared atomic cursor, so which *thread* runs a cell varies between
+/// runs — but the cell's inputs and its slot in the output depend only on
+/// the index, so the assembled vector is byte-identical at any worker
+/// count. `workers <= 1` (or a single item) short-circuits to a plain
+/// serial loop on the calling thread.
+///
+/// A panic inside `f` propagates out of the scope and fails the caller,
+/// matching the serial behaviour.
+pub fn map_cells<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Cells move into per-index mailboxes; each worker claims the next
+    // unclaimed index, takes the cell, and files the result under the
+    // same index. The mutexes are uncontended by construction (an index
+    // is claimed exactly once) — they exist to make the hand-off safe
+    // without unsafe code.
+    let source: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = source[i]
+                    .lock()
+                    .expect("no worker panicked holding this lock")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = f(i, cell);
+                *slots[i]
+                    .lock()
+                    .expect("no worker panicked holding this lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("workers joined cleanly")
+                .expect("every claimed index filed a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..40).collect();
+        for workers in [1, 2, 8, 64] {
+            let out = map_cells(items.clone(), workers, |i, x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            let expected: Vec<usize> = (0..40).map(|x| x * 3).collect();
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        use senseaid_sim::SharedCounter;
+        let calls = SharedCounter::new();
+        let out = map_cells((0..100).collect::<Vec<u64>>(), 8, |_, x| {
+            calls.add(1);
+            x
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.value(), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let none: Vec<u8> = Vec::new();
+        assert_eq!(map_cells(none, 8, |_, x| x), Vec::<u8>::new());
+        assert_eq!(map_cells(vec![7u8], 8, |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn configured_workers_is_positive() {
+        assert!(configured_workers() >= 1);
+    }
+}

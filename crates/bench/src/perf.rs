@@ -1,0 +1,386 @@
+//! The perf harness: times representative experiment cells and emits
+//! `BENCH_perf.json`, the repo's tracked performance trajectory.
+//!
+//! Each cell reports wall-clock, simulated events (device-ticks: one
+//! device advanced through one one-second tick), events/sec, and the
+//! control plane's peak queue depth. Two of the cells run the identical
+//! ext_scalability sweep twice — once through the optimised hot paths and
+//! once through the pre-optimisation reference loops
+//! ([`crate::runner::HarnessOptions::reference_loops`]) — so the speedup
+//! of this PR's optimisation pass is recorded *inside* the baseline file
+//! rather than against a lost older build.
+//!
+//! The JSON is hand-rolled (the workspace deliberately has no JSON
+//! dependency) and parsed back by [`PerfReport::parse_json`] for the CI
+//! regression gate: a cell regresses when its wall-clock exceeds 2× the
+//! checked-in baseline's.
+
+use std::time::Instant;
+
+use senseaid_geo::NamedLocation;
+use senseaid_sim::SimDuration;
+use senseaid_workload::ScenarioConfig;
+
+use crate::framework::FrameworkKind;
+use crate::runner::{run_scenario_with, HarnessOptions};
+
+/// Knobs for one perf run.
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Population/mobility/traffic seed; the default study seed elsewhere.
+    pub seed: u64,
+    /// Shrink durations and sweep sizes for CI smoke runs. Quick cells
+    /// keep their names, so a quick run can still be compared against a
+    /// full baseline — quick cells are strictly cheaper, which makes the
+    /// 2× gate conservative rather than flaky.
+    pub quick: bool,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            seed: 2017,
+            quick: false,
+        }
+    }
+}
+
+/// One timed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfCell {
+    /// Stable cell name (the regression key).
+    pub name: String,
+    /// Wall-clock of the cell, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated device-ticks executed.
+    pub events: u64,
+    /// Device-ticks per wall-clock second.
+    pub events_per_sec: f64,
+    /// Peak control-plane queue depth observed (0 for baselines).
+    pub peak_queue_depth: u64,
+}
+
+/// A full perf run: the tracked `BENCH_perf.json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Seed the cells ran with.
+    pub seed: u64,
+    /// Whether this was a quick (CI smoke) run.
+    pub quick: bool,
+    /// The timed cells, in a fixed order.
+    pub cells: Vec<PerfCell>,
+}
+
+/// Device-ticks in one scenario: the runner ticks once per second from 0
+/// to `test_duration + sampling_period + 2 s` inclusive, advancing every
+/// device each tick.
+fn device_ticks(s: &ScenarioConfig) -> u64 {
+    let ticks = (s.test_duration + s.sampling_period + SimDuration::from_secs(2)).as_secs() + 1;
+    ticks * s.group_size as u64
+}
+
+/// The single-scenario cells: one Sense-Aid small, one Sense-Aid large,
+/// and the two baselines at the mid population.
+fn study_scenario(group_size: usize, quick: bool) -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: if quick {
+            SimDuration::from_mins(20)
+        } else {
+            SimDuration::from_mins(60)
+        },
+        sampling_period: SimDuration::from_mins(5),
+        spatial_density: 3,
+        area_radius_m: 800.0,
+        tasks: 4,
+        location: NamedLocation::CsDepartment,
+        group_size,
+    }
+}
+
+fn timed_cell(name: &str, kind: FrameworkKind, scenario: ScenarioConfig, seed: u64) -> PerfCell {
+    let start = Instant::now();
+    let report = run_scenario_with(kind, scenario, seed, HarnessOptions::default());
+    let wall = start.elapsed();
+    let events = device_ticks(&scenario);
+    PerfCell {
+        name: name.to_owned(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        peak_queue_depth: report.peak_queue_depth,
+    }
+}
+
+/// The ext_scalability sweep as one timed cell, serial on purpose: the
+/// optimised-vs-reference comparison must measure the hot paths, not the
+/// worker pool.
+fn sweep_cell(name: &str, sizes: &[usize], seed: u64, reference_loops: bool) -> PerfCell {
+    let scenarios: Vec<ScenarioConfig> = sizes.iter().map(|&n| study_scenario(n, false)).collect();
+    let start = Instant::now();
+    let mut peak = 0u64;
+    for s in &scenarios {
+        let report = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            *s,
+            seed,
+            HarnessOptions {
+                reference_loops,
+                ..HarnessOptions::default()
+            },
+        );
+        peak = peak.max(report.peak_queue_depth);
+    }
+    let wall = start.elapsed();
+    let events: u64 = scenarios.iter().map(device_ticks).sum();
+    PerfCell {
+        name: name.to_owned(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        peak_queue_depth: peak,
+    }
+}
+
+/// Runs the full cell set.
+pub fn run_perf(options: &PerfOptions) -> PerfReport {
+    let q = options.quick;
+    let seed = options.seed;
+    let sweep_sizes: &[usize] = if q { &[20, 50] } else { &[20, 50, 100, 200] };
+    let cells = vec![
+        timed_cell(
+            "senseaid_complete_20dev",
+            FrameworkKind::SenseAidComplete,
+            study_scenario(20, q),
+            seed,
+        ),
+        timed_cell(
+            "senseaid_complete_200dev",
+            FrameworkKind::SenseAidComplete,
+            study_scenario(if q { 100 } else { 200 }, q),
+            seed,
+        ),
+        timed_cell(
+            "pcs_100dev",
+            FrameworkKind::pcs_default(),
+            study_scenario(if q { 50 } else { 100 }, q),
+            seed,
+        ),
+        timed_cell(
+            "periodic_100dev",
+            FrameworkKind::Periodic,
+            study_scenario(if q { 50 } else { 100 }, q),
+            seed,
+        ),
+        sweep_cell("ext_scalability_sweep", sweep_sizes, seed, false),
+        sweep_cell("ext_scalability_sweep_reference", sweep_sizes, seed, true),
+    ];
+    PerfReport {
+        seed,
+        quick: q,
+        cells,
+    }
+}
+
+impl PerfReport {
+    /// Renders the report as the `BENCH_perf.json` payload.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"senseaid-perf-v1\",\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \
+                 \"events_per_sec\": {:.1}, \"peak_queue_depth\": {}}}{}\n",
+                c.name,
+                c.wall_ms,
+                c.events,
+                c.events_per_sec,
+                c.peak_queue_depth,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `BENCH_perf.json` produced by [`PerfReport::to_json`].
+    ///
+    /// This is a shape-specific parser, not a general JSON one: it reads
+    /// exactly the flat structure `to_json` emits. Returns `None` when a
+    /// required field is missing or malformed.
+    pub fn parse_json(text: &str) -> Option<PerfReport> {
+        let seed = field_u64(text, "seed")?;
+        let quick = text.contains("\"quick\": true");
+        let mut cells = Vec::new();
+        // Each cell object sits on its own line and names come first.
+        for obj in text.split('{').skip(2) {
+            let name = field_str(obj, "name")?;
+            cells.push(PerfCell {
+                name,
+                wall_ms: field_f64(obj, "wall_ms")?,
+                events: field_u64(obj, "events")?,
+                events_per_sec: field_f64(obj, "events_per_sec")?,
+                peak_queue_depth: field_u64(obj, "peak_queue_depth")?,
+            });
+        }
+        if cells.is_empty() {
+            return None;
+        }
+        Some(PerfReport { seed, quick, cells })
+    }
+
+    /// The named cell, if present.
+    pub fn cell(&self, name: &str) -> Option<&PerfCell> {
+        self.cells.iter().find(|c| c.name == name)
+    }
+
+    /// Checks this run against a baseline: every cell present in both
+    /// must finish within `factor`× the baseline's wall-clock. Returns the
+    /// offending descriptions, empty when the run is clean.
+    pub fn regressions_against(&self, baseline: &PerfReport, factor: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        for cell in &self.cells {
+            let Some(base) = baseline.cell(&cell.name) else {
+                continue;
+            };
+            if cell.wall_ms > base.wall_ms * factor {
+                failures.push(format!(
+                    "{}: {:.1} ms vs baseline {:.1} ms (> {factor:.1}x)",
+                    cell.name, cell.wall_ms, base.wall_ms
+                ));
+            }
+        }
+        failures
+    }
+
+    /// Human-readable table for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::from("=== Perf: representative cells ===\n");
+        out.push_str(&format!(
+            "{:<34} {:>10} {:>12} {:>14} {:>10}\n",
+            "cell", "wall ms", "events", "events/sec", "peak q"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<34} {:>10.1} {:>12} {:>14.0} {:>10}\n",
+                c.name, c.wall_ms, c.events, c.events_per_sec, c.peak_queue_depth
+            ));
+        }
+        if let (Some(opt), Some(reference)) = (
+            self.cell("ext_scalability_sweep"),
+            self.cell("ext_scalability_sweep_reference"),
+        ) {
+            out.push_str(&format!(
+                "\next_scalability speedup (reference loops / optimised): {:.2}x\n",
+                reference.wall_ms / opt.wall_ms.max(1e-9)
+            ));
+        }
+        out
+    }
+}
+
+fn field_str(text: &str, key: &str) -> Option<String> {
+    let pattern = format!("\"{key}\": \"");
+    let start = text.find(&pattern)? + pattern.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_owned())
+}
+
+fn field_raw<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let pattern = format!("\"{key}\": ");
+    let start = text.find(&pattern)? + pattern.len();
+    let end = text[start..]
+        .find([',', '}', '\n'])
+        .map(|i| i + start)
+        .unwrap_or(text.len());
+    Some(text[start..end].trim())
+}
+
+fn field_u64(text: &str, key: &str) -> Option<u64> {
+    field_raw(text, key)?.parse().ok()
+}
+
+fn field_f64(text: &str, key: &str) -> Option<f64> {
+    field_raw(text, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            seed: 7,
+            quick: true,
+            cells: vec![
+                PerfCell {
+                    name: "a".to_owned(),
+                    wall_ms: 10.0,
+                    events: 1000,
+                    events_per_sec: 100_000.0,
+                    peak_queue_depth: 3,
+                },
+                PerfCell {
+                    name: "b".to_owned(),
+                    wall_ms: 20.0,
+                    events: 2000,
+                    events_per_sec: 100_000.0,
+                    peak_queue_depth: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample_report();
+        let parsed = PerfReport::parse_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn regression_gate_flags_slow_cells() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        assert!(current.regressions_against(&baseline, 2.0).is_empty());
+        current.cells[1].wall_ms = 45.0; // > 2× the baseline's 20 ms
+        let failures = current.regressions_against(&baseline, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].starts_with("b:"), "{failures:?}");
+        // Cells missing from the baseline never fail the gate.
+        current.cells[1].name = "brand_new".to_owned();
+        assert!(current.regressions_against(&baseline, 2.0).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(PerfReport::parse_json("").is_none());
+        assert!(PerfReport::parse_json("{\"seed\": 3}").is_none());
+    }
+
+    #[test]
+    fn device_tick_accounting() {
+        let s = study_scenario(10, true);
+        // 20 min study + 5 min period + 2 s + the inclusive tick 0.
+        assert_eq!(device_ticks(&s), (20 * 60 + 5 * 60 + 2 + 1) * 10);
+    }
+
+    /// The full harness on a tiny quick run: all six cells present, with
+    /// sane numbers, and the JSON survives a round trip.
+    #[test]
+    fn quick_run_produces_all_cells() {
+        let report = run_perf(&PerfOptions {
+            seed: 11,
+            quick: true,
+        });
+        assert_eq!(report.cells.len(), 6);
+        for c in &report.cells {
+            assert!(c.events > 0, "{}", c.name);
+            assert!(c.events_per_sec > 0.0, "{}", c.name);
+        }
+        let parsed = PerfReport::parse_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed.cells.len(), 6);
+    }
+}

@@ -34,6 +34,10 @@ pub struct SweepTable {
 
 impl SweepTable {
     /// Runs `frameworks × points` and collects every report.
+    ///
+    /// The cells fan out over the parallel harness (see
+    /// [`crate::parallel`]); results are keyed by `(framework, point)`
+    /// index, so the table is byte-identical at any worker count.
     pub fn run(
         frameworks: &[FrameworkKind],
         points: &[senseaid_workload::ScenarioConfig],
@@ -41,12 +45,18 @@ impl SweepTable {
         seed: u64,
     ) -> Self {
         assert_eq!(points.len(), point_labels.len(), "labels must match points");
+        let cells: Vec<(FrameworkKind, senseaid_workload::ScenarioConfig)> = frameworks
+            .iter()
+            .flat_map(|f| points.iter().map(|p| (*f, *p)))
+            .collect();
+        let flat = crate::parallel::map(cells, |_, (f, p)| crate::runner::run_scenario(f, p, seed));
+        let mut flat = flat.into_iter();
         let reports = frameworks
             .iter()
-            .map(|f| {
+            .map(|_| {
                 points
                     .iter()
-                    .map(|p| crate::runner::run_scenario(*f, *p, seed))
+                    .map(|_| flat.next().expect("one report per cell"))
                     .collect()
             })
             .collect();
@@ -211,6 +221,7 @@ mod csv_tests {
             }],
             delivery_delays_s: vec![1.0],
             readings_lost: 0,
+            peak_queue_depth: 0,
         }
     }
 

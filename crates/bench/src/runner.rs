@@ -14,7 +14,8 @@
 //! ("we ignore energy consumption for these control messages"), which it
 //! justifies by sending them only inside existing radio tails.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use senseaid_baselines::{PcsClient, PcsConfig};
 use senseaid_cellnet::{CellularNetwork, FaultInjector, FaultPlan, LinkDir};
@@ -22,7 +23,7 @@ use senseaid_core::{
     OutboundBatch, SenseAidClient, SenseAidConfig, SenseAidServer, TaskSpec, UploadDecision,
 };
 use senseaid_device::{Device, ImeiHash, Sensor};
-use senseaid_geo::{CampusMap, CircleRegion};
+use senseaid_geo::{CampusMap, CircleRegion, GeoPoint};
 use senseaid_radio::ResetPolicy;
 use senseaid_sim::{SimDuration, SimRng, SimTime};
 use senseaid_workload::{PopulationConfig, ScenarioConfig, StudyPopulation, WeatherField};
@@ -68,6 +69,13 @@ pub struct HarnessOptions {
     /// baselines dropped uploads are simply lost — they have no retry
     /// protocol. `None` runs the fault-free path byte-for-byte.
     pub fault_plan: Option<FaultPlan>,
+    /// Run the pre-optimisation per-tick loops (full device/client scans
+    /// every tick) instead of the due-time wakeup sets. Results are
+    /// byte-identical either way — this knob exists so the perf harness
+    /// can measure the optimised loops against the serial reference
+    /// implementation on the same build, and so tests can assert the
+    /// equivalence.
+    pub reference_loops: bool,
 }
 
 /// Runs one framework group through one scenario.
@@ -147,18 +155,82 @@ fn round_schedule(scenario: &ScenarioConfig) -> Vec<(SimTime, SimTime)> {
     rounds
 }
 
+/// Every device's position at `t`, computed once per tick. Mobility
+/// traces extend lazily (hence `&mut`); qualification then runs as a
+/// read-only pass over the memo instead of re-walking mobility per round.
+fn positions_at(devices: &mut [Device], t: SimTime) -> Vec<GeoPoint> {
+    devices.iter_mut().map(|d| d.position(t)).collect()
+}
+
 /// Indices of devices qualified for the study task right now: inside the
-/// region, carrying the sensor, participating, battery alive.
-fn qualified_indices(devices: &mut [Device], t: SimTime, region: &CircleRegion) -> Vec<usize> {
-    (0..devices.len())
-        .filter(|&i| {
-            let d = &mut devices[i];
+/// region, carrying the sensor, participating, battery alive. Read-only —
+/// positions come from the per-tick memo built by [`positions_at`].
+fn qualified_indices(
+    devices: &[Device],
+    positions: &[GeoPoint],
+    region: &CircleRegion,
+) -> Vec<usize> {
+    devices
+        .iter()
+        .zip(positions)
+        .enumerate()
+        .filter(|(_, (d, p))| {
             d.prefs().participating
                 && d.profile().has_sensor(STUDY_SENSOR)
                 && !d.battery().is_depleted()
-                && region.contains(d.position(t))
+                && region.contains(**p)
         })
+        .map(|(i, _)| i)
         .collect()
+}
+
+/// A due-time-indexed wakeup set over per-device next-session instants.
+///
+/// Regular app sessions are minutes apart while the simulation ticks once
+/// a second, so scanning every device every tick does ~500 no-op peeks
+/// per useful session. The heap pops exactly the devices whose next
+/// session has arrived; everyone else costs nothing. Due indices are
+/// drained in ascending order so the effectful processing sequence is
+/// identical to the original full scan's — sessions fire at their own
+/// recorded instants either way, which is what keeps the two loop shapes
+/// byte-identical.
+struct SessionWakeups {
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+}
+
+impl SessionWakeups {
+    /// Arms one wakeup per device at its pending next-session start.
+    /// (The peek is with `SimTime::ZERO` — *never* with the current time,
+    /// whose skip-ahead semantics would silently drop pending sessions.)
+    fn new(devices: &mut [Device]) -> Self {
+        let heap = devices
+            .iter_mut()
+            .enumerate()
+            .map(|(i, d)| Reverse((d.next_session_start(SimTime::ZERO), i)))
+            .collect();
+        SessionWakeups { heap }
+    }
+
+    /// Device indices with a session due at `t`, ascending. Each popped
+    /// device must be re-armed via [`Self::rearm`] after it runs.
+    fn due(&mut self, t: SimTime) -> Vec<usize> {
+        let mut due = Vec::new();
+        while let Some(Reverse((at, _))) = self.heap.peek() {
+            if *at > t {
+                break;
+            }
+            let Reverse((_, i)) = self.heap.pop().expect("peeked entry");
+            due.push(i);
+        }
+        due.sort_unstable();
+        due
+    }
+
+    /// Re-arms device `i` at its new pending next-session start.
+    fn rearm(&mut self, i: usize, device: &mut Device) {
+        self.heap
+            .push(Reverse((device.next_session_start(SimTime::ZERO), i)));
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -173,6 +245,7 @@ fn collect_report(
     rounds: Vec<RoundObservation>,
     delivery_delays_s: Vec<f64>,
     readings_lost: u64,
+    peak_queue_depth: u64,
 ) -> GroupReport {
     GroupReport {
         framework: kind,
@@ -188,6 +261,7 @@ fn collect_report(
         rounds,
         delivery_delays_s,
         readings_lost,
+        peak_queue_depth,
     }
 }
 
@@ -253,17 +327,34 @@ fn run_rounds_framework(
     let mut delays: Vec<f64> = Vec::new();
     let mut lost = 0u64;
 
+    let mut wakeups = (!options.reference_loops).then(|| SessionWakeups::new(devices));
     let mut t = SimTime::ZERO;
     while t <= horizon {
-        for d in devices.iter_mut() {
-            d.run_regular_sessions_until(t);
+        match wakeups.as_mut() {
+            None => {
+                for d in devices.iter_mut() {
+                    d.run_regular_sessions_until(t);
+                }
+            }
+            Some(w) => {
+                for i in w.due(t) {
+                    let d = &mut devices[i];
+                    d.run_regular_sessions_until(t);
+                    w.rearm(i, d);
+                }
+            }
         }
 
-        // Fire due rounds.
+        // Fire due rounds; positions are memoised once per firing tick
+        // (rounds sharing a tick see the same instant, so one memo
+        // serves them all).
+        let positions = (next_round < schedule.len() && schedule[next_round].0 <= t)
+            .then(|| positions_at(devices, t));
         while next_round < schedule.len() && schedule[next_round].0 <= t {
             let (sample_at, deadline) = schedule[next_round];
             next_round += 1;
-            let qualified = qualified_indices(devices, t, &region);
+            let positions = positions.as_deref().expect("memoised before the loop");
+            let qualified = qualified_indices(devices, positions, &region);
             let mut participating = Vec::new();
             for &i in &qualified {
                 let Ok(reading) = devices[i].sample_sensor(t, STUDY_SENSOR, field) else {
@@ -415,6 +506,7 @@ fn run_rounds_framework(
         rounds,
         delays,
         lost,
+        0,
     )
 }
 
@@ -453,6 +545,91 @@ fn launch_batch(
             batch: batch.clone(),
         }));
     }
+}
+
+/// One client's per-tick duty pass: sample what is due, decide on an
+/// upload (direct call in fault-free runs, delivery envelope under
+/// chaos), retransmit unacked envelopes, and drop expired duties. Called
+/// for every client each tick by the reference loop, and only for clients
+/// with live duties or in-flight envelopes by the optimised loop — a
+/// client with neither takes no action here, which is what makes the two
+/// shapes byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn client_duties(
+    client: &mut SenseAidClient,
+    device: &mut Device,
+    t: SimTime,
+    field: &WeatherField,
+    server: &mut SenseAidServer,
+    injector: &mut Option<FaultInjector>,
+    batch_transit: &mut Vec<TransitBatch>,
+    uploads: &mut u64,
+    cold_uploads: &mut u64,
+    delays: &mut Vec<f64>,
+) {
+    for request in client.due_samples(t) {
+        if let Ok(reading) = device.sample_sensor(t, STUDY_SENSOR, field) {
+            let _ = client.record_sample(request, reading);
+        }
+    }
+    let decision = client.upload_decision(t, device.in_tail(t), device.tail_remaining(t));
+    match injector.as_mut() {
+        // Fault-free: the legacy direct call path, byte-for-byte.
+        None => {
+            if decision != UploadDecision::Wait {
+                let duties = client.send_sense_data(decision);
+                if !duties.is_empty() {
+                    // One batched radio transmission for everything ready.
+                    let total_bytes: u64 = duties.iter().map(|d| d.payload_bytes).sum();
+                    let policy = duties[0].reset_policy;
+                    let report = device.upload_crowdsensing(t, total_bytes, policy);
+                    *uploads += 1;
+                    if report.promoted {
+                        *cold_uploads += 1;
+                    }
+                    for duty in duties {
+                        let reading = duty.reading.expect("send_sense_data filters unsampled");
+                        // Late deliveries for already-expired requests are
+                        // dropped by the server; that is fine.
+                        if server
+                            .submit_sensed_data(client.imei(), duty.request, &reading, t)
+                            .is_ok()
+                        {
+                            delays.push(t.saturating_elapsed_since(duty.sample_at).as_secs_f64());
+                        }
+                    }
+                }
+            }
+        }
+        // Chaos: wrap the upload in a delivery envelope and keep
+        // retransmitting unacked envelopes, preferring tails.
+        Some(inj) => {
+            if decision != UploadDecision::Wait {
+                if let Some(batch) = client.begin_upload(decision, t) {
+                    let total_bytes: u64 = batch.duties.iter().map(|d| d.payload_bytes).sum();
+                    let policy = batch.duties[0].reset_policy;
+                    let report = device.upload_crowdsensing(t, total_bytes, policy);
+                    *uploads += 1;
+                    if report.promoted {
+                        *cold_uploads += 1;
+                    }
+                    launch_batch(inj, batch_transit, client.imei(), batch, t);
+                }
+            }
+            for batch in client.retries_due(t, device.in_tail(t), device.tail_remaining(t)) {
+                let total_bytes: u64 = batch.duties.iter().map(|d| d.payload_bytes).sum();
+                let policy = batch.duties[0].reset_policy;
+                let report = device.upload_crowdsensing(t, total_bytes, policy);
+                *uploads += 1;
+                if report.promoted {
+                    *cold_uploads += 1;
+                }
+                launch_batch(inj, batch_transit, client.imei(), batch, t);
+            }
+            client.give_up_expired(t, RETRY_GRACE);
+        }
+    }
+    client.drop_expired(t);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -551,6 +728,17 @@ fn run_senseaid(
     let mut cas_seen: BTreeSet<(senseaid_core::RequestId, u64)> = BTreeSet::new();
     let mut cas_delivered = 0u64;
 
+    // Hot-path wakeup index for regular traffic (optimised mode only):
+    // instead of scanning every device every tick, pop exactly the
+    // devices whose next session start has arrived.
+    let mut wakeups = (!options.reference_loops).then(|| SessionWakeups::new(devices));
+    // Clients with live duties or in-flight envelopes; everyone else's
+    // duty pass is a no-op, so the optimised loop skips them. A client
+    // enters on `start_sensing` and leaves once both counts hit zero.
+    let mut active_clients: BTreeSet<usize> = BTreeSet::new();
+    // High-water mark of the control-plane queues, sampled after polls.
+    let mut peak_queue_depth = 0u64;
+
     let mut t = SimTime::ZERO;
     while t <= horizon {
         // Failure injection: crash/recover the middleware on schedule. The
@@ -595,12 +783,35 @@ fn run_senseaid(
 
         // Regular traffic; any real communication doubles as the client's
         // in-tail state report (the paper's control-message policy).
-        for (i, d) in devices.iter_mut().enumerate() {
-            let before = d.sessions_run();
-            d.run_regular_sessions_until(t);
-            if d.sessions_run() > before {
-                let imei = clients[i].imei();
-                let _ = server.update_device_state(imei, d.battery_level_pct(), d.cs_energy_j(), t);
+        match wakeups.as_mut() {
+            // Reference loop: scan every device, run whoever is due.
+            None => {
+                for (i, d) in devices.iter_mut().enumerate() {
+                    let before = d.sessions_run();
+                    d.run_regular_sessions_until(t);
+                    if d.sessions_run() > before {
+                        let imei = clients[i].imei();
+                        let _ = server.update_device_state(
+                            imei,
+                            d.battery_level_pct(),
+                            d.cs_energy_j(),
+                            t,
+                        );
+                    }
+                }
+            }
+            // Optimised: only devices whose next session start has
+            // arrived. A due device always runs at least one session, so
+            // the state report fires exactly as in the reference loop.
+            Some(w) => {
+                for i in w.due(t) {
+                    let d = &mut devices[i];
+                    d.run_regular_sessions_until(t);
+                    w.rearm(i, d);
+                    let imei = clients[i].imei();
+                    let _ =
+                        server.update_device_state(imei, d.battery_level_pct(), d.cs_energy_j(), t);
+                }
             }
         }
 
@@ -624,10 +835,15 @@ fn run_senseaid(
         } else {
             Vec::new()
         };
+        if due {
+            peak_queue_depth =
+                peak_queue_depth.max((server.run_queue_len() + server.wait_queue_len()) as u64);
+        }
         for a in &assignments {
             for imei in &a.devices {
                 let idx = by_imei[imei];
                 let _ = clients[idx].start_sensing(a);
+                active_clients.insert(idx);
             }
         }
 
@@ -694,76 +910,44 @@ fn run_senseaid(
         }
 
         // Client duties: sample when due, upload in tails or at deadlines.
-        for (i, client) in clients.iter_mut().enumerate() {
-            let device = &mut devices[i];
-            for request in client.due_samples(t) {
-                if let Ok(reading) = device.sample_sensor(t, STUDY_SENSOR, field) {
-                    let _ = client.record_sample(request, reading);
+        if options.reference_loops {
+            for (i, client) in clients.iter_mut().enumerate() {
+                client_duties(
+                    client,
+                    &mut devices[i],
+                    t,
+                    field,
+                    &mut server,
+                    &mut injector,
+                    &mut batch_transit,
+                    &mut uploads,
+                    &mut cold_uploads,
+                    &mut delays,
+                );
+            }
+        } else {
+            // Only clients with live duties or in-flight envelopes can do
+            // anything; visit them in ascending index order so the effect
+            // sequence matches the full scan byte-for-byte.
+            let snapshot: Vec<usize> = active_clients.iter().copied().collect();
+            for i in snapshot {
+                let client = &mut clients[i];
+                client_duties(
+                    client,
+                    &mut devices[i],
+                    t,
+                    field,
+                    &mut server,
+                    &mut injector,
+                    &mut batch_transit,
+                    &mut uploads,
+                    &mut cold_uploads,
+                    &mut delays,
+                );
+                if client.duty_count() == 0 && client.inflight_count() == 0 {
+                    active_clients.remove(&i);
                 }
             }
-            let decision = client.upload_decision(t, device.in_tail(t), device.tail_remaining(t));
-            match injector.as_mut() {
-                // Fault-free: the legacy direct call path, byte-for-byte.
-                None => {
-                    if decision != UploadDecision::Wait {
-                        let duties = client.send_sense_data(decision);
-                        if !duties.is_empty() {
-                            // One batched radio transmission for everything ready.
-                            let total_bytes: u64 = duties.iter().map(|d| d.payload_bytes).sum();
-                            let policy = duties[0].reset_policy;
-                            let report = device.upload_crowdsensing(t, total_bytes, policy);
-                            uploads += 1;
-                            if report.promoted {
-                                cold_uploads += 1;
-                            }
-                            for duty in duties {
-                                let reading =
-                                    duty.reading.expect("send_sense_data filters unsampled");
-                                // Late deliveries for already-expired requests are
-                                // dropped by the server; that is fine.
-                                if server
-                                    .submit_sensed_data(client.imei(), duty.request, &reading, t)
-                                    .is_ok()
-                                {
-                                    delays.push(
-                                        t.saturating_elapsed_since(duty.sample_at).as_secs_f64(),
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-                // Chaos: wrap the upload in a delivery envelope and keep
-                // retransmitting unacked envelopes, preferring tails.
-                Some(inj) => {
-                    if decision != UploadDecision::Wait {
-                        if let Some(batch) = client.begin_upload(decision, t) {
-                            let total_bytes: u64 =
-                                batch.duties.iter().map(|d| d.payload_bytes).sum();
-                            let policy = batch.duties[0].reset_policy;
-                            let report = device.upload_crowdsensing(t, total_bytes, policy);
-                            uploads += 1;
-                            if report.promoted {
-                                cold_uploads += 1;
-                            }
-                            launch_batch(inj, &mut batch_transit, client.imei(), batch, t);
-                        }
-                    }
-                    for batch in client.retries_due(t, device.in_tail(t), device.tail_remaining(t))
-                    {
-                        let total_bytes: u64 = batch.duties.iter().map(|d| d.payload_bytes).sum();
-                        let policy = batch.duties[0].reset_policy;
-                        let report = device.upload_crowdsensing(t, total_bytes, policy);
-                        uploads += 1;
-                        if report.promoted {
-                            cold_uploads += 1;
-                        }
-                        launch_batch(inj, &mut batch_transit, client.imei(), batch, t);
-                    }
-                    client.give_up_expired(t, RETRY_GRACE);
-                }
-            }
-            client.drop_expired(t);
         }
 
         // Chaos mode drains the outbox every tick into the CAS-side
@@ -826,6 +1010,7 @@ fn run_senseaid(
         rounds,
         delays,
         readings_lost,
+        peak_queue_depth,
     )
 }
 
@@ -928,6 +1113,45 @@ mod tests {
         let b = run_scenario(FrameworkKind::SenseAidBasic, tiny_scenario(), 3);
         assert_eq!(a.per_device_cs_j, b.per_device_cs_j);
         assert_eq!(a.uploads, b.uploads);
+    }
+
+    /// The due-time wakeup sets and active-client tracking are pure
+    /// optimisations: every framework must produce the identical report
+    /// with and without them, fault-free and under chaos.
+    #[test]
+    fn optimised_loops_match_reference_loops() {
+        for seed in [3, 41] {
+            for kind in FrameworkKind::study_set() {
+                let reference = run_scenario_with(
+                    kind,
+                    tiny_scenario(),
+                    seed,
+                    HarnessOptions {
+                        reference_loops: true,
+                        ..HarnessOptions::default()
+                    },
+                );
+                let optimised = run_scenario(kind, tiny_scenario(), seed);
+                assert_eq!(reference, optimised, "{kind} diverged at seed {seed}");
+            }
+        }
+        // Chaos engages the envelope/retransmit machinery, which the
+        // active-client set must not perturb.
+        let scenario = tiny_scenario();
+        let plan = crate::experiments::ext_chaos::plan(991, 0.10, &scenario);
+        let chaos = |reference_loops| {
+            run_scenario_with(
+                FrameworkKind::SenseAidComplete,
+                scenario,
+                9,
+                HarnessOptions {
+                    fault_plan: Some(plan.clone()),
+                    reference_loops,
+                    ..HarnessOptions::default()
+                },
+            )
+        };
+        assert_eq!(chaos(true), chaos(false), "chaos run diverged");
     }
 }
 

@@ -379,13 +379,32 @@ impl Coordinator {
         targets: &[usize],
         probe: &QualificationProbe,
     ) -> Vec<&'a DeviceRecord> {
-        let mut candidates: Vec<&DeviceRecord> = Vec::new();
-        for &s in targets {
-            candidates.extend(shards[s].candidates(probe));
+        // Each shard already returns its candidates in ascending IMEI
+        // order, so a k-way merge of the per-shard lists reproduces the
+        // single-store order without re-sorting the concatenation.
+        let mut per_shard: Vec<Vec<&DeviceRecord>> = targets
+            .iter()
+            .map(|&s| shards[s].candidates(probe))
+            .collect();
+        if per_shard.len() == 1 {
+            return per_shard.pop().expect("one list");
         }
-        // Per-shard slices are each sorted; the concatenation is not.
-        candidates.sort_unstable_by_key(|r| r.imei);
-        candidates
+        let total = per_shard.iter().map(Vec::len).sum();
+        let mut merged: Vec<&DeviceRecord> = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; per_shard.len()];
+        for _ in 0..total {
+            let next = per_shard
+                .iter()
+                .zip(&cursors)
+                .enumerate()
+                .filter_map(|(i, (list, &c))| list.get(c).map(|r| (i, r.imei)))
+                .min_by_key(|&(_, imei)| imei)
+                .map(|(i, _)| i)
+                .expect("total counts remaining elements");
+            merged.push(per_shard[next][cursors[next]]);
+            cursors[next] += 1;
+        }
+        merged
     }
 
     pub fn qualified_devices(&self, request: &Request) -> Vec<ImeiHash> {

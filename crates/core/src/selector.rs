@@ -178,8 +178,9 @@ impl DeviceSelector {
         candidates: &[&DeviceRecord],
         now: SimTime,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
-        let mut eligible: Vec<(&&DeviceRecord, f64)> = candidates
+        let mut eligible: Vec<(&DeviceRecord, f64)> = candidates
             .iter()
+            .copied()
             .filter(|r| self.eligible(r))
             .map(|r| (r, self.score(r, now)))
             .collect();
@@ -189,12 +190,24 @@ impl DeviceSelector {
                 available: eligible.len(),
             });
         }
-        eligible.sort_by(|(ra, sa), (rb, sb)| {
-            sa.partial_cmp(sb)
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // `(score, imei)` is a total order (scores finite, IMEIs unique),
+        // so partitioning the best `n` to the front and then ordering only
+        // those `n` reproduces the full sort's first `n` entries exactly —
+        // O(N + k log k) instead of O(N log N) over the candidate pool.
+        let cmp = |a: &(&DeviceRecord, f64), b: &(&DeviceRecord, f64)| {
+            a.1.partial_cmp(&b.1)
                 .expect("scores are finite")
-                .then(ra.imei.cmp(&rb.imei))
-        });
-        Ok(eligible.into_iter().take(n).map(|(r, _)| r.imei).collect())
+                .then(a.0.imei.cmp(&b.0.imei))
+        };
+        if n < eligible.len() {
+            eligible.select_nth_unstable_by(n - 1, cmp);
+            eligible.truncate(n);
+        }
+        eligible.sort_unstable_by(cmp);
+        Ok(eligible.into_iter().map(|(r, _)| r.imei).collect())
     }
 }
 
@@ -382,5 +395,82 @@ mod tests {
     fn zero_needed_always_succeeds() {
         let picked = selector().select(0, &[], SimTime::ZERO).unwrap();
         assert!(picked.is_empty());
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The pre-optimisation algorithm: score everything, full sort,
+        /// take the first `n`. The production top-k path must match it
+        /// byte for byte on every input.
+        fn full_sort_select(
+            sel: &DeviceSelector,
+            n: usize,
+            candidates: &[&DeviceRecord],
+            now: SimTime,
+        ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
+            let mut eligible: Vec<(&DeviceRecord, f64)> = candidates
+                .iter()
+                .copied()
+                .filter(|r| sel.eligible(r))
+                .map(|r| (r, sel.score(r, now)))
+                .collect();
+            if eligible.len() < n {
+                return Err(InsufficientDevices {
+                    needed: n,
+                    available: eligible.len(),
+                });
+            }
+            eligible.sort_by(|(ra, sa), (rb, sb)| {
+                sa.partial_cmp(sb)
+                    .expect("scores are finite")
+                    .then(ra.imei.cmp(&rb.imei))
+            });
+            Ok(eligible.into_iter().take(n).map(|(r, _)| r.imei).collect())
+        }
+
+        fn arb_record() -> impl Strategy<Value = DeviceRecord> {
+            (
+                1u64..500,
+                0.0f64..400.0,
+                0.0f64..100.0,
+                0u64..12,
+                0u64..3600,
+                0.0f64..1.0,
+            )
+                .prop_map(
+                    |(id, cs_energy, battery, selections, comm_s, reliability)| {
+                        let mut r = rec(id);
+                        r.cs_energy_j = cs_energy;
+                        r.battery_pct = battery;
+                        r.times_selected = selections;
+                        r.last_comm = SimTime::from_secs(comm_s);
+                        r.reliability = reliability;
+                        r
+                    },
+                )
+        }
+
+        proptest! {
+            #[test]
+            fn top_k_matches_full_sort(
+                records in prop::collection::vec(arb_record(), 0..40),
+                n in 0usize..12,
+                now_s in 0u64..7200,
+            ) {
+                // IMEIs must be unique for the tiebreak to be total.
+                let mut records = records;
+                records.sort_by_key(|r| r.imei);
+                records.dedup_by_key(|r| r.imei);
+                let refs: Vec<&DeviceRecord> = records.iter().collect();
+                let sel = selector();
+                let now = SimTime::from_secs(now_s);
+                prop_assert_eq!(
+                    sel.select(n, &refs, now),
+                    full_sort_select(&sel, n, &refs, now)
+                );
+            }
+        }
     }
 }

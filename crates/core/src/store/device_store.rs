@@ -218,15 +218,37 @@ impl DeviceStore {
             .query_circle(&probe.region)
             .into_iter()
             .filter_map(|imei| self.records.get(&imei))
-            .filter(|r| r.responsive && r.data_valid)
-            .filter(|r| r.sensors.contains(&probe.sensor))
-            .filter(|r| {
-                probe
-                    .device_type
-                    .as_deref()
-                    .is_none_or(|t| r.device_type == t)
-            })
+            .filter(|r| Self::record_qualifies(r, probe))
             .collect()
+    }
+
+    /// Whether one record passes `probe`'s non-spatial predicates.
+    fn record_qualifies(rec: &DeviceRecord, probe: &QualificationProbe) -> bool {
+        rec.responsive
+            && rec.data_valid
+            && rec.sensors.contains(&probe.sensor)
+            && probe
+                .device_type
+                .as_deref()
+                .is_none_or(|t| rec.device_type == t)
+    }
+
+    /// How many devices qualify for `probe`, without materialising the
+    /// candidate list: the grid walk visits only the buckets the circle
+    /// touches and nothing is collected or sorted. This is the
+    /// monitoring-path (Fig 7) and wait-queue-recheck fast path.
+    pub fn qualified_count(&self, probe: &QualificationProbe) -> usize {
+        let mut n = 0;
+        self.index.for_each_in_circle(&probe.region, |imei| {
+            if self
+                .records
+                .get(&imei)
+                .is_some_and(|r| Self::record_qualifies(r, probe))
+            {
+                n += 1;
+            }
+        });
+        n
     }
 
     /// The devices *qualified* for `request`, by IMEI hash.
@@ -266,6 +288,10 @@ impl DeviceIndex for DeviceStore {
 
     fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
         DeviceStore::candidates(self, probe)
+    }
+
+    fn qualified_count(&self, probe: &QualificationProbe) -> usize {
+        DeviceStore::qualified_count(self, probe)
     }
 
     fn snapshot_records(&self) -> Vec<DeviceRecord> {
@@ -450,6 +476,31 @@ mod tests {
             store.qualified_for(&request(500.0, 1)),
             vec![ImeiHash(1), ImeiHash(3)]
         );
+    }
+
+    #[test]
+    fn qualified_count_agrees_with_candidates() {
+        let mut store = DeviceStore::new();
+        for id in 1..=6 {
+            store.register(record(id));
+            store
+                .observe_position(
+                    ImeiHash(id),
+                    centre().offset_by_meters(f64::from(id as u32) * 120.0, 0.0),
+                    None,
+                )
+                .unwrap();
+        }
+        store.get_mut(ImeiHash(2)).unwrap().responsive = false;
+        store.get_mut(ImeiHash(3)).unwrap().sensors = vec![Sensor::Accelerometer];
+        for radius in [100.0, 400.0, 900.0] {
+            let probe = QualificationProbe::for_request(&request(radius, 1));
+            assert_eq!(
+                store.qualified_count(&probe),
+                store.candidates(&probe).len(),
+                "radius {radius}"
+            );
+        }
     }
 
     #[test]

@@ -84,7 +84,14 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
     }
 
     /// Inserts `key` at `position`, moving it if already present.
+    ///
+    /// Re-inserting a key at its current position is a no-op: the hot
+    /// per-sample update path re-reports unchanged positions constantly,
+    /// and rebucketing would churn the cell vectors for nothing.
     pub fn insert(&mut self, key: K, position: GeoPoint) {
+        if self.positions.get(&key) == Some(&position) {
+            return;
+        }
         self.remove(key);
         let cell = self.cell_of(position);
         self.cells.entry(cell).or_default().push(key);
@@ -108,6 +115,17 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
 
     /// All keys whose position lies inside `region`, sorted.
     pub fn query_circle(&self, region: &CircleRegion) -> Vec<K> {
+        let mut out = Vec::new();
+        self.for_each_in_circle(region, |key| out.push(key));
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f` for every key inside `region`, in grid-bucket order
+    /// (*not* key order). The allocation-free primitive behind
+    /// [`query_circle`](Self::query_circle); counting callers use it
+    /// directly and skip the sort.
+    pub fn for_each_in_circle(&self, region: &CircleRegion, mut f: impl FnMut(K)) {
         let centre = region.centre();
         let r = region.radius_m();
         let dlat = r / M_PER_DEG_LAT;
@@ -116,21 +134,24 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
         let lat_hi = ((centre.lat_deg() + dlat) / self.cell_deg).floor() as i32;
         let lon_lo = ((centre.lon_deg() - dlon) / self.cell_deg).floor() as i32;
         let lon_hi = ((centre.lon_deg() + dlon) / self.cell_deg).floor() as i32;
-        let mut out = Vec::new();
         for lat_c in lat_lo..=lat_hi {
             for lon_c in lon_lo..=lon_hi {
                 if let Some(bucket) = self.cells.get(&(lat_c, lon_c)) {
                     for key in bucket {
-                        let p = self.positions[key];
-                        if region.contains(p) {
-                            out.push(*key);
+                        if region.contains(self.positions[key]) {
+                            f(*key);
                         }
                     }
                 }
             }
         }
-        out.sort_unstable();
-        out
+    }
+
+    /// How many keys lie inside `region`, without allocating.
+    pub fn count_in_circle(&self, region: &CircleRegion) -> usize {
+        let mut n = 0;
+        self.for_each_in_circle(region, |_| n += 1);
+        n
     }
 
     /// Iterates over `(key, position)` pairs in key order.
@@ -173,6 +194,35 @@ mod tests {
             .is_empty());
         let far = CircleRegion::new(campus().offset_by_meters(5_000.0, 0.0), 100.0);
         assert_eq!(idx.query_circle(&far), vec![1]);
+    }
+
+    #[test]
+    fn reinsert_at_same_position_is_a_noop() {
+        let mut idx = GridIndex::new(200.0);
+        idx.insert(1u32, campus());
+        idx.insert(2u32, campus());
+        // Re-report device 1 at its unchanged position: it must neither
+        // disappear nor change its bucket ordering relative to device 2.
+        idx.insert(1u32, campus());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.position(1), Some(campus()));
+        let region = CircleRegion::new(campus(), 100.0);
+        assert_eq!(idx.query_circle(&region), vec![1, 2]);
+    }
+
+    #[test]
+    fn count_matches_query_len() {
+        let mut idx = GridIndex::new(150.0);
+        for i in 0..30u32 {
+            idx.insert(i, campus().offset_by_meters(f64::from(i) * 40.0, 0.0));
+        }
+        for radius in [50.0, 300.0, 700.0, 2000.0] {
+            let region = CircleRegion::new(campus(), radius);
+            assert_eq!(
+                idx.count_in_circle(&region),
+                idx.query_circle(&region).len()
+            );
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{run, run_until, EventQueue, ScheduledEvent, World};
-pub use metrics::{Counter, Histogram, MetricsRegistry};
+pub use metrics::{Counter, Histogram, MetricsRegistry, SharedCounter};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceLog};

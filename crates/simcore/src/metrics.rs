@@ -143,6 +143,41 @@ impl fmt::Display for Histogram {
     }
 }
 
+/// A thread-safe monotonically increasing counter.
+///
+/// [`Counter`] needs `&mut` and so cannot be shared across the parallel
+/// experiment harness's workers; this one can. Reads use a relaxed load:
+/// the harness only ever totals it after the worker scope has joined, at
+/// which point every increment is visible.
+#[derive(Debug, Default)]
+pub struct SharedCounter {
+    value: std::sync::atomic::AtomicU64,
+}
+
+impl SharedCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        SharedCounter::default()
+    }
+
+    /// Adds `n` from any thread.
+    pub fn add(&self, n: u64) {
+        self.value
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn value(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl fmt::Display for SharedCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
 /// A string-keyed collection of counters and histograms.
 ///
 /// # Example
@@ -280,6 +315,18 @@ mod tests {
         let mut h = Histogram::new();
         h.record(1.0);
         let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn shared_counter_accumulates_across_threads() {
+        let c = SharedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| c.add(25));
+            }
+        });
+        assert_eq!(c.value(), 100);
+        assert_eq!(c.to_string(), "100");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! $ senseaid experiment table2            # regenerate Table 2
 //! $ senseaid experiment fig9 --seed 7     # any figure, custom seed
 //! $ senseaid faceoff --radius 1000 --period 5 --density 2
+//! $ senseaid perf --out BENCH_perf.json   # time the tracked perf cells
+//! $ senseaid perf --quick --against BENCH_perf.json   # CI regression gate
 //! $ senseaid list                         # what can be run
 //! ```
 
@@ -13,7 +15,9 @@ use senseaid::bench::experiments::{
     ablations, ext_adaptive, ext_chaos, ext_scalability, ext_timeliness, fig01, fig02, fig06,
     fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
 };
-use senseaid::bench::{run_scenario, savings_pct, FrameworkKind};
+use senseaid::bench::{
+    run_perf, run_scenario, savings_pct, FrameworkKind, PerfOptions, PerfReport,
+};
 use senseaid::geo::NamedLocation;
 use senseaid::sim::SimDuration;
 use senseaid::workload::ScenarioConfig;
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("faceoff") => cmd_faceoff(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         Some("list") => {
             println!("experiments:");
             for (name, what) in EXPERIMENTS {
@@ -57,10 +62,11 @@ fn main() -> ExitCode {
             }
             println!("\nusage: senseaid experiment <name> [--seed N]");
             println!("       senseaid faceoff [--seed N] [--radius M] [--period MIN] [--density N] [--tasks N] [--duration MIN] [--group N]");
+            println!("       senseaid perf [--seed N] [--quick] [--out FILE] [--against BASELINE]");
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: senseaid <experiment|faceoff|list> …  (try `senseaid list`)");
+            eprintln!("usage: senseaid <experiment|faceoff|perf|list> …  (try `senseaid list`)");
             ExitCode::FAILURE
         }
     }
@@ -115,6 +121,54 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         }
     };
     print!("{output}");
+    ExitCode::SUCCESS
+}
+
+/// `--flag value` pairs where the value is a string (paths).
+fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().map(String::as_str);
+        }
+    }
+    None
+}
+
+fn cmd_perf(args: &[String]) -> ExitCode {
+    let options = PerfOptions {
+        seed: seed_of(args),
+        quick: args.iter().any(|a| a == "--quick"),
+    };
+    let report = run_perf(&options);
+    print!("{}", report.render());
+    if let Some(path) = str_flag(args, "--out") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\nwrote {path}");
+    }
+    if let Some(path) = str_flag(args, "--against") {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            eprintln!("cannot read baseline {path}");
+            return ExitCode::FAILURE;
+        };
+        let Some(baseline) = PerfReport::parse_json(&text) else {
+            eprintln!("baseline {path} is not a perf report");
+            return ExitCode::FAILURE;
+        };
+        let failures = report.regressions_against(&baseline, 2.0);
+        if failures.is_empty() {
+            println!("\nno cell regressed >2x against {path}");
+        } else {
+            eprintln!("\nperf regressions against {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 

@@ -91,6 +91,35 @@ fn shard_count_never_changes_the_study() {
     }
 }
 
+/// The parallel experiment harness must be an implementation detail, like
+/// sharding: for any worker count the assembled results are bit-identical
+/// to the serial (one-worker) execution, because each cell is pure and
+/// results are keyed by cell index, never by completion order.
+#[test]
+fn worker_count_never_changes_the_study() {
+    use senseaid::bench::map_cells;
+    for seed in [5u64, 33, 99] {
+        let cells = || {
+            FrameworkKind::study_set()
+                .into_iter()
+                .map(|kind| (kind, seed))
+                .collect::<Vec<_>>()
+        };
+        let serial = map_cells(cells(), 1, |_, (kind, seed)| {
+            run_scenario(kind, scenario(), seed)
+        });
+        for workers in [2usize, 8] {
+            let parallel = map_cells(cells(), workers, |_, (kind, seed)| {
+                run_scenario(kind, scenario(), seed)
+            });
+            assert_eq!(
+                serial, parallel,
+                "seed {seed}: reports must be identical at {workers} workers"
+            );
+        }
+    }
+}
+
 fn chaos_plan(fault_seed: u64) -> FaultPlan {
     FaultPlan {
         seed: fault_seed,

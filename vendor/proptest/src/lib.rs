@@ -18,6 +18,28 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps sampled values through `f` (the real crate's combinator,
+        /// minus shrinking).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
     }
 
     impl Strategy for Range<f64> {
@@ -134,6 +156,8 @@ pub mod strategy {
         (A 0, B 1)
         (A 0, B 1, C 2)
         (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
     }
 }
 
