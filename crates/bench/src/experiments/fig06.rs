@@ -8,6 +8,14 @@
 
 use senseaid_radio::{Direction, PhaseTimeline, Radio, RadioPowerProfile, ResetPolicy};
 use senseaid_sim::{SimDuration, SimTime};
+use senseaid_telemetry::{Event, Lane, Telemetry};
+
+/// Lane carrying the no-reset (Sense-Aid Complete) timeline spans.
+const LANE_NO_RESET: Lane = Lane::device(0, 1);
+/// Lane carrying the reset (Basic / stock RRC) timeline spans.
+const LANE_RESET: Lane = Lane::device(1, 1);
+/// Where both timelines stop.
+const HORIZON: SimTime = SimTime::from_secs(630);
 
 /// Reconstructs the two timelines (no-reset and reset).
 pub fn timelines() -> (PhaseTimeline, PhaseTimeline) {
@@ -28,34 +36,70 @@ pub fn timelines() -> (PhaseTimeline, PhaseTimeline) {
             Direction::Uplink,
             policy,
         );
-        PhaseTimeline::reconstruct(&radio, SimTime::from_secs(630))
+        PhaseTimeline::reconstruct(&radio, HORIZON)
     };
     (build(ResetPolicy::NoReset), build(ResetPolicy::Reset))
 }
 
-/// Renders Fig 6.
-pub fn run(_seed: u64) -> String {
+/// Records both timelines into one telemetry stream, each on its own lane.
+pub fn record(tel: &Telemetry) {
     let (no_reset, reset) = timelines();
+    no_reset.record_spans(tel, LANE_NO_RESET, HORIZON);
+    reset.record_spans(tel, LANE_RESET, HORIZON);
+}
+
+/// Renders one lane's phase spans as the aligned `time  phase` rows the
+/// old `PhaseTimeline::render` printed.
+fn render_lane(events: &[Event], lane: Lane) -> String {
+    let mut out = String::new();
+    for ev in events {
+        if let Event::Enter {
+            at, name, lane: l, ..
+        } = ev
+        {
+            if *l == lane {
+                out.push_str(&format!("{:>12}  {}\n", at.to_string(), name));
+            }
+        }
+    }
+    out
+}
+
+/// When a lane's radio last demoted to idle.
+fn idle_of(events: &[Event], lane: Lane) -> SimTime {
+    events
+        .iter()
+        .filter_map(|ev| match ev {
+            Event::Enter {
+                at, name, lane: l, ..
+            } if *l == lane && name == "IDLE" => Some(*at),
+            _ => None,
+        })
+        .next_back()
+        .expect("timeline ends idle")
+}
+
+/// Renders Fig 6 from the telemetry span stream: the two timelines are
+/// emitted as phase spans on separate lanes and the rows are read back
+/// off the `Enter` events (instead of walking the raw `TraceLog`).
+pub fn run(_seed: u64) -> String {
+    let tel = Telemetry::recording();
+    record(&tel);
+    let events = tel.events();
     let mut out =
         String::from("=== Figure 6: LTE radio states around a tail-time crowdsensing upload ===\n");
     out.push_str("\n--- tail timer NOT reset (Sense-Aid Complete) ---\n");
-    out.push_str(&no_reset.render());
+    out.push_str(&render_lane(&events, LANE_NO_RESET));
     out.push_str("\n--- tail timer reset on upload (Sense-Aid Basic / stock RRC) ---\n");
-    out.push_str(&reset.render());
-    let idle_of = |tl: &PhaseTimeline| {
-        tl.entries()
-            .iter()
-            .filter(|e| e.item == senseaid_radio::RadioPhase::Idle)
-            .map(|e| e.at)
-            .next_back()
-            .expect("timeline ends idle")
-    };
+    out.push_str(&render_lane(&events, LANE_RESET));
+    let no_reset_idle = idle_of(&events, LANE_NO_RESET);
+    let reset_idle = idle_of(&events, LANE_RESET);
     out.push_str(&format!(
         "\ndemotion to idle: no-reset at {}, reset at {} — the reset costs {:.1} s of extra tail\n",
-        idle_of(&no_reset),
-        idle_of(&reset),
-        idle_of(&reset)
-            .saturating_elapsed_since(idle_of(&no_reset))
+        no_reset_idle,
+        reset_idle,
+        reset_idle
+            .saturating_elapsed_since(no_reset_idle)
             .as_secs_f64(),
     ));
     out
@@ -132,5 +176,19 @@ mod tests {
         assert!(text.contains("NOT reset"));
         assert!(text.contains("stock RRC"));
         assert!(text.contains("SHORT_DRX"));
+    }
+
+    #[test]
+    fn span_stream_render_matches_legacy_tracelog_render() {
+        let (no_reset, reset) = timelines();
+        let tel = Telemetry::recording();
+        super::record(&tel);
+        let events = tel.events();
+        assert_eq!(senseaid_telemetry::check_balanced(&events), Ok(()));
+        assert_eq!(
+            super::render_lane(&events, LANE_NO_RESET),
+            no_reset.render()
+        );
+        assert_eq!(super::render_lane(&events, LANE_RESET), reset.render());
     }
 }

@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use senseaid_geo::NamedLocation;
 use senseaid_sim::SimDuration;
+use senseaid_telemetry::Telemetry;
 use senseaid_workload::ScenarioConfig;
 
 use crate::framework::FrameworkKind;
@@ -141,11 +142,54 @@ fn sweep_cell(name: &str, sizes: &[usize], seed: u64, reference_loops: bool) -> 
     }
 }
 
+/// Times the mid-size study scenario twice per round — telemetry absent
+/// vs a present-but-disabled [`senseaid_telemetry::NoopSink`] — and keeps
+/// each configuration's best wall-clock. The two runs are interleaved
+/// within every round so clock drift and cache state hit both alike, and
+/// best-of-N suppresses scheduler noise: the gate on this pair is a few
+/// percent, not the 2× of the other cells.
+fn telemetry_overhead_cells(seed: u64, quick: bool) -> (PerfCell, PerfCell) {
+    let scenario = study_scenario(50, quick);
+    let rounds = if quick { 3 } else { 5 };
+    // Index 0: no telemetry at all. Index 1: no-op sink wired in.
+    let mut best = [f64::INFINITY; 2];
+    let mut peak = 0u64;
+    for _ in 0..rounds {
+        for (slot, tel) in [(0, Telemetry::off()), (1, Telemetry::noop())] {
+            let start = Instant::now();
+            let report = run_scenario_with(
+                FrameworkKind::SenseAidComplete,
+                scenario,
+                seed,
+                HarnessOptions {
+                    telemetry: tel,
+                    ..HarnessOptions::default()
+                },
+            );
+            best[slot] = best[slot].min(start.elapsed().as_secs_f64() * 1e3);
+            peak = peak.max(report.peak_queue_depth);
+        }
+    }
+    let events = device_ticks(&scenario);
+    let cell = |name: &str, wall_ms: f64| PerfCell {
+        name: name.to_owned(),
+        wall_ms,
+        events,
+        events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
+        peak_queue_depth: peak,
+    };
+    (
+        cell("telemetry_overhead_reference", best[0]),
+        cell("telemetry_overhead", best[1]),
+    )
+}
+
 /// Runs the full cell set.
 pub fn run_perf(options: &PerfOptions) -> PerfReport {
     let q = options.quick;
     let seed = options.seed;
     let sweep_sizes: &[usize] = if q { &[20, 50] } else { &[20, 50, 100, 200] };
+    let (tel_reference, tel_noop) = telemetry_overhead_cells(seed, q);
     let cells = vec![
         timed_cell(
             "senseaid_complete_20dev",
@@ -173,6 +217,8 @@ pub fn run_perf(options: &PerfOptions) -> PerfReport {
         ),
         sweep_cell("ext_scalability_sweep", sweep_sizes, seed, false),
         sweep_cell("ext_scalability_sweep_reference", sweep_sizes, seed, true),
+        tel_reference,
+        tel_noop,
     ];
     PerfReport {
         seed,
@@ -236,6 +282,16 @@ impl PerfReport {
         self.cells.iter().find(|c| c.name == name)
     }
 
+    /// The wall-clock cost of carrying a disabled telemetry sink, as a
+    /// percentage over the no-telemetry reference. Negative values mean
+    /// the difference vanished into measurement noise. `None` when either
+    /// overhead cell is missing (e.g. an old baseline file).
+    pub fn telemetry_overhead_pct(&self) -> Option<f64> {
+        let with_sink = self.cell("telemetry_overhead")?;
+        let without = self.cell("telemetry_overhead_reference")?;
+        Some((with_sink.wall_ms - without.wall_ms) / without.wall_ms.max(1e-9) * 100.0)
+    }
+
     /// Checks this run against a baseline: every cell present in both
     /// must finish within `factor`× the baseline's wall-clock. Returns the
     /// offending descriptions, empty when the run is clean.
@@ -275,6 +331,11 @@ impl PerfReport {
             out.push_str(&format!(
                 "\next_scalability speedup (reference loops / optimised): {:.2}x\n",
                 reference.wall_ms / opt.wall_ms.max(1e-9)
+            ));
+        }
+        if let Some(pct) = self.telemetry_overhead_pct() {
+            out.push_str(&format!(
+                "telemetry disabled-sink overhead vs no telemetry: {pct:+.2}%\n"
             ));
         }
         out
@@ -367,7 +428,7 @@ mod tests {
         assert_eq!(device_ticks(&s), (20 * 60 + 5 * 60 + 2 + 1) * 10);
     }
 
-    /// The full harness on a tiny quick run: all six cells present, with
+    /// The full harness on a tiny quick run: all eight cells present, with
     /// sane numbers, and the JSON survives a round trip.
     #[test]
     fn quick_run_produces_all_cells() {
@@ -375,12 +436,17 @@ mod tests {
             seed: 11,
             quick: true,
         });
-        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.cells.len(), 8);
         for c in &report.cells {
             assert!(c.events > 0, "{}", c.name);
             assert!(c.events_per_sec > 0.0, "{}", c.name);
         }
+        assert!(
+            report.telemetry_overhead_pct().is_some(),
+            "overhead cells must both be present"
+        );
         let parsed = PerfReport::parse_json(&report.to_json()).expect("round trip");
-        assert_eq!(parsed.cells.len(), 6);
+        assert_eq!(parsed.cells.len(), 8);
+        assert!(parsed.telemetry_overhead_pct().is_some());
     }
 }

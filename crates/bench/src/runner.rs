@@ -24,8 +24,11 @@ use senseaid_core::{
 };
 use senseaid_device::{Device, ImeiHash, Sensor};
 use senseaid_geo::{CampusMap, CircleRegion, GeoPoint};
-use senseaid_radio::ResetPolicy;
+use senseaid_radio::{PhaseTimeline, ResetPolicy};
 use senseaid_sim::{SimDuration, SimRng, SimTime};
+use senseaid_telemetry::{
+    compat, Attr, HistogramSummary, Lane, RegistrySnapshot, SpanId, Telemetry,
+};
 use senseaid_workload::{PopulationConfig, ScenarioConfig, StudyPopulation, WeatherField};
 
 use crate::framework::{FrameworkKind, GroupReport, RoundObservation};
@@ -76,6 +79,13 @@ pub struct HarnessOptions {
     /// implementation on the same build, and so tests can assert the
     /// equivalence.
     pub reference_loops: bool,
+    /// Telemetry recording handle. The default is off and costs nothing
+    /// measurable; `Telemetry::recording()` captures the full span stream
+    /// (request → selection → tasking → envelope → RRC phases) plus a
+    /// final unified-registry snapshot. Results are byte-identical with
+    /// telemetry on or off — instrumentation never draws randomness or
+    /// changes control flow.
+    pub telemetry: Telemetry,
 }
 
 /// Runs one framework group through one scenario.
@@ -547,6 +557,68 @@ fn launch_batch(
     }
 }
 
+/// Builds the Fig 9 per-round observations by replaying the server's
+/// selection `TraceLog` through the telemetry compatibility bridge and
+/// reading the span stream back out. The output is byte-identical to the
+/// old direct `TraceLog` mapping — the bridge is lossless and preserves
+/// entry order — so renderers keyed on `RoundObservation` are unchanged.
+fn rounds_from_selection_log(
+    server: &SenseAidServer,
+    devices: &[Device],
+    by_imei: &BTreeMap<ImeiHash, usize>,
+) -> Vec<RoundObservation> {
+    let bridge = Telemetry::recording();
+    compat::bridge_entries(
+        &bridge,
+        Lane::control(0),
+        server
+            .selection_history()
+            .entries()
+            .iter()
+            .map(|e| (e.at, &e.item)),
+        |ev| {
+            let joined = ev
+                .selected
+                .iter()
+                .map(|imei| imei.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            (
+                "selection.round".to_string(),
+                vec![
+                    Attr::u64("qualified", ev.qualified as u64),
+                    Attr::str("devices", joined),
+                ],
+            )
+        },
+    );
+    bridge
+        .events()
+        .iter()
+        .filter(|ev| ev.name() == Some("selection.round"))
+        .map(|ev| RoundObservation {
+            at: ev.at(),
+            qualified: ev.attr_u64("qualified").unwrap_or(0) as usize,
+            participating: ev
+                .attr_str("devices")
+                .into_iter()
+                .flat_map(|s| s.split(','))
+                .filter(|part| !part.is_empty())
+                .map(|part| {
+                    let imei = ImeiHash(part.parse().expect("bridged imei is numeric"));
+                    devices[by_imei[&imei]].id().0
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The telemetry lane of `client`'s device: homed shard × IMEI.
+fn client_lane(server: &SenseAidServer, client: &SenseAidClient) -> Lane {
+    let shard = server.device_home_shard(client.imei()).unwrap_or(0) as u64;
+    Lane::device(shard, client.imei().0)
+}
+
 /// One client's per-tick duty pass: sample what is due, decide on an
 /// upload (direct call in fault-free runs, delivery envelope under
 /// chaos), retransmit unacked envelopes, and drop expired duties. Called
@@ -566,6 +638,8 @@ fn client_duties(
     uploads: &mut u64,
     cold_uploads: &mut u64,
     delays: &mut Vec<f64>,
+    tel: &Telemetry,
+    envelope_spans: &mut BTreeMap<(ImeiHash, u64), SpanId>,
 ) {
     for request in client.due_samples(t) {
         if let Ok(reading) = device.sample_sensor(t, STUDY_SENSOR, field) {
@@ -586,6 +660,20 @@ fn client_duties(
                     *uploads += 1;
                     if report.promoted {
                         *cold_uploads += 1;
+                    }
+                    if tel.active() {
+                        let parent = tel.tasking_span(duties[0].request.0, client.imei().0);
+                        tel.instant(
+                            "upload.direct",
+                            t,
+                            client_lane(server, client),
+                            parent,
+                            vec![
+                                Attr::u64("readings", duties.len() as u64),
+                                Attr::u64("bytes", total_bytes),
+                                Attr::flag("promoted", report.promoted),
+                            ],
+                        );
                     }
                     for duty in duties {
                         let reading = duty.reading.expect("send_sense_data filters unsampled");
@@ -613,6 +701,24 @@ fn client_duties(
                     if report.promoted {
                         *cold_uploads += 1;
                     }
+                    if tel.active() {
+                        // The envelope span stays open until its ack lands
+                        // (or the client gives up / the run ends).
+                        let parent = tel.tasking_span(batch.duties[0].request.0, client.imei().0);
+                        let span = tel.enter(
+                            "envelope",
+                            t,
+                            client_lane(server, client),
+                            parent,
+                            vec![
+                                Attr::u64("seq", batch.seq),
+                                Attr::u64("readings", batch.duties.len() as u64),
+                                Attr::u64("bytes", total_bytes),
+                                Attr::flag("promoted", report.promoted),
+                            ],
+                        );
+                        envelope_spans.insert((client.imei(), batch.seq), span);
+                    }
                     launch_batch(inj, batch_transit, client.imei(), batch, t);
                 }
             }
@@ -624,9 +730,47 @@ fn client_duties(
                 if report.promoted {
                     *cold_uploads += 1;
                 }
+                if tel.active() {
+                    let parent = envelope_spans
+                        .get(&(client.imei(), batch.seq))
+                        .copied()
+                        .unwrap_or(SpanId::NONE);
+                    tel.instant(
+                        "envelope.retry",
+                        t,
+                        client_lane(server, client),
+                        parent,
+                        vec![
+                            Attr::u64("seq", batch.seq),
+                            Attr::u64("attempt", u64::from(batch.attempt)),
+                            Attr::u64("bytes", total_bytes),
+                        ],
+                    );
+                }
                 launch_batch(inj, batch_transit, client.imei(), batch, t);
             }
-            client.give_up_expired(t, RETRY_GRACE);
+            let abandoned = client.give_up_expired(t, RETRY_GRACE);
+            if abandoned > 0 && tel.active() {
+                // Close the spans of every envelope no longer in flight.
+                let live: BTreeSet<u64> = client.inflight_seqs().into_iter().collect();
+                let imei = client.imei();
+                let dead: Vec<(u64, SpanId)> = envelope_spans
+                    .range((imei, 0)..=(imei, u64::MAX))
+                    .filter(|((_, seq), _)| !live.contains(seq))
+                    .map(|((_, seq), span)| (*seq, *span))
+                    .collect();
+                for (seq, span) in dead {
+                    tel.instant(
+                        "envelope.giveup",
+                        t,
+                        client_lane(server, client),
+                        span,
+                        vec![Attr::u64("seq", seq)],
+                    );
+                    tel.exit(span, t);
+                    envelope_spans.remove(&(imei, seq));
+                }
+            }
         }
     }
     client.drop_expired(t);
@@ -667,6 +811,8 @@ fn run_senseaid(
     let map = CampusMap::standard();
     let mut network = CellularNetwork::for_campus(&map);
     server.set_topology(network.clone());
+    let tel = options.telemetry.clone();
+    server.set_telemetry(tel.clone());
     let mut skew_rng = SimRng::from_seed_label(seed, "clock-skew");
     let mut clients: Vec<SenseAidClient> = Vec::with_capacity(devices.len());
     let mut by_imei: BTreeMap<ImeiHash, usize> = BTreeMap::new();
@@ -725,6 +871,9 @@ fn run_senseaid(
     // dedup layers).
     let mut batch_transit: Vec<TransitBatch> = Vec::new();
     let mut ack_transit: Vec<TransitAck> = Vec::new();
+    // Open envelope spans by `(imei, seq)`, closed when the ack lands or
+    // the client gives the batch up.
+    let mut envelope_spans: BTreeMap<(ImeiHash, u64), SpanId> = BTreeMap::new();
     let mut cas_seen: BTreeSet<(senseaid_core::RequestId, u64)> = BTreeSet::new();
     let mut cas_delivered = 0u64;
 
@@ -863,6 +1012,26 @@ fn run_senseaid(
             ack_transit = keep_acks;
             for a in due_acks {
                 clients[by_imei[&a.imei]].ack(a.ack);
+                if tel.active() {
+                    // A cumulative ack closes every envelope span at or
+                    // below it for this device.
+                    let acked: Vec<(u64, SpanId)> = envelope_spans
+                        .range((a.imei, 0)..=(a.imei, a.ack))
+                        .map(|((_, seq), span)| (*seq, *span))
+                        .collect();
+                    let lane = client_lane(&server, &clients[by_imei[&a.imei]]);
+                    for (seq, span) in acked {
+                        tel.instant(
+                            "envelope.ack",
+                            t,
+                            lane,
+                            span,
+                            vec![Attr::u64("seq", seq), Attr::u64("ack", a.ack)],
+                        );
+                        tel.exit(span, t);
+                        envelope_spans.remove(&(a.imei, seq));
+                    }
+                }
             }
 
             let mut due_batches = Vec::new();
@@ -923,6 +1092,8 @@ fn run_senseaid(
                     &mut uploads,
                     &mut cold_uploads,
                     &mut delays,
+                    &tel,
+                    &mut envelope_spans,
                 );
             }
         } else {
@@ -943,6 +1114,8 @@ fn run_senseaid(
                     &mut uploads,
                     &mut cold_uploads,
                     &mut delays,
+                    &tel,
+                    &mut envelope_spans,
                 );
                 if client.duty_count() == 0 && client.inflight_count() == 0 {
                     active_clients.remove(&i);
@@ -964,22 +1137,10 @@ fn run_senseaid(
         t += TICK;
     }
 
-    // Build the per-round observations from the server's selection log.
-    let rounds: Vec<RoundObservation> = server
-        .selection_history()
-        .entries()
-        .iter()
-        .map(|e| RoundObservation {
-            at: e.at,
-            qualified: e.item.qualified,
-            participating: e
-                .item
-                .selected
-                .iter()
-                .map(|imei| devices[by_imei[imei]].id().0)
-                .collect(),
-        })
-        .collect();
+    // Build the per-round observations from the server's selection log,
+    // replayed through the telemetry compatibility bridge rather than
+    // consumed directly off the `TraceLog`.
+    let rounds = rounds_from_selection_log(&server, devices, &by_imei);
     let delivered = if injector.is_some() {
         // The per-tick drains already ledgered everything; catch strays.
         for (_cas, r) in server.drain_outbox() {
@@ -998,6 +1159,40 @@ fn run_senseaid(
         server.note_client_drops(readings_lost);
     }
     let stats = server.stats();
+
+    if tel.active() {
+        // The loop leaves `t` one tick past the last simulated instant;
+        // use it as the horizon that closes every remaining span.
+        let horizon = t;
+        for (i, device) in devices.iter().enumerate() {
+            let imei = clients[i].imei();
+            let shard = server.device_home_shard(imei).unwrap_or(0) as u64;
+            PhaseTimeline::reconstruct(device.radio(), horizon).record_spans(
+                &tel,
+                Lane::device(shard, imei.0),
+                horizon,
+            );
+        }
+        if let Some(inj) = injector.as_ref() {
+            inj.record_spans(&tel);
+        }
+        let mut snap = RegistrySnapshot::new();
+        snap.absorb_counters("server.", stats.named_counters());
+        for client in &clients {
+            snap.absorb_counters("client.", client.stats().named_counters());
+        }
+        snap.set_counter("harness.uploads", uploads);
+        snap.set_counter("harness.cold_uploads", cold_uploads);
+        snap.set_counter("harness.delivered", delivered);
+        snap.set_counter("harness.readings_lost", readings_lost);
+        snap.set_counter("harness.peak_queue_depth", peak_queue_depth);
+        snap.set_histogram(
+            "harness.delivery_delay_s",
+            HistogramSummary::from_samples(&delays),
+        );
+        tel.record_stats(horizon, snap);
+        tel.finish(horizon);
+    }
 
     collect_report(
         kind,

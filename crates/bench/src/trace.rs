@@ -1,0 +1,178 @@
+//! The `senseaid trace` engine: re-run an experiment with full telemetry
+//! recording and export the span stream.
+//!
+//! A trace run is an ordinary [`run_scenario_with`] call whose
+//! [`HarnessOptions::telemetry`] is a recording handle, so the scenario's
+//! result is byte-identical to the untraced run — the span stream is a
+//! side channel, not a different code path. The stream is exported twice:
+//!
+//! * **JSONL** — one event per line, byte-deterministic for a fixed seed
+//!   at any `SENSEAID_WORKERS`; the determinism tests diff this form.
+//! * **Chrome Trace Event JSON** — loads directly in Perfetto or
+//!   `chrome://tracing`; shards appear as processes, devices as threads.
+
+use std::collections::BTreeMap;
+
+use senseaid_cellnet::FaultPlan;
+use senseaid_geo::NamedLocation;
+use senseaid_sim::SimDuration;
+use senseaid_telemetry::{check_balanced, to_chrome_trace, to_jsonl, Event, Telemetry};
+use senseaid_workload::ScenarioConfig;
+
+use crate::experiments::fig09;
+use crate::framework::FrameworkKind;
+use crate::runner::{run_scenario_with, HarnessOptions};
+
+/// The exported artefacts of one traced experiment run.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// Chrome Trace Event JSON (open in Perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// One event per line; the byte-deterministic form.
+    pub jsonl: String,
+    /// Human-readable run summary for the terminal.
+    pub summary: String,
+}
+
+/// The experiments `senseaid trace` knows how to run, with the spelling
+/// the CLI accepts for each.
+pub const TRACEABLE: &[(&str, &str)] = &[
+    (
+        "fig06",
+        "tail-time uploads under a lossy network (envelope sends, retries, acks, RRC phases)",
+    ),
+    (
+        "fig09",
+        "selection fairness, fault-free (selection rounds, taskings, direct uploads)",
+    ),
+];
+
+/// The Fig 6 trace scenario: small and short so the trace stays readable,
+/// with enough sampling rounds that retransmission and tail-riding both
+/// appear.
+fn fig06_trace_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(30),
+        sampling_period: SimDuration::from_mins(10),
+        spatial_density: 2,
+        area_radius_m: 800.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 10,
+    }
+}
+
+/// Runs `experiment` with telemetry recording and exports the stream.
+/// Returns `None` for an experiment that has no trace configuration; see
+/// [`TRACEABLE`] for the known names (`fig6`/`fig06` spellings both work).
+pub fn run_trace(experiment: &str, seed: u64) -> Option<TraceRun> {
+    let (canonical, scenario, plan) = match experiment {
+        "fig06" | "fig6" => (
+            "fig06",
+            fig06_trace_scenario(),
+            // A mildly lossy network so the delivery envelope engages:
+            // the trace then shows sends, retries, and acks, not just the
+            // happy path.
+            Some(FaultPlan::lossy(7, 0.25)),
+        ),
+        "fig09" | "fig9" => ("fig09", fig09::scenario(), None),
+        _ => return None,
+    };
+    let tel = Telemetry::recording();
+    let report = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        scenario,
+        seed,
+        HarnessOptions {
+            fault_plan: plan,
+            telemetry: tel.clone(),
+            ..HarnessOptions::default()
+        },
+    );
+    let events = tel.events();
+    check_balanced(&events).expect("recorded span stream is balanced");
+
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut by_name: BTreeMap<String, usize> = BTreeMap::new();
+    for ev in &events {
+        match ev {
+            Event::Enter { name, .. } => {
+                spans += 1;
+                *by_name.entry(name.clone()).or_insert(0) += 1;
+            }
+            Event::Instant { name, .. } => {
+                instants += 1;
+                *by_name.entry(name.clone()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    let mut summary = format!(
+        "trace {canonical} seed {seed}: {} events ({spans} spans, {instants} instants), \
+         {} selection rounds, {} uploads, {} readings delivered\n",
+        events.len(),
+        report.rounds.len(),
+        report.uploads,
+        report.readings_delivered,
+    );
+    summary.push_str("events by name:\n");
+    for (name, n) in &by_name {
+        summary.push_str(&format!("  {name:<24} {n}\n"));
+    }
+
+    Some(TraceRun {
+        chrome_json: to_chrome_trace(&events),
+        jsonl: to_jsonl(&events),
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_none() {
+        assert!(run_trace("fig99", 1).is_none());
+        assert!(run_trace("", 1).is_none());
+    }
+
+    #[test]
+    fn both_spellings_trace_identically() {
+        let a = run_trace("fig6", 3).unwrap();
+        let b = run_trace("fig06", 3).unwrap();
+        assert_eq!(a.jsonl, b.jsonl);
+        assert_eq!(a.chrome_json, b.chrome_json);
+    }
+
+    #[test]
+    fn fig06_trace_contains_the_advertised_span_families() {
+        let run = run_trace("fig06", 42).unwrap();
+        for needle in [
+            "\"request\"",
+            "\"selection\"",
+            "\"tasking\"",
+            "\"envelope\"",
+            "\"envelope.retry\"",
+            "IDLE",
+            "SHORT_DRX",
+        ] {
+            assert!(
+                run.jsonl.contains(needle),
+                "missing {needle} in fig06 trace"
+            );
+        }
+        assert!(run.chrome_json.starts_with('{'));
+        assert!(run.chrome_json.contains("\"traceEvents\""));
+        assert!(run.chrome_json.contains("\"displayTimeUnit\""));
+    }
+
+    #[test]
+    fn fig09_trace_has_selection_rounds_and_no_envelopes() {
+        let run = run_trace("fig09", 11).unwrap();
+        assert!(run.jsonl.contains("\"selection\""));
+        assert!(run.jsonl.contains("\"upload.direct\""));
+        assert!(!run.jsonl.contains("\"envelope\""));
+    }
+}

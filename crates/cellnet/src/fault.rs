@@ -220,6 +220,31 @@ impl FaultInjector {
         &self.trace
     }
 
+    /// Replays the injected-fault trace into a telemetry recording via
+    /// the legacy-log bridge: one `fault.*` instant per event, attributed
+    /// with the link direction. The span stream is the preferred read
+    /// surface; [`trace`](Self::trace) remains for direct inspection.
+    pub fn record_spans(&self, tel: &senseaid_telemetry::Telemetry) {
+        use senseaid_telemetry::{compat, Attr, Lane};
+        if !tel.active() {
+            return;
+        }
+        compat::bridge_entries(
+            tel,
+            Lane::control(0),
+            self.trace.entries().iter().map(|e| (e.at, e.item)),
+            |event| {
+                let (kind, dir) = match event {
+                    FaultEvent::Lost(d) => ("fault.lost", d),
+                    FaultEvent::EnodebBlocked(d) => ("fault.enodeb_blocked", d),
+                    FaultEvent::Duplicated(d) => ("fault.duplicated", d),
+                    FaultEvent::Reordered(d) => ("fault.reordered", d),
+                };
+                (kind.to_owned(), vec![Attr::str("dir", dir.to_string())])
+            },
+        );
+    }
+
     /// Decides the fate of one message crossing the RAN at `now`.
     pub fn judge(&mut self, dir: LinkDir, now: SimTime) -> Verdict {
         if self.plan.enodeb_down(now) {

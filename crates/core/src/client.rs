@@ -86,6 +86,19 @@ impl ClientStats {
     pub fn readings_lost(&self) -> u64 {
         self.expired_dropped + self.readings_abandoned
     }
+
+    /// `(name, value)` pairs for the unified telemetry registry; folding
+    /// several clients' pairs into one snapshot sums them.
+    pub fn named_counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("expired_dropped", self.expired_dropped),
+            ("batches_sent", self.batches_sent),
+            ("retries", self.retries),
+            ("acks_received", self.acks_received),
+            ("batches_abandoned", self.batches_abandoned),
+            ("readings_abandoned", self.readings_abandoned),
+        ]
+    }
 }
 
 /// What the client should do about its pending data right now.
@@ -514,6 +527,13 @@ impl SenseAidClient {
     /// Sent-but-unacked batch count.
     pub fn inflight_count(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Sequence numbers of the batches still awaiting an ack, in send
+    /// order. The telemetry harness uses this to close envelope spans
+    /// whose batches were abandoned.
+    pub fn inflight_seqs(&self) -> Vec<u64> {
+        self.inflight.iter().map(|b| b.seq).collect()
     }
 
     /// The bounded-exponential retransmission backoff for this device:

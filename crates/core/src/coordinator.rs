@@ -25,6 +25,7 @@ use senseaid_device::{ImeiHash, Sensor, SensorReading};
 use senseaid_geo::{CircleRegion, GeoPoint};
 use senseaid_radio::ResetPolicy;
 use senseaid_sim::{SimDuration, SimTime, TraceLog};
+use senseaid_telemetry::{Attr, Lane, SpanId, Telemetry};
 
 use crate::cas::{CasId, DeliveredReading};
 use crate::config::SenseAidConfig;
@@ -101,6 +102,24 @@ pub struct ServerStats {
     /// before sampling, or batches abandoned unacked); see
     /// [`ClientStats`](crate::client::ClientStats).
     pub client_readings_dropped: u64,
+}
+
+impl ServerStats {
+    /// `(name, value)` pairs for the unified telemetry registry.
+    pub fn named_counters(&self) -> [(&'static str, u64); 10] {
+        [
+            ("requests_assigned", self.requests_assigned),
+            ("requests_fulfilled", self.requests_fulfilled),
+            ("requests_expired", self.requests_expired),
+            ("requests_waited", self.requests_waited),
+            ("readings_rejected", self.readings_rejected),
+            ("readings_accepted", self.readings_accepted),
+            ("envelopes_duplicate", self.envelopes_duplicate),
+            ("envelopes_retried", self.envelopes_retried),
+            ("readings_duplicate", self.readings_duplicate),
+            ("client_readings_dropped", self.client_readings_dropped),
+        ]
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -249,6 +268,11 @@ pub(crate) struct Coordinator {
     /// Set when device state changed in a way that could requalify a
     /// parked request; cleared by a poll that finds nothing more to do.
     wait_dirty: bool,
+    /// Telemetry handle; off unless the embedding harness enables it.
+    tel: Telemetry,
+    /// Open request spans (assignment → fulfilment/expiry). Survives a
+    /// snapshot restore so requests that outlive a crash still close.
+    request_spans: BTreeMap<RequestId, SpanId>,
 }
 
 impl Coordinator {
@@ -279,7 +303,18 @@ impl Coordinator {
             seq_ledger: BTreeMap::new(),
             delivered_log: BTreeSet::new(),
             wait_dirty: false,
+            tel: Telemetry::off(),
+            request_spans: BTreeMap::new(),
         }
+    }
+
+    /// Routes this coordinator's instrumentation into `tel`.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     // ------------------------------------------------------------------
@@ -325,6 +360,11 @@ impl Coordinator {
     pub fn device(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
         let shard = *self.home.get(&imei)?;
         self.shards[shard].device(imei)
+    }
+
+    /// The shard `imei` is homed on, for telemetry lane assignment.
+    pub fn device_home_shard(&self, imei: ImeiHash) -> Option<usize> {
+        self.home.get(&imei).copied()
     }
 
     fn device_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
@@ -707,13 +747,14 @@ impl Coordinator {
 
     pub fn poll(&mut self, now: SimTime) -> Vec<Assignment> {
         let stats_before = self.stats;
+        let poll_span = self.enter_poll_span(now);
         self.expire_overdue(now);
         self.recheck_wait_queue(now);
 
         let mut assignments = Vec::new();
         while let Some(request) = self.pop_due_global(now) {
             if request.deadline() <= now {
-                self.expire_request(&request);
+                self.expire_request(&request, now);
                 continue;
             }
             if self
@@ -749,7 +790,44 @@ impl Coordinator {
             ..self.stats
         };
         self.wait_dirty = progress != stats_before;
+        if poll_span.is_some() {
+            self.record_next_wakeup(now, poll_span);
+            self.tel.exit(poll_span, now);
+        }
         assignments
+    }
+
+    /// Opens the per-poll scheduler span with one queue-depth instant per
+    /// shard on that shard's control lane.
+    fn enter_poll_span(&self, now: SimTime) -> SpanId {
+        if !self.tel.active() {
+            return SpanId::NONE;
+        }
+        let span = self.tel.enter(
+            "poll",
+            now,
+            Lane::control(0),
+            SpanId::NONE,
+            vec![
+                Attr::u64("run_queue", self.run_queue_len() as u64),
+                Attr::u64("wait_queue", self.wait_queue_len() as u64),
+                Attr::u64("active", self.active.len() as u64),
+            ],
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            self.tel.instant(
+                "shard.queues",
+                now,
+                Lane::control(i as u64),
+                span,
+                vec![
+                    Attr::u64("run", shard.run_queue_len() as u64),
+                    Attr::u64("wait", shard.wait_queue_len() as u64),
+                    Attr::u64("devices", shard.device_count() as u64),
+                ],
+            );
+        }
+        span
     }
 
     /// Assigns `request`, or returns it for parking when the policy cannot
@@ -762,13 +840,56 @@ impl Coordinator {
         let targets = self.target_shards(&probe.region);
         let candidates = Self::candidates_across(&self.shards, &targets, &probe);
         let qualified = candidates.len();
-        let Ok(selected) = self.policy.select(&request, &candidates, now) else {
+        let Ok(selected) = self
+            .policy
+            .select_traced(&request, &candidates, now, &self.tel)
+        else {
             return Err(request);
         };
         drop(candidates);
         for imei in &selected {
             if let Some(rec) = self.device_mut(*imei) {
                 rec.times_selected += 1;
+            }
+        }
+        if self.tel.active() {
+            let shard = *targets.first().unwrap_or(&0) as u64;
+            let span = self.tel.enter(
+                "request",
+                now,
+                Lane::control(shard),
+                SpanId::NONE,
+                vec![
+                    Attr::u64("request", request.id().0),
+                    Attr::u64("task", request.task().0),
+                    Attr::u64("density", request.density() as u64),
+                    Attr::u64("deadline_us", request.deadline().as_micros()),
+                ],
+            );
+            self.request_spans.insert(request.id(), span);
+            let selection = self.tel.instant(
+                "selection",
+                now,
+                Lane::control(shard),
+                span,
+                vec![
+                    Attr::u64("qualified", qualified as u64),
+                    Attr::u64("selected", selected.len() as u64),
+                ],
+            );
+            for imei in &selected {
+                let home = self.home.get(imei).copied().unwrap_or(0) as u64;
+                let tasking = self.tel.instant(
+                    "tasking",
+                    now,
+                    Lane::device(home, imei.0),
+                    selection,
+                    vec![
+                        Attr::u64("request", request.id().0),
+                        Attr::u64("imei", imei.0),
+                    ],
+                );
+                self.tel.note_tasking(request.id().0, imei.0, tasking);
             }
         }
         self.selections.push(
@@ -808,11 +929,16 @@ impl Coordinator {
         Ok(assignment)
     }
 
-    fn expire_request(&mut self, request: &Request) {
+    fn expire_request(&mut self, request: &Request, now: SimTime) {
         self.stats.requests_expired += 1;
         self.statuses.insert(request.id(), RequestStatus::Expired);
         if let Ok(t) = self.tasks.get_mut(request.task()) {
             t.requests_expired += 1;
+        }
+        if let Some(span) = self.request_spans.remove(&request.id()) {
+            self.tel
+                .instant("request.expired", now, Lane::control(0), span, Vec::new());
+            self.tel.exit(span, now);
         }
     }
 
@@ -839,7 +965,7 @@ impl Coordinator {
                 // Density was met; counted at fulfilment time already.
                 continue;
             }
-            self.expire_request(&active.request);
+            self.expire_request(&active.request, now);
         }
     }
 
@@ -857,7 +983,7 @@ impl Coordinator {
         while let Some((shard, _)) = Self::min_head(&self.shards, Shard::wait_head_key) {
             let request = self.shards[shard].pop_wait().expect("head key seen");
             if request.deadline() <= now {
-                self.expire_request(&request);
+                self.expire_request(&request, now);
                 continue;
             }
             let satisfiable = {
@@ -918,6 +1044,11 @@ impl Coordinator {
             if let Ok(t) = self.tasks.get_mut(task) {
                 t.requests_fulfilled += 1;
             }
+            if let Some(span) = self.request_spans.remove(&request_id) {
+                self.tel
+                    .instant("request.fulfilled", now, Lane::control(0), span, Vec::new());
+                self.tel.exit(span, now);
+            }
         }
         self.record_device_comm(imei, now)?;
         Ok(fulfilled)
@@ -939,14 +1070,42 @@ impl Coordinator {
         if attempt > 1 {
             self.stats.envelopes_retried += 1;
         }
+        let lane = Lane::device(self.home.get(&imei).copied().unwrap_or(0) as u64, imei.0);
         let ledger = self.seq_ledger.entry(imei).or_default();
         if !ledger.accept(seq) {
             self.stats.envelopes_duplicate += 1;
+            self.tel.instant(
+                "envelope.duplicate",
+                now,
+                lane,
+                SpanId::NONE,
+                vec![
+                    Attr::u64("seq", seq),
+                    Attr::u64("attempt", u64::from(attempt)),
+                ],
+            );
             let ack = self.seq_ledger[&imei].cumulative();
             return BatchReceipt {
                 ack,
                 outcomes: Vec::new(),
             };
+        }
+        if self.tel.active() {
+            let parent = readings
+                .first()
+                .map(|(r, _)| self.tel.tasking_span(r.0, imei.0))
+                .unwrap_or(SpanId::NONE);
+            self.tel.instant(
+                "envelope.recv",
+                now,
+                lane,
+                parent,
+                vec![
+                    Attr::u64("seq", seq),
+                    Attr::u64("attempt", u64::from(attempt)),
+                    Attr::u64("readings", readings.len() as u64),
+                ],
+            );
         }
         let mut outcomes = Vec::with_capacity(readings.len());
         for (request_id, reading) in readings {
@@ -1075,14 +1234,14 @@ impl Coordinator {
                 break;
             }
             let request = self.shards[shard].pop_run().expect("head key seen");
-            self.expire_request(&request);
+            self.expire_request(&request, now);
         }
         while let Some((shard, key)) = Self::min_head(&self.shards, Shard::wait_head_key) {
             if key.0 > now {
                 break;
             }
             let request = self.shards[shard].pop_wait().expect("head key seen");
-            self.expire_request(&request);
+            self.expire_request(&request, now);
         }
     }
 

@@ -52,6 +52,20 @@ pub trait SelectionPolicy: fmt::Debug + Send {
     fn would_select(&self, request: &Request, candidates: &[&DeviceRecord], now: SimTime) -> bool {
         self.select(request, candidates, now).is_ok()
     }
+
+    /// [`select`](Self::select) with a telemetry probe. The default simply
+    /// delegates, so policies without interesting internals (the
+    /// baselines' select-all) need not care; [`ScoredPolicy`] overrides it
+    /// to record the selector's pool/eligibility/outcome instant.
+    fn select_traced(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+        _tel: &senseaid_telemetry::Telemetry,
+    ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
+        self.select(request, candidates, now)
+    }
 }
 
 /// The paper's device selector as a policy: score every eligible candidate
@@ -96,5 +110,16 @@ impl SelectionPolicy for ScoredPolicy {
             .take(needed)
             .count()
             >= needed
+    }
+
+    fn select_traced(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+        tel: &senseaid_telemetry::Telemetry,
+    ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
+        self.selector
+            .select_traced(request.density(), candidates, now, tel)
     }
 }

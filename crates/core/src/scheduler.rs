@@ -23,6 +23,7 @@
 //! [`SenseAidServer::next_wakeup`]: crate::server::SenseAidServer::next_wakeup
 
 use senseaid_sim::{EventQueue, SimTime};
+use senseaid_telemetry::{Attr, Lane, SpanId};
 
 use crate::coordinator::Coordinator;
 use crate::server::SenseAidServer;
@@ -31,39 +32,76 @@ impl Coordinator {
     /// The earliest instant a `poll` could change state; `None` when
     /// quiescent. See the module docs for the terms.
     pub(crate) fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
-        let mut earliest: Option<SimTime> = None;
-        let mut consider = |t: SimTime| {
-            if earliest.is_none_or(|e| t < e) {
-                earliest = Some(t);
+        self.next_wakeup_with_reason(now).map(|(at, _)| at)
+    }
+
+    /// [`Coordinator::next_wakeup`] plus which term won — the label the
+    /// scheduler's telemetry reports.
+    fn next_wakeup_with_reason(&self, now: SimTime) -> Option<(SimTime, &'static str)> {
+        let mut earliest: Option<(SimTime, &'static str)> = None;
+        let mut consider = |t: SimTime, reason: &'static str| {
+            if earliest.is_none_or(|(e, _)| t < e) {
+                earliest = Some((t, reason));
             }
         };
 
         for shard in self.shards() {
             if let Some((_, sample_at, _)) = shard.run_head_key() {
-                consider(sample_at);
+                consider(sample_at, "run_head");
             }
             if let Some((deadline, _, _)) = shard.wait_head_key() {
-                consider(deadline);
+                consider(deadline, "wait_deadline");
             }
         }
 
         let grace = self.config().unresponsive_grace;
         for deadline in self.active_deadlines() {
-            consider(deadline + grace);
+            consider(deadline + grace, "active_grace");
         }
 
         if self.shards().iter().any(|s| s.wait_queue_len() > 0) {
             if self.wait_dirty() {
                 // Device or task state moved since the last poll; a parked
                 // request may have requalified, so wake immediately.
-                consider(now);
+                consider(now, "wait_dirty");
             } else {
-                consider(now + self.config().wait_check_interval);
+                consider(now + self.config().wait_check_interval, "wait_check");
             }
         }
 
         // A wakeup in the past is still "due now".
-        earliest.map(|t| t.max(now))
+        earliest.map(|(t, reason)| (t.max(now), reason))
+    }
+
+    /// Records the post-poll wakeup decision as a telemetry instant: when
+    /// the scheduler next needs to run and which term armed it.
+    pub(crate) fn record_next_wakeup(&self, now: SimTime, parent: SpanId) {
+        if !self.telemetry().active() {
+            return;
+        }
+        match self.next_wakeup_with_reason(now) {
+            Some((at, reason)) => {
+                self.telemetry().instant(
+                    "wakeup.armed",
+                    now,
+                    Lane::control(0),
+                    parent,
+                    vec![
+                        Attr::u64("at_us", at.as_micros()),
+                        Attr::str("reason", reason),
+                    ],
+                );
+            }
+            None => {
+                self.telemetry().instant(
+                    "wakeup.quiescent",
+                    now,
+                    Lane::control(0),
+                    parent,
+                    Vec::new(),
+                );
+            }
+        }
     }
 }
 

@@ -209,6 +209,36 @@ impl DeviceSelector {
         eligible.sort_unstable_by(cmp);
         Ok(eligible.into_iter().map(|(r, _)| r.imei).collect())
     }
+
+    /// [`DeviceSelector::select`] with a telemetry probe: records one
+    /// `selector.select` instant per execution (pool size, eligible count,
+    /// outcome). The eligibility recount only happens while recording.
+    pub fn select_traced(
+        &self,
+        n: usize,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+        tel: &senseaid_telemetry::Telemetry,
+    ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
+        let result = self.select(n, candidates, now);
+        if tel.active() {
+            use senseaid_telemetry::{Attr, Lane, SpanId};
+            let eligible = candidates.iter().filter(|r| self.eligible(r)).count();
+            tel.instant(
+                "selector.select",
+                now,
+                Lane::control(0),
+                SpanId::NONE,
+                vec![
+                    Attr::u64("needed", n as u64),
+                    Attr::u64("pool", candidates.len() as u64),
+                    Attr::u64("eligible", eligible as u64),
+                    Attr::flag("satisfied", result.is_ok()),
+                ],
+            );
+        }
+        result
+    }
 }
 
 #[cfg(test)]

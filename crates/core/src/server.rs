@@ -93,6 +93,19 @@ impl SenseAidServer {
         self.coordinator.set_topology(network);
     }
 
+    /// Routes the control plane's instrumentation into `tel`. Deployment
+    /// plumbing like [`set_topology`](Self::set_topology): allowed while
+    /// the server is down.
+    pub fn set_telemetry(&mut self, tel: senseaid_telemetry::Telemetry) {
+        self.coordinator.set_telemetry(tel);
+    }
+
+    /// The shard `imei` is homed on, for telemetry lane assignment.
+    /// Readable while down (lanes describe layout, not liveness).
+    pub fn device_home_shard(&self, imei: senseaid_device::ImeiHash) -> Option<usize> {
+        self.coordinator.device_home_shard(imei)
+    }
+
     /// The configuration.
     pub fn config(&self) -> &SenseAidConfig {
         self.coordinator.config()

@@ -94,6 +94,29 @@ impl PhaseTimeline {
         }
         out
     }
+
+    /// Emits the timeline into a telemetry recording as one contiguous
+    /// phase span per transition on `lane`, each closing where the next
+    /// begins (the last at `horizon`). This is the span-stream view of the
+    /// RRC state machine; renderers should prefer it (or
+    /// [`entries`](Self::entries)) over replaying the raw `TraceLog`.
+    pub fn record_spans(
+        &self,
+        tel: &senseaid_telemetry::Telemetry,
+        lane: senseaid_telemetry::Lane,
+        horizon: SimTime,
+    ) {
+        use senseaid_telemetry::SpanId;
+        if !tel.active() {
+            return;
+        }
+        let entries = self.entries();
+        for (i, e) in entries.iter().enumerate() {
+            let end = entries.get(i + 1).map(|next| next.at).unwrap_or(horizon);
+            let span = tel.enter(&e.item.to_string(), e.at, lane, SpanId::NONE, Vec::new());
+            tel.exit(span, end.max(e.at));
+        }
+    }
 }
 
 /// Internal builder that deduplicates consecutive identical phases and

@@ -4,6 +4,13 @@
 //! timeline; Fig 9: which devices were selected at each round). The
 //! simulation components append typed entries to a [`TraceLog`] and the
 //! harness renders them.
+//!
+//! **Deprecation note:** new instrumentation should record spans through
+//! `senseaid-telemetry` instead of pushing into a `TraceLog`; the
+//! remaining logs here (selection events, radio phases, fault events) are
+//! retained for snapshot compatibility and are bridged into the span
+//! stream via `senseaid_telemetry::compat::bridge_entries`, which is what
+//! the figure renderers now read.
 
 use serde::{Deserialize, Serialize};
 

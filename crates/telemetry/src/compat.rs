@@ -1,0 +1,86 @@
+//! Compatibility bridge from legacy `simcore::trace::TraceLog` streams.
+//!
+//! Several components predate this crate and still accumulate
+//! `(SimTime, item)` trace entries (`SelectionEvent`, `RadioPhase`,
+//! `FaultEvent`). [`bridge_entries`] replays such a stream into a
+//! [`Telemetry`] recording as instants, so renderers that used to walk the
+//! raw log can read the unified span stream instead — the migration path
+//! for deprecating direct `TraceLog` consumption.
+
+use senseaid_sim::SimTime;
+
+use crate::span::{Attr, Lane, SpanId};
+use crate::Telemetry;
+
+/// Replays timestamped entries into `tel` as instants on `lane`, one per
+/// entry in order, named and attributed by `describe`. Returns the
+/// recorded ids (all [`SpanId::NONE`] when `tel` is inactive).
+///
+/// # Example
+///
+/// ```
+/// use senseaid_sim::SimTime;
+/// use senseaid_telemetry::{compat, Attr, Lane, Telemetry};
+///
+/// let tel = Telemetry::recording();
+/// let log = [(SimTime::from_secs(1), "lost"), (SimTime::from_secs(2), "dup")];
+/// compat::bridge_entries(&tel, Lane::control(0), log, |kind| {
+///     (format!("fault.{kind}"), vec![Attr::str("kind", *kind)])
+/// });
+/// assert_eq!(tel.events().len(), 2);
+/// ```
+pub fn bridge_entries<T>(
+    tel: &Telemetry,
+    lane: Lane,
+    entries: impl IntoIterator<Item = (SimTime, T)>,
+    mut describe: impl FnMut(&T) -> (String, Vec<Attr>),
+) -> Vec<SpanId> {
+    entries
+        .into_iter()
+        .map(|(at, item)| {
+            let (name, attrs) = describe(&item);
+            tel.instant(&name, at, lane, SpanId::NONE, attrs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Event;
+
+    #[test]
+    fn bridges_in_order_with_names_and_attrs() {
+        let tel = Telemetry::recording();
+        let log = [
+            (SimTime::from_secs(1), 10u64),
+            (SimTime::from_secs(5), 20u64),
+        ];
+        let ids = bridge_entries(&tel, Lane::control(3), log, |v| {
+            ("legacy".to_owned(), vec![Attr::u64("v", *v)])
+        });
+        assert_eq!(ids.len(), 2);
+        let events = tel.events();
+        match &events[1] {
+            Event::Instant { at, name, lane, .. } => {
+                assert_eq!(*at, SimTime::from_secs(5));
+                assert_eq!(name, "legacy");
+                assert_eq!(*lane, Lane::control(3));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(events[1].attr_u64("v"), Some(20));
+    }
+
+    #[test]
+    fn inactive_handle_bridges_to_none() {
+        let tel = Telemetry::off();
+        let ids = bridge_entries(
+            &tel,
+            Lane::control(0),
+            [(SimTime::from_secs(0), ())],
+            |_| ("x".to_owned(), vec![]),
+        );
+        assert_eq!(ids, vec![SpanId::NONE]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Deterministic exporters: JSONL and Chrome Trace Event format.
+//!
+//! Both are hand-rolled (the workspace carries no JSON dependency) and
+//! emit events strictly in recording order, so for a fixed seed the output
+//! is byte-identical run to run and across `SENSEAID_WORKERS`.
+//!
+//! The Chrome Trace Event output loads directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`: shards render as
+//! processes, devices as threads (see [`Lane`]), spans as `B`/`E` pairs,
+//! instants as `i`, and the final registry snapshot as `C` counter tracks.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::span::{Attr, AttrValue, Event, Lane, SpanId};
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a valid JSON number (non-finite values become 0).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+fn attr_json(attrs: &[Attr]) -> String {
+    let mut out = String::from("{");
+    for (i, a) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":", esc(a.key)));
+        match &a.value {
+            AttrValue::U64(v) => out.push_str(&v.to_string()),
+            AttrValue::I64(v) => out.push_str(&v.to_string()),
+            AttrValue::F64(v) => out.push_str(&fmt_f64(*v)),
+            AttrValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            AttrValue::Str(v) => out.push_str(&format!("\"{}\"", esc(v))),
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Serializes a stream as JSON Lines: one object per event, in recording
+/// order. This is the byte-identity surface the determinism tests compare.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        match ev {
+            Event::Enter {
+                id,
+                parent,
+                at,
+                name,
+                lane,
+                attrs,
+            } => {
+                out.push_str(&format!(
+                    "{{\"ev\":\"enter\",\"id\":{},\"parent\":{},\"ts\":{},\"pid\":{},\"tid\":{},\"name\":\"{}\",\"attrs\":{}}}\n",
+                    id.0, parent.0, at.as_micros(), lane.pid, lane.tid, esc(name), attr_json(attrs),
+                ));
+            }
+            Event::Exit { id, at } => {
+                out.push_str(&format!(
+                    "{{\"ev\":\"exit\",\"id\":{},\"ts\":{}}}\n",
+                    id.0,
+                    at.as_micros(),
+                ));
+            }
+            Event::Instant {
+                id,
+                parent,
+                at,
+                name,
+                lane,
+                attrs,
+            } => {
+                out.push_str(&format!(
+                    "{{\"ev\":\"instant\",\"id\":{},\"parent\":{},\"ts\":{},\"pid\":{},\"tid\":{},\"name\":\"{}\",\"attrs\":{}}}\n",
+                    id.0, parent.0, at.as_micros(), lane.pid, lane.tid, esc(name), attr_json(attrs),
+                ));
+            }
+            Event::Stats { at, snapshot } => {
+                out.push_str(&format!(
+                    "{{\"ev\":\"stats\",\"ts\":{},\"registry\":{}}}\n",
+                    at.as_micros(),
+                    snapshot.to_json(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Serializes a stream in Chrome Trace Event format.
+///
+/// `SimTime` microseconds map directly onto the format's `ts` field, so
+/// the viewer's timeline reads in simulated time.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    // Exits carry no lane of their own; resolve through the opening Enter.
+    let mut lane_of: BTreeMap<SpanId, Lane> = BTreeMap::new();
+    let mut lanes: BTreeSet<Lane> = BTreeSet::new();
+    for ev in events {
+        if let Event::Enter { id, lane, .. } = ev {
+            lane_of.insert(*id, *lane);
+        }
+        if let Some(lane) = ev.lane() {
+            lanes.insert(lane);
+        }
+    }
+
+    let mut records: Vec<String> = Vec::new();
+    for pid in lanes.iter().map(|l| l.pid).collect::<BTreeSet<_>>() {
+        records.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\"shard {pid}\"}}}}"
+        ));
+    }
+    for lane in &lanes {
+        let label = if lane.tid == 0 {
+            "control".to_owned()
+        } else {
+            format!("device {}", lane.tid)
+        };
+        records.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            lane.pid, lane.tid, label,
+        ));
+    }
+
+    for ev in events {
+        match ev {
+            Event::Enter {
+                id,
+                parent,
+                at,
+                name,
+                lane,
+                attrs,
+            } => {
+                records.push(format!(
+                    "{{\"ph\":\"B\",\"pid\":{},\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{{\"span\":{},\"parent\":{},\"attrs\":{}}}}}",
+                    lane.pid, lane.tid, at.as_micros(), esc(name), id.0, parent.0, attr_json(attrs),
+                ));
+            }
+            Event::Exit { id, at } => {
+                let lane = lane_of.get(id).copied().unwrap_or_default();
+                records.push(format!(
+                    "{{\"ph\":\"E\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                    lane.pid,
+                    lane.tid,
+                    at.as_micros(),
+                ));
+            }
+            Event::Instant {
+                id,
+                parent,
+                at,
+                name,
+                lane,
+                attrs,
+            } => {
+                records.push(format!(
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{},\"name\":\"{}\",\"args\":{{\"span\":{},\"parent\":{},\"attrs\":{}}}}}",
+                    lane.pid, lane.tid, at.as_micros(), esc(name), id.0, parent.0, attr_json(attrs),
+                ));
+            }
+            Event::Stats { at, snapshot } => {
+                for (name, value) in snapshot.counters() {
+                    records.push(format!(
+                        "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{},\"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
+                        at.as_micros(),
+                        esc(name),
+                        value,
+                    ));
+                }
+            }
+        }
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        records.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use senseaid_sim::SimTime;
+
+    use super::*;
+    use crate::registry::RegistrySnapshot;
+    use crate::Telemetry;
+
+    fn sample_events() -> Vec<Event> {
+        let tel = Telemetry::recording();
+        let t0 = SimTime::from_secs(0);
+        let t1 = SimTime::from_secs(1);
+        let req = tel.enter(
+            "request",
+            t0,
+            Lane::control(0),
+            SpanId::NONE,
+            vec![Attr::u64("task", 3)],
+        );
+        tel.instant(
+            "selection",
+            t0,
+            Lane::control(0),
+            req,
+            vec![Attr::str("who", "a\"b"), Attr::f64("score", 0.5)],
+        );
+        tel.exit(req, t1);
+        let mut snap = RegistrySnapshot::new();
+        snap.set_counter("server.requests_assigned", 1);
+        tel.record_stats(t1, snap);
+        tel.events()
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_event() {
+        let events = sample_events();
+        let jsonl = to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), events.len());
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line: {line}"
+            );
+        }
+        assert!(jsonl.contains("\"ev\":\"enter\""));
+        assert!(jsonl.contains("\"who\":\"a\\\"b\""));
+        assert!(jsonl.contains("\"ev\":\"stats\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_balanced_phases() {
+        let trace = to_chrome_trace(&sample_events());
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(trace.contains("\"process_name\""));
+        assert!(trace.contains("\"thread_name\""));
+        assert_eq!(
+            trace.matches("\"ph\":\"B\"").count(),
+            trace.matches("\"ph\":\"E\"").count()
+        );
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn exit_inherits_the_enter_lane() {
+        let tel = Telemetry::recording();
+        let id = tel.enter(
+            "x",
+            SimTime::from_secs(0),
+            Lane::device(2, 77),
+            SpanId::NONE,
+            vec![],
+        );
+        tel.exit(id, SimTime::from_secs(1));
+        let trace = to_chrome_trace(&tel.events());
+        assert!(trace.contains("{\"ph\":\"E\",\"pid\":2,\"tid\":77,"));
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(esc("a\nb\t\"\\"), "a\\nb\\t\\\"\\\\");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fmt_f64_never_emits_invalid_json() {
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+        assert_eq!(fmt_f64(1.5), "1.5");
+    }
+}

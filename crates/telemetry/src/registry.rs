@@ -1,0 +1,231 @@
+//! The unified metrics registry: one snapshotable, serializable view over
+//! the counters and histograms scattered across the stack.
+//!
+//! [`RegistrySnapshot`] absorbs `simcore`'s [`MetricsRegistry`] wholesale,
+//! plus any `(name, value)` counter source (`ServerStats`, per-client drop
+//! stats) and raw sample sets. Keys are namespaced by the caller
+//! (`server.`, `client.`, `harness.`); iteration order is the `BTreeMap`
+//! order, so [`RegistrySnapshot::to_json`] is deterministic.
+
+use std::collections::BTreeMap;
+
+use senseaid_sim::{Histogram, MetricsRegistry};
+
+use crate::export::{esc, fmt_f64};
+
+/// A fixed summary of one distribution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum sample (0 when empty).
+    pub min: f64,
+    /// Maximum sample (0 when empty).
+    pub max: f64,
+    /// Median by nearest rank (0 when empty).
+    pub p50: f64,
+    /// 95th percentile by nearest rank (0 when empty).
+    pub p95: f64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a `simcore` histogram.
+    pub fn from_histogram(h: &Histogram) -> HistogramSummary {
+        HistogramSummary {
+            count: h.count() as u64,
+            sum: h.sum(),
+            mean: h.mean().unwrap_or(0.0),
+            min: h.min().unwrap_or(0.0),
+            max: h.max().unwrap_or(0.0),
+            p50: h.percentile(0.5).unwrap_or(0.0),
+            p95: h.percentile(0.95).unwrap_or(0.0),
+        }
+    }
+
+    /// Summarizes a raw sample set (non-finite samples ignored, matching
+    /// [`Histogram::record`]).
+    pub fn from_samples(samples: &[f64]) -> HistogramSummary {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        HistogramSummary::from_histogram(&h)
+    }
+}
+
+/// A point-in-time view of every metric the run produced.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_sim::MetricsRegistry;
+/// use senseaid_telemetry::RegistrySnapshot;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter("uploads").add(3);
+/// m.histogram("delay_s").record(1.5);
+///
+/// let mut snap = RegistrySnapshot::new();
+/// snap.absorb_metrics("harness.", &m);
+/// snap.absorb_counters("server.", [("requests_assigned", 7u64)]);
+/// assert_eq!(snap.counter("harness.uploads"), Some(3));
+/// assert_eq!(snap.counter("server.requests_assigned"), Some(7));
+/// assert!(snap.to_json().contains("\"harness.delay_s\""));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl RegistrySnapshot {
+    /// Creates an empty snapshot.
+    pub fn new() -> RegistrySnapshot {
+        RegistrySnapshot::default()
+    }
+
+    /// Sets (or overwrites) one counter.
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.insert(name.into(), value);
+    }
+
+    /// Adds to one counter, creating it at zero first.
+    pub fn add_counter(&mut self, name: impl Into<String>, value: u64) {
+        *self.counters.entry(name.into()).or_default() += value;
+    }
+
+    /// Sets (or overwrites) one histogram summary.
+    pub fn set_histogram(&mut self, name: impl Into<String>, summary: HistogramSummary) {
+        self.histograms.insert(name.into(), summary);
+    }
+
+    /// Absorbs a whole `simcore` registry under `prefix`.
+    pub fn absorb_metrics(&mut self, prefix: &str, registry: &MetricsRegistry) {
+        for (name, c) in registry.counters() {
+            self.set_counter(format!("{prefix}{name}"), c.value());
+        }
+        for (name, h) in registry.histograms() {
+            self.set_histogram(
+                format!("{prefix}{name}"),
+                HistogramSummary::from_histogram(h),
+            );
+        }
+    }
+
+    /// Absorbs `(name, value)` counter pairs under `prefix`; repeated names
+    /// accumulate, so per-client stats can be folded in directly.
+    pub fn absorb_counters<'a>(
+        &mut self,
+        prefix: &str,
+        counters: impl IntoIterator<Item = (&'a str, u64)>,
+    ) {
+        for (name, value) in counters {
+            self.add_counter(format!("{prefix}{name}"), value);
+        }
+    }
+
+    /// Reads one counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Reads one histogram summary.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// `(name, value)` counter pairs in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// `(name, summary)` histogram pairs in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSummary)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializes the snapshot as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", esc(name), value));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+                esc(name),
+                h.count,
+                fmt_f64(h.sum),
+                fmt_f64(h.mean),
+                fmt_f64(h.min),
+                fmt_f64(h.max),
+                fmt_f64(h.p50),
+                fmt_f64(h.p95),
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbs_metrics_registry_under_prefix() {
+        let mut m = MetricsRegistry::new();
+        m.counter("uploads").add(2);
+        m.histogram("delay").record(1.0);
+        m.histogram("delay").record(3.0);
+        let mut snap = RegistrySnapshot::new();
+        snap.absorb_metrics("h.", &m);
+        assert_eq!(snap.counter("h.uploads"), Some(2));
+        let d = snap.histogram("h.delay").unwrap();
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 4.0);
+        assert_eq!(d.p95, 3.0);
+    }
+
+    #[test]
+    fn repeated_counter_names_accumulate() {
+        let mut snap = RegistrySnapshot::new();
+        snap.absorb_counters("client.", [("dropped", 2u64)]);
+        snap.absorb_counters("client.", [("dropped", 3u64)]);
+        assert_eq!(snap.counter("client.dropped"), Some(5));
+    }
+
+    #[test]
+    fn json_is_name_ordered_and_stable() {
+        let mut snap = RegistrySnapshot::new();
+        snap.set_counter("z", 1);
+        snap.set_counter("a", 2);
+        snap.set_histogram("d", HistogramSummary::from_samples(&[2.0]));
+        let json = snap.to_json();
+        assert!(json.find("\"a\":2").unwrap() < json.find("\"z\":1").unwrap());
+        assert_eq!(json, snap.clone().to_json());
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = HistogramSummary::from_samples(&[]);
+        assert_eq!(s, HistogramSummary::default());
+    }
+}

@@ -1,0 +1,356 @@
+//! The [`Sink`] trait and the [`Telemetry`] handle instrumentation records
+//! through.
+//!
+//! Instrumented components hold a cloned [`Telemetry`]; the handle is a
+//! shared reference to one sink, so spans opened by the coordinator can be
+//! closed by the harness and parented across layers. The default handle is
+//! *off* — no sink at all — and every recording method is a branch on one
+//! `Option` plus an early return, so uninstrumented runs pay nothing
+//! measurable (see the `telemetry_overhead` perf cell).
+//!
+//! The handle is `Arc<Mutex<..>>`-backed so that instrumented types stay
+//! [`Send`] — the parallel experiment harness moves servers and clients
+//! across worker threads. Telemetry is still logically per-scenario-cell
+//! state: each cell constructs its own handle, so the mutex is never
+//! contended and determinism is preserved (do not share one handle across
+//! concurrently running cells).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use senseaid_sim::SimTime;
+
+use crate::registry::RegistrySnapshot;
+use crate::span::{Attr, Event, Lane, SpanId};
+
+/// Receives telemetry events.
+pub trait Sink: fmt::Debug + Send {
+    /// Whether recording is worth the caller's while. A disabled sink
+    /// short-circuits every instrumentation site.
+    fn enabled(&self) -> bool;
+
+    /// Accepts one event. Only called while [`Sink::enabled`] is true.
+    fn record(&mut self, event: Event);
+
+    /// The events recorded so far, if this sink retains them.
+    fn events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// A sink that drops everything and reports itself disabled.
+///
+/// This is the "telemetry compiled in but switched off" configuration the
+/// overhead perf cell measures against a handle with no sink at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: Event) {}
+}
+
+/// A sink that retains every event in recording order.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Vec<Event>,
+}
+
+impl Sink for RecordingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    fn events(&self) -> Vec<Event> {
+        self.events.clone()
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    sink: Box<dyn Sink>,
+    next_id: u64,
+    /// Open span ids in enter order; popped in reverse by [`Telemetry::finish`]
+    /// so children close before parents.
+    open: Vec<SpanId>,
+    /// `(request, imei)` → tasking instant, so the delivery envelope opened
+    /// by the client harness can parent to the server-side decision that
+    /// caused it without widening any API between them.
+    tasking: BTreeMap<(u64, u64), SpanId>,
+}
+
+/// A cheap, clonable handle to one telemetry recording.
+///
+/// # Example
+///
+/// ```
+/// use senseaid_sim::SimTime;
+/// use senseaid_telemetry::{check_balanced, Attr, Lane, SpanId, Telemetry};
+///
+/// let tel = Telemetry::recording();
+/// let t0 = SimTime::from_secs(0);
+/// let req = tel.enter("request", t0, Lane::control(0), SpanId::NONE, vec![]);
+/// tel.instant("selection", t0, Lane::control(0), req, vec![Attr::u64("selected", 2)]);
+/// tel.exit(req, SimTime::from_secs(5));
+/// assert_eq!(check_balanced(&tel.events()), Ok(()));
+///
+/// let off = Telemetry::off();
+/// assert!(!off.active());
+/// assert_eq!(off.enter("x", t0, Lane::control(0), SpanId::NONE, vec![]), SpanId::NONE);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl Telemetry {
+    /// The off handle: no sink, every call a no-op.
+    pub fn off() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// A handle recording into `sink`.
+    pub fn with_sink(sink: Box<dyn Sink>) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                sink,
+                next_id: 1,
+                open: Vec::new(),
+                tasking: BTreeMap::new(),
+            }))),
+        }
+    }
+
+    /// A handle recording into an in-memory [`RecordingSink`].
+    pub fn recording() -> Telemetry {
+        Telemetry::with_sink(Box::<RecordingSink>::default())
+    }
+
+    /// A handle wired to a [`NoopSink`]: the disabled-but-present
+    /// configuration the overhead guard measures.
+    pub fn noop() -> Telemetry {
+        Telemetry::with_sink(Box::new(NoopSink))
+    }
+
+    /// Whether recording is live. Instrumentation sites that need to do
+    /// extra work to *compute* attributes should gate on this.
+    pub fn active(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.lock().expect("telemetry lock").sink.enabled())
+    }
+
+    /// Opens a span. Returns [`SpanId::NONE`] when inactive.
+    pub fn enter(
+        &self,
+        name: &str,
+        at: SimTime,
+        lane: Lane,
+        parent: SpanId,
+        attrs: Vec<Attr>,
+    ) -> SpanId {
+        let Some(inner) = self.live() else {
+            return SpanId::NONE;
+        };
+        let mut inner = inner.lock().expect("telemetry lock");
+        let id = inner.alloc();
+        inner.open.push(id);
+        inner.sink.record(Event::Enter {
+            id,
+            parent,
+            at,
+            name: name.to_owned(),
+            lane,
+            attrs,
+        });
+        id
+    }
+
+    /// Closes a span opened by [`Telemetry::enter`]. No-op for
+    /// [`SpanId::NONE`] or when inactive.
+    pub fn exit(&self, id: SpanId, at: SimTime) {
+        if !id.is_some() {
+            return;
+        }
+        let Some(inner) = self.live() else { return };
+        let mut inner = inner.lock().expect("telemetry lock");
+        if let Some(pos) = inner.open.iter().rposition(|&o| o == id) {
+            inner.open.remove(pos);
+        }
+        inner.sink.record(Event::Exit { id, at });
+    }
+
+    /// Records a point event. Returns its id (instants can parent spans),
+    /// or [`SpanId::NONE`] when inactive.
+    pub fn instant(
+        &self,
+        name: &str,
+        at: SimTime,
+        lane: Lane,
+        parent: SpanId,
+        attrs: Vec<Attr>,
+    ) -> SpanId {
+        let Some(inner) = self.live() else {
+            return SpanId::NONE;
+        };
+        let mut inner = inner.lock().expect("telemetry lock");
+        let id = inner.alloc();
+        inner.sink.record(Event::Instant {
+            id,
+            parent,
+            at,
+            name: name.to_owned(),
+            lane,
+            attrs,
+        });
+        id
+    }
+
+    /// Remembers `span` as the tasking decision for `(request, imei)`, so a
+    /// later envelope can look it up with [`Telemetry::tasking_span`].
+    pub fn note_tasking(&self, request: u64, imei: u64, span: SpanId) {
+        let Some(inner) = self.live() else { return };
+        inner
+            .lock()
+            .expect("telemetry lock")
+            .tasking
+            .insert((request, imei), span);
+    }
+
+    /// The tasking instant recorded for `(request, imei)`, or
+    /// [`SpanId::NONE`].
+    pub fn tasking_span(&self, request: u64, imei: u64) -> SpanId {
+        let Some(inner) = self.live() else {
+            return SpanId::NONE;
+        };
+        let inner = inner.lock().expect("telemetry lock");
+        inner
+            .tasking
+            .get(&(request, imei))
+            .copied()
+            .unwrap_or(SpanId::NONE)
+    }
+
+    /// Records a metrics-registry snapshot.
+    pub fn record_stats(&self, at: SimTime, snapshot: RegistrySnapshot) {
+        let Some(inner) = self.live() else { return };
+        inner
+            .lock()
+            .expect("telemetry lock")
+            .sink
+            .record(Event::Stats { at, snapshot });
+    }
+
+    /// Closes every span still open at `at`, most recently opened first,
+    /// so children close before parents. Call once at end of run; spans
+    /// with no natural close (a request still active at the horizon, an
+    /// envelope never acked) get a truthful horizon-timed exit instead of
+    /// dangling.
+    pub fn finish(&self, at: SimTime) {
+        let Some(inner) = self.live() else { return };
+        let mut inner = inner.lock().expect("telemetry lock");
+        while let Some(id) = inner.open.pop() {
+            inner.sink.record(Event::Exit { id, at });
+        }
+    }
+
+    /// The events recorded so far (empty for non-retaining sinks).
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("telemetry lock").sink.events(),
+            None => Vec::new(),
+        }
+    }
+
+    fn live(&self) -> Option<&Arc<Mutex<Inner>>> {
+        self.inner
+            .as_ref()
+            .filter(|i| i.lock().expect("telemetry lock").sink.enabled())
+    }
+}
+
+impl Inner {
+    fn alloc(&mut self) -> SpanId {
+        let id = SpanId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::check_balanced;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn off_handle_records_nothing_and_returns_none() {
+        let tel = Telemetry::off();
+        assert!(!tel.active());
+        let id = tel.enter("a", t(0), Lane::control(0), SpanId::NONE, vec![]);
+        assert_eq!(id, SpanId::NONE);
+        tel.exit(id, t(1));
+        tel.note_tasking(1, 2, id);
+        assert_eq!(tel.tasking_span(1, 2), SpanId::NONE);
+        assert!(tel.events().is_empty());
+    }
+
+    #[test]
+    fn noop_sink_is_inactive_but_present() {
+        let tel = Telemetry::noop();
+        assert!(!tel.active());
+        assert_eq!(
+            tel.enter("a", t(0), Lane::control(0), SpanId::NONE, vec![]),
+            SpanId::NONE
+        );
+        assert!(tel.events().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_recording() {
+        let tel = Telemetry::recording();
+        let other = tel.clone();
+        let id = tel.enter("a", t(0), Lane::control(0), SpanId::NONE, vec![]);
+        other.exit(id, t(1));
+        let events = tel.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(check_balanced(&events), Ok(()));
+    }
+
+    #[test]
+    fn finish_closes_children_before_parents() {
+        let tel = Telemetry::recording();
+        let a = tel.enter("a", t(0), Lane::control(0), SpanId::NONE, vec![]);
+        let _b = tel.enter("b", t(1), Lane::control(0), a, vec![]);
+        tel.finish(t(9));
+        assert_eq!(check_balanced(&tel.events()), Ok(()));
+    }
+
+    #[test]
+    fn tasking_lookup_round_trips() {
+        let tel = Telemetry::recording();
+        let id = tel.instant("tasking", t(0), Lane::device(0, 7), SpanId::NONE, vec![]);
+        tel.note_tasking(3, 7, id);
+        assert_eq!(tel.tasking_span(3, 7), id);
+        assert_eq!(tel.tasking_span(3, 8), SpanId::NONE);
+    }
+
+    #[test]
+    fn ids_are_dense_from_one() {
+        let tel = Telemetry::recording();
+        let a = tel.enter("a", t(0), Lane::control(0), SpanId::NONE, vec![]);
+        let b = tel.instant("b", t(0), Lane::control(0), SpanId::NONE, vec![]);
+        assert_eq!((a, b), (SpanId(1), SpanId(2)));
+    }
+}

@@ -1,0 +1,452 @@
+//! The span model: identifiers, lanes, typed attributes, and events.
+//!
+//! A *span* is an interval of simulated time with a name, a lane (where it
+//! renders in a trace viewer), typed attributes, and a causal parent. An
+//! *instant* is a zero-width span — a point event that can still parent
+//! other spans (a tasking decision parents the envelope that carries it).
+//! Both are recorded as [`Event`]s in a flat, append-only stream whose
+//! order is itself deterministic for a fixed seed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use senseaid_sim::SimTime;
+
+/// Identifies one span or instant within a recording.
+///
+/// Ids are allocated densely from 1 in recording order; [`SpanId::NONE`]
+/// (zero) means "no span" and is what the inactive telemetry handle
+/// returns, so instrumentation sites never need to branch on activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null span: no parent / telemetry off.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// True for every id except [`SpanId::NONE`].
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Where an event renders in a trace viewer.
+///
+/// Chrome Trace Event viewers group events into *processes* and *threads*;
+/// we map shards to processes (`pid`) and devices to threads (`tid`).
+/// `tid` 0 is the control lane of a shard (scheduler / selection work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lane {
+    /// Process lane: the shard index.
+    pub pid: u64,
+    /// Thread lane: the device IMEI hash, or 0 for control-plane work.
+    pub tid: u64,
+}
+
+impl Lane {
+    /// The control lane of shard `shard`.
+    pub const fn control(shard: u64) -> Lane {
+        Lane { pid: shard, tid: 0 }
+    }
+
+    /// The lane of device `imei` homed on shard `shard`.
+    pub const fn device(shard: u64, imei: u64) -> Lane {
+        Lane {
+            pid: shard,
+            tid: imei,
+        }
+    }
+}
+
+/// A typed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Free-form text.
+    Str(String),
+}
+
+/// One `key = value` attribute on a span or instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    /// Attribute name; static so call sites stay allocation-free.
+    pub key: &'static str,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// An unsigned-integer attribute.
+    pub fn u64(key: &'static str, value: u64) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::U64(value),
+        }
+    }
+
+    /// A signed-integer attribute.
+    pub fn i64(key: &'static str, value: i64) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::I64(value),
+        }
+    }
+
+    /// A floating-point attribute.
+    pub fn f64(key: &'static str, value: f64) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::F64(value),
+        }
+    }
+
+    /// A boolean attribute.
+    pub fn flag(key: &'static str, value: bool) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::Bool(value),
+        }
+    }
+
+    /// A text attribute.
+    pub fn str(key: &'static str, value: impl Into<String>) -> Attr {
+        Attr {
+            key,
+            value: AttrValue::Str(value.into()),
+        }
+    }
+}
+
+/// One record in the telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opens.
+    Enter {
+        /// This span's id.
+        id: SpanId,
+        /// Causal parent ([`SpanId::NONE`] for roots).
+        parent: SpanId,
+        /// Open time.
+        at: SimTime,
+        /// Span name.
+        name: String,
+        /// Rendering lane.
+        lane: Lane,
+        /// Typed attributes.
+        attrs: Vec<Attr>,
+    },
+    /// A span closes.
+    Exit {
+        /// The span being closed.
+        id: SpanId,
+        /// Close time.
+        at: SimTime,
+    },
+    /// A point event.
+    Instant {
+        /// This instant's id (instants can parent spans).
+        id: SpanId,
+        /// Causal parent ([`SpanId::NONE`] for roots).
+        parent: SpanId,
+        /// Event time.
+        at: SimTime,
+        /// Event name.
+        name: String,
+        /// Rendering lane.
+        lane: Lane,
+        /// Typed attributes.
+        attrs: Vec<Attr>,
+    },
+    /// A snapshot of the unified metrics registry.
+    Stats {
+        /// Snapshot time.
+        at: SimTime,
+        /// The registry view.
+        snapshot: crate::registry::RegistrySnapshot,
+    },
+}
+
+impl Event {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match self {
+            Event::Enter { at, .. }
+            | Event::Exit { at, .. }
+            | Event::Instant { at, .. }
+            | Event::Stats { at, .. } => *at,
+        }
+    }
+
+    /// The event's name, if it has one (`Exit`/`Stats` do not).
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Event::Enter { name, .. } | Event::Instant { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The event's lane, if it has one.
+    pub fn lane(&self) -> Option<Lane> {
+        match self {
+            Event::Enter { lane, .. } | Event::Instant { lane, .. } => Some(*lane),
+            _ => None,
+        }
+    }
+
+    /// The event's attributes (empty for `Exit`/`Stats`).
+    pub fn attrs(&self) -> &[Attr] {
+        match self {
+            Event::Enter { attrs, .. } | Event::Instant { attrs, .. } => attrs,
+            _ => &[],
+        }
+    }
+
+    /// Looks up an unsigned-integer attribute by key.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        self.attrs()
+            .iter()
+            .find(|a| a.key == key)
+            .and_then(|a| match &a.value {
+                AttrValue::U64(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// Looks up a text attribute by key.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attrs()
+            .iter()
+            .find(|a| a.key == key)
+            .and_then(|a| match &a.value {
+                AttrValue::Str(v) => Some(v.as_str()),
+                _ => None,
+            })
+    }
+}
+
+/// Checks the structural invariants of a recorded stream: every `Exit`
+/// closes a span that is open at that point, no span closes twice, every
+/// `Enter` is eventually closed, parents exist before their children, and
+/// a parent *span* never closes while a child span is still open (instants
+/// may parent spans that outlive them — a tasking decision parents the
+/// delivery envelope it causes).
+///
+/// Returns `Err` with a description of the first violation found.
+pub fn check_balanced(events: &[Event]) -> Result<(), String> {
+    // id -> (parent, open children) for spans currently open.
+    let mut open: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    let mut seen = std::collections::BTreeSet::new();
+    seen.insert(0u64);
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::Enter {
+                id, parent, name, ..
+            } => {
+                if !seen.insert(id.0) {
+                    return Err(format!("event {i}: span {id} ({name}) reuses an id"));
+                }
+                if !seen.contains(&parent.0) {
+                    return Err(format!(
+                        "event {i}: span {id} ({name}) parent {parent} unseen"
+                    ));
+                }
+                if let Some((_, children)) = open.get_mut(&parent.0) {
+                    *children += 1;
+                }
+                open.insert(id.0, (parent.0, 0));
+            }
+            Event::Exit { id, .. } => {
+                let Some((parent, children)) = open.remove(&id.0) else {
+                    return Err(format!("event {i}: exit of span {id} which is not open"));
+                };
+                if children != 0 {
+                    return Err(format!(
+                        "event {i}: span {id} closed with {children} child span(s) still open"
+                    ));
+                }
+                if let Some((_, siblings)) = open.get_mut(&parent) {
+                    *siblings -= 1;
+                }
+            }
+            Event::Instant {
+                id, parent, name, ..
+            } => {
+                if !seen.insert(id.0) {
+                    return Err(format!("event {i}: instant {id} ({name}) reuses an id"));
+                }
+                if !seen.contains(&parent.0) {
+                    return Err(format!(
+                        "event {i}: instant {id} ({name}) parent {parent} unseen"
+                    ));
+                }
+            }
+            Event::Stats { .. } => {}
+        }
+    }
+    if let Some((id, _)) = open.iter().next() {
+        return Err(format!(
+            "span {id} never closed ({} open in total)",
+            open.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn balanced_stream_passes() {
+        let events = vec![
+            Event::Enter {
+                id: SpanId(1),
+                parent: SpanId::NONE,
+                at: t(0),
+                name: "a".into(),
+                lane: Lane::control(0),
+                attrs: vec![],
+            },
+            Event::Instant {
+                id: SpanId(2),
+                parent: SpanId(1),
+                at: t(1),
+                name: "b".into(),
+                lane: Lane::control(0),
+                attrs: vec![],
+            },
+            Event::Enter {
+                id: SpanId(3),
+                parent: SpanId(2),
+                at: t(1),
+                name: "c".into(),
+                lane: Lane::device(0, 7),
+                attrs: vec![],
+            },
+            Event::Exit {
+                id: SpanId(3),
+                at: t(2),
+            },
+            Event::Exit {
+                id: SpanId(1),
+                at: t(3),
+            },
+        ];
+        assert_eq!(check_balanced(&events), Ok(()));
+    }
+
+    #[test]
+    fn unclosed_span_is_flagged() {
+        let events = vec![Event::Enter {
+            id: SpanId(1),
+            parent: SpanId::NONE,
+            at: t(0),
+            name: "a".into(),
+            lane: Lane::control(0),
+            attrs: vec![],
+        }];
+        assert!(check_balanced(&events)
+            .unwrap_err()
+            .contains("never closed"));
+    }
+
+    #[test]
+    fn parent_closing_before_child_is_flagged() {
+        let events = vec![
+            Event::Enter {
+                id: SpanId(1),
+                parent: SpanId::NONE,
+                at: t(0),
+                name: "a".into(),
+                lane: Lane::control(0),
+                attrs: vec![],
+            },
+            Event::Enter {
+                id: SpanId(2),
+                parent: SpanId(1),
+                at: t(0),
+                name: "b".into(),
+                lane: Lane::control(0),
+                attrs: vec![],
+            },
+            Event::Exit {
+                id: SpanId(1),
+                at: t(1),
+            },
+            Event::Exit {
+                id: SpanId(2),
+                at: t(2),
+            },
+        ];
+        assert!(check_balanced(&events).unwrap_err().contains("still open"));
+    }
+
+    #[test]
+    fn double_exit_is_flagged() {
+        let events = vec![
+            Event::Enter {
+                id: SpanId(1),
+                parent: SpanId::NONE,
+                at: t(0),
+                name: "a".into(),
+                lane: Lane::control(0),
+                attrs: vec![],
+            },
+            Event::Exit {
+                id: SpanId(1),
+                at: t(1),
+            },
+            Event::Exit {
+                id: SpanId(1),
+                at: t(2),
+            },
+        ];
+        assert!(check_balanced(&events).unwrap_err().contains("not open"));
+    }
+
+    #[test]
+    fn unknown_parent_is_flagged() {
+        let events = vec![Event::Instant {
+            id: SpanId(2),
+            parent: SpanId(9),
+            at: t(0),
+            name: "b".into(),
+            lane: Lane::control(0),
+            attrs: vec![],
+        }];
+        assert!(check_balanced(&events).unwrap_err().contains("unseen"));
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let ev = Event::Instant {
+            id: SpanId(1),
+            parent: SpanId::NONE,
+            at: t(0),
+            name: "sel".into(),
+            lane: Lane::control(0),
+            attrs: vec![Attr::u64("n", 4), Attr::str("who", "a,b")],
+        };
+        assert_eq!(ev.attr_u64("n"), Some(4));
+        assert_eq!(ev.attr_str("who"), Some("a,b"));
+        assert_eq!(ev.attr_u64("who"), None);
+        assert_eq!(ev.attr_u64("missing"), None);
+    }
+}

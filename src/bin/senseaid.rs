@@ -6,6 +6,7 @@
 //! $ senseaid faceoff --radius 1000 --period 5 --density 2
 //! $ senseaid perf --out BENCH_perf.json   # time the tracked perf cells
 //! $ senseaid perf --quick --against BENCH_perf.json   # CI regression gate
+//! $ senseaid trace fig06 --out trace.json # record a Perfetto-loadable trace
 //! $ senseaid list                         # what can be run
 //! ```
 
@@ -16,7 +17,8 @@ use senseaid::bench::experiments::{
     fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
 };
 use senseaid::bench::{
-    run_perf, run_scenario, savings_pct, FrameworkKind, PerfOptions, PerfReport,
+    run_perf, run_scenario, run_trace, savings_pct, FrameworkKind, PerfOptions, PerfReport,
+    TRACEABLE,
 };
 use senseaid::geo::NamedLocation;
 use senseaid::sim::SimDuration;
@@ -49,27 +51,77 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ),
 ];
 
+const USAGE: &str = "usage: senseaid <experiment|faceoff|perf|trace|list> …  (try `senseaid list`)";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("experiment") => cmd_experiment(&args[1..]),
         Some("faceoff") => cmd_faceoff(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("list") => {
             println!("experiments:");
             for (name, what) in EXPERIMENTS {
                 println!("  {name:<16} {what}");
             }
+            println!("\ntraceable (senseaid trace):");
+            for (name, what) in TRACEABLE {
+                println!("  {name:<16} {what}");
+            }
             println!("\nusage: senseaid experiment <name> [--seed N]");
             println!("       senseaid faceoff [--seed N] [--radius M] [--period MIN] [--density N] [--tasks N] [--duration MIN] [--group N]");
             println!("       senseaid perf [--seed N] [--quick] [--out FILE] [--against BASELINE]");
+            println!("       senseaid trace <experiment> [--seed N] [--out FILE] [--jsonl FILE]");
             ExitCode::SUCCESS
         }
-        _ => {
-            eprintln!("usage: senseaid <experiment|faceoff|perf|list> …  (try `senseaid list`)");
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Rejects any `--…` token that is not a known flag of the subcommand,
+/// returning the offending flag so the error can name it. Flags listed in
+/// `value_flags` consume the following token as their value.
+fn reject_unknown_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if !a.starts_with("--") {
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            it.next(); // the flag's value, even if it looks like a flag
+        } else if !bool_flags.contains(&a.as_str()) {
+            return Err(a.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Applies [`reject_unknown_flags`] for `subcommand`, printing the error.
+fn check_flags(
+    subcommand: &str,
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), ExitCode> {
+    if let Err(offender) = reject_unknown_flags(args, value_flags, bool_flags) {
+        eprintln!("unknown flag `{offender}` for `senseaid {subcommand}`");
+        eprintln!("{USAGE}");
+        return Err(ExitCode::FAILURE);
+    }
+    Ok(())
 }
 
 /// Parses `--flag value` pairs; returns `None` on an unknown flag.
@@ -91,6 +143,9 @@ fn seed_of(args: &[String]) -> u64 {
 }
 
 fn cmd_experiment(args: &[String]) -> ExitCode {
+    if let Err(code) = check_flags("experiment", args, &["--seed"], &[]) {
+        return code;
+    }
     let Some(name) = args.first() else {
         eprintln!("which experiment? (try `senseaid list`)");
         return ExitCode::FAILURE;
@@ -136,6 +191,14 @@ fn str_flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 }
 
 fn cmd_perf(args: &[String]) -> ExitCode {
+    if let Err(code) = check_flags(
+        "perf",
+        args,
+        &["--seed", "--out", "--against"],
+        &["--quick"],
+    ) {
+        return code;
+    }
     let options = PerfOptions {
         seed: seed_of(args),
         quick: args.iter().any(|a| a == "--quick"),
@@ -168,11 +231,73 @@ fn cmd_perf(args: &[String]) -> ExitCode {
             }
             return ExitCode::FAILURE;
         }
+        // The telemetry budget rides the same CI gate: carrying a
+        // disabled sink must cost less than 2% over no telemetry at all.
+        if let Some(pct) = report.telemetry_overhead_pct() {
+            if pct > 2.0 {
+                eprintln!("telemetry disabled-sink overhead {pct:+.2}% exceeds the 2% budget");
+                return ExitCode::FAILURE;
+            }
+            println!("telemetry disabled-sink overhead {pct:+.2}% (within the 2% budget)");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    if let Err(code) = check_flags("trace", args, &["--seed", "--out", "--jsonl"], &[]) {
+        return code;
+    }
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("which experiment? traceable:");
+        for (n, what) in TRACEABLE {
+            eprintln!("  {n:<8} {what}");
+        }
+        return ExitCode::FAILURE;
+    };
+    let seed = seed_of(args);
+    let Some(run) = run_trace(name, seed) else {
+        eprintln!("no trace configuration for `{name}`; traceable experiments:");
+        for (n, what) in TRACEABLE {
+            eprintln!("  {n:<8} {what}");
+        }
+        return ExitCode::FAILURE;
+    };
+    print!("{}", run.summary);
+    if let Some(path) = str_flag(args, "--out") {
+        if let Err(e) = std::fs::write(path, &run.chrome_json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote Chrome Trace Event JSON to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = str_flag(args, "--jsonl") {
+        if let Err(e) = std::fs::write(path, &run.jsonl) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote span JSONL to {path}");
     }
     ExitCode::SUCCESS
 }
 
 fn cmd_faceoff(args: &[String]) -> ExitCode {
+    if let Err(code) = check_flags(
+        "faceoff",
+        args,
+        &[
+            "--seed",
+            "--radius",
+            "--period",
+            "--density",
+            "--tasks",
+            "--duration",
+            "--group",
+        ],
+        &[],
+    ) {
+        return code;
+    }
     let seed = seed_of(args);
     let get = |name: &str, default: f64| flag(args, name).flatten().unwrap_or(default);
     let scenario = ScenarioConfig {

@@ -13,6 +13,7 @@
 //! | [`cellnet`] | eNodeB topology, UE attachment, core-network routing with fail-safe |
 //! | [`device`] | simulated handsets: battery, sensors, mobility, app traffic |
 //! | [`core`] | **the paper's contribution**: the Sense-Aid server (datastores, deadline queues, device selector, privacy filter), client library, CAS library |
+//! | [`telemetry`] | unified tracing + metrics: sim-time spans, registry snapshots, Perfetto export |
 //! | [`baselines`] | the comparison frameworks: Periodic and PCS (with a trainable app-usage predictor) |
 //! | [`workload`] | the 109-person survey (Fig 1), weather field, 60-student population, experiment grids |
 //! | [`bench`](mod@bench) | the experiment harness: one `cargo bench` target per paper table/figure |
@@ -52,5 +53,7 @@ pub use senseaid_geo as geo;
 pub use senseaid_radio as radio;
 /// Discrete-event simulation engine.
 pub use senseaid_sim as sim;
+/// Unified tracing + metrics: sim-time spans, Perfetto export.
+pub use senseaid_telemetry as telemetry;
 /// Survey, weather, population and scenario workloads.
 pub use senseaid_workload as workload;

@@ -1,0 +1,169 @@
+//! Telemetry guarantees: recording never perturbs the simulation, the
+//! span stream is balanced and causally linked, and the JSONL export is
+//! byte-identical for a fixed seed at any worker count.
+
+use senseaid::bench::{
+    map_cells, run_scenario, run_scenario_with, run_trace, FrameworkKind, HarnessOptions,
+};
+use senseaid::cellnet::FaultPlan;
+use senseaid::geo::NamedLocation;
+use senseaid::sim::SimDuration;
+use senseaid::telemetry::{check_balanced, Event, SpanId, Telemetry};
+use senseaid::workload::ScenarioConfig;
+
+fn scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        test_duration: SimDuration::from_mins(30),
+        sampling_period: SimDuration::from_mins(10),
+        spatial_density: 2,
+        area_radius_m: 800.0,
+        tasks: 1,
+        location: NamedLocation::CsDepartment,
+        group_size: 10,
+    }
+}
+
+fn lossy_options(tel: Telemetry) -> HarnessOptions {
+    HarnessOptions {
+        fault_plan: Some(FaultPlan::lossy(7, 0.25)),
+        telemetry: tel,
+        ..HarnessOptions::default()
+    }
+}
+
+/// Recording telemetry must not change a single byte of the result — the
+/// instrumentation draws no randomness and takes no different branches.
+#[test]
+fn recording_never_changes_the_study() {
+    for seed in [3u64, 42] {
+        let silent = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario(),
+            seed,
+            lossy_options(Telemetry::off()),
+        );
+        let traced = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario(),
+            seed,
+            lossy_options(Telemetry::recording()),
+        );
+        assert_eq!(silent, traced, "seed {seed}");
+        // And the fault-free path, including the plain entry point.
+        let plain = run_scenario(FrameworkKind::SenseAidComplete, scenario(), seed);
+        let traced = run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            scenario(),
+            seed,
+            HarnessOptions {
+                telemetry: Telemetry::recording(),
+                ..HarnessOptions::default()
+            },
+        );
+        assert_eq!(plain, traced, "fault-free, seed {seed}");
+    }
+}
+
+/// A full chaos run produces a balanced stream (every span closed, every
+/// parent open for its children's lifetime) carrying all the advertised
+/// span families.
+#[test]
+fn chaos_run_stream_is_balanced_and_complete() {
+    let tel = Telemetry::recording();
+    run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        scenario(),
+        42,
+        lossy_options(tel.clone()),
+    );
+    let events = tel.events();
+    assert_eq!(check_balanced(&events), Ok(()));
+    for family in [
+        "request",
+        "selection",
+        "tasking",
+        "selector.select",
+        "envelope",
+        "envelope.retry",
+        "envelope.ack",
+        "poll",
+        "wakeup.armed",
+        "IDLE",
+        "SHORT_DRX",
+        "TRANSFER",
+        "fault.lost",
+    ] {
+        assert!(
+            events.iter().any(|e| e.name() == Some(family)),
+            "missing span family {family:?}"
+        );
+    }
+    // Causality: every selection instant is parented to a request span,
+    // and at least one envelope hangs off a tasking instant.
+    let parent_name = |id: SpanId| {
+        events
+            .iter()
+            .find(|e| match e {
+                Event::Enter { id: eid, .. } | Event::Instant { id: eid, .. } => *eid == id,
+                _ => false,
+            })
+            .and_then(|e| e.name().map(str::to_owned))
+    };
+    for ev in &events {
+        if let Event::Instant { name, parent, .. } = ev {
+            if name == "selection" {
+                assert_eq!(parent_name(*parent).as_deref(), Some("request"));
+            }
+        }
+    }
+    let linked_envelope = events.iter().any(|e| match e {
+        Event::Enter { name, parent, .. } if name == "envelope" => {
+            parent_name(*parent).as_deref() == Some("tasking")
+        }
+        _ => false,
+    });
+    assert!(linked_envelope, "no envelope span parented to a tasking");
+    // The final registry snapshot is present and carries all three books.
+    let snapshot = events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            Event::Stats { snapshot, .. } => Some(snapshot),
+            _ => None,
+        })
+        .expect("end-of-run registry snapshot");
+    for counter in [
+        "server.requests_assigned",
+        "client.batches_sent",
+        "harness.uploads",
+    ] {
+        assert!(
+            snapshot.counter(counter).is_some(),
+            "snapshot missing {counter}"
+        );
+    }
+    assert!(snapshot.histogram("harness.delivery_delay_s").is_some());
+}
+
+/// The deterministic export: for a fixed seed the JSONL is byte-identical
+/// no matter how many workers the surrounding harness uses, and across
+/// repeated runs. Worker counts 1/2/8 cover serial, contended, and
+/// over-subscribed pools.
+#[test]
+fn trace_jsonl_is_byte_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        map_cells(
+            vec![("fig06", 42u64), ("fig09", 42)],
+            workers,
+            |_, (n, s)| {
+                let t = run_trace(n, s).expect("traceable");
+                (t.jsonl, t.chrome_json)
+            },
+        )
+    };
+    let reference = run(1);
+    assert!(!reference[0].0.is_empty());
+    for workers in [2usize, 8] {
+        assert_eq!(run(workers), reference, "workers={workers}");
+    }
+}
