@@ -45,8 +45,8 @@ pub fn plan(fault_seed: u64, loss: f64, scenario: &ScenarioConfig) -> FaultPlan 
         jitter_max: SimDuration::from_millis(300),
         duplicate: 0.02,
         reorder: 0.01,
-        enodeb_outages: Vec::new(),
         server_outages: vec![(mid, mid + SimDuration::from_mins(3))],
+        ..FaultPlan::none()
     }
 }
 

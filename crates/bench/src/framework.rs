@@ -109,6 +109,26 @@ pub struct GroupReport {
     /// High-water mark of the control plane's run + wait queues, sampled
     /// after each scheduling poll. Zero for baselines (no control plane).
     pub peak_queue_depth: u64,
+    /// Requests refused at admission because the run queue was at its
+    /// bound. Zero for baselines and unbounded runs.
+    #[serde(default)]
+    pub requests_rejected: u64,
+    /// Requests sacrificed by the shed policy when the wait queue was at
+    /// its bound. Zero for baselines and unbounded runs.
+    #[serde(default)]
+    pub requests_shed: u64,
+    /// Requests finalised best-effort below their spatial density
+    /// (degraded mode). Zero for baselines and runs without hysteresis.
+    #[serde(default)]
+    pub requests_degraded: u64,
+    /// Device leases that expired: silent devices evicted by the server's
+    /// lazy sweep. Zero for baselines and lease-free runs.
+    #[serde(default)]
+    pub leases_expired: u64,
+    /// Readings dropped at the CAS delivery edge — breaker open, or the
+    /// delivery attempt failed against a scheduled app-server outage.
+    #[serde(default)]
+    pub breaker_dropped: u64,
 }
 
 impl GroupReport {
@@ -196,6 +216,48 @@ impl GroupReport {
         sorted[rank - 1]
     }
 
+    /// Requests that reached any terminal status the overload study
+    /// counts: fulfilled, expired, rejected, shed, or degraded.
+    pub fn total_requests(&self) -> u64 {
+        self.rounds_fulfilled
+            + self.rounds_missed
+            + self.requests_rejected
+            + self.requests_shed
+            + self.requests_degraded
+    }
+
+    /// Fraction of requests served at full density — the overload study's
+    /// goodput axis. 0.0 when nothing terminated.
+    pub fn goodput(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.rounds_fulfilled as f64 / total as f64
+        }
+    }
+
+    /// Fraction of requests refused or sacrificed by admission control
+    /// and load shedding.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            0.0
+        } else {
+            (self.requests_rejected + self.requests_shed) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of requests finalised best-effort below density.
+    pub fn degraded_fraction(&self) -> f64 {
+        let total = self.total_requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.requests_degraded as f64 / total as f64
+        }
+    }
+
     /// Fraction of readings delivered within `budget_s` of sampling.
     pub fn fraction_within(&self, budget_s: f64) -> f64 {
         if self.delivery_delays_s.is_empty() {
@@ -237,6 +299,11 @@ mod tests {
             delivery_delays_s: vec![0.0, 5.0, 10.0, 20.0, 100.0],
             readings_lost: 3,
             peak_queue_depth: 0,
+            requests_rejected: 2,
+            requests_shed: 1,
+            requests_degraded: 1,
+            leases_expired: 0,
+            breaker_dropped: 0,
         }
     }
 
@@ -252,6 +319,10 @@ mod tests {
         assert_eq!(r.mean_delay_s(), 27.0);
         assert_eq!(r.p95_delay_s(), 100.0);
         assert!((r.fraction_within(10.0) - 0.6).abs() < 1e-12);
+        assert_eq!(r.total_requests(), 10);
+        assert!((r.goodput() - 0.5).abs() < 1e-12);
+        assert!((r.shed_rate() - 0.3).abs() < 1e-12);
+        assert!((r.degraded_fraction() - 0.1).abs() < 1e-12);
     }
 
     #[test]
@@ -288,6 +359,11 @@ mod tests {
             delivery_delays_s: vec![],
             readings_lost: 0,
             peak_queue_depth: 0,
+            requests_rejected: 0,
+            requests_shed: 0,
+            requests_degraded: 0,
+            leases_expired: 0,
+            breaker_dropped: 0,
         };
         assert_eq!(r.avg_cs_j(), 0.0);
         assert_eq!(r.avg_participants(), 0.0);
@@ -295,5 +371,8 @@ mod tests {
         assert_eq!(r.mean_delay_s(), 0.0);
         assert_eq!(r.p95_delay_s(), 0.0);
         assert_eq!(r.fraction_within(60.0), 0.0);
+        assert_eq!(r.goodput(), 0.0);
+        assert_eq!(r.shed_rate(), 0.0);
+        assert_eq!(r.degraded_fraction(), 0.0);
     }
 }

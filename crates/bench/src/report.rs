@@ -222,6 +222,11 @@ mod csv_tests {
             delivery_delays_s: vec![1.0],
             readings_lost: 0,
             peak_queue_depth: 0,
+            requests_rejected: 0,
+            requests_shed: 0,
+            requests_degraded: 0,
+            leases_expired: 0,
+            breaker_dropped: 0,
         }
     }
 

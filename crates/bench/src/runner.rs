@@ -20,7 +20,8 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use senseaid_baselines::{PcsClient, PcsConfig};
 use senseaid_cellnet::{CellularNetwork, FaultInjector, FaultPlan, LinkDir};
 use senseaid_core::{
-    OutboundBatch, SenseAidClient, SenseAidConfig, SenseAidServer, TaskSpec, UploadDecision,
+    OutboundBatch, SenseAidClient, SenseAidConfig, SenseAidError, SenseAidServer, TaskSpec,
+    UploadDecision,
 };
 use senseaid_device::{Device, ImeiHash, Sensor};
 use senseaid_geo::{CampusMap, CircleRegion, GeoPoint};
@@ -79,6 +80,28 @@ pub struct HarnessOptions {
     /// implementation on the same build, and so tests can assert the
     /// equivalence.
     pub reference_loops: bool,
+    /// Device-lease duration: a registered device that stays silent this
+    /// long is evicted by the server's lazy expiry sweep and its in-flight
+    /// tasking is released. `None` keeps the legacy immortal-registration
+    /// behaviour; ignored for the baselines.
+    pub device_lease: Option<SimDuration>,
+    /// Admission-control bound on the global run-queue population; above
+    /// it new requests are rejected outright. `None` = unbounded.
+    pub run_queue_bound: Option<usize>,
+    /// Load-shedding bound on the global wait-queue population; above it
+    /// the shed policy picks a victim. `None` = unbounded.
+    pub wait_queue_bound: Option<usize>,
+    /// Which victim the wait-queue overflow sacrifices (default
+    /// drop-newest). Only meaningful with `wait_queue_bound`.
+    pub shed_policy: Option<senseaid_core::ShedPolicyKind>,
+    /// Degraded-mode hysteresis: tasks stressed past `enter_after` accept
+    /// best-effort partial selections until healthy past `exit_after`.
+    /// `None` keeps strict full-density selection.
+    pub degraded: Option<senseaid_core::DegradedConfig>,
+    /// Delivery circuit-breaker thresholds for the CAS edge. Engages only
+    /// in chaos runs (a fault plan is set); also engaged automatically,
+    /// at default thresholds, when the plan schedules `cas_outages`.
+    pub breaker: Option<senseaid_core::BreakerConfig>,
     /// Telemetry recording handle. The default is off and costs nothing
     /// measurable; `Telemetry::recording()` captures the full span stream
     /// (request → selection → tasking → envelope → RRC phases) plus a
@@ -272,6 +295,13 @@ fn collect_report(
         delivery_delays_s,
         readings_lost,
         peak_queue_depth,
+        // Control-plane overload counters; `run_senseaid` overwrites these
+        // from the server's books, baselines have no control plane.
+        requests_rejected: 0,
+        requests_shed: 0,
+        requests_degraded: 0,
+        leases_expired: 0,
+        breaker_dropped: 0,
     }
 }
 
@@ -776,6 +806,37 @@ fn client_duties(
     client.drop_expired(t);
 }
 
+/// The in-tail state report, with lease-eviction recovery: a client that
+/// finds itself unknown (its lease expired while it was merely quiet, not
+/// gone) re-announces itself on the spot, exactly as a real client would
+/// on its next radio contact. Reports to a crashed server are dropped
+/// like any other control message.
+fn report_device_state(
+    server: &mut SenseAidServer,
+    network: &mut CellularNetwork,
+    d: &mut Device,
+    imei: ImeiHash,
+    t: SimTime,
+) {
+    if let Err(SenseAidError::UnknownDevice(_)) =
+        server.update_device_state(imei, d.battery_level_pct(), d.cs_energy_j(), t)
+    {
+        let info = d.registration_info();
+        let _ = server.register_device(
+            info.imei,
+            info.energy_budget_j,
+            info.critical_battery_pct,
+            info.battery_pct,
+            info.sensors,
+            info.device_type,
+            t,
+        );
+        let p = d.position(t);
+        let cell = network.update_attachment(d.id(), p);
+        let _ = server.observe_device(imei, p, cell);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_senseaid(
     kind: FrameworkKind,
@@ -794,7 +855,22 @@ fn run_senseaid(
     if let Some(shards) = options.shard_count {
         config.shard_count = shards;
     }
+    if options.device_lease.is_some() {
+        config.device_lease = options.device_lease;
+    }
+    if options.run_queue_bound.is_some() {
+        config.run_queue_bound = options.run_queue_bound;
+    }
+    if options.wait_queue_bound.is_some() {
+        config.wait_queue_bound = options.wait_queue_bound;
+    }
+    if options.degraded.is_some() {
+        config.degraded = options.degraded;
+    }
     let mut server = SenseAidServer::new(config);
+    if let Some(kind) = options.shed_policy {
+        server.set_shed_policy(kind.boxed());
+    }
     // Chaos mode: a fault plan turns on the full robustness stack —
     // sequenced delivery envelopes with ack/retransmit, periodic
     // control-plane snapshots, and plan-scheduled crash/recovery. Without
@@ -804,6 +880,18 @@ fn run_senseaid(
     if injector.is_some() {
         server.enable_snapshots(SNAPSHOT_INTERVAL);
     }
+    // The delivery circuit breaker guards the per-tick outbox forwarding
+    // to the CAS (chaos runs only). It engages when explicitly configured,
+    // or at default thresholds when the plan schedules CAS outages.
+    let mut breaker = injector.as_ref().and_then(|inj| {
+        options
+            .breaker
+            .or_else(|| {
+                (!inj.plan().cas_outages.is_empty()).then(senseaid_core::BreakerConfig::default)
+            })
+            .map(senseaid_core::DeliveryBreaker::new)
+    });
+    let mut breaker_dropped = 0u64;
     // The radio access network: devices attach to the nearest covering
     // tower, and the server learns each device's serving cell alongside
     // its position. The server also uses the topology to prune request
@@ -885,6 +973,10 @@ fn run_senseaid(
     // duty pass is a no-op, so the optimised loop skips them. A client
     // enters on `start_sensing` and leaves once both counts hit zero.
     let mut active_clients: BTreeSet<usize> = BTreeSet::new();
+    // Churn: devices currently departed (left silently; the server only
+    // finds out through lease expiry), plus the next pending wave.
+    let mut departed: BTreeSet<usize> = BTreeSet::new();
+    let mut next_wave = 0usize;
     // High-water mark of the control-plane queues, sampled after polls.
     let mut peak_queue_depth = 0u64;
 
@@ -910,6 +1002,10 @@ fn run_senseaid(
             } else if !server.is_up() && plan.server_up(t) {
                 server.recover_at(t);
                 for (i, d) in devices.iter_mut().enumerate() {
+                    // Departed devices stay gone: nobody re-announces them.
+                    if departed.contains(&i) {
+                        continue;
+                    }
                     let info = d.registration_info();
                     server
                         .register_device(
@@ -926,6 +1022,49 @@ fn run_senseaid(
                 }
             }
         }
+        // Churn waves: at the wave instant a plan-chosen slice of the
+        // population leaves silently (no deregister reaches the server —
+        // only lease expiry can reclaim them) or re-joins and re-registers.
+        if let Some(plan) = options.fault_plan.as_ref() {
+            while next_wave < plan.churn_waves.len() && plan.churn_waves[next_wave].at <= t {
+                let wave = plan.churn_waves[next_wave];
+                let members = plan.churn_members(next_wave, devices.len());
+                match wave.kind {
+                    senseaid_cellnet::ChurnKind::Leave => {
+                        for i in members {
+                            if departed.insert(i) {
+                                let _ = clients[i].depart();
+                                active_clients.remove(&i);
+                            }
+                        }
+                    }
+                    senseaid_cellnet::ChurnKind::Join => {
+                        for i in members {
+                            if departed.remove(&i) {
+                                let d = &mut devices[i];
+                                let info = d.registration_info();
+                                clients[i].register(d.prefs());
+                                if server.is_up() {
+                                    let _ = server.register_device(
+                                        info.imei,
+                                        info.energy_budget_j,
+                                        info.critical_battery_pct,
+                                        info.battery_pct,
+                                        info.sensors,
+                                        info.device_type,
+                                        t,
+                                    );
+                                    let p = d.position(t);
+                                    let cell = network.update_attachment(d.id(), p);
+                                    let _ = server.observe_device(info.imei, p, cell);
+                                }
+                            }
+                        }
+                    }
+                }
+                next_wave += 1;
+            }
+        }
         if injector.is_some() {
             server.tick_snapshot(t);
         }
@@ -938,14 +1077,9 @@ fn run_senseaid(
                 for (i, d) in devices.iter_mut().enumerate() {
                     let before = d.sessions_run();
                     d.run_regular_sessions_until(t);
-                    if d.sessions_run() > before {
+                    if d.sessions_run() > before && !departed.contains(&i) {
                         let imei = clients[i].imei();
-                        let _ = server.update_device_state(
-                            imei,
-                            d.battery_level_pct(),
-                            d.cs_energy_j(),
-                            t,
-                        );
+                        report_device_state(&mut server, &mut network, d, imei, t);
                     }
                 }
             }
@@ -957,9 +1091,12 @@ fn run_senseaid(
                     let d = &mut devices[i];
                     d.run_regular_sessions_until(t);
                     w.rearm(i, d);
-                    let imei = clients[i].imei();
-                    let _ =
-                        server.update_device_state(imei, d.battery_level_pct(), d.cs_energy_j(), t);
+                    // A departed device's phone still runs its owner's apps,
+                    // but no Sense-Aid state report reaches this server.
+                    if !departed.contains(&i) {
+                        let imei = clients[i].imei();
+                        report_device_state(&mut server, &mut network, d, imei, t);
+                    }
                 }
             }
         }
@@ -968,6 +1105,9 @@ fn run_senseaid(
         // server's view (position + serving cell).
         if t >= next_position_refresh {
             for (i, d) in devices.iter_mut().enumerate() {
+                if departed.contains(&i) {
+                    continue;
+                }
                 let p = d.position(t);
                 let cell = network.update_attachment(d.id(), p);
                 let _ = server.observe_device(clients[i].imei(), p, cell);
@@ -991,8 +1131,11 @@ fn run_senseaid(
         for a in &assignments {
             for imei in &a.devices {
                 let idx = by_imei[imei];
-                let _ = clients[idx].start_sensing(a);
-                active_clients.insert(idx);
+                // A departed (unregistered) client refuses the duty; until
+                // its lease expires the server may still tap it in vain.
+                if clients[idx].start_sensing(a).is_ok() {
+                    active_clients.insert(idx);
+                }
             }
         }
 
@@ -1126,10 +1269,58 @@ fn run_senseaid(
         // Chaos mode drains the outbox every tick into the CAS-side
         // exactly-once ledger (so a mid-run crash genuinely loses only the
         // un-forwarded readings, which retransmission then re-covers).
+        // With a breaker engaged, each forward first asks permission: an
+        // open circuit sheds the reading instead of hammering a CAS the
+        // plan has scheduled down.
         if injector.is_some() {
-            for (_cas, r) in server.drain_outbox() {
-                if cas_seen.insert((r.request, r.device_pseudonym)) {
-                    cas_delivered += 1;
+            let cas_live = options.fault_plan.as_ref().is_none_or(|p| p.cas_up(t));
+            for (cas, r) in server.drain_outbox() {
+                match breaker.as_mut() {
+                    None => {
+                        if cas_seen.insert((r.request, r.device_pseudonym)) {
+                            cas_delivered += 1;
+                        }
+                    }
+                    Some(b) => {
+                        if !b.allow(cas, t) {
+                            breaker_dropped += 1;
+                            if tel.active() {
+                                tel.instant(
+                                    "breaker.shed",
+                                    t,
+                                    Lane::control(0),
+                                    SpanId::NONE,
+                                    vec![Attr::u64("cas", cas.0)],
+                                );
+                            }
+                        } else if cas_live {
+                            let was_open = b.state(cas) != senseaid_core::BreakerState::Closed;
+                            b.record_success(cas);
+                            if was_open && tel.active() {
+                                tel.instant(
+                                    "breaker.close",
+                                    t,
+                                    Lane::control(0),
+                                    SpanId::NONE,
+                                    vec![Attr::u64("cas", cas.0)],
+                                );
+                            }
+                            if cas_seen.insert((r.request, r.device_pseudonym)) {
+                                cas_delivered += 1;
+                            }
+                        } else {
+                            breaker_dropped += 1;
+                            if b.record_failure(cas, t) && tel.active() {
+                                tel.instant(
+                                    "breaker.open",
+                                    t,
+                                    Lane::control(0),
+                                    SpanId::NONE,
+                                    vec![Attr::u64("cas", cas.0)],
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1185,6 +1376,7 @@ fn run_senseaid(
         snap.set_counter("harness.cold_uploads", cold_uploads);
         snap.set_counter("harness.delivered", delivered);
         snap.set_counter("harness.readings_lost", readings_lost);
+        snap.set_counter("harness.breaker_dropped", breaker_dropped);
         snap.set_counter("harness.peak_queue_depth", peak_queue_depth);
         snap.set_histogram(
             "harness.delivery_delay_s",
@@ -1194,7 +1386,7 @@ fn run_senseaid(
         tel.finish(horizon);
     }
 
-    collect_report(
+    let mut report = collect_report(
         kind,
         devices,
         uploads,
@@ -1206,7 +1398,13 @@ fn run_senseaid(
         delays,
         readings_lost,
         peak_queue_depth,
-    )
+    );
+    report.requests_rejected = stats.requests_rejected;
+    report.requests_shed = stats.requests_shed;
+    report.requests_degraded = stats.requests_degraded;
+    report.leases_expired = stats.leases_expired;
+    report.breaker_dropped = breaker_dropped;
+    report
 }
 
 #[cfg(test)]

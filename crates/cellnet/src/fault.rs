@@ -36,6 +36,32 @@ impl std::fmt::Display for LinkDir {
     }
 }
 
+/// Whether a churn wave adds population or removes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChurnKind {
+    /// The selected devices deregister (or silently vanish) at the wave
+    /// instant.
+    Leave,
+    /// Previously departed devices re-register at the wave instant.
+    Join,
+}
+
+/// A scheduled mass-membership event: at `at`, a `fraction` of the device
+/// population leaves or (re)joins in one burst. Which devices are hit is
+/// decided by [`FaultPlan::churn_members`] from the plan's own seed, so a
+/// wave's membership is a pure function of `(fault seed, wave index,
+/// population)` — independent of shard layout, worker count, or the order
+/// the harness visits devices in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnWave {
+    /// The sim-time instant the wave strikes.
+    pub at: SimTime,
+    /// Leave or join.
+    pub kind: ChurnKind,
+    /// Fraction of the population affected, `[0, 1]`.
+    pub fraction: f64,
+}
+
 /// A declarative, replayable description of what goes wrong and when.
 ///
 /// All stochastic knobs are per-message probabilities; all scheduled
@@ -63,6 +89,12 @@ pub struct FaultPlan {
     /// The harness crashes the server process at `crash` and recovers it
     /// (snapshot restore + reconciliation) at `recover`.
     pub server_outages: Vec<(SimTime, SimTime)>,
+    /// Scheduled mass join/leave waves, in strike order.
+    pub churn_waves: Vec<ChurnWave>,
+    /// Scheduled app-server outage windows `[from, to)`: deliveries to
+    /// *any* CAS fail while one is active (exercises the delivery circuit
+    /// breaker).
+    pub cas_outages: Vec<(SimTime, SimTime)>,
 }
 
 impl FaultPlan {
@@ -77,6 +109,8 @@ impl FaultPlan {
             reorder: 0.0,
             enodeb_outages: Vec::new(),
             server_outages: Vec::new(),
+            churn_waves: Vec::new(),
+            cas_outages: Vec::new(),
         }
     }
 
@@ -97,6 +131,8 @@ impl FaultPlan {
             && self.jitter_max.is_zero()
             && self.enodeb_outages.is_empty()
             && self.server_outages.is_empty()
+            && self.churn_waves.is_empty()
+            && self.cas_outages.is_empty()
     }
 
     /// Whether a scheduled eNodeB outage covers `now`.
@@ -112,6 +148,37 @@ impl FaultPlan {
             .server_outages
             .iter()
             .any(|&(from, to)| now >= from && now < to)
+    }
+
+    /// Whether app-server deliveries are scheduled to succeed at `now`.
+    pub fn cas_up(&self, now: SimTime) -> bool {
+        !self
+            .cas_outages
+            .iter()
+            .any(|&(from, to)| now >= from && now < to)
+    }
+
+    /// The device indices (into a population of `population` devices) hit
+    /// by churn wave `wave_index`, in ascending order.
+    ///
+    /// Membership is drawn from a per-wave labelled stream seeded only by
+    /// the plan's fault seed, so it is identical for every shard count and
+    /// worker count and never perturbs the injector's link streams.
+    pub fn churn_members(&self, wave_index: usize, population: usize) -> Vec<usize> {
+        let Some(wave) = self.churn_waves.get(wave_index) else {
+            return Vec::new();
+        };
+        let n = ((wave.fraction.clamp(0.0, 1.0)) * population as f64).round() as usize;
+        let n = n.min(population);
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = SimRng::from_seed_label(self.seed, &format!("fault/churn/{wave_index}"));
+        let mut indices: Vec<usize> = (0..population).collect();
+        rng.shuffle(&mut indices);
+        indices.truncate(n);
+        indices.sort_unstable();
+        indices
     }
 }
 
@@ -309,6 +376,7 @@ mod tests {
             reorder: 0.05,
             enodeb_outages: vec![(SimTime::from_secs(100), SimTime::from_secs(130))],
             server_outages: vec![(SimTime::from_secs(300), SimTime::from_secs(360))],
+            ..FaultPlan::none()
         }
     }
 
@@ -416,6 +484,60 @@ mod tests {
         assert!(plan.server_up(SimTime::from_secs(360)));
         assert!(!plan.enodeb_down(SimTime::from_secs(99)));
         assert!(plan.enodeb_down(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn churn_membership_is_a_pure_function_of_seed_wave_population() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.churn_waves = vec![
+            ChurnWave {
+                at: SimTime::from_secs(60),
+                kind: ChurnKind::Leave,
+                fraction: 0.5,
+            },
+            ChurnWave {
+                at: SimTime::from_secs(120),
+                kind: ChurnKind::Join,
+                fraction: 0.25,
+            },
+        ];
+        assert!(!plan.is_zero());
+        let a = plan.churn_members(0, 40);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a, plan.churn_members(0, 40), "replayable");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "ascending, distinct");
+        assert_ne!(a, plan.churn_members(1, 40), "waves draw independently");
+        assert_eq!(plan.churn_members(1, 40).len(), 10);
+        // Out-of-range wave index and empty populations are harmless.
+        assert!(plan.churn_members(2, 40).is_empty());
+        assert!(plan.churn_members(0, 0).is_empty());
+        // Drawing membership consumes nothing from the link streams.
+        let mut with = FaultInjector::new(plan.clone());
+        let mut without = FaultInjector::new({
+            let mut p = plan.clone();
+            p.churn_waves.clear();
+            p.loss = plan.loss;
+            p
+        });
+        plan.churn_members(0, 40);
+        for i in 0..50 {
+            assert_eq!(
+                with.judge(LinkDir::Uplink, SimTime::from_secs(i)),
+                without.judge(LinkDir::Uplink, SimTime::from_secs(i))
+            );
+        }
+    }
+
+    #[test]
+    fn cas_outage_schedule_is_pure_plan_data() {
+        let mut plan = FaultPlan::none();
+        plan.cas_outages = vec![(SimTime::from_secs(10), SimTime::from_secs(20))];
+        assert!(!plan.is_zero());
+        assert!(plan.cas_up(SimTime::from_secs(9)));
+        assert!(!plan.cas_up(SimTime::from_secs(10)));
+        assert!(!plan.cas_up(SimTime::from_secs(19)));
+        assert!(plan.cas_up(SimTime::from_secs(20)));
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod message;
 pub mod routing;
 pub mod topology;
 
-pub use fault::{FaultEvent, FaultInjector, FaultPlan, FaultStats, LinkDir, Verdict};
+pub use fault::{
+    ChurnKind, ChurnWave, FaultEvent, FaultInjector, FaultPlan, FaultStats, LinkDir, Verdict,
+};
 pub use message::{Envelope, Message, WireError};
 pub use routing::{CoreNetwork, OutageInterval, RoutePath};
 pub use topology::{CellId, CellularNetwork};

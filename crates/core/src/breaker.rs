@@ -1,0 +1,246 @@
+//! A per-app-server delivery circuit breaker.
+//!
+//! The coordinator's outbox is forwarded to each crowdsensing application
+//! server ([`AppServer::receive_sensed_data`]) by the embedding harness.
+//! When an app server dies, naive forwarding retries forever and the
+//! undelivered readings pin the retry buffer. The breaker wraps that
+//! delivery edge with the classic three-state machine:
+//!
+//! * **Closed** — deliveries flow; consecutive failures are counted.
+//! * **Open** — entered after `failure_threshold` consecutive failures.
+//!   Deliveries are refused outright (the caller sheds its buffered
+//!   readings instead of retrying) until the sim-time `cooldown` passes.
+//! * **Half-open** — after the cooldown, one probe delivery is let
+//!   through. Success closes the breaker; failure re-opens it for another
+//!   full cooldown.
+//!
+//! All transitions are driven by the caller's deterministic sim-time, so
+//! a breaker trace replays byte-identically from one seed like the rest
+//! of the stack.
+//!
+//! ```
+//! use senseaid_core::breaker::{BreakerConfig, BreakerState, DeliveryBreaker};
+//! use senseaid_core::cas::CasId;
+//! use senseaid_sim::{SimDuration, SimTime};
+//!
+//! let mut breaker = DeliveryBreaker::new(BreakerConfig {
+//!     failure_threshold: 2,
+//!     cooldown: SimDuration::from_secs(30),
+//! });
+//! let cas = CasId(1);
+//! let t0 = SimTime::ZERO;
+//! assert!(breaker.allow(cas, t0));
+//! breaker.record_failure(cas, t0);
+//! breaker.record_failure(cas, t0); // threshold reached
+//! assert_eq!(breaker.state(cas), BreakerState::Open);
+//! assert!(!breaker.allow(cas, t0 + SimDuration::from_secs(29)));
+//! assert!(breaker.allow(cas, t0 + SimDuration::from_secs(30))); // half-open probe
+//! breaker.record_success(cas);
+//! assert_eq!(breaker.state(cas), BreakerState::Closed);
+//! ```
+//!
+//! [`AppServer::receive_sensed_data`]: crate::cas::AppServer::receive_sensed_data
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_sim::{SimDuration, SimTime};
+
+use crate::cas::CasId;
+
+/// Breaker tuning: how many consecutive failures open it and how long it
+/// stays open before probing again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive delivery failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker refuses deliveries before letting one
+    /// half-open probe through.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_mins(1),
+        }
+    }
+}
+
+/// The observable state of one app server's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Deliveries flow normally.
+    Closed,
+    /// Deliveries are refused until the cooldown elapses.
+    Open,
+    /// One probe delivery is in flight; its outcome decides.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    Closed { failures: u32 },
+    Open { until: SimTime },
+    HalfOpen,
+}
+
+/// Per-[`CasId`] circuit breakers over the delivery edge. See the module
+/// docs for the state machine.
+#[derive(Debug, Clone)]
+pub struct DeliveryBreaker {
+    config: BreakerConfig,
+    entries: BTreeMap<CasId, Entry>,
+}
+
+impl DeliveryBreaker {
+    /// Breakers for any number of app servers under one config. Unknown
+    /// servers start closed with a clean failure count.
+    pub fn new(config: BreakerConfig) -> Self {
+        DeliveryBreaker {
+            config,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// Whether a delivery to `cas` may be attempted at `now`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the probe.
+    pub fn allow(&mut self, cas: CasId, now: SimTime) -> bool {
+        match self.entries.get(&cas).copied() {
+            None | Some(Entry::Closed { .. }) | Some(Entry::HalfOpen) => true,
+            Some(Entry::Open { until }) => {
+                if now >= until {
+                    self.entries.insert(cas, Entry::HalfOpen);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful delivery: closes the breaker and clears the
+    /// failure streak.
+    pub fn record_success(&mut self, cas: CasId) {
+        self.entries.insert(cas, Entry::Closed { failures: 0 });
+    }
+
+    /// Records a failed delivery at `now`. Returns `true` when this
+    /// failure opened (or re-opened) the breaker — the caller's cue to
+    /// shed its buffered readings for `cas` and emit a `breaker.open`
+    /// event.
+    pub fn record_failure(&mut self, cas: CasId, now: SimTime) -> bool {
+        let entry = self
+            .entries
+            .entry(cas)
+            .or_insert(Entry::Closed { failures: 0 });
+        match *entry {
+            Entry::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *entry = Entry::Open {
+                        until: now + self.config.cooldown,
+                    };
+                    true
+                } else {
+                    *entry = Entry::Closed { failures };
+                    false
+                }
+            }
+            // A failed half-open probe re-opens for a full cooldown.
+            Entry::HalfOpen => {
+                *entry = Entry::Open {
+                    until: now + self.config.cooldown,
+                };
+                true
+            }
+            // Already open (failure reported without an allow()): extend
+            // nothing; the cooldown stands.
+            Entry::Open { .. } => false,
+        }
+    }
+
+    /// The current state of `cas`'s breaker.
+    pub fn state(&self, cas: CasId) -> BreakerState {
+        match self.entries.get(&cas) {
+            None | Some(Entry::Closed { .. }) => BreakerState::Closed,
+            Some(Entry::Open { .. }) => BreakerState::Open,
+            Some(Entry::HalfOpen) => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> DeliveryBreaker {
+        DeliveryBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(60),
+        })
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = breaker();
+        let cas = CasId(7);
+        assert!(!b.record_failure(cas, SimTime::ZERO));
+        assert!(!b.record_failure(cas, SimTime::ZERO));
+        assert_eq!(b.state(cas), BreakerState::Closed);
+        assert!(b.record_failure(cas, SimTime::ZERO), "third failure trips");
+        assert_eq!(b.state(cas), BreakerState::Open);
+        assert!(!b.allow(cas, SimTime::from_secs(59)));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker();
+        let cas = CasId(7);
+        b.record_failure(cas, SimTime::ZERO);
+        b.record_failure(cas, SimTime::ZERO);
+        b.record_success(cas);
+        assert!(
+            !b.record_failure(cas, SimTime::ZERO),
+            "streak restarted from zero"
+        );
+        assert_eq!(b.state(cas), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_decides_close_or_reopen() {
+        let mut b = breaker();
+        let cas = CasId(7);
+        for _ in 0..3 {
+            b.record_failure(cas, SimTime::ZERO);
+        }
+        // Cooldown elapses: the probe is admitted.
+        assert!(b.allow(cas, SimTime::from_secs(60)));
+        assert_eq!(b.state(cas), BreakerState::HalfOpen);
+        // A failed probe re-opens for a full further cooldown.
+        assert!(b.record_failure(cas, SimTime::from_secs(60)));
+        assert!(!b.allow(cas, SimTime::from_secs(100)));
+        assert!(b.allow(cas, SimTime::from_secs(120)));
+        b.record_success(cas);
+        assert_eq!(b.state(cas), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breakers_are_independent_per_app_server() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record_failure(CasId(1), SimTime::ZERO);
+        }
+        assert_eq!(b.state(CasId(1)), BreakerState::Open);
+        assert_eq!(b.state(CasId(2)), BreakerState::Closed);
+        assert!(b.allow(CasId(2), SimTime::ZERO));
+    }
+}

@@ -286,6 +286,22 @@ impl SenseAidClient {
         self.prefs = prefs;
     }
 
+    /// Silent departure (churn): the device vanishes without telling the
+    /// server — no `deregister()` reaches the middleware, so only the
+    /// server's lease expiry can reclaim its assignments. Sampled-but-
+    /// undelivered readings (held duties and unacked envelopes) are folded
+    /// into the abandonment stats so [`ClientStats::readings_lost`] stays
+    /// truthful, then all client state is dropped. Returns how many
+    /// readings were abandoned.
+    pub fn depart(&mut self) -> u64 {
+        let held: u64 = self.duties.iter().filter(|d| d.reading.is_some()).count() as u64;
+        let flying: u64 = self.inflight.iter().map(|b| b.duties.len() as u64).sum();
+        self.stats.batches_abandoned += self.inflight.len() as u64;
+        self.stats.readings_abandoned += held + flying;
+        self.deregister();
+        held + flying
+    }
+
     /// The paper's `start_sensing()` entry point: accepts an assignment
     /// addressed to this device.
     ///

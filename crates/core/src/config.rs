@@ -37,6 +37,32 @@ impl std::fmt::Display for Variant {
     }
 }
 
+/// Hysteresis thresholds for degraded-mode scheduling.
+///
+/// A task enters degraded mode once its requests have failed full
+/// selection continuously for `enter_after`, and leaves it again once
+/// full selections have succeeded continuously for `exit_after`. The two
+/// windows stop a borderline cell from flapping between modes on every
+/// poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradedConfig {
+    /// How long full selection must keep failing before the task's
+    /// requests are served best-effort below density.
+    pub enter_after: SimDuration,
+    /// How long full selection must keep succeeding before the task
+    /// returns to strict-density mode.
+    pub exit_after: SimDuration,
+}
+
+impl Default for DegradedConfig {
+    fn default() -> Self {
+        DegradedConfig {
+            enter_after: SimDuration::from_mins(2),
+            exit_after: SimDuration::from_mins(5),
+        }
+    }
+}
+
 /// Full middleware configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SenseAidConfig {
@@ -58,6 +84,22 @@ pub struct SenseAidConfig {
     /// output is identical for any value (see `coordinator`); 1 reproduces
     /// the paper prototype's single scheduler.
     pub shard_count: usize,
+    /// Device-liveness lease: a registered device that makes no radio
+    /// contact for this long is evicted and its in-flight tasking released
+    /// back for re-selection. `None` (the default, and the paper's
+    /// behaviour) never expires devices.
+    pub device_lease: Option<SimDuration>,
+    /// Run-queue admission bound (global, summed over shards, so the
+    /// decision is shard-layout invariant): submissions past it are turned
+    /// away with `Rejected{QueueFull}`. `None` admits everything.
+    pub run_queue_bound: Option<usize>,
+    /// Wait-queue bound (global, like `run_queue_bound`): parking past it
+    /// invokes the shed policy to pick a victim, marked
+    /// `Shed{WaitQueueFull}`. `None` parks everything.
+    pub wait_queue_bound: Option<usize>,
+    /// Degraded-mode scheduling hysteresis; `None` (the default) keeps
+    /// strict-density selection and parks unsatisfiable requests.
+    pub degraded: Option<DegradedConfig>,
 }
 
 impl Default for SenseAidConfig {
@@ -70,6 +112,10 @@ impl Default for SenseAidConfig {
             wait_check_interval: SimDuration::from_secs(30),
             unresponsive_grace: SimDuration::from_mins(2),
             shard_count: 1,
+            device_lease: None,
+            run_queue_bound: None,
+            wait_queue_bound: None,
+            degraded: None,
         }
     }
 }

@@ -30,9 +30,9 @@ use senseaid_telemetry::{Attr, Lane, SpanId, Telemetry};
 use crate::cas::{CasId, DeliveredReading};
 use crate::config::SenseAidConfig;
 use crate::error::SenseAidError;
-use crate::policy::SelectionPolicy;
+use crate::policy::{DropNewest, SelectionPolicy, ShedCandidate, ShedPolicy};
 use crate::privacy;
-use crate::request::{Request, RequestId, RequestStatus};
+use crate::request::{RejectReason, Request, RequestId, RequestStatus, ShedReason};
 use crate::shard::{QueueKey, Shard};
 use crate::store::device_store::DeviceRecord;
 use crate::store::task_store::{TaskStatus, TaskStore};
@@ -102,11 +102,20 @@ pub struct ServerStats {
     /// before sampling, or batches abandoned unacked); see
     /// [`ClientStats`](crate::client::ClientStats).
     pub client_readings_dropped: u64,
+    /// Requests turned away by admission control (`Rejected{..}`).
+    pub requests_rejected: u64,
+    /// Requests dropped by the shed policy (`Shed{..}`).
+    pub requests_shed: u64,
+    /// Requests that terminated `Degraded{..}`: served best-effort below
+    /// density, with at least one reading delivered.
+    pub requests_degraded: u64,
+    /// Devices evicted because their liveness lease expired.
+    pub leases_expired: u64,
 }
 
 impl ServerStats {
     /// `(name, value)` pairs for the unified telemetry registry.
-    pub fn named_counters(&self) -> [(&'static str, u64); 10] {
+    pub fn named_counters(&self) -> [(&'static str, u64); 14] {
         [
             ("requests_assigned", self.requests_assigned),
             ("requests_fulfilled", self.requests_fulfilled),
@@ -118,6 +127,10 @@ impl ServerStats {
             ("envelopes_retried", self.envelopes_retried),
             ("readings_duplicate", self.readings_duplicate),
             ("client_readings_dropped", self.client_readings_dropped),
+            ("requests_rejected", self.requests_rejected),
+            ("requests_shed", self.requests_shed),
+            ("requests_degraded", self.requests_degraded),
+            ("leases_expired", self.leases_expired),
         ]
     }
 }
@@ -128,6 +141,26 @@ struct ActiveRequest {
     cas: CasId,
     assigned: Vec<ImeiHash>,
     received: BTreeSet<ImeiHash>,
+    /// Served best-effort below density (degraded mode): on expiry with
+    /// any data, the request finalises `Degraded{..}` instead of
+    /// `Expired`.
+    degraded: bool,
+}
+
+/// Per-task degraded-mode hysteresis (see [`DegradedConfig`]).
+///
+/// Keyed by task, not by shard: shard layouts split cells differently, so
+/// any per-shard mode flag would break the shard-count byte-identity
+/// invariant. Task-keyed state is layout-independent.
+///
+/// [`DegradedConfig`]: crate::config::DegradedConfig
+#[derive(Debug, Clone, Copy, Default)]
+struct DegradeState {
+    degraded: bool,
+    /// First failed full selection of the current stress streak.
+    stressed_since: Option<SimTime>,
+    /// First successful full selection of the current recovery streak.
+    healthy_since: Option<SimTime>,
 }
 
 /// Per-device envelope bookkeeping: the highest contiguously accepted
@@ -268,6 +301,22 @@ pub(crate) struct Coordinator {
     /// Set when device state changed in a way that could requalify a
     /// parked request; cleared by a poll that finds nothing more to do.
     wait_dirty: bool,
+    /// Victim chooser for wait-queue overflow (see `park_request`).
+    shed_policy: Box<dyn ShedPolicy>,
+    /// Lease bookkeeping, populated only when `config.device_lease` is
+    /// set: per-device expiry instant plus a cached minimum. Renewals are
+    /// the hot path (every radio contact lands here), so they do one map
+    /// insert and an O(1) min update; the full map is only scanned when
+    /// the minimum itself is displaced (an eviction, or the rare renewal
+    /// of the earliest-expiry device). Kept at the coordinator (not per
+    /// shard) so lease decisions are shard-layout invariant by
+    /// construction.
+    lease_expiry: BTreeMap<ImeiHash, SimTime>,
+    /// Cached minimum of `lease_expiry`'s values. The scheduler's wakeup
+    /// term reads this once per tick, so it must be a field load.
+    earliest_lease: Option<SimTime>,
+    /// Per-task degraded-mode hysteresis (see [`DegradeState`]).
+    degrade_state: BTreeMap<TaskId, DegradeState>,
     /// Telemetry handle; off unless the embedding harness enables it.
     tel: Telemetry,
     /// Open request spans (assignment → fulfilment/expiry). Survives a
@@ -303,9 +352,20 @@ impl Coordinator {
             seq_ledger: BTreeMap::new(),
             delivered_log: BTreeSet::new(),
             wait_dirty: false,
+            shed_policy: Box::new(DropNewest),
+            lease_expiry: BTreeMap::new(),
+            earliest_lease: None,
+            degrade_state: BTreeMap::new(),
             tel: Telemetry::off(),
             request_spans: BTreeMap::new(),
         }
+    }
+
+    /// Swaps the wait-queue overflow victim chooser (default:
+    /// [`DropNewest`]). Only consulted when `config.wait_queue_bound` is
+    /// set.
+    pub fn set_shed_policy(&mut self, policy: Box<dyn ShedPolicy>) {
+        self.shed_policy = policy;
     }
 
     /// Routes this coordinator's instrumentation into `tel`.
@@ -370,6 +430,236 @@ impl Coordinator {
     fn device_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
         let shard = *self.home.get(&imei)?;
         self.shards[shard].device_mut(imei)
+    }
+
+    /// How many known requests are not yet in a terminal status. Zero at
+    /// the end of a run means nothing was left parked forever.
+    pub fn unresolved_request_count(&self) -> usize {
+        self.statuses.values().filter(|s| !s.is_terminal()).count()
+    }
+
+    /// Every known request's status, in id order (for invariant checks).
+    pub fn request_statuses(&self) -> impl Iterator<Item = (RequestId, RequestStatus)> + '_ {
+        self.statuses.iter().map(|(id, s)| (*id, *s))
+    }
+
+    // ------------------------------------------------------------------
+    // Status discipline
+    // ------------------------------------------------------------------
+
+    /// Writes `status` for `id` unless the current status is terminal.
+    /// Terminal statuses (`Fulfilled`/`Expired`/`Cancelled`/`Rejected`/
+    /// `Shed`/`Degraded`) are never overwritten, so a request the shed
+    /// policy dropped or that finalised degraded cannot be silently
+    /// resurrected by a later `update_task_param` or queue churn — the
+    /// same truthfulness rule the `Cancelled` fix established. Returns
+    /// whether the write happened.
+    fn set_status(&mut self, id: RequestId, status: RequestStatus) -> bool {
+        if self.statuses.get(&id).is_some_and(|s| s.is_terminal()) {
+            return false;
+        }
+        self.statuses.insert(id, status);
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Device leases
+    // ------------------------------------------------------------------
+
+    /// Grants or renews `imei`'s liveness lease from a radio contact at
+    /// `contact`. No-op unless `config.device_lease` is set.
+    fn renew_lease(&mut self, imei: ImeiHash, contact: SimTime) {
+        let Some(lease) = self.config.device_lease else {
+            return;
+        };
+        let expiry = contact + lease;
+        let old = self.lease_expiry.insert(imei, expiry);
+        // Contacts only push expiries forward, so the renewing device is
+        // almost never the cached minimum; when it is, recompute.
+        if old.is_some() && old == self.earliest_lease {
+            self.recompute_earliest_lease();
+        } else if self.earliest_lease.is_none_or(|e| expiry < e) {
+            self.earliest_lease = Some(expiry);
+        }
+    }
+
+    /// Forgets `imei`'s lease (deregistration or eviction).
+    fn drop_lease(&mut self, imei: ImeiHash) {
+        let old = self.lease_expiry.remove(&imei);
+        if old.is_some() && old == self.earliest_lease {
+            self.recompute_earliest_lease();
+        }
+    }
+
+    /// Re-derives the cached earliest expiry by scanning the lease map —
+    /// only called when the current minimum is displaced.
+    fn recompute_earliest_lease(&mut self) {
+        self.earliest_lease = self.lease_expiry.values().min().copied();
+    }
+
+    /// The earliest lease expiry across all devices — the scheduler's
+    /// `lease_expiry` wakeup term. A cached field load: the wakeup
+    /// computation runs on every driver tick, renewals only on contact.
+    pub(crate) fn next_lease_expiry(&self) -> Option<SimTime> {
+        self.earliest_lease
+    }
+
+    /// The lazy lease sweep, run at the top of every poll: devices whose
+    /// lease expired by `now` are evicted — record removed, lease
+    /// dropped, and any in-flight assignment that can no longer reach its
+    /// density released back to the run queue so selection re-runs over
+    /// the surviving population. Event-driven, not polled: the scheduler's
+    /// `lease_expiry` term arms a wakeup at the earliest expiry, so silent
+    /// devices cost nothing until one actually lapses.
+    fn expire_leases(&mut self, now: SimTime) {
+        // Field-load fast path: polls between expiries pay nothing.
+        if self.earliest_lease.is_none_or(|e| e > now) {
+            return;
+        }
+        // A sweep is actually due: gather the lapsed leases and evict in
+        // ascending (expiry, imei) order, so eviction order is identical
+        // for any shard layout.
+        let mut lapsed: Vec<(SimTime, ImeiHash)> = self
+            .lease_expiry
+            .iter()
+            .filter(|(_, &expiry)| expiry <= now)
+            .map(|(&imei, &expiry)| (expiry, imei))
+            .collect();
+        lapsed.sort_unstable();
+        for (expiry, imei) in lapsed {
+            self.lease_expiry.remove(&imei);
+            self.stats.leases_expired += 1;
+            if let Some(shard) = self.home.remove(&imei) {
+                self.shards[shard].remove_device(imei);
+                self.tel.instant(
+                    "lease.expired",
+                    now,
+                    Lane::device(shard as u64, imei.0),
+                    SpanId::NONE,
+                    vec![
+                        Attr::u64("imei", imei.0),
+                        Attr::u64("expiry_us", expiry.as_micros()),
+                    ],
+                );
+            }
+            // Strip the evictee from in-flight assignments; release any
+            // assignment that lost its ability to meet density back to
+            // the run queue. Progress survives the round trip: re-assign
+            // seeds `received` from the delivered log.
+            let mut released: Vec<RequestId> = Vec::new();
+            for (id, active) in self.active.iter_mut() {
+                let before = active.assigned.len();
+                active.assigned.retain(|d| *d != imei);
+                if active.assigned.len() == before {
+                    continue;
+                }
+                let reachable = active.received.len()
+                    + active
+                        .assigned
+                        .iter()
+                        .filter(|d| !active.received.contains(d))
+                        .count();
+                if reachable < active.request.density() {
+                    released.push(*id);
+                }
+            }
+            for id in released {
+                let active = self.active.remove(&id).expect("listed above");
+                if let Some(span) = self.request_spans.remove(&id) {
+                    self.tel.instant(
+                        "lease.released",
+                        now,
+                        Lane::control(0),
+                        span,
+                        vec![Attr::u64("request", id.0), Attr::u64("imei", imei.0)],
+                    );
+                    self.tel.exit(span, now);
+                }
+                if self.set_status(id, RequestStatus::Pending) {
+                    self.enqueue_run(active.request);
+                }
+            }
+            self.wait_dirty = true;
+        }
+        self.recompute_earliest_lease();
+    }
+
+    // ------------------------------------------------------------------
+    // Degraded-mode hysteresis
+    // ------------------------------------------------------------------
+
+    /// Notes a failed full selection for `task`. Returns whether the task
+    /// is (now) in degraded mode and partial service should be attempted.
+    /// Static over the split fields so callers can hold shard borrows.
+    fn note_selection_failure(
+        states: &mut BTreeMap<TaskId, DegradeState>,
+        config: &SenseAidConfig,
+        tel: &Telemetry,
+        task: TaskId,
+        now: SimTime,
+    ) -> bool {
+        let Some(cfg) = config.degraded else {
+            return false;
+        };
+        let state = states.entry(task).or_default();
+        state.healthy_since = None;
+        if state.degraded {
+            return true;
+        }
+        let since = *state.stressed_since.get_or_insert(now);
+        if now >= since + cfg.enter_after {
+            state.degraded = true;
+            tel.instant(
+                "degraded.enter",
+                now,
+                Lane::control(0),
+                SpanId::NONE,
+                vec![
+                    Attr::u64("task", task.0),
+                    Attr::u64("stressed_since_us", since.as_micros()),
+                ],
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Notes a successful full selection for `task`; sustained health for
+    /// `exit_after` leaves degraded mode (the hysteresis that stops a
+    /// borderline cell from flapping).
+    fn note_selection_success(
+        states: &mut BTreeMap<TaskId, DegradeState>,
+        config: &SenseAidConfig,
+        tel: &Telemetry,
+        task: TaskId,
+        now: SimTime,
+    ) {
+        let Some(cfg) = config.degraded else {
+            return;
+        };
+        let Some(state) = states.get_mut(&task) else {
+            return;
+        };
+        state.stressed_since = None;
+        if !state.degraded {
+            return;
+        }
+        let since = *state.healthy_since.get_or_insert(now);
+        if now >= since + cfg.exit_after {
+            state.degraded = false;
+            state.healthy_since = None;
+            tel.instant(
+                "degraded.exit",
+                now,
+                Lane::control(0),
+                SpanId::NONE,
+                vec![
+                    Attr::u64("task", task.0),
+                    Attr::u64("healthy_since_us", since.as_micros()),
+                ],
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -531,6 +821,7 @@ impl Coordinator {
     /// idempotent: it never resets fairness or budget accounting.
     pub fn register_device(&mut self, record: DeviceRecord) {
         let imei = record.imei;
+        let contact = record.last_comm;
         if self.home.contains_key(&imei) {
             let existing = self.device_mut(imei).expect("home map tracks membership");
             existing.energy_budget_j = record.energy_budget_j;
@@ -540,12 +831,14 @@ impl Coordinator {
             existing.device_type = record.device_type;
             existing.last_comm = record.last_comm;
             existing.responsive = true;
+            self.renew_lease(imei, contact);
             self.wait_dirty = true;
             return;
         }
         let shard = self.shard_of_cell(record.cell);
         self.home.insert(imei, shard);
         self.shards[shard].insert_device(record);
+        self.renew_lease(imei, contact);
         self.wait_dirty = true;
     }
 
@@ -555,6 +848,7 @@ impl Coordinator {
             .remove(&imei)
             .ok_or(SenseAidError::UnknownDevice(imei))?;
         self.shards[shard].remove_device(imei);
+        self.drop_lease(imei);
         // Drop it from any in-flight assignments.
         for active in self.active.values_mut() {
             active.assigned.retain(|d| *d != imei);
@@ -592,6 +886,7 @@ impl Coordinator {
         rec.cs_energy_j = cs_energy_j;
         rec.last_comm = now;
         rec.responsive = true;
+        self.renew_lease(imei, now);
         self.wait_dirty = true;
         Ok(())
     }
@@ -634,6 +929,7 @@ impl Coordinator {
             .ok_or(SenseAidError::UnknownDevice(imei))?;
         rec.last_comm = now;
         rec.responsive = true;
+        self.renew_lease(imei, now);
         self.wait_dirty = true;
         Ok(())
     }
@@ -655,10 +951,44 @@ impl Coordinator {
             .expect("just inserted")
             .requests_generated = requests.len();
         for r in requests {
-            self.statuses.insert(r.id(), RequestStatus::Pending);
-            self.enqueue_run(r);
+            self.admit_run(r, now);
         }
         id
+    }
+
+    /// Admission control: queues `request` on its home run queue, or turns
+    /// it away with `Rejected{QueueFull}` when the control plane's run
+    /// queues are at the configured bound. The bound applies to the global
+    /// run-queue population (summed over shards), not per shard slice —
+    /// shard layouts split cells differently, so a per-slice bound would
+    /// break the shard-count byte-identity invariant.
+    fn admit_run(&mut self, request: Request, now: SimTime) {
+        if let Some(bound) = self.config.run_queue_bound {
+            if self.run_queue_len() >= bound {
+                let id = request.id();
+                self.stats.requests_rejected += 1;
+                self.set_status(
+                    id,
+                    RequestStatus::Rejected {
+                        reason: RejectReason::QueueFull,
+                    },
+                );
+                self.tel.instant(
+                    "shed.rejected",
+                    now,
+                    Lane::control(0),
+                    SpanId::NONE,
+                    vec![
+                        Attr::u64("request", id.0),
+                        Attr::u64("task", request.task().0),
+                        Attr::u64("run_queue", self.run_queue_len() as u64),
+                    ],
+                );
+                return;
+            }
+        }
+        self.set_status(request.id(), RequestStatus::Pending);
+        self.enqueue_run(request);
     }
 
     pub fn update_task_param(
@@ -690,7 +1020,11 @@ impl Coordinator {
             .map(Request::id)
             .collect();
         for id in superseded {
-            self.statuses.insert(id, RequestStatus::Cancelled);
+            // `set_status` refuses terminal overwrites, so a request the
+            // shed policy already dropped (or that finalised degraded)
+            // stays in its truthful state instead of flipping to
+            // `Cancelled`.
+            self.set_status(id, RequestStatus::Cancelled);
         }
         for shard in &mut self.shards {
             shard.remove_task(task);
@@ -708,8 +1042,7 @@ impl Coordinator {
         state.spec = new_spec;
         state.requests_generated += regenerated.len();
         for r in regenerated {
-            self.statuses.insert(r.id(), RequestStatus::Pending);
-            self.enqueue_run(r);
+            self.admit_run(r, now);
         }
         Ok(())
     }
@@ -732,7 +1065,7 @@ impl Coordinator {
             )
             .collect();
         for id in cancelled {
-            self.statuses.insert(id, RequestStatus::Cancelled);
+            self.set_status(id, RequestStatus::Cancelled);
         }
         for shard in &mut self.shards {
             shard.remove_task(task);
@@ -748,6 +1081,7 @@ impl Coordinator {
     pub fn poll(&mut self, now: SimTime) -> Vec<Assignment> {
         let stats_before = self.stats;
         let poll_span = self.enter_poll_span(now);
+        self.expire_leases(now);
         self.expire_overdue(now);
         self.recheck_wait_queue(now);
 
@@ -767,14 +1101,11 @@ impl Coordinator {
             }
             match self.try_assign(request, now) {
                 Ok(assignment) => {
-                    self.statuses
-                        .insert(assignment.request, RequestStatus::Assigned);
+                    self.set_status(assignment.request, RequestStatus::Assigned);
                     assignments.push(assignment);
                 }
                 Err(request) => {
-                    self.stats.requests_waited += 1;
-                    self.statuses.insert(request.id(), RequestStatus::Waiting);
-                    self.enqueue_wait(request);
+                    self.park_request(request, now);
                 }
             }
         }
@@ -830,6 +1161,85 @@ impl Coordinator {
         span
     }
 
+    /// Parks `request` in the wait queue, shedding under overload: when
+    /// the global wait-queue population is at `config.wait_queue_bound`,
+    /// the shed policy picks a victim — the incoming request or a parked
+    /// one — which terminates `Shed{WaitQueueFull}` instead of occupying
+    /// the queue. Like admission, the bound is global (summed over
+    /// shards), keeping shed decisions shard-layout invariant; the parked
+    /// candidates are handed to the policy in global `(deadline,
+    /// sample_at, id)` order for the same reason.
+    fn park_request(&mut self, request: Request, now: SimTime) {
+        if let Some(bound) = self.config.wait_queue_bound {
+            if self.wait_queue_len() >= bound {
+                let victim = self.choose_shed_victim(&request, now);
+                let (shed, parked_incoming) = if victim == request.id() {
+                    (request, None)
+                } else {
+                    let evicted = self
+                        .shards
+                        .iter_mut()
+                        .find_map(|s| s.remove_wait(victim))
+                        .expect("victim was drawn from the parked set");
+                    (evicted, Some(request))
+                };
+                self.stats.requests_shed += 1;
+                self.set_status(
+                    shed.id(),
+                    RequestStatus::Shed {
+                        reason: ShedReason::WaitQueueFull,
+                    },
+                );
+                self.tel.instant(
+                    "shed.dropped",
+                    now,
+                    Lane::control(0),
+                    SpanId::NONE,
+                    vec![
+                        Attr::u64("request", shed.id().0),
+                        Attr::u64("task", shed.task().0),
+                        Attr::u64("wait_queue", self.wait_queue_len() as u64),
+                    ],
+                );
+                let Some(request) = parked_incoming else {
+                    return; // the incoming request was the victim
+                };
+                self.stats.requests_waited += 1;
+                self.set_status(request.id(), RequestStatus::Waiting);
+                self.enqueue_wait(request);
+                return;
+            }
+        }
+        self.stats.requests_waited += 1;
+        self.set_status(request.id(), RequestStatus::Waiting);
+        self.enqueue_wait(request);
+    }
+
+    /// Asks the shed policy for the overflow victim, feeding it the
+    /// incoming request plus every parked one (global key order), each
+    /// with its current qualified-device supply.
+    fn choose_shed_victim(&self, incoming: &Request, now: SimTime) -> RequestId {
+        let mut parked: Vec<&Request> = self.shards.iter().flat_map(Shard::wait_requests).collect();
+        parked.sort_unstable_by_key(|r| (r.deadline(), r.sample_at(), r.id().0));
+        let supply = |r: &Request| {
+            let probe = QualificationProbe::for_request(r);
+            self.qualified_count(&probe)
+        };
+        let incoming_candidate = ShedCandidate {
+            request: incoming,
+            qualified: supply(incoming),
+        };
+        let parked_candidates: Vec<ShedCandidate<'_>> = parked
+            .into_iter()
+            .map(|r| ShedCandidate {
+                request: r,
+                qualified: supply(r),
+            })
+            .collect();
+        self.shed_policy
+            .choose_victim(&incoming_candidate, &parked_candidates, now)
+    }
+
     /// Assigns `request`, or returns it for parking when the policy cannot
     /// field a viable device set.
     // The Err variant hands the request back by value so the caller can
@@ -840,12 +1250,43 @@ impl Coordinator {
         let targets = self.target_shards(&probe.region);
         let candidates = Self::candidates_across(&self.shards, &targets, &probe);
         let qualified = candidates.len();
-        let Ok(selected) = self
-            .policy
-            .select_traced(&request, &candidates, now, &self.tel)
-        else {
-            return Err(request);
-        };
+        let task = request.task();
+        let (selected, degraded) =
+            match self
+                .policy
+                .select_traced(&request, &candidates, now, &self.tel)
+            {
+                Ok(selected) => {
+                    Self::note_selection_success(
+                        &mut self.degrade_state,
+                        &self.config,
+                        &self.tel,
+                        task,
+                        now,
+                    );
+                    (selected, false)
+                }
+                Err(_) => {
+                    // Full selection failed. Once the task's stress streak
+                    // has lasted `degraded.enter_after`, serve the best
+                    // available subset instead of parking forever; otherwise
+                    // hand the request back for the wait queue.
+                    if !Self::note_selection_failure(
+                        &mut self.degrade_state,
+                        &self.config,
+                        &self.tel,
+                        task,
+                        now,
+                    ) {
+                        return Err(request);
+                    }
+                    let selected = self.policy.select_partial(&request, &candidates, now);
+                    if selected.is_empty() {
+                        return Err(request);
+                    }
+                    (selected, true)
+                }
+            };
         drop(candidates);
         for imei in &selected {
             if let Some(rec) = self.device_mut(*imei) {
@@ -877,6 +1318,19 @@ impl Coordinator {
                     Attr::u64("selected", selected.len() as u64),
                 ],
             );
+            if degraded {
+                self.tel.instant(
+                    "degraded.assign",
+                    now,
+                    Lane::control(shard),
+                    span,
+                    vec![
+                        Attr::u64("request", request.id().0),
+                        Attr::u64("density", request.density() as u64),
+                        Attr::u64("achieved", selected.len() as u64),
+                    ],
+                );
+            }
             for imei in &selected {
                 let home = self.home.get(imei).copied().unwrap_or(0) as u64;
                 let tasking = self.tel.instant(
@@ -917,13 +1371,22 @@ impl Coordinator {
             reset_policy: self.config.variant.reset_policy(),
         };
         self.stats.requests_assigned += 1;
+        // Seed the received set from the delivered log: a request released
+        // back to the queue after a lease eviction keeps the readings its
+        // surviving contributors already delivered.
+        let received: BTreeSet<ImeiHash> = self
+            .delivered_log
+            .range((request.id(), ImeiHash(u64::MIN))..=(request.id(), ImeiHash(u64::MAX)))
+            .map(|&(_, imei)| imei)
+            .collect();
         self.active.insert(
             request.id(),
             ActiveRequest {
                 request,
                 cas,
                 assigned: selected,
-                received: BTreeSet::new(),
+                received,
+                degraded,
             },
         );
         Ok(assignment)
@@ -931,13 +1394,40 @@ impl Coordinator {
 
     fn expire_request(&mut self, request: &Request, now: SimTime) {
         self.stats.requests_expired += 1;
-        self.statuses.insert(request.id(), RequestStatus::Expired);
+        self.set_status(request.id(), RequestStatus::Expired);
         if let Ok(t) = self.tasks.get_mut(request.task()) {
             t.requests_expired += 1;
         }
         if let Some(span) = self.request_spans.remove(&request.id()) {
             self.tel
                 .instant("request.expired", now, Lane::control(0), span, Vec::new());
+            self.tel.exit(span, now);
+        }
+    }
+
+    /// Finalises a degraded-mode assignment that delivered *some* data by
+    /// its deadline: the truthful outcome is `Degraded{achieved_density}`,
+    /// not `Expired` — the CAS did receive readings, just fewer than
+    /// asked.
+    fn finalise_degraded(&mut self, request: &Request, achieved: usize, now: SimTime) {
+        self.stats.requests_degraded += 1;
+        self.set_status(
+            request.id(),
+            RequestStatus::Degraded {
+                achieved_density: achieved,
+            },
+        );
+        if let Some(span) = self.request_spans.remove(&request.id()) {
+            self.tel.instant(
+                "request.degraded",
+                now,
+                Lane::control(0),
+                span,
+                vec![
+                    Attr::u64("density", request.density() as u64),
+                    Attr::u64("achieved", achieved as u64),
+                ],
+            );
             self.tel.exit(span, now);
         }
     }
@@ -965,6 +1455,10 @@ impl Coordinator {
                 // Density was met; counted at fulfilment time already.
                 continue;
             }
+            if active.degraded && !active.received.is_empty() {
+                self.finalise_degraded(&active.request, active.received.len(), now);
+                continue;
+            }
             self.expire_request(&active.request, now);
         }
     }
@@ -986,13 +1480,28 @@ impl Coordinator {
                 self.expire_request(&request, now);
                 continue;
             }
-            let satisfiable = {
+            let promote = {
                 let probe = QualificationProbe::for_request(&request);
                 let targets = self.target_shards(&probe.region);
                 let candidates = Self::candidates_across(&self.shards, &targets, &probe);
-                self.policy.would_select(&request, &candidates, now)
+                if self.policy.would_select(&request, &candidates, now) {
+                    true
+                } else {
+                    // An unsatisfiable park is selection stress: record
+                    // it so a task whose requests only ever sit parked
+                    // still accrues time towards degraded mode. Once
+                    // degraded, promote whenever partial service could
+                    // field at least one device.
+                    Self::note_selection_failure(
+                        &mut self.degrade_state,
+                        &self.config,
+                        &self.tel,
+                        request.task(),
+                        now,
+                    ) && self.policy.would_select_partial(&request, &candidates, now)
+                }
             };
-            if satisfiable {
+            if promote {
                 self.enqueue_run(request);
             } else {
                 parked.push(request);
@@ -1039,7 +1548,7 @@ impl Coordinator {
         let task = active.request.task();
         if fulfilled {
             self.active.remove(&request_id);
-            self.statuses.insert(request_id, RequestStatus::Fulfilled);
+            self.set_status(request_id, RequestStatus::Fulfilled);
             self.stats.requests_fulfilled += 1;
             if let Ok(t) = self.tasks.get_mut(task) {
                 t.requests_fulfilled += 1;
@@ -1207,11 +1716,20 @@ impl Coordinator {
         self.delivered_log = snapshot.delivered_log;
         self.selections = snapshot.selections;
         self.active = snapshot.active.into_iter().collect();
+        // Leases are re-armed from each restored record's last contact,
+        // so a device that went silent across the crash still expires on
+        // schedule — restore must never mint immortal devices. Hysteresis
+        // state is in-memory only and restarts clean.
+        self.lease_expiry.clear();
+        self.earliest_lease = None;
+        self.degrade_state.clear();
         for record in snapshot.devices {
             let imei = record.imei;
+            let contact = record.last_comm;
             let shard = self.shard_of_cell(record.cell);
             self.home.insert(imei, shard);
             self.shards[shard].insert_device(record);
+            self.renew_lease(imei, contact);
         }
         for request in snapshot.queued_run {
             self.enqueue_run(request);
@@ -1228,6 +1746,7 @@ impl Coordinator {
     /// Also run on a recovery without a snapshot, where the surviving
     /// in-memory state needs the same truth pass.
     pub fn reconcile(&mut self, now: SimTime) {
+        self.expire_leases(now);
         self.expire_overdue(now);
         while let Some((shard, key)) = Self::min_head(&self.shards, Shard::run_head_key) {
             if key.0 > now {

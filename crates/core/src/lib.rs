@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod breaker;
 pub mod cas;
 pub mod client;
 pub mod config;
@@ -65,15 +66,19 @@ pub mod task;
 pub mod validation;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController};
+pub use breaker::{BreakerConfig, BreakerState, DeliveryBreaker};
 pub use cas::{AppServer, DeliveredReading};
 pub use client::{
     ClientError, ClientState, ClientStats, OutboundBatch, SenseAidClient, UploadDecision,
 };
-pub use config::{SenseAidConfig, Variant};
+pub use config::{DegradedConfig, SenseAidConfig, Variant};
 pub use error::SenseAidError;
-pub use policy::{ScoredPolicy, SelectionPolicy};
+pub use policy::{
+    DeadlineAware, DropLowestDeficit, DropNewest, ScoredPolicy, SelectionPolicy, ShedCandidate,
+    ShedPolicy, ShedPolicyKind,
+};
 pub use queues::{QueuedRequest, RequestQueue};
-pub use request::{Request, RequestId, RequestStatus};
+pub use request::{RejectReason, Request, RequestId, RequestStatus, ShedReason};
 pub use scheduler::WakeupDriver;
 pub use selector::{DeviceSelector, HardCutoffs, InsufficientDevices, SelectorWeights};
 pub use server::{

@@ -66,6 +66,177 @@ pub trait SelectionPolicy: fmt::Debug + Send {
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
         self.select(request, candidates, now)
     }
+
+    /// Best-effort selection for degraded mode: like
+    /// [`select`](Self::select) but may return *fewer* than the request's
+    /// density when supply is short. An empty vector means no candidate is
+    /// currently serviceable at all and the request should stay parked.
+    ///
+    /// The default only serves full selections (so policies that never
+    /// opted into partial service keep their strict semantics);
+    /// [`ScoredPolicy`] overrides it to score and take the best available
+    /// subset.
+    fn select_partial(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+    ) -> Vec<ImeiHash> {
+        self.select(request, candidates, now).unwrap_or_default()
+    }
+
+    /// Whether [`select_partial`](Self::select_partial) would return any
+    /// device at all. The wait-queue recheck uses this to decide whether a
+    /// degraded task's parked request is worth promoting; like
+    /// [`would_select`](Self::would_select) it must not answer `true` when
+    /// the real call would come back empty.
+    fn would_select_partial(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+    ) -> bool {
+        !self.select_partial(request, candidates, now).is_empty()
+    }
+}
+
+/// One entry the shed policy weighs when a wait queue overflows: the
+/// request plus how many devices currently qualify for it (its supply).
+#[derive(Debug, Clone, Copy)]
+pub struct ShedCandidate<'a> {
+    /// The parked (or incoming) request.
+    pub request: &'a Request,
+    /// Qualified devices available to it right now.
+    pub qualified: usize,
+}
+
+impl ShedCandidate<'_> {
+    /// How many more qualified devices the request still needs — zero
+    /// when supply already covers its density.
+    pub fn deficit(&self) -> usize {
+        self.request.density().saturating_sub(self.qualified)
+    }
+}
+
+/// Decides which request to sacrifice when the wait queue is at its
+/// configured bound: either the incoming request or one already parked.
+///
+/// `parked` is sorted by the global queue key `(deadline, sample_at, id)`
+/// regardless of shard layout, so a policy that decides deterministically
+/// over that order keeps shedding byte-identical for any shard count. The
+/// returned id must be the incoming request's or one of the parked ones.
+pub trait ShedPolicy: fmt::Debug + Send {
+    /// Picks the victim to shed.
+    fn choose_victim(
+        &self,
+        incoming: &ShedCandidate<'_>,
+        parked: &[ShedCandidate<'_>],
+        now: SimTime,
+    ) -> crate::request::RequestId;
+}
+
+/// The built-in shed policies by name, for `Copy`/serializable config
+/// surfaces (harness options, experiment sweeps) that cannot carry a
+/// boxed trait object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicyKind {
+    /// [`DropNewest`].
+    #[default]
+    DropNewest,
+    /// [`DropLowestDeficit`].
+    DropLowestDeficit,
+    /// [`DeadlineAware`].
+    DeadlineAware,
+}
+
+impl ShedPolicyKind {
+    /// The policy object this name denotes.
+    pub fn boxed(self) -> Box<dyn ShedPolicy> {
+        match self {
+            ShedPolicyKind::DropNewest => Box::new(DropNewest),
+            ShedPolicyKind::DropLowestDeficit => Box::new(DropLowestDeficit),
+            ShedPolicyKind::DeadlineAware => Box::new(DeadlineAware),
+        }
+    }
+
+    /// Short display label for experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedPolicyKind::DropNewest => "drop-newest",
+            ShedPolicyKind::DropLowestDeficit => "drop-lowest-deficit",
+            ShedPolicyKind::DeadlineAware => "deadline-aware",
+        }
+    }
+}
+
+/// Tail-drop: the incoming request is shed, everything already parked
+/// keeps its place. The simplest policy and the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropNewest;
+
+impl ShedPolicy for DropNewest {
+    fn choose_victim(
+        &self,
+        incoming: &ShedCandidate<'_>,
+        _parked: &[ShedCandidate<'_>],
+        _now: SimTime,
+    ) -> crate::request::RequestId {
+        incoming.request.id()
+    }
+}
+
+/// Sheds the candidate with the lowest density deficit (ties broken
+/// towards the newest id). A near-zero-deficit request parks only
+/// transiently — its shortfall is about to clear, and its task's
+/// subsequent requests cover the same region — while a high-deficit
+/// request represents an under-covered area whose only chance of being
+/// served is to keep waiting for supply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropLowestDeficit;
+
+impl ShedPolicy for DropLowestDeficit {
+    fn choose_victim(
+        &self,
+        incoming: &ShedCandidate<'_>,
+        parked: &[ShedCandidate<'_>],
+        _now: SimTime,
+    ) -> crate::request::RequestId {
+        std::iter::once(incoming)
+            .chain(parked)
+            .min_by_key(|c| (c.deficit(), u64::MAX - c.request.id().0))
+            .expect("incoming always present")
+            .request
+            .id()
+    }
+}
+
+/// Sheds the candidate with the least slack — the earliest deadline, by
+/// the global queue key. Under sustained overload that request would most
+/// likely have expired unserved anyway, so dropping it costs the least
+/// expected goodput.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineAware;
+
+impl ShedPolicy for DeadlineAware {
+    fn choose_victim(
+        &self,
+        incoming: &ShedCandidate<'_>,
+        parked: &[ShedCandidate<'_>],
+        _now: SimTime,
+    ) -> crate::request::RequestId {
+        std::iter::once(incoming)
+            .chain(parked)
+            .min_by_key(|c| {
+                (
+                    c.request.deadline(),
+                    c.request.sample_at(),
+                    c.request.id().0,
+                )
+            })
+            .expect("incoming always present")
+            .request
+            .id()
+    }
 }
 
 /// The paper's device selector as a policy: score every eligible candidate
@@ -121,5 +292,33 @@ impl SelectionPolicy for ScoredPolicy {
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
         self.selector
             .select_traced(request.density(), candidates, now, tel)
+    }
+
+    fn select_partial(
+        &self,
+        request: &Request,
+        candidates: &[&DeviceRecord],
+        now: SimTime,
+    ) -> Vec<ImeiHash> {
+        // Score the eligible pool as usual, but ask only for as many
+        // devices as it can actually field.
+        let eligible = candidates
+            .iter()
+            .filter(|r| self.selector.eligible(r))
+            .count();
+        let n = request.density().min(eligible);
+        if n == 0 {
+            return Vec::new();
+        }
+        self.selector.select(n, candidates, now).unwrap_or_default()
+    }
+
+    fn would_select_partial(
+        &self,
+        _request: &Request,
+        candidates: &[&DeviceRecord],
+        _now: SimTime,
+    ) -> bool {
+        candidates.iter().any(|r| self.selector.eligible(r))
     }
 }

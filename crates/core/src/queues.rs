@@ -113,6 +113,26 @@ impl RequestQueue {
         self.heap.is_empty()
     }
 
+    /// Removes the request with `id`, if queued, returning it (used by the
+    /// shed path to evict a chosen victim from the wait queue).
+    pub fn remove(&mut self, id: crate::request::RequestId) -> Option<Request> {
+        let mut removed = None;
+        let kept: Vec<QueuedRequest> = self
+            .heap
+            .drain()
+            .filter_map(|q| {
+                if q.0.id() == id && removed.is_none() {
+                    removed = Some(q.0);
+                    None
+                } else {
+                    Some(q)
+                }
+            })
+            .collect();
+        self.heap = kept.into();
+        removed
+    }
+
     /// Removes every request belonging to `task`, returning how many were
     /// dropped (used by `delete_task`).
     pub fn remove_task(&mut self, task: crate::task::TaskId) -> usize {
@@ -196,6 +216,19 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().unwrap().id(), RequestId(2));
+    }
+
+    #[test]
+    fn remove_extracts_one_request_by_id() {
+        let mut q = RequestQueue::new();
+        q.push(req(1, 1, 0, 10));
+        q.push(req(2, 1, 0, 11));
+        q.push(req(3, 1, 0, 12));
+        let removed = q.remove(RequestId(2)).unwrap();
+        assert_eq!(removed.id(), RequestId(2));
+        assert!(q.remove(RequestId(2)).is_none(), "already gone");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id().0).collect();
+        assert_eq!(order, vec![1, 3], "heap order survives the rebuild");
     }
 
     #[test]

@@ -20,6 +20,20 @@ impl fmt::Display for RequestId {
     }
 }
 
+/// Why admission control turned a request away at submission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The homing shard's run queue is at its configured bound.
+    QueueFull,
+}
+
+/// Why the shed policy dropped an already-admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The homing shard's wait queue is at its configured bound.
+    WaitQueueFull,
+}
+
 /// Lifecycle of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RequestStatus {
@@ -35,6 +49,39 @@ pub enum RequestStatus {
     Expired,
     /// The owning task was deleted.
     Cancelled,
+    /// Admission control refused the request at submission time.
+    Rejected {
+        /// Why the request was turned away.
+        reason: RejectReason,
+    },
+    /// The shed policy dropped the request under overload.
+    Shed {
+        /// Why the request was dropped.
+        reason: ShedReason,
+    },
+    /// Served best-effort below the requested density (degraded mode):
+    /// some data arrived before the deadline, but fewer devices than asked.
+    Degraded {
+        /// How many devices actually reported.
+        achieved_density: usize,
+    },
+}
+
+impl RequestStatus {
+    /// Whether the status is terminal: once here, the request never runs
+    /// again and its status must not be overwritten. `update_task_param`
+    /// and the queue-release paths rely on this to stay truthful.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            RequestStatus::Fulfilled
+                | RequestStatus::Expired
+                | RequestStatus::Cancelled
+                | RequestStatus::Rejected { .. }
+                | RequestStatus::Shed { .. }
+                | RequestStatus::Degraded { .. }
+        )
+    }
 }
 
 /// One scheduled sampling instant of a task.

@@ -10,13 +10,16 @@
 //! - the earliest wait-queue head's `deadline` (a parked request expires),
 //! - the earliest active deadline plus the unresponsive grace (an
 //!   assignment times out and its silent devices are marked),
+//! - the earliest device-lease expiry (a silent device is due for
+//!   eviction — the lazy sweep that replaces a liveness polling loop),
 //! - `now` itself when device/task state changed since the last poll and
 //!   requests are parked (a mutation may have requalified one), and
 //! - `now + wait_check_interval` as the paper-faithful fallback re-check
 //!   while anything is parked.
 //!
 //! `None` means the server is quiescent: no queued, parked, or in-flight
-//! request exists, so polling is pointless until the next mutation.
+//! request exists and no lease is armed, so polling is pointless until
+//! the next mutation.
 //! Drivers gate their polls on this — see [`WakeupDriver`] for plugging it
 //! into the `senseaid-sim` event loop.
 //!
@@ -57,6 +60,10 @@ impl Coordinator {
         let grace = self.config().unresponsive_grace;
         for deadline in self.active_deadlines() {
             consider(deadline + grace, "active_grace");
+        }
+
+        if let Some(expiry) = self.next_lease_expiry() {
+            consider(expiry, "lease_expiry");
         }
 
         if self.shards().iter().any(|s| s.wait_queue_len() > 0) {

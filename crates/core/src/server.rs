@@ -156,6 +156,26 @@ impl SenseAidServer {
         self.coordinator.request_status(id)
     }
 
+    /// Every request id with its current lifecycle status, in id order.
+    pub fn request_statuses(&self) -> impl Iterator<Item = (RequestId, RequestStatus)> + '_ {
+        self.coordinator.request_statuses()
+    }
+
+    /// Requests whose status is not yet terminal (queued, parked, or
+    /// assigned). Zero means every request ever generated has reached a
+    /// truthful final status — the overload acceptance criterion.
+    pub fn unresolved_request_count(&self) -> usize {
+        self.coordinator.unresolved_request_count()
+    }
+
+    /// Replaces the shed policy consulted when a bounded wait queue
+    /// overflows (default: [`crate::policy::DropNewest`]). Deployment
+    /// plumbing like [`set_topology`](Self::set_topology): allowed while
+    /// the server is down.
+    pub fn set_shed_policy(&mut self, policy: Box<dyn crate::policy::ShedPolicy>) {
+        self.coordinator.set_shed_policy(policy);
+    }
+
     /// Whether the server process is up. When down every API returns
     /// [`SenseAidError::ServerUnavailable`] and the eNodeBs fall back to
     /// path-1 routing.

@@ -117,6 +117,12 @@ impl Shard {
         self.wait_queue.len()
     }
 
+    /// Removes one parked request by id, if this shard holds it (used by
+    /// the shed path to evict a victim chosen across all shards).
+    pub fn remove_wait(&mut self, id: crate::request::RequestId) -> Option<Request> {
+        self.wait_queue.remove(id)
+    }
+
     /// Purges a task's requests from both queues.
     pub fn remove_task(&mut self, task: TaskId) {
         self.run_queue.remove_task(task);

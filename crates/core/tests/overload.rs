@@ -1,0 +1,602 @@
+//! Behavioural tests for the overload-resilience layer: device leases,
+//! admission control, load shedding, and degraded-mode scheduling —
+//! exercised through the public `SenseAidServer` API only, so they hold
+//! for any control-plane layout.
+
+use senseaid_core::{
+    DegradedConfig, RejectReason, RequestId, RequestStatus, SenseAidConfig, SenseAidServer,
+    ShedPolicyKind, ShedReason, TaskSpec,
+};
+use senseaid_device::{ImeiHash, Sensor, SensorReading};
+use senseaid_geo::{CircleRegion, GeoPoint};
+use senseaid_sim::{SimDuration, SimTime};
+
+fn centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+fn spec(radius: f64, density: usize, period_min: u64, duration_min: u64) -> TaskSpec {
+    TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(centre(), radius))
+        .spatial_density(density)
+        .sampling_period(SimDuration::from_mins(period_min))
+        .sampling_duration(SimDuration::from_mins(duration_min))
+        .build()
+        .unwrap()
+}
+
+fn server_with_devices_cfg(n: u64, config: SenseAidConfig) -> SenseAidServer {
+    let mut server = SenseAidServer::new(config);
+    for i in 1..=n {
+        server
+            .register_device(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                100.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        server
+            .observe_device(ImeiHash(i), centre().offset_by_meters(i as f64, 0.0), None)
+            .unwrap();
+    }
+    server
+}
+
+/// A config with leases on and a grace long enough that assigned devices
+/// are never marked unresponsive mid-test.
+fn lease_cfg(lease_min: u64) -> SenseAidConfig {
+    SenseAidConfig {
+        device_lease: Some(SimDuration::from_mins(lease_min)),
+        unresponsive_grace: SimDuration::from_hours(10),
+        ..SenseAidConfig::default()
+    }
+}
+
+fn reading(at: SimTime) -> SensorReading {
+    SensorReading {
+        sensor: Sensor::Barometer,
+        value: 1010.0,
+        taken_at: at,
+        position: centre(),
+    }
+}
+
+fn statuses_with(server: &SenseAidServer, pred: impl Fn(&RequestStatus) -> bool) -> Vec<RequestId> {
+    server
+        .request_statuses()
+        .filter(|(_, s)| pred(s))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Device leases
+// ---------------------------------------------------------------------
+
+#[test]
+fn silent_devices_are_evicted_at_lease_expiry() {
+    let mut server = server_with_devices_cfg(3, lease_cfg(10));
+    assert_eq!(server.device_count(), 3);
+    // One second shy of the lease: everyone still holds a record.
+    server
+        .poll(SimTime::from_mins(10) - SimDuration::from_secs(1))
+        .unwrap();
+    assert_eq!(server.device_count(), 3);
+    assert_eq!(server.stats().leases_expired, 0);
+    // The lease lapses: the sweep evicts all three.
+    server.poll(SimTime::from_mins(10)).unwrap();
+    assert_eq!(server.device_count(), 0);
+    assert_eq!(server.stats().leases_expired, 3);
+}
+
+#[test]
+fn radio_contact_renews_the_lease() {
+    let mut server = server_with_devices_cfg(2, lease_cfg(10));
+    // Device 1 speaks at t=8 (eNodeB-observed traffic); device 2 reports
+    // state at t=9. Both renewal paths must push the expiry out.
+    server
+        .record_device_comm(ImeiHash(1), SimTime::from_mins(8))
+        .unwrap();
+    server
+        .update_device_state(ImeiHash(2), 90.0, 1.0, SimTime::from_mins(9))
+        .unwrap();
+    server.poll(SimTime::from_mins(15)).unwrap();
+    assert_eq!(server.device_count(), 2, "renewed leases outlive t=10");
+    // Device 1's renewed lease (8+10) lapses first, device 2's at 19.
+    server.poll(SimTime::from_mins(18)).unwrap();
+    assert_eq!(server.device_count(), 1);
+    server.poll(SimTime::from_mins(19)).unwrap();
+    assert_eq!(server.device_count(), 0);
+    assert_eq!(server.stats().leases_expired, 2);
+}
+
+#[test]
+fn next_wakeup_arms_at_the_earliest_lease_expiry() {
+    let mut server = server_with_devices_cfg(1, lease_cfg(10));
+    // No tasks: the only reason to wake is the lease sweep.
+    assert_eq!(
+        server.next_wakeup(SimTime::ZERO),
+        Some(SimTime::from_mins(10))
+    );
+    // Renewal re-arms the term.
+    server
+        .record_device_comm(ImeiHash(1), SimTime::from_mins(4))
+        .unwrap();
+    assert_eq!(
+        server.next_wakeup(SimTime::from_mins(4)),
+        Some(SimTime::from_mins(14))
+    );
+}
+
+#[test]
+fn lease_eviction_releases_in_flight_tasking() {
+    let mut server = server_with_devices_cfg(3, lease_cfg(10));
+    server
+        .submit_task(spec(500.0, 3, 30, 30), SimTime::ZERO)
+        .unwrap();
+    let assignments = server.poll(SimTime::ZERO).unwrap();
+    assert_eq!(assignments.len(), 1);
+    assert_eq!(assignments[0].devices.len(), 3);
+    let id = assignments[0].request;
+    assert_eq!(server.request_status(id), Some(RequestStatus::Assigned));
+
+    // All three assignees fall silent past the lease: the sweep evicts
+    // them, the assignment can no longer reach density, and the request
+    // is released — it re-parks because nobody is left to serve it.
+    server.poll(SimTime::from_mins(10)).unwrap();
+    assert_eq!(server.device_count(), 0);
+    assert_eq!(server.stats().leases_expired, 3);
+    assert_eq!(server.request_status(id), Some(RequestStatus::Waiting));
+
+    // Past the deadline the released request expires truthfully instead
+    // of parking forever.
+    server.poll(SimTime::from_mins(31)).unwrap();
+    assert_eq!(server.request_status(id), Some(RequestStatus::Expired));
+    assert_eq!(server.unresolved_request_count(), 0);
+}
+
+#[test]
+fn delivering_data_renews_the_assignees_lease() {
+    let mut server = server_with_devices_cfg(1, lease_cfg(10));
+    server
+        .submit_task(spec(500.0, 1, 30, 30), SimTime::ZERO)
+        .unwrap();
+    let a = &server.poll(SimTime::ZERO).unwrap()[0];
+    let (device, request) = (a.devices[0], a.request);
+    // The upload at t=9 is radio contact: the lease slides to 19.
+    let t = SimTime::from_mins(9);
+    assert!(server
+        .submit_sensed_data(device, request, &reading(t), t)
+        .unwrap());
+    server.poll(SimTime::from_mins(15)).unwrap();
+    assert_eq!(server.device_count(), 1);
+    server.poll(SimTime::from_mins(19)).unwrap();
+    assert_eq!(server.device_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Admission control & load shedding
+// ---------------------------------------------------------------------
+
+#[test]
+fn submissions_past_the_run_queue_bound_are_rejected() {
+    let mut server = server_with_devices_cfg(
+        3,
+        SenseAidConfig {
+            run_queue_bound: Some(2),
+            ..SenseAidConfig::default()
+        },
+    );
+    // Period 10 over 40 minutes expands to four requests; the bound
+    // admits two and turns the rest away at submission time.
+    server
+        .submit_task(spec(500.0, 1, 10, 40), SimTime::ZERO)
+        .unwrap();
+    assert_eq!(server.run_queue_len(), 2);
+    assert_eq!(server.stats().requests_rejected, 2);
+    let rejected = statuses_with(&server, |s| {
+        matches!(
+            s,
+            RequestStatus::Rejected {
+                reason: RejectReason::QueueFull
+            }
+        )
+    });
+    assert_eq!(rejected.len(), 2);
+    // Rejected is terminal: nothing left dangling once the admitted
+    // requests run their course.
+    for id in rejected {
+        assert!(server.request_status(id).unwrap().is_terminal());
+    }
+}
+
+/// Parks two one-request tasks against a wait queue bounded at 1 and
+/// returns `(first_parked, second_incoming, server)` after the overflow.
+/// `second_deadline_min` controls the incoming request's slack.
+fn overflow_wait_queue(
+    policy: ShedPolicyKind,
+    densities: (usize, usize),
+    second_deadline_min: u64,
+) -> (RequestId, RequestId, SenseAidServer) {
+    let mut server = server_with_devices_cfg(
+        1,
+        SenseAidConfig {
+            wait_queue_bound: Some(1),
+            unresponsive_grace: SimDuration::from_hours(10),
+            ..SenseAidConfig::default()
+        },
+    );
+    server.set_shed_policy(policy.boxed());
+    // Both tasks expand to a single request due at t=0; with one device
+    // against density > 1 neither can be served, so both try to park.
+    let a = server
+        .submit_task(spec(500.0, densities.0, 30, 30), SimTime::ZERO)
+        .unwrap();
+    let b = server
+        .submit_task(
+            spec(500.0, densities.1, second_deadline_min, second_deadline_min), // deadline = period
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert_ne!(a, b);
+    let ids: Vec<RequestId> = server.request_statuses().map(|(id, _)| id).collect();
+    assert_eq!(ids.len(), 2);
+    let (first, second) = (*ids.iter().min().unwrap(), *ids.iter().max().unwrap());
+    server.poll(SimTime::ZERO).unwrap();
+    (first, second, server)
+}
+
+#[test]
+fn drop_newest_sheds_the_incoming_request() {
+    // Task A (deadline 30) pops first and parks; task B (deadline 35)
+    // arrives at the full queue and, under tail-drop, is the victim.
+    let (first, second, server) = overflow_wait_queue(ShedPolicyKind::DropNewest, (3, 3), 35);
+    assert_eq!(server.request_status(first), Some(RequestStatus::Waiting));
+    assert_eq!(
+        server.request_status(second),
+        Some(RequestStatus::Shed {
+            reason: ShedReason::WaitQueueFull
+        })
+    );
+    assert_eq!(server.stats().requests_shed, 1);
+}
+
+#[test]
+fn deadline_aware_sheds_the_least_slack_request() {
+    // The parked request (deadline 30) has less slack than the incoming
+    // one (deadline 35): deadline-aware shedding evicts the parked one
+    // and parks the newcomer in its place.
+    let (first, second, server) = overflow_wait_queue(ShedPolicyKind::DeadlineAware, (3, 3), 35);
+    assert_eq!(
+        server.request_status(first),
+        Some(RequestStatus::Shed {
+            reason: ShedReason::WaitQueueFull
+        })
+    );
+    assert_eq!(server.request_status(second), Some(RequestStatus::Waiting));
+}
+
+#[test]
+fn drop_lowest_deficit_sheds_the_most_satisfiable_request() {
+    // One device qualifies for both: the parked density-3 request is two
+    // short, the incoming density-5 request four short. The low-deficit
+    // policy keeps the under-covered request waiting and sheds the one
+    // closest to being servable.
+    let (first, second, server) =
+        overflow_wait_queue(ShedPolicyKind::DropLowestDeficit, (3, 5), 35);
+    assert_eq!(
+        server.request_status(first),
+        Some(RequestStatus::Shed {
+            reason: ShedReason::WaitQueueFull
+        })
+    );
+    assert_eq!(server.request_status(second), Some(RequestStatus::Waiting));
+}
+
+// ---------------------------------------------------------------------
+// Degraded-mode scheduling
+// ---------------------------------------------------------------------
+
+#[test]
+fn sustained_selection_stress_enters_degraded_mode_and_serves_partially() {
+    // One device against density 3: full selection can never succeed.
+    // After `enter_after` (2 min) of continuous stress the task flips to
+    // degraded mode and the request is served best-effort by the one
+    // device that exists.
+    let mut server = server_with_devices_cfg(
+        1,
+        SenseAidConfig {
+            degraded: Some(DegradedConfig::default()),
+            ..SenseAidConfig::default()
+        },
+    );
+    server
+        .submit_task(spec(500.0, 3, 30, 30), SimTime::ZERO)
+        .unwrap();
+    let mut assignment = None;
+    let mut t = SimTime::ZERO;
+    while t < SimTime::from_mins(5) {
+        let mut out = server.poll(t).unwrap();
+        if let Some(a) = out.pop() {
+            assignment = Some((a, t));
+            break;
+        }
+        t += SimDuration::from_secs(30);
+    }
+    let (a, assigned_at) = assignment.expect("degraded mode must eventually field the request");
+    assert!(
+        assigned_at >= SimTime::from_mins(2),
+        "partial service before the hysteresis window ({assigned_at}) would flap"
+    );
+    assert_eq!(a.devices.len(), 1, "best-effort below density");
+
+    // The device delivers; density 3 is never met, so fulfilment does not
+    // fire — but the deadline sweep finalises the truthful outcome.
+    let t = assigned_at + SimDuration::from_secs(30);
+    assert!(!server
+        .submit_sensed_data(a.devices[0], a.request, &reading(t), t)
+        .unwrap());
+    server.poll(SimTime::from_mins(33)).unwrap();
+    assert_eq!(
+        server.request_status(a.request),
+        Some(RequestStatus::Degraded {
+            achieved_density: 1
+        })
+    );
+    assert_eq!(server.stats().requests_degraded, 1);
+    assert_eq!(server.unresolved_request_count(), 0);
+    // The partial delivery really reached the CAS.
+    assert_eq!(server.drain_outbox().len(), 1);
+}
+
+#[test]
+fn degraded_requests_with_no_data_expire_not_degrade() {
+    // Degraded mode with a device that never uploads: `Degraded` claims
+    // the CAS got something, so a dataless assignment must expire.
+    let mut server = server_with_devices_cfg(
+        1,
+        SenseAidConfig {
+            degraded: Some(DegradedConfig::default()),
+            ..SenseAidConfig::default()
+        },
+    );
+    server
+        .submit_task(spec(500.0, 3, 30, 30), SimTime::ZERO)
+        .unwrap();
+    let mut t = SimTime::ZERO;
+    let mut request = None;
+    while t < SimTime::from_mins(5) {
+        if let Some(a) = server.poll(t).unwrap().pop() {
+            request = Some(a.request);
+            break;
+        }
+        t += SimDuration::from_secs(30);
+    }
+    let request = request.expect("degraded mode fields the request");
+    server.poll(SimTime::from_mins(33)).unwrap();
+    assert_eq!(server.request_status(request), Some(RequestStatus::Expired));
+    assert_eq!(server.stats().requests_degraded, 0);
+}
+
+// ---------------------------------------------------------------------
+// Satellite regressions
+// ---------------------------------------------------------------------
+
+/// Restore must re-arm leases from each record's last contact: a device
+/// that went silent across a crash still expires on schedule instead of
+/// becoming immortal.
+#[test]
+fn recovery_from_snapshot_rearms_lease_expiry() {
+    let mut server = server_with_devices_cfg(1, lease_cfg(10));
+    server.take_snapshot(SimTime::from_mins(1));
+    server.crash();
+    server.recover_at(SimTime::from_mins(3));
+    // The restored record's last contact is t=0 (registration), so the
+    // lease still runs out at t=10 — not 10 minutes after recovery.
+    server.poll(SimTime::from_mins(9)).unwrap();
+    assert_eq!(
+        server.device_count(),
+        1,
+        "restore must not drop the lease early"
+    );
+    server.poll(SimTime::from_mins(10)).unwrap();
+    assert_eq!(server.device_count(), 0);
+    assert_eq!(server.stats().leases_expired, 1);
+}
+
+/// The no-snapshot recovery path keeps the in-memory lease book.
+#[test]
+fn recovery_without_snapshot_keeps_lease_expiry() {
+    let mut server = server_with_devices_cfg(1, lease_cfg(10));
+    server.crash();
+    server.recover_at(SimTime::from_mins(3));
+    server.poll(SimTime::from_mins(10)).unwrap();
+    assert_eq!(server.device_count(), 0);
+    assert_eq!(server.stats().leases_expired, 1);
+}
+
+/// `update_task_param` supersedes *queued* requests, but a request the
+/// shed policy dropped (or admission rejected) is terminal and must not
+/// be flipped to `Cancelled` — let alone resurrected.
+#[test]
+fn update_task_param_does_not_resurrect_shed_requests() {
+    let mut server = server_with_devices_cfg(
+        1,
+        SenseAidConfig {
+            wait_queue_bound: Some(1),
+            unresponsive_grace: SimDuration::from_hours(10),
+            ..SenseAidConfig::default()
+        },
+    );
+    let _a = server
+        .submit_task(spec(500.0, 3, 30, 30), SimTime::ZERO)
+        .unwrap();
+    let b = server
+        .submit_task(spec(500.0, 3, 35, 35), SimTime::ZERO)
+        .unwrap();
+    server.poll(SimTime::ZERO).unwrap();
+    let shed = statuses_with(&server, |s| matches!(s, RequestStatus::Shed { .. }));
+    assert_eq!(shed.len(), 1, "tail-drop sheds task B's request");
+    let shed = shed[0];
+
+    // Re-planning the shed request's task must leave its status alone.
+    server
+        .update_task_param(b, Some(1), None, None, SimTime::from_mins(1))
+        .unwrap();
+    assert_eq!(
+        server.request_status(shed),
+        Some(RequestStatus::Shed {
+            reason: ShedReason::WaitQueueFull
+        })
+    );
+}
+
+#[test]
+fn update_task_param_does_not_resurrect_rejected_requests() {
+    let mut server = server_with_devices_cfg(
+        1,
+        SenseAidConfig {
+            run_queue_bound: Some(1),
+            unresponsive_grace: SimDuration::from_hours(10),
+            ..SenseAidConfig::default()
+        },
+    );
+    let task = server
+        .submit_task(spec(500.0, 1, 10, 20), SimTime::ZERO)
+        .unwrap();
+    let rejected = statuses_with(&server, |s| matches!(s, RequestStatus::Rejected { .. }));
+    assert_eq!(rejected.len(), 1);
+    let rejected = rejected[0];
+
+    server
+        .update_task_param(
+            task,
+            Some(1),
+            Some(SimDuration::from_mins(5)),
+            None,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    assert_eq!(
+        server.request_status(rejected),
+        Some(RequestStatus::Rejected {
+            reason: RejectReason::QueueFull
+        })
+    );
+}
+
+// ---------------------------------------------------------------------
+// Truthful termination under the full overload mix
+// ---------------------------------------------------------------------
+
+/// The acceptance invariant at the server level: with leases, bounded
+/// queues, shedding, and degraded mode all engaged, half the population
+/// going silent mid-run, and demand well past supply, every generated
+/// request still reaches a terminal status — nothing parks forever.
+#[test]
+fn overload_mix_terminates_every_request() {
+    let mut server = server_with_devices_cfg(
+        4,
+        SenseAidConfig {
+            device_lease: Some(SimDuration::from_mins(10)),
+            run_queue_bound: Some(12),
+            wait_queue_bound: Some(2),
+            degraded: Some(DegradedConfig::default()),
+            ..SenseAidConfig::default()
+        },
+    );
+    server.set_shed_policy(ShedPolicyKind::DeadlineAware.boxed());
+    // 4 tasks of density 3 over 4 devices: heavy oversubscription, and
+    // the 12-slot run queue truncates the joint schedule at admission.
+    for _ in 0..4 {
+        server
+            .submit_task(spec(500.0, 3, 10, 40), SimTime::ZERO)
+            .unwrap();
+    }
+    let total: usize = server.request_statuses().count();
+    assert!(total > 12, "the sweep must actually overflow admission");
+
+    // Devices 1 and 2 stay live (they renew by delivering); 3 and 4 go
+    // silent at t=0 and are reclaimed by the lease sweep.
+    let live = [ImeiHash(1), ImeiHash(2)];
+    let mut t = SimTime::ZERO;
+    let horizon = SimTime::from_mins(45);
+    while t <= horizon {
+        let assignments = server.poll(t).unwrap();
+        for a in assignments {
+            for d in a.devices {
+                if live.contains(&d) {
+                    let _ = server.submit_sensed_data(d, a.request, &reading(t), t);
+                }
+            }
+        }
+        for d in live {
+            let _ = server.record_device_comm(d, t);
+        }
+        t += SimDuration::from_secs(30);
+    }
+
+    assert_eq!(
+        server.stats().leases_expired,
+        2,
+        "the silent pair is reclaimed"
+    );
+    assert!(server.stats().requests_rejected > 0);
+    assert_eq!(
+        server.unresolved_request_count(),
+        0,
+        "every request must terminate truthfully under overload"
+    );
+    for (id, status) in server.request_statuses() {
+        assert!(
+            status.is_terminal(),
+            "request {id:?} left non-terminal: {status:?}"
+        );
+    }
+    // The books balance: every expansion landed in exactly one bucket.
+    assert_eq!(server.request_statuses().count(), total);
+}
+
+/// The overload decisions are shard-layout invariant: the same stressed
+/// run over 1 and 4 shards produces identical statuses and stats, because
+/// the queue bounds are global and shedding uses the global key order.
+#[test]
+fn overload_decisions_are_shard_invariant() {
+    let run = |shards: usize| {
+        let mut server = server_with_devices_cfg(
+            3,
+            SenseAidConfig {
+                shard_count: shards,
+                device_lease: Some(SimDuration::from_mins(10)),
+                run_queue_bound: Some(8),
+                wait_queue_bound: Some(1),
+                degraded: Some(DegradedConfig::default()),
+                ..SenseAidConfig::default()
+            },
+        );
+        server.set_shed_policy(ShedPolicyKind::DeadlineAware.boxed());
+        for _ in 0..3 {
+            server
+                .submit_task(spec(500.0, 3, 10, 30), SimTime::ZERO)
+                .unwrap();
+        }
+        let mut t = SimTime::ZERO;
+        let mut log = Vec::new();
+        while t <= SimTime::from_mins(45) {
+            for a in server.poll(t).unwrap() {
+                log.push((t, a.request, a.devices.clone()));
+                if let Some(d) = a.devices.first().copied() {
+                    let _ = server.submit_sensed_data(d, a.request, &reading(t), t);
+                }
+            }
+            t += SimDuration::from_secs(30);
+        }
+        let statuses: Vec<(RequestId, RequestStatus)> = server.request_statuses().collect();
+        (log, statuses, server.stats())
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -13,8 +13,8 @@
 use std::process::ExitCode;
 
 use senseaid::bench::experiments::{
-    ablations, ext_adaptive, ext_chaos, ext_scalability, ext_timeliness, fig01, fig02, fig06,
-    fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
+    ablations, ext_adaptive, ext_chaos, ext_overload, ext_scalability, ext_timeliness, fig01,
+    fig02, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
 };
 use senseaid::bench::{
     run_perf, run_scenario, run_trace, savings_pct, FrameworkKind, PerfOptions, PerfReport,
@@ -48,6 +48,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "ext-chaos",
         "chaos extension (loss sweep + mid-run server crash)",
+    ),
+    (
+        "ext-overload",
+        "overload extension (offered load x churn, leases + shedding)",
     ),
 ];
 
@@ -170,6 +174,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "ext-timeliness" => ext_timeliness::run(seed),
         "ext-adaptive" => ext_adaptive::run(seed),
         "ext-chaos" => ext_chaos::run(seed),
+        "ext-overload" => ext_overload::run(seed),
         other => {
             eprintln!("unknown experiment `{other}` (try `senseaid list`)");
             return ExitCode::FAILURE;
@@ -239,6 +244,15 @@ fn cmd_perf(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("telemetry disabled-sink overhead {pct:+.2}% (within the 2% budget)");
+        }
+        // Same deal for the lease bookkeeping: leases that never fire
+        // must cost less than 2% over a lease-free control plane.
+        if let Some(pct) = report.lease_sweep_overhead_pct() {
+            if pct > 2.0 {
+                eprintln!("device-lease bookkeeping overhead {pct:+.2}% exceeds the 2% budget");
+                return ExitCode::FAILURE;
+            }
+            println!("device-lease bookkeeping overhead {pct:+.2}% (within the 2% budget)");
         }
     }
     ExitCode::SUCCESS

@@ -8,8 +8,9 @@
 //! `0xC0DE` locally), so these invariants are exercised against several
 //! independent loss patterns without new test code.
 
-use senseaid::bench::{run_scenario_with, FrameworkKind, GroupReport, HarnessOptions};
-use senseaid::cellnet::FaultPlan;
+use senseaid::bench::experiments::ext_overload;
+use senseaid::bench::{map_cells, run_scenario_with, FrameworkKind, GroupReport, HarnessOptions};
+use senseaid::cellnet::{ChurnKind, ChurnWave, FaultPlan};
 use senseaid::geo::{CampusMap, NamedLocation};
 use senseaid::sim::{SimDuration, SimTime};
 use senseaid::workload::{PopulationConfig, ScenarioConfig, StudyPopulation};
@@ -44,8 +45,8 @@ fn heavy_plan(seed: u64) -> FaultPlan {
         jitter_max: SimDuration::from_millis(300),
         duplicate: 0.02,
         reorder: 0.01,
-        enodeb_outages: Vec::new(),
         server_outages: vec![(SimTime::from_mins(18), SimTime::from_mins(21))],
+        ..FaultPlan::none()
     }
 }
 
@@ -188,5 +189,133 @@ fn zero_fault_plan_matches_the_plain_harness() {
             assert_eq!(a.at, b.at, "{kind}");
             assert_eq!(a.participating, b.participating, "{kind}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Overload & churn resilience (leases, bounded queues, degraded mode)
+// ---------------------------------------------------------------------
+
+/// The chaos scenario at 4x offered load with the full resilience layer
+/// engaged (leases, bounded queues, deadline-aware shedding, degraded
+/// mode) and a 50% silent leave wave mid-run.
+fn overloaded_options(churn: f64) -> (senseaid::workload::ScenarioConfig, HarnessOptions) {
+    let s = ScenarioConfig {
+        tasks: 4,
+        ..scenario()
+    };
+    let opts = ext_overload::options(fault_seed(), churn, &s);
+    // The sweep's knobs are calibrated for its 2-hour study; this chaos
+    // scenario runs 40 minutes, so tighten the lease (or it outlives the
+    // run) and the admission bound (or it swallows the whole 32-request
+    // schedule) so the overload paths actually fire inside the window.
+    (
+        s,
+        HarnessOptions {
+            device_lease: Some(SimDuration::from_mins(10)),
+            run_queue_bound: Some(16),
+            ..opts
+        },
+    )
+}
+
+/// Exactly-once holds through churn waves layered on heavy chaos: a
+/// leave wave silences half the population mid-run (their departures are
+/// never announced — the lease sweep is the only reclaim path), a rejoin
+/// wave brings them back, and still no reading is double-counted at the
+/// CAS and no request is left parked forever.
+#[test]
+fn churn_waves_preserve_exactly_once_and_truthful_termination() {
+    let sim_seed = 57;
+    let clean = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        scenario(),
+        sim_seed,
+        HarnessOptions::default(),
+    );
+    let mut plan = heavy_plan(fault_seed());
+    plan.churn_waves = vec![
+        ChurnWave {
+            at: SimTime::from_mins(13),
+            kind: ChurnKind::Leave,
+            fraction: 0.5,
+        },
+        ChurnWave {
+            at: SimTime::from_mins(27),
+            kind: ChurnKind::Join,
+            fraction: 0.5,
+        },
+    ];
+    let churned = run_scenario_with(
+        FrameworkKind::SenseAidComplete,
+        scenario(),
+        sim_seed,
+        HarnessOptions {
+            fault_plan: Some(plan),
+            device_lease: Some(SimDuration::from_mins(10)),
+            ..HarnessOptions::default()
+        },
+    );
+    assert!(churned.readings_delivered > 0);
+    assert!(
+        churned.readings_delivered <= clean.readings_delivered,
+        "churn delivered {} > clean {}: a duplicate reached the CAS",
+        churned.readings_delivered,
+        clean.readings_delivered
+    );
+    // Every request the churned run generated reached a terminal bucket.
+    assert_eq!(
+        churned.total_requests(),
+        churned.rounds_fulfilled
+            + churned.rounds_missed
+            + churned.requests_rejected
+            + churned.requests_shed
+            + churned.requests_degraded,
+        "a request was left parked forever under churn"
+    );
+}
+
+/// The acceptance invariant: under a 50% leave wave at 4x offered load
+/// with the whole resilience layer on, the study is byte-identical for
+/// shard counts 1, 2 and 8 — leases, admission, shedding and degraded
+/// decisions all key off global state, never shard layout.
+#[test]
+fn overloaded_churned_study_is_shard_invariant() {
+    let run = |shards: usize| {
+        let (s, opts) = overloaded_options(0.5);
+        run_scenario_with(
+            FrameworkKind::SenseAidComplete,
+            s,
+            57,
+            HarnessOptions {
+                shard_count: Some(shards),
+                ..opts
+            },
+        )
+    };
+    let single = run(1);
+    assert!(
+        single.requests_shed + single.requests_rejected + single.requests_degraded > 0,
+        "the 4x point must actually engage the overload paths"
+    );
+    assert!(single.leases_expired > 0, "the leave wave must trip leases");
+    for shards in [2usize, 8] {
+        assert_eq!(single, run(shards), "{shards} shards diverged");
+    }
+}
+
+/// ... and for worker counts 1, 2 and 8: the parallel harness assembles
+/// the same overloaded, churned study bit-identically at any parallelism.
+#[test]
+fn overloaded_churned_study_is_worker_invariant() {
+    let cells = || vec![(0.0f64, 57u64), (0.5, 57), (0.5, 99)];
+    let run_cell = |_i: usize, (churn, seed): (f64, u64)| {
+        let (s, opts) = overloaded_options(churn);
+        run_scenario_with(FrameworkKind::SenseAidComplete, s, seed, opts)
+    };
+    let serial = map_cells(cells(), 1, run_cell);
+    for workers in [2usize, 8] {
+        let parallel = map_cells(cells(), workers, run_cell);
+        assert_eq!(serial, parallel, "{workers} workers diverged");
     }
 }

@@ -127,8 +127,8 @@ fn chaos_plan(fault_seed: u64) -> FaultPlan {
         jitter_max: SimDuration::from_millis(300),
         duplicate: 0.02,
         reorder: 0.01,
-        enodeb_outages: Vec::new(),
         server_outages: vec![(SimTime::from_mins(10), SimTime::from_mins(13))],
+        ..FaultPlan::none()
     }
 }
 

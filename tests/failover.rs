@@ -175,8 +175,8 @@ proptest! {
             jitter_max: SimDuration::from_millis(200),
             duplicate: 0.02,
             reorder: 0.01,
-            enodeb_outages: Vec::new(),
             server_outages: vec![(SimTime::from_mins(9), SimTime::from_mins(11))],
+            ..FaultPlan::none()
         };
         let run = |shards: usize| {
             run_scenario_with(
