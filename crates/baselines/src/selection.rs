@@ -11,7 +11,7 @@
 //! [`SenseAidServer::with_policy`]: senseaid_core::SenseAidServer::with_policy
 
 use senseaid_core::selector::InsufficientDevices;
-use senseaid_core::store::device_store::DeviceRecord;
+use senseaid_core::store::CandidateRow;
 use senseaid_core::{Request, SelectionPolicy};
 use senseaid_device::ImeiHash;
 use senseaid_sim::SimTime;
@@ -35,7 +35,7 @@ impl SelectionPolicy for SelectAllPolicy {
     fn select(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         _now: SimTime,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
         if candidates.is_empty() {
@@ -47,12 +47,7 @@ impl SelectionPolicy for SelectAllPolicy {
         Ok(candidates.iter().map(|r| r.imei).collect())
     }
 
-    fn would_select(
-        &self,
-        _request: &Request,
-        candidates: &[&DeviceRecord],
-        _now: SimTime,
-    ) -> bool {
+    fn would_select(&self, _request: &Request, candidates: &[CandidateRow], _now: SimTime) -> bool {
         !candidates.is_empty()
     }
 }

@@ -1,0 +1,12 @@
+//! Million-device hot-state extension study. Run with
+//! `cargo bench -p senseaid-bench --bench ext_million`.
+
+use senseaid_bench::experiments::{ext_million, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", ext_million::run(seed));
+}

@@ -5,14 +5,15 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use senseaid_cellnet::Message;
-use senseaid_core::store::device_store::{new_record, DeviceRecord};
+use senseaid_core::store::device_store::new_record;
+use senseaid_core::store::CandidateRow;
 use senseaid_core::{DeviceSelector, HardCutoffs, SelectorWeights};
 use senseaid_device::{ImeiHash, Sensor};
 use senseaid_geo::{CampusMap, CircleRegion};
 use senseaid_radio::{Direction, Radio, RadioPowerProfile, ResetPolicy};
 use senseaid_sim::{EventQueue, SimDuration, SimTime, World};
 
-fn records(n: u64) -> Vec<DeviceRecord> {
+fn rows(n: u64) -> Vec<CandidateRow> {
     (1..=n)
         .map(|i| {
             let mut r = new_record(
@@ -26,19 +27,18 @@ fn records(n: u64) -> Vec<DeviceRecord> {
             );
             r.times_selected = i % 7;
             r.cs_energy_j = (i % 13) as f64;
-            r
+            r.row()
         })
         .collect()
 }
 
 fn bench_selector(c: &mut Criterion) {
     let selector = DeviceSelector::new(SelectorWeights::default(), HardCutoffs::default());
-    let pool = records(1_000);
-    let refs: Vec<&DeviceRecord> = pool.iter().collect();
+    let pool = rows(1_000);
     c.bench_function("selector_select_5_of_1000", |b| {
         b.iter(|| {
             selector
-                .select(5, std::hint::black_box(&refs), SimTime::from_mins(30))
+                .select(5, std::hint::black_box(&pool), SimTime::from_mins(30))
                 .unwrap()
         })
     });
@@ -47,14 +47,14 @@ fn bench_selector(c: &mut Criterion) {
     });
     // Top-k scaling beyond the 1k case above: selection cost should grow
     // near-linearly with the candidate pool (select_nth partition), not
-    // n·log n (full sort).
+    // n·log n (full sort) — and the pool is now a dense slice of Copy
+    // rows rather than a pointer chase through boxed records.
     for n in [10_000u64, 100_000] {
-        let pool = records(n);
-        let refs: Vec<&DeviceRecord> = pool.iter().collect();
+        let pool = rows(n);
         c.bench_function(&format!("selector_select_5_of_{n}"), |b| {
             b.iter(|| {
                 selector
-                    .select(5, std::hint::black_box(&refs), SimTime::from_mins(30))
+                    .select(5, std::hint::black_box(&pool), SimTime::from_mins(30))
                     .unwrap()
             })
         });
@@ -135,8 +135,16 @@ fn bench_grid_index(c: &mut Criterion) {
         idx.insert(i as u32, *p);
     }
     let region = CircleRegion::new(map.anchor(), 500.0);
-    c.bench_function("grid_index_query_500m_of_10k", |b| {
-        b.iter(|| idx.query_circle(std::hint::black_box(&region)))
+    c.bench_function("grid_index_count_500m_of_10k", |b| {
+        b.iter(|| idx.count_in_circle(std::hint::black_box(&region)))
+    });
+    c.bench_function("grid_index_visit_500m_of_10k", |b| {
+        let mut sink = Vec::new();
+        b.iter(|| {
+            sink.clear();
+            idx.for_each_in_circle(std::hint::black_box(&region), |k| sink.push(k));
+            sink.len()
+        })
     });
     c.bench_function("linear_scan_500m_of_10k", |b| {
         b.iter(|| points.iter().filter(|p| region.contains(**p)).count())

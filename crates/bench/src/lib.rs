@@ -32,7 +32,7 @@ pub mod trace;
 
 pub use framework::{FrameworkKind, GroupReport, RoundObservation};
 pub use parallel::{configured_workers, map_cells};
-pub use perf::{run_perf, PerfOptions, PerfReport};
+pub use perf::{cell_names, run_perf, run_perf_filtered, PerfCell, PerfOptions, PerfReport};
 pub use report::{per_device_csv, savings_pct, two_pct_bar_j, SweepTable};
 pub use runner::{run_scenario, run_scenario_with, HarnessOptions};
 pub use trace::{run_trace, TraceRun, TRACEABLE};

@@ -59,6 +59,10 @@ pub struct PerfCell {
     pub events_per_sec: f64,
     /// Peak control-plane queue depth observed (0 for baselines).
     pub peak_queue_depth: u64,
+    /// Resident memory (MiB) sampled while the cell's state was live.
+    /// `None` for cells that do not measure memory — the field is omitted
+    /// from the JSON, so baselines written before it existed still parse.
+    pub rss_mb: Option<f64>,
 }
 
 /// A full perf run: the tracked `BENCH_perf.json` payload.
@@ -109,6 +113,7 @@ fn timed_cell(name: &str, kind: FrameworkKind, scenario: ScenarioConfig, seed: u
         events,
         events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
         peak_queue_depth: report.peak_queue_depth,
+        rss_mb: None,
     }
 }
 
@@ -139,18 +144,28 @@ fn sweep_cell(name: &str, sizes: &[usize], seed: u64, reference_loops: bool) -> 
         events,
         events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
         peak_queue_depth: peak,
+        rss_mb: None,
     }
 }
 
 /// Shared estimator for the few-percent overhead budgets. These pairs
 /// feed a 2% gate, far tighter than the 2x regression factor the named
 /// cells ride, and the raw runs are only milliseconds — well inside
-/// shared-runner jitter. Two defences: each timed sample is a batch of
-/// back-to-back runs (noise averages inside the batch), and the armed
-/// cell's wall is derived from the *median of per-round armed/reference
-/// ratios* — the two slots of a round run back to back on the same
-/// machine state, so the paired ratio cancels common-mode drift and the
-/// median discards outlier rounds.
+/// shared-runner jitter. The armed cell's wall is derived from the
+/// *median of per-round armed/reference ratios*: the two slots of a
+/// round run back to back, so the paired ratio cancels common-mode
+/// drift, and the median discards outlier rounds. Pairing beats
+/// batching here — shared-machine noise is slow drift, so small batches
+/// keep a round's two slots close in time (where the ratio cancels
+/// best) and many rounds feed the median. Rounds alternate which slot
+/// runs first so drift landing on the second slot of every round cannot
+/// bias the ratio stream in one direction.
+///
+/// One more defence, because the budget gate is hard-fail: when a pass
+/// lands near or over the budget the whole pass is repeated (up to
+/// three) and the median pass estimate wins. A real regression
+/// reproduces in every pass; a noise burst that contaminated most of
+/// one pass's rounds does not survive two more.
 fn paired_overhead_cells(
     names: (&str, &str),
     seed: u64,
@@ -158,34 +173,45 @@ fn paired_overhead_cells(
     options: impl Fn(usize) -> HarnessOptions,
 ) -> (PerfCell, PerfCell) {
     let scenario = study_scenario(50, quick);
-    let rounds = if quick { 5 } else { 7 };
-    let batch = if quick { 4 } else { 8 };
-    // Index 0: reference configuration. Index 1: armed configuration.
-    let mut samples = [const { Vec::new() }; 2];
+    let rounds = if quick { 45 } else { 61 };
+    let batch = if quick { 1 } else { 2 };
     let mut peak = 0u64;
-    for _ in 0..rounds {
-        for (slot, sample) in samples.iter_mut().enumerate() {
-            let start = Instant::now();
-            for _ in 0..batch {
-                let report = run_scenario_with(
-                    FrameworkKind::SenseAidComplete,
-                    scenario,
-                    seed,
-                    options(slot),
-                );
-                peak = peak.max(report.peak_queue_depth);
+    let mut reference_wall = f64::INFINITY;
+    let mut estimates: Vec<f64> = Vec::new();
+    for _pass in 0..3 {
+        // Index 0: reference configuration. Index 1: armed configuration.
+        let mut samples = [const { Vec::new() }; 2];
+        for round in 0..rounds {
+            let order = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+            for slot in order {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    let report = run_scenario_with(
+                        FrameworkKind::SenseAidComplete,
+                        scenario,
+                        seed,
+                        options(slot),
+                    );
+                    peak = peak.max(report.peak_queue_depth);
+                }
+                samples[slot].push(start.elapsed().as_secs_f64() * 1e3 / batch as f64);
             }
-            sample.push(start.elapsed().as_secs_f64() * 1e3 / batch as f64);
+        }
+        reference_wall = samples[0].iter().copied().fold(reference_wall, f64::min);
+        let mut ratios: Vec<f64> = samples[0]
+            .iter()
+            .zip(&samples[1])
+            .map(|(r, a)| a / r.max(1e-9))
+            .collect();
+        ratios.sort_unstable_by(|a, b| a.total_cmp(b));
+        estimates.push(ratios[ratios.len() / 2]);
+        // Comfortably inside the budget: believe it and stop paying.
+        if *estimates.last().expect("just pushed") < 1.015 {
+            break;
         }
     }
-    let reference_wall = samples[0].iter().copied().fold(f64::INFINITY, f64::min);
-    let mut ratios: Vec<f64> = samples[0]
-        .iter()
-        .zip(&samples[1])
-        .map(|(r, a)| a / r.max(1e-9))
-        .collect();
-    ratios.sort_unstable_by(|a, b| a.total_cmp(b));
-    let armed_wall = reference_wall * ratios[ratios.len() / 2];
+    estimates.sort_unstable_by(|a, b| a.total_cmp(b));
+    let armed_wall = reference_wall * estimates[estimates.len() / 2];
     let events = device_ticks(&scenario);
     let cell = |name: &str, wall_ms: f64| PerfCell {
         name: name.to_owned(),
@@ -193,6 +219,7 @@ fn paired_overhead_cells(
         events,
         events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
         peak_queue_depth: peak,
+        rss_mb: None,
     };
     (cell(names.0, reference_wall), cell(names.1, armed_wall))
 }
@@ -233,50 +260,155 @@ fn lease_sweep_overhead_cells(seed: u64, quick: bool) -> (PerfCell, PerfCell) {
     )
 }
 
+/// The million-device hot-state sweep as two cells: aggregate operation
+/// throughput across the sweep, and resident memory with the largest
+/// population live. Both ride the `--against` gate — the throughput cell
+/// on wall-clock, the resident cell on wall-clock *and* memory.
+fn ext_million_cells(seed: u64, quick: bool) -> Vec<PerfCell> {
+    use crate::experiments::ext_million;
+    let sizes = if quick {
+        ext_million::QUICK_SIZES
+    } else {
+        ext_million::FULL_SIZES
+    };
+    let rows = ext_million::sweep(sizes, seed);
+    let wall: f64 = rows.iter().map(|r| r.wall_ms).sum();
+    let events: u64 = rows.iter().map(|r| r.events).sum();
+    let top = rows.last().expect("sweep has rows");
+    vec![
+        PerfCell {
+            name: "ext_million_sweep".to_owned(),
+            wall_ms: wall,
+            events,
+            events_per_sec: events as f64 / (wall / 1e3).max(1e-9),
+            peak_queue_depth: 0,
+            rss_mb: None,
+        },
+        PerfCell {
+            name: "ext_million_resident".to_owned(),
+            wall_ms: top.wall_ms,
+            events: top.events,
+            events_per_sec: top.events_per_sec,
+            peak_queue_depth: 0,
+            rss_mb: Some(top.rss_mb),
+        },
+    ]
+}
+
+/// Every cell name a run can emit, in emission order. This is the
+/// vocabulary `--filter` validates against.
+pub fn cell_names() -> Vec<&'static str> {
+    CELL_GROUPS.iter().flat_map(|g| g.iter().copied()).collect()
+}
+
+/// Cells that are measured together: a filter naming any member runs the
+/// whole group (overhead pairs are meaningless alone, and the two
+/// ext_million cells come from one sweep).
+const CELL_GROUPS: &[&[&str]] = &[
+    &["senseaid_complete_20dev"],
+    &["senseaid_complete_200dev"],
+    &["pcs_100dev"],
+    &["periodic_100dev"],
+    &["ext_scalability_sweep"],
+    &["ext_scalability_sweep_reference"],
+    &["ext_million_sweep", "ext_million_resident"],
+    &["telemetry_overhead_reference", "telemetry_overhead"],
+    &["lease_sweep_overhead_reference", "lease_sweep_overhead"],
+];
+
 /// Runs the full cell set.
 pub fn run_perf(options: &PerfOptions) -> PerfReport {
+    run_perf_filtered(options, None).expect("no filter, no unknown cell")
+}
+
+/// Runs the cell set, optionally restricted to the group containing the
+/// named cell.
+///
+/// # Errors
+///
+/// Returns the unknown name plus the known vocabulary when `filter` does
+/// not match any cell, so callers can reject typos by name.
+pub fn run_perf_filtered(
+    options: &PerfOptions,
+    filter: Option<&str>,
+) -> Result<PerfReport, String> {
     let q = options.quick;
     let seed = options.seed;
+    if let Some(wanted) = filter {
+        if !CELL_GROUPS.iter().any(|g| g.contains(&wanted)) {
+            return Err(format!(
+                "unknown perf cell '{wanted}'; known cells: {}",
+                cell_names().join(", ")
+            ));
+        }
+    }
+    let selected = |group: &[&str]| filter.is_none_or(|wanted| group.contains(&wanted));
     let sweep_sizes: &[usize] = if q { &[20, 50] } else { &[20, 50, 100, 200] };
-    let (tel_reference, tel_noop) = telemetry_overhead_cells(seed, q);
-    let (lease_reference, lease_armed) = lease_sweep_overhead_cells(seed, q);
-    let cells = vec![
-        timed_cell(
+    let mut cells = Vec::new();
+    if selected(CELL_GROUPS[0]) {
+        cells.push(timed_cell(
             "senseaid_complete_20dev",
             FrameworkKind::SenseAidComplete,
             study_scenario(20, q),
             seed,
-        ),
-        timed_cell(
+        ));
+    }
+    if selected(CELL_GROUPS[1]) {
+        cells.push(timed_cell(
             "senseaid_complete_200dev",
             FrameworkKind::SenseAidComplete,
             study_scenario(if q { 100 } else { 200 }, q),
             seed,
-        ),
-        timed_cell(
+        ));
+    }
+    if selected(CELL_GROUPS[2]) {
+        cells.push(timed_cell(
             "pcs_100dev",
             FrameworkKind::pcs_default(),
             study_scenario(if q { 50 } else { 100 }, q),
             seed,
-        ),
-        timed_cell(
+        ));
+    }
+    if selected(CELL_GROUPS[3]) {
+        cells.push(timed_cell(
             "periodic_100dev",
             FrameworkKind::Periodic,
             study_scenario(if q { 50 } else { 100 }, q),
             seed,
-        ),
-        sweep_cell("ext_scalability_sweep", sweep_sizes, seed, false),
-        sweep_cell("ext_scalability_sweep_reference", sweep_sizes, seed, true),
-        tel_reference,
-        tel_noop,
-        lease_reference,
-        lease_armed,
-    ];
-    PerfReport {
+        ));
+    }
+    if selected(CELL_GROUPS[4]) {
+        cells.push(sweep_cell(
+            "ext_scalability_sweep",
+            sweep_sizes,
+            seed,
+            false,
+        ));
+    }
+    if selected(CELL_GROUPS[5]) {
+        cells.push(sweep_cell(
+            "ext_scalability_sweep_reference",
+            sweep_sizes,
+            seed,
+            true,
+        ));
+    }
+    if selected(CELL_GROUPS[6]) {
+        cells.extend(ext_million_cells(seed, q));
+    }
+    if selected(CELL_GROUPS[7]) {
+        let (reference, noop) = telemetry_overhead_cells(seed, q);
+        cells.extend([reference, noop]);
+    }
+    if selected(CELL_GROUPS[8]) {
+        let (reference, armed) = lease_sweep_overhead_cells(seed, q);
+        cells.extend([reference, armed]);
+    }
+    Ok(PerfReport {
         seed,
         quick: q,
         cells,
-    }
+    })
 }
 
 impl PerfReport {
@@ -288,14 +420,19 @@ impl PerfReport {
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         out.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
+            let rss = c
+                .rss_mb
+                .map(|mb| format!(", \"rss_mb\": {mb:.1}"))
+                .unwrap_or_default();
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"events\": {}, \
-                 \"events_per_sec\": {:.1}, \"peak_queue_depth\": {}}}{}\n",
+                 \"events_per_sec\": {:.1}, \"peak_queue_depth\": {}{}}}{}\n",
                 c.name,
                 c.wall_ms,
                 c.events,
                 c.events_per_sec,
                 c.peak_queue_depth,
+                rss,
                 if i + 1 < self.cells.len() { "," } else { "" },
             ));
         }
@@ -321,6 +458,7 @@ impl PerfReport {
                 events: field_u64(obj, "events")?,
                 events_per_sec: field_f64(obj, "events_per_sec")?,
                 peak_queue_depth: field_u64(obj, "peak_queue_depth")?,
+                rss_mb: field_f64(obj, "rss_mb"),
             });
         }
         if cells.is_empty() {
@@ -355,7 +493,10 @@ impl PerfReport {
     }
 
     /// Checks this run against a baseline: every cell present in both
-    /// must finish within `factor`× the baseline's wall-clock. Returns the
+    /// must finish within `factor`× the baseline's wall-clock, and cells
+    /// carrying a resident-memory sample must stay within `factor`× the
+    /// baseline's sample too (skipped when either side lacks one, e.g. an
+    /// old baseline or a non-Linux host reporting zero). Returns the
     /// offending descriptions, empty when the run is clean.
     pub fn regressions_against(&self, baseline: &PerfReport, factor: f64) -> Vec<String> {
         let mut failures = Vec::new();
@@ -369,6 +510,14 @@ impl PerfReport {
                     cell.name, cell.wall_ms, base.wall_ms
                 ));
             }
+            if let (Some(rss), Some(base_rss)) = (cell.rss_mb, base.rss_mb) {
+                if rss > 0.0 && base_rss > 0.0 && rss > base_rss * factor {
+                    failures.push(format!(
+                        "{}: {rss:.1} MiB resident vs baseline {base_rss:.1} MiB (> {factor:.1}x)",
+                        cell.name
+                    ));
+                }
+            }
         }
         failures
     }
@@ -381,9 +530,13 @@ impl PerfReport {
             "cell", "wall ms", "events", "events/sec", "peak q"
         ));
         for c in &self.cells {
+            let rss = c
+                .rss_mb
+                .map(|mb| format!("  rss {mb:.1} MiB"))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "{:<34} {:>10.1} {:>12} {:>14.0} {:>10}\n",
-                c.name, c.wall_ms, c.events, c.events_per_sec, c.peak_queue_depth
+                "{:<34} {:>10.1} {:>12} {:>14.0} {:>10}{}\n",
+                c.name, c.wall_ms, c.events, c.events_per_sec, c.peak_queue_depth, rss
             ));
         }
         if let (Some(opt), Some(reference)) = (
@@ -449,6 +602,7 @@ mod tests {
                     events: 1000,
                     events_per_sec: 100_000.0,
                     peak_queue_depth: 3,
+                    rss_mb: None,
                 },
                 PerfCell {
                     name: "b".to_owned(),
@@ -456,6 +610,7 @@ mod tests {
                     events: 2000,
                     events_per_sec: 100_000.0,
                     peak_queue_depth: 0,
+                    rss_mb: Some(512.0),
                 },
             ],
         }
@@ -483,6 +638,52 @@ mod tests {
     }
 
     #[test]
+    fn regression_gate_covers_resident_memory() {
+        let baseline = sample_report();
+        let mut current = sample_report();
+        current.cells[1].rss_mb = Some(2000.0); // > 2× the baseline's 512
+        let failures = current.regressions_against(&baseline, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("MiB resident"), "{failures:?}");
+        // A side without a sample (old baseline, non-Linux zero) is skipped.
+        current.cells[1].rss_mb = None;
+        assert!(current.regressions_against(&baseline, 2.0).is_empty());
+        current.cells[1].rss_mb = Some(2000.0);
+        let mut no_base = baseline.clone();
+        no_base.cells[1].rss_mb = Some(0.0);
+        assert!(current.regressions_against(&no_base, 2.0).is_empty());
+    }
+
+    #[test]
+    fn filter_rejects_unknown_cells_by_name() {
+        let options = PerfOptions {
+            seed: 11,
+            quick: true,
+        };
+        let err = run_perf_filtered(&options, Some("no_such_cell")).unwrap_err();
+        assert!(err.contains("no_such_cell"), "{err}");
+        assert!(err.contains("ext_million_sweep"), "{err}");
+        for name in cell_names() {
+            assert!(
+                CELL_GROUPS.iter().any(|g| g.contains(&name)),
+                "{name} must be filterable"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_runs_exactly_the_named_group() {
+        let options = PerfOptions {
+            seed: 11,
+            quick: true,
+        };
+        let report =
+            run_perf_filtered(&options, Some("senseaid_complete_20dev")).expect("known cell");
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.cells[0].name, "senseaid_complete_20dev");
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(PerfReport::parse_json("").is_none());
         assert!(PerfReport::parse_json("{\"seed\": 3}").is_none());
@@ -495,15 +696,18 @@ mod tests {
         assert_eq!(device_ticks(&s), (20 * 60 + 5 * 60 + 2 + 1) * 10);
     }
 
-    /// The full harness on a tiny quick run: all ten cells present, with
-    /// sane numbers, and the JSON survives a round trip.
+    /// The full harness on a tiny quick run: all twelve cells present, in
+    /// the declared vocabulary order, with sane numbers, and the JSON
+    /// survives a round trip — including the optional memory sample.
     #[test]
     fn quick_run_produces_all_cells() {
         let report = run_perf(&PerfOptions {
             seed: 11,
             quick: true,
         });
-        assert_eq!(report.cells.len(), 10);
+        assert_eq!(report.cells.len(), 12);
+        let names: Vec<&str> = report.cells.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, cell_names());
         for c in &report.cells {
             assert!(c.events > 0, "{}", c.name);
             assert!(c.events_per_sec > 0.0, "{}", c.name);
@@ -516,9 +720,29 @@ mod tests {
             report.lease_sweep_overhead_pct().is_some(),
             "lease overhead cells must both be present"
         );
+        assert!(
+            report
+                .cell("ext_million_resident")
+                .unwrap()
+                .rss_mb
+                .is_some(),
+            "the resident cell must carry a memory sample"
+        );
         let parsed = PerfReport::parse_json(&report.to_json()).expect("round trip");
-        assert_eq!(parsed.cells.len(), 10);
+        assert_eq!(parsed.cells.len(), 12);
         assert!(parsed.telemetry_overhead_pct().is_some());
         assert!(parsed.lease_sweep_overhead_pct().is_some());
+        assert_eq!(
+            parsed
+                .cell("ext_million_resident")
+                .unwrap()
+                .rss_mb
+                .is_some(),
+            report
+                .cell("ext_million_resident")
+                .unwrap()
+                .rss_mb
+                .is_some()
+        );
     }
 }

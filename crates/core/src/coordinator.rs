@@ -36,7 +36,7 @@ use crate::request::{RejectReason, Request, RequestId, RequestStatus, ShedReason
 use crate::shard::{QueueKey, Shard};
 use crate::store::device_store::DeviceRecord;
 use crate::store::task_store::{TaskStatus, TaskStore};
-use crate::store::{DeviceIndex, QualificationProbe};
+use crate::store::{CandidateRow, DeviceIndex, QualificationProbe};
 use crate::task::{TaskId, TaskSpec};
 use crate::validation::ReadingValidator;
 
@@ -301,6 +301,16 @@ pub(crate) struct Coordinator {
     /// Set when device state changed in a way that could requalify a
     /// parked request; cleared by a poll that finds nothing more to do.
     wait_dirty: bool,
+    /// Monotone counter bumped whenever device columns change in a way
+    /// that could alter qualification (registration, state updates,
+    /// position moves, evictions, responsiveness flips). The wait-queue
+    /// recheck memoises per-request verdicts against it, so parked
+    /// requests are only re-qualified when something actually changed.
+    qual_epoch: u64,
+    /// Per parked request: the epoch its last recheck ran at, and whether
+    /// partial selection could field at least one device then. Entries
+    /// are pruned to the currently parked set on every recheck pass.
+    recheck_memo: BTreeMap<RequestId, (u64, bool)>,
     /// Victim chooser for wait-queue overflow (see `park_request`).
     shed_policy: Box<dyn ShedPolicy>,
     /// Lease bookkeeping, populated only when `config.device_lease` is
@@ -352,6 +362,8 @@ impl Coordinator {
             seq_ledger: BTreeMap::new(),
             delivered_log: BTreeSet::new(),
             wait_dirty: false,
+            qual_epoch: 0,
+            recheck_memo: BTreeMap::new(),
             shed_policy: Box::new(DropNewest),
             lease_expiry: BTreeMap::new(),
             earliest_lease: None,
@@ -417,7 +429,7 @@ impl Coordinator {
         self.statuses.get(&id).copied()
     }
 
-    pub fn device(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+    pub fn device(&self, imei: ImeiHash) -> Option<DeviceRecord> {
         let shard = *self.home.get(&imei)?;
         self.shards[shard].device(imei)
     }
@@ -427,9 +439,10 @@ impl Coordinator {
         self.home.get(&imei).copied()
     }
 
-    fn device_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
+    /// The device index holding `imei`, for the narrow column mutators.
+    fn device_index_mut(&mut self, imei: ImeiHash) -> Option<&mut dyn DeviceIndex> {
         let shard = *self.home.get(&imei)?;
-        self.shards[shard].device_mut(imei)
+        Some(self.shards[shard].devices())
     }
 
     /// How many known requests are not yet in a terminal status. Zero at
@@ -579,6 +592,7 @@ impl Coordinator {
                     self.enqueue_run(active.request);
                 }
             }
+            self.qual_epoch += 1;
             self.wait_dirty = true;
         }
         self.recompute_earliest_lease();
@@ -668,6 +682,9 @@ impl Coordinator {
 
     pub fn set_topology(&mut self, network: CellularNetwork) {
         self.topology = Some(network);
+        // Target-shard fan-out depends on the topology, so memoised
+        // recheck verdicts are stale.
+        self.qual_epoch += 1;
         self.wait_dirty = true;
     }
 
@@ -702,25 +719,33 @@ impl Coordinator {
         }
     }
 
-    /// Qualified candidate records across the target shards, merged into
+    /// Qualified candidate rows across the target shards, merged into
     /// ascending IMEI-hash order (the order one unsharded store returns).
-    fn candidates_across<'a>(
-        shards: &'a [Shard],
+    fn candidates_across(
+        shards: &[Shard],
         targets: &[usize],
         probe: &QualificationProbe,
-    ) -> Vec<&'a DeviceRecord> {
+    ) -> Vec<CandidateRow> {
+        // Single-target fast path: one shard's rows already arrive in
+        // ascending IMEI order, straight into the output buffer.
+        if let [only] = targets {
+            let mut out = Vec::new();
+            shards[*only].candidates_into(probe, &mut out);
+            return out;
+        }
         // Each shard already returns its candidates in ascending IMEI
         // order, so a k-way merge of the per-shard lists reproduces the
         // single-store order without re-sorting the concatenation.
-        let mut per_shard: Vec<Vec<&DeviceRecord>> = targets
+        let per_shard: Vec<Vec<CandidateRow>> = targets
             .iter()
-            .map(|&s| shards[s].candidates(probe))
+            .map(|&s| {
+                let mut rows = Vec::new();
+                shards[s].candidates_into(probe, &mut rows);
+                rows
+            })
             .collect();
-        if per_shard.len() == 1 {
-            return per_shard.pop().expect("one list");
-        }
         let total = per_shard.iter().map(Vec::len).sum();
-        let mut merged: Vec<&DeviceRecord> = Vec::with_capacity(total);
+        let mut merged: Vec<CandidateRow> = Vec::with_capacity(total);
         let mut cursors = vec![0usize; per_shard.len()];
         for _ in 0..total {
             let next = per_shard
@@ -823,15 +848,13 @@ impl Coordinator {
         let imei = record.imei;
         let contact = record.last_comm;
         if self.home.contains_key(&imei) {
-            let existing = self.device_mut(imei).expect("home map tracks membership");
-            existing.energy_budget_j = record.energy_budget_j;
-            existing.critical_battery_pct = record.critical_battery_pct;
-            existing.battery_pct = record.battery_pct;
-            existing.sensors = record.sensors;
-            existing.device_type = record.device_type;
-            existing.last_comm = record.last_comm;
-            existing.responsive = true;
+            let refreshed = self
+                .device_index_mut(imei)
+                .expect("home map tracks membership")
+                .refresh_registration(&record);
+            debug_assert!(refreshed, "home map tracks membership");
             self.renew_lease(imei, contact);
+            self.qual_epoch += 1;
             self.wait_dirty = true;
             return;
         }
@@ -839,6 +862,7 @@ impl Coordinator {
         self.home.insert(imei, shard);
         self.shards[shard].insert_device(record);
         self.renew_lease(imei, contact);
+        self.qual_epoch += 1;
         self.wait_dirty = true;
     }
 
@@ -853,6 +877,7 @@ impl Coordinator {
         for active in self.active.values_mut() {
             active.assigned.retain(|d| *d != imei);
         }
+        self.qual_epoch += 1;
         self.wait_dirty = true;
         Ok(())
     }
@@ -863,11 +888,13 @@ impl Coordinator {
         energy_budget_j: f64,
         critical_battery_pct: f64,
     ) -> Result<(), SenseAidError> {
-        let rec = self
-            .device_mut(imei)
-            .ok_or(SenseAidError::UnknownDevice(imei))?;
-        rec.energy_budget_j = energy_budget_j;
-        rec.critical_battery_pct = critical_battery_pct;
+        let updated = self
+            .device_index_mut(imei)
+            .is_some_and(|idx| idx.update_preferences(imei, energy_budget_j, critical_battery_pct));
+        if !updated {
+            return Err(SenseAidError::UnknownDevice(imei));
+        }
+        self.qual_epoch += 1;
         self.wait_dirty = true;
         Ok(())
     }
@@ -879,14 +906,14 @@ impl Coordinator {
         cs_energy_j: f64,
         now: SimTime,
     ) -> Result<(), SenseAidError> {
-        let rec = self
-            .device_mut(imei)
-            .ok_or(SenseAidError::UnknownDevice(imei))?;
-        rec.battery_pct = battery_pct;
-        rec.cs_energy_j = cs_energy_j;
-        rec.last_comm = now;
-        rec.responsive = true;
+        let updated = self
+            .device_index_mut(imei)
+            .is_some_and(|idx| idx.update_state(imei, battery_pct, cs_energy_j, now));
+        if !updated {
+            return Err(SenseAidError::UnknownDevice(imei));
+        }
         self.renew_lease(imei, now);
+        self.qual_epoch += 1;
         self.wait_dirty = true;
         Ok(())
     }
@@ -915,6 +942,7 @@ impl Coordinator {
         } else if !self.shards[current].observe(imei, position, cell) {
             return Err(SenseAidError::UnknownDevice(imei));
         }
+        self.qual_epoch += 1;
         self.wait_dirty = true;
         Ok(())
     }
@@ -924,12 +952,14 @@ impl Coordinator {
         imei: ImeiHash,
         now: SimTime,
     ) -> Result<(), SenseAidError> {
-        let rec = self
-            .device_mut(imei)
-            .ok_or(SenseAidError::UnknownDevice(imei))?;
-        rec.last_comm = now;
-        rec.responsive = true;
+        let updated = self
+            .device_index_mut(imei)
+            .is_some_and(|idx| idx.record_comm(imei, now));
+        if !updated {
+            return Err(SenseAidError::UnknownDevice(imei));
+        }
         self.renew_lease(imei, now);
+        self.qual_epoch += 1;
         self.wait_dirty = true;
         Ok(())
     }
@@ -1289,8 +1319,8 @@ impl Coordinator {
             };
         drop(candidates);
         for imei in &selected {
-            if let Some(rec) = self.device_mut(*imei) {
-                rec.times_selected += 1;
+            if let Some(idx) = self.device_index_mut(*imei) {
+                idx.bump_selected(*imei);
             }
         }
         if self.tel.active() {
@@ -1446,8 +1476,9 @@ impl Coordinator {
             // §3.2: excluded from future selections until they speak).
             for imei in &active.assigned {
                 if !active.received.contains(imei) {
-                    if let Some(rec) = self.device_mut(*imei) {
-                        rec.responsive = false;
+                    if let Some(idx) = self.device_index_mut(*imei) {
+                        idx.set_responsive(*imei, false);
+                        self.qual_epoch += 1;
                     }
                 }
             }
@@ -1474,38 +1505,66 @@ impl Coordinator {
     /// requests whose candidates fail the hard cutoffs back and forth).
     fn recheck_wait_queue(&mut self, now: SimTime) {
         let mut parked: Vec<Request> = Vec::new();
+        let epoch = self.qual_epoch;
         while let Some((shard, _)) = Self::min_head(&self.shards, Shard::wait_head_key) {
             let request = self.shards[shard].pop_wait().expect("head key seen");
             if request.deadline() <= now {
                 self.expire_request(&request, now);
                 continue;
             }
-            let promote = {
-                let probe = QualificationProbe::for_request(&request);
-                let targets = self.target_shards(&probe.region);
-                let candidates = Self::candidates_across(&self.shards, &targets, &probe);
-                if self.policy.would_select(&request, &candidates, now) {
-                    true
-                } else {
-                    // An unsatisfiable park is selection stress: record
-                    // it so a task whose requests only ever sit parked
-                    // still accrues time towards degraded mode. Once
-                    // degraded, promote whenever partial service could
-                    // field at least one device.
+            let memo = self.recheck_memo.get(&request.id()).copied();
+            let promote = match memo {
+                // No device column changed since this request's last
+                // recheck decided not to promote, and qualification is
+                // time-independent: full selection still fails. Degraded-
+                // mode entry *is* time-driven, so the failure is still
+                // recorded and the memoised partial verdict gates the
+                // degraded promotion — without re-gathering candidates.
+                Some((e, partial)) if e == epoch => {
                     Self::note_selection_failure(
                         &mut self.degrade_state,
                         &self.config,
                         &self.tel,
                         request.task(),
                         now,
-                    ) && self.policy.would_select_partial(&request, &candidates, now)
+                    ) && partial
+                }
+                _ => {
+                    let probe = QualificationProbe::for_request(&request);
+                    let targets = self.target_shards(&probe.region);
+                    let candidates = Self::candidates_across(&self.shards, &targets, &probe);
+                    if self.policy.would_select(&request, &candidates, now) {
+                        true
+                    } else {
+                        // An unsatisfiable park is selection stress: record
+                        // it so a task whose requests only ever sit parked
+                        // still accrues time towards degraded mode. Once
+                        // degraded, promote whenever partial service could
+                        // field at least one device.
+                        let partial = self.policy.would_select_partial(&request, &candidates, now);
+                        self.recheck_memo.insert(request.id(), (epoch, partial));
+                        Self::note_selection_failure(
+                            &mut self.degrade_state,
+                            &self.config,
+                            &self.tel,
+                            request.task(),
+                            now,
+                        ) && partial
+                    }
                 }
             };
             if promote {
+                self.recheck_memo.remove(&request.id());
                 self.enqueue_run(request);
             } else {
                 parked.push(request);
             }
+        }
+        // Prune memo entries for requests that left the wait queue by any
+        // path (promotion, expiry, shedding, task deletion).
+        if !self.recheck_memo.is_empty() {
+            let parked_ids: BTreeSet<RequestId> = parked.iter().map(Request::id).collect();
+            self.recheck_memo.retain(|id, _| parked_ids.contains(id));
         }
         for request in parked {
             self.enqueue_wait(request);
@@ -1532,12 +1591,16 @@ impl Coordinator {
         }
         if let Err(e) = self.validator.validate(reading) {
             self.stats.readings_rejected += 1;
-            if let Some(rec) = self.device_mut(imei) {
-                rec.data_valid = false;
+            if let Some(idx) = self.device_index_mut(imei) {
+                idx.set_data_valid(imei, false);
+                self.qual_epoch += 1;
             }
             return Err(e);
         }
-        let cell = self.device(imei).and_then(|r| r.cell);
+        let cell = self
+            .home
+            .get(&imei)
+            .and_then(|&s| self.shards[s].device_cell(imei));
         let active = self.active.get_mut(&request_id).expect("looked up above");
         let delivered = privacy::scrub(reading, imei, &active.request, cell, active.cas);
         self.outbox.push((active.cas, delivered));
@@ -1738,6 +1801,8 @@ impl Coordinator {
             self.enqueue_wait(request);
         }
         self.reconcile(now);
+        self.recheck_memo.clear();
+        self.qual_epoch += 1;
         self.wait_dirty = true;
     }
 

@@ -77,8 +77,8 @@ pub use policy::{
     DeadlineAware, DropLowestDeficit, DropNewest, ScoredPolicy, SelectionPolicy, ShedCandidate,
     ShedPolicy, ShedPolicyKind,
 };
-pub use queues::{QueuedRequest, RequestQueue};
-pub use request::{RejectReason, Request, RequestId, RequestStatus, ShedReason};
+pub use queues::{QueueEntry, RequestQueue};
+pub use request::{RejectReason, Request, RequestId, RequestSlot, RequestStatus, ShedReason};
 pub use scheduler::WakeupDriver;
 pub use selector::{DeviceSelector, HardCutoffs, InsufficientDevices, SelectorWeights};
 pub use server::{
@@ -87,7 +87,8 @@ pub use server::{
 };
 pub use service::SharedServer;
 pub use store::device_store::{DeviceRecord, DeviceStore};
-pub use store::task_store::{TaskState, TaskStatus, TaskStore};
-pub use store::{DeviceIndex, QualificationProbe};
+pub use store::soa_store::{DeviceSlot, SoaDeviceStore};
+pub use store::task_store::{RequestArena, TaskState, TaskStatus, TaskStore};
+pub use store::{CandidateRow, DeviceIndex, QualificationProbe};
 pub use task::{TaskId, TaskSchedule, TaskSpec, TaskSpecBuilder};
 pub use validation::ReadingValidator;

@@ -15,7 +15,7 @@ use senseaid_sim::SimTime;
 
 use crate::request::Request;
 use crate::selector::{DeviceSelector, HardCutoffs, InsufficientDevices, SelectorWeights};
-use crate::store::device_store::DeviceRecord;
+use crate::store::CandidateRow;
 
 /// Decides which qualified devices serve a request.
 ///
@@ -35,7 +35,7 @@ pub trait SelectionPolicy: fmt::Debug + Send {
     fn select(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices>;
 
@@ -49,7 +49,7 @@ pub trait SelectionPolicy: fmt::Debug + Send {
     /// event-driven driver would then re-poll the same instant forever.
     /// The default dry-runs `select`; policies with cheap eligibility
     /// rules should override it (see [`ScoredPolicy`]).
-    fn would_select(&self, request: &Request, candidates: &[&DeviceRecord], now: SimTime) -> bool {
+    fn would_select(&self, request: &Request, candidates: &[CandidateRow], now: SimTime) -> bool {
         self.select(request, candidates, now).is_ok()
     }
 
@@ -60,7 +60,7 @@ pub trait SelectionPolicy: fmt::Debug + Send {
     fn select_traced(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
         _tel: &senseaid_telemetry::Telemetry,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
@@ -79,7 +79,7 @@ pub trait SelectionPolicy: fmt::Debug + Send {
     fn select_partial(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
     ) -> Vec<ImeiHash> {
         self.select(request, candidates, now).unwrap_or_default()
@@ -93,7 +93,7 @@ pub trait SelectionPolicy: fmt::Debug + Send {
     fn would_select_partial(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
     ) -> bool {
         !self.select_partial(request, candidates, now).is_empty()
@@ -265,13 +265,13 @@ impl SelectionPolicy for ScoredPolicy {
     fn select(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
         self.selector.select(request.density(), candidates, now)
     }
 
-    fn would_select(&self, request: &Request, candidates: &[&DeviceRecord], _now: SimTime) -> bool {
+    fn would_select(&self, request: &Request, candidates: &[CandidateRow], _now: SimTime) -> bool {
         // Eligibility is time-independent, so counting cutoffs survivors
         // answers exactly what `select` would decide — without scoring.
         let needed = request.density();
@@ -286,7 +286,7 @@ impl SelectionPolicy for ScoredPolicy {
     fn select_traced(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
         tel: &senseaid_telemetry::Telemetry,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
@@ -297,7 +297,7 @@ impl SelectionPolicy for ScoredPolicy {
     fn select_partial(
         &self,
         request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
     ) -> Vec<ImeiHash> {
         // Score the eligible pool as usual, but ask only for as many
@@ -316,7 +316,7 @@ impl SelectionPolicy for ScoredPolicy {
     fn would_select_partial(
         &self,
         _request: &Request,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         _now: SimTime,
     ) -> bool {
         candidates.iter().any(|r| self.selector.eligible(r))

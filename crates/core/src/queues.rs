@@ -1,55 +1,80 @@
 //! Deadline-sorted run and wait queues (paper §3.2, Task Handler).
 //!
-//! Both queues hold [`Request`]s ordered by deadline (earliest first).
-//! Requests that cannot be satisfied right away (`n > N`: more devices
-//! requested than qualified) move to the wait queue, which is re-checked
-//! periodically (Algorithm 1's `wait_check_thread`).
+//! Both queues order *queue entries* — plain-old-data
+//! `(deadline, sample_at, id, task, slot)` tuples — earliest deadline
+//! first. The requests themselves are pinned in a
+//! [`RequestArena`](crate::store::task_store::RequestArena): heap sifts
+//! move 48-byte `Copy` values instead of whole `Request` structs (each of
+//! which owns a spec snapshot with heap-backed fields), and scans that
+//! only need ids or keys never touch the requests at all. Requests that
+//! cannot be satisfied right away (`n > N`: more devices requested than
+//! qualified) move to the wait queue, which is re-checked periodically
+//! (Algorithm 1's `wait_check_thread`).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use senseaid_sim::SimTime;
 
-use crate::request::Request;
+use crate::request::{Request, RequestId, RequestSlot};
+use crate::task::TaskId;
 
-/// Heap entry ordering requests by `(deadline, sample_at, id)`, earliest
-/// first.
-#[derive(Debug, Clone)]
-pub struct QueuedRequest(pub Request);
+/// One queued request, reduced to its ordering key, owner and arena slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEntry {
+    /// Latest useful upload instant (primary sort key).
+    pub deadline: SimTime,
+    /// When to sample (secondary key).
+    pub sample_at: SimTime,
+    /// The request id (tie-break, and the identity `remove` matches on).
+    pub id: RequestId,
+    /// The owning task (`remove_task` matches on this).
+    pub task: TaskId,
+    /// Where the full request is pinned in the shard's arena.
+    pub slot: RequestSlot,
+}
 
-impl PartialEq for QueuedRequest {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
+impl QueueEntry {
+    /// The entry for `request` once it has been pinned at `slot`.
+    pub fn for_request(request: &Request, slot: RequestSlot) -> Self {
+        QueueEntry {
+            deadline: request.deadline(),
+            sample_at: request.sample_at(),
+            id: request.id(),
+            task: request.task(),
+            slot,
+        }
+    }
+
+    /// The global ordering key `(deadline, sample_at, id)`.
+    pub fn key(&self) -> (SimTime, SimTime, u64) {
+        (self.deadline, self.sample_at, self.id.0)
     }
 }
 
-impl Eq for QueuedRequest {}
+/// Heap wrapper ordering entries by `key()`, earliest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct HeapEntry(QueueEntry);
 
-impl QueuedRequest {
-    fn key(&self) -> (SimTime, SimTime, u64) {
-        (self.0.deadline(), self.0.sample_at(), self.0.id().0)
-    }
-}
-
-impl PartialOrd for QueuedRequest {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for QueuedRequest {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on the key.
-        other.key().cmp(&self.key())
+        other.0.key().cmp(&self.0.key())
     }
 }
 
-/// A deadline-sorted request queue.
+/// A deadline-sorted request queue over arena slots.
 ///
 /// # Example
 ///
 /// ```
-/// use senseaid_core::{RequestQueue, Request, RequestId, TaskId, TaskSpec};
+/// use senseaid_core::{Request, RequestArena, RequestId, RequestQueue, QueueEntry, TaskId, TaskSpec};
 /// use senseaid_device::Sensor;
 /// use senseaid_geo::{CircleRegion, GeoPoint};
 /// use senseaid_sim::{SimDuration, SimTime};
@@ -61,15 +86,20 @@ impl Ord for QueuedRequest {
 /// #         .sampling_duration(SimDuration::from_mins(30))
 /// #         .build().unwrap()
 /// # }
+/// let mut arena = RequestArena::new();
 /// let mut q = RequestQueue::new();
-/// q.push(Request::new(RequestId(1), TaskId(1), spec(), SimTime::from_mins(10), SimTime::from_mins(15)));
-/// q.push(Request::new(RequestId(2), TaskId(1), spec(), SimTime::from_mins(1), SimTime::from_mins(6)));
-/// // Earliest deadline pops first.
-/// assert_eq!(q.pop().unwrap().id(), RequestId(2));
+/// for (id, deadline) in [(1u64, 15u64), (2, 6)] {
+///     let r = Request::new(RequestId(id), TaskId(1), spec(), SimTime::from_mins(1), SimTime::from_mins(deadline));
+///     let slot = arena.insert(r);
+///     q.push(QueueEntry::for_request(arena.get(slot).unwrap(), slot));
+/// }
+/// // Earliest deadline pops first; the entry resolves to its request.
+/// let head = q.pop().unwrap();
+/// assert_eq!(arena.take(head.slot).id(), RequestId(2));
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RequestQueue {
-    heap: BinaryHeap<QueuedRequest>,
+    heap: BinaryHeap<HeapEntry>,
 }
 
 impl RequestQueue {
@@ -78,32 +108,32 @@ impl RequestQueue {
         RequestQueue::default()
     }
 
-    /// Inserts a request.
-    pub fn push(&mut self, request: Request) {
-        self.heap.push(QueuedRequest(request));
+    /// Inserts an entry.
+    pub fn push(&mut self, entry: QueueEntry) {
+        self.heap.push(HeapEntry(entry));
     }
 
-    /// Removes and returns the earliest-deadline request.
-    pub fn pop(&mut self) -> Option<Request> {
-        self.heap.pop().map(|q| q.0)
+    /// Removes and returns the earliest-deadline entry.
+    pub fn pop(&mut self) -> Option<QueueEntry> {
+        self.heap.pop().map(|e| e.0)
     }
 
-    /// The earliest-deadline request without removing it.
-    pub fn peek(&self) -> Option<&Request> {
-        self.heap.peek().map(|q| &q.0)
+    /// The earliest-deadline entry without removing it.
+    pub fn peek(&self) -> Option<&QueueEntry> {
+        self.heap.peek().map(|e| &e.0)
     }
 
-    /// Pops the earliest request only if its sampling instant is due at
+    /// Pops the earliest entry only if its sampling instant is due at
     /// `now`.
-    pub fn pop_due(&mut self, now: SimTime) -> Option<Request> {
-        if self.peek().map(|r| r.sample_at() <= now).unwrap_or(false) {
+    pub fn pop_due(&mut self, now: SimTime) -> Option<QueueEntry> {
+        if self.peek().map(|e| e.sample_at <= now).unwrap_or(false) {
             self.pop()
         } else {
             None
         }
     }
 
-    /// Number of queued requests.
+    /// Number of queued entries.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -113,46 +143,47 @@ impl RequestQueue {
         self.heap.is_empty()
     }
 
-    /// Removes the request with `id`, if queued, returning it (used by the
-    /// shed path to evict a chosen victim from the wait queue).
-    pub fn remove(&mut self, id: crate::request::RequestId) -> Option<Request> {
+    /// Removes the entry for `id`, if queued, returning it (used by the
+    /// shed path to evict a chosen victim from the wait queue). The walk
+    /// touches only POD entries — the pinned requests stay untouched.
+    pub fn remove(&mut self, id: RequestId) -> Option<QueueEntry> {
         let mut removed = None;
-        let kept: Vec<QueuedRequest> = self
-            .heap
-            .drain()
-            .filter_map(|q| {
-                if q.0.id() == id && removed.is_none() {
-                    removed = Some(q.0);
-                    None
-                } else {
-                    Some(q)
-                }
-            })
-            .collect();
-        self.heap = kept.into();
+        self.heap.retain(|e| {
+            if e.0.id == id && removed.is_none() {
+                removed = Some(e.0);
+                false
+            } else {
+                true
+            }
+        });
         removed
     }
 
-    /// Removes every request belonging to `task`, returning how many were
-    /// dropped (used by `delete_task`).
-    pub fn remove_task(&mut self, task: crate::task::TaskId) -> usize {
-        let before = self.heap.len();
-        let kept: Vec<QueuedRequest> = self.heap.drain().filter(|q| q.0.task() != task).collect();
-        self.heap = kept.into();
-        before - self.heap.len()
+    /// Removes every entry belonging to `task`, returning them so the
+    /// caller can release their arena slots (used by `delete_task`).
+    pub fn remove_task(&mut self, task: TaskId) -> Vec<QueueEntry> {
+        let mut removed = Vec::new();
+        self.heap.retain(|e| {
+            if e.0.task == task {
+                removed.push(e.0);
+                false
+            } else {
+                true
+            }
+        });
+        removed
     }
 
-    /// Iterates over queued requests in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = &Request> {
-        self.heap.iter().map(|q| &q.0)
+    /// Iterates over queued entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.heap.iter().map(|e| &e.0)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::RequestId;
-    use crate::task::{TaskId, TaskSpec};
+    use crate::task::TaskSpec;
     use senseaid_device::Sensor;
     use senseaid_geo::{CircleRegion, GeoPoint};
     use senseaid_sim::SimDuration;
@@ -166,40 +197,42 @@ mod tests {
             .unwrap()
     }
 
-    fn req(id: u64, task: u64, sample_min: u64, deadline_min: u64) -> Request {
-        Request::new(
+    fn entry(id: u64, task: u64, sample_min: u64, deadline_min: u64) -> QueueEntry {
+        let request = Request::new(
             RequestId(id),
             TaskId(task),
             spec(),
             SimTime::from_mins(sample_min),
             SimTime::from_mins(deadline_min),
-        )
+        );
+        // Tests exercise queue ordering only, so any slot id will do.
+        QueueEntry::for_request(&request, RequestSlot(id as u32))
     }
 
     #[test]
     fn pops_in_deadline_order() {
         let mut q = RequestQueue::new();
-        q.push(req(1, 1, 0, 30));
-        q.push(req(2, 1, 0, 10));
-        q.push(req(3, 1, 0, 20));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id().0).collect();
+        q.push(entry(1, 1, 0, 30));
+        q.push(entry(2, 1, 0, 10));
+        q.push(entry(3, 1, 0, 20));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.id.0).collect();
         assert_eq!(order, vec![2, 3, 1]);
     }
 
     #[test]
     fn equal_deadlines_break_ties_by_sample_then_id() {
         let mut q = RequestQueue::new();
-        q.push(req(5, 1, 3, 10));
-        q.push(req(4, 1, 3, 10));
-        q.push(req(9, 1, 1, 10));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id().0).collect();
+        q.push(entry(5, 1, 3, 10));
+        q.push(entry(4, 1, 3, 10));
+        q.push(entry(9, 1, 1, 10));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.id.0).collect();
         assert_eq!(order, vec![9, 4, 5]);
     }
 
     #[test]
     fn pop_due_respects_sampling_instant() {
         let mut q = RequestQueue::new();
-        q.push(req(1, 1, 10, 15));
+        q.push(entry(1, 1, 10, 15));
         assert!(q.pop_due(SimTime::from_mins(5)).is_none());
         assert_eq!(q.len(), 1);
         assert!(q.pop_due(SimTime::from_mins(10)).is_some());
@@ -209,42 +242,43 @@ mod tests {
     #[test]
     fn remove_task_drops_only_that_task() {
         let mut q = RequestQueue::new();
-        q.push(req(1, 1, 0, 10));
-        q.push(req(2, 2, 0, 11));
-        q.push(req(3, 1, 0, 12));
+        q.push(entry(1, 1, 0, 10));
+        q.push(entry(2, 2, 0, 11));
+        q.push(entry(3, 1, 0, 12));
         let removed = q.remove_task(TaskId(1));
-        assert_eq!(removed, 2);
+        assert_eq!(removed.len(), 2);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop().unwrap().id(), RequestId(2));
+        assert_eq!(q.pop().unwrap().id, RequestId(2));
     }
 
     #[test]
-    fn remove_extracts_one_request_by_id() {
+    fn remove_extracts_one_entry_by_id() {
         let mut q = RequestQueue::new();
-        q.push(req(1, 1, 0, 10));
-        q.push(req(2, 1, 0, 11));
-        q.push(req(3, 1, 0, 12));
+        q.push(entry(1, 1, 0, 10));
+        q.push(entry(2, 1, 0, 11));
+        q.push(entry(3, 1, 0, 12));
         let removed = q.remove(RequestId(2)).unwrap();
-        assert_eq!(removed.id(), RequestId(2));
+        assert_eq!(removed.id, RequestId(2));
+        assert_eq!(removed.slot, RequestSlot(2));
         assert!(q.remove(RequestId(2)).is_none(), "already gone");
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id().0).collect();
-        assert_eq!(order, vec![1, 3], "heap order survives the rebuild");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.id.0).collect();
+        assert_eq!(order, vec![1, 3], "heap order survives the removal");
     }
 
     #[test]
     fn peek_does_not_remove() {
         let mut q = RequestQueue::new();
-        q.push(req(1, 1, 0, 10));
-        assert_eq!(q.peek().unwrap().id(), RequestId(1));
+        q.push(entry(1, 1, 0, 10));
+        assert_eq!(q.peek().unwrap().id, RequestId(1));
         assert_eq!(q.len(), 1);
     }
 
     #[test]
     fn iter_sees_everything() {
         let mut q = RequestQueue::new();
-        q.push(req(1, 1, 0, 10));
-        q.push(req(2, 1, 0, 11));
-        let mut ids: Vec<u64> = q.iter().map(|r| r.id().0).collect();
+        q.push(entry(1, 1, 0, 10));
+        q.push(entry(2, 1, 0, 11));
+        let mut ids: Vec<u64> = q.iter().map(|e| e.id.0).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2]);
     }

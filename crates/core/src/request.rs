@@ -20,6 +20,14 @@ impl fmt::Display for RequestId {
     }
 }
 
+/// Dense index of one request's slot in a
+/// [`RequestArena`](crate::store::task_store::RequestArena). Slots are
+/// recycled once their request leaves the queues, so a slot id is only
+/// meaningful while the arena holds the request; stable identity is the
+/// [`RequestId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestSlot(pub u32);
+
 /// Why admission control turned a request away at submission time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RejectReason {

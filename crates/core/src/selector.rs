@@ -18,13 +18,17 @@
 //! budget is exhausted, or when its battery is below the user's critical
 //! level (paper: "there are also hard cutoffs for the first three
 //! criteria").
+//!
+//! Scoring consumes flat [`CandidateRow`]s — the qualification pass copies
+//! the scored fields out of the store into a dense array, so the hot loop
+//! here never dereferences a record pointer.
 
 use serde::{Deserialize, Serialize};
 
 use senseaid_device::ImeiHash;
 use senseaid_sim::SimTime;
 
-use crate::store::device_store::DeviceRecord;
+use crate::store::CandidateRow;
 
 /// Scoring weights (α, β, γ, φ, ρ).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -146,21 +150,21 @@ impl DeviceSelector {
     }
 
     /// The paper's linear score; lower is better.
-    pub fn score(&self, rec: &DeviceRecord, now: SimTime) -> f64 {
+    pub fn score(&self, row: &CandidateRow, now: SimTime) -> f64 {
         let w = self.weights;
-        w.alpha * rec.cs_energy_j
-            + w.beta * rec.times_selected as f64
-            + w.gamma * (100.0 - rec.battery_pct)
-            + w.phi * rec.ttl(now).as_secs_f64()
-            + w.rho * (1.0 - rec.reliability)
+        w.alpha * row.cs_energy_j
+            + w.beta * row.times_selected as f64
+            + w.gamma * (100.0 - row.battery_pct)
+            + w.phi * row.ttl(now).as_secs_f64()
+            + w.rho * (1.0 - row.reliability)
     }
 
     /// Whether a device passes the hard cutoffs.
-    pub fn eligible(&self, rec: &DeviceRecord) -> bool {
-        let battery_floor = self.cutoffs.min_battery_pct.max(rec.critical_battery_pct);
-        rec.times_selected < self.cutoffs.max_selections
-            && rec.remaining_budget_j() >= self.cutoffs.min_remaining_budget_j
-            && rec.battery_pct > battery_floor
+    pub fn eligible(&self, row: &CandidateRow) -> bool {
+        let battery_floor = self.cutoffs.min_battery_pct.max(row.critical_battery_pct);
+        row.times_selected < self.cutoffs.max_selections
+            && row.remaining_budget_j >= self.cutoffs.min_remaining_budget_j
+            && row.battery_pct > battery_floor
     }
 
     /// Chooses the best `n` devices from `candidates`.
@@ -175,14 +179,13 @@ impl DeviceSelector {
     pub fn select(
         &self,
         n: usize,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
-        let mut eligible: Vec<(&DeviceRecord, f64)> = candidates
+        let mut eligible: Vec<(ImeiHash, f64)> = candidates
             .iter()
-            .copied()
             .filter(|r| self.eligible(r))
-            .map(|r| (r, self.score(r, now)))
+            .map(|r| (r.imei, self.score(r, now)))
             .collect();
         if eligible.len() < n {
             return Err(InsufficientDevices {
@@ -197,17 +200,17 @@ impl DeviceSelector {
         // so partitioning the best `n` to the front and then ordering only
         // those `n` reproduces the full sort's first `n` entries exactly —
         // O(N + k log k) instead of O(N log N) over the candidate pool.
-        let cmp = |a: &(&DeviceRecord, f64), b: &(&DeviceRecord, f64)| {
+        let cmp = |a: &(ImeiHash, f64), b: &(ImeiHash, f64)| {
             a.1.partial_cmp(&b.1)
                 .expect("scores are finite")
-                .then(a.0.imei.cmp(&b.0.imei))
+                .then(a.0.cmp(&b.0))
         };
         if n < eligible.len() {
             eligible.select_nth_unstable_by(n - 1, cmp);
             eligible.truncate(n);
         }
         eligible.sort_unstable_by(cmp);
-        Ok(eligible.into_iter().map(|(r, _)| r.imei).collect())
+        Ok(eligible.into_iter().map(|(imei, _)| imei).collect())
     }
 
     /// [`DeviceSelector::select`] with a telemetry probe: records one
@@ -216,7 +219,7 @@ impl DeviceSelector {
     pub fn select_traced(
         &self,
         n: usize,
-        candidates: &[&DeviceRecord],
+        candidates: &[CandidateRow],
         now: SimTime,
         tel: &senseaid_telemetry::Telemetry,
     ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
@@ -244,7 +247,7 @@ impl DeviceSelector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::device_store::new_record;
+    use crate::store::device_store::{new_record, DeviceRecord};
     use senseaid_device::Sensor;
 
     fn rec(id: u64) -> DeviceRecord {
@@ -259,15 +262,20 @@ mod tests {
         )
     }
 
+    fn row(id: u64) -> CandidateRow {
+        rec(id).row()
+    }
+
     fn selector() -> DeviceSelector {
         DeviceSelector::new(SelectorWeights::default(), HardCutoffs::default())
     }
 
     #[test]
     fn fresh_identical_devices_tie_break_on_imei() {
-        let (a, b, c) = (rec(3), rec(1), rec(2));
         let sel = selector();
-        let picked = sel.select(2, &[&a, &b, &c], SimTime::ZERO).unwrap();
+        let picked = sel
+            .select(2, &[row(3), row(1), row(2)], SimTime::ZERO)
+            .unwrap();
         assert_eq!(picked, vec![ImeiHash(1), ImeiHash(2)]);
     }
 
@@ -275,12 +283,13 @@ mod tests {
     fn previously_selected_devices_score_worse() {
         let mut used = rec(1);
         used.times_selected = 3;
-        let fresh = rec(2);
+        let used = used.row();
+        let fresh = row(2);
         let sel = selector();
         let now = SimTime::from_mins(10);
         assert!(sel.score(&used, now) > sel.score(&fresh, now));
         assert_eq!(
-            sel.select(1, &[&used, &fresh], now).unwrap(),
+            sel.select(1, &[used, fresh], now).unwrap(),
             vec![ImeiHash(2)]
         );
     }
@@ -289,18 +298,16 @@ mod tests {
     fn energy_spent_scores_worse() {
         let mut spent = rec(1);
         spent.cs_energy_j = 50.0;
-        let fresh = rec(2);
         let sel = selector();
-        assert!(sel.score(&spent, SimTime::ZERO) > sel.score(&fresh, SimTime::ZERO));
+        assert!(sel.score(&spent.row(), SimTime::ZERO) > sel.score(&row(2), SimTime::ZERO));
     }
 
     #[test]
     fn low_battery_scores_worse() {
         let mut low = rec(1);
         low.battery_pct = 40.0;
-        let full = rec(2);
         let sel = selector();
-        assert!(sel.score(&low, SimTime::ZERO) > sel.score(&full, SimTime::ZERO));
+        assert!(sel.score(&low.row(), SimTime::ZERO) > sel.score(&row(2), SimTime::ZERO));
     }
 
     #[test]
@@ -311,14 +318,15 @@ mod tests {
         let mut stale = rec(2);
         stale.last_comm = SimTime::ZERO; // 30 min ago
         let sel = selector();
-        assert!(sel.score(&recent, now) < sel.score(&stale, now));
+        assert!(sel.score(&recent.row(), now) < sel.score(&stale.row(), now));
     }
 
     #[test]
     fn reliability_hook_disabled_by_default() {
         let mut flaky = rec(1);
         flaky.reliability = 0.2;
-        let solid = rec(2);
+        let flaky = flaky.row();
+        let solid = row(2);
         let sel = selector();
         assert_eq!(
             sel.score(&flaky, SimTime::ZERO),
@@ -339,6 +347,7 @@ mod tests {
     fn hard_cutoff_max_selections() {
         let mut maxed = rec(1);
         maxed.times_selected = 2;
+        let maxed = maxed.row();
         let sel = DeviceSelector::new(
             SelectorWeights::default(),
             HardCutoffs {
@@ -347,7 +356,7 @@ mod tests {
             },
         );
         assert!(!sel.eligible(&maxed));
-        let err = sel.select(1, &[&maxed], SimTime::ZERO).unwrap_err();
+        let err = sel.select(1, &[maxed], SimTime::ZERO).unwrap_err();
         assert_eq!(
             err,
             InsufficientDevices {
@@ -361,17 +370,17 @@ mod tests {
     fn hard_cutoff_budget_exhausted() {
         let mut broke = rec(1);
         broke.cs_energy_j = broke.energy_budget_j; // spent it all
-        assert!(!selector().eligible(&broke));
+        assert!(!selector().eligible(&broke.row()));
     }
 
     #[test]
     fn hard_cutoff_critical_battery() {
         let mut low = rec(1);
         low.battery_pct = 10.0; // below the 15 % user critical level
-        assert!(!selector().eligible(&low));
+        assert!(!selector().eligible(&low.row()));
         let mut ok = rec(2);
         ok.battery_pct = 20.0;
-        assert!(selector().eligible(&ok));
+        assert!(selector().eligible(&ok.row()));
     }
 
     #[test]
@@ -385,7 +394,7 @@ mod tests {
         );
         let mut rec = rec(1);
         rec.battery_pct = 40.0; // above user critical (15) but below global
-        assert!(!sel.eligible(&rec));
+        assert!(!sel.eligible(&rec.row()));
     }
 
     #[test]
@@ -396,8 +405,8 @@ mod tests {
         let sel = selector();
         for round in 0..9 {
             let now = SimTime::from_mins(round * 10);
-            let refs: Vec<&DeviceRecord> = records.iter().collect();
-            let picked = sel.select(2, &refs, now).unwrap();
+            let rows: Vec<CandidateRow> = records.iter().map(DeviceRecord::row).collect();
+            let picked = sel.select(2, &rows, now).unwrap();
             for imei in picked {
                 let r = records.iter_mut().find(|r| r.imei == imei).unwrap();
                 r.times_selected += 1;
@@ -414,8 +423,7 @@ mod tests {
 
     #[test]
     fn insufficient_devices_error_reports_counts() {
-        let a = rec(1);
-        let err = selector().select(3, &[&a], SimTime::ZERO).unwrap_err();
+        let err = selector().select(3, &[row(1)], SimTime::ZERO).unwrap_err();
         assert_eq!(err.needed, 3);
         assert_eq!(err.available, 1);
         assert!(err.to_string().contains("need 3"));
@@ -437,14 +445,13 @@ mod tests {
         fn full_sort_select(
             sel: &DeviceSelector,
             n: usize,
-            candidates: &[&DeviceRecord],
+            candidates: &[CandidateRow],
             now: SimTime,
         ) -> Result<Vec<ImeiHash>, InsufficientDevices> {
-            let mut eligible: Vec<(&DeviceRecord, f64)> = candidates
+            let mut eligible: Vec<(ImeiHash, f64)> = candidates
                 .iter()
-                .copied()
                 .filter(|r| sel.eligible(r))
-                .map(|r| (r, sel.score(r, now)))
+                .map(|r| (r.imei, sel.score(r, now)))
                 .collect();
             if eligible.len() < n {
                 return Err(InsufficientDevices {
@@ -452,15 +459,15 @@ mod tests {
                     available: eligible.len(),
                 });
             }
-            eligible.sort_by(|(ra, sa), (rb, sb)| {
+            eligible.sort_by(|(ia, sa), (ib, sb)| {
                 sa.partial_cmp(sb)
                     .expect("scores are finite")
-                    .then(ra.imei.cmp(&rb.imei))
+                    .then(ia.cmp(ib))
             });
-            Ok(eligible.into_iter().take(n).map(|(r, _)| r.imei).collect())
+            Ok(eligible.into_iter().take(n).map(|(imei, _)| imei).collect())
         }
 
-        fn arb_record() -> impl Strategy<Value = DeviceRecord> {
+        fn arb_row() -> impl Strategy<Value = CandidateRow> {
             (
                 1u64..500,
                 0.0f64..400.0,
@@ -477,7 +484,7 @@ mod tests {
                         r.times_selected = selections;
                         r.last_comm = SimTime::from_secs(comm_s);
                         r.reliability = reliability;
-                        r
+                        r.row()
                     },
                 )
         }
@@ -485,20 +492,19 @@ mod tests {
         proptest! {
             #[test]
             fn top_k_matches_full_sort(
-                records in prop::collection::vec(arb_record(), 0..40),
+                rows in prop::collection::vec(arb_row(), 0..40),
                 n in 0usize..12,
                 now_s in 0u64..7200,
             ) {
                 // IMEIs must be unique for the tiebreak to be total.
-                let mut records = records;
-                records.sort_by_key(|r| r.imei);
-                records.dedup_by_key(|r| r.imei);
-                let refs: Vec<&DeviceRecord> = records.iter().collect();
+                let mut rows = rows;
+                rows.sort_by_key(|r| r.imei);
+                rows.dedup_by_key(|r| r.imei);
                 let sel = selector();
                 let now = SimTime::from_secs(now_s);
                 prop_assert_eq!(
-                    sel.select(n, &refs, now),
-                    full_sort_select(&sel, n, &refs, now)
+                    sel.select(n, &rows, now),
+                    full_sort_select(&sel, n, &rows, now)
                 );
             }
         }

@@ -37,12 +37,13 @@ pub use crate::coordinator::{
 use crate::error::SenseAidError;
 use crate::policy::{ScoredPolicy, SelectionPolicy};
 use crate::request::{Request, RequestId, RequestStatus};
-use crate::store::device_store::{new_record, DeviceRecord, DeviceStore};
+use crate::store::device_store::{new_record, DeviceRecord};
+use crate::store::soa_store::SoaDeviceStore;
 use crate::store::{DeviceIndex, QualificationProbe};
 use crate::task::{TaskId, TaskSpec};
 
 fn default_index() -> Box<dyn DeviceIndex> {
-    Box::new(DeviceStore::new())
+    Box::new(SoaDeviceStore::new())
 }
 
 /// The Sense-Aid middleware server. See the [crate docs](crate) for an
@@ -141,8 +142,9 @@ impl SenseAidServer {
         self.coordinator.run_queue_len()
     }
 
-    /// A registered device's record, or `None` if unknown.
-    pub fn device(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+    /// A registered device's record (an owned copy materialised from the
+    /// backing store's columns), or `None` if unknown.
+    pub fn device(&self, imei: ImeiHash) -> Option<DeviceRecord> {
         self.coordinator.device(imei)
     }
 

@@ -1,38 +1,40 @@
 //! One cell-group shard of the control plane.
 //!
-//! A shard owns the device index and the run/wait queues for the cells
-//! assigned to it. Devices are homed on the shard serving their last
-//! observed cell (unknown-cell devices live on shard 0); requests are
-//! homed on the lowest-numbered shard their region's cell coverage
-//! touches (shard 0 when no topology is attached). The
-//! [`Coordinator`](crate::coordinator::Coordinator) fans requests out
+//! A shard owns the device index, the queued-request arena and the
+//! run/wait queues for the cells assigned to it. Devices are homed on the
+//! shard serving their last observed cell (unknown-cell devices live on
+//! shard 0); requests are homed on the lowest-numbered shard their
+//! region's cell coverage touches (shard 0 when no topology is attached).
+//! The [`Coordinator`](crate::coordinator::Coordinator) fans requests out
 //! across shards and merge-pops their queue heads in global
 //! `(deadline, sample_at, id)` order, so scheduling output is identical
 //! for any shard count.
+//!
+//! Queued requests are pinned in one [`RequestArena`] shared by both
+//! queues: the heaps order POD [`QueueEntry`]s and resolve a request from
+//! its slot only when it actually leaves a queue.
 
 use senseaid_cellnet::CellId;
 use senseaid_device::ImeiHash;
 use senseaid_geo::GeoPoint;
 use senseaid_sim::SimTime;
 
-use crate::queues::RequestQueue;
+use crate::queues::{QueueEntry, RequestQueue};
 use crate::request::Request;
 use crate::store::device_store::DeviceRecord;
-use crate::store::{DeviceIndex, QualificationProbe};
+use crate::store::task_store::RequestArena;
+use crate::store::{CandidateRow, DeviceIndex, QualificationProbe};
 use crate::task::TaskId;
 
 /// The heap key the queues order by; exposing it lets the coordinator
 /// merge-pop shard heads in the exact order one global queue would use.
 pub(crate) type QueueKey = (SimTime, SimTime, u64);
 
-fn key_of(request: &Request) -> QueueKey {
-    (request.deadline(), request.sample_at(), request.id().0)
-}
-
 /// One shard: a device index plus its slice of the run and wait queues.
 #[derive(Debug)]
 pub(crate) struct Shard {
     index: Box<dyn DeviceIndex>,
+    arena: RequestArena,
     run_queue: RequestQueue,
     wait_queue: RequestQueue,
 }
@@ -41,6 +43,7 @@ impl Shard {
     pub fn new(index: Box<dyn DeviceIndex>) -> Self {
         Shard {
             index,
+            arena: RequestArena::new(),
             run_queue: RequestQueue::new(),
             wait_queue: RequestQueue::new(),
         }
@@ -60,21 +63,27 @@ impl Shard {
         self.index.remove(imei)
     }
 
-    pub fn device(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
+    pub fn device(&self, imei: ImeiHash) -> Option<DeviceRecord> {
         self.index.get(imei)
     }
 
-    pub fn device_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
-        self.index.get_mut(imei)
+    /// Read-and-write access to the device index's narrow mutators.
+    pub fn devices(&mut self) -> &mut dyn DeviceIndex {
+        self.index.as_mut()
+    }
+
+    pub fn device_cell(&self, imei: ImeiHash) -> Option<CellId> {
+        self.index.cell_of(imei)
     }
 
     pub fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool {
         self.index.observe(imei, position, cell)
     }
 
-    /// Qualified candidates on this shard, ascending by IMEI hash.
-    pub fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
-        self.index.candidates(probe)
+    /// Appends this shard's qualified candidates to `out`, ascending by
+    /// IMEI hash.
+    pub fn candidates_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>) {
+        self.index.candidates_into(probe, out);
     }
 
     pub fn qualified_count(&self, probe: &QualificationProbe) -> usize {
@@ -84,29 +93,33 @@ impl Shard {
     // ---- queues ----
 
     pub fn push_run(&mut self, request: Request) {
-        self.run_queue.push(request);
+        let slot = self.arena.insert(request);
+        let entry = QueueEntry::for_request(self.arena.get(slot).expect("just inserted"), slot);
+        self.run_queue.push(entry);
     }
 
     pub fn push_wait(&mut self, request: Request) {
-        self.wait_queue.push(request);
+        let slot = self.arena.insert(request);
+        let entry = QueueEntry::for_request(self.arena.get(slot).expect("just inserted"), slot);
+        self.wait_queue.push(entry);
     }
 
     /// Key of the run-queue head, if any.
     pub fn run_head_key(&self) -> Option<QueueKey> {
-        self.run_queue.peek().map(key_of)
+        self.run_queue.peek().map(QueueEntry::key)
     }
 
     /// Key of the wait-queue head, if any.
     pub fn wait_head_key(&self) -> Option<QueueKey> {
-        self.wait_queue.peek().map(key_of)
+        self.wait_queue.peek().map(QueueEntry::key)
     }
 
     pub fn pop_run(&mut self) -> Option<Request> {
-        self.run_queue.pop()
+        self.run_queue.pop().map(|e| self.arena.take(e.slot))
     }
 
     pub fn pop_wait(&mut self) -> Option<Request> {
-        self.wait_queue.pop()
+        self.wait_queue.pop().map(|e| self.arena.take(e.slot))
     }
 
     pub fn run_queue_len(&self) -> usize {
@@ -120,30 +133,38 @@ impl Shard {
     /// Removes one parked request by id, if this shard holds it (used by
     /// the shed path to evict a victim chosen across all shards).
     pub fn remove_wait(&mut self, id: crate::request::RequestId) -> Option<Request> {
-        self.wait_queue.remove(id)
+        self.wait_queue.remove(id).map(|e| self.arena.take(e.slot))
     }
 
-    /// Purges a task's requests from both queues.
+    /// Purges a task's requests from both queues, releasing their slots.
     pub fn remove_task(&mut self, task: TaskId) {
-        self.run_queue.remove_task(task);
-        self.wait_queue.remove_task(task);
+        for entry in self.run_queue.remove_task(task) {
+            self.arena.take(entry.slot);
+        }
+        for entry in self.wait_queue.remove_task(task) {
+            self.arena.take(entry.slot);
+        }
     }
 
     /// All requests queued on this shard (run then wait), for status
     /// bookkeeping.
     pub fn queued_requests(&self) -> impl Iterator<Item = &Request> {
-        self.run_queue.iter().chain(self.wait_queue.iter())
+        self.run_requests().chain(self.wait_requests())
     }
 
     /// Run-queue entries only (for snapshots, which must restore run and
     /// wait entries to the right queue kind).
     pub fn run_requests(&self) -> impl Iterator<Item = &Request> {
-        self.run_queue.iter()
+        self.run_queue
+            .iter()
+            .map(|e| self.arena.get(e.slot).expect("entry slots are live"))
     }
 
     /// Wait-queue entries only (see [`Shard::run_requests`]).
     pub fn wait_requests(&self) -> impl Iterator<Item = &Request> {
-        self.wait_queue.iter()
+        self.wait_queue
+            .iter()
+            .map(|e| self.arena.get(e.slot).expect("entry slots are live"))
     }
 
     /// All device records on this shard (for snapshots), in IMEI order.

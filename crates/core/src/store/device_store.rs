@@ -19,7 +19,7 @@ use senseaid_sim::{SimDuration, SimTime};
 
 use crate::error::SenseAidError;
 use crate::request::Request;
-use crate::store::{DeviceIndex, QualificationProbe};
+use crate::store::{CandidateRow, DeviceIndex, QualificationProbe};
 
 /// Everything the server knows about one registered device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -68,6 +68,20 @@ impl DeviceRecord {
     /// `TTL` term.
     pub fn ttl(&self, now: SimTime) -> SimDuration {
         now.saturating_elapsed_since(self.last_comm)
+    }
+
+    /// The flat scoring row the selector consumes for this record.
+    pub fn row(&self) -> CandidateRow {
+        CandidateRow {
+            imei: self.imei,
+            battery_pct: self.battery_pct,
+            critical_battery_pct: self.critical_battery_pct,
+            remaining_budget_j: self.remaining_budget_j(),
+            cs_energy_j: self.cs_energy_j,
+            times_selected: self.times_selected,
+            last_comm: self.last_comm,
+            reliability: self.reliability,
+        }
     }
 }
 
@@ -211,6 +225,12 @@ impl DeviceStore {
     /// signed up, inside the region, carrying the sensor, matching any
     /// device-type restriction, responsive, and submitting valid data.
     /// Ascending by IMEI hash (the grid query sorts its output).
+    #[deprecated(
+        since = "0.6.0",
+        note = "allocates a Vec of record pointers per call; hot paths use \
+                `candidates_into` (kept as a compat wrapper for tests)"
+    )]
+    #[allow(deprecated)] // the wrapper is the one sanctioned query_circle user
     pub fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
         // The grid narrows the scan to devices inside the circle; the
         // remaining predicates filter on the record.
@@ -220,6 +240,20 @@ impl DeviceStore {
             .filter_map(|imei| self.records.get(&imei))
             .filter(|r| Self::record_qualifies(r, probe))
             .collect()
+    }
+
+    /// Appends the qualified candidate rows for `probe` to `out`,
+    /// ascending by IMEI hash — the allocation-free qualification path.
+    pub fn candidates_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>) {
+        let start = out.len();
+        self.index.for_each_in_circle(&probe.region, |imei| {
+            if let Some(r) = self.records.get(&imei) {
+                if Self::record_qualifies(r, probe) {
+                    out.push(r.row());
+                }
+            }
+        });
+        out[start..].sort_unstable_by_key(|r| r.imei);
     }
 
     /// Whether one record passes `probe`'s non-spatial predicates.
@@ -253,10 +287,9 @@ impl DeviceStore {
 
     /// The devices *qualified* for `request`, by IMEI hash.
     pub fn qualified_for(&self, request: &Request) -> Vec<ImeiHash> {
-        self.candidates(&QualificationProbe::for_request(request))
-            .into_iter()
-            .map(|r| r.imei)
-            .collect()
+        let mut rows = Vec::new();
+        self.candidates_into(&QualificationProbe::for_request(request), &mut rows);
+        rows.into_iter().map(|r| r.imei).collect()
     }
 }
 
@@ -274,20 +307,86 @@ impl DeviceIndex for DeviceStore {
         DeviceStore::len(self)
     }
 
-    fn get(&self, imei: ImeiHash) -> Option<&DeviceRecord> {
-        DeviceStore::get(self, imei)
+    fn get(&self, imei: ImeiHash) -> Option<DeviceRecord> {
+        self.records.get(&imei).cloned()
     }
 
-    fn get_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord> {
-        self.records.get_mut(&imei)
+    fn cell_of(&self, imei: ImeiHash) -> Option<CellId> {
+        self.records.get(&imei).and_then(|r| r.cell)
     }
 
     fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool {
         self.observe_position(imei, position, cell).is_ok()
     }
 
-    fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
-        DeviceStore::candidates(self, probe)
+    fn refresh_registration(&mut self, record: &DeviceRecord) -> bool {
+        let Some(existing) = self.records.get_mut(&record.imei) else {
+            return false;
+        };
+        existing.energy_budget_j = record.energy_budget_j;
+        existing.critical_battery_pct = record.critical_battery_pct;
+        existing.battery_pct = record.battery_pct;
+        existing.sensors = record.sensors.clone();
+        existing.device_type = record.device_type.clone();
+        existing.last_comm = record.last_comm;
+        existing.responsive = true;
+        true
+    }
+
+    fn update_preferences(
+        &mut self,
+        imei: ImeiHash,
+        energy_budget_j: f64,
+        critical_battery_pct: f64,
+    ) -> bool {
+        let Some(rec) = self.records.get_mut(&imei) else {
+            return false;
+        };
+        rec.energy_budget_j = energy_budget_j;
+        rec.critical_battery_pct = critical_battery_pct;
+        true
+    }
+
+    fn update_state(
+        &mut self,
+        imei: ImeiHash,
+        battery_pct: f64,
+        cs_energy_j: f64,
+        now: SimTime,
+    ) -> bool {
+        DeviceStore::update_state(self, imei, battery_pct, cs_energy_j, now).is_ok()
+    }
+
+    fn record_comm(&mut self, imei: ImeiHash, now: SimTime) -> bool {
+        DeviceStore::record_comm(self, imei, now).is_ok()
+    }
+
+    fn bump_selected(&mut self, imei: ImeiHash) -> bool {
+        let Some(rec) = self.records.get_mut(&imei) else {
+            return false;
+        };
+        rec.times_selected += 1;
+        true
+    }
+
+    fn set_responsive(&mut self, imei: ImeiHash, responsive: bool) -> bool {
+        let Some(rec) = self.records.get_mut(&imei) else {
+            return false;
+        };
+        rec.responsive = responsive;
+        true
+    }
+
+    fn set_data_valid(&mut self, imei: ImeiHash, valid: bool) -> bool {
+        let Some(rec) = self.records.get_mut(&imei) else {
+            return false;
+        };
+        rec.data_valid = valid;
+        true
+    }
+
+    fn candidates_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>) {
+        DeviceStore::candidates_into(self, probe, out);
     }
 
     fn qualified_count(&self, probe: &QualificationProbe) -> usize {
@@ -329,6 +428,7 @@ pub fn new_record(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the compat wrappers stay test-covered
 mod tests {
     use super::*;
     use crate::request::RequestId;

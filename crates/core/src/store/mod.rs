@@ -3,10 +3,17 @@
 //!
 //! The control plane stores devices behind the [`DeviceIndex`] trait so a
 //! shard can run over any storage that answers the qualification question.
-//! [`DeviceStore`](device_store::DeviceStore) — a B-tree of records mirrored
-//! into a spatial grid — is the default implementation.
+//! [`SoaDeviceStore`](soa_store::SoaDeviceStore) — parallel columns keyed
+//! by dense slot ids — is the default implementation;
+//! [`DeviceStore`](device_store::DeviceStore), a B-tree of whole records,
+//! is kept as the reference the SoA layout is byte-compared against.
+//!
+//! Selection never walks records: qualification copies the handful of
+//! fields the selector scores into flat [`CandidateRow`]s, so the hot loop
+//! reads a dense array instead of chasing a pointer per device.
 
 pub mod device_store;
+pub mod soa_store;
 pub mod task_store;
 
 use std::fmt;
@@ -14,6 +21,7 @@ use std::fmt;
 use senseaid_cellnet::CellId;
 use senseaid_device::{ImeiHash, Sensor};
 use senseaid_geo::{CircleRegion, GeoPoint};
+use senseaid_sim::{SimDuration, SimTime};
 
 use crate::request::Request;
 use device_store::DeviceRecord;
@@ -55,12 +63,53 @@ impl QualificationProbe {
     }
 }
 
+/// One qualified candidate, flattened to exactly the fields the selector
+/// scores (paper §4 cost function) plus the identity used for tie-breaks
+/// and output.
+///
+/// `Copy` and pointer-free by design: the selection hot loop iterates a
+/// contiguous `Vec<CandidateRow>` that qualification fills in place, so
+/// scoring 10⁵ devices touches dense memory instead of a `&DeviceRecord`
+/// per element. Rows are snapshots — they do not observe later mutations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateRow {
+    /// Hashed identity (never the raw IMEI).
+    pub imei: ImeiHash,
+    /// Most recently reported battery level, %.
+    pub battery_pct: f64,
+    /// Battery floor below which the device must not be selected, %.
+    pub critical_battery_pct: f64,
+    /// Remaining crowdsensing budget, Joules (precomputed, never negative).
+    pub remaining_budget_j: f64,
+    /// Energy already spent on crowdsensing, Joules.
+    pub cs_energy_j: f64,
+    /// Times the selector picked this device.
+    pub times_selected: u64,
+    /// Timestamp of the most recent radio communication.
+    pub last_comm: SimTime,
+    /// Data-reliability score in `[0, 1]`.
+    pub reliability: f64,
+}
+
+impl CandidateRow {
+    /// Time since the last radio communication at `now` — the selector's
+    /// `TTL` term.
+    pub fn ttl(&self, now: SimTime) -> SimDuration {
+        now.saturating_elapsed_since(self.last_comm)
+    }
+}
+
 /// Pluggable device storage for one control-plane shard.
 ///
 /// Implementations own the records of the devices homed on their shard and
-/// answer qualification probes over them. `candidates` must return records
-/// in ascending IMEI-hash order so that merging across shards is
+/// answer qualification probes over them. `candidates_into` must append
+/// rows in ascending IMEI-hash order so that merging across shards is
 /// deterministic for any shard count.
+///
+/// Mutation goes through narrow, named operations (the exact state
+/// transitions the coordinator performs) rather than a `&mut DeviceRecord`
+/// escape hatch, so column-oriented implementations never have to
+/// materialise a record to satisfy a write.
 pub trait DeviceIndex: fmt::Debug + Send {
     /// Registers (or re-registers) a device record.
     fn insert(&mut self, record: DeviceRecord);
@@ -77,20 +126,75 @@ pub trait DeviceIndex: fmt::Debug + Send {
         self.len() == 0
     }
 
-    /// Looks a device up.
-    fn get(&self, imei: ImeiHash) -> Option<&DeviceRecord>;
+    /// Looks a device up, materialising its record. A cold-path
+    /// convenience (public API reads, snapshots, tests); hot paths use
+    /// [`candidates_into`](Self::candidates_into) or the narrow mutators.
+    fn get(&self, imei: ImeiHash) -> Option<DeviceRecord>;
 
-    /// Mutable lookup.
-    fn get_mut(&mut self, imei: ImeiHash) -> Option<&mut DeviceRecord>;
+    /// The device's last observed serving cell, without materialising the
+    /// whole record.
+    fn cell_of(&self, imei: ImeiHash) -> Option<CellId>;
 
     /// Records an observed position and serving cell. Returns `false` when
     /// the device is unknown to this index.
     fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool;
 
-    /// The qualified candidate records for `probe`, ascending by IMEI
-    /// hash: responsive, data-valid devices inside the region that carry
-    /// the sensor and match any device-type restriction.
-    fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord>;
+    /// Re-registration: refreshes the caller-supplied fields of an
+    /// existing device (budget, floor, battery, sensors, device type,
+    /// last-comm) and restores responsiveness, preserving selection
+    /// history, spent energy and position. Returns `false` if unknown.
+    fn refresh_registration(&mut self, record: &DeviceRecord) -> bool;
+
+    /// Updates the user's energy budget and critical-battery floor.
+    /// Returns `false` if unknown.
+    fn update_preferences(
+        &mut self,
+        imei: ImeiHash,
+        energy_budget_j: f64,
+        critical_battery_pct: f64,
+    ) -> bool;
+
+    /// Updates reported battery and crowdsensing-energy state, refreshing
+    /// the last-communication timestamp and responsiveness. Returns
+    /// `false` if unknown.
+    fn update_state(
+        &mut self,
+        imei: ImeiHash,
+        battery_pct: f64,
+        cs_energy_j: f64,
+        now: SimTime,
+    ) -> bool;
+
+    /// Records a radio communication (any traffic the eNodeB sees),
+    /// restoring responsiveness. Returns `false` if unknown.
+    fn record_comm(&mut self, imei: ImeiHash, now: SimTime) -> bool;
+
+    /// Increments the selection counter after an assignment. Returns
+    /// `false` if unknown.
+    fn bump_selected(&mut self, imei: ImeiHash) -> bool;
+
+    /// Sets the responsiveness flag (cleared on missed deadlines).
+    /// Returns `false` if unknown.
+    fn set_responsive(&mut self, imei: ImeiHash, responsive: bool) -> bool;
+
+    /// Sets the data-validity flag (cleared on implausible submissions).
+    /// Returns `false` if unknown.
+    fn set_data_valid(&mut self, imei: ImeiHash, valid: bool) -> bool;
+
+    /// Appends the qualified candidate rows for `probe` to `out`,
+    /// ascending by IMEI hash: responsive, data-valid devices inside the
+    /// region that carry the sensor and match any device-type restriction.
+    /// Appending to a caller-owned buffer keeps the per-wakeup hot path
+    /// allocation-free once the buffer has grown to steady state.
+    fn candidates_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>);
+
+    /// The qualified candidate rows for `probe`, allocated fresh. Compat
+    /// convenience over [`candidates_into`](Self::candidates_into).
+    fn candidates(&self, probe: &QualificationProbe) -> Vec<CandidateRow> {
+        let mut out = Vec::new();
+        self.candidates_into(probe, &mut out);
+        out
+    }
 
     /// How many devices qualify for `probe`.
     fn qualified_count(&self, probe: &QualificationProbe) -> usize {

@@ -1,0 +1,579 @@
+//! The struct-of-arrays device datastore — the million-device layout.
+//!
+//! [`DeviceStore`](super::device_store::DeviceStore) keeps one
+//! [`DeviceRecord`] per device in a B-tree: correct, but every
+//! qualification probe chases a pointer per device and drags the record's
+//! cold fields (sensor list, device-type string) through the cache along
+//! with the handful of hot ones. At the paper's §8 city scale (10⁶
+//! devices) that layout is cache-hostile.
+//!
+//! [`SoaDeviceStore`] stores the same facts as parallel columns indexed by
+//! a dense [`DeviceSlot`]:
+//!
+//! * hot numeric columns (battery, budget, spent energy, selection count,
+//!   last-comm) are flat `Vec`s the qualification filter streams through;
+//! * the sensor list collapses to a 10-bit mask and the device-type string
+//!   to an interned id, so the qualification predicate is pure integer
+//!   compares — the original list and string are kept as cold columns for
+//!   snapshot fidelity;
+//! * a `BTreeMap<ImeiHash, DeviceSlot>` gives stable identity → slot
+//!   lookup, and a free list recycles slots across deregister/re-register
+//!   churn so the columns stay dense;
+//! * positions are mirrored into the hierarchical
+//!   [`GridIndex`](senseaid_geo::GridIndex) keyed by slot.
+//!
+//! Behaviour is byte-identical to the reference store — the equivalence
+//! suite drives both through identical histories and compares snapshots,
+//! assignments and statistics.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use senseaid_cellnet::CellId;
+use senseaid_device::{ImeiHash, Sensor};
+use senseaid_geo::{GeoPoint, GridIndex};
+use senseaid_sim::SimTime;
+
+use crate::store::device_store::DeviceRecord;
+use crate::store::{CandidateRow, DeviceIndex, QualificationProbe};
+
+/// Dense index of one device's row in the column arrays. Slots are
+/// recycled through a free list, so a slot id is only meaningful while its
+/// device stays registered; stable identity is the [`ImeiHash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceSlot(pub u32);
+
+/// Flag bits for the packed per-slot status column.
+const LIVE: u8 = 1;
+const RESPONSIVE: u8 = 1 << 1;
+const DATA_VALID: u8 = 1 << 2;
+/// A device qualifies only with all three set — one integer compare.
+const QUALIFIES: u8 = LIVE | RESPONSIVE | DATA_VALID;
+
+/// Bit for `sensor` in the 10-bit sensor-mask column.
+fn sensor_bit(sensor: Sensor) -> u16 {
+    // Position in the canonical list; `Sensor` has exactly 10 variants.
+    let idx = Sensor::ALL
+        .iter()
+        .position(|s| *s == sensor)
+        .expect("Sensor::ALL is exhaustive");
+    1u16 << idx
+}
+
+fn sensor_mask(sensors: &[Sensor]) -> u16 {
+    sensors.iter().fold(0, |mask, s| mask | sensor_bit(*s))
+}
+
+/// The struct-of-arrays registry of participating devices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoaDeviceStore {
+    // Hot columns, indexed by slot.
+    imei: Vec<ImeiHash>,
+    energy_budget_j: Vec<f64>,
+    critical_battery_pct: Vec<f64>,
+    cs_energy_j: Vec<f64>,
+    battery_pct: Vec<f64>,
+    reliability: Vec<f64>,
+    times_selected: Vec<u64>,
+    last_comm: Vec<SimTime>,
+    flags: Vec<u8>,
+    sensor_mask: Vec<u16>,
+    type_id: Vec<u32>,
+    position: Vec<Option<GeoPoint>>,
+    cell: Vec<Option<CellId>>,
+    // Cold columns: exact registered sensor list (order preserved) so
+    // snapshots round-trip byte-identically to the reference store.
+    sensors: Vec<Vec<Sensor>>,
+    // Device-type interner: qualification compares u32 ids, snapshots
+    // read the name back.
+    type_names: Vec<String>,
+    type_ids: HashMap<String, u32>,
+    // Identity and reuse.
+    slot_of: BTreeMap<ImeiHash, DeviceSlot>,
+    free: Vec<DeviceSlot>,
+    grid: GridIndex<DeviceSlot>,
+}
+
+impl Default for SoaDeviceStore {
+    fn default() -> Self {
+        SoaDeviceStore::new()
+    }
+}
+
+impl SoaDeviceStore {
+    /// Grid cell edge for the position index, metres — matches the
+    /// reference store so spatial query behaviour is identical.
+    const INDEX_CELL_M: f64 = 250.0;
+
+    /// An empty store.
+    pub fn new() -> Self {
+        SoaDeviceStore {
+            imei: Vec::new(),
+            energy_budget_j: Vec::new(),
+            critical_battery_pct: Vec::new(),
+            cs_energy_j: Vec::new(),
+            battery_pct: Vec::new(),
+            reliability: Vec::new(),
+            times_selected: Vec::new(),
+            last_comm: Vec::new(),
+            flags: Vec::new(),
+            sensor_mask: Vec::new(),
+            type_id: Vec::new(),
+            position: Vec::new(),
+            cell: Vec::new(),
+            sensors: Vec::new(),
+            type_names: Vec::new(),
+            type_ids: HashMap::new(),
+            slot_of: BTreeMap::new(),
+            free: Vec::new(),
+            grid: GridIndex::new(Self::INDEX_CELL_M),
+        }
+    }
+
+    /// The slot holding `imei`, if registered. Exposed so slot-aware
+    /// callers (benches, invariant checks) can observe reuse.
+    pub fn slot_of(&self, imei: ImeiHash) -> Option<DeviceSlot> {
+        self.slot_of.get(&imei).copied()
+    }
+
+    /// Total slots ever allocated (live + free) — capacity telemetry for
+    /// the memory cells.
+    pub fn slot_capacity(&self) -> usize {
+        self.imei.len()
+    }
+
+    fn intern_type(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.type_ids.get(name) {
+            return *id;
+        }
+        let id = self.type_names.len() as u32;
+        self.type_names.push(name.to_owned());
+        self.type_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Allocates (or reuses) a slot for a new imei and writes `record`
+    /// into its columns.
+    fn alloc(&mut self, record: DeviceRecord) -> DeviceSlot {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = DeviceSlot(self.imei.len() as u32);
+                self.imei.push(ImeiHash(0));
+                self.energy_budget_j.push(0.0);
+                self.critical_battery_pct.push(0.0);
+                self.cs_energy_j.push(0.0);
+                self.battery_pct.push(0.0);
+                self.reliability.push(0.0);
+                self.times_selected.push(0);
+                self.last_comm.push(SimTime::ZERO);
+                self.flags.push(0);
+                self.sensor_mask.push(0);
+                self.type_id.push(0);
+                self.position.push(None);
+                self.cell.push(None);
+                self.sensors.push(Vec::new());
+                slot
+            }
+        };
+        self.slot_of.insert(record.imei, slot);
+        self.write(slot, record);
+        slot
+    }
+
+    /// Overwrites every column of `slot` from `record` and syncs the grid.
+    fn write(&mut self, slot: DeviceSlot, record: DeviceRecord) {
+        let i = slot.0 as usize;
+        self.imei[i] = record.imei;
+        self.energy_budget_j[i] = record.energy_budget_j;
+        self.critical_battery_pct[i] = record.critical_battery_pct;
+        self.cs_energy_j[i] = record.cs_energy_j;
+        self.battery_pct[i] = record.battery_pct;
+        self.reliability[i] = record.reliability;
+        self.times_selected[i] = record.times_selected;
+        self.last_comm[i] = record.last_comm;
+        self.flags[i] = LIVE
+            | if record.responsive { RESPONSIVE } else { 0 }
+            | if record.data_valid { DATA_VALID } else { 0 };
+        self.sensor_mask[i] = sensor_mask(&record.sensors);
+        self.type_id[i] = self.intern_type(&record.device_type);
+        self.position[i] = record.position;
+        self.cell[i] = record.cell;
+        self.sensors[i] = record.sensors;
+        match record.position {
+            Some(p) => self.grid.insert(slot, p),
+            None => {
+                self.grid.remove(slot);
+            }
+        }
+    }
+
+    /// Materialises the full record stored at `slot` (cold path).
+    fn materialise(&self, slot: DeviceSlot) -> DeviceRecord {
+        let i = slot.0 as usize;
+        DeviceRecord {
+            imei: self.imei[i],
+            energy_budget_j: self.energy_budget_j[i],
+            critical_battery_pct: self.critical_battery_pct[i],
+            cs_energy_j: self.cs_energy_j[i],
+            battery_pct: self.battery_pct[i],
+            times_selected: self.times_selected[i],
+            last_comm: self.last_comm[i],
+            position: self.position[i],
+            cell: self.cell[i],
+            sensors: self.sensors[i].clone(),
+            device_type: self.type_names[self.type_id[i] as usize].clone(),
+            responsive: self.flags[i] & RESPONSIVE != 0,
+            data_valid: self.flags[i] & DATA_VALID != 0,
+            reliability: self.reliability[i],
+        }
+    }
+
+    fn row_at(&self, i: usize) -> CandidateRow {
+        CandidateRow {
+            imei: self.imei[i],
+            battery_pct: self.battery_pct[i],
+            critical_battery_pct: self.critical_battery_pct[i],
+            remaining_budget_j: (self.energy_budget_j[i] - self.cs_energy_j[i]).max(0.0),
+            cs_energy_j: self.cs_energy_j[i],
+            times_selected: self.times_selected[i],
+            last_comm: self.last_comm[i],
+            reliability: self.reliability[i],
+        }
+    }
+
+    /// Resolves the probe's device-type restriction against the interner:
+    /// `None` — unrestricted; `Some(None)` — restriction names a type no
+    /// registered device has ever carried, nothing can match.
+    fn probe_type(&self, probe: &QualificationProbe) -> Option<Option<u32>> {
+        probe
+            .device_type
+            .as_deref()
+            .map(|t| self.type_ids.get(t).copied())
+    }
+}
+
+impl DeviceIndex for SoaDeviceStore {
+    fn insert(&mut self, record: DeviceRecord) {
+        match self.slot_of.get(&record.imei) {
+            // Re-registering keeps the imei's slot: column overwrite.
+            Some(&slot) => self.write(slot, record),
+            None => {
+                self.alloc(record);
+            }
+        }
+    }
+
+    fn remove(&mut self, imei: ImeiHash) -> Option<DeviceRecord> {
+        let slot = self.slot_of.remove(&imei)?;
+        let record = self.materialise(slot);
+        let i = slot.0 as usize;
+        self.grid.remove(slot);
+        self.flags[i] = 0; // dead slots can never qualify
+        self.position[i] = None;
+        self.cell[i] = None;
+        self.sensors[i] = Vec::new();
+        self.free.push(slot);
+        Some(record)
+    }
+
+    fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    fn get(&self, imei: ImeiHash) -> Option<DeviceRecord> {
+        self.slot_of.get(&imei).map(|slot| self.materialise(*slot))
+    }
+
+    fn cell_of(&self, imei: ImeiHash) -> Option<CellId> {
+        self.slot_of
+            .get(&imei)
+            .and_then(|s| self.cell[s.0 as usize])
+    }
+
+    fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool {
+        let Some(&slot) = self.slot_of.get(&imei) else {
+            return false;
+        };
+        let i = slot.0 as usize;
+        self.position[i] = Some(position);
+        self.cell[i] = cell;
+        self.grid.insert(slot, position);
+        true
+    }
+
+    fn refresh_registration(&mut self, record: &DeviceRecord) -> bool {
+        let Some(&slot) = self.slot_of.get(&record.imei) else {
+            return false;
+        };
+        let i = slot.0 as usize;
+        self.energy_budget_j[i] = record.energy_budget_j;
+        self.critical_battery_pct[i] = record.critical_battery_pct;
+        self.battery_pct[i] = record.battery_pct;
+        self.sensor_mask[i] = sensor_mask(&record.sensors);
+        self.sensors[i] = record.sensors.clone();
+        self.type_id[i] = self.intern_type(&record.device_type);
+        self.last_comm[i] = record.last_comm;
+        self.flags[i] |= RESPONSIVE;
+        true
+    }
+
+    fn update_preferences(
+        &mut self,
+        imei: ImeiHash,
+        energy_budget_j: f64,
+        critical_battery_pct: f64,
+    ) -> bool {
+        let Some(&slot) = self.slot_of.get(&imei) else {
+            return false;
+        };
+        let i = slot.0 as usize;
+        self.energy_budget_j[i] = energy_budget_j;
+        self.critical_battery_pct[i] = critical_battery_pct;
+        true
+    }
+
+    fn update_state(
+        &mut self,
+        imei: ImeiHash,
+        battery_pct: f64,
+        cs_energy_j: f64,
+        now: SimTime,
+    ) -> bool {
+        let Some(&slot) = self.slot_of.get(&imei) else {
+            return false;
+        };
+        let i = slot.0 as usize;
+        self.battery_pct[i] = battery_pct;
+        self.cs_energy_j[i] = cs_energy_j;
+        self.last_comm[i] = now;
+        self.flags[i] |= RESPONSIVE;
+        true
+    }
+
+    fn record_comm(&mut self, imei: ImeiHash, now: SimTime) -> bool {
+        let Some(&slot) = self.slot_of.get(&imei) else {
+            return false;
+        };
+        let i = slot.0 as usize;
+        self.last_comm[i] = now;
+        self.flags[i] |= RESPONSIVE;
+        true
+    }
+
+    fn bump_selected(&mut self, imei: ImeiHash) -> bool {
+        let Some(&slot) = self.slot_of.get(&imei) else {
+            return false;
+        };
+        self.times_selected[slot.0 as usize] += 1;
+        true
+    }
+
+    fn set_responsive(&mut self, imei: ImeiHash, responsive: bool) -> bool {
+        let Some(&slot) = self.slot_of.get(&imei) else {
+            return false;
+        };
+        let i = slot.0 as usize;
+        if responsive {
+            self.flags[i] |= RESPONSIVE;
+        } else {
+            self.flags[i] &= !RESPONSIVE;
+        }
+        true
+    }
+
+    fn set_data_valid(&mut self, imei: ImeiHash, valid: bool) -> bool {
+        let Some(&slot) = self.slot_of.get(&imei) else {
+            return false;
+        };
+        let i = slot.0 as usize;
+        if valid {
+            self.flags[i] |= DATA_VALID;
+        } else {
+            self.flags[i] &= !DATA_VALID;
+        }
+        true
+    }
+
+    fn candidates_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>) {
+        let want_type = match self.probe_type(probe) {
+            Some(None) => return, // unknown type name: nothing matches
+            Some(Some(id)) => Some(id),
+            None => None,
+        };
+        let sbit = sensor_bit(probe.sensor);
+        let start = out.len();
+        self.grid.for_each_in_circle(&probe.region, |slot| {
+            let i = slot.0 as usize;
+            if self.flags[i] & QUALIFIES == QUALIFIES
+                && self.sensor_mask[i] & sbit != 0
+                && want_type.is_none_or(|t| self.type_id[i] == t)
+            {
+                out.push(self.row_at(i));
+            }
+        });
+        out[start..].sort_unstable_by_key(|r| r.imei);
+    }
+
+    fn qualified_count(&self, probe: &QualificationProbe) -> usize {
+        let want_type = match self.probe_type(probe) {
+            Some(None) => return 0,
+            Some(Some(id)) => Some(id),
+            None => None,
+        };
+        let sbit = sensor_bit(probe.sensor);
+        let mut n = 0;
+        self.grid.for_each_in_circle(&probe.region, |slot| {
+            let i = slot.0 as usize;
+            if self.flags[i] & QUALIFIES == QUALIFIES
+                && self.sensor_mask[i] & sbit != 0
+                && want_type.is_none_or(|t| self.type_id[i] == t)
+            {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn snapshot_records(&self) -> Vec<DeviceRecord> {
+        // `slot_of` is keyed by IMEI, so iteration is already ordered.
+        self.slot_of
+            .values()
+            .map(|slot| self.materialise(*slot))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::device_store::{new_record, DeviceStore};
+    use senseaid_geo::CircleRegion;
+
+    fn centre() -> GeoPoint {
+        GeoPoint::new(40.4284, -86.9138)
+    }
+
+    fn record(id: u64) -> DeviceRecord {
+        new_record(
+            ImeiHash(id),
+            495.0,
+            15.0,
+            100.0,
+            vec![Sensor::Barometer, Sensor::Accelerometer],
+            "GalaxyS4".to_owned(),
+            SimTime::ZERO,
+        )
+    }
+
+    fn probe(radius: f64) -> QualificationProbe {
+        QualificationProbe::new(Sensor::Barometer, CircleRegion::new(centre(), radius))
+    }
+
+    /// Drives the SoA store and the reference store through the same
+    /// mixed history and checks every observable agrees.
+    #[test]
+    fn agrees_with_reference_store_through_churn() {
+        let mut soa = SoaDeviceStore::new();
+        let mut aos = DeviceStore::new();
+        let both: &mut [&mut dyn DeviceIndex] = &mut [&mut soa, &mut aos];
+        for store in both.iter_mut() {
+            for id in 1..=40u64 {
+                store.insert(record(id));
+                store.observe(
+                    ImeiHash(id),
+                    centre().offset_by_meters(f64::from(id as u32) * 35.0, 0.0),
+                    Some(senseaid_cellnet::CellId(id as usize % 3)),
+                );
+            }
+            // Mixed mutations.
+            store.update_state(ImeiHash(3), 42.0, 100.0, SimTime::from_mins(2));
+            store.set_responsive(ImeiHash(5), false);
+            store.set_data_valid(ImeiHash(6), false);
+            store.bump_selected(ImeiHash(7));
+            store.update_preferences(ImeiHash(8), 200.0, 30.0);
+            store.record_comm(ImeiHash(9), SimTime::from_mins(4));
+            // Churn: deregister some, re-register one of them.
+            store.remove(ImeiHash(10));
+            store.remove(ImeiHash(11));
+            store.insert(record(10));
+            store.observe(ImeiHash(10), centre(), None);
+            // Re-registration refresh of a live device.
+            let mut refreshed = record(12);
+            refreshed.battery_pct = 55.0;
+            refreshed.device_type = "iPhone6".to_owned();
+            refreshed.last_comm = SimTime::from_mins(6);
+            store.refresh_registration(&refreshed);
+        }
+        assert_eq!(soa.len(), aos.len());
+        assert_eq!(soa.snapshot_records(), aos.snapshot_records());
+        // Qualify through the trait: the reference store's *inherent*
+        // `candidates`/`get` are the deprecated pointer-returning shims.
+        let aos_index: &dyn DeviceIndex = &aos;
+        for radius in [100.0, 400.0, 900.0, 2000.0] {
+            let p = probe(radius);
+            assert_eq!(
+                soa.candidates(&p),
+                aos_index.candidates(&p),
+                "radius {radius}"
+            );
+            assert_eq!(soa.qualified_count(&p), aos_index.qualified_count(&p));
+        }
+        for id in 1..=40u64 {
+            assert_eq!(
+                soa.get(ImeiHash(id)),
+                aos_index.get(ImeiHash(id)),
+                "imei {id}"
+            );
+            assert_eq!(soa.cell_of(ImeiHash(id)), aos_index.cell_of(ImeiHash(id)));
+        }
+    }
+
+    #[test]
+    fn slots_are_recycled_through_the_free_list() {
+        let mut store = SoaDeviceStore::new();
+        for id in 1..=4u64 {
+            store.insert(record(id));
+        }
+        assert_eq!(store.slot_capacity(), 4);
+        let freed = store.slot_of(ImeiHash(2)).unwrap();
+        store.remove(ImeiHash(2));
+        assert_eq!(store.len(), 3);
+        // The next registration reuses the freed slot; capacity is flat.
+        store.insert(record(9));
+        assert_eq!(store.slot_of(ImeiHash(9)), Some(freed));
+        assert_eq!(store.slot_capacity(), 4);
+        // Re-registering a live imei keeps its slot.
+        let slot3 = store.slot_of(ImeiHash(3)).unwrap();
+        store.insert(record(3));
+        assert_eq!(store.slot_of(ImeiHash(3)), Some(slot3));
+        assert_eq!(store.slot_capacity(), 4);
+    }
+
+    #[test]
+    fn dead_slots_never_qualify() {
+        let mut store = SoaDeviceStore::new();
+        store.insert(record(1));
+        store.observe(ImeiHash(1), centre(), None);
+        assert_eq!(store.qualified_count(&probe(500.0)), 1);
+        store.remove(ImeiHash(1));
+        assert_eq!(store.qualified_count(&probe(500.0)), 0);
+        assert!(store.get(ImeiHash(1)).is_none());
+        assert!(!store.observe(ImeiHash(1), centre(), None));
+        assert!(!store.update_state(ImeiHash(1), 10.0, 0.0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn unknown_device_type_restriction_matches_nothing() {
+        let mut store = SoaDeviceStore::new();
+        store.insert(record(1));
+        store.observe(ImeiHash(1), centre(), None);
+        let mut p = probe(500.0);
+        p.device_type = Some("NeverRegistered".to_owned());
+        assert_eq!(store.qualified_count(&p), 0);
+        assert!(store.candidates(&p).is_empty());
+        p.device_type = Some("GalaxyS4".to_owned());
+        assert_eq!(store.qualified_count(&p), 1);
+    }
+}

@@ -1,4 +1,4 @@
-//! The task datastore.
+//! The task datastore and the queued-request arena.
 
 use std::collections::BTreeMap;
 
@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use senseaid_sim::SimTime;
 
 use crate::error::SenseAidError;
+use crate::request::{Request, RequestSlot};
 use crate::task::{TaskId, TaskSpec};
 
 /// Lifecycle of a task.
@@ -113,9 +114,87 @@ impl TaskStore {
     }
 }
 
+/// Slab storage for the requests parked in a shard's run and wait queues.
+///
+/// A [`Request`] owns its spec snapshot — region, sensor, device-type
+/// string — which made the old queues heaps of fat, heap-backed structs:
+/// every sift moved whole requests, and every queue scan chased their
+/// allocations. The arena pins each request into a recycled slot and the
+/// queues order plain-old-data `(deadline, sample_at, id, task, slot)`
+/// entries instead, so heap operations move 48-byte values and resolve the
+/// request only when it is actually popped.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RequestArena {
+    slots: Vec<Option<Request>>,
+    free: Vec<RequestSlot>,
+    live: usize,
+}
+
+impl RequestArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        RequestArena::default()
+    }
+
+    /// Stores `request`, returning the slot that now pins it.
+    pub fn insert(&mut self, request: Request) -> RequestSlot {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot.0 as usize].is_none());
+                self.slots[slot.0 as usize] = Some(request);
+                self.live += 1;
+                slot
+            }
+            None => {
+                let slot = RequestSlot(self.slots.len() as u32);
+                self.slots.push(Some(request));
+                self.live += 1;
+                slot
+            }
+        }
+    }
+
+    /// The request pinned at `slot`, if the slot is live.
+    pub fn get(&self, slot: RequestSlot) -> Option<&Request> {
+        self.slots.get(slot.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Removes and returns the request at `slot`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty — queue entries and arena slots move in
+    /// lockstep, so a dangling entry is a bookkeeping bug, not a runtime
+    /// condition to tolerate.
+    pub fn take(&mut self, slot: RequestSlot) -> Request {
+        let request = self.slots[slot.0 as usize]
+            .take()
+            .expect("queue entry must point at a live arena slot");
+        self.free.push(slot);
+        self.live -= 1;
+        request
+    }
+
+    /// Requests currently pinned.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no request is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + free) — capacity telemetry.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::RequestId;
     use senseaid_device::Sensor;
     use senseaid_geo::{CircleRegion, GeoPoint};
     use senseaid_sim::SimDuration;
@@ -150,6 +229,44 @@ mod tests {
             store.delete(TaskId(99)),
             Err(SenseAidError::UnknownTask(TaskId(99)))
         );
+    }
+
+    fn request(id: u64) -> Request {
+        Request::new(
+            RequestId(id),
+            TaskId(1),
+            spec(),
+            SimTime::from_mins(1),
+            SimTime::from_mins(6),
+        )
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut arena = RequestArena::new();
+        let a = arena.insert(request(1));
+        let b = arena.insert(request(2));
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a).unwrap().id(), RequestId(1));
+        let taken = arena.take(a);
+        assert_eq!(taken.id(), RequestId(1));
+        assert!(arena.get(a).is_none());
+        assert_eq!(arena.len(), 1);
+        // The freed slot is reused; capacity stays flat.
+        let c = arena.insert(request(3));
+        assert_eq!(c, a);
+        assert_eq!(arena.slot_capacity(), 2);
+        assert_eq!(arena.get(c).unwrap().id(), RequestId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "live arena slot")]
+    fn taking_an_empty_slot_panics() {
+        let mut arena = RequestArena::new();
+        let slot = arena.insert(request(1));
+        let _ = arena.take(slot);
+        let _ = arena.take(slot);
     }
 
     #[test]

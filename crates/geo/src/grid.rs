@@ -1,26 +1,61 @@
-//! A uniform spatial grid index.
+//! A hierarchical spatial grid index.
 //!
 //! `qualified_for` is the middleware's hottest query: *which registered
 //! devices are inside this circle right now?* A linear scan is fine for
 //! the study's 20 devices; a city-scale deployment (the paper's §8
 //! scalability goal) wants an index. [`GridIndex`] buckets positions into
-//! fixed-size cells keyed by latitude/longitude and answers circle
-//! queries by scanning only the cells the circle's bounding box touches.
+//! fixed-size fine cells grouped under coarse cells
+//! ([`COARSE_FACTOR`]² fine cells each) and answers circle queries by
+//! walking only the coarse cells the circle's bounding box touches:
+//!
+//! * an *empty* coarse cell skips 256 fine-cell probes with one hash
+//!   lookup, so sparse city-scale maps stay sublinear in query area;
+//! * a coarse or fine cell *provably inside* the circle is emitted whole,
+//!   without per-point distance checks (the bound is conservative, so the
+//!   answer is always byte-identical to a brute-force scan);
+//! * only boundary cells pay the per-point `contains` filter.
+//!
+//! Positions are stored inline with their keys in the fine buckets, so the
+//! hot query path never chases a side map.
 
 use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
-use crate::point::GeoPoint;
+use crate::point::{GeoPoint, EARTH_RADIUS_M};
 use crate::region::CircleRegion;
 
 /// Metres per degree of latitude (WGS-84 mean).
 const M_PER_DEG_LAT: f64 = 111_320.0;
 
-/// A uniform-grid spatial index over keys of type `K`.
+/// Fine cells per coarse-cell edge. 16×16 fine cells per coarse cell puts
+/// a 250 m fine grid under ~4 km coarse cells — one coarse lookup skips a
+/// whole neighbourhood when it is empty.
+const COARSE_FACTOR: i32 = 16;
+
+/// One coarse cell: the occupied fine buckets under it plus a live count.
 ///
-/// Keys are unique: inserting a key again moves it. Query results are
-/// sorted by key so iteration order is deterministic.
+/// The fine map is a `BTreeMap` so traversal order is deterministic (the
+/// workspace's shard-invariance suite byte-compares query-derived state).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CoarseCell<K: Copy + Eq + Ord + std::hash::Hash> {
+    total: usize,
+    fine: BTreeMap<(i32, i32), Vec<(K, GeoPoint)>>,
+}
+
+impl<K: Copy + Eq + Ord + std::hash::Hash> Default for CoarseCell<K> {
+    fn default() -> Self {
+        CoarseCell {
+            total: 0,
+            fine: BTreeMap::new(),
+        }
+    }
+}
+
+/// A hierarchical-grid spatial index over keys of type `K`.
+///
+/// Keys are unique: inserting a key again moves it. [`query_circle`]
+/// results are sorted by key so iteration order is deterministic.
 ///
 /// # Example
 ///
@@ -31,20 +66,23 @@ const M_PER_DEG_LAT: f64 = 111_320.0;
 /// let campus = GeoPoint::new(40.4284, -86.9138);
 /// idx.insert(1u32, campus);
 /// idx.insert(2u32, campus.offset_by_meters(2_000.0, 0.0));
-/// let near = idx.query_circle(&CircleRegion::new(campus, 500.0));
+/// let mut near = Vec::new();
+/// idx.for_each_in_circle(&CircleRegion::new(campus, 500.0), |k| near.push(k));
 /// assert_eq!(near, vec![1]);
 /// ```
+///
+/// [`query_circle`]: Self::query_circle
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GridIndex<K: Copy + Eq + Ord + std::hash::Hash> {
-    /// Cell edge length in degrees of latitude (longitude cells use the
-    /// same degree size; the contains-filter restores exactness).
+    /// Fine-cell edge length in degrees of latitude (longitude cells use
+    /// the same degree size; the contains-filter restores exactness).
     cell_deg: f64,
-    cells: HashMap<(i32, i32), Vec<K>>,
+    coarse: HashMap<(i32, i32), CoarseCell<K>>,
     positions: BTreeMap<K, GeoPoint>,
 }
 
 impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
-    /// Creates an index with roughly `cell_m`-sized cells.
+    /// Creates an index with roughly `cell_m`-sized fine cells.
     ///
     /// # Panics
     ///
@@ -56,15 +94,22 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
         );
         GridIndex {
             cell_deg: cell_m / M_PER_DEG_LAT,
-            cells: HashMap::new(),
+            coarse: HashMap::new(),
             positions: BTreeMap::new(),
         }
     }
 
-    fn cell_of(&self, p: GeoPoint) -> (i32, i32) {
+    fn fine_cell_of(&self, p: GeoPoint) -> (i32, i32) {
         (
             (p.lat_deg() / self.cell_deg).floor() as i32,
             (p.lon_deg() / self.cell_deg).floor() as i32,
+        )
+    }
+
+    fn coarse_cell_of(fine: (i32, i32)) -> (i32, i32) {
+        (
+            fine.0.div_euclid(COARSE_FACTOR),
+            fine.1.div_euclid(COARSE_FACTOR),
         )
     }
 
@@ -93,8 +138,10 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
             return;
         }
         self.remove(key);
-        let cell = self.cell_of(position);
-        self.cells.entry(cell).or_default().push(key);
+        let fine = self.fine_cell_of(position);
+        let coarse = self.coarse.entry(Self::coarse_cell_of(fine)).or_default();
+        coarse.fine.entry(fine).or_default().push((key, position));
+        coarse.total += 1;
         self.positions.insert(key, position);
     }
 
@@ -103,29 +150,61 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
         let Some(old) = self.positions.remove(&key) else {
             return false;
         };
-        let cell = self.cell_of(old);
-        if let Some(bucket) = self.cells.get_mut(&cell) {
-            bucket.retain(|k| *k != key);
-            if bucket.is_empty() {
-                self.cells.remove(&cell);
+        let fine = self.fine_cell_of(old);
+        let coarse_key = Self::coarse_cell_of(fine);
+        if let Some(coarse) = self.coarse.get_mut(&coarse_key) {
+            if let Some(bucket) = coarse.fine.get_mut(&fine) {
+                let before = bucket.len();
+                bucket.retain(|(k, _)| *k != key);
+                coarse.total -= before - bucket.len();
+                if bucket.is_empty() {
+                    coarse.fine.remove(&fine);
+                }
+            }
+            if coarse.total == 0 {
+                self.coarse.remove(&coarse_key);
             }
         }
         true
     }
 
-    /// All keys whose position lies inside `region`, sorted.
-    pub fn query_circle(&self, region: &CircleRegion) -> Vec<K> {
-        let mut out = Vec::new();
-        self.for_each_in_circle(region, |key| out.push(key));
-        out.sort_unstable();
-        out
+    /// Whether the fine-cell rectangle `[lat_lo..=lat_hi] × [lon_lo..=
+    /// lon_hi]` lies *provably* inside `region` under the workspace's
+    /// equirectangular metric. Conservative: `cos(mean_lat) ≤ 1` bounds
+    /// the true distance from above for every point of the rectangle, and
+    /// the relative slack swallows floating-point noise — so a `true`
+    /// here can never disagree with a per-point `contains` check, while a
+    /// borderline cell simply falls through to the exact filter.
+    fn cells_definitely_inside(
+        &self,
+        region: &CircleRegion,
+        lat_lo: i32,
+        lat_hi: i32,
+        lon_lo: i32,
+        lon_hi: i32,
+    ) -> bool {
+        let c = region.centre();
+        let lat0 = f64::from(lat_lo) * self.cell_deg;
+        let lat1 = (f64::from(lat_hi) + 1.0) * self.cell_deg;
+        let lon0 = f64::from(lon_lo) * self.cell_deg;
+        let lon1 = (f64::from(lon_hi) + 1.0) * self.cell_deg;
+        let dy = (c.lat_deg() - lat0)
+            .abs()
+            .max((c.lat_deg() - lat1).abs())
+            .to_radians();
+        let dx = (c.lon_deg() - lon0)
+            .abs()
+            .max((c.lon_deg() - lon1).abs())
+            .to_radians();
+        EARTH_RADIUS_M * (dy * dy + dx * dx).sqrt() <= region.radius_m() * (1.0 - 1e-6)
     }
 
-    /// Calls `f` for every key inside `region`, in grid-bucket order
-    /// (*not* key order). The allocation-free primitive behind
-    /// [`query_circle`](Self::query_circle); counting callers use it
-    /// directly and skip the sort.
-    pub fn for_each_in_circle(&self, region: &CircleRegion, mut f: impl FnMut(K)) {
+    /// The traversal skeleton behind every circle query: calls `visit`
+    /// once per occupied bucket the circle's bounding box touches, with
+    /// `filter = false` when the bucket's cell is provably inside the
+    /// circle (every member matches) and `filter = true` when the caller
+    /// must still apply the per-point `contains` check.
+    fn visit_buckets(&self, region: &CircleRegion, mut visit: impl FnMut(&[(K, GeoPoint)], bool)) {
         let centre = region.centre();
         let r = region.radius_m();
         let dlat = r / M_PER_DEG_LAT;
@@ -134,23 +213,87 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
         let lat_hi = ((centre.lat_deg() + dlat) / self.cell_deg).floor() as i32;
         let lon_lo = ((centre.lon_deg() - dlon) / self.cell_deg).floor() as i32;
         let lon_hi = ((centre.lon_deg() + dlon) / self.cell_deg).floor() as i32;
-        for lat_c in lat_lo..=lat_hi {
-            for lon_c in lon_lo..=lon_hi {
-                if let Some(bucket) = self.cells.get(&(lat_c, lon_c)) {
-                    for key in bucket {
-                        if region.contains(self.positions[key]) {
-                            f(*key);
-                        }
+        for c_lat in lat_lo.div_euclid(COARSE_FACTOR)..=lat_hi.div_euclid(COARSE_FACTOR) {
+            for c_lon in lon_lo.div_euclid(COARSE_FACTOR)..=lon_hi.div_euclid(COARSE_FACTOR) {
+                let Some(cell) = self.coarse.get(&(c_lat, c_lon)) else {
+                    continue;
+                };
+                let base_lat = c_lat * COARSE_FACTOR;
+                let base_lon = c_lon * COARSE_FACTOR;
+                if self.cells_definitely_inside(
+                    region,
+                    base_lat,
+                    base_lat + COARSE_FACTOR - 1,
+                    base_lon,
+                    base_lon + COARSE_FACTOR - 1,
+                ) {
+                    for bucket in cell.fine.values() {
+                        visit(bucket, false);
                     }
+                    continue;
+                }
+                let f_lat_lo = lat_lo.max(base_lat);
+                let f_lat_hi = lat_hi.min(base_lat + COARSE_FACTOR - 1);
+                let f_lon_lo = lon_lo.max(base_lon);
+                let f_lon_hi = lon_hi.min(base_lon + COARSE_FACTOR - 1);
+                for (&(flat, flon), bucket) in
+                    cell.fine.range((f_lat_lo, i32::MIN)..=(f_lat_hi, i32::MAX))
+                {
+                    if flon < f_lon_lo || flon > f_lon_hi {
+                        continue;
+                    }
+                    let covered = self.cells_definitely_inside(region, flat, flat, flon, flon);
+                    visit(bucket, !covered);
                 }
             }
         }
     }
 
-    /// How many keys lie inside `region`, without allocating.
+    /// All keys whose position lies inside `region`, sorted.
+    #[deprecated(
+        since = "0.6.0",
+        note = "allocates a fresh Vec per call; hot paths use \
+                `for_each_in_circle`/`count_in_circle` (kept as a compat \
+                wrapper for tests)"
+    )]
+    pub fn query_circle(&self, region: &CircleRegion) -> Vec<K> {
+        let mut out = Vec::new();
+        self.for_each_in_circle(region, |key| out.push(key));
+        out.sort_unstable();
+        out
+    }
+
+    /// Calls `f` for every key inside `region`, in grid-bucket order
+    /// (*not* key order). The allocation-free primitive behind every
+    /// circle query; counting callers use it directly and skip the sort.
+    pub fn for_each_in_circle(&self, region: &CircleRegion, mut f: impl FnMut(K)) {
+        self.visit_buckets(region, |bucket, filter| {
+            if filter {
+                for (k, p) in bucket {
+                    if region.contains(*p) {
+                        f(*k);
+                    }
+                }
+            } else {
+                for (k, _) in bucket {
+                    f(*k);
+                }
+            }
+        });
+    }
+
+    /// How many keys lie inside `region`, without allocating. Buckets
+    /// provably inside the circle contribute their length without any
+    /// per-point work.
     pub fn count_in_circle(&self, region: &CircleRegion) -> usize {
         let mut n = 0;
-        self.for_each_in_circle(region, |_| n += 1);
+        self.visit_buckets(region, |bucket, filter| {
+            n += if filter {
+                bucket.iter().filter(|(_, p)| region.contains(*p)).count()
+            } else {
+                bucket.len()
+            };
+        });
         n
     }
 
@@ -161,6 +304,7 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // query_circle stays the reference surface for tests
 mod tests {
     use super::*;
     use proptest::prelude::*;
@@ -234,6 +378,25 @@ mod tests {
         // Radius 500 captures offsets 0..=500 → keys 0..=10.
         let got = idx.query_circle(&CircleRegion::new(campus(), 501.0));
         assert_eq!(got, (0..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn covered_coarse_cells_are_emitted_whole() {
+        // A big circle over a dense cluster: most cells sit provably
+        // inside and skip per-point checks — the answer must not change.
+        let mut idx = GridIndex::new(100.0);
+        for i in 0..400u32 {
+            let n = f64::from(i % 20) * 150.0 - 1500.0;
+            let e = f64::from(i / 20) * 150.0 - 1500.0;
+            idx.insert(i, campus().offset_by_meters(n, e));
+        }
+        for radius in [200.0, 900.0, 2500.0, 6000.0] {
+            let region = CircleRegion::new(campus(), radius);
+            let brute = (0..400u32)
+                .filter(|i| region.contains(idx.position(*i).unwrap()))
+                .count();
+            assert_eq!(idx.count_in_circle(&region), brute, "radius {radius}");
+        }
     }
 
     proptest! {

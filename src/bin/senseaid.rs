@@ -13,12 +13,13 @@
 use std::process::ExitCode;
 
 use senseaid::bench::experiments::{
-    ablations, ext_adaptive, ext_chaos, ext_overload, ext_scalability, ext_timeliness, fig01,
-    fig02, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02, DEFAULT_SEED,
+    ablations, ext_adaptive, ext_chaos, ext_million, ext_overload, ext_scalability, ext_timeliness,
+    fig01, fig02, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02,
+    DEFAULT_SEED,
 };
 use senseaid::bench::{
-    run_perf, run_scenario, run_trace, savings_pct, FrameworkKind, PerfOptions, PerfReport,
-    TRACEABLE,
+    run_perf_filtered, run_scenario, run_trace, savings_pct, FrameworkKind, PerfOptions,
+    PerfReport, TRACEABLE,
 };
 use senseaid::geo::NamedLocation;
 use senseaid::sim::SimDuration;
@@ -53,6 +54,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "ext-overload",
         "overload extension (offered load x churn, leases + shedding)",
     ),
+    (
+        "ext-million",
+        "million-device hot-state sweep (10k-1M devices, ops/sec + resident memory)",
+    ),
 ];
 
 const USAGE: &str = "usage: senseaid <experiment|faceoff|perf|trace|list> …  (try `senseaid list`)";
@@ -75,7 +80,7 @@ fn main() -> ExitCode {
             }
             println!("\nusage: senseaid experiment <name> [--seed N]");
             println!("       senseaid faceoff [--seed N] [--radius M] [--period MIN] [--density N] [--tasks N] [--duration MIN] [--group N]");
-            println!("       senseaid perf [--seed N] [--quick] [--out FILE] [--against BASELINE]");
+            println!("       senseaid perf [--seed N] [--quick] [--filter CELL] [--out FILE] [--against BASELINE]");
             println!("       senseaid trace <experiment> [--seed N] [--out FILE] [--jsonl FILE]");
             ExitCode::SUCCESS
         }
@@ -175,6 +180,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "ext-adaptive" => ext_adaptive::run(seed),
         "ext-chaos" => ext_chaos::run(seed),
         "ext-overload" => ext_overload::run(seed),
+        "ext-million" => ext_million::run(seed),
         other => {
             eprintln!("unknown experiment `{other}` (try `senseaid list`)");
             return ExitCode::FAILURE;
@@ -199,7 +205,7 @@ fn cmd_perf(args: &[String]) -> ExitCode {
     if let Err(code) = check_flags(
         "perf",
         args,
-        &["--seed", "--out", "--against"],
+        &["--seed", "--out", "--against", "--filter"],
         &["--quick"],
     ) {
         return code;
@@ -208,7 +214,13 @@ fn cmd_perf(args: &[String]) -> ExitCode {
         seed: seed_of(args),
         quick: args.iter().any(|a| a == "--quick"),
     };
-    let report = run_perf(&options);
+    let report = match run_perf_filtered(&options, str_flag(args, "--filter")) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     print!("{}", report.render());
     if let Some(path) = str_flag(args, "--out") {
         if let Err(e) = std::fs::write(path, report.to_json()) {

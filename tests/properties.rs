@@ -154,20 +154,20 @@ proptest! {
                 r
             })
             .collect();
-        let refs: Vec<_> = records.iter().collect();
-        match selector.select(n, &refs, SimTime::from_mins(10)) {
+        let rows: Vec<_> = records.iter().map(|r| r.row()).collect();
+        match selector.select(n, &rows, SimTime::from_mins(10)) {
             Ok(picked) => {
                 prop_assert_eq!(picked.len(), n);
                 let unique: std::collections::BTreeSet<_> = picked.iter().collect();
                 prop_assert_eq!(unique.len(), n, "no duplicates");
                 for imei in &picked {
-                    let rec = records.iter().find(|r| r.imei == *imei).unwrap();
-                    prop_assert!(selector.eligible(rec), "picked ineligible {imei}");
+                    let row = rows.iter().find(|r| r.imei == *imei).unwrap();
+                    prop_assert!(selector.eligible(row), "picked ineligible {imei}");
                 }
             }
             Err(e) => {
                 // Then fewer than n devices were eligible; verify.
-                let eligible = records.iter().filter(|r| selector.eligible(r)).count();
+                let eligible = rows.iter().filter(|r| selector.eligible(r)).count();
                 prop_assert!(eligible < n);
                 prop_assert_eq!(e.available, eligible);
             }

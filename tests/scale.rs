@@ -1,0 +1,240 @@
+//! Hot-state behaviour at population scale through the public server API.
+//!
+//! The struct-of-arrays device store, hierarchical grid and arena queues
+//! are implementation details — these tests pin the contract that makes
+//! them safe to swap in: a control-plane snapshot taken at an instant with
+//! nothing in flight, restored at that same instant, is *invisible*. A
+//! recovered server must track a never-crashed twin through lease-driven
+//! evictions (expiry re-armed from snapshotted contact times), slot
+//! free-list churn (deregister → re-register reuses columns), and fresh
+//! selection rounds — at ten thousand devices, not ten.
+
+use proptest::prelude::*;
+
+use senseaid::cellnet::CellularNetwork;
+use senseaid::core::{SenseAidConfig, SenseAidServer, TaskSpec};
+use senseaid::device::{ImeiHash, Sensor, SensorReading};
+use senseaid::geo::{CircleRegion, GeoPoint, TowerSite};
+use senseaid::sim::{SimDuration, SimTime};
+
+const DEVICES: u64 = 10_000;
+
+fn centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Offset in `[-1800, 1800)` metres from lane `lane` of `x`.
+fn offset(x: u64, lane: u64) -> f64 {
+    let u = mix(x ^ lane.wrapping_mul(0xa076_1d64_78bd_642f)) >> 11;
+    (u as f64 / (1u64 << 53) as f64) * 3600.0 - 1800.0
+}
+
+fn network() -> CellularNetwork {
+    let sites: Vec<TowerSite> = (0..9)
+        .map(|i| TowerSite {
+            index: i,
+            position: centre().offset_by_meters(
+                (i as f64 / 3.0).floor() * 1500.0 - 1500.0,
+                (i % 3) as f64 * 1500.0 - 1500.0,
+            ),
+            coverage_m: 1200.0,
+        })
+        .collect();
+    CellularNetwork::new(sites)
+}
+
+fn register(server: &mut SenseAidServer, net: &CellularNetwork, imei: u64, seed: u64, t: SimTime) {
+    let p = centre().offset_by_meters(offset(seed ^ imei, 1), offset(seed ^ imei, 2));
+    server
+        .register_device(
+            ImeiHash(imei),
+            495.0,
+            15.0,
+            40.0 + (mix(seed ^ imei) % 61) as f64,
+            vec![Sensor::Barometer],
+            "GalaxyS4".to_owned(),
+            t,
+        )
+        .unwrap();
+    server
+        .observe_device(ImeiHash(imei), p, net.serving_cell(p))
+        .unwrap();
+}
+
+fn spec(radius: f64, duration_min: u64) -> TaskSpec {
+    TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(centre(), radius))
+        .spatial_density(3)
+        .sampling_period(SimDuration::from_mins(5))
+        .sampling_duration(SimDuration::from_mins(duration_min))
+        .build()
+        .unwrap()
+}
+
+/// Polls both servers, requires identical assignment streams, and delivers
+/// every requested reading on both so nothing stays in flight.
+fn lockstep_poll(a: &mut SenseAidServer, b: &mut SenseAidServer, t: SimTime) -> usize {
+    let from_a = a.poll(t).unwrap();
+    let from_b = b.poll(t).unwrap();
+    assert_eq!(from_a, from_b, "assignments diverged at {t:?}");
+    for assignment in &from_a {
+        for imei in &assignment.devices {
+            let reading = SensorReading {
+                sensor: Sensor::Barometer,
+                value: 1000.0 + (imei.0 % 30) as f64,
+                taken_at: t,
+                position: centre(),
+            };
+            for server in [&mut *a, &mut *b] {
+                server
+                    .submit_sensed_data(*imei, assignment.request, &reading, t)
+                    .unwrap();
+            }
+        }
+    }
+    assert_eq!(
+        a.next_wakeup(t),
+        b.next_wakeup(t),
+        "wakeups diverged at {t:?}"
+    );
+    from_a.iter().map(|x| x.devices.len()).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Snapshot → crash → `recover_at` the same instant is invisible: the
+    /// recovered server stays bit-identical to a never-crashed twin
+    /// through 10k-device churn, lease evictions re-armed from the
+    /// snapshot, free-list slot reuse, and further selection rounds.
+    #[test]
+    fn recovery_at_scale_is_invisible(
+        seed in 1u64..10_000,
+        shards in 1usize..9,
+    ) {
+        let net = network();
+        let config = SenseAidConfig {
+            shard_count: shards,
+            device_lease: Some(SimDuration::from_mins(30)),
+            ..SenseAidConfig::default()
+        };
+        let mut live = SenseAidServer::new(config.clone());
+        let mut crashy = SenseAidServer::new(config);
+        for server in [&mut live, &mut crashy] {
+            server.set_topology(net.clone());
+            for imei in 1..=DEVICES {
+                register(server, &net, imei, seed, SimTime::ZERO);
+            }
+        }
+
+        // Pre-snapshot churn: a pseudo-random tenth of the population
+        // deregisters; half of those come straight back (their freed
+        // column slots are reused), and some brand-new devices join.
+        let mut gone = Vec::new();
+        for k in 0..(DEVICES / 10) {
+            let imei = mix(seed ^ k) % DEVICES + 1;
+            for server in [&mut live, &mut crashy] {
+                let removed = server.deregister_device(ImeiHash(imei));
+                prop_assert_eq!(removed.is_ok(), !gone.contains(&imei));
+            }
+            if !gone.contains(&imei) {
+                gone.push(imei);
+            }
+        }
+        for (i, imei) in gone.iter().enumerate() {
+            if i % 2 == 0 {
+                for server in [&mut live, &mut crashy] {
+                    register(server, &net, *imei, seed ^ 7, SimTime::ZERO);
+                }
+            }
+        }
+        for imei in DEVICES + 1..=DEVICES + 200 {
+            for server in [&mut live, &mut crashy] {
+                register(server, &net, imei, seed, SimTime::ZERO);
+            }
+        }
+        prop_assert_eq!(live.device_count(), crashy.device_count());
+
+        for server in [&mut live, &mut crashy] {
+            server.submit_task(spec(700.0, 10), SimTime::ZERO).unwrap();
+            server.submit_task(spec(1500.0, 10), SimTime::ZERO).unwrap();
+        }
+        let mut tasked = 0;
+        for minute in 0..=10u64 {
+            tasked += lockstep_poll(&mut live, &mut crashy, SimTime::from_mins(minute));
+        }
+        prop_assert!(tasked > 0, "the rounds must actually task devices");
+
+        // Nothing is in flight (every assignee delivered immediately), so
+        // a snapshot at minute 11 restored at minute 11 must be invisible.
+        let t_snap = SimTime::from_mins(11);
+        crashy.enable_snapshots(SimDuration::from_mins(1));
+        prop_assert!(crashy.tick_snapshot(t_snap));
+        crashy.crash();
+        prop_assert!(crashy.poll(t_snap).is_err(), "down means down");
+        crashy.recover_at(t_snap);
+
+        prop_assert_eq!(live.device_count(), crashy.device_count());
+        prop_assert_eq!(live.stats(), crashy.stats());
+        prop_assert_eq!(live.wait_queue_len(), crashy.wait_queue_len());
+        prop_assert_eq!(live.run_queue_len(), crashy.run_queue_len());
+
+        // Column fidelity: restored records equal the live twin's, field
+        // for field, across interned device types and sensor lists.
+        for k in 0..64 {
+            let imei = ImeiHash(mix(seed ^ (k + 991)) % (DEVICES + 200) + 1);
+            prop_assert_eq!(live.device(imei), crashy.device(imei), "record {}", imei);
+        }
+
+        // Post-restore free-list churn plus a fresh task: selection stays
+        // in lockstep over reused slots.
+        for imei in (1..=DEVICES).step_by(97) {
+            for server in [&mut live, &mut crashy] {
+                let _ = server.deregister_device(ImeiHash(imei));
+            }
+        }
+        for imei in (1..=DEVICES).step_by(194) {
+            for server in [&mut live, &mut crashy] {
+                register(server, &net, imei, seed ^ 13, t_snap);
+            }
+        }
+        for server in [&mut live, &mut crashy] {
+            server.submit_task(spec(900.0, 10), t_snap).unwrap();
+        }
+        for minute in 11..=22u64 {
+            lockstep_poll(&mut live, &mut crashy, SimTime::from_mins(minute));
+        }
+
+        // Lease re-arming: keep a third of the population in radio
+        // contact, stride the rest into silence. Past the 30-minute lease
+        // both servers must evict the same devices at the same polls —
+        // the restored lease table ticks from snapshotted contact times.
+        let t_contact = SimTime::from_mins(25);
+        for imei in (1..=DEVICES).step_by(3) {
+            for server in [&mut live, &mut crashy] {
+                let _ = server.record_device_comm(ImeiHash(imei), t_contact);
+            }
+        }
+        for minute in [31u64, 40, 56] {
+            lockstep_poll(&mut live, &mut crashy, SimTime::from_mins(minute));
+            prop_assert_eq!(
+                live.device_count(),
+                crashy.device_count(),
+                "lease evictions diverged at minute {}",
+                minute
+            );
+        }
+        prop_assert!(
+            live.device_count() < DEVICES as usize,
+            "silent devices must actually be evicted"
+        );
+        prop_assert_eq!(live.stats(), crashy.stats());
+    }
+}
