@@ -295,6 +295,77 @@ fn ext_million_cells(seed: u64, quick: bool) -> Vec<PerfCell> {
     ]
 }
 
+/// Durable-persistence cells: steady-state snapshot cost and
+/// crash-to-recovered wall-clock at population scale. One server is
+/// driven through churn rounds with a delta snapshot after each
+/// (`snapshot_persist`), then crashed and recovered from the surviving
+/// storage (`recovery_time`). Both cells ride the `--against` wall-clock
+/// gate.
+fn durability_cells(seed: u64, quick: bool) -> Vec<PerfCell> {
+    use senseaid_core::{MemStorage, PersistConfig, SenseAidConfig, SenseAidServer};
+    use senseaid_sim::SimTime;
+
+    let devices: u64 = if quick { 20_000 } else { 100_000 };
+    let rounds: u64 = 8;
+    let config = PersistConfig { full_every: 8 };
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+    let t0 = SimTime::ZERO;
+    for imei in 1..=devices {
+        server
+            .register_device(
+                senseaid_device::ImeiHash(imei),
+                495.0,
+                15.0,
+                60.0,
+                vec![senseaid_device::Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                t0,
+            )
+            .expect("server is up");
+    }
+    server
+        .enable_persistence(Box::new(MemStorage::new()), config, t0)
+        .expect("memory storage never fails");
+
+    // Steady state: 1% of the population reports between snapshots.
+    let churn = devices / 100;
+    let mut now = t0;
+    let start = Instant::now();
+    for round in 1..=rounds {
+        now += SimDuration::from_mins(5);
+        for k in 0..churn {
+            let imei = 1 + (seed ^ (round.wrapping_mul(7919) + k.wrapping_mul(104_729))) % devices;
+            let _ = server.update_device_state(senseaid_device::ImeiHash(imei), 55.0, 1.0, now);
+        }
+        server.take_snapshot(now);
+    }
+    let persist_wall = start.elapsed();
+    let persist_events = rounds * (churn + 1);
+
+    server.crash();
+    let storage = server.detach_persistence().expect("persistence was on");
+    let mut recovered = SenseAidServer::new(SenseAidConfig::default());
+    let start = Instant::now();
+    recovered
+        .recover_from_storage(storage, config, now)
+        .expect("memory storage never fails");
+    let recovery_wall = start.elapsed();
+    assert_eq!(recovered.device_count() as u64, devices);
+
+    let cell = |name: &str, wall: std::time::Duration, events: u64| PerfCell {
+        name: name.to_owned(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events,
+        events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
+        peak_queue_depth: 0,
+        rss_mb: None,
+    };
+    vec![
+        cell("snapshot_persist", persist_wall, persist_events),
+        cell("recovery_time", recovery_wall, devices),
+    ]
+}
+
 /// Every cell name a run can emit, in emission order. This is the
 /// vocabulary `--filter` validates against.
 pub fn cell_names() -> Vec<&'static str> {
@@ -314,6 +385,7 @@ const CELL_GROUPS: &[&[&str]] = &[
     &["ext_million_sweep", "ext_million_resident"],
     &["telemetry_overhead_reference", "telemetry_overhead"],
     &["lease_sweep_overhead_reference", "lease_sweep_overhead"],
+    &["snapshot_persist", "recovery_time"],
 ];
 
 /// Runs the full cell set.
@@ -403,6 +475,9 @@ pub fn run_perf_filtered(
     if selected(CELL_GROUPS[8]) {
         let (reference, armed) = lease_sweep_overhead_cells(seed, q);
         cells.extend([reference, armed]);
+    }
+    if selected(CELL_GROUPS[9]) {
+        cells.extend(durability_cells(seed, q));
     }
     Ok(PerfReport {
         seed,
@@ -696,7 +771,7 @@ mod tests {
         assert_eq!(device_ticks(&s), (20 * 60 + 5 * 60 + 2 + 1) * 10);
     }
 
-    /// The full harness on a tiny quick run: all twelve cells present, in
+    /// The full harness on a tiny quick run: all fourteen cells present, in
     /// the declared vocabulary order, with sane numbers, and the JSON
     /// survives a round trip — including the optional memory sample.
     #[test]
@@ -705,7 +780,7 @@ mod tests {
             seed: 11,
             quick: true,
         });
-        assert_eq!(report.cells.len(), 12);
+        assert_eq!(report.cells.len(), 14);
         let names: Vec<&str> = report.cells.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, cell_names());
         for c in &report.cells {
@@ -729,7 +804,7 @@ mod tests {
             "the resident cell must carry a memory sample"
         );
         let parsed = PerfReport::parse_json(&report.to_json()).expect("round trip");
-        assert_eq!(parsed.cells.len(), 12);
+        assert_eq!(parsed.cells.len(), 14);
         assert!(parsed.telemetry_overhead_pct().is_some());
         assert!(parsed.lease_sweep_overhead_pct().is_some());
         assert_eq!(

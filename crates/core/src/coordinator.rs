@@ -24,7 +24,7 @@ use senseaid_cellnet::{CellId, CellularNetwork};
 use senseaid_device::{ImeiHash, Sensor, SensorReading};
 use senseaid_geo::{CircleRegion, GeoPoint};
 use senseaid_radio::ResetPolicy;
-use senseaid_sim::{SimDuration, SimTime, TraceLog};
+use senseaid_sim::{SimDuration, SimTime, TraceEntry, TraceLog};
 use senseaid_telemetry::{Attr, Lane, SpanId, Telemetry};
 
 use crate::cas::{CasId, DeliveredReading};
@@ -136,15 +136,15 @@ impl ServerStats {
 }
 
 #[derive(Debug, Clone)]
-struct ActiveRequest {
-    request: Request,
-    cas: CasId,
-    assigned: Vec<ImeiHash>,
-    received: BTreeSet<ImeiHash>,
+pub(crate) struct ActiveRequest {
+    pub(crate) request: Request,
+    pub(crate) cas: CasId,
+    pub(crate) assigned: Vec<ImeiHash>,
+    pub(crate) received: BTreeSet<ImeiHash>,
     /// Served best-effort below density (degraded mode): on expiry with
     /// any data, the request finalises `Degraded{..}` instead of
     /// `Expired`.
-    degraded: bool,
+    pub(crate) degraded: bool,
 }
 
 /// Per-task degraded-mode hysteresis (see [`DegradedConfig`]).
@@ -167,9 +167,9 @@ struct DegradeState {
 /// sequence number (the cumulative ack) plus any accepted-out-of-order
 /// sequence numbers still ahead of it.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-struct SeqLedger {
-    floor: u64,
-    ahead: BTreeSet<u64>,
+pub(crate) struct SeqLedger {
+    pub(crate) floor: u64,
+    pub(crate) ahead: BTreeSet<u64>,
 }
 
 impl SeqLedger {
@@ -233,19 +233,19 @@ pub struct BatchReceipt {
 /// re-registration/re-announce and retransmitted envelopes.
 #[derive(Debug, Clone)]
 pub struct ControlSnapshot {
-    taken_at: SimTime,
-    tasks: TaskStore,
-    next_request_id: u64,
-    statuses: BTreeMap<RequestId, RequestStatus>,
-    task_owner: BTreeMap<TaskId, CasId>,
-    queued_run: Vec<Request>,
-    queued_wait: Vec<Request>,
-    active: Vec<(RequestId, ActiveRequest)>,
-    devices: Vec<DeviceRecord>,
-    seq_ledger: BTreeMap<ImeiHash, SeqLedger>,
-    delivered_log: BTreeSet<(RequestId, ImeiHash)>,
-    stats: ServerStats,
-    selections: TraceLog<SelectionEvent>,
+    pub(crate) taken_at: SimTime,
+    pub(crate) tasks: TaskStore,
+    pub(crate) next_request_id: u64,
+    pub(crate) statuses: BTreeMap<RequestId, RequestStatus>,
+    pub(crate) task_owner: BTreeMap<TaskId, CasId>,
+    pub(crate) queued_run: Vec<Request>,
+    pub(crate) queued_wait: Vec<Request>,
+    pub(crate) active: Vec<(RequestId, ActiveRequest)>,
+    pub(crate) devices: Vec<DeviceRecord>,
+    pub(crate) seq_ledger: BTreeMap<ImeiHash, SeqLedger>,
+    pub(crate) delivered_log: BTreeSet<(RequestId, ImeiHash)>,
+    pub(crate) stats: ServerStats,
+    pub(crate) selections: TraceLog<SelectionEvent>,
 }
 
 impl ControlSnapshot {
@@ -268,6 +268,31 @@ impl ControlSnapshot {
     pub fn active_count(&self) -> usize {
         self.active.len()
     }
+}
+
+/// Everything dirtied since the last persisted generation, plus the small
+/// always-full sections — the in-memory shape of a delta snapshot. Device
+/// columns (the 10^6-scale state) appear only for touched IMEIs; the
+/// request-scale state rides along whole because it is orders of
+/// magnitude smaller. Built by [`Coordinator::snapshot_delta`], encoded
+/// by `persist::snapshot`.
+#[derive(Debug, Clone)]
+pub(crate) struct SnapshotDelta {
+    pub(crate) taken_at: SimTime,
+    pub(crate) next_request_id: u64,
+    pub(crate) tasks: TaskStore,
+    pub(crate) task_owner: BTreeMap<TaskId, CasId>,
+    pub(crate) queued_run: Vec<Request>,
+    pub(crate) queued_wait: Vec<Request>,
+    pub(crate) active: Vec<(RequestId, ActiveRequest)>,
+    pub(crate) stats: ServerStats,
+    pub(crate) devices_changed: Vec<DeviceRecord>,
+    pub(crate) devices_removed: Vec<ImeiHash>,
+    pub(crate) statuses_changed: Vec<(RequestId, RequestStatus)>,
+    pub(crate) seq_changed: Vec<(ImeiHash, SeqLedger)>,
+    pub(crate) delivered_appended: Vec<(RequestId, ImeiHash)>,
+    pub(crate) selections_base_len: usize,
+    pub(crate) selections_appended: Vec<TraceEntry<SelectionEvent>>,
 }
 
 /// The sharded scheduling core. All methods assume the surrounding server
@@ -332,6 +357,21 @@ pub(crate) struct Coordinator {
     /// Open request spans (assignment → fulfilment/expiry). Survives a
     /// snapshot restore so requests that outlive a crash still close.
     request_spans: BTreeMap<RequestId, SpanId>,
+    /// Dirty-column tracking for delta snapshots (see `persist`). Off by
+    /// default so the hot paths pay nothing; persistence turns it on and
+    /// each mutation then marks what it touched.
+    track_dirty: bool,
+    /// Request ids whose status changed since the last persisted
+    /// generation.
+    dirty_statuses: BTreeSet<RequestId>,
+    /// Devices whose sequence ledger changed since the last generation.
+    dirty_seq: BTreeSet<ImeiHash>,
+    /// `(request, device)` pairs appended to the delivered log since the
+    /// last generation (the log is insert-only, so appends suffice).
+    delivered_since: Vec<(RequestId, ImeiHash)>,
+    /// Length of `selections` at the last persisted generation (the log
+    /// is append-only, so a delta carries only entries past the mark).
+    selections_mark: usize,
 }
 
 impl Coordinator {
@@ -370,6 +410,11 @@ impl Coordinator {
             degrade_state: BTreeMap::new(),
             tel: Telemetry::off(),
             request_spans: BTreeMap::new(),
+            track_dirty: false,
+            dirty_statuses: BTreeSet::new(),
+            dirty_seq: BTreeSet::new(),
+            delivered_since: Vec::new(),
+            selections_mark: 0,
         }
     }
 
@@ -472,6 +517,9 @@ impl Coordinator {
             return false;
         }
         self.statuses.insert(id, status);
+        if self.track_dirty {
+            self.dirty_statuses.insert(id);
+        }
         true
     }
 
@@ -1605,7 +1653,9 @@ impl Coordinator {
         let delivered = privacy::scrub(reading, imei, &active.request, cell, active.cas);
         self.outbox.push((active.cas, delivered));
         active.received.insert(imei);
-        self.delivered_log.insert((request_id, imei));
+        if self.delivered_log.insert((request_id, imei)) && self.track_dirty {
+            self.delivered_since.push((request_id, imei));
+        }
         self.stats.readings_accepted += 1;
         let fulfilled = active.received.len() >= active.request.density();
         let task = active.request.task();
@@ -1643,6 +1693,11 @@ impl Coordinator {
             self.stats.envelopes_retried += 1;
         }
         let lane = Lane::device(self.home.get(&imei).copied().unwrap_or(0) as u64, imei.0);
+        if self.track_dirty {
+            // Mark unconditionally: even a duplicate envelope can create
+            // the per-device ledger entry, and a delta must capture it.
+            self.dirty_seq.insert(imei);
+        }
         let ledger = self.seq_ledger.entry(imei).or_default();
         if !ledger.accept(seq) {
             self.stats.envelopes_duplicate += 1;
@@ -1765,10 +1820,28 @@ impl Coordinator {
     /// assignees are marked unresponsive. Requests are re-homed through
     /// the normal enqueue path, so recovery is shard-count invariant.
     pub fn restore(&mut self, snapshot: ControlSnapshot, now: SimTime) {
+        self.restore_base(snapshot);
+        self.finish_restore(now);
+    }
+
+    /// The state-loading half of [`restore`](Self::restore): rebuilds the
+    /// control plane from `snapshot` but runs no reconciliation pass.
+    /// Durable recovery interposes journal replay between this and
+    /// [`finish_restore`](Self::finish_restore) so replayed mutations see
+    /// exactly the state they originally ran against.
+    pub(crate) fn restore_base(&mut self, snapshot: ControlSnapshot) {
         let shard_count = self.shards.len();
         self.shards = (0..shard_count)
             .map(|_| Shard::new((self.index_factory)()))
             .collect();
+        if self.track_dirty {
+            for shard in &mut self.shards {
+                shard.set_dirty_tracking(true);
+            }
+        }
+        self.dirty_statuses.clear();
+        self.dirty_seq.clear();
+        self.delivered_since.clear();
         self.home.clear();
         self.tasks = snapshot.tasks;
         self.next_request_id = snapshot.next_request_id;
@@ -1778,6 +1851,7 @@ impl Coordinator {
         self.seq_ledger = snapshot.seq_ledger;
         self.delivered_log = snapshot.delivered_log;
         self.selections = snapshot.selections;
+        self.selections_mark = self.selections.len();
         self.active = snapshot.active.into_iter().collect();
         // Leases are re-armed from each restored record's last contact,
         // so a device that went silent across the crash still expires on
@@ -1800,10 +1874,160 @@ impl Coordinator {
         for request in snapshot.queued_wait {
             self.enqueue_wait(request);
         }
+    }
+
+    /// The truth-pass half of [`restore`](Self::restore): reconciles the
+    /// loaded state against `now` and invalidates memoised qualification.
+    pub(crate) fn finish_restore(&mut self, now: SimTime) {
         self.reconcile(now);
         self.recheck_memo.clear();
         self.qual_epoch += 1;
         self.wait_dirty = true;
+    }
+
+    /// Deterministic cold start: recovery found *no* usable snapshot, so
+    /// whatever the process still holds (or nothing, on a fresh boot) is
+    /// all there is. Registered devices and their leases survive —
+    /// registration state is the paper's "server owns it" claim — but
+    /// in-flight tasking died with the process: every assignment is
+    /// cleared, requests whose deadline passed are expired truthfully
+    /// (degraded ones that delivered data finalise `Degraded`), and the
+    /// rest return to the run queue to be re-announced on the next poll.
+    pub fn cold_start(&mut self, now: SimTime) {
+        let lost: Vec<(RequestId, ActiveRequest)> =
+            std::mem::take(&mut self.active).into_iter().collect();
+        for (id, active) in lost {
+            if active.request.deadline() <= now {
+                if active.received.len() >= active.request.density() {
+                    continue;
+                }
+                if active.degraded && !active.received.is_empty() {
+                    self.finalise_degraded(&active.request, active.received.len(), now);
+                    continue;
+                }
+                self.expire_request(&active.request, now);
+                continue;
+            }
+            if let Some(span) = self.request_spans.remove(&id) {
+                self.tel
+                    .instant("request.orphaned", now, Lane::control(0), span, Vec::new());
+                self.tel.exit(span, now);
+            }
+            // Still viable: re-announce through the normal queue path.
+            // Progress survives — re-assignment seeds `received` from the
+            // delivered log, exactly like a lease release.
+            if self.set_status(id, RequestStatus::Pending) {
+                self.enqueue_run(active.request);
+            }
+        }
+        self.degrade_state.clear();
+        self.finish_restore(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty-column tracking (delta snapshots; see `persist`)
+    // ------------------------------------------------------------------
+
+    /// Turns dirty-column tracking on or off, here and in every shard's
+    /// device index. Off clears all marks.
+    pub(crate) fn set_dirty_tracking(&mut self, on: bool) {
+        self.track_dirty = on;
+        for shard in &mut self.shards {
+            shard.set_dirty_tracking(on);
+        }
+        if !on {
+            self.dirty_statuses.clear();
+            self.dirty_seq.clear();
+            self.delivered_since.clear();
+        }
+    }
+
+    /// Forgets all dirty marks, called after a generation persisted
+    /// successfully. The next delta is relative to that generation.
+    pub(crate) fn clear_dirty(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear_dirty();
+        }
+        self.dirty_statuses.clear();
+        self.dirty_seq.clear();
+        self.delivered_since.clear();
+        self.selections_mark = self.selections.len();
+    }
+
+    /// Collects everything dirtied since the last [`clear_dirty`]
+    /// (Self::clear_dirty) into a delta against that generation, or
+    /// `None` when tracking is off or a shard's index cannot report
+    /// (the caller then falls back to a full snapshot).
+    pub(crate) fn snapshot_delta(&self, now: SimTime) -> Option<SnapshotDelta> {
+        if !self.track_dirty {
+            return None;
+        }
+        let mut touched: BTreeSet<ImeiHash> = BTreeSet::new();
+        for shard in &self.shards {
+            touched.extend(shard.dirty_touched()?);
+        }
+        let mut devices_changed = Vec::new();
+        let mut devices_removed = Vec::new();
+        for imei in touched {
+            match self.device(imei) {
+                Some(record) => devices_changed.push(record),
+                None => devices_removed.push(imei),
+            }
+        }
+        Some(SnapshotDelta {
+            taken_at: now,
+            next_request_id: self.next_request_id,
+            tasks: self.tasks.clone(),
+            task_owner: self.task_owner.clone(),
+            queued_run: self
+                .shards
+                .iter()
+                .flat_map(Shard::run_requests)
+                .cloned()
+                .collect(),
+            queued_wait: self
+                .shards
+                .iter()
+                .flat_map(Shard::wait_requests)
+                .cloned()
+                .collect(),
+            active: self.active.iter().map(|(id, a)| (*id, a.clone())).collect(),
+            stats: self.stats,
+            devices_changed,
+            devices_removed,
+            statuses_changed: self
+                .dirty_statuses
+                .iter()
+                .filter_map(|id| self.statuses.get(id).map(|s| (*id, *s)))
+                .collect(),
+            seq_changed: self
+                .dirty_seq
+                .iter()
+                .map(|imei| {
+                    (
+                        *imei,
+                        self.seq_ledger.get(imei).cloned().unwrap_or_default(),
+                    )
+                })
+                .collect(),
+            delivered_appended: self.delivered_since.clone(),
+            selections_base_len: self.selections_mark,
+            selections_appended: self.selections.entries()[self.selections_mark..].to_vec(),
+        })
+    }
+
+    /// Swaps the telemetry handle, returning the previous one. Journal
+    /// replay silences instrumentation (the events already fired in the
+    /// original timeline) and restores the caller's handle afterwards.
+    pub(crate) fn swap_telemetry(&mut self, tel: Telemetry) -> Telemetry {
+        std::mem::replace(&mut self.tel, tel)
+    }
+
+    /// Emits an instant on behalf of the persistence layer, which has no
+    /// telemetry handle of its own.
+    pub(crate) fn persist_instant(&self, name: &str, now: SimTime, attrs: Vec<Attr>) {
+        self.tel
+            .instant(name, now, Lane::control(0), SpanId::NONE, attrs);
     }
 
     /// Expires everything the outage made hopeless: in-flight assignments

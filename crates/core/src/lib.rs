@@ -52,6 +52,7 @@ pub mod client;
 pub mod config;
 mod coordinator;
 pub mod error;
+pub mod persist;
 pub mod policy;
 pub mod privacy;
 pub mod queues;
@@ -73,6 +74,10 @@ pub use client::{
 };
 pub use config::{DegradedConfig, SenseAidConfig, Variant};
 pub use error::SenseAidError;
+pub use persist::{
+    CodecError, DirStorage, FaultTally, FaultingStorage, MemStorage, PersistConfig, PersistError,
+    PersistStats, RecoveryReport, StorageBackend, StorageError, StorageFaultPlan,
+};
 pub use policy::{
     DeadlineAware, DropLowestDeficit, DropNewest, ScoredPolicy, SelectionPolicy, ShedCandidate,
     ShedPolicy, ShedPolicyKind,

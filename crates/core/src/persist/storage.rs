@@ -1,0 +1,453 @@
+//! Storage backends for the durability layer, plus deterministic
+//! storage-fault injection.
+//!
+//! The chain manager talks to a [`StorageBackend`] — a tiny flat-file
+//! abstraction (named blobs, atomic whole-file writes, appends). Three
+//! implementations ship:
+//!
+//! - [`MemStorage`]: a deterministic in-memory map, the test and
+//!   simulation default;
+//! - [`DirStorage`]: a directory of real files, for the CLI smoke arm;
+//! - [`FaultingStorage`]: a wrapper that applies a seeded
+//!   [`StorageFaultPlan`] (torn writes, truncation, bit flips, dropped
+//!   writes, disk-full) to whatever it wraps, in the spirit of the
+//!   network-side `FaultInjector` — same seed, same faults, every run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+use senseaid_sim::SimRng;
+
+/// Why a storage operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No blob with that name exists.
+    NotFound,
+    /// The backend's capacity budget is exhausted (disk full).
+    Full,
+    /// An underlying I/O failure (real filesystems only).
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound => write!(f, "not found"),
+            StorageError::Full => write!(f, "storage full"),
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// A flat namespace of named byte blobs. `write` replaces the whole blob
+/// atomically; `append` extends it (creating it if absent). Implementors
+/// must keep `list` deterministic (sorted by name).
+pub trait StorageBackend: fmt::Debug + Send {
+    /// Atomically replaces `name` with `bytes`.
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Appends `bytes` to `name`, creating it if absent.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError>;
+    /// Reads the whole blob.
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError>;
+    /// All blob names, sorted.
+    fn list(&self) -> Result<Vec<String>, StorageError>;
+    /// Removes a blob (idempotent: absent is fine).
+    fn remove(&mut self, name: &str) -> Result<(), StorageError>;
+}
+
+// ---------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------
+
+/// Deterministic in-memory storage. The default backend for tests and
+/// simulation runs; also exposes raw mutation hooks so tests can corrupt
+/// blobs surgically.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemStorage {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes held across all blobs.
+    pub fn total_bytes(&self) -> u64 {
+        self.blobs.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Raw bytes of a blob, for test inspection.
+    pub fn raw(&self, name: &str) -> Option<&[u8]> {
+        self.blobs.get(name).map(Vec::as_slice)
+    }
+
+    /// XORs the byte at `offset` with `mask` (test corruption hook).
+    pub fn corrupt(&mut self, name: &str, offset: usize, mask: u8) {
+        if let Some(blob) = self.blobs.get_mut(name) {
+            if let Some(b) = blob.get_mut(offset) {
+                *b ^= mask;
+            }
+        }
+    }
+
+    /// Truncates a blob to `len` bytes (test corruption hook).
+    pub fn truncate(&mut self, name: &str, len: usize) {
+        if let Some(blob) = self.blobs.get_mut(name) {
+            blob.truncate(len);
+        }
+    }
+}
+
+impl StorageBackend for MemStorage {
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.blobs.insert(name.to_owned(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        self.blobs
+            .entry(name.to_owned())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        self.blobs.get(name).cloned().ok_or(StorageError::NotFound)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        Ok(self.blobs.keys().cloned().collect())
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        self.blobs.remove(name);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directory backend
+// ---------------------------------------------------------------------
+
+/// A directory of real files, one per blob. Writes go through a temp file
+/// plus rename so a crash mid-write can tear an *append* but never a
+/// whole-file `write`. Used by the `senseaid recover` CLI arm.
+#[derive(Debug)]
+pub struct DirStorage {
+    dir: PathBuf,
+}
+
+impl DirStorage {
+    /// Opens (creating if needed) the directory at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StorageError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StorageError::Io(e.to_string()))?;
+        Ok(DirStorage { dir })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl StorageBackend for DirStorage {
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        std::fs::write(&tmp, bytes).map_err(|e| StorageError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, self.path(name)).map_err(|e| StorageError::Io(e.to_string()))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| StorageError::Io(e.to_string()))?;
+        f.write_all(bytes)
+            .map_err(|e| StorageError::Io(e.to_string()))
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        match std::fs::read(self.path(name)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StorageError::NotFound),
+            Err(e) => Err(StorageError::Io(e.to_string())),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| StorageError::Io(e.to_string()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StorageError::Io(e.to_string()))?;
+            if let Ok(name) = entry.file_name().into_string() {
+                if !name.ends_with(".tmp") {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StorageError::Io(e.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// A deterministic plan of storage faults. All chances are per-operation
+/// probabilities in `[0, 1]`, drawn from a seeded [`SimRng`]: the same
+/// plan over the same operation sequence injects the same faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageFaultPlan {
+    /// RNG seed for fault placement.
+    pub seed: u64,
+    /// Chance a write/append lands only a prefix of its bytes.
+    pub torn_write_chance: f64,
+    /// Chance a write/append loses its tail (up to 64 bytes chopped).
+    pub truncate_chance: f64,
+    /// Chance one random bit of a write/append is flipped.
+    pub bit_flip_chance: f64,
+    /// Chance a whole-file write is silently dropped, leaving the stale
+    /// previous generation in place.
+    pub drop_write_chance: f64,
+    /// Total byte budget; once cumulative written bytes exceed it, every
+    /// further write fails with [`StorageError::Full`].
+    pub disk_full_after: Option<u64>,
+}
+
+impl StorageFaultPlan {
+    /// A plan that injects nothing (baseline).
+    pub fn none(seed: u64) -> Self {
+        StorageFaultPlan {
+            seed,
+            torn_write_chance: 0.0,
+            truncate_chance: 0.0,
+            bit_flip_chance: 0.0,
+            drop_write_chance: 0.0,
+            disk_full_after: None,
+        }
+    }
+
+    /// A named preset for the corruption matrix: `torn-write`,
+    /// `truncate`, `bit-flip`, `stale`, `disk-full`, `mixed`, or `none`.
+    pub fn preset(kind: &str, seed: u64) -> Option<Self> {
+        let mut plan = Self::none(seed);
+        match kind {
+            "none" => {}
+            "torn-write" => plan.torn_write_chance = 0.25,
+            "truncate" => plan.truncate_chance = 0.25,
+            "bit-flip" => plan.bit_flip_chance = 0.25,
+            "stale" => plan.drop_write_chance = 0.25,
+            "disk-full" => plan.disk_full_after = Some(64 * 1024),
+            "mixed" => {
+                plan.torn_write_chance = 0.10;
+                plan.truncate_chance = 0.10;
+                plan.bit_flip_chance = 0.10;
+                plan.drop_write_chance = 0.10;
+            }
+            _ => return None,
+        }
+        Some(plan)
+    }
+}
+
+/// Counts of faults actually injected, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTally {
+    /// Writes that landed only a prefix.
+    pub torn: u64,
+    /// Writes that lost their tail.
+    pub truncated: u64,
+    /// Writes with one bit flipped.
+    pub flipped: u64,
+    /// Whole-file writes silently dropped.
+    pub dropped: u64,
+    /// Writes refused with `Full`.
+    pub full_rejections: u64,
+}
+
+impl FaultTally {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.torn + self.truncated + self.flipped + self.dropped + self.full_rejections
+    }
+}
+
+/// Wraps a backend and applies a [`StorageFaultPlan`] to every write and
+/// append. Reads pass through untouched — corruption happens on the way
+/// to "disk", exactly once, deterministically.
+#[derive(Debug)]
+pub struct FaultingStorage {
+    inner: Box<dyn StorageBackend>,
+    plan: StorageFaultPlan,
+    rng: SimRng,
+    written: u64,
+    tally: FaultTally,
+}
+
+impl FaultingStorage {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: Box<dyn StorageBackend>, plan: StorageFaultPlan) -> Self {
+        let rng = SimRng::from_seed(plan.seed);
+        FaultingStorage {
+            inner,
+            plan,
+            rng,
+            written: 0,
+            tally: FaultTally::default(),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn tally(&self) -> FaultTally {
+        self.tally
+    }
+
+    /// Unwraps the inner backend (e.g. to recover against pristine reads
+    /// of whatever corrupt bytes made it to disk).
+    pub fn into_inner(self) -> Box<dyn StorageBackend> {
+        self.inner
+    }
+
+    /// Applies the plan to one outgoing buffer. Returns `None` when the
+    /// write is dropped entirely, `Err` when the disk is full.
+    fn mangle(&mut self, bytes: &[u8], whole_file: bool) -> Result<Option<Vec<u8>>, StorageError> {
+        if let Some(budget) = self.plan.disk_full_after {
+            if self.written + bytes.len() as u64 > budget {
+                self.tally.full_rejections += 1;
+                return Err(StorageError::Full);
+            }
+        }
+        self.written += bytes.len() as u64;
+        // One fault class per operation, checked in a fixed order so the
+        // RNG stream is stable.
+        if whole_file && self.rng.chance(self.plan.drop_write_chance) {
+            self.tally.dropped += 1;
+            return Ok(None);
+        }
+        if self.rng.chance(self.plan.torn_write_chance) && !bytes.is_empty() {
+            self.tally.torn += 1;
+            let keep = self.rng.uniform_usize(0, bytes.len());
+            return Ok(Some(bytes[..keep].to_vec()));
+        }
+        if self.rng.chance(self.plan.truncate_chance) && !bytes.is_empty() {
+            self.tally.truncated += 1;
+            let chop = 1 + self.rng.uniform_usize(0, bytes.len().min(64));
+            return Ok(Some(bytes[..bytes.len() - chop.min(bytes.len())].to_vec()));
+        }
+        if self.rng.chance(self.plan.bit_flip_chance) && !bytes.is_empty() {
+            self.tally.flipped += 1;
+            let mut out = bytes.to_vec();
+            let at = self.rng.uniform_usize(0, out.len());
+            let bit = self.rng.uniform_usize(0, 8);
+            out[at] ^= 1 << bit;
+            return Ok(Some(out));
+        }
+        Ok(Some(bytes.to_vec()))
+    }
+}
+
+impl StorageBackend for FaultingStorage {
+    fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        match self.mangle(bytes, true)? {
+            Some(out) => self.inner.write(name, &out),
+            None => Ok(()),
+        }
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StorageError> {
+        match self.mangle(bytes, false)? {
+            Some(out) => self.inner.append(name, &out),
+            None => Ok(()),
+        }
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        self.inner.read(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, StorageError> {
+        self.inner.list()
+    }
+
+    fn remove(&mut self, name: &str) -> Result<(), StorageError> {
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trips_and_lists_sorted() {
+        let mut s = MemStorage::new();
+        s.write("b", b"two").unwrap();
+        s.write("a", b"one").unwrap();
+        s.append("a", b"!").unwrap();
+        assert_eq!(s.read("a").unwrap(), b"one!");
+        assert_eq!(s.list().unwrap(), vec!["a".to_owned(), "b".to_owned()]);
+        s.remove("a").unwrap();
+        assert_eq!(s.read("a"), Err(StorageError::NotFound));
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic() {
+        let run = || {
+            let plan = StorageFaultPlan::preset("mixed", 42).unwrap();
+            let mut s = FaultingStorage::new(Box::new(MemStorage::new()), plan);
+            for i in 0..50 {
+                let _ = s.write(&format!("blob-{i}"), &[i as u8; 100]);
+                let _ = s.append("log", &[i as u8; 40]);
+            }
+            let tally = s.tally();
+            let inner = s.into_inner();
+            (tally, inner.read("log").ok(), inner.list().unwrap().len())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must inject the same faults");
+        assert!(a.0.total() > 0, "mixed plan must actually inject");
+    }
+
+    #[test]
+    fn disk_full_budget_rejects_past_the_line() {
+        let plan = StorageFaultPlan::preset("disk-full", 7).unwrap();
+        let mut s = FaultingStorage::new(Box::new(MemStorage::new()), plan);
+        let chunk = vec![0u8; 16 * 1024];
+        assert!(s.write("a", &chunk).is_ok());
+        assert!(s.write("b", &chunk).is_ok());
+        assert!(s.write("c", &chunk).is_ok());
+        assert!(s.write("d", &chunk).is_ok());
+        assert_eq!(s.write("e", &chunk), Err(StorageError::Full));
+        assert!(s.tally().full_rejections >= 1);
+    }
+
+    #[test]
+    fn dropped_writes_leave_the_stale_blob() {
+        let mut plan = StorageFaultPlan::none(3);
+        plan.drop_write_chance = 1.0;
+        let mut base = MemStorage::new();
+        base.write("gen", b"old").unwrap();
+        let mut s = FaultingStorage::new(Box::new(base), plan);
+        s.write("gen", b"new").unwrap();
+        assert_eq!(s.read("gen").unwrap(), b"old", "stale generation survives");
+        assert_eq!(s.tally().dropped, 1);
+    }
+}

@@ -128,6 +128,28 @@ impl Request {
         }
     }
 
+    /// Reconstructs a request from decoded wire fields, returning `None`
+    /// instead of panicking when the invariants do not hold — the
+    /// persistence codec must never trust bytes read from disk.
+    pub(crate) fn from_decoded(
+        id: RequestId,
+        task: TaskId,
+        spec: TaskSpec,
+        sample_at: SimTime,
+        deadline: SimTime,
+    ) -> Option<Self> {
+        if deadline <= sample_at {
+            return None;
+        }
+        Some(Request {
+            id,
+            task,
+            spec,
+            sample_at,
+            deadline,
+        })
+    }
+
     /// The request id.
     pub fn id(&self) -> RequestId {
         self.id

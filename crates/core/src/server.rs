@@ -35,6 +35,10 @@ pub use crate::coordinator::{
     Assignment, BatchReceipt, ControlSnapshot, DeliveryOutcome, SelectionEvent, ServerStats,
 };
 use crate::error::SenseAidError;
+use crate::persist::chain::{recover_chain, Persistor};
+use crate::persist::journal::JournalOp;
+use crate::persist::snapshot::encode_full;
+use crate::persist::{PersistConfig, PersistError, PersistStats, RecoveryReport, StorageBackend};
 use crate::policy::{ScoredPolicy, SelectionPolicy};
 use crate::request::{Request, RequestId, RequestStatus};
 use crate::store::device_store::{new_record, DeviceRecord};
@@ -55,6 +59,8 @@ pub struct SenseAidServer {
     snapshot_interval: Option<SimDuration>,
     last_snapshot_at: Option<SimTime>,
     snapshot: Option<ControlSnapshot>,
+    persist: Option<Persistor>,
+    last_recovery: Option<RecoveryReport>,
 }
 
 impl SenseAidServer {
@@ -84,6 +90,8 @@ impl SenseAidServer {
             snapshot_interval: None,
             last_snapshot_at: None,
             snapshot: None,
+            persist: None,
+            last_recovery: None,
         }
     }
 
@@ -226,8 +234,43 @@ impl SenseAidServer {
     }
 
     /// Unconditionally persists a control-plane snapshot at `now`.
+    ///
+    /// Without durable persistence this stores an in-memory
+    /// [`ControlSnapshot`]. With [`enable_persistence`]
+    /// (Self::enable_persistence) it writes the next generation to the
+    /// storage backend instead — a delta of the columns dirtied since the
+    /// last generation when possible, a full snapshot every
+    /// [`PersistConfig::full_every`] generations or when delta tracking
+    /// cannot report. Dirty marks are cleared only when the backend
+    /// accepted the write, so a refused write retries with a superset
+    /// delta next time.
     pub fn take_snapshot(&mut self, now: SimTime) {
-        self.snapshot = Some(self.coordinator.snapshot(now));
+        let Some(persist) = self.persist.as_mut() else {
+            self.snapshot = Some(self.coordinator.snapshot(now));
+            self.last_snapshot_at = Some(now);
+            return;
+        };
+        let (result, full) = if persist.wants_full() {
+            (persist.persist_full(&self.coordinator.snapshot(now)), true)
+        } else {
+            match self.coordinator.snapshot_delta(now) {
+                Some(delta) => (persist.persist_delta(&delta), false),
+                None => (persist.persist_full(&self.coordinator.snapshot(now)), true),
+            }
+        };
+        if let Ok(bytes) = result {
+            let generation = persist.generation();
+            self.coordinator.clear_dirty();
+            self.coordinator.persist_instant(
+                "snapshot.persist",
+                now,
+                vec![
+                    senseaid_telemetry::Attr::u64("generation", generation),
+                    senseaid_telemetry::Attr::u64("bytes", bytes),
+                    senseaid_telemetry::Attr::flag("full", full),
+                ],
+            );
+        }
         self.last_snapshot_at = Some(now);
     }
 
@@ -240,14 +283,208 @@ impl SenseAidServer {
     /// `now`: state since the snapshot is rolled back (clients re-announce
     /// on next contact and retransmit unacked batches), requests whose
     /// deadlines passed during the outage are expired with truthful
-    /// statuses, and queue homing is recomputed. Without a snapshot this
-    /// degrades to legacy [`recover`](Self::recover) plus the same
-    /// reconciliation pass over the surviving in-memory state.
+    /// statuses, and queue homing is recomputed.
+    ///
+    /// With durable persistence enabled this recovers from the attached
+    /// storage backend instead — snapshot chain plus journal replay, see
+    /// [`recover_from_storage`](Self::recover_from_storage).
+    ///
+    /// Without any snapshot this is a deterministic *cold start*, not a
+    /// silent no-op: registered devices and their leases survive (the
+    /// paper's "server owns registration" claim), but every in-flight
+    /// assignment is cleared — overdue requests are expired with truthful
+    /// statuses and still-viable ones return to the run queue to be
+    /// re-announced on the next poll.
     pub fn recover_at(&mut self, now: SimTime) {
         self.up = true;
+        if let Some(persist) = self.persist.take() {
+            let config = persist.config();
+            let storage = persist.into_storage();
+            let _ = self.recover_from_storage(storage, config, now);
+            return;
+        }
         match self.snapshot.clone() {
             Some(snapshot) => self.coordinator.restore(snapshot, now),
-            None => self.coordinator.reconcile(now),
+            None => self.coordinator.cold_start(now),
+        }
+    }
+
+    // --- Durable persistence (see `crate::persist`) ---
+
+    /// Attaches a durable storage backend: writes an initial full
+    /// snapshot as the next generation, turns on dirty-column tracking
+    /// (so later [`take_snapshot`](Self::take_snapshot) calls can persist
+    /// deltas), and starts journaling every control-plane mutation.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Storage`] when the initial snapshot cannot be
+    /// written; the server is left without persistence, as before the
+    /// call.
+    pub fn enable_persistence(
+        &mut self,
+        storage: Box<dyn StorageBackend>,
+        config: PersistConfig,
+        now: SimTime,
+    ) -> Result<(), PersistError> {
+        self.coordinator.set_dirty_tracking(true);
+        let snapshot = self.coordinator.snapshot(now);
+        match Persistor::initialise(storage, config, &snapshot, 0) {
+            Ok(persistor) => {
+                self.coordinator.clear_dirty();
+                self.persist = Some(persistor);
+                self.snapshot = None;
+                self.last_snapshot_at = Some(now);
+                Ok(())
+            }
+            Err(e) => {
+                self.coordinator.set_dirty_tracking(false);
+                Err(e)
+            }
+        }
+    }
+
+    /// Recovers the control plane from `storage` and re-arms persistence
+    /// on it: walks the snapshot chain newest-first skipping corrupt
+    /// generations, replays the validated journal prefix through the real
+    /// coordinator (with instrumentation silenced — those events already
+    /// fired in the original timeline), reconciles against `now`, and
+    /// writes a fresh full snapshot as the next generation. The report
+    /// says exactly what was lost; the lost window is conservative (it
+    /// may cover mutations that in fact survived, never the reverse).
+    ///
+    /// Never panics and never loads corrupt state: when nothing on disk
+    /// validates, the server cold-starts truthfully and the report says
+    /// so.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Storage`] when the post-recovery snapshot cannot
+    /// be written. The in-memory recovery has still happened; persistence
+    /// is simply not re-armed.
+    pub fn recover_from_storage(
+        &mut self,
+        storage: Box<dyn StorageBackend>,
+        config: PersistConfig,
+        now: SimTime,
+    ) -> Result<RecoveryReport, PersistError> {
+        self.up = true;
+        self.snapshot = None;
+        let recovery = recover_chain(storage.as_ref());
+        let ops_replayed = recovery.ops.len() as u64;
+        let cold_start = recovery.state.is_none();
+        let (loaded_generation, next_seq, loss_floor) = match recovery.state {
+            Some((snapshot, watermark, generation)) => {
+                let loss_floor = snapshot.taken_at();
+                self.coordinator.restore_base(snapshot);
+                let quiet = self
+                    .coordinator
+                    .swap_telemetry(senseaid_telemetry::Telemetry::off());
+                for op in recovery.ops {
+                    op.apply(&mut self.coordinator);
+                }
+                let _ = self.coordinator.swap_telemetry(quiet);
+                self.coordinator.finish_restore(now);
+                (Some(generation), watermark + ops_replayed, loss_floor)
+            }
+            None => {
+                self.coordinator.cold_start(now);
+                (None, 0, SimTime::ZERO)
+            }
+        };
+        let lost_window = if cold_start || recovery.journal_bytes_dropped > 0 {
+            Some((loss_floor, now))
+        } else {
+            None
+        };
+        let report = RecoveryReport {
+            loaded_generation,
+            max_generation_seen: recovery.max_generation_seen,
+            corrupt_generations: recovery.corrupt_generations,
+            ops_replayed,
+            journal_bytes_dropped: recovery.journal_bytes_dropped,
+            cold_start,
+            lost_window,
+            recovered_at: now,
+        };
+        self.coordinator.persist_instant(
+            "recovery.complete",
+            now,
+            vec![
+                senseaid_telemetry::Attr::u64("ops_replayed", ops_replayed),
+                senseaid_telemetry::Attr::u64(
+                    "journal_bytes_dropped",
+                    report.journal_bytes_dropped,
+                ),
+                senseaid_telemetry::Attr::flag("cold_start", cold_start),
+            ],
+        );
+        self.last_recovery = Some(report.clone());
+        self.coordinator.set_dirty_tracking(true);
+        let snapshot = self.coordinator.snapshot(now);
+        match Persistor::initialise(storage, config, &snapshot, next_seq) {
+            Ok(persistor) => {
+                self.coordinator.clear_dirty();
+                self.persist = Some(persistor);
+                self.last_snapshot_at = Some(now);
+                Ok(report)
+            }
+            Err(e) => {
+                self.coordinator.set_dirty_tracking(false);
+                Err(e)
+            }
+        }
+    }
+
+    /// Detaches and returns the storage backend, disabling persistence.
+    /// Crash simulation uses this as "the process died, the disk
+    /// survived": detach, build a fresh server, hand the backend to
+    /// [`recover_from_storage`](Self::recover_from_storage).
+    pub fn detach_persistence(&mut self) -> Option<Box<dyn StorageBackend>> {
+        self.coordinator.set_dirty_tracking(false);
+        self.persist.take().map(Persistor::into_storage)
+    }
+
+    /// The report from the most recent
+    /// [`recover_from_storage`](Self::recover_from_storage), if any.
+    pub fn last_recovery_report(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Write-side persistence counters, or `None` when persistence is
+    /// not enabled.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.persist.as_ref().map(Persistor::stats)
+    }
+
+    /// The current snapshot generation, or `None` when persistence is
+    /// not enabled.
+    pub fn persist_generation(&self) -> Option<u64> {
+        self.persist.as_ref().map(Persistor::generation)
+    }
+
+    /// A canonical byte encoding of the entire control-plane state at
+    /// `now`, independent of persistence (the journal watermark is pinned
+    /// to zero). Two servers are observably equivalent iff their digests
+    /// are byte-identical — the twin-server equivalence check used by the
+    /// recovery tests and `senseaid recover`.
+    pub fn durable_digest(&self, now: SimTime) -> Vec<u8> {
+        encode_full(&self.coordinator.snapshot(now), 0)
+    }
+
+    /// The coordinator's state as a [`ControlSnapshot`], without storing
+    /// or persisting it (codec tests and twin comparisons).
+    #[cfg(test)]
+    pub(crate) fn control_snapshot(&self, now: SimTime) -> ControlSnapshot {
+        self.coordinator.snapshot(now)
+    }
+
+    /// Appends one journal record when persistence is armed. The op is
+    /// built lazily so the clones it captures cost nothing on the
+    /// in-memory (persistence-off) hot path.
+    fn journal(&mut self, op: impl FnOnce() -> JournalOp) {
+        if let Some(persist) = self.persist.as_mut() {
+            persist.append_op(&op());
         }
     }
 
@@ -278,7 +515,7 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
-        self.coordinator.register_device(new_record(
+        let record = new_record(
             imei,
             energy_budget_j,
             critical_battery_pct,
@@ -286,7 +523,11 @@ impl SenseAidServer {
             sensors,
             device_type,
             now,
-        ));
+        );
+        self.journal(|| JournalOp::Register {
+            record: record.clone(),
+        });
+        self.coordinator.register_device(record);
         Ok(())
     }
 
@@ -298,6 +539,7 @@ impl SenseAidServer {
     /// [`SenseAidError::UnknownDevice`] if never registered.
     pub fn deregister_device(&mut self, imei: ImeiHash) -> Result<(), SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::Deregister { imei });
         self.coordinator.deregister_device(imei)
     }
 
@@ -314,6 +556,11 @@ impl SenseAidServer {
         critical_battery_pct: f64,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::UpdatePreferences {
+            imei,
+            energy_budget_j,
+            critical_battery_pct,
+        });
         self.coordinator
             .update_preferences(imei, energy_budget_j, critical_battery_pct)
     }
@@ -332,6 +579,12 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::UpdateDeviceState {
+            imei,
+            battery_pct,
+            cs_energy_j,
+            now,
+        });
         self.coordinator
             .update_device_state(imei, battery_pct, cs_energy_j, now)
     }
@@ -350,6 +603,11 @@ impl SenseAidServer {
         cell: Option<CellId>,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::Observe {
+            imei,
+            position,
+            cell,
+        });
         self.coordinator.observe_device(imei, position, cell)
     }
 
@@ -366,6 +624,7 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::RecordComm { imei, now });
         self.coordinator.record_device_comm(imei, now)
     }
 
@@ -393,6 +652,11 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<TaskId, SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::SubmitTask {
+            cas,
+            spec: spec.clone(),
+            now,
+        });
         Ok(self.coordinator.submit_task_for(cas, spec, now))
     }
 
@@ -412,6 +676,13 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<(), SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::UpdateTaskParam {
+            task,
+            spatial_density,
+            sampling_period,
+            region,
+            now,
+        });
         self.coordinator
             .update_task_param(task, spatial_density, sampling_period, region, now)
     }
@@ -425,6 +696,7 @@ impl SenseAidServer {
     /// [`SenseAidError::UnknownTask`] if absent.
     pub fn delete_task(&mut self, task: TaskId) -> Result<(), SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::DeleteTask { task });
         self.coordinator.delete_task(task)
     }
 
@@ -437,6 +709,7 @@ impl SenseAidServer {
     /// [`SenseAidError::ServerUnavailable`] when crashed.
     pub fn poll(&mut self, now: SimTime) -> Result<Vec<Assignment>, SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::Poll { now });
         Ok(self.coordinator.poll(now))
     }
 
@@ -486,6 +759,12 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<bool, SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::SubmitData {
+            imei,
+            request: request_id,
+            reading: *reading,
+            now,
+        });
         self.coordinator
             .submit_sensed_data(imei, request_id, reading, now)
     }
@@ -509,6 +788,13 @@ impl SenseAidServer {
         now: SimTime,
     ) -> Result<BatchReceipt, SenseAidError> {
         self.ensure_up()?;
+        self.journal(|| JournalOp::SubmitBatch {
+            imei,
+            seq,
+            attempt,
+            readings: readings.to_vec(),
+            now,
+        });
         Ok(self
             .coordinator
             .submit_batch(imei, seq, attempt, readings, now))
@@ -519,11 +805,13 @@ impl SenseAidServer {
     /// not require the server to be up: totals are reconciled whenever the
     /// report arrives.
     pub fn note_client_drops(&mut self, dropped: u64) {
+        self.journal(|| JournalOp::NoteClientDrops { dropped });
         self.coordinator.note_client_drops(dropped);
     }
 
     /// Drains the scrubbed readings queued for delivery, in order.
     pub fn drain_outbox(&mut self) -> Vec<(CasId, DeliveredReading)> {
+        self.journal(|| JournalOp::DrainOutbox);
         self.coordinator.drain_outbox()
     }
 }

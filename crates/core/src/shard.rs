@@ -72,6 +72,18 @@ impl Shard {
         self.index.as_mut()
     }
 
+    pub fn set_dirty_tracking(&mut self, on: bool) {
+        self.index.set_dirty_tracking(on);
+    }
+
+    pub fn dirty_touched(&self) -> Option<&std::collections::BTreeSet<ImeiHash>> {
+        self.index.dirty_touched()
+    }
+
+    pub fn clear_dirty(&mut self) {
+        self.index.clear_dirty();
+    }
+
     pub fn device_cell(&self, imei: ImeiHash) -> Option<CellId> {
         self.index.cell_of(imei)
     }

@@ -8,7 +8,7 @@
 //! position (cell-granularity in a real deployment, GPS-assisted in the
 //! paper's prototype) — plus responsiveness and data-validity flags.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +94,9 @@ impl DeviceRecord {
 pub struct DeviceStore {
     records: BTreeMap<ImeiHash, DeviceRecord>,
     index: GridIndex<ImeiHash>,
+    // Dirty-column tracking for delta snapshots (see `DeviceIndex`).
+    track_dirty: bool,
+    dirty: BTreeSet<ImeiHash>,
 }
 
 impl Default for DeviceStore {
@@ -112,6 +115,15 @@ impl DeviceStore {
         DeviceStore {
             records: BTreeMap::new(),
             index: GridIndex::new(Self::INDEX_CELL_M),
+            track_dirty: false,
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// Marks `imei` touched for delta snapshots, when tracking is on.
+    fn mark(&mut self, imei: ImeiHash) {
+        if self.track_dirty {
+            self.dirty.insert(imei);
         }
     }
 
@@ -230,16 +242,20 @@ impl DeviceStore {
         note = "allocates a Vec of record pointers per call; hot paths use \
                 `candidates_into` (kept as a compat wrapper for tests)"
     )]
-    #[allow(deprecated)] // the wrapper is the one sanctioned query_circle user
     pub fn candidates(&self, probe: &QualificationProbe) -> Vec<&DeviceRecord> {
         // The grid narrows the scan to devices inside the circle; the
-        // remaining predicates filter on the record.
-        self.index
-            .query_circle(&probe.region)
-            .into_iter()
-            .filter_map(|imei| self.records.get(&imei))
-            .filter(|r| Self::record_qualifies(r, probe))
-            .collect()
+        // remaining predicates filter on the record. The visitor walk
+        // yields bucket order, so sort to keep the documented contract.
+        let mut out: Vec<&DeviceRecord> = Vec::new();
+        self.index.for_each_in_circle(&probe.region, |imei| {
+            if let Some(r) = self.records.get(&imei) {
+                if Self::record_qualifies(r, probe) {
+                    out.push(r);
+                }
+            }
+        });
+        out.sort_unstable_by_key(|r| r.imei);
+        out
     }
 
     /// Appends the qualified candidate rows for `probe` to `out`,
@@ -295,10 +311,14 @@ impl DeviceStore {
 
 impl DeviceIndex for DeviceStore {
     fn insert(&mut self, record: DeviceRecord) {
+        self.mark(record.imei);
         self.register(record);
     }
 
     fn remove(&mut self, imei: ImeiHash) -> Option<DeviceRecord> {
+        if self.records.contains_key(&imei) {
+            self.mark(imei);
+        }
         self.index.remove(imei);
         self.records.remove(&imei)
     }
@@ -316,10 +336,17 @@ impl DeviceIndex for DeviceStore {
     }
 
     fn observe(&mut self, imei: ImeiHash, position: GeoPoint, cell: Option<CellId>) -> bool {
-        self.observe_position(imei, position, cell).is_ok()
+        let ok = self.observe_position(imei, position, cell).is_ok();
+        if ok {
+            self.mark(imei);
+        }
+        ok
     }
 
     fn refresh_registration(&mut self, record: &DeviceRecord) -> bool {
+        if self.records.contains_key(&record.imei) {
+            self.mark(record.imei);
+        }
         let Some(existing) = self.records.get_mut(&record.imei) else {
             return false;
         };
@@ -339,6 +366,9 @@ impl DeviceIndex for DeviceStore {
         energy_budget_j: f64,
         critical_battery_pct: f64,
     ) -> bool {
+        if self.records.contains_key(&imei) {
+            self.mark(imei);
+        }
         let Some(rec) = self.records.get_mut(&imei) else {
             return false;
         };
@@ -354,14 +384,25 @@ impl DeviceIndex for DeviceStore {
         cs_energy_j: f64,
         now: SimTime,
     ) -> bool {
-        DeviceStore::update_state(self, imei, battery_pct, cs_energy_j, now).is_ok()
+        let ok = DeviceStore::update_state(self, imei, battery_pct, cs_energy_j, now).is_ok();
+        if ok {
+            self.mark(imei);
+        }
+        ok
     }
 
     fn record_comm(&mut self, imei: ImeiHash, now: SimTime) -> bool {
-        DeviceStore::record_comm(self, imei, now).is_ok()
+        let ok = DeviceStore::record_comm(self, imei, now).is_ok();
+        if ok {
+            self.mark(imei);
+        }
+        ok
     }
 
     fn bump_selected(&mut self, imei: ImeiHash) -> bool {
+        if self.records.contains_key(&imei) {
+            self.mark(imei);
+        }
         let Some(rec) = self.records.get_mut(&imei) else {
             return false;
         };
@@ -370,6 +411,9 @@ impl DeviceIndex for DeviceStore {
     }
 
     fn set_responsive(&mut self, imei: ImeiHash, responsive: bool) -> bool {
+        if self.records.contains_key(&imei) {
+            self.mark(imei);
+        }
         let Some(rec) = self.records.get_mut(&imei) else {
             return false;
         };
@@ -378,6 +422,9 @@ impl DeviceIndex for DeviceStore {
     }
 
     fn set_data_valid(&mut self, imei: ImeiHash, valid: bool) -> bool {
+        if self.records.contains_key(&imei) {
+            self.mark(imei);
+        }
         let Some(rec) = self.records.get_mut(&imei) else {
             return false;
         };
@@ -396,6 +443,21 @@ impl DeviceIndex for DeviceStore {
     fn snapshot_records(&self) -> Vec<DeviceRecord> {
         // `records` is a BTreeMap keyed by IMEI, so values are ordered.
         self.records.values().cloned().collect()
+    }
+
+    fn set_dirty_tracking(&mut self, on: bool) {
+        self.track_dirty = on;
+        if !on {
+            self.dirty.clear();
+        }
+    }
+
+    fn dirty_touched(&self) -> Option<&BTreeSet<ImeiHash>> {
+        self.track_dirty.then_some(&self.dirty)
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 }
 

@@ -16,6 +16,7 @@ pub mod device_store;
 pub mod soa_store;
 pub mod task_store;
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use senseaid_cellnet::CellId;
@@ -204,4 +205,22 @@ pub trait DeviceIndex: fmt::Debug + Send {
     /// Every record held, cloned, in ascending IMEI order — the crash
     /// snapshot's view of this shard's device datastore.
     fn snapshot_records(&self) -> Vec<DeviceRecord>;
+
+    /// Turns dirty-column tracking on or off. While on, every mutation
+    /// (including removal) marks the touched IMEI so delta snapshots can
+    /// persist only what changed. Off (the default) must cost nothing on
+    /// the hot paths. Indexes that do not implement tracking may ignore
+    /// this — the persistence layer then falls back to full snapshots.
+    fn set_dirty_tracking(&mut self, _on: bool) {}
+
+    /// The IMEIs touched since the last [`clear_dirty`]
+    /// (Self::clear_dirty), or `None` when tracking is unsupported or
+    /// off. A touched IMEI no longer present was removed; the caller
+    /// resolves presence itself so cross-shard migration folds correctly.
+    fn dirty_touched(&self) -> Option<&BTreeSet<ImeiHash>> {
+        None
+    }
+
+    /// Forgets all dirty marks (called once a generation persists).
+    fn clear_dirty(&mut self) {}
 }

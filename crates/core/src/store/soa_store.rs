@@ -26,7 +26,7 @@
 //! suite drives both through identical histories and compares snapshots,
 //! assignments and statistics.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +93,10 @@ pub struct SoaDeviceStore {
     slot_of: BTreeMap<ImeiHash, DeviceSlot>,
     free: Vec<DeviceSlot>,
     grid: GridIndex<DeviceSlot>,
+    // Dirty-column tracking for delta snapshots: off by default (one
+    // branch per mutation), marks touched IMEIs while on.
+    track_dirty: bool,
+    dirty: BTreeSet<ImeiHash>,
 }
 
 impl Default for SoaDeviceStore {
@@ -128,6 +132,15 @@ impl SoaDeviceStore {
             slot_of: BTreeMap::new(),
             free: Vec::new(),
             grid: GridIndex::new(Self::INDEX_CELL_M),
+            track_dirty: false,
+            dirty: BTreeSet::new(),
+        }
+    }
+
+    /// Marks `imei` touched for delta snapshots, when tracking is on.
+    fn mark(&mut self, imei: ImeiHash) {
+        if self.track_dirty {
+            self.dirty.insert(imei);
         }
     }
 
@@ -256,6 +269,7 @@ impl SoaDeviceStore {
 
 impl DeviceIndex for SoaDeviceStore {
     fn insert(&mut self, record: DeviceRecord) {
+        self.mark(record.imei);
         match self.slot_of.get(&record.imei) {
             // Re-registering keeps the imei's slot: column overwrite.
             Some(&slot) => self.write(slot, record),
@@ -266,6 +280,8 @@ impl DeviceIndex for SoaDeviceStore {
     }
 
     fn remove(&mut self, imei: ImeiHash) -> Option<DeviceRecord> {
+        self.slot_of.get(&imei)?;
+        self.mark(imei);
         let slot = self.slot_of.remove(&imei)?;
         let record = self.materialise(slot);
         let i = slot.0 as usize;
@@ -296,6 +312,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&imei) else {
             return false;
         };
+        self.mark(imei);
         let i = slot.0 as usize;
         self.position[i] = Some(position);
         self.cell[i] = cell;
@@ -307,6 +324,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&record.imei) else {
             return false;
         };
+        self.mark(record.imei);
         let i = slot.0 as usize;
         self.energy_budget_j[i] = record.energy_budget_j;
         self.critical_battery_pct[i] = record.critical_battery_pct;
@@ -328,6 +346,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&imei) else {
             return false;
         };
+        self.mark(imei);
         let i = slot.0 as usize;
         self.energy_budget_j[i] = energy_budget_j;
         self.critical_battery_pct[i] = critical_battery_pct;
@@ -344,6 +363,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&imei) else {
             return false;
         };
+        self.mark(imei);
         let i = slot.0 as usize;
         self.battery_pct[i] = battery_pct;
         self.cs_energy_j[i] = cs_energy_j;
@@ -356,6 +376,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&imei) else {
             return false;
         };
+        self.mark(imei);
         let i = slot.0 as usize;
         self.last_comm[i] = now;
         self.flags[i] |= RESPONSIVE;
@@ -366,6 +387,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&imei) else {
             return false;
         };
+        self.mark(imei);
         self.times_selected[slot.0 as usize] += 1;
         true
     }
@@ -374,6 +396,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&imei) else {
             return false;
         };
+        self.mark(imei);
         let i = slot.0 as usize;
         if responsive {
             self.flags[i] |= RESPONSIVE;
@@ -387,6 +410,7 @@ impl DeviceIndex for SoaDeviceStore {
         let Some(&slot) = self.slot_of.get(&imei) else {
             return false;
         };
+        self.mark(imei);
         let i = slot.0 as usize;
         if valid {
             self.flags[i] |= DATA_VALID;
@@ -442,6 +466,21 @@ impl DeviceIndex for SoaDeviceStore {
             .values()
             .map(|slot| self.materialise(*slot))
             .collect()
+    }
+
+    fn set_dirty_tracking(&mut self, on: bool) {
+        self.track_dirty = on;
+        if !on {
+            self.dirty.clear();
+        }
+    }
+
+    fn dirty_touched(&self) -> Option<&BTreeSet<ImeiHash>> {
+        self.track_dirty.then_some(&self.dirty)
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.clear();
     }
 }
 

@@ -112,6 +112,20 @@ impl TaskStore {
     pub fn iter(&self) -> impl Iterator<Item = &TaskState> {
         self.tasks.values()
     }
+
+    /// The id-allocation watermark, for the persistence codec.
+    pub(crate) fn next_id_raw(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Rebuilds a store from decoded parts (persistence codec). Keys the
+    /// map by each state's own id; the caller has already validated them.
+    pub(crate) fn from_decoded(next_id: u64, states: Vec<TaskState>) -> Self {
+        TaskStore {
+            tasks: states.into_iter().map(|s| (s.id, s)).collect(),
+            next_id,
+        }
+    }
 }
 
 /// Slab storage for the requests parked in a shard's run and wait queues.

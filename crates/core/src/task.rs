@@ -94,6 +94,50 @@ impl TaskSpec {
         self.device_type.as_deref()
     }
 
+    /// Reconstructs a spec from decoded wire fields, returning `None`
+    /// instead of erroring or panicking when the invariants do not hold.
+    ///
+    /// Deliberately NOT routed through the builder: `with_updates` can
+    /// legitimately produce specs the builder would refuse (e.g. a period
+    /// grown past the original duration), and such specs must round-trip
+    /// through the persistence codec. Only the invariants the rest of the
+    /// control plane actually relies on are enforced here: density ≥ 1,
+    /// periodic schedules carry a non-zero period (`expand_requests`
+    /// unwraps it), windows are non-inverted and durations non-zero.
+    pub(crate) fn from_decoded(
+        sensor: Sensor,
+        region: CircleRegion,
+        spatial_density: usize,
+        sampling_period: Option<SimDuration>,
+        schedule: TaskSchedule,
+        device_type: Option<String>,
+    ) -> Option<Self> {
+        if spatial_density == 0 {
+            return None;
+        }
+        match schedule {
+            TaskSchedule::Duration(d) => {
+                if d.is_zero() || !matches!(sampling_period, Some(p) if !p.is_zero()) {
+                    return None;
+                }
+            }
+            TaskSchedule::Window { start, end } => {
+                if end <= start || !matches!(sampling_period, Some(p) if !p.is_zero()) {
+                    return None;
+                }
+            }
+            TaskSchedule::OneShot => {}
+        }
+        Some(TaskSpec {
+            sensor,
+            region,
+            spatial_density,
+            sampling_period,
+            schedule,
+            device_type,
+        })
+    }
+
     /// Replaces mutable parameters (the `update_task_param` API): period,
     /// density and region may change mid-flight; sensor and schedule may
     /// not.

@@ -1,0 +1,488 @@
+//! Durable persistence: twin-server equivalence through crash, recovery,
+//! and seeded storage faults.
+//!
+//! The contract under test: a server that crashes and recovers *from
+//! disk* — snapshot chain plus journal replay — is observably identical
+//! to a twin that never crashed, modulo the truthfully-reported lost
+//! window. Under fault injection (torn writes, truncation, bit flips,
+//! dropped writes) recovery must never panic, never load corrupt state,
+//! and must land exactly on the state produced by the surviving prefix
+//! of operations.
+
+use std::collections::BTreeMap;
+
+use senseaid::cellnet::{CellId, CellularNetwork};
+use senseaid::core::{
+    FaultingStorage, MemStorage, PersistConfig, SenseAidConfig, SenseAidServer, StorageFaultPlan,
+    TaskSpec,
+};
+use senseaid::device::{ImeiHash, Sensor, SensorReading};
+use senseaid::geo::{CircleRegion, GeoPoint, TowerSite};
+use senseaid::sim::{SimDuration, SimTime};
+
+fn centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+fn network() -> CellularNetwork {
+    let sites: Vec<TowerSite> = (0..4)
+        .map(|i| TowerSite {
+            index: i,
+            position: centre().offset_by_meters(
+                (i as f64 / 2.0).floor() * 1500.0 - 750.0,
+                (i % 2) as f64 * 1500.0 - 750.0,
+            ),
+            coverage_m: 1500.0,
+        })
+        .collect();
+    CellularNetwork::new(sites)
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn offset(x: u64, lane: u64) -> f64 {
+    let u = mix(x ^ lane.wrapping_mul(0xa076_1d64_78bd_642f)) >> 11;
+    (u as f64 / (1u64 << 53) as f64) * 2000.0 - 1000.0
+}
+
+fn spec(radius: f64, duration_min: u64) -> TaskSpec {
+    TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(centre(), radius))
+        .spatial_density(3)
+        .sampling_period(SimDuration::from_mins(5))
+        .sampling_duration(SimDuration::from_mins(duration_min))
+        .build()
+        .unwrap()
+}
+
+/// One recorded API call, so a reference server can replay the exact
+/// prefix that survived on disk.
+#[derive(Clone)]
+enum Call {
+    Register(u64, f64, SimTime),
+    Observe(ImeiHash, GeoPoint, Option<CellId>),
+    UpdateState(ImeiHash, f64, f64, SimTime),
+    SubmitTask(TaskSpec, SimTime),
+    Poll(SimTime),
+    Deliver(ImeiHash, senseaid::core::RequestId, SensorReading, SimTime),
+    Drain,
+}
+
+fn apply(call: &Call, server: &mut SenseAidServer) {
+    match call {
+        Call::Register(imei, battery, t) => {
+            let _ = server.register_device(
+                ImeiHash(*imei),
+                495.0,
+                15.0,
+                *battery,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                *t,
+            );
+        }
+        Call::Observe(imei, p, cell) => {
+            let _ = server.observe_device(*imei, *p, *cell);
+        }
+        Call::UpdateState(imei, battery, cs, t) => {
+            let _ = server.update_device_state(*imei, *battery, *cs, *t);
+        }
+        Call::SubmitTask(spec, t) => {
+            let _ = server.submit_task(spec.clone(), *t);
+        }
+        Call::Poll(t) => {
+            let _ = server.poll(*t);
+        }
+        Call::Deliver(imei, request, reading, t) => {
+            let _ = server.submit_sensed_data(*imei, *request, reading, *t);
+        }
+        Call::Drain => {
+            let _ = server.drain_outbox();
+        }
+    }
+}
+
+fn fresh_server() -> SenseAidServer {
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+    server.set_topology(network());
+    server
+}
+
+/// Drives `server` through `rounds` five-minute scheduling rounds with
+/// device churn, recording every call. Snapshots every other round.
+/// Returns the recorded trace, the generation → calls-at-persist map,
+/// and the crash instant.
+fn drive(
+    server: &mut SenseAidServer,
+    devices: u64,
+    rounds: u64,
+    seed: u64,
+) -> (Vec<Call>, BTreeMap<u64, usize>, SimTime) {
+    let net = network();
+    let mut calls: Vec<Call> = Vec::new();
+    let mut gen_calls: BTreeMap<u64, usize> = BTreeMap::new();
+    if let Some(g) = server.persist_generation() {
+        gen_calls.insert(g, 0);
+    }
+    let t0 = SimTime::ZERO;
+    for imei in 1..=devices {
+        let call = Call::Register(imei, 40.0 + (mix(seed ^ imei) % 61) as f64, t0);
+        apply(&call, server);
+        calls.push(call);
+        let p = centre().offset_by_meters(offset(seed ^ imei, 1), offset(seed ^ imei, 2));
+        let call = Call::Observe(ImeiHash(imei), p, net.serving_cell(p));
+        apply(&call, server);
+        calls.push(call);
+    }
+    let call = Call::SubmitTask(spec(900.0, 5 * rounds + 30), t0);
+    apply(&call, server);
+    calls.push(call);
+
+    let mut now = t0;
+    for round in 0..rounds {
+        now += SimDuration::from_mins(5);
+        // A slice of devices reports fresh state each round.
+        for k in 0..devices / 20 {
+            let imei = 1 + (mix(seed ^ round ^ k) % devices);
+            let call = Call::UpdateState(
+                ImeiHash(imei),
+                30.0 + (mix(imei ^ round) % 70) as f64,
+                (round * 2) as f64,
+                now,
+            );
+            apply(&call, server);
+            calls.push(call);
+        }
+        let assignments = server.poll(now).unwrap();
+        calls.push(Call::Poll(now));
+        for a in &assignments {
+            for imei in &a.devices {
+                let reading = SensorReading {
+                    sensor: Sensor::Barometer,
+                    value: 1000.0 + (imei.0 % 30) as f64,
+                    taken_at: a.sample_at,
+                    position: centre(),
+                };
+                let call = Call::Deliver(*imei, a.request, reading, now);
+                apply(&call, server);
+                calls.push(call);
+            }
+        }
+        apply(&Call::Drain, server);
+        calls.push(Call::Drain);
+        if round % 2 == 1 {
+            server.take_snapshot(now);
+            if let Some(g) = server.persist_generation() {
+                gen_calls.entry(g).or_insert(calls.len());
+            }
+        }
+    }
+    (calls, gen_calls, now)
+}
+
+/// Crash + recover-from-disk with no faults is invisible: the recovered
+/// server is byte-identical to the never-crashed twin and stays in
+/// lockstep through further rounds.
+#[test]
+fn recovery_without_faults_matches_never_crashed_twin() {
+    let mut durable = fresh_server();
+    durable
+        .enable_persistence(
+            Box::new(MemStorage::new()),
+            PersistConfig::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let mut twin = fresh_server();
+
+    let (calls, _gens, t_crash) = drive(&mut durable, 400, 8, 7);
+    for call in &calls {
+        apply(call, &mut twin);
+    }
+
+    // The process dies; only the storage backend survives.
+    durable.crash();
+    let storage = durable.detach_persistence().unwrap();
+    let mut recovered = fresh_server();
+    let report = recovered
+        .recover_from_storage(storage, PersistConfig::default(), t_crash)
+        .unwrap();
+    assert!(!report.cold_start);
+    assert_eq!(report.journal_bytes_dropped, 0);
+    assert!(report.corrupt_generations.is_empty());
+    assert_eq!(report.lost_window, None);
+    assert!(report.loaded_generation.is_some());
+
+    // Equalise the reconcile pass (recovery ran one) and compare.
+    let t = t_crash + SimDuration::from_mins(5);
+    assert_eq!(recovered.poll(t).unwrap(), twin.poll(t).unwrap());
+    assert_eq!(recovered.durable_digest(t), twin.durable_digest(t));
+    assert_eq!(recovered.drain_outbox(), twin.drain_outbox());
+
+    // And it stays in lockstep afterwards.
+    let mut t = t;
+    for _ in 0..4 {
+        t += SimDuration::from_mins(5);
+        let a = recovered.poll(t).unwrap();
+        let b = twin.poll(t).unwrap();
+        assert_eq!(a, b, "post-recovery divergence at {t:?}");
+        for assignment in &a {
+            for imei in &assignment.devices {
+                let reading = SensorReading {
+                    sensor: Sensor::Barometer,
+                    value: 1010.0,
+                    taken_at: assignment.sample_at,
+                    position: centre(),
+                };
+                for s in [&mut recovered, &mut twin] {
+                    s.submit_sensed_data(*imei, assignment.request, &reading, t)
+                        .unwrap();
+                }
+            }
+        }
+    }
+    assert_eq!(recovered.durable_digest(t), twin.durable_digest(t));
+    assert_eq!(recovered.stats(), twin.stats());
+}
+
+/// Under every seeded fault plan, recovery lands exactly on the state a
+/// reference server reaches by replaying the surviving call prefix:
+/// snapshot chain fallback skips corrupt generations, journal replay
+/// stops at the first invalid record, and the report accounts for the
+/// difference.
+#[test]
+fn faulted_recovery_equals_surviving_prefix() {
+    for preset in ["torn-write", "truncate", "bit-flip", "stale", "mixed"] {
+        for fault_seed in [11_u64, 23, 47] {
+            let plan = StorageFaultPlan::preset(preset, fault_seed).unwrap();
+            let storage = FaultingStorage::new(Box::new(MemStorage::new()), plan);
+
+            let mut durable = fresh_server();
+            durable
+                .enable_persistence(Box::new(storage), PersistConfig::default(), SimTime::ZERO)
+                .unwrap();
+            let (calls, gen_calls, t_crash) = drive(&mut durable, 300, 10, 5);
+
+            durable.crash();
+            let storage = durable.detach_persistence().unwrap();
+            let mut recovered = fresh_server();
+            let report = recovered
+                .recover_from_storage(storage, PersistConfig::default(), t_crash)
+                .expect("matrix presets never exhaust the disk");
+
+            // The surviving prefix: calls covered by the loaded
+            // generation plus the replayed journal suffix.
+            let base = match report.loaded_generation {
+                Some(g) => *gen_calls
+                    .get(&g)
+                    .expect("loaded generation was written by this run"),
+                None => 0,
+            };
+            let survived = base + report.ops_replayed as usize;
+            assert!(
+                survived <= calls.len(),
+                "{preset}/{fault_seed}: replay invented {survived} > {} calls",
+                calls.len()
+            );
+            let mut reference = fresh_server();
+            for call in &calls[..survived] {
+                apply(call, &mut reference);
+            }
+
+            // Truthfulness: anything lost is reported, never papered
+            // over.
+            if survived < calls.len() {
+                assert!(
+                    report.lost_window.is_some() || report.loaded_generation.is_some(),
+                    "{preset}/{fault_seed}: loss without a report"
+                );
+            }
+            if let Some((from, to)) = report.lost_window {
+                assert!(from <= to);
+                assert_eq!(to, t_crash);
+            }
+
+            // Equalise the reconcile pass and compare bytes.
+            let t = t_crash + SimDuration::from_mins(5);
+            assert_eq!(
+                recovered.poll(t).unwrap(),
+                reference.poll(t).unwrap(),
+                "{preset}/{fault_seed}: assignments diverged"
+            );
+            assert_eq!(
+                recovered.durable_digest(t),
+                reference.durable_digest(t),
+                "{preset}/{fault_seed}: recovered state is not the surviving prefix"
+            );
+        }
+    }
+}
+
+/// Surgical corruption of the newest snapshot demotes recovery to the
+/// previous intact generation — the fallback ladder, pinned
+/// deterministically.
+#[test]
+fn corrupt_newest_generation_falls_back_to_older() {
+    let mut durable = fresh_server();
+    durable
+        .enable_persistence(
+            Box::new(MemStorage::new()),
+            // Full snapshots only: each generation stands alone.
+            PersistConfig { full_every: 1 },
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let (_calls, _gens, t_crash) = drive(&mut durable, 200, 6, 3);
+    let newest = durable.persist_generation().unwrap();
+
+    durable.crash();
+    let mut storage = durable.detach_persistence().unwrap();
+    // Flip one byte in the middle of the newest snapshot.
+    let name = format!("snap-{newest:08}");
+    let mut bytes = storage.read(&name).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    storage.write(&name, &bytes).unwrap();
+
+    let mut recovered = fresh_server();
+    let report = recovered
+        .recover_from_storage(storage, PersistConfig { full_every: 1 }, t_crash)
+        .unwrap();
+    assert!(!report.cold_start, "older generations must still load");
+    assert!(report.corrupt_generations.contains(&newest));
+    let loaded = report.loaded_generation.unwrap();
+    assert!(loaded < newest, "must not load the corrupt generation");
+    assert!(recovered.device_count() > 0);
+}
+
+/// With *everything* on disk destroyed, recovery cold-starts truthfully:
+/// no panic, no invented state, and the report says total loss.
+#[test]
+fn total_corruption_cold_starts_truthfully() {
+    let mut durable = fresh_server();
+    durable
+        .enable_persistence(
+            Box::new(MemStorage::new()),
+            PersistConfig::default(),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let (_calls, _gens, t_crash) = drive(&mut durable, 150, 4, 9);
+
+    durable.crash();
+    let mut storage = durable.detach_persistence().unwrap();
+    for name in storage.list().unwrap() {
+        let bytes = storage.read(&name).unwrap();
+        let garbled: Vec<u8> = bytes.iter().map(|b| b ^ 0xA5).collect();
+        storage.write(&name, &garbled).unwrap();
+    }
+
+    let mut recovered = fresh_server();
+    let report = recovered
+        .recover_from_storage(storage, PersistConfig::default(), t_crash)
+        .unwrap();
+    assert!(report.cold_start);
+    assert_eq!(report.loaded_generation, None);
+    assert_eq!(report.ops_replayed, 0);
+    assert!(report.journal_bytes_dropped > 0, "loss must be accounted");
+    assert_eq!(report.lost_window, Some((SimTime::ZERO, t_crash)));
+    assert_eq!(recovered.device_count(), 0);
+    // The recovered (empty) server still works.
+    recovered.poll(t_crash).unwrap();
+}
+
+/// Steady-state deltas persist at least 10× fewer bytes than full
+/// snapshots once churn is a small fraction of the population.
+#[test]
+fn delta_snapshots_are_an_order_of_magnitude_smaller() {
+    let mut durable = fresh_server();
+    durable
+        .enable_persistence(
+            Box::new(MemStorage::new()),
+            // Never force a full: measure pure delta cost.
+            PersistConfig {
+                full_every: u32::MAX,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let (_calls, _gens, t_end) = drive(&mut durable, 2_000, 6, 13);
+
+    let stats = durable.persist_stats().unwrap();
+    assert!(
+        stats.snapshots_delta >= 2,
+        "drive must have persisted deltas"
+    );
+    let delta_bytes = stats.snapshot_bytes_last;
+    let full_bytes = durable.durable_digest(t_end).len() as u64;
+    assert!(
+        full_bytes >= 10 * delta_bytes,
+        "steady-state delta ({delta_bytes} B) must be ≥10× smaller than full ({full_bytes} B)"
+    );
+}
+
+/// Satellite: `recover_at` with no snapshot is a deterministic cold
+/// start, not a silent no-op. Devices and leases survive; in-flight
+/// assignments are cleared — overdue requests expire truthfully,
+/// still-viable ones are re-announced.
+#[test]
+fn recover_at_without_snapshot_cold_starts() {
+    let net = network();
+    let mut server = fresh_server();
+    let t0 = SimTime::ZERO;
+    for imei in 1..=50u64 {
+        let p = centre().offset_by_meters(offset(imei, 1), offset(imei, 2));
+        server
+            .register_device(
+                ImeiHash(imei),
+                495.0,
+                15.0,
+                80.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                t0,
+            )
+            .unwrap();
+        server
+            .observe_device(ImeiHash(imei), p, net.serving_cell(p))
+            .unwrap();
+    }
+    server.submit_task(spec(900.0, 60), t0).unwrap();
+    let t1 = SimTime::from_mins(5);
+    let assignments = server.poll(t1).unwrap();
+    assert!(!assignments.is_empty());
+    let in_flight: Vec<_> = assignments.iter().map(|a| a.request).collect();
+    for id in &in_flight {
+        assert_eq!(
+            server.request_status(*id),
+            Some(senseaid::core::RequestStatus::Assigned)
+        );
+    }
+
+    // Crash with work in flight; recover without ever snapshotting.
+    server.crash();
+    let t2 = t1 + SimDuration::from_mins(2);
+    server.recover_at(t2);
+
+    // Devices survive; no in-flight request is still silently Assigned.
+    assert_eq!(server.device_count(), 50);
+    for id in &in_flight {
+        let status = server.request_status(*id).unwrap();
+        assert_ne!(
+            status,
+            senseaid::core::RequestStatus::Assigned,
+            "cold start must clear in-flight tasking"
+        );
+    }
+    // Still-viable requests are re-announced on the next poll.
+    let reassigned = server.poll(t2).unwrap();
+    assert!(
+        !reassigned.is_empty(),
+        "viable requests must be re-announced after cold start"
+    );
+}

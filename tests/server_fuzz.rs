@@ -189,3 +189,207 @@ fn randomized_server_workouts_never_panic() {
         workout(seed);
     }
 }
+
+// ---------------------------------------------------------------------
+// Decode never panics: persistence codecs under byte mutation
+// ---------------------------------------------------------------------
+//
+// The persistence layer's contract is that *any* byte string fed to its
+// decoders yields `Ok` or `Err` — never a panic, and never a mutated
+// frame accepted as valid. These properties drive the codecs with real
+// persisted bytes mutated one byte at a time, plus raw noise.
+
+use proptest::prelude::*;
+use senseaid::core::persist::{journal_valid_prefix, validate_snapshot_frame};
+use senseaid::core::{MemStorage, PersistConfig};
+
+/// Runs a small persisted workload and returns the raw on-disk bytes:
+/// every snapshot frame and every non-empty journal segment.
+fn persisted_bytes() -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut server = SenseAidServer::new(SenseAidConfig::default());
+    server
+        .enable_persistence(
+            Box::new(MemStorage::new()),
+            PersistConfig { full_every: 2 },
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let mut now = SimTime::ZERO;
+    for imei in 1..=40u64 {
+        server
+            .register_device(
+                ImeiHash(imei),
+                495.0,
+                15.0,
+                60.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                now,
+            )
+            .unwrap();
+        server
+            .observe_device(ImeiHash(imei), campus(), None)
+            .unwrap();
+    }
+    let spec = TaskSpec::builder(Sensor::Barometer)
+        .region(CircleRegion::new(campus(), 800.0))
+        .spatial_density(3)
+        .sampling_period(SimDuration::from_mins(5))
+        .sampling_duration(SimDuration::from_mins(30))
+        .build()
+        .unwrap();
+    server.submit_task(spec, now).unwrap();
+    for _ in 0..4 {
+        now += SimDuration::from_mins(5);
+        let assignments = server.poll(now).unwrap();
+        for a in &assignments {
+            for imei in &a.devices {
+                let reading = SensorReading {
+                    sensor: Sensor::Barometer,
+                    value: 1000.0,
+                    taken_at: a.sample_at,
+                    position: campus(),
+                };
+                let _ = server.submit_sensed_data(*imei, a.request, &reading, now);
+            }
+        }
+        server.take_snapshot(now);
+    }
+    let storage = server.detach_persistence().unwrap();
+    let mut snaps = Vec::new();
+    let mut journals = Vec::new();
+    for name in storage.list().unwrap() {
+        let bytes = storage.read(&name).unwrap();
+        if name.starts_with("snap-") {
+            snaps.push(bytes);
+        } else if name.starts_with("journal-") && !bytes.is_empty() {
+            journals.push(bytes);
+        }
+    }
+    assert!(!snaps.is_empty() && !journals.is_empty());
+    (snaps, journals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte mutation of a valid snapshot frame is *rejected*
+    /// — the checksum catches it — and never panics. So do arbitrary
+    /// truncations and extensions.
+    #[test]
+    fn mutated_snapshot_frames_are_rejected(
+        which in 0usize..8,
+        offset in 0usize..100_000,
+        mask in 1usize..256,
+        cut in 0usize..100_000,
+    ) {
+        let (snaps, _) = persisted_bytes();
+        let original = &snaps[which % snaps.len()];
+        prop_assert!(validate_snapshot_frame(original).is_ok());
+
+        let mut flipped = original.clone();
+        let at = offset % flipped.len();
+        flipped[at] ^= mask as u8;
+        prop_assert!(
+            validate_snapshot_frame(&flipped).is_err(),
+            "single-byte mutation at {at} accepted"
+        );
+
+        let truncated = &original[..cut % original.len()];
+        prop_assert!(validate_snapshot_frame(truncated).is_err());
+
+        let mut extended = original.clone();
+        extended.push(mask as u8);
+        prop_assert!(validate_snapshot_frame(&extended).is_err());
+    }
+
+    /// Any mutation of a journal segment bounds the valid prefix — it
+    /// never grows it past the original record count and never panics.
+    #[test]
+    fn mutated_journal_segments_only_shrink(
+        which in 0usize..8,
+        offset in 0usize..100_000,
+        mask in 1usize..256,
+        cut in 0usize..100_000,
+    ) {
+        let (_, journals) = persisted_bytes();
+        let original = &journals[which % journals.len()];
+        let (records, valid) = journal_valid_prefix(original);
+        prop_assert_eq!(valid, original.len(), "pristine segment fully valid");
+
+        let mut flipped = original.clone();
+        let at = offset % flipped.len();
+        flipped[at] ^= mask as u8;
+        let (mutated_records, mutated_valid) = journal_valid_prefix(&flipped);
+        prop_assert!(mutated_records <= records);
+        prop_assert!(mutated_valid <= flipped.len());
+
+        let torn = &original[..cut % original.len()];
+        let (torn_records, torn_valid) = journal_valid_prefix(torn);
+        prop_assert!(torn_records <= records);
+        prop_assert!(torn_valid <= torn.len());
+    }
+
+    /// Raw noise never panics either decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic_decoders(raw in proptest::collection::vec(0usize..256, 0..512)) {
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        let _ = validate_snapshot_frame(&bytes);
+        let _ = journal_valid_prefix(&bytes);
+    }
+}
+
+/// A crashed-and-corrupted store never panics recovery, whatever byte
+/// gets hit — end to end through the server API.
+#[test]
+fn recovery_from_mutated_storage_never_panics() {
+    for seed in 0..24u64 {
+        let mut server = SenseAidServer::new(SenseAidConfig::default());
+        server
+            .enable_persistence(
+                Box::new(MemStorage::new()),
+                PersistConfig::default(),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let mut rng = SimRng::from_seed_label(seed, "recovery-fuzz");
+        let mut now = SimTime::ZERO;
+        for imei in 1..=30u64 {
+            server
+                .register_device(
+                    ImeiHash(imei),
+                    495.0,
+                    15.0,
+                    60.0,
+                    vec![Sensor::Barometer],
+                    "GalaxyS4".to_owned(),
+                    now,
+                )
+                .unwrap();
+        }
+        for _ in 0..3 {
+            now += SimDuration::from_mins(5);
+            server.poll(now).unwrap();
+            server.take_snapshot(now);
+        }
+        server.crash();
+        let mut storage = server.detach_persistence().unwrap();
+        let names = storage.list().unwrap();
+        let name = names[rng.uniform_usize(0, names.len())].clone();
+        let mut bytes = match storage.read(&name) {
+            Ok(b) if !b.is_empty() => b,
+            _ => continue,
+        };
+        let at = rng.uniform_usize(0, bytes.len());
+        bytes[at] ^= 1 << rng.uniform_usize(0, 8);
+        storage.write(&name, &bytes).unwrap();
+
+        let mut recovered = SenseAidServer::new(SenseAidConfig::default());
+        let report = recovered
+            .recover_from_storage(storage, PersistConfig::default(), now)
+            .unwrap();
+        // Whatever the damage, the answer is truthful, not a panic.
+        assert!(report.recovered_at == now);
+        recovered.poll(now).unwrap();
+    }
+}
