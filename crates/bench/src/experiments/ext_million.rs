@@ -145,6 +145,21 @@ fn fnv(h: u64, v: u64) -> u64 {
     (h ^ v).wrapping_mul(0x100_0000_01b3)
 }
 
+/// Wall-clock split of one [`drive_instrumented`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveTiming {
+    /// The whole drive, milliseconds — dominated by the one-time
+    /// registration + first-observation load of the population.
+    pub total_ms: f64,
+    /// The steady-state round loop only (state churn, polls, deliveries),
+    /// milliseconds: the recurring control-plane work a long-lived
+    /// deployment actually repeats, and the slice the sweep cells compare.
+    pub rounds_ms: f64,
+    /// Just the `poll` calls, summed, milliseconds — the slice the
+    /// two-phase pipeline (DESIGN.md §14) restructures.
+    pub poll_ms: f64,
+}
+
 /// Runs the deterministic drive sequence against a fresh server using the
 /// given store factory and shard count. Pure in its inputs: the returned
 /// outcome is byte-identical for any store implementation, shard count, or
@@ -155,11 +170,31 @@ pub fn drive(
     factory: fn() -> Box<dyn DeviceIndex>,
     seed: u64,
 ) -> DriveOutcome {
+    drive_instrumented(devices, shards, factory, seed, TASKS, Some(1)).0
+}
+
+/// [`drive`] with the task population and the poll worker count exposed,
+/// returning the wall-clock split alongside the outcome. More tasks per
+/// round make the drive poll-heavy (the default workload is dominated by
+/// registration); `workers` pins [`SenseAidConfig::shard_workers`] so the
+/// serial legacy path (`Some(1)`) and the two-phase pipeline can be timed
+/// on the same workload. The outcome is byte-identical for every worker
+/// count — asserted by the tests below and re-asserted by the perf cells.
+pub fn drive_instrumented(
+    devices: usize,
+    shards: usize,
+    factory: fn() -> Box<dyn DeviceIndex>,
+    seed: u64,
+    tasks: usize,
+    workers: Option<usize>,
+) -> (DriveOutcome, DriveTiming) {
+    let started = Instant::now();
     let span = span_m(devices);
     let half = span / 2.0;
     let network = grid_network(span);
     let config = SenseAidConfig {
         shard_count: shards,
+        shard_workers: workers,
         ..SenseAidConfig::default()
     };
     let policy = ScoredPolicy::new(config.weights, config.cutoffs);
@@ -190,7 +225,7 @@ pub fn drive(
     }
 
     // Tasks: small circles scattered over the map, repeating requests.
-    let task_centres: Vec<GeoPoint> = (0..TASKS as u64)
+    let task_centres: Vec<GeoPoint> = (0..tasks as u64)
         .map(|t| {
             centre().offset_by_meters(
                 offset(seed ^ (t + 1), 3, half * 0.8),
@@ -215,6 +250,8 @@ pub fn drive(
     // deliver their readings at once.
     let mut digest = 0xcbf2_9ce4_8422_2325u64;
     let mut assigned = 0u64;
+    let mut poll_wall = std::time::Duration::ZERO;
+    let rounds_started = Instant::now();
     let churn = (devices / 128).max(1) as u64;
     for minute in 0..ROUNDS {
         let t = SimTime::from_mins(minute);
@@ -226,10 +263,12 @@ pub fn drive(
                 .expect("state update");
             events += 1;
         }
+        let poll_started = Instant::now();
         let assignments = server.poll(t).expect("poll");
+        poll_wall += poll_started.elapsed();
         for a in &assignments {
             digest = fnv(digest, a.request.0);
-            let region_centre = task_centres[(a.task.0 as usize - 1) % TASKS];
+            let region_centre = task_centres[(a.task.0 as usize - 1) % task_centres.len()];
             for imei in &a.devices {
                 digest = fnv(digest, imei.0);
                 let reading = SensorReading {
@@ -247,6 +286,7 @@ pub fn drive(
         }
     }
 
+    let rounds_ms = rounds_started.elapsed().as_secs_f64() * 1e3;
     let stats = server.stats();
     for v in [
         stats.requests_assigned,
@@ -260,11 +300,81 @@ pub fn drive(
     ] {
         digest = fnv(digest, v);
     }
-    DriveOutcome {
-        events,
-        assignments: assigned,
-        digest,
+    (
+        DriveOutcome {
+            events,
+            assignments: assigned,
+            digest,
+        },
+        DriveTiming {
+            total_ms: started.elapsed().as_secs_f64() * 1e3,
+            rounds_ms,
+            poll_ms: poll_wall.as_secs_f64() * 1e3,
+        },
+    )
+}
+
+/// Times the request→shard fan-out path in isolation: a batch of
+/// qualification probes over scattered regions, answered through
+/// `qualified_count` (target-shard bitset + per-shard grid counts, no
+/// candidate buffers). Returns `(wall_ms, probes, checksum)`; the checksum
+/// keeps the work from being optimised away and doubles as a determinism
+/// witness.
+pub fn fanout_probe_run(devices: usize, iterations: usize, seed: u64) -> (f64, u64, u64) {
+    let span = span_m(devices);
+    let half = span / 2.0;
+    let network = grid_network(span);
+    let config = SenseAidConfig {
+        shard_count: 8,
+        shard_workers: Some(1),
+        ..SenseAidConfig::default()
+    };
+    let policy = ScoredPolicy::new(config.weights, config.cutoffs);
+    let mut server = SenseAidServer::with_parts(config, Box::new(policy), soa_index);
+    server.set_topology(network);
+    for i in 1..=devices as u64 {
+        let (north, east) = (offset(seed ^ i, 1, half), offset(seed ^ i, 2, half));
+        let p = centre().offset_by_meters(north, east);
+        server
+            .register_device(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                40.0 + (mix(seed ^ i) % 61) as f64,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .expect("registration");
+        server
+            .observe_device(ImeiHash(i), p, Some(cell_at(north, east, span)))
+            .expect("observation");
     }
+    let regions: Vec<CircleRegion> = (0..64u64)
+        .map(|r| {
+            let c = centre().offset_by_meters(
+                offset(seed ^ (r + 1), 5, half * 0.8),
+                offset(seed ^ (r + 1), 6, half * 0.8),
+            );
+            CircleRegion::new(c, 500.0)
+        })
+        .collect();
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..iterations {
+        for region in &regions {
+            checksum = fnv(
+                checksum,
+                server.qualified_count(Sensor::Barometer, *region) as u64,
+            );
+        }
+    }
+    let wall = start.elapsed();
+    (
+        wall.as_secs_f64() * 1e3,
+        (iterations * regions.len()) as u64,
+        checksum,
+    )
 }
 
 /// Resident set size of this process in MiB, from `/proc/self/status`
@@ -373,6 +483,31 @@ mod tests {
             });
             assert_eq!(fanned, serial, "workers={workers}");
         }
+    }
+
+    /// The poll pipeline's intra-run worker count never changes the drive
+    /// outcome: one worker (the serial legacy path), two and eight produce
+    /// identical assignment streams and end state, across shard layouts.
+    #[test]
+    fn poll_worker_count_never_changes_the_outcome() {
+        for shards in [1, 8] {
+            let serial = drive_instrumented(N, shards, soa_index, 2017, 24, Some(1)).0;
+            assert!(serial.assignments > 0, "drive must actually task devices");
+            for workers in [2, 8] {
+                let piped = drive_instrumented(N, shards, soa_index, 2017, 24, Some(workers)).0;
+                assert_eq!(piped, serial, "shards={shards} workers={workers}");
+            }
+        }
+    }
+
+    /// The fan-out probe run is deterministic and counts its probes.
+    #[test]
+    fn fanout_probe_run_is_deterministic() {
+        let (_, probes_a, sum_a) = fanout_probe_run(1_000, 2, 2017);
+        let (_, probes_b, sum_b) = fanout_probe_run(1_000, 2, 2017);
+        assert_eq!(probes_a, 128);
+        assert_eq!(probes_a, probes_b);
+        assert_eq!(sum_a, sum_b);
     }
 
     /// The deterministic drive is reproducible and the sweep accounts for

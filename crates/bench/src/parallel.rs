@@ -7,19 +7,15 @@
 //! worker threads without changing a single byte of output, provided the
 //! results are reassembled by cell index rather than completion order.
 //!
-//! [`map_cells`] is that contract in code: a `std::thread::scope` worker
-//! pool pulls cell indices from an atomic cursor (deterministic cell
-//! keys), runs each cell exactly once, and writes the result into the slot
-//! matching its input index (order-independent assembly). The output
-//! vector is therefore identical at any worker count, including the serial
-//! fast path at one worker.
-//!
-//! Worker count comes from `SENSEAID_WORKERS` when set, otherwise the
-//! machine's available parallelism — so CI and the determinism tests can
-//! pin it without code changes.
+//! The pool mechanics live in [`senseaid_core::pool::map_indexed`] — the
+//! coordinator's poll pipeline (DESIGN.md §14) needs the same
+//! scope/cursor/mailbox contract, so the implementation was promoted to
+//! core and this module keeps only the bench-facing worker-count policy:
+//! `SENSEAID_WORKERS` when set, otherwise the machine's available
+//! parallelism — so CI and the determinism tests can pin it without code
+//! changes.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use senseaid_core::pool::map_indexed;
 
 /// Worker threads to use: the `SENSEAID_WORKERS` environment variable
 /// when set to a positive integer, otherwise the machine's available
@@ -62,50 +58,7 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let n = items.len();
-    if workers <= 1 || n <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| f(i, item))
-            .collect();
-    }
-
-    // Cells move into per-index mailboxes; each worker claims the next
-    // unclaimed index, takes the cell, and files the result under the
-    // same index. The mutexes are uncontended by construction (an index
-    // is claimed exactly once) — they exist to make the hand-off safe
-    // without unsafe code.
-    let source: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cell = source[i]
-                    .lock()
-                    .expect("no worker panicked holding this lock")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let result = f(i, cell);
-                *slots[i]
-                    .lock()
-                    .expect("no worker panicked holding this lock") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("workers joined cleanly")
-                .expect("every claimed index filed a result")
-        })
-        .collect()
+    map_indexed(items, workers, f)
 }
 
 #[cfg(test)]

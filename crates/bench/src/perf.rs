@@ -295,6 +295,77 @@ fn ext_million_cells(seed: u64, quick: bool) -> Vec<PerfCell> {
     ]
 }
 
+/// The two-phase poll pipeline cells (DESIGN.md §14): one poll-heavy
+/// million-device drive run twice on the identical workload — once with
+/// the serial legacy poll path pinned (`shard_workers = 1`) and once with
+/// the eight-worker pipeline.
+///
+/// `poll_phase_split_reference` / `poll_phase_split` time just the `poll`
+/// calls, which is the slice the pipeline restructures — the honest
+/// apples-to-apples pair for the worker sweep (EXPERIMENTS.md reports
+/// both on this host). `ext_million_parallel` records the pipelined
+/// drive's *steady-state* round loop (churn + polls + deliveries): the
+/// recurring work a long-lived control plane repeats, excluding the
+/// one-time million-device registration load that dominates
+/// `ext_million_sweep`'s total and is untouched by this PR. The two
+/// drives must produce byte-identical outcomes — asserted here, so every
+/// perf run re-proves the worker-count invariance at full scale.
+fn poll_pipeline_cells(seed: u64, quick: bool) -> Vec<PerfCell> {
+    use crate::experiments::ext_million;
+    let devices = if quick { 20_000 } else { 1_000_000 };
+    let tasks = if quick { 96 } else { 192 };
+    let (serial_outcome, serial_timing) =
+        ext_million::drive_instrumented(devices, 8, ext_million::soa_index, seed, tasks, Some(1));
+    let (piped_outcome, piped_timing) =
+        ext_million::drive_instrumented(devices, 8, ext_million::soa_index, seed, tasks, Some(8));
+    assert_eq!(
+        serial_outcome, piped_outcome,
+        "poll worker count must never change the drive outcome"
+    );
+    let cell = |name: &str, wall_ms: f64, events: u64| PerfCell {
+        name: name.to_owned(),
+        wall_ms,
+        events,
+        events_per_sec: events as f64 / (wall_ms / 1e3).max(1e-9),
+        peak_queue_depth: 0,
+        rss_mb: None,
+    };
+    // Registration + first observation are two events per device; the
+    // remainder of the outcome's event count happened inside the rounds.
+    let round_events = piped_outcome.events - 2 * devices as u64;
+    vec![
+        cell(
+            "poll_phase_split_reference",
+            serial_timing.poll_ms,
+            serial_outcome.assignments,
+        ),
+        cell(
+            "poll_phase_split",
+            piped_timing.poll_ms,
+            piped_outcome.assignments,
+        ),
+        cell("ext_million_parallel", piped_timing.rounds_ms, round_events),
+    ]
+}
+
+/// The request→shard fan-out micro cell: a batch of qualification probes
+/// answered through the allocation-free target-shard bitset. Wall-clock
+/// rides the `--against` gate; the zero-allocation property itself is
+/// proven by the counting-allocator test in `crates/core/tests`.
+fn fanout_cell(seed: u64, quick: bool) -> PerfCell {
+    use crate::experiments::ext_million;
+    let (devices, iterations) = if quick { (5_000, 64) } else { (20_000, 256) };
+    let (wall_ms, probes, _checksum) = ext_million::fanout_probe_run(devices, iterations, seed);
+    PerfCell {
+        name: "fanout_qualified_count".to_owned(),
+        wall_ms,
+        events: probes,
+        events_per_sec: probes as f64 / (wall_ms / 1e3).max(1e-9),
+        peak_queue_depth: 0,
+        rss_mb: None,
+    }
+}
+
 /// Durable-persistence cells: steady-state snapshot cost and
 /// crash-to-recovered wall-clock at population scale. One server is
 /// driven through churn rounds with a delta snapshot after each
@@ -383,6 +454,12 @@ const CELL_GROUPS: &[&[&str]] = &[
     &["ext_scalability_sweep"],
     &["ext_scalability_sweep_reference"],
     &["ext_million_sweep", "ext_million_resident"],
+    &[
+        "poll_phase_split_reference",
+        "poll_phase_split",
+        "ext_million_parallel",
+    ],
+    &["fanout_qualified_count"],
     &["telemetry_overhead_reference", "telemetry_overhead"],
     &["lease_sweep_overhead_reference", "lease_sweep_overhead"],
     &["snapshot_persist", "recovery_time"],
@@ -469,14 +546,20 @@ pub fn run_perf_filtered(
         cells.extend(ext_million_cells(seed, q));
     }
     if selected(CELL_GROUPS[7]) {
+        cells.extend(poll_pipeline_cells(seed, q));
+    }
+    if selected(CELL_GROUPS[8]) {
+        cells.push(fanout_cell(seed, q));
+    }
+    if selected(CELL_GROUPS[9]) {
         let (reference, noop) = telemetry_overhead_cells(seed, q);
         cells.extend([reference, noop]);
     }
-    if selected(CELL_GROUPS[8]) {
+    if selected(CELL_GROUPS[10]) {
         let (reference, armed) = lease_sweep_overhead_cells(seed, q);
         cells.extend([reference, armed]);
     }
-    if selected(CELL_GROUPS[9]) {
+    if selected(CELL_GROUPS[11]) {
         cells.extend(durability_cells(seed, q));
     }
     Ok(PerfReport {
@@ -621,6 +704,15 @@ impl PerfReport {
             out.push_str(&format!(
                 "\next_scalability speedup (reference loops / optimised): {:.2}x\n",
                 reference.wall_ms / opt.wall_ms.max(1e-9)
+            ));
+        }
+        if let (Some(serial), Some(piped)) = (
+            self.cell("poll_phase_split_reference"),
+            self.cell("poll_phase_split"),
+        ) {
+            out.push_str(&format!(
+                "poll pipeline speedup (serial poll path / 8-worker pipeline): {:.2}x\n",
+                serial.wall_ms / piped.wall_ms.max(1e-9)
             ));
         }
         if let Some(pct) = self.telemetry_overhead_pct() {
@@ -771,8 +863,8 @@ mod tests {
         assert_eq!(device_ticks(&s), (20 * 60 + 5 * 60 + 2 + 1) * 10);
     }
 
-    /// The full harness on a tiny quick run: all fourteen cells present, in
-    /// the declared vocabulary order, with sane numbers, and the JSON
+    /// The full harness on a tiny quick run: all eighteen cells present,
+    /// in the declared vocabulary order, with sane numbers, and the JSON
     /// survives a round trip — including the optional memory sample.
     #[test]
     fn quick_run_produces_all_cells() {
@@ -780,7 +872,7 @@ mod tests {
             seed: 11,
             quick: true,
         });
-        assert_eq!(report.cells.len(), 14);
+        assert_eq!(report.cells.len(), 18);
         let names: Vec<&str> = report.cells.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, cell_names());
         for c in &report.cells {
@@ -804,7 +896,7 @@ mod tests {
             "the resident cell must carry a memory sample"
         );
         let parsed = PerfReport::parse_json(&report.to_json()).expect("round trip");
-        assert_eq!(parsed.cells.len(), 14);
+        assert_eq!(parsed.cells.len(), 18);
         assert!(parsed.telemetry_overhead_pct().is_some());
         assert!(parsed.lease_sweep_overhead_pct().is_some());
         assert_eq!(

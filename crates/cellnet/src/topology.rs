@@ -129,11 +129,21 @@ impl CellularNetwork {
     /// server must consult for a task over that region (§3.1: "looks up
     /// the cell towers in the specified area").
     pub fn cells_covering(&self, region: &CircleRegion) -> Vec<CellId> {
-        self.towers
-            .iter()
-            .filter(|t| t.coverage().intersects(region))
-            .map(|t| CellId(t.index))
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_cell_covering(region, |c| out.push(c));
+        out
+    }
+
+    /// Calls `f` for every cell whose coverage intersects `region`, in
+    /// tower order — the allocation-free primitive behind
+    /// [`cells_covering`](Self::cells_covering). The per-request shard
+    /// fan-out runs this on every poll, so it must not allocate.
+    pub fn for_each_cell_covering(&self, region: &CircleRegion, mut f: impl FnMut(CellId)) {
+        for t in &self.towers {
+            if t.coverage().intersects(region) {
+                f(CellId(t.index));
+            }
+        }
     }
 
     /// Total inter-cell handovers observed so far.

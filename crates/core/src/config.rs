@@ -84,6 +84,14 @@ pub struct SenseAidConfig {
     /// output is identical for any value (see `coordinator`); 1 reproduces
     /// the paper prototype's single scheduler.
     pub shard_count: usize,
+    /// Worker threads for the poll pipeline's parallel phase (DESIGN.md
+    /// §14). `None` (the default) defers to the `SENSEAID_SHARD_WORKERS`
+    /// environment variable, falling back to the machine's available
+    /// parallelism. `Some(1)` pins the single-threaded legacy poll path;
+    /// any higher count runs the two-phase pipeline. Scheduling output is
+    /// byte-identical for every value.
+    #[serde(default)]
+    pub shard_workers: Option<usize>,
     /// Device-liveness lease: a registered device that makes no radio
     /// contact for this long is evicted and its in-flight tasking released
     /// back for re-selection. `None` (the default, and the paper's
@@ -112,6 +120,7 @@ impl Default for SenseAidConfig {
             wait_check_interval: SimDuration::from_secs(30),
             unresponsive_grace: SimDuration::from_mins(2),
             shard_count: 1,
+            shard_workers: None,
             device_lease: None,
             run_queue_bound: None,
             wait_queue_bound: None,

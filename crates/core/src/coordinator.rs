@@ -14,9 +14,17 @@
 //! byte-identical for any shard count, including the single-shard layout
 //! the paper's prototype used.
 //!
+//! At two or more configured workers (`SENSEAID_SHARD_WORKERS` or
+//! [`SenseAidConfig::shard_workers`]), `poll` runs as a two-phase
+//! pipeline: per-request qualification and selection execute in parallel
+//! on a [`ShardPool`], then a single-threaded commit replays the global
+//! order — see DESIGN.md §14. Output stays byte-identical at any worker
+//! count.
+//!
 //! [`SenseAidServer`]: crate::server::SenseAidServer
+//! [`SenseAidConfig::shard_workers`]: crate::config::SenseAidConfig::shard_workers
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +39,7 @@ use crate::cas::{CasId, DeliveredReading};
 use crate::config::SenseAidConfig;
 use crate::error::SenseAidError;
 use crate::policy::{DropNewest, SelectionPolicy, ShedCandidate, ShedPolicy};
+use crate::pool::ShardPool;
 use crate::privacy;
 use crate::request::{RejectReason, Request, RequestId, RequestStatus, ShedReason};
 use crate::shard::{QueueKey, Shard};
@@ -295,6 +304,80 @@ pub(crate) struct SnapshotDelta {
     pub(crate) selections_appended: Vec<TraceEntry<SelectionEvent>>,
 }
 
+/// The set of shards a request fans out to.
+///
+/// For layouts up to 64 shards — every configuration the workspace runs —
+/// this is one bitmask word on the stack: `target_shards` executes for
+/// every request of every poll, and the per-request `Vec` it used to
+/// allocate was measurable at million-device scale. Wider layouts fall
+/// back to a sorted vector. Iteration always ascends, matching the sorted
+/// vector the bitset replaced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardTargets {
+    /// Bit `i` set ⇔ shard `i` is targeted.
+    Bits(u64),
+    /// Sorted, deduplicated shard indices (more than 64 shards).
+    Many(Vec<usize>),
+}
+
+impl ShardTargets {
+    /// Ascending iterator over the targeted shard indices.
+    fn iter(&self) -> ShardTargetIter<'_> {
+        match self {
+            ShardTargets::Bits(word) => ShardTargetIter::Bits(*word),
+            ShardTargets::Many(v) => ShardTargetIter::Many(v.iter()),
+        }
+    }
+
+    /// The sole targeted shard, when there is exactly one.
+    fn single(&self) -> Option<usize> {
+        match self {
+            ShardTargets::Bits(word) if word.is_power_of_two() => {
+                Some(word.trailing_zeros() as usize)
+            }
+            ShardTargets::Many(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+}
+
+enum ShardTargetIter<'a> {
+    Bits(u64),
+    Many(std::slice::Iter<'a, usize>),
+}
+
+impl Iterator for ShardTargetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            ShardTargetIter::Bits(word) => {
+                if *word == 0 {
+                    return None;
+                }
+                let i = word.trailing_zeros() as usize;
+                *word &= *word - 1;
+                Some(i)
+            }
+            ShardTargetIter::Many(it) => it.next().copied(),
+        }
+    }
+}
+
+/// The compact phase-1 outcome for one due request (DESIGN.md §14):
+/// everything the serial commit needs, with the candidate rows themselves
+/// discarded so a large poll never holds per-request row buffers across
+/// the phase boundary.
+#[derive(Debug, Clone)]
+struct AssignPlan {
+    /// Candidate count at gather time (the `N` of the selection event).
+    qualified: usize,
+    /// Full selection: the picked devices, or `Err` when the policy could
+    /// not field a complete set (the serial path discards the shortfall
+    /// detail too).
+    outcome: Result<Vec<ImeiHash>, ()>,
+}
+
 /// The sharded scheduling core. All methods assume the surrounding server
 /// facade has already checked availability.
 #[derive(Debug)]
@@ -372,6 +455,10 @@ pub(crate) struct Coordinator {
     /// Length of `selections` at the last persisted generation (the log
     /// is append-only, so a delta carries only entries past the mark).
     selections_mark: usize,
+    /// Worker pool for the poll pipeline's parallel phase 1 (DESIGN.md
+    /// §14). One worker pins the serial legacy path; output is
+    /// byte-identical at any count.
+    pool: ShardPool,
 }
 
 impl Coordinator {
@@ -381,6 +468,7 @@ impl Coordinator {
         index_factory: fn() -> Box<dyn DeviceIndex>,
     ) -> Self {
         let shard_count = config.shard_count.max(1);
+        let pool = ShardPool::from_config(config.shard_workers);
         Coordinator {
             config,
             policy,
@@ -415,7 +503,13 @@ impl Coordinator {
             dirty_seq: BTreeSet::new(),
             delivered_since: Vec::new(),
             selections_mark: 0,
+            pool,
         }
+    }
+
+    /// The worker count the poll pipeline resolved at construction.
+    pub fn shard_workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Swaps the wait-queue overflow victim chooser (default:
@@ -747,23 +841,32 @@ impl Coordinator {
     /// that tower's coverage intersects `region` and its cell is in
     /// `cells_covering(region)`. Devices with no observed cell are homed
     /// on shard 0, which is always targeted.
-    fn target_shards(&self, region: &CircleRegion) -> Vec<usize> {
-        if self.shards.len() == 1 {
-            return vec![0];
+    ///
+    /// Runs on every request of every poll, so the common case (at most
+    /// 64 shards) builds a stack bitmask via the topology's allocation-free
+    /// cell visitor; only wider layouts fall back to a sorted vector.
+    fn target_shards(&self, region: &CircleRegion) -> ShardTargets {
+        let n = self.shards.len();
+        if n == 1 {
+            return ShardTargets::Bits(1);
         }
         match &self.topology {
+            Some(net) if n <= 64 => {
+                // Shard 0 (bit 0) is always targeted: unknown-cell devices
+                // live there.
+                let mut bits: u64 = 1;
+                net.for_each_cell_covering(region, |c| bits |= 1u64 << (c.0 % n));
+                ShardTargets::Bits(bits)
+            }
             Some(net) => {
-                let mut targets: Vec<usize> = net
-                    .cells_covering(region)
-                    .into_iter()
-                    .map(|c| self.shard_of_cell(Some(c)))
-                    .collect();
-                targets.push(0);
+                let mut targets: Vec<usize> = vec![0];
+                net.for_each_cell_covering(region, |c| targets.push(c.0 % n));
                 targets.sort_unstable();
                 targets.dedup();
-                targets
+                ShardTargets::Many(targets)
             }
-            None => (0..self.shards.len()).collect(),
+            None if n <= 64 => ShardTargets::Bits(if n == 64 { u64::MAX } else { (1u64 << n) - 1 }),
+            None => ShardTargets::Many((0..n).collect()),
         }
     }
 
@@ -771,14 +874,14 @@ impl Coordinator {
     /// ascending IMEI-hash order (the order one unsharded store returns).
     fn candidates_across(
         shards: &[Shard],
-        targets: &[usize],
+        targets: &ShardTargets,
         probe: &QualificationProbe,
     ) -> Vec<CandidateRow> {
         // Single-target fast path: one shard's rows already arrive in
         // ascending IMEI order, straight into the output buffer.
-        if let [only] = targets {
+        if let Some(only) = targets.single() {
             let mut out = Vec::new();
-            shards[*only].candidates_into(probe, &mut out);
+            shards[only].candidates_into(probe, &mut out);
             return out;
         }
         // Each shard already returns its candidates in ascending IMEI
@@ -786,7 +889,7 @@ impl Coordinator {
         // single-store order without re-sorting the concatenation.
         let per_shard: Vec<Vec<CandidateRow>> = targets
             .iter()
-            .map(|&s| {
+            .map(|s| {
                 let mut rows = Vec::new();
                 shards[s].candidates_into(probe, &mut rows);
                 rows
@@ -810,6 +913,30 @@ impl Coordinator {
         merged
     }
 
+    /// Candidate rows for `probe` across the target shards: the canonical
+    /// ascending-IMEI merge for order-sensitive policies, or a plain
+    /// shard-walk concatenation — no per-shard sort, no cross-shard merge
+    /// — when the policy declared
+    /// [order-insensitivity](SelectionPolicy::candidate_order_insensitive).
+    /// The two differ only in row order, never in the row set, so every
+    /// answer such a policy computes is identical either way; skipping the
+    /// sort+merge is what makes the pipeline's gather phase cheap.
+    fn gather_for(
+        shards: &[Shard],
+        targets: &ShardTargets,
+        probe: &QualificationProbe,
+        order_insensitive: bool,
+    ) -> Vec<CandidateRow> {
+        if !order_insensitive {
+            return Self::candidates_across(shards, targets, probe);
+        }
+        let mut out = Vec::new();
+        for s in targets.iter() {
+            shards[s].candidates_unordered_into(probe, &mut out);
+        }
+        out
+    }
+
     pub fn qualified_devices(&self, request: &Request) -> Vec<ImeiHash> {
         let probe = QualificationProbe::for_request(request);
         let targets = self.target_shards(&probe.region);
@@ -823,7 +950,7 @@ impl Coordinator {
         let targets = self.target_shards(&probe.region);
         targets
             .iter()
-            .map(|&s| self.shards[s].qualified_count(probe))
+            .map(|s| self.shards[s].qualified_count(probe))
             .sum()
     }
 
@@ -834,12 +961,16 @@ impl Coordinator {
     /// because the coordinator merge-pops heads across all shards.
     fn home_shard(&self, region: &CircleRegion) -> usize {
         match &self.topology {
-            Some(net) if self.shards.len() > 1 => net
-                .cells_covering(region)
-                .into_iter()
-                .map(|c| self.shard_of_cell(Some(c)))
-                .min()
-                .unwrap_or(0),
+            Some(net) if self.shards.len() > 1 => {
+                let mut min: Option<usize> = None;
+                net.for_each_cell_covering(region, |c| {
+                    let s = c.0 % self.shards.len();
+                    if min.is_none_or(|m| s < m) {
+                        min = Some(s);
+                    }
+                });
+                min.unwrap_or(0)
+            }
             _ => 0,
         }
     }
@@ -1161,29 +1292,44 @@ impl Coordinator {
         let poll_span = self.enter_poll_span(now);
         self.expire_leases(now);
         self.expire_overdue(now);
-        self.recheck_wait_queue(now);
+        // The two-phase pipeline (DESIGN.md §14) speculates with plain
+        // `select`, so policy-internal instants (`selector.select`) would
+        // be lost under recording; telemetry-active polls therefore take
+        // the canonical serial path — recording is an analysis mode, and
+        // this makes trace byte-identity across worker counts true by
+        // construction rather than by argument.
+        let pipelined = !self.pool.is_serial() && !self.tel.active();
+        if pipelined {
+            self.recheck_wait_queue_pipelined(now);
+        } else {
+            self.recheck_wait_queue(now);
+        }
 
         let mut assignments = Vec::new();
-        while let Some(request) = self.pop_due_global(now) {
-            if request.deadline() <= now {
-                self.expire_request(&request, now);
-                continue;
-            }
-            if self
-                .tasks
-                .get(request.task())
-                .map(|t| t.status != TaskStatus::Active)
-                .unwrap_or(true)
-            {
-                continue; // deleted while queued
-            }
-            match self.try_assign(request, now) {
-                Ok(assignment) => {
-                    self.set_status(assignment.request, RequestStatus::Assigned);
-                    assignments.push(assignment);
+        if pipelined {
+            self.assign_due_pipelined(now, &mut assignments);
+        } else {
+            while let Some(request) = self.pop_due_global(now) {
+                if request.deadline() <= now {
+                    self.expire_request(&request, now);
+                    continue;
                 }
-                Err(request) => {
-                    self.park_request(request, now);
+                if self
+                    .tasks
+                    .get(request.task())
+                    .map(|t| t.status != TaskStatus::Active)
+                    .unwrap_or(true)
+                {
+                    continue; // deleted while queued
+                }
+                match self.try_assign(request, now) {
+                    Ok(assignment) => {
+                        self.set_status(assignment.request, RequestStatus::Assigned);
+                        assignments.push(assignment);
+                    }
+                    Err(request) => {
+                        self.park_request(request, now);
+                    }
                 }
             }
         }
@@ -1324,16 +1470,29 @@ impl Coordinator {
     // park it without a clone; its size is the point, not a problem.
     #[allow(clippy::result_large_err)]
     fn try_assign(&mut self, request: Request, now: SimTime) -> Result<Assignment, Request> {
-        let probe = QualificationProbe::for_request(&request);
-        let targets = self.target_shards(&probe.region);
-        let candidates = Self::candidates_across(&self.shards, &targets, &probe);
-        let qualified = candidates.len();
+        self.try_assign_with(request, now, None)
+    }
+
+    /// [`try_assign`](Self::try_assign), optionally consuming a phase-1
+    /// speculative [`AssignPlan`]. A plan replaces the inline gather +
+    /// selection; the caller vouches it is still fresh (no committed
+    /// assignment may have bumped a device in the plan's own selection —
+    /// see [`assign_due_pipelined`](Self::assign_due_pipelined) for why
+    /// that is the exact staleness condition) and that telemetry is off
+    /// (plans are computed with plain `select`, so policy-internal
+    /// instants would be lost). Everything after the selection outcome —
+    /// degraded gating, fairness bumps, bookkeeping — is the one shared
+    /// serial path.
+    #[allow(clippy::result_large_err)]
+    fn try_assign_with(
+        &mut self,
+        request: Request,
+        now: SimTime,
+        plan: Option<AssignPlan>,
+    ) -> Result<Assignment, Request> {
         let task = request.task();
-        let (selected, degraded) =
-            match self
-                .policy
-                .select_traced(&request, &candidates, now, &self.tel)
-            {
+        let (qualified, selected, degraded) = match plan {
+            Some(plan) => match plan.outcome {
                 Ok(selected) => {
                     Self::note_selection_success(
                         &mut self.degrade_state,
@@ -1342,13 +1501,9 @@ impl Coordinator {
                         task,
                         now,
                     );
-                    (selected, false)
+                    (plan.qualified, selected, false)
                 }
-                Err(_) => {
-                    // Full selection failed. Once the task's stress streak
-                    // has lasted `degraded.enter_after`, serve the best
-                    // available subset instead of parking forever; otherwise
-                    // hand the request back for the wait queue.
+                Err(()) => {
                     if !Self::note_selection_failure(
                         &mut self.degrade_state,
                         &self.config,
@@ -1358,21 +1513,78 @@ impl Coordinator {
                     ) {
                         return Err(request);
                     }
+                    // Degraded-mode partial service needs the actual rows,
+                    // which phase 1 discarded: re-gather inline, through
+                    // the same fast path the plan used.
+                    let probe = QualificationProbe::for_request(&request);
+                    let targets = self.target_shards(&probe.region);
+                    let candidates = Self::gather_for(
+                        &self.shards,
+                        &targets,
+                        &probe,
+                        self.policy.candidate_order_insensitive(),
+                    );
                     let selected = self.policy.select_partial(&request, &candidates, now);
                     if selected.is_empty() {
                         return Err(request);
                     }
-                    (selected, true)
+                    (plan.qualified, selected, true)
                 }
-            };
-        drop(candidates);
+            },
+            None => {
+                let probe = QualificationProbe::for_request(&request);
+                let targets = self.target_shards(&probe.region);
+                let candidates = Self::candidates_across(&self.shards, &targets, &probe);
+                let qualified = candidates.len();
+                match self
+                    .policy
+                    .select_traced(&request, &candidates, now, &self.tel)
+                {
+                    Ok(selected) => {
+                        Self::note_selection_success(
+                            &mut self.degrade_state,
+                            &self.config,
+                            &self.tel,
+                            task,
+                            now,
+                        );
+                        (qualified, selected, false)
+                    }
+                    Err(_) => {
+                        // Full selection failed. Once the task's stress
+                        // streak has lasted `degraded.enter_after`, serve
+                        // the best available subset instead of parking
+                        // forever; otherwise hand the request back for the
+                        // wait queue.
+                        if !Self::note_selection_failure(
+                            &mut self.degrade_state,
+                            &self.config,
+                            &self.tel,
+                            task,
+                            now,
+                        ) {
+                            return Err(request);
+                        }
+                        let selected = self.policy.select_partial(&request, &candidates, now);
+                        if selected.is_empty() {
+                            return Err(request);
+                        }
+                        (qualified, selected, true)
+                    }
+                }
+            }
+        };
         for imei in &selected {
             if let Some(idx) = self.device_index_mut(*imei) {
                 idx.bump_selected(*imei);
             }
         }
         if self.tel.active() {
-            let shard = *targets.first().unwrap_or(&0) as u64;
+            let shard = self
+                .target_shards(&request.region())
+                .iter()
+                .next()
+                .unwrap_or(0) as u64;
             let span = self.tel.enter(
                 "request",
                 now,
@@ -1610,6 +1822,258 @@ impl Coordinator {
         }
         // Prune memo entries for requests that left the wait queue by any
         // path (promotion, expiry, shedding, task deletion).
+        if !self.recheck_memo.is_empty() {
+            let parked_ids: BTreeSet<RequestId> = parked.iter().map(Request::id).collect();
+            self.recheck_memo.retain(|id, _| parked_ids.contains(id));
+        }
+        for request in parked {
+            self.enqueue_wait(request);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The two-phase poll pipeline (DESIGN.md §14)
+    // ------------------------------------------------------------------
+    //
+    // Phase 1 runs the expensive, read-only per-request work — shard
+    // fan-out, candidate gathering, selection scoring — in parallel on the
+    // coordinator's worker pool, producing compact plans. Phase 2 is a
+    // single-threaded commit that walks the requests in the exact global
+    // `(deadline, sample_at, id)` order the serial loop uses, applying
+    // each plan (or recomputing inline when a prior commit could have
+    // invalidated it). Every observable output — assignments, statuses,
+    // stats, the WAL, persistence digests — is byte-identical to the
+    // serial path at any worker count.
+
+    /// Phase-1 worker body for one due request: gather candidates across
+    /// its target shards and run full selection. Read-only over the
+    /// control plane; safe to run concurrently with other plans.
+    fn plan_assign(&self, request: &Request, now: SimTime, order_insensitive: bool) -> AssignPlan {
+        let probe = QualificationProbe::for_request(request);
+        let targets = self.target_shards(&probe.region);
+        let candidates = Self::gather_for(&self.shards, &targets, &probe, order_insensitive);
+        AssignPlan {
+            qualified: candidates.len(),
+            outcome: self
+                .policy
+                .select(request, &candidates, now)
+                .map_err(|_| ()),
+        }
+    }
+
+    /// The due-request loop, pipelined. Equivalence to the serial loop:
+    ///
+    /// * Nothing in the loop pushes run-queue entries (success activates,
+    ///   failure parks on the *wait* queue, expiry drops), so draining
+    ///   every due request up front yields exactly the sequence the serial
+    ///   loop would have popped.
+    /// * Deadlines are data and no commit mutates a task's status, so the
+    ///   expire/skip/assign classification is fixed before phase 1.
+    /// * The only candidate-affecting mutation a commit performs is
+    ///   `bump_selected` on the devices it assigned. A bump never changes
+    ///   qualification (the gather reads flags/sensor/type only) — it
+    ///   strictly *worsens* the device: the fairness score term grows and
+    ///   the max-selections cutoff can only newly exclude it. So a later
+    ///   `Ok` plan stays valid unless a bumped device sits in its own
+    ///   selection — every selected member's score is untouched and every
+    ///   outsider's only got worse, so the top-k is unchanged — and an
+    ///   `Err` plan can never turn `Ok` (supply only shrank). Stale plans
+    ///   are recomputed serially at commit time, which is exactly the
+    ///   serial computation at the serial point in time.
+    fn assign_due_pipelined(&mut self, now: SimTime, assignments: &mut Vec<Assignment>) {
+        let mut due: Vec<Request> = Vec::new();
+        while let Some(request) = self.pop_due_global(now) {
+            due.push(request);
+        }
+        if due.is_empty() {
+            return;
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Disposition {
+            Expire,
+            Skip,
+            Assign,
+        }
+        let dispositions: Vec<Disposition> = due
+            .iter()
+            .map(|request| {
+                if request.deadline() <= now {
+                    Disposition::Expire
+                } else if self
+                    .tasks
+                    .get(request.task())
+                    .map(|t| t.status != TaskStatus::Active)
+                    .unwrap_or(true)
+                {
+                    Disposition::Skip // deleted while queued
+                } else {
+                    Disposition::Assign
+                }
+            })
+            .collect();
+        let work: Vec<usize> = dispositions
+            .iter()
+            .enumerate()
+            .filter(|&(_, d)| *d == Disposition::Assign)
+            .map(|(i, _)| i)
+            .collect();
+        let order_insensitive = self.policy.candidate_order_insensitive();
+        let plans: Vec<AssignPlan> = {
+            let this: &Coordinator = self;
+            let due = &due;
+            this.pool.map(work.clone(), |_, i| {
+                this.plan_assign(&due[i], now, order_insensitive)
+            })
+        };
+        let mut plan_of: Vec<Option<AssignPlan>> = vec![None; due.len()];
+        for (i, plan) in work.into_iter().zip(plans) {
+            plan_of[i] = Some(plan);
+        }
+        // Phase 2: deterministic serial commit in the drained order. A
+        // speculative plan survives earlier commits unless one of them
+        // bumped a device in the plan's own selection (see the staleness
+        // argument above); stale plans are recomputed here, at the serial
+        // point in time, through the same fast gather the workers used.
+        let mut bumped: HashSet<ImeiHash> = HashSet::new();
+        for (i, request) in due.into_iter().enumerate() {
+            match dispositions[i] {
+                Disposition::Expire => self.expire_request(&request, now),
+                Disposition::Skip => {}
+                Disposition::Assign => {
+                    let mut plan = plan_of[i].take();
+                    let stale = plan.as_ref().is_some_and(
+                        |p| matches!(&p.outcome, Ok(sel) if sel.iter().any(|d| bumped.contains(d))),
+                    );
+                    if stale {
+                        plan = Some(self.plan_assign(&request, now, order_insensitive));
+                    }
+                    match self.try_assign_with(request, now, plan) {
+                        Ok(assignment) => {
+                            bumped.extend(assignment.devices.iter().copied());
+                            self.set_status(assignment.request, RequestStatus::Assigned);
+                            assignments.push(assignment);
+                        }
+                        Err(request) => self.park_request(request, now),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase-1 worker body for one parked request: the promotion probes,
+    /// computed exactly as the serial recheck would (`would_select_partial`
+    /// only evaluated when full selection would fail).
+    fn plan_recheck(
+        &self,
+        request: &Request,
+        now: SimTime,
+        order_insensitive: bool,
+    ) -> (bool, bool) {
+        let probe = QualificationProbe::for_request(request);
+        let targets = self.target_shards(&probe.region);
+        let candidates = Self::gather_for(&self.shards, &targets, &probe, order_insensitive);
+        if self.policy.would_select(request, &candidates, now) {
+            (true, false)
+        } else {
+            (
+                false,
+                self.policy.would_select_partial(request, &candidates, now),
+            )
+        }
+    }
+
+    /// [`recheck_wait_queue`](Self::recheck_wait_queue), pipelined: the
+    /// memo-missed qualification probes run in parallel, everything else
+    /// (expiry, memo upkeep, degraded-mode accounting, promotion) replays
+    /// serially in the drained global order. Sound because the recheck
+    /// loop never pushes wait entries (drain-first sees the same
+    /// sequence) and nothing between drain and commit mutates device
+    /// columns or `qual_epoch`, so the probes cannot go stale.
+    fn recheck_wait_queue_pipelined(&mut self, now: SimTime) {
+        let epoch = self.qual_epoch;
+        let mut waiting: Vec<Request> = Vec::new();
+        while let Some((shard, _)) = Self::min_head(&self.shards, Shard::wait_head_key) {
+            waiting.push(self.shards[shard].pop_wait().expect("head key seen"));
+        }
+        if waiting.is_empty() {
+            return;
+        }
+        #[derive(Clone, Copy)]
+        enum Verdict {
+            Expire,
+            MemoHit(bool),
+            Fresh,
+        }
+        let verdicts: Vec<Verdict> = waiting
+            .iter()
+            .map(|request| {
+                if request.deadline() <= now {
+                    Verdict::Expire
+                } else {
+                    match self.recheck_memo.get(&request.id()).copied() {
+                        Some((e, partial)) if e == epoch => Verdict::MemoHit(partial),
+                        _ => Verdict::Fresh,
+                    }
+                }
+            })
+            .collect();
+        let fresh: Vec<usize> = verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v, Verdict::Fresh))
+            .map(|(i, _)| i)
+            .collect();
+        let order_insensitive = self.policy.candidate_order_insensitive();
+        let probes: Vec<(bool, bool)> = {
+            let this: &Coordinator = self;
+            let waiting = &waiting;
+            this.pool.map(fresh.clone(), |_, i| {
+                this.plan_recheck(&waiting[i], now, order_insensitive)
+            })
+        };
+        let mut probe_of: Vec<Option<(bool, bool)>> = vec![None; waiting.len()];
+        for (i, p) in fresh.into_iter().zip(probes) {
+            probe_of[i] = Some(p);
+        }
+        let mut parked: Vec<Request> = Vec::new();
+        for (i, request) in waiting.into_iter().enumerate() {
+            let promote = match verdicts[i] {
+                Verdict::Expire => {
+                    self.expire_request(&request, now);
+                    continue;
+                }
+                Verdict::MemoHit(partial) => {
+                    Self::note_selection_failure(
+                        &mut self.degrade_state,
+                        &self.config,
+                        &self.tel,
+                        request.task(),
+                        now,
+                    ) && partial
+                }
+                Verdict::Fresh => {
+                    let (would, partial) = probe_of[i].take().expect("planned above");
+                    if would {
+                        true
+                    } else {
+                        self.recheck_memo.insert(request.id(), (epoch, partial));
+                        Self::note_selection_failure(
+                            &mut self.degrade_state,
+                            &self.config,
+                            &self.tel,
+                            request.task(),
+                            now,
+                        ) && partial
+                    }
+                }
+            };
+            if promote {
+                self.recheck_memo.remove(&request.id());
+                self.enqueue_run(request);
+            } else {
+                parked.push(request);
+            }
+        }
         if !self.recheck_memo.is_empty() {
             let parked_ids: BTreeSet<RequestId> = parked.iter().map(Request::id).collect();
             self.recheck_memo.retain(|id, _| parked_ids.contains(id));

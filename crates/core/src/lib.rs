@@ -54,6 +54,7 @@ mod coordinator;
 pub mod error;
 pub mod persist;
 pub mod policy;
+pub mod pool;
 pub mod privacy;
 pub mod queues;
 pub mod request;
@@ -82,6 +83,7 @@ pub use policy::{
     DeadlineAware, DropLowestDeficit, DropNewest, ScoredPolicy, SelectionPolicy, ShedCandidate,
     ShedPolicy, ShedPolicyKind,
 };
+pub use pool::ShardPool;
 pub use queues::{QueueEntry, RequestQueue};
 pub use request::{RejectReason, Request, RequestId, RequestSlot, RequestStatus, ShedReason};
 pub use scheduler::WakeupDriver;

@@ -24,7 +24,24 @@ use crate::store::CandidateRow;
 /// order-insensitively (or deterministically in that order) keeps the
 /// whole control plane deterministic for any shard count. Policies that
 /// need mutable state can use interior mutability.
-pub trait SelectionPolicy: fmt::Debug + Send {
+pub trait SelectionPolicy: fmt::Debug + Send + Sync {
+    /// Whether this policy's answers depend only on the *set* of
+    /// candidates, never on their order in the slice. Declaring `true`
+    /// lets the coordinator's parallel poll pipeline gather candidates in
+    /// shard-walk order (skipping the per-shard IMEI sort and the
+    /// cross-shard ordered merge) without changing any output byte.
+    ///
+    /// The default is `false` — order-sensitivity is assumed, and such
+    /// policies always see the canonical ascending-IMEI slice.
+    /// [`ScoredPolicy`] overrides this: its selection is a total-order
+    /// top-k over `(score, imei)`, its shortfall report carries only the
+    /// order-independent eligible count, and its `would_*` probes count
+    /// eligibles. Only return `true` if *every* trait method (including
+    /// overridden probes) is order-insensitive.
+    fn candidate_order_insensitive(&self) -> bool {
+        false
+    }
+
     /// Picks the devices to serve `request`, or reports the shortfall that
     /// should park it in the wait queue.
     ///
@@ -125,7 +142,7 @@ impl ShedCandidate<'_> {
 /// regardless of shard layout, so a policy that decides deterministically
 /// over that order keeps shedding byte-identical for any shard count. The
 /// returned id must be the incoming request's or one of the parked ones.
-pub trait ShedPolicy: fmt::Debug + Send {
+pub trait ShedPolicy: fmt::Debug + Send + Sync {
     /// Picks the victim to shed.
     fn choose_victim(
         &self,
@@ -262,6 +279,13 @@ impl ScoredPolicy {
 }
 
 impl SelectionPolicy for ScoredPolicy {
+    fn candidate_order_insensitive(&self) -> bool {
+        // Selection is top-k over the total order `(score, imei)`; the
+        // shortfall report carries only the eligible count; the probes
+        // count eligibles. None of them read slice positions.
+        true
+    }
+
     fn select(
         &self,
         request: &Request,

@@ -1,0 +1,229 @@
+//! A reusable scoped worker pool for determinism-preserving fan-out.
+//!
+//! Two layers of the workspace fan independent work units out to threads:
+//! the bench harness runs experiment *cells* in parallel (PR 3), and the
+//! coordinator's two-phase poll runs per-request *phase-1* work in
+//! parallel (DESIGN.md §14). Both need the same contract — results
+//! assembled by input index, byte-identical at any worker count — so the
+//! pool lives here in core and the bench harness delegates to it.
+//!
+//! [`map_indexed`] is the contract in code: a `std::thread::scope` worker
+//! pool pulls item indices from an atomic cursor, runs each item exactly
+//! once, and files the result into the slot matching its input index.
+//! Which *thread* runs an item varies between runs; which *slot* its
+//! result lands in depends only on the index, so the assembled vector is
+//! identical at any worker count, including the serial inline path.
+//!
+//! [`ShardPool`] wraps the worker-count policy around it: an explicit
+//! count, the `SENSEAID_SHARD_WORKERS` environment variable, or the
+//! machine's available parallelism — plus a spawn threshold so a handful
+//! of items never pays thread start-up latency for nothing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Below this many items per worker a parallel run would spend comparable
+/// time spawning threads (tens of microseconds each) as doing the work, so
+/// [`ShardPool::map`] stays inline. Purely a latency knob: the output is
+/// identical either way.
+const MIN_ITEMS_PER_WORKER: usize = 2;
+
+/// Worker threads for intra-run shard execution: the
+/// `SENSEAID_SHARD_WORKERS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism (1 if that
+/// cannot be determined).
+pub fn configured_shard_workers() -> usize {
+    workers_from(std::env::var("SENSEAID_SHARD_WORKERS").ok().as_deref())
+}
+
+fn workers_from(var: Option<&str>) -> usize {
+    match var {
+        Some(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(1),
+        None => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `f(index, item)` for every item on up to `workers` threads,
+/// returning results in input order regardless of completion order.
+///
+/// `workers <= 1` (or fewer than two items) short-circuits to a plain
+/// serial loop on the calling thread. A panic inside `f` propagates out
+/// of the scope and fails the caller, matching the serial behaviour.
+pub fn map_indexed<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Items move into per-index mailboxes; each worker claims the next
+    // unclaimed index, takes the item, and files the result under the
+    // same index. The mutexes are uncontended by construction (an index
+    // is claimed exactly once) — they exist to make the hand-off safe
+    // without unsafe code.
+    let source: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = source[i]
+                    .lock()
+                    .expect("no worker panicked holding this lock")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = f(i, item);
+                *slots[i]
+                    .lock()
+                    .expect("no worker panicked holding this lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("workers joined cleanly")
+                .expect("every claimed index filed a result")
+        })
+        .collect()
+}
+
+/// The coordinator's owned worker pool for phase-1 poll work.
+///
+/// Scoped threads are spawned per [`map`](Self::map) call and joined
+/// before it returns, so the pool holds no threads between polls — it is
+/// a worker-count policy plus a spawn threshold, cheap to construct and
+/// `Copy`. One worker (or a sub-threshold batch) runs inline on the
+/// calling thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPool {
+    workers: usize,
+}
+
+impl ShardPool {
+    /// A pool with exactly `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ShardPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized by `override_workers` when given, else by
+    /// [`configured_shard_workers`] (environment variable, then available
+    /// parallelism).
+    pub fn from_config(override_workers: Option<usize>) -> Self {
+        ShardPool::new(override_workers.unwrap_or_else(configured_shard_workers))
+    }
+
+    /// The worker count this pool runs at.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether [`map`](Self::map) always runs inline.
+    pub fn is_serial(&self) -> bool {
+        self.workers <= 1
+    }
+
+    /// Runs `f(index, item)` over the items, results in input order.
+    /// Spawns threads only when every worker would get at least
+    /// [`MIN_ITEMS_PER_WORKER`] items; otherwise runs inline. Output is
+    /// byte-identical either way.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let workers = if items.len() >= self.workers * MIN_ITEMS_PER_WORKER {
+            self.workers
+        } else {
+            1
+        };
+        map_indexed(items, workers, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..40).collect();
+        for workers in [1, 2, 8, 64] {
+            let out = map_indexed(items.clone(), workers, |i, x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            let expected: Vec<usize> = (0..40).map(|x| x * 3).collect();
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let none: Vec<u8> = Vec::new();
+        assert_eq!(map_indexed(none, 8, |_, x| x), Vec::<u8>::new());
+        assert_eq!(map_indexed(vec![7u8], 8, |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn pool_clamps_and_reports_workers() {
+        assert_eq!(ShardPool::new(0).workers(), 1);
+        assert!(ShardPool::new(0).is_serial());
+        assert_eq!(ShardPool::new(8).workers(), 8);
+        assert!(!ShardPool::new(8).is_serial());
+        assert_eq!(ShardPool::from_config(Some(3)).workers(), 3);
+    }
+
+    #[test]
+    fn pool_map_matches_serial_at_any_worker_count() {
+        let items: Vec<u64> = (0..100).collect();
+        let reference: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for workers in [1, 2, 8] {
+            let pool = ShardPool::new(workers);
+            assert_eq!(
+                pool.map(items.clone(), |_, x| x * x + 1),
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn sub_threshold_batches_run_inline() {
+        // 3 items with 8 workers is below the spawn threshold; the result
+        // must still be correct (and identical to the parallel answer).
+        let pool = ShardPool::new(8);
+        assert_eq!(
+            pool.map(vec![1u32, 2, 3], |i, x| (i, x * 2)),
+            vec![(0, 2), (1, 4), (2, 6)]
+        );
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(workers_from(Some("4")), 4);
+        assert_eq!(workers_from(Some("1")), 1);
+        // Zero or garbage fall back to serial, not to a panic.
+        assert_eq!(workers_from(Some("0")), 1);
+        assert_eq!(workers_from(Some("not-a-number")), 1);
+        assert!(workers_from(None) >= 1);
+    }
+}

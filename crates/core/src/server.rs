@@ -130,6 +130,15 @@ impl SenseAidServer {
         self.coordinator.shard_count()
     }
 
+    /// The worker count the poll pipeline resolved at construction
+    /// ([`SenseAidConfig::shard_workers`], the `SENSEAID_SHARD_WORKERS`
+    /// environment variable, or the machine's parallelism). One means the
+    /// serial legacy poll path; scheduling output is byte-identical for
+    /// every value.
+    pub fn shard_workers(&self) -> usize {
+        self.coordinator.shard_workers()
+    }
+
     /// Registered device count.
     pub fn device_count(&self) -> usize {
         self.coordinator.device_count()

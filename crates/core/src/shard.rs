@@ -98,6 +98,18 @@ impl Shard {
         self.index.candidates_into(probe, out);
     }
 
+    /// Appends this shard's qualified candidates to `out` in whatever
+    /// order the index walks them — same rows as
+    /// [`candidates_into`](Self::candidates_into), no ordering cost. Only
+    /// sound for order-insensitive selection policies.
+    pub fn candidates_unordered_into(
+        &self,
+        probe: &QualificationProbe,
+        out: &mut Vec<CandidateRow>,
+    ) {
+        self.index.candidates_unordered_into(probe, out);
+    }
+
     pub fn qualified_count(&self, probe: &QualificationProbe) -> usize {
         self.index.qualified_count(probe)
     }

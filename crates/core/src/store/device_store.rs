@@ -657,11 +657,9 @@ mod tests {
         store.get_mut(ImeiHash(3)).unwrap().sensors = vec![Sensor::Accelerometer];
         for radius in [100.0, 400.0, 900.0] {
             let probe = QualificationProbe::for_request(&request(radius, 1));
-            assert_eq!(
-                store.qualified_count(&probe),
-                store.candidates(&probe).len(),
-                "radius {radius}"
-            );
+            let mut rows = Vec::new();
+            store.candidates_into(&probe, &mut rows);
+            assert_eq!(store.qualified_count(&probe), rows.len(), "radius {radius}");
         }
     }
 

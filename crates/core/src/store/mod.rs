@@ -111,7 +111,7 @@ impl CandidateRow {
 /// transitions the coordinator performs) rather than a `&mut DeviceRecord`
 /// escape hatch, so column-oriented implementations never have to
 /// materialise a record to satisfy a write.
-pub trait DeviceIndex: fmt::Debug + Send {
+pub trait DeviceIndex: fmt::Debug + Send + Sync {
     /// Registers (or re-registers) a device record.
     fn insert(&mut self, record: DeviceRecord);
 
@@ -189,17 +189,26 @@ pub trait DeviceIndex: fmt::Debug + Send {
     /// allocation-free once the buffer has grown to steady state.
     fn candidates_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>);
 
-    /// The qualified candidate rows for `probe`, allocated fresh. Compat
-    /// convenience over [`candidates_into`](Self::candidates_into).
-    fn candidates(&self, probe: &QualificationProbe) -> Vec<CandidateRow> {
-        let mut out = Vec::new();
-        self.candidates_into(probe, &mut out);
-        out
+    /// Appends the qualified candidate rows for `probe` to `out` in
+    /// whatever order the index walks them — no IMEI sort. Callers that
+    /// treat the rows order-insensitively (see
+    /// [`SelectionPolicy::candidate_order_insensitive`]) use this to skip
+    /// the per-probe sort [`candidates_into`](Self::candidates_into) pays
+    /// for. The default delegates to the ordered walk, which is always
+    /// correct; implementations whose natural walk order is cheaper than
+    /// sorted order should override it.
+    ///
+    /// [`SelectionPolicy::candidate_order_insensitive`]:
+    ///     crate::SelectionPolicy::candidate_order_insensitive
+    fn candidates_unordered_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>) {
+        self.candidates_into(probe, out);
     }
 
     /// How many devices qualify for `probe`.
     fn qualified_count(&self, probe: &QualificationProbe) -> usize {
-        self.candidates(probe).len()
+        let mut out = Vec::new();
+        self.candidates_unordered_into(probe, &mut out);
+        out.len()
     }
 
     /// Every record held, cloned, in ascending IMEI order — the crash

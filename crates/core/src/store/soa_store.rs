@@ -440,6 +440,27 @@ impl DeviceIndex for SoaDeviceStore {
         out[start..].sort_unstable_by_key(|r| r.imei);
     }
 
+    fn candidates_unordered_into(&self, probe: &QualificationProbe, out: &mut Vec<CandidateRow>) {
+        // Grid-walk order, no IMEI sort: the parallel poll pipeline calls
+        // this for order-insensitive policies, where the sort was the
+        // dominant per-gather cost at scale.
+        let want_type = match self.probe_type(probe) {
+            Some(None) => return,
+            Some(Some(id)) => Some(id),
+            None => None,
+        };
+        let sbit = sensor_bit(probe.sensor);
+        self.grid.for_each_in_circle(&probe.region, |slot| {
+            let i = slot.0 as usize;
+            if self.flags[i] & QUALIFIES == QUALIFIES
+                && self.sensor_mask[i] & sbit != 0
+                && want_type.is_none_or(|t| self.type_id[i] == t)
+            {
+                out.push(self.row_at(i));
+            }
+        });
+    }
+
     fn qualified_count(&self, probe: &QualificationProbe) -> usize {
         let want_type = match self.probe_type(probe) {
             Some(None) => return 0,
@@ -552,11 +573,16 @@ mod tests {
         let aos_index: &dyn DeviceIndex = &aos;
         for radius in [100.0, 400.0, 900.0, 2000.0] {
             let p = probe(radius);
-            assert_eq!(
-                soa.candidates(&p),
-                aos_index.candidates(&p),
-                "radius {radius}"
-            );
+            let (mut soa_rows, mut aos_rows) = (Vec::new(), Vec::new());
+            soa.candidates_into(&p, &mut soa_rows);
+            aos_index.candidates_into(&p, &mut aos_rows);
+            assert_eq!(soa_rows, aos_rows, "radius {radius}");
+            // The unordered walk must cover the same set (sorted it is the
+            // same slice).
+            let mut unordered = Vec::new();
+            soa.candidates_unordered_into(&p, &mut unordered);
+            unordered.sort_unstable_by_key(|r| r.imei);
+            assert_eq!(unordered, soa_rows, "radius {radius} (unordered)");
             assert_eq!(soa.qualified_count(&p), aos_index.qualified_count(&p));
         }
         for id in 1..=40u64 {
@@ -611,7 +637,9 @@ mod tests {
         let mut p = probe(500.0);
         p.device_type = Some("NeverRegistered".to_owned());
         assert_eq!(store.qualified_count(&p), 0);
-        assert!(store.candidates(&p).is_empty());
+        let mut rows = Vec::new();
+        store.candidates_into(&p, &mut rows);
+        assert!(rows.is_empty());
         p.device_type = Some("GalaxyS4".to_owned());
         assert_eq!(store.qualified_count(&p), 1);
     }

@@ -1,0 +1,133 @@
+//! Proof that the request→shard fan-out path is allocation-free.
+//!
+//! The `fanout_qualified_count` perf cell times this path; the property
+//! itself — no heap traffic anywhere in `qualified_count`, from the
+//! probe through the target-shard bitset and the per-shard grid-walk
+//! counters — is asserted here with a counting global allocator, so a
+//! regression (say, a collected `Vec<usize>` of target shards sneaking
+//! back in) fails loudly rather than showing up as a perf drift.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use senseaid_cellnet::CellularNetwork;
+use senseaid_core::{SenseAidConfig, SenseAidServer};
+use senseaid_device::{ImeiHash, Sensor};
+use senseaid_geo::{CircleRegion, GeoPoint, TowerSite};
+use senseaid_sim::SimTime;
+
+/// Passes every call through to the system allocator, counting
+/// allocations (and reallocations — growth is an allocation too).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+/// A 4×4 tower grid over a ~3 km square, so the fan-out has real
+/// multi-cell, multi-shard coverage to resolve.
+fn grid_network() -> CellularNetwork {
+    let mut sites = Vec::new();
+    for row in 0..4usize {
+        for col in 0..4usize {
+            sites.push(TowerSite {
+                index: row * 4 + col,
+                position: centre().offset_by_meters(
+                    -1_500.0 + row as f64 * 1_000.0,
+                    -1_500.0 + col as f64 * 1_000.0,
+                ),
+                coverage_m: 800.0,
+            });
+        }
+    }
+    CellularNetwork::new(sites)
+}
+
+#[test]
+fn qualified_count_fanout_allocates_nothing() {
+    let mut server = SenseAidServer::new(SenseAidConfig {
+        shard_count: 8,
+        ..SenseAidConfig::default()
+    });
+    server.set_topology(grid_network());
+    for i in 1..=400u64 {
+        server
+            .register_device(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                80.0,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .expect("registration");
+        let p = centre().offset_by_meters(
+            ((i * 37) % 3_000) as f64 - 1_500.0,
+            ((i * 53) % 3_000) as f64 - 1_500.0,
+        );
+        server
+            .observe_device(ImeiHash(i), p, None)
+            .expect("observe");
+    }
+
+    let regions: Vec<CircleRegion> = (0..16u64)
+        .map(|k| {
+            CircleRegion::new(
+                centre().offset_by_meters(
+                    ((k * 211) % 2_400) as f64 - 1_200.0,
+                    ((k * 307) % 2_400) as f64 - 1_200.0,
+                ),
+                500.0,
+            )
+        })
+        .collect();
+
+    // Warm-up pass (faults in lazy init would hide behind the counter).
+    let mut warm = 0usize;
+    for region in &regions {
+        warm += server.qualified_count(Sensor::Barometer, *region);
+    }
+    assert!(warm > 0, "workload must actually qualify devices");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut total = 0usize;
+    for _ in 0..8 {
+        for region in &regions {
+            total += server.qualified_count(Sensor::Barometer, *region);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(total, warm * 8, "warm probes must be stable");
+    assert_eq!(
+        after - before,
+        0,
+        "qualified_count fan-out allocated on the warm path"
+    );
+}

@@ -1,0 +1,181 @@
+//! Parallel poll × durability invariance (DESIGN.md §14).
+//!
+//! The two-phase poll pipeline must be invisible to persistence: a run
+//! with the WAL armed has to produce byte-identical `durable_digest`s and
+//! byte-identical storage blobs (journal segments *and* snapshot
+//! generations) whether the poll planned serially or on 2 or 8 workers —
+//! including when every write travels through a fault-injecting backend,
+//! whose deterministic mangling would amplify any divergence in write
+//! content or order into wildly different blobs.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use senseaid_core::{
+    FaultingStorage, MemStorage, PersistConfig, SenseAidConfig, SenseAidServer, StorageFaultPlan,
+    TaskSpec,
+};
+use senseaid_device::{ImeiHash, Sensor, SensorReading};
+use senseaid_geo::{CircleRegion, GeoPoint};
+use senseaid_sim::{SimDuration, SimTime};
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+/// A signed offset in ±`half` metres, derived from the seed.
+fn offset(seed: u64, lane: u64, half: f64) -> f64 {
+    let r = mix(seed.wrapping_add(lane.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    ((r % 2_000_001) as f64 / 1_000_000.0 - 1.0) * half
+}
+
+const DEVICES: u64 = 240;
+const TASKS: u64 = 6;
+const ROUNDS: u64 = 12;
+const HALF_M: f64 = 1_500.0;
+
+/// One deterministic persistence-armed run: scattered population, a few
+/// repeating tasks, per-round battery churn and partial deliveries (odd
+/// devices withhold, so requests park, expire, and recheck). Returns the
+/// final control-plane digest plus every storage blob by name.
+fn drive(
+    seed: u64,
+    shards: usize,
+    workers: usize,
+    fault_preset: &str,
+) -> (Vec<u8>, BTreeMap<String, Vec<u8>>) {
+    let config = SenseAidConfig {
+        shard_count: shards,
+        shard_workers: Some(workers),
+        ..SenseAidConfig::default()
+    };
+    let mut server = SenseAidServer::new(config);
+    let plan = StorageFaultPlan::preset(fault_preset, seed).expect("known preset");
+    let storage = FaultingStorage::new(Box::new(MemStorage::new()), plan);
+    server
+        .enable_persistence(Box::new(storage), PersistConfig::default(), SimTime::ZERO)
+        .expect("persistence arms");
+
+    for i in 1..=DEVICES {
+        server
+            .register_device(
+                ImeiHash(i),
+                495.0,
+                15.0,
+                40.0 + (mix(seed ^ i) % 61) as f64,
+                vec![Sensor::Barometer],
+                "GalaxyS4".to_owned(),
+                SimTime::ZERO,
+            )
+            .expect("registration");
+        let p = centre().offset_by_meters(offset(seed ^ i, 1, HALF_M), offset(seed ^ i, 2, HALF_M));
+        server
+            .observe_device(ImeiHash(i), p, None)
+            .expect("observe");
+    }
+
+    let task_centres: Vec<GeoPoint> = (0..TASKS)
+        .map(|t| {
+            centre().offset_by_meters(
+                offset(seed ^ (t + 1), 3, HALF_M * 0.8),
+                offset(seed ^ (t + 1), 4, HALF_M * 0.8),
+            )
+        })
+        .collect();
+    for c in &task_centres {
+        let spec = TaskSpec::builder(Sensor::Barometer)
+            .region(CircleRegion::new(*c, 700.0))
+            .spatial_density(3)
+            .sampling_period(SimDuration::from_mins(2))
+            .sampling_duration(SimDuration::from_mins(10))
+            .build()
+            .expect("task spec");
+        server.submit_task(spec, SimTime::ZERO).expect("submit");
+    }
+
+    for minute in 0..ROUNDS {
+        let t = SimTime::from_mins(minute);
+        for k in 0..8u64 {
+            let imei = (mix(seed ^ minute ^ (k << 32)) % DEVICES) + 1;
+            let battery = 35.0 + (mix(imei ^ minute) % 66) as f64;
+            server
+                .update_device_state(ImeiHash(imei), battery, (minute * k % 17) as f64, t)
+                .expect("state update");
+        }
+        let assignments = server.poll(t).expect("poll");
+        for a in &assignments {
+            let region_centre = task_centres[(a.task.0 as usize - 1) % task_centres.len()];
+            for imei in &a.devices {
+                if imei.0 % 2 == 1 {
+                    continue; // odd devices withhold: parks, expiries, rechecks
+                }
+                let reading = SensorReading {
+                    sensor: Sensor::Barometer,
+                    value: 990.0 + (imei.0 % 40) as f64,
+                    taken_at: t,
+                    position: region_centre,
+                };
+                server
+                    .submit_sensed_data(*imei, a.request, &reading, t)
+                    .expect("delivery");
+            }
+        }
+    }
+
+    let end = SimTime::from_mins(ROUNDS);
+    let digest = server.durable_digest(end);
+    let storage = server.detach_persistence().expect("was armed");
+    let mut blobs = BTreeMap::new();
+    for name in storage.list().expect("list") {
+        blobs.insert(name.clone(), storage.read(&name).expect("read"));
+    }
+    (digest, blobs)
+}
+
+const SHARD_CHOICES: [usize; 3] = [1, 2, 8];
+const FAULT_PRESETS: [&str; 3] = ["none", "torn-write", "mixed"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any seed, shard layout, and storage-fault preset, the poll
+    /// worker count never leaks into durable state: digests and every
+    /// stored byte (WAL journal segments included) match across 1/2/8.
+    #[test]
+    fn worker_count_never_changes_durable_bytes(
+        seed in any::<u64>(),
+        shard_pick in 0usize..3,
+        preset_pick in 0usize..3,
+    ) {
+        let shards = SHARD_CHOICES[shard_pick];
+        let preset = FAULT_PRESETS[preset_pick];
+        let (digest_1, blobs_1) = drive(seed, shards, 1, preset);
+        for workers in [2usize, 8] {
+            let (digest_w, blobs_w) = drive(seed, shards, workers, preset);
+            prop_assert_eq!(
+                &digest_1, &digest_w,
+                "durable_digest diverged: shards={} workers={} preset={}",
+                shards, workers, preset
+            );
+            prop_assert_eq!(
+                blobs_1.keys().collect::<Vec<_>>(),
+                blobs_w.keys().collect::<Vec<_>>(),
+                "blob set diverged: shards={} workers={} preset={}",
+                shards, workers, preset
+            );
+            for (name, bytes) in &blobs_1 {
+                prop_assert_eq!(
+                    bytes, &blobs_w[name],
+                    "stored bytes diverged in {}: shards={} workers={} preset={}",
+                    name, shards, workers, preset
+                );
+            }
+        }
+    }
+}

@@ -54,8 +54,9 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> Default for CoarseCell<K> {
 
 /// A hierarchical-grid spatial index over keys of type `K`.
 ///
-/// Keys are unique: inserting a key again moves it. [`query_circle`]
-/// results are sorted by key so iteration order is deterministic.
+/// Keys are unique: inserting a key again moves it. Circle queries visit
+/// keys in grid-bucket order; callers that need key order sort the handful
+/// of matches themselves (the candidate gather does exactly that).
 ///
 /// # Example
 ///
@@ -70,8 +71,6 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> Default for CoarseCell<K> {
 /// idx.for_each_in_circle(&CircleRegion::new(campus, 500.0), |k| near.push(k));
 /// assert_eq!(near, vec![1]);
 /// ```
-///
-/// [`query_circle`]: Self::query_circle
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GridIndex<K: Copy + Eq + Ord + std::hash::Hash> {
     /// Fine-cell edge length in degrees of latitude (longitude cells use
@@ -249,20 +248,6 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
         }
     }
 
-    /// All keys whose position lies inside `region`, sorted.
-    #[deprecated(
-        since = "0.6.0",
-        note = "allocates a fresh Vec per call; hot paths use \
-                `for_each_in_circle`/`count_in_circle` (kept as a compat \
-                wrapper for tests)"
-    )]
-    pub fn query_circle(&self, region: &CircleRegion) -> Vec<K> {
-        let mut out = Vec::new();
-        self.for_each_in_circle(region, |key| out.push(key));
-        out.sort_unstable();
-        out
-    }
-
     /// Calls `f` for every key inside `region`, in grid-bucket order
     /// (*not* key order). The allocation-free primitive behind every
     /// circle query; counting callers use it directly and skip the sort.
@@ -304,13 +289,21 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> GridIndex<K> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // query_circle stays the reference surface for tests
 mod tests {
     use super::*;
     use proptest::prelude::*;
 
     fn campus() -> GeoPoint {
         GeoPoint::new(40.4284, -86.9138)
+    }
+
+    /// All keys inside `region`, sorted — the brute-force-comparable view
+    /// the tests assert against, built on the visitor primitive.
+    fn sorted_keys(idx: &GridIndex<u32>, region: &CircleRegion) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx.for_each_in_circle(region, |k| out.push(k));
+        out.sort_unstable();
+        out
     }
 
     #[test]
@@ -320,11 +313,11 @@ mod tests {
         assert_eq!(idx.len(), 1);
         assert_eq!(idx.position(7), Some(campus()));
         let region = CircleRegion::new(campus(), 100.0);
-        assert_eq!(idx.query_circle(&region), vec![7]);
+        assert_eq!(sorted_keys(&idx, &region), vec![7]);
         assert!(idx.remove(7));
         assert!(!idx.remove(7));
         assert!(idx.is_empty());
-        assert!(idx.query_circle(&region).is_empty());
+        assert!(sorted_keys(&idx, &region).is_empty());
     }
 
     #[test]
@@ -333,11 +326,9 @@ mod tests {
         idx.insert(1u32, campus());
         idx.insert(1u32, campus().offset_by_meters(5_000.0, 0.0));
         assert_eq!(idx.len(), 1);
-        assert!(idx
-            .query_circle(&CircleRegion::new(campus(), 1_000.0))
-            .is_empty());
+        assert!(sorted_keys(&idx, &CircleRegion::new(campus(), 1_000.0)).is_empty());
         let far = CircleRegion::new(campus().offset_by_meters(5_000.0, 0.0), 100.0);
-        assert_eq!(idx.query_circle(&far), vec![1]);
+        assert_eq!(sorted_keys(&idx, &far), vec![1]);
     }
 
     #[test]
@@ -351,7 +342,7 @@ mod tests {
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.position(1), Some(campus()));
         let region = CircleRegion::new(campus(), 100.0);
-        assert_eq!(idx.query_circle(&region), vec![1, 2]);
+        assert_eq!(sorted_keys(&idx, &region), vec![1, 2]);
     }
 
     #[test]
@@ -364,7 +355,7 @@ mod tests {
             let region = CircleRegion::new(campus(), radius);
             assert_eq!(
                 idx.count_in_circle(&region),
-                idx.query_circle(&region).len()
+                sorted_keys(&idx, &region).len()
             );
         }
     }
@@ -376,7 +367,7 @@ mod tests {
             idx.insert(i, campus().offset_by_meters(0.0, 50.0 * f64::from(i)));
         }
         // Radius 500 captures offsets 0..=500 → keys 0..=10.
-        let got = idx.query_circle(&CircleRegion::new(campus(), 501.0));
+        let got = sorted_keys(&idx, &CircleRegion::new(campus(), 501.0));
         assert_eq!(got, (0..=10).collect::<Vec<_>>());
     }
 
@@ -426,7 +417,7 @@ mod tests {
                 .map(|(i, _)| i as u32)
                 .collect();
             brute.sort_unstable();
-            prop_assert_eq!(idx.query_circle(&region), brute);
+            prop_assert_eq!(sorted_keys(&idx, &region), brute);
         }
     }
 }
