@@ -20,13 +20,20 @@ use senseaid_core::pool::map_indexed;
 /// Worker threads to use: the `SENSEAID_WORKERS` environment variable
 /// when set to a positive integer, otherwise the machine's available
 /// parallelism (1 if that cannot be determined).
+///
+/// # Panics
+///
+/// Panics when the variable is set but malformed, naming the variable
+/// and the offending value (see [`senseaid_core::env`]) — a typo'd
+/// override must not silently run a different worker count.
 pub fn configured_workers() -> usize {
-    match std::env::var("SENSEAID_WORKERS") {
-        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-    }
+    senseaid_core::env::positive_env("SENSEAID_WORKERS")
+        .unwrap_or_else(|err| panic!("{err}"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
 }
 
 /// Runs `f(index, item)` for every item on [`configured_workers`] worker

@@ -437,6 +437,59 @@ fn durability_cells(seed: u64, quick: bool) -> Vec<PerfCell> {
     ]
 }
 
+/// Live-mode cells: an in-process `senseaid-serve` instance on an
+/// ephemeral loopback port, saturated by the closed-loop load generator.
+///
+/// - `live_rps` — wall-clock to complete a fixed request count over TCP
+///   (throughput inverted into the gate's wall-ms convention: halved
+///   rps doubles the wall and trips the 2× gate);
+/// - `live_p99` — the bout's p99 latency, in the `wall_ms` slot so the
+///   same gate bounds tail latency directly.
+fn live_cells(seed: u64, quick: bool) -> Vec<PerfCell> {
+    use senseaid_serve::{run_loadgen, serve, LoadgenOptions, ServeOptions};
+    let handle = serve(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        shards: 4,
+        workers: 2,
+        persist_dir: None,
+        duration: Some(std::time::Duration::from_secs(120)),
+    })
+    .expect("bind loopback perf server");
+    let report = run_loadgen(&LoadgenOptions {
+        addr: handle.addr().to_string(),
+        connections: if quick { 2 } else { 4 },
+        requests: if quick { 600 } else { 6_000 },
+        duration: Some(std::time::Duration::from_secs(60)),
+        seed,
+        submit_task: true,
+        stop_server: true,
+    })
+    .expect("loadgen reaches the in-process server");
+    let summary = handle.join();
+    assert!(
+        summary.requests > 0 && report.requests > 0,
+        "live perf bout completed no requests"
+    );
+    vec![
+        PerfCell {
+            name: "live_rps".to_owned(),
+            wall_ms: report.elapsed.as_secs_f64() * 1e3,
+            events: report.requests,
+            events_per_sec: report.rps(),
+            peak_queue_depth: 0,
+            rss_mb: None,
+        },
+        PerfCell {
+            name: "live_p99".to_owned(),
+            wall_ms: report.hist.quantile_ms(0.99),
+            events: report.requests,
+            events_per_sec: report.rps(),
+            peak_queue_depth: 0,
+            rss_mb: None,
+        },
+    ]
+}
+
 /// Every cell name a run can emit, in emission order. This is the
 /// vocabulary `--filter` validates against.
 pub fn cell_names() -> Vec<&'static str> {
@@ -463,7 +516,36 @@ const CELL_GROUPS: &[&[&str]] = &[
     &["telemetry_overhead_reference", "telemetry_overhead"],
     &["lease_sweep_overhead_reference", "lease_sweep_overhead"],
     &["snapshot_persist", "recovery_time"],
+    &["live_rps", "live_p99"],
 ];
+
+/// Levenshtein distance, for typo suggestions in the `--filter` error.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut row = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            row[j + 1] = subst.min(prev[j + 1] + 1).min(row[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut row);
+    }
+    prev[b.len()]
+}
+
+/// The known cell closest to `wanted`, when it is close enough to look
+/// like a typo rather than an unrelated word (distance ≤ ⅓ of the name).
+fn nearest_cell(wanted: &str) -> Option<&'static str> {
+    cell_names()
+        .into_iter()
+        .map(|name| (edit_distance(wanted, name), name))
+        .min()
+        .filter(|(d, name)| *d * 3 <= name.chars().count().max(wanted.chars().count()))
+        .map(|(_, name)| name)
+}
 
 /// Runs the full cell set.
 pub fn run_perf(options: &PerfOptions) -> PerfReport {
@@ -485,8 +567,11 @@ pub fn run_perf_filtered(
     let seed = options.seed;
     if let Some(wanted) = filter {
         if !CELL_GROUPS.iter().any(|g| g.contains(&wanted)) {
+            let suggestion = nearest_cell(wanted)
+                .map(|name| format!(" (did you mean '{name}'?)"))
+                .unwrap_or_default();
             return Err(format!(
-                "unknown perf cell '{wanted}'; known cells: {}",
+                "unknown perf cell '{wanted}'{suggestion}; known cells: {}",
                 cell_names().join(", ")
             ));
         }
@@ -561,6 +646,9 @@ pub fn run_perf_filtered(
     }
     if selected(CELL_GROUPS[11]) {
         cells.extend(durability_cells(seed, q));
+    }
+    if selected(CELL_GROUPS[12]) {
+        cells.extend(live_cells(seed, q));
     }
     Ok(PerfReport {
         seed,
@@ -839,6 +927,30 @@ mod tests {
     }
 
     #[test]
+    fn filter_error_suggests_the_nearest_cell_for_typos() {
+        let options = PerfOptions {
+            seed: 11,
+            quick: true,
+        };
+        let err = run_perf_filtered(&options, Some("live_rsp")).unwrap_err();
+        assert!(err.contains("did you mean 'live_rps'?"), "{err}");
+        let err = run_perf_filtered(&options, Some("recovery_tim")).unwrap_err();
+        assert!(err.contains("did you mean 'recovery_time'?"), "{err}");
+        // An unrelated word gets the vocabulary but no bogus suggestion.
+        let err = run_perf_filtered(&options, Some("zzzzzzzzzz")).unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric_on_examples() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("live_rps", "live_rps"), 0);
+        assert_eq!(edit_distance("live_rsp", "live_rps"), 2); // transposition = 2 edits
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
     fn filter_runs_exactly_the_named_group() {
         let options = PerfOptions {
             seed: 11,
@@ -872,7 +984,7 @@ mod tests {
             seed: 11,
             quick: true,
         });
-        assert_eq!(report.cells.len(), 18);
+        assert_eq!(report.cells.len(), 20);
         let names: Vec<&str> = report.cells.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, cell_names());
         for c in &report.cells {
@@ -896,7 +1008,7 @@ mod tests {
             "the resident cell must carry a memory sample"
         );
         let parsed = PerfReport::parse_json(&report.to_json()).expect("round trip");
-        assert_eq!(parsed.cells.len(), 18);
+        assert_eq!(parsed.cells.len(), 20);
         assert!(parsed.telemetry_overhead_pct().is_some());
         assert!(parsed.lease_sweep_overhead_pct().is_some());
         assert_eq!(

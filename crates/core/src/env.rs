@@ -1,0 +1,169 @@
+//! One parser for every `SENSEAID_*` environment override.
+//!
+//! The workspace grew three scattered env lookups — `SENSEAID_WORKERS`
+//! (bench cell fan-out), `SENSEAID_SHARD_WORKERS` (intra-run poll pool)
+//! and `SENSEAID_FAULT_SEED` (chaos suite) — each with its own ad-hoc
+//! `parse().ok().unwrap_or(default)`. Silent fallback is the worst
+//! failure mode for an override: a typo (`SENSEAID_SHARD_WORKERS=eight`)
+//! quietly runs the serial path and the CI matrix stops testing what its
+//! name says it tests. This module replaces all of them: a malformed
+//! value is an error that names the variable and the offending value;
+//! only an *unset* variable means "use the default".
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A set environment variable whose value does not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvVarError {
+    /// The environment variable at fault.
+    pub name: &'static str,
+    /// The value it was set to.
+    pub value: String,
+    /// What a well-formed value looks like.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for EnvVarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: invalid value {:?} (expected {}); unset the variable to use the default",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvVarError {}
+
+/// Parses an explicit value for `name`, `None` meaning unset.
+///
+/// This is the pure core of [`parsed_env`], split out so callers (and
+/// tests) can exercise the rules without mutating process environment —
+/// `std::env::set_var` races against parallel tests.
+///
+/// # Errors
+///
+/// [`EnvVarError`] naming the variable when `value` is set but does not
+/// parse as `T`.
+pub fn parse_env_value<T: FromStr>(
+    name: &'static str,
+    value: Option<&str>,
+    expected: &'static str,
+) -> Result<Option<T>, EnvVarError> {
+    match value {
+        None => Ok(None),
+        Some(raw) => raw.parse().map(Some).map_err(|_| EnvVarError {
+            name,
+            value: raw.to_owned(),
+            expected,
+        }),
+    }
+}
+
+/// Reads and parses the environment variable `name`.
+///
+/// Returns `Ok(None)` when unset (callers apply their default), the
+/// parsed value when set and well-formed.
+///
+/// # Errors
+///
+/// [`EnvVarError`] when set but malformed — including set to a value
+/// that is not valid Unicode.
+pub fn parsed_env<T: FromStr>(
+    name: &'static str,
+    expected: &'static str,
+) -> Result<Option<T>, EnvVarError> {
+    match std::env::var(name) {
+        Ok(raw) => parse_env_value(name, Some(&raw), expected),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(EnvVarError {
+            name,
+            value: raw.to_string_lossy().into_owned(),
+            expected,
+        }),
+    }
+}
+
+/// Parses an explicit value for `name` as a positive (non-zero) count.
+///
+/// # Errors
+///
+/// [`EnvVarError`] when set to anything but a positive integer — zero is
+/// rejected too: every consumer is a worker count where `0` is a typo'd
+/// request for "no workers", not a meaningful configuration.
+pub fn parse_positive_value(
+    name: &'static str,
+    value: Option<&str>,
+) -> Result<Option<usize>, EnvVarError> {
+    match parse_env_value::<usize>(name, value, "a positive integer")? {
+        Some(0) => Err(EnvVarError {
+            name,
+            value: "0".to_owned(),
+            expected: "a positive integer",
+        }),
+        other => Ok(other),
+    }
+}
+
+/// Reads the environment variable `name` as a positive (non-zero) count.
+///
+/// # Errors
+///
+/// [`EnvVarError`] when set but not a positive integer.
+pub fn positive_env(name: &'static str) -> Result<Option<usize>, EnvVarError> {
+    match std::env::var(name) {
+        Ok(raw) => parse_positive_value(name, Some(&raw)),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(EnvVarError {
+            name,
+            value: raw.to_string_lossy().into_owned(),
+            expected: "a positive integer",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_means_default() {
+        assert_eq!(
+            parse_env_value::<u64>("SENSEAID_TEST", None, "a seed"),
+            Ok(None)
+        );
+        assert_eq!(parse_positive_value("SENSEAID_TEST", None), Ok(None));
+    }
+
+    #[test]
+    fn well_formed_values_parse() {
+        assert_eq!(
+            parse_env_value::<u64>("SENSEAID_TEST", Some("42"), "a seed"),
+            Ok(Some(42))
+        );
+        assert_eq!(
+            parse_positive_value("SENSEAID_TEST", Some("8")),
+            Ok(Some(8))
+        );
+    }
+
+    #[test]
+    fn malformed_values_error_and_name_the_variable() {
+        let err = parse_env_value::<u64>("SENSEAID_FAULT_SEED", Some("not-a-number"), "a seed")
+            .unwrap_err();
+        assert_eq!(err.name, "SENSEAID_FAULT_SEED");
+        let rendered = err.to_string();
+        assert!(rendered.contains("SENSEAID_FAULT_SEED"), "{rendered}");
+        assert!(rendered.contains("not-a-number"), "{rendered}");
+    }
+
+    #[test]
+    fn zero_is_rejected_as_a_worker_count() {
+        let err = parse_positive_value("SENSEAID_SHARD_WORKERS", Some("0")).unwrap_err();
+        assert_eq!(err.name, "SENSEAID_SHARD_WORKERS");
+        assert!(err.to_string().contains("positive integer"));
+        // Negative numbers do not parse as usize at all.
+        assert!(parse_positive_value("SENSEAID_SHARD_WORKERS", Some("-3")).is_err());
+    }
+}

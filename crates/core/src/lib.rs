@@ -51,6 +51,7 @@ pub mod cas;
 pub mod client;
 pub mod config;
 mod coordinator;
+pub mod env;
 pub mod error;
 pub mod persist;
 pub mod policy;
@@ -58,6 +59,7 @@ pub mod pool;
 pub mod privacy;
 pub mod queues;
 pub mod request;
+pub mod runtime;
 pub mod scheduler;
 pub mod selector;
 pub mod server;
@@ -74,6 +76,7 @@ pub use client::{
     ClientError, ClientState, ClientStats, OutboundBatch, SenseAidClient, UploadDecision,
 };
 pub use config::{DegradedConfig, SenseAidConfig, Variant};
+pub use env::EnvVarError;
 pub use error::SenseAidError;
 pub use persist::{
     CodecError, DirStorage, FaultTally, FaultingStorage, MemStorage, PersistConfig, PersistError,
@@ -86,6 +89,9 @@ pub use policy::{
 pub use pool::ShardPool;
 pub use queues::{QueueEntry, RequestQueue};
 pub use request::{RejectReason, Request, RequestId, RequestSlot, RequestStatus, ShedReason};
+pub use runtime::{
+    loopback_pair, Clock, LoopbackTransport, SimClock, Transport, TransportError, WallClock,
+};
 pub use scheduler::WakeupDriver;
 pub use selector::{DeviceSelector, HardCutoffs, InsufficientDevices, SelectorWeights};
 pub use server::{

@@ -32,17 +32,24 @@ const MIN_ITEMS_PER_WORKER: usize = 2;
 /// `SENSEAID_SHARD_WORKERS` environment variable when set to a positive
 /// integer, otherwise the machine's available parallelism (1 if that
 /// cannot be determined).
+///
+/// # Panics
+///
+/// Panics when the variable is set but malformed, naming the variable
+/// and the offending value — a typo'd override must not silently run a
+/// different worker count than the one asked for (see [`crate::env`]).
 pub fn configured_shard_workers() -> usize {
-    workers_from(std::env::var("SENSEAID_SHARD_WORKERS").ok().as_deref())
+    let configured =
+        crate::env::positive_env("SENSEAID_SHARD_WORKERS").unwrap_or_else(|err| panic!("{err}"));
+    workers_from(configured)
 }
 
-fn workers_from(var: Option<&str>) -> usize {
-    match var {
-        Some(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(1),
-        None => std::thread::available_parallelism()
+fn workers_from(configured: Option<usize>) -> usize {
+    configured.unwrap_or_else(|| {
+        std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-    }
+            .unwrap_or(1)
+    })
 }
 
 /// Runs `f(index, item)` for every item on up to `workers` threads,
@@ -219,11 +226,17 @@ mod tests {
 
     #[test]
     fn env_parsing_rules() {
-        assert_eq!(workers_from(Some("4")), 4);
-        assert_eq!(workers_from(Some("1")), 1);
-        // Zero or garbage fall back to serial, not to a panic.
-        assert_eq!(workers_from(Some("0")), 1);
-        assert_eq!(workers_from(Some("not-a-number")), 1);
-        assert!(workers_from(None) >= 1);
+        use crate::env::parse_positive_value;
+        let from = |raw| workers_from(parse_positive_value("SENSEAID_SHARD_WORKERS", raw).unwrap());
+        assert_eq!(from(Some("4")), 4);
+        assert_eq!(from(Some("1")), 1);
+        assert!(from(None) >= 1);
+        // Zero and garbage are *errors* naming the variable, not silent
+        // fallbacks to the serial path (DESIGN.md §15 satellite).
+        for bad in ["0", "not-a-number", "-2", "1.5"] {
+            let err = parse_positive_value("SENSEAID_SHARD_WORKERS", Some(bad)).unwrap_err();
+            assert_eq!(err.name, "SENSEAID_SHARD_WORKERS");
+            assert!(err.to_string().contains("SENSEAID_SHARD_WORKERS"));
+        }
     }
 }

@@ -1,0 +1,300 @@
+//! Clock and transport boundaries for the dual-mode runtime.
+//!
+//! Nothing in the coordinator, scheduler, leases, breakers or persistence
+//! layers intrinsically needs the sim harness: their only contacts with
+//! the outside world are *what time is it* (every mutating call takes a
+//! [`SimTime`]) and *bytes in, bytes out* (the PR 2 `OutboundBatch`/ack
+//! envelope). This module names those two edges as traits so the same
+//! control plane runs in both modes:
+//!
+//! - **Sim mode** — a [`SimClock`] is advanced explicitly by the harness
+//!   and a [`LoopbackTransport`] pair carries frames between the driver
+//!   and the serving engine in-process. Deterministic, replayable, the
+//!   executable spec.
+//! - **Live mode** — a [`WallClock`] maps a monotonic `Instant` anchor
+//!   onto the same `SimTime` axis and `senseaid-serve` implements
+//!   [`Transport`] over non-blocking TCP sockets. Same coordinator, same
+//!   scheduler, same persistence, real traffic.
+//!
+//! The byte-identity keystone test (see `senseaid-serve`) replays a
+//! recorded device-event trace through both implementations and asserts
+//! equal `durable_digest` values: the serving path adds no semantics of
+//! its own.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use senseaid_sim::SimTime;
+
+/// The control plane's single source of "now".
+///
+/// Implementations must be monotonic: successive [`now`](Clock::now)
+/// calls never go backwards. The trait is object-safe so engines can hold
+/// a `Arc<dyn Clock>` and be constructed for either mode.
+pub trait Clock: Send + Sync {
+    /// The current instant on the shared [`SimTime`] axis.
+    fn now(&self) -> SimTime;
+}
+
+/// A manually driven clock: the sim harness (or a trace replay driver)
+/// sets the time before each delivered event.
+///
+/// Clones share the same underlying instant, so a driver can keep one
+/// handle while the serving engine reads another.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock starting at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// A clock starting at `at`.
+    pub fn starting_at(at: SimTime) -> Self {
+        let clock = SimClock::new();
+        clock.advance_to(at);
+        clock
+    }
+
+    /// Moves the clock forward to `at`. Monotonic by construction: an
+    /// earlier instant leaves the clock untouched rather than rewinding
+    /// it, so replaying a sorted trace can call this unconditionally.
+    pub fn advance_to(&self, at: SimTime) {
+        self.micros.fetch_max(at.as_micros(), Ordering::SeqCst);
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+}
+
+/// A monotonic wall clock: process start (construction) is the origin of
+/// the `SimTime` axis, and `now` is the elapsed monotonic time since.
+///
+/// Built on [`Instant`], so it never goes backwards under NTP steps or
+/// suspend/resume the way a naive `SystemTime` mapping would.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    anchor: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is the moment of this call.
+    pub fn new() -> Self {
+        WallClock {
+            anchor: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.anchor.elapsed().as_micros() as u64)
+    }
+}
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer closed the connection (orderly EOF or local close).
+    Closed,
+    /// An I/O-level failure; the connection is unusable.
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed by peer"),
+            TransportError::Io(detail) => write!(f, "transport i/o error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A non-blocking, ordered byte stream carrying sealed codec frames
+/// (the `OutboundBatch`/ack envelope and its control siblings).
+///
+/// The contract is deliberately the thin waist of a non-blocking socket:
+///
+/// - [`send`](Transport::send) accepts a *prefix* of the bytes and
+///   returns how many it took; `0` means "try again later", not failure.
+/// - [`recv`](Transport::recv) fills a *prefix* of the buffer and returns
+///   the count; `0` means "nothing available right now". An orderly EOF
+///   is [`TransportError::Closed`], never a silent zero.
+///
+/// Frame reassembly on top of this contract lives in `senseaid-serve`
+/// (`FrameAssembler`), shared byte-for-byte by the TCP and loopback
+/// paths.
+pub trait Transport: Send {
+    /// Writes as many of `bytes` as the stream will currently accept.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] when the stream is closed or failed.
+    fn send(&mut self, bytes: &[u8]) -> Result<usize, TransportError>;
+
+    /// Reads currently available bytes into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] at EOF; [`TransportError::Io`] on
+    /// stream failure.
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError>;
+
+    /// Whether the stream is still usable.
+    fn is_open(&self) -> bool;
+}
+
+/// One direction of a loopback stream: an unbounded in-process byte
+/// queue plus a closed flag.
+#[derive(Debug, Default)]
+struct Pipe {
+    bytes: Mutex<VecDeque<u8>>,
+    closed: AtomicBool,
+}
+
+/// The in-process [`Transport`]: one half of a bidirectional byte-queue
+/// pair created by [`loopback_pair`]. Used by the sim harness and by the
+/// byte-identity replay to drive the serving engine without sockets.
+#[derive(Debug)]
+pub struct LoopbackTransport {
+    /// Bytes we write, the peer reads.
+    outgoing: Arc<Pipe>,
+    /// Bytes the peer writes, we read.
+    incoming: Arc<Pipe>,
+}
+
+/// Creates a connected pair of loopback transports; bytes sent on one
+/// side arrive, in order, on the other.
+pub fn loopback_pair() -> (LoopbackTransport, LoopbackTransport) {
+    let a_to_b = Arc::new(Pipe::default());
+    let b_to_a = Arc::new(Pipe::default());
+    let a = LoopbackTransport {
+        outgoing: Arc::clone(&a_to_b),
+        incoming: Arc::clone(&b_to_a),
+    };
+    let b = LoopbackTransport {
+        outgoing: b_to_a,
+        incoming: a_to_b,
+    };
+    (a, b)
+}
+
+impl LoopbackTransport {
+    /// Closes this side; the peer sees EOF once it drains what was
+    /// already sent.
+    pub fn close(&mut self) {
+        self.outgoing.closed.store(true, Ordering::SeqCst);
+        self.incoming.closed.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<usize, TransportError> {
+        if self.outgoing.closed.load(Ordering::SeqCst) {
+            return Err(TransportError::Closed);
+        }
+        let mut queue = self.outgoing.bytes.lock().expect("loopback lock poisoned");
+        queue.extend(bytes.iter().copied());
+        Ok(bytes.len())
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        let mut queue = self.incoming.bytes.lock().expect("loopback lock poisoned");
+        if queue.is_empty() {
+            return if self.incoming.closed.load(Ordering::SeqCst) {
+                Err(TransportError::Closed)
+            } else {
+                Ok(0)
+            };
+        }
+        let n = buf.len().min(queue.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = queue.pop_front().expect("length checked above");
+        }
+        Ok(n)
+    }
+
+    fn is_open(&self) -> bool {
+        !self.outgoing.closed.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_is_shared_and_monotonic() {
+        let clock = SimClock::new();
+        let reader = clock.clone();
+        assert_eq!(reader.now(), SimTime::ZERO);
+        clock.advance_to(SimTime::from_secs(5));
+        assert_eq!(reader.now(), SimTime::from_secs(5));
+        // Rewinding is refused, not applied.
+        clock.advance_to(SimTime::from_secs(2));
+        assert_eq!(reader.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn wall_clock_moves_forward() {
+        let clock = WallClock::new();
+        let first = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(clock.now() > first);
+    }
+
+    #[test]
+    fn loopback_round_trips_bytes_in_order() {
+        let (mut a, mut b) = loopback_pair();
+        assert_eq!(a.send(b"hello "), Ok(6));
+        assert_eq!(a.send(b"world"), Ok(5));
+        let mut buf = [0u8; 64];
+        let n = b.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello world");
+        // Nothing more yet: a clean "try later", not an error.
+        assert_eq!(b.recv(&mut buf), Ok(0));
+    }
+
+    #[test]
+    fn loopback_recv_respects_buffer_len() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(&[1, 2, 3, 4, 5]).unwrap();
+        let mut buf = [0u8; 2];
+        assert_eq!(b.recv(&mut buf).unwrap(), 2);
+        assert_eq!(buf, [1, 2]);
+        let mut rest = [0u8; 8];
+        let n = b.recv(&mut rest).unwrap();
+        assert_eq!(&rest[..n], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn loopback_close_yields_eof_after_drain() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(b"bye").unwrap();
+        a.close();
+        assert!(!a.is_open());
+        let mut buf = [0u8; 8];
+        // Already-sent bytes still arrive...
+        assert_eq!(b.recv(&mut buf).unwrap(), 3);
+        // ...then the drained queue reports EOF, not "try later".
+        assert_eq!(b.recv(&mut buf), Err(TransportError::Closed));
+        assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+    }
+}

@@ -1,0 +1,314 @@
+//! Stream reassembly and the transport-generic connection pump.
+//!
+//! TCP (and the loopback queues) deliver bytes, not frames: a read may
+//! end mid-header, mid-payload, or carry three frames at once.
+//! [`FrameAssembler`] turns that byte soup back into whole codec frames
+//! using the self-describing 11-byte header (magic, version, kind,
+//! payload length) to know how much to wait for, then validates the CRC
+//! via `open_frame_prefix`. Corrupt input — bad magic, wrong version, a
+//! hostile length, a CRC mismatch — is a typed error; the caller drops
+//! the connection.
+//!
+//! [`Connection`] packages an assembler with any
+//! [`Transport`] plus an outgoing byte buffer, so the
+//! per-shard TCP event loops and the sim/loopback replay drive frames
+//! through *exactly the same code* — which is what makes the
+//! byte-identity test meaningful.
+
+use senseaid_core::persist::codec::{
+    open_frame_prefix, CodecError, FRAME_OVERHEAD, MAGIC, VERSION,
+};
+use senseaid_core::runtime::{Transport, TransportError};
+
+use crate::wire::{WireError, MAX_FRAME_BYTES};
+
+/// Bytes of header needed before the total frame length is known:
+/// magic (4) + version (2) + kind (1) + payload length (4).
+const HEADER_BYTES: usize = FRAME_OVERHEAD - 4;
+
+/// Reassembles whole codec frames from an ordered byte stream.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet assembled into a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame as `(kind, payload)`, or `None` when
+    /// more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`WireError`] as soon as the buffered prefix cannot be the
+    /// start of a valid frame (bad magic/version, a length beyond
+    /// [`MAX_FRAME_BYTES`], or a CRC/structure failure once the declared
+    /// bytes arrived). After an error the stream is unrecoverable — there
+    /// is no resynchronisation point — so callers must drop the
+    /// connection.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, WireError> {
+        if self.buf.len() < HEADER_BYTES {
+            // Fail fast on garbage: whatever magic bytes we do have must
+            // match, or this was never a frame and no amount of waiting
+            // will fix it.
+            let have = self.buf.len().min(MAGIC.len());
+            if self.buf[..have] != MAGIC[..have] {
+                return Err(WireError::Frame(CodecError::BadMagic));
+            }
+            return Ok(None);
+        }
+        if self.buf[..4] != MAGIC {
+            return Err(WireError::Frame(CodecError::BadMagic));
+        }
+        let version = u16::from_le_bytes([self.buf[4], self.buf[5]]);
+        if version != VERSION {
+            return Err(WireError::Frame(CodecError::BadVersion(version)));
+        }
+        let payload_len = u32::from_le_bytes([self.buf[7], self.buf[8], self.buf[9], self.buf[10]]);
+        let total = FRAME_OVERHEAD + payload_len as usize;
+        if total > MAX_FRAME_BYTES {
+            return Err(WireError::Oversized { declared: total });
+        }
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let (kind, payload, consumed) = open_frame_prefix(&self.buf)?;
+        let payload = payload.to_vec();
+        self.buf.drain(..consumed);
+        Ok(Some((kind, payload)))
+    }
+}
+
+/// Why a connection pump failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnError {
+    /// The transport failed or closed.
+    Transport(TransportError),
+    /// The peer sent bytes that cannot be a valid frame.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Transport(e) => write!(f, "{e}"),
+            ConnError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+impl From<TransportError> for ConnError {
+    fn from(e: TransportError) -> Self {
+        ConnError::Transport(e)
+    }
+}
+
+impl From<WireError> for ConnError {
+    fn from(e: WireError) -> Self {
+        ConnError::Wire(e)
+    }
+}
+
+/// One framed conversation over any [`Transport`]: reassembles inbound
+/// frames, buffers outbound bytes across partial writes.
+#[derive(Debug)]
+pub struct Connection<T: Transport> {
+    transport: T,
+    assembler: FrameAssembler,
+    outbuf: Vec<u8>,
+}
+
+impl<T: Transport> Connection<T> {
+    /// Wraps a transport.
+    pub fn new(transport: T) -> Self {
+        Connection {
+            transport,
+            assembler: FrameAssembler::new(),
+            outbuf: Vec::new(),
+        }
+    }
+
+    /// Whether the underlying transport is still usable.
+    pub fn is_open(&self) -> bool {
+        self.transport.is_open()
+    }
+
+    /// The underlying transport (for mode-specific teardown).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Queues a sealed frame for sending; actual writes happen in
+    /// [`flush`](Self::flush).
+    pub fn queue(&mut self, frame: &[u8]) {
+        self.outbuf.extend_from_slice(frame);
+    }
+
+    /// Bytes queued but not yet accepted by the transport.
+    pub fn unsent(&self) -> usize {
+        self.outbuf.len()
+    }
+
+    /// Writes as much queued output as the transport will take.
+    /// Returns `true` once the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ConnError::Transport`] when the stream closed or failed.
+    pub fn flush(&mut self) -> Result<bool, ConnError> {
+        while !self.outbuf.is_empty() {
+            let sent = self.transport.send(&self.outbuf)?;
+            if sent == 0 {
+                return Ok(false); // back-pressured; try again later
+            }
+            self.outbuf.drain(..sent);
+        }
+        Ok(true)
+    }
+
+    /// Reads everything currently available and returns the complete
+    /// frames it yielded, as `(kind, payload)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`ConnError::Wire`] on a corrupt stream (drop the connection);
+    /// [`ConnError::Transport`] on EOF or stream failure. Frames
+    /// assembled before the failure are lost with it — by then the
+    /// stream has no valid continuation anyway.
+    pub fn pump_reads(&mut self, scratch: &mut [u8]) -> Result<Vec<(u8, Vec<u8>)>, ConnError> {
+        loop {
+            match self.transport.recv(scratch) {
+                Ok(0) => break,
+                Ok(n) => self.assembler.extend(&scratch[..n]),
+                Err(TransportError::Closed) if self.assembler.pending() > 0 => {
+                    // Orderly EOF with buffered bytes: drain what we can
+                    // below; the next pump reports the close.
+                    break;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let mut frames = Vec::new();
+        while let Some(frame) = self.assembler.next_frame()? {
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_request, WireRequest, KIND_REQUEST};
+    use senseaid_core::runtime::loopback_pair;
+
+    #[test]
+    fn assembler_handles_byte_at_a_time_delivery() {
+        let frame = encode_request(&WireRequest::Hello { imei: 99 });
+        let mut asm = FrameAssembler::new();
+        for (i, byte) in frame.iter().enumerate() {
+            asm.extend(&[*byte]);
+            let got = asm.next_frame().unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "frame complete after {i} bytes?");
+            } else {
+                let (kind, payload) = got.expect("final byte completes the frame");
+                assert_eq!(kind, KIND_REQUEST);
+                assert_eq!(
+                    crate::wire::decode_request(&payload).unwrap(),
+                    WireRequest::Hello { imei: 99 }
+                );
+            }
+        }
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn assembler_yields_multiple_frames_from_one_burst() {
+        let mut bytes = encode_request(&WireRequest::Stats);
+        bytes.extend(encode_request(&WireRequest::DrainOutbox));
+        bytes.extend(encode_request(&WireRequest::Comm { imei: 5 }));
+        let mut asm = FrameAssembler::new();
+        asm.extend(&bytes);
+        let mut count = 0;
+        while let Some((kind, _)) = asm.next_frame().unwrap() {
+            assert_eq!(kind, KIND_REQUEST);
+            count += 1;
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn garbage_magic_fails_immediately() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(b"GET / HTTP/1.1\r\n");
+        assert_eq!(
+            asm.next_frame(),
+            Err(WireError::Frame(CodecError::BadMagic))
+        );
+        // Even a single wrong byte is enough — no waiting for a header.
+        let mut early = FrameAssembler::new();
+        early.extend(b"X");
+        assert_eq!(
+            early.next_frame(),
+            Err(WireError::Frame(CodecError::BadMagic))
+        );
+    }
+
+    #[test]
+    fn hostile_declared_length_is_rejected_without_buffering() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.push(KIND_REQUEST);
+        header.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut asm = FrameAssembler::new();
+        asm.extend(&header);
+        assert!(matches!(asm.next_frame(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn corrupted_crc_is_a_typed_error() {
+        let mut frame = encode_request(&WireRequest::Hello { imei: 1 });
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let mut asm = FrameAssembler::new();
+        asm.extend(&frame);
+        assert!(matches!(asm.next_frame(), Err(WireError::Frame(_))));
+    }
+
+    #[test]
+    fn connection_round_trips_over_loopback() {
+        let (client_side, server_side) = loopback_pair();
+        let mut client = Connection::new(client_side);
+        let mut server = Connection::new(server_side);
+        let mut scratch = [0u8; 256];
+
+        client.queue(&encode_request(&WireRequest::Comm { imei: 8 }));
+        assert!(client.flush().unwrap());
+        let frames = server.pump_reads(&mut scratch).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].0, KIND_REQUEST);
+        assert_eq!(
+            crate::wire::decode_request(&frames[0].1).unwrap(),
+            WireRequest::Comm { imei: 8 }
+        );
+        // Nothing further: a clean empty pump, not an error.
+        assert!(server.pump_reads(&mut scratch).unwrap().is_empty());
+    }
+}

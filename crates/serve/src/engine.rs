@@ -1,0 +1,418 @@
+//! The serving engine: one coordinator, one clock, many connections.
+//!
+//! [`ServeEngine`] is the mode-independent heart of the live runtime.
+//! It owns a `SenseAidServer` and a [`Clock`]; decoded requests arrive
+//! tagged with a connection id, get stamped with `clock.now()` at
+//! receive time, and the resulting responses / assignment pushes come
+//! back as sealed frames routed to connection ids. Neither sockets nor
+//! loopback queues appear here — the TCP event loops (live mode) and the
+//! trace replay driver (sim mode) both feed this same type, which is the
+//! structural half of the byte-identity argument.
+//!
+//! **The serving semantics, stated once** (the sim-side replay in
+//! [`crate::trace`] mirrors these rules verbatim — change them together):
+//!
+//! 1. Before a request is applied, the scheduler is advanced through
+//!    every due wakeup: `while next_wakeup(cursor) <= now { poll }`.
+//! 2. Every device-originated request except `Hello`/`Register` first
+//!    renews the device's lease via `record_device_comm` at receive time
+//!    (the PR 5 "any radio contact renews" rule, driven by real receive
+//!    timestamps in live mode); an unknown device renews nothing.
+//! 3. The request's own mutation is applied at the same receive
+//!    timestamp.
+//! 4. Assignments produced by polls are pushed to the session bound to
+//!    each selected device (`Hello`/`Register` bind sessions); devices
+//!    without a live session miss the push — delivery is not part of the
+//!    durable state, so this cannot perturb byte identity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use senseaid_cellnet::CellId;
+use senseaid_core::cas::CasId;
+use senseaid_core::runtime::Clock;
+use senseaid_core::{Assignment, SenseAidError, SenseAidServer, TaskSpec};
+use senseaid_device::{ImeiHash, SensorReading};
+use senseaid_geo::{CircleRegion, GeoPoint};
+use senseaid_sim::{SimDuration, SimTime};
+
+use crate::wire::{
+    encode_push, encode_response, error_code, WirePush, WireReading, WireRequest, WireResponse,
+    WireTaskSpec,
+};
+
+/// A connection identity, assigned by the transport layer.
+pub type ConnId = u64;
+
+/// Counters the engine keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests decoded and applied.
+    pub requests: u64,
+    /// Responses sent (1:1 with requests).
+    pub responses: u64,
+    /// Assignment pushes routed to live sessions.
+    pub assignments_pushed: u64,
+    /// Assignments whose device had no live session.
+    pub assignments_unrouted: u64,
+}
+
+/// What the WAL flush at graceful shutdown found.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlushSummary {
+    /// Whether persistence was armed at all.
+    pub persistence_armed: bool,
+    /// Journal records appended over the server's lifetime.
+    pub journal_records: u64,
+    /// Snapshots persisted (including the shutdown flush).
+    pub snapshots_persisted: u64,
+    /// The durable generation after the flush.
+    pub generation: Option<u64>,
+}
+
+/// Frames to send, each addressed to a connection.
+#[derive(Debug, Default)]
+pub struct EngineOutput {
+    /// Sealed frames, in send order per connection.
+    pub frames: Vec<(ConnId, Vec<u8>)>,
+    /// The request asked the server to shut down.
+    pub shutdown: bool,
+}
+
+/// The mode-independent serving core. See the module docs for the
+/// serving semantics it guarantees.
+pub struct ServeEngine {
+    server: SenseAidServer,
+    clock: Arc<dyn Clock>,
+    /// imei → the connection bound as that device's session.
+    sessions: HashMap<u64, ConnId>,
+    /// The last instant the scheduler was advanced to.
+    cursor: SimTime,
+    stats: EngineStats,
+}
+
+impl ServeEngine {
+    /// Wraps a configured server and a clock.
+    pub fn new(server: SenseAidServer, clock: Arc<dyn Clock>) -> Self {
+        ServeEngine {
+            server,
+            clock,
+            sessions: HashMap::new(),
+            cursor: SimTime::ZERO,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The wrapped server (digests, stats).
+    pub fn server(&self) -> &SenseAidServer {
+        &self.server
+    }
+
+    /// Mutable access (persistence arming at startup).
+    pub fn server_mut(&mut self) -> &mut SenseAidServer {
+        &mut self.server
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The engine's current notion of now.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advances the scheduler through every wakeup due at or before `t`,
+    /// returning assignment pushes for the sessions of selected devices.
+    ///
+    /// This is rule 1 of the serving semantics: polls happen at their
+    /// scheduled instants in order, never early, never skipped — the same
+    /// event-loop contract the sim harness runs (`WakeupDriver`).
+    pub fn advance_to(&mut self, t: SimTime) -> Vec<(ConnId, Vec<u8>)> {
+        let mut frames = Vec::new();
+        while let Some(wakeup) = self.server.next_wakeup(self.cursor) {
+            if wakeup > t {
+                break;
+            }
+            let at = wakeup.max(self.cursor);
+            let assignments = self.server.poll(at).unwrap_or_default();
+            self.cursor = at;
+            for assignment in assignments {
+                self.route_assignment(&assignment, &mut frames);
+            }
+        }
+        if t > self.cursor {
+            self.cursor = t;
+        }
+        frames
+    }
+
+    fn route_assignment(&mut self, assignment: &Assignment, frames: &mut Vec<(ConnId, Vec<u8>)>) {
+        let push = WirePush::Assignment {
+            request: assignment.request.0,
+            task: assignment.task.0,
+            sensor: assignment.sensor,
+            sample_at_us: assignment.sample_at.as_micros(),
+            deadline_us: assignment.deadline.as_micros(),
+            payload_bytes: assignment.payload_bytes,
+            devices: assignment.devices.iter().map(|d| d.0).collect(),
+        };
+        let frame = encode_push(&push);
+        for device in &assignment.devices {
+            match self.sessions.get(&device.0) {
+                Some(&conn) => {
+                    frames.push((conn, frame.clone()));
+                    self.stats.assignments_pushed += 1;
+                }
+                None => self.stats.assignments_unrouted += 1,
+            }
+        }
+    }
+
+    /// Drops the session bindings of a disconnected connection.
+    pub fn on_disconnect(&mut self, conn: ConnId) {
+        self.sessions.retain(|_, bound| *bound != conn);
+    }
+
+    /// Applies one decoded request from `conn` at the clock's current
+    /// instant, per the serving semantics in the module docs.
+    pub fn handle(&mut self, conn: ConnId, request: WireRequest) -> EngineOutput {
+        let now = self.clock.now();
+        let mut output = EngineOutput {
+            frames: self.advance_to(now),
+            shutdown: false,
+        };
+        self.stats.requests += 1;
+        let response = self.apply(conn, &request, now, &mut output);
+        output.frames.push((conn, encode_response(&response)));
+        self.stats.responses += 1;
+        output
+    }
+
+    /// Rule 2: any device-originated frame is radio contact; renew the
+    /// lease at receive time. Unknown devices renew nothing (they are
+    /// about to get their own typed error from the op itself, or they
+    /// are stale traffic from a deregistered device).
+    fn renew_lease(&mut self, imei: u64, now: SimTime) {
+        let _ = self.server.record_device_comm(ImeiHash(imei), now);
+    }
+
+    fn apply(
+        &mut self,
+        conn: ConnId,
+        request: &WireRequest,
+        now: SimTime,
+        output: &mut EngineOutput,
+    ) -> WireResponse {
+        match request {
+            WireRequest::Hello { imei } => {
+                self.sessions.insert(*imei, conn);
+                WireResponse::Ok
+            }
+            WireRequest::Register {
+                imei,
+                energy_budget_j,
+                critical_battery_pct,
+                battery_pct,
+                device_type,
+                sensors,
+            } => {
+                let result = self.server.register_device(
+                    ImeiHash(*imei),
+                    *energy_budget_j,
+                    *critical_battery_pct,
+                    *battery_pct,
+                    sensors.clone(),
+                    device_type.clone(),
+                    now,
+                );
+                if result.is_ok() {
+                    self.sessions.insert(*imei, conn);
+                }
+                respond(result)
+            }
+            WireRequest::Deregister { imei } => {
+                self.sessions.remove(imei);
+                respond(self.server.deregister_device(ImeiHash(*imei)))
+            }
+            WireRequest::UpdatePreferences {
+                imei,
+                energy_budget_j,
+                critical_battery_pct,
+            } => {
+                self.renew_lease(*imei, now);
+                respond(self.server.update_preferences(
+                    ImeiHash(*imei),
+                    *energy_budget_j,
+                    *critical_battery_pct,
+                ))
+            }
+            WireRequest::StateUpdate {
+                imei,
+                battery_pct,
+                cs_energy_j,
+            } => {
+                self.renew_lease(*imei, now);
+                respond(self.server.update_device_state(
+                    ImeiHash(*imei),
+                    *battery_pct,
+                    *cs_energy_j,
+                    now,
+                ))
+            }
+            WireRequest::Observe {
+                imei,
+                lat_deg,
+                lon_deg,
+                cell,
+            } => {
+                self.renew_lease(*imei, now);
+                respond(self.server.observe_device(
+                    ImeiHash(*imei),
+                    GeoPoint::new(*lat_deg, *lon_deg),
+                    cell.map(|c| CellId(c as usize)),
+                ))
+            }
+            WireRequest::Comm { imei } => {
+                // The renewal IS the op; no double-stamping.
+                respond(self.server.record_device_comm(ImeiHash(*imei), now))
+            }
+            WireRequest::SubmitBatch {
+                imei,
+                seq,
+                attempt,
+                readings,
+            } => {
+                self.renew_lease(*imei, now);
+                let decoded = decode_readings(readings);
+                match self.server.submit_sensed_batch(
+                    ImeiHash(*imei),
+                    *seq,
+                    *attempt,
+                    &decoded,
+                    now,
+                ) {
+                    Ok(receipt) => {
+                        let accepted = receipt
+                            .outcomes
+                            .iter()
+                            .filter(|o| {
+                                matches!(o, senseaid_core::DeliveryOutcome::Accepted { .. })
+                            })
+                            .count() as u32;
+                        let duplicates = receipt
+                            .outcomes
+                            .iter()
+                            .filter(|o| matches!(o, senseaid_core::DeliveryOutcome::Duplicate))
+                            .count() as u32;
+                        WireResponse::BatchAck {
+                            ack: receipt.ack,
+                            accepted,
+                            duplicates,
+                        }
+                    }
+                    Err(e) => error_response(&e),
+                }
+            }
+            WireRequest::SubmitTask { cas, spec } => match build_task_spec(spec) {
+                Ok(built) => match self.server.submit_task_for(CasId(*cas), built, now) {
+                    Ok(task) => WireResponse::TaskCreated { task: task.0 },
+                    Err(e) => error_response(&e),
+                },
+                Err(e) => error_response(&e),
+            },
+            WireRequest::DrainOutbox => WireResponse::Outbox {
+                delivered: self.server.drain_outbox().len() as u32,
+            },
+            WireRequest::Stats => {
+                // ServerStats is rich; the wire carries the load-bearing gauges.
+                WireResponse::Stats {
+                    devices: self.server.device_count() as u64,
+                    tasks: self.server.task_count() as u64,
+                    run_queue: self.server.run_queue_len() as u64,
+                    wait_queue: self.server.wait_queue_len() as u64,
+                    unresolved: self.server.unresolved_request_count() as u64,
+                }
+            }
+            WireRequest::Shutdown => {
+                output.shutdown = true;
+                WireResponse::ShuttingDown
+            }
+        }
+    }
+
+    /// Graceful-shutdown flush: advance the scheduler to `now`, persist
+    /// a final snapshot when a WAL is armed, and report what is durable.
+    pub fn shutdown_flush(&mut self) -> FlushSummary {
+        let now = self.clock.now();
+        let _ = self.advance_to(now);
+        let armed = self.server.persist_stats().is_some();
+        if armed {
+            self.server.take_snapshot(now);
+        }
+        let stats = self.server.persist_stats();
+        FlushSummary {
+            persistence_armed: armed,
+            journal_records: stats.as_ref().map(|s| s.journal_records).unwrap_or(0),
+            snapshots_persisted: stats
+                .as_ref()
+                .map(|s| s.snapshots_full + s.snapshots_delta)
+                .unwrap_or(0),
+            generation: self.server.persist_generation(),
+        }
+    }
+}
+
+/// Reconstructs the server-side `TaskSpec` from its wire form through
+/// the same builder a sim-mode CAS uses, so wire-submitted tasks face
+/// identical validation.
+pub fn build_task_spec(spec: &WireTaskSpec) -> Result<TaskSpec, SenseAidError> {
+    let region = CircleRegion::new(
+        GeoPoint::new(spec.centre_lat, spec.centre_lon),
+        spec.radius_m,
+    );
+    let mut builder = TaskSpec::builder(spec.sensor)
+        .region(region)
+        .spatial_density(spec.spatial_density as usize);
+    if spec.one_shot {
+        builder = builder.one_shot();
+    } else {
+        builder = builder
+            .sampling_period(SimDuration::from_micros(spec.period_us))
+            .sampling_duration(SimDuration::from_micros(spec.duration_us));
+    }
+    builder.build()
+}
+
+/// Converts wire readings to the server's native tuple form.
+pub fn decode_readings(readings: &[WireReading]) -> Vec<(senseaid_core::RequestId, SensorReading)> {
+    readings
+        .iter()
+        .map(|r| {
+            (
+                senseaid_core::RequestId(r.request),
+                SensorReading {
+                    sensor: r.sensor,
+                    value: r.value,
+                    taken_at: SimTime::from_micros(r.taken_at_us),
+                    position: GeoPoint::new(r.lat_deg, r.lon_deg),
+                },
+            )
+        })
+        .collect()
+}
+
+fn respond(result: Result<(), SenseAidError>) -> WireResponse {
+    match result {
+        Ok(()) => WireResponse::Ok,
+        Err(e) => error_response(&e),
+    }
+}
+
+fn error_response(e: &SenseAidError) -> WireResponse {
+    WireResponse::Error {
+        code: error_code(e),
+        detail: e.to_string(),
+    }
+}

@@ -1,0 +1,210 @@
+//! A log-bucketed latency histogram for the load generator.
+//!
+//! Fixed memory (one `u64` per bucket), mergeable across worker threads,
+//! ~10% relative quantile error from the geometric bucket spacing —
+//! plenty for p50/p99/p999 reporting, and cheap enough to record every
+//! request of a saturating bout without perturbing it.
+
+/// Geometric bucket growth factor. Bucket `i` covers
+/// `[GROWTH^i, GROWTH^(i+1))` nanoseconds.
+const GROWTH: f64 = 1.1;
+/// Bucket count: `1.1^255` ns ≈ 36 s, far beyond any sane request.
+const BUCKETS: usize = 256;
+
+/// Latency histogram over nanosecond samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+fn bucket_of(ns: u64) -> usize {
+    // ln(ns)/ln(1.1), clamped into range; sub-nanosecond rounds to 0.
+    let ns = ns.max(1) as f64;
+    let idx = (ns.ln() / GROWTH.ln()).floor();
+    (idx.max(0.0) as usize).min(BUCKETS - 1)
+}
+
+/// The upper edge of bucket `i`, the value reported for quantiles that
+/// land in it (conservative: never under-reports).
+fn bucket_upper_ns(i: usize) -> u64 {
+    GROWTH.powi(i as i32 + 1) as u64
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[bucket_of(ns)] += 1;
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Records one sample given as a `Duration`.
+    pub fn record(&mut self, elapsed: std::time::Duration) {
+        self.record_ns(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact maximum sample, nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean latency in milliseconds (exact, from the running total).
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.total_ns as f64 / self.count as f64 / 1e6
+    }
+
+    /// The latency at quantile `q` (0..=1), nanoseconds. Reports the
+    /// bucket's upper edge (never under-reports); the exact max for the
+    /// final sample.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if seen == self.count {
+                    self.max_ns.min(bucket_upper_ns(i))
+                } else {
+                    bucket_upper_ns(i)
+                };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Quantile in milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile_ns(q) as f64 / 1e6
+    }
+
+    /// Renders the histogram (counts + headline quantiles) as a JSON
+    /// object, hand-rolled like the perf harness' writer so no external
+    /// dependency is needed. Buckets with zero counts are omitted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"count\": {},\n", self.count));
+        out.push_str(&format!("  \"mean_ms\": {:.6},\n", self.mean_ms()));
+        out.push_str(&format!("  \"p50_ms\": {:.6},\n", self.quantile_ms(0.50)));
+        out.push_str(&format!("  \"p99_ms\": {:.6},\n", self.quantile_ms(0.99)));
+        out.push_str(&format!("  \"p999_ms\": {:.6},\n", self.quantile_ms(0.999)));
+        out.push_str(&format!("  \"max_ms\": {:.6},\n", self.max_ns as f64 / 1e6));
+        out.push_str("  \"buckets\": [");
+        let mut first = true;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"upper_ns\": {}, \"count\": {}}}",
+                bucket_upper_ns(i),
+                c
+            ));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record_ns(i * 1_000); // 1µs .. 10ms
+        }
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        let p999 = h.quantile_ns(0.999);
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(p999 <= h.max_ns());
+        // ~10% bucket error: p50 of uniform 1µs..10ms is ~5ms.
+        assert!((4_000_000..=6_500_000).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 1..500u64 {
+            let ns = i * 7_919;
+            if i % 2 == 0 {
+                a.record_ns(ns);
+            } else {
+                b.record_ns(ns);
+            }
+            whole.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile_ns(0.5), whole.quantile_ns(0.5));
+        assert_eq!(a.quantile_ns(0.99), whole.quantile_ns(0.99));
+        assert_eq!(a.max_ns(), whole.max_ns());
+    }
+
+    #[test]
+    fn json_carries_headline_numbers() {
+        let mut h = LatencyHistogram::new();
+        h.record_ns(1_000_000);
+        let json = h.to_json();
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"buckets\""));
+    }
+}

@@ -1,0 +1,326 @@
+//! Closed-loop load generator for the live server.
+//!
+//! Each connection is a blocking TCP client thread running the same
+//! device lifecycle the trace recorder uses: enrol (Hello, Register,
+//! Observe), then a seeded weighted mix of state updates, comms,
+//! observations and sensed-batch submissions. *Closed-loop* means every
+//! client waits for its response before sending the next request, so the
+//! measured latency distribution is honest — no coordinated-omission
+//! artefacts from open-loop backlog.
+//!
+//! Latencies land in per-thread [`LatencyHistogram`]s merged at the end;
+//! the report carries requests/sec plus p50/p99/p999 for the perf
+//! harness and the CI smoke job.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use senseaid_device::Sensor;
+use senseaid_geo::GeoPoint;
+use senseaid_sim::SimRng;
+
+use crate::conn::FrameAssembler;
+use crate::hist::LatencyHistogram;
+use crate::wire::{
+    encode_request, WireReading, WireRequest, WireTaskSpec, KIND_PUSH, KIND_RESPONSE,
+};
+
+/// Load generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address, e.g. `127.0.0.1:7411`.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Total requests to issue across all connections (measured
+    /// requests; enrolment is excluded).
+    pub requests: u64,
+    /// Optional wall-clock cap; whichever of `requests`/`duration`
+    /// trips first ends the bout.
+    pub duration: Option<Duration>,
+    /// Seed for the request mix.
+    pub seed: u64,
+    /// Have connection 0 submit a sensing task so assignment pushes
+    /// exercise the push path during the bout.
+    pub submit_task: bool,
+    /// Send a wire `Shutdown` when done (lets CI stop the server from
+    /// the client side).
+    pub stop_server: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            addr: "127.0.0.1:7411".to_owned(),
+            connections: 4,
+            requests: 10_000,
+            duration: None,
+            seed: 0x5EED,
+            submit_task: true,
+            stop_server: false,
+        }
+    }
+}
+
+/// What a load bout measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Measured requests completed (responses received).
+    pub requests: u64,
+    /// Requests that failed transport-side (connection lost mid-bout).
+    pub errors: u64,
+    /// Wall time of the measured bout.
+    pub elapsed: Duration,
+    /// Latency distribution over all measured requests.
+    pub hist: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Requests per second over the bout.
+    pub fn rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// One-line operator rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: requests={} errors={} elapsed_ms={:.1} rps={:.0} p50_ms={:.3} p99_ms={:.3} p999_ms={:.3} max_ms={:.3}",
+            self.requests,
+            self.errors,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.rps(),
+            self.hist.quantile_ms(0.50),
+            self.hist.quantile_ms(0.99),
+            self.hist.quantile_ms(0.999),
+            self.hist.max_ns() as f64 / 1e6,
+        )
+    }
+}
+
+/// A blocking client: send one frame, wait for its response, skipping
+/// (but fully consuming) any assignment pushes interleaved on the
+/// stream.
+struct Client {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    scratch: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            stream,
+            assembler: FrameAssembler::new(),
+            scratch: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Sends `req` and blocks until the matching response frame arrives.
+    fn call(&mut self, req: &WireRequest) -> std::io::Result<()> {
+        let frame = encode_request(req);
+        self.stream.write_all(&frame)?;
+        loop {
+            while let Some((kind, _payload)) = self
+                .assembler
+                .next_frame()
+                .map_err(|e| std::io::Error::other(format!("wire: {e}")))?
+            {
+                match kind {
+                    KIND_RESPONSE => return Ok(()),
+                    KIND_PUSH => continue,
+                    other => {
+                        return Err(std::io::Error::other(format!(
+                            "unexpected frame kind {other:#x} from server"
+                        )))
+                    }
+                }
+            }
+            let n = self.stream.read(&mut self.scratch)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ));
+            }
+            self.assembler.extend(&self.scratch[..n]);
+        }
+    }
+}
+
+fn enrolment(imei: u64, position: GeoPoint) -> Vec<WireRequest> {
+    vec![
+        WireRequest::Hello { imei },
+        WireRequest::Register {
+            imei,
+            energy_budget_j: 140.0,
+            critical_battery_pct: 15.0,
+            battery_pct: 90.0,
+            device_type: "loadgen-phone".to_owned(),
+            sensors: vec![Sensor::Barometer, Sensor::Light],
+        },
+        WireRequest::Observe {
+            imei,
+            lat_deg: position.lat_deg(),
+            lon_deg: position.lon_deg(),
+            cell: None,
+        },
+    ]
+}
+
+/// The seeded steady-state mix — the same weighting the trace recorder
+/// uses, so live load resembles the replayed workload.
+fn next_request(rng: &mut SimRng, imei: u64, seq: &mut u64, battery: &mut f64) -> WireRequest {
+    let roll = rng.uniform();
+    if roll < 0.35 {
+        *battery = (*battery - rng.uniform_range(0.0, 0.4)).max(5.0);
+        WireRequest::StateUpdate {
+            imei,
+            battery_pct: *battery,
+            cs_energy_j: rng.uniform_range(0.0, 0.5),
+        }
+    } else if roll < 0.55 {
+        WireRequest::Comm { imei }
+    } else if roll < 0.80 {
+        let centre = GeoPoint::new(40.4284, -86.9138);
+        let position = centre.offset_by_meters(
+            rng.uniform_range(-900.0, 900.0),
+            rng.uniform_range(-900.0, 900.0),
+        );
+        WireRequest::Observe {
+            imei,
+            lat_deg: position.lat_deg(),
+            lon_deg: position.lon_deg(),
+            cell: None,
+        }
+    } else {
+        *seq += 1;
+        WireRequest::SubmitBatch {
+            imei,
+            seq: *seq,
+            attempt: 1,
+            readings: vec![WireReading {
+                request: rng.uniform_usize(0, 8) as u64,
+                sensor: Sensor::Barometer,
+                value: rng.uniform_range(990.0, 1030.0),
+                taken_at_us: *seq * 1_000,
+                lat_deg: 40.4284,
+                lon_deg: -86.9138,
+            }],
+        }
+    }
+}
+
+/// Runs a closed-loop load bout against a live server.
+///
+/// # Errors
+///
+/// Connection-establishment failures. Errors *during* the bout are
+/// counted in [`LoadReport::errors`] rather than aborting the run.
+pub fn run_loadgen(options: &LoadgenOptions) -> std::io::Result<LoadReport> {
+    let connections = options.connections.max(1);
+    // Fail fast if the server is unreachable, before spawning threads.
+    drop(TcpStream::connect(&options.addr)?);
+
+    let issued = Arc::new(AtomicU64::new(0));
+    let deadline = options.duration.map(|d| Instant::now() + d);
+    let started = Instant::now();
+    let mut joins = Vec::with_capacity(connections);
+    for worker in 0..connections {
+        let addr = options.addr.clone();
+        let issued = Arc::clone(&issued);
+        let total = options.requests;
+        let seed = options.seed;
+        let submit_task = options.submit_task && worker == 0;
+        joins.push(std::thread::spawn(move || {
+            let mut hist = LatencyHistogram::new();
+            let mut errors = 0u64;
+            let mut completed = 0u64;
+            let mut client = match Client::connect(&addr) {
+                Ok(c) => c,
+                Err(_) => return (hist, 0, 1),
+            };
+            let mut rng = SimRng::from_seed_label(seed ^ worker as u64, "loadgen");
+            let imei = 0x10AD_0000 + worker as u64;
+            let centre = GeoPoint::new(40.4284, -86.9138);
+            let position = centre.offset_by_meters(
+                rng.uniform_range(-800.0, 800.0),
+                rng.uniform_range(-800.0, 800.0),
+            );
+            for req in enrolment(imei, position) {
+                if client.call(&req).is_err() {
+                    return (hist, completed, errors + 1);
+                }
+            }
+            if submit_task {
+                let spec = WireTaskSpec {
+                    sensor: Sensor::Barometer,
+                    centre_lat: centre.lat_deg(),
+                    centre_lon: centre.lon_deg(),
+                    radius_m: 2_000.0,
+                    spatial_density: 2,
+                    one_shot: false,
+                    period_us: 120_000_000,
+                    duration_us: 1_200_000_000,
+                };
+                let _ = client.call(&WireRequest::SubmitTask { cas: 1, spec });
+            }
+            let mut seq = 0u64;
+            let mut battery = 90.0f64;
+            loop {
+                if issued.fetch_add(1, Ordering::Relaxed) >= total {
+                    break;
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    break;
+                }
+                let req = next_request(&mut rng, imei, &mut seq, &mut battery);
+                let sent = Instant::now();
+                match client.call(&req) {
+                    Ok(()) => {
+                        hist.record(sent.elapsed());
+                        completed += 1;
+                    }
+                    Err(_) => {
+                        errors += 1;
+                        break;
+                    }
+                }
+            }
+            (hist, completed, errors)
+        }));
+    }
+
+    let mut hist = LatencyHistogram::new();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for join in joins {
+        let (h, c, e) = join.join().expect("loadgen thread panicked");
+        hist.merge(&h);
+        requests += c;
+        errors += e;
+    }
+    let elapsed = started.elapsed();
+
+    if options.stop_server {
+        if let Ok(mut client) = Client::connect(&options.addr) {
+            let _ = client.call(&WireRequest::Shutdown);
+        }
+    }
+
+    Ok(LoadReport {
+        requests,
+        errors,
+        elapsed,
+        hist,
+    })
+}

@@ -1,0 +1,466 @@
+//! Live mode: the TCP front-end.
+//!
+//! No async runtime is available in this build environment, so the live
+//! layer is explicit event loops over non-blocking `std::net` sockets —
+//! which is also the honest shape of the design: per-shard worker
+//! threads own their sockets outright (the same ownership discipline as
+//! `ShardPool` workers owning their items), pump bytes through the
+//! shared [`Connection`] reassembly, and forward whole frames to a
+//! single engine thread that owns the coordinator. All control-plane
+//! mutation is serial in that one thread — concurrency lives at the
+//! edges, exactly like the sim's deterministic serial commit.
+//!
+//! ```text
+//!  clients ──TCP──▶ worker 0 ─┐  frames                ┌─▶ worker 0 ──▶ clients
+//!  clients ──TCP──▶ worker 1 ─┼────────▶ engine thread ┼─▶ worker 1 ──▶ clients
+//!  clients ──TCP──▶ worker N ─┘   (SenseAidServer +    └─▶ worker N ──▶ clients
+//!                                  WallClock + WAL)
+//! ```
+//!
+//! Graceful shutdown (duration elapsed, [`ServeHandle::shutdown`], or a
+//! wire `Shutdown` request): the engine advances the scheduler to "now",
+//! persists a final snapshot when a WAL is armed, workers flush pending
+//! writes, and the summary reports the flush so operators (and the CI
+//! smoke job) can assert it was clean.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use senseaid_core::persist::{DirStorage, PersistConfig};
+use senseaid_core::runtime::{Transport, TransportError, WallClock};
+use senseaid_sim::SimTime;
+
+use crate::conn::{ConnError, Connection};
+use crate::engine::{ConnId, FlushSummary, ServeEngine};
+use crate::trace::trace_server;
+use crate::wire::{decode_frame, WireFrame};
+
+/// Configuration for a live server.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`ServeHandle::addr`]).
+    pub addr: String,
+    /// Control-plane shard count.
+    pub shards: usize,
+    /// Socket event-loop worker threads.
+    pub workers: usize,
+    /// Arm the WAL in this directory (created if needed).
+    pub persist_dir: Option<PathBuf>,
+    /// Stop serving after this long (a safety net for smoke runs);
+    /// `None` serves until [`ServeHandle::shutdown`] or a wire
+    /// `Shutdown`.
+    pub duration: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: 4,
+            workers: 2,
+            persist_dir: None,
+            duration: None,
+        }
+    }
+}
+
+/// What a serve run did, reported at graceful shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeSummary {
+    /// Requests decoded and applied.
+    pub requests: u64,
+    /// Connections accepted over the lifetime.
+    pub connections: u64,
+    /// Frames rejected (corrupt stream, unknown kind, undecodable
+    /// payload) — each costs its connection.
+    pub bad_frames: u64,
+    /// Assignment pushes delivered to live sessions.
+    pub assignments_pushed: u64,
+    /// The shutdown WAL flush.
+    pub flush: FlushSummary,
+}
+
+impl ServeSummary {
+    /// One-line operator rendering; the CI smoke job greps
+    /// `flush=clean`.
+    pub fn render(&self) -> String {
+        format!(
+            "serve: shutdown requests={} connections={} bad_frames={} pushes={} wal_records={} snapshots={} generation={} flush={}",
+            self.requests,
+            self.connections,
+            self.bad_frames,
+            self.assignments_pushed,
+            self.flush.journal_records,
+            self.flush.snapshots_persisted,
+            self.flush
+                .generation
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+            if self.flush.persistence_armed {
+                "clean"
+            } else {
+                "volatile"
+            }
+        )
+    }
+}
+
+/// A running server: its bound address plus the means to stop it.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<ServeSummary>,
+}
+
+impl ServeHandle {
+    /// The actually bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown and waits for the summary.
+    pub fn shutdown(self) -> ServeSummary {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join()
+    }
+
+    /// Waits for the server to stop on its own (duration elapsed or a
+    /// wire `Shutdown` request).
+    pub fn join(self) -> ServeSummary {
+        self.thread.join().expect("serve thread panicked")
+    }
+}
+
+/// [`Transport`] over a non-blocking TCP stream.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    open: bool,
+}
+
+impl TcpTransport {
+    /// Wraps a stream, switching it to non-blocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failures.
+    pub fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream, open: true })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, bytes: &[u8]) -> Result<usize, TransportError> {
+        use std::io::Write as _;
+        if !self.open {
+            return Err(TransportError::Closed);
+        }
+        match self.stream.write(bytes) {
+            Ok(0) => {
+                self.open = false;
+                Err(TransportError::Closed)
+            }
+            Ok(n) => Ok(n),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(0)
+            }
+            Err(e) => {
+                self.open = false;
+                Err(TransportError::Io(e.to_string()))
+            }
+        }
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        use std::io::Read as _;
+        if !self.open {
+            return Err(TransportError::Closed);
+        }
+        match self.stream.read(buf) {
+            Ok(0) => {
+                self.open = false;
+                Err(TransportError::Closed)
+            }
+            Ok(n) => Ok(n),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(0)
+            }
+            Err(e) => {
+                self.open = false;
+                Err(TransportError::Io(e.to_string()))
+            }
+        }
+    }
+
+    fn is_open(&self) -> bool {
+        self.open
+    }
+}
+
+/// Worker → engine notifications.
+enum Event {
+    Frame {
+        conn: ConnId,
+        kind: u8,
+        payload: Vec<u8>,
+    },
+    BadFrame {
+        conn: ConnId,
+    },
+    Disconnect {
+        conn: ConnId,
+    },
+}
+
+/// Engine → worker commands.
+enum WorkerMsg {
+    Conn { conn: ConnId, stream: TcpStream },
+    Send { conn: ConnId, frame: Vec<u8> },
+    Shutdown,
+}
+
+/// Starts a live server; returns once the listener is bound.
+///
+/// # Errors
+///
+/// Bind/configuration failures, including an unopenable persist
+/// directory.
+pub fn serve(options: ServeOptions) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&options.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let storage = match &options.persist_dir {
+        Some(dir) => Some(
+            DirStorage::open(dir.clone())
+                .map_err(|e| io::Error::other(format!("persist dir: {e}")))?,
+        ),
+        None => None,
+    };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let thread = std::thread::Builder::new()
+        .name("senseaid-serve".to_owned())
+        .spawn(move || run(listener, options, storage, flag))?;
+    Ok(ServeHandle {
+        addr,
+        shutdown,
+        thread,
+    })
+}
+
+fn worker_loop(rx: Receiver<WorkerMsg>, events: Sender<Event>) {
+    let mut conns: HashMap<ConnId, Connection<TcpTransport>> = HashMap::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        let mut did_work = false;
+        let mut shutting_down = false;
+        loop {
+            match rx.try_recv() {
+                Ok(WorkerMsg::Conn { conn, stream }) => {
+                    did_work = true;
+                    if let Ok(transport) = TcpTransport::new(stream) {
+                        conns.insert(conn, Connection::new(transport));
+                    }
+                }
+                Ok(WorkerMsg::Send { conn, frame }) => {
+                    did_work = true;
+                    if let Some(c) = conns.get_mut(&conn) {
+                        c.queue(&frame);
+                    }
+                }
+                Ok(WorkerMsg::Shutdown) => shutting_down = true,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => shutting_down = true,
+            }
+            if shutting_down {
+                break;
+            }
+        }
+        if shutting_down {
+            // Final courtesy flush of anything already queued, then out.
+            for conn in conns.values_mut() {
+                let _ = conn.flush();
+            }
+            return;
+        }
+
+        let mut dead: Vec<ConnId> = Vec::new();
+        for (&conn, c) in conns.iter_mut() {
+            match c.pump_reads(&mut scratch) {
+                Ok(frames) => {
+                    for (kind, payload) in frames {
+                        did_work = true;
+                        let _ = events.send(Event::Frame {
+                            conn,
+                            kind,
+                            payload,
+                        });
+                    }
+                }
+                Err(ConnError::Transport(TransportError::Closed)) => {
+                    dead.push(conn);
+                    let _ = events.send(Event::Disconnect { conn });
+                    continue;
+                }
+                Err(_) => {
+                    // Corrupt stream or I/O failure: the connection has
+                    // no valid continuation.
+                    dead.push(conn);
+                    let _ = events.send(Event::BadFrame { conn });
+                    continue;
+                }
+            }
+            if c.flush().is_err() {
+                dead.push(conn);
+                let _ = events.send(Event::Disconnect { conn });
+            }
+        }
+        for conn in dead {
+            conns.remove(&conn);
+        }
+        if !did_work {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+fn run(
+    listener: TcpListener,
+    options: ServeOptions,
+    storage: Option<DirStorage>,
+    shutdown_flag: Arc<AtomicBool>,
+) -> ServeSummary {
+    let mut server = trace_server(options.shards);
+    if let Some(storage) = storage {
+        server
+            .enable_persistence(Box::new(storage), PersistConfig::default(), SimTime::ZERO)
+            .expect("fresh persist directory initialises");
+    }
+    let mut engine = ServeEngine::new(server, Arc::new(WallClock::new()));
+
+    let workers = options.workers.max(1);
+    let (event_tx, event_rx) = mpsc::channel::<Event>();
+    let mut worker_txs: Vec<Sender<WorkerMsg>> = Vec::with_capacity(workers);
+    let mut worker_joins: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let (tx, rx) = mpsc::channel::<WorkerMsg>();
+        let events = event_tx.clone();
+        worker_txs.push(tx);
+        worker_joins.push(
+            std::thread::Builder::new()
+                .name(format!("senseaid-serve-worker-{i}"))
+                .spawn(move || worker_loop(rx, events))
+                .expect("spawn worker thread"),
+        );
+    }
+    drop(event_tx);
+
+    let worker_of = |conn: ConnId| (conn as usize) % workers;
+    let deadline = options.duration.map(|d| Instant::now() + d);
+    let mut next_conn: ConnId = 0;
+    let mut connections = 0u64;
+    let mut bad_frames = 0u64;
+    let mut shutdown_requested = false;
+
+    loop {
+        if shutdown_requested
+            || shutdown_flag.load(Ordering::SeqCst)
+            || deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            break;
+        }
+
+        // Accept everything pending; hand sockets to their workers.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    next_conn += 1;
+                    connections += 1;
+                    let conn = next_conn;
+                    let _ = worker_txs[worker_of(conn)].send(WorkerMsg::Conn { conn, stream });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Wait briefly for traffic, then batch-drain what arrived.
+        let first = match event_rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut batch: Vec<Event> = first.into_iter().collect();
+        while batch.len() < 256 {
+            match event_rx.try_recv() {
+                Ok(ev) => batch.push(ev),
+                Err(_) => break,
+            }
+        }
+        for event in batch {
+            match event {
+                Event::Frame {
+                    conn,
+                    kind,
+                    payload,
+                } => match decode_frame(kind, &payload) {
+                    Ok(WireFrame::Request(request)) => {
+                        let output = engine.handle(conn, request);
+                        for (to, frame) in output.frames {
+                            let _ =
+                                worker_txs[worker_of(to)].send(WorkerMsg::Send { conn: to, frame });
+                        }
+                        if output.shutdown {
+                            shutdown_requested = true;
+                        }
+                    }
+                    Ok(_) | Err(_) => bad_frames += 1,
+                },
+                Event::BadFrame { conn } => {
+                    bad_frames += 1;
+                    engine.on_disconnect(conn);
+                }
+                Event::Disconnect { conn } => engine.on_disconnect(conn),
+            }
+        }
+
+        // Fire any wakeups that came due on the wall clock.
+        let now = engine.now();
+        for (to, frame) in engine.advance_to(now) {
+            let _ = worker_txs[worker_of(to)].send(WorkerMsg::Send { conn: to, frame });
+        }
+    }
+
+    // Graceful shutdown: flush durable state, let workers drain writes.
+    let flush = engine.shutdown_flush();
+    for tx in &worker_txs {
+        let _ = tx.send(WorkerMsg::Shutdown);
+    }
+    for join in worker_joins {
+        let _ = join.join();
+    }
+    let stats = engine.stats();
+    ServeSummary {
+        requests: stats.requests,
+        connections,
+        bad_frames,
+        assignments_pushed: stats.assignments_pushed,
+        flush,
+    }
+}

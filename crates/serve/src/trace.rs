@@ -1,0 +1,436 @@
+//! Recorded device-event traces and the sim↔live byte-identity harness.
+//!
+//! A trace is a time-sorted list of wire requests. The same trace can be
+//! driven two ways:
+//!
+//! - [`run_sim`] — the sim harness path: ops applied *directly* to a
+//!   `SenseAidServer` with explicit timestamps, polls advanced by the
+//!   same `next_wakeup` loop every sim driver in this workspace uses.
+//!   This is the executable spec.
+//! - [`run_live`] — the serving path: every op is *encoded to bytes*,
+//!   pushed through a loopback [`Transport`] pair, reassembled by
+//!   [`FrameAssembler`](crate::conn::FrameAssembler), decoded, and
+//!   applied by the [`ServeEngine`] under a shared [`SimClock`] that the
+//!   driver advances to each event's timestamp before sending.
+//!
+//! Both return `durable_digest` at the trace horizon. Equality means the
+//! wire codec, the stream reassembly, the session layer and the engine's
+//! receive-time stamping add **zero semantics** over the spec: a live
+//! deployment is the sim with real time and real sockets plugged in.
+//!
+//! The sim side deliberately re-states the engine's serving semantics
+//! (lease renewal on device-originated ops, advance-then-apply) in
+//! straight-line code instead of calling into the engine — sharing that
+//! code would make the comparison vacuous. If you change the rules in
+//! [`crate::engine`], change [`apply_sim`] to match.
+
+use std::sync::Arc;
+
+use senseaid_cellnet::{CellId, CellularNetwork};
+use senseaid_core::cas::CasId;
+use senseaid_core::runtime::{loopback_pair, SimClock};
+use senseaid_core::{SenseAidConfig, SenseAidServer};
+use senseaid_device::{ImeiHash, Sensor};
+use senseaid_geo::{GeoPoint, TowerSite};
+use senseaid_sim::{SimDuration, SimRng, SimTime};
+
+use crate::conn::Connection;
+use crate::engine::{build_task_spec, decode_readings, ServeEngine};
+use crate::wire::{
+    decode_frame, encode_request, WireFrame, WireReading, WireRequest, WireTaskSpec,
+};
+
+/// One timestamped operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When the server receives the op (its clock reads this instant).
+    pub at: SimTime,
+    /// The operation, in wire form.
+    pub req: WireRequest,
+}
+
+/// Alias kept for readability at call sites: trace ops *are* wire
+/// requests — that is what makes replaying them through the live path a
+/// faithful comparison.
+pub type TraceOp = WireRequest;
+
+/// A recorded device-event trace plus the instant to digest at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventTrace {
+    /// Time-sorted events.
+    pub events: Vec<TraceEvent>,
+    /// The digest horizon; both runners advance the scheduler here.
+    pub horizon: SimTime,
+}
+
+fn campus_centre() -> GeoPoint {
+    GeoPoint::new(40.4284, -86.9138)
+}
+
+/// The fixed radio topology both runners share: a centre tower plus a
+/// ring of three, all overlapping — enough cells to make multi-shard
+/// homing non-trivial.
+pub fn trace_network() -> CellularNetwork {
+    let centre = campus_centre();
+    let sites: Vec<TowerSite> = (0..4)
+        .map(|i| {
+            let position = if i == 0 {
+                centre
+            } else {
+                let angle = (i as f64) * std::f64::consts::TAU / 3.0;
+                centre.offset_by_meters(1200.0 * angle.cos(), 1200.0 * angle.sin())
+            };
+            TowerSite {
+                index: i,
+                position,
+                coverage_m: 1500.0,
+            }
+        })
+        .collect();
+    CellularNetwork::new(sites)
+}
+
+/// A fresh server configured for `shards` shards over [`trace_network`].
+pub fn trace_server(shards: usize) -> SenseAidServer {
+    let config = SenseAidConfig {
+        shard_count: shards,
+        ..SenseAidConfig::default()
+    };
+    let mut server = SenseAidServer::new(config);
+    server.set_topology(trace_network());
+    server
+}
+
+/// Records a deterministic sample trace: `devices` devices register,
+/// observe in around the campus, a periodic barometer task arrives, then
+/// `rounds` rounds of state updates, mobility, radio contact and
+/// sequenced reading batches, with occasional CAS drains.
+pub fn record_sample_trace(seed: u64, devices: usize, rounds: usize) -> EventTrace {
+    let mut rng = SimRng::from_seed_label(seed, "serve-trace");
+    let network = trace_network();
+    let centre = campus_centre();
+    let mut events = Vec::new();
+    let mut t = SimTime::ZERO;
+    let step = |rng: &mut SimRng, t: &mut SimTime, lo_ms: u64, hi_ms: u64| {
+        *t = t.saturating_add(SimDuration::from_millis(
+            lo_ms + rng.uniform_usize(0, (hi_ms - lo_ms) as usize) as u64,
+        ));
+        *t
+    };
+
+    let device_position = |rng: &mut SimRng| {
+        let dx = rng.uniform_range(-900.0, 900.0);
+        let dy = rng.uniform_range(-900.0, 900.0);
+        centre.offset_by_meters(dx, dy)
+    };
+
+    // Enrolment wave.
+    let mut positions = Vec::with_capacity(devices);
+    for i in 0..devices {
+        let imei = i as u64 + 1;
+        let at = step(&mut rng, &mut t, 20, 250);
+        events.push(TraceEvent {
+            at,
+            req: WireRequest::Register {
+                imei,
+                energy_budget_j: 400.0 + rng.uniform_range(0.0, 200.0),
+                critical_battery_pct: 10.0 + rng.uniform_range(0.0, 10.0),
+                battery_pct: 55.0 + rng.uniform_range(0.0, 45.0),
+                device_type: (*rng
+                    .choose(&["GalaxyS4", "iPhone6"])
+                    .expect("non-empty choices"))
+                .to_owned(),
+                sensors: vec![Sensor::Barometer, Sensor::Light],
+            },
+        });
+        let p = device_position(&mut rng);
+        positions.push(p);
+        events.push(TraceEvent {
+            at,
+            req: WireRequest::Observe {
+                imei,
+                lat_deg: p.lat_deg(),
+                lon_deg: p.lon_deg(),
+                cell: network.serving_cell(p).map(|c: CellId| c.0 as u64),
+            },
+        });
+    }
+
+    // One periodic barometer study over the whole campus.
+    let at = step(&mut rng, &mut t, 500, 1500);
+    events.push(TraceEvent {
+        at,
+        req: WireRequest::SubmitTask {
+            cas: 1,
+            spec: WireTaskSpec {
+                sensor: Sensor::Barometer,
+                centre_lat: centre.lat_deg(),
+                centre_lon: centre.lon_deg(),
+                radius_m: 2000.0,
+                spatial_density: devices.clamp(1, 3) as u32,
+                one_shot: false,
+                period_us: SimDuration::from_mins(2).as_micros(),
+                duration_us: SimDuration::from_mins(20).as_micros(),
+            },
+        },
+    });
+
+    // Activity rounds.
+    let mut seqs = vec![0u64; devices];
+    let mut batteries: Vec<f64> = (0..devices)
+        .map(|_| 55.0 + rng.uniform_range(0.0, 45.0))
+        .collect();
+    for round in 0..rounds {
+        for i in 0..devices {
+            let imei = i as u64 + 1;
+            let at = step(&mut rng, &mut t, 200, 4000);
+            let roll = rng.uniform();
+            let req = if roll < 0.35 {
+                batteries[i] = (batteries[i] - rng.uniform_range(0.0, 1.5)).max(1.0);
+                WireRequest::StateUpdate {
+                    imei,
+                    battery_pct: batteries[i],
+                    cs_energy_j: rng.uniform_range(0.0, 2.0),
+                }
+            } else if roll < 0.55 {
+                WireRequest::Comm { imei }
+            } else if roll < 0.8 {
+                let p = device_position(&mut rng);
+                positions[i] = p;
+                WireRequest::Observe {
+                    imei,
+                    lat_deg: p.lat_deg(),
+                    lon_deg: p.lon_deg(),
+                    cell: network.serving_cell(p).map(|c: CellId| c.0 as u64),
+                }
+            } else {
+                seqs[i] += 1;
+                // Low request ids round-robin: some hit live requests and
+                // are accepted, some draw typed rejections — both paths
+                // must be byte-identical, so both are worth recording.
+                let request = (round as u64 * 3 + i as u64) % 8;
+                WireRequest::SubmitBatch {
+                    imei,
+                    seq: seqs[i],
+                    attempt: 1,
+                    readings: vec![WireReading {
+                        request,
+                        sensor: Sensor::Barometer,
+                        value: 990.0 + rng.uniform_range(0.0, 40.0),
+                        taken_at_us: at.as_micros(),
+                        lat_deg: positions[i].lat_deg(),
+                        lon_deg: positions[i].lon_deg(),
+                    }],
+                }
+            };
+            events.push(TraceEvent { at, req });
+        }
+        let at = step(&mut rng, &mut t, 100, 500);
+        events.push(TraceEvent {
+            at,
+            req: WireRequest::DrainOutbox,
+        });
+    }
+
+    let horizon = t.saturating_add(SimDuration::from_mins(5));
+    EventTrace { events, horizon }
+}
+
+/// Advances the scheduler through every wakeup due at or before `t` —
+/// the sim-side mirror of `ServeEngine::advance_to` (rule 1).
+fn advance(server: &mut SenseAidServer, cursor: &mut SimTime, t: SimTime) {
+    while let Some(wakeup) = server.next_wakeup(*cursor) {
+        if wakeup > t {
+            break;
+        }
+        let at = wakeup.max(*cursor);
+        let _ = server.poll(at);
+        *cursor = at;
+    }
+    if t > *cursor {
+        *cursor = t;
+    }
+}
+
+/// Applies one trace op directly, restating the engine's serving
+/// semantics (see module docs): lease renewal first on device-originated
+/// ops, then the op itself, all at the event's timestamp.
+fn apply_sim(server: &mut SenseAidServer, req: &WireRequest, now: SimTime) {
+    let renew = |server: &mut SenseAidServer, imei: u64| {
+        let _ = server.record_device_comm(ImeiHash(imei), now);
+    };
+    match req {
+        WireRequest::Hello { .. } | WireRequest::Stats | WireRequest::Shutdown => {}
+        WireRequest::Register {
+            imei,
+            energy_budget_j,
+            critical_battery_pct,
+            battery_pct,
+            device_type,
+            sensors,
+        } => {
+            let _ = server.register_device(
+                ImeiHash(*imei),
+                *energy_budget_j,
+                *critical_battery_pct,
+                *battery_pct,
+                sensors.clone(),
+                device_type.clone(),
+                now,
+            );
+        }
+        WireRequest::Deregister { imei } => {
+            let _ = server.deregister_device(ImeiHash(*imei));
+        }
+        WireRequest::UpdatePreferences {
+            imei,
+            energy_budget_j,
+            critical_battery_pct,
+        } => {
+            renew(server, *imei);
+            let _ =
+                server.update_preferences(ImeiHash(*imei), *energy_budget_j, *critical_battery_pct);
+        }
+        WireRequest::StateUpdate {
+            imei,
+            battery_pct,
+            cs_energy_j,
+        } => {
+            renew(server, *imei);
+            let _ = server.update_device_state(ImeiHash(*imei), *battery_pct, *cs_energy_j, now);
+        }
+        WireRequest::Observe {
+            imei,
+            lat_deg,
+            lon_deg,
+            cell,
+        } => {
+            renew(server, *imei);
+            let _ = server.observe_device(
+                ImeiHash(*imei),
+                GeoPoint::new(*lat_deg, *lon_deg),
+                cell.map(|c| CellId(c as usize)),
+            );
+        }
+        WireRequest::Comm { imei } => {
+            let _ = server.record_device_comm(ImeiHash(*imei), now);
+        }
+        WireRequest::SubmitBatch {
+            imei,
+            seq,
+            attempt,
+            readings,
+        } => {
+            renew(server, *imei);
+            let decoded = decode_readings(readings);
+            let _ = server.submit_sensed_batch(ImeiHash(*imei), *seq, *attempt, &decoded, now);
+        }
+        WireRequest::SubmitTask { cas, spec } => {
+            if let Ok(built) = build_task_spec(spec) {
+                let _ = server.submit_task_for(CasId(*cas), built, now);
+            }
+        }
+        WireRequest::DrainOutbox => {
+            let _ = server.drain_outbox();
+        }
+    }
+}
+
+/// Runs the trace through the sim harness path and digests at the
+/// horizon. This is the spec side of the byte-identity comparison.
+pub fn run_sim(trace: &EventTrace, shards: usize) -> Vec<u8> {
+    let mut server = trace_server(shards);
+    let mut cursor = SimTime::ZERO;
+    for event in &trace.events {
+        advance(&mut server, &mut cursor, event.at);
+        apply_sim(&mut server, &event.req, event.at);
+    }
+    advance(&mut server, &mut cursor, trace.horizon);
+    server.durable_digest(trace.horizon)
+}
+
+/// Runs the trace through the live serving path — encoded to bytes,
+/// carried by a loopback transport, reassembled, decoded and applied by
+/// the [`ServeEngine`] under a driver-advanced [`SimClock`] — and
+/// digests at the horizon.
+///
+/// # Panics
+///
+/// Panics if any leg of the pipeline rejects a frame: the trace is
+/// well-formed by construction, so a decode failure here is a protocol
+/// bug, which is exactly what the keystone test exists to catch.
+pub fn run_live(trace: &EventTrace, shards: usize) -> Vec<u8> {
+    let clock = SimClock::new();
+    let mut engine = ServeEngine::new(trace_server(shards), Arc::new(clock.clone()));
+    let (driver_side, engine_side) = loopback_pair();
+    let mut driver = Connection::new(driver_side);
+    let mut serving = Connection::new(engine_side);
+    let mut scratch = vec![0u8; 16 * 1024];
+    const CONN: u64 = 1;
+
+    for event in &trace.events {
+        // The driver owns time: the engine's clock reads the event's
+        // timestamp when the bytes "arrive", exactly as a wall clock
+        // would read the receive instant in live mode.
+        clock.advance_to(event.at);
+        driver.queue(&encode_request(&event.req));
+        driver.flush().expect("loopback accepts whole frames");
+
+        for (kind, payload) in serving
+            .pump_reads(&mut scratch)
+            .expect("driver bytes reassemble")
+        {
+            let request = match decode_frame(kind, &payload).expect("driver frames decode") {
+                WireFrame::Request(request) => request,
+                other => panic!("client sent a non-request frame: {other:?}"),
+            };
+            let output = engine.handle(CONN, request);
+            for (_conn, frame) in output.frames {
+                serving.queue(&frame);
+            }
+            serving.flush().expect("loopback accepts responses");
+        }
+
+        // The driver decodes everything the server sent back (responses
+        // and assignment pushes); undecodable server output fails the
+        // replay.
+        for (kind, payload) in driver
+            .pump_reads(&mut scratch)
+            .expect("server bytes reassemble")
+        {
+            decode_frame(kind, &payload).expect("server frames decode");
+        }
+    }
+
+    clock.advance_to(trace.horizon);
+    for (_conn, frame) in engine.advance_to(trace.horizon) {
+        serving.queue(&frame);
+    }
+    serving.flush().expect("loopback accepts trailing pushes");
+    let _ = driver
+        .pump_reads(&mut scratch)
+        .expect("trailing pushes reassemble");
+    engine.server().durable_digest(trace.horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_trace_is_deterministic_and_sorted() {
+        let a = record_sample_trace(7, 6, 3);
+        let b = record_sample_trace(7, 6, 3);
+        assert_eq!(a, b);
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.horizon >= a.events.last().unwrap().at);
+        // Different seeds give different traces.
+        assert_ne!(a, record_sample_trace(8, 6, 3));
+    }
+
+    #[test]
+    fn sim_runner_is_reproducible() {
+        let trace = record_sample_trace(11, 5, 2);
+        assert_eq!(run_sim(&trace, 2), run_sim(&trace, 2));
+    }
+}

@@ -1,0 +1,933 @@
+//! The live wire protocol: typed requests, responses and pushes.
+//!
+//! Every message travels as one PR 7 codec frame
+//! (`magic | version | kind | len | payload | crc32`), so the stream
+//! inherits the persistence layer's hostile-input posture for free:
+//! truncation, bit-flips and garbage all surface as typed
+//! [`CodecError`]s, never panics. Three new frame kinds partition the
+//! conversation:
+//!
+//! - [`KIND_REQUEST`] — client → server, one [`WireRequest`] each.
+//! - [`KIND_RESPONSE`] — server → client, exactly one [`WireResponse`]
+//!   per request, in request order per connection.
+//! - [`KIND_PUSH`] — server → client, unsolicited [`WirePush`] frames
+//!   (task assignments routed to the device's session). Clients waiting
+//!   for a response skip pushes.
+//!
+//! Payload encoding uses the codec's bounds-checked `ByteWriter`/
+//! `ByteReader`; every decoder checks `is_exhausted` so trailing bytes
+//! are an error, not silently ignored data.
+
+use std::fmt;
+
+use senseaid_core::persist::codec::{seal_frame, ByteReader, ByteWriter, CodecError};
+use senseaid_core::SenseAidError;
+use senseaid_device::Sensor;
+
+/// Frame kind for client → server requests.
+pub const KIND_REQUEST: u8 = 0x10;
+/// Frame kind for server → client responses (one per request).
+pub const KIND_RESPONSE: u8 = 0x11;
+/// Frame kind for server → client unsolicited pushes.
+pub const KIND_PUSH: u8 = 0x12;
+
+/// Hard ceiling on a single wire frame, header included. Nothing the
+/// protocol legitimately carries comes close; a declared length beyond
+/// this is a hostile or corrupt stream and the connection is dropped
+/// rather than buffered against.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Why a wire message failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame envelope itself was bad (magic, version, CRC,
+    /// truncation, or a bounds-checked field read failed).
+    Frame(CodecError),
+    /// A frame declared a payload longer than [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The declared total frame length.
+        declared: usize,
+    },
+    /// A frame kind this protocol does not speak.
+    UnknownKind(u8),
+    /// An unknown request discriminant inside a request frame.
+    UnknownRequestTag(u8),
+    /// An unknown response discriminant inside a response frame.
+    UnknownResponseTag(u8),
+    /// An unknown push discriminant inside a push frame.
+    UnknownPushTag(u8),
+    /// A sensor type code with no [`Sensor`] mapping.
+    UnknownSensor(i32),
+    /// Structurally valid frame, semantically malformed payload.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Frame(e) => write!(f, "bad wire frame: {e}"),
+            WireError::Oversized { declared } => {
+                write!(
+                    f,
+                    "wire frame declares {declared} bytes (limit {MAX_FRAME_BYTES})"
+                )
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown wire frame kind {k:#04x}"),
+            WireError::UnknownRequestTag(t) => write!(f, "unknown request tag {t:#04x}"),
+            WireError::UnknownResponseTag(t) => write!(f, "unknown response tag {t:#04x}"),
+            WireError::UnknownPushTag(t) => write!(f, "unknown push tag {t:#04x}"),
+            WireError::UnknownSensor(code) => write!(f, "unknown sensor type code {code}"),
+            WireError::Malformed(what) => write!(f, "malformed wire payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Frame(e)
+    }
+}
+
+/// One sensed reading inside a [`WireRequest::SubmitBatch`] envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReading {
+    /// The request this reading answers.
+    pub request: u64,
+    /// The sensor sampled.
+    pub sensor: Sensor,
+    /// The sensed value.
+    pub value: f64,
+    /// When the sample was taken (µs on the shared time axis).
+    pub taken_at_us: u64,
+    /// Sample latitude, degrees.
+    pub lat_deg: f64,
+    /// Sample longitude, degrees.
+    pub lon_deg: f64,
+}
+
+/// A task specification as the wire carries it — the subset of
+/// `TaskSpec` a CAS submits over the protocol. Reconstructed through
+/// `TaskSpec::builder`, so invalid combinations are rejected server-side
+/// with a typed error, exactly as in sim mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTaskSpec {
+    /// Sensor to sample.
+    pub sensor: Sensor,
+    /// Region centre latitude, degrees.
+    pub centre_lat: f64,
+    /// Region centre longitude, degrees.
+    pub centre_lon: f64,
+    /// Region radius, metres.
+    pub radius_m: f64,
+    /// Minimum reporting devices per request.
+    pub spatial_density: u32,
+    /// One-shot task (period/duration must be zero).
+    pub one_shot: bool,
+    /// Sampling period, µs (periodic tasks).
+    pub period_us: u64,
+    /// Sampling duration, µs (periodic tasks).
+    pub duration_us: u64,
+}
+
+/// A client → server request. The server stamps every request with its
+/// own clock at receive time — requests deliberately carry no
+/// timestamps, which is what makes the sim replay (shared `SimClock`)
+/// byte-identical to a live run of the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Binds this connection as `imei`'s session (assignment pushes for
+    /// the device are routed here). No control-plane mutation.
+    Hello {
+        /// The device identity.
+        imei: u64,
+    },
+    /// `register()` — enrols the device (and binds the session).
+    Register {
+        /// The device identity.
+        imei: u64,
+        /// Energy the owner donates to crowdsensing, joules.
+        energy_budget_j: f64,
+        /// Battery floor (percent) below which the device opts out.
+        critical_battery_pct: f64,
+        /// Current battery level, percent.
+        battery_pct: f64,
+        /// Device hardware type (e.g. `"GalaxyS4"`).
+        device_type: String,
+        /// On-board sensors.
+        sensors: Vec<Sensor>,
+    },
+    /// `deregister()` — removes the device.
+    Deregister {
+        /// The device identity.
+        imei: u64,
+    },
+    /// `update_preferences()` — new energy budget / battery floor.
+    UpdatePreferences {
+        /// The device identity.
+        imei: u64,
+        /// New donated energy budget, joules.
+        energy_budget_j: f64,
+        /// New battery floor, percent.
+        critical_battery_pct: f64,
+    },
+    /// Periodic device state report (battery, spent energy).
+    StateUpdate {
+        /// The device identity.
+        imei: u64,
+        /// Current battery level, percent.
+        battery_pct: f64,
+        /// Energy spent on crowdsensing so far, joules.
+        cs_energy_j: f64,
+    },
+    /// Position/cell observation (the eNodeB edge in sim mode).
+    Observe {
+        /// The device identity.
+        imei: u64,
+        /// Observed latitude, degrees.
+        lat_deg: f64,
+        /// Observed longitude, degrees.
+        lon_deg: f64,
+        /// Serving cell, if attached.
+        cell: Option<u64>,
+    },
+    /// Bare radio-contact report (renews the device lease).
+    Comm {
+        /// The device identity.
+        imei: u64,
+    },
+    /// The PR 2 delivery envelope: a sequenced, idempotent batch of
+    /// sensed readings.
+    SubmitBatch {
+        /// The device identity.
+        imei: u64,
+        /// Envelope sequence number.
+        seq: u64,
+        /// Transmission attempt (1-based).
+        attempt: u32,
+        /// The readings carried.
+        readings: Vec<WireReading>,
+    },
+    /// CAS-side task submission.
+    SubmitTask {
+        /// The submitting application server.
+        cas: u64,
+        /// The task.
+        spec: WireTaskSpec,
+    },
+    /// CAS-side drain of scrubbed readings queued for delivery.
+    DrainOutbox,
+    /// Server statistics probe.
+    Stats,
+    /// Asks the server to shut down gracefully (flushing the WAL).
+    Shutdown,
+}
+
+/// A server → client response (exactly one per request).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireResponse {
+    /// The request succeeded with nothing to report.
+    Ok,
+    /// The request failed; `code` mirrors [`SenseAidError`] variants and
+    /// `detail` is its rendered message.
+    Error {
+        /// Stable numeric discriminant (see [`error_code`]).
+        code: u8,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Receipt for a [`WireRequest::SubmitBatch`] envelope.
+    BatchAck {
+        /// Cumulative ack: every envelope seq ≤ this was received.
+        ack: u64,
+        /// Readings accepted fresh this envelope.
+        accepted: u32,
+        /// Readings recognised as duplicates (safe to ack).
+        duplicates: u32,
+    },
+    /// Receipt for a [`WireRequest::SubmitTask`].
+    TaskCreated {
+        /// The new task's id.
+        task: u64,
+    },
+    /// Receipt for a [`WireRequest::DrainOutbox`].
+    Outbox {
+        /// Readings drained to the caller.
+        delivered: u32,
+    },
+    /// Server statistics snapshot.
+    Stats {
+        /// Registered devices.
+        devices: u64,
+        /// Active tasks.
+        tasks: u64,
+        /// Run-queue depth.
+        run_queue: u64,
+        /// Wait-queue depth.
+        wait_queue: u64,
+        /// Requests not yet resolved.
+        unresolved: u64,
+    },
+    /// The server acknowledged a shutdown request and is flushing.
+    ShuttingDown,
+}
+
+/// A server → client unsolicited push.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WirePush {
+    /// A task assignment naming this connection's device.
+    Assignment {
+        /// The request being served.
+        request: u64,
+        /// The owning task.
+        task: u64,
+        /// Sensor to sample.
+        sensor: Sensor,
+        /// When to sample, µs.
+        sample_at_us: u64,
+        /// Latest useful upload instant, µs.
+        deadline_us: u64,
+        /// Upload payload size, bytes.
+        payload_bytes: u64,
+        /// All devices selected for the request.
+        devices: Vec<u64>,
+    },
+}
+
+/// Any decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// A client → server request.
+    Request(WireRequest),
+    /// A server → client response.
+    Response(WireResponse),
+    /// A server → client push.
+    Push(WirePush),
+}
+
+/// Stable numeric code for a [`SenseAidError`] carried in
+/// [`WireResponse::Error`].
+pub fn error_code(e: &SenseAidError) -> u8 {
+    match e {
+        SenseAidError::InvalidTask(_) => 1,
+        SenseAidError::UnknownTask(_) => 2,
+        SenseAidError::UnknownRequest(_) => 3,
+        SenseAidError::UnknownDevice(_) => 4,
+        SenseAidError::NotAssigned(_, _) => 5,
+        SenseAidError::InvalidReading { .. } => 6,
+        SenseAidError::ServerUnavailable => 7,
+    }
+}
+
+const REQ_HELLO: u8 = 1;
+const REQ_REGISTER: u8 = 2;
+const REQ_DEREGISTER: u8 = 3;
+const REQ_UPDATE_PREFERENCES: u8 = 4;
+const REQ_STATE_UPDATE: u8 = 5;
+const REQ_OBSERVE: u8 = 6;
+const REQ_COMM: u8 = 7;
+const REQ_SUBMIT_BATCH: u8 = 8;
+const REQ_SUBMIT_TASK: u8 = 9;
+const REQ_DRAIN_OUTBOX: u8 = 10;
+const REQ_STATS: u8 = 11;
+const REQ_SHUTDOWN: u8 = 12;
+
+const RESP_OK: u8 = 1;
+const RESP_ERROR: u8 = 2;
+const RESP_BATCH_ACK: u8 = 3;
+const RESP_TASK_CREATED: u8 = 4;
+const RESP_OUTBOX: u8 = 5;
+const RESP_STATS: u8 = 6;
+const RESP_SHUTTING_DOWN: u8 = 7;
+
+const PUSH_ASSIGNMENT: u8 = 1;
+
+fn put_sensor(w: &mut ByteWriter, sensor: Sensor) {
+    w.put_i32(sensor.type_code());
+}
+
+fn take_sensor(r: &mut ByteReader<'_>) -> Result<Sensor, WireError> {
+    let code = r.take_i32()?;
+    Sensor::from_type_code(code).ok_or(WireError::UnknownSensor(code))
+}
+
+/// Encodes a request as a sealed wire frame, ready to send.
+pub fn encode_request(req: &WireRequest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match req {
+        WireRequest::Hello { imei } => {
+            w.put_u8(REQ_HELLO);
+            w.put_u64(*imei);
+        }
+        WireRequest::Register {
+            imei,
+            energy_budget_j,
+            critical_battery_pct,
+            battery_pct,
+            device_type,
+            sensors,
+        } => {
+            w.put_u8(REQ_REGISTER);
+            w.put_u64(*imei);
+            w.put_f64(*energy_budget_j);
+            w.put_f64(*critical_battery_pct);
+            w.put_f64(*battery_pct);
+            w.put_str(device_type);
+            w.put_u32(sensors.len() as u32);
+            for s in sensors {
+                put_sensor(&mut w, *s);
+            }
+        }
+        WireRequest::Deregister { imei } => {
+            w.put_u8(REQ_DEREGISTER);
+            w.put_u64(*imei);
+        }
+        WireRequest::UpdatePreferences {
+            imei,
+            energy_budget_j,
+            critical_battery_pct,
+        } => {
+            w.put_u8(REQ_UPDATE_PREFERENCES);
+            w.put_u64(*imei);
+            w.put_f64(*energy_budget_j);
+            w.put_f64(*critical_battery_pct);
+        }
+        WireRequest::StateUpdate {
+            imei,
+            battery_pct,
+            cs_energy_j,
+        } => {
+            w.put_u8(REQ_STATE_UPDATE);
+            w.put_u64(*imei);
+            w.put_f64(*battery_pct);
+            w.put_f64(*cs_energy_j);
+        }
+        WireRequest::Observe {
+            imei,
+            lat_deg,
+            lon_deg,
+            cell,
+        } => {
+            w.put_u8(REQ_OBSERVE);
+            w.put_u64(*imei);
+            w.put_f64(*lat_deg);
+            w.put_f64(*lon_deg);
+            w.put_bool(cell.is_some());
+            w.put_u64(cell.unwrap_or(0));
+        }
+        WireRequest::Comm { imei } => {
+            w.put_u8(REQ_COMM);
+            w.put_u64(*imei);
+        }
+        WireRequest::SubmitBatch {
+            imei,
+            seq,
+            attempt,
+            readings,
+        } => {
+            w.put_u8(REQ_SUBMIT_BATCH);
+            w.put_u64(*imei);
+            w.put_u64(*seq);
+            w.put_u32(*attempt);
+            w.put_u32(readings.len() as u32);
+            for reading in readings {
+                w.put_u64(reading.request);
+                put_sensor(&mut w, reading.sensor);
+                w.put_f64(reading.value);
+                w.put_u64(reading.taken_at_us);
+                w.put_f64(reading.lat_deg);
+                w.put_f64(reading.lon_deg);
+            }
+        }
+        WireRequest::SubmitTask { cas, spec } => {
+            w.put_u8(REQ_SUBMIT_TASK);
+            w.put_u64(*cas);
+            put_sensor(&mut w, spec.sensor);
+            w.put_f64(spec.centre_lat);
+            w.put_f64(spec.centre_lon);
+            w.put_f64(spec.radius_m);
+            w.put_u32(spec.spatial_density);
+            w.put_bool(spec.one_shot);
+            w.put_u64(spec.period_us);
+            w.put_u64(spec.duration_us);
+        }
+        WireRequest::DrainOutbox => w.put_u8(REQ_DRAIN_OUTBOX),
+        WireRequest::Stats => w.put_u8(REQ_STATS),
+        WireRequest::Shutdown => w.put_u8(REQ_SHUTDOWN),
+    }
+    seal_frame(KIND_REQUEST, &w.into_bytes())
+}
+
+/// Encodes a response as a sealed wire frame.
+pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match resp {
+        WireResponse::Ok => w.put_u8(RESP_OK),
+        WireResponse::Error { code, detail } => {
+            w.put_u8(RESP_ERROR);
+            w.put_u8(*code);
+            w.put_str(detail);
+        }
+        WireResponse::BatchAck {
+            ack,
+            accepted,
+            duplicates,
+        } => {
+            w.put_u8(RESP_BATCH_ACK);
+            w.put_u64(*ack);
+            w.put_u32(*accepted);
+            w.put_u32(*duplicates);
+        }
+        WireResponse::TaskCreated { task } => {
+            w.put_u8(RESP_TASK_CREATED);
+            w.put_u64(*task);
+        }
+        WireResponse::Outbox { delivered } => {
+            w.put_u8(RESP_OUTBOX);
+            w.put_u32(*delivered);
+        }
+        WireResponse::Stats {
+            devices,
+            tasks,
+            run_queue,
+            wait_queue,
+            unresolved,
+        } => {
+            w.put_u8(RESP_STATS);
+            w.put_u64(*devices);
+            w.put_u64(*tasks);
+            w.put_u64(*run_queue);
+            w.put_u64(*wait_queue);
+            w.put_u64(*unresolved);
+        }
+        WireResponse::ShuttingDown => w.put_u8(RESP_SHUTTING_DOWN),
+    }
+    seal_frame(KIND_RESPONSE, &w.into_bytes())
+}
+
+/// Encodes a push as a sealed wire frame.
+pub fn encode_push(push: &WirePush) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match push {
+        WirePush::Assignment {
+            request,
+            task,
+            sensor,
+            sample_at_us,
+            deadline_us,
+            payload_bytes,
+            devices,
+        } => {
+            w.put_u8(PUSH_ASSIGNMENT);
+            w.put_u64(*request);
+            w.put_u64(*task);
+            put_sensor(&mut w, *sensor);
+            w.put_u64(*sample_at_us);
+            w.put_u64(*deadline_us);
+            w.put_u64(*payload_bytes);
+            w.put_u32(devices.len() as u32);
+            for d in devices {
+                w.put_u64(*d);
+            }
+        }
+    }
+    seal_frame(KIND_PUSH, &w.into_bytes())
+}
+
+fn finish<T>(r: &ByteReader<'_>, value: T) -> Result<T, WireError> {
+    if r.is_exhausted() {
+        Ok(value)
+    } else {
+        Err(WireError::Malformed("trailing bytes after payload"))
+    }
+}
+
+/// Decodes a request payload (the bytes inside a [`KIND_REQUEST`]
+/// frame).
+///
+/// # Errors
+///
+/// A typed [`WireError`] on any malformed input; never panics.
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.take_u8()?;
+    let req = match tag {
+        REQ_HELLO => WireRequest::Hello {
+            imei: r.take_u64()?,
+        },
+        REQ_REGISTER => {
+            let imei = r.take_u64()?;
+            let energy_budget_j = r.take_f64()?;
+            let critical_battery_pct = r.take_f64()?;
+            let battery_pct = r.take_f64()?;
+            let device_type = r.take_str()?;
+            let n = r.take_count(4)?;
+            let mut sensors = Vec::with_capacity(n);
+            for _ in 0..n {
+                sensors.push(take_sensor(&mut r)?);
+            }
+            WireRequest::Register {
+                imei,
+                energy_budget_j,
+                critical_battery_pct,
+                battery_pct,
+                device_type,
+                sensors,
+            }
+        }
+        REQ_DEREGISTER => WireRequest::Deregister {
+            imei: r.take_u64()?,
+        },
+        REQ_UPDATE_PREFERENCES => WireRequest::UpdatePreferences {
+            imei: r.take_u64()?,
+            energy_budget_j: r.take_f64()?,
+            critical_battery_pct: r.take_f64()?,
+        },
+        REQ_STATE_UPDATE => WireRequest::StateUpdate {
+            imei: r.take_u64()?,
+            battery_pct: r.take_f64()?,
+            cs_energy_j: r.take_f64()?,
+        },
+        REQ_OBSERVE => {
+            let imei = r.take_u64()?;
+            let lat_deg = r.take_f64()?;
+            let lon_deg = r.take_f64()?;
+            let has_cell = r.take_bool()?;
+            let raw_cell = r.take_u64()?;
+            WireRequest::Observe {
+                imei,
+                lat_deg,
+                lon_deg,
+                cell: has_cell.then_some(raw_cell),
+            }
+        }
+        REQ_COMM => WireRequest::Comm {
+            imei: r.take_u64()?,
+        },
+        REQ_SUBMIT_BATCH => {
+            let imei = r.take_u64()?;
+            let seq = r.take_u64()?;
+            let attempt = r.take_u32()?;
+            let n = r.take_count(44)?;
+            let mut readings = Vec::with_capacity(n);
+            for _ in 0..n {
+                readings.push(WireReading {
+                    request: r.take_u64()?,
+                    sensor: take_sensor(&mut r)?,
+                    value: r.take_f64()?,
+                    taken_at_us: r.take_u64()?,
+                    lat_deg: r.take_f64()?,
+                    lon_deg: r.take_f64()?,
+                });
+            }
+            WireRequest::SubmitBatch {
+                imei,
+                seq,
+                attempt,
+                readings,
+            }
+        }
+        REQ_SUBMIT_TASK => WireRequest::SubmitTask {
+            cas: r.take_u64()?,
+            spec: WireTaskSpec {
+                sensor: take_sensor(&mut r)?,
+                centre_lat: r.take_f64()?,
+                centre_lon: r.take_f64()?,
+                radius_m: r.take_f64()?,
+                spatial_density: r.take_u32()?,
+                one_shot: r.take_bool()?,
+                period_us: r.take_u64()?,
+                duration_us: r.take_u64()?,
+            },
+        },
+        REQ_DRAIN_OUTBOX => WireRequest::DrainOutbox,
+        REQ_STATS => WireRequest::Stats,
+        REQ_SHUTDOWN => WireRequest::Shutdown,
+        other => return Err(WireError::UnknownRequestTag(other)),
+    };
+    finish(&r, req)
+}
+
+/// Decodes a response payload (the bytes inside a [`KIND_RESPONSE`]
+/// frame).
+///
+/// # Errors
+///
+/// A typed [`WireError`] on any malformed input; never panics.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, WireError> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.take_u8()?;
+    let resp = match tag {
+        RESP_OK => WireResponse::Ok,
+        RESP_ERROR => WireResponse::Error {
+            code: r.take_u8()?,
+            detail: r.take_str()?,
+        },
+        RESP_BATCH_ACK => WireResponse::BatchAck {
+            ack: r.take_u64()?,
+            accepted: r.take_u32()?,
+            duplicates: r.take_u32()?,
+        },
+        RESP_TASK_CREATED => WireResponse::TaskCreated {
+            task: r.take_u64()?,
+        },
+        RESP_OUTBOX => WireResponse::Outbox {
+            delivered: r.take_u32()?,
+        },
+        RESP_STATS => WireResponse::Stats {
+            devices: r.take_u64()?,
+            tasks: r.take_u64()?,
+            run_queue: r.take_u64()?,
+            wait_queue: r.take_u64()?,
+            unresolved: r.take_u64()?,
+        },
+        RESP_SHUTTING_DOWN => WireResponse::ShuttingDown,
+        other => return Err(WireError::UnknownResponseTag(other)),
+    };
+    finish(&r, resp)
+}
+
+/// Decodes a push payload (the bytes inside a [`KIND_PUSH`] frame).
+///
+/// # Errors
+///
+/// A typed [`WireError`] on any malformed input; never panics.
+pub fn decode_push(payload: &[u8]) -> Result<WirePush, WireError> {
+    let mut r = ByteReader::new(payload);
+    let tag = r.take_u8()?;
+    let push = match tag {
+        PUSH_ASSIGNMENT => {
+            let request = r.take_u64()?;
+            let task = r.take_u64()?;
+            let sensor = take_sensor(&mut r)?;
+            let sample_at_us = r.take_u64()?;
+            let deadline_us = r.take_u64()?;
+            let payload_bytes = r.take_u64()?;
+            let n = r.take_count(8)?;
+            let mut devices = Vec::with_capacity(n);
+            for _ in 0..n {
+                devices.push(r.take_u64()?);
+            }
+            WirePush::Assignment {
+                request,
+                task,
+                sensor,
+                sample_at_us,
+                deadline_us,
+                payload_bytes,
+                devices,
+            }
+        }
+        other => return Err(WireError::UnknownPushTag(other)),
+    };
+    finish(&r, push)
+}
+
+/// Decodes an opened frame (kind byte + payload) into a typed message.
+///
+/// # Errors
+///
+/// A typed [`WireError`] on unknown kinds or malformed payloads; never
+/// panics.
+pub fn decode_frame(kind: u8, payload: &[u8]) -> Result<WireFrame, WireError> {
+    match kind {
+        KIND_REQUEST => decode_request(payload).map(WireFrame::Request),
+        KIND_RESPONSE => decode_response(payload).map(WireFrame::Response),
+        KIND_PUSH => decode_push(payload).map(WireFrame::Push),
+        other => Err(WireError::UnknownKind(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use senseaid_core::persist::codec::open_frame;
+
+    fn sample_requests() -> Vec<WireRequest> {
+        vec![
+            WireRequest::Hello { imei: 7 },
+            WireRequest::Register {
+                imei: 42,
+                energy_budget_j: 495.0,
+                critical_battery_pct: 15.0,
+                battery_pct: 87.5,
+                device_type: "GalaxyS4".to_owned(),
+                sensors: vec![Sensor::Barometer, Sensor::Light],
+            },
+            WireRequest::Deregister { imei: 42 },
+            WireRequest::UpdatePreferences {
+                imei: 42,
+                energy_budget_j: 300.0,
+                critical_battery_pct: 20.0,
+            },
+            WireRequest::StateUpdate {
+                imei: 42,
+                battery_pct: 63.0,
+                cs_energy_j: 11.25,
+            },
+            WireRequest::Observe {
+                imei: 42,
+                lat_deg: 40.4284,
+                lon_deg: -86.9138,
+                cell: Some(3),
+            },
+            WireRequest::Observe {
+                imei: 42,
+                lat_deg: 40.0,
+                lon_deg: -86.0,
+                cell: None,
+            },
+            WireRequest::Comm { imei: 42 },
+            WireRequest::SubmitBatch {
+                imei: 42,
+                seq: 9,
+                attempt: 2,
+                readings: vec![WireReading {
+                    request: 4,
+                    sensor: Sensor::Barometer,
+                    value: 1010.25,
+                    taken_at_us: 120_000_000,
+                    lat_deg: 40.4284,
+                    lon_deg: -86.9138,
+                }],
+            },
+            WireRequest::SubmitTask {
+                cas: 1,
+                spec: WireTaskSpec {
+                    sensor: Sensor::Barometer,
+                    centre_lat: 40.4284,
+                    centre_lon: -86.9138,
+                    radius_m: 800.0,
+                    spatial_density: 3,
+                    one_shot: false,
+                    period_us: 300_000_000,
+                    duration_us: 2_400_000_000,
+                },
+            },
+            WireRequest::DrainOutbox,
+            WireRequest::Stats,
+            WireRequest::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            let (kind, payload) = open_frame(&frame).unwrap();
+            assert_eq!(kind, KIND_REQUEST);
+            assert_eq!(decode_request(payload).unwrap(), req, "{req:?}");
+            assert_eq!(
+                decode_frame(kind, payload).unwrap(),
+                WireFrame::Request(req)
+            );
+        }
+    }
+
+    #[test]
+    fn responses_and_pushes_round_trip() {
+        let responses = vec![
+            WireResponse::Ok,
+            WireResponse::Error {
+                code: 4,
+                detail: "unknown device".to_owned(),
+            },
+            WireResponse::BatchAck {
+                ack: 9,
+                accepted: 3,
+                duplicates: 1,
+            },
+            WireResponse::TaskCreated { task: 5 },
+            WireResponse::Outbox { delivered: 12 },
+            WireResponse::Stats {
+                devices: 100,
+                tasks: 2,
+                run_queue: 1,
+                wait_queue: 4,
+                unresolved: 6,
+            },
+            WireResponse::ShuttingDown,
+        ];
+        for resp in responses {
+            let frame = encode_response(&resp);
+            let (kind, payload) = open_frame(&frame).unwrap();
+            assert_eq!(kind, KIND_RESPONSE);
+            assert_eq!(decode_response(payload).unwrap(), resp, "{resp:?}");
+        }
+        let push = WirePush::Assignment {
+            request: 3,
+            task: 1,
+            sensor: Sensor::Barometer,
+            sample_at_us: 300_000_000,
+            deadline_us: 420_000_000,
+            payload_bytes: 64,
+            devices: vec![11, 12, 13],
+        };
+        let frame = encode_push(&push);
+        let (kind, payload) = open_frame(&frame).unwrap();
+        assert_eq!(kind, KIND_PUSH);
+        assert_eq!(decode_push(payload).unwrap(), push);
+    }
+
+    #[test]
+    fn truncated_payloads_yield_typed_errors() {
+        for req in sample_requests() {
+            let frame = encode_request(&req);
+            let (_, payload) = open_frame(&frame).unwrap();
+            for cut in 0..payload.len() {
+                // Every strict prefix must fail with a typed error (or,
+                // for multi-message tags, decode to something *different*
+                // is impossible because the reader demands exhaustion).
+                assert!(
+                    decode_request(&payload[..cut]).is_err(),
+                    "prefix {cut} of {req:?} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_kinds_are_rejected() {
+        assert_eq!(
+            decode_request(&[0xEE]),
+            Err(WireError::UnknownRequestTag(0xEE))
+        );
+        assert_eq!(
+            decode_response(&[0xEE]),
+            Err(WireError::UnknownResponseTag(0xEE))
+        );
+        assert_eq!(decode_push(&[0xEE]), Err(WireError::UnknownPushTag(0xEE)));
+        assert_eq!(decode_frame(0x7F, &[1]), Err(WireError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let frame = encode_request(&WireRequest::Stats);
+        let (_, payload) = open_frame(&frame).unwrap();
+        let mut padded = payload.to_vec();
+        padded.push(0);
+        assert_eq!(
+            decode_request(&padded),
+            Err(WireError::Malformed("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn unknown_sensor_codes_are_rejected() {
+        // A Register payload carrying an absurd sensor code.
+        let mut reg = ByteWriter::new();
+        reg.put_u8(REQ_REGISTER);
+        reg.put_u64(1);
+        reg.put_f64(1.0);
+        reg.put_f64(1.0);
+        reg.put_f64(1.0);
+        reg.put_str("X");
+        reg.put_u32(1);
+        reg.put_i32(-777);
+        assert_eq!(
+            decode_request(&reg.into_bytes()),
+            Err(WireError::UnknownSensor(-777))
+        );
+    }
+}

@@ -29,6 +29,7 @@ use senseaid::core::{
 };
 use senseaid::device::{ImeiHash, Sensor, SensorReading};
 use senseaid::geo::{CircleRegion, GeoPoint, NamedLocation, TowerSite};
+use senseaid::serve::{run_loadgen, serve, LoadgenOptions, ServeOptions};
 use senseaid::sim::{SimDuration, SimTime};
 use senseaid::workload::ScenarioConfig;
 
@@ -68,7 +69,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
 ];
 
 const USAGE: &str =
-    "usage: senseaid <experiment|faceoff|perf|recover|trace|list> …  (try `senseaid list`)";
+    "usage: senseaid <experiment|faceoff|perf|recover|serve|loadgen|trace|list> …  (try `senseaid list`)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,6 +78,8 @@ fn main() -> ExitCode {
         Some("faceoff") => cmd_faceoff(&args[1..]),
         Some("perf") => cmd_perf(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("list") => {
             println!("experiments:");
@@ -91,6 +94,8 @@ fn main() -> ExitCode {
             println!("       senseaid faceoff [--seed N] [--radius M] [--period MIN] [--density N] [--tasks N] [--duration MIN] [--group N]");
             println!("       senseaid perf [--seed N] [--quick] [--filter CELL] [--out FILE] [--against BASELINE]");
             println!("       senseaid recover [--devices N] [--rounds N] [--seed N] [--fault PRESET] [--fault-seed N]");
+            println!("       senseaid serve [--addr HOST:PORT] [--shards N] [--workers N] [--duration SECS] [--persist DIR]");
+            println!("       senseaid loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--seconds SECS] [--seed N] [--out FILE] [--stop-server]");
             println!("       senseaid trace <experiment> [--seed N] [--out FILE] [--jsonl FILE]");
             ExitCode::SUCCESS
         }
@@ -566,6 +571,106 @@ fn cmd_recover(args: &[String]) -> ExitCode {
         "OK: recovered state byte-identical to the surviving prefix ({survived}/{} calls)",
         calls.len()
     );
+    ExitCode::SUCCESS
+}
+
+/// `senseaid serve`: run the live TCP front-end until the duration
+/// elapses or a client sends a wire `Shutdown`, then print the shutdown
+/// summary (the CI smoke job greps its `flush=` field).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    if let Err(code) = check_flags(
+        "serve",
+        args,
+        &["--addr", "--shards", "--workers", "--duration", "--persist"],
+        &[],
+    ) {
+        return code;
+    }
+    let options = ServeOptions {
+        addr: str_flag(args, "--addr")
+            .unwrap_or("127.0.0.1:7411")
+            .to_owned(),
+        shards: flag(args, "--shards").flatten().unwrap_or(4.0) as usize,
+        workers: flag(args, "--workers").flatten().unwrap_or(2.0) as usize,
+        persist_dir: str_flag(args, "--persist").map(Into::into),
+        duration: flag(args, "--duration")
+            .flatten()
+            .map(std::time::Duration::from_secs_f64),
+    };
+    let handle = match serve(options.clone()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot start server on {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serve: listening on {} ({} shards, {} workers, wal={})",
+        handle.addr(),
+        options.shards.max(1),
+        options.workers.max(1),
+        options
+            .persist_dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "off".to_owned()),
+    );
+    let summary = handle.join();
+    println!("{}", summary.render());
+    ExitCode::SUCCESS
+}
+
+/// `senseaid loadgen`: closed-loop load bout against a live server;
+/// prints rps + latency quantiles, optionally writes the histogram JSON,
+/// and exits nonzero if nothing completed.
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    if let Err(code) = check_flags(
+        "loadgen",
+        args,
+        &[
+            "--addr",
+            "--connections",
+            "--requests",
+            "--seconds",
+            "--seed",
+            "--out",
+        ],
+        &["--stop-server"],
+    ) {
+        return code;
+    }
+    let options = LoadgenOptions {
+        addr: str_flag(args, "--addr")
+            .unwrap_or("127.0.0.1:7411")
+            .to_owned(),
+        connections: flag(args, "--connections").flatten().unwrap_or(4.0) as usize,
+        requests: flag(args, "--requests").flatten().unwrap_or(10_000.0) as u64,
+        duration: flag(args, "--seconds")
+            .flatten()
+            .map(std::time::Duration::from_secs_f64),
+        seed: seed_of(args),
+        submit_task: true,
+        stop_server: args.iter().any(|a| a == "--stop-server"),
+    };
+    let report = match run_loadgen(&options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen cannot reach {}: {e}", options.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.render());
+    if let Some(path) = str_flag(args, "--out") {
+        if let Err(e) = std::fs::write(path, report.hist.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote latency histogram to {path}");
+    }
+    if report.requests == 0 {
+        eprintln!("loadgen completed zero requests");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 

@@ -16,6 +16,7 @@
 //! | [`telemetry`] | unified tracing + metrics: sim-time spans, registry snapshots, Perfetto export |
 //! | [`baselines`] | the comparison frameworks: Periodic and PCS (with a trainable app-usage predictor) |
 //! | [`workload`] | the 109-person survey (Fig 1), weather field, 60-student population, experiment grids |
+//! | [`serve`] | live mode: length-prefixed TCP wire protocol, per-shard event loops, load generator, sim↔live byte-identity harness |
 //! | [`bench`](mod@bench) | the experiment harness: one `cargo bench` target per paper table/figure |
 //!
 //! # Quickstart
@@ -51,6 +52,8 @@ pub use senseaid_device as device;
 pub use senseaid_geo as geo;
 /// Radio (RRC) state machine and energy model.
 pub use senseaid_radio as radio;
+/// Live TCP serving layer: wire protocol, event loops, load generator.
+pub use senseaid_serve as serve;
 /// Discrete-event simulation engine.
 pub use senseaid_sim as sim;
 /// Unified tracing + metrics: sim-time spans, Perfetto export.

@@ -16,11 +16,13 @@ use senseaid::sim::{SimDuration, SimTime};
 use senseaid::workload::{PopulationConfig, ScenarioConfig, StudyPopulation};
 
 /// The fault seed under test: CI's chaos job sets `SENSEAID_FAULT_SEED`
-/// to sweep a small matrix; locally we default to a fixed value.
+/// to sweep a small matrix; locally we default to a fixed value. A set
+/// but malformed seed is a hard error (naming the variable), not a
+/// silent fall-back to the default — otherwise a typo'd matrix entry
+/// would quietly re-test the local seed.
 fn fault_seed() -> u64 {
-    std::env::var("SENSEAID_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
+    senseaid::core::env::parsed_env("SENSEAID_FAULT_SEED", "an unsigned integer seed")
+        .unwrap_or_else(|err| panic!("{err}"))
         .unwrap_or(0xC0DE)
 }
 

