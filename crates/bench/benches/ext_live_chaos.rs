@@ -1,0 +1,13 @@
+//! Live-path chaos extension study (transport fault presets vs the sim
+//! twin's digest). Run with
+//! `cargo bench -p senseaid-bench --bench ext_live_chaos`.
+
+use senseaid_bench::experiments::{ext_live_chaos, DEFAULT_SEED};
+
+fn main() {
+    let seed = std::env::var("SENSEAID_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    print!("{}", ext_live_chaos::run(seed));
+}

@@ -8,6 +8,7 @@
 pub mod ablations;
 pub mod ext_adaptive;
 pub mod ext_chaos;
+pub mod ext_live_chaos;
 pub mod ext_million;
 pub mod ext_overload;
 pub mod ext_scalability;

@@ -507,8 +507,15 @@ pub struct RecoveryReport {
     /// survive): `None` only when the chain and journal replayed
     /// completely.
     pub lost_window: Option<(SimTime, SimTime)>,
-    /// When the recovery ran.
+    /// When the recovery ran. Never earlier than
+    /// [`durable_horizon`](Self::durable_horizon): a caller-supplied
+    /// instant behind the recovered state is clamped forward.
     pub recovered_at: SimTime,
+    /// The latest sim instant the recovered state attests to — the
+    /// loaded snapshot's capture time or the newest replayed journal
+    /// stamp, whichever is later. A restarted live server anchors its
+    /// wall clock here so time never runs backwards across a crash.
+    pub durable_horizon: SimTime,
 }
 
 #[cfg(test)]

@@ -156,6 +156,28 @@ pub(crate) enum JournalOp {
 }
 
 impl JournalOp {
+    /// The sim instant the op was applied at, for ops that carry one.
+    /// Recovery uses the maximum stamp as the durable horizon: no clock
+    /// restarted from a recovered WAL may read earlier than this.
+    pub(crate) fn stamp(&self) -> Option<SimTime> {
+        match self {
+            JournalOp::UpdateDeviceState { now, .. }
+            | JournalOp::RecordComm { now, .. }
+            | JournalOp::SubmitTask { now, .. }
+            | JournalOp::UpdateTaskParam { now, .. }
+            | JournalOp::Poll { now, .. }
+            | JournalOp::SubmitData { now, .. }
+            | JournalOp::SubmitBatch { now, .. } => Some(*now),
+            JournalOp::Register { .. }
+            | JournalOp::Deregister { .. }
+            | JournalOp::UpdatePreferences { .. }
+            | JournalOp::Observe { .. }
+            | JournalOp::DeleteTask { .. }
+            | JournalOp::NoteClientDrops { .. }
+            | JournalOp::DrainOutbox => None,
+        }
+    }
+
     /// Re-invokes the op against `c`, discarding results — replay wants
     /// the state transitions, not the answers.
     pub(crate) fn apply(self, c: &mut Coordinator) {

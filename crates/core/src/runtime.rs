@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use senseaid_sim::SimTime;
+use senseaid_sim::{SimRng, SimTime};
 
 /// The control plane's single source of "now".
 ///
@@ -84,6 +84,7 @@ impl Clock for SimClock {
 #[derive(Debug, Clone)]
 pub struct WallClock {
     anchor: Instant,
+    offset_us: u64,
 }
 
 impl WallClock {
@@ -91,6 +92,18 @@ impl WallClock {
     pub fn new() -> Self {
         WallClock {
             anchor: Instant::now(),
+            offset_us: 0,
+        }
+    }
+
+    /// A clock that reads `at` at the moment of this call and advances in
+    /// real time from there. A server recovering from a WAL anchors its
+    /// clock at the recovered horizon so every post-restart timestamp
+    /// stays monotonic with respect to the durable record.
+    pub fn starting_at(at: SimTime) -> Self {
+        WallClock {
+            anchor: Instant::now(),
+            offset_us: at.as_micros(),
         }
     }
 }
@@ -103,7 +116,7 @@ impl Default for WallClock {
 
 impl Clock for WallClock {
     fn now(&self) -> SimTime {
-        SimTime::from_micros(self.anchor.elapsed().as_micros() as u64)
+        SimTime::from_micros(self.offset_us + self.anchor.elapsed().as_micros() as u64)
     }
 }
 
@@ -236,6 +249,235 @@ impl Transport for LoopbackTransport {
     }
 }
 
+/// A seeded, replayable description of transport-level misbehaviour, the
+/// live-path sibling of [`StorageFaultPlan`](crate::persist::StorageFaultPlan):
+/// per-operation chances for the failure classes a cellular link actually
+/// exhibits. One seed replays one exact fault timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportFaultPlan {
+    /// RNG seed for fault placement.
+    pub seed: u64,
+    /// Chance a send accepts only a strict prefix of its bytes (torn
+    /// write; the rest stays buffered at the caller).
+    pub torn_send_chance: f64,
+    /// Chance an operation starts a stall: the link reports "try later"
+    /// for the next few operations, freezing a frame mid-flight.
+    pub stall_chance: f64,
+    /// Maximum length of a stall, in operations (drawn `1..=stall_ops`).
+    pub stall_ops: u64,
+    /// Chance the link is cut abruptly: the operation fails `Closed` and
+    /// every later one does too, until the caller reconnects.
+    pub disconnect_chance: f64,
+    /// Chance a recv delivers only a trickle (at most `delay_bytes`),
+    /// smearing one frame across many reads.
+    pub delay_chance: f64,
+    /// Byte cap for a delayed recv.
+    pub delay_bytes: usize,
+}
+
+impl TransportFaultPlan {
+    /// The fault-free plan: wrapping a transport with it is a no-op
+    /// (byte-identical to the unwrapped transport).
+    pub fn none(seed: u64) -> Self {
+        TransportFaultPlan {
+            seed,
+            torn_send_chance: 0.0,
+            stall_chance: 0.0,
+            stall_ops: 0,
+            disconnect_chance: 0.0,
+            delay_chance: 0.0,
+            delay_bytes: 0,
+        }
+    }
+
+    /// Named single-fault presets (plus `"mixed"` and `"none"`) for the
+    /// chaos matrix, mirroring the storage presets.
+    pub fn preset(kind: &str, seed: u64) -> Option<Self> {
+        let mut plan = Self::none(seed);
+        match kind {
+            "none" => {}
+            "torn-send" => plan.torn_send_chance = 0.35,
+            "stall" => {
+                plan.stall_chance = 0.2;
+                plan.stall_ops = 4;
+            }
+            "delay" => {
+                plan.delay_chance = 0.5;
+                plan.delay_bytes = 7;
+            }
+            "disconnect" => plan.disconnect_chance = 0.02,
+            "reconnect-storm" => plan.disconnect_chance = 0.10,
+            "mixed" => {
+                plan.torn_send_chance = 0.2;
+                plan.stall_chance = 0.1;
+                plan.stall_ops = 3;
+                plan.delay_chance = 0.25;
+                plan.delay_bytes = 9;
+                plan.disconnect_chance = 0.02;
+            }
+            _ => return None,
+        }
+        Some(plan)
+    }
+
+    /// Every preset name accepted by [`preset`](Self::preset), the chaos
+    /// sweep's matrix axis.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "none",
+            "torn-send",
+            "stall",
+            "delay",
+            "disconnect",
+            "reconnect-storm",
+            "mixed",
+        ]
+    }
+
+    /// True when no fault class is armed.
+    pub fn is_none(&self) -> bool {
+        self.torn_send_chance == 0.0
+            && self.stall_chance == 0.0
+            && self.disconnect_chance == 0.0
+            && self.delay_chance == 0.0
+    }
+}
+
+/// Counts of faults actually injected by a [`FaultingTransport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportFaultTally {
+    /// Sends that accepted only a prefix.
+    pub torn_sends: u64,
+    /// Operations swallowed by a stall (including the one that started it).
+    pub stalls: u64,
+    /// Abrupt link cuts.
+    pub disconnects: u64,
+    /// Recvs throttled to a trickle.
+    pub delayed_recvs: u64,
+}
+
+impl TransportFaultTally {
+    /// Total faults of every class.
+    pub fn total(&self) -> u64 {
+        self.torn_sends + self.stalls + self.disconnects + self.delayed_recvs
+    }
+
+    /// Folds another tally into this one (per-connection tallies roll up
+    /// into a per-run total).
+    pub fn absorb(&mut self, other: &TransportFaultTally) {
+        self.torn_sends += other.torn_sends;
+        self.stalls += other.stalls;
+        self.disconnects += other.disconnects;
+        self.delayed_recvs += other.delayed_recvs;
+    }
+}
+
+/// A [`Transport`] wrapper that injects the faults described by a
+/// [`TransportFaultPlan`], deterministically from the plan's seed. The
+/// live-path analogue of `FaultingStorage`: same wrapper idea, same
+/// replayability contract.
+///
+/// A disconnect fault latches: once cut, every operation fails
+/// [`TransportError::Closed`] and the caller must tear the connection
+/// down and reconnect (the wrapper cannot close a generic inner
+/// transport itself — use [`inner_mut`](Self::inner_mut) when the
+/// concrete type supports it).
+#[derive(Debug)]
+pub struct FaultingTransport<T> {
+    inner: T,
+    plan: TransportFaultPlan,
+    rng: SimRng,
+    stall_remaining: u64,
+    cut: bool,
+    tally: TransportFaultTally,
+}
+
+impl<T: Transport> FaultingTransport<T> {
+    /// Wraps `inner`. `lane` keys this connection's fault stream off the
+    /// plan seed, so each connection in a reconnect storm replays its own
+    /// deterministic timeline.
+    pub fn new(inner: T, plan: &TransportFaultPlan, lane: u64) -> Self {
+        FaultingTransport {
+            inner,
+            plan: plan.clone(),
+            rng: SimRng::from_seed_label(plan.seed, &format!("transport-lane-{lane}")),
+            stall_remaining: 0,
+            cut: false,
+            tally: TransportFaultTally::default(),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn tally(&self) -> &TransportFaultTally {
+        &self.tally
+    }
+
+    /// Whether a disconnect fault has latched this connection shut.
+    pub fn is_cut(&self) -> bool {
+        self.cut
+    }
+
+    /// The wrapped transport, for teardown the trait cannot express.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Draws the per-operation fault classes in a fixed order so the
+    /// random stream (and therefore the whole timeline) is stable for a
+    /// given seed. Returns `Some(result)` when a fault consumed the op.
+    fn roll_common(&mut self) -> Option<Result<usize, TransportError>> {
+        if self.cut {
+            return Some(Err(TransportError::Closed));
+        }
+        if self.stall_remaining > 0 {
+            self.stall_remaining -= 1;
+            self.tally.stalls += 1;
+            return Some(Ok(0));
+        }
+        if self.rng.chance(self.plan.disconnect_chance) {
+            self.cut = true;
+            self.tally.disconnects += 1;
+            return Some(Err(TransportError::Closed));
+        }
+        if self.rng.chance(self.plan.stall_chance) {
+            self.tally.stalls += 1;
+            self.stall_remaining = self.rng.next_u64() % self.plan.stall_ops.max(1);
+            return Some(Ok(0));
+        }
+        None
+    }
+}
+
+impl<T: Transport> Transport for FaultingTransport<T> {
+    fn send(&mut self, bytes: &[u8]) -> Result<usize, TransportError> {
+        if let Some(faulted) = self.roll_common() {
+            return faulted;
+        }
+        if bytes.len() > 1 && self.rng.chance(self.plan.torn_send_chance) {
+            self.tally.torn_sends += 1;
+            let take = 1 + self.rng.next_u64() as usize % (bytes.len() - 1);
+            return self.inner.send(&bytes[..take]);
+        }
+        self.inner.send(bytes)
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        if let Some(faulted) = self.roll_common() {
+            return faulted;
+        }
+        if !buf.is_empty() && self.rng.chance(self.plan.delay_chance) {
+            self.tally.delayed_recvs += 1;
+            let cap = self.plan.delay_bytes.clamp(1, buf.len());
+            return self.inner.recv(&mut buf[..cap]);
+        }
+        self.inner.recv(buf)
+    }
+
+    fn is_open(&self) -> bool {
+        !self.cut && self.inner.is_open()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +538,80 @@ mod tests {
         // ...then the drained queue reports EOF, not "try later".
         assert_eq!(b.recv(&mut buf), Err(TransportError::Closed));
         assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn wall_clock_starting_at_offsets_the_axis() {
+        let clock = WallClock::starting_at(SimTime::from_secs(100));
+        assert!(clock.now() >= SimTime::from_secs(100));
+        assert!(clock.now() < SimTime::from_secs(101));
+    }
+
+    #[test]
+    fn zero_fault_plan_is_transparent() {
+        let plan = TransportFaultPlan::none(9);
+        assert!(plan.is_none());
+        let (a, mut b) = loopback_pair();
+        let mut wrapped = FaultingTransport::new(a, &plan, 0);
+        assert_eq!(wrapped.send(b"payload"), Ok(7));
+        let mut buf = [0u8; 16];
+        assert_eq!(b.recv(&mut buf).unwrap(), 7);
+        assert_eq!(&buf[..7], b"payload");
+        assert_eq!(wrapped.tally().total(), 0);
+    }
+
+    #[test]
+    fn every_preset_parses_and_replays_deterministically() {
+        for &name in TransportFaultPlan::preset_names() {
+            let plan = TransportFaultPlan::preset(name, 42).expect("known preset");
+            assert_eq!(plan, TransportFaultPlan::preset(name, 42).unwrap());
+            // Two wrappers over identical plans inject the identical
+            // fault timeline: same outcome for the same op sequence.
+            let (a1, _k1) = loopback_pair();
+            let (a2, _k2) = loopback_pair();
+            let mut t1 = FaultingTransport::new(a1, &plan, 3);
+            let mut t2 = FaultingTransport::new(a2, &plan, 3);
+            let mut buf = [0u8; 32];
+            for _ in 0..200 {
+                assert_eq!(t1.send(&[7u8; 16]), t2.send(&[7u8; 16]));
+                assert_eq!(t1.recv(&mut buf), t2.recv(&mut buf));
+                if t1.is_cut() {
+                    break;
+                }
+            }
+            assert_eq!(t1.tally(), t2.tally());
+        }
+        assert!(TransportFaultPlan::preset("no-such", 1).is_none());
+    }
+
+    #[test]
+    fn disconnect_fault_latches_closed() {
+        let plan = TransportFaultPlan::preset("reconnect-storm", 7).unwrap();
+        let (a, _keep) = loopback_pair();
+        let mut t = FaultingTransport::new(a, &plan, 1);
+        let mut buf = [0u8; 8];
+        for _ in 0..10_000 {
+            if t.send(b"x").is_err() {
+                break;
+            }
+            let _ = t.recv(&mut buf);
+        }
+        assert!(t.is_cut(), "storm preset never cut the link in 10k ops");
+        assert_eq!(t.send(b"x"), Err(TransportError::Closed));
+        assert_eq!(t.recv(&mut buf), Err(TransportError::Closed));
+        assert!(!t.is_open());
+    }
+
+    #[test]
+    fn torn_send_accepts_a_strict_prefix() {
+        let mut plan = TransportFaultPlan::none(5);
+        plan.torn_send_chance = 1.0;
+        let (a, mut b) = loopback_pair();
+        let mut t = FaultingTransport::new(a, &plan, 0);
+        let sent = t.send(&[9u8; 64]).unwrap();
+        assert!((1..64).contains(&sent), "torn send took {sent} of 64");
+        let mut buf = [0u8; 64];
+        assert_eq!(b.recv(&mut buf).unwrap(), sent);
+        assert_eq!(t.tally().torn_sends, 1);
     }
 }

@@ -382,6 +382,24 @@ impl SenseAidServer {
         let recovery = recover_chain(storage.as_ref());
         let ops_replayed = recovery.ops.len() as u64;
         let cold_start = recovery.state.is_none();
+        // Recovery cannot run before its own durable state: a wall clock
+        // that restarted from zero would otherwise replay leases and
+        // deadlines backwards. Clamp forward to the newest instant the
+        // disk attests to.
+        let durable_horizon = recovery
+            .state
+            .as_ref()
+            .map(|(snapshot, _, _)| snapshot.taken_at())
+            .unwrap_or(SimTime::ZERO)
+            .max(
+                recovery
+                    .ops
+                    .iter()
+                    .filter_map(|op| op.stamp())
+                    .max()
+                    .unwrap_or(SimTime::ZERO),
+            );
+        let now = now.max(durable_horizon);
         let (loaded_generation, next_seq, loss_floor) = match recovery.state {
             Some((snapshot, watermark, generation)) => {
                 let loss_floor = snapshot.taken_at();
@@ -415,6 +433,7 @@ impl SenseAidServer {
             cold_start,
             lost_window,
             recovered_at: now,
+            durable_horizon,
         };
         self.coordinator.persist_instant(
             "recovery.complete",

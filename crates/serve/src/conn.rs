@@ -6,8 +6,11 @@
 //! using the self-describing 11-byte header (magic, version, kind,
 //! payload length) to know how much to wait for, then validates the CRC
 //! via `open_frame_prefix`. Corrupt input — bad magic, wrong version, a
-//! hostile length, a CRC mismatch — is a typed error; the caller drops
-//! the connection.
+//! hostile length, a CRC mismatch — is a typed error, but the stream is
+//! not condemned: the assembler *resynchronises* by scanning forward to
+//! the next plausible frame boundary (the next byte run matching the
+//! magic prefix), so later valid frames still decode. Callers count the
+//! error; whether to keep the connection is their policy call.
 //!
 //! [`Connection`] packages an assembler with any
 //! [`Transport`] plus an outgoing byte buffer, so the
@@ -30,6 +33,8 @@ const HEADER_BYTES: usize = FRAME_OVERHEAD - 4;
 #[derive(Debug, Default)]
 pub struct FrameAssembler {
     buf: Vec<u8>,
+    skipped_bytes: u64,
+    resyncs: u64,
 }
 
 impl FrameAssembler {
@@ -48,6 +53,37 @@ impl FrameAssembler {
         self.buf.len()
     }
 
+    /// Bytes discarded while scanning past corrupt input.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped_bytes
+    }
+
+    /// How many times the assembler had to resynchronise.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Drops at least one byte, then scans forward to the next position
+    /// whose available bytes match the magic prefix — the next *plausible*
+    /// frame boundary. Everything before it is counted as skipped. A
+    /// candidate can still turn out corrupt (magic-looking bytes inside a
+    /// damaged payload); the next `next_frame` call then resyncs again,
+    /// each round consuming at least one byte, so the scan always
+    /// terminates.
+    fn resync(&mut self) {
+        let mut cut = self.buf.len();
+        for i in 1..self.buf.len() {
+            let avail = (self.buf.len() - i).min(MAGIC.len());
+            if self.buf[i..i + avail] == MAGIC[..avail] {
+                cut = i;
+                break;
+            }
+        }
+        self.skipped_bytes += cut as u64;
+        self.resyncs += 1;
+        self.buf.drain(..cut);
+    }
+
     /// Pops the next complete frame as `(kind, payload)`, or `None` when
     /// more bytes are needed.
     ///
@@ -56,39 +92,49 @@ impl FrameAssembler {
     /// A typed [`WireError`] as soon as the buffered prefix cannot be the
     /// start of a valid frame (bad magic/version, a length beyond
     /// [`MAX_FRAME_BYTES`], or a CRC/structure failure once the declared
-    /// bytes arrived). After an error the stream is unrecoverable — there
-    /// is no resynchronisation point — so callers must drop the
-    /// connection.
+    /// bytes arrived). The error reports the corruption; the assembler
+    /// has already resynchronised past it, so calling again resumes at
+    /// the next plausible frame boundary.
     pub fn next_frame(&mut self) -> Result<Option<(u8, Vec<u8>)>, WireError> {
         if self.buf.len() < HEADER_BYTES {
             // Fail fast on garbage: whatever magic bytes we do have must
-            // match, or this was never a frame and no amount of waiting
-            // will fix it.
+            // match, or this was never a frame start.
             let have = self.buf.len().min(MAGIC.len());
             if self.buf[..have] != MAGIC[..have] {
+                self.resync();
                 return Err(WireError::Frame(CodecError::BadMagic));
             }
             return Ok(None);
         }
         if self.buf[..4] != MAGIC {
+            self.resync();
             return Err(WireError::Frame(CodecError::BadMagic));
         }
         let version = u16::from_le_bytes([self.buf[4], self.buf[5]]);
         if version != VERSION {
+            self.resync();
             return Err(WireError::Frame(CodecError::BadVersion(version)));
         }
         let payload_len = u32::from_le_bytes([self.buf[7], self.buf[8], self.buf[9], self.buf[10]]);
         let total = FRAME_OVERHEAD + payload_len as usize;
         if total > MAX_FRAME_BYTES {
+            self.resync();
             return Err(WireError::Oversized { declared: total });
         }
         if self.buf.len() < total {
             return Ok(None);
         }
-        let (kind, payload, consumed) = open_frame_prefix(&self.buf)?;
-        let payload = payload.to_vec();
-        self.buf.drain(..consumed);
-        Ok(Some((kind, payload)))
+        match open_frame_prefix(&self.buf) {
+            Ok((kind, payload, consumed)) => {
+                let payload = payload.to_vec();
+                self.buf.drain(..consumed);
+                Ok(Some((kind, payload)))
+            }
+            Err(e) => {
+                self.resync();
+                Err(WireError::Frame(e))
+            }
+        }
     }
 }
 
@@ -131,6 +177,7 @@ pub struct Connection<T: Transport> {
     transport: T,
     assembler: FrameAssembler,
     outbuf: Vec<u8>,
+    bad_frames: u64,
 }
 
 impl<T: Transport> Connection<T> {
@@ -140,7 +187,15 @@ impl<T: Transport> Connection<T> {
             transport,
             assembler: FrameAssembler::new(),
             outbuf: Vec::new(),
+            bad_frames: 0,
         }
+    }
+
+    /// Corrupt-frame events absorbed by stream resync since the last
+    /// call; resets the counter. The connection itself stays usable —
+    /// dropping a peer over corruption is the caller's policy.
+    pub fn take_bad_frames(&mut self) -> u64 {
+        std::mem::take(&mut self.bad_frames)
     }
 
     /// Whether the underlying transport is still usable.
@@ -186,10 +241,10 @@ impl<T: Transport> Connection<T> {
     ///
     /// # Errors
     ///
-    /// [`ConnError::Wire`] on a corrupt stream (drop the connection);
-    /// [`ConnError::Transport`] on EOF or stream failure. Frames
-    /// assembled before the failure are lost with it — by then the
-    /// stream has no valid continuation anyway.
+    /// [`ConnError::Transport`] on EOF or stream failure. Corrupt frames
+    /// are *not* errors here: the assembler resyncs past them and the
+    /// count is available via [`take_bad_frames`](Self::take_bad_frames),
+    /// so frames on either side of the corruption still arrive.
     pub fn pump_reads(&mut self, scratch: &mut [u8]) -> Result<Vec<(u8, Vec<u8>)>, ConnError> {
         loop {
             match self.transport.recv(scratch) {
@@ -204,8 +259,14 @@ impl<T: Transport> Connection<T> {
             }
         }
         let mut frames = Vec::new();
-        while let Some(frame) = self.assembler.next_frame()? {
-            frames.push(frame);
+        loop {
+            match self.assembler.next_frame() {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => break,
+                // Each rejection consumes at least one buffered byte
+                // (the assembler resynced), so this loop terminates.
+                Err(_) => self.bad_frames += 1,
+            }
         }
         Ok(frames)
     }

@@ -24,8 +24,20 @@
 //!    each selected device (`Hello`/`Register` bind sessions); devices
 //!    without a live session miss the push — delivery is not part of the
 //!    durable state, so this cannot perturb byte identity.
+//!
+//! **Sessions survive their sockets.** A session is keyed by the device
+//! identity, carries a token minted at `Hello`, and outlives any one
+//! connection: `on_disconnect` unbinds the socket but keeps the session,
+//! its bounded unacked-push ledger, and its request-dedup state, so a
+//! [`WireRequest::Resume`] on a fresh connection replays exactly the
+//! pushes the client has not acked and a retransmitted
+//! [`WireRequest::Tracked`] envelope replays the recorded response
+//! instead of re-applying the operation. That pair of rules is what makes
+//! the surviving-prefix digest identity hold under transport chaos: an
+//! operation is applied at most once no matter how many times the link
+//! dies mid-exchange.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use senseaid_cellnet::CellId;
@@ -35,14 +47,20 @@ use senseaid_core::{Assignment, SenseAidError, SenseAidServer, TaskSpec};
 use senseaid_device::{ImeiHash, SensorReading};
 use senseaid_geo::{CircleRegion, GeoPoint};
 use senseaid_sim::{SimDuration, SimTime};
+use senseaid_telemetry::{Attr, Lane, SpanId, Telemetry};
 
 use crate::wire::{
     encode_push, encode_response, error_code, WirePush, WireReading, WireRequest, WireResponse,
-    WireTaskSpec,
+    WireTaskSpec, DISCONNECT_LEASE_EXPIRED, DISCONNECT_LEDGER_OVERFLOW, ERR_BAD_SEQUENCE,
+    ERR_UNKNOWN_SESSION,
 };
 
 /// A connection identity, assigned by the transport layer.
 pub type ConnId = u64;
+
+/// Default bound on a session's unacked push ledger; past it the session
+/// is revoked (the client has plainly stopped acking).
+pub const DEFAULT_LEDGER_CAP: usize = 256;
 
 /// Counters the engine keeps about its own traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +73,22 @@ pub struct EngineStats {
     pub assignments_pushed: u64,
     /// Assignments whose device had no live session.
     pub assignments_unrouted: u64,
+    /// Assignments held in a disconnected session's ledger, awaiting
+    /// resume replay.
+    pub assignments_queued: u64,
+    /// Sessions minted at `Hello`/`Register`.
+    pub sessions_created: u64,
+    /// Successful `Resume` rebinds.
+    pub sessions_resumed: u64,
+    /// Pushes replayed from a ledger during resume.
+    pub pushes_replayed: u64,
+    /// Tracked envelopes answered from the response cache without
+    /// re-applying the operation.
+    pub requests_deduped: u64,
+    /// Sessions revoked because their unacked ledger overflowed.
+    pub ledger_overflows: u64,
+    /// Sessions torn down because the device's liveness lease expired.
+    pub sessions_lease_torn: u64,
 }
 
 /// What the WAL flush at graceful shutdown found.
@@ -68,6 +102,11 @@ pub struct FlushSummary {
     pub snapshots_persisted: u64,
     /// The durable generation after the flush.
     pub generation: Option<u64>,
+    /// Pushes still sitting unacked in session ledgers at flush time.
+    /// Delivery is not durable state, so these are *reported*, not
+    /// persisted: a client resuming against a restarted server re-Hellos
+    /// and the scheduler re-derives its assignments from the WAL.
+    pub unacked_pushes: u64,
 }
 
 /// Frames to send, each addressed to a connection.
@@ -79,13 +118,69 @@ pub struct EngineOutput {
     pub shutdown: bool,
 }
 
+/// One device's (or CAS driver's) durable session: the state that
+/// survives the socket.
+#[derive(Debug)]
+struct Session {
+    /// The resume credential minted at `Hello`.
+    token: u64,
+    /// The connection currently bound, if any.
+    conn: Option<ConnId>,
+    /// Whether this identity was a registered device when last checked
+    /// (CAS driver sessions are not; the lease sweep skips them).
+    device_bound: bool,
+    /// Next push sequence number to mint (1-based).
+    next_push_seq: u64,
+    /// Unacked pushes: `(seq, sealed frame)`, oldest first.
+    ledger: VecDeque<(u64, Vec<u8>)>,
+    /// Highest Tracked envelope sequence applied.
+    last_req_seq: u64,
+    /// The sealed response frame for `last_req_seq`, replayed verbatim
+    /// on a retransmit.
+    cached_response: Option<Vec<u8>>,
+}
+
+impl Session {
+    fn fresh(token: u64, conn: ConnId, device_bound: bool) -> Self {
+        Session {
+            token,
+            conn: Some(conn),
+            device_bound,
+            next_push_seq: 1,
+            ledger: VecDeque::new(),
+            last_req_seq: 0,
+            cached_response: None,
+        }
+    }
+
+    /// Cumulative ack: drop every ledgered push with seq ≤ `ack`.
+    fn prune(&mut self, ack: u64) {
+        while self.ledger.front().is_some_and(|(seq, _)| *seq <= ack) {
+            self.ledger.pop_front();
+        }
+    }
+}
+
 /// The mode-independent serving core. See the module docs for the
 /// serving semantics it guarantees.
 pub struct ServeEngine {
     server: SenseAidServer,
     clock: Arc<dyn Clock>,
-    /// imei → the connection bound as that device's session.
-    sessions: HashMap<u64, ConnId>,
+    /// identity (imei, or a CAS driver's chosen id) → session.
+    sessions: HashMap<u64, Session>,
+    /// token → identity, the resume lookup.
+    tokens: HashMap<u64, u64>,
+    /// Deterministic token mint counter.
+    next_token: u64,
+    /// Bound on each session's unacked push ledger.
+    ledger_cap: usize,
+    /// When false, pushes are fire-and-forget exactly as before PR 10
+    /// (the perf pair prices the ledger against this).
+    ledger_enabled: bool,
+    /// `ServerStats::leases_expired` last time the lease sweep ran.
+    leases_expired_seen: u64,
+    /// `session.*` / `conn.*` instants; off by default.
+    tel: Telemetry,
     /// The last instant the scheduler was advanced to.
     cursor: SimTime,
     stats: EngineStats,
@@ -98,6 +193,12 @@ impl ServeEngine {
             server,
             clock,
             sessions: HashMap::new(),
+            tokens: HashMap::new(),
+            next_token: 0,
+            ledger_cap: DEFAULT_LEDGER_CAP,
+            ledger_enabled: true,
+            leases_expired_seen: 0,
+            tel: Telemetry::off(),
             cursor: SimTime::ZERO,
             stats: EngineStats::default(),
         }
@@ -123,6 +224,34 @@ impl ServeEngine {
         self.clock.now()
     }
 
+    /// Arms `session.*`/`conn.*` instants on `tel` (off by default).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Overrides the per-session unacked-push ledger bound.
+    pub fn set_ledger_cap(&mut self, cap: usize) {
+        self.ledger_cap = cap.max(1);
+    }
+
+    /// Disables (or re-enables) push retention. With the ledger off,
+    /// pushes are fire-and-forget and resume replays nothing — the
+    /// pre-PR 10 behaviour the `session_ledger_overhead` perf pair
+    /// measures against.
+    pub fn set_session_ledger(&mut self, enabled: bool) {
+        self.ledger_enabled = enabled;
+    }
+
+    /// Live sessions (bound or awaiting resume).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Pushes sitting unacked across every session ledger.
+    pub fn unacked_pushes(&self) -> u64 {
+        self.sessions.values().map(|s| s.ledger.len() as u64).sum()
+    }
+
     /// Advances the scheduler through every wakeup due at or before `t`,
     /// returning assignment pushes for the sessions of selected devices.
     ///
@@ -145,34 +274,126 @@ impl ServeEngine {
         if t > self.cursor {
             self.cursor = t;
         }
+        self.sweep_expired_leases(&mut frames);
         frames
     }
 
+    /// PR 5 integration: when a poll evicted devices whose liveness lease
+    /// expired, their sessions die with them. Cheap in the common case —
+    /// the sweep only walks the session map when the eviction counter
+    /// moved.
+    fn sweep_expired_leases(&mut self, frames: &mut Vec<(ConnId, Vec<u8>)>) {
+        let expired = self.server.stats().leases_expired;
+        if expired == self.leases_expired_seen {
+            return;
+        }
+        self.leases_expired_seen = expired;
+        let dead: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(identity, s)| {
+                s.device_bound && self.server.device(ImeiHash(**identity)).is_none()
+            })
+            .map(|(identity, _)| *identity)
+            .collect();
+        for identity in dead {
+            let session = self.sessions.remove(&identity).expect("listed above");
+            self.tokens.remove(&session.token);
+            self.stats.sessions_lease_torn += 1;
+            self.tel.instant(
+                "session.lease_torn",
+                self.cursor,
+                Lane::control(0),
+                SpanId::NONE,
+                vec![Attr::u64("imei", identity)],
+            );
+            if let Some(conn) = session.conn {
+                let notice = WirePush::Disconnect {
+                    code: DISCONNECT_LEASE_EXPIRED,
+                    detail: format!("device {identity} lease expired; session torn down"),
+                };
+                frames.push((conn, encode_push(&notice)));
+            }
+        }
+    }
+
     fn route_assignment(&mut self, assignment: &Assignment, frames: &mut Vec<(ConnId, Vec<u8>)>) {
-        let push = WirePush::Assignment {
-            request: assignment.request.0,
-            task: assignment.task.0,
-            sensor: assignment.sensor,
-            sample_at_us: assignment.sample_at.as_micros(),
-            deadline_us: assignment.deadline.as_micros(),
-            payload_bytes: assignment.payload_bytes,
-            devices: assignment.devices.iter().map(|d| d.0).collect(),
-        };
-        let frame = encode_push(&push);
-        for device in &assignment.devices {
-            match self.sessions.get(&device.0) {
-                Some(&conn) => {
-                    frames.push((conn, frame.clone()));
+        let devices: Vec<u64> = assignment.devices.iter().map(|d| d.0).collect();
+        for device in &devices {
+            let Some(session) = self.sessions.get_mut(device) else {
+                self.stats.assignments_unrouted += 1;
+                continue;
+            };
+            let seq = session.next_push_seq;
+            session.next_push_seq += 1;
+            let push = WirePush::Assignment {
+                seq,
+                device: *device,
+                request: assignment.request.0,
+                task: assignment.task.0,
+                sensor: assignment.sensor,
+                sample_at_us: assignment.sample_at.as_micros(),
+                deadline_us: assignment.deadline.as_micros(),
+                payload_bytes: assignment.payload_bytes,
+                devices: devices.clone(),
+            };
+            let frame = encode_push(&push);
+            if self.ledger_enabled {
+                session.ledger.push_back((seq, frame.clone()));
+                if session.ledger.len() > self.ledger_cap {
+                    // The client stopped acking; holding unbounded frames
+                    // for it would let one dead peer eat the server.
+                    let session = self.sessions.remove(device).expect("present above");
+                    self.tokens.remove(&session.token);
+                    self.stats.ledger_overflows += 1;
+                    self.tel.instant(
+                        "session.ledger_overflow",
+                        self.cursor,
+                        Lane::control(0),
+                        SpanId::NONE,
+                        vec![Attr::u64("imei", *device)],
+                    );
+                    if let Some(conn) = session.conn {
+                        let notice = WirePush::Disconnect {
+                            code: DISCONNECT_LEDGER_OVERFLOW,
+                            detail: format!(
+                                "session push ledger exceeded {} unacked pushes",
+                                self.ledger_cap
+                            ),
+                        };
+                        frames.push((conn, encode_push(&notice)));
+                    }
+                    continue;
+                }
+            }
+            match session.conn {
+                Some(conn) => {
+                    frames.push((conn, frame));
                     self.stats.assignments_pushed += 1;
                 }
+                None if self.ledger_enabled => self.stats.assignments_queued += 1,
                 None => self.stats.assignments_unrouted += 1,
             }
         }
     }
 
-    /// Drops the session bindings of a disconnected connection.
+    /// Unbinds the sessions of a disconnected connection. The sessions
+    /// themselves survive — their ledgers keep accumulating pushes until
+    /// the client resumes, the ledger overflows, or the device lease
+    /// expires.
     pub fn on_disconnect(&mut self, conn: ConnId) {
-        self.sessions.retain(|_, bound| *bound != conn);
+        for session in self.sessions.values_mut() {
+            if session.conn == Some(conn) {
+                session.conn = None;
+            }
+        }
+        self.tel.instant(
+            "conn.closed",
+            self.cursor,
+            Lane::control(0),
+            SpanId::NONE,
+            vec![Attr::u64("conn", conn)],
+        );
     }
 
     /// Applies one decoded request from `conn` at the clock's current
@@ -184,10 +405,165 @@ impl ServeEngine {
             shutdown: false,
         };
         self.stats.requests += 1;
-        let response = self.apply(conn, &request, now, &mut output);
-        output.frames.push((conn, encode_response(&response)));
+        match request {
+            WireRequest::Tracked {
+                token,
+                req_seq,
+                push_ack,
+                inner,
+            } => self.handle_tracked(conn, token, req_seq, push_ack, &inner, now, &mut output),
+            WireRequest::Resume { token, push_ack } => {
+                self.handle_resume(conn, token, push_ack, now, &mut output)
+            }
+            WireRequest::PushAck { token, push_ack } => {
+                let response = match self.session_by_token(token) {
+                    Some(identity) => {
+                        let session = self.sessions.get_mut(&identity).expect("token maps");
+                        session.prune(push_ack);
+                        WireResponse::Ok
+                    }
+                    None => unknown_session_response(),
+                };
+                output.frames.push((conn, encode_response(&response)));
+            }
+            other => {
+                let response = self.apply(conn, &other, now, &mut output);
+                output.frames.push((conn, encode_response(&response)));
+            }
+        }
         self.stats.responses += 1;
         output
+    }
+
+    fn session_by_token(&self, token: u64) -> Option<u64> {
+        self.tokens.get(&token).copied()
+    }
+
+    /// The at-most-once path. A retransmit of the last applied envelope
+    /// replays the recorded response verbatim; anything else either
+    /// applies in order or gets a truthful sequence error. The op itself
+    /// is never applied twice — that is the whole surviving-prefix
+    /// argument.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_tracked(
+        &mut self,
+        conn: ConnId,
+        token: u64,
+        req_seq: u64,
+        push_ack: u64,
+        inner: &WireRequest,
+        now: SimTime,
+        output: &mut EngineOutput,
+    ) {
+        let Some(identity) = self.session_by_token(token) else {
+            let frame = encode_response(&unknown_session_response());
+            output.frames.push((conn, frame));
+            return;
+        };
+        {
+            let session = self.sessions.get_mut(&identity).expect("token maps");
+            // The envelope proves the client is on this conn now.
+            session.conn = Some(conn);
+            session.prune(push_ack);
+            if req_seq == session.last_req_seq {
+                if let Some(cached) = session.cached_response.clone() {
+                    self.stats.requests_deduped += 1;
+                    output.frames.push((conn, cached));
+                    return;
+                }
+            }
+            if req_seq != session.last_req_seq + 1 {
+                let response = WireResponse::Error {
+                    code: ERR_BAD_SEQUENCE,
+                    detail: format!(
+                        "envelope seq {req_seq} does not follow applied seq {}",
+                        session.last_req_seq
+                    ),
+                };
+                output.frames.push((conn, encode_response(&response)));
+                return;
+            }
+        }
+        let response = self.apply(conn, inner, now, output);
+        let frame = encode_response(&response);
+        // The lease sweep or a ledger overflow inside apply/advance may
+        // have killed the session; cache only if it still exists.
+        if let Some(session) = self.sessions.get_mut(&identity) {
+            session.last_req_seq = req_seq;
+            session.cached_response = Some(frame.clone());
+        }
+        output.frames.push((conn, frame));
+    }
+
+    fn handle_resume(
+        &mut self,
+        conn: ConnId,
+        token: u64,
+        push_ack: u64,
+        now: SimTime,
+        output: &mut EngineOutput,
+    ) {
+        let Some(identity) = self.session_by_token(token) else {
+            let frame = encode_response(&unknown_session_response());
+            output.frames.push((conn, frame));
+            return;
+        };
+        let session = self.sessions.get_mut(&identity).expect("token maps");
+        session.conn = Some(conn);
+        session.prune(push_ack);
+        let replaying = session.ledger.len() as u32;
+        let response = WireResponse::SessionResumed {
+            applied_req_seq: session.last_req_seq,
+            replaying,
+        };
+        output.frames.push((conn, encode_response(&response)));
+        // Replay strictly after the response so the client rebinds before
+        // it sees the backlog; order within the ledger is seq order.
+        for (_, frame) in session.ledger.iter() {
+            output.frames.push((conn, frame.clone()));
+        }
+        self.stats.pushes_replayed += u64::from(replaying);
+        self.stats.sessions_resumed += 1;
+        self.tel.instant(
+            "session.resumed",
+            now,
+            Lane::control(0),
+            SpanId::NONE,
+            vec![
+                Attr::u64("imei", identity),
+                Attr::u64("replayed", u64::from(replaying)),
+            ],
+        );
+    }
+
+    /// Mints a fresh session for `identity`, revoking any prior one (a
+    /// client that re-Hellos has lost its token; the old ledger is
+    /// unreachable to it and would only replay confusion).
+    fn mint_session(&mut self, identity: u64, conn: ConnId, now: SimTime) -> u64 {
+        if let Some(old) = self.sessions.remove(&identity) {
+            self.tokens.remove(&old.token);
+        }
+        self.next_token += 1;
+        // Decorrelate tokens from the mint counter so a client cannot
+        // guess a neighbour's credential from its own.
+        let token = self
+            .next_token
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ identity;
+        let device_bound = self.server.device(ImeiHash(identity)).is_some();
+        self.sessions
+            .insert(identity, Session::fresh(token, conn, device_bound));
+        self.tokens.insert(token, identity);
+        self.stats.sessions_created += 1;
+        self.tel.instant(
+            "session.bound",
+            now,
+            Lane::control(0),
+            SpanId::NONE,
+            vec![Attr::u64("imei", identity), Attr::u64("conn", conn)],
+        );
+        token
     }
 
     /// Rule 2: any device-originated frame is radio contact; renew the
@@ -207,8 +583,8 @@ impl ServeEngine {
     ) -> WireResponse {
         match request {
             WireRequest::Hello { imei } => {
-                self.sessions.insert(*imei, conn);
-                WireResponse::Ok
+                let token = self.mint_session(*imei, conn, now);
+                WireResponse::SessionBound { token }
             }
             WireRequest::Register {
                 imei,
@@ -228,12 +604,25 @@ impl ServeEngine {
                     now,
                 );
                 if result.is_ok() {
-                    self.sessions.insert(*imei, conn);
+                    // Keep an existing session (a Hello-then-Register
+                    // client keeps its token and ledger); mint one for
+                    // bare-Register clients.
+                    match self.sessions.get_mut(imei) {
+                        Some(session) => {
+                            session.conn = Some(conn);
+                            session.device_bound = true;
+                        }
+                        None => {
+                            self.mint_session(*imei, conn, now);
+                        }
+                    }
                 }
                 respond(result)
             }
             WireRequest::Deregister { imei } => {
-                self.sessions.remove(imei);
+                if let Some(session) = self.sessions.remove(imei) {
+                    self.tokens.remove(&session.token);
+                }
                 respond(self.server.deregister_device(ImeiHash(*imei)))
             }
             WireRequest::UpdatePreferences {
@@ -339,6 +728,14 @@ impl ServeEngine {
                 output.shutdown = true;
                 WireResponse::ShuttingDown
             }
+            // Session-layer requests are routed in `handle` before apply;
+            // reaching here means one was smuggled inside an envelope.
+            WireRequest::Resume { .. }
+            | WireRequest::PushAck { .. }
+            | WireRequest::Tracked { .. } => WireResponse::Error {
+                code: ERR_BAD_SEQUENCE,
+                detail: "session control request inside a tracked envelope".to_owned(),
+            },
         }
     }
 
@@ -347,6 +744,7 @@ impl ServeEngine {
     pub fn shutdown_flush(&mut self) -> FlushSummary {
         let now = self.clock.now();
         let _ = self.advance_to(now);
+        let unacked_pushes = self.unacked_pushes();
         let armed = self.server.persist_stats().is_some();
         if armed {
             self.server.take_snapshot(now);
@@ -360,6 +758,7 @@ impl ServeEngine {
                 .map(|s| s.snapshots_full + s.snapshots_delta)
                 .unwrap_or(0),
             generation: self.server.persist_generation(),
+            unacked_pushes,
         }
     }
 }
@@ -403,6 +802,13 @@ pub fn decode_readings(readings: &[WireReading]) -> Vec<(senseaid_core::RequestI
         .collect()
 }
 
+fn unknown_session_response() -> WireResponse {
+    WireResponse::Error {
+        code: ERR_UNKNOWN_SESSION,
+        detail: "unknown session token (expired, revoked, or pre-restart)".to_owned(),
+    }
+}
+
 fn respond(result: Result<(), SenseAidError>) -> WireResponse {
     match result {
         Ok(()) => WireResponse::Ok,
@@ -414,5 +820,99 @@ fn error_response(e: &SenseAidError) -> WireResponse {
     WireResponse::Error {
         code: error_code(e),
         detail: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use senseaid_core::runtime::SimClock;
+    use senseaid_device::Sensor;
+
+    use crate::conn::FrameAssembler;
+    use crate::trace::trace_server;
+    use crate::wire::{decode_frame, WireFrame};
+
+    fn response_of(output: &EngineOutput) -> WireResponse {
+        let (_conn, frame) = output.frames.first().expect("a response frame");
+        let mut assembler = FrameAssembler::new();
+        assembler.extend(frame);
+        let (kind, payload) = assembler
+            .next_frame()
+            .expect("response reassembles")
+            .expect("response is complete");
+        match decode_frame(kind, &payload).expect("response decodes") {
+            WireFrame::Response(resp) => resp,
+            other => panic!("expected a response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_flush_reports_pushes_still_unacked_in_ledgers() {
+        let clock = SimClock::new();
+        let mut engine = ServeEngine::new(trace_server(1), Arc::new(clock.clone()));
+
+        // Bind a session and enrol its device inside the task region.
+        let output = engine.handle(1, WireRequest::Hello { imei: 7 });
+        let WireResponse::SessionBound { .. } = response_of(&output) else {
+            panic!("hello must bind a session");
+        };
+        clock.advance_to(SimTime::from_secs(1));
+        engine.handle(
+            1,
+            WireRequest::Register {
+                imei: 7,
+                energy_budget_j: 400.0,
+                critical_battery_pct: 10.0,
+                battery_pct: 90.0,
+                device_type: "test-phone".to_owned(),
+                sensors: vec![Sensor::Barometer],
+            },
+        );
+        clock.advance_to(SimTime::from_secs(2));
+        engine.handle(
+            1,
+            WireRequest::Observe {
+                imei: 7,
+                lat_deg: 40.4284,
+                lon_deg: -86.9138,
+                cell: None,
+            },
+        );
+        clock.advance_to(SimTime::from_secs(3));
+        let spec = WireTaskSpec {
+            sensor: Sensor::Barometer,
+            centre_lat: 40.4284,
+            centre_lon: -86.9138,
+            radius_m: 2_000.0,
+            spatial_density: 1,
+            one_shot: false,
+            period_us: 120_000_000,
+            duration_us: 1_200_000_000,
+        };
+        engine.handle(1, WireRequest::SubmitTask { cas: 1, spec });
+
+        // Let the scheduler poll: the selected device's session receives
+        // assignment pushes that nobody ever acks.
+        clock.advance_to(SimTime::from_mins(30));
+        let pushed = engine.advance_to(SimTime::from_mins(30));
+        assert!(
+            !pushed.is_empty(),
+            "the poll should have pushed an assignment to the bound session"
+        );
+        assert!(engine.unacked_pushes() > 0);
+
+        let flush = engine.shutdown_flush();
+        assert_eq!(
+            flush.unacked_pushes,
+            engine.unacked_pushes(),
+            "the flush must report exactly the pushes still sitting in ledgers"
+        );
+        assert!(flush.unacked_pushes > 0);
+        // No WAL was armed: the flush is truthful about that too, and the
+        // unacked pushes are reported rather than persisted.
+        assert!(!flush.persistence_armed);
+        assert_eq!(flush.generation, None);
     }
 }

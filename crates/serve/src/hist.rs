@@ -12,7 +12,7 @@ const GROWTH: f64 = 1.1;
 const BUCKETS: usize = 256;
 
 /// Latency histogram over nanosecond samples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     count: u64,
@@ -206,5 +206,68 @@ mod tests {
         assert!(json.contains("\"count\": 1"));
         assert!(json.contains("\"p99_ms\""));
         assert!(json.contains("\"buckets\""));
+    }
+
+    fn from_samples(samples: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &ns in samples {
+            h.record_ns(ns);
+        }
+        h
+    }
+
+    proptest::proptest! {
+        // Worker threads merge in whatever order they finish; the final
+        // report must not depend on that order.
+        #[test]
+        fn merge_is_commutative(
+            xs in proptest::collection::vec(0u64..40_000_000_000, 0..200),
+            ys in proptest::collection::vec(0u64..40_000_000_000, 0..200),
+        ) {
+            let mut ab = from_samples(&xs);
+            ab.merge(&from_samples(&ys));
+            let mut ba = from_samples(&ys);
+            ba.merge(&from_samples(&xs));
+            proptest::prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn merge_is_associative(
+            xs in proptest::collection::vec(0u64..40_000_000_000, 0..120),
+            ys in proptest::collection::vec(0u64..40_000_000_000, 0..120),
+            zs in proptest::collection::vec(0u64..40_000_000_000, 0..120),
+        ) {
+            // (x ∪ y) ∪ z
+            let mut left = from_samples(&xs);
+            left.merge(&from_samples(&ys));
+            left.merge(&from_samples(&zs));
+            // x ∪ (y ∪ z)
+            let mut yz = from_samples(&ys);
+            yz.merge(&from_samples(&zs));
+            let mut right = from_samples(&xs);
+            right.merge(&yz);
+            proptest::prop_assert_eq!(&left, &right);
+            // And both equal recording everything into one histogram.
+            let all: Vec<u64> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+            proptest::prop_assert_eq!(left, from_samples(&all));
+        }
+
+        #[test]
+        fn quantiles_are_monotone_in_q_and_bounded_by_max(
+            samples in proptest::collection::vec(0u64..40_000_000_000, 1..300),
+            qs in proptest::collection::vec(0u32..1001, 2..12),
+        ) {
+            let h = from_samples(&samples);
+            let mut sorted: Vec<f64> = qs.iter().map(|&q| q as f64 / 1000.0).collect();
+            sorted.sort_unstable_by(|a, b| a.total_cmp(b));
+            for pair in sorted.windows(2) {
+                proptest::prop_assert!(
+                    h.quantile_ns(pair[0]) <= h.quantile_ns(pair[1]),
+                    "q={} gave {} > q={} gave {}",
+                    pair[0], h.quantile_ns(pair[0]), pair[1], h.quantile_ns(pair[1]),
+                );
+            }
+            proptest::prop_assert!(h.quantile_ns(1.0) <= h.max_ns().max(1));
+        }
     }
 }

@@ -40,7 +40,10 @@ pub use engine::{EngineOutput, EngineStats, FlushSummary, ServeEngine};
 pub use hist::LatencyHistogram;
 pub use loadgen::{run_loadgen, LoadReport, LoadgenOptions};
 pub use tcp::{serve, ServeHandle, ServeOptions, ServeSummary};
-pub use trace::{record_sample_trace, run_live, run_sim, EventTrace, TraceEvent, TraceOp};
+pub use trace::{
+    record_sample_trace, run_live, run_live_chaos, run_sim, ChaosReport, EventTrace, TraceEvent,
+    TraceOp,
+};
 pub use wire::{
     encode_request, WireError, WirePush, WireReading, WireRequest, WireResponse, WireTaskSpec,
 };

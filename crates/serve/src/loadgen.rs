@@ -8,6 +8,14 @@
 //! measured latency distribution is honest — no coordinated-omission
 //! artefacts from open-loop backlog.
 //!
+//! The client speaks the full session protocol: it binds a session with
+//! `Hello`, wraps every op in a `Tracked` envelope with a piggybacked
+//! push ack, and on any transport failure redials with seeded jittered
+//! exponential backoff, resumes its session, and retransmits the pending
+//! envelope — the engine's dedup makes the retry at-most-once. A bout
+//! that cannot re-establish contact reports a *fatal* error instead of
+//! dressing a partial histogram up as success.
+//!
 //! Latencies land in per-thread [`LatencyHistogram`]s merged at the end;
 //! the report carries requests/sec plus p50/p99/p999 for the perf
 //! harness and the CI smoke job.
@@ -25,7 +33,8 @@ use senseaid_sim::SimRng;
 use crate::conn::FrameAssembler;
 use crate::hist::LatencyHistogram;
 use crate::wire::{
-    encode_request, WireReading, WireRequest, WireTaskSpec, KIND_PUSH, KIND_RESPONSE,
+    decode_frame, encode_request, WireFrame, WirePush, WireReading, WireRequest, WireResponse,
+    WireTaskSpec, ERR_UNKNOWN_SESSION,
 };
 
 /// Load generator configuration.
@@ -41,7 +50,7 @@ pub struct LoadgenOptions {
     /// Optional wall-clock cap; whichever of `requests`/`duration`
     /// trips first ends the bout.
     pub duration: Option<Duration>,
-    /// Seed for the request mix.
+    /// Seed for the request mix (and the reconnect jitter).
     pub seed: u64,
     /// Have connection 0 submit a sensing task so assignment pushes
     /// exercise the push path during the bout.
@@ -49,6 +58,10 @@ pub struct LoadgenOptions {
     /// Send a wire `Shutdown` when done (lets CI stop the server from
     /// the client side).
     pub stop_server: bool,
+    /// Force-close the socket after every N measured requests, so the
+    /// bout continuously exercises the redial + resume path (and the
+    /// latency histogram honestly includes reconnect cost).
+    pub drop_every: Option<u64>,
 }
 
 impl Default for LoadgenOptions {
@@ -61,6 +74,7 @@ impl Default for LoadgenOptions {
             seed: 0x5EED,
             submit_task: true,
             stop_server: false,
+            drop_every: None,
         }
     }
 }
@@ -70,12 +84,22 @@ impl Default for LoadgenOptions {
 pub struct LoadReport {
     /// Measured requests completed (responses received).
     pub requests: u64,
-    /// Requests that failed transport-side (connection lost mid-bout).
+    /// Requests that ultimately failed after retries.
     pub errors: u64,
+    /// Times a client redialed the server (deliberate drops included).
+    pub reconnects: u64,
+    /// Sessions successfully resumed after a redial.
+    pub resumes: u64,
     /// Wall time of the measured bout.
     pub elapsed: Duration,
     /// Latency distribution over all measured requests.
     pub hist: LatencyHistogram,
+    /// Why the bout is *not* a success, when it is not: a client
+    /// exhausted its reconnect budget, or enrolment never completed.
+    /// Callers must treat `Some` as failure regardless of the histogram.
+    pub fatal: Option<String>,
+    /// `--stop-server` was requested but the shutdown handshake failed.
+    pub stop_server_error: Option<String>,
 }
 
 impl LoadReport {
@@ -90,76 +114,270 @@ impl LoadReport {
 
     /// One-line operator rendering.
     pub fn render(&self) -> String {
-        format!(
-            "loadgen: requests={} errors={} elapsed_ms={:.1} rps={:.0} p50_ms={:.3} p99_ms={:.3} p999_ms={:.3} max_ms={:.3}",
+        let mut line = format!(
+            "loadgen: requests={} errors={} reconnects={} resumes={} elapsed_ms={:.1} rps={:.0} p50_ms={:.3} p99_ms={:.3} p999_ms={:.3} max_ms={:.3}",
             self.requests,
             self.errors,
+            self.reconnects,
+            self.resumes,
             self.elapsed.as_secs_f64() * 1e3,
             self.rps(),
             self.hist.quantile_ms(0.50),
             self.hist.quantile_ms(0.99),
             self.hist.quantile_ms(0.999),
             self.hist.max_ns() as f64 / 1e6,
-        )
+        );
+        if let Some(fatal) = &self.fatal {
+            line.push_str(&format!(" FATAL: {fatal}"));
+        }
+        if let Some(err) = &self.stop_server_error {
+            line.push_str(&format!(" stop_server_error: {err}"));
+        }
+        line
     }
 }
 
-/// A blocking client: send one frame, wait for its response, skipping
-/// (but fully consuming) any assignment pushes interleaved on the
-/// stream.
-struct Client {
+/// Redials before a client declares the server gone. With the backoff
+/// schedule below the budget spans roughly twenty seconds — wide enough
+/// to ride out a supervised restart, narrow enough that a dead server
+/// fails the bout promptly.
+const MAX_REDIALS: u32 = 14;
+
+/// One dialled socket with its reassembly state.
+struct Dial {
     stream: TcpStream,
     assembler: FrameAssembler,
-    scratch: Vec<u8>,
 }
 
-impl Client {
-    fn connect(addr: &str) -> std::io::Result<Client> {
+impl Dial {
+    fn connect(addr: &str) -> std::io::Result<Dial> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        Ok(Client {
+        Ok(Dial {
             stream,
             assembler: FrameAssembler::new(),
-            scratch: vec![0u8; 16 * 1024],
         })
     }
+}
 
-    /// Sends `req` and blocks until the matching response frame arrives.
-    fn call(&mut self, req: &WireRequest) -> std::io::Result<()> {
-        let frame = encode_request(req);
-        self.stream.write_all(&frame)?;
+/// The client half of a live session.
+struct Session {
+    token: u64,
+    /// Last envelope sequence the server acknowledged.
+    req_seq: u64,
+    /// Highest assignment push sequence seen (the cumulative ack).
+    push_seen: u64,
+}
+
+/// A blocking session-speaking client: tracked envelopes, resume after
+/// redial, seeded jittered backoff.
+struct Client {
+    addr: String,
+    dial: Option<Dial>,
+    session: Option<Session>,
+    /// The session (if any) has not yet been resumed on the current
+    /// socket.
+    needs_resume: bool,
+    rng: SimRng,
+    scratch: Vec<u8>,
+    reconnects: u64,
+    resumes: u64,
+    imei: u64,
+}
+
+impl Client {
+    fn new(addr: String, seed: u64, imei: u64) -> Client {
+        Client {
+            addr,
+            dial: None,
+            session: None,
+            needs_resume: false,
+            rng: SimRng::from_seed_label(seed, "loadgen-backoff"),
+            scratch: vec![0u8; 16 * 1024],
+            reconnects: 0,
+            resumes: 0,
+            imei,
+        }
+    }
+
+    /// Drops the socket (deliberately or after a failure); the next call
+    /// redials and resumes.
+    fn drop_socket(&mut self) {
+        self.dial = None;
+        if self.session.is_some() {
+            self.needs_resume = true;
+        }
+    }
+
+    /// Dials with seeded jittered exponential backoff until connected or
+    /// the redial budget is spent.
+    fn redial(&mut self) -> std::io::Result<()> {
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..MAX_REDIALS {
+            if attempt > 0 || last_err.is_some() {
+                let base = 50u64.saturating_mul(1 << attempt.min(5)).min(2_000);
+                // ±50% jitter, seeded: storms from many clients decorrelate
+                // deterministically per client.
+                let jittered = base / 2 + self.rng.uniform_usize(0, base as usize) as u64;
+                std::thread::sleep(Duration::from_millis(jittered));
+            }
+            match Dial::connect(&self.addr) {
+                Ok(dial) => {
+                    self.dial = Some(dial);
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("redial budget exhausted")))
+    }
+
+    /// One frame out, one response back, on the current socket. Pushes
+    /// interleaved on the stream are consumed and acked via sequence
+    /// tracking.
+    fn roundtrip(&mut self, frame: &[u8]) -> std::io::Result<WireResponse> {
+        let dial = self
+            .dial
+            .as_mut()
+            .ok_or_else(|| std::io::Error::other("no socket"))?;
+        dial.stream.write_all(frame)?;
         loop {
-            while let Some((kind, _payload)) = self
-                .assembler
-                .next_frame()
-                .map_err(|e| std::io::Error::other(format!("wire: {e}")))?
-            {
-                match kind {
-                    KIND_RESPONSE => return Ok(()),
-                    KIND_PUSH => continue,
-                    other => {
-                        return Err(std::io::Error::other(format!(
-                            "unexpected frame kind {other:#x} from server"
-                        )))
+            loop {
+                let next = match dial.assembler.next_frame() {
+                    Ok(next) => next,
+                    // Corrupt server bytes: the assembler resynced, but a
+                    // server that garbles frames is not one to trust.
+                    Err(e) => return Err(std::io::Error::other(format!("wire: {e}"))),
+                };
+                let Some((kind, payload)) = next else { break };
+                match decode_frame(kind, &payload)
+                    .map_err(|e| std::io::Error::other(format!("decode: {e}")))?
+                {
+                    WireFrame::Response(resp) => return Ok(resp),
+                    WireFrame::Push(WirePush::Assignment { seq, device, .. }) => {
+                        if device == self.imei {
+                            if let Some(session) = self.session.as_mut() {
+                                if seq > session.push_seen {
+                                    session.push_seen = seq;
+                                }
+                            }
+                        }
+                    }
+                    WireFrame::Push(WirePush::Disconnect { .. }) => {
+                        // The server told us why it is about to hang up;
+                        // the read error follows shortly.
+                    }
+                    WireFrame::Request(_) => {
+                        return Err(std::io::Error::other("server sent a request frame"))
                     }
                 }
             }
-            let n = self.stream.read(&mut self.scratch)?;
+            let n = dial.stream.read(&mut self.scratch)?;
             if n == 0 {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "server closed connection",
                 ));
             }
-            self.assembler.extend(&self.scratch[..n]);
+            dial.assembler.extend(&self.scratch[..n]);
+        }
+    }
+
+    /// Makes the session live on the current socket: dial if needed,
+    /// `Hello` on first contact, `Resume` after a redial, fresh `Hello`
+    /// when the server no longer knows the token.
+    fn ensure_session(&mut self) -> std::io::Result<()> {
+        if self.dial.is_none() {
+            self.redial()?;
+        }
+        if self.session.is_none() {
+            let frame = encode_request(&WireRequest::Hello { imei: self.imei });
+            match self.roundtrip(&frame)? {
+                WireResponse::SessionBound { token } => {
+                    self.session = Some(Session {
+                        token,
+                        req_seq: 0,
+                        push_seen: 0,
+                    });
+                    self.needs_resume = false;
+                    return Ok(());
+                }
+                other => return Err(std::io::Error::other(format!("hello answered {other:?}"))),
+            }
+        }
+        if self.needs_resume {
+            let session = self.session.as_ref().expect("needs_resume implies session");
+            let frame = encode_request(&WireRequest::Resume {
+                token: session.token,
+                push_ack: session.push_seen,
+            });
+            match self.roundtrip(&frame)? {
+                WireResponse::SessionResumed { .. } => {
+                    self.needs_resume = false;
+                    self.resumes += 1;
+                }
+                WireResponse::Error { code, .. } if code == ERR_UNKNOWN_SESSION => {
+                    // Revoked (lease, overflow, or a restarted server):
+                    // start a fresh session and sequence space.
+                    self.session = None;
+                    self.needs_resume = false;
+                    return self.ensure_session();
+                }
+                other => return Err(std::io::Error::other(format!("resume answered {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drives one op to acknowledgement through redials and resumes.
+    /// The same envelope sequence number is retransmitted after every
+    /// cut, so the server applies the op at most once.
+    fn call(&mut self, req: &WireRequest) -> std::io::Result<WireResponse> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > MAX_REDIALS {
+                return Err(std::io::Error::other(
+                    "request could not be delivered within the reconnect budget",
+                ));
+            }
+            if let Err(e) = self.ensure_session() {
+                if self.dial.is_none() {
+                    // Redial budget exhausted: the server is gone.
+                    return Err(e);
+                }
+                self.drop_socket();
+                continue;
+            }
+            let (token, pending, ack) = {
+                let s = self.session.as_ref().expect("ensured above");
+                (s.token, s.req_seq + 1, s.push_seen)
+            };
+            let frame = encode_request(&WireRequest::Tracked {
+                token,
+                req_seq: pending,
+                push_ack: ack,
+                inner: Box::new(req.clone()),
+            });
+            match self.roundtrip(&frame) {
+                Ok(WireResponse::Error { code, .. }) if code == ERR_UNKNOWN_SESSION => {
+                    self.session = None;
+                    self.needs_resume = false;
+                }
+                Ok(resp) => {
+                    self.session.as_mut().expect("ensured above").req_seq = pending;
+                    return Ok(resp);
+                }
+                Err(_) => self.drop_socket(),
+            }
         }
     }
 }
 
 fn enrolment(imei: u64, position: GeoPoint) -> Vec<WireRequest> {
     vec![
-        WireRequest::Hello { imei },
         WireRequest::Register {
             imei,
             energy_budget_j: 140.0,
@@ -220,12 +438,25 @@ fn next_request(rng: &mut SimRng, imei: u64, seq: &mut u64, battery: &mut f64) -
     }
 }
 
+/// What one worker thread hands back.
+struct WorkerOutcome {
+    hist: LatencyHistogram,
+    completed: u64,
+    errors: u64,
+    reconnects: u64,
+    resumes: u64,
+    fatal: Option<String>,
+}
+
 /// Runs a closed-loop load bout against a live server.
 ///
 /// # Errors
 ///
-/// Connection-establishment failures. Errors *during* the bout are
-/// counted in [`LoadReport::errors`] rather than aborting the run.
+/// Connection-establishment failures (the server was unreachable before
+/// the bout even started). Failures *during* the bout land in
+/// [`LoadReport::errors`] and — when a client exhausts its reconnect
+/// budget — [`LoadReport::fatal`], so callers can exit nonzero instead
+/// of presenting a partial histogram as success.
 pub fn run_loadgen(options: &LoadgenOptions) -> std::io::Result<LoadReport> {
     let connections = options.connections.max(1);
     // Fail fast if the server is unreachable, before spawning threads.
@@ -241,24 +472,31 @@ pub fn run_loadgen(options: &LoadgenOptions) -> std::io::Result<LoadReport> {
         let total = options.requests;
         let seed = options.seed;
         let submit_task = options.submit_task && worker == 0;
+        let drop_every = options.drop_every;
         joins.push(std::thread::spawn(move || {
-            let mut hist = LatencyHistogram::new();
-            let mut errors = 0u64;
-            let mut completed = 0u64;
-            let mut client = match Client::connect(&addr) {
-                Ok(c) => c,
-                Err(_) => return (hist, 0, 1),
+            let mut out = WorkerOutcome {
+                hist: LatencyHistogram::new(),
+                completed: 0,
+                errors: 0,
+                reconnects: 0,
+                resumes: 0,
+                fatal: None,
             };
-            let mut rng = SimRng::from_seed_label(seed ^ worker as u64, "loadgen");
             let imei = 0x10AD_0000 + worker as u64;
+            let mut client = Client::new(addr, seed ^ worker as u64, imei);
+            let mut rng = SimRng::from_seed_label(seed ^ worker as u64, "loadgen");
             let centre = GeoPoint::new(40.4284, -86.9138);
             let position = centre.offset_by_meters(
                 rng.uniform_range(-800.0, 800.0),
                 rng.uniform_range(-800.0, 800.0),
             );
             for req in enrolment(imei, position) {
-                if client.call(&req).is_err() {
-                    return (hist, completed, errors + 1);
+                if let Err(e) = client.call(&req) {
+                    out.errors += 1;
+                    out.fatal = Some(format!("enrolment failed: {e}"));
+                    out.reconnects = client.reconnects.saturating_sub(1);
+                    out.resumes = client.resumes;
+                    return out;
                 }
             }
             if submit_task {
@@ -276,6 +514,7 @@ pub fn run_loadgen(options: &LoadgenOptions) -> std::io::Result<LoadReport> {
             }
             let mut seq = 0u64;
             let mut battery = 90.0f64;
+            let mut since_drop = 0u64;
             loop {
                 if issued.fetch_add(1, Ordering::Relaxed) >= total {
                     break;
@@ -286,41 +525,81 @@ pub fn run_loadgen(options: &LoadgenOptions) -> std::io::Result<LoadReport> {
                 let req = next_request(&mut rng, imei, &mut seq, &mut battery);
                 let sent = Instant::now();
                 match client.call(&req) {
-                    Ok(()) => {
-                        hist.record(sent.elapsed());
-                        completed += 1;
+                    Ok(_) => {
+                        out.hist.record(sent.elapsed());
+                        out.completed += 1;
+                        since_drop += 1;
+                        if drop_every.is_some_and(|n| since_drop >= n.max(1)) {
+                            since_drop = 0;
+                            client.drop_socket();
+                        }
                     }
-                    Err(_) => {
-                        errors += 1;
+                    Err(e) => {
+                        out.errors += 1;
+                        if deadline.is_none_or(|d| Instant::now() < d) {
+                            out.fatal = Some(format!("mid-bout request failed: {e}"));
+                        }
                         break;
                     }
                 }
             }
-            (hist, completed, errors)
+            // The first dial is establishment, not a *re*connect.
+            out.reconnects = client.reconnects.saturating_sub(1);
+            out.resumes = client.resumes;
+            out
         }));
     }
 
     let mut hist = LatencyHistogram::new();
     let mut requests = 0u64;
     let mut errors = 0u64;
+    let mut reconnects = 0u64;
+    let mut resumes = 0u64;
+    let mut fatal: Option<String> = None;
     for join in joins {
-        let (h, c, e) = join.join().expect("loadgen thread panicked");
-        hist.merge(&h);
-        requests += c;
-        errors += e;
+        let out = join.join().expect("loadgen thread panicked");
+        hist.merge(&out.hist);
+        requests += out.completed;
+        errors += out.errors;
+        reconnects += out.reconnects;
+        resumes += out.resumes;
+        if fatal.is_none() {
+            fatal = out.fatal;
+        }
     }
     let elapsed = started.elapsed();
 
+    let mut stop_server_error = None;
     if options.stop_server {
-        if let Ok(mut client) = Client::connect(&options.addr) {
-            let _ = client.call(&WireRequest::Shutdown);
+        let outcome = Client::new(options.addr.clone(), options.seed, 0).roundtrip_shutdown();
+        if let Err(e) = outcome {
+            stop_server_error = Some(e.to_string());
         }
     }
 
     Ok(LoadReport {
         requests,
         errors,
+        reconnects,
+        resumes,
         elapsed,
         hist,
+        fatal,
+        stop_server_error,
     })
+}
+
+impl Client {
+    /// Dials once and performs the shutdown handshake; no session, no
+    /// retries — a failure is *reported*, because "stop the server"
+    /// silently not happening is how CI hangs.
+    fn roundtrip_shutdown(mut self) -> std::io::Result<()> {
+        self.dial = Some(Dial::connect(&self.addr)?);
+        match self.roundtrip(&encode_request(&WireRequest::Shutdown))? {
+            WireResponse::ShuttingDown => Ok(()),
+            other => Err(std::io::Error::other(format!(
+                "shutdown answered {other:?}"
+            ))),
+        }
+    }
 }

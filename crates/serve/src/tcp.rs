@@ -40,7 +40,9 @@ use senseaid_sim::SimTime;
 use crate::conn::{ConnError, Connection};
 use crate::engine::{ConnId, FlushSummary, ServeEngine};
 use crate::trace::trace_server;
-use crate::wire::{decode_frame, WireFrame};
+use crate::wire::{
+    decode_frame, encode_push, WireFrame, WirePush, DISCONNECT_IDLE, DISCONNECT_WRITE_OVERFLOW,
+};
 
 /// Configuration for a live server.
 #[derive(Debug, Clone)]
@@ -58,6 +60,16 @@ pub struct ServeOptions {
     /// `None` serves until [`ServeHandle::shutdown`] or a wire
     /// `Shutdown`.
     pub duration: Option<Duration>,
+    /// Disconnect a connection that completes no frame for this long.
+    /// Slow-trickled bytes that never finish a frame count as idle — a
+    /// slowloris peer cannot hold a slot open by dribbling.
+    pub idle_timeout: Duration,
+    /// Disconnect a connection whose outbound queue has made no progress
+    /// for this long (the peer stopped reading).
+    pub write_stall_timeout: Duration,
+    /// Disconnect a connection whose outbound queue exceeds this many
+    /// bytes (the peer reads slower than it provokes pushes).
+    pub max_outbuf_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -68,6 +80,9 @@ impl Default for ServeOptions {
             workers: 2,
             persist_dir: None,
             duration: None,
+            idle_timeout: Duration::from_secs(60),
+            write_stall_timeout: Duration::from_secs(10),
+            max_outbuf_bytes: 1 << 20,
         }
     }
 }
@@ -80,10 +95,17 @@ pub struct ServeSummary {
     /// Connections accepted over the lifetime.
     pub connections: u64,
     /// Frames rejected (corrupt stream, unknown kind, undecodable
-    /// payload) — each costs its connection.
+    /// payload). The stream resyncs past corruption, so a bad frame
+    /// costs itself, not its connection.
     pub bad_frames: u64,
     /// Assignment pushes delivered to live sessions.
     pub assignments_pushed: u64,
+    /// Connections reaped for completing no frame within the idle
+    /// deadline.
+    pub idle_disconnects: u64,
+    /// Connections reaped for a stalled or over-budget outbound queue
+    /// (slow peers).
+    pub overflow_disconnects: u64,
     /// The shutdown WAL flush.
     pub flush: FlushSummary,
 }
@@ -93,11 +115,13 @@ impl ServeSummary {
     /// `flush=clean`.
     pub fn render(&self) -> String {
         format!(
-            "serve: shutdown requests={} connections={} bad_frames={} pushes={} wal_records={} snapshots={} generation={} flush={}",
+            "serve: shutdown requests={} connections={} bad_frames={} pushes={} reaped_idle={} reaped_slow={} wal_records={} snapshots={} generation={} flush={}",
             self.requests,
             self.connections,
             self.bad_frames,
             self.assignments_pushed,
+            self.idle_disconnects,
+            self.overflow_disconnects,
             self.flush.journal_records,
             self.flush.snapshots_persisted,
             self.flush
@@ -220,12 +244,64 @@ enum Event {
         kind: u8,
         payload: Vec<u8>,
     },
-    BadFrame {
-        conn: ConnId,
-    },
+    BadFrame,
     Disconnect {
         conn: ConnId,
     },
+    /// The supervisor reaped the connection; `reason` is the
+    /// `DISCONNECT_*` code already sent (best-effort) on the wire.
+    Reaped {
+        conn: ConnId,
+        reason: u8,
+    },
+}
+
+/// The per-worker supervision knobs, copied out of [`ServeOptions`].
+#[derive(Debug, Clone, Copy)]
+struct Supervision {
+    idle_timeout: Duration,
+    write_stall_timeout: Duration,
+    max_outbuf_bytes: usize,
+}
+
+/// How often the lazy reaper sweeps a worker's connections.
+const REAP_INTERVAL: Duration = Duration::from_millis(250);
+
+/// One supervised connection: the pump plus the deadlines the reaper
+/// checks.
+struct Supervised {
+    conn: Connection<TcpTransport>,
+    /// Last instant a complete frame (or counted bad frame) arrived.
+    last_frame: Instant,
+    /// When the outbound queue first failed to drain fully, if it is
+    /// still backed up.
+    stalled_since: Option<Instant>,
+}
+
+impl Supervised {
+    fn new(conn: Connection<TcpTransport>) -> Self {
+        Supervised {
+            conn,
+            last_frame: Instant::now(),
+            stalled_since: None,
+        }
+    }
+
+    /// Why this connection should be reaped right now, if any reason.
+    fn reap_reason(&self, sup: &Supervision, now: Instant) -> Option<u8> {
+        if self.conn.unsent() > sup.max_outbuf_bytes {
+            return Some(DISCONNECT_WRITE_OVERFLOW);
+        }
+        if let Some(since) = self.stalled_since {
+            if now.duration_since(since) >= sup.write_stall_timeout {
+                return Some(DISCONNECT_WRITE_OVERFLOW);
+            }
+        }
+        if now.duration_since(self.last_frame) >= sup.idle_timeout {
+            return Some(DISCONNECT_IDLE);
+        }
+        None
+    }
 }
 
 /// Engine → worker commands.
@@ -264,9 +340,10 @@ pub fn serve(options: ServeOptions) -> io::Result<ServeHandle> {
     })
 }
 
-fn worker_loop(rx: Receiver<WorkerMsg>, events: Sender<Event>) {
-    let mut conns: HashMap<ConnId, Connection<TcpTransport>> = HashMap::new();
+fn worker_loop(rx: Receiver<WorkerMsg>, events: Sender<Event>, sup: Supervision) {
+    let mut conns: HashMap<ConnId, Supervised> = HashMap::new();
     let mut scratch = vec![0u8; 64 * 1024];
+    let mut next_reap = Instant::now() + REAP_INTERVAL;
     loop {
         let mut did_work = false;
         let mut shutting_down = false;
@@ -275,13 +352,13 @@ fn worker_loop(rx: Receiver<WorkerMsg>, events: Sender<Event>) {
                 Ok(WorkerMsg::Conn { conn, stream }) => {
                     did_work = true;
                     if let Ok(transport) = TcpTransport::new(stream) {
-                        conns.insert(conn, Connection::new(transport));
+                        conns.insert(conn, Supervised::new(Connection::new(transport)));
                     }
                 }
                 Ok(WorkerMsg::Send { conn, frame }) => {
                     did_work = true;
-                    if let Some(c) = conns.get_mut(&conn) {
-                        c.queue(&frame);
+                    if let Some(s) = conns.get_mut(&conn) {
+                        s.conn.queue(&frame);
                     }
                 }
                 Ok(WorkerMsg::Shutdown) => shutting_down = true,
@@ -294,16 +371,26 @@ fn worker_loop(rx: Receiver<WorkerMsg>, events: Sender<Event>) {
         }
         if shutting_down {
             // Final courtesy flush of anything already queued, then out.
-            for conn in conns.values_mut() {
-                let _ = conn.flush();
+            for s in conns.values_mut() {
+                let _ = s.conn.flush();
             }
             return;
         }
 
         let mut dead: Vec<ConnId> = Vec::new();
-        for (&conn, c) in conns.iter_mut() {
-            match c.pump_reads(&mut scratch) {
+        for (&conn, s) in conns.iter_mut() {
+            match s.conn.pump_reads(&mut scratch) {
                 Ok(frames) => {
+                    // Corrupt stretches were resynced past, not fatal:
+                    // report them for the stats, keep the connection.
+                    let bad = s.conn.take_bad_frames();
+                    for _ in 0..bad {
+                        did_work = true;
+                        let _ = events.send(Event::BadFrame);
+                    }
+                    if bad > 0 || !frames.is_empty() {
+                        s.last_frame = Instant::now();
+                    }
                     for (kind, payload) in frames {
                         did_work = true;
                         let _ = events.send(Event::Frame {
@@ -319,21 +406,54 @@ fn worker_loop(rx: Receiver<WorkerMsg>, events: Sender<Event>) {
                     continue;
                 }
                 Err(_) => {
-                    // Corrupt stream or I/O failure: the connection has
-                    // no valid continuation.
+                    // I/O failure: the stream has no continuation.
                     dead.push(conn);
-                    let _ = events.send(Event::BadFrame { conn });
+                    let _ = events.send(Event::Disconnect { conn });
                     continue;
                 }
             }
-            if c.flush().is_err() {
-                dead.push(conn);
-                let _ = events.send(Event::Disconnect { conn });
+            match s.conn.flush() {
+                Ok(true) => s.stalled_since = None,
+                Ok(false) => {
+                    s.stalled_since.get_or_insert_with(Instant::now);
+                }
+                Err(_) => {
+                    dead.push(conn);
+                    let _ = events.send(Event::Disconnect { conn });
+                }
             }
         }
         for conn in dead {
             conns.remove(&conn);
         }
+
+        // Lazy reaper: piggybacks on the loop's existing wakeups instead
+        // of owning a timer thread; deadlines are only as fine-grained as
+        // REAP_INTERVAL, which is the honest cost of laziness.
+        let now = Instant::now();
+        if now >= next_reap {
+            next_reap = now + REAP_INTERVAL;
+            let mut reaped: Vec<(ConnId, u8)> = Vec::new();
+            for (&conn, s) in conns.iter_mut() {
+                if let Some(reason) = s.reap_reason(&sup, now) {
+                    // Truthful teardown: tell the peer why, best-effort
+                    // (an overflowing peer likely will not read it, but
+                    // the frame is on the wire if it ever does).
+                    s.conn.queue(&encode_push(&WirePush::Disconnect {
+                        code: reason,
+                        detail: String::new(),
+                    }));
+                    let _ = s.conn.flush();
+                    reaped.push((conn, reason));
+                }
+            }
+            for (conn, reason) in reaped {
+                conns.remove(&conn);
+                did_work = true;
+                let _ = events.send(Event::Reaped { conn, reason });
+            }
+        }
+
         if !did_work {
             std::thread::sleep(Duration::from_micros(500));
         }
@@ -347,14 +467,26 @@ fn run(
     shutdown_flag: Arc<AtomicBool>,
 ) -> ServeSummary {
     let mut server = trace_server(options.shards);
-    if let Some(storage) = storage {
-        server
-            .enable_persistence(Box::new(storage), PersistConfig::default(), SimTime::ZERO)
-            .expect("fresh persist directory initialises");
-    }
-    let mut engine = ServeEngine::new(server, Arc::new(WallClock::new()));
+    let clock = if let Some(storage) = storage {
+        // Recover whatever the directory holds — a fresh directory is a
+        // truthful cold start — and anchor the wall clock at the durable
+        // horizon so a restart never reads earlier than the WAL it
+        // replayed.
+        let report = server
+            .recover_from_storage(Box::new(storage), PersistConfig::default(), SimTime::ZERO)
+            .expect("persist directory recovers");
+        WallClock::starting_at(report.recovered_at)
+    } else {
+        WallClock::new()
+    };
+    let mut engine = ServeEngine::new(server, Arc::new(clock));
 
     let workers = options.workers.max(1);
+    let supervision = Supervision {
+        idle_timeout: options.idle_timeout,
+        write_stall_timeout: options.write_stall_timeout,
+        max_outbuf_bytes: options.max_outbuf_bytes,
+    };
     let (event_tx, event_rx) = mpsc::channel::<Event>();
     let mut worker_txs: Vec<Sender<WorkerMsg>> = Vec::with_capacity(workers);
     let mut worker_joins: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
@@ -365,7 +497,7 @@ fn run(
         worker_joins.push(
             std::thread::Builder::new()
                 .name(format!("senseaid-serve-worker-{i}"))
-                .spawn(move || worker_loop(rx, events))
+                .spawn(move || worker_loop(rx, events, supervision))
                 .expect("spawn worker thread"),
         );
     }
@@ -376,6 +508,8 @@ fn run(
     let mut next_conn: ConnId = 0;
     let mut connections = 0u64;
     let mut bad_frames = 0u64;
+    let mut idle_disconnects = 0u64;
+    let mut overflow_disconnects = 0u64;
     let mut shutdown_requested = false;
 
     loop {
@@ -432,11 +566,16 @@ fn run(
                     }
                     Ok(_) | Err(_) => bad_frames += 1,
                 },
-                Event::BadFrame { conn } => {
-                    bad_frames += 1;
+                Event::BadFrame => bad_frames += 1,
+                Event::Disconnect { conn } => engine.on_disconnect(conn),
+                Event::Reaped { conn, reason } => {
+                    if reason == DISCONNECT_IDLE {
+                        idle_disconnects += 1;
+                    } else {
+                        overflow_disconnects += 1;
+                    }
                     engine.on_disconnect(conn);
                 }
-                Event::Disconnect { conn } => engine.on_disconnect(conn),
             }
         }
 
@@ -461,6 +600,8 @@ fn run(
         connections,
         bad_frames,
         assignments_pushed: stats.assignments_pushed,
+        idle_disconnects,
+        overflow_disconnects,
         flush,
     }
 }

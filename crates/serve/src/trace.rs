@@ -24,20 +24,25 @@
 //! code would make the comparison vacuous. If you change the rules in
 //! [`crate::engine`], change [`apply_sim`] to match.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use senseaid_cellnet::{CellId, CellularNetwork};
 use senseaid_core::cas::CasId;
-use senseaid_core::runtime::{loopback_pair, SimClock};
+use senseaid_core::runtime::{
+    loopback_pair, FaultingTransport, LoopbackTransport, SimClock, TransportFaultPlan,
+    TransportFaultTally,
+};
 use senseaid_core::{SenseAidConfig, SenseAidServer};
 use senseaid_device::{ImeiHash, Sensor};
 use senseaid_geo::{GeoPoint, TowerSite};
 use senseaid_sim::{SimDuration, SimRng, SimTime};
 
 use crate::conn::Connection;
-use crate::engine::{build_task_spec, decode_readings, ServeEngine};
+use crate::engine::{build_task_spec, decode_readings, ConnId, ServeEngine};
 use crate::wire::{
-    decode_frame, encode_request, WireFrame, WireReading, WireRequest, WireTaskSpec,
+    decode_frame, encode_request, WireFrame, WirePush, WireReading, WireRequest, WireResponse,
+    WireTaskSpec, ERR_BAD_SEQUENCE, ERR_UNKNOWN_SESSION,
 };
 
 /// One timestamped operation.
@@ -260,7 +265,14 @@ fn apply_sim(server: &mut SenseAidServer, req: &WireRequest, now: SimTime) {
         let _ = server.record_device_comm(ImeiHash(imei), now);
     };
     match req {
-        WireRequest::Hello { .. } | WireRequest::Stats | WireRequest::Shutdown => {}
+        // Session-layer traffic (hello/resume/ack) never mutates durable
+        // state; a tracked envelope is exactly its inner op.
+        WireRequest::Hello { .. }
+        | WireRequest::Stats
+        | WireRequest::Shutdown
+        | WireRequest::Resume { .. }
+        | WireRequest::PushAck { .. } => {}
+        WireRequest::Tracked { inner, .. } => apply_sim(server, inner, now),
         WireRequest::Register {
             imei,
             energy_budget_j,
@@ -411,6 +423,503 @@ pub fn run_live(trace: &EventTrace, shards: usize) -> Vec<u8> {
         .pump_reads(&mut scratch)
         .expect("trailing pushes reassemble");
     engine.server().durable_digest(trace.horizon)
+}
+
+/// The session identity the chaos driver uses for CAS-originated ops
+/// (task submission, outbox drains, stats) — traffic that belongs to the
+/// application server, not to any device IMEI.
+pub const CAS_DRIVER_IDENTITY: u64 = 0xCA50_0000_0000_0001;
+
+/// Everything [`run_live_chaos`] can attest about a run, beyond the
+/// digest itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// `durable_digest` at the trace horizon, with every trace op
+    /// acknowledged — the value that must equal [`run_sim`]'s.
+    pub digest: Vec<u8>,
+    /// Trace ops driven to acknowledgement.
+    pub ops: u64,
+    /// Times the driver had to tear the link down and redial.
+    pub reconnects: u64,
+    /// Retransmitted envelopes the engine answered from its response
+    /// cache instead of re-applying (the at-most-once receipts).
+    pub requests_deduped: u64,
+    /// Ledgered pushes the engine replayed across resumes.
+    pub pushes_replayed: u64,
+    /// Assignment pushes the client accepted exactly once.
+    pub pushes_delivered: u64,
+    /// Replayed copies the client recognised and dropped by sequence
+    /// number (≥ what the engine replayed minus redeliveries lost to
+    /// later faults).
+    pub push_duplicates: u64,
+    /// Sequence gaps observed client-side; the exactly-once claim is
+    /// precisely that this stays zero.
+    pub push_gaps: u64,
+    /// Ledger entries still unacked after the final drain; must be zero.
+    pub unacked_pushes: u64,
+    /// Truthful `Disconnect` pushes the client saw (lease teardown,
+    /// ledger overflow).
+    pub disconnect_notices: u64,
+    /// Faults the plan actually injected, summed over every link.
+    pub faults: TransportFaultTally,
+}
+
+/// The client half of a session, as the chaos driver tracks it.
+struct ClientSession {
+    token: u64,
+    /// Which link the session was last bound on; a new link means the
+    /// next op must `Resume` first.
+    bound_conn: ConnId,
+    /// Last envelope sequence the server acknowledged.
+    req_seq: u64,
+    /// Highest contiguous push sequence received (the cumulative ack).
+    push_seen: u64,
+    delivered: u64,
+    dups: u64,
+    gaps: u64,
+}
+
+/// One dial: a faulted driver-side connection and its clean server-side
+/// twin over a loopback pipe.
+struct ChaosLink {
+    conn: ConnId,
+    driver: Connection<FaultingTransport<LoopbackTransport>>,
+    serving: Connection<LoopbackTransport>,
+}
+
+/// A client that keeps its promises under fire: every trace op is driven
+/// to acknowledgement through whatever the fault plan does to the link,
+/// using the session layer exactly as a real device-side SDK would —
+/// `Hello` once, `Tracked` envelopes with piggybacked push acks, and
+/// `Resume` + retransmit after every cut.
+struct ChaosDriver {
+    clock: SimClock,
+    engine: ServeEngine,
+    plan: TransportFaultPlan,
+    link: Option<ChaosLink>,
+    conn_seq: ConnId,
+    links_made: u64,
+    sessions: HashMap<u64, ClientSession>,
+    faults: TransportFaultTally,
+    disconnect_notices: u64,
+    scratch: Vec<u8>,
+}
+
+/// Which session identity an op travels under.
+fn op_identity(req: &WireRequest) -> u64 {
+    match req {
+        WireRequest::Hello { imei }
+        | WireRequest::Register { imei, .. }
+        | WireRequest::Deregister { imei }
+        | WireRequest::UpdatePreferences { imei, .. }
+        | WireRequest::StateUpdate { imei, .. }
+        | WireRequest::Observe { imei, .. }
+        | WireRequest::Comm { imei }
+        | WireRequest::SubmitBatch { imei, .. } => *imei,
+        WireRequest::SubmitTask { .. }
+        | WireRequest::DrainOutbox
+        | WireRequest::Stats
+        | WireRequest::Shutdown => CAS_DRIVER_IDENTITY,
+        WireRequest::Resume { .. } | WireRequest::PushAck { .. } | WireRequest::Tracked { .. } => {
+            unreachable!("session-layer requests are not trace ops")
+        }
+    }
+}
+
+/// A link attempt failed; the link has already been torn down.
+struct LinkDied;
+
+impl ChaosDriver {
+    /// Ensures a link exists (dialing a fresh one if the last was cut)
+    /// and returns its conn id.
+    fn dial(&mut self) -> ConnId {
+        if self.link.is_none() {
+            self.conn_seq += 1;
+            self.links_made += 1;
+            let (driver_side, engine_side) = loopback_pair();
+            self.link = Some(ChaosLink {
+                conn: self.conn_seq,
+                driver: Connection::new(FaultingTransport::new(
+                    driver_side,
+                    &self.plan,
+                    self.conn_seq,
+                )),
+                serving: Connection::new(engine_side),
+            });
+        }
+        self.link.as_ref().unwrap().conn
+    }
+
+    /// Tears the current link down the way a real cut would: tally the
+    /// faults, close the pipe, tell the engine the socket died.
+    fn drop_link(&mut self) {
+        if let Some(mut link) = self.link.take() {
+            self.faults.absorb(link.driver.transport_mut().tally());
+            link.driver.transport_mut().inner_mut().close();
+            self.engine.on_disconnect(link.conn);
+        }
+    }
+
+    /// Classifies and counts one push. Assignment pushes dedup by
+    /// sequence number; anything at or below the cumulative ack is a
+    /// replay the client has already consumed.
+    fn note_push(&mut self, push: WirePush) {
+        match push {
+            WirePush::Assignment { seq, device, .. } => {
+                let session = self
+                    .sessions
+                    .get_mut(&device)
+                    .expect("assignment pushed to an identity the client never bound");
+                if seq <= session.push_seen {
+                    session.dups += 1;
+                } else {
+                    if seq != session.push_seen + 1 {
+                        session.gaps += 1;
+                    }
+                    session.push_seen = seq;
+                    session.delivered += 1;
+                }
+            }
+            WirePush::Disconnect { .. } => self.disconnect_notices += 1,
+        }
+    }
+
+    /// One request/response round trip over the current link, absorbing
+    /// stalls, torn writes and delayed reads. Pushes encountered along
+    /// the way are consumed. `Err(LinkDied)` means a disconnect fault
+    /// latched mid-exchange — the caller decides how to re-establish.
+    fn attempt(&mut self, frame: &[u8]) -> Result<WireResponse, LinkDied> {
+        self.dial();
+        self.link.as_mut().unwrap().driver.queue(frame);
+        let mut spins = 0u32;
+        loop {
+            match self.link.as_mut().unwrap().driver.flush() {
+                Ok(true) => break,
+                Ok(false) => {
+                    spins += 1;
+                    assert!(spins < 100_000, "fault plan wedged the send path");
+                }
+                Err(_) => {
+                    self.drop_link();
+                    return Err(LinkDied);
+                }
+            }
+        }
+
+        // The server side of the pipe is clean: reassembly and handling
+        // cannot fail, only the faulted driver side can.
+        let inbound = {
+            let link = self.link.as_mut().unwrap();
+            link.serving
+                .pump_reads(&mut self.scratch)
+                .expect("loopback server side never fails")
+        };
+        for (kind, payload) in inbound {
+            let request = match decode_frame(kind, &payload).expect("driver frames decode") {
+                WireFrame::Request(request) => request,
+                other => panic!("client sent a non-request frame: {other:?}"),
+            };
+            let conn = self.link.as_ref().unwrap().conn;
+            let output = self.engine.handle(conn, request);
+            let link = self.link.as_mut().unwrap();
+            for (to, frame) in output.frames {
+                // Frames addressed to previous incarnations of the link
+                // are dropped, exactly as their failed TCP writes would
+                // be; the ledger is what makes that loss survivable.
+                if to == link.conn {
+                    link.serving.queue(&frame);
+                }
+            }
+            link.serving
+                .flush()
+                .expect("loopback accepts server output");
+        }
+
+        let mut spins = 0u32;
+        loop {
+            let frames = {
+                let link = self.link.as_mut().unwrap();
+                match link.driver.pump_reads(&mut self.scratch) {
+                    Ok(frames) => frames,
+                    Err(_) => {
+                        self.drop_link();
+                        return Err(LinkDied);
+                    }
+                }
+            };
+            let mut response = None;
+            for (kind, payload) in frames {
+                match decode_frame(kind, &payload).expect("server frames decode") {
+                    WireFrame::Push(push) => self.note_push(push),
+                    WireFrame::Response(resp) => response = Some(resp),
+                    WireFrame::Request(_) => panic!("server sent a request frame"),
+                }
+            }
+            if let Some(response) = response {
+                return Ok(response);
+            }
+            // A cut that latched mid-frame surfaces as endless empty
+            // pumps (the assembler still holds the torn prefix); the
+            // openness check turns that into an honest link death.
+            if !self.link.as_ref().unwrap().driver.is_open() {
+                self.drop_link();
+                return Err(LinkDied);
+            }
+            spins += 1;
+            assert!(
+                spins < 100_000,
+                "response never surfaced through the faults"
+            );
+        }
+    }
+
+    /// Makes `identity`'s session live on the *current* link: first
+    /// contact mints it with `Hello`, a rebuilt link resumes it (and
+    /// consumes the replayed backlog), a token the server no longer
+    /// recognises (lease teardown) starts over from `Hello`.
+    fn ensure_bound(&mut self, identity: u64) {
+        loop {
+            let current = self.dial();
+            match self.sessions.get(&identity) {
+                Some(s) if s.bound_conn == current => return,
+                None => {
+                    let hello = encode_request(&WireRequest::Hello { imei: identity });
+                    match self.attempt(&hello) {
+                        Ok(WireResponse::SessionBound { token }) => {
+                            let conn = self.link.as_ref().unwrap().conn;
+                            self.sessions.insert(
+                                identity,
+                                ClientSession {
+                                    token,
+                                    bound_conn: conn,
+                                    req_seq: 0,
+                                    push_seen: 0,
+                                    delivered: 0,
+                                    dups: 0,
+                                    gaps: 0,
+                                },
+                            );
+                            return;
+                        }
+                        Ok(other) => panic!("hello answered {other:?}"),
+                        Err(LinkDied) => continue,
+                    }
+                }
+                Some(s) => {
+                    let resume = encode_request(&WireRequest::Resume {
+                        token: s.token,
+                        push_ack: s.push_seen,
+                    });
+                    match self.attempt(&resume) {
+                        Ok(WireResponse::SessionResumed { .. }) => {
+                            let conn = self.link.as_ref().unwrap().conn;
+                            self.sessions.get_mut(&identity).unwrap().bound_conn = conn;
+                            return;
+                        }
+                        Ok(WireResponse::Error { code, .. }) if code == ERR_UNKNOWN_SESSION => {
+                            self.sessions.remove(&identity);
+                            continue;
+                        }
+                        Ok(other) => panic!("resume answered {other:?}"),
+                        Err(LinkDied) => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives one trace op to acknowledgement: bind, envelope, send,
+    /// and on every cut — reconnect, resume, retransmit the *same*
+    /// sequence number, letting the engine's dedup make it at-most-once.
+    fn drive_op(&mut self, req: &WireRequest) -> WireResponse {
+        let identity = op_identity(req);
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            assert!(attempts < 10_000, "op never reached acknowledgement");
+            self.ensure_bound(identity);
+            let (token, pending, ack) = {
+                let s = &self.sessions[&identity];
+                (s.token, s.req_seq + 1, s.push_seen)
+            };
+            let envelope = encode_request(&WireRequest::Tracked {
+                token,
+                req_seq: pending,
+                push_ack: ack,
+                inner: Box::new(req.clone()),
+            });
+            match self.attempt(&envelope) {
+                Ok(WireResponse::Error { code, detail }) if code == ERR_UNKNOWN_SESSION => {
+                    let _ = detail;
+                    self.sessions.remove(&identity);
+                }
+                Ok(WireResponse::Error { code, detail }) if code == ERR_BAD_SEQUENCE => {
+                    panic!("sequence discipline broke: {detail}")
+                }
+                Ok(response) => {
+                    self.sessions.get_mut(&identity).unwrap().req_seq = pending;
+                    return response;
+                }
+                Err(LinkDied) => {}
+            }
+        }
+    }
+
+    /// Reads the link until it goes quiet, consuming stray pushes (e.g.
+    /// a resume's replayed backlog that trailed the last response).
+    fn pump_quiet(&mut self) {
+        if self.link.is_none() {
+            return;
+        }
+        let mut quiet = 0u32;
+        while quiet < 16 {
+            let frames = {
+                let link = self.link.as_mut().unwrap();
+                match link.driver.pump_reads(&mut self.scratch) {
+                    Ok(frames) => frames,
+                    Err(_) => {
+                        self.drop_link();
+                        return;
+                    }
+                }
+            };
+            if frames.is_empty() {
+                if !self.link.as_ref().unwrap().driver.is_open() {
+                    self.drop_link();
+                    return;
+                }
+                quiet += 1;
+                continue;
+            }
+            quiet = 0;
+            for (kind, payload) in frames {
+                match decode_frame(kind, &payload).expect("server frames decode") {
+                    WireFrame::Push(push) => self.note_push(push),
+                    other => panic!("unsolicited non-push frame: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Advances to the horizon, then resumes and acks every session
+    /// until the engine holds no unacked pushes — the client-side proof
+    /// that nothing was dropped.
+    fn drain_and_ack(&mut self, horizon: SimTime) {
+        self.clock.advance_to(horizon);
+        let frames = self.engine.advance_to(horizon);
+        if let Some(link) = self.link.as_mut() {
+            let mut any = false;
+            for (to, frame) in frames {
+                if to == link.conn {
+                    link.serving.queue(&frame);
+                    any = true;
+                }
+            }
+            if any {
+                let _ = link.serving.flush();
+            }
+        }
+        let mut passes = 0u32;
+        loop {
+            self.pump_quiet();
+            let identities: Vec<u64> = self.sessions.keys().copied().collect();
+            for identity in identities {
+                loop {
+                    self.ensure_bound(identity);
+                    self.pump_quiet();
+                    let Some(s) = self.sessions.get(&identity) else {
+                        break; // torn down while draining; nothing to ack
+                    };
+                    let ack = encode_request(&WireRequest::PushAck {
+                        token: s.token,
+                        push_ack: s.push_seen,
+                    });
+                    match self.attempt(&ack) {
+                        Ok(WireResponse::Ok) => break,
+                        Ok(WireResponse::Error { code, .. }) if code == ERR_UNKNOWN_SESSION => {
+                            self.sessions.remove(&identity);
+                            break;
+                        }
+                        Ok(other) => panic!("push-ack answered {other:?}"),
+                        Err(LinkDied) => continue,
+                    }
+                }
+            }
+            if self.engine.unacked_pushes() == 0 {
+                break;
+            }
+            passes += 1;
+            assert!(passes < 100, "final drain failed to converge");
+        }
+    }
+}
+
+/// Runs the trace through the live path with `plan`'s faults injected on
+/// the client side of the wire, driving every op to acknowledgement
+/// through reconnects, resumes and retransmits.
+///
+/// Because every trace op is acknowledged, the "surviving prefix" here
+/// is the *whole trace*: the returned digest must be byte-identical to
+/// [`run_sim`]'s. With [`TransportFaultPlan::none`] the exchange
+/// degenerates to PR 9's clean single-connection replay (plus the
+/// session envelopes, which add zero durable semantics).
+///
+/// # Panics
+///
+/// Panics when the protocol breaks its own promises — a sequence gap, an
+/// unexpected response shape, or an op that cannot reach
+/// acknowledgement — which is exactly what the keystone test exists to
+/// catch.
+pub fn run_live_chaos(trace: &EventTrace, shards: usize, plan: &TransportFaultPlan) -> ChaosReport {
+    let clock = SimClock::new();
+    let engine = ServeEngine::new(trace_server(shards), Arc::new(clock.clone()));
+    let mut driver = ChaosDriver {
+        clock,
+        engine,
+        plan: plan.clone(),
+        link: None,
+        conn_seq: 0,
+        links_made: 0,
+        sessions: HashMap::new(),
+        faults: TransportFaultTally::default(),
+        disconnect_notices: 0,
+        scratch: vec![0u8; 16 * 1024],
+    };
+
+    let mut ops = 0u64;
+    for event in &trace.events {
+        driver.clock.advance_to(event.at);
+        driver.drive_op(&event.req);
+        ops += 1;
+    }
+    driver.drain_and_ack(trace.horizon);
+
+    let mut pushes_delivered = 0u64;
+    let mut push_duplicates = 0u64;
+    let mut push_gaps = 0u64;
+    for session in driver.sessions.values() {
+        pushes_delivered += session.delivered;
+        push_duplicates += session.dups;
+        push_gaps += session.gaps;
+    }
+    if let Some(link) = driver.link.as_mut() {
+        let tally = link.driver.transport_mut().tally().clone();
+        driver.faults.absorb(&tally);
+    }
+    let stats = driver.engine.stats();
+    ChaosReport {
+        digest: driver.engine.server().durable_digest(trace.horizon),
+        ops,
+        reconnects: driver.links_made.saturating_sub(1),
+        requests_deduped: stats.requests_deduped,
+        pushes_replayed: stats.pushes_replayed,
+        pushes_delivered,
+        push_duplicates,
+        push_gaps,
+        unacked_pushes: driver.engine.unacked_pushes(),
+        disconnect_notices: driver.disconnect_notices,
+        faults: driver.faults,
+    }
 }
 
 #[cfg(test)]

@@ -222,6 +222,42 @@ pub enum WireRequest {
     Stats,
     /// Asks the server to shut down gracefully (flushing the WAL).
     Shutdown,
+    /// Rebinds an existing session (by the token minted at Hello) to this
+    /// connection after a reconnect. `push_ack` is the client's cumulative
+    /// push ack; the server prunes its ledger through it and replays every
+    /// retained push above it, in order, after the response.
+    Resume {
+        /// The session token from [`WireResponse::SessionBound`].
+        token: u64,
+        /// Highest push sequence number the client has seen.
+        push_ack: u64,
+    },
+    /// Standalone cumulative push ack (the piggybacked ack on
+    /// [`WireRequest::Tracked`] covers the common case; this drains the
+    /// ledger when the client has nothing else to say).
+    PushAck {
+        /// The session token.
+        token: u64,
+        /// Highest push sequence number the client has seen.
+        push_ack: u64,
+    },
+    /// The at-most-once envelope: a session-stamped, sequenced request.
+    /// The server deduplicates on `req_seq` (a retransmit of the last
+    /// applied sequence replays the recorded response without re-applying
+    /// the operation) and prunes the push ledger through `push_ack` —
+    /// PR 2's `OutboundBatch` envelope semantics, lifted to the wire
+    /// layer. Envelopes never nest.
+    Tracked {
+        /// The session token from [`WireResponse::SessionBound`].
+        token: u64,
+        /// This request's per-session sequence number (1-based,
+        /// contiguous).
+        req_seq: u64,
+        /// Piggybacked cumulative push ack.
+        push_ack: u64,
+        /// The request being carried.
+        inner: Box<WireRequest>,
+    },
 }
 
 /// A server → client response (exactly one per request).
@@ -271,6 +307,24 @@ pub enum WireResponse {
     },
     /// The server acknowledged a shutdown request and is flushing.
     ShuttingDown,
+    /// Receipt for a [`WireRequest::Hello`]: a fresh session was minted.
+    /// The token is the client's resume credential; push sequence numbers
+    /// and request sequence numbers both restart at 1.
+    SessionBound {
+        /// The session token to present in [`WireRequest::Resume`] and
+        /// [`WireRequest::Tracked`].
+        token: u64,
+    },
+    /// Receipt for a [`WireRequest::Resume`]: the session was rebound to
+    /// this connection.
+    SessionResumed {
+        /// Highest request sequence number the server has applied —
+        /// the client re-sends its pending envelope iff it is above this.
+        applied_req_seq: u64,
+        /// Unacked pushes about to be replayed, in order, after this
+        /// response.
+        replaying: u32,
+    },
 }
 
 /// A server → client unsolicited push.
@@ -278,6 +332,15 @@ pub enum WireResponse {
 pub enum WirePush {
     /// A task assignment naming this connection's device.
     Assignment {
+        /// Per-session push sequence number (1-based, contiguous); the
+        /// client's dedup key across resume replays. `0` when the push
+        /// was routed to a session predating the ledger (never happens on
+        /// this protocol version — kept for decoder honesty).
+        seq: u64,
+        /// The session's device identity this push is addressed to
+        /// (assignments fan out one sequenced copy per selected device
+        /// that has a session).
+        device: u64,
         /// The request being served.
         request: u64,
         /// The owning task.
@@ -293,7 +356,37 @@ pub enum WirePush {
         /// All devices selected for the request.
         devices: Vec<u64>,
     },
+    /// The server is about to drop this connection and says why — the
+    /// truthful wire error a supervised teardown owes the peer (slow-peer
+    /// write overflow, idle reap, push-ledger overflow, expired device
+    /// lease). Best-effort: an overflowing link may never deliver it.
+    Disconnect {
+        /// Stable reason discriminant (see the `DISCONNECT_*` constants).
+        code: u8,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
+
+/// [`WirePush::Disconnect`] reason: the outbound queue exceeded the
+/// slow-peer write budget.
+pub const DISCONNECT_WRITE_OVERFLOW: u8 = 1;
+/// [`WirePush::Disconnect`] reason: the connection sat idle past the
+/// configured deadline.
+pub const DISCONNECT_IDLE: u8 = 2;
+/// [`WirePush::Disconnect`] reason: the session's unacked push ledger
+/// overflowed (the client stopped acking).
+pub const DISCONNECT_LEDGER_OVERFLOW: u8 = 3;
+/// [`WirePush::Disconnect`] reason: the device's liveness lease expired
+/// and the session was torn down with it.
+pub const DISCONNECT_LEASE_EXPIRED: u8 = 4;
+
+/// [`WireResponse::Error`] code: the presented session token is unknown
+/// (expired, revoked, or from a previous server incarnation).
+pub const ERR_UNKNOWN_SESSION: u8 = 8;
+/// [`WireResponse::Error`] code: a [`WireRequest::Tracked`] sequence
+/// number left a gap (client bug; the envelope was not applied).
+pub const ERR_BAD_SEQUENCE: u8 = 9;
 
 /// Any decoded wire frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -332,6 +425,9 @@ const REQ_SUBMIT_TASK: u8 = 9;
 const REQ_DRAIN_OUTBOX: u8 = 10;
 const REQ_STATS: u8 = 11;
 const REQ_SHUTDOWN: u8 = 12;
+const REQ_RESUME: u8 = 13;
+const REQ_PUSH_ACK: u8 = 14;
+const REQ_TRACKED: u8 = 15;
 
 const RESP_OK: u8 = 1;
 const RESP_ERROR: u8 = 2;
@@ -340,8 +436,11 @@ const RESP_TASK_CREATED: u8 = 4;
 const RESP_OUTBOX: u8 = 5;
 const RESP_STATS: u8 = 6;
 const RESP_SHUTTING_DOWN: u8 = 7;
+const RESP_SESSION_BOUND: u8 = 8;
+const RESP_SESSION_RESUMED: u8 = 9;
 
 const PUSH_ASSIGNMENT: u8 = 1;
+const PUSH_DISCONNECT: u8 = 2;
 
 fn put_sensor(w: &mut ByteWriter, sensor: Sensor) {
     w.put_i32(sensor.type_code());
@@ -355,6 +454,11 @@ fn take_sensor(r: &mut ByteReader<'_>) -> Result<Sensor, WireError> {
 /// Encodes a request as a sealed wire frame, ready to send.
 pub fn encode_request(req: &WireRequest) -> Vec<u8> {
     let mut w = ByteWriter::new();
+    write_request(&mut w, req);
+    seal_frame(KIND_REQUEST, &w.into_bytes())
+}
+
+fn write_request(w: &mut ByteWriter, req: &WireRequest) {
     match req {
         WireRequest::Hello { imei } => {
             w.put_u8(REQ_HELLO);
@@ -376,7 +480,7 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
             w.put_str(device_type);
             w.put_u32(sensors.len() as u32);
             for s in sensors {
-                put_sensor(&mut w, *s);
+                put_sensor(w, *s);
             }
         }
         WireRequest::Deregister { imei } => {
@@ -433,7 +537,7 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
             w.put_u32(readings.len() as u32);
             for reading in readings {
                 w.put_u64(reading.request);
-                put_sensor(&mut w, reading.sensor);
+                put_sensor(w, reading.sensor);
                 w.put_f64(reading.value);
                 w.put_u64(reading.taken_at_us);
                 w.put_f64(reading.lat_deg);
@@ -443,7 +547,7 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
         WireRequest::SubmitTask { cas, spec } => {
             w.put_u8(REQ_SUBMIT_TASK);
             w.put_u64(*cas);
-            put_sensor(&mut w, spec.sensor);
+            put_sensor(w, spec.sensor);
             w.put_f64(spec.centre_lat);
             w.put_f64(spec.centre_lon);
             w.put_f64(spec.radius_m);
@@ -455,8 +559,35 @@ pub fn encode_request(req: &WireRequest) -> Vec<u8> {
         WireRequest::DrainOutbox => w.put_u8(REQ_DRAIN_OUTBOX),
         WireRequest::Stats => w.put_u8(REQ_STATS),
         WireRequest::Shutdown => w.put_u8(REQ_SHUTDOWN),
+        WireRequest::Resume { token, push_ack } => {
+            w.put_u8(REQ_RESUME);
+            w.put_u64(*token);
+            w.put_u64(*push_ack);
+        }
+        WireRequest::PushAck { token, push_ack } => {
+            w.put_u8(REQ_PUSH_ACK);
+            w.put_u64(*token);
+            w.put_u64(*push_ack);
+        }
+        WireRequest::Tracked {
+            token,
+            req_seq,
+            push_ack,
+            inner,
+        } => {
+            debug_assert!(
+                !matches!(**inner, WireRequest::Tracked { .. }),
+                "tracked envelopes never nest"
+            );
+            w.put_u8(REQ_TRACKED);
+            w.put_u64(*token);
+            w.put_u64(*req_seq);
+            w.put_u64(*push_ack);
+            // The inner request rides as the rest of the payload; the
+            // shared exhaustion check at the frame edge still applies.
+            write_request(w, inner);
+        }
     }
-    seal_frame(KIND_REQUEST, &w.into_bytes())
 }
 
 /// Encodes a response as a sealed wire frame.
@@ -502,6 +633,18 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
             w.put_u64(*unresolved);
         }
         WireResponse::ShuttingDown => w.put_u8(RESP_SHUTTING_DOWN),
+        WireResponse::SessionBound { token } => {
+            w.put_u8(RESP_SESSION_BOUND);
+            w.put_u64(*token);
+        }
+        WireResponse::SessionResumed {
+            applied_req_seq,
+            replaying,
+        } => {
+            w.put_u8(RESP_SESSION_RESUMED);
+            w.put_u64(*applied_req_seq);
+            w.put_u32(*replaying);
+        }
     }
     seal_frame(KIND_RESPONSE, &w.into_bytes())
 }
@@ -511,6 +654,8 @@ pub fn encode_push(push: &WirePush) -> Vec<u8> {
     let mut w = ByteWriter::new();
     match push {
         WirePush::Assignment {
+            seq,
+            device,
             request,
             task,
             sensor,
@@ -520,6 +665,8 @@ pub fn encode_push(push: &WirePush) -> Vec<u8> {
             devices,
         } => {
             w.put_u8(PUSH_ASSIGNMENT);
+            w.put_u64(*seq);
+            w.put_u64(*device);
             w.put_u64(*request);
             w.put_u64(*task);
             put_sensor(&mut w, *sensor);
@@ -530,6 +677,11 @@ pub fn encode_push(push: &WirePush) -> Vec<u8> {
             for d in devices {
                 w.put_u64(*d);
             }
+        }
+        WirePush::Disconnect { code, detail } => {
+            w.put_u8(PUSH_DISCONNECT);
+            w.put_u8(*code);
+            w.put_str(detail);
         }
     }
     seal_frame(KIND_PUSH, &w.into_bytes())
@@ -551,6 +703,11 @@ fn finish<T>(r: &ByteReader<'_>, value: T) -> Result<T, WireError> {
 /// A typed [`WireError`] on any malformed input; never panics.
 pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
     let mut r = ByteReader::new(payload);
+    let req = read_request(&mut r, false)?;
+    finish(&r, req)
+}
+
+fn read_request(r: &mut ByteReader<'_>, nested: bool) -> Result<WireRequest, WireError> {
     let tag = r.take_u8()?;
     let req = match tag {
         REQ_HELLO => WireRequest::Hello {
@@ -565,7 +722,7 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
             let n = r.take_count(4)?;
             let mut sensors = Vec::with_capacity(n);
             for _ in 0..n {
-                sensors.push(take_sensor(&mut r)?);
+                sensors.push(take_sensor(r)?);
             }
             WireRequest::Register {
                 imei,
@@ -614,7 +771,7 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
             for _ in 0..n {
                 readings.push(WireReading {
                     request: r.take_u64()?,
-                    sensor: take_sensor(&mut r)?,
+                    sensor: take_sensor(r)?,
                     value: r.take_f64()?,
                     taken_at_us: r.take_u64()?,
                     lat_deg: r.take_f64()?,
@@ -631,7 +788,7 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
         REQ_SUBMIT_TASK => WireRequest::SubmitTask {
             cas: r.take_u64()?,
             spec: WireTaskSpec {
-                sensor: take_sensor(&mut r)?,
+                sensor: take_sensor(r)?,
                 centre_lat: r.take_f64()?,
                 centre_lon: r.take_f64()?,
                 radius_m: r.take_f64()?,
@@ -644,9 +801,32 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, WireError> {
         REQ_DRAIN_OUTBOX => WireRequest::DrainOutbox,
         REQ_STATS => WireRequest::Stats,
         REQ_SHUTDOWN => WireRequest::Shutdown,
+        REQ_RESUME => WireRequest::Resume {
+            token: r.take_u64()?,
+            push_ack: r.take_u64()?,
+        },
+        REQ_PUSH_ACK => WireRequest::PushAck {
+            token: r.take_u64()?,
+            push_ack: r.take_u64()?,
+        },
+        REQ_TRACKED => {
+            if nested {
+                return Err(WireError::Malformed("nested tracked envelope"));
+            }
+            let token = r.take_u64()?;
+            let req_seq = r.take_u64()?;
+            let push_ack = r.take_u64()?;
+            let inner = read_request(r, true)?;
+            WireRequest::Tracked {
+                token,
+                req_seq,
+                push_ack,
+                inner: Box::new(inner),
+            }
+        }
         other => return Err(WireError::UnknownRequestTag(other)),
     };
-    finish(&r, req)
+    Ok(req)
 }
 
 /// Decodes a response payload (the bytes inside a [`KIND_RESPONSE`]
@@ -683,6 +863,13 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, WireError> {
             unresolved: r.take_u64()?,
         },
         RESP_SHUTTING_DOWN => WireResponse::ShuttingDown,
+        RESP_SESSION_BOUND => WireResponse::SessionBound {
+            token: r.take_u64()?,
+        },
+        RESP_SESSION_RESUMED => WireResponse::SessionResumed {
+            applied_req_seq: r.take_u64()?,
+            replaying: r.take_u32()?,
+        },
         other => return Err(WireError::UnknownResponseTag(other)),
     };
     finish(&r, resp)
@@ -698,6 +885,8 @@ pub fn decode_push(payload: &[u8]) -> Result<WirePush, WireError> {
     let tag = r.take_u8()?;
     let push = match tag {
         PUSH_ASSIGNMENT => {
+            let seq = r.take_u64()?;
+            let device = r.take_u64()?;
             let request = r.take_u64()?;
             let task = r.take_u64()?;
             let sensor = take_sensor(&mut r)?;
@@ -710,6 +899,8 @@ pub fn decode_push(payload: &[u8]) -> Result<WirePush, WireError> {
                 devices.push(r.take_u64()?);
             }
             WirePush::Assignment {
+                seq,
+                device,
                 request,
                 task,
                 sensor,
@@ -719,6 +910,10 @@ pub fn decode_push(payload: &[u8]) -> Result<WirePush, WireError> {
                 devices,
             }
         }
+        PUSH_DISCONNECT => WirePush::Disconnect {
+            code: r.take_u8()?,
+            detail: r.take_str()?,
+        },
         other => return Err(WireError::UnknownPushTag(other)),
     };
     finish(&r, push)
@@ -808,6 +1003,20 @@ mod tests {
             WireRequest::DrainOutbox,
             WireRequest::Stats,
             WireRequest::Shutdown,
+            WireRequest::Resume {
+                token: 0xDEAD_BEEF,
+                push_ack: 17,
+            },
+            WireRequest::PushAck {
+                token: 0xDEAD_BEEF,
+                push_ack: 21,
+            },
+            WireRequest::Tracked {
+                token: 0xDEAD_BEEF,
+                req_seq: 5,
+                push_ack: 17,
+                inner: Box::new(WireRequest::Comm { imei: 42 }),
+            },
         ]
     }
 
@@ -848,6 +1057,11 @@ mod tests {
                 unresolved: 6,
             },
             WireResponse::ShuttingDown,
+            WireResponse::SessionBound { token: 0xF00D },
+            WireResponse::SessionResumed {
+                applied_req_seq: 7,
+                replaying: 2,
+            },
         ];
         for resp in responses {
             let frame = encode_response(&resp);
@@ -855,19 +1069,53 @@ mod tests {
             assert_eq!(kind, KIND_RESPONSE);
             assert_eq!(decode_response(payload).unwrap(), resp, "{resp:?}");
         }
-        let push = WirePush::Assignment {
-            request: 3,
-            task: 1,
-            sensor: Sensor::Barometer,
-            sample_at_us: 300_000_000,
-            deadline_us: 420_000_000,
-            payload_bytes: 64,
-            devices: vec![11, 12, 13],
+        let pushes = vec![
+            WirePush::Assignment {
+                seq: 4,
+                device: 11,
+                request: 3,
+                task: 1,
+                sensor: Sensor::Barometer,
+                sample_at_us: 300_000_000,
+                deadline_us: 420_000_000,
+                payload_bytes: 64,
+                devices: vec![11, 12, 13],
+            },
+            WirePush::Disconnect {
+                code: DISCONNECT_WRITE_OVERFLOW,
+                detail: "outbound queue over budget".to_owned(),
+            },
+        ];
+        for push in pushes {
+            let frame = encode_push(&push);
+            let (kind, payload) = open_frame(&frame).unwrap();
+            assert_eq!(kind, KIND_PUSH);
+            assert_eq!(decode_push(payload).unwrap(), push, "{push:?}");
+        }
+    }
+
+    #[test]
+    fn nested_tracked_envelopes_are_rejected() {
+        let outer = WireRequest::Tracked {
+            token: 1,
+            req_seq: 1,
+            push_ack: 0,
+            inner: Box::new(WireRequest::Stats),
         };
-        let frame = encode_push(&push);
-        let (kind, payload) = open_frame(&frame).unwrap();
-        assert_eq!(kind, KIND_PUSH);
-        assert_eq!(decode_push(payload).unwrap(), push);
+        // Hand-build the illegal nesting the public encoder debug-asserts
+        // against: Tracked { inner: Tracked { .. } }.
+        let mut w = ByteWriter::new();
+        w.put_u8(REQ_TRACKED);
+        w.put_u64(2);
+        w.put_u64(1);
+        w.put_u64(0);
+        let inner_frame = encode_request(&outer);
+        let inner_payload = open_frame(&inner_frame).unwrap().1;
+        w.put_bytes(inner_payload);
+        assert_eq!(
+            decode_request(&w.into_bytes()),
+            Err(WireError::Malformed("nested tracked envelope"))
+        );
     }
 
     #[test]

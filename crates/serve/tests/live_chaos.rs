@@ -1,0 +1,89 @@
+//! The live-chaos keystone: under every transport fault preset, the live
+//! path driven to acknowledgement produces a `durable_digest`
+//! byte-identical to the sim twin, with exactly-once assignment pushes
+//! across every reconnect.
+
+use senseaid_core::runtime::TransportFaultPlan;
+use senseaid_serve::trace::{record_sample_trace, run_live, run_live_chaos, run_sim};
+
+const TRACE_SEED: u64 = 2017;
+const DEVICES: usize = 7;
+const ROUNDS: usize = 5;
+
+#[test]
+fn every_fault_preset_preserves_sim_identity_across_shard_counts() {
+    let trace = record_sample_trace(TRACE_SEED, DEVICES, ROUNDS);
+    for shards in [1usize, 2, 8] {
+        let expected = run_sim(&trace, shards);
+        for &preset in TransportFaultPlan::preset_names() {
+            for fault_seed in [11u64, 12, 13] {
+                let plan = TransportFaultPlan::preset(preset, fault_seed)
+                    .expect("every advertised preset parses");
+                let report = run_live_chaos(&trace, shards, &plan);
+                let ctx = format!("preset={preset} seed={fault_seed} shards={shards}");
+                assert_eq!(
+                    report.digest, expected,
+                    "{ctx}: surviving-prefix digest diverged from the sim"
+                );
+                assert_eq!(report.ops, trace.events.len() as u64, "{ctx}");
+                assert_eq!(
+                    report.push_gaps, 0,
+                    "{ctx}: a session observed a dropped assignment push"
+                );
+                assert_eq!(
+                    report.unacked_pushes, 0,
+                    "{ctx}: pushes left undelivered in the ledger"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_fault_plan_matches_the_unwrapped_transport_byte_for_byte() {
+    let trace = record_sample_trace(TRACE_SEED, DEVICES, ROUNDS);
+    for shards in [1usize, 2, 8] {
+        let clean = run_live(&trace, shards);
+        let report = run_live_chaos(&trace, shards, &TransportFaultPlan::none(99));
+        assert_eq!(report.digest, clean, "shards={shards}");
+        assert_eq!(report.reconnects, 0, "shards={shards}");
+        assert_eq!(report.faults.total(), 0, "shards={shards}");
+        assert_eq!(report.push_duplicates, 0, "shards={shards}");
+    }
+}
+
+#[test]
+fn chaos_runs_replay_deterministically_from_the_plan_seed() {
+    let trace = record_sample_trace(TRACE_SEED, DEVICES, ROUNDS);
+    let plan = TransportFaultPlan::preset("mixed", 42).unwrap();
+    let a = run_live_chaos(&trace, 2, &plan);
+    let b = run_live_chaos(&trace, 2, &plan);
+    assert_eq!(a, b, "same plan, same trace, different run");
+}
+
+#[test]
+fn disconnect_presets_actually_exercise_resume_and_dedup() {
+    let trace = record_sample_trace(TRACE_SEED, DEVICES, ROUNDS);
+    let plan = TransportFaultPlan::preset("reconnect-storm", 7).unwrap();
+    let report = run_live_chaos(&trace, 2, &plan);
+    assert!(
+        report.reconnects > 0,
+        "a reconnect storm that never reconnects proves nothing"
+    );
+    assert!(report.faults.disconnects > 0);
+    // Different fault seeds produce different fault timelines.
+    let other = run_live_chaos(
+        &trace,
+        2,
+        &TransportFaultPlan::preset("reconnect-storm", 8).unwrap(),
+    );
+    assert_eq!(
+        other.digest, report.digest,
+        "digests agree regardless of faults"
+    );
+    assert_ne!(
+        (report.reconnects, report.faults.clone()),
+        (other.reconnects, other.faults.clone()),
+        "fault seeds 7 and 8 injected identical timelines — suspicious"
+    );
+}

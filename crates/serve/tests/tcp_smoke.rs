@@ -21,6 +21,7 @@ fn loadgen_round_trips_and_shutdown_flushes_the_wal() {
         workers: 2,
         persist_dir: Some(wal.clone()),
         duration: Some(Duration::from_secs(30)),
+        ..ServeOptions::default()
     })
     .expect("bind ephemeral server");
     let addr = handle.addr().to_string();
@@ -33,6 +34,7 @@ fn loadgen_round_trips_and_shutdown_flushes_the_wal() {
         seed: 7,
         submit_task: true,
         stop_server: true,
+        drop_every: None,
     })
     .expect("loadgen connects");
 
@@ -81,6 +83,7 @@ fn server_survives_garbage_bytes_without_panicking() {
         workers: 1,
         persist_dir: None,
         duration: Some(Duration::from_secs(15)),
+        ..ServeOptions::default()
     })
     .expect("bind ephemeral server");
     let addr = handle.addr();
@@ -106,6 +109,7 @@ fn server_survives_garbage_bytes_without_panicking() {
         seed: 3,
         submit_task: false,
         stop_server: true,
+        drop_every: None,
     })
     .expect("loadgen connects after hostile client");
     let summary = handle.join();

@@ -14,9 +14,9 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use senseaid::bench::experiments::{
-    ablations, ext_adaptive, ext_chaos, ext_million, ext_overload, ext_scalability, ext_timeliness,
-    fig01, fig02, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, tab02,
-    DEFAULT_SEED,
+    ablations, ext_adaptive, ext_chaos, ext_live_chaos, ext_million, ext_overload, ext_scalability,
+    ext_timeliness, fig01, fig02, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
+    tab02, DEFAULT_SEED,
 };
 use senseaid::bench::{
     run_perf_filtered, run_scenario, run_trace, savings_pct, FrameworkKind, PerfOptions,
@@ -59,6 +59,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "chaos extension (loss sweep + mid-run server crash)",
     ),
     (
+        "ext-live-chaos",
+        "live-path chaos (transport fault presets vs the sim twin's digest)",
+    ),
+    (
         "ext-overload",
         "overload extension (offered load x churn, leases + shedding)",
     ),
@@ -95,7 +99,7 @@ fn main() -> ExitCode {
             println!("       senseaid perf [--seed N] [--quick] [--filter CELL] [--out FILE] [--against BASELINE]");
             println!("       senseaid recover [--devices N] [--rounds N] [--seed N] [--fault PRESET] [--fault-seed N]");
             println!("       senseaid serve [--addr HOST:PORT] [--shards N] [--workers N] [--duration SECS] [--persist DIR]");
-            println!("       senseaid loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--seconds SECS] [--seed N] [--out FILE] [--stop-server]");
+            println!("       senseaid loadgen [--addr HOST:PORT] [--connections N] [--requests N] [--seconds SECS] [--seed N] [--out FILE] [--drop-every N] [--stop-server]");
             println!("       senseaid trace <experiment> [--seed N] [--out FILE] [--jsonl FILE]");
             ExitCode::SUCCESS
         }
@@ -194,6 +198,7 @@ fn cmd_experiment(args: &[String]) -> ExitCode {
         "ext-timeliness" => ext_timeliness::run(seed),
         "ext-adaptive" => ext_adaptive::run(seed),
         "ext-chaos" => ext_chaos::run(seed),
+        "ext-live-chaos" => ext_live_chaos::run(seed),
         "ext-overload" => ext_overload::run(seed),
         "ext-million" => ext_million::run(seed),
         other => {
@@ -280,6 +285,15 @@ fn cmd_perf(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!("device-lease bookkeeping overhead {pct:+.2}% (within the 2% budget)");
+        }
+        // And the session layer: tracked envelopes, the dedup cache and
+        // the push ledger must cost less than 2% over the raw live path.
+        if let Some(pct) = report.session_ledger_overhead_pct() {
+            if pct > 2.0 {
+                eprintln!("session-ledger overhead {pct:+.2}% exceeds the 2% budget");
+                return ExitCode::FAILURE;
+            }
+            println!("session-ledger overhead {pct:+.2}% (within the 2% budget)");
         }
     }
     ExitCode::SUCCESS
@@ -596,6 +610,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         duration: flag(args, "--duration")
             .flatten()
             .map(std::time::Duration::from_secs_f64),
+        ..ServeOptions::default()
     };
     let handle = match serve(options.clone()) {
         Ok(handle) => handle,
@@ -634,6 +649,7 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
             "--seconds",
             "--seed",
             "--out",
+            "--drop-every",
         ],
         &["--stop-server"],
     ) {
@@ -651,6 +667,7 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
         seed: seed_of(args),
         submit_task: true,
         stop_server: args.iter().any(|a| a == "--stop-server"),
+        drop_every: flag(args, "--drop-every").flatten().map(|n| n as u64),
     };
     let report = match run_loadgen(&options) {
         Ok(report) => report,
@@ -666,6 +683,14 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote latency histogram to {path}");
+    }
+    if let Some(fatal) = &report.fatal {
+        eprintln!("loadgen failed: {fatal}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(err) = &report.stop_server_error {
+        eprintln!("loadgen could not stop the server: {err}");
+        return ExitCode::FAILURE;
     }
     if report.requests == 0 {
         eprintln!("loadgen completed zero requests");
